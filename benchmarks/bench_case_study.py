@@ -1,0 +1,57 @@
+"""Experiments E2/E9 — the case-study queries and the Figure 4 map."""
+
+import pytest
+
+from repro.core.casestudy import LISTING1, PREFIXES
+
+TIMINGS = {}
+
+
+def test_listing1_bois_de_boulogne(benchmark, materialized_store):
+    """Listing 1: LAI of the Bois de Boulogne (spatial join on parks)."""
+    result = benchmark.pedantic(
+        materialized_store.query, args=(LISTING1,), rounds=3, iterations=1
+    )
+    TIMINGS["listing1"] = benchmark.stats.stats.median
+    assert len(result) == 12  # 4 grid points x 3 dekads
+
+
+def test_park_vs_industrial(benchmark, case_study, materialized_store):
+    green, industrial = benchmark.pedantic(
+        case_study.park_vs_industrial_lai,
+        args=(materialized_store,), rounds=1, iterations=1,
+    )
+    TIMINGS["green"] = green
+    TIMINGS["industrial"] = industrial
+    assert green > industrial
+
+
+def test_figure4_map_build(benchmark, case_study, materialized_store):
+    tm = benchmark.pedantic(
+        case_study.build_map, args=(materialized_store,),
+        rounds=1, iterations=1,
+    )
+    assert len(tm.layers) == 5
+
+
+def test_figure4_svg_render(benchmark, case_study, materialized_store):
+    tm = case_study.build_map(materialized_store)
+    svg = benchmark.pedantic(tm.to_svg, rounds=3, iterations=1)
+    assert svg.startswith("<svg")
+
+
+def test_zz_summary(benchmark, record_summary):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if "green" not in TIMINGS:
+        pytest.skip("benchmarks did not run")
+    record_summary(
+        "E2/E9: greenness of Paris",
+        [
+            f"Listing 1 query    : {TIMINGS['listing1'] * 1000:8.2f} ms",
+            f"mean LAI, parks    : {TIMINGS['green']:8.2f}",
+            f"mean LAI, industry : {TIMINGS['industrial']:8.2f}",
+            "paper (Fig 4): green urban areas show higher LAI than "
+            "industrial areas",
+        ],
+    )
+    assert TIMINGS["green"] > TIMINGS["industrial"]

@@ -1,0 +1,115 @@
+"""Experiment E12 — GeoSPARQL federation (the §5 open problem).
+
+Compares the same spatial join answered (a) by one consolidated store
+and (b) by the federation engine over two endpoints with simulated
+endpoint latency — quantifying the federation overhead the paper's
+open problem implies.
+"""
+
+import pytest
+
+from repro.data import arrondissements, osm_parks
+from repro.geometry import wkt_dumps
+from repro.geotriples import (
+    LogicalSource,
+    MappingProcessor,
+    TermMap,
+    TriplesMap,
+)
+from repro.rdf import GADM, Graph, IRI, OSM, XSD
+from repro.sparql.federation import FederationEngine, SparqlEndpoint
+from repro.strabon import StrabonStore
+
+QUERY = """
+PREFIX gadm: <http://www.app-lab.eu/gadm/>
+PREFIX osm: <http://www.app-lab.eu/osm/>
+PREFIX geo: <http://www.opengis.net/ont/geosparql#>
+PREFIX geof: <http://www.opengis.net/def/function/geosparql/>
+SELECT ?park ?unit WHERE {
+  ?unit a gadm:AdministrativeUnit ; geo:hasGeometry ?gu .
+  ?gu geo:asWKT ?wu .
+  ?park osm:poiType osm:park ; geo:hasGeometry ?gp .
+  ?gp geo:asWKT ?wp .
+  FILTER(geof:sfIntersects(?wu, ?wp))
+}
+"""
+
+TIMINGS = {}
+
+
+def _gadm_graph():
+    tmap = TriplesMap(
+        name="gadm",
+        logical_source=LogicalSource("geojson", arrondissements()),
+        subject_map=TermMap(template=str(GADM) + "unit/{gid}"),
+        classes=[GADM.AdministrativeUnit],
+        geometry_column="wkt",
+    )
+    tmap.add_pom(GADM.hasName, TermMap(column="name", term_type="literal",
+                                       datatype=XSD.string))
+    return MappingProcessor([tmap]).run(StrabonStore("gadm"))
+
+
+def _osm_graph():
+    tmap = TriplesMap(
+        name="osm",
+        logical_source=LogicalSource("geojson", osm_parks()),
+        subject_map=TermMap(template=str(OSM) + "feature/{gid}"),
+        classes=[OSM.POI],
+        geometry_column="wkt",
+    )
+    tmap.add_pom(OSM.poiType, TermMap(constant=OSM.park))
+    tmap.add_pom(OSM.hasName, TermMap(column="name", term_type="literal",
+                                      datatype=XSD.string))
+    return MappingProcessor([tmap]).run(StrabonStore("osm"))
+
+
+@pytest.fixture(scope="module")
+def consolidated():
+    store = StrabonStore("all")
+    store.update(_gadm_graph())
+    store.update(_osm_graph())
+    return store
+
+
+@pytest.fixture(scope="module")
+def federation():
+    engine = FederationEngine()
+    engine.register("http://gadm.example/sparql",
+                    SparqlEndpoint(_gadm_graph(), "gadm", latency_s=0.01))
+    engine.register("http://osm.example/sparql",
+                    SparqlEndpoint(_osm_graph(), "osm", latency_s=0.01))
+    return engine
+
+
+def test_consolidated_store(benchmark, consolidated):
+    result = benchmark.pedantic(consolidated.query, args=(QUERY,),
+                                rounds=3, iterations=1)
+    TIMINGS["consolidated"] = benchmark.stats.stats.median
+    TIMINGS["rows"] = len(result)
+    assert len(result) > 0
+
+
+def test_federated(benchmark, federation):
+    result = benchmark.pedantic(federation.query, args=(QUERY,),
+                                rounds=3, iterations=1)
+    TIMINGS["federated"] = benchmark.stats.stats.median
+    assert len(result) == TIMINGS["rows"]  # same answer across modes
+
+
+def test_zz_summary(benchmark, record_summary):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if "federated" not in TIMINGS:
+        pytest.skip("benchmarks did not run")
+    overhead = TIMINGS["federated"] / TIMINGS["consolidated"]
+    record_summary(
+        "E12: GeoSPARQL federation (open problem)",
+        [
+            f"consolidated store : {TIMINGS['consolidated'] * 1000:8.2f} ms",
+            f"federated (2 eps)  : {TIMINGS['federated'] * 1000:8.2f} ms "
+            f"({overhead:.1f}x)",
+            f"rows (identical)   : {TIMINGS['rows']}",
+            "paper: no federated GeoSPARQL engine existed; ours answers "
+            "the same query over two endpoints with source selection",
+        ],
+    )

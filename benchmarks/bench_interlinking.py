@@ -1,0 +1,89 @@
+"""Experiment E8 — JedAI meta-blocking scalability (§3).
+
+"JedAI is a toolkit for entity resolution and its multi-core version
+has been shown to be scalable to very large datasets." The workload is
+a dirty-ER collection with planted duplicates; the summary reports the
+comparison-count reduction per stage and the multi-core speedup.
+"""
+
+import random
+
+import pytest
+
+from repro.interlink import EntityProfile, JedaiPipeline
+
+N_ENTITIES = 900
+TIMINGS = {}
+
+
+def build_profiles():
+    rng = random.Random(99)
+    cities = ["paris", "athens", "berlin", "rome", "madrid", "vienna"]
+    kinds = ["park", "museum", "school", "station"]
+    profiles = []
+    for i in range(N_ENTITIES // 3):
+        base_name = f"place {rng.randrange(10_000)} " \
+                    f"{rng.choice('abcdefgh')}{i}"
+        city = rng.choice(cities)
+        kind = rng.choice(kinds)
+        # three noisy copies of each entity (dirty ER)
+        for j, suffix in enumerate(("", " the", " le")):
+            profiles.append(
+                EntityProfile(
+                    f"e{i}_{j}",
+                    {
+                        "name": base_name + suffix,
+                        "city": city,
+                        "type": kind,
+                    },
+                )
+            )
+    return profiles
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return build_profiles()
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_resolution(benchmark, profiles, workers):
+    pipeline = JedaiPipeline(workers=workers, purge_factor=0.2)
+    clusters = benchmark.pedantic(
+        pipeline.resolve, args=(profiles,), rounds=2, iterations=1
+    )
+    TIMINGS[workers] = (benchmark.stats.stats.median, pipeline.stats)
+    assert len(clusters) > N_ENTITIES // 6  # duplicates found
+
+
+def test_zz_summary(benchmark, record_summary):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if 1 not in TIMINGS:
+        pytest.skip("benchmarks did not run")
+    import os
+
+    base, stats = TIMINGS[1]
+    lines = [
+        f"initial comparisons      : {stats.initial_comparisons:>10}",
+        f"after block purging      : {stats.after_purging:>10}",
+        f"after block filtering    : {stats.after_filtering:>10}",
+        f"after meta-blocking      : {stats.after_metablocking:>10}",
+        f"reduction ratio          : {stats.reduction_ratio:10.3f}",
+    ]
+    for workers in sorted(TIMINGS):
+        t, __ = TIMINGS[workers]
+        lines.append(
+            f"workers={workers}: {t:7.3f} s (x{base / t:4.2f} vs 1 worker)"
+        )
+    cores = len(os.sched_getaffinity(0))
+    lines.append(f"host cores: {cores}")
+    if cores == 1:
+        lines.append(
+            "NOTE: single-core host — the multi-core path shows IPC "
+            "overhead only; the scalability mechanism reproduced here is "
+            "the comparison-count reduction, which is hardware-"
+            "independent."
+        )
+    record_summary("E8: JedAI multi-core meta-blocking", lines)
+    assert stats.after_metablocking < stats.initial_comparisons
+    assert stats.reduction_ratio > 0.3

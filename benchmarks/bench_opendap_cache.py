@@ -1,0 +1,68 @@
+"""Experiment E5 — the OPeNDAP adapter's time-window cache (§3.2).
+
+"if a query arrives resulting in an OPeNDAP [call] in time t, where
+t < w minutes later than a previous identical OPeNDAP call, then the
+cached results can be used directly, eliminating the cost of
+performing another call to the OPeNDAP server."
+
+Benchmarks one MadIS query against the opendap virtual table with the
+cache window active (hit) and with w=0 (every call pays the server).
+"""
+
+import pytest
+
+from repro.madis import MadisConnection, attach_opendap
+
+QUERY_CACHED = (
+    "SELECT count(*) AS n FROM (opendap url:{url}, 10) WHERE LAI > 0"
+)
+QUERY_UNCACHED = (
+    "SELECT count(*) AS n FROM (opendap url:{url}) WHERE LAI > 0"
+)
+
+TIMINGS = {}
+
+
+@pytest.fixture(scope="module")
+def conn_and_url(case_study):
+    conn = MadisConnection()
+    operator = attach_opendap(conn, case_study.registry)
+    return conn, case_study.lai_url, operator
+
+
+def test_cache_miss_every_time(benchmark, conn_and_url):
+    conn, url, operator = conn_and_url
+    query = QUERY_UNCACHED.format(url=url)
+    rows = benchmark.pedantic(conn.execute, args=(query,),
+                              rounds=3, iterations=1)
+    TIMINGS["miss"] = benchmark.stats.stats.median
+    assert rows[0]["n"] > 0
+
+
+def test_cache_hit_inside_window(benchmark, conn_and_url):
+    conn, url, operator = conn_and_url
+    query = QUERY_CACHED.format(url=url)
+    conn.execute(query)  # prime
+    rows = benchmark.pedantic(conn.execute, args=(query,),
+                              rounds=3, iterations=1)
+    TIMINGS["hit"] = benchmark.stats.stats.median
+    assert rows[0]["n"] > 0
+    assert operator.cache_hits >= 3
+
+
+def test_zz_summary(benchmark, record_summary):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not {"hit", "miss"} <= set(TIMINGS):
+        pytest.skip("benchmarks did not run")
+    speedup = TIMINGS["miss"] / TIMINGS["hit"]
+    record_summary(
+        "E5: opendap operator cache window",
+        [
+            f"cache miss: {TIMINGS['miss'] * 1000:9.2f} ms per query",
+            f"cache hit : {TIMINGS['hit'] * 1000:9.2f} ms per query "
+            f"({speedup:.1f}x faster)",
+            "paper: identical calls within w minutes skip the OPeNDAP "
+            "server entirely",
+        ],
+    )
+    assert speedup > 2

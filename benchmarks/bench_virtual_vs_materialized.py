@@ -1,0 +1,83 @@
+"""Experiment E4 — the paper's headline performance observation.
+
+Section 5: "When the data gets downloaded at query-time, query
+execution typically takes two orders of magnitude more time than in
+the case where the data is materialized in a database or an RDF store."
+
+Three modes over the same LAI data and the same query (Listing 3 shape):
+
+- ``materialized``  — Strabon store, data already in memory/indexes;
+- ``virtual_cold``  — Ontop-spatial over OPeNDAP, no cache (w=0):
+  every query pays DAP round trips + transfer + row flattening;
+- ``virtual_warm``  — same engine with the w-minute cache primed.
+
+The final summary test prints the measured ratio; the reproduction
+target is the *shape* (cold virtual ≫ materialized; warm in between).
+"""
+
+import pytest
+
+from repro.core.casestudy import LISTING3
+
+RATIOS = {}
+
+
+@pytest.fixture(scope="module")
+def virtual_cold(case_study):
+    engine, operator = case_study.virtual_endpoint(window_minutes=0)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def virtual_warm(case_study):
+    engine, operator = case_study.virtual_endpoint(window_minutes=60)
+    engine.query(LISTING3)  # prime the cache
+    return engine
+
+
+def test_materialized_query(benchmark, materialized_store):
+    result = benchmark.pedantic(
+        materialized_store.query, args=(LISTING3,), rounds=5, iterations=1
+    )
+    RATIOS["materialized"] = benchmark.stats.stats.median
+    assert len(result) > 0
+
+
+def test_virtual_cold_query(benchmark, virtual_cold):
+    result = benchmark.pedantic(
+        virtual_cold.query, args=(LISTING3,), rounds=3, iterations=1
+    )
+    RATIOS["virtual_cold"] = benchmark.stats.stats.median
+    assert len(result) > 0
+
+
+def test_virtual_warm_query(benchmark, virtual_warm):
+    result = benchmark.pedantic(
+        virtual_warm.query, args=(LISTING3,), rounds=3, iterations=1
+    )
+    RATIOS["virtual_warm"] = benchmark.stats.stats.median
+    assert len(result) > 0
+
+
+def test_zz_summary(benchmark, record_summary):
+    """Printed last: the measured orders-of-magnitude gap."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not {"materialized", "virtual_cold"} <= set(RATIOS):
+        pytest.skip("benchmarks did not run")
+    cold_ratio = RATIOS["virtual_cold"] / RATIOS["materialized"]
+    warm_ratio = RATIOS["virtual_warm"] / RATIOS["materialized"]
+    record_summary(
+        "E4: virtual vs materialized (Listing 3 query)",
+        [
+            f"materialized : {RATIOS['materialized'] * 1000:9.2f} ms",
+            f"virtual cold : {RATIOS['virtual_cold'] * 1000:9.2f} ms "
+            f"({cold_ratio:6.1f}x)",
+            f"virtual warm : {RATIOS['virtual_warm'] * 1000:9.2f} ms "
+            f"({warm_ratio:6.1f}x)",
+            "paper: cold virtual ~2 orders of magnitude slower than "
+            "materialized",
+        ],
+    )
+    # Shape assertions: cold ≫ materialized, warm strictly better than cold.
+    assert cold_ratio > 10
+    assert RATIOS["virtual_warm"] < RATIOS["virtual_cold"]

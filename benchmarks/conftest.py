@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures.
+
+The simulated network latency (DAP round trips) is what makes the
+virtual-vs-materialized comparison meaningful: the LatencyModel sleeps
+for a base round-trip per request plus a throughput term per byte,
+calibrated to a plausible WAN (30 ms RTT, ~4 MB/s effective).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.core import GreennessCaseStudy
+from repro.opendap import LatencyModel
+
+SUMMARY_PATH = pathlib.Path(__file__).resolve().parent.parent / "out" \
+    / "experiment_summaries.txt"
+
+
+@pytest.fixture(scope="session")
+def record_summary():
+    """Print an experiment summary and persist it to out/ for
+    EXPERIMENTS.md."""
+    SUMMARY_PATH.parent.mkdir(exist_ok=True)
+
+    def record(title, lines):
+        block = f"\n=== {title} ===\n" + "\n".join(lines) + "\n"
+        print(block)
+        with open(SUMMARY_PATH, "a", encoding="utf-8") as fh:
+            fh.write(block)
+
+    return record
+
+WAN_BASE_S = 0.03
+WAN_PER_MB_S = 0.25
+
+
+@pytest.fixture(scope="session")
+def case_study():
+    """The Section-4 scenario with WAN-like latency on the DAP server."""
+    return GreennessCaseStudy(
+        n_dekads=3,
+        cloud_fraction=0.0,
+        latency=LatencyModel(base_s=WAN_BASE_S, per_mb_s=WAN_PER_MB_S,
+                             sleep=True),
+    )
+
+
+@pytest.fixture(scope="session")
+def materialized_store(case_study):
+    """Strabon store built once (materialization cost is paid offline)."""
+    return case_study.materialized_store()

@@ -1,0 +1,70 @@
+"""AiR — the winning app of the 2017 ESA Space App Camp (Section 5).
+
+"AiR displays an interactive projection of the Earth's surface to
+airplane travelers ... letting them see information about the cities
+and landmarks they pass over during their flight." The developers
+"used Copernicus App Lab tools to access and integrate data from
+different sources (Copernicus land monitoring service data,
+OpenStreetMap data and DBpedia data about landmarks)".
+
+This example flies a synthetic route over Paris: for each point along
+the flight path it pulls the NDVI below the aircraft (Maps-API
+transect), the landmarks in view (OSM + a DBpedia-style abstract), and
+prints the in-flight infotainment feed.
+
+Run:  python examples/air_flight_app.py
+"""
+
+from datetime import date
+
+from repro.core import AppLab
+from repro.data import osm_pois
+from repro.geometry import Point, STRtree
+from repro.geometry.crs import haversine_m
+from repro.vito import NDVI_SPEC, dekad_dates
+
+# A miniature DBpedia: landmark name -> abstract.
+DBPEDIA = {
+    "Tour Eiffel": "Wrought-iron lattice tower built in 1889, 330 m tall.",
+    "Louvre": "The world's most-visited museum, home of the Mona Lisa.",
+    "Notre-Dame": "Medieval Catholic cathedral on the Île de la Cité.",
+    "Sacré-Cœur": "Basilica at the summit of Montmartre, opened 1914.",
+}
+
+FLIGHT_PATH = [(2.18, 48.78), (2.26, 48.82), (2.32, 48.86),
+               (2.40, 48.89), (2.50, 48.93)]
+VIEW_RADIUS_M = 3000
+
+
+def main() -> None:
+    lab = AppLab()
+    lab.publish_product(NDVI_SPEC, dekad_dates(date(2018, 6, 1), 2),
+                        cloud_fraction=0.0)
+    api, token = lab.maps_api("air-app@appcamp.eu")
+
+    pois = list(osm_pois())
+    poi_index = STRtree(pois, bbox_of=lambda f: f.geometry.bounds)
+
+    print("AiR in-flight feed (synthetic route over Paris)\n")
+    for leg, (lon, lat) in enumerate(FLIGHT_PATH, start=1):
+        ndvi = api.get_point("NDVI", "NDVI", lon, lat)
+        surface = ("dense vegetation" if ndvi > 0.5
+                   else "urban fabric" if ndvi > 0.2 else "built-up area")
+        print(f"leg {leg}: ({lon:.2f}, {lat:.2f})  NDVI={ndvi:.2f} "
+              f"-> {surface}")
+        pad = 0.05
+        candidates = poi_index.query((lon - pad, lat - pad,
+                                      lon + pad, lat + pad))
+        for poi in candidates:
+            d = haversine_m(lon, lat, poi.geometry.x, poi.geometry.y)
+            if d <= VIEW_RADIUS_M:
+                name = poi.properties["name"]
+                abstract = DBPEDIA.get(name, "")
+                print(f"        in view ({d / 1000:.1f} km): {name}"
+                      + (f" — {abstract}" if abstract else ""))
+    usage = lab.auth.usage_by_user("air-app@appcamp.eu")
+    print(f"\nRAMANI uptake monitoring: {usage}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""EO dataset discoverability via schema.org (paper Section 5 / E10).
+
+Annotates Copernicus datasets with the schema.org EO extension, prints
+the JSON-LD a landing page would embed, and answers the paper's
+flagship question: "Is there a land cover dataset produced by the
+European Environmental Agency covering the area of Torino, Italy?"
+
+Run:  python examples/dataset_search.py
+"""
+
+import json
+
+from repro.geometry import Polygon
+from repro.schemaorg import (
+    DatasetAnnotation,
+    DatasetSearchEngine,
+    to_jsonld,
+)
+
+PAN_EUROPEAN = Polygon.box(-10.0, 35.0, 30.0, 60.0)
+
+
+def build_catalog() -> DatasetSearchEngine:
+    engine = DatasetSearchEngine()
+    engine.index(DatasetAnnotation(
+        identifier="https://land.copernicus.eu/corine-2012",
+        name="CORINE Land Cover 2012",
+        description="Pan-European land cover / land use inventory in "
+                    "44 classes, 100 m resolution",
+        keywords=["land cover", "land use", "CORINE"],
+        provider="European Environment Agency",
+        license="https://creativecommons.org/licenses/by/4.0/",
+        spatial=PAN_EUROPEAN,
+        temporal_start="2011-01-01", temporal_end="2012-12-31",
+        eo={"productType": "land cover", "thematicArea": "land",
+            "resolution": "100m", "processingLevel": "L4"},
+    ))
+    engine.index(DatasetAnnotation(
+        identifier="https://land.copernicus.eu/urban-atlas-2012",
+        name="Urban Atlas 2012",
+        description="Land use maps for 800 European urban areas",
+        keywords=["land use", "urban"],
+        provider="European Environment Agency",
+        spatial=PAN_EUROPEAN,
+        eo={"productType": "land use", "thematicArea": "land"},
+    ))
+    engine.index(DatasetAnnotation(
+        identifier="https://land.copernicus.eu/global/lai",
+        name="Copernicus Global Land LAI",
+        description="Leaf Area Index 10-daily composites from PROBA-V",
+        keywords=["LAI", "vegetation"],
+        provider="VITO",
+        spatial=Polygon.box(-180, -60, 180, 80),
+        eo={"platform": "PROBA-V", "productType": "LAI",
+            "thematicArea": "land"},
+    ))
+    return engine
+
+
+def main() -> None:
+    engine = build_catalog()
+    print(f"indexed {len(engine)} dataset annotations\n")
+
+    corine = build_catalog()  # fresh annotation for display
+    sample = to_jsonld(DatasetAnnotation(
+        identifier="https://land.copernicus.eu/corine-2012",
+        name="CORINE Land Cover 2012",
+        provider="European Environment Agency",
+        spatial=PAN_EUROPEAN,
+        eo={"productType": "land cover"},
+    ))
+    print("JSON-LD a dataset landing page embeds:")
+    print(json.dumps(sample, indent=2)[:600], "...\n")
+
+    questions = [
+        "Is there a land cover dataset produced by the European "
+        "Environment Agency covering the area of Torino, Italy?",
+        "Do we have any vegetation dataset covering Paris?",
+        "Is there an ocean salinity dataset covering Torino?",
+    ]
+    for question in questions:
+        yes, hits = engine.answer(question)
+        print(f"Q: {question}")
+        if yes:
+            best = hits[0].annotation
+            print(f"A: yes -> {best.name} ({best.provider})\n")
+        else:
+            print("A: no matching dataset\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Operating the App Lab stack on the Terradue platform (Section 5 / E14).
+
+Releases the stack's appliances, deploys them to the Terradue cloud,
+bursts to a DIAS when it becomes available, scales the RAMANI analytics
+backend under load, survives a pod failure, and rolls a new version —
+the operational narrative of Section 5.
+
+Run:  python examples/deploy_applab.py
+"""
+
+from repro.cloud import (
+    Appliance,
+    AppPackage,
+    Cluster,
+    DeploymentSpec,
+    DockerImage,
+    Environment,
+    PodSpec,
+    Sandbox,
+    TerraduePlatform,
+)
+
+COMPONENTS = ("ontop-spatial", "strabon", "geotriples", "sextant", "sdl",
+              "opendap")
+
+
+def release(platform: TerraduePlatform, version: str):
+    return platform.new_release(
+        version,
+        [Appliance(c, DockerImage(f"applab/{c}", version))
+         for c in COMPONENTS],
+    )
+
+
+def main() -> None:
+    platform = TerraduePlatform()
+    platform.add_environment(Environment("terradue"))
+    platform.add_environment(Environment("vito-mep", cpu_capacity=8))
+    platform.add_environment(Environment("dias-eumetsat"))
+    release(platform, "1.0.0")
+
+    print("[1] deploy the 1.0.0 stack to Terradue")
+    deployments = platform.deploy_stack("1.0.0", "terradue")
+    print(f"    {len(deployments)} appliances running")
+
+    print("[2] the EUMETSAT DIAS opens to demo users -> cloud burst")
+    clones = [platform.burst(d.deployment_id, "dias-eumetsat")
+              for d in deployments[:3]]
+    print(f"    burst {len(clones)} appliances; report: "
+          f"{platform.status_report()}")
+
+    print("[3] RAMANI analytics on Kubernetes, scaled under load")
+    cluster = Cluster(nodes=["node-a", "node-b", "node-c"])
+    cluster.apply(DeploymentSpec(
+        "ramani-analytics", 2, PodSpec("applab/analytics:1.0.0")))
+    cluster.scale("ramani-analytics", 5)
+    pods = cluster.pods_of("ramani-analytics")
+    print(f"    {len(pods)} pods across nodes "
+          f"{sorted({p.node for p in pods})}")
+
+    print("[4] a pod dies; the control loop heals the deployment")
+    cluster.kill_pod(pods[0].name)
+    cluster.reconcile()
+    print(f"    back to {len(cluster.pods_of('ramani-analytics'))} "
+          f"running pods")
+
+    print("[5] roll release 1.1.0 onto the Terradue deployment")
+    release(platform, "1.1.0")
+    upgraded = platform.upgrade(deployments[0].deployment_id, "1.1.0")
+    print(f"    {upgraded.appliance.name} now at "
+          f"{upgraded.appliance.image.reference}")
+
+    print("[6] a developer runs an EO app in the sandbox (PaaS)")
+    sandbox = Sandbox(parallelism=4)
+    app = AppPackage("ndvi-tile-stats",
+                     lambda tile: {"tile": tile, "mean_ndvi": 0.42})
+    report = sandbox.run(app, [f"tile-{i}" for i in range(8)])
+    print(f"    {report.succeeded}/{report.tasks} tiles processed in "
+          f"{report.wall_time_s * 1000:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

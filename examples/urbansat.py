@@ -1,0 +1,82 @@
+"""Urbansat — the winning app of the 2018 ESA Space App Camp (Section 5).
+
+"Urbansat aims to guide greener, more ecological urban planning ...
+The app's map interface has a drag and drop feature, which would allow
+users to compare scenarios pre and post build for their construction
+projects." Its developers used App Lab tools over Copernicus land
+monitoring, Urban Atlas, Natura-2000-style green areas and GADM.
+
+This example evaluates a hypothetical construction site in Paris:
+it computes the pre-build greenness budget of the affected
+arrondissement (LAI city-average + Urban Atlas green share), simulates
+the post-build scenario (site paved over), and prints the impact
+assessment a planner would see.
+
+Run:  python examples/urbansat.py
+"""
+
+from datetime import date
+
+from repro.core import GreennessCaseStudy, PREFIXES
+from repro.data import arrondissements, urban_atlas
+from repro.geometry import Polygon
+from repro.geometry import ops as geo_ops
+
+SITE = Polygon.box(2.305, 48.876, 2.313, 48.882)  # over Parc Monceau
+
+
+def main() -> None:
+    study = GreennessCaseStudy(n_dekads=2, cloud_fraction=0.0)
+    store = study.materialized_store()
+
+    # which administrative area hosts the site?
+    hosting = [
+        f for f in arrondissements()
+        if geo_ops.intersects(f.geometry, SITE)
+    ]
+    names = [f.properties["name"] for f in hosting]
+    print(f"construction site intersects: {', '.join(names)}")
+
+    # pre-build: LAI over the site
+    result = store.query(
+        PREFIXES + f"""
+        SELECT (AVG(?v) AS ?mean) (COUNT(?o) AS ?n) WHERE {{
+          ?o lai:lai ?v ; geo:hasGeometry ?g . ?g geo:asWKT ?w .
+          FILTER(geof:sfWithin(?w,
+            "{SITE.wkt}"^^geo:wktLiteral))
+        }}
+        """
+    )
+    row = result.rows[0]
+    pre_lai = row["mean"].value if row.get("mean") else 0.0
+    print(f"pre-build : site LAI mean {pre_lai:.2f} "
+          f"({row['n'].value} observations)")
+
+    # green share of the hosting area from Urban Atlas
+    area_geom = hosting[0].geometry
+    green_area = sum(
+        geo_ops.area(f.geometry)
+        for f in urban_atlas()
+        if f.properties["code"] == "14100"
+        and geo_ops.intersects(f.geometry, area_geom)
+    )
+    share = green_area / geo_ops.area(area_geom)
+    print(f"pre-build : Urban Atlas green share of {names[0]}: "
+          f"{share:.1%}")
+
+    # post-build scenario: site becomes sealed surface (LAI -> 0.1)
+    post_lai = 0.1
+    lost = pre_lai - post_lai
+    print(f"post-build: site LAI -> {post_lai:.2f} "
+          f"(greenness loss {lost:.2f})")
+    verdict = (
+        "HIGH impact — site overlaps green urban areas, consider "
+        "relocating" if share > 0.05 and lost > 1.0
+        else "moderate impact — add compensatory planting"
+        if lost > 0.5 else "low impact"
+    )
+    print(f"assessment: {verdict}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Wildfire monitoring — the TELEIOS-heritage application (paper §1/§2).
+
+The paper's lineage projects "demonstrated the potential of linked data
+... by developing prototype environmental and business applications
+(e.g., wild-fire monitoring and burn scar mapping)". This example runs
+that scenario over the App Lab stack:
+
+1. a BA300 burnt-area raster with injected burn scars is served over
+   (simulated) OPeNDAP;
+2. Ontop-spatial's *raster adapter* exposes the cells as virtual RDF
+   (each cell a polygon footprint — no GeoSPARQL extension needed);
+3. one GeoSPARQL query joins burnt cells with CORINE land cover and
+   administrative areas — "which arrondissements have burning forests
+   or parks?";
+4. Sextant renders the burn-scar map to out/wildfires_paris.svg.
+
+Run:  python examples/wildfire_monitoring.py
+"""
+
+import pathlib
+from datetime import date
+
+from repro.data import arrondissements, corine_land_cover
+from repro.geometry import wkt_loads
+from repro.geometry import ops as geo_ops
+from repro.madis import MadisConnection
+from repro.ontop import OntopSpatial, attach_raster, \
+    raster_mapping_document
+from repro.sextant import Style, ThematicMap
+from repro.vito import BA300_SPEC, PARIS_GRID, generate_product
+
+OUT = pathlib.Path(__file__).resolve().parent.parent / "out"
+
+QUERY = """
+PREFIX rast: <http://www.app-lab.eu/raster/>
+PREFIX geo: <http://www.opengis.net/ont/geosparql#>
+SELECT ?cell ?w ?v WHERE {
+  ?cell rast:value ?v ; geo:hasGeometry ?g .
+  ?g geo:asWKT ?w .
+  FILTER(?v > 0.5)
+}
+"""
+
+
+def main() -> None:
+    OUT.mkdir(exist_ok=True)
+
+    # [1] burnt-area product with two burn scars (west park, SE zone)
+    ba300 = generate_product(BA300_SPEC, date(2018, 8, 1),
+                             grid=PARIS_GRID, cloud_fraction=0.0)
+    ba300["BA300"].data[0, 6:8, 4:7] = 0.95    # near Bois de Boulogne
+    ba300["BA300"].data[0, 3:5, 15:18] = 0.80  # south-east
+    print("[1] BA300 burnt-area raster generated (2 injected scars)")
+
+    # [2] virtual RDF over the raster
+    conn = MadisConnection()
+    catalog = attach_raster(conn)
+    catalog.add("ba300", ba300)
+    engine = OntopSpatial.from_document(
+        conn, raster_mapping_document("ba300", "BA300")
+    )
+    burnt = engine.query(QUERY)
+    print(f"[2] {len(burnt)} burnt cells exposed as virtual RDF")
+
+    # [3] context join: land cover + administrative areas
+    corine = list(corine_land_cover())
+    admin = list(arrondissements())
+    affected = {}
+    for row in burnt:
+        cell = wkt_loads(row["w"].lexical)
+        covers = [
+            f.properties["label"] for f in corine
+            if geo_ops.intersects(f.geometry, cell)
+        ]
+        areas = [
+            f.properties["name"] for f in admin
+            if geo_ops.intersects(f.geometry, cell)
+        ]
+        for area in areas:
+            entry = affected.setdefault(area, set())
+            entry.update(covers)
+    print("[3] affected administrative areas:")
+    for area in sorted(affected):
+        burning_green = any(
+            "Green" in label or "Forest" in label
+            for label in affected[area]
+        )
+        marker = "  ** green/forest burning **" if burning_green else ""
+        print(f"    {area}: {sorted(affected[area])}{marker}")
+
+    # [4] burn-scar map
+    tm = ThematicMap("Wildfire monitoring — Paris (synthetic)",
+                     "BA300 burnt cells over CORINE and admin areas")
+    tm.add_geojson_layer(
+        "CORINE", corine_land_cover(),
+        style=Style(fill="#d8c9a3", stroke="#a89a74", opacity=0.35),
+    )
+    tm.add_geojson_layer(
+        "Administrative areas", arrondissements(),
+        style=Style(fill="none", stroke="#888888", opacity=0.8),
+    )
+    tm.add_raster_layer("BA300 burnt fraction", ba300, "BA300",
+                        time_index=0,
+                        style=Style(stroke="#550000", opacity=0.6))
+    svg_path = OUT / "wildfires_paris.svg"
+    svg_path.write_text(tm.to_svg(width=900, height=600))
+    print(f"[4] wrote {svg_path.name}")
+
+
+if __name__ == "__main__":
+    main()

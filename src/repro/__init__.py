@@ -1,0 +1,17 @@
+"""repro — a from-scratch reproduction of the Copernicus App Lab stack.
+
+The package implements, in pure Python, the systems described in
+"The Copernicus App Lab project: Easy Access to Copernicus Data"
+(EDBT 2019): an OPeNDAP data-access layer over synthetic Copernicus
+Global Land products, the MadIS extensible SQL layer, the Ontop-spatial
+OBDA engine with its OPeNDAP adapter, the Strabon spatiotemporal RDF
+store, GeoTriples, Silk/JedAI interlinking, the RAMANI streaming data
+library and Maps-API, the Sextant map builder, catalog/metadata tooling
+(DRS, ACDD, NcML), schema.org EO dataset annotations + search, a small
+cloud-platform simulator, and the Geographica benchmark harness.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,57 @@
+"""Catalog layer: DRS validation, ACDD checking, metadata CMS, crosswalks."""
+
+from .acdd import (
+    ACDD_RECOMMENDED,
+    ACDD_REQUIRED,
+    ACDD_SUGGESTED,
+    AcddReport,
+    augmentation_ncml,
+    check_acdd,
+    recommend_attributes,
+)
+from .cms import CmsError, MetadataCms, MetadataRecord
+from .drs import (
+    REQUIRED_DRS_ATTRIBUTES,
+    ValidationIssue,
+    ValidationReport,
+    validate_attributes,
+    validate_filename,
+    validate_server,
+)
+from .translate import (
+    CONVENTIONS,
+    HARMONIZED_QUERY,
+    TranslationError,
+    from_canonical,
+    harmonized_listing,
+    metadata_to_rdf,
+    to_canonical,
+    translate,
+)
+
+__all__ = [
+    "ACDD_RECOMMENDED",
+    "ACDD_REQUIRED",
+    "ACDD_SUGGESTED",
+    "AcddReport",
+    "CONVENTIONS",
+    "CmsError",
+    "HARMONIZED_QUERY",
+    "MetadataCms",
+    "MetadataRecord",
+    "REQUIRED_DRS_ATTRIBUTES",
+    "TranslationError",
+    "ValidationIssue",
+    "ValidationReport",
+    "augmentation_ncml",
+    "check_acdd",
+    "from_canonical",
+    "harmonized_listing",
+    "metadata_to_rdf",
+    "recommend_attributes",
+    "to_canonical",
+    "translate",
+    "validate_attributes",
+    "validate_filename",
+    "validate_server",
+]

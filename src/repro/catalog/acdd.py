@@ -1,0 +1,143 @@
+"""ACDD compliance checking and discoverability recommendations.
+
+Section 3.1: "a tool was implemented that provides recommendations for
+metadata attributes that can be added to datasets exposed through the
+DAP to facilitate discovery of those using standard metadata searches",
+and "in case metadata at the source cannot be made compliant with ACDD,
+the CMS will allow for post-hoc augmentation using NcML".
+
+The checker grades a dataset against the ACDD-1.3 attribute tiers; the
+recommender goes further: where a value can be *derived from the data*
+(spatial extent from lat/lon, temporal extent from time, keywords from
+long_names) it proposes the concrete value, ready to be blended in via
+NcML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..opendap import DapDataset, decode_time
+from ..opendap.ncml import NCML_NS
+
+ACDD_REQUIRED = ("title", "summary", "keywords")
+ACDD_RECOMMENDED = (
+    "id", "naming_authority", "license", "institution",
+    "geospatial_lat_min", "geospatial_lat_max",
+    "geospatial_lon_min", "geospatial_lon_max",
+    "time_coverage_start", "time_coverage_end",
+    "creator_name", "standard_name_vocabulary",
+)
+ACDD_SUGGESTED = (
+    "processing_level", "comment", "acknowledgment", "project",
+    "date_created",
+)
+
+
+@dataclass
+class AcddReport:
+    missing_required: List[str] = field(default_factory=list)
+    missing_recommended: List[str] = field(default_factory=list)
+    missing_suggested: List[str] = field(default_factory=list)
+
+    @property
+    def score(self) -> float:
+        """Weighted compliance score in [0, 1] (required 3x, rec 2x)."""
+        total = 3 * len(ACDD_REQUIRED) + 2 * len(ACDD_RECOMMENDED) \
+            + len(ACDD_SUGGESTED)
+        lost = (
+            3 * len(self.missing_required)
+            + 2 * len(self.missing_recommended)
+            + len(self.missing_suggested)
+        )
+        return 1.0 - lost / total
+
+    @property
+    def compliant(self) -> bool:
+        return not self.missing_required
+
+
+def check_acdd(dataset: DapDataset) -> AcddReport:
+    """Grade a dataset's global attributes against ACDD-1.3 tiers."""
+    present = dataset.attributes
+    return AcddReport(
+        missing_required=[a for a in ACDD_REQUIRED if a not in present],
+        missing_recommended=[
+            a for a in ACDD_RECOMMENDED if a not in present
+        ],
+        missing_suggested=[a for a in ACDD_SUGGESTED if a not in present],
+    )
+
+
+def recommend_attributes(dataset: DapDataset) -> Dict[str, object]:
+    """Concrete attribute values derivable from the data itself."""
+    report = check_acdd(dataset)
+    missing = set(
+        report.missing_required + report.missing_recommended
+        + report.missing_suggested
+    )
+    out: Dict[str, object] = {}
+    lat = dataset.variables.get("lat")
+    lon = dataset.variables.get("lon")
+    if lat is not None:
+        if "geospatial_lat_min" in missing:
+            out["geospatial_lat_min"] = float(lat.data.min())
+        if "geospatial_lat_max" in missing:
+            out["geospatial_lat_max"] = float(lat.data.max())
+    if lon is not None:
+        if "geospatial_lon_min" in missing:
+            out["geospatial_lon_min"] = float(lon.data.min())
+        if "geospatial_lon_max" in missing:
+            out["geospatial_lon_max"] = float(lon.data.max())
+    time_var = dataset.variables.get("time")
+    if time_var is not None and "units" in time_var.attributes:
+        times = decode_time(time_var)
+        if times:
+            if "time_coverage_start" in missing:
+                out["time_coverage_start"] = times[0].isoformat()
+            if "time_coverage_end" in missing:
+                out["time_coverage_end"] = times[-1].isoformat()
+    if "keywords" in missing:
+        names = [
+            str(v.attributes.get("long_name", name))
+            for name, v in dataset.variables.items()
+            if name not in ("time", "lat", "lon")
+        ]
+        if names:
+            out["keywords"] = ", ".join(sorted(names))
+    if "summary" in missing and "title" in dataset.attributes:
+        out["summary"] = (
+            f"{dataset.attributes['title']} served via OPeNDAP "
+            "(auto-generated summary)"
+        )
+    return out
+
+
+def augmentation_ncml(dataset: DapDataset,
+                      extra: Optional[Dict[str, object]] = None) -> str:
+    """NcML override document carrying the recommended attributes.
+
+    This is the artifact the CMS applies post hoc when the source
+    cannot be fixed (Section 3.1).
+    """
+    from xml.sax.saxutils import quoteattr
+
+    values = recommend_attributes(dataset)
+    if extra:
+        values.update(extra)
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<netcdf xmlns="{NCML_NS}">',
+    ]
+    for key, value in sorted(values.items()):
+        attr_type = (
+            "int" if isinstance(value, int) and not isinstance(value, bool)
+            else "double" if isinstance(value, float) else "String"
+        )
+        lines.append(
+            f"  <attribute name={quoteattr(key)} "
+            f"type={quoteattr(attr_type)} value={quoteattr(str(value))}/>"
+        )
+    lines.append("</netcdf>")
+    return "\n".join(lines) + "\n"

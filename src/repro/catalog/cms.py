@@ -1,0 +1,120 @@
+"""The metadata Content Management System (CMS).
+
+Section 3.1: "In order to harvest the metadata, a Content Management
+System was developed and published as a service allowing the CSPs to
+manage the metadata of their datasets, which allows them to mutate as
+and when they choose to expose them through the DAP ... the publishing
+and then harvesting of metadata from CSPs is recurrent by design."
+
+The CMS keeps a versioned metadata record per dataset; records are
+harvested from DAP servers, mutated by CSP editors, and published back
+as NcML override documents that the SDL/OPeNDAP layer blends over the
+source data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..opendap import DapDataset, DapServer, parse_das
+from ..opendap.ncml import NCML_NS, apply_ncml_overrides
+
+
+class CmsError(KeyError):
+    """Raised for lookups of unknown records."""
+
+
+@dataclass
+class MetadataRecord:
+    dataset: str
+    attributes: Dict[str, object] = field(default_factory=dict)
+    version: int = 1
+    history: List[Tuple[int, Dict[str, object]]] = field(
+        default_factory=list
+    )
+
+    def snapshot(self) -> Dict[str, object]:
+        return dict(self.attributes)
+
+
+class MetadataCms:
+    """Versioned per-dataset metadata records with harvest/publish."""
+
+    def __init__(self):
+        self._records: Dict[str, MetadataRecord] = {}
+
+    # -- record management ------------------------------------------------------
+    def record(self, dataset: str) -> MetadataRecord:
+        try:
+            return self._records[dataset]
+        except KeyError:
+            raise CmsError(f"no record for dataset {dataset!r}") from None
+
+    def datasets(self) -> List[str]:
+        return sorted(self._records)
+
+    def upsert(self, dataset: str, attributes: Dict[str, object]
+               ) -> MetadataRecord:
+        if dataset in self._records:
+            return self.mutate(dataset, **attributes)
+        record = MetadataRecord(dataset, dict(attributes))
+        record.history.append((1, record.snapshot()))
+        self._records[dataset] = record
+        return record
+
+    def mutate(self, dataset: str, **changes) -> MetadataRecord:
+        """CSP edit: change attributes, bumping the record version."""
+        record = self.record(dataset)
+        record.attributes.update(changes)
+        record.version += 1
+        record.history.append((record.version, record.snapshot()))
+        return record
+
+    def rollback(self, dataset: str, version: int) -> MetadataRecord:
+        record = self.record(dataset)
+        for v, snapshot in record.history:
+            if v == version:
+                record.attributes = dict(snapshot)
+                record.version += 1
+                record.history.append((record.version, record.snapshot()))
+                return record
+        raise CmsError(f"{dataset!r} has no version {version}")
+
+    # -- harvest / publish (recurrent by design) ------------------------------
+    def harvest(self, server: DapServer, pattern: str = "*") -> List[str]:
+        """Pull global attributes from every mounted dataset."""
+        harvested = []
+        for path in server.paths(pattern):
+            das = parse_das(server.request(path + ".das").decode("utf-8"))
+            self.upsert(path, das.get("NC_GLOBAL", {}))
+            harvested.append(path)
+        return harvested
+
+    def publish_ncml(self, dataset: str) -> str:
+        """The record as an NcML override document."""
+        from xml.sax.saxutils import quoteattr
+
+        record = self.record(dataset)
+        lines = [
+            '<?xml version="1.0" encoding="UTF-8"?>',
+            f'<netcdf xmlns="{NCML_NS}">',
+        ]
+        for key, value in sorted(record.attributes.items()):
+            attr_type = (
+                "int" if isinstance(value, int)
+                and not isinstance(value, bool)
+                else "double" if isinstance(value, float) else "String"
+            )
+            lines.append(
+                f"  <attribute name={quoteattr(key)} "
+                f"type={quoteattr(attr_type)} "
+                f"value={quoteattr(str(value))}/>"
+            )
+        lines.append("</netcdf>")
+        return "\n".join(lines) + "\n"
+
+    def apply_to(self, dataset_name: str,
+                 dataset: DapDataset) -> DapDataset:
+        """Blend the CMS record over a concrete dataset (post-hoc fix)."""
+        return apply_ncml_overrides(dataset, self.publish_ncml(dataset_name))

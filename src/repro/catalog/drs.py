@@ -1,0 +1,145 @@
+"""DRS-validator: Data Reference Syntax compliance checking.
+
+Section 3.1: "A command-line tool was built and published, entitled
+'DRS-validator', that validates a CSP's datasets exposed through the
+OPeNDAP interface by checking for compliance with the Data Reference
+Syntax (DRS) metadata."
+
+The Copernicus Global Land DRS names files::
+
+    c_gls_<PRODUCT>_<YYYYMMDDHHMM>_<AREA>_<SENSOR>_V<M.m.p>.nc
+
+and requires a core set of global attributes. The validator checks
+both: file-name syntax (usable from the CLI on plain paths) and, given
+a live DAP server, the metadata of every mounted dataset.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..opendap import DapServer, parse_das
+
+DRS_FILENAME_RE = re.compile(
+    r"^c_gls_(?P<product>[A-Z0-9-]+)_"
+    r"(?P<stamp>\d{12})_"
+    r"(?P<area>[A-Z0-9]+)_"
+    r"(?P<sensor>[A-Z0-9-]+)_"
+    r"V(?P<version>\d+\.\d+\.\d+)"
+    r"\.nc$"
+)
+
+REQUIRED_DRS_ATTRIBUTES = (
+    "title",
+    "product_version",
+    "time_coverage_start",
+    "institution",
+    "source",
+)
+
+
+@dataclass
+class ValidationIssue:
+    severity: str  # "error" | "warning"
+    subject: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity.upper()}] {self.subject}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    issues: List[ValidationIssue] = field(default_factory=list)
+    checked: int = 0
+
+    def error(self, subject: str, message: str) -> None:
+        self.issues.append(ValidationIssue("error", subject, message))
+
+    def warn(self, subject: str, message: str) -> None:
+        self.issues.append(ValidationIssue("warning", subject, message))
+
+    @property
+    def errors(self) -> List[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def render(self) -> str:
+        lines = [f"DRS validation: {self.checked} item(s) checked"]
+        lines.extend(str(i) for i in self.issues)
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+def validate_filename(filename: str,
+                      report: Optional[ValidationReport] = None
+                      ) -> ValidationReport:
+    """Check one file name against the DRS pattern."""
+    report = report if report is not None else ValidationReport()
+    report.checked += 1
+    basename = filename.rsplit("/", 1)[-1]
+    m = DRS_FILENAME_RE.match(basename)
+    if not m:
+        report.error(basename, "file name does not match the DRS pattern "
+                               "c_gls_<PRODUCT>_<YYYYMMDDHHMM>_<AREA>_"
+                               "<SENSOR>_V<M.m.p>.nc")
+        return report
+    stamp = m.group("stamp")
+    month, day = int(stamp[4:6]), int(stamp[6:8])
+    if not (1 <= month <= 12 and 1 <= day <= 31):
+        report.error(basename, f"timestamp {stamp} has invalid month/day")
+    return report
+
+
+def validate_attributes(subject: str, attributes: Dict[str, object],
+                        report: Optional[ValidationReport] = None
+                        ) -> ValidationReport:
+    """Check a dataset's global attributes against the DRS core set."""
+    report = report if report is not None else ValidationReport()
+    report.checked += 1
+    for required in REQUIRED_DRS_ATTRIBUTES:
+        if required not in attributes:
+            report.error(subject, f"missing required attribute {required!r}")
+    version = attributes.get("product_version")
+    if version is not None and not re.match(r"^RT\d+$|^V?\d+(\.\d+)*$",
+                                            str(version)):
+        report.warn(subject,
+                    f"product_version {version!r} is not RTn or a version")
+    start = attributes.get("time_coverage_start")
+    if start is not None and not re.match(r"^\d{4}-\d{2}-\d{2}",
+                                          str(start)):
+        report.error(subject,
+                     f"time_coverage_start {start!r} is not ISO 8601")
+    return report
+
+
+def validate_server(server: DapServer,
+                    pattern: str = "*") -> ValidationReport:
+    """Validate every dataset a DAP server exposes (the §3.1 use case)."""
+    report = ValidationReport()
+    for path in server.paths(pattern):
+        das_text = server.request(path + ".das").decode("utf-8")
+        containers = parse_das(das_text)
+        validate_attributes(
+            path, containers.get("NC_GLOBAL", {}), report
+        )
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: ``drs-validator FILE [FILE ...]``."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args:
+        print("usage: drs-validator <filename.nc> [...]", file=sys.stderr)
+        return 2
+    report = ValidationReport()
+    for filename in args:
+        validate_filename(filename, report)
+    print(report.render())
+    return 0 if report.ok else 1

@@ -1,0 +1,144 @@
+"""Metadata convention crosswalks and SPARQL-based harmonization.
+
+Section 3.1: "Given the proliferation of various metadata standards, a
+tool was developed that can translate between metadata conventions"
+and "We present a mediation approach that facilitates multiple Metadata
+Standards to co-exist but are semantically harmonized through SPARQL
+Query."
+
+Two mechanisms:
+
+- :func:`translate` — direct attribute crosswalks between ACDD, a
+  simplified ISO 19115 profile, and the Global Land DRS convention;
+- :func:`metadata_to_rdf` — lift any convention's attributes into a
+  common Dublin Core RDF shape so one SPARQL query answers over records
+  from every convention (the mediation approach).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..rdf import DCTERMS, Graph, IRI, Literal, RDF, SDO
+
+# Canonical field → per-convention attribute name.
+_CROSSWALK: Dict[str, Dict[str, str]] = {
+    "title": {
+        "acdd": "title", "iso": "MD_title", "drs": "title",
+    },
+    "abstract": {
+        "acdd": "summary", "iso": "MD_abstract", "drs": "description",
+    },
+    "keywords": {
+        "acdd": "keywords", "iso": "MD_keywords", "drs": "keywords",
+    },
+    "provider": {
+        "acdd": "institution", "iso": "MD_organisationName",
+        "drs": "institution",
+    },
+    "license": {
+        "acdd": "license", "iso": "MD_useLimitation", "drs": "license",
+    },
+    "temporal_start": {
+        "acdd": "time_coverage_start", "iso": "EX_beginPosition",
+        "drs": "time_coverage_start",
+    },
+    "temporal_end": {
+        "acdd": "time_coverage_end", "iso": "EX_endPosition",
+        "drs": "time_coverage_end",
+    },
+    "version": {
+        "acdd": "product_version", "iso": "MD_edition",
+        "drs": "product_version",
+    },
+}
+
+CONVENTIONS = ("acdd", "iso", "drs")
+
+_CANONICAL_PREDICATES = {
+    "title": DCTERMS.title,
+    "abstract": DCTERMS.abstract,
+    "keywords": DCTERMS.subject,
+    "provider": DCTERMS.publisher,
+    "license": DCTERMS.license,
+    "temporal_start": DCTERMS.temporal,
+    "temporal_end": DCTERMS.available,
+    "version": DCTERMS.hasVersion,
+}
+
+
+class TranslationError(ValueError):
+    """Raised for unknown conventions."""
+
+
+def _check(convention: str) -> None:
+    if convention not in CONVENTIONS:
+        raise TranslationError(
+            f"unknown convention {convention!r}; have {CONVENTIONS}"
+        )
+
+
+def to_canonical(attributes: Dict[str, object],
+                 convention: str) -> Dict[str, object]:
+    """Extract the canonical fields present in a convention's attrs."""
+    _check(convention)
+    out = {}
+    for canonical, names in _CROSSWALK.items():
+        name = names[convention]
+        if name in attributes:
+            out[canonical] = attributes[name]
+    return out
+
+
+def from_canonical(canonical: Dict[str, object],
+                   convention: str) -> Dict[str, object]:
+    _check(convention)
+    return {
+        _CROSSWALK[field][convention]: value
+        for field, value in canonical.items()
+        if field in _CROSSWALK
+    }
+
+
+def translate(attributes: Dict[str, object], source: str,
+              target: str) -> Dict[str, object]:
+    """Translate attributes between two conventions (lossy crosswalk)."""
+    return from_canonical(to_canonical(attributes, source), target)
+
+
+def metadata_to_rdf(dataset_iri: str, attributes: Dict[str, object],
+                    convention: str,
+                    graph: Optional[Graph] = None) -> Graph:
+    """Lift convention-specific attributes into a Dublin Core graph."""
+    graph = graph if graph is not None else Graph()
+    subject = IRI(dataset_iri)
+    graph.add(subject, RDF.type, SDO.Dataset)
+    for canonical, value in to_canonical(attributes, convention).items():
+        graph.add(subject, _CANONICAL_PREDICATES[canonical],
+                  Literal(str(value)))
+    return graph
+
+
+HARMONIZED_QUERY = """
+PREFIX dcterms: <http://purl.org/dc/terms/>
+PREFIX sdo: <https://schema.org/>
+SELECT ?dataset ?title ?provider WHERE {
+  ?dataset a sdo:Dataset ; dcterms:title ?title .
+  OPTIONAL { ?dataset dcterms:publisher ?provider }
+}
+ORDER BY ?title
+"""
+
+
+def harmonized_listing(graph: Graph) -> List[Dict[str, str]]:
+    """One SPARQL query over records lifted from *any* convention."""
+    result = graph.query(HARMONIZED_QUERY)
+    return [
+        {
+            "dataset": str(row["dataset"]),
+            "title": row["title"].lexical,
+            "provider": row["provider"].lexical
+            if row.get("provider") else None,
+        }
+        for row in result
+    ]

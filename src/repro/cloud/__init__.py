@@ -1,0 +1,39 @@
+"""Cloud substrate: Terradue platform, sandbox PaaS, mini-Kubernetes."""
+
+from .kubernetes import Cluster, DeploymentSpec, KubeError, Pod, PodSpec
+from .platform import (
+    Appliance,
+    Deployment,
+    DockerImage,
+    Environment,
+    PlatformError,
+    Release,
+    TerraduePlatform,
+)
+from .sandbox import (
+    AppPackage,
+    ExecutionReport,
+    Sandbox,
+    SandboxError,
+    TaskResult,
+)
+
+__all__ = [
+    "AppPackage",
+    "Appliance",
+    "Cluster",
+    "Deployment",
+    "DeploymentSpec",
+    "DockerImage",
+    "Environment",
+    "ExecutionReport",
+    "KubeError",
+    "PlatformError",
+    "Pod",
+    "PodSpec",
+    "Release",
+    "Sandbox",
+    "SandboxError",
+    "TaskResult",
+    "TerraduePlatform",
+]

@@ -1,0 +1,147 @@
+"""A miniature Kubernetes: deployments, replica sets, self-healing.
+
+Section 3.1: "we used Kubernetes for managing the containerized
+applications across multiple hosts, that provides the mechanisms for
+deployment, maintenance, and scaling of the RAMANI Cloud Analytics
+backend services." This module provides the part of that behaviour the
+stack exercises: declarative deployments reconciled to a replica count,
+scaling, rolling image updates, pod failure + self-healing, and a
+round-robin service endpoint.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class KubeError(RuntimeError):
+    """Raised for operations on unknown deployments or pods."""
+
+
+@dataclass(frozen=True)
+class PodSpec:
+    image: str
+    command: str = ""
+    labels: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class Pod:
+    name: str
+    spec: PodSpec
+    node: str
+    status: str = "Running"
+    restarts: int = 0
+
+
+@dataclass
+class DeploymentSpec:
+    name: str
+    replicas: int
+    pod_spec: PodSpec
+
+
+class Cluster:
+    """A fixed set of nodes scheduling pods round-robin."""
+
+    def __init__(self, nodes: Optional[List[str]] = None):
+        self.nodes = nodes or ["node-1", "node-2", "node-3"]
+        self._deployments: Dict[str, DeploymentSpec] = {}
+        self._pods: Dict[str, Pod] = {}
+        self._counter = itertools.count(1)
+        self._rr: Dict[str, int] = {}
+
+    # -- declarative API ----------------------------------------------------
+    def apply(self, spec: DeploymentSpec) -> List[Pod]:
+        """Create or update a deployment; reconciles immediately."""
+        if spec.replicas < 0:
+            raise KubeError("replicas must be >= 0")
+        existing = self._deployments.get(spec.name)
+        self._deployments[spec.name] = spec
+        if existing is not None and existing.pod_spec != spec.pod_spec:
+            # rolling update: replace every pod with the new spec
+            for pod in self.pods_of(spec.name):
+                del self._pods[pod.name]
+        return self.reconcile(spec.name)
+
+    def scale(self, name: str, replicas: int) -> List[Pod]:
+        spec = self._deployment(name)
+        self._deployments[name] = DeploymentSpec(
+            name, replicas, spec.pod_spec
+        )
+        return self.reconcile(name)
+
+    def delete(self, name: str) -> None:
+        self._deployment(name)
+        del self._deployments[name]
+        for pod in self.pods_of(name):
+            del self._pods[pod.name]
+
+    def _deployment(self, name: str) -> DeploymentSpec:
+        try:
+            return self._deployments[name]
+        except KeyError:
+            raise KubeError(f"no deployment {name!r}") from None
+
+    # -- reconciliation (the control loop) ----------------------------------
+    def reconcile(self, name: Optional[str] = None) -> List[Pod]:
+        """Drive actual pods toward the declared replica counts."""
+        names = [name] if name else list(self._deployments)
+        touched: List[Pod] = []
+        for dep_name in names:
+            spec = self._deployment(dep_name)
+            alive = [
+                p for p in self.pods_of(dep_name) if p.status == "Running"
+            ]
+            # remove failed pods
+            for pod in self.pods_of(dep_name):
+                if pod.status != "Running":
+                    del self._pods[pod.name]
+            while len(alive) < spec.replicas:
+                pod = self._spawn(dep_name, spec.pod_spec)
+                alive.append(pod)
+                touched.append(pod)
+            while len(alive) > spec.replicas:
+                victim = alive.pop()
+                del self._pods[victim.name]
+        return touched
+
+    def _spawn(self, deployment: str, pod_spec: PodSpec) -> Pod:
+        index = next(self._counter)
+        node = self.nodes[index % len(self.nodes)]
+        pod = Pod(name=f"{deployment}-{index}", spec=pod_spec, node=node)
+        self._pods[pod.name] = pod
+        return pod
+
+    # -- observation ----------------------------------------------------------
+    def pods_of(self, deployment: str) -> List[Pod]:
+        prefix = deployment + "-"
+        return sorted(
+            (p for p in self._pods.values()
+             if p.name.startswith(prefix)),
+            key=lambda p: p.name,
+        )
+
+    def all_pods(self) -> List[Pod]:
+        return sorted(self._pods.values(), key=lambda p: p.name)
+
+    # -- failure injection --------------------------------------------------------
+    def kill_pod(self, pod_name: str) -> None:
+        try:
+            self._pods[pod_name].status = "Failed"
+        except KeyError:
+            raise KubeError(f"no pod {pod_name!r}") from None
+
+    # -- service endpoint ----------------------------------------------------------
+    def endpoint(self, deployment: str) -> Pod:
+        """Round-robin over the deployment's running pods."""
+        pods = [
+            p for p in self.pods_of(deployment) if p.status == "Running"
+        ]
+        if not pods:
+            raise KubeError(f"deployment {deployment!r} has no running pods")
+        index = self._rr.get(deployment, 0)
+        self._rr[deployment] = index + 1
+        return pods[index % len(pods)]

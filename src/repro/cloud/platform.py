@@ -1,0 +1,220 @@
+"""The Terradue cloud platform: appliances, releases, burst deployment.
+
+Section 5: the platform provides "the ability to manage all software
+components as cloud appliances, manage releases of the project software
+stack, deploy on demand this software stack on target infrastructures
+(e.g., at VITO), monitor operations ... and manage solution updates and
+transfer to operations via cloud bursting", so that "when the five DIAS
+will be operational, the Copernicus App Lab software will also be able
+to run on them".
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class PlatformError(RuntimeError):
+    """Raised for unknown appliances/environments or capacity issues."""
+
+
+@dataclass(frozen=True)
+class DockerImage:
+    """An immutable appliance image reference."""
+
+    name: str
+    tag: str
+
+    @property
+    def reference(self) -> str:
+        return f"{self.name}:{self.tag}"
+
+
+@dataclass
+class Appliance:
+    """One component of the App Lab stack packaged as an appliance."""
+
+    name: str
+    image: DockerImage
+    cpu: int = 1
+    memory_gb: int = 2
+
+
+@dataclass
+class Release:
+    """A versioned set of appliances (the project software stack)."""
+
+    version: str
+    appliances: Dict[str, Appliance] = field(default_factory=dict)
+
+
+@dataclass
+class Environment:
+    """A target infrastructure (Terradue itself, VITO MEP, a DIAS...)."""
+
+    name: str
+    cpu_capacity: int = 16
+    memory_capacity_gb: int = 64
+
+    cpu_used: int = 0
+    memory_used_gb: int = 0
+
+    def can_host(self, appliance: Appliance) -> bool:
+        return (
+            self.cpu_used + appliance.cpu <= self.cpu_capacity
+            and self.memory_used_gb + appliance.memory_gb
+            <= self.memory_capacity_gb
+        )
+
+    def allocate(self, appliance: Appliance) -> None:
+        if not self.can_host(appliance):
+            raise PlatformError(
+                f"environment {self.name!r} lacks capacity for "
+                f"{appliance.name!r}"
+            )
+        self.cpu_used += appliance.cpu
+        self.memory_used_gb += appliance.memory_gb
+
+    def release_resources(self, appliance: Appliance) -> None:
+        self.cpu_used -= appliance.cpu
+        self.memory_used_gb -= appliance.memory_gb
+
+
+@dataclass
+class Deployment:
+    deployment_id: str
+    appliance: Appliance
+    environment: str
+    release_version: str
+    status: str = "running"
+    log: List[str] = field(default_factory=list)
+
+
+class TerraduePlatform:
+    """Release management + on-demand deployment + cloud bursting."""
+
+    def __init__(self):
+        self._releases: Dict[str, Release] = {}
+        self._environments: Dict[str, Environment] = {}
+        self._deployments: Dict[str, Deployment] = {}
+        self._counter = itertools.count(1)
+
+    # -- registry ----------------------------------------------------------
+    def add_environment(self, environment: Environment) -> Environment:
+        self._environments[environment.name] = environment
+        return environment
+
+    def environment(self, name: str) -> Environment:
+        try:
+            return self._environments[name]
+        except KeyError:
+            raise PlatformError(f"unknown environment {name!r}") from None
+
+    def new_release(self, version: str,
+                    appliances: List[Appliance]) -> Release:
+        if version in self._releases:
+            raise PlatformError(f"release {version!r} already exists")
+        release = Release(version, {a.name: a for a in appliances})
+        self._releases[version] = release
+        return release
+
+    def release(self, version: str) -> Release:
+        try:
+            return self._releases[version]
+        except KeyError:
+            raise PlatformError(f"unknown release {version!r}") from None
+
+    def releases(self) -> List[str]:
+        return sorted(self._releases)
+
+    # -- deployment lifecycle --------------------------------------------------
+    def deploy(self, version: str, appliance_name: str,
+               environment_name: str) -> Deployment:
+        release = self.release(version)
+        appliance = release.appliances.get(appliance_name)
+        if appliance is None:
+            raise PlatformError(
+                f"release {version} has no appliance {appliance_name!r}"
+            )
+        environment = self.environment(environment_name)
+        environment.allocate(appliance)
+        deployment = Deployment(
+            deployment_id=f"dep-{next(self._counter)}",
+            appliance=appliance,
+            environment=environment_name,
+            release_version=version,
+        )
+        deployment.log.append(
+            f"deployed {appliance.image.reference} to {environment_name}"
+        )
+        self._deployments[deployment.deployment_id] = deployment
+        return deployment
+
+    def deploy_stack(self, version: str,
+                     environment_name: str) -> List[Deployment]:
+        """Deploy every appliance of a release (the full App Lab stack)."""
+        release = self.release(version)
+        return [
+            self.deploy(version, name, environment_name)
+            for name in sorted(release.appliances)
+        ]
+
+    def burst(self, deployment_id: str,
+              target_environment: str) -> Deployment:
+        """Cloud bursting: replicate a running deployment elsewhere."""
+        source = self._deployment(deployment_id)
+        clone = self.deploy(
+            source.release_version, source.appliance.name,
+            target_environment,
+        )
+        clone.log.append(f"burst from {source.environment}")
+        return clone
+
+    def upgrade(self, deployment_id: str, version: str) -> Deployment:
+        """Replace a deployment's appliance with a newer release's."""
+        old = self._deployment(deployment_id)
+        replacement = self.deploy(version, old.appliance.name,
+                                  old.environment)
+        self.teardown(deployment_id)
+        replacement.log.append(
+            f"upgraded from {old.release_version} to {version}"
+        )
+        return replacement
+
+    def teardown(self, deployment_id: str) -> None:
+        deployment = self._deployment(deployment_id)
+        self.environment(deployment.environment).release_resources(
+            deployment.appliance
+        )
+        deployment.status = "terminated"
+        deployment.log.append("terminated")
+
+    def _deployment(self, deployment_id: str) -> Deployment:
+        try:
+            return self._deployments[deployment_id]
+        except KeyError:
+            raise PlatformError(
+                f"unknown deployment {deployment_id!r}"
+            ) from None
+
+    # -- operations monitoring -----------------------------------------------
+    def running(self, environment_name: Optional[str] = None
+                ) -> List[Deployment]:
+        return [
+            d for d in self._deployments.values()
+            if d.status == "running"
+            and (environment_name is None
+                 or d.environment == environment_name)
+        ]
+
+    def status_report(self) -> Dict[str, Dict[str, int]]:
+        report: Dict[str, Dict[str, int]] = {}
+        for env in self._environments.values():
+            report[env.name] = {
+                "deployments": len(self.running(env.name)),
+                "cpu_used": env.cpu_used,
+                "cpu_capacity": env.cpu_capacity,
+            }
+        return report

@@ -1,0 +1,100 @@
+"""The developer cloud sandbox (PaaS) of the Terradue platform.
+
+Section 3: "the developer cloud sandbox service provides a
+platform-as-a-service environment to prepare data and processors ...
+The platform allows application developers to access Copernicus data
+and carry out massively parallel processing without the need to
+download the data in their own servers."
+
+An :class:`AppPackage` wraps a processor function; :class:`Sandbox.run`
+fans the processor out over the inputs (thread pool — the work is
+I/O-ish DAP access) and returns results plus an execution report.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class SandboxError(RuntimeError):
+    """Raised for packaging or execution failures."""
+
+
+@dataclass
+class AppPackage:
+    """A deployable EO application: a processor plus its manifest."""
+
+    name: str
+    processor: Callable
+    version: str = "1.0"
+    requirements: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not callable(self.processor):
+            raise SandboxError("processor must be callable")
+
+
+@dataclass
+class TaskResult:
+    input: object
+    output: object = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class ExecutionReport:
+    app: str
+    tasks: int
+    succeeded: int
+    failed: int
+    wall_time_s: float
+    results: List[TaskResult] = field(default_factory=list)
+
+    @property
+    def outputs(self) -> List[object]:
+        return [r.output for r in self.results if r.ok]
+
+
+class Sandbox:
+    """Runs packaged apps over input lists with bounded parallelism."""
+
+    def __init__(self, parallelism: int = 4):
+        if parallelism < 1:
+            raise SandboxError("parallelism must be >= 1")
+        self.parallelism = parallelism
+        self.history: List[ExecutionReport] = []
+
+    def run(self, app: AppPackage, inputs: Sequence,
+            **kwargs) -> ExecutionReport:
+        """Execute the app's processor once per input."""
+        start = time.perf_counter()
+        results: List[TaskResult] = []
+
+        def one(item) -> TaskResult:
+            try:
+                return TaskResult(item, app.processor(item, **kwargs))
+            except Exception as exc:  # processor errors are task failures
+                return TaskResult(item, error=f"{type(exc).__name__}: {exc}")
+
+        if self.parallelism == 1 or len(inputs) <= 1:
+            results = [one(item) for item in inputs]
+        else:
+            with ThreadPoolExecutor(self.parallelism) as pool:
+                results = list(pool.map(one, inputs))
+        report = ExecutionReport(
+            app=app.name,
+            tasks=len(results),
+            succeeded=sum(1 for r in results if r.ok),
+            failed=sum(1 for r in results if not r.ok),
+            wall_time_s=time.perf_counter() - start,
+            results=results,
+        )
+        self.history.append(report)
+        return report

@@ -1,0 +1,41 @@
+"""The paper's primary contribution: the Copernicus App Lab stack."""
+
+from .applab import AppLab
+from .casestudy import (
+    GreennessCaseStudy,
+    LISTING1,
+    LISTING3,
+    PREFIXES,
+)
+from .ontologies import (
+    CORINE_NOMENCLATURE,
+    OSM_POI_TYPES,
+    URBAN_ATLAS_NOMENCLATURE,
+    all_ontologies,
+    corine_class_iri,
+    corine_ontology,
+    gadm_ontology,
+    lai_ontology,
+    osm_ontology,
+    urban_atlas_class_iri,
+    urban_atlas_ontology,
+)
+
+__all__ = [
+    "AppLab",
+    "CORINE_NOMENCLATURE",
+    "GreennessCaseStudy",
+    "LISTING1",
+    "LISTING3",
+    "OSM_POI_TYPES",
+    "PREFIXES",
+    "URBAN_ATLAS_NOMENCLATURE",
+    "all_ontologies",
+    "corine_class_iri",
+    "corine_ontology",
+    "gadm_ontology",
+    "lai_ontology",
+    "osm_ontology",
+    "urban_atlas_class_iri",
+    "urban_atlas_ontology",
+]

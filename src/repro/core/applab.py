@@ -1,0 +1,215 @@
+"""The Copernicus App Lab facade: one object wiring the whole stack.
+
+``AppLab`` assembles the architecture of Figure 1: a Copernicus data
+source layer (the VITO archive + OPeNDAP MEP), the access layer (SDL
+with RAMANI auth, Ontop-spatial virtual endpoints, GeoTriples +
+Strabon materialization), value-adding services (interlinking, Sextant,
+schema.org publication, metadata CMS) and the operations layer
+(Terradue platform + Kubernetes-run analytics).
+
+Most applications only need a handful of calls::
+
+    lab = AppLab()
+    lab.publish_product(LAI_SPEC, dekad_dates(date(2018, 6, 1), 3))
+    engine, op = lab.virtual_endpoint("LAI")       # workflow right
+    store = lab.materialize("LAI")                  # workflow left
+    lab.annotate_products()
+    yes, hits = lab.search.answer("any vegetation dataset?")
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..catalog import MetadataCms, validate_server
+from ..cloud import (
+    Appliance,
+    Cluster,
+    DeploymentSpec,
+    DockerImage,
+    Environment,
+    PodSpec,
+    TerraduePlatform,
+)
+from ..geometry import Polygon
+from ..ontop import OntopSpatial, make_opendap_endpoint
+from ..opendap import LatencyModel, ServerRegistry
+from ..rdf import Graph
+from ..schemaorg import (
+    DatasetSearchEngine,
+    annotation_from_dap,
+)
+from ..sdl import MapsApi, StreamingDataLibrary, TokenAuthority
+from ..strabon import StrabonStore
+from ..vito import (
+    ALL_SPECS,
+    GlobalLandArchive,
+    Grid,
+    MepDeployment,
+    PARIS_GRID,
+    ProductSpec,
+    dekad_dates,
+    generate_product,
+)
+from .ontologies import all_ontologies
+
+
+class AppLab:
+    """The integrated Copernicus App Lab environment."""
+
+    def __init__(self, host: str = "vito.applab.eu",
+                 latency: Optional[LatencyModel] = None,
+                 greenness: Optional[Callable] = None,
+                 grid: Grid = PARIS_GRID,
+                 seed: int = 7):
+        self.grid = grid
+        self.seed = seed
+        self.greenness = greenness
+        # data layer
+        self.archive = GlobalLandArchive()
+        self.mep = MepDeployment(self.archive, host=host, latency=latency)
+        self.registry = ServerRegistry()
+        self.registry.register(self.mep.server)
+        # access layer
+        self.auth = TokenAuthority()
+        self.sdl = StreamingDataLibrary(self.registry, auth=self.auth)
+        self.cms = MetadataCms()
+        # discoverability
+        self.search = DatasetSearchEngine()
+        # operations
+        self.platform = TerraduePlatform()
+        self.platform.add_environment(Environment("terradue"))
+        self.platform.add_environment(Environment(host))
+        self.cluster = Cluster()
+        self._product_urls: Dict[str, str] = {}
+
+    # -- data publication -------------------------------------------------------
+    def publish_product(self, spec: ProductSpec, days: List[date],
+                        cloud_fraction: float = 0.02) -> str:
+        """Generate + archive a product series and expose it over DAP."""
+        for day in days:
+            self.archive.publish(
+                spec.name, day, 0,
+                generate_product(
+                    spec, day, grid=self.grid,
+                    greenness=self.greenness, seed=self.seed,
+                    cloud_fraction=cloud_fraction,
+                ),
+            )
+        path = self.mep.mount_product(spec.name)
+        url = self.mep.server.url(path)
+        self._product_urls[spec.name] = url
+        self.sdl.register_dataset(spec.name, url)
+        return url
+
+    def product_url(self, product: str) -> str:
+        return self._product_urls[product]
+
+    def products(self) -> List[str]:
+        return sorted(self._product_urls)
+
+    # -- the two workflows of Figure 1 -----------------------------------------
+    def virtual_endpoint(self, product: str,
+                         window_minutes: float = 10,
+                         clock=None) -> Tuple[OntopSpatial, object]:
+        """Workflow right: on-the-fly GeoSPARQL over OPeNDAP."""
+        import time as _time
+
+        engine, operator, __ = make_opendap_endpoint(
+            self.registry, self.product_url(product), variable=product,
+            window_minutes=window_minutes,
+            clock=clock or _time.monotonic,
+        )
+        return engine, operator
+
+    def materialize(self, product: str,
+                    include_ontologies: bool = True) -> StrabonStore:
+        """Workflow left: download + transform into RDF + store."""
+        from ..geotriples import LogicalSource, MappingProcessor, TermMap, \
+            TriplesMap
+        from ..rdf import LAI as LAI_NS
+        from ..rdf import TIME, XSD
+
+        tmap = TriplesMap(
+            name=product,
+            logical_source=LogicalSource(
+                "opendap", self.product_url(product),
+                options={"registry": self.registry, "variable": product},
+            ),
+            subject_map=TermMap(template=str(LAI_NS) + "obs/{id}"),
+            classes=[LAI_NS.Observation],
+            geometry_column="loc",
+        )
+        tmap.add_pom(
+            LAI_NS.lai,
+            TermMap(column=product, term_type="literal",
+                    datatype=XSD.float),
+        )
+        tmap.add_pom(
+            TIME.hasTime,
+            TermMap(column="ts", term_type="literal",
+                    datatype=XSD.dateTime),
+        )
+        store = StrabonStore(product)
+        MappingProcessor([tmap]).run(store)
+        if include_ontologies:
+            store.update(all_ontologies())
+        return store
+
+    # -- discoverability ------------------------------------------------------------
+    def annotate_products(self,
+                          provider: str = "VITO") -> List[str]:
+        """Annotate every published product and index it for search."""
+        annotated = []
+        for product, url in sorted(self._product_urls.items()):
+            dataset = self.mep.aggregated(product)
+            spatial = Polygon.box(
+                self.grid.min_lon, self.grid.min_lat,
+                self.grid.max_lon, self.grid.max_lat,
+            )
+            annotation = annotation_from_dap(
+                url, dataset.attributes, spatial=spatial,
+                eo={"platform": "PROBA-V", "productType": product,
+                    "thematicArea": "land"},
+            )
+            if not annotation.keywords:
+                annotation.keywords = [product, "vegetation", "Copernicus"]
+            if not annotation.provider:
+                annotation.provider = provider
+            self.search.index(annotation)
+            annotated.append(url)
+        return annotated
+
+    # -- metadata governance ---------------------------------------------------------
+    def harvest_metadata(self) -> List[str]:
+        """CMS harvest over the MEP (recurrent by design)."""
+        return self.cms.harvest(self.mep.server)
+
+    def validate_drs(self):
+        return validate_server(self.mep.server)
+
+    # -- applications -------------------------------------------------------------------
+    def maps_api(self, user_email: str) -> Tuple[MapsApi, str]:
+        """Register an app developer and hand them a Maps-API client."""
+        token = self.auth.register(user_email)
+        return MapsApi(self.sdl, token=token), token
+
+    # -- operations ------------------------------------------------------------------------
+    def release_and_deploy(self, version: str = "1.0.0",
+                           environment: str = "terradue"):
+        """Release the stack's appliances and deploy them (Section 5)."""
+        appliances = [
+            Appliance(name, DockerImage(f"applab/{name}", version))
+            for name in ("ontop-spatial", "strabon", "geotriples",
+                         "sextant", "sdl", "opendap")
+        ]
+        self.platform.new_release(version, appliances)
+        deployments = self.platform.deploy_stack(version, environment)
+        self.cluster.apply(
+            DeploymentSpec(
+                "ramani-analytics", 2,
+                PodSpec(image=f"applab/analytics:{version}"),
+            )
+        )
+        return deployments

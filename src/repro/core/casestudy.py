@@ -1,0 +1,368 @@
+"""The "greenness of Paris" case study (Section 4, Listings 1-3, Fig 4).
+
+Builds the full scenario over synthetic Paris data and exposes both
+workflows of Figure 1:
+
+- **materialized (left)**: datasets are transformed into RDF with
+  GeoTriples (the LAI grid through the NetCDF/OPeNDAP logical-source
+  extension) and loaded into a Strabon store, where Listing 1 runs;
+- **virtual (right)**: the LAI product stays at the (simulated) VITO
+  OPeNDAP server; Ontop-spatial's Listing-2 mapping exposes it as a
+  virtual graph where Listing 3 runs.
+
+``build_map`` produces the Figure 4 thematic map: time-evolving LAI
+circles over administrative outlines, CORINE, Urban Atlas and OSM
+parks.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Dict, List, Optional, Tuple
+
+from ..data import (
+    arrondissements,
+    corine_land_cover,
+    gadm_hierarchy,
+    osm_parks,
+    osm_pois,
+    paris_greenness,
+    urban_atlas,
+)
+from ..geometry import FeatureCollection
+from ..geotriples import (
+    LogicalSource,
+    MappingProcessor,
+    TermMap,
+    TriplesMap,
+)
+from ..ontop import OntopSpatial, make_opendap_endpoint
+from ..opendap import LatencyModel, ServerRegistry
+from ..rdf import (
+    CLC,
+    GADM,
+    Graph,
+    LAI,
+    OSM,
+    TIME,
+    UA,
+    XSD,
+)
+from ..strabon import StrabonStore
+from ..vito import (
+    GlobalLandArchive,
+    LAI_SPEC,
+    MepDeployment,
+    PARIS_GRID,
+    dekad_dates,
+    generate_product,
+)
+from .ontologies import (
+    all_ontologies,
+    corine_class_iri,
+    urban_atlas_class_iri,
+)
+
+PREFIXES = """
+PREFIX lai: <http://www.app-lab.eu/lai/>
+PREFIX gadm: <http://www.app-lab.eu/gadm/>
+PREFIX clc: <http://www.app-lab.eu/corine/>
+PREFIX ua: <http://www.app-lab.eu/urbanatlas/>
+PREFIX osm: <http://www.app-lab.eu/osm/>
+PREFIX geo: <http://www.opengis.net/ont/geosparql#>
+PREFIX geof: <http://www.opengis.net/def/function/geosparql/>
+PREFIX time: <http://www.w3.org/2006/time#>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+"""
+
+LISTING1 = PREFIXES + """
+SELECT DISTINCT ?geoA ?geoB ?lai WHERE {
+  ?areaA osm:poiType osm:park .
+  ?areaA geo:hasGeometry ?geomA .
+  ?geomA geo:asWKT ?geoA .
+  ?areaA osm:hasName "Bois de Boulogne"^^xsd:string .
+  ?areaB lai:lai ?lai .
+  ?areaB geo:hasGeometry ?geomB .
+  ?geomB geo:asWKT ?geoB .
+  FILTER(geof:sfIntersects(?geoA, ?geoB))
+}
+"""
+
+LISTING3 = PREFIXES + """
+SELECT DISTINCT ?s ?wkt ?lai WHERE {
+  ?s lai:lai ?lai .
+  ?s geo:hasGeometry ?g .
+  ?g geo:asWKT ?wkt
+}
+"""
+
+
+class GreennessCaseStudy:
+    """End-to-end scenario wiring of Section 4."""
+
+    def __init__(self, start: date = date(2018, 5, 1), n_dekads: int = 4,
+                 seed: int = 7, host: str = "vito.applab.test",
+                 latency: Optional[LatencyModel] = None,
+                 cloud_fraction: float = 0.02):
+        self.dates = dekad_dates(start, n_dekads)
+        self.greenness = paris_greenness()
+        self.archive = GlobalLandArchive()
+        for day in self.dates:
+            self.archive.publish(
+                "LAI", day, 0,
+                generate_product(
+                    LAI_SPEC, day, grid=PARIS_GRID,
+                    greenness=self.greenness, seed=seed,
+                    cloud_fraction=cloud_fraction,
+                ),
+            )
+        self.mep = MepDeployment(self.archive, host=host, latency=latency)
+        self.mep.mount_product("LAI")
+        self.registry = ServerRegistry()
+        self.registry.register(self.mep.server)
+        self.lai_url = f"dap://{host}/Copernicus/LAI"
+        # vector datasets
+        self.parks = osm_parks()
+        self.pois = osm_pois()
+        self.corine = corine_land_cover()
+        self.ua = urban_atlas()
+        self.gadm_areas = arrondissements()
+        self.gadm_levels = gadm_hierarchy()
+
+    # -- GeoTriples mappings (materialized workflow) -----------------------
+    def vector_triples_maps(self) -> List[TriplesMap]:
+        maps: List[TriplesMap] = []
+
+        parks_map = TriplesMap(
+            name="osm-parks",
+            logical_source=LogicalSource("geojson", self.parks),
+            subject_map=TermMap(template=str(OSM) + "feature/{gid}"),
+            classes=[OSM.POI],
+            geometry_column="wkt",
+        )
+        parks_map.add_pom(
+            OSM.hasName,
+            TermMap(column="name", term_type="literal",
+                    datatype=XSD.string),
+        )
+        parks_map.add_pom(
+            OSM.poiType, TermMap(template=str(OSM) + "{poiType}")
+        )
+        maps.append(parks_map)
+
+        pois_map = TriplesMap(
+            name="osm-pois",
+            logical_source=LogicalSource("geojson", self.pois),
+            subject_map=TermMap(template=str(OSM) + "feature/{gid}"),
+            classes=[OSM.POI],
+            geometry_column="wkt",
+        )
+        pois_map.add_pom(
+            OSM.hasName,
+            TermMap(column="name", term_type="literal",
+                    datatype=XSD.string),
+        )
+        pois_map.add_pom(
+            OSM.poiType, TermMap(template=str(OSM) + "{poiType}")
+        )
+        maps.append(pois_map)
+
+        corine_map = TriplesMap(
+            name="corine",
+            logical_source=LogicalSource(
+                "geojson", _with_class_iris(self.corine, "corine")
+            ),
+            subject_map=TermMap(template=str(CLC) + "area/{gid}"),
+            classes=[CLC.CorineArea],
+            geometry_column="wkt",
+        )
+        corine_map.add_pom(
+            CLC.hasCorineValue, TermMap(template="{class_iri}")
+        )
+        corine_map.add_pom(
+            CLC.hasCode,
+            TermMap(column="code", term_type="literal"),
+        )
+        maps.append(corine_map)
+
+        ua_map = TriplesMap(
+            name="urban-atlas",
+            logical_source=LogicalSource(
+                "geojson", _with_class_iris(self.ua, "ua")
+            ),
+            subject_map=TermMap(template=str(UA) + "area/{gid}"),
+            classes=[UA.UrbanAtlasArea],
+            geometry_column="wkt",
+        )
+        ua_map.add_pom(UA.hasLandUse, TermMap(template="{class_iri}"))
+        maps.append(ua_map)
+
+        gadm_map = TriplesMap(
+            name="gadm",
+            logical_source=LogicalSource(
+                "geojson",
+                FeatureCollection(
+                    list(self.gadm_areas) + list(self.gadm_levels)
+                ),
+            ),
+            subject_map=TermMap(template=str(GADM) + "unit/{gid}"),
+            classes=[GADM.AdministrativeUnit],
+            geometry_column="wkt",
+        )
+        gadm_map.add_pom(
+            GADM.hasName,
+            TermMap(column="name", term_type="literal",
+                    datatype=XSD.string),
+        )
+        gadm_map.add_pom(
+            GADM.hasLevel,
+            TermMap(column="level", term_type="literal",
+                    datatype=XSD.integer),
+        )
+        maps.append(gadm_map)
+        return maps
+
+    def lai_triples_map(self) -> TriplesMap:
+        """LAI grid → RDF via the NetCDF/OPeNDAP logical source."""
+        lai_map = TriplesMap(
+            name="lai",
+            logical_source=LogicalSource(
+                "opendap", self.lai_url,
+                options={"registry": self.registry},
+            ),
+            subject_map=TermMap(template=str(LAI) + "obs/{id}"),
+            classes=[LAI.Observation],
+            geometry_column="loc",
+        )
+        lai_map.add_pom(
+            LAI.lai,
+            TermMap(column="LAI", term_type="literal", datatype=XSD.float),
+        )
+        lai_map.add_pom(
+            TIME.hasTime,
+            TermMap(column="ts", term_type="literal",
+                    datatype=XSD.dateTime),
+        )
+        return lai_map
+
+    # -- workflows ---------------------------------------------------------------
+    def materialized_store(self,
+                           include_ontologies: bool = True) -> StrabonStore:
+        """Workflow 'left': GeoTriples → Strabon."""
+        store = StrabonStore("greenness-of-paris")
+        processor = MappingProcessor(
+            self.vector_triples_maps() + [self.lai_triples_map()]
+        )
+        processor.run(store)
+        if include_ontologies:
+            store.update(all_ontologies())
+        return store
+
+    def virtual_endpoint(self, window_minutes: float = 10,
+                         clock=None) -> Tuple[OntopSpatial, object]:
+        """Workflow 'right': Ontop-spatial over OPeNDAP (Listing 2)."""
+        import time as _time
+
+        engine, operator, __ = make_opendap_endpoint(
+            self.registry, self.lai_url, variable="LAI",
+            window_minutes=window_minutes,
+            clock=clock or _time.monotonic,
+        )
+        return engine, operator
+
+    # -- the paper's queries ----------------------------------------------------
+    def run_listing1(self, store: Optional[StrabonStore] = None):
+        store = store if store is not None else self.materialized_store()
+        return store.query(LISTING1)
+
+    def run_listing3(self, engine: Optional[OntopSpatial] = None):
+        if engine is None:
+            engine, __ = self.virtual_endpoint()
+        return engine.query(LISTING3)
+
+    # -- Figure 4 -------------------------------------------------------------------
+    def build_map(self, store: Optional[StrabonStore] = None):
+        """The greenness-of-Paris thematic map (5 layers + timeline)."""
+        from ..sextant import Style, ThematicMap
+
+        store = store if store is not None else self.materialized_store()
+        tm = ThematicMap(
+            "The greenness of Paris",
+            "LAI observations over administrative areas, CORINE land "
+            "cover, Urban Atlas and OpenStreetMap parks",
+        )
+        tm.add_geojson_layer(
+            "CORINE land cover", self.corine,
+            style=Style(fill="#d8c9a3", stroke="#a89a74", opacity=0.4),
+        )
+        tm.add_geojson_layer(
+            "Urban Atlas", self.ua,
+            style=Style(fill="#c9b8d8", stroke="#9a74a8", opacity=0.4),
+        )
+        tm.add_geojson_layer(
+            "OSM parks", self.parks,
+            style=Style(fill="#2a7f3f", stroke="#1b4e27", opacity=0.55),
+        )
+        tm.add_geojson_layer(
+            "Administrative areas", self.gadm_areas,
+            style=Style(fill="none", stroke="#cc00cc", opacity=0.9),
+        )
+        tm.add_sparql_layer(
+            "LAI observations", store,
+            PREFIXES + """
+            SELECT ?wkt ?lai ?t WHERE {
+              ?obs lai:lai ?lai ; time:hasTime ?t ;
+                   geo:hasGeometry ?g .
+              ?g geo:asWKT ?wkt .
+            }
+            """,
+            geom_var="wkt", value_var="lai", time_var="t",
+            style=Style(radius=5.0, stroke="#222222"),
+        )
+        return tm
+
+    # -- headline numbers -----------------------------------------------------------
+    def park_vs_industrial_lai(self, store: Optional[StrabonStore] = None
+                               ) -> Tuple[float, float]:
+        """Mean LAI over green-urban vs industrial CORINE areas.
+
+        The qualitative claim behind Figure 4: "Paris areas belonging to
+        the CORINE land cover class clc:greenUrbanAreas ... show higher
+        LAI values over time than industrial areas."
+        """
+        store = store if store is not None else self.materialized_store()
+
+        def mean_for(code: str) -> float:
+            result = store.query(
+                PREFIXES + f"""
+                SELECT (AVG(?lai) AS ?mean) WHERE {{
+                  ?area clc:hasCode "{code}" ;
+                        geo:hasGeometry ?ga .
+                  ?ga geo:asWKT ?wa .
+                  ?obs lai:lai ?lai ; geo:hasGeometry ?gb .
+                  ?gb geo:asWKT ?wb .
+                  FILTER(geof:sfIntersects(?wa, ?wb))
+                }}
+                """
+            )
+            value = result.rows[0].get("mean") if result.rows else None
+            return float(value.value) if value is not None else float("nan")
+
+        return mean_for("141"), mean_for("121")
+
+
+def _with_class_iris(fc: FeatureCollection, kind: str) -> FeatureCollection:
+    """Copy features, attaching the ontology class IRI as a property."""
+    out = FeatureCollection()
+    for feature in fc:
+        properties = dict(feature.properties)
+        code = str(properties["code"])
+        if kind == "corine":
+            properties["class_iri"] = str(corine_class_iri(code))
+        else:
+            properties["class_iri"] = str(urban_atlas_class_iri(code))
+        out.append(
+            type(feature)(feature.geometry, properties, feature.id)
+        )
+    return out

@@ -1,0 +1,46 @@
+"""``applab-quickstart``: a tiny CLI smoke run of the whole stack."""
+
+from __future__ import annotations
+
+import sys
+from datetime import date
+from typing import Optional, Sequence
+
+from ..vito import LAI_SPEC, dekad_dates
+from .applab import AppLab
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    n_dekads = int(args[0]) if args else 2
+
+    lab = AppLab()
+    url = lab.publish_product(
+        LAI_SPEC, dekad_dates(date(2018, 6, 1), n_dekads)
+    )
+    print(f"published LAI at {url}")
+
+    engine, operator = lab.virtual_endpoint("LAI")
+    result = engine.query(
+        "PREFIX lai: <http://www.app-lab.eu/lai/> "
+        "SELECT (COUNT(*) AS ?n) (AVG(?v) AS ?mean) "
+        "WHERE { ?obs lai:lai ?v }"
+    )
+    row = result.rows[0]
+    print(
+        f"virtual endpoint: {row['n'].value} LAI observations, "
+        f"mean {row['mean'].value:.2f}"
+    )
+
+    lab.annotate_products()
+    yes, hits = lab.search.answer("any vegetation dataset?")
+    print(f"dataset search: {'yes' if yes else 'no'} "
+          f"({hits[0].annotation.name if hits else 'none'})")
+
+    report = lab.validate_drs()
+    print(f"DRS validation: {'PASS' if report.ok else 'FAIL'}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

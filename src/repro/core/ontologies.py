@@ -1,0 +1,308 @@
+"""The INSPIRE-compliant dataset ontologies of Section 4.
+
+- :func:`lai_ontology` — Figure 2: LAI observations reusing the Data
+  Cube (qb), GeoSPARQL (geo/sf) and Time (time) vocabularies;
+- :func:`gadm_ontology` — Figure 3: administrative units;
+- :func:`corine_ontology` — the full 3-level CORINE nomenclature
+  (5 level-1 / 15 level-2 / 44 level-3 classes) with
+  ``clc:CorineArea``, ``clc:hasCorineValue`` and ``clc:CorineValue``
+  exactly as the paper describes;
+- :func:`urban_atlas_ontology` — 17 urban + 10 rural classes;
+- :func:`osm_ontology` — feature classes per OSM point-of-interest type.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..rdf import (
+    CLC,
+    GADM,
+    GEO,
+    Graph,
+    INSPIRE,
+    IRI,
+    LAI,
+    Literal,
+    OSM,
+    OWL,
+    QB,
+    RDF,
+    RDFS,
+    SF,
+    TIME,
+    UA,
+    XSD,
+)
+
+
+def _klass(graph: Graph, iri: IRI, label: str,
+           parent: Optional[IRI] = None) -> IRI:
+    graph.add(iri, RDF.type, OWL.Class)
+    graph.add(iri, RDFS.label, Literal(label, lang="en"))
+    if parent is not None:
+        graph.add(iri, RDFS.subClassOf, parent)
+    return iri
+
+
+def _property(graph: Graph, iri: IRI, label: str, domain: IRI,
+              range_: IRI, datatype: bool = False) -> IRI:
+    kind = OWL.DatatypeProperty if datatype else OWL.ObjectProperty
+    graph.add(iri, RDF.type, kind)
+    graph.add(iri, RDFS.label, Literal(label, lang="en"))
+    graph.add(iri, RDFS.domain, domain)
+    graph.add(iri, RDFS.range, range_)
+    return iri
+
+
+def _geosparql_core(g: Graph) -> None:
+    """The shared GeoSPARQL schema block every dataset ontology reuses.
+
+    ``geo:hasGeometry`` / ``geo:asWKT`` are declared once with their
+    *GeoSPARQL* domains and ranges — per-dataset domains would be global
+    axioms and make RDFS inference type every feature with every
+    dataset class.
+    """
+    _klass(g, GEO.Feature, "feature")
+    _klass(g, GEO.Geometry, "geometry")
+    _property(g, GEO.hasGeometry, "has geometry", GEO.Feature,
+              GEO.Geometry)
+    _property(g, GEO.asWKT, "as WKT", GEO.Geometry, GEO.wktLiteral,
+              datatype=True)
+    for sf_class in (SF.Point, SF.LineString, SF.Polygon):
+        _klass(g, sf_class, sf_class.local_name, parent=GEO.Geometry)
+
+
+def lai_ontology() -> Graph:
+    """The LAI ontology of Figure 2."""
+    g = Graph("lai-ontology")
+    _geosparql_core(g)
+    _klass(g, LAI.Observation, "LAI observation", parent=QB.Observation)
+    g.add(LAI.Observation, RDFS.subClassOf, GEO.Feature)
+    _property(g, LAI.lai, "leaf area index value", LAI.Observation,
+              XSD.float, datatype=True)
+    _property(g, TIME.hasTime, "observation time", LAI.Observation,
+              XSD.dateTime, datatype=True)
+    # the Figure-2 arrow "Observation → sf:Point": a schema hint, not a
+    # global domain axiom
+    g.add(LAI.Observation, GEO.defaultGeometry, SF.Point)
+    g.add(LAI.Observation, RDFS.seeAlso,
+          IRI("https://land.copernicus.eu/global/products/lai"))
+    return g
+
+
+def gadm_ontology() -> Graph:
+    """The GADM ontology of Figure 3."""
+    g = Graph("gadm-ontology")
+    _geosparql_core(g)
+    _klass(g, GADM.AdministrativeUnit, "administrative unit",
+           parent=GEO.Feature)
+    _property(g, GADM.hasName, "administrative unit name",
+              GADM.AdministrativeUnit, XSD.string, datatype=True)
+    _property(g, GADM.hasLevel, "administrative level",
+              GADM.AdministrativeUnit, XSD.integer, datatype=True)
+    _property(g, GADM.isWithin, "parent unit",
+              GADM.AdministrativeUnit, GADM.AdministrativeUnit)
+    g.add(GADM.AdministrativeUnit, GEO.defaultGeometry, SF.Polygon)
+    return g
+
+
+#: The complete CORINE Land Cover nomenclature: code → (label, parent).
+CORINE_NOMENCLATURE: Dict[str, Tuple[str, Optional[str]]] = {
+    # level 1
+    "1": ("Artificial surfaces", None),
+    "2": ("Agricultural areas", None),
+    "3": ("Forest and semi-natural areas", None),
+    "4": ("Wetlands", None),
+    "5": ("Water bodies", None),
+    # level 2
+    "11": ("Urban fabric", "1"),
+    "12": ("Industrial, commercial and transport units", "1"),
+    "13": ("Mine, dump and construction sites", "1"),
+    "14": ("Artificial, non-agricultural vegetated areas", "1"),
+    "21": ("Arable land", "2"),
+    "22": ("Permanent crops", "2"),
+    "23": ("Pastures", "2"),
+    "24": ("Heterogeneous agricultural areas", "2"),
+    "31": ("Forests", "3"),
+    "32": ("Scrub and/or herbaceous vegetation associations", "3"),
+    "33": ("Open spaces with little or no vegetation", "3"),
+    "41": ("Inland wetlands", "4"),
+    "42": ("Maritime wetlands", "4"),
+    "51": ("Inland waters", "5"),
+    "52": ("Marine waters", "5"),
+    # level 3 (the 44 CLC classes)
+    "111": ("Continuous urban fabric", "11"),
+    "112": ("Discontinuous urban fabric", "11"),
+    "121": ("Industrial or commercial units", "12"),
+    "122": ("Road and rail networks and associated land", "12"),
+    "123": ("Port areas", "12"),
+    "124": ("Airports", "12"),
+    "131": ("Mineral extraction sites", "13"),
+    "132": ("Dump sites", "13"),
+    "133": ("Construction sites", "13"),
+    "141": ("Green urban areas", "14"),
+    "142": ("Sport and leisure facilities", "14"),
+    "211": ("Non-irrigated arable land", "21"),
+    "212": ("Permanently irrigated land", "21"),
+    "213": ("Rice fields", "21"),
+    "221": ("Vineyards", "22"),
+    "222": ("Fruit trees and berry plantations", "22"),
+    "223": ("Olive groves", "22"),
+    "231": ("Pastures", "23"),
+    "241": ("Annual crops associated with permanent crops", "24"),
+    "242": ("Complex cultivation patterns", "24"),
+    "243": ("Land principally occupied by agriculture", "24"),
+    "244": ("Agro-forestry areas", "24"),
+    "311": ("Broad-leaved forest", "31"),
+    "312": ("Coniferous forest", "31"),
+    "313": ("Mixed forest", "31"),
+    "321": ("Natural grasslands", "32"),
+    "322": ("Moors and heathland", "32"),
+    "323": ("Sclerophyllous vegetation", "32"),
+    "324": ("Transitional woodland-shrub", "32"),
+    "331": ("Beaches, dunes, sands", "33"),
+    "332": ("Bare rocks", "33"),
+    "333": ("Sparsely vegetated areas", "33"),
+    "334": ("Burnt areas", "33"),
+    "335": ("Glaciers and perpetual snow", "33"),
+    "411": ("Inland marshes", "41"),
+    "412": ("Peat bogs", "41"),
+    "421": ("Salt marshes", "42"),
+    "422": ("Salines", "42"),
+    "423": ("Intertidal flats", "42"),
+    "511": ("Water courses", "51"),
+    "512": ("Water bodies", "51"),
+    "521": ("Coastal lagoons", "52"),
+    "522": ("Estuaries", "52"),
+    "523": ("Sea and ocean", "52"),
+}
+
+
+def corine_class_iri(code: str) -> IRI:
+    label, __ = CORINE_NOMENCLATURE[code]
+    camel = "".join(
+        part.capitalize()
+        for part in label.replace(",", " ").replace("/", " ").replace(
+            "-", " ").split()
+    )
+    return CLC.term(camel)
+
+
+def corine_ontology() -> Graph:
+    """The CORINE ontology: CorineArea / hasCorineValue / class tree."""
+    g = Graph("corine-ontology")
+    _geosparql_core(g)
+    _klass(g, CLC.CorineArea, "CORINE land cover unit",
+           parent=INSPIRE.LandCoverUnit)
+    g.add(CLC.CorineArea, RDFS.subClassOf, GEO.Feature)
+    _klass(g, CLC.CorineValue, "CORINE land cover value")
+    _property(g, CLC.hasCorineValue, "has CORINE land cover value",
+              CLC.CorineArea, CLC.CorineValue)
+    # hasCode is used on both CorineValue classes and CorineArea
+    # instances, so it carries a range but no domain axiom.
+    g.add(CLC.hasCode, RDF.type, OWL.DatatypeProperty)
+    g.add(CLC.hasCode, RDFS.label, Literal("CLC class code", lang="en"))
+    g.add(CLC.hasCode, RDFS.range, XSD.string)
+    g.add(CLC.CorineArea, GEO.defaultGeometry, SF.Polygon)
+    for code, (label, parent) in CORINE_NOMENCLATURE.items():
+        iri = corine_class_iri(code)
+        parent_iri = corine_class_iri(parent) if parent else CLC.CorineValue
+        _klass(g, iri, label, parent=parent_iri)
+        g.add(iri, CLC.hasCode, Literal(code))
+    return g
+
+
+#: Urban Atlas 2012 nomenclature: 17 urban + 10 rural classes.
+URBAN_ATLAS_NOMENCLATURE: Dict[str, Tuple[str, str]] = {
+    # urban (class, kind)
+    "11100": ("Continuous urban fabric (S.L. > 80%)", "urban"),
+    "11210": ("Discontinuous dense urban fabric (S.L. 50%-80%)", "urban"),
+    "11220": ("Discontinuous medium density urban fabric (S.L. 30%-50%)",
+              "urban"),
+    "11230": ("Discontinuous low density urban fabric (S.L. 10%-30%)",
+              "urban"),
+    "11240": ("Discontinuous very low density urban fabric (S.L. < 10%)",
+              "urban"),
+    "11300": ("Isolated structures", "urban"),
+    "12100": ("Industrial, commercial, public, military and private units",
+              "urban"),
+    "12210": ("Fast transit roads and associated land", "urban"),
+    "12220": ("Other roads and associated land", "urban"),
+    "12230": ("Railways and associated land", "urban"),
+    "12300": ("Port areas", "urban"),
+    "12400": ("Airports", "urban"),
+    "13100": ("Mineral extraction and dump sites", "urban"),
+    "13300": ("Construction sites", "urban"),
+    "13400": ("Land without current use", "urban"),
+    "14100": ("Green urban areas", "urban"),
+    "14200": ("Sports and leisure facilities", "urban"),
+    # rural
+    "21000": ("Arable land (annual crops)", "rural"),
+    "22000": ("Permanent crops (vineyards, fruit trees, olive groves)",
+              "rural"),
+    "23000": ("Pastures", "rural"),
+    "24000": ("Complex and mixed cultivation patterns", "rural"),
+    "25000": ("Orchards", "rural"),
+    "31000": ("Forests", "rural"),
+    "32000": ("Herbaceous vegetation associations", "rural"),
+    "33000": ("Open spaces with little or no vegetation", "rural"),
+    "40000": ("Wetlands", "rural"),
+    "50000": ("Water", "rural"),
+}
+
+
+def urban_atlas_class_iri(code: str) -> IRI:
+    return UA.term(f"Class{code}")
+
+
+def urban_atlas_ontology() -> Graph:
+    """The Urban Atlas ontology (17 urban + 10 rural classes)."""
+    g = Graph("urban-atlas-ontology")
+    _geosparql_core(g)
+    _klass(g, UA.UrbanAtlasArea, "Urban Atlas land use unit",
+           parent=INSPIRE.LandUseUnit)
+    g.add(UA.UrbanAtlasArea, RDFS.subClassOf, GEO.Feature)
+    _klass(g, UA.UrbanClass, "urban land use class")
+    _klass(g, UA.RuralClass, "rural land use class")
+    _property(g, UA.hasLandUse, "has land use class", UA.UrbanAtlasArea,
+              UA.UrbanClass)
+    g.add(UA.UrbanAtlasArea, GEO.defaultGeometry, SF.Polygon)
+    for code, (label, kind) in URBAN_ATLAS_NOMENCLATURE.items():
+        iri = urban_atlas_class_iri(code)
+        parent = UA.UrbanClass if kind == "urban" else UA.RuralClass
+        _klass(g, iri, label, parent=parent)
+        g.add(iri, UA.hasCode, Literal(code))
+    return g
+
+
+OSM_POI_TYPES = (
+    "park", "museum", "landmark", "stadium", "sports_centre", "station",
+    "industrial", "river", "forest",
+)
+
+
+def osm_ontology() -> Graph:
+    """A minimal OSM ontology following the Geofabrik layer model."""
+    g = Graph("osm-ontology")
+    _geosparql_core(g)
+    _klass(g, OSM.Feature, "OSM feature", parent=GEO.Feature)
+    _klass(g, OSM.POI, "point of interest", parent=OSM.Feature)
+    _property(g, OSM.hasName, "feature name", OSM.Feature, XSD.string,
+              datatype=True)
+    _property(g, OSM.poiType, "POI type", OSM.POI, OSM.POIType)
+    _klass(g, OSM.POIType, "POI type")
+    for poi_type in OSM_POI_TYPES:
+        g.add(OSM.term(poi_type), RDF.type, OSM.POIType)
+        g.add(OSM.term(poi_type), RDFS.label, Literal(poi_type, lang="en"))
+    g.add(OSM.Feature, GEO.defaultGeometry, GEO.Geometry)
+    return g
+
+
+def all_ontologies() -> Graph:
+    """The union ontology loaded into stores alongside the data."""
+    g = Graph("applab-ontologies")
+    for build in (lai_ontology, gadm_ontology, corine_ontology,
+                  urban_atlas_ontology, osm_ontology):
+        g.update(build())
+    return g

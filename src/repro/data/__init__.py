@@ -1,0 +1,34 @@
+"""Synthetic datasets: the Paris scenario and workload generators."""
+
+from .generators import DEFAULT_REGION, WorkloadGenerator
+from .paris import (
+    CLC_CLASSES,
+    PARIS_CENTER,
+    UA_CLASSES,
+    arrondissements,
+    city_boundary,
+    corine_land_cover,
+    gadm_hierarchy,
+    osm_parks,
+    osm_pois,
+    paris_greenness,
+    seine,
+    urban_atlas,
+)
+
+__all__ = [
+    "CLC_CLASSES",
+    "DEFAULT_REGION",
+    "PARIS_CENTER",
+    "UA_CLASSES",
+    "WorkloadGenerator",
+    "arrondissements",
+    "city_boundary",
+    "corine_land_cover",
+    "gadm_hierarchy",
+    "osm_parks",
+    "osm_pois",
+    "paris_greenness",
+    "seine",
+    "urban_atlas",
+]

@@ -1,0 +1,85 @@
+"""Seeded random geometry/workload generators (Geographica & ER benches)."""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import List, Optional, Tuple
+
+from ..geometry import Feature, FeatureCollection, LineString, Point, Polygon
+
+BBox = Tuple[float, float, float, float]
+
+DEFAULT_REGION: BBox = (20.0, 34.0, 28.0, 42.0)  # Greece-ish (Geographica)
+
+
+class WorkloadGenerator:
+    """Deterministic random features for synthetic workloads."""
+
+    def __init__(self, seed: int = 42, region: BBox = DEFAULT_REGION):
+        self.rng = random.Random(seed)
+        self.region = region
+
+    # -- primitives --------------------------------------------------------
+    def point(self) -> Point:
+        minx, miny, maxx, maxy = self.region
+        return Point(self.rng.uniform(minx, maxx),
+                     self.rng.uniform(miny, maxy))
+
+    def box(self, max_size: float = 0.2) -> Polygon:
+        minx, miny, maxx, maxy = self.region
+        x = self.rng.uniform(minx, maxx - max_size)
+        y = self.rng.uniform(miny, maxy - max_size)
+        w = self.rng.uniform(max_size / 10, max_size)
+        h = self.rng.uniform(max_size / 10, max_size)
+        return Polygon.box(x, y, x + w, y + h)
+
+    def polygon(self, vertices: int = 12, radius: float = 0.1) -> Polygon:
+        """A star-convex polygon around a random centre."""
+        import math
+
+        centre = self.point()
+        pts = []
+        for k in range(vertices):
+            angle = 2 * math.pi * k / vertices
+            r = radius * self.rng.uniform(0.5, 1.0)
+            pts.append(
+                (centre.x + r * math.cos(angle),
+                 centre.y + r * math.sin(angle))
+            )
+        return Polygon(pts + [pts[0]])
+
+    def linestring(self, vertices: int = 5,
+                   step: float = 0.05) -> LineString:
+        start = self.point()
+        pts = [(start.x, start.y)]
+        for __ in range(vertices - 1):
+            x, y = pts[-1]
+            pts.append(
+                (x + self.rng.uniform(-step, step),
+                 y + self.rng.uniform(-step, step))
+            )
+        return LineString(pts)
+
+    def name(self, length: int = 8) -> str:
+        return "".join(
+            self.rng.choice(string.ascii_lowercase) for __ in range(length)
+        )
+
+    # -- feature collections --------------------------------------------------
+    def feature_collection(self, count: int, kind: str = "box",
+                           classes: Optional[List[str]] = None
+                           ) -> FeatureCollection:
+        maker = {
+            "point": self.point,
+            "box": self.box,
+            "polygon": self.polygon,
+            "linestring": self.linestring,
+        }[kind]
+        fc = FeatureCollection()
+        for i in range(count):
+            properties = {"name": self.name(), "index": i}
+            if classes:
+                properties["class"] = self.rng.choice(classes)
+            fc.append(Feature(maker(), properties, feature_id=str(i)))
+        return fc

@@ -1,0 +1,310 @@
+"""Synthetic-but-plausible Paris datasets for the case study.
+
+The paper's Section 4 case study ("the greenness of Paris") combines
+five datasets: LAI observations (Copernicus global land), CORINE land
+cover (pan-European), Urban Atlas (local), OpenStreetMap parks/POIs and
+GADM administrative areas. We cannot ship the real extracts, so this
+module builds geometrically plausible equivalents around real Paris
+coordinates: the Bois de Boulogne sits west, the Bois de Vincennes
+east, arrondissements tile the city ellipse, industrial zones sit on
+the north-east/south-east edges, and the Seine crosses the middle.
+
+Everything is deterministic, so tests and benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Tuple
+
+from ..geometry import (
+    Feature,
+    FeatureCollection,
+    LineString,
+    Point,
+    Polygon,
+    STRtree,
+)
+from ..geometry import ops as geo_ops
+
+PARIS_CENTER = (2.3488, 48.8534)
+PARIS_RADII = (0.068, 0.045)  # lon/lat half-axes of the city ellipse
+
+
+# ---------------------------------------------------------------------------
+# Administrative areas (GADM-like)
+# ---------------------------------------------------------------------------
+
+def city_boundary(segments: int = 48) -> Polygon:
+    """The Paris city limit as an ellipse approximation."""
+    cx, cy = PARIS_CENTER
+    rx, ry = PARIS_RADII
+    pts = [
+        (cx + rx * math.cos(2 * math.pi * k / segments),
+         cy + ry * math.sin(2 * math.pi * k / segments))
+        for k in range(segments)
+    ]
+    return Polygon(pts + [pts[0]])
+
+
+def arrondissements() -> FeatureCollection:
+    """Twenty wedge/ring sectors standing in for the arrondissements.
+
+    1-4 form the inner ring, 5-12 the middle, 13-20 the outer — so
+    queries like "LAI per administrative area" get 20 disjoint polygons
+    tiling the city ellipse.
+    """
+    cx, cy = PARIS_CENTER
+    rx, ry = PARIS_RADII
+    fc = FeatureCollection()
+    rings = [(0.0, 0.35, 4), (0.35, 0.7, 8), (0.7, 1.0, 8)]
+    number = 1
+    for inner, outer, count in rings:
+        for k in range(count):
+            a0 = 2 * math.pi * k / count
+            a1 = 2 * math.pi * (k + 1) / count
+            pts: List[Tuple[float, float]] = []
+            steps = 6
+            for s in range(steps + 1):
+                a = a0 + (a1 - a0) * s / steps
+                pts.append((cx + outer * rx * math.cos(a),
+                            cy + outer * ry * math.sin(a)))
+            if inner == 0.0:
+                pts.append((cx, cy))
+            else:
+                for s in range(steps, -1, -1):
+                    a = a0 + (a1 - a0) * s / steps
+                    pts.append((cx + inner * rx * math.cos(a),
+                                cy + inner * ry * math.sin(a)))
+            fc.append(
+                Feature(
+                    Polygon(pts + [pts[0]]),
+                    {
+                        "name": f"Paris {number}e",
+                        "arrondissement": number,
+                        "level": 4,
+                    },
+                    feature_id=f"gadm-paris-{number}",
+                )
+            )
+            number += 1
+    return fc
+
+
+def gadm_hierarchy() -> FeatureCollection:
+    """Country → region → city administrative hierarchy."""
+    fc = FeatureCollection()
+    fc.append(
+        Feature(Polygon.box(-4.8, 42.3, 8.2, 51.1),
+                {"name": "France", "level": 0}, "gadm-france")
+    )
+    fc.append(
+        Feature(Polygon.box(1.45, 48.1, 3.55, 49.25),
+                {"name": "Île-de-France", "level": 1}, "gadm-idf")
+    )
+    fc.append(
+        Feature(city_boundary(), {"name": "Paris", "level": 2},
+                "gadm-paris")
+    )
+    return fc
+
+
+# ---------------------------------------------------------------------------
+# Parks and POIs (OpenStreetMap-like)
+# ---------------------------------------------------------------------------
+
+_PARKS: Dict[str, Tuple[float, float, float, float]] = {
+    "Bois de Boulogne": (2.225, 48.852, 2.270, 48.878),
+    "Bois de Vincennes": (2.408, 48.820, 2.470, 48.847),
+    "Parc des Buttes-Chaumont": (2.380, 48.876, 2.390, 48.882),
+    "Parc Monceau": (2.306, 48.877, 2.312, 48.881),
+    "Jardin du Luxembourg": (2.332, 48.843, 2.340, 48.850),
+    "Parc Montsouris": (2.336, 48.820, 2.345, 48.826),
+    "Champ de Mars": (2.292, 48.853, 2.300, 48.859),
+    "Jardin des Tuileries": (2.324, 48.862, 2.333, 48.866),
+}
+
+_POIS: Dict[str, Tuple[float, float, str]] = {
+    "Tour Eiffel": (2.2945, 48.8584, "landmark"),
+    "Louvre": (2.3376, 48.8606, "museum"),
+    "Notre-Dame": (2.3499, 48.8530, "landmark"),
+    "Sacré-Cœur": (2.3431, 48.8867, "landmark"),
+    "Stade Charléty": (2.3460, 48.8190, "stadium"),
+    "Piscine Joséphine Baker": (2.3755, 48.8370, "sports_centre"),
+    "Gare du Nord": (2.3553, 48.8809, "station"),
+    "Usine de Javel": (2.2770, 48.8430, "industrial"),
+    "Entrepôts de Bercy": (2.3870, 48.8330, "industrial"),
+}
+
+
+def osm_parks() -> FeatureCollection:
+    fc = FeatureCollection()
+    for i, (name, box) in enumerate(sorted(_PARKS.items())):
+        fc.append(
+            Feature(
+                Polygon.box(*box),
+                {"name": name, "poiType": "park"},
+                feature_id=f"osm-park-{i}",
+            )
+        )
+    return fc
+
+
+def osm_pois() -> FeatureCollection:
+    fc = FeatureCollection()
+    for i, (name, (lon, lat, kind)) in enumerate(sorted(_POIS.items())):
+        fc.append(
+            Feature(
+                Point(lon, lat),
+                {"name": name, "poiType": kind},
+                feature_id=f"osm-poi-{i}",
+            )
+        )
+    return fc
+
+
+def seine() -> Feature:
+    """The river as a line feature crossing the city."""
+    return Feature(
+        LineString(
+            [
+                (2.27, 48.845), (2.30, 48.855), (2.335, 48.862),
+                (2.355, 48.852), (2.375, 48.838), (2.40, 48.828),
+            ]
+        ),
+        {"name": "La Seine", "poiType": "river"},
+        feature_id="osm-seine",
+    )
+
+
+# ---------------------------------------------------------------------------
+# CORINE land cover (pan-European component)
+# ---------------------------------------------------------------------------
+
+#: CLC class codes used here (level-3 of the 44-class nomenclature).
+CLC_CLASSES = {
+    "111": "Continuous urban fabric",
+    "112": "Discontinuous urban fabric",
+    "121": "Industrial or commercial units",
+    "141": "Green urban areas",
+    "511": "Water courses",
+}
+
+_INDUSTRIAL_ZONES = [
+    (2.455, 48.895, 2.53, 48.93),   # north-east (Saint-Denis-ish)
+    (2.39, 48.80, 2.46, 48.825),    # south-east (Ivry-ish)
+]
+
+
+def corine_land_cover() -> FeatureCollection:
+    """CORINE polygons: urban fabric rings, green areas, industry, water."""
+    fc = FeatureCollection()
+    cx, cy = PARIS_CENTER
+    rx, ry = PARIS_RADII
+    counter = 0
+
+    def add(geom, code, year=2012):
+        nonlocal counter
+        fc.append(
+            Feature(
+                geom,
+                {
+                    "code": code,
+                    "label": CLC_CLASSES[code],
+                    "year": year,
+                },
+                feature_id=f"clc-{counter}",
+            )
+        )
+        counter += 1
+
+    # green urban areas: the parks themselves (slightly inflated)
+    for name, (minx, miny, maxx, maxy) in sorted(_PARKS.items()):
+        add(Polygon.box(minx - 0.002, miny - 0.002,
+                        maxx + 0.002, maxy + 0.002), "141")
+    # continuous urban fabric: inner ellipse
+    inner = [
+        (cx + 0.55 * rx * math.cos(2 * math.pi * k / 36),
+         cy + 0.55 * ry * math.sin(2 * math.pi * k / 36))
+        for k in range(36)
+    ]
+    add(Polygon(inner + [inner[0]]), "111")
+    # discontinuous urban fabric: a frame around the city
+    add(Polygon.box(2.15, 48.75, 2.55, 48.95), "112")
+    # industry
+    for zone in _INDUSTRIAL_ZONES:
+        add(Polygon.box(*zone), "121")
+    # the Seine as a thin water polygon
+    add(Polygon.box(2.27, 48.84, 2.41, 48.866), "511")
+    return fc
+
+
+# ---------------------------------------------------------------------------
+# Urban Atlas (local component)
+# ---------------------------------------------------------------------------
+
+UA_CLASSES = {
+    "11100": "Continuous urban fabric (S.L. > 80%)",
+    "12100": "Industrial, commercial, public, military and private units",
+    "14100": "Green urban areas",
+    "14200": "Sports and leisure facilities",
+    "12210": "Fast transit roads and associated land",
+}
+
+
+def urban_atlas() -> FeatureCollection:
+    """Urban Atlas polygons: finer-grained, urban-area-focused classes."""
+    fc = FeatureCollection()
+    counter = 0
+
+    def add(geom, code):
+        nonlocal counter
+        fc.append(
+            Feature(
+                geom,
+                {"code": code, "label": UA_CLASSES[code], "year": 2012},
+                feature_id=f"ua-{counter}",
+            )
+        )
+        counter += 1
+
+    for name, box in sorted(_PARKS.items()):
+        add(Polygon.box(*box), "14100")
+    add(Polygon.box(2.341, 48.816, 2.351, 48.822), "14200")  # Charléty
+    add(Polygon.box(2.33, 48.845, 2.37, 48.875), "11100")    # centre slab
+    for zone in _INDUSTRIAL_ZONES:
+        add(Polygon.box(*zone), "12100")
+    add(Polygon.box(2.15, 48.835, 2.55, 48.842), "12210")    # périph-ish
+    return fc
+
+
+# ---------------------------------------------------------------------------
+# Greenness field for the product generator
+# ---------------------------------------------------------------------------
+
+def paris_greenness() -> Callable[[float, float], float]:
+    """A greenness(lon, lat) function consistent with the land cover.
+
+    Parks ≈ 0.9, industrial ≈ 0.05, dense centre ≈ 0.15, default
+    suburban fabric ≈ 0.3 — so LAI/NDVI rasters generated with it show
+    exactly the contrast Figure 4 visualizes.
+    """
+    parks = [Polygon.box(*box) for __, box in sorted(_PARKS.items())]
+    industrial = [Polygon.box(*zone) for zone in _INDUSTRIAL_ZONES]
+    centre = city_boundary()
+    park_tree = STRtree(parks)
+    industrial_tree = STRtree(industrial)
+
+    def greenness(lon: float, lat: float) -> float:
+        point = Point(lon, lat)
+        for candidate in park_tree.query_geom(point):
+            if geo_ops.intersects(candidate, point):
+                return 0.9
+        for candidate in industrial_tree.query_geom(point):
+            if geo_ops.intersects(candidate, point):
+                return 0.05
+        if geo_ops.intersects(centre, point):
+            return 0.15
+        return 0.3
+
+    return greenness

@@ -1,0 +1,28 @@
+"""Geographica benchmark: workload, query set, multi-engine harness."""
+
+from .harness import BenchmarkReport, Measurement, run_benchmark
+from .queries import BenchQuery, macro_queries, micro_queries, queries_by_key
+from .workload import (
+    DATASET_SHAPES,
+    GEOGRAPHICA,
+    Workload,
+    generate_workload,
+    load_ontop,
+    load_strabon,
+)
+
+__all__ = [
+    "BenchQuery",
+    "BenchmarkReport",
+    "DATASET_SHAPES",
+    "GEOGRAPHICA",
+    "Measurement",
+    "macro_queries",
+    "Workload",
+    "generate_workload",
+    "load_ontop",
+    "load_strabon",
+    "micro_queries",
+    "queries_by_key",
+    "run_benchmark",
+]

@@ -1,0 +1,117 @@
+"""Multi-engine benchmark harness.
+
+Runs the Geographica query set against any engine with a
+``query(text)`` method (Strabon store, plain graph, Ontop-spatial,
+federation) and reports per-query timings + the per-query winner, the
+form in which the paper states its claim ("Ontop-spatial is also faster
+than Strabon on most of the queries of the benchmark Geographica").
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .queries import BenchQuery, micro_queries
+
+
+@dataclass
+class Measurement:
+    query_key: str
+    engine: str
+    seconds: float
+    rows: int
+
+
+@dataclass
+class BenchmarkReport:
+    measurements: List[Measurement] = field(default_factory=list)
+
+    def median(self, query_key: str, engine: str) -> Optional[float]:
+        times = [
+            m.seconds for m in self.measurements
+            if m.query_key == query_key and m.engine == engine
+        ]
+        return statistics.median(times) if times else None
+
+    def engines(self) -> List[str]:
+        return sorted({m.engine for m in self.measurements})
+
+    def queries(self) -> List[str]:
+        seen: List[str] = []
+        for m in self.measurements:
+            if m.query_key not in seen:
+                seen.append(m.query_key)
+        return seen
+
+    def winner(self, query_key: str) -> Optional[str]:
+        candidates = [
+            (self.median(query_key, engine), engine)
+            for engine in self.engines()
+        ]
+        candidates = [(t, e) for t, e in candidates if t is not None]
+        return min(candidates)[1] if candidates else None
+
+    def win_counts(self) -> Dict[str, int]:
+        counts = {engine: 0 for engine in self.engines()}
+        for query_key in self.queries():
+            winner = self.winner(query_key)
+            if winner is not None:
+                counts[winner] += 1
+        return counts
+
+    def rows_agree(self, query_key: str) -> bool:
+        rows = {
+            m.rows for m in self.measurements if m.query_key == query_key
+        }
+        return len(rows) == 1
+
+    def render(self) -> str:
+        engines = self.engines()
+        header = "query".ljust(6) + "".join(
+            e.rjust(16) for e in engines
+        ) + "  winner"
+        lines = [header, "-" * len(header)]
+        for query_key in self.queries():
+            cells = []
+            for engine in engines:
+                median = self.median(query_key, engine)
+                cells.append(
+                    f"{median * 1000:13.2f}ms" if median is not None
+                    else " " * 15 + "-"
+                )
+            lines.append(
+                query_key.ljust(6) + "".join(cells)
+                + f"  {self.winner(query_key)}"
+            )
+        wins = self.win_counts()
+        lines.append("-" * len(header))
+        lines.append(
+            "wins: " + ", ".join(f"{e}={n}" for e, n in sorted(wins.items()))
+        )
+        return "\n".join(lines)
+
+
+def run_benchmark(engines: Dict[str, object],
+                  queries: Optional[Sequence[BenchQuery]] = None,
+                  repeat: int = 3,
+                  warmup: int = 1) -> BenchmarkReport:
+    """Time every query on every engine; returns the report."""
+    queries = list(queries) if queries is not None else micro_queries()
+    report = BenchmarkReport()
+    for bench_query in queries:
+        for engine_name, engine in sorted(engines.items()):
+            for __ in range(warmup):
+                engine.query(bench_query.sparql)
+            for __ in range(repeat):
+                start = time.perf_counter()
+                result = engine.query(bench_query.sparql)
+                elapsed = time.perf_counter() - start
+                report.measurements.append(
+                    Measurement(
+                        bench_query.key, engine_name, elapsed, len(result)
+                    )
+                )
+    return report

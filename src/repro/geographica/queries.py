@@ -1,0 +1,201 @@
+"""The Geographica micro query set (adapted to the synthetic workload).
+
+Four families mirroring the original micro benchmark:
+
+- **NT** non-topological constructs (envelope, convex hull, buffer, area);
+- **SS** spatial selections against a constant geometry;
+- **SJ** spatial joins between datasets;
+- **AG** aggregations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..data import DEFAULT_REGION
+
+PREFIXES = """
+PREFIX geod: <http://geographica.di.uoa.gr/generator/>
+PREFIX geo: <http://www.opengis.net/ont/geosparql#>
+PREFIX geof: <http://www.opengis.net/def/function/geosparql/>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+"""
+
+
+def _selection_box() -> str:
+    minx, miny, maxx, maxy = DEFAULT_REGION
+    # a window covering ~12% of the region
+    width = (maxx - minx) * 0.35
+    height = (maxy - miny) * 0.35
+    x1, y1 = minx + width / 2, miny + height / 2
+    x2, y2 = x1 + width, y1 + height
+    return (
+        f"POLYGON (({x1} {y1}, {x2} {y1}, {x2} {y2}, {x1} {y2}, "
+        f"{x1} {y1}))"
+    )
+
+
+@dataclass(frozen=True)
+class BenchQuery:
+    key: str
+    family: str
+    description: str
+    sparql: str
+
+
+def micro_queries() -> List[BenchQuery]:
+    box = _selection_box()
+    queries = [
+        BenchQuery(
+            "NT1", "non-topological", "envelope of admin areas",
+            PREFIXES + """
+            SELECT ?a (geof:envelope(?w) AS ?env) WHERE {
+              ?a a geod:Gag ; geo:hasGeometry ?g . ?g geo:asWKT ?w .
+            }
+            """,
+        ),
+        BenchQuery(
+            "NT2", "non-topological", "convex hull of admin areas",
+            PREFIXES + """
+            SELECT ?a (geof:convexHull(?w) AS ?hull) WHERE {
+              ?a a geod:Gag ; geo:hasGeometry ?g . ?g geo:asWKT ?w .
+            }
+            """,
+        ),
+        BenchQuery(
+            "NT3", "non-topological", "buffer around POIs",
+            PREFIXES + """
+            SELECT ?p (geof:buffer(?w, 0.02) AS ?zone) WHERE {
+              ?p a geod:Pois ; geo:hasGeometry ?g . ?g geo:asWKT ?w .
+            }
+            """,
+        ),
+        BenchQuery(
+            "NT4", "non-topological", "area of CORINE polygons",
+            PREFIXES + """
+            SELECT ?c (geof:area(?w) AS ?area) WHERE {
+              ?c a geod:Corine ; geo:hasGeometry ?g . ?g geo:asWKT ?w .
+            }
+            """,
+        ),
+        BenchQuery(
+            "SS1", "spatial-selection", "hotspots within a window",
+            PREFIXES + f"""
+            SELECT ?h WHERE {{
+              ?h a geod:Hotspots ; geo:hasGeometry ?g . ?g geo:asWKT ?w .
+              FILTER(geof:sfWithin(?w, "{box}"^^geo:wktLiteral))
+            }}
+            """,
+        ),
+        BenchQuery(
+            "SS2", "spatial-selection", "CORINE intersecting a window",
+            PREFIXES + f"""
+            SELECT ?c WHERE {{
+              ?c a geod:Corine ; geo:hasGeometry ?g . ?g geo:asWKT ?w .
+              FILTER(geof:sfIntersects(?w, "{box}"^^geo:wktLiteral))
+            }}
+            """,
+        ),
+        BenchQuery(
+            "SS3", "spatial-selection", "roads crossing a window",
+            PREFIXES + f"""
+            SELECT ?r WHERE {{
+              ?r a geod:Roads ; geo:hasGeometry ?g . ?g geo:asWKT ?w .
+              FILTER(geof:sfIntersects(?w, "{box}"^^geo:wktLiteral))
+            }}
+            """,
+        ),
+        BenchQuery(
+            "SJ1", "spatial-join", "hotspots within admin areas",
+            PREFIXES + """
+            SELECT ?h ?a WHERE {
+              ?a a geod:Gag ; geo:hasGeometry ?ga . ?ga geo:asWKT ?wa .
+              ?h a geod:Hotspots ; geo:hasGeometry ?gh . ?gh geo:asWKT ?wh .
+              FILTER(geof:sfWithin(?wh, ?wa))
+            }
+            """,
+        ),
+        BenchQuery(
+            "SJ2", "spatial-join", "CORINE intersecting admin areas",
+            PREFIXES + """
+            SELECT ?c ?a WHERE {
+              ?a a geod:Gag ; geo:hasGeometry ?ga . ?ga geo:asWKT ?wa .
+              ?c a geod:Corine ; geo:hasGeometry ?gc . ?gc geo:asWKT ?wc .
+              FILTER(geof:sfIntersects(?wc, ?wa))
+            }
+            """,
+        ),
+        BenchQuery(
+            "AG1", "aggregation", "POI count per class in a window",
+            PREFIXES + f"""
+            SELECT ?class (COUNT(?p) AS ?n) WHERE {{
+              ?p a geod:Pois ; geod:hasClass ?class ;
+                 geo:hasGeometry ?g . ?g geo:asWKT ?w .
+              FILTER(geof:sfWithin(?w, "{box}"^^geo:wktLiteral))
+            }} GROUP BY ?class
+            """,
+        ),
+        BenchQuery(
+            "AG2", "aggregation", "mean CORINE polygon area",
+            PREFIXES + """
+            SELECT (AVG(geof:area(?w)) AS ?mean) WHERE {
+              ?c a geod:Corine ; geo:hasGeometry ?g . ?g geo:asWKT ?w .
+            }
+            """,
+        ),
+    ]
+    return queries
+
+
+def macro_queries() -> List[BenchQuery]:
+    """The macro scenarios: reverse geocoding, map browsing, rapid
+    mapping — end-user workloads composed of several operations."""
+    minx, miny, maxx, maxy = DEFAULT_REGION
+    px = minx + (maxx - minx) * 0.4
+    py = miny + (maxy - miny) * 0.6
+    browse_box = (
+        f"POLYGON (({px} {py}, {px + 1.0} {py}, {px + 1.0} {py + 1.0}, "
+        f"{px} {py + 1.0}, {px} {py}))"
+    )
+    return [
+        BenchQuery(
+            "RG1", "reverse-geocoding",
+            "nearest road to a position",
+            PREFIXES + f"""
+            SELECT ?r ?d WHERE {{
+              ?r a geod:Roads ; geo:hasGeometry ?g . ?g geo:asWKT ?w .
+              BIND(geof:distance(?w,
+                "POINT ({px} {py})"^^geo:wktLiteral) AS ?d)
+            }} ORDER BY ?d LIMIT 3
+            """,
+        ),
+        BenchQuery(
+            "MSB1", "map-browsing",
+            "search POIs by name prefix, browse surroundings",
+            PREFIXES + f"""
+            SELECT ?p ?name ?w WHERE {{
+              ?p a geod:Pois ; geod:hasName ?name ;
+                 geo:hasGeometry ?g . ?g geo:asWKT ?w .
+              FILTER(STRSTARTS(?name, "a") ||
+                     geof:sfWithin(?w, "{browse_box}"^^geo:wktLiteral))
+            }}
+            """,
+        ),
+        BenchQuery(
+            "RM1", "rapid-mapping",
+            "hotspots per admin area with land-cover context",
+            PREFIXES + f"""
+            SELECT ?a (COUNT(?h) AS ?fires) WHERE {{
+              ?a a geod:Gag ; geo:hasGeometry ?ga . ?ga geo:asWKT ?wa .
+              ?h a geod:Hotspots ; geo:hasGeometry ?gh .
+              ?gh geo:asWKT ?wh .
+              FILTER(geof:sfWithin(?wh, ?wa))
+            }} GROUP BY ?a
+            """,
+        ),
+    ]
+
+
+def queries_by_key() -> Dict[str, BenchQuery]:
+    return {q.key: q for q in micro_queries() + macro_queries()}

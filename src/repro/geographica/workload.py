@@ -1,0 +1,158 @@
+"""Geographica-style benchmark workload.
+
+Geographica [Garbis, Kyzirakos & Koubarakis, ISWC 2013] evaluates
+geospatial RDF stores with a *micro* benchmark over real datasets (GAG
+administrative areas, CORINE land cover, hotspots, road network, POIs).
+We generate a synthetic workload with the same shape, and load it both
+ways so the two engines of the paper's comparison see identical data:
+
+- as RDF (GeoTriples → Strabon / plain graph), and
+- as SQL tables + Ontop mappings (the OBDA side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..data import WorkloadGenerator
+from ..geometry import FeatureCollection
+from ..geotriples import (
+    LogicalSource,
+    MappingProcessor,
+    TermMap,
+    TriplesMap,
+)
+from ..madis import MadisConnection
+from ..ontop import OntopSpatial
+from ..rdf import IRI, Namespace, XSD
+from ..strabon import StrabonStore
+
+GEOGRAPHICA = Namespace("http://geographica.di.uoa.gr/generator/")
+
+#: dataset name → (geometry kind, relative size, classes)
+DATASET_SHAPES: Dict[str, Tuple[str, int, List[str]]] = {
+    "gag": ("polygon", 40, []),                     # admin areas
+    "corine": ("box", 120, ["111", "121", "141", "211", "311", "511"]),
+    "hotspots": ("point", 200, []),
+    "roads": ("linestring", 60, []),
+    "pois": ("point", 150, ["cafe", "school", "fuel", "museum"]),
+}
+
+
+@dataclass
+class Workload:
+    """The generated feature collections plus both loaded forms."""
+
+    features: Dict[str, FeatureCollection]
+    scale: int
+
+
+def generate_workload(scale: int = 1, seed: int = 13) -> Workload:
+    """Scale factor multiplies every dataset's cardinality."""
+    features: Dict[str, FeatureCollection] = {}
+    for i, (name, (kind, base, classes)) in enumerate(
+        sorted(DATASET_SHAPES.items())
+    ):
+        gen = WorkloadGenerator(seed=seed + i)
+        features[name] = gen.feature_collection(
+            base * scale, kind, classes=classes or None
+        )
+    return Workload(features=features, scale=scale)
+
+
+def _triples_map(name: str, fc: FeatureCollection) -> TriplesMap:
+    ns = str(GEOGRAPHICA)
+    tmap = TriplesMap(
+        name=name,
+        logical_source=LogicalSource("geojson", fc),
+        subject_map=TermMap(template=f"{ns}{name}/{{gid}}"),
+        classes=[IRI(ns + name.capitalize())],
+        geometry_column="wkt",
+    )
+    tmap.add_pom(
+        GEOGRAPHICA.hasName,
+        TermMap(column="name", term_type="literal", datatype=XSD.string),
+    )
+    sample = fc.features[0].properties if fc.features else {}
+    if "class" in sample:
+        tmap.add_pom(
+            GEOGRAPHICA.hasClass,
+            TermMap(column="class", term_type="literal"),
+        )
+    return tmap
+
+
+def load_strabon(workload: Workload) -> StrabonStore:
+    """Materialize the workload into a Strabon store."""
+    store = StrabonStore("geographica")
+    maps = [
+        _triples_map(name, fc)
+        for name, fc in sorted(workload.features.items())
+    ]
+    MappingProcessor(maps).run(store)
+    return store
+
+
+_ONTOP_DOC_HEADER = """\
+[PrefixDeclaration]
+geod:\thttp://geographica.di.uoa.gr/generator/
+geo:\thttp://www.opengis.net/ont/geosparql#
+xsd:\thttp://www.w3.org/2001/XMLSchema#
+rdf:\thttp://www.w3.org/1999/02/22-rdf-syntax-ns#
+
+[MappingDeclaration] @collection [[
+"""
+
+_ONTOP_BLOCK = """\
+mappingId\t{name}
+target\tgeod:{name}/{{gid}} rdf:type geod:{cls} .
+\tgeod:{name}/{{gid}} geod:hasName {{name}}^^xsd:string .
+{class_line}\tgeod:{name}/{{gid}} geo:hasGeometry geod:{name}/{{gid}}/geom .
+\tgeod:{name}/{{gid}}/geom geo:asWKT {{wkt}}^^geo:wktLiteral .
+source\tSELECT gid, name{class_col} , wkt FROM {name}
+
+"""
+
+
+def load_ontop(workload: Workload,
+               spatial_indexes: bool = True
+               ) -> Tuple[OntopSpatial, MadisConnection]:
+    """Load the workload into SQL tables + an Ontop-spatial endpoint."""
+    conn = MadisConnection()
+    blocks = []
+    for name, fc in sorted(workload.features.items()):
+        has_class = bool(fc.features) and "class" in fc.features[0].properties
+        columns = "gid INTEGER, name TEXT" + (
+            ", class TEXT" if has_class else ""
+        ) + ", wkt TEXT"
+        conn.executescript(f"CREATE TABLE {name} ({columns});")
+        placeholders = "?, ?, ?" + (", ?" if has_class else "")
+        for feature in fc:
+            row = [int(feature.id), feature.properties.get("name", "")]
+            if has_class:
+                row.append(feature.properties.get("class", ""))
+            from ..geometry import wkt_dumps
+
+            row.append(wkt_dumps(feature.geometry))
+            conn.execute(
+                f"INSERT INTO {name} VALUES ({placeholders})", row
+            )
+        class_line = (
+            f"\tgeod:{name}/{{gid}} geod:hasClass {{class}}^^xsd:string .\n"
+            if has_class else ""
+        )
+        blocks.append(
+            _ONTOP_BLOCK.format(
+                name=name,
+                cls=name.capitalize(),
+                class_line=class_line,
+                class_col=", class" if has_class else "",
+            )
+        )
+    document = _ONTOP_DOC_HEADER + "".join(blocks) + "]]\n"
+    engine = OntopSpatial.from_document(conn, document)
+    if spatial_indexes:
+        for name in workload.features:
+            engine.register_spatial_index(name, "wkt")
+    return engine, conn

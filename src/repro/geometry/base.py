@@ -1,0 +1,351 @@
+"""Core geometry types.
+
+This module implements the vector geometry model used across the stack:
+the Simple Features types of the OGC (Point, LineString, Polygon and the
+Multi*/collection variants), with coordinates held as plain ``(x, y)``
+tuples in an arbitrary planar CRS (WGS84 lon/lat by default).
+
+The implementation is intentionally dependency-free: the Copernicus App
+Lab reproduction cannot rely on shapely/GEOS, so predicates and measures
+are implemented in :mod:`repro.geometry.ops` on top of these containers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence, Tuple
+
+Coord = Tuple[float, float]
+
+_EPS = 1e-12
+
+
+class GeometryError(ValueError):
+    """Raised for malformed geometry constructions or parse failures."""
+
+
+class Geometry:
+    """Abstract base class for all geometry types."""
+
+    geom_type: str = "Geometry"
+
+    @property
+    def bounds(self) -> Tuple[float, float, float, float]:
+        """Bounding box as ``(minx, miny, maxx, maxy)``."""
+        xs, ys = [], []
+        for x, y in self.coords():
+            xs.append(x)
+            ys.append(y)
+        if not xs:
+            raise GeometryError("empty geometry has no bounds")
+        return (min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def is_empty(self) -> bool:
+        return next(iter(self.coords()), None) is None
+
+    def coords(self) -> Iterator[Coord]:
+        """Iterate over every vertex of the geometry."""
+        raise NotImplementedError
+
+    @property
+    def wkt(self) -> str:
+        from .wkt import dumps
+
+        return dumps(self)
+
+    def __geo_interface__(self):  # pragma: no cover - convenience alias
+        from .geojson import to_geojson
+
+        return to_geojson(self)
+
+    # Convenience predicate/measure forwarding -------------------------
+    def intersects(self, other: "Geometry") -> bool:
+        from . import ops
+
+        return ops.intersects(self, other)
+
+    def contains(self, other: "Geometry") -> bool:
+        from . import ops
+
+        return ops.contains(self, other)
+
+    def within(self, other: "Geometry") -> bool:
+        from . import ops
+
+        return ops.within(self, other)
+
+    def touches(self, other: "Geometry") -> bool:
+        from . import ops
+
+        return ops.touches(self, other)
+
+    def disjoint(self, other: "Geometry") -> bool:
+        from . import ops
+
+        return ops.disjoint(self, other)
+
+    def crosses(self, other: "Geometry") -> bool:
+        from . import ops
+
+        return ops.crosses(self, other)
+
+    def overlaps(self, other: "Geometry") -> bool:
+        from . import ops
+
+        return ops.overlaps(self, other)
+
+    def equals(self, other: "Geometry") -> bool:
+        from . import ops
+
+        return ops.equals(self, other)
+
+    def distance(self, other: "Geometry") -> float:
+        from . import ops
+
+        return ops.distance(self, other)
+
+    @property
+    def area(self) -> float:
+        from . import ops
+
+        return ops.area(self)
+
+    @property
+    def length(self) -> float:
+        from . import ops
+
+        return ops.length(self)
+
+    @property
+    def centroid(self) -> "Point":
+        from . import ops
+
+        return ops.centroid(self)
+
+    def envelope(self) -> "Polygon":
+        from . import ops
+
+        return ops.envelope(self)
+
+    def buffer(self, radius: float, segments: int = 16) -> "Geometry":
+        from . import ops
+
+        return ops.buffer(self, radius, segments=segments)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Geometry):
+            return NotImplemented
+        return self.geom_type == other.geom_type and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((self.geom_type, self._key()))
+
+    def _key(self):
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        wkt = self.wkt
+        if len(wkt) > 70:
+            wkt = wkt[:67] + "..."
+        return f"<{self.geom_type} {wkt}>"
+
+
+class Point(Geometry):
+    """A single coordinate pair."""
+
+    geom_type = "Point"
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float):
+        self.x = float(x)
+        self.y = float(y)
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise GeometryError(f"non-finite point coordinates ({x}, {y})")
+
+    def coords(self) -> Iterator[Coord]:
+        yield (self.x, self.y)
+
+    @property
+    def bounds(self):
+        return (self.x, self.y, self.x, self.y)
+
+    def _key(self):
+        return (self.x, self.y)
+
+
+class LineString(Geometry):
+    """An ordered sequence of at least two vertices."""
+
+    geom_type = "LineString"
+    __slots__ = ("vertices",)
+
+    def __init__(self, vertices: Iterable[Coord]):
+        self.vertices: Tuple[Coord, ...] = tuple(
+            (float(x), float(y)) for x, y in vertices
+        )
+        if len(self.vertices) < 2:
+            raise GeometryError("LineString requires at least 2 vertices")
+
+    def coords(self) -> Iterator[Coord]:
+        return iter(self.vertices)
+
+    def segments(self) -> Iterator[Tuple[Coord, Coord]]:
+        """Iterate consecutive vertex pairs."""
+        for a, b in zip(self.vertices, self.vertices[1:]):
+            yield a, b
+
+    @property
+    def is_closed(self) -> bool:
+        return self.vertices[0] == self.vertices[-1]
+
+    def _key(self):
+        return self.vertices
+
+
+class LinearRing(LineString):
+    """A closed LineString used as a polygon boundary.
+
+    The ring is closed automatically if the input is not; degenerate rings
+    (fewer than 3 distinct vertices) are rejected.
+    """
+
+    geom_type = "LinearRing"
+
+    def __init__(self, vertices: Iterable[Coord]):
+        pts = [(float(x), float(y)) for x, y in vertices]
+        if pts and pts[0] != pts[-1]:
+            pts.append(pts[0])
+        if len(set(pts)) < 3:
+            raise GeometryError("LinearRing requires at least 3 distinct vertices")
+        super().__init__(pts)
+
+    @property
+    def signed_area(self) -> float:
+        """Shoelace signed area (positive for counter-clockwise rings).
+
+        Coordinates are shifted to a local origin first to avoid
+        catastrophic cancellation for small rings far from (0, 0).
+        """
+        ox, oy = self.vertices[0]
+        total = 0.0
+        for (x1, y1), (x2, y2) in self.segments():
+            total += (x1 - ox) * (y2 - oy) - (x2 - ox) * (y1 - oy)
+        return total / 2.0
+
+    @property
+    def is_ccw(self) -> bool:
+        return self.signed_area > 0
+
+
+class Polygon(Geometry):
+    """A polygon with an exterior shell and optional interior holes."""
+
+    geom_type = "Polygon"
+    __slots__ = ("shell", "holes")
+
+    def __init__(self, shell, holes: Sequence = ()):
+        self.shell = shell if isinstance(shell, LinearRing) else LinearRing(shell)
+        self.holes: Tuple[LinearRing, ...] = tuple(
+            h if isinstance(h, LinearRing) else LinearRing(h) for h in holes
+        )
+
+    def coords(self) -> Iterator[Coord]:
+        yield from self.shell.coords()
+        for hole in self.holes:
+            yield from hole.coords()
+
+    def rings(self) -> Iterator[LinearRing]:
+        yield self.shell
+        yield from self.holes
+
+    def _key(self):
+        return (self.shell.vertices, tuple(h.vertices for h in self.holes))
+
+    @classmethod
+    def box(cls, minx: float, miny: float, maxx: float, maxy: float) -> "Polygon":
+        """Axis-aligned rectangle polygon."""
+        if minx > maxx or miny > maxy:
+            raise GeometryError("invalid box extents")
+        return cls(
+            [(minx, miny), (maxx, miny), (maxx, maxy), (minx, maxy), (minx, miny)]
+        )
+
+
+class _Multi(Geometry):
+    """Shared implementation for homogeneous geometry collections."""
+
+    member_type: type = Geometry
+    __slots__ = ("geoms",)
+
+    def __init__(self, geoms: Iterable[Geometry]):
+        self.geoms: Tuple[Geometry, ...] = tuple(geoms)
+        for g in self.geoms:
+            if not isinstance(g, self.member_type):
+                raise GeometryError(
+                    f"{self.geom_type} members must be {self.member_type.__name__},"
+                    f" got {type(g).__name__}"
+                )
+
+    def coords(self) -> Iterator[Coord]:
+        for g in self.geoms:
+            yield from g.coords()
+
+    def __iter__(self) -> Iterator[Geometry]:
+        return iter(self.geoms)
+
+    def __len__(self) -> int:
+        return len(self.geoms)
+
+    def _key(self):
+        return tuple(g._key() for g in self.geoms)
+
+
+class MultiPoint(_Multi):
+    geom_type = "MultiPoint"
+    member_type = Point
+
+
+class MultiLineString(_Multi):
+    geom_type = "MultiLineString"
+    member_type = LineString
+
+
+class MultiPolygon(_Multi):
+    geom_type = "MultiPolygon"
+    member_type = Polygon
+
+
+class GeometryCollection(_Multi):
+    geom_type = "GeometryCollection"
+    member_type = Geometry
+
+
+def flatten(geom: Geometry) -> Iterator[Geometry]:
+    """Yield the primitive (non-collection) components of *geom*."""
+    if isinstance(geom, _Multi):
+        for g in geom:
+            yield from flatten(g)
+    else:
+        yield geom
+
+
+def bbox_intersects(a: Tuple[float, float, float, float],
+                    b: Tuple[float, float, float, float]) -> bool:
+    """True when two ``(minx, miny, maxx, maxy)`` boxes overlap or touch."""
+    return not (
+        a[2] < b[0] - _EPS
+        or b[2] < a[0] - _EPS
+        or a[3] < b[1] - _EPS
+        or b[3] < a[1] - _EPS
+    )
+
+
+def bbox_contains(outer, inner) -> bool:
+    """True when box *outer* fully contains box *inner*."""
+    return (
+        outer[0] <= inner[0] + _EPS
+        and outer[1] <= inner[1] + _EPS
+        and outer[2] >= inner[2] - _EPS
+        and outer[3] >= inner[3] - _EPS
+    )

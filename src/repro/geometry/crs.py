@@ -1,0 +1,62 @@
+"""Coordinate-reference-system helpers.
+
+The stack keeps coordinates in WGS84 lon/lat (OGC CRS84 axis order).
+For metric computations (buffer radii in metres, haversine distances,
+"city-average within r km" analytics) we provide spherical helpers and a
+local equirectangular projection good enough at city scale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+EARTH_RADIUS_M = 6_371_008.8
+
+CRS84 = "http://www.opengis.net/def/crs/OGC/1.3/CRS84"
+EPSG4326 = "http://www.opengis.net/def/crs/EPSG/0/4326"
+
+
+def haversine_m(lon1: float, lat1: float, lon2: float, lat2: float) -> float:
+    """Great-circle distance in metres between two lon/lat points."""
+    phi1, phi2 = math.radians(lat1), math.radians(lat2)
+    dphi = phi2 - phi1
+    dlmb = math.radians(lon2 - lon1)
+    a = (
+        math.sin(dphi / 2) ** 2
+        + math.cos(phi1) * math.cos(phi2) * math.sin(dlmb / 2) ** 2
+    )
+    return 2 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+def metres_per_degree(lat: float) -> Tuple[float, float]:
+    """(metres per degree longitude, metres per degree latitude) at *lat*."""
+    lat_m = math.pi * EARTH_RADIUS_M / 180.0
+    lon_m = lat_m * math.cos(math.radians(lat))
+    return lon_m, lat_m
+
+
+class LocalProjection:
+    """Equirectangular projection centred on a reference point.
+
+    Suitable for city-scale metric work (error < 0.1% over ~50 km).
+    """
+
+    def __init__(self, lon0: float, lat0: float):
+        self.lon0 = lon0
+        self.lat0 = lat0
+        self._mx, self._my = metres_per_degree(lat0)
+
+    def forward(self, lon: float, lat: float) -> Tuple[float, float]:
+        """lon/lat degrees → local metres east/north."""
+        return ((lon - self.lon0) * self._mx, (lat - self.lat0) * self._my)
+
+    def inverse(self, x: float, y: float) -> Tuple[float, float]:
+        """local metres east/north → lon/lat degrees."""
+        return (self.lon0 + x / self._mx, self.lat0 + y / self._my)
+
+
+def degrees_for_metres(metres: float, lat: float) -> float:
+    """Approximate degree length of *metres* at latitude *lat* (mean axis)."""
+    mx, my = metres_per_degree(lat)
+    return metres / ((mx + my) / 2.0)

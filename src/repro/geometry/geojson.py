@@ -1,0 +1,161 @@
+"""GeoJSON (RFC 7946) encoding and decoding for the geometry model."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from .base import (
+    Geometry,
+    GeometryCollection,
+    GeometryError,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+
+
+def to_geojson(geom: Geometry) -> Dict[str, Any]:
+    """Encode a Geometry as a GeoJSON geometry object (dict)."""
+    if isinstance(geom, Point):
+        return {"type": "Point", "coordinates": [geom.x, geom.y]}
+    if isinstance(geom, Polygon):
+        return {
+            "type": "Polygon",
+            "coordinates": [
+                [list(c) for c in r.vertices] for r in geom.rings()
+            ],
+        }
+    if isinstance(geom, LineString):
+        return {
+            "type": "LineString",
+            "coordinates": [list(c) for c in geom.vertices],
+        }
+    if isinstance(geom, MultiPoint):
+        return {
+            "type": "MultiPoint",
+            "coordinates": [[p.x, p.y] for p in geom],
+        }
+    if isinstance(geom, MultiLineString):
+        return {
+            "type": "MultiLineString",
+            "coordinates": [[list(c) for c in l.vertices] for l in geom],
+        }
+    if isinstance(geom, MultiPolygon):
+        return {
+            "type": "MultiPolygon",
+            "coordinates": [
+                [[list(c) for c in r.vertices] for r in p.rings()]
+                for p in geom
+            ],
+        }
+    if isinstance(geom, GeometryCollection):
+        return {
+            "type": "GeometryCollection",
+            "geometries": [to_geojson(g) for g in geom],
+        }
+    raise GeometryError(f"cannot encode {type(geom).__name__} as GeoJSON")
+
+
+def from_geojson(obj: Dict[str, Any]) -> Geometry:
+    """Decode a GeoJSON geometry object into a Geometry."""
+    kind = obj.get("type")
+    coords = obj.get("coordinates")
+    if kind == "Point":
+        return Point(coords[0], coords[1])
+    if kind == "LineString":
+        return LineString([(c[0], c[1]) for c in coords])
+    if kind == "Polygon":
+        rings = [[(c[0], c[1]) for c in ring] for ring in coords]
+        return Polygon(rings[0], rings[1:])
+    if kind == "MultiPoint":
+        return MultiPoint([Point(c[0], c[1]) for c in coords])
+    if kind == "MultiLineString":
+        return MultiLineString(
+            [LineString([(c[0], c[1]) for c in line]) for line in coords]
+        )
+    if kind == "MultiPolygon":
+        polys = []
+        for poly in coords:
+            rings = [[(c[0], c[1]) for c in ring] for ring in poly]
+            polys.append(Polygon(rings[0], rings[1:]))
+        return MultiPolygon(polys)
+    if kind == "GeometryCollection":
+        return GeometryCollection(
+            [from_geojson(g) for g in obj.get("geometries", [])]
+        )
+    raise GeometryError(f"unsupported GeoJSON type {kind!r}")
+
+
+class Feature:
+    """A GeoJSON feature: a geometry plus a property dictionary."""
+
+    def __init__(self, geometry: Geometry,
+                 properties: Optional[Dict[str, Any]] = None,
+                 feature_id: Optional[str] = None):
+        self.geometry = geometry
+        self.properties = dict(properties or {})
+        self.id = feature_id
+
+    def to_geojson(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "type": "Feature",
+            "geometry": to_geojson(self.geometry),
+            "properties": self.properties,
+        }
+        if self.id is not None:
+            out["id"] = self.id
+        return out
+
+    @classmethod
+    def from_geojson(cls, obj: Dict[str, Any]) -> "Feature":
+        if obj.get("type") != "Feature":
+            raise GeometryError("not a GeoJSON Feature")
+        return cls(
+            from_geojson(obj["geometry"]),
+            obj.get("properties") or {},
+            obj.get("id"),
+        )
+
+    def __repr__(self) -> str:
+        return f"<Feature id={self.id!r} {self.geometry.geom_type}>"
+
+
+class FeatureCollection:
+    """A GeoJSON feature collection with convenience I/O."""
+
+    def __init__(self, features: Iterable[Feature] = ()):
+        self.features: List[Feature] = list(features)
+
+    def append(self, feature: Feature) -> None:
+        self.features.append(feature)
+
+    def __iter__(self):
+        return iter(self.features)
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    def to_geojson(self) -> Dict[str, Any]:
+        return {
+            "type": "FeatureCollection",
+            "features": [f.to_geojson() for f in self.features],
+        }
+
+    @classmethod
+    def from_geojson(cls, obj: Dict[str, Any]) -> "FeatureCollection":
+        if obj.get("type") != "FeatureCollection":
+            raise GeometryError("not a GeoJSON FeatureCollection")
+        return cls(Feature.from_geojson(f) for f in obj.get("features", []))
+
+    def dump(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_geojson(), fh)
+
+    @classmethod
+    def load(cls, path) -> "FeatureCollection":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_geojson(json.load(fh))

@@ -1,0 +1,167 @@
+"""Spatial indexing: a bulk-loaded STR-packed R-tree.
+
+Strabon uses PostGIS GiST indexes; our reproduction uses this R-tree for
+the same role (spatial selections and join pre-filtering) in the Strabon
+store, the Geographica harness and the Sextant renderer.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from .base import Geometry, bbox_intersects
+
+BBox = Tuple[float, float, float, float]
+
+
+def _union(a: BBox, b: BBox) -> BBox:
+    return (min(a[0], b[0]), min(a[1], b[1]), max(a[2], b[2]), max(a[3], b[3]))
+
+
+def _bbox_distance(box: BBox, point: Tuple[float, float]) -> float:
+    dx = max(box[0] - point[0], 0.0, point[0] - box[2])
+    dy = max(box[1] - point[1], 0.0, point[1] - box[3])
+    return math.hypot(dx, dy)
+
+
+class _Node:
+    __slots__ = ("bbox", "children", "entries")
+
+    def __init__(self, bbox: BBox, children=None, entries=None):
+        self.bbox = bbox
+        self.children: Optional[List["_Node"]] = children
+        self.entries: Optional[List[Tuple[BBox, Any]]] = entries
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entries is not None
+
+
+class STRtree:
+    """Sort-Tile-Recursive packed R-tree over ``(bbox, item)`` entries.
+
+    Bulk loaded, immutable after construction — matching how the stack
+    uses it (indexes are rebuilt when a dataset snapshot changes).
+    """
+
+    def __init__(self, items: Iterable[Any],
+                 bbox_of: Callable[[Any], BBox] = None,
+                 node_capacity: int = 16):
+        if bbox_of is None:
+            bbox_of = _default_bbox
+        if node_capacity < 2:
+            raise ValueError("node_capacity must be >= 2")
+        self._capacity = node_capacity
+        entries = [(tuple(bbox_of(item)), item) for item in items]
+        self._size = len(entries)
+        self._root = self._build(entries) if entries else None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _build(self, entries: List[Tuple[BBox, Any]]) -> _Node:
+        cap = self._capacity
+        if len(entries) <= cap:
+            bbox = entries[0][0]
+            for b, __ in entries[1:]:
+                bbox = _union(bbox, b)
+            return _Node(bbox, entries=entries)
+        # STR packing: sort by x, slice into vertical strips, sort each by y.
+        entries = sorted(entries, key=lambda e: (e[0][0] + e[0][2]) / 2)
+        leaf_count = math.ceil(len(entries) / cap)
+        strip_count = math.ceil(math.sqrt(leaf_count))
+        per_strip = math.ceil(len(entries) / strip_count)
+        leaves: List[_Node] = []
+        for i in range(0, len(entries), per_strip):
+            strip = sorted(
+                entries[i: i + per_strip],
+                key=lambda e: (e[0][1] + e[0][3]) / 2,
+            )
+            for j in range(0, len(strip), cap):
+                chunk = strip[j: j + cap]
+                bbox = chunk[0][0]
+                for b, __ in chunk[1:]:
+                    bbox = _union(bbox, b)
+                leaves.append(_Node(bbox, entries=chunk))
+        return self._pack_nodes(leaves)
+
+    def _pack_nodes(self, nodes: List[_Node]) -> _Node:
+        cap = self._capacity
+        while len(nodes) > 1:
+            nodes = sorted(
+                nodes, key=lambda n: ((n.bbox[0] + n.bbox[2]) / 2,
+                                      (n.bbox[1] + n.bbox[3]) / 2)
+            )
+            parents: List[_Node] = []
+            for i in range(0, len(nodes), cap):
+                group = nodes[i: i + cap]
+                bbox = group[0].bbox
+                for n in group[1:]:
+                    bbox = _union(bbox, n.bbox)
+                parents.append(_Node(bbox, children=group))
+            nodes = parents
+        return nodes[0]
+
+    def query(self, bbox: BBox) -> List[Any]:
+        """Items whose bounding boxes intersect *bbox* (candidate set)."""
+        out: List[Any] = []
+        if self._root is None:
+            return out
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not bbox_intersects(node.bbox, bbox):
+                continue
+            if node.is_leaf:
+                out.extend(
+                    item for b, item in node.entries if bbox_intersects(b, bbox)
+                )
+            else:
+                stack.extend(node.children)
+        return out
+
+    def query_geom(self, geom: Geometry) -> List[Any]:
+        """Candidate items for geometry intersection (bbox filter only)."""
+        return self.query(geom.bounds)
+
+    def nearest(self, point: Tuple[float, float], k: int = 1) -> List[Any]:
+        """The *k* items with smallest bbox distance to *point*."""
+        if self._root is None or k <= 0:
+            return []
+        import heapq
+
+        heap: List[Tuple[float, int, Any, Optional[_Node]]] = []
+        counter = 0
+        heapq.heappush(heap, (0.0, counter, None, self._root))
+        results: List[Any] = []
+        while heap and len(results) < k:
+            dist, __, item, node = heapq.heappop(heap)
+            if node is None:
+                results.append(item)
+                continue
+            if node.is_leaf:
+                for b, entry in node.entries:
+                    counter += 1
+                    heapq.heappush(
+                        heap, (_bbox_distance(b, point), counter, entry, None)
+                    )
+            else:
+                for child in node.children:
+                    counter += 1
+                    heapq.heappush(
+                        heap,
+                        (_bbox_distance(child.bbox, point), counter, None,
+                         child),
+                    )
+        return results
+
+
+def _default_bbox(item: Any) -> BBox:
+    if isinstance(item, Geometry):
+        return item.bounds
+    if hasattr(item, "geometry"):
+        return item.geometry.bounds
+    if isinstance(item, Sequence) and len(item) == 4:
+        return tuple(item)  # type: ignore[return-value]
+    raise TypeError(f"cannot derive bbox from {type(item).__name__}")

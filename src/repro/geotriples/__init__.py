@@ -1,0 +1,29 @@
+"""GeoTriples: geospatial data → RDF via R2RML/RML mappings."""
+
+from .generator import generate_mapping
+from .processor import MappingProcessor, ParallelMappingProcessor, row_triples
+from .rml import (
+    LogicalSource,
+    MappingError,
+    PredicateObjectMap,
+    RML,
+    RR,
+    TermMap,
+    TriplesMap,
+    parse_r2rml,
+)
+
+__all__ = [
+    "LogicalSource",
+    "MappingError",
+    "MappingProcessor",
+    "ParallelMappingProcessor",
+    "PredicateObjectMap",
+    "RML",
+    "RR",
+    "TermMap",
+    "TriplesMap",
+    "generate_mapping",
+    "parse_r2rml",
+    "row_triples",
+]

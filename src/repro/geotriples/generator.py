@@ -1,0 +1,84 @@
+"""Automatic mapping generation (GeoTriples' mapping generator).
+
+Given a logical source, derive a sensible default triples map: one
+subject per row, one datatype-guessed predicate per column, and the
+GeoSPARQL geometry chain for WKT columns — the "automatic mapping
+generation" step GeoTriples performs before users hand-edit mappings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..rdf.namespace import XSD
+from ..rdf.terms import IRI
+from .rml import LogicalSource, MappingError, TermMap, TriplesMap
+
+GEOMETRY_COLUMNS = ("wkt", "geometry", "geom", "the_geom")
+
+
+def generate_mapping(source: LogicalSource, base_iri: str,
+                     class_iri: Optional[str] = None,
+                     id_column: Optional[str] = None,
+                     name: str = "generated",
+                     sample_size: int = 50) -> TriplesMap:
+    """Derive a triples map from the source's first *sample_size* rows."""
+    base = base_iri.rstrip("/#") + "/"
+    sample: List[Dict[str, object]] = []
+    for row in source.rows():
+        sample.append(row)
+        if len(sample) >= sample_size:
+            break
+    if not sample:
+        raise MappingError("cannot generate a mapping from an empty source")
+
+    columns = list(sample[0].keys())
+    if id_column is None:
+        for candidate in ("id", "gid", "fid", "osm_id"):
+            if candidate in columns:
+                id_column = candidate
+                break
+    if id_column is None:
+        raise MappingError(
+            f"no id column found among {columns}; pass id_column explicitly"
+        )
+
+    geometry_column = next(
+        (c for c in columns if c.lower() in GEOMETRY_COLUMNS), None
+    )
+
+    tmap = TriplesMap(
+        name=name,
+        logical_source=source,
+        subject_map=TermMap(template=f"{base}{{{id_column}}}"),
+        classes=[IRI(class_iri)] if class_iri else [],
+        geometry_column=geometry_column,
+    )
+    for column in columns:
+        if column == id_column or column == geometry_column:
+            continue
+        datatype = _guess_datatype(column, sample)
+        tmap.add_pom(
+            IRI(f"{base}has{_camel(column)}"),
+            TermMap(column=column, term_type="literal", datatype=datatype),
+        )
+    return tmap
+
+
+def _guess_datatype(column: str, sample: List[Dict[str, object]]):
+    values = [row.get(column) for row in sample if row.get(column) is not None]
+    if not values:
+        return None
+    if all(isinstance(v, bool) for v in values):
+        return XSD.boolean
+    if all(isinstance(v, int) and not isinstance(v, bool) for v in values):
+        return XSD.integer
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+           for v in values):
+        return XSD.double
+    return None  # plain string literal
+
+
+def _camel(column: str) -> str:
+    parts = [p for p in column.replace("-", "_").split("_") if p]
+    return "".join(p[:1].upper() + p[1:] for p in parts)

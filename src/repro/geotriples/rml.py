@@ -1,0 +1,354 @@
+"""R2RML/RML mapping model for GeoTriples.
+
+GeoTriples [Kyzirakos et al., JWS 2018] transforms geospatial data into
+RDF graphs driven by R2RML/RML mappings. This module defines the
+mapping model (term maps, triples maps, logical sources) and a parser
+for the R2RML Turtle vocabulary; execution lives in
+:mod:`repro.geotriples.processor`.
+
+Logical sources cover the formats the paper needs: CSV, GeoJSON
+(standing in for shapefiles — same feature/properties model), SQL
+tables via MadIS, and NetCDF/OPeNDAP grids (the extension Section 5
+lists as an open problem for GeoTriples: "It is important to extend
+GeoTriples ... for scientific data formats such as NetCDF").
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..geometry import Feature, FeatureCollection, wkt_dumps
+from ..rdf.namespace import Namespace
+from ..rdf.terms import BNode, IRI, Literal, Term
+
+RR = Namespace("http://www.w3.org/ns/r2rml#")
+RML = Namespace("http://semweb.mmlab.be/ns/rml#")
+
+
+class MappingError(ValueError):
+    """Raised for malformed mappings or template expansion failures."""
+
+
+_TEMPLATE_RE = re.compile(r"\{([^{}]+)\}")
+
+
+@dataclass(frozen=True)
+class TermMap:
+    """How one RDF term is produced from a source row.
+
+    Exactly one of ``template``, ``column`` or ``constant`` is set.
+    """
+
+    template: Optional[str] = None
+    column: Optional[str] = None
+    constant: Optional[Term] = None
+    term_type: str = "iri"  # iri | literal | bnode
+    datatype: Optional[IRI] = None
+    lang: Optional[str] = None
+
+    def __post_init__(self):
+        sources = [
+            s for s in (self.template, self.column, self.constant)
+            if s is not None
+        ]
+        if len(sources) != 1:
+            raise MappingError(
+                "term map needs exactly one of template/column/constant"
+            )
+        if self.term_type not in ("iri", "literal", "bnode"):
+            raise MappingError(f"bad term type {self.term_type!r}")
+
+    def expand(self, row: Dict[str, object]) -> Optional[Term]:
+        """Produce the term for *row*; None when a referenced value is null."""
+        if self.constant is not None:
+            return self.constant
+        if self.column is not None:
+            value = row.get(self.column)
+            if value is None:
+                return None
+            return self._make_term(value)
+        # template
+        def substitute(m: re.Match) -> str:
+            key = m.group(1)
+            if key not in row or row[key] is None:
+                raise _NullInTemplate()
+            return _iri_safe(str(row[key])) if self.term_type == "iri" \
+                else str(row[key])
+
+        try:
+            text = _TEMPLATE_RE.sub(substitute, self.template)
+        except _NullInTemplate:
+            return None
+        return self._make_term(text, from_template=True)
+
+    def _make_term(self, value, from_template: bool = False) -> Term:
+        if self.term_type == "iri":
+            return IRI(str(value))
+        if self.term_type == "bnode":
+            return BNode(re.sub(r"[^\w.-]", "_", str(value)))
+        if self.datatype is not None:
+            return Literal(str(value), datatype=self.datatype)
+        if self.lang is not None:
+            return Literal(str(value), lang=self.lang)
+        if isinstance(value, bool):
+            return Literal(value)
+        if isinstance(value, (int, float)) and not from_template:
+            return Literal(value)
+        return Literal(str(value))
+
+
+class _NullInTemplate(Exception):
+    pass
+
+
+def _iri_safe(text: str) -> str:
+    return re.sub(r"[^\w.~:/#\[\]@!$&'()*+,;=-]", "_", text.replace(" ", "_"))
+
+
+@dataclass
+class PredicateObjectMap:
+    predicate: IRI
+    object_map: TermMap
+
+
+@dataclass
+class LogicalSource:
+    """Where rows come from.
+
+    kinds: ``rows`` (in-memory dicts), ``csv`` (text), ``geojson``
+    (FeatureCollection or GeoJSON dict), ``sql`` (MadIS connection +
+    query), ``opendap`` (DAP url + registry).
+    """
+
+    kind: str
+    source: object
+    query: Optional[str] = None
+    options: Dict[str, object] = field(default_factory=dict)
+
+    def rows(self) -> Iterator[Dict[str, object]]:
+        if self.kind == "rows":
+            yield from (dict(r) for r in self.source)
+        elif self.kind == "csv":
+            yield from _csv_rows(self.source)
+        elif self.kind == "geojson":
+            yield from _geojson_rows(self.source)
+        elif self.kind == "sql":
+            yield from _sql_rows(self.source, self.query)
+        elif self.kind == "opendap":
+            yield from _opendap_rows(self.source, self.options)
+        else:
+            raise MappingError(f"unknown logical source kind {self.kind!r}")
+
+
+def _csv_rows(source) -> Iterator[Dict[str, object]]:
+    if hasattr(source, "read"):
+        text = source.read()
+    elif isinstance(source, str) and "\n" not in source:
+        with open(source, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    else:
+        text = source
+    reader = csv.DictReader(io.StringIO(text))
+    for row in reader:
+        yield {k: _coerce_csv(v) for k, v in row.items()}
+
+
+def _coerce_csv(value: Optional[str]):
+    if value is None or value == "":
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+def _geojson_rows(source) -> Iterator[Dict[str, object]]:
+    if isinstance(source, FeatureCollection):
+        fc = source
+    elif isinstance(source, dict):
+        fc = FeatureCollection.from_geojson(source)
+    elif isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            fc = FeatureCollection.from_geojson(json.load(fh))
+    else:
+        raise MappingError(f"cannot read GeoJSON from {type(source).__name__}")
+    for i, feature in enumerate(fc):
+        row: Dict[str, object] = dict(feature.properties)
+        row.setdefault("gid", feature.id if feature.id is not None else i)
+        row["wkt"] = wkt_dumps(feature.geometry)
+        yield row
+
+
+def _sql_rows(conn, query: Optional[str]) -> Iterator[Dict[str, object]]:
+    if query is None:
+        raise MappingError("sql logical source requires a query")
+    for row in conn.execute(query):
+        yield {key: row[key] for key in row.keys()}
+
+
+def _opendap_rows(url, options) -> Iterator[Dict[str, object]]:
+    from ..madis.opendap_vt import OpendapVTOperator
+    from ..opendap import DEFAULT_REGISTRY
+
+    registry = options.get("registry", DEFAULT_REGISTRY)
+    operator = OpendapVTOperator(registry)
+    columns, rows = operator(
+        url,
+        variable=options.get("variable"),
+        constraint=options.get("constraint", ""),
+    )
+    for values in rows:
+        yield dict(zip(columns, values))
+
+
+@dataclass
+class TriplesMap:
+    """One R2RML triples map: source → subject + predicate/object maps."""
+
+    name: str
+    logical_source: LogicalSource
+    subject_map: TermMap
+    classes: List[IRI] = field(default_factory=list)
+    predicate_object_maps: List[PredicateObjectMap] = field(
+        default_factory=list
+    )
+    #: Optional GeoTriples geometry chain: when set, each row also emits
+    #: ``subject geo:hasGeometry <geom>`` / ``<geom> a sf:T`` /
+    #: ``<geom> geo:asWKT "..."^^geo:wktLiteral``.
+    geometry_column: Optional[str] = None
+    geometry_crs: Optional[str] = None
+    #: Parse + canonicalize WKT per row (ring closure/orientation, bad
+    #: geometries rejected) — what GeoTriples' geometry handling does;
+    #: makes per-row cost realistic for the parallel-processing bench.
+    normalize_geometries: bool = False
+
+    def add_pom(self, predicate: IRI, object_map: TermMap) -> "TriplesMap":
+        self.predicate_object_maps.append(
+            PredicateObjectMap(predicate, object_map)
+        )
+        return self
+
+
+# ---------------------------------------------------------------------------
+# R2RML Turtle parsing
+# ---------------------------------------------------------------------------
+
+def parse_r2rml(turtle_text: str,
+                sources: Optional[Dict[str, LogicalSource]] = None
+                ) -> List[TriplesMap]:
+    """Parse R2RML mappings from Turtle.
+
+    ``sources`` maps rr:tableName / rml:source strings to concrete
+    :class:`LogicalSource` objects (files are not resolved implicitly).
+    """
+    from ..rdf import Graph, RDF
+
+    g = Graph()
+    g.bind("rr", str(RR))
+    g.bind("rml", str(RML))
+    g.parse(turtle_text, format="turtle")
+    sources = sources or {}
+
+    maps: List[TriplesMap] = []
+    map_nodes = set(g.subjects(RR.logicalTable)) | set(
+        g.subjects(RML.logicalSource)
+    ) | set(g.subjects(RR.subjectMap))
+    for node in sorted(map_nodes, key=str):
+        source = _resolve_source(g, node, sources)
+        subject_node = g.value(node, RR.subjectMap)
+        if subject_node is None:
+            raise MappingError(f"triples map {node} has no subjectMap")
+        subject_map = _parse_term_map(g, subject_node, default_type="iri")
+        classes = [
+            o for o in g.objects(subject_node, RR["class"])
+            if isinstance(o, IRI)
+        ]
+        tmap = TriplesMap(
+            name=str(node),
+            logical_source=source,
+            subject_map=subject_map,
+            classes=sorted(classes),
+        )
+        for pom_node in g.objects(node, RR.predicateObjectMap):
+            predicate = g.value(pom_node, RR.predicate)
+            if predicate is None:
+                pm = g.value(pom_node, RR.predicateMap)
+                predicate = g.value(pm, RR.constant) if pm else None
+            if predicate is None:
+                raise MappingError(f"POM in {node} lacks a predicate")
+            obj_node = g.value(pom_node, RR.objectMap)
+            if obj_node is None:
+                const = g.value(pom_node, RR.object)
+                if const is None:
+                    raise MappingError(f"POM in {node} lacks an object map")
+                obj_map = TermMap(constant=const,
+                                  term_type="iri" if isinstance(const, IRI)
+                                  else "literal")
+            else:
+                obj_map = _parse_term_map(g, obj_node, default_type="literal")
+            tmap.add_pom(IRI(str(predicate)), obj_map)
+        maps.append(tmap)
+    if not maps:
+        raise MappingError("no triples maps found in R2RML document")
+    return maps
+
+
+def _resolve_source(g, node, sources) -> LogicalSource:
+    from ..rdf import Literal as RdfLiteral
+
+    table_node = g.value(node, RR.logicalTable)
+    if table_node is not None:
+        table = g.value(table_node, RR.tableName)
+        if table is None:
+            raise MappingError("logicalTable without rr:tableName")
+        key = str(table)
+        if key in sources:
+            return sources[key]
+        raise MappingError(f"no LogicalSource provided for table {key!r}")
+    source_node = g.value(node, RML.logicalSource)
+    if source_node is not None:
+        src = g.value(source_node, RML.source)
+        key = str(src) if src is not None else ""
+        if key in sources:
+            return sources[key]
+        raise MappingError(f"no LogicalSource provided for source {key!r}")
+    raise MappingError(f"triples map {node} has no logical source")
+
+
+def _parse_term_map(g, node, default_type: str) -> TermMap:
+    from ..rdf import Literal as RdfLiteral
+
+    template = g.value(node, RR.template)
+    column = g.value(node, RR.column) or g.value(node, RML.reference)
+    constant = g.value(node, RR.constant)
+    term_type_node = g.value(node, RR.termType)
+    datatype = g.value(node, RR.datatype)
+    lang = g.value(node, RR.language)
+
+    term_type = default_type
+    if term_type_node is not None:
+        local = IRI(str(term_type_node)).local_name.lower()
+        term_type = {"iri": "iri", "literal": "literal",
+                     "blanknode": "bnode"}.get(local, default_type)
+    elif template is not None:
+        term_type = "iri"
+    elif constant is not None:
+        term_type = "iri" if isinstance(constant, IRI) else "literal"
+
+    return TermMap(
+        template=str(template) if template is not None else None,
+        column=str(column) if column is not None else None,
+        constant=constant,
+        term_type=term_type,
+        datatype=IRI(str(datatype)) if datatype is not None else None,
+        lang=str(lang) if lang is not None else None,
+    )

@@ -1,0 +1,39 @@
+"""Interlinking: Silk-style link discovery + JedAI entity resolution."""
+
+from .jedai import (
+    BlockingStats,
+    EntityProfile,
+    JedaiPipeline,
+)
+from .silk import (
+    Comparison,
+    DatasetSelector,
+    LinkSpec,
+    LinkageRule,
+    SilkEngine,
+    exact_match,
+    jaccard_tokens,
+    levenshtein_similarity,
+    near,
+    numeric_similarity,
+    spatial_relation,
+    temporal_relation,
+)
+
+__all__ = [
+    "BlockingStats",
+    "Comparison",
+    "DatasetSelector",
+    "EntityProfile",
+    "JedaiPipeline",
+    "LinkSpec",
+    "LinkageRule",
+    "SilkEngine",
+    "exact_match",
+    "jaccard_tokens",
+    "levenshtein_similarity",
+    "near",
+    "numeric_similarity",
+    "spatial_relation",
+    "temporal_relation",
+]

@@ -1,0 +1,15 @@
+"""MadIS SQL layer: sqlite + UDFs + MadIS-syntax virtual tables."""
+
+from .engine import MadisConnection, MadisError
+from .opendap_vt import OpendapVTOperator, attach_opendap
+from .udfs import cf_datetime, register_default_udfs, st_point
+
+__all__ = [
+    "MadisConnection",
+    "MadisError",
+    "OpendapVTOperator",
+    "attach_opendap",
+    "cf_datetime",
+    "register_default_udfs",
+    "st_point",
+]

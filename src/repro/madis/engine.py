@@ -1,0 +1,265 @@
+"""MadIS: an extensible relational layer on SQLite.
+
+The paper uses MadIS — "an extensible relational database system built
+on top of the APSW SQLite wrapper [that] provides a Python interface so
+that users can easily implement user-defined functions as rows,
+aggregate functions, or virtual tables" — as the back end of
+Ontop-spatial's OPeNDAP adapter.
+
+This module reproduces that layer over the stdlib ``sqlite3``:
+
+- row functions and aggregates register straight into SQLite;
+- *virtual table operators* use MadIS's inverted syntax::
+
+      SELECT id, LAI FROM (opendap url:dap://vito/LAI, 10) WHERE LAI > 0
+
+  The preprocessor finds ``FROM (opname ...)`` clauses, invokes the
+  registered Python operator to obtain (columns, rows), materializes a
+  TEMP table on the fly and rewrites the query to read from it — which
+  is exactly the paper's description ("create a table view on-the-fly,
+  populate it with this data").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import sqlite3
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+VTResult = Tuple[Sequence[str], Iterable[Sequence]]
+VTOperator = Callable[..., VTResult]
+
+
+class MadisError(RuntimeError):
+    """Raised for bad virtual-table invocations or SQL rewriting errors."""
+
+
+# MadIS row modifiers that may precede the operator name.
+_MODIFIERS = {"ordered", "direct"}
+
+_FROM_OPEN_RE = re.compile(r"\b(from|join)\s*\(", re.IGNORECASE)
+
+
+class MadisConnection:
+    """A SQLite connection with UDFs and virtual-table operators."""
+
+    def __init__(self, database: str = ":memory:"):
+        self._conn = sqlite3.connect(database)
+        self._conn.row_factory = sqlite3.Row
+        self._vt_operators: Dict[str, VTOperator] = {}
+        self._vt_tables: Dict[str, str] = {}  # invocation hash -> temp table
+        from .udfs import register_default_udfs
+
+        register_default_udfs(self)
+
+    # -- registration -------------------------------------------------------
+    def register_function(self, name: str, nargs: int,
+                          fn: Callable) -> None:
+        """Register a scalar row function."""
+        self._conn.create_function(name, nargs, fn)
+
+    def register_aggregate(self, name: str, nargs: int, cls: type) -> None:
+        """Register an aggregate (class with step()/finalize())."""
+        self._conn.create_aggregate(name, nargs, cls)
+
+    def register_vt_operator(self, name: str, operator: VTOperator) -> None:
+        """Register a virtual-table operator by (lower-case) name."""
+        self._vt_operators[name.lower()] = operator
+
+    @property
+    def vt_operators(self) -> List[str]:
+        return sorted(self._vt_operators)
+
+    # -- querying ---------------------------------------------------------------
+    def execute(self, sql: str, params: Sequence = ()) -> List[sqlite3.Row]:
+        """Execute SQL (with MadIS preprocessing); fetch all rows."""
+        rewritten = self._rewrite(sql)
+        cursor = self._conn.execute(rewritten, params)
+        if cursor.description is None:
+            self._conn.commit()
+            return []
+        return cursor.fetchall()
+
+    def executescript(self, script: str) -> None:
+        self._conn.executescript(script)
+        self._conn.commit()
+
+    def columns(self, sql: str, params: Sequence = ()) -> List[str]:
+        cursor = self._conn.execute(self._rewrite(sql), params)
+        return [d[0] for d in cursor.description or []]
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "MadisConnection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- MadIS syntax preprocessing -----------------------------------------
+    def _rewrite(self, sql: str) -> str:
+        """Replace ``FROM (opname args)`` clauses by temp-table reads."""
+        out = []
+        pos = 0
+        while True:
+            m = self._next_from_paren(sql, pos)
+            if not m:
+                out.append(sql[pos:])
+                return "".join(out)
+            open_paren = m.end() - 1
+            close_paren = _matching_paren(sql, open_paren)
+            inner = sql[open_paren + 1: close_paren]
+            operator = self._leading_operator(inner)
+            if operator is None:
+                # ordinary subquery — leave untouched, continue after '('
+                out.append(sql[pos: m.end()])
+                pos = m.end()
+                continue
+            table = self._materialize(operator, inner)
+            out.append(sql[pos: m.start()])
+            out.append(f"{m.group(1).upper()} {table}")
+            pos = close_paren + 1
+
+    @staticmethod
+    def _next_from_paren(sql: str, start: int):
+        """The next ``FROM (`` occurrence outside string literals."""
+        pos = start
+        while True:
+            m = _FROM_OPEN_RE.search(sql, pos)
+            if not m:
+                return None
+            if not _inside_string(sql, m.start()):
+                return m
+            pos = m.end()
+
+    def _leading_operator(self, inner: str) -> Optional[str]:
+        tokens = inner.strip().split(None, 2)
+        for token in tokens[:2]:
+            word = token.strip().lower()
+            if word in _MODIFIERS:
+                continue
+            return word if word in self._vt_operators else None
+        return None
+
+    def _materialize(self, operator_name: str, inner: str) -> str:
+        """Run the operator and load its rows into a TEMP table."""
+        args, kwargs = _parse_vt_args(inner, operator_name)
+        key = hashlib.sha1(
+            repr((operator_name, args, sorted(kwargs.items()))).encode()
+        ).hexdigest()[:12]
+        table = f"vt_{operator_name}_{key}"
+        operator = self._vt_operators[operator_name]
+        columns, rows = operator(*args, **kwargs)
+        if not columns:
+            raise MadisError(f"operator {operator_name!r} returned no schema")
+        quoted = ", ".join(f'"{c}"' for c in columns)
+        self._conn.execute(f'DROP TABLE IF EXISTS "{table}"')
+        self._conn.execute(f'CREATE TEMP TABLE "{table}" ({quoted})')
+        placeholders = ", ".join("?" for __ in columns)
+        self._conn.executemany(
+            f'INSERT INTO "{table}" VALUES ({placeholders})',
+            (tuple(r) for r in rows),
+        )
+        return f'"{table}"'
+
+
+def _inside_string(text: str, pos: int) -> bool:
+    """True when *pos* falls inside a SQL string literal."""
+    in_string = None
+    i = 0
+    while i < pos:
+        ch = text[i]
+        if in_string:
+            if ch == in_string:
+                # doubled quote escapes itself in SQL
+                if i + 1 < len(text) and text[i + 1] == in_string:
+                    i += 1
+                else:
+                    in_string = None
+        elif ch in "'\"":
+            in_string = ch
+        i += 1
+    return in_string is not None
+
+
+def _matching_paren(text: str, open_pos: int) -> int:
+    depth = 0
+    in_string = None
+    for i in range(open_pos, len(text)):
+        ch = text[i]
+        if in_string:
+            if ch == in_string:
+                in_string = None
+            continue
+        if ch in "'\"":
+            in_string = ch
+        elif ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return i
+    raise MadisError("unbalanced parentheses in MadIS query")
+
+
+def _parse_vt_args(inner: str, operator_name: str):
+    """Parse operator arguments from the clause body.
+
+    Grammar: ``[modifier ...] opname arg ("," arg)*`` where each arg is
+    either ``key:value`` (value may contain ':' as in URLs) or a plain
+    positional literal. Quotes around values are stripped.
+    """
+    text = inner.strip()
+    # strip modifiers and the operator name
+    while True:
+        head, __, rest = text.partition(" ")
+        word = head.strip().lower()
+        if word in _MODIFIERS:
+            text = rest.strip()
+            continue
+        if word == operator_name:
+            text = rest.strip()
+        break
+    args: List[str] = []
+    kwargs: Dict[str, str] = {}
+    if not text:
+        return tuple(args), kwargs
+    for raw in _split_args(text):
+        raw = raw.strip()
+        if not raw:
+            continue
+        m = re.match(r"^([A-Za-z_][\w]*):(.+)$", raw, re.DOTALL)
+        if m and not raw.lower().startswith(("http:", "https:", "dap:")):
+            kwargs[m.group(1)] = _unquote(m.group(2).strip())
+        else:
+            args.append(_unquote(raw))
+    return tuple(args), kwargs
+
+
+def _split_args(text: str) -> List[str]:
+    parts, depth, start = [], 0, 0
+    in_string = None
+    for i, ch in enumerate(text):
+        if in_string:
+            if ch == in_string:
+                in_string = None
+            continue
+        if ch in "'\"":
+            in_string = ch
+        elif ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    parts.append(text[start:])
+    return parts
+
+
+def _unquote(text: str) -> str:
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return text[1:-1]
+    return text

@@ -1,0 +1,152 @@
+"""The ``opendap`` MadIS virtual-table operator (Section 3.2).
+
+Usage inside a MadIS query, exactly as in the paper's Listing 2::
+
+    SELECT id, LAI, ts, loc
+    FROM (ordered opendap url:dap://vito.test/Copernicus/LAI, 10)
+    WHERE LAI > 0
+
+The operator
+
+- contacts the OPeNDAP server, fetches the (optionally constrained)
+  gridded product and flattens it into an observation table with schema
+  ``(id, <VAR>, ts, loc)`` — ``id`` "constructed from the location and
+  the time of observation", ``ts`` an ISO timestamp, ``loc`` a WKT
+  point;
+- caches results for a *time window w* (the trailing numeric argument,
+  in minutes, exactly as Listing 2's ``10``): an identical call within
+  the window is served from cache without touching the server.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..opendap import ServerRegistry, decode_time, open_url
+from ..opendap.model import apply_fill_and_scale
+from .engine import MadisError
+
+Row = Tuple
+
+COLUMNS_TEMPLATE = ("id", None, "ts", "loc")  # None replaced by the variable
+
+
+class OpendapVTOperator:
+    """Stateful operator: holds the server registry and the call cache."""
+
+    def __init__(self, registry: ServerRegistry,
+                 clock: Callable[[], float] = time.monotonic):
+        self.registry = registry
+        self.clock = clock
+        self._cache: Dict[Tuple, Tuple[float, Sequence[str], List[Row]]] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.server_calls = 0
+
+    def __call__(self, *args, **kwargs):
+        """MadIS entry point: (columns, rows)."""
+        url = kwargs.get("url")
+        positional = list(args)
+        if url is None:
+            if not positional:
+                raise MadisError("opendap operator requires url:<dap-url>")
+            url = positional.pop(0)
+        window_minutes = 0.0
+        if positional:
+            try:
+                window_minutes = float(positional.pop(0))
+            except ValueError:
+                raise MadisError(
+                    "opendap window argument must be numeric (minutes)"
+                ) from None
+        variable = kwargs.get("variable")
+        constraint = kwargs.get("constraint", "")
+
+        key = (url, variable, constraint)
+        if window_minutes > 0:
+            cached = self._cache.get(key)
+            if cached is not None:
+                stamp, columns, rows = cached
+                if self.clock() - stamp <= window_minutes * 60.0:
+                    self.cache_hits += 1
+                    return columns, rows
+                del self._cache[key]
+        self.cache_misses += 1
+        columns, rows = self._fetch(url, variable, constraint)
+        if window_minutes > 0:
+            self._cache[key] = (self.clock(), columns, rows)
+        return columns, rows
+
+    # -- data access -------------------------------------------------------
+    def _fetch(self, url: str, variable: Optional[str],
+               constraint: str) -> Tuple[Sequence[str], List[Row]]:
+        self.server_calls += 1
+        remote = open_url(url, self.registry)
+        dataset = remote.fetch(constraint)
+        if variable is None:
+            variable = _main_variable(dataset)
+        if variable not in dataset:
+            raise MadisError(
+                f"no variable {variable!r} at {url}; "
+                f"have {list(dataset.variables)}"
+            )
+        var = dataset[variable]
+        if var.dims != ("time", "lat", "lon"):
+            raise MadisError(
+                f"opendap operator expects (time, lat, lon) grids, "
+                f"got {var.dims}"
+            )
+        times = decode_time(dataset["time"])
+        lats = dataset["lat"].data.astype(float)
+        lons = dataset["lon"].data.astype(float)
+        values = apply_fill_and_scale(var)
+
+        rows: List[Row] = []
+        for ti, moment in enumerate(times):
+            ts = moment.strftime("%Y-%m-%dT%H:%M:%SZ")
+            stamp_key = moment.strftime("%Y%m%d%H%M")
+            plane = values[ti]
+            for yi, lat in enumerate(lats):
+                for xi, lon in enumerate(lons):
+                    value = plane[yi, xi]
+                    if np.isnan(value):
+                        continue
+                    rows.append(
+                        (
+                            f"{lon:.4f}_{lat:.4f}_{stamp_key}",
+                            float(value),
+                            ts,
+                            f"POINT ({lon:g} {lat:g})",
+                        )
+                    )
+        return ("id", variable, "ts", "loc"), rows
+
+    # -- cache administration --------------------------------------------------
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+
+def _main_variable(dataset) -> str:
+    candidates = [
+        name for name, var in dataset.variables.items()
+        if len(var.dims) == 3
+    ]
+    if not candidates:
+        raise MadisError(
+            f"dataset {dataset.name!r} has no 3-D (time, lat, lon) variable"
+        )
+    return candidates[0]
+
+
+def attach_opendap(conn, registry: ServerRegistry,
+                   clock: Callable[[], float] = time.monotonic
+                   ) -> OpendapVTOperator:
+    """Register the operator on a MadIS connection; returns it for stats."""
+    operator = OpendapVTOperator(registry, clock=clock)
+    conn.register_vt_operator("opendap", operator)
+    return operator

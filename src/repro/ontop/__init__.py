@@ -1,0 +1,35 @@
+"""Ontop-spatial OBDA engine with OPeNDAP and raster adapters."""
+
+from .mapping import (
+    NodeTemplate,
+    OntopMapping,
+    OntopMappingError,
+    TemplateTriple,
+    parse_mapping_document,
+    parse_target,
+)
+from .obda import OntopSpatial
+from .opendap_adapter import make_opendap_endpoint, opendap_mapping_document
+from .r2rml_adapter import from_r2rml, ontop_mapping_from_triples_map
+from .raster import (
+    RasterCatalog,
+    attach_raster,
+    raster_mapping_document,
+)
+
+__all__ = [
+    "NodeTemplate",
+    "OntopMapping",
+    "OntopMappingError",
+    "OntopSpatial",
+    "RasterCatalog",
+    "TemplateTriple",
+    "attach_raster",
+    "from_r2rml",
+    "make_opendap_endpoint",
+    "ontop_mapping_from_triples_map",
+    "opendap_mapping_document",
+    "parse_mapping_document",
+    "parse_target",
+    "raster_mapping_document",
+]

@@ -1,0 +1,132 @@
+"""R2RML support for Ontop-spatial.
+
+Section 3.2: "The mapping language R2RML is a W3C standard and is
+commonly used to encode mappings, but a lot of OBDA/RDB2RDF systems
+also offer a native mapping language." The native language lives in
+:mod:`repro.ontop.mapping`; this module accepts W3C R2RML documents by
+converting the parsed :class:`repro.geotriples.TriplesMap` model into
+Ontop mappings (``rr:logicalTable/rr:tableName`` becomes the source
+SQL).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..geotriples import TriplesMap, parse_r2rml
+from ..geotriples.rml import LogicalSource, TermMap
+from ..madis import MadisConnection
+from ..rdf.namespace import GEO, NamespaceManager, RDF, SF
+from ..rdf.terms import IRI, Literal
+from .mapping import NodeTemplate, OntopMapping, OntopMappingError, \
+    TemplateTriple
+from .obda import OntopSpatial
+
+
+def _node_from_term_map(term_map: TermMap) -> NodeTemplate:
+    if term_map.constant is not None:
+        return NodeTemplate("constant", constant=term_map.constant)
+    if term_map.term_type == "bnode":
+        text = term_map.template or f"{{{term_map.column}}}"
+        return NodeTemplate("bnode", text)
+    if term_map.term_type == "iri":
+        text = term_map.template or f"{{{term_map.column}}}"
+        return NodeTemplate("iri", text)
+    # literal
+    text = term_map.template or f"{{{term_map.column}}}"
+    return NodeTemplate(
+        "literal", text, datatype=term_map.datatype, lang=term_map.lang
+    )
+
+
+def ontop_mapping_from_triples_map(tmap: TriplesMap,
+                                   source_sql: str) -> OntopMapping:
+    """Convert one parsed R2RML triples map into an Ontop mapping."""
+    subject = _node_from_term_map(tmap.subject_map)
+    target: List[TemplateTriple] = []
+    for cls in tmap.classes:
+        target.append(
+            TemplateTriple(
+                subject,
+                NodeTemplate("constant", constant=RDF.type),
+                NodeTemplate("constant", constant=cls),
+            )
+        )
+    for pom in tmap.predicate_object_maps:
+        target.append(
+            TemplateTriple(
+                subject,
+                NodeTemplate("constant", constant=pom.predicate),
+                _node_from_term_map(pom.object_map),
+            )
+        )
+    if tmap.geometry_column:
+        geom_node = NodeTemplate(
+            "iri", _geometry_iri_text(tmap.subject_map)
+        )
+        target.append(
+            TemplateTriple(
+                subject,
+                NodeTemplate("constant", constant=GEO.hasGeometry),
+                geom_node,
+            )
+        )
+        target.append(
+            TemplateTriple(
+                geom_node,
+                NodeTemplate("constant", constant=GEO.asWKT),
+                NodeTemplate(
+                    "literal", f"{{{tmap.geometry_column}}}",
+                    datatype=IRI(str(GEO) + "wktLiteral"),
+                ),
+            )
+        )
+    if not target:
+        raise OntopMappingError(
+            f"triples map {tmap.name!r} produces no assertions"
+        )
+    return OntopMapping(
+        mapping_id=tmap.name, source_sql=source_sql, target=target
+    )
+
+
+def _geometry_iri_text(subject_map: TermMap) -> str:
+    if subject_map.template:
+        return subject_map.template + "/geometry"
+    return f"{{{subject_map.column}}}/geometry"
+
+
+def from_r2rml(conn: MadisConnection, r2rml_text: str,
+               table_sql: Optional[Dict[str, str]] = None,
+               ontology=None) -> OntopSpatial:
+    """Build an Ontop-spatial endpoint from an R2RML Turtle document.
+
+    ``table_sql`` optionally overrides the SQL per ``rr:tableName``;
+    the default is ``SELECT * FROM <table>``.
+    """
+    table_sql = dict(table_sql or {})
+
+    class _TableRef(LogicalSource):
+        def __init__(self, table: str):
+            super().__init__("rows", ())
+            self.table = table
+
+    # parse_r2rml wants concrete sources per table name; capture names.
+    import re
+
+    names = set(re.findall(r'rr:tableName\s+"([^"]+)"', r2rml_text))
+    sources = {name: _TableRef(name) for name in names}
+    triples_maps = parse_r2rml(r2rml_text, sources=sources)
+
+    mappings = []
+    for tmap in triples_maps:
+        source = tmap.logical_source
+        table = getattr(source, "table", None)
+        if table is None:
+            raise OntopMappingError(
+                f"triples map {tmap.name!r} has no rr:tableName source"
+            )
+        sql = table_sql.get(table, f'SELECT * FROM "{table}"')
+        mappings.append(ontop_mapping_from_triples_map(tmap, sql))
+    return OntopSpatial(conn, mappings, namespaces=NamespaceManager(),
+                        ontology=ontology)

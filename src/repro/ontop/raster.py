@@ -1,0 +1,116 @@
+"""Raster data sources for Ontop-spatial.
+
+Reproduces the extension of [Bereta & Koubarakis, BiDS 2017]: raster
+coverages (which GeoSPARQL does not model) become queryable through the
+same OBDA machinery, "without the need to extend the GeoSPARQL query
+language further". A raster's cells are exposed as a virtual table
+``(id, <value>, ts, loc)`` where ``loc`` is the WKT *polygon of the
+cell's footprint* — so vector/raster joins (e.g. "parks intersecting
+burnt cells") work transparently with ``geof:sfIntersects``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..madis import MadisConnection
+from ..madis.engine import MadisError
+from ..opendap import DapDataset, decode_time
+from ..opendap.model import apply_fill_and_scale
+
+
+class RasterCatalog:
+    """Named in-memory rasters exposed as the ``raster`` VT operator."""
+
+    def __init__(self):
+        self._rasters: Dict[str, DapDataset] = {}
+
+    def add(self, name: str, dataset: DapDataset) -> None:
+        self._rasters[name] = dataset
+
+    def names(self) -> List[str]:
+        return sorted(self._rasters)
+
+    def __call__(self, name: Optional[str] = None,
+                 variable: Optional[str] = None):
+        """MadIS operator entry point: (columns, rows) of cell polygons."""
+        if name is None:
+            raise MadisError("raster operator requires name:<raster>")
+        dataset = self._rasters.get(name)
+        if dataset is None:
+            raise MadisError(
+                f"unknown raster {name!r}; have {self.names()}"
+            )
+        if variable is None:
+            variable = next(
+                (n for n, v in dataset.variables.items()
+                 if len(v.dims) == 3), None,
+            )
+            if variable is None:
+                raise MadisError(f"raster {name!r} has no 3-D variable")
+        var = dataset[variable]
+        times = decode_time(dataset["time"])
+        lats = dataset["lat"].data.astype(float)
+        lons = dataset["lon"].data.astype(float)
+        half_lon = abs(lons[1] - lons[0]) / 2 if lons.size > 1 else 0.005
+        half_lat = abs(lats[1] - lats[0]) / 2 if lats.size > 1 else 0.005
+        values = apply_fill_and_scale(var)
+        rows: List[Tuple] = []
+        for ti, moment in enumerate(times):
+            ts = moment.strftime("%Y-%m-%dT%H:%M:%SZ")
+            stamp = moment.strftime("%Y%m%d")
+            for yi, lat in enumerate(lats):
+                for xi, lon in enumerate(lons):
+                    value = values[ti, yi, xi]
+                    if np.isnan(value):
+                        continue
+                    cell = _cell_polygon(lon, lat, half_lon, half_lat)
+                    rows.append(
+                        (f"{name}_{xi}_{yi}_{stamp}", float(value), ts, cell)
+                    )
+        return ("id", variable, "ts", "loc"), rows
+
+
+def _cell_polygon(lon: float, lat: float,
+                  half_lon: float, half_lat: float) -> str:
+    x1, x2 = lon - half_lon, lon + half_lon
+    y1, y2 = lat - half_lat, lat + half_lat
+    return (
+        f"POLYGON (({x1:g} {y1:g}, {x2:g} {y1:g}, {x2:g} {y2:g}, "
+        f"{x1:g} {y2:g}, {x1:g} {y1:g}))"
+    )
+
+
+def attach_raster(conn: MadisConnection,
+                  catalog: Optional[RasterCatalog] = None) -> RasterCatalog:
+    """Register the ``raster`` operator; returns the catalog to fill."""
+    catalog = catalog or RasterCatalog()
+    conn.register_vt_operator("raster", catalog)
+    return catalog
+
+
+RASTER_MAPPING_TEMPLATE = """\
+[PrefixDeclaration]
+rast:\thttp://www.app-lab.eu/raster/
+geo:\thttp://www.opengis.net/ont/geosparql#
+time:\thttp://www.w3.org/2006/time#
+xsd:\thttp://www.w3.org/2001/XMLSchema#
+rdf:\thttp://www.w3.org/1999/02/22-rdf-syntax-ns#
+
+[MappingDeclaration] @collection [[
+mappingId\traster_{name}
+target\trast:{{id}} rdf:type rast:Cell .
+\trast:{{id}} rast:value {{{variable}}}^^xsd:float ;
+\t     time:hasTime {{ts}}^^xsd:dateTime .
+\trast:{{id}} geo:hasGeometry rast:geom/{{id}} .
+\trast:geom/{{id}} geo:asWKT {{loc}}^^geo:wktLiteral .
+source\tSELECT id, {variable}, ts, loc FROM (raster name:{name})
+]]
+"""
+
+
+def raster_mapping_document(name: str, variable: str) -> str:
+    """A mapping exposing one named raster as rast:Cell observations."""
+    return RASTER_MAPPING_TEMPLATE.format(name=name, variable=variable)

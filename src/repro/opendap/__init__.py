@@ -1,0 +1,77 @@
+"""OPeNDAP framework: dataset model, DAP2 protocol, NcML, subsetting."""
+
+from .client import DapCache, RemoteDataset, open_url
+from .constraints import (
+    ConstraintExpression,
+    Hyperslab,
+    Projection,
+    Selection,
+    apply_constraint,
+    parse_constraint,
+)
+from .das import apply_das, parse_das, render_das
+from .dds import parse_dds, render_dds
+from .dods import decode_dods, encode_dods
+from .model import (
+    DapDataset,
+    DapError,
+    Variable,
+    apply_fill_and_scale,
+    decode_time,
+    encode_time,
+    parse_time_units,
+)
+from .ncml import (
+    aggregate_join_existing,
+    apply_ncml_overrides,
+    parse_ncml,
+    render_ncml,
+)
+from .server import (
+    DEFAULT_REGISTRY,
+    DapServer,
+    LatencyModel,
+    ServerRegistry,
+)
+from .subset import (
+    WebCoverageService,
+    index_window_for_bbox,
+    subset_by_coords,
+)
+
+__all__ = [
+    "ConstraintExpression",
+    "DapCache",
+    "DapDataset",
+    "DapError",
+    "DapServer",
+    "DEFAULT_REGISTRY",
+    "Hyperslab",
+    "LatencyModel",
+    "Projection",
+    "RemoteDataset",
+    "Selection",
+    "ServerRegistry",
+    "Variable",
+    "WebCoverageService",
+    "aggregate_join_existing",
+    "apply_constraint",
+    "apply_das",
+    "apply_fill_and_scale",
+    "apply_ncml_overrides",
+    "decode_dods",
+    "decode_time",
+    "encode_dods",
+    "encode_time",
+    "index_window_for_bbox",
+    "open_url",
+    "parse_constraint",
+    "parse_das",
+    "parse_dds",
+    "parse_ncml",
+    "parse_time_units",
+    "render_das",
+    "render_dds",
+    "render_ncml",
+    "subset_by_coords",
+]

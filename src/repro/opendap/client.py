@@ -1,0 +1,130 @@
+"""OPeNDAP client: open a remote dataset, browse structure, fetch slices.
+
+The client mirrors the pydap/netCDF4 usage pattern the paper's SDL
+builds on: ``open_url`` fetches only DDS + DAS; data moves only when a
+constrained ``.dods`` request is issued. An optional client-side cache
+keyed on the *canonical constraint expression* reproduces the paper's
+observation that DAP caching by array indices beats bbox-keyed WCS
+caching for panning viewports (Section 5).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from .constraints import parse_constraint
+from .das import apply_das, parse_das
+from .dds import parse_dds
+from .dods import decode_dods
+from .model import DapDataset, DapError, decode_time
+from .server import DEFAULT_REGISTRY, ServerRegistry
+
+
+class DapCache:
+    """A TTL cache for DAP responses keyed by canonical constraint."""
+
+    def __init__(self, ttl_s: float = 600.0,
+                 clock=time.monotonic):
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._entries: Dict[Tuple[str, str], Tuple[float, bytes]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, url: str, constraint: str) -> Optional[bytes]:
+        key = (url, constraint)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        stamp, body = entry
+        if self._clock() - stamp > self.ttl_s:
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return body
+
+    def put(self, url: str, constraint: str, body: bytes) -> None:
+        self._entries[(url, constraint)] = (self._clock(), body)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+class RemoteDataset:
+    """A lazy proxy for one dataset on a DAP server."""
+
+    def __init__(self, url: str, registry: ServerRegistry,
+                 cache: Optional[DapCache] = None):
+        self.url = url.rstrip("/")
+        self._registry = registry
+        self.cache = cache
+        self._server, self._path = registry.resolve(self.url)
+        dds_text = self._raw_request(self._path + ".dds").decode("utf-8")
+        self.name, self._structure = parse_dds(dds_text)
+        das_text = self._raw_request(self._path + ".das").decode("utf-8")
+        self._attributes = parse_das(das_text)
+
+    # -- metadata ----------------------------------------------------------
+    @property
+    def variable_names(self) -> List[str]:
+        return [v["name"] for v in self._structure]
+
+    def dims_of(self, variable: str) -> List[Tuple[str, int]]:
+        for v in self._structure:
+            if v["name"] == variable:
+                return list(v["dims"])
+        raise DapError(f"no variable {variable!r} at {self.url}")
+
+    @property
+    def attributes(self) -> Dict[str, Dict[str, object]]:
+        """Per-container attributes (``NC_GLOBAL`` holds globals)."""
+        return self._attributes
+
+    def global_attributes(self) -> Dict[str, object]:
+        return dict(self._attributes.get("NC_GLOBAL", {}))
+
+    # -- data -----------------------------------------------------------------
+    def _raw_request(self, path_and_query: str) -> bytes:
+        return self._server.request(path_and_query)
+
+    def fetch(self, constraint: str = "") -> DapDataset:
+        """Fetch (a subset of) the data as a concrete dataset."""
+        canonical = parse_constraint(constraint).canonical()
+        if self.cache is not None:
+            body = self.cache.get(self.url, canonical)
+            if body is not None:
+                return self._decode(body)
+        query = ("?" + canonical) if canonical else ""
+        body = self._raw_request(self._path + ".dods" + query)
+        if self.cache is not None:
+            self.cache.put(self.url, canonical, body)
+        return self._decode(body)
+
+    def _decode(self, body: bytes) -> DapDataset:
+        dataset = decode_dods(body)
+        apply_das(dataset, self._attributes)
+        return dataset
+
+    def times(self, time_var: str = "time") -> List:
+        """Decode the time coordinate (fetching only that variable)."""
+        subset = self.fetch(time_var)
+        return decode_time(subset[time_var])
+
+    def __repr__(self) -> str:
+        return f"<RemoteDataset {self.url} vars={self.variable_names}>"
+
+
+def open_url(url: str, registry: Optional[ServerRegistry] = None,
+             cache: Optional[DapCache] = None) -> RemoteDataset:
+    """Open a ``dap://host/path`` URL against a server registry."""
+    return RemoteDataset(url, registry or DEFAULT_REGISTRY, cache=cache)

@@ -1,0 +1,206 @@
+"""DAP2 constraint expressions: projections with hyperslabs + selections.
+
+Syntax (the part appended to a dataset URL after ``?``)::
+
+    LAI[0:10][5:2:9],time&time>=100&lat<52.0
+
+- a comma list of projected variables, each with optional per-dimension
+  hyperslabs ``[start]``, ``[start:stop]`` or ``[start:stride:stop]``
+  (DAP slices are inclusive of ``stop``);
+- ``&``-separated selections comparing a 1-D coordinate variable with a
+  constant, which restrict every variable sharing that dimension.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .model import DapDataset, DapError, Variable
+
+
+@dataclass(frozen=True)
+class Hyperslab:
+    start: int
+    stop: int  # inclusive, per the DAP spec
+    stride: int = 1
+
+    def to_slice(self) -> slice:
+        return slice(self.start, self.stop + 1, self.stride)
+
+
+@dataclass(frozen=True)
+class Projection:
+    variable: str
+    slabs: Tuple[Hyperslab, ...] = ()
+
+
+@dataclass(frozen=True)
+class Selection:
+    variable: str
+    op: str  # < <= > >= = !=
+    value: float
+
+
+@dataclass
+class ConstraintExpression:
+    projections: List[Projection] = field(default_factory=list)
+    selections: List[Selection] = field(default_factory=list)
+
+    def canonical(self) -> str:
+        """Canonical text form (used as a cache key)."""
+        proj = ",".join(
+            p.variable
+            + "".join(
+                f"[{s.start}:{s.stride}:{s.stop}]" for s in p.slabs
+            )
+            for p in sorted(self.projections, key=lambda p: p.variable)
+        )
+        sel = "&".join(
+            f"{s.variable}{s.op}{s.value:g}"
+            for s in sorted(self.selections,
+                            key=lambda s: (s.variable, s.op, s.value))
+        )
+        return proj + ("&" + sel if sel else "")
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.projections and not self.selections
+
+
+_SLAB_RE = re.compile(r"\[(\d+)(?::(\d+))?(?::(\d+))?\]")
+_PROJ_RE = re.compile(r"^([\w.-]+)((?:\[[^\]]*\])*)$")
+_SEL_RE = re.compile(r"^([\w.-]+)(<=|>=|!=|=|<|>)([-+0-9.eE]+)$")
+
+
+def parse_constraint(text: str) -> ConstraintExpression:
+    """Parse a constraint expression string (may be empty)."""
+    ce = ConstraintExpression()
+    text = text.strip()
+    if not text:
+        return ce
+    parts = text.split("&")
+    projection_part = parts[0]
+    selection_parts = parts[1:]
+    if _SEL_RE.match(projection_part):
+        # leading selection with no projection list
+        selection_parts.insert(0, projection_part)
+        projection_part = ""
+    if projection_part:
+        for clause in projection_part.split(","):
+            m = _PROJ_RE.match(clause.strip())
+            if not m:
+                raise DapError(f"bad projection clause {clause!r}")
+            name, slab_text = m.groups()
+            if _SLAB_RE.sub("", slab_text):
+                raise DapError(f"bad hyperslab syntax in {clause!r}")
+            slabs = []
+            for sm in _SLAB_RE.finditer(slab_text):
+                a, b, c = sm.groups()
+                if c is not None:
+                    slabs.append(Hyperslab(int(a), int(c), int(b)))
+                elif b is not None:
+                    slabs.append(Hyperslab(int(a), int(b)))
+                else:
+                    slabs.append(Hyperslab(int(a), int(a)))
+            ce.projections.append(Projection(name, tuple(slabs)))
+    for clause in selection_parts:
+        clause = clause.strip()
+        if not clause:
+            continue
+        m = _SEL_RE.match(clause)
+        if not m:
+            raise DapError(f"bad selection clause {clause!r}")
+        name, op, value = m.groups()
+        try:
+            numeric = float(value)
+        except ValueError:
+            raise DapError(
+                f"selection value {value!r} is not numeric"
+            ) from None
+        ce.selections.append(Selection(name, op, numeric))
+    return ce
+
+
+_OPS = {
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "=": np.equal,
+    "!=": np.not_equal,
+}
+
+
+def apply_constraint(dataset: DapDataset,
+                     ce: ConstraintExpression) -> DapDataset:
+    """Evaluate a constraint expression, returning the subset dataset."""
+    # 1. selections restrict dimensions via their coordinate variables
+    dim_indices: Dict[str, np.ndarray] = {}
+    for sel in ce.selections:
+        var = dataset.variables.get(sel.variable)
+        if var is None:
+            raise DapError(f"selection on unknown variable {sel.variable!r}")
+        if len(var.dims) != 1:
+            raise DapError(
+                f"selections require 1-D coordinate variables, "
+                f"{sel.variable!r} has dims {var.dims}"
+            )
+        mask = _OPS[sel.op](var.data.astype(float), sel.value)
+        indices = np.nonzero(mask)[0]
+        dim = var.dims[0]
+        if dim in dim_indices:
+            dim_indices[dim] = np.intersect1d(dim_indices[dim], indices)
+        else:
+            dim_indices[dim] = indices
+
+    # 2. choose projected variables (all when no projection list given)
+    if ce.projections:
+        names = [p.variable for p in ce.projections]
+        missing = [n for n in names if n not in dataset.variables]
+        if missing:
+            raise DapError(f"projection of unknown variables {missing}")
+        # Projected data variables drag their coordinate variables along,
+        # like a netCDF-aware DAP server does.
+        keep = list(names)
+        for n in names:
+            for dim in dataset.variables[n].dims:
+                if dim in dataset.variables and dim not in keep:
+                    keep.append(dim)
+        slab_map = {p.variable: p.slabs for p in ce.projections}
+        # A hyperslab on a data variable also slices the coordinate
+        # variables of the affected dimensions (netCDF-aware behaviour).
+        for p in ce.projections:
+            var = dataset.variables[p.variable]
+            for dim, slab in zip(var.dims, p.slabs):
+                if dim in dataset.variables and dim not in slab_map:
+                    slab_map[dim] = (slab,)
+    else:
+        keep = list(dataset.variables)
+        slab_map = {}
+
+    out = DapDataset(dataset.name, dict(dataset.attributes))
+    for name in keep:
+        var = dataset.variables[name]
+        data = var.data
+        slabs = slab_map.get(name, ())
+        if slabs:
+            if len(slabs) != len(var.dims):
+                raise DapError(
+                    f"{name!r}: {len(slabs)} hyperslabs for "
+                    f"{len(var.dims)} dimensions"
+                )
+            slicer = tuple(s.to_slice() for s in slabs)
+            data = data[slicer]
+        else:
+            # apply selection-derived dimension restrictions
+            for axis, dim in enumerate(var.dims):
+                if dim in dim_indices:
+                    data = np.take(data, dim_indices[dim], axis=axis)
+        out.variables[name] = Variable(
+            name, var.dims, data, dict(var.attributes)
+        )
+    return out

@@ -1,0 +1,112 @@
+"""DAS (Dataset Attribute Structure) rendering and parsing.
+
+The DAS carries per-variable and global attributes — served at
+``<dataset-url>.das``. Global attributes live in the conventional
+``NC_GLOBAL`` container.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Tuple
+
+from .model import DapDataset, DapError
+
+
+def _attr_type(value) -> str:
+    if isinstance(value, bool):
+        return "String"
+    if isinstance(value, int):
+        return "Int32"
+    if isinstance(value, float):
+        return "Float64"
+    return "String"
+
+
+def _attr_text(value) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(value, bool):
+        return f'"{str(value).lower()}"'
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def render_das(dataset: DapDataset) -> str:
+    """Render the DAS text for a dataset."""
+    lines = ["Attributes {"]
+    for var in dataset.variables.values():
+        lines.append(f"    {var.name} {{")
+        for key, value in var.attributes.items():
+            lines.append(
+                f"        {_attr_type(value)} {key} {_attr_text(value)};"
+            )
+        lines.append("    }")
+    lines.append("    NC_GLOBAL {")
+    for key, value in dataset.attributes.items():
+        lines.append(
+            f"        {_attr_type(value)} {key} {_attr_text(value)};"
+        )
+    lines.append("    }")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+_CONTAINER_RE = re.compile(r"^\s*([\w.-]+)\s*\{\s*$")
+_ATTR_RE = re.compile(
+    r'^\s*(\w+)\s+([\w.:-]+)\s+(".*"|[-+\w.eE]+)\s*;\s*$'
+)
+
+
+def parse_das(text: str) -> Dict[str, Dict[str, object]]:
+    """Parse DAS text into ``{container: {attr: value}}``.
+
+    Global attributes appear under the ``NC_GLOBAL`` key.
+    """
+    lines = text.splitlines()
+    if not lines or not lines[0].strip().startswith("Attributes"):
+        raise DapError("not a DAS document")
+    containers: Dict[str, Dict[str, object]] = {}
+    current = None
+    for line in lines[1:]:
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped == "}":
+            if current is None:
+                break  # closes the outer Attributes block
+            current = None
+            continue
+        m = _CONTAINER_RE.match(line)
+        if m and current is None:
+            current = m.group(1)
+            containers[current] = {}
+            continue
+        m = _ATTR_RE.match(line)
+        if m and current is not None:
+            dap_type, name, raw = m.groups()
+            containers[current][name] = _parse_value(dap_type, raw)
+            continue
+        raise DapError(f"bad DAS line: {line!r}")
+    return containers
+
+
+def _parse_value(dap_type: str, raw: str):
+    if raw.startswith('"'):
+        return raw[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+    if dap_type in ("Int16", "Int32", "UInt16", "UInt32", "Byte"):
+        return int(raw)
+    if dap_type in ("Float32", "Float64"):
+        return float(raw)
+    return raw
+
+
+def apply_das(dataset: DapDataset,
+              containers: Dict[str, Dict[str, object]]) -> DapDataset:
+    """Attach parsed DAS attributes to a dataset in place."""
+    for name, attrs in containers.items():
+        if name == "NC_GLOBAL":
+            dataset.attributes.update(attrs)
+        elif name in dataset.variables:
+            dataset.variables[name].attributes.update(attrs)
+    return dataset

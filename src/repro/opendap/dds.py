@@ -1,0 +1,101 @@
+"""DDS (Dataset Descriptor Structure) rendering and parsing.
+
+The DDS describes a dataset's structure: the variables, their types and
+the relationships between their dimensions — exactly as served by a DAP2
+server at ``<dataset-url>.dds``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .model import DapDataset, DapError
+
+_NUMPY_TO_DAP = {
+    "int8": "Byte",
+    "uint8": "Byte",
+    "int16": "Int16",
+    "uint16": "UInt16",
+    "int32": "Int32",
+    "uint32": "UInt32",
+    "int64": "Int32",  # DAP2 has no 64-bit integer
+    "float32": "Float32",
+    "float64": "Float64",
+}
+
+_DAP_TO_NUMPY = {
+    "Byte": "uint8",
+    "Int16": "int16",
+    "UInt16": "uint16",
+    "Int32": "int32",
+    "UInt32": "uint32",
+    "Float32": "float32",
+    "Float64": "float64",
+    "String": "object",
+}
+
+
+def dap_type(dtype: np.dtype) -> str:
+    name = np.dtype(dtype).name
+    if name.startswith("str") or name == "object":
+        return "String"
+    try:
+        return _NUMPY_TO_DAP[name]
+    except KeyError:
+        raise DapError(f"no DAP type for dtype {name!r}") from None
+
+
+def render_dds(dataset: DapDataset) -> str:
+    """Render the DDS text for a dataset (grids flattened to arrays)."""
+    lines = ["Dataset {"]
+    for var in dataset.variables.values():
+        dims = "".join(
+            f"[{dim} = {size}]" for dim, size in zip(var.dims, var.shape)
+        )
+        lines.append(f"    {dap_type(var.dtype)} {var.name}{dims};")
+    lines.append(f"}} {dataset.name};")
+    return "\n".join(lines) + "\n"
+
+
+_VAR_RE = re.compile(
+    r"^\s*(?P<type>\w+)\s+(?P<name>[\w.-]+)(?P<dims>(?:\[[^\]]*\])*)\s*;\s*$"
+)
+_DIM_RE = re.compile(r"\[\s*(?:(?P<dim>[\w.-]+)\s*=\s*)?(?P<size>\d+)\s*\]")
+
+
+def parse_dds(text: str) -> Tuple[str, List[Dict]]:
+    """Parse DDS text into (dataset name, variable descriptors).
+
+    Each descriptor is ``{"name", "dtype", "dims": [(dim, size), ...]}``.
+    """
+    lines = [l for l in text.splitlines() if l.strip()]
+    if not lines or not lines[0].strip().startswith("Dataset"):
+        raise DapError("not a DDS document")
+    m = re.match(r"^\}\s*([\w.-]+)\s*;", lines[-1].strip())
+    if not m:
+        raise DapError("DDS missing dataset name")
+    name = m.group(1)
+    variables = []
+    for line in lines[1:-1]:
+        vm = _VAR_RE.match(line)
+        if not vm:
+            raise DapError(f"bad DDS variable line: {line!r}")
+        dims = [
+            (dm.group("dim") or f"dim{i}", int(dm.group("size")))
+            for i, dm in enumerate(_DIM_RE.finditer(vm.group("dims")))
+        ]
+        dap = vm.group("type")
+        if dap not in _DAP_TO_NUMPY:
+            raise DapError(f"unknown DAP type {dap!r}")
+        variables.append(
+            {
+                "name": vm.group("name"),
+                "dtype": np.dtype(_DAP_TO_NUMPY[dap])
+                if dap != "String" else np.dtype(object),
+                "dims": dims,
+            }
+        )
+    return name, variables

@@ -1,0 +1,80 @@
+"""Binary data encoding for DAP responses.
+
+Real DAP2 sends XDR-encoded binary after a DDS header; we keep the same
+shape — a structured header followed by raw array bytes — so transfer
+sizes are realistic and measurable, which the latency model uses to
+simulate network cost.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Tuple
+
+import numpy as np
+
+from .model import DapDataset, DapError, Variable
+
+_MAGIC = b"DODS"
+
+
+def encode_dods(dataset: DapDataset) -> bytes:
+    """Encode a dataset into the wire format."""
+    header = {
+        "name": dataset.name,
+        "attributes": dataset.attributes,
+        "variables": [],
+    }
+    payloads = []
+    for var in dataset.variables.values():
+        data = var.data
+        if data.dtype == object:
+            blob = json.dumps([str(x) for x in data.ravel()]).encode("utf-8")
+            dtype_name = "string"
+        else:
+            blob = np.ascontiguousarray(data).tobytes()
+            dtype_name = data.dtype.name
+        header["variables"].append(
+            {
+                "name": var.name,
+                "dims": list(var.dims),
+                "shape": list(var.shape),
+                "dtype": dtype_name,
+                "attributes": var.attributes,
+                "nbytes": len(blob),
+            }
+        )
+        payloads.append(blob)
+    header_bytes = json.dumps(header).encode("utf-8")
+    return (
+        _MAGIC
+        + struct.pack(">I", len(header_bytes))
+        + header_bytes
+        + b"".join(payloads)
+    )
+
+
+def decode_dods(blob: bytes) -> DapDataset:
+    """Decode wire bytes back into a dataset."""
+    if blob[:4] != _MAGIC:
+        raise DapError("not a DODS payload")
+    (header_len,) = struct.unpack(">I", blob[4:8])
+    header = json.loads(blob[8: 8 + header_len].decode("utf-8"))
+    dataset = DapDataset(header["name"], header.get("attributes", {}))
+    offset = 8 + header_len
+    for meta in header["variables"]:
+        nbytes = meta["nbytes"]
+        raw = blob[offset: offset + nbytes]
+        offset += nbytes
+        if meta["dtype"] == "string":
+            values = json.loads(raw.decode("utf-8"))
+            data = np.array(values, dtype=object).reshape(meta["shape"])
+        else:
+            data = np.frombuffer(
+                raw, dtype=np.dtype(meta["dtype"])
+            ).reshape(meta["shape"]).copy()
+        dataset.variables[meta["name"]] = Variable(
+            meta["name"], meta["dims"], data, meta.get("attributes", {})
+        )
+    return dataset

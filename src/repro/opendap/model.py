@@ -1,0 +1,203 @@
+"""The OPeNDAP / netCDF-style dataset model.
+
+A :class:`DapDataset` is a set of named N-dimensional variables over
+shared dimensions, each with attribute dictionaries, plus global
+attributes — the common model of netCDF, HDF and the DAP2 protocol.
+Data are held as numpy arrays; CF conventions (coordinate variables,
+``units: days since ...`` time encoding, ``_FillValue``) are supported
+by helpers here.
+"""
+
+from __future__ import annotations
+
+import re
+from datetime import datetime, timedelta, timezone
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class DapError(ValueError):
+    """Raised for malformed datasets, URLs or constraint expressions."""
+
+
+class Variable:
+    """A named array with dimensions and attributes."""
+
+    def __init__(self, name: str, dims: Sequence[str], data,
+                 attributes: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.dims: Tuple[str, ...] = tuple(dims)
+        self.data = np.asarray(data)
+        if self.data.ndim != len(self.dims):
+            raise DapError(
+                f"variable {name!r}: {self.data.ndim} axes but "
+                f"{len(self.dims)} dimensions declared"
+            )
+        self.attributes: Dict[str, object] = dict(attributes or {})
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def copy(self) -> "Variable":
+        return Variable(self.name, self.dims, self.data.copy(),
+                        dict(self.attributes))
+
+    def __repr__(self) -> str:
+        dims = ", ".join(f"{d}={n}" for d, n in zip(self.dims, self.shape))
+        return f"<Variable {self.name}({dims}) {self.dtype}>"
+
+
+class DapDataset:
+    """A collection of variables sharing dimensions, plus global attrs."""
+
+    def __init__(self, name: str,
+                 attributes: Optional[Dict[str, object]] = None):
+        self.name = name
+        self.variables: Dict[str, Variable] = {}
+        self.attributes: Dict[str, object] = dict(attributes or {})
+
+    # -- construction ---------------------------------------------------------
+    def add_variable(self, name: str, dims: Sequence[str], data,
+                     attributes: Optional[Dict[str, object]] = None
+                     ) -> Variable:
+        var = Variable(name, dims, data, attributes)
+        for dim, size in zip(var.dims, var.shape):
+            existing = self.dimensions.get(dim)
+            if existing is not None and existing != size:
+                raise DapError(
+                    f"dimension {dim!r} size conflict: {existing} vs {size}"
+                )
+        self.variables[name] = var
+        return var
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def dimensions(self) -> Dict[str, int]:
+        dims: Dict[str, int] = {}
+        for var in self.variables.values():
+            for dim, size in zip(var.dims, var.shape):
+                dims[dim] = size
+        return dims
+
+    def coordinate(self, dim: str) -> Optional[Variable]:
+        """The CF coordinate variable for a dimension, if present."""
+        var = self.variables.get(dim)
+        if var is not None and var.dims == (dim,):
+            return var
+        return None
+
+    @property
+    def nbytes(self) -> int:
+        return sum(v.nbytes for v in self.variables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.variables
+
+    def __getitem__(self, name: str) -> Variable:
+        try:
+            return self.variables[name]
+        except KeyError:
+            raise DapError(f"no variable {name!r} in {self.name}") from None
+
+    def copy(self, name: Optional[str] = None) -> "DapDataset":
+        out = DapDataset(name or self.name, dict(self.attributes))
+        for var in self.variables.values():
+            out.variables[var.name] = var.copy()
+        return out
+
+    # -- subsetting ------------------------------------------------------------
+    def isel(self, **indexers) -> "DapDataset":
+        """Integer/slice subsetting along named dimensions."""
+        out = DapDataset(self.name, dict(self.attributes))
+        for var in self.variables.values():
+            slicer = tuple(
+                indexers.get(dim, slice(None)) for dim in var.dims
+            )
+            data = var.data[slicer]
+            new_dims = [
+                dim for dim, idx in zip(var.dims, slicer)
+                if not isinstance(idx, int)
+            ]
+            out.variables[var.name] = Variable(
+                var.name, new_dims, data, dict(var.attributes)
+            )
+        return out
+
+    def __repr__(self) -> str:
+        dims = ", ".join(f"{d}={n}" for d, n in self.dimensions.items())
+        return (
+            f"<DapDataset {self.name} [{dims}] "
+            f"{len(self.variables)} variables>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# CF time handling
+# ---------------------------------------------------------------------------
+
+_TIME_UNITS_RE = re.compile(
+    r"^(seconds|minutes|hours|days)\s+since\s+(\d{4}-\d{2}-\d{2})"
+    r"(?:[T ](\d{2}:\d{2}(?::\d{2})?))?",
+    re.IGNORECASE,
+)
+
+_UNIT_SECONDS = {
+    "seconds": 1.0,
+    "minutes": 60.0,
+    "hours": 3600.0,
+    "days": 86400.0,
+}
+
+
+def parse_time_units(units: str) -> Tuple[float, datetime]:
+    """Parse CF time units into (seconds per step, epoch)."""
+    m = _TIME_UNITS_RE.match(units.strip())
+    if not m:
+        raise DapError(f"unsupported time units {units!r}")
+    unit, day, clock = m.group(1).lower(), m.group(2), m.group(3)
+    epoch = datetime.fromisoformat(day + ("T" + clock if clock else "T00:00"))
+    return _UNIT_SECONDS[unit], epoch.replace(tzinfo=timezone.utc)
+
+
+def decode_time(var: Variable) -> List[datetime]:
+    """Decode a CF time coordinate variable into datetimes (UTC)."""
+    units = var.attributes.get("units")
+    if not units:
+        raise DapError(f"time variable {var.name!r} has no units attribute")
+    step, epoch = parse_time_units(str(units))
+    return [
+        epoch + timedelta(seconds=float(v) * step)
+        for v in np.ravel(var.data)
+    ]
+
+
+def encode_time(times: Iterable[datetime], units: str) -> np.ndarray:
+    """Encode datetimes into a CF numeric time array for *units*."""
+    step, epoch = parse_time_units(units)
+    values = []
+    for t in times:
+        if t.tzinfo is None:
+            t = t.replace(tzinfo=timezone.utc)
+        values.append((t - epoch).total_seconds() / step)
+    return np.asarray(values)
+
+
+def apply_fill_and_scale(var: Variable) -> np.ndarray:
+    """Decoded values: mask _FillValue to NaN, apply scale/offset."""
+    data = var.data.astype(float)
+    fill = var.attributes.get("_FillValue")
+    if fill is not None:
+        data = np.where(var.data == fill, np.nan, data)
+    scale = float(var.attributes.get("scale_factor", 1.0))
+    offset = float(var.attributes.get("add_offset", 0.0))
+    return data * scale + offset

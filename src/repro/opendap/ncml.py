@@ -1,0 +1,153 @@
+"""NcML (NetCDF Markup Language) rendering, parsing and aggregation.
+
+The paper uses NcML in two ways:
+
+- the NcML *service* merges a dataset's DAS and DDS into one XML
+  document (:func:`render_ncml` / :func:`parse_ncml`);
+- each VITO dataset carries a netCDF *NcML aggregation* that joins the
+  per-date files along the time dimension and is updated automatically
+  as new dates arrive (:func:`aggregate_join_existing`), and the CMS
+  uses NcML to blend post-hoc metadata over non-compliant sources
+  (:func:`apply_ncml_overrides`).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Sequence
+from xml.sax.saxutils import escape, quoteattr
+
+import numpy as np
+
+from .dds import dap_type
+from .model import DapDataset, DapError, Variable
+
+NCML_NS = "http://www.unidata.ucar.edu/namespaces/netcdf/ncml-2.2"
+
+
+def render_ncml(dataset: DapDataset, location: str = "") -> str:
+    """Render a dataset's structure+attributes as an NcML document."""
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<netcdf xmlns="{NCML_NS}"'
+        + (f" location={quoteattr(location)}" if location else "")
+        + ">",
+    ]
+    for dim, size in dataset.dimensions.items():
+        lines.append(f'  <dimension name={quoteattr(dim)} length="{size}"/>')
+    for key, value in dataset.attributes.items():
+        lines.append(_attr_xml(key, value, indent="  "))
+    for var in dataset.variables.values():
+        shape = " ".join(var.dims)
+        lines.append(
+            f"  <variable name={quoteattr(var.name)} "
+            f"shape={quoteattr(shape)} "
+            f"type={quoteattr(dap_type(var.dtype).lower())}>"
+        )
+        for key, value in var.attributes.items():
+            lines.append(_attr_xml(key, value, indent="    "))
+        lines.append("  </variable>")
+    lines.append("</netcdf>")
+    return "\n".join(lines) + "\n"
+
+
+def _attr_xml(key: str, value, indent: str) -> str:
+    attr_type = (
+        "int" if isinstance(value, int) and not isinstance(value, bool)
+        else "double" if isinstance(value, float)
+        else "String"
+    )
+    return (
+        f"{indent}<attribute name={quoteattr(key)} "
+        f"type={quoteattr(attr_type)} value={quoteattr(str(value))}/>"
+    )
+
+
+def parse_ncml(text: str) -> Dict:
+    """Parse an NcML document into a structural description dict."""
+    root = ET.fromstring(text)
+    if not root.tag.endswith("netcdf"):
+        raise DapError("not an NcML document")
+
+    def local(tag: str) -> str:
+        return tag.rsplit("}", 1)[-1]
+
+    out = {
+        "location": root.get("location", ""),
+        "dimensions": {},
+        "attributes": {},
+        "variables": {},
+    }
+    for child in root:
+        tag = local(child.tag)
+        if tag == "dimension":
+            out["dimensions"][child.get("name")] = int(child.get("length"))
+        elif tag == "attribute":
+            out["attributes"][child.get("name")] = _parse_attr(child)
+        elif tag == "variable":
+            var_entry = {
+                "shape": (child.get("shape") or "").split(),
+                "type": child.get("type", ""),
+                "attributes": {},
+            }
+            for sub in child:
+                if local(sub.tag) == "attribute":
+                    var_entry["attributes"][sub.get("name")] = _parse_attr(sub)
+            out["variables"][child.get("name")] = var_entry
+    return out
+
+
+def _parse_attr(element) -> object:
+    value = element.get("value", "")
+    attr_type = element.get("type", "String")
+    if attr_type == "int":
+        return int(value)
+    if attr_type == "double":
+        return float(value)
+    return value
+
+
+def aggregate_join_existing(datasets: Sequence[DapDataset],
+                            dim: str = "time",
+                            name: str = "") -> DapDataset:
+    """Join per-date datasets along an existing dimension.
+
+    The VITO deployment exposes each product as one aggregated dataset
+    that grows as new dates are published; this is that aggregation.
+    """
+    if not datasets:
+        raise DapError("nothing to aggregate")
+    first = datasets[0]
+    out = DapDataset(name or first.name, dict(first.attributes))
+    for var_name, first_var in first.variables.items():
+        parts = []
+        for ds in datasets:
+            if var_name not in ds.variables:
+                raise DapError(
+                    f"aggregation member missing variable {var_name!r}"
+                )
+            parts.append(ds.variables[var_name].data)
+        if dim in first_var.dims:
+            axis = first_var.dims.index(dim)
+            data = np.concatenate(parts, axis=axis)
+        else:
+            data = first_var.data
+        out.variables[var_name] = Variable(
+            var_name, first_var.dims, data, dict(first_var.attributes)
+        )
+    return out
+
+
+def apply_ncml_overrides(dataset: DapDataset, ncml_text: str) -> DapDataset:
+    """Blend NcML-declared attributes over a dataset (CMS post-hoc fix).
+
+    Source values win only where NcML does not redefine them — NcML is
+    the modifier document, per the Unidata semantics.
+    """
+    overrides = parse_ncml(ncml_text)
+    out = dataset.copy()
+    out.attributes.update(overrides["attributes"])
+    for var_name, entry in overrides["variables"].items():
+        if var_name in out.variables:
+            out.variables[var_name].attributes.update(entry["attributes"])
+    return out

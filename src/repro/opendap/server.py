@@ -1,0 +1,197 @@
+"""In-process OPeNDAP server with a network latency model.
+
+The server mounts :class:`DapDataset` objects (or callables producing
+them) under URL paths and answers the DAP2 service endpoints:
+
+- ``<path>.dds``  — structure
+- ``<path>.dds?<ce>`` — structure of the constrained subset
+- ``<path>.das``  — attributes
+- ``<path>.dods?<ce>`` — binary data for the constrained subset
+- ``<path>.ncml`` — NcML view (structure + attributes as XML)
+
+Because everything runs in one process, network cost is *simulated*: a
+configurable per-request latency plus per-byte transfer time, charged by
+sleeping (benchmarks) or by accounting only (tests). This is the
+substitution for the VITO-hosted Hyrax deployment described in the
+paper; the protocol surface is what the SDL and the Ontop-spatial
+adapter consume.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import time
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from .constraints import apply_constraint, parse_constraint
+from .das import render_das
+from .dds import render_dds
+from .dods import encode_dods
+from .model import DapDataset, DapError
+
+DatasetSource = Union[DapDataset, Callable[[], DapDataset]]
+
+
+class LatencyModel:
+    """Simulated network cost: base round-trip + throughput-limited body."""
+
+    def __init__(self, base_s: float = 0.0, per_mb_s: float = 0.0,
+                 sleep: bool = True):
+        self.base_s = base_s
+        self.per_mb_s = per_mb_s
+        self.sleep = sleep
+        self.total_simulated_s = 0.0
+        self.request_count = 0
+        self.bytes_served = 0
+
+    def charge(self, nbytes: int) -> float:
+        cost = self.base_s + (nbytes / 1_000_000.0) * self.per_mb_s
+        self.request_count += 1
+        self.bytes_served += nbytes
+        self.total_simulated_s += cost
+        if self.sleep and cost > 0:
+            time.sleep(cost)
+        return cost
+
+    def reset(self) -> None:
+        self.total_simulated_s = 0.0
+        self.request_count = 0
+        self.bytes_served = 0
+
+
+class DapServer:
+    """Serves mounted datasets over the DAP2 protocol surface."""
+
+    def __init__(self, host: str,
+                 latency: Optional[LatencyModel] = None):
+        self.host = host
+        self.latency = latency or LatencyModel(sleep=False)
+        self._mounts: Dict[str, DatasetSource] = {}
+        self.access_log: List[Tuple[str, str]] = []
+
+    # -- catalog ----------------------------------------------------------
+    def mount(self, path: str, source: DatasetSource) -> None:
+        """Mount a dataset (or a zero-arg factory) under *path*."""
+        self._mounts[path.strip("/")] = source
+
+    def unmount(self, path: str) -> None:
+        self._mounts.pop(path.strip("/"), None)
+
+    def paths(self, pattern: str = "*") -> List[str]:
+        return sorted(
+            p for p in self._mounts if fnmatch.fnmatch(p, pattern)
+        )
+
+    def dataset(self, path: str) -> DapDataset:
+        source = self._mounts.get(path.strip("/"))
+        if source is None:
+            raise DapError(f"no dataset mounted at {path!r} on {self.host}")
+        return source() if callable(source) else source
+
+    # -- protocol ----------------------------------------------------------
+    def request(self, path_and_query: str) -> bytes:
+        """Handle one DAP request; returns the raw response body."""
+        path, __, query = path_and_query.partition("?")
+        path = path.strip("/")
+        for suffix in (".dds", ".das", ".dods", ".ascii", ".ncml"):
+            if path.endswith(suffix):
+                base = path[: -len(suffix)]
+                service = suffix[1:]
+                break
+        else:
+            raise DapError(
+                f"request {path!r} must end in .dds/.das/.dods/.ascii/.ncml"
+            )
+        dataset = self.dataset(base)
+        self.access_log.append((base, service))
+        ce = parse_constraint(query)
+        if service == "dds":
+            subset = dataset if ce.is_empty else apply_constraint(dataset, ce)
+            body = render_dds(subset).encode("utf-8")
+        elif service == "das":
+            body = render_das(dataset).encode("utf-8")
+        elif service == "dods":
+            subset = dataset if ce.is_empty else apply_constraint(dataset, ce)
+            body = encode_dods(subset)
+        elif service == "ascii":
+            subset = dataset if ce.is_empty else apply_constraint(dataset, ce)
+            body = _render_ascii(subset).encode("utf-8")
+        else:  # ncml
+            from .ncml import render_ncml
+
+            body = render_ncml(dataset).encode("utf-8")
+        self.latency.charge(len(body))
+        return body
+
+    def url(self, path: str) -> str:
+        return f"dap://{self.host}/{path.strip('/')}"
+
+    def catalog_xml(self) -> str:
+        """A THREDDS-style catalog of every mounted dataset.
+
+        Real deployments expose ``catalog.xml`` so harvesters (our CMS,
+        the SDL) can discover dataset paths without guessing.
+        """
+        from xml.sax.saxutils import quoteattr
+
+        lines = [
+            '<?xml version="1.0" encoding="UTF-8"?>',
+            f'<catalog name={quoteattr(self.host)} '
+            'xmlns="http://www.unidata.ucar.edu/namespaces/thredds/'
+            'InvCatalog/v1.0">',
+            '  <service name="dap" serviceType="OPeNDAP" base="/"/>',
+        ]
+        for path in self.paths():
+            lines.append(
+                f"  <dataset name={quoteattr(path.rsplit('/', 1)[-1])} "
+                f"urlPath={quoteattr(path)}/>"
+            )
+        lines.append("</catalog>")
+        return "\n".join(lines) + "\n"
+
+    def __repr__(self) -> str:
+        return f"<DapServer {self.host} ({len(self._mounts)} datasets)>"
+
+
+def _render_ascii(dataset: DapDataset) -> str:
+    lines = [f"Dataset: {dataset.name}"]
+    for var in dataset.variables.values():
+        lines.append(f"{var.name}, shape={var.shape}")
+        flat = var.data.ravel()
+        preview = ", ".join(str(v) for v in flat[:20])
+        if flat.size > 20:
+            preview += ", ..."
+        lines.append(preview)
+    return "\n".join(lines) + "\n"
+
+
+class ServerRegistry:
+    """Resolves ``dap://host/path`` URLs to in-process servers.
+
+    Stands in for DNS + HTTP: clients look servers up by host name.
+    """
+
+    def __init__(self):
+        self._servers: Dict[str, DapServer] = {}
+
+    def register(self, server: DapServer) -> DapServer:
+        self._servers[server.host] = server
+        return server
+
+    def resolve(self, url: str) -> Tuple[DapServer, str]:
+        """Split a dap:// URL into (server, path-with-query)."""
+        if not url.startswith("dap://"):
+            raise DapError(f"not a dap:// URL: {url!r}")
+        rest = url[len("dap://"):]
+        host, __, path = rest.partition("/")
+        server = self._servers.get(host)
+        if server is None:
+            raise DapError(f"unknown DAP host {host!r}")
+        return server, path
+
+    def clear(self) -> None:
+        self._servers.clear()
+
+
+#: Default process-wide registry (tests may build private ones).
+DEFAULT_REGISTRY = ServerRegistry()

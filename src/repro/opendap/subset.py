@@ -1,0 +1,115 @@
+"""NetcdfSubset and WCS-style coverage services.
+
+VITO exposes three services per dataset (Section 3.1): OPeNDAP, the
+NetcdfSubset service and the NCML service. NetcdfSubset subsets by
+*coordinates* (bbox + time window) rather than array indices.
+
+The :class:`WebCoverageService` implements the OGC WCS access pattern
+the paper compares against in Section 5 — bbox-only subsetting with no
+index-aligned caching — so experiment E11 can contrast cache behaviour.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .model import DapDataset, DapError, Variable, decode_time
+
+BBox = Tuple[float, float, float, float]
+
+
+def subset_by_coords(dataset: DapDataset,
+                     bbox: Optional[BBox] = None,
+                     time_range: Optional[Tuple[datetime, datetime]] = None,
+                     lon_var: str = "lon",
+                     lat_var: str = "lat",
+                     time_var: str = "time") -> DapDataset:
+    """Coordinate-space subsetting (the NetcdfSubset service)."""
+    indexers: Dict[str, np.ndarray] = {}
+    if bbox is not None:
+        minx, miny, maxx, maxy = bbox
+        lon = dataset[lon_var].data.astype(float)
+        lat = dataset[lat_var].data.astype(float)
+        indexers[lon_var] = np.nonzero((lon >= minx) & (lon <= maxx))[0]
+        indexers[lat_var] = np.nonzero((lat >= miny) & (lat <= maxy))[0]
+    if time_range is not None:
+        start, end = time_range
+        times = decode_time(dataset[time_var])
+        mask = [start <= t <= end for t in times]
+        indexers[time_var] = np.nonzero(mask)[0]
+
+    out = DapDataset(dataset.name, dict(dataset.attributes))
+    for var in dataset.variables.values():
+        data = var.data
+        for axis, dim in enumerate(var.dims):
+            if dim in indexers:
+                data = np.take(data, indexers[dim], axis=axis)
+        out.variables[var.name] = Variable(
+            var.name, var.dims, data, dict(var.attributes)
+        )
+    return out
+
+
+def index_window_for_bbox(dataset: DapDataset, bbox: BBox,
+                          lon_var: str = "lon",
+                          lat_var: str = "lat"
+                          ) -> Dict[str, Tuple[int, int]]:
+    """Map a bbox onto inclusive index windows over lon/lat dimensions.
+
+    This is the key to OPeNDAP's superior caching (Section 5): requests
+    are expressed in array indices, which repeat exactly across panning
+    viewports, unlike free-form bbox floats.
+    """
+    minx, miny, maxx, maxy = bbox
+    lon = dataset[lon_var].data.astype(float)
+    lat = dataset[lat_var].data.astype(float)
+    # Snap to grid cells: a cell is selected when its extent (centre ±
+    # half spacing) overlaps the bbox. This makes jittered viewports map
+    # to identical index windows — the property that gives DAP its cache
+    # advantage over bbox-keyed WCS.
+    half_lon = (abs(lon[1] - lon[0]) / 2.0) if lon.size > 1 else 0.0
+    half_lat = (abs(lat[1] - lat[0]) / 2.0) if lat.size > 1 else 0.0
+    lon_idx = np.nonzero((lon >= minx - half_lon) & (lon <= maxx + half_lon))[0]
+    lat_idx = np.nonzero((lat >= miny - half_lat) & (lat <= maxy + half_lat))[0]
+    if lon_idx.size == 0 or lat_idx.size == 0:
+        raise DapError(f"bbox {bbox} selects no grid cells")
+    return {
+        lon_var: (int(lon_idx[0]), int(lon_idx[-1])),
+        lat_var: (int(lat_idx[0]), int(lat_idx[-1])),
+    }
+
+
+class WebCoverageService:
+    """A WCS-style facade: coverage requests keyed by raw bbox.
+
+    Caching is bbox-keyed; two viewports differing by a fraction of a
+    pixel miss the cache even when they cover the same grid cells.
+    """
+
+    def __init__(self, dataset: DapDataset):
+        self.dataset = dataset
+        self._cache: Dict[Tuple, DapDataset] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get_coverage(self, variable: str, bbox: BBox) -> DapDataset:
+        key = (variable, bbox)
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        subset = subset_by_coords(self.dataset, bbox=bbox)
+        result = DapDataset(self.dataset.name, dict(self.dataset.attributes))
+        for name in (variable, "lon", "lat", "time"):
+            if name in subset:
+                result.variables[name] = subset[name]
+        self._cache[key] = result
+        return result
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,238 @@
+"""An indexed, in-memory RDF graph.
+
+The graph maintains SPO/POS/OSP hash indexes so that any triple pattern
+with at least one bound position is answered without a full scan — the
+workhorse behind the SPARQL evaluator's basic graph pattern matching.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple, Union
+
+from .namespace import NamespaceManager
+from .terms import BNode, IRI, Literal, Term, Triple
+
+Pattern = Tuple[Optional[Term], Optional[Term], Optional[Term]]
+
+
+class Graph:
+    """A set of triples with pattern-match indexes and I/O helpers."""
+
+    def __init__(self, identifier: Optional[str] = None):
+        self.identifier = identifier
+        self._triples: Set[Triple] = set()
+        self._spo: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._pos: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self._osp: Dict[Term, Dict[Term, Set[Term]]] = defaultdict(
+            lambda: defaultdict(set)
+        )
+        self.namespaces = NamespaceManager()
+
+    # -- mutation ---------------------------------------------------------
+    def add(self, triple_or_s, p: Optional[Term] = None,
+            o: Optional[Term] = None) -> "Graph":
+        """Add a triple; accepts ``add(Triple(...))`` or ``add(s, p, o)``."""
+        triple = self._coerce(triple_or_s, p, o)
+        if triple in self._triples:
+            return self
+        self._triples.add(triple)
+        s, pp, oo = triple
+        self._spo[s][pp].add(oo)
+        self._pos[pp][oo].add(s)
+        self._osp[oo][s].add(pp)
+        return self
+
+    def remove(self, triple_or_s, p: Optional[Term] = None,
+               o: Optional[Term] = None) -> "Graph":
+        """Remove all triples matching the (possibly wildcard) pattern."""
+        if isinstance(triple_or_s, Triple) and p is None and o is None:
+            matches = [triple_or_s] if triple_or_s in self._triples else []
+        else:
+            matches = list(self.triples((triple_or_s, p, o)))
+        for t in matches:
+            self._triples.discard(t)
+            s, pp, oo = t
+            self._spo[s][pp].discard(oo)
+            self._pos[pp][oo].discard(s)
+            self._osp[oo][s].discard(pp)
+        return self
+
+    def update(self, triples: Iterable[Triple]) -> "Graph":
+        for t in triples:
+            self.add(t)
+        return self
+
+    @staticmethod
+    def _coerce(triple_or_s, p, o) -> Triple:
+        if isinstance(triple_or_s, Triple):
+            return triple_or_s
+        if isinstance(triple_or_s, tuple) and p is None and o is None:
+            return Triple(*triple_or_s)
+        if p is None or o is None:
+            raise TypeError("add() requires a Triple or three terms")
+        return Triple(triple_or_s, p, o)
+
+    # -- access -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __contains__(self, item) -> bool:
+        if isinstance(item, Triple):
+            return item in self._triples
+        if isinstance(item, tuple) and len(item) == 3:
+            if all(term is not None for term in item):
+                return Triple(*item) in self._triples
+            return next(self.triples(item), None) is not None
+        return False
+
+    def triples(self, pattern: Pattern) -> Iterator[Triple]:
+        """All triples matching a pattern; ``None`` is a wildcard."""
+        s, p, o = pattern
+        if s is not None and p is not None and o is not None:
+            t = Triple(s, p, o)
+            if t in self._triples:
+                yield t
+            return
+        if s is not None:
+            by_p = self._spo.get(s)
+            if not by_p:
+                return
+            if p is not None:
+                for oo in by_p.get(p, ()):
+                    yield Triple(s, p, oo)
+            else:
+                for pp, objs in by_p.items():
+                    for oo in objs:
+                        if o is None or oo == o:
+                            yield Triple(s, pp, oo)
+            return
+        if p is not None:
+            by_o = self._pos.get(p)
+            if not by_o:
+                return
+            if o is not None:
+                for ss in by_o.get(o, ()):
+                    yield Triple(ss, p, o)
+            else:
+                for oo, subs in by_o.items():
+                    for ss in subs:
+                        yield Triple(ss, p, oo)
+            return
+        if o is not None:
+            by_s = self._osp.get(o)
+            if not by_s:
+                return
+            for ss, preds in by_s.items():
+                for pp in preds:
+                    yield Triple(ss, pp, o)
+            return
+        yield from self._triples
+
+    def subjects(self, predicate: Optional[Term] = None,
+                 obj: Optional[Term] = None) -> Iterator[Term]:
+        seen = set()
+        for t in self.triples((None, predicate, obj)):
+            if t.s not in seen:
+                seen.add(t.s)
+                yield t.s
+
+    def objects(self, subject: Optional[Term] = None,
+                predicate: Optional[Term] = None) -> Iterator[Term]:
+        seen = set()
+        for t in self.triples((subject, predicate, None)):
+            if t.o not in seen:
+                seen.add(t.o)
+                yield t.o
+
+    def predicates(self, subject: Optional[Term] = None,
+                   obj: Optional[Term] = None) -> Iterator[Term]:
+        seen = set()
+        for t in self.triples((subject, None, obj)):
+            if t.p not in seen:
+                seen.add(t.p)
+                yield t.p
+
+    def value(self, subject: Term, predicate: Term,
+              default=None) -> Optional[Term]:
+        """The single object of (subject, predicate, ?) or *default*."""
+        for t in self.triples((subject, predicate, None)):
+            return t.o
+        return default
+
+    # -- set operations -----------------------------------------------------
+    def __iadd__(self, other: Union["Graph", Iterable[Triple]]) -> "Graph":
+        self.update(other)
+        return self
+
+    def __add__(self, other: "Graph") -> "Graph":
+        out = Graph()
+        out.update(self)
+        out.update(other)
+        return out
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._triples == other._triples
+
+    def __hash__(self):  # graphs are mutable; identity hash
+        return id(self)
+
+    # -- namespace / IO -------------------------------------------------------
+    def bind(self, prefix: str, namespace: str) -> "Graph":
+        self.namespaces.bind(prefix, str(namespace))
+        return self
+
+    def serialize(self, format: str = "turtle") -> str:
+        """Serialize to ``turtle``, ``ntriples`` or ``xml``."""
+        if format in ("turtle", "ttl"):
+            from .turtle import serialize_turtle
+
+            return serialize_turtle(self)
+        if format in ("ntriples", "nt"):
+            from .ntriples import serialize_ntriples
+
+            return serialize_ntriples(self)
+        if format in ("xml", "rdfxml", "rdf/xml"):
+            from .rdfxml import serialize_rdfxml
+
+            return serialize_rdfxml(self)
+        raise ValueError(f"unknown serialization format {format!r}")
+
+    def parse(self, text: str, format: str = "turtle") -> "Graph":
+        """Parse triples from *text* into this graph."""
+        if format in ("turtle", "ttl"):
+            from .turtle import parse_turtle
+
+            parse_turtle(text, self)
+        elif format in ("ntriples", "nt"):
+            from .ntriples import parse_ntriples
+
+            parse_ntriples(text, self)
+        else:
+            raise ValueError(f"unknown parse format {format!r}")
+        return self
+
+    def query(self, sparql: str, **kwargs):
+        """Evaluate a (Geo)SPARQL query against this graph."""
+        from ..sparql import query as sparql_query
+
+        return sparql_query(self, sparql, **kwargs)
+
+    def sparql_update(self, text: str):
+        """Execute a SPARQL Update request against this graph."""
+        from ..sparql.update import update as sparql_update
+
+        return sparql_update(self, text)
+
+    def __repr__(self) -> str:
+        name = self.identifier or "anonymous"
+        return f"<Graph {name} ({len(self)} triples)>"

@@ -1,0 +1,163 @@
+"""Namespaces and the vocabularies used throughout the Copernicus App Lab.
+
+``Namespace`` builds IRIs by attribute or item access::
+
+    GEO = Namespace("http://www.opengis.net/ont/geosparql#")
+    GEO.hasGeometry      # IRI(".../geosparql#hasGeometry")
+    GEO["asWKT"]         # same style for names that are not identifiers
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from .terms import IRI
+
+
+class Namespace(str):
+    """A namespace IRI prefix that mints terms."""
+
+    __slots__ = ()
+
+    def term(self, name: str) -> IRI:
+        return IRI(str(self) + name)
+
+    def __getattr__(self, name: str) -> IRI:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    # ``str`` methods shadow common vocabulary terms (dcterms:title,
+    # dcterms:format, ...); mint IRIs for those explicitly.
+    @property
+    def title(self) -> IRI:  # type: ignore[override]
+        return self.term("title")
+
+    @property
+    def format(self) -> IRI:  # type: ignore[override]
+        return self.term("format")
+
+    @property
+    def index(self) -> IRI:  # type: ignore[override]
+        return self.term("index")
+
+    def __getitem__(self, name) -> IRI:
+        if isinstance(name, str):
+            return self.term(name)
+        return str.__getitem__(self, name)
+
+    def __contains__(self, item) -> bool:
+        return isinstance(item, str) and item.startswith(str(self))
+
+
+# W3C / OGC core vocabularies -------------------------------------------------
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+DCTERMS = Namespace("http://purl.org/dc/terms/")
+SKOS = Namespace("http://www.w3.org/2004/02/skos/core#")
+
+# GeoSPARQL (OGC 11-052r4) and simple features
+GEO = Namespace("http://www.opengis.net/ont/geosparql#")
+GEOF = Namespace("http://www.opengis.net/def/function/geosparql/")
+SF = Namespace("http://www.opengis.net/ont/sf#")
+UOM = Namespace("http://www.opengis.net/def/uom/OGC/1.0/")
+
+# Time ontology and the Data Cube vocabulary (Figure 2 of the paper)
+TIME = Namespace("http://www.w3.org/2006/time#")
+QB = Namespace("http://purl.org/linked-data/cube#")
+
+# schema.org and the project's EO extension (Section 5)
+SDO = Namespace("https://schema.org/")
+SDOEO = Namespace("https://schema.org/eo/")
+
+# Copernicus App Lab dataset ontologies (Section 4)
+LAI = Namespace("http://www.app-lab.eu/lai/")
+GADM = Namespace("http://www.app-lab.eu/gadm/")
+CLC = Namespace("http://www.app-lab.eu/corine/")
+UA = Namespace("http://www.app-lab.eu/urbanatlas/")
+OSM = Namespace("http://www.app-lab.eu/osm/")
+INSPIRE = Namespace("http://inspire.ec.europa.eu/ont/")
+
+# Strabon's valid-time vocabulary (stRDF / stSPARQL)
+STRDF = Namespace("http://strdf.di.uoa.gr/ontology#")
+
+# Sextant's map ontology
+MAP = Namespace("http://sextant.di.uoa.gr/ontology/map#")
+
+
+PREFIXES: Dict[str, Namespace] = {
+    "rdf": RDF,
+    "rdfs": RDFS,
+    "owl": OWL,
+    "xsd": XSD,
+    "dcterms": DCTERMS,
+    "skos": SKOS,
+    "geo": GEO,
+    "geof": GEOF,
+    "sf": SF,
+    "uom": UOM,
+    "time": TIME,
+    "qb": QB,
+    "sdo": SDO,
+    "sdoeo": SDOEO,
+    "lai": LAI,
+    "gadm": GADM,
+    "clc": CLC,
+    "ua": UA,
+    "osm": OSM,
+    "inspire": INSPIRE,
+    "strdf": STRDF,
+    "map": MAP,
+}
+
+
+class NamespaceManager:
+    """Tracks prefix bindings for a graph (used by Turtle/SPARQL I/O)."""
+
+    def __init__(self, bind_defaults: bool = True):
+        self._prefix_to_ns: Dict[str, str] = {}
+        self._ns_to_prefix: Dict[str, str] = {}
+        if bind_defaults:
+            for prefix, ns in PREFIXES.items():
+                self.bind(prefix, str(ns))
+
+    def bind(self, prefix: str, namespace: str, replace: bool = True) -> None:
+        if not replace and prefix in self._prefix_to_ns:
+            return
+        old_ns = self._prefix_to_ns.get(prefix)
+        if old_ns is not None:
+            self._ns_to_prefix.pop(old_ns, None)
+        self._prefix_to_ns[prefix] = namespace
+        self._ns_to_prefix[namespace] = prefix
+
+    def expand(self, qname: str) -> IRI:
+        """Expand ``prefix:local`` into a full IRI."""
+        prefix, sep, local = qname.partition(":")
+        if not sep:
+            raise ValueError(f"not a QName: {qname!r}")
+        try:
+            ns = self._prefix_to_ns[prefix]
+        except KeyError:
+            raise ValueError(f"unknown prefix {prefix!r}") from None
+        return IRI(ns + local)
+
+    def qname(self, iri: str) -> Optional[str]:
+        """Compact an IRI to ``prefix:local`` when a binding matches."""
+        best: Optional[Tuple[str, str]] = None
+        for ns, prefix in self._ns_to_prefix.items():
+            if iri.startswith(ns) and (best is None or len(ns) > len(best[0])):
+                best = (ns, prefix)
+        if best is None:
+            return None
+        local = iri[len(best[0]):]
+        if not local or any(c in local for c in "/#?<>\"{}|^`\\ "):
+            return None
+        return f"{best[1]}:{local}"
+
+    def namespaces(self) -> Iterator[Tuple[str, str]]:
+        return iter(sorted(self._prefix_to_ns.items()))
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._prefix_to_ns

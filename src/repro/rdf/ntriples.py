@@ -1,0 +1,114 @@
+"""N-Triples parser and serializer (line-based RDF exchange format)."""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .graph import Graph
+from .terms import BNode, IRI, Literal, Triple
+
+_IRI_RE = re.compile(r"<([^<>\"{}|^`\\\s]*)>")
+_BNODE_RE = re.compile(r"_:([A-Za-z0-9_.-]+)")
+_LITERAL_RE = re.compile(
+    r'"((?:[^"\\]|\\.)*)"'
+    r"(?:\^\^<([^<>\s]+)>|@([A-Za-z]+(?:-[A-Za-z0-9]+)*))?"
+)
+
+_ESCAPES = {
+    "\\t": "\t",
+    "\\n": "\n",
+    "\\r": "\r",
+    '\\"': '"',
+    "\\\\": "\\",
+}
+
+
+def unescape(text: str) -> str:
+    """Decode N-Triples string escapes including \\uXXXX / \\UXXXXXXXX."""
+
+    def replace(m: re.Match) -> str:
+        esc = m.group(0)
+        if esc in _ESCAPES:
+            return _ESCAPES[esc]
+        if esc.startswith("\\u"):
+            return chr(int(esc[2:], 16))
+        if esc.startswith("\\U"):
+            return chr(int(esc[2:], 16))
+        raise ParseError(f"bad escape {esc!r}")
+
+    return re.sub(r"\\U[0-9A-Fa-f]{8}|\\u[0-9A-Fa-f]{4}|\\.", replace, text)
+
+
+def escape(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+        .replace("\r", "\\r")
+        .replace("\t", "\\t")
+    )
+
+
+class ParseError(ValueError):
+    """Raised on malformed N-Triples/Turtle input."""
+
+
+def _parse_term(text: str, pos: int):
+    """Parse one term starting at *pos*; returns (term, new_pos)."""
+    while pos < len(text) and text[pos] in " \t":
+        pos += 1
+    if pos >= len(text):
+        raise ParseError("unexpected end of statement")
+    ch = text[pos]
+    if ch == "<":
+        m = _IRI_RE.match(text, pos)
+        if not m:
+            raise ParseError(f"bad IRI at {text[pos:pos+40]!r}")
+        return IRI(unescape(m.group(1))), m.end()
+    if ch == "_":
+        m = _BNODE_RE.match(text, pos)
+        if not m:
+            raise ParseError(f"bad blank node at {text[pos:pos+40]!r}")
+        return BNode(m.group(1)), m.end()
+    if ch == '"':
+        m = _LITERAL_RE.match(text, pos)
+        if not m:
+            raise ParseError(f"bad literal at {text[pos:pos+40]!r}")
+        lexical = unescape(m.group(1))
+        datatype = IRI(m.group(2)) if m.group(2) else None
+        lang = m.group(3)
+        return Literal(lexical, datatype=datatype, lang=lang), m.end()
+    raise ParseError(f"unexpected character {ch!r} at offset {pos}")
+
+
+def parse_ntriples(text: str, graph: Optional[Graph] = None) -> Graph:
+    """Parse N-Triples *text* into *graph* (a new Graph if omitted)."""
+    graph = graph if graph is not None else Graph()
+    # N-Triples lines are LF-terminated; do NOT use str.splitlines(),
+    # which also splits on U+2028/U+0085 that may occur inside literals.
+    for lineno, raw in enumerate(text.split("\n"), start=1):
+        line = raw.strip(" \t\r")
+        if not line or line.startswith("#"):
+            continue
+        try:
+            s, pos = _parse_term(line, 0)
+            if isinstance(s, Literal):
+                raise ParseError("subject cannot be a literal")
+            p, pos = _parse_term(line, pos)
+            if not isinstance(p, IRI):
+                raise ParseError("predicate must be an IRI")
+            o, pos = _parse_term(line, pos)
+            rest = line[pos:].strip()
+            if rest != ".":
+                raise ParseError(f"expected terminating '.', got {rest!r}")
+        except ParseError as exc:
+            raise ParseError(f"line {lineno}: {exc}") from None
+        graph.add(Triple(s, p, o))
+    return graph
+
+
+def serialize_ntriples(graph: Graph) -> str:
+    """Serialize a graph as sorted N-Triples text."""
+    lines = sorted(t.n3() for t in graph)
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,138 @@
+"""RDF/XML serializer (and a minimal parser for round-tripping).
+
+The paper's SDL publishes "an example of a RDF/XML expression for a
+remote OPeNDAP dataset"; this module provides that serialization.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from typing import Optional
+from xml.sax.saxutils import escape as xml_escape
+from xml.sax.saxutils import quoteattr
+
+from .graph import Graph
+from .namespace import RDF
+from .terms import BNode, IRI, Literal, Triple
+
+RDF_NS = str(RDF)
+
+
+def _split_iri(iri: str):
+    """Split an IRI into (namespace, XML-legal local name)."""
+    m = re.search(r"[A-Za-z_][\w.-]*$", iri)
+    if not m or m.start() == 0:
+        return None
+    return iri[: m.start()], iri[m.start():]
+
+
+def serialize_rdfxml(graph: Graph) -> str:
+    """Serialize a graph as RDF/XML."""
+    ns_decls = {"rdf": RDF_NS}
+    counter = 0
+
+    def ns_prefix(ns: str) -> str:
+        nonlocal counter
+        for prefix, bound in ns_decls.items():
+            if bound == ns:
+                return prefix
+        q = graph.namespaces.qname(ns + "x")
+        if q:
+            prefix = q.split(":", 1)[0]
+        else:
+            prefix = f"ns{counter}"
+            counter += 1
+        while prefix in ns_decls and ns_decls[prefix] != ns:
+            prefix = f"ns{counter}"
+            counter += 1
+        ns_decls[prefix] = ns
+        return prefix
+
+    by_subject = {}
+    for t in graph:
+        by_subject.setdefault(t.s, []).append(t)
+
+    body_parts = []
+    for subject in sorted(by_subject, key=str):
+        if isinstance(subject, BNode):
+            about = f"rdf:nodeID={quoteattr(str(subject))}"
+        else:
+            about = f"rdf:about={quoteattr(str(subject))}"
+        prop_lines = []
+        for t in sorted(by_subject[subject], key=lambda x: (str(x.p), str(x.o))):
+            split = _split_iri(str(t.p))
+            if split is None:
+                # RDF/XML cannot express predicates whose local part is
+                # not an XML name; fail loudly instead of dropping data.
+                raise ValueError(
+                    f"predicate {t.p!r} has no XML-name local part; "
+                    "serialize this graph as Turtle or N-Triples instead"
+                )
+            ns, local = split
+            prefix = ns_prefix(ns)
+            tag = f"{prefix}:{local}"
+            if isinstance(t.o, IRI):
+                prop_lines.append(
+                    f"    <{tag} rdf:resource={quoteattr(str(t.o))}/>"
+                )
+            elif isinstance(t.o, BNode):
+                prop_lines.append(
+                    f"    <{tag} rdf:nodeID={quoteattr(str(t.o))}/>"
+                )
+            else:
+                lit: Literal = t.o
+                attrs = ""
+                if lit.lang:
+                    attrs = f" xml:lang={quoteattr(lit.lang)}"
+                elif lit.datatype:
+                    attrs = f" rdf:datatype={quoteattr(str(lit.datatype))}"
+                prop_lines.append(
+                    f"    <{tag}{attrs}>{xml_escape(lit.lexical)}</{tag}>"
+                )
+        body_parts.append(
+            f"  <rdf:Description {about}>\n"
+            + "\n".join(prop_lines)
+            + "\n  </rdf:Description>"
+        )
+
+    ns_attrs = "\n".join(
+        f'  xmlns:{prefix}="{ns}"' for prefix, ns in sorted(ns_decls.items())
+    )
+    return (
+        '<?xml version="1.0" encoding="utf-8"?>\n'
+        f"<rdf:RDF\n{ns_attrs}>\n" + "\n".join(body_parts) + "\n</rdf:RDF>\n"
+    )
+
+
+def parse_rdfxml(text: str, graph: Optional[Graph] = None) -> Graph:
+    """Parse the rdf:Description-style RDF/XML emitted by this module."""
+    graph = graph if graph is not None else Graph()
+    root = ET.fromstring(text)
+    for desc in root:
+        about = desc.get(f"{{{RDF_NS}}}about")
+        node_id = desc.get(f"{{{RDF_NS}}}nodeID")
+        if about is not None:
+            subject = IRI(about)
+        elif node_id is not None:
+            subject = BNode(node_id)
+        else:
+            subject = BNode()
+        for prop in desc:
+            pred = IRI(prop.tag.replace("{", "").replace("}", ""))
+            resource = prop.get(f"{{{RDF_NS}}}resource")
+            obj_node = prop.get(f"{{{RDF_NS}}}nodeID")
+            datatype = prop.get(f"{{{RDF_NS}}}datatype")
+            lang = prop.get("{http://www.w3.org/XML/1998/namespace}lang")
+            if resource is not None:
+                obj = IRI(resource)
+            elif obj_node is not None:
+                obj = BNode(obj_node)
+            else:
+                obj = Literal(
+                    prop.text or "",
+                    datatype=IRI(datatype) if datatype else None,
+                    lang=lang,
+                )
+            graph.add(Triple(subject, pred, obj))
+    return graph

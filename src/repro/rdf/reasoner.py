@@ -1,0 +1,125 @@
+"""RDFS inference.
+
+Section 3.1: "reasoners create virtual triples based on the stated
+interrelationships, so we have a framework for creating crosswalks
+between metadata standards". This module implements the RDFS entailment
+rules the crosswalks rely on:
+
+- rdfs5 / rdfs7: subPropertyOf transitivity + property inheritance;
+- rdfs9 / rdfs11: subClassOf transitivity + type inheritance;
+- rdfs2 / rdfs3: domain and range typing.
+
+Inference runs to fixpoint; the inferred triples can be kept separate
+("virtual") or merged into the source graph.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Tuple
+
+from .graph import Graph
+from .namespace import RDF, RDFS
+from .terms import IRI, Literal, Triple
+
+
+def rdfs_closure(graph: Graph, max_iterations: int = 50) -> Graph:
+    """The inferred-only triples of the RDFS closure of *graph*."""
+    inferred = Graph("rdfs-inferred")
+    known: Set[Triple] = set(graph)
+
+    def add(triple: Triple) -> bool:
+        if triple in known:
+            return False
+        known.add(triple)
+        inferred.add(triple)
+        return True
+
+    for __ in range(max_iterations):
+        changed = False
+
+        sub_class = [
+            (t.s, t.o) for t in _all(graph, inferred, RDFS.subClassOf)
+        ]
+        sub_prop = [
+            (t.s, t.o) for t in _all(graph, inferred, RDFS.subPropertyOf)
+        ]
+        domains = {
+            t.s: t.o for t in _all(graph, inferred, RDFS.domain)
+        }
+        ranges = {
+            t.s: t.o for t in _all(graph, inferred, RDFS.range)
+        }
+
+        # rdfs11: subClassOf transitivity
+        super_of = {}
+        for sub, sup in sub_class:
+            super_of.setdefault(sub, set()).add(sup)
+        for sub, sups in list(super_of.items()):
+            for sup in list(sups):
+                for supsup in super_of.get(sup, ()):
+                    if supsup != sub:
+                        changed |= add(
+                            Triple(sub, RDFS.subClassOf, supsup)
+                        )
+        # rdfs5: subPropertyOf transitivity
+        sprop_of = {}
+        for sub, sup in sub_prop:
+            sprop_of.setdefault(sub, set()).add(sup)
+        for sub, sups in list(sprop_of.items()):
+            for sup in list(sups):
+                for supsup in sprop_of.get(sup, ()):
+                    if supsup != sub:
+                        changed |= add(
+                            Triple(sub, RDFS.subPropertyOf, supsup)
+                        )
+        # rdfs9: type inheritance
+        for sub, sup in sub_class:
+            for t in _instances(graph, inferred, sub):
+                changed |= add(Triple(t, RDF.type, sup))
+        # rdfs7: property inheritance
+        for sub, sup in sub_prop:
+            for t in list(graph.triples((None, sub, None))) + list(
+                inferred.triples((None, sub, None))
+            ):
+                changed |= add(Triple(t.s, sup, t.o))
+        # rdfs2 / rdfs3: domain and range typing
+        for prop, cls in domains.items():
+            for t in list(graph.triples((None, prop, None))) + list(
+                inferred.triples((None, prop, None))
+            ):
+                changed |= add(Triple(t.s, RDF.type, cls))
+        for prop, cls in ranges.items():
+            for t in list(graph.triples((None, prop, None))) + list(
+                inferred.triples((None, prop, None))
+            ):
+                if not isinstance(t.o, Literal):
+                    changed |= add(Triple(t.o, RDF.type, cls))
+
+        if not changed:
+            break
+    return inferred
+
+
+def _all(graph: Graph, inferred: Graph, predicate) -> Iterable[Triple]:
+    yield from graph.triples((None, predicate, None))
+    yield from inferred.triples((None, predicate, None))
+
+
+def _instances(graph: Graph, inferred: Graph, cls) -> Iterable:
+    seen = set()
+    for t in graph.triples((None, RDF.type, cls)):
+        if t.s not in seen:
+            seen.add(t.s)
+            yield t.s
+    for t in inferred.triples((None, RDF.type, cls)):
+        if t.s not in seen:
+            seen.add(t.s)
+            yield t.s
+
+
+def materialize_inferences(graph: Graph,
+                           max_iterations: int = 50) -> int:
+    """Merge the RDFS closure into *graph*; returns the triple count."""
+    inferred = rdfs_closure(graph, max_iterations)
+    graph.update(inferred)
+    return len(inferred)

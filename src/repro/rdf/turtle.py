@@ -1,0 +1,361 @@
+"""Turtle (Terse RDF Triple Language) parser and serializer.
+
+Supports the subset of Turtle the stack emits and consumes: prefix
+directives, prefixed names, ``a``, predicate (``;``) and object (``,``)
+lists, anonymous blank nodes ``[ ... ]``, numeric/boolean shorthand,
+typed and language-tagged literals, and long (triple-quoted) strings.
+RDF collections ``( ... )`` are parsed into rdf:first/rdf:rest chains.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from .graph import Graph
+from .namespace import RDF, XSD
+from .ntriples import ParseError, escape, unescape
+from .terms import BNode, IRI, Literal, Term, Triple
+
+_PNAME_RE = re.compile(r"([A-Za-z_][\w.-]*)?:([\w.%-]*(?:[\w%-]|$))?")
+_NUMBER_RE = re.compile(r"[-+]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][-+]?\d+)?")
+_LANG_RE = re.compile(r"@([A-Za-z]+(?:-[A-Za-z0-9]+)*)")
+
+
+class _TurtleParser:
+    def __init__(self, text: str, graph: Graph):
+        self.text = text
+        self.pos = 0
+        self.graph = graph
+        self.base = ""
+
+    # -- scanning helpers --------------------------------------------------
+    def _skip(self) -> None:
+        while self.pos < len(self.text):
+            ch = self.text[self.pos]
+            if ch in " \t\r\n":
+                self.pos += 1
+            elif ch == "#":
+                nl = self.text.find("\n", self.pos)
+                self.pos = len(self.text) if nl == -1 else nl + 1
+            else:
+                return
+
+    def _peek(self) -> str:
+        self._skip()
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _expect(self, token: str) -> None:
+        self._skip()
+        if not self.text.startswith(token, self.pos):
+            context = self.text[self.pos: self.pos + 40]
+            raise ParseError(f"expected {token!r} at {context!r}")
+        self.pos += len(token)
+
+    def _match_keyword(self, word: str) -> bool:
+        self._skip()
+        if self.text[self.pos: self.pos + len(word)].lower() == word.lower():
+            end = self.pos + len(word)
+            if end >= len(self.text) or not (
+                self.text[end].isalnum() or self.text[end] == "_"
+            ):
+                self.pos = end
+                return True
+        return False
+
+    # -- grammar -------------------------------------------------------------
+    def parse(self) -> None:
+        while True:
+            self._skip()
+            if self.pos >= len(self.text):
+                return
+            if self._match_keyword("@prefix") or self._match_keyword("prefix"):
+                self._directive(expect_dot=self.text[self.pos - 1] != "x"
+                                or True)
+                continue
+            if self._match_keyword("@base") or self._match_keyword("base"):
+                self._base_directive()
+                continue
+            self._triples_block()
+            self._expect(".")
+
+    def _directive(self, expect_dot: bool) -> None:
+        self._skip()
+        m = re.match(r"([A-Za-z_][\w.-]*)?:", self.text[self.pos:])
+        if not m:
+            raise ParseError("bad @prefix directive")
+        prefix = m.group(1) or ""
+        self.pos += m.end()
+        iri = self._iri_ref()
+        self.graph.bind(prefix, str(iri))
+        self._skip()
+        if self._peek() == ".":
+            self._expect(".")
+
+    def _base_directive(self) -> None:
+        iri = self._iri_ref()
+        self.base = str(iri)
+        self._skip()
+        if self._peek() == ".":
+            self._expect(".")
+
+    def _triples_block(self) -> None:
+        subject = self._subject()
+        self._predicate_object_list(subject)
+
+    def _predicate_object_list(self, subject: Term) -> None:
+        while True:
+            predicate = self._predicate()
+            while True:
+                obj = self._object()
+                self.graph.add(Triple(subject, predicate, obj))
+                if self._peek() == ",":
+                    self._expect(",")
+                    continue
+                break
+            if self._peek() == ";":
+                self._expect(";")
+                if self._peek() in (".", "]", ";", ""):
+                    while self._peek() == ";":
+                        self._expect(";")
+                    return
+                continue
+            return
+
+    def _subject(self) -> Term:
+        ch = self._peek()
+        if ch == "<":
+            return self._iri_ref()
+        if ch == "_":
+            return self._bnode_label()
+        if ch == "[":
+            return self._anon_bnode()
+        if ch == "(":
+            return self._collection()
+        return self._pname()
+
+    def _predicate(self) -> IRI:
+        if self._match_keyword("a"):
+            return RDF.type
+        ch = self._peek()
+        if ch == "<":
+            return self._iri_ref()
+        term = self._pname()
+        if not isinstance(term, IRI):
+            raise ParseError("predicate must be an IRI")
+        return term
+
+    def _object(self) -> Term:
+        ch = self._peek()
+        if ch == "<":
+            return self._iri_ref()
+        if ch == "_":
+            return self._bnode_label()
+        if ch == "[":
+            return self._anon_bnode()
+        if ch == "(":
+            return self._collection()
+        if ch in "\"'":
+            return self._literal()
+        if ch.isdigit() or ch in "+-." and _NUMBER_RE.match(
+            self.text, self.pos
+        ):
+            return self._number()
+        if self._match_keyword("true"):
+            return Literal(True)
+        if self._match_keyword("false"):
+            return Literal(False)
+        return self._pname()
+
+    def _iri_ref(self) -> IRI:
+        self._expect("<")
+        end = self.text.find(">", self.pos)
+        if end == -1:
+            raise ParseError("unterminated IRI")
+        raw = self.text[self.pos: end]
+        self.pos = end + 1
+        iri = unescape(raw)
+        if self.base and not re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", iri):
+            iri = self.base + iri
+        return IRI(iri)
+
+    def _bnode_label(self) -> BNode:
+        self._expect("_:")
+        m = re.match(r"[\w.-]+", self.text[self.pos:])
+        if not m:
+            raise ParseError("bad blank node label")
+        self.pos += m.end()
+        return BNode(m.group(0))
+
+    def _anon_bnode(self) -> BNode:
+        self._expect("[")
+        node = BNode()
+        if self._peek() != "]":
+            self._predicate_object_list(node)
+        self._expect("]")
+        return node
+
+    def _collection(self) -> Term:
+        self._expect("(")
+        items: List[Term] = []
+        while self._peek() != ")":
+            items.append(self._object())
+        self._expect(")")
+        if not items:
+            return RDF.nil
+        head = BNode()
+        node = head
+        for i, item in enumerate(items):
+            self.graph.add(Triple(node, RDF.first, item))
+            if i == len(items) - 1:
+                self.graph.add(Triple(node, RDF.rest, RDF.nil))
+            else:
+                nxt = BNode()
+                self.graph.add(Triple(node, RDF.rest, nxt))
+                node = nxt
+        return head
+
+    def _pname(self) -> IRI:
+        self._skip()
+        m = _PNAME_RE.match(self.text, self.pos)
+        if not m or ":" not in m.group(0):
+            context = self.text[self.pos: self.pos + 40]
+            raise ParseError(f"expected prefixed name at {context!r}")
+        self.pos = m.end()
+        prefix = m.group(1) or ""
+        local = m.group(2) or ""
+        try:
+            return self.graph.namespaces.expand(f"{prefix}:{local}")
+        except ValueError as exc:
+            raise ParseError(str(exc)) from None
+
+    def _literal(self) -> Literal:
+        self._skip()
+        for quote in ('"""', "'''", '"', "'"):
+            if self.text.startswith(quote, self.pos):
+                break
+        else:  # pragma: no cover - _object guards this
+            raise ParseError("expected literal")
+        self.pos += len(quote)
+        if len(quote) == 3:
+            end = self.text.find(quote, self.pos)
+            if end == -1:
+                raise ParseError("unterminated long string")
+            raw = self.text[self.pos: end]
+            self.pos = end + 3
+        else:
+            chars = []
+            while True:
+                if self.pos >= len(self.text):
+                    raise ParseError("unterminated string")
+                ch = self.text[self.pos]
+                if ch == "\\":
+                    chars.append(self.text[self.pos: self.pos + 2])
+                    self.pos += 2
+                    continue
+                if ch == quote:
+                    self.pos += 1
+                    break
+                chars.append(ch)
+                self.pos += 1
+            raw = "".join(chars)
+        lexical = unescape(raw)
+        if self.text.startswith("^^", self.pos):
+            self.pos += 2
+            if self._peek() == "<":
+                dt = self._iri_ref()
+            else:
+                dt = self._pname()
+            return Literal(lexical, datatype=dt)
+        m = _LANG_RE.match(self.text, self.pos)
+        if m:
+            self.pos = m.end()
+            return Literal(lexical, lang=m.group(1))
+        return Literal(lexical)
+
+    def _number(self) -> Literal:
+        self._skip()
+        m = _NUMBER_RE.match(self.text, self.pos)
+        if not m:
+            raise ParseError("expected number")
+        self.pos = m.end()
+        token = m.group(0)
+        if "e" in token.lower():
+            return Literal(token, datatype=XSD.double)
+        if "." in token:
+            return Literal(token, datatype=XSD.decimal)
+        return Literal(int(token))
+
+
+def parse_turtle(text: str, graph: Optional[Graph] = None) -> Graph:
+    """Parse Turtle *text* into *graph* (a new Graph if omitted)."""
+    graph = graph if graph is not None else Graph()
+    _TurtleParser(text, graph).parse()
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Serializer
+# ---------------------------------------------------------------------------
+
+def _term_turtle(term: Term, graph: Graph) -> str:
+    if isinstance(term, Literal):
+        if term.lang:
+            return f'"{escape(term.lexical)}"@{term.lang}'
+        if term.datatype and term.datatype != XSD.string:
+            dt_q = graph.namespaces.qname(term.datatype)
+            dt = dt_q if dt_q else f"<{term.datatype}>"
+            return f'"{escape(term.lexical)}"^^{dt}'
+        return f'"{escape(term.lexical)}"'
+    if isinstance(term, BNode):
+        return term.n3()
+    if isinstance(term, IRI):
+        q = graph.namespaces.qname(term)
+        return q if q else term.n3()
+    raise TypeError(f"not a term: {term!r}")
+
+
+def serialize_turtle(graph: Graph) -> str:
+    """Serialize a graph as Turtle grouped by subject."""
+    used_prefixes = set()
+
+    def render(term: Term) -> str:
+        text = _term_turtle(term, graph)
+        if ":" in text and not text.startswith(("<", '"', "_:")):
+            used_prefixes.add(text.split(":", 1)[0])
+        if "^^" in text and not text.endswith(">"):
+            used_prefixes.add(text.rsplit("^^", 1)[1].split(":", 1)[0])
+        return text
+
+    by_subject = {}
+    for t in graph:
+        by_subject.setdefault(t.s, []).append(t)
+
+    blocks = []
+    for subject in sorted(by_subject, key=str):
+        rows = by_subject[subject]
+        by_pred = {}
+        for t in rows:
+            by_pred.setdefault(t.p, []).append(t.o)
+        pred_parts = []
+        for pred in sorted(by_pred, key=str):
+            if pred == RDF.type:
+                pred_text = "a"
+            else:
+                pred_text = render(pred)
+            objs = ", ".join(
+                render(o) for o in sorted(by_pred[pred], key=str)
+            )
+            pred_parts.append(f"{pred_text} {objs}")
+        body = " ;\n    ".join(pred_parts)
+        blocks.append(f"{render(subject)} {body} .")
+
+    header_lines = []
+    for prefix, ns in graph.namespaces.namespaces():
+        if prefix in used_prefixes:
+            header_lines.append(f"@prefix {prefix}: <{ns}> .")
+    header = "\n".join(header_lines)
+    body = "\n\n".join(blocks)
+    if header and body:
+        return header + "\n\n" + body + "\n"
+    return (header or body) + ("\n" if (header or body) else "")

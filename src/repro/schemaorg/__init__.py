@@ -1,0 +1,27 @@
+"""schema.org dataset annotations (with EO extension) + search engine."""
+
+from .annotate import (
+    DatasetAnnotation,
+    EO_PROPERTIES,
+    annotation_from_dap,
+    from_jsonld,
+    to_jsonld,
+    to_rdf,
+)
+from .search import (
+    DatasetSearchEngine,
+    GAZETTEER,
+    SearchHit,
+)
+
+__all__ = [
+    "DatasetAnnotation",
+    "DatasetSearchEngine",
+    "EO_PROPERTIES",
+    "GAZETTEER",
+    "SearchHit",
+    "annotation_from_dap",
+    "from_jsonld",
+    "to_jsonld",
+    "to_rdf",
+]

@@ -1,0 +1,201 @@
+"""schema.org Dataset annotations with the paper's EO extension.
+
+Section 5: the project "designed an extension to the community
+vocabulary schema.org, appropriate for annotating EO data in general
+and Copernicus data in particular, by extending the class Dataset with
+subclasses and properties which cover the EO dataset metadata defined
+in the specification OGC 17-003".
+
+Annotations render as JSON-LD (what a webmaster embeds so search
+engines can index the dataset) and as RDF (what a search engine's
+knowledge graph ingests).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry import Geometry, wkt_dumps, wkt_loads
+from ..rdf import Graph, IRI, Literal, RDF, SDO, SDOEO
+
+#: EO-extension properties (OGC 17-003 / O&M EO profile inspired).
+EO_PROPERTIES = (
+    "platform",          # e.g. PROBA-V, Sentinel-2
+    "instrument",        # sensor
+    "processingLevel",   # L0..L4 / information products
+    "productType",       # LAI, NDVI, land cover ...
+    "acquisitionType",   # NOMINAL / CALIBRATION
+    "orbitType",         # LEO / GEO
+    "resolution",        # e.g. "300m"
+    "thematicArea",      # land / marine / atmosphere / ...
+)
+
+
+@dataclass
+class DatasetAnnotation:
+    """One dataset's discoverability record."""
+
+    identifier: str
+    name: str
+    description: str = ""
+    keywords: List[str] = field(default_factory=list)
+    provider: str = ""
+    license: str = ""
+    url: str = ""
+    spatial: Optional[Geometry] = None
+    temporal_start: Optional[str] = None
+    temporal_end: Optional[str] = None
+    eo: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        unknown = set(self.eo) - set(EO_PROPERTIES)
+        if unknown:
+            raise ValueError(
+                f"unknown EO extension properties {sorted(unknown)}; "
+                f"allowed: {EO_PROPERTIES}"
+            )
+
+
+def to_jsonld(annotation: DatasetAnnotation) -> Dict[str, object]:
+    """Render the JSON-LD block a dataset landing page would embed."""
+    doc: Dict[str, object] = {
+        "@context": {
+            "@vocab": str(SDO),
+            "eo": str(SDOEO),
+        },
+        "@type": "eo:EODataset" if annotation.eo else "Dataset",
+        "@id": annotation.identifier,
+        "name": annotation.name,
+    }
+    if annotation.description:
+        doc["description"] = annotation.description
+    if annotation.keywords:
+        doc["keywords"] = ", ".join(annotation.keywords)
+    if annotation.provider:
+        doc["provider"] = {
+            "@type": "Organization", "name": annotation.provider,
+        }
+    if annotation.license:
+        doc["license"] = annotation.license
+    if annotation.url:
+        doc["url"] = annotation.url
+    if annotation.spatial is not None:
+        minx, miny, maxx, maxy = annotation.spatial.bounds
+        doc["spatialCoverage"] = {
+            "@type": "Place",
+            "geo": {
+                "@type": "GeoShape",
+                # schema.org box: "lat lon lat lon" (SW NE corners)
+                "box": f"{miny} {minx} {maxy} {maxx}",
+            },
+        }
+    if annotation.temporal_start:
+        end = annotation.temporal_end or ".."
+        doc["temporalCoverage"] = f"{annotation.temporal_start}/{end}"
+    for key, value in sorted(annotation.eo.items()):
+        doc[f"eo:{key}"] = value
+    return doc
+
+
+def from_jsonld(doc: Dict[str, object]) -> DatasetAnnotation:
+    """Parse a JSON-LD Dataset/EODataset block back into an annotation."""
+    keywords = doc.get("keywords", "")
+    if isinstance(keywords, str):
+        keywords = [k.strip() for k in keywords.split(",") if k.strip()]
+    provider = doc.get("provider", "")
+    if isinstance(provider, dict):
+        provider = provider.get("name", "")
+    spatial = None
+    coverage = doc.get("spatialCoverage")
+    if isinstance(coverage, dict):
+        box = coverage.get("geo", {}).get("box")
+        if box:
+            miny, minx, maxy, maxx = (float(v) for v in box.split())
+            from ..geometry import Polygon
+
+            spatial = Polygon.box(minx, miny, maxx, maxy)
+    temporal_start = temporal_end = None
+    temporal = doc.get("temporalCoverage")
+    if isinstance(temporal, str) and "/" in temporal:
+        temporal_start, temporal_end = temporal.split("/", 1)
+        if temporal_end == "..":
+            temporal_end = None
+    eo = {
+        key[len("eo:"):]: str(value)
+        for key, value in doc.items()
+        if key.startswith("eo:")
+    }
+    return DatasetAnnotation(
+        identifier=str(doc.get("@id", "")),
+        name=str(doc.get("name", "")),
+        description=str(doc.get("description", "")),
+        keywords=keywords,
+        provider=str(provider),
+        license=str(doc.get("license", "")),
+        url=str(doc.get("url", "")),
+        spatial=spatial,
+        temporal_start=temporal_start,
+        temporal_end=temporal_end,
+        eo=eo,
+    )
+
+
+def to_rdf(annotation: DatasetAnnotation,
+           graph: Optional[Graph] = None) -> Graph:
+    """Lift an annotation into the search engine's knowledge graph."""
+    graph = graph if graph is not None else Graph()
+    subject = IRI(annotation.identifier)
+    graph.add(subject, RDF.type, SDO.Dataset)
+    if annotation.eo:
+        graph.add(subject, RDF.type, SDOEO.EODataset)
+    graph.add(subject, SDO.name, Literal(annotation.name))
+    if annotation.description:
+        graph.add(subject, SDO.description,
+                  Literal(annotation.description))
+    for keyword in annotation.keywords:
+        graph.add(subject, SDO.keywords, Literal(keyword))
+    if annotation.provider:
+        graph.add(subject, SDO.provider, Literal(annotation.provider))
+    if annotation.license:
+        graph.add(subject, SDO.license, Literal(annotation.license))
+    if annotation.spatial is not None:
+        from ..rdf.terms import GEO_WKT_LITERAL
+
+        graph.add(
+            subject, SDO.spatialCoverage,
+            Literal(wkt_dumps(annotation.spatial),
+                    datatype=GEO_WKT_LITERAL),
+        )
+    if annotation.temporal_start:
+        graph.add(subject, SDO.temporalCoverage,
+                  Literal(annotation.temporal_start))
+    for key, value in annotation.eo.items():
+        graph.add(subject, SDOEO.term(key), Literal(value))
+    return graph
+
+
+def annotation_from_dap(url: str, attributes: Dict[str, object],
+                        spatial: Optional[Geometry] = None,
+                        eo: Optional[Dict[str, str]] = None
+                        ) -> DatasetAnnotation:
+    """Build an annotation from a DAP dataset's (ACDD) global attrs."""
+    keywords = str(attributes.get("keywords", ""))
+    return DatasetAnnotation(
+        identifier=url,
+        name=str(attributes.get("title", url)),
+        description=str(attributes.get("summary", "")),
+        keywords=[k.strip() for k in keywords.split(",") if k.strip()],
+        provider=str(attributes.get("institution", "")),
+        license=str(attributes.get("license", "")),
+        url=url,
+        spatial=spatial,
+        temporal_start=_opt_str(attributes.get("time_coverage_start")),
+        temporal_end=_opt_str(attributes.get("time_coverage_end")),
+        eo=eo or {},
+    )
+
+
+def _opt_str(value) -> Optional[str]:
+    return None if value is None else str(value)

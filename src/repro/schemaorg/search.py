@@ -1,0 +1,144 @@
+"""A dataset search engine over schema.org annotations.
+
+Reproduces the capability the paper motivates: "search engines will be
+able to answer sophisticated user questions involving datasets such as:
+'Is there a land cover dataset produced by the European Environmental
+Agency covering the area of Torino, Italy?'" — the engine indexes
+JSON-LD annotations into a knowledge graph and answers keyword +
+provider + spatial questions over it.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry import Geometry, Point
+from .annotate import DatasetAnnotation, from_jsonld
+
+#: A small gazetteer for place-name resolution in questions.
+GAZETTEER: Dict[str, Point] = {
+    "torino": Point(7.686, 45.070),
+    "turin": Point(7.686, 45.070),
+    "paris": Point(2.352, 48.857),
+    "athens": Point(23.727, 37.984),
+    "brussels": Point(4.352, 50.847),
+    "amsterdam": Point(4.897, 52.377),
+    "berlin": Point(13.405, 52.520),
+    "rome": Point(12.496, 41.903),
+}
+
+_STOPWORDS = {
+    "is", "there", "a", "an", "the", "dataset", "datasets", "produced",
+    "by", "covering", "area", "of", "in", "for", "with", "and", "that",
+    "which", "do", "we", "have", "any", "about", "italy", "france",
+    "germany", "greece",
+}
+
+
+@dataclass
+class SearchHit:
+    annotation: DatasetAnnotation
+    score: float
+    matched_keywords: List[str]
+
+    def __repr__(self) -> str:
+        return f"<SearchHit {self.annotation.name!r} score={self.score:.2f}>"
+
+
+class DatasetSearchEngine:
+    """Keyword + provider + spatial retrieval over indexed annotations."""
+
+    def __init__(self):
+        self._annotations: Dict[str, DatasetAnnotation] = {}
+
+    # -- indexing -------------------------------------------------------------
+    def index(self, annotation: DatasetAnnotation) -> None:
+        self._annotations[annotation.identifier] = annotation
+
+    def index_jsonld(self, doc: Dict[str, object]) -> None:
+        self.index(from_jsonld(doc))
+
+    def __len__(self) -> int:
+        return len(self._annotations)
+
+    # -- retrieval ---------------------------------------------------------------
+    def search(self, text: str = "",
+               provider: Optional[str] = None,
+               covering: Optional[Geometry] = None,
+               limit: int = 10) -> List[SearchHit]:
+        """Ranked search: keyword score, filtered by provider/coverage."""
+        query_tokens = _tokens(text)
+        hits: List[SearchHit] = []
+        for annotation in self._annotations.values():
+            if provider is not None and not _provider_matches(
+                annotation.provider, provider
+            ):
+                continue
+            if covering is not None:
+                if annotation.spatial is None or not \
+                        annotation.spatial.intersects(covering):
+                    continue
+            doc_tokens = _annotation_tokens(annotation)
+            matched = [t for t in query_tokens if t in doc_tokens]
+            if query_tokens and not matched:
+                continue
+            score = len(matched) / len(query_tokens) if query_tokens else 0.5
+            if provider is not None:
+                score += 0.25
+            if covering is not None:
+                score += 0.25
+            hits.append(SearchHit(annotation, score, matched))
+        hits.sort(key=lambda h: (-h.score, h.annotation.name))
+        return hits[:limit]
+
+    def answer(self, question: str) -> Tuple[bool, List[SearchHit]]:
+        """Answer a natural-language-ish dataset question.
+
+        Resolution strategy: place names via the gazetteer, providers by
+        matching indexed provider strings, remaining content words as
+        keywords. Returns (yes/no, supporting hits).
+        """
+        place = None
+        lowered = question.lower()
+        for name, point in GAZETTEER.items():
+            if re.search(rf"\b{name}\b", lowered):
+                place = point
+                break
+        provider = None
+        for annotation in self._annotations.values():
+            if annotation.provider and \
+                    annotation.provider.lower() in lowered:
+                provider = annotation.provider
+                break
+        keyword_text = lowered
+        if provider:
+            keyword_text = keyword_text.replace(provider.lower(), " ")
+        content = [
+            t for t in _tokens(keyword_text)
+            if t not in GAZETTEER
+        ]
+        hits = self.search(
+            " ".join(content), provider=provider, covering=place
+        )
+        return (bool(hits), hits)
+
+
+def _tokens(text: str) -> List[str]:
+    return [
+        t for t in re.split(r"[^0-9a-z]+", text.lower())
+        if len(t) > 1 and t not in _STOPWORDS
+    ]
+
+
+def _annotation_tokens(annotation: DatasetAnnotation) -> set:
+    parts = [annotation.name, annotation.description,
+             " ".join(annotation.keywords)]
+    parts.extend(annotation.eo.values())
+    return set(_tokens(" ".join(parts)))
+
+
+def _provider_matches(indexed: str, wanted: str) -> bool:
+    a, b = indexed.lower(), wanted.lower()
+    return a == b or a in b or b in a

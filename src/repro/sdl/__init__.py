@@ -1,0 +1,21 @@
+"""RAMANI SDL: streaming data library, cloud analytics, Maps-API, auth."""
+
+from .analytics import RamaniCloudAnalytics
+from .auth import AccessDenied, TokenAuthority
+from .library import (
+    REQUIRED_GLOBAL_ATTRIBUTES,
+    SdlError,
+    StreamingDataLibrary,
+)
+from .mapsapi import MapsApi, MapsApiError
+
+__all__ = [
+    "AccessDenied",
+    "MapsApi",
+    "MapsApiError",
+    "RamaniCloudAnalytics",
+    "REQUIRED_GLOBAL_ATTRIBUTES",
+    "SdlError",
+    "StreamingDataLibrary",
+    "TokenAuthority",
+]

@@ -1,0 +1,163 @@
+"""RAMANI Cloud Analytics: on-the-fly aggregations over SDL streams.
+
+Section 3.1: "We added a software layer to the SDL, entitled RAMANI
+Cloud Analytics, allowing on-the-fly spatial and temporal aggregations
+such that downstream services may request for derived variables to be
+returned, such as a long-term (moving) average (summer-time) or spatial
+central tendency (city-average)". Analyses can be *re-run* when data is
+extended or replaced by a different source "providing similar variables
+based on semantically provided heuristics (e.g. based on 'hasName' or
+'hasUnit')".
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..opendap import DapDataset, Variable, decode_time
+from ..opendap.model import apply_fill_and_scale
+from .library import SdlError, StreamingDataLibrary
+
+BBox = Tuple[float, float, float, float]
+
+
+class RamaniCloudAnalytics:
+    """Derived-variable computation over SDL-registered datasets."""
+
+    def __init__(self, sdl: StreamingDataLibrary,
+                 token: Optional[str] = None):
+        self.sdl = sdl
+        self.token = token
+        self._analyses: Dict[str, Dict] = {}
+
+    # -- semantic source selection ---------------------------------------------
+    def find_variable(self, has_name: Optional[str] = None,
+                      has_unit: Optional[str] = None
+                      ) -> Tuple[str, str]:
+        """Locate (dataset, variable) by name/unit heuristics.
+
+        Matching is substring-based on the variable's ``long_name`` and
+        exact on ``units`` — the "hasName"/"hasUnit" heuristics that let
+        an analysis survive a source swap.
+        """
+        for dataset_name in self.sdl.names():
+            remote = self.sdl._remote(dataset_name)
+            for var_name, attrs in remote.attributes.items():
+                if var_name == "NC_GLOBAL":
+                    continue
+                long_name = str(attrs.get("long_name", var_name)).lower()
+                units = str(attrs.get("units", ""))
+                if has_name is not None and \
+                        has_name.lower() not in long_name \
+                        and has_name.lower() != var_name.lower():
+                    continue
+                if has_unit is not None and units != has_unit:
+                    continue
+                if has_name is None and has_unit is None:
+                    continue
+                return dataset_name, var_name
+        raise SdlError(
+            f"no variable matching hasName={has_name!r} hasUnit={has_unit!r}"
+        )
+
+    # -- core aggregations -----------------------------------------------------
+    def _grid(self, dataset: str, variable: str,
+              bbox: Optional[BBox] = None) -> DapDataset:
+        return self.sdl.fetch_window(dataset, variable, bbox=bbox,
+                                     token=self.token)
+
+    def moving_average(self, dataset: str, variable: str,
+                       window: int, bbox: Optional[BBox] = None
+                       ) -> DapDataset:
+        """Long-term (moving) average along time; same grid, same dims."""
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        subset = self._grid(dataset, variable, bbox)
+        values = apply_fill_and_scale(subset[variable])
+        smoothed = np.full_like(values, np.nan)
+        for ti in range(values.shape[0]):
+            lo = max(0, ti - window + 1)
+            chunk = values[lo: ti + 1]
+            with np.errstate(invalid="ignore"):
+                smoothed[ti] = np.nanmean(chunk, axis=0)
+        out = subset.copy(name=f"{variable}_moving_avg")
+        out.variables[variable] = Variable(
+            variable, subset[variable].dims, smoothed,
+            {**subset[variable].attributes,
+             "cell_methods": f"time: mean (window {window})"},
+        )
+        return out
+
+    def seasonal_average(self, dataset: str, variable: str,
+                         months: Tuple[int, ...] = (6, 7, 8),
+                         bbox: Optional[BBox] = None) -> DapDataset:
+        """Average over time steps falling in *months* (summer default)."""
+        subset = self._grid(dataset, variable, bbox)
+        times = decode_time(subset["time"])
+        mask = [t.month in months for t in times]
+        if not any(mask):
+            raise SdlError(
+                f"no time steps in months {months} for {dataset}"
+            )
+        values = apply_fill_and_scale(subset[variable])[mask]
+        with np.errstate(invalid="ignore"):
+            mean_plane = np.nanmean(values, axis=0)
+        out = DapDataset(
+            f"{variable}_seasonal_avg", dict(subset.attributes)
+        )
+        out.variables["lat"] = subset["lat"].copy()
+        out.variables["lon"] = subset["lon"].copy()
+        out.add_variable(
+            variable, ["lat", "lon"], mean_plane,
+            {**subset[variable].attributes,
+             "cell_methods": f"time: mean over months {list(months)}"},
+        )
+        return out
+
+    def spatial_mean(self, dataset: str, variable: str,
+                     bbox: Optional[BBox] = None
+                     ) -> List[Tuple[datetime, float]]:
+        """Spatial central tendency ("city-average") per time step."""
+        subset = self._grid(dataset, variable, bbox)
+        times = decode_time(subset["time"])
+        values = apply_fill_and_scale(subset[variable])
+        out = []
+        for ti, moment in enumerate(times):
+            plane = values[ti]
+            with np.errstate(invalid="ignore"):
+                mean = float(np.nanmean(plane)) if not np.all(
+                    np.isnan(plane)) else float("nan")
+            out.append((moment, mean))
+        return out
+
+    # -- re-runnable analyses (Section 3.1) -------------------------------------
+    def register_analysis(self, name: str, operation: str,
+                          has_name: Optional[str] = None,
+                          has_unit: Optional[str] = None,
+                          **params) -> None:
+        """Declare an analysis bound to a *semantic* variable selector."""
+        if operation not in ("moving_average", "seasonal_average",
+                             "spatial_mean"):
+            raise ValueError(f"unknown operation {operation!r}")
+        self._analyses[name] = {
+            "operation": operation,
+            "has_name": has_name,
+            "has_unit": has_unit,
+            "params": params,
+        }
+
+    def run_analysis(self, name: str):
+        """(Re-)run an analysis; source resolution happens at run time,
+        so extended or replaced datasets are picked up automatically."""
+        try:
+            spec = self._analyses[name]
+        except KeyError:
+            raise SdlError(f"no analysis {name!r} registered") from None
+        dataset, variable = self.find_variable(
+            has_name=spec["has_name"], has_unit=spec["has_unit"]
+        )
+        operation = getattr(self, spec["operation"])
+        return operation(dataset, variable, **spec["params"])

@@ -1,0 +1,178 @@
+"""The RAMANI Streaming Data Library (SDL).
+
+"The streaming data library implemented by RAMANI communicates with the
+OPeNDAP server and receives Copernicus services data as streams" (§3).
+Datasets are registered by DAP URL; the SDL exposes their "temporal and
+spatial characteristics ... in a queryable manner" (§3.1), streams data
+in chunks rather than whole files, enforces RAMANI token auth, and
+reports metadata completeness at dataset or library level.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..opendap import (
+    DapCache,
+    DapDataset,
+    RemoteDataset,
+    ServerRegistry,
+    decode_time,
+    open_url,
+)
+from .auth import AccessDenied, TokenAuthority
+
+#: ACDD attributes the SDL considers required for discoverability.
+REQUIRED_GLOBAL_ATTRIBUTES = (
+    "title",
+    "summary",
+    "keywords",
+    "institution",
+    "license",
+    "time_coverage_start",
+    "geospatial_lat_min",
+    "geospatial_lon_min",
+)
+
+
+class SdlError(KeyError):
+    """Raised for lookups of unregistered datasets."""
+
+
+class StreamingDataLibrary:
+    """Registers DAP datasets and streams them to applications."""
+
+    def __init__(self, registry: ServerRegistry,
+                 auth: Optional[TokenAuthority] = None,
+                 cache_ttl_s: float = 600.0):
+        self.registry = registry
+        self.auth = auth
+        self._remotes: Dict[str, RemoteDataset] = {}
+        self._urls: Dict[str, str] = {}
+        self.cache = DapCache(ttl_s=cache_ttl_s)
+
+    # -- catalog -----------------------------------------------------------
+    def register_dataset(self, name: str, url: str) -> None:
+        self._remotes[name] = open_url(url, self.registry, cache=self.cache)
+        self._urls[name] = url
+
+    def names(self) -> List[str]:
+        return sorted(self._remotes)
+
+    def _remote(self, name: str) -> RemoteDataset:
+        try:
+            return self._remotes[name]
+        except KeyError:
+            raise SdlError(f"no dataset {name!r} registered") from None
+
+    def _authorize(self, name: str, token: Optional[str]) -> None:
+        if self.auth is not None:
+            self.auth.authenticate(token)
+            self.auth.record_access(token, name)
+
+    # -- queryable characteristics (Section 3.1) -----------------------------
+    def characteristics(self, name: str,
+                        token: Optional[str] = None) -> Dict[str, object]:
+        """Temporal and spatial characteristics of a dataset."""
+        self._authorize(name, token)
+        remote = self._remote(name)
+        coords = remote.fetch("time,lat,lon")
+        times = decode_time(coords["time"])
+        lats = coords["lat"].data
+        lons = coords["lon"].data
+        data_vars = [
+            v for v in remote.variable_names
+            if v not in ("time", "lat", "lon")
+        ]
+        return {
+            "url": self._urls[name],
+            "variables": data_vars,
+            "time_start": times[0],
+            "time_end": times[-1],
+            "time_steps": len(times),
+            "bbox": (
+                float(lons.min()), float(lats.min()),
+                float(lons.max()), float(lats.max()),
+            ),
+            "grid_shape": (len(lats), len(lons)),
+        }
+
+    # -- streaming ---------------------------------------------------------------
+    def stream(self, name: str, variable: Optional[str] = None,
+               bbox: Optional[Tuple[float, float, float, float]] = None,
+               token: Optional[str] = None) -> Iterator[DapDataset]:
+        """Stream a dataset one time step at a time (optionally windowed).
+
+        Each yielded chunk is fetched with its own constrained DAP call,
+        so consumers see data flow without a full download — the SDL's
+        defining behaviour.
+        """
+        self._authorize(name, token)
+        remote = self._remote(name)
+        if variable is None:
+            variable = self.characteristics(name, token)["variables"][0]
+        dims = dict(remote.dims_of(variable))
+        n_time = dims.get("time", 1)
+        lat_window, lon_window = self._bbox_windows(remote, bbox)
+        for ti in range(n_time):
+            constraint = (
+                f"{variable}[{ti}:{ti}]"
+                f"[{lat_window[0]}:{lat_window[1]}]"
+                f"[{lon_window[0]}:{lon_window[1]}]"
+            )
+            yield remote.fetch(constraint)
+
+    def fetch_window(self, name: str, variable: str,
+                     bbox: Optional[Tuple[float, float, float, float]] = None,
+                     token: Optional[str] = None) -> DapDataset:
+        """One-shot constrained fetch (index-aligned, cache-friendly)."""
+        self._authorize(name, token)
+        remote = self._remote(name)
+        dims = dict(remote.dims_of(variable))
+        n_time = dims.get("time", 1)
+        lat_window, lon_window = self._bbox_windows(remote, bbox)
+        constraint = (
+            f"{variable}[0:{n_time - 1}]"
+            f"[{lat_window[0]}:{lat_window[1]}]"
+            f"[{lon_window[0]}:{lon_window[1]}]"
+        )
+        return remote.fetch(constraint)
+
+    def _bbox_windows(self, remote: RemoteDataset, bbox):
+        coords = remote.fetch("lat,lon")
+        lats, lons = coords["lat"].data, coords["lon"].data
+        if bbox is None:
+            return (0, len(lats) - 1), (0, len(lons) - 1)
+        from ..opendap.subset import index_window_for_bbox
+
+        windows = index_window_for_bbox(coords, bbox)
+        return windows["lat"], windows["lon"]
+
+    # -- metadata completeness (Section 3.1) ------------------------------------
+    def metadata_completeness(self, name: str,
+                              required=REQUIRED_GLOBAL_ATTRIBUTES
+                              ) -> Dict[str, object]:
+        """Check one dataset's global attributes against *required*."""
+        remote = self._remote(name)
+        present = remote.global_attributes()
+        missing = [a for a in required if a not in present]
+        return {
+            "dataset": name,
+            "missing": missing,
+            "score": 1.0 - len(missing) / len(required),
+        }
+
+    def library_completeness(self,
+                             required=REQUIRED_GLOBAL_ATTRIBUTES
+                             ) -> Dict[str, object]:
+        """Global completeness over every registered dataset."""
+        reports = [
+            self.metadata_completeness(name, required)
+            for name in self.names()
+        ]
+        score = (
+            sum(r["score"] for r in reports) / len(reports)
+            if reports else 1.0
+        )
+        return {"datasets": reports, "score": score}

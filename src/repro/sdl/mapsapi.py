@@ -1,0 +1,251 @@
+"""The RAMANI VISual Maps-API.
+
+Section 3.3 lists the request methods App developers consume:
+getMetadata, getDerivedData, getMap, getAnimation, getTransect,
+getPoint, getArea, getVerticalProfile, getSpectralProfile (for
+multi-spectral EO data), getMapSwipe, getTimeseriesProfile.
+
+All methods take data from the SDL (never SPARQL — that is Sextant's
+side of the fence) and enforce RAMANI token auth through it.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..opendap import DapDataset, decode_time
+from ..opendap.model import apply_fill_and_scale
+from .analytics import RamaniCloudAnalytics
+from .library import SdlError, StreamingDataLibrary
+
+BBox = Tuple[float, float, float, float]
+LonLat = Tuple[float, float]
+
+
+class MapsApiError(ValueError):
+    """Raised for requests the dataset cannot satisfy."""
+
+
+class MapsApi:
+    """The eleven request methods over an SDL."""
+
+    def __init__(self, sdl: StreamingDataLibrary,
+                 token: Optional[str] = None):
+        self.sdl = sdl
+        self.token = token
+        self.analytics = RamaniCloudAnalytics(sdl, token=token)
+
+    # -- helpers ------------------------------------------------------------
+    def _window(self, dataset: str, variable: str,
+                bbox: Optional[BBox]) -> DapDataset:
+        return self.sdl.fetch_window(dataset, variable, bbox=bbox,
+                                     token=self.token)
+
+    @staticmethod
+    def _time_index(subset: DapDataset, when: Optional[datetime]) -> int:
+        times = decode_time(subset["time"])
+        if when is None:
+            return len(times) - 1
+        deltas = [abs((t - when).total_seconds()) for t in times]
+        return int(np.argmin(deltas))
+
+    @staticmethod
+    def _values(subset: DapDataset, variable: str) -> np.ndarray:
+        return apply_fill_and_scale(subset[variable])
+
+    # -- 1. getMetadata ----------------------------------------------------
+    def get_metadata(self, dataset: str) -> Dict[str, object]:
+        return self.sdl.characteristics(dataset, token=self.token)
+
+    # -- 2. getDerivedData ----------------------------------------------------
+    def get_derived_data(self, dataset: str, variable: str,
+                         operation: str, **params):
+        op = getattr(self.analytics, operation, None)
+        if op is None or operation.startswith("_"):
+            raise MapsApiError(f"unknown derived operation {operation!r}")
+        return op(dataset, variable, **params)
+
+    # -- 3. getMap ------------------------------------------------------------
+    def get_map(self, dataset: str, variable: str,
+                when: Optional[datetime] = None,
+                bbox: Optional[BBox] = None,
+                width: int = 64, height: int = 32) -> Dict[str, object]:
+        """A resampled 2-D plane suitable for a map layer."""
+        subset = self._window(dataset, variable, bbox)
+        ti = self._time_index(subset, when)
+        plane = self._values(subset, variable)[ti]
+        resampled = _nearest_resample(plane, height, width)
+        return {
+            "variable": variable,
+            "time": decode_time(subset["time"])[ti],
+            "bbox": (
+                float(subset["lon"].data.min()),
+                float(subset["lat"].data.min()),
+                float(subset["lon"].data.max()),
+                float(subset["lat"].data.max()),
+            ),
+            "width": width,
+            "height": height,
+            "values": resampled,
+        }
+
+    # -- 4. getAnimation --------------------------------------------------------
+    def get_animation(self, dataset: str, variable: str,
+                      bbox: Optional[BBox] = None,
+                      width: int = 32, height: int = 16
+                      ) -> List[Dict[str, object]]:
+        subset = self._window(dataset, variable, bbox)
+        times = decode_time(subset["time"])
+        values = self._values(subset, variable)
+        return [
+            {
+                "time": times[ti],
+                "values": _nearest_resample(values[ti], height, width),
+            }
+            for ti in range(len(times))
+        ]
+
+    # -- 5. getTransect --------------------------------------------------------
+    def get_transect(self, dataset: str, variable: str,
+                     start: LonLat, end: LonLat, samples: int = 20,
+                     when: Optional[datetime] = None
+                     ) -> List[Dict[str, float]]:
+        if samples < 2:
+            raise MapsApiError("transect needs at least 2 samples")
+        subset = self._window(dataset, variable, None)
+        ti = self._time_index(subset, when)
+        values = self._values(subset, variable)[ti]
+        lats = subset["lat"].data
+        lons = subset["lon"].data
+        out = []
+        for i in range(samples):
+            f = i / (samples - 1)
+            lon = start[0] + f * (end[0] - start[0])
+            lat = start[1] + f * (end[1] - start[1])
+            yi = int(np.argmin(np.abs(lats - lat)))
+            xi = int(np.argmin(np.abs(lons - lon)))
+            out.append(
+                {"lon": lon, "lat": lat, "value": float(values[yi, xi])}
+            )
+        return out
+
+    # -- 6. getPoint -----------------------------------------------------------
+    def get_point(self, dataset: str, variable: str, lon: float,
+                  lat: float, when: Optional[datetime] = None) -> float:
+        subset = self._window(dataset, variable, None)
+        ti = self._time_index(subset, when)
+        values = self._values(subset, variable)[ti]
+        yi = int(np.argmin(np.abs(subset["lat"].data - lat)))
+        xi = int(np.argmin(np.abs(subset["lon"].data - lon)))
+        return float(values[yi, xi])
+
+    # -- 7. getArea --------------------------------------------------------------
+    def get_area(self, dataset: str, variable: str, bbox: BBox,
+                 when: Optional[datetime] = None) -> Dict[str, float]:
+        subset = self._window(dataset, variable, bbox)
+        ti = self._time_index(subset, when)
+        plane = self._values(subset, variable)[ti]
+        finite = plane[~np.isnan(plane)]
+        if finite.size == 0:
+            raise MapsApiError("area contains no valid cells")
+        return {
+            "mean": float(finite.mean()),
+            "min": float(finite.min()),
+            "max": float(finite.max()),
+            "count": int(finite.size),
+        }
+
+    # -- 8. getVerticalProfile -----------------------------------------------
+    def get_vertical_profile(self, dataset: str, variable: str,
+                             lon: float, lat: float,
+                             when: Optional[datetime] = None
+                             ) -> List[Dict[str, float]]:
+        """Values over the ``level`` dimension at a point."""
+        remote = self.sdl._remote(dataset)
+        dims = [d for d, __ in remote.dims_of(variable)]
+        if "level" not in dims:
+            raise MapsApiError(
+                f"{variable!r} has no vertical dimension; dims={dims}"
+            )
+        subset = remote.fetch(variable)
+        ti = self._time_index(subset, when)
+        values = apply_fill_and_scale(subset[variable])
+        yi = int(np.argmin(np.abs(subset["lat"].data - lat)))
+        xi = int(np.argmin(np.abs(subset["lon"].data - lon)))
+        # dims are (time, level, lat, lon) after the time index is taken
+        levels = subset["level"].data
+        point = values[ti][:, yi, xi]
+        return [
+            {"level": float(levels[li]), "value": float(point[li])}
+            for li in range(len(levels))
+        ]
+
+    # -- 9. getSpectralProfile ------------------------------------------------
+    def get_spectral_profile(self, dataset: str, variable: str,
+                             lon: float, lat: float,
+                             when: Optional[datetime] = None
+                             ) -> List[Dict[str, float]]:
+        """Per-band values at a point (multi-spectral EO data)."""
+        remote = self.sdl._remote(dataset)
+        dims = [d for d, __ in remote.dims_of(variable)]
+        if "band" not in dims:
+            raise MapsApiError(
+                f"{variable!r} has no band dimension; dims={dims}"
+            )
+        subset = remote.fetch(variable)
+        ti = self._time_index(subset, when)
+        values = apply_fill_and_scale(subset[variable])
+        yi = int(np.argmin(np.abs(subset["lat"].data - lat)))
+        xi = int(np.argmin(np.abs(subset["lon"].data - lon)))
+        bands = subset["band"].data
+        point = values[ti][:, yi, xi]
+        return [
+            {"band": float(bands[bi]), "value": float(point[bi])}
+            for bi in range(len(bands))
+        ]
+
+    # -- 10. getMapSwipe -----------------------------------------------------------
+    def get_map_swipe(self, dataset_left: str, variable_left: str,
+                      dataset_right: str, variable_right: str,
+                      when: Optional[datetime] = None,
+                      bbox: Optional[BBox] = None,
+                      width: int = 32, height: int = 16
+                      ) -> Dict[str, Dict[str, object]]:
+        """Two aligned map layers for a swipe comparison widget."""
+        return {
+            "left": self.get_map(dataset_left, variable_left, when, bbox,
+                                 width, height),
+            "right": self.get_map(dataset_right, variable_right, when, bbox,
+                                  width, height),
+        }
+
+    # -- 11. getTimeseriesProfile ----------------------------------------------
+    def get_timeseries_profile(self, dataset: str, variable: str,
+                               lon: float, lat: float
+                               ) -> List[Dict[str, object]]:
+        subset = self._window(dataset, variable, None)
+        times = decode_time(subset["time"])
+        values = self._values(subset, variable)
+        yi = int(np.argmin(np.abs(subset["lat"].data - lat)))
+        xi = int(np.argmin(np.abs(subset["lon"].data - lon)))
+        return [
+            {"time": times[ti], "value": float(values[ti, yi, xi])}
+            for ti in range(len(times))
+        ]
+
+
+def _nearest_resample(plane: np.ndarray, height: int,
+                      width: int) -> List[List[float]]:
+    src_h, src_w = plane.shape
+    rows = []
+    for r in range(height):
+        yi = min(src_h - 1, int(r * src_h / height))
+        row = []
+        for c in range(width):
+            xi = min(src_w - 1, int(c * src_w / width))
+            row.append(float(plane[yi, xi]))
+        rows.append(row)
+    return rows

@@ -1,0 +1,21 @@
+"""Sextant: visualization of time-evolving linked geospatial data."""
+
+from .core import Layer, SextantError, Style, ThematicMap
+from .formats import parse_gml, parse_kml
+from .map_ontology import find_maps, map_descriptor_from_rdf, map_to_rdf
+from .svg import render_html, render_svg, value_color
+
+__all__ = [
+    "Layer",
+    "SextantError",
+    "Style",
+    "ThematicMap",
+    "find_maps",
+    "map_descriptor_from_rdf",
+    "map_to_rdf",
+    "parse_gml",
+    "parse_kml",
+    "render_html",
+    "render_svg",
+    "value_color",
+]

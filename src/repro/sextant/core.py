@@ -1,0 +1,270 @@
+"""Sextant: thematic maps over linked geospatial data.
+
+A :class:`ThematicMap` stacks :class:`Layer` objects from heterogeneous
+sources: (Geo)SPARQL endpoints, GeoJSON/KML/GML files and raster
+coverages. Features may carry a ``time`` property, giving the map a
+timeline — the basis of Figure 4's time-evolving "greenness of Paris".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geometry import Feature, FeatureCollection, Geometry, wkt_loads
+from ..geometry.wkt import split_crs
+from ..opendap import DapDataset, decode_time
+from ..opendap.model import apply_fill_and_scale
+from ..rdf.terms import Literal
+
+
+class SextantError(ValueError):
+    """Raised for malformed layers or unusable sources."""
+
+
+@dataclass
+class Style:
+    fill: str = "#2a7f3f"
+    stroke: str = "#1b4e27"
+    opacity: float = 0.7
+    radius: float = 4.0  # for point features
+
+
+@dataclass
+class Layer:
+    """One thematic layer: features + style + provenance descriptor."""
+
+    name: str
+    features: FeatureCollection
+    style: Style = field(default_factory=Style)
+    value_property: Optional[str] = None   # drives choropleth colouring
+    time_property: Optional[str] = None    # drives the timeline
+    source: Dict[str, str] = field(default_factory=dict)
+
+    def times(self) -> List[str]:
+        if self.time_property is None:
+            return []
+        out = sorted(
+            {
+                str(f.properties[self.time_property])
+                for f in self.features
+                if self.time_property in f.properties
+            }
+        )
+        return out
+
+    def features_at(self, time_key: Optional[str]) -> List[Feature]:
+        if self.time_property is None or time_key is None:
+            return list(self.features)
+        return [
+            f for f in self.features
+            if str(f.properties.get(self.time_property)) == time_key
+        ]
+
+    def value_range(self) -> Optional[Tuple[float, float]]:
+        if self.value_property is None:
+            return None
+        values = [
+            float(f.properties[self.value_property])
+            for f in self.features
+            if self.value_property in f.properties
+        ]
+        if not values:
+            return None
+        return (min(values), max(values))
+
+
+class ThematicMap:
+    """An ordered stack of layers plus map-level metadata."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.layers: List[Layer] = []
+
+    # -- layer constructors ----------------------------------------------------
+    def add_layer(self, layer: Layer) -> Layer:
+        self.layers.append(layer)
+        return layer
+
+    def add_geojson_layer(self, name: str, fc: FeatureCollection,
+                          style: Optional[Style] = None,
+                          value_property: Optional[str] = None,
+                          time_property: Optional[str] = None) -> Layer:
+        return self.add_layer(
+            Layer(name, fc, style or Style(),
+                  value_property=value_property,
+                  time_property=time_property,
+                  source={"type": "geojson"})
+        )
+
+    def add_kml_layer(self, name: str, kml_text: str,
+                      style: Optional[Style] = None) -> Layer:
+        from .formats import parse_kml
+
+        return self.add_layer(
+            Layer(name, parse_kml(kml_text), style or Style(),
+                  source={"type": "kml"})
+        )
+
+    def add_gml_layer(self, name: str, gml_text: str,
+                      style: Optional[Style] = None) -> Layer:
+        from .formats import parse_gml
+
+        return self.add_layer(
+            Layer(name, parse_gml(gml_text), style or Style(),
+                  source={"type": "gml"})
+        )
+
+    def add_sparql_layer(self, name: str, endpoint, query: str,
+                         geom_var: str = "wkt",
+                         value_var: Optional[str] = None,
+                         time_var: Optional[str] = None,
+                         label_var: Optional[str] = None,
+                         style: Optional[Style] = None) -> Layer:
+        """Run a (Geo)SPARQL query and build a feature per result row.
+
+        *endpoint* is anything with a ``query(text)`` method (a Graph, a
+        Strabon store, an Ontop-spatial engine or a federation).
+        """
+        result = endpoint.query(query)
+        fc = FeatureCollection()
+        for i, row in enumerate(result):
+            geom_term = row.get(geom_var)
+            if geom_term is None:
+                continue
+            geometry = _term_to_geometry(geom_term)
+            properties: Dict[str, object] = {}
+            if value_var is not None and row.get(value_var) is not None:
+                properties[value_var] = _term_value(row[value_var])
+            if time_var is not None and row.get(time_var) is not None:
+                properties[time_var] = str(row[time_var])
+            if label_var is not None and row.get(label_var) is not None:
+                properties["name"] = str(row[label_var])
+            fc.append(Feature(geometry, properties, feature_id=str(i)))
+        if not fc.features:
+            raise SextantError(
+                f"query for layer {name!r} produced no geometries"
+            )
+        return self.add_layer(
+            Layer(
+                name, fc, style or Style(),
+                value_property=value_var, time_property=time_var,
+                source={"type": "sparql", "query": query},
+            )
+        )
+
+    def add_raster_layer(self, name: str, dataset: DapDataset,
+                         variable: str,
+                         style: Optional[Style] = None,
+                         time_index: Optional[int] = None) -> Layer:
+        """A coverage (GeoTIFF stand-in) as per-cell polygon features."""
+        import numpy as np
+
+        values = apply_fill_and_scale(dataset[variable])
+        times = decode_time(dataset["time"]) if "time" in dataset else [None]
+        lats = dataset["lat"].data.astype(float)
+        lons = dataset["lon"].data.astype(float)
+        half_lon = abs(lons[1] - lons[0]) / 2 if len(lons) > 1 else 0.005
+        half_lat = abs(lats[1] - lats[0]) / 2 if len(lats) > 1 else 0.005
+        fc = FeatureCollection()
+        time_range = (
+            range(len(times)) if time_index is None else [time_index]
+        )
+        from ..geometry import Polygon
+
+        for ti in time_range:
+            stamp = times[ti].isoformat() if times[ti] else None
+            for yi, lat in enumerate(lats):
+                for xi, lon in enumerate(lons):
+                    value = values[ti, yi, xi]
+                    if np.isnan(value):
+                        continue
+                    cell = Polygon.box(
+                        lon - half_lon, lat - half_lat,
+                        lon + half_lon, lat + half_lat,
+                    )
+                    props = {"value": float(value)}
+                    if stamp:
+                        props["time"] = stamp
+                    fc.append(Feature(cell, props))
+        return self.add_layer(
+            Layer(
+                name, fc, style or Style(),
+                value_property="value",
+                time_property="time" if len(time_range) > 1 else None,
+                source={"type": "raster", "variable": variable},
+            )
+        )
+
+    # -- timeline ------------------------------------------------------------------
+    def timeline(self) -> List[str]:
+        """All distinct time keys across temporal layers, sorted."""
+        keys = set()
+        for layer in self.layers:
+            keys.update(layer.times())
+        return sorted(keys)
+
+    # -- export ----------------------------------------------------------------------
+    def bounds(self) -> Tuple[float, float, float, float]:
+        boxes = [
+            f.geometry.bounds
+            for layer in self.layers
+            for f in layer.features
+        ]
+        if not boxes:
+            raise SextantError("map has no features")
+        return (
+            min(b[0] for b in boxes),
+            min(b[1] for b in boxes),
+            max(b[2] for b in boxes),
+            max(b[3] for b in boxes),
+        )
+
+    def to_geojson(self) -> Dict[str, object]:
+        """A layered GeoJSON document (one FeatureCollection per layer)."""
+        return {
+            "type": "SextantMap",
+            "name": self.name,
+            "description": self.description,
+            "timeline": self.timeline(),
+            "layers": [
+                {
+                    "name": layer.name,
+                    "style": vars(layer.style),
+                    "value_property": layer.value_property,
+                    "time_property": layer.time_property,
+                    "source": layer.source,
+                    "features": layer.features.to_geojson(),
+                }
+                for layer in self.layers
+            ],
+        }
+
+    def to_svg(self, width: int = 800, height: int = 600,
+               time_key: Optional[str] = None) -> str:
+        from .svg import render_svg
+
+        return render_svg(self, width=width, height=height,
+                          time_key=time_key)
+
+    def to_html(self, width: int = 800, height: int = 600) -> str:
+        from .svg import render_html
+
+        return render_html(self, width=width, height=height)
+
+    def __repr__(self) -> str:
+        return f"<ThematicMap {self.name!r} ({len(self.layers)} layers)>"
+
+
+def _term_to_geometry(term) -> Geometry:
+    if isinstance(term, Literal):
+        return wkt_loads(term.lexical)
+    return wkt_loads(str(term))
+
+
+def _term_value(term):
+    if isinstance(term, Literal):
+        value = term.value
+        return value if isinstance(value, (int, float)) else str(value)
+    return str(term)

@@ -1,0 +1,168 @@
+"""Geospatial file-format readers for Sextant layers.
+
+Sextant "create[s] thematic maps by combining geospatial and temporal
+information that exists in a number of heterogeneous data sources
+ranging from standard SPARQL endpoints, to GeoSPARQL endpoints, or
+well-adopted geospatial file formats, like KML, GML and GeoTIFF".
+
+This module parses KML and (a pragmatic subset of) GML into features;
+raster layers come from :class:`repro.opendap.DapDataset` objects (the
+GeoTIFF stand-in).
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional
+
+from ..geometry import (
+    Feature,
+    FeatureCollection,
+    GeometryError,
+    LineString,
+    Point,
+    Polygon,
+)
+
+KML_NS = "http://www.opengis.net/kml/2.2"
+GML_NS = "http://www.opengis.net/gml"
+
+
+def _local(tag: str) -> str:
+    return tag.rsplit("}", 1)[-1]
+
+
+def _parse_coord_text(text: str, swap: bool = False) -> List[tuple]:
+    """Parse 'lon,lat[,alt]' tuples (KML) or 'x y x y ...' lists (GML)."""
+    coords = []
+    if "," in text:
+        for chunk in text.split():
+            parts = chunk.split(",")
+            coords.append((float(parts[0]), float(parts[1])))
+    else:
+        numbers = [float(x) for x in text.split()]
+        pairs = list(zip(numbers[0::2], numbers[1::2]))
+        coords.extend(pairs)
+    if swap:
+        coords = [(y, x) for x, y in coords]
+    return coords
+
+
+def parse_kml(text: str) -> FeatureCollection:
+    """Parse KML Placemarks (Point / LineString / Polygon) into features."""
+    root = ET.fromstring(text)
+    fc = FeatureCollection()
+    for placemark in root.iter():
+        if _local(placemark.tag) != "Placemark":
+            continue
+        properties: Dict[str, object] = {}
+        geometry = None
+        feature_id = placemark.get("id")
+        for child in placemark.iter():
+            tag = _local(child.tag)
+            if tag == "name" and child.text:
+                properties["name"] = child.text.strip()
+            elif tag == "description" and child.text:
+                properties["description"] = child.text.strip()
+            elif tag == "SimpleData" and child.text:
+                properties[child.get("name", "field")] = child.text.strip()
+            elif tag in ("Point", "LineString", "Polygon") and \
+                    geometry is None:
+                geometry = _kml_geometry(child)
+        if geometry is not None:
+            fc.append(Feature(geometry, properties, feature_id))
+    return fc
+
+
+def _kml_geometry(element):
+    tag = _local(element.tag)
+    if tag == "Point":
+        coords = _coords_of(element)
+        return Point(*coords[0])
+    if tag == "LineString":
+        return LineString(_coords_of(element))
+    # Polygon: outerBoundaryIs/LinearRing + innerBoundaryIs*
+    shell = None
+    holes = []
+    for boundary in element:
+        btag = _local(boundary.tag)
+        if btag == "outerBoundaryIs":
+            shell = _coords_of(boundary)
+        elif btag == "innerBoundaryIs":
+            holes.append(_coords_of(boundary))
+    if shell is None:
+        raise GeometryError("KML polygon without outer boundary")
+    return Polygon(shell, holes)
+
+
+def _coords_of(element) -> List[tuple]:
+    for node in element.iter():
+        if _local(node.tag) == "coordinates" and node.text:
+            return _parse_coord_text(node.text.strip())
+    raise GeometryError("KML geometry without coordinates")
+
+
+def parse_gml(text: str, axis_order: str = "lonlat") -> FeatureCollection:
+    """Parse GML featureMembers with Point/LineString/Polygon geometries.
+
+    ``axis_order='latlon'`` swaps coordinates (EPSG:4326 axis order).
+    """
+    swap = axis_order == "latlon"
+    root = ET.fromstring(text)
+    fc = FeatureCollection()
+    for member in root.iter():
+        if _local(member.tag) not in ("featureMember", "member"):
+            continue
+        for feature_el in member:
+            properties: Dict[str, object] = {}
+            geometry = None
+            for child in feature_el.iter():
+                tag = _local(child.tag)
+                if tag == "Point":
+                    geometry = Point(*_gml_coords(child, swap)[0])
+                elif tag == "LineString":
+                    geometry = LineString(_gml_coords(child, swap))
+                elif tag == "Polygon":
+                    geometry = _gml_polygon(child, swap)
+                elif (
+                    child is not feature_el
+                    and child.text and child.text.strip()
+                    and len(list(child)) == 0
+                    and tag not in ("pos", "posList", "coordinates",
+                                    "lowerCorner", "upperCorner")
+                ):
+                    properties[tag] = child.text.strip()
+            if geometry is not None:
+                fc.append(Feature(geometry, properties,
+                                  _gml_id(feature_el)))
+    return fc
+
+
+def _gml_id(element) -> Optional[str]:
+    for key, value in element.attrib.items():
+        if key.endswith("id"):
+            return value
+    return None
+
+
+def _gml_coords(element, swap: bool) -> List[tuple]:
+    for node in element.iter():
+        tag = _local(node.tag)
+        if tag in ("pos", "posList", "coordinates") and node.text:
+            return _parse_coord_text(node.text.strip(), swap=swap)
+    raise GeometryError("GML geometry without coordinates")
+
+
+def _gml_polygon(element, swap: bool) -> Polygon:
+    shell = None
+    holes = []
+    for node in element.iter():
+        tag = _local(node.tag)
+        if tag == "exterior":
+            shell = _gml_coords(node, swap)
+        elif tag == "interior":
+            holes.append(_gml_coords(node, swap))
+    if shell is None:
+        raise GeometryError("GML polygon without exterior ring")
+    return Polygon(shell, holes)

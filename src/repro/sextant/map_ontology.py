@@ -1,0 +1,100 @@
+"""Sextant's map ontology: maps as shareable RDF.
+
+"Each thematic map is represented using a map ontology that assists on
+modelling these maps in RDF and allow for easy sharing, editing and
+search mechanisms over existing maps" (Section 3.3).
+
+Layers keep their *source descriptors* (endpoint queries, formats), so
+a map loaded from RDF can be re-executed against live endpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..rdf import Graph, IRI, Literal, MAP, RDF
+from .core import Layer, Style, ThematicMap
+
+
+def map_to_rdf(thematic_map: ThematicMap, map_iri: str,
+               graph: Optional[Graph] = None) -> Graph:
+    """Serialize a map's structure (not its features) to RDF."""
+    graph = graph if graph is not None else Graph()
+    graph.bind("map", str(MAP))
+    subject = IRI(map_iri)
+    graph.add(subject, RDF.type, MAP.Map)
+    graph.add(subject, MAP.hasName, Literal(thematic_map.name))
+    if thematic_map.description:
+        graph.add(subject, MAP.hasDescription,
+                  Literal(thematic_map.description))
+    for index, layer in enumerate(thematic_map.layers):
+        layer_iri = IRI(f"{map_iri}/layer/{index}")
+        graph.add(subject, MAP.hasLayer, layer_iri)
+        graph.add(layer_iri, RDF.type, MAP.Layer)
+        graph.add(layer_iri, MAP.hasName, Literal(layer.name))
+        graph.add(layer_iri, MAP.layerIndex, Literal(index))
+        graph.add(layer_iri, MAP.hasFill, Literal(layer.style.fill))
+        graph.add(layer_iri, MAP.hasStroke, Literal(layer.style.stroke))
+        graph.add(layer_iri, MAP.hasOpacity, Literal(layer.style.opacity))
+        if layer.value_property:
+            graph.add(layer_iri, MAP.valueProperty,
+                      Literal(layer.value_property))
+        if layer.time_property:
+            graph.add(layer_iri, MAP.timeProperty,
+                      Literal(layer.time_property))
+        for key, value in layer.source.items():
+            graph.add(layer_iri, MAP.term("source" + key.capitalize()),
+                      Literal(str(value)))
+    return graph
+
+
+def map_descriptor_from_rdf(graph: Graph, map_iri: str) -> Dict:
+    """Read a map descriptor back: name, description, ordered layers."""
+    subject = IRI(map_iri)
+    if (subject, RDF.type, MAP.Map) not in graph:
+        raise KeyError(f"{map_iri} is not a map:Map in this graph")
+    name = graph.value(subject, MAP.hasName)
+    description = graph.value(subject, MAP.hasDescription)
+    layers: List[Dict] = []
+    for layer_iri in graph.objects(subject, MAP.hasLayer):
+        entry = {
+            "name": str(graph.value(layer_iri, MAP.hasName)),
+            "index": graph.value(layer_iri, MAP.layerIndex).value,
+            "style": Style(
+                fill=str(graph.value(layer_iri, MAP.hasFill)),
+                stroke=str(graph.value(layer_iri, MAP.hasStroke)),
+                opacity=float(
+                    graph.value(layer_iri, MAP.hasOpacity).value
+                ),
+            ),
+            "source": {},
+        }
+        value_prop = graph.value(layer_iri, MAP.valueProperty)
+        if value_prop is not None:
+            entry["value_property"] = str(value_prop)
+        time_prop = graph.value(layer_iri, MAP.timeProperty)
+        if time_prop is not None:
+            entry["time_property"] = str(time_prop)
+        for triple in graph.triples((layer_iri, None, None)):
+            local = triple.p.local_name
+            if local.startswith("source"):
+                entry["source"][local[len("source"):].lower()] = str(triple.o)
+        layers.append(entry)
+    layers.sort(key=lambda e: e["index"])
+    return {
+        "name": str(name) if name else map_iri,
+        "description": str(description) if description else "",
+        "layers": layers,
+    }
+
+
+def find_maps(graph: Graph, name_contains: str = "") -> List[str]:
+    """Search shared maps by name substring (the 'search mechanism')."""
+    out = []
+    for subject in graph.subjects(RDF.type, MAP.Map):
+        name = graph.value(subject, MAP.hasName)
+        if name is None:
+            continue
+        if name_contains.lower() in str(name).lower():
+            out.append(str(subject))
+    return sorted(out)

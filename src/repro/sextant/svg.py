@@ -1,0 +1,193 @@
+"""SVG and HTML renderers for Sextant thematic maps.
+
+Figure 4 of the paper is a Sextant screenshot; our reproducible
+artifact is this renderer's output: an SVG per time step (LAI circles
+coloured by value over administrative outlines, CORINE/Urban Atlas
+polygons and OSM parks) and a standalone HTML page with a time slider.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+from xml.sax.saxutils import escape
+
+
+def _safe_id(name: str) -> str:
+    """Layer names become XML id attributes; strip anything unsafe."""
+    return re.sub(r"[^\w.-]+", "-", name).strip("-") or "layer"
+
+from ..geometry import LineString, Point, Polygon, flatten
+
+# A compact viridis-like ramp (low → high).
+_RAMP = [
+    "#440154", "#46327e", "#365c8d", "#277f8e", "#1fa187",
+    "#4ac16d", "#a0da39", "#fde725",
+]
+
+
+def value_color(value: float, lo: float, hi: float) -> str:
+    """Map a value onto the colour ramp."""
+    if hi <= lo:
+        return _RAMP[-1]
+    f = max(0.0, min(1.0, (value - lo) / (hi - lo)))
+    return _RAMP[min(len(_RAMP) - 1, int(f * len(_RAMP)))]
+
+
+class _Projector:
+    """Linear lon/lat → SVG pixel projection with padding."""
+
+    def __init__(self, bounds, width: int, height: int, pad: float = 0.04):
+        minx, miny, maxx, maxy = bounds
+        dx = (maxx - minx) or 1e-6
+        dy = (maxy - miny) or 1e-6
+        self.minx = minx - dx * pad
+        self.miny = miny - dy * pad
+        self.maxx = maxx + dx * pad
+        self.maxy = maxy + dy * pad
+        self.width = width
+        self.height = height
+
+    def __call__(self, lon: float, lat: float) -> Tuple[float, float]:
+        x = (lon - self.minx) / (self.maxx - self.minx) * self.width
+        y = (1 - (lat - self.miny) / (self.maxy - self.miny)) * self.height
+        return (round(x, 2), round(y, 2))
+
+
+def _path_of(coords, project) -> str:
+    points = [project(x, y) for x, y in coords]
+    steps = [f"M {points[0][0]} {points[0][1]}"]
+    steps.extend(f"L {x} {y}" for x, y in points[1:])
+    return " ".join(steps)
+
+
+def render_svg(thematic_map, width: int = 800, height: int = 600,
+               time_key: Optional[str] = None) -> str:
+    """Render one frame of the map as an SVG document."""
+    project = _Projector(thematic_map.bounds(), width, height)
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">',
+        f'<title>{escape(thematic_map.name)}</title>',
+        f'<rect width="{width}" height="{height}" fill="#f2f0e9"/>',
+    ]
+    for layer in thematic_map.layers:
+        parts.append(f'<g id="layer-{_safe_id(layer.name)}">')
+        value_range = layer.value_range()
+        for feature in layer.features_at(time_key):
+            parts.append(
+                _feature_svg(feature, layer, project, value_range)
+            )
+        parts.append("</g>")
+    parts.append(_legend_svg(thematic_map, width))
+    if time_key:
+        parts.append(
+            f'<text x="12" y="{height - 12}" font-size="14" '
+            f'fill="#333">{escape(time_key)}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _feature_svg(feature, layer, project, value_range) -> str:
+    style = layer.style
+    fill = style.fill
+    if layer.value_property and value_range and \
+            layer.value_property in feature.properties:
+        fill = value_color(
+            float(feature.properties[layer.value_property]),
+            *value_range,
+        )
+    title = ""
+    name = feature.properties.get("name")
+    if name:
+        title = f"<title>{escape(str(name))}</title>"
+    parts = []
+    for geom in flatten(feature.geometry):
+        if isinstance(geom, Point):
+            x, y = project(geom.x, geom.y)
+            parts.append(
+                f'<circle cx="{x}" cy="{y}" r="{style.radius}" '
+                f'fill="{fill}" fill-opacity="{style.opacity}" '
+                f'stroke="{style.stroke}" stroke-width="0.5">{title}'
+                "</circle>"
+            )
+        elif isinstance(geom, Polygon):
+            d_parts = [
+                _path_of(ring.vertices, project) + " Z"
+                for ring in geom.rings()
+            ]
+            parts.append(
+                f'<path d="{" ".join(d_parts)}" fill="{fill}" '
+                f'fill-opacity="{style.opacity}" fill-rule="evenodd" '
+                f'stroke="{style.stroke}" stroke-width="1">{title}</path>'
+            )
+        elif isinstance(geom, LineString):
+            parts.append(
+                f'<path d="{_path_of(geom.vertices, project)}" '
+                f'fill="none" stroke="{style.stroke}" '
+                f'stroke-width="1.5" stroke-opacity="{style.opacity}">'
+                f"{title}</path>"
+            )
+    return "".join(parts)
+
+
+def _legend_svg(thematic_map, width: int) -> str:
+    entries = []
+    y = 18
+    for layer in thematic_map.layers:
+        entries.append(
+            f'<rect x="{width - 190}" y="{y - 11}" width="12" height="12" '
+            f'fill="{layer.style.fill}" '
+            f'fill-opacity="{layer.style.opacity}"/>'
+            f'<text x="{width - 172}" y="{y}" font-size="12" fill="#333">'
+            f"{escape(layer.name)}</text>"
+        )
+        y += 18
+    return (
+        f'<g id="legend"><rect x="{width - 200}" y="0" width="200" '
+        f'height="{y}" fill="#ffffff" fill-opacity="0.85"/>'
+        + "".join(entries) + "</g>"
+    )
+
+
+def render_html(thematic_map, width: int = 800, height: int = 600) -> str:
+    """A standalone HTML page: one SVG frame per time step + slider."""
+    timeline = thematic_map.timeline() or [None]
+    frames = [
+        render_svg(thematic_map, width, height, time_key)
+        for time_key in timeline
+    ]
+    labels = [escape(str(t)) if t else "static" for t in timeline]
+    frame_divs = "\n".join(
+        f'<div class="frame" id="frame-{i}" '
+        f'style="display:{"block" if i == 0 else "none"}">{svg}</div>'
+        for i, svg in enumerate(frames)
+    )
+    slider = ""
+    if len(frames) > 1:
+        slider = f"""
+  <input type="range" min="0" max="{len(frames) - 1}" value="0"
+         id="timeslider" style="width:{width}px">
+  <span id="timelabel">{labels[0]}</span>
+  <script>
+    var labels = {labels!r};
+    document.getElementById('timeslider').addEventListener('input',
+      function () {{
+        var idx = parseInt(this.value);
+        document.querySelectorAll('.frame').forEach(function (el, i) {{
+          el.style.display = (i === idx) ? 'block' : 'none';
+        }});
+        document.getElementById('timelabel').textContent = labels[idx];
+      }});
+  </script>"""
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8">
+<title>{escape(thematic_map.name)}</title></head>
+<body>
+  <h1>{escape(thematic_map.name)}</h1>
+  <p>{escape(thematic_map.description)}</p>
+  {frame_divs}
+  {slider}
+</body></html>
+"""

@@ -1,0 +1,53 @@
+"""SPARQL 1.1 subset engine with GeoSPARQL and temporal extensions.
+
+Entry point::
+
+    from repro.sparql import query
+    result = query(graph, "SELECT ?s WHERE { ?s a <...> }")
+"""
+
+from typing import Callable, Optional
+
+from ..rdf.graph import Graph
+from .evaluator import Context, EvaluationError, eval_group, eval_query
+from .functions import (
+    SparqlValueError,
+    clear_geometry_cache,
+    geometry_from_term,
+    geometry_to_term,
+    register_extension,
+)
+from .parser import parse_query
+from .results import SPARQLResult
+from .tokenizer import SparqlSyntaxError
+from .update import UpdateResult, update
+
+__all__ = [
+    "Context",
+    "EvaluationError",
+    "SPARQLResult",
+    "SparqlSyntaxError",
+    "SparqlValueError",
+    "clear_geometry_cache",
+    "eval_group",
+    "eval_query",
+    "geometry_from_term",
+    "geometry_to_term",
+    "parse_query",
+    "query",
+    "register_extension",
+    "update",
+    "UpdateResult",
+]
+
+
+def query(graph: Graph, text: str,
+          service_resolver: Optional[Callable] = None) -> SPARQLResult:
+    """Parse and evaluate a (Geo)SPARQL query against *graph*.
+
+    ``service_resolver(endpoint_iri, group)`` is called for SERVICE
+    patterns; see :mod:`repro.sparql.federation`.
+    """
+    ast = parse_query(text, namespaces=graph.namespaces)
+    ctx = Context(graph, service_resolver=service_resolver)
+    return eval_query(ast, ctx)

@@ -1,0 +1,211 @@
+"""Abstract syntax tree for the SPARQL subset.
+
+Dataclasses only — evaluation lives in :mod:`repro.sparql.evaluator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..rdf.terms import Term
+
+
+@dataclass(frozen=True)
+class Var:
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+NodeOrVar = Union[Term, Var]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    s: NodeOrVar
+    p: NodeOrVar
+    o: NodeOrVar
+
+    def variables(self):
+        for t in (self.s, self.p, self.o):
+            if isinstance(t, Var):
+                yield t
+
+
+# -- expressions --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TermExpr:
+    """A constant RDF term used in an expression."""
+
+    term: Term
+
+
+@dataclass(frozen=True)
+class VarExpr:
+    var: Var
+
+
+@dataclass(frozen=True)
+class UnaryExpr:
+    op: str  # '!' or '-'
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinaryExpr:
+    op: str  # '||' '&&' '=' '!=' '<' '>' '<=' '>=' '+' '-' '*' '/'
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """Builtin (upper-case name) or IRI-named extension function."""
+
+    name: str
+    args: Tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class InExpr:
+    value: "Expr"
+    options: Tuple["Expr", ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ExistsExpr:
+    group: "GroupGraphPattern"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """COUNT/SUM/AVG/MIN/MAX/SAMPLE/GROUP_CONCAT over an expression."""
+
+    name: str
+    expr: Optional["Expr"]  # None for COUNT(*)
+    distinct: bool = False
+    separator: str = " "
+
+
+Expr = Union[
+    TermExpr, VarExpr, UnaryExpr, BinaryExpr, FunctionCall, InExpr,
+    ExistsExpr, Aggregate,
+]
+
+
+# -- graph patterns ------------------------------------------------------------
+
+@dataclass
+class BGP:
+    patterns: List[TriplePattern] = field(default_factory=list)
+
+
+@dataclass
+class Filter:
+    expr: Expr
+
+
+@dataclass
+class OptionalPattern:
+    group: "GroupGraphPattern"
+
+
+@dataclass
+class UnionPattern:
+    alternatives: List["GroupGraphPattern"]
+
+
+@dataclass
+class MinusPattern:
+    group: "GroupGraphPattern"
+
+
+@dataclass
+class Bind:
+    expr: Expr
+    var: Var
+
+
+@dataclass
+class InlineValues:
+    variables: List[Var]
+    rows: List[List[Optional[Term]]]  # None encodes UNDEF
+
+
+@dataclass
+class ServicePattern:
+    """SERVICE <endpoint> { ... } — used by the federation engine."""
+
+    endpoint: Term
+    group: "GroupGraphPattern"
+    silent: bool = False
+
+
+@dataclass
+class SubSelect:
+    query: "SelectQuery"
+
+
+GroupElement = Union[
+    BGP, Filter, OptionalPattern, UnionPattern, MinusPattern, Bind,
+    InlineValues, ServicePattern, SubSelect,
+]
+
+
+@dataclass
+class GroupGraphPattern:
+    elements: List[GroupElement] = field(default_factory=list)
+
+
+# -- queries ---------------------------------------------------------------
+
+@dataclass
+class Projection:
+    """One SELECT item: a plain variable or ``(expr AS ?v)``."""
+
+    var: Var
+    expr: Optional[Expr] = None
+
+
+@dataclass
+class OrderCondition:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class SelectQuery:
+    projections: List[Projection]  # empty means SELECT *
+    where: GroupGraphPattern
+    distinct: bool = False
+    group_by: List[Expr] = field(default_factory=list)
+    having: List[Expr] = field(default_factory=list)
+    order_by: List[OrderCondition] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
+
+
+@dataclass
+class AskQuery:
+    where: GroupGraphPattern
+
+
+@dataclass
+class ConstructQuery:
+    template: List[TriplePattern]
+    where: GroupGraphPattern
+    limit: Optional[int] = None
+
+
+@dataclass
+class DescribeQuery:
+    terms: List[NodeOrVar]
+    where: Optional[GroupGraphPattern] = None
+
+
+Query = Union[SelectQuery, AskQuery, ConstructQuery, DescribeQuery]

@@ -1,0 +1,820 @@
+"""SPARQL query evaluator.
+
+Evaluates the AST of :mod:`repro.sparql.ast` against a
+:class:`repro.rdf.Graph`. Plain bottom-up evaluation with:
+
+- greedy triple-pattern reordering inside BGPs (most-bound first);
+- spatial filter pushdown: a ``FILTER(geof:sfX(?w, <const>))`` restricting
+  an object variable is answered through the graph's spatial index when
+  the graph provides ``spatial_candidates(bounds)`` (Strabon does);
+- left-join OPTIONAL, UNION, MINUS, BIND, VALUES, sub-SELECT;
+- SERVICE evaluation through an endpoint registry (federation).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.terms import BNode, IRI, Literal, Term, literal_cmp_key
+from . import functions as fns
+from .ast import (
+    Aggregate,
+    AskQuery,
+    BGP,
+    BinaryExpr,
+    Bind,
+    ConstructQuery,
+    DescribeQuery,
+    ExistsExpr,
+    Expr,
+    Filter,
+    FunctionCall,
+    GroupGraphPattern,
+    InExpr,
+    InlineValues,
+    MinusPattern,
+    OptionalPattern,
+    Projection,
+    Query,
+    SelectQuery,
+    ServicePattern,
+    SubSelect,
+    TermExpr,
+    TriplePattern,
+    UnaryExpr,
+    UnionPattern,
+    Var,
+    VarExpr,
+)
+from .functions import SparqlValueError, effective_boolean_value
+from .results import Solution, SPARQLResult
+
+
+class EvaluationError(RuntimeError):
+    """Raised for unevaluable query constructs (not per-row errors)."""
+
+
+class Context:
+    """Per-query evaluation context."""
+
+    def __init__(self, graph: Graph,
+                 service_resolver: Optional[Callable] = None):
+        self.graph = graph
+        self.service_resolver = service_resolver
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation
+# ---------------------------------------------------------------------------
+
+def eval_expr(expr: Expr, solution: Solution, ctx: Context):
+    """Evaluate an expression to an RDF term; raises SparqlValueError."""
+    if isinstance(expr, TermExpr):
+        return expr.term
+    if isinstance(expr, VarExpr):
+        value = solution.get(expr.var.name)
+        if value is None:
+            raise SparqlValueError(f"unbound variable ?{expr.var.name}")
+        return value
+    if isinstance(expr, UnaryExpr):
+        if expr.op == "!":
+            return Literal(
+                not effective_boolean_value(
+                    eval_expr(expr.operand, solution, ctx)
+                )
+            )
+        value = fns.numeric_value(eval_expr(expr.operand, solution, ctx))
+        return Literal(-value)
+    if isinstance(expr, BinaryExpr):
+        return _eval_binary(expr, solution, ctx)
+    if isinstance(expr, FunctionCall):
+        return _eval_function(expr, solution, ctx)
+    if isinstance(expr, InExpr):
+        value = eval_expr(expr.value, solution, ctx)
+        found = False
+        for option in expr.options:
+            try:
+                if _terms_equal(value, eval_expr(option, solution, ctx)):
+                    found = True
+                    break
+            except SparqlValueError:
+                continue
+        return Literal(found != expr.negated)
+    if isinstance(expr, ExistsExpr):
+        rows = eval_group(expr.group, [dict(solution)], ctx)
+        exists = bool(rows)
+        return Literal(exists != expr.negated)
+    if isinstance(expr, Aggregate):
+        raise SparqlValueError("aggregate outside aggregation context")
+    raise EvaluationError(f"cannot evaluate {type(expr).__name__}")
+
+
+def _eval_binary(expr: BinaryExpr, solution: Solution, ctx: Context):
+    op = expr.op
+    if op == "||":
+        left_err = None
+        try:
+            if effective_boolean_value(eval_expr(expr.left, solution, ctx)):
+                return Literal(True)
+        except SparqlValueError as exc:
+            left_err = exc
+        right = effective_boolean_value(eval_expr(expr.right, solution, ctx))
+        if right:
+            return Literal(True)
+        if left_err is not None:
+            raise left_err
+        return Literal(False)
+    if op == "&&":
+        left_err = None
+        try:
+            if not effective_boolean_value(
+                eval_expr(expr.left, solution, ctx)
+            ):
+                return Literal(False)
+        except SparqlValueError as exc:
+            left_err = exc
+        right = effective_boolean_value(eval_expr(expr.right, solution, ctx))
+        if not right:
+            return Literal(False)
+        if left_err is not None:
+            raise left_err
+        return Literal(True)
+
+    left = eval_expr(expr.left, solution, ctx)
+    right = eval_expr(expr.right, solution, ctx)
+    if op in ("+", "-", "*", "/"):
+        a, b = fns.numeric_value(left), fns.numeric_value(right)
+        if op == "+":
+            value = a + b
+        elif op == "-":
+            value = a - b
+        elif op == "*":
+            value = a * b
+        else:
+            if b == 0:
+                raise SparqlValueError("division by zero")
+            value = a / b
+        if isinstance(a, int) and isinstance(b, int) and op != "/":
+            return Literal(int(value))
+        return Literal(float(value))
+    if op == "=":
+        return Literal(_terms_equal(left, right))
+    if op == "!=":
+        return Literal(not _terms_equal(left, right))
+    return Literal(_order_compare(op, left, right))
+
+
+def _terms_equal(a, b) -> bool:
+    if isinstance(a, Literal) and isinstance(b, Literal):
+        if a == b:
+            return True
+        if a.is_numeric and b.is_numeric:
+            return a.value == b.value
+        try:
+            av, bv = a.value, b.value
+        except ValueError:
+            return False
+        if type(av) is type(bv) and not isinstance(av, str):
+            return av == bv
+        return False
+    return a == b and type(a) is type(b)
+
+
+def _order_compare(op: str, a, b) -> bool:
+    if not (isinstance(a, Literal) and isinstance(b, Literal)):
+        raise SparqlValueError(f"cannot order {a!r} and {b!r}")
+    ka, kb = literal_cmp_key(a), literal_cmp_key(b)
+    if ka[0] != kb[0]:
+        raise SparqlValueError(f"type mismatch comparing {a!r} and {b!r}")
+    if op == "<":
+        return ka[1] < kb[1]
+    if op == ">":
+        return ka[1] > kb[1]
+    if op == "<=":
+        return ka[1] <= kb[1]
+    if op == ">=":
+        return ka[1] >= kb[1]
+    raise EvaluationError(f"unknown comparison {op}")
+
+
+def _eval_function(call: FunctionCall, solution: Solution, ctx: Context):
+    name = call.name
+    if name == "BOUND":
+        arg = call.args[0]
+        if not isinstance(arg, VarExpr):
+            raise SparqlValueError("BOUND requires a variable")
+        return Literal(solution.get(arg.var.name) is not None)
+    if name == "IF":
+        cond = effective_boolean_value(
+            eval_expr(call.args[0], solution, ctx)
+        )
+        return eval_expr(call.args[1] if cond else call.args[2],
+                         solution, ctx)
+    if name == "COALESCE":
+        for arg in call.args:
+            try:
+                return eval_expr(arg, solution, ctx)
+            except SparqlValueError:
+                continue
+        raise SparqlValueError("COALESCE: no bound argument")
+    args = [eval_expr(a, solution, ctx) for a in call.args]
+    fn = fns.BUILTIN_FUNCTIONS.get(name)
+    if fn is None:
+        fn = fns.EXTENSION_FUNCTIONS.get(name)
+    if fn is None:
+        raise EvaluationError(f"unknown function {name!r}")
+    return fn(*args)
+
+
+# ---------------------------------------------------------------------------
+# Pattern evaluation
+# ---------------------------------------------------------------------------
+
+def _substitute(pattern: TriplePattern, solution: Solution):
+    def resolve(node):
+        if isinstance(node, Var):
+            return solution.get(node.name)
+        return node
+
+    return resolve(pattern.s), resolve(pattern.p), resolve(pattern.o)
+
+
+class _SpatialRestriction:
+    """A pushed-down spatial constraint on a variable."""
+
+    __slots__ = ("relation", "geometry")
+
+    def __init__(self, relation: str, geometry):
+        self.relation = relation
+        self.geometry = geometry
+
+
+def _extract_spatial_restrictions(
+    elements, ctx: Context
+) -> Dict[str, _SpatialRestriction]:
+    """Find FILTER(geof:sfX(?var, <const-geom>)) constraints in a group."""
+    restrictions: Dict[str, _SpatialRestriction] = {}
+    for el in elements:
+        if not isinstance(el, Filter):
+            continue
+        expr = el.expr
+        if not isinstance(expr, FunctionCall):
+            continue
+        relation = fns.SPATIAL_RELATIONS.get(expr.name)
+        if relation is None or len(expr.args) != 2:
+            continue
+        a, b = expr.args
+        var_arg, const_arg = None, None
+        if isinstance(a, VarExpr) and isinstance(b, TermExpr):
+            var_arg, const_arg = a, b
+        elif isinstance(b, VarExpr) and isinstance(a, TermExpr):
+            var_arg, const_arg = b, a
+            relation = _invert_relation(relation)
+        if var_arg is None:
+            continue
+        try:
+            geom = fns.geometry_from_term(const_arg.term)
+        except SparqlValueError:
+            continue
+        restrictions[var_arg.var.name] = _SpatialRestriction(relation, geom)
+    return restrictions
+
+
+def _invert_relation(relation: str) -> str:
+    return {"contains": "within", "within": "contains"}.get(relation, relation)
+
+
+def _match_bgp(bgp: BGP, solutions: List[Solution], ctx: Context,
+               restrictions: Dict[str, _SpatialRestriction]) -> List[Solution]:
+    patterns = list(bgp.patterns)
+    out = solutions
+    bound_vars = set()
+    for sol in solutions[:1]:
+        bound_vars.update(sol.keys())
+
+    remaining = patterns[:]
+    while remaining:
+        remaining.sort(
+            key=lambda p: _pattern_cost(p, bound_vars, restrictions)
+        )
+        pattern = remaining.pop(0)
+        new_out: List[Solution] = []
+        for sol in out:
+            new_out.extend(_match_pattern(pattern, sol, ctx, restrictions))
+        out = new_out
+        if not out:
+            return []
+        for var in pattern.variables():
+            bound_vars.add(var.name)
+    return out
+
+
+def _pattern_cost(pattern: TriplePattern, bound_vars, restrictions) -> tuple:
+    unbound = 0
+    has_restricted = False
+    for position in (pattern.s, pattern.p, pattern.o):
+        if isinstance(position, Var) and position.name not in bound_vars:
+            unbound += 1
+            if position.name in restrictions:
+                has_restricted = True
+    # Patterns whose object var has a spatial restriction get a discount:
+    # the spatial index turns them into bounded lookups.
+    return (unbound - (1 if has_restricted else 0), unbound)
+
+
+def _match_pattern(pattern: TriplePattern, solution: Solution, ctx: Context,
+                   restrictions: Dict[str, _SpatialRestriction]
+                   ) -> Iterable[Solution]:
+    s, p, o = _substitute(pattern, solution)
+    graph = ctx.graph
+
+    # Spatial pushdown: object variable restricted by a spatial filter and
+    # the graph exposes an R-tree over its geometry literals. Only pays
+    # off when the subject is unbound — with s bound, the direct (s, p, ?)
+    # lookup is O(1) while iterating candidates would be O(candidates)
+    # per solution.
+    if (
+        o is None
+        and s is None
+        and isinstance(pattern.o, Var)
+        and pattern.o.name in restrictions
+        and hasattr(graph, "spatial_candidates")
+    ):
+        restriction = restrictions[pattern.o.name]
+        candidates = graph.spatial_candidates(restriction.geometry.bounds)
+        for candidate in candidates:
+            for triple in graph.triples((s, p, candidate)):
+                extended = _extend(pattern, triple, solution)
+                if extended is not None:
+                    yield extended
+        return
+
+    for triple in graph.triples((s, p, o)):
+        extended = _extend(pattern, triple, solution)
+        if extended is not None:
+            yield extended
+
+
+def _extend(pattern: TriplePattern, triple, solution: Solution
+            ) -> Optional[Solution]:
+    out = dict(solution)
+    for node, value in ((pattern.s, triple.s), (pattern.p, triple.p),
+                        (pattern.o, triple.o)):
+        if isinstance(node, Var):
+            existing = out.get(node.name)
+            if existing is None:
+                out[node.name] = value
+            elif existing != value:
+                return None
+    return out
+
+
+def eval_group(group: GroupGraphPattern, solutions: List[Solution],
+               ctx: Context) -> List[Solution]:
+    """Evaluate a group graph pattern, seeding from *solutions*."""
+    restrictions = _extract_spatial_restrictions(group.elements, ctx)
+    filters: List[Filter] = []
+    out = solutions
+    for element in group.elements:
+        if isinstance(element, Filter):
+            filters.append(element)
+        elif isinstance(element, BGP):
+            out = _match_bgp(element, out, ctx, restrictions)
+        elif isinstance(element, OptionalPattern):
+            out = _left_join(out, element.group, ctx)
+        elif isinstance(element, UnionPattern):
+            merged: List[Solution] = []
+            for alternative in element.alternatives:
+                merged.extend(eval_group(alternative, [dict(s) for s in out],
+                                         ctx))
+            out = merged
+        elif isinstance(element, MinusPattern):
+            out = _minus(out, element.group, ctx)
+        elif isinstance(element, Bind):
+            new_out = []
+            for sol in out:
+                sol = dict(sol)
+                try:
+                    sol[element.var.name] = eval_expr(element.expr, sol, ctx)
+                except SparqlValueError:
+                    pass  # BIND error leaves the variable unbound
+                new_out.append(sol)
+            out = new_out
+        elif isinstance(element, InlineValues):
+            out = _join_values(out, element)
+        elif isinstance(element, SubSelect):
+            sub_result = eval_query(element.query, ctx)
+            out = _hash_join(out, sub_result.rows)
+        elif isinstance(element, ServicePattern):
+            out = _eval_service(element, out, ctx)
+        else:  # pragma: no cover - parser prevents this
+            raise EvaluationError(f"unknown element {type(element).__name__}")
+        if not out:
+            break
+    for f in filters:
+        kept = []
+        for sol in out:
+            try:
+                if effective_boolean_value(eval_expr(f.expr, sol, ctx)):
+                    kept.append(sol)
+            except SparqlValueError:
+                continue  # evaluation error → row dropped
+        out = kept
+    return out
+
+
+def _left_join(solutions: List[Solution], group: GroupGraphPattern,
+               ctx: Context) -> List[Solution]:
+    out: List[Solution] = []
+    for sol in solutions:
+        extended = eval_group(group, [dict(sol)], ctx)
+        if extended:
+            out.extend(extended)
+        else:
+            out.append(sol)
+    return out
+
+
+def _minus(solutions: List[Solution], group: GroupGraphPattern,
+           ctx: Context) -> List[Solution]:
+    exclusions = eval_group(group, [{}], ctx)
+    out = []
+    for sol in solutions:
+        excluded = False
+        for exc in exclusions:
+            shared = set(sol) & set(exc)
+            if shared and all(sol[v] == exc[v] for v in shared):
+                excluded = True
+                break
+        if not excluded:
+            out.append(sol)
+    return out
+
+
+def _join_values(solutions: List[Solution], values: InlineValues
+                 ) -> List[Solution]:
+    rows = []
+    for row in values.rows:
+        binding = {
+            var.name: term
+            for var, term in zip(values.variables, row)
+            if term is not None
+        }
+        rows.append(binding)
+    return _hash_join(solutions, rows)
+
+
+def _hash_join(left: List[Solution], right: List[Solution]) -> List[Solution]:
+    out = []
+    for sol in left:
+        for other in right:
+            shared = set(sol) & set(other)
+            if all(sol[v] == other[v] for v in shared):
+                merged = dict(sol)
+                merged.update(other)
+                out.append(merged)
+    return out
+
+
+def _eval_service(element: ServicePattern, solutions: List[Solution],
+                  ctx: Context) -> List[Solution]:
+    if ctx.service_resolver is None:
+        raise EvaluationError(
+            "SERVICE pattern requires a service resolver (federation)"
+        )
+    remote_rows = ctx.service_resolver(str(element.endpoint), element.group)
+    return _hash_join(solutions, remote_rows)
+
+
+# ---------------------------------------------------------------------------
+# Query forms
+# ---------------------------------------------------------------------------
+
+def _projection_has_aggregate(query: SelectQuery) -> bool:
+    return any(
+        _expr_contains_aggregate(p.expr)
+        for p in query.projections
+        if p.expr is not None
+    )
+
+
+def _expr_contains_aggregate(expr: Optional[Expr]) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, Aggregate):
+        return True
+    if isinstance(expr, BinaryExpr):
+        return _expr_contains_aggregate(expr.left) or _expr_contains_aggregate(
+            expr.right
+        )
+    if isinstance(expr, UnaryExpr):
+        return _expr_contains_aggregate(expr.operand)
+    if isinstance(expr, FunctionCall):
+        return any(_expr_contains_aggregate(a) for a in expr.args)
+    return False
+
+
+def _eval_aggregate(agg: Aggregate, rows: List[Solution], ctx: Context):
+    values = []
+    if agg.expr is None:  # COUNT(*)
+        if agg.name != "COUNT":
+            raise SparqlValueError(f"{agg.name}(*) is not valid")
+        return Literal(len(rows))
+    for row in rows:
+        try:
+            values.append(eval_expr(agg.expr, row, ctx))
+        except SparqlValueError:
+            continue
+    if agg.distinct:
+        seen, unique = set(), []
+        for v in values:
+            key = (type(v).__name__, v.n3() if hasattr(v, "n3") else str(v))
+            if key not in seen:
+                seen.add(key)
+                unique.append(v)
+        values = unique
+    name = agg.name
+    if name == "COUNT":
+        return Literal(len(values))
+    if not values:
+        if name in ("SUM",):
+            return Literal(0)
+        raise SparqlValueError(f"{name} over empty group")
+    if name == "SUM":
+        total = sum(fns.numeric_value(v) for v in values)
+        return Literal(total if isinstance(total, float) else int(total))
+    if name == "AVG":
+        return Literal(
+            sum(fns.numeric_value(v) for v in values) / len(values)
+        )
+    if name == "MIN":
+        return min(
+            (v for v in values if isinstance(v, Literal)),
+            key=literal_cmp_key,
+        )
+    if name == "MAX":
+        return max(
+            (v for v in values if isinstance(v, Literal)),
+            key=literal_cmp_key,
+        )
+    if name == "SAMPLE":
+        return values[0]
+    if name == "GROUP_CONCAT":
+        return Literal(agg.separator.join(fns.string_value(v) for v in values))
+    raise EvaluationError(f"unknown aggregate {name}")
+
+
+def _substitute_aggregates(expr: Expr, agg_values: Dict[int, Term]) -> Expr:
+    """Replace Aggregate nodes by their computed constant values."""
+    if isinstance(expr, Aggregate):
+        return TermExpr(agg_values[id(expr)])
+    if isinstance(expr, BinaryExpr):
+        return BinaryExpr(
+            expr.op,
+            _substitute_aggregates(expr.left, agg_values),
+            _substitute_aggregates(expr.right, agg_values),
+        )
+    if isinstance(expr, UnaryExpr):
+        return UnaryExpr(
+            expr.op, _substitute_aggregates(expr.operand, agg_values)
+        )
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            expr.name,
+            tuple(_substitute_aggregates(a, agg_values) for a in expr.args),
+        )
+    return expr
+
+
+def _collect_aggregates(expr: Optional[Expr]) -> List[Aggregate]:
+    if expr is None:
+        return []
+    if isinstance(expr, Aggregate):
+        return [expr]
+    if isinstance(expr, BinaryExpr):
+        return _collect_aggregates(expr.left) + _collect_aggregates(expr.right)
+    if isinstance(expr, UnaryExpr):
+        return _collect_aggregates(expr.operand)
+    if isinstance(expr, FunctionCall):
+        return list(
+            itertools.chain.from_iterable(
+                _collect_aggregates(a) for a in expr.args
+            )
+        )
+    return []
+
+
+def _eval_select(query: SelectQuery, ctx: Context) -> SPARQLResult:
+    rows = eval_group(query.where, [{}], ctx)
+
+    needs_grouping = bool(query.group_by) or _projection_has_aggregate(query)
+    if needs_grouping:
+        rows = _group_and_aggregate(query, rows, ctx)
+
+    # ORDER BY applies to full solutions, before projection narrows them.
+    if query.order_by:
+        # Stable multi-key sort: apply conditions right-to-left so the
+        # leftmost ORDER BY condition dominates.
+        for cond in reversed(query.order_by):
+
+            def key_one(row, cond=cond):
+                try:
+                    term = eval_expr(cond.expr, row, ctx)
+                except SparqlValueError:
+                    return ((-1, 0.0), "")
+                if isinstance(term, Literal):
+                    return (literal_cmp_key(term), "")
+                return ((4, 0.0), str(term))
+
+            rows.sort(key=key_one, reverse=cond.descending)
+
+    if not needs_grouping:
+        rows = _plain_projection(query, rows, ctx)
+
+    if query.distinct:
+        seen = set()
+        unique = []
+        for row in rows:
+            key = tuple(
+                (v, row[v].n3() if hasattr(row[v], "n3") else str(row[v]))
+                for v in sorted(row)
+            )
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        rows = unique
+
+    if query.offset:
+        rows = rows[query.offset:]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+
+    variables = [p.var.name for p in query.projections]
+    if not variables:
+        seen_vars = []
+        for row in rows:
+            for v in row:
+                # internal hop variables from property-path expansion
+                # are not part of the solution
+                if v not in seen_vars and not v.startswith("__path"):
+                    seen_vars.append(v)
+        variables = seen_vars
+    return SPARQLResult("SELECT", variables=variables, rows=rows)
+
+
+def _plain_projection(query: SelectQuery, rows: List[Solution],
+                      ctx: Context) -> List[Solution]:
+    if not query.projections:
+        return rows
+    projected = []
+    for row in rows:
+        out: Solution = {}
+        for proj in query.projections:
+            if proj.expr is None:
+                if proj.var.name in row:
+                    out[proj.var.name] = row[proj.var.name]
+            else:
+                try:
+                    out[proj.var.name] = eval_expr(proj.expr, row, ctx)
+                except SparqlValueError:
+                    pass
+        projected.append(out)
+    return projected
+
+
+def _group_and_aggregate(query: SelectQuery, rows: List[Solution],
+                         ctx: Context) -> List[Solution]:
+    groups: Dict[tuple, List[Solution]] = {}
+    if query.group_by:
+        for row in rows:
+            key_parts = []
+            for expr in query.group_by:
+                try:
+                    term = eval_expr(expr, row, ctx)
+                    key_parts.append(term.n3() if hasattr(term, "n3")
+                                     else str(term))
+                except SparqlValueError:
+                    key_parts.append(None)
+            groups.setdefault(tuple(key_parts), []).append(row)
+    else:
+        groups[()] = rows
+
+    out_rows: List[Solution] = []
+    for member_rows in groups.values():
+        representative = member_rows[0] if member_rows else {}
+        agg_values: Dict[int, Term] = {}
+        all_aggs: List[Aggregate] = []
+        for proj in query.projections:
+            all_aggs.extend(_collect_aggregates(proj.expr))
+        for having in query.having:
+            all_aggs.extend(_collect_aggregates(having))
+        ok = True
+        for agg in all_aggs:
+            try:
+                agg_values[id(agg)] = _eval_aggregate(agg, member_rows, ctx)
+            except SparqlValueError:
+                agg_values[id(agg)] = None
+        row_out: Solution = {}
+        for proj in query.projections:
+            if proj.expr is None:
+                if proj.var.name in representative:
+                    row_out[proj.var.name] = representative[proj.var.name]
+                continue
+            expr = _substitute_aggregates(proj.expr, agg_values)
+            try:
+                if any(
+                    agg_values.get(id(a)) is None
+                    for a in _collect_aggregates(proj.expr)
+                ):
+                    raise SparqlValueError("aggregate error")
+                row_out[proj.var.name] = eval_expr(expr, representative, ctx)
+            except SparqlValueError:
+                pass
+        for having in query.having:
+            expr = _substitute_aggregates(having, agg_values)
+            try:
+                if not effective_boolean_value(
+                    eval_expr(expr, representative, ctx)
+                ):
+                    ok = False
+                    break
+            except SparqlValueError:
+                ok = False
+                break
+        if ok:
+            out_rows.append(row_out)
+    return out_rows
+
+
+def _eval_ask(query: AskQuery, ctx: Context) -> SPARQLResult:
+    rows = eval_group(query.where, [{}], ctx)
+    return SPARQLResult("ASK", ask=bool(rows))
+
+
+def _eval_construct(query: ConstructQuery, ctx: Context) -> SPARQLResult:
+    rows = eval_group(query.where, [{}], ctx)
+    graph = Graph()
+    count = 0
+    for row in rows:
+        bnode_map: Dict[str, BNode] = {}
+        for pattern in query.template:
+            triple = _instantiate(pattern, row, bnode_map)
+            if triple is not None:
+                graph.add(triple)
+                count += 1
+        if query.limit is not None and len(graph) >= query.limit:
+            break
+    return SPARQLResult("CONSTRUCT", graph=graph)
+
+
+def _instantiate(pattern: TriplePattern, row: Solution,
+                 bnode_map: Dict[str, BNode]):
+    from ..rdf.terms import Triple
+
+    def resolve(node):
+        if isinstance(node, Var):
+            return row.get(node.name)
+        if isinstance(node, BNode):
+            if node not in bnode_map:
+                bnode_map[node] = BNode()
+            return bnode_map[node]
+        return node
+
+    s, p, o = resolve(pattern.s), resolve(pattern.p), resolve(pattern.o)
+    if s is None or p is None or o is None or isinstance(s, Literal):
+        return None
+    return Triple(s, p, o)
+
+
+def _eval_describe(query: DescribeQuery, ctx: Context) -> SPARQLResult:
+    graph = Graph()
+    targets = []
+    if query.where is not None:
+        rows = eval_group(query.where, [{}], ctx)
+        for term in query.terms:
+            if isinstance(term, Var):
+                targets.extend(
+                    row[term.name] for row in rows if term.name in row
+                )
+            else:
+                targets.append(term)
+    else:
+        targets = [t for t in query.terms if not isinstance(t, Var)]
+    for target in targets:
+        for triple in ctx.graph.triples((target, None, None)):
+            graph.add(triple)
+    return SPARQLResult("DESCRIBE", graph=graph)
+
+
+def eval_query(query: Query, ctx: Context) -> SPARQLResult:
+    if isinstance(query, SelectQuery):
+        return _eval_select(query, ctx)
+    if isinstance(query, AskQuery):
+        return _eval_ask(query, ctx)
+    if isinstance(query, ConstructQuery):
+        return _eval_construct(query, ctx)
+    if isinstance(query, DescribeQuery):
+        return _eval_describe(query, ctx)
+    raise EvaluationError(f"unsupported query type {type(query).__name__}")

@@ -1,0 +1,674 @@
+"""Recursive-descent parser for the SPARQL subset.
+
+Grammar coverage: PREFIX/BASE headers; SELECT (DISTINCT, expressions with
+AS, *), ASK, CONSTRUCT, DESCRIBE; group graph patterns with triple blocks
+(``;`` / ``,`` lists, ``a``, anonymous ``[]`` nodes), FILTER, OPTIONAL,
+UNION, MINUS, BIND, VALUES, SERVICE and sub-SELECT; expressions with the
+standard operators, builtin functions, aggregates, IN / NOT IN and
+(NOT) EXISTS; GROUP BY / HAVING / ORDER BY / LIMIT / OFFSET.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..rdf.namespace import NamespaceManager, RDF, XSD
+from ..rdf.ntriples import unescape
+from ..rdf.terms import BNode, IRI, Literal
+from .ast import (
+    Aggregate,
+    AskQuery,
+    BGP,
+    BinaryExpr,
+    Bind,
+    ConstructQuery,
+    DescribeQuery,
+    ExistsExpr,
+    Expr,
+    Filter,
+    FunctionCall,
+    GroupGraphPattern,
+    InExpr,
+    InlineValues,
+    MinusPattern,
+    OptionalPattern,
+    OrderCondition,
+    Projection,
+    Query,
+    SelectQuery,
+    ServicePattern,
+    SubSelect,
+    TermExpr,
+    TriplePattern,
+    UnaryExpr,
+    UnionPattern,
+    Var,
+    VarExpr,
+)
+from .tokenizer import SparqlSyntaxError, Token, tokenize
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE", "GROUP_CONCAT"}
+
+_BUILTIN_FUNCS = {
+    "STR", "LANG", "DATATYPE", "BOUND", "REGEX", "IF", "COALESCE",
+    "CONCAT", "CONTAINS", "STRSTARTS", "STRENDS", "STRLEN", "SUBSTR",
+    "UCASE", "LCASE", "ABS", "CEIL", "FLOOR", "ROUND", "YEAR", "MONTH",
+    "DAY", "HOURS", "MINUTES", "SECONDS", "NOW", "ISIRI", "ISURI",
+    "ISBLANK", "ISLITERAL", "ISNUMERIC", "LANGMATCHES", "IRI", "URI",
+    "BNODE", "STRDT", "STRLANG", "REPLACE",
+}
+
+
+class Parser:
+    def __init__(self, text: str,
+                 namespaces: Optional[NamespaceManager] = None):
+        self.tokens = tokenize(text)
+        self.idx = 0
+        self.ns = namespaces or NamespaceManager()
+        self.base = ""
+        self._path_counter = 0
+
+    # -- token helpers --------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.idx + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.idx]
+        if tok.kind != "EOF":
+            self.idx += 1
+        return tok
+
+    def accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        tok = self.peek()
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, value: Optional[str] = None) -> Token:
+        tok = self.accept(kind, value)
+        if tok is None:
+            got = self.peek()
+            want = value or kind
+            raise SparqlSyntaxError(
+                f"expected {want!r}, got {got.value!r} at offset {got.pos}"
+            )
+        return tok
+
+    def at_keyword(self, *words: str) -> bool:
+        tok = self.peek()
+        return tok.kind == "KEYWORD" and tok.value in words
+
+    # -- entry ----------------------------------------------------------------
+    def parse(self) -> Query:
+        self._prologue()
+        if self.at_keyword("SELECT"):
+            query = self._select_query()
+        elif self.at_keyword("ASK"):
+            query = self._ask_query()
+        elif self.at_keyword("CONSTRUCT"):
+            query = self._construct_query()
+        elif self.at_keyword("DESCRIBE"):
+            query = self._describe_query()
+        else:
+            tok = self.peek()
+            raise SparqlSyntaxError(
+                f"expected query form, got {tok.value!r}"
+            )
+        self.expect("EOF")
+        return query
+
+    def _prologue(self) -> None:
+        while True:
+            if self.accept("KEYWORD", "PREFIX"):
+                pname = self.expect("PNAME")
+                prefix = pname.value.split(":", 1)[0]
+                iri = self.expect("IRIREF")
+                self.ns.bind(prefix, self._resolve_iri(iri.value))
+            elif self.accept("KEYWORD", "BASE"):
+                iri = self.expect("IRIREF")
+                self.base = iri.value
+            else:
+                return
+
+    def _resolve_iri(self, raw: str) -> str:
+        import re
+
+        text = unescape(raw)
+        if self.base and not re.match(r"^[A-Za-z][A-Za-z0-9+.-]*:", text):
+            return self.base + text
+        return text
+
+    # -- query forms --------------------------------------------------------
+    def _select_query(self) -> SelectQuery:
+        self.expect("KEYWORD", "SELECT")
+        distinct = bool(self.accept("KEYWORD", "DISTINCT"))
+        self.accept("KEYWORD", "REDUCED")
+        projections: List[Projection] = []
+        if not self.accept("PUNCT", "*"):
+            while True:
+                tok = self.peek()
+                if tok.kind == "VAR":
+                    self.next()
+                    projections.append(Projection(Var(tok.value[1:])))
+                elif tok.kind == "PUNCT" and tok.value == "(":
+                    self.next()
+                    expr = self._expression()
+                    self.expect("KEYWORD", "AS")
+                    var_tok = self.expect("VAR")
+                    self.expect("PUNCT", ")")
+                    projections.append(
+                        Projection(Var(var_tok.value[1:]), expr)
+                    )
+                else:
+                    break
+            if not projections:
+                raise SparqlSyntaxError("SELECT requires projections or *")
+        self.accept("KEYWORD", "WHERE")
+        where = self._group_graph_pattern()
+        query = SelectQuery(projections=projections, where=where,
+                            distinct=distinct)
+        self._solution_modifiers(query)
+        return query
+
+    def _ask_query(self) -> AskQuery:
+        self.expect("KEYWORD", "ASK")
+        self.accept("KEYWORD", "WHERE")
+        return AskQuery(where=self._group_graph_pattern())
+
+    def _construct_query(self) -> ConstructQuery:
+        self.expect("KEYWORD", "CONSTRUCT")
+        self.expect("PUNCT", "{")
+        template = self._triples_block(stop="}")
+        self.expect("PUNCT", "}")
+        self.expect("KEYWORD", "WHERE")
+        where = self._group_graph_pattern()
+        limit = None
+        if self.accept("KEYWORD", "LIMIT"):
+            limit = int(self.expect("NUMBER").value)
+        return ConstructQuery(template=template, where=where, limit=limit)
+
+    def _describe_query(self) -> DescribeQuery:
+        self.expect("KEYWORD", "DESCRIBE")
+        terms = []
+        while True:
+            tok = self.peek()
+            if tok.kind == "VAR":
+                self.next()
+                terms.append(Var(tok.value[1:]))
+            elif tok.kind in ("IRIREF", "PNAME"):
+                terms.append(self._iri_term())
+            else:
+                break
+        where = None
+        if self.at_keyword("WHERE") or (
+            self.peek().kind == "PUNCT" and self.peek().value == "{"
+        ):
+            self.accept("KEYWORD", "WHERE")
+            where = self._group_graph_pattern()
+        return DescribeQuery(terms=terms, where=where)
+
+    def _solution_modifiers(self, query: SelectQuery) -> None:
+        if self.accept("KEYWORD", "GROUP"):
+            self.expect("KEYWORD", "BY")
+            while True:
+                tok = self.peek()
+                if tok.kind == "VAR":
+                    self.next()
+                    query.group_by.append(VarExpr(Var(tok.value[1:])))
+                elif tok.kind == "PUNCT" and tok.value == "(":
+                    self.next()
+                    query.group_by.append(self._expression())
+                    self.expect("PUNCT", ")")
+                else:
+                    break
+            if not query.group_by:
+                raise SparqlSyntaxError("GROUP BY requires conditions")
+        if self.accept("KEYWORD", "HAVING"):
+            while self.peek().kind == "PUNCT" and self.peek().value == "(":
+                self.next()
+                query.having.append(self._expression())
+                self.expect("PUNCT", ")")
+            if not query.having:
+                raise SparqlSyntaxError("HAVING requires conditions")
+        if self.accept("KEYWORD", "ORDER"):
+            self.expect("KEYWORD", "BY")
+            while True:
+                if self.accept("KEYWORD", "ASC"):
+                    self.expect("PUNCT", "(")
+                    query.order_by.append(OrderCondition(self._expression()))
+                    self.expect("PUNCT", ")")
+                elif self.accept("KEYWORD", "DESC"):
+                    self.expect("PUNCT", "(")
+                    query.order_by.append(
+                        OrderCondition(self._expression(), descending=True)
+                    )
+                    self.expect("PUNCT", ")")
+                elif self.peek().kind == "VAR":
+                    tok = self.next()
+                    query.order_by.append(
+                        OrderCondition(VarExpr(Var(tok.value[1:])))
+                    )
+                elif self.peek().kind == "PUNCT" and self.peek().value == "(":
+                    self.next()
+                    query.order_by.append(OrderCondition(self._expression()))
+                    self.expect("PUNCT", ")")
+                else:
+                    break
+            if not query.order_by:
+                raise SparqlSyntaxError("ORDER BY requires conditions")
+        # LIMIT/OFFSET in either order
+        for __ in range(2):
+            if self.accept("KEYWORD", "LIMIT"):
+                query.limit = int(self.expect("NUMBER").value)
+            elif self.accept("KEYWORD", "OFFSET"):
+                query.offset = int(self.expect("NUMBER").value)
+
+    # -- graph patterns ---------------------------------------------------------
+    def _group_graph_pattern(self) -> GroupGraphPattern:
+        self.expect("PUNCT", "{")
+        group = GroupGraphPattern()
+        while True:
+            tok = self.peek()
+            if tok.kind == "PUNCT" and tok.value == "}":
+                self.next()
+                return group
+            if tok.kind == "EOF":
+                raise SparqlSyntaxError("unterminated group graph pattern")
+            if self.at_keyword("FILTER"):
+                self.next()
+                group.elements.append(Filter(self._constraint()))
+            elif self.at_keyword("OPTIONAL"):
+                self.next()
+                group.elements.append(
+                    OptionalPattern(self._group_graph_pattern())
+                )
+            elif self.at_keyword("MINUS"):
+                self.next()
+                group.elements.append(
+                    MinusPattern(self._group_graph_pattern())
+                )
+            elif self.at_keyword("BIND"):
+                self.next()
+                self.expect("PUNCT", "(")
+                expr = self._expression()
+                self.expect("KEYWORD", "AS")
+                var_tok = self.expect("VAR")
+                self.expect("PUNCT", ")")
+                group.elements.append(Bind(expr, Var(var_tok.value[1:])))
+            elif self.at_keyword("VALUES"):
+                self.next()
+                group.elements.append(self._values_clause())
+            elif self.at_keyword("SERVICE"):
+                self.next()
+                silent = False
+                endpoint = self._iri_term()
+                inner = self._group_graph_pattern()
+                group.elements.append(
+                    ServicePattern(endpoint, inner, silent=silent)
+                )
+            elif tok.kind == "PUNCT" and tok.value == "{":
+                # sub-group or UNION chain or sub-select
+                if self._lookahead_subselect():
+                    self.next()
+                    sub = self._select_query()
+                    self.expect("PUNCT", "}")
+                    group.elements.append(SubSelect(sub))
+                else:
+                    first = self._group_graph_pattern()
+                    alternatives = [first]
+                    while self.accept("KEYWORD", "UNION"):
+                        alternatives.append(self._group_graph_pattern())
+                    if len(alternatives) > 1:
+                        group.elements.append(UnionPattern(alternatives))
+                    else:
+                        group.elements.extend(first.elements)
+            else:
+                patterns = self._triples_block(stop="}")
+                if patterns:
+                    group.elements.append(BGP(patterns))
+                else:
+                    raise SparqlSyntaxError(
+                        f"unexpected token {tok.value!r} in group pattern"
+                    )
+            self.accept("PUNCT", ".")
+
+    def _lookahead_subselect(self) -> bool:
+        return (
+            self.peek().kind == "PUNCT"
+            and self.peek().value == "{"
+            and self.peek(1).kind == "KEYWORD"
+            and self.peek(1).value == "SELECT"
+        )
+
+    def _values_clause(self) -> InlineValues:
+        variables: List[Var] = []
+        if self.accept("PUNCT", "("):
+            while self.peek().kind == "VAR":
+                variables.append(Var(self.next().value[1:]))
+            self.expect("PUNCT", ")")
+            self.expect("PUNCT", "{")
+            rows = []
+            while self.accept("PUNCT", "("):
+                row = []
+                while not (
+                    self.peek().kind == "PUNCT" and self.peek().value == ")"
+                ):
+                    row.append(self._values_term())
+                self.expect("PUNCT", ")")
+                if len(row) != len(variables):
+                    raise SparqlSyntaxError("VALUES row arity mismatch")
+                rows.append(row)
+            self.expect("PUNCT", "}")
+            return InlineValues(variables, rows)
+        # single-variable form: VALUES ?x { v1 v2 }
+        var_tok = self.expect("VAR")
+        variables = [Var(var_tok.value[1:])]
+        self.expect("PUNCT", "{")
+        rows = []
+        while not (self.peek().kind == "PUNCT" and self.peek().value == "}"):
+            rows.append([self._values_term()])
+        self.expect("PUNCT", "}")
+        return InlineValues(variables, rows)
+
+    def _values_term(self):
+        if self.accept("KEYWORD", "UNDEF"):
+            return None
+        return self._term_node(allow_var=False)
+
+    # -- triples -------------------------------------------------------------
+    def _triples_block(self, stop: str) -> List[TriplePattern]:
+        patterns: List[TriplePattern] = []
+        while True:
+            tok = self.peek()
+            if tok.kind == "PUNCT" and tok.value in (stop, "}"):
+                return patterns
+            if tok.kind == "KEYWORD" and tok.value in (
+                "FILTER", "OPTIONAL", "BIND", "VALUES", "MINUS", "SERVICE",
+            ):
+                return patterns
+            if tok.kind == "EOF":
+                return patterns
+            subject = self._term_node(allow_var=True, allow_bnode_props=True,
+                                      patterns=patterns)
+            self._predicate_object_list(subject, patterns)
+            if not self.accept("PUNCT", "."):
+                return patterns
+
+    def _predicate_object_list(self, subject, patterns) -> None:
+        while True:
+            path = self._verb_path()
+            while True:
+                obj = self._term_node(
+                    allow_var=True, allow_bnode_props=True, patterns=patterns
+                )
+                self._emit_path(subject, path, obj, patterns)
+                if not self.accept("PUNCT", ","):
+                    break
+            if not self.accept("PUNCT", ";"):
+                return
+            nxt = self.peek()
+            if nxt.kind == "PUNCT" and nxt.value in (".", "}", "]"):
+                return
+
+    def _emit_path(self, subject, path, obj, patterns) -> None:
+        """Expand a sequence property path into chained patterns."""
+        if len(path) == 1:
+            patterns.append(TriplePattern(subject, path[0], obj))
+            return
+        current = subject
+        for i, step in enumerate(path):
+            if i == len(path) - 1:
+                patterns.append(TriplePattern(current, step, obj))
+            else:
+                hop = Var(f"__path{self._path_counter}")
+                self._path_counter += 1
+                patterns.append(TriplePattern(current, step, hop))
+                current = hop
+
+    def _verb_path(self):
+        """A predicate or a ``p1/p2/...`` sequence property path."""
+        steps = [self._verb()]
+        while self.accept("PUNCT", "/"):
+            steps.append(self._verb())
+        return steps
+
+    def _verb(self):
+        if self.accept("A"):
+            return RDF.type
+        tok = self.peek()
+        if tok.kind == "VAR":
+            self.next()
+            return Var(tok.value[1:])
+        return self._iri_term()
+
+    def _iri_term(self) -> IRI:
+        tok = self.peek()
+        if tok.kind == "IRIREF":
+            self.next()
+            return IRI(self._resolve_iri(tok.value))
+        if tok.kind == "PNAME":
+            self.next()
+            try:
+                return self.ns.expand(tok.value)
+            except ValueError as exc:
+                raise SparqlSyntaxError(str(exc)) from None
+        raise SparqlSyntaxError(
+            f"expected IRI, got {tok.value!r} at offset {tok.pos}"
+        )
+
+    def _term_node(self, allow_var: bool, allow_bnode_props: bool = False,
+                   patterns: Optional[list] = None):
+        tok = self.peek()
+        if tok.kind == "VAR":
+            if not allow_var:
+                raise SparqlSyntaxError("variable not allowed here")
+            self.next()
+            return Var(tok.value[1:])
+        if tok.kind == "IRIREF" or tok.kind == "PNAME":
+            return self._iri_term()
+        if tok.kind == "BNODE_LABEL":
+            self.next()
+            return BNode(tok.value[2:])
+        if tok.kind == "STRING":
+            return self._literal_tail(self.next().value)
+        if tok.kind == "NUMBER":
+            self.next()
+            return _number_literal(tok.value)
+        if tok.kind == "KEYWORD" and tok.value in ("TRUE", "FALSE"):
+            self.next()
+            return Literal(tok.value == "TRUE")
+        if tok.kind == "PUNCT" and tok.value == "[" and allow_bnode_props:
+            self.next()
+            node = BNode()
+            if not (self.peek().kind == "PUNCT" and self.peek().value == "]"):
+                if patterns is None:
+                    raise SparqlSyntaxError("bnode property list not allowed")
+                self._predicate_object_list(node, patterns)
+            self.expect("PUNCT", "]")
+            return node
+        raise SparqlSyntaxError(
+            f"expected term, got {tok.value!r} at offset {tok.pos}"
+        )
+
+    def _literal_tail(self, raw: str) -> Literal:
+        lexical = unescape(raw)
+        tok = self.peek()
+        if tok.kind == "PUNCT" and tok.value == "^^":
+            self.next()
+            dt = self._iri_term()
+            return Literal(lexical, datatype=dt)
+        if tok.kind == "LANGTAG":
+            self.next()
+            return Literal(lexical, lang=tok.value[1:])
+        return Literal(lexical)
+
+    # -- expressions ---------------------------------------------------------
+    def _constraint(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "PUNCT" and tok.value == "(":
+            self.next()
+            expr = self._expression()
+            self.expect("PUNCT", ")")
+            return expr
+        return self._primary_expression()
+
+    def _expression(self) -> Expr:
+        return self._or_expression()
+
+    def _or_expression(self) -> Expr:
+        left = self._and_expression()
+        while self.accept("PUNCT", "||"):
+            left = BinaryExpr("||", left, self._and_expression())
+        return left
+
+    def _and_expression(self) -> Expr:
+        left = self._relational_expression()
+        while self.accept("PUNCT", "&&"):
+            left = BinaryExpr("&&", left, self._relational_expression())
+        return left
+
+    def _relational_expression(self) -> Expr:
+        left = self._additive_expression()
+        tok = self.peek()
+        if tok.kind == "PUNCT" and tok.value in (
+            "=", "!=", "<", ">", "<=", ">=",
+        ):
+            self.next()
+            return BinaryExpr(tok.value, left, self._additive_expression())
+        if self.at_keyword("IN"):
+            self.next()
+            return InExpr(left, tuple(self._expression_list()))
+        if self.at_keyword("NOT") and self.peek(1).value == "IN":
+            self.next()
+            self.next()
+            return InExpr(left, tuple(self._expression_list()), negated=True)
+        return left
+
+    def _expression_list(self):
+        self.expect("PUNCT", "(")
+        items = [self._expression()]
+        while self.accept("PUNCT", ","):
+            items.append(self._expression())
+        self.expect("PUNCT", ")")
+        return items
+
+    def _additive_expression(self) -> Expr:
+        left = self._multiplicative_expression()
+        while True:
+            tok = self.peek()
+            if tok.kind == "PUNCT" and tok.value in ("+", "-"):
+                self.next()
+                left = BinaryExpr(
+                    tok.value, left, self._multiplicative_expression()
+                )
+            else:
+                return left
+
+    def _multiplicative_expression(self) -> Expr:
+        left = self._unary_expression()
+        while True:
+            tok = self.peek()
+            if tok.kind == "PUNCT" and tok.value in ("*", "/"):
+                self.next()
+                left = BinaryExpr(tok.value, left, self._unary_expression())
+            else:
+                return left
+
+    def _unary_expression(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "PUNCT" and tok.value == "!":
+            self.next()
+            return UnaryExpr("!", self._unary_expression())
+        if tok.kind == "PUNCT" and tok.value == "-":
+            self.next()
+            return UnaryExpr("-", self._unary_expression())
+        if tok.kind == "PUNCT" and tok.value == "+":
+            self.next()
+            return self._unary_expression()
+        return self._primary_expression()
+
+    def _primary_expression(self) -> Expr:
+        tok = self.peek()
+        if tok.kind == "PUNCT" and tok.value == "(":
+            self.next()
+            expr = self._expression()
+            self.expect("PUNCT", ")")
+            return expr
+        if tok.kind == "VAR":
+            self.next()
+            return VarExpr(Var(tok.value[1:]))
+        if tok.kind == "NUMBER":
+            self.next()
+            return TermExpr(_number_literal(tok.value))
+        if tok.kind == "STRING":
+            self.next()
+            return TermExpr(self._literal_tail(tok.value))
+        if tok.kind == "KEYWORD":
+            if tok.value in ("TRUE", "FALSE"):
+                self.next()
+                return TermExpr(Literal(tok.value == "TRUE"))
+            if tok.value in _AGGREGATES:
+                return self._aggregate()
+            if tok.value == "EXISTS":
+                self.next()
+                return ExistsExpr(self._group_graph_pattern())
+            if tok.value == "NOT":
+                self.next()
+                self.expect("KEYWORD", "EXISTS")
+                return ExistsExpr(self._group_graph_pattern(), negated=True)
+            if tok.value in _BUILTIN_FUNCS:
+                self.next()
+                args = self._call_args()
+                return FunctionCall(tok.value, tuple(args))
+            raise SparqlSyntaxError(
+                f"unexpected keyword {tok.value!r} in expression"
+            )
+        if tok.kind in ("IRIREF", "PNAME"):
+            iri = self._iri_term()
+            if self.peek().kind == "PUNCT" and self.peek().value == "(":
+                args = self._call_args()
+                return FunctionCall(str(iri), tuple(args))
+            return TermExpr(iri)
+        raise SparqlSyntaxError(
+            f"unexpected token {tok.value!r} in expression at {tok.pos}"
+        )
+
+    def _call_args(self) -> List[Expr]:
+        self.expect("PUNCT", "(")
+        args: List[Expr] = []
+        if not (self.peek().kind == "PUNCT" and self.peek().value == ")"):
+            args.append(self._expression())
+            while self.accept("PUNCT", ","):
+                args.append(self._expression())
+        self.expect("PUNCT", ")")
+        return args
+
+    def _aggregate(self) -> Aggregate:
+        name = self.next().value
+        self.expect("PUNCT", "(")
+        distinct = bool(self.accept("KEYWORD", "DISTINCT"))
+        separator = " "
+        if self.accept("PUNCT", "*"):
+            expr = None
+        else:
+            expr = self._expression()
+        if name == "GROUP_CONCAT" and self.accept("PUNCT", ";"):
+            self.expect("KEYWORD", "SEPARATOR")
+            self.expect("PUNCT", "=")
+            separator = unescape(self.expect("STRING").value)
+        self.expect("PUNCT", ")")
+        return Aggregate(name, expr, distinct=distinct, separator=separator)
+
+
+def _number_literal(token: str) -> Literal:
+    if "e" in token.lower():
+        return Literal(token, datatype=XSD.double)
+    if "." in token:
+        return Literal(token, datatype=XSD.decimal)
+    return Literal(int(token))
+
+
+def parse_query(text: str,
+                namespaces: Optional[NamespaceManager] = None) -> Query:
+    """Parse SPARQL *text* into a query AST."""
+    return Parser(text, namespaces).parse()

@@ -1,0 +1,120 @@
+"""SPARQL result containers."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Iterator, List, Optional
+
+from ..rdf.graph import Graph
+from ..rdf.terms import BNode, IRI, Literal, Term
+
+Solution = Dict[str, Term]
+
+
+class SPARQLResult:
+    """Result of a SPARQL query.
+
+    - SELECT: iterable of binding dicts (``vars`` lists the projection).
+    - ASK: truth value in ``ask`` (the object is also truthy/falsy).
+    - CONSTRUCT / DESCRIBE: an RDF :class:`Graph` in ``graph``.
+    """
+
+    def __init__(self, kind: str,
+                 variables: Optional[List[str]] = None,
+                 rows: Optional[List[Solution]] = None,
+                 ask: Optional[bool] = None,
+                 graph: Optional[Graph] = None):
+        self.kind = kind
+        self.vars = variables or []
+        self.rows = rows or []
+        self.ask = ask
+        self.graph = graph
+
+    def __iter__(self) -> Iterator[Solution]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        if self.kind == "CONSTRUCT":
+            return len(self.graph) if self.graph else 0
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        if self.kind == "ASK":
+            return bool(self.ask)
+        return len(self) > 0
+
+    def column(self, var: str) -> List[Optional[Term]]:
+        """All bindings of one variable, in row order (None when unbound)."""
+        return [row.get(var) for row in self.rows]
+
+    def to_csv(self) -> str:
+        """SELECT results as CSV (SPARQL 1.1 CSV results format)."""
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.vars)
+        for row in self.rows:
+            writer.writerow(
+                ["" if row.get(v) is None else str(row[v]) for v in self.vars]
+            )
+        return buf.getvalue()
+
+    def to_json(self) -> str:
+        """SELECT/ASK results in the SPARQL 1.1 JSON results format."""
+        if self.kind == "ASK":
+            return json.dumps({"head": {}, "boolean": bool(self.ask)})
+        bindings = []
+        for row in self.rows:
+            entry = {}
+            for var, term in row.items():
+                if term is None:
+                    continue
+                if isinstance(term, Literal):
+                    b = {"type": "literal", "value": term.lexical}
+                    if term.lang:
+                        b["xml:lang"] = term.lang
+                    elif term.datatype:
+                        b["datatype"] = str(term.datatype)
+                elif isinstance(term, BNode):
+                    b = {"type": "bnode", "value": str(term)}
+                else:
+                    b = {"type": "uri", "value": str(term)}
+                entry[var] = b
+            bindings.append(entry)
+        return json.dumps(
+            {"head": {"vars": self.vars}, "results": {"bindings": bindings}}
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SPARQLResult":
+        """Parse the SPARQL 1.1 JSON results format (for federation)."""
+        obj = json.loads(text)
+        if "boolean" in obj:
+            return cls("ASK", ask=obj["boolean"])
+        variables = obj.get("head", {}).get("vars", [])
+        rows: List[Solution] = []
+        for binding in obj.get("results", {}).get("bindings", []):
+            row: Solution = {}
+            for var, b in binding.items():
+                if b["type"] == "uri":
+                    row[var] = IRI(b["value"])
+                elif b["type"] == "bnode":
+                    row[var] = BNode(b["value"])
+                else:
+                    row[var] = Literal(
+                        b["value"],
+                        datatype=IRI(b["datatype"]) if b.get("datatype")
+                        else None,
+                        lang=b.get("xml:lang"),
+                    )
+            rows.append(row)
+        return cls("SELECT", variables=variables, rows=rows)
+
+    def __repr__(self) -> str:
+        if self.kind == "ASK":
+            return f"<SPARQLResult ASK {self.ask}>"
+        if self.kind in ("CONSTRUCT", "DESCRIBE"):
+            n = len(self.graph) if self.graph else 0
+            return f"<SPARQLResult {self.kind} ({n} triples)>"
+        return f"<SPARQLResult SELECT {self.vars} ({len(self.rows)} rows)>"

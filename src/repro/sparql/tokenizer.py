@@ -1,0 +1,108 @@
+"""SPARQL tokenizer.
+
+Produces a flat token stream for the recursive-descent parser in
+:mod:`repro.sparql.parser`. Keywords are case-insensitive and reported
+with a canonical upper-case value.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, NamedTuple
+
+
+class Token(NamedTuple):
+    kind: str
+    value: str
+    pos: int
+
+
+class SparqlSyntaxError(SyntaxError):
+    """Raised on malformed SPARQL input."""
+
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "REDUCED", "WHERE", "FILTER", "OPTIONAL", "UNION",
+    "BIND", "VALUES", "AS", "PREFIX", "BASE", "ASK", "CONSTRUCT", "DESCRIBE",
+    "FROM", "GROUP", "BY", "HAVING", "ORDER", "ASC", "DESC", "LIMIT",
+    "OFFSET", "TRUE", "FALSE", "NOT", "IN", "EXISTS", "SERVICE", "MINUS",
+    "UNDEF", "INSERT", "DELETE", "DATA", "CLEAR", "ALL", "COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE", "GROUP_CONCAT",
+    "SEPARATOR", "REGEX", "BOUND", "STR", "LANG", "DATATYPE", "IF",
+    "COALESCE", "CONCAT", "CONTAINS", "STRSTARTS", "STRENDS", "STRLEN",
+    "SUBSTR", "UCASE", "LCASE", "ABS", "CEIL", "FLOOR", "ROUND", "YEAR",
+    "MONTH", "DAY", "HOURS", "MINUTES", "SECONDS", "NOW", "ISIRI",
+    "ISURI", "ISBLANK", "ISLITERAL", "ISNUMERIC", "LANGMATCHES", "IRI",
+    "URI", "BNODE", "STRDT", "STRLANG", "REPLACE", "GRAPH",
+}
+
+_TOKEN_SPEC = [
+    ("WS", r"[ \t\r\n]+"),
+    ("COMMENT", r"#[^\n]*"),
+    ("IRIREF", r"<[^<>\"{}|^`\\\x00-\x20]*>"),
+    ("VAR", r"[?$][A-Za-z_][\w]*"),
+    ("LANGTAG", r"@[A-Za-z]+(?:-[A-Za-z0-9]+)*"),
+    ("DOUBLE_CARET", r"\^\^"),
+    ("STRING_LONG", r'"""(?:[^"\\]|\\.|"(?!""))*"""' + r"|'''(?:[^'\\]|\\.|'(?!''))*'''"),
+    ("STRING", r'"(?:[^"\\\n]|\\.)*"' + r"|'(?:[^'\\\n]|\\.)*'"),
+    ("NUMBER", r"[-+]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][-+]?\d+)?"),
+    ("BNODE_LABEL", r"_:[\w.-]+"),
+    ("PNAME", r"[A-Za-z_][\w-]*:[\w.%-]*|:[\w.%-]+"),
+    ("WORD", r"[A-Za-z_][\w]*"),
+    ("NEQ", r"!="),
+    ("LE", r"<="),
+    ("GE", r">="),
+    ("OROR", r"\|\|"),
+    ("ANDAND", r"&&"),
+    ("PUNCT", r"[{}()\[\];,.=<>!+\-*/|]"),
+]
+
+_MASTER = re.compile("|".join(f"(?P<{k}>{p})" for k, p in _TOKEN_SPEC))
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SPARQL *text*; raises :class:`SparqlSyntaxError` on junk."""
+    tokens: List[Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _MASTER.match(text, pos)
+        if not m:
+            snippet = text[pos: pos + 30]
+            raise SparqlSyntaxError(f"cannot tokenize at {snippet!r}")
+        kind = m.lastgroup
+        value = m.group(0)
+        if kind in ("WS", "COMMENT"):
+            pos = m.end()
+            continue
+        if kind == "WORD":
+            upper = value.upper()
+            if value == "a":
+                tokens.append(Token("A", "a", pos))
+            elif upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, pos))
+            else:
+                raise SparqlSyntaxError(
+                    f"unknown keyword {value!r} at offset {pos}"
+                )
+        elif kind == "STRING_LONG":
+            tokens.append(Token("STRING", value[3:-3], pos))
+        elif kind == "STRING":
+            tokens.append(Token("STRING", value[1:-1], pos))
+        elif kind == "IRIREF":
+            tokens.append(Token("IRIREF", value[1:-1], pos))
+        elif kind == "NUMBER":
+            # '-' and '+' belong to the number only when not preceded by
+            # an operand (otherwise "?a-1" would eat the minus).
+            if value[0] in "+-" and tokens and tokens[-1].kind in (
+                "VAR", "NUMBER", "IRIREF", "PNAME", "STRING"
+            ) and tokens[-1].kind != "PUNCT":
+                tokens.append(Token("PUNCT", value[0], pos))
+                tokens.append(Token("NUMBER", value[1:], pos + 1))
+            else:
+                tokens.append(Token("NUMBER", value, pos))
+        elif kind in ("NEQ", "LE", "GE", "OROR", "ANDAND", "DOUBLE_CARET"):
+            tokens.append(Token("PUNCT", value, pos))
+        else:
+            tokens.append(Token(kind, value, pos))
+        pos = m.end()
+    tokens.append(Token("EOF", "", len(text)))
+    return tokens

@@ -1,0 +1,182 @@
+"""SPARQL 1.1 Update (the subset a store product needs).
+
+Supported forms:
+
+- ``INSERT DATA { ... }`` / ``DELETE DATA { ... }`` — ground triples;
+- ``DELETE WHERE { ... }`` — pattern-driven deletion;
+- ``DELETE { t } INSERT { t } WHERE { ... }`` — the modify form (either
+  template optional);
+- ``CLEAR ALL`` / ``CLEAR DEFAULT``.
+
+Multiple operations may be separated by ``;``. Evaluated against any
+:class:`repro.rdf.Graph` (including Strabon stores, which keep their
+spatial index in sync through ``add``/``remove``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..rdf.graph import Graph
+from ..rdf.namespace import NamespaceManager
+from ..rdf.terms import BNode, Literal, Triple
+from .ast import GroupGraphPattern, TriplePattern, Var
+from .evaluator import Context, eval_group
+from .parser import Parser
+from .tokenizer import SparqlSyntaxError
+
+
+@dataclass
+class UpdateResult:
+    inserted: int = 0
+    deleted: int = 0
+
+    def __repr__(self) -> str:
+        return f"<UpdateResult +{self.inserted} -{self.deleted}>"
+
+
+@dataclass
+class _Operation:
+    kind: str  # insert_data | delete_data | delete_where | modify | clear
+    delete_template: List[TriplePattern] = field(default_factory=list)
+    insert_template: List[TriplePattern] = field(default_factory=list)
+    where: Optional[GroupGraphPattern] = None
+
+
+class _UpdateParser(Parser):
+    """Extends the query parser with the update grammar."""
+
+    def parse_update(self) -> List[_Operation]:
+        self._prologue()
+        operations = [self._operation()]
+        while self.accept("PUNCT", ";"):
+            if self.peek().kind == "EOF":
+                break
+            self._prologue()
+            operations.append(self._operation())
+        self.expect("EOF")
+        return operations
+
+    def _operation(self) -> _Operation:
+        tok = self.peek()
+        if tok.kind == "KEYWORD" and tok.value == "INSERT":
+            self.next()
+            if self.accept("KEYWORD", "DATA"):
+                return _Operation("insert_data",
+                                  insert_template=self._template())
+            insert = self._template()
+            self.expect("KEYWORD", "WHERE")
+            return _Operation("modify", insert_template=insert,
+                              where=self._group_graph_pattern())
+        if tok.kind == "KEYWORD" and tok.value == "DELETE":
+            self.next()
+            if self.accept("KEYWORD", "DATA"):
+                return _Operation("delete_data",
+                                  delete_template=self._template())
+            if self.accept("KEYWORD", "WHERE"):
+                template = self._template()
+                group = GroupGraphPattern()
+                from .ast import BGP
+
+                group.elements.append(BGP(list(template)))
+                return _Operation("delete_where",
+                                  delete_template=template, where=group)
+            delete = self._template()
+            insert: List[TriplePattern] = []
+            if self.accept("KEYWORD", "INSERT"):
+                insert = self._template()
+            self.expect("KEYWORD", "WHERE")
+            return _Operation("modify", delete_template=delete,
+                              insert_template=insert,
+                              where=self._group_graph_pattern())
+        if tok.kind == "KEYWORD" and tok.value == "CLEAR":
+            self.next()
+            target = self.peek()
+            if target.kind == "KEYWORD" and target.value in ("ALL",
+                                                             "DEFAULT"):
+                self.next()
+            return _Operation("clear")
+        raise SparqlSyntaxError(
+            f"expected update operation, got {tok.value!r}"
+        )
+
+    def _template(self) -> List[TriplePattern]:
+        self.expect("PUNCT", "{")
+        patterns = self._triples_block(stop="}")
+        self.expect("PUNCT", "}")
+        return patterns
+
+
+def _ground(pattern: TriplePattern) -> Triple:
+    for node in (pattern.s, pattern.p, pattern.o):
+        if isinstance(node, Var):
+            raise SparqlSyntaxError(
+                "DATA blocks must not contain variables"
+            )
+    return Triple(pattern.s, pattern.p, pattern.o)
+
+
+def _instantiate(template: List[TriplePattern], row,
+                 bnode_map: Dict[str, BNode]) -> List[Triple]:
+    out = []
+    for pattern in template:
+        def resolve(node):
+            if isinstance(node, Var):
+                return row.get(node.name)
+            if isinstance(node, BNode):
+                if node not in bnode_map:
+                    bnode_map[node] = BNode()
+                return bnode_map[node]
+            return node
+
+        s, p, o = resolve(pattern.s), resolve(pattern.p), resolve(pattern.o)
+        if s is None or p is None or o is None or isinstance(s, Literal):
+            continue
+        out.append(Triple(s, p, o))
+    return out
+
+
+def update(graph: Graph, text: str) -> UpdateResult:
+    """Execute a SPARQL Update request against *graph*."""
+    parser = _UpdateParser(text, namespaces=graph.namespaces)
+    operations = parser.parse_update()
+    result = UpdateResult()
+    for op in operations:
+        if op.kind == "clear":
+            result.deleted += len(graph)
+            graph.remove(None, None, None)
+            continue
+        if op.kind == "insert_data":
+            for pattern in op.insert_template:
+                triple = _ground(pattern)
+                if triple not in graph:
+                    graph.add(triple)
+                    result.inserted += 1
+            continue
+        if op.kind == "delete_data":
+            for pattern in op.delete_template:
+                triple = _ground(pattern)
+                if triple in graph:
+                    graph.remove(triple)
+                    result.deleted += 1
+            continue
+        # delete_where / modify: evaluate WHERE, then delete + insert
+        rows = eval_group(op.where, [{}], Context(graph))
+        to_delete: List[Triple] = []
+        to_insert: List[Triple] = []
+        for row in rows:
+            to_delete.extend(_instantiate(op.delete_template, row, {}))
+            bnodes: Dict[str, BNode] = {}
+            to_insert.extend(
+                _instantiate(op.insert_template, row, bnodes)
+            )
+        for triple in to_delete:
+            if triple in graph:
+                graph.remove(triple)
+                result.deleted += 1
+        for triple in to_insert:
+            if triple not in graph:
+                graph.add(triple)
+                result.inserted += 1
+    return result

@@ -1,0 +1,5 @@
+"""Strabon spatiotemporal RDF store."""
+
+from .store import StrabonStore
+
+__all__ = ["StrabonStore"]

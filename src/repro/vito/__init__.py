@@ -1,0 +1,40 @@
+"""VITO substrate: synthetic Copernicus Global Land products + archive."""
+
+from .archive import ArchiveError, GlobalLandArchive
+from .mep import MepDeployment
+from .products import (
+    ALL_SPECS,
+    BA300_SPEC,
+    EUROPE_GRID,
+    Grid,
+    LAI_SPEC,
+    NDVI_SPEC,
+    PARIS_GRID,
+    ProductSpec,
+    S5_TOC_NDVI_SPEC,
+    TIME_UNITS,
+    default_greenness,
+    dekad_dates,
+    generate_product,
+    seasonal_factor,
+)
+
+__all__ = [
+    "ALL_SPECS",
+    "ArchiveError",
+    "BA300_SPEC",
+    "EUROPE_GRID",
+    "GlobalLandArchive",
+    "Grid",
+    "LAI_SPEC",
+    "MepDeployment",
+    "NDVI_SPEC",
+    "PARIS_GRID",
+    "ProductSpec",
+    "S5_TOC_NDVI_SPEC",
+    "TIME_UNITS",
+    "default_greenness",
+    "dekad_dates",
+    "generate_product",
+    "seasonal_factor",
+]

@@ -1,0 +1,121 @@
+"""The Copernicus Global Land archive layout and its DAP-friendly view.
+
+Section 5 of the paper describes a concrete operational problem: the
+production centre reprocesses data, so the archive holds *multiple
+versions of data for the same day* in a directory structure the DAP
+server cannot serve. VITO's fix was "a script to create a directory
+structure that uses symbolic links to point at the most recent version".
+
+This module reproduces both sides: a versioned archive
+(``product/date/RTn/file.nc``) and the symlinked *virtual directory*
+exposing exactly one (latest) version per date.
+"""
+
+from __future__ import annotations
+
+from datetime import date
+from typing import Dict, List, Optional, Tuple
+
+from ..opendap import DapDataset
+
+
+class ArchiveError(KeyError):
+    """Raised for lookups of unpublished products/dates."""
+
+
+class GlobalLandArchive:
+    """Versioned storage for dated product rasters."""
+
+    def __init__(self):
+        # product -> date -> version -> dataset
+        self._store: Dict[str, Dict[date, Dict[int, DapDataset]]] = {}
+
+    # -- publication ----------------------------------------------------------
+    def publish(self, product: str, day: date, version: int,
+                dataset: DapDataset) -> str:
+        """Store a dataset; returns its physical archive path."""
+        self._store.setdefault(product, {}).setdefault(day, {})[version] = \
+            dataset
+        return self.physical_path(product, day, version)
+
+    def reprocess(self, product: str, day: date,
+                  dataset: DapDataset) -> Tuple[int, str]:
+        """Publish the next RT version for an existing date."""
+        versions = self._versions(product, day)
+        next_version = max(versions) + 1 if versions else 0
+        return next_version, self.publish(product, day, next_version, dataset)
+
+    # -- lookup ---------------------------------------------------------------
+    def products(self) -> List[str]:
+        return sorted(self._store)
+
+    def dates(self, product: str) -> List[date]:
+        return sorted(self._by_product(product))
+
+    def _by_product(self, product: str) -> Dict[date, Dict[int, DapDataset]]:
+        try:
+            return self._store[product]
+        except KeyError:
+            raise ArchiveError(f"no product {product!r} in archive") from None
+
+    def _versions(self, product: str, day: date) -> List[int]:
+        return sorted(self._by_product(product).get(day, {}))
+
+    def versions(self, product: str, day: date) -> List[int]:
+        versions = self._versions(product, day)
+        if not versions:
+            raise ArchiveError(f"no data for {product} on {day}")
+        return versions
+
+    def get(self, product: str, day: date,
+            version: Optional[int] = None) -> DapDataset:
+        by_day = self._by_product(product)
+        try:
+            by_version = by_day[day]
+        except KeyError:
+            raise ArchiveError(f"no data for {product} on {day}") from None
+        if version is None:
+            version = max(by_version)
+        try:
+            return by_version[version]
+        except KeyError:
+            raise ArchiveError(
+                f"no version RT{version} of {product} on {day}"
+            ) from None
+
+    def latest(self, product: str) -> Dict[date, DapDataset]:
+        """Most recent version of every date (what the DAP should expose)."""
+        return {
+            day: versions[max(versions)]
+            for day, versions in sorted(self._by_product(product).items())
+        }
+
+    # -- directory views --------------------------------------------------------
+    @staticmethod
+    def physical_path(product: str, day: date, version: int) -> str:
+        return f"{product}/{day.isoformat()}/RT{version}/" \
+               f"c_gls_{product}_{day.strftime('%Y%m%d')}0000_RT{version}.nc"
+
+    def physical_tree(self, product: str) -> List[str]:
+        """Every stored file path, including superseded versions."""
+        out = []
+        for day, versions in sorted(self._by_product(product).items()):
+            for version in sorted(versions):
+                out.append(self.physical_path(product, day, version))
+        return out
+
+    def virtual_tree(self, product: str) -> Dict[str, str]:
+        """The symlinked view: one entry per date → latest physical path.
+
+        This is the structure actually mounted into the DAP server.
+        """
+        links = {}
+        for day, versions in sorted(self._by_product(product).items()):
+            latest_version = max(versions)
+            link = f"{product}/{day.isoformat()}.nc"
+            links[link] = self.physical_path(product, day, latest_version)
+        return links
+
+    def __repr__(self) -> str:
+        counts = {p: len(d) for p, d in self._store.items()}
+        return f"<GlobalLandArchive {counts}>"

@@ -1,0 +1,89 @@
+"""The PROBA-V Mission Exploitation Platform (MEP) deployment.
+
+Section 3.1: "OPeNDAP and SDL are installed and configured by VITO on a
+virtual machine running on the VITO hosted PROBA-V mission exploitation
+platform, which has direct access to the data archives ... Three
+different services are exposed for each dataset: the OPeNDAP service,
+the NetcdfSubset service and the NCML service" and "each dataset also
+contains a netCDF NCML aggregation, which is automatically updated when
+new data (a new date) becomes available."
+
+:class:`MepDeployment` wires a :class:`GlobalLandArchive` into a
+:class:`DapServer`: each product is mounted as a *factory* that
+re-aggregates the latest versions on every request, so publishing a new
+date (or a reprocessed version) is immediately visible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..opendap import (
+    DapDataset,
+    DapServer,
+    LatencyModel,
+    aggregate_join_existing,
+    subset_by_coords,
+)
+from .archive import GlobalLandArchive
+
+
+class MepDeployment:
+    """The VITO-hosted OPeNDAP head over the Global Land archive."""
+
+    def __init__(self, archive: GlobalLandArchive,
+                 host: str = "proba-v-mep.esa.int",
+                 latency: Optional[LatencyModel] = None):
+        self.archive = archive
+        self.server = DapServer(host, latency=latency)
+        self._mounted: List[str] = []
+
+    def mount_product(self, product: str,
+                      path_prefix: str = "Copernicus") -> str:
+        """Expose one product; returns its dataset path on the server."""
+        path = f"{path_prefix}/{product}"
+
+        def factory(product=product) -> DapDataset:
+            return self.aggregated(product)
+
+        self.server.mount(path, factory)
+        self._mounted.append(path)
+        return path
+
+    def mount_all(self, path_prefix: str = "Copernicus") -> List[str]:
+        return [
+            self.mount_product(p, path_prefix) for p in self.archive.products()
+        ]
+
+    def aggregated(self, product: str) -> DapDataset:
+        """The NcML joinExisting aggregation over latest versions."""
+        latest = self.archive.latest(product)
+        parts = [latest[day] for day in sorted(latest)]
+        return aggregate_join_existing(parts, dim="time", name=product)
+
+    # -- the three services (Section 3.1) ------------------------------------
+    def opendap_url(self, product: str,
+                    path_prefix: str = "Copernicus") -> str:
+        return self.server.url(f"{path_prefix}/{product}")
+
+    def ncml_url(self, product: str, path_prefix: str = "Copernicus") -> str:
+        return self.server.url(f"{path_prefix}/{product}") + ".ncml"
+
+    def netcdf_subset(self, product: str, bbox=None, time_range=None
+                      ) -> DapDataset:
+        """The NetcdfSubset service (coordinate-space subsetting)."""
+        return subset_by_coords(
+            self.aggregated(product), bbox=bbox, time_range=time_range
+        )
+
+    def services(self, product: str,
+                 path_prefix: str = "Copernicus") -> Dict[str, str]:
+        base = self.opendap_url(product, path_prefix)
+        return {
+            "opendap": base,
+            "ncml": base + ".ncml",
+            "netcdfsubset": base + "?<bbox,time>",
+        }
+
+    def __repr__(self) -> str:
+        return f"<MepDeployment {self.server.host} mounts={self._mounted}>"

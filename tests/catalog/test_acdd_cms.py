@@ -1,0 +1,166 @@
+"""ACDD checker, recommender, CMS and crosswalk tests (E13)."""
+
+from datetime import date
+
+import pytest
+
+from repro.catalog import (
+    CmsError,
+    MetadataCms,
+    TranslationError,
+    augmentation_ncml,
+    check_acdd,
+    harmonized_listing,
+    metadata_to_rdf,
+    recommend_attributes,
+    to_canonical,
+    translate,
+)
+from repro.opendap import apply_ncml_overrides
+from repro.vito import GlobalLandArchive, LAI_SPEC, MepDeployment, \
+    generate_product
+
+
+@pytest.fixture
+def lai():
+    return generate_product(LAI_SPEC, date(2018, 6, 1))
+
+
+class TestAcdd:
+    def test_check_reports_missing(self, lai):
+        report = check_acdd(lai)
+        assert "summary" in report.missing_required
+        assert "license" in report.missing_recommended
+        assert 0 < report.score < 1
+        assert not report.compliant
+
+    def test_recommendations_derive_from_data(self, lai):
+        rec = recommend_attributes(lai)
+        assert rec["geospatial_lat_min"] == pytest.approx(48.75)
+        assert rec["geospatial_lon_max"] == pytest.approx(2.55)
+        assert rec["time_coverage_end"].startswith("2018-06-01")
+        assert "Leaf Area Index" in rec["keywords"]
+        assert "summary" in rec
+
+    def test_augmentation_improves_score(self, lai):
+        before = check_acdd(lai).score
+        ncml = augmentation_ncml(lai, extra={"license": "CC-BY-4.0",
+                                             "keywords": "LAI"})
+        fixed = apply_ncml_overrides(lai, ncml)
+        after = check_acdd(fixed).score
+        assert after > before
+        assert check_acdd(fixed).compliant
+
+    def test_compliant_dataset_clean(self, lai):
+        ncml = augmentation_ncml(lai)
+        fixed = apply_ncml_overrides(lai, ncml)
+        rec = recommend_attributes(fixed)
+        assert "geospatial_lat_min" not in rec  # already present
+
+
+class TestCms:
+    def test_upsert_and_mutate_versions(self):
+        cms = MetadataCms()
+        cms.upsert("LAI", {"title": "LAI"})
+        record = cms.mutate("LAI", summary="Leaf area index dekads")
+        assert record.version == 2
+        assert record.attributes["title"] == "LAI"
+        record = cms.mutate("LAI", title="LAI v2")
+        assert record.version == 3
+
+    def test_rollback(self):
+        cms = MetadataCms()
+        cms.upsert("LAI", {"title": "first"})
+        cms.mutate("LAI", title="second")
+        record = cms.rollback("LAI", 1)
+        assert record.attributes["title"] == "first"
+        assert record.version == 3  # rollback is itself a new version
+
+    def test_rollback_unknown_version(self):
+        cms = MetadataCms()
+        cms.upsert("LAI", {})
+        with pytest.raises(CmsError):
+            cms.rollback("LAI", 42)
+
+    def test_unknown_record(self):
+        with pytest.raises(CmsError):
+            MetadataCms().record("NOPE")
+
+    def test_harvest_from_server(self, lai):
+        archive = GlobalLandArchive()
+        archive.publish("LAI", date(2018, 6, 1), 0, lai)
+        mep = MepDeployment(archive, host="vito.test")
+        mep.mount_product("LAI")
+        cms = MetadataCms()
+        harvested = cms.harvest(mep.server)
+        assert harvested == ["Copernicus/LAI"]
+        assert cms.record("Copernicus/LAI").attributes["institution"] \
+            .startswith("VITO")
+
+    def test_harvest_is_recurrent(self, lai):
+        """Re-harvesting picks up upstream changes, bumping versions."""
+        archive = GlobalLandArchive()
+        archive.publish("LAI", date(2018, 6, 1), 0, lai)
+        mep = MepDeployment(archive, host="vito.test")
+        mep.mount_product("LAI")
+        cms = MetadataCms()
+        cms.harvest(mep.server)
+        v1 = cms.record("Copernicus/LAI").version
+        lai.attributes["title"] = "Leaf Area Index (reprocessed)"
+        cms.harvest(mep.server)
+        assert cms.record("Copernicus/LAI").version > v1
+
+    def test_publish_and_apply(self, lai):
+        cms = MetadataCms()
+        cms.upsert("LAI", {"summary": "CMS-provided summary",
+                           "license": "CC-BY-4.0"})
+        fixed = cms.apply_to("LAI", lai)
+        assert fixed.attributes["summary"] == "CMS-provided summary"
+        assert lai.attributes.get("summary") is None  # original untouched
+
+
+class TestTranslate:
+    ACDD_ATTRS = {
+        "title": "LAI", "summary": "leaf area", "institution": "VITO",
+        "time_coverage_start": "2018-06-01", "product_version": "RT0",
+    }
+
+    def test_acdd_to_iso(self):
+        iso = translate(self.ACDD_ATTRS, "acdd", "iso")
+        assert iso["MD_title"] == "LAI"
+        assert iso["MD_abstract"] == "leaf area"
+        assert iso["EX_beginPosition"] == "2018-06-01"
+
+    def test_roundtrip(self):
+        iso = translate(self.ACDD_ATTRS, "acdd", "iso")
+        back = translate(iso, "iso", "acdd")
+        assert back["title"] == "LAI"
+        assert back["institution"] == "VITO"
+
+    def test_unknown_convention(self):
+        with pytest.raises(TranslationError):
+            translate({}, "acdd", "marc21")
+
+    def test_canonical_extraction(self):
+        canonical = to_canonical(self.ACDD_ATTRS, "acdd")
+        assert canonical["provider"] == "VITO"
+        assert "temporal_end" not in canonical
+
+    def test_sparql_harmonization(self):
+        """One query answers over ACDD and ISO records (the mediation)."""
+        from repro.rdf import Graph
+
+        g = Graph()
+        metadata_to_rdf("http://ds/lai", self.ACDD_ATTRS, "acdd", g)
+        metadata_to_rdf(
+            "http://ds/corine",
+            {"MD_title": "CORINE Land Cover",
+             "MD_organisationName": "EEA"},
+            "iso", g,
+        )
+        listing = harmonized_listing(g)
+        assert [row["title"] for row in listing] == [
+            "CORINE Land Cover", "LAI"
+        ]
+        assert listing[0]["provider"] == "EEA"
+        assert listing[1]["provider"] == "VITO"

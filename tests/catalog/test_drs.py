@@ -1,0 +1,110 @@
+"""DRS validator tests (experiment E13, part 1)."""
+
+from datetime import date
+
+import pytest
+
+from repro.catalog import (
+    ValidationReport,
+    validate_attributes,
+    validate_filename,
+    validate_server,
+)
+from repro.catalog.drs import main
+from repro.vito import GlobalLandArchive, LAI_SPEC, MepDeployment, \
+    generate_product
+
+
+GOOD = "c_gls_LAI_201806010000_GLOBE_PROBAV_V1.0.1.nc"
+
+
+class TestFilenames:
+    def test_valid(self):
+        report = validate_filename(GOOD)
+        assert report.ok
+        assert report.checked == 1
+
+    def test_valid_with_path(self):
+        assert validate_filename("archive/2018/" + GOOD).ok
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "LAI_201806010000_GLOBE_PROBAV_V1.0.1.nc",   # missing c_gls
+            "c_gls_LAI_20180601_GLOBE_PROBAV_V1.0.1.nc",  # short stamp
+            "c_gls_LAI_201806010000_GLOBE_PROBAV_V1.nc",  # bad version
+            "c_gls_LAI_201806010000_GLOBE_PROBAV_V1.0.1.txt",
+            "c_gls_lai_201806010000_GLOBE_PROBAV_V1.0.1.nc",  # lower case
+        ],
+    )
+    def test_invalid(self, bad):
+        assert not validate_filename(bad).ok
+
+    def test_invalid_month(self):
+        report = validate_filename(
+            "c_gls_LAI_201813010000_GLOBE_PROBAV_V1.0.1.nc"
+        )
+        assert not report.ok
+        assert "month" in report.errors[0].message
+
+
+class TestAttributes:
+    def test_complete(self):
+        attrs = {
+            "title": "LAI", "product_version": "RT0",
+            "time_coverage_start": "2018-06-01",
+            "institution": "VITO", "source": "CGLS",
+        }
+        assert validate_attributes("LAI", attrs).ok
+
+    def test_missing_required(self):
+        report = validate_attributes("LAI", {"title": "LAI"})
+        assert not report.ok
+        missing = {i.message for i in report.errors}
+        assert any("institution" in m for m in missing)
+
+    def test_bad_date(self):
+        attrs = {
+            "title": "t", "product_version": "RT0",
+            "time_coverage_start": "June 2018",
+            "institution": "V", "source": "s",
+        }
+        report = validate_attributes("LAI", attrs)
+        assert not report.ok
+
+    def test_version_warning_not_error(self):
+        attrs = {
+            "title": "t", "product_version": "latest",
+            "time_coverage_start": "2018-06-01",
+            "institution": "V", "source": "s",
+        }
+        report = validate_attributes("LAI", attrs)
+        assert report.ok  # warning only
+        assert len(report.issues) == 1
+        assert report.issues[0].severity == "warning"
+
+
+def test_validate_live_server():
+    archive = GlobalLandArchive()
+    archive.publish("LAI", date(2018, 6, 1), 0,
+                    generate_product(LAI_SPEC, date(2018, 6, 1)))
+    mep = MepDeployment(archive, host="vito.test")
+    mep.mount_product("LAI")
+    report = validate_server(mep.server)
+    assert report.checked == 1
+    assert report.ok  # synthetic products carry the DRS core set
+
+
+def test_cli(capsys):
+    code = main([GOOD])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "PASS" in out
+    code = main(["bogus.nc"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "FAIL" in out
+
+
+def test_cli_no_args(capsys):
+    assert main([]) == 2

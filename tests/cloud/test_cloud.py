@@ -1,0 +1,189 @@
+"""Cloud platform, sandbox and mini-Kubernetes tests (E14)."""
+
+import pytest
+
+from repro.cloud import (
+    Appliance,
+    AppPackage,
+    Cluster,
+    DeploymentSpec,
+    DockerImage,
+    Environment,
+    KubeError,
+    PlatformError,
+    PodSpec,
+    Sandbox,
+    SandboxError,
+    TerraduePlatform,
+)
+
+
+def applab_release(platform, version="1.0.0"):
+    return platform.new_release(
+        version,
+        [
+            Appliance("ontop-spatial", DockerImage("applab/ontop", version)),
+            Appliance("strabon", DockerImage("applab/strabon", version),
+                      cpu=2, memory_gb=4),
+            Appliance("sextant", DockerImage("applab/sextant", version)),
+            Appliance("sdl", DockerImage("applab/sdl", version)),
+        ],
+    )
+
+
+class TestPlatform:
+    @pytest.fixture
+    def platform(self):
+        platform = TerraduePlatform()
+        platform.add_environment(Environment("terradue"))
+        platform.add_environment(Environment("vito-mep", cpu_capacity=8))
+        platform.add_environment(Environment("dias-eumetsat"))
+        applab_release(platform)
+        return platform
+
+    def test_deploy_stack(self, platform):
+        deployments = platform.deploy_stack("1.0.0", "terradue")
+        assert len(deployments) == 4
+        assert all(d.status == "running" for d in deployments)
+        report = platform.status_report()
+        assert report["terradue"]["deployments"] == 4
+        assert report["terradue"]["cpu_used"] == 5
+
+    def test_burst_to_dias(self, platform):
+        """§5: when the DIAS become operational, burst the stack there."""
+        source = platform.deploy("1.0.0", "ontop-spatial", "terradue")
+        clone = platform.burst(source.deployment_id, "dias-eumetsat")
+        assert clone.environment == "dias-eumetsat"
+        assert clone.release_version == "1.0.0"
+        assert any("burst" in line for line in clone.log)
+        assert len(platform.running()) == 2
+
+    def test_upgrade_release(self, platform):
+        applab_release(platform, "1.1.0")
+        old = platform.deploy("1.0.0", "sextant", "terradue")
+        new = platform.upgrade(old.deployment_id, "1.1.0")
+        assert new.release_version == "1.1.0"
+        assert old.status == "terminated"
+        # resources were returned before re-allocating
+        assert platform.environment("terradue").cpu_used == 1
+
+    def test_capacity_enforced(self, platform):
+        small = platform.add_environment(
+            Environment("edge", cpu_capacity=1, memory_capacity_gb=2)
+        )
+        platform.deploy("1.0.0", "ontop-spatial", "edge")
+        with pytest.raises(PlatformError):
+            platform.deploy("1.0.0", "strabon", "edge")
+
+    def test_unknowns_raise(self, platform):
+        with pytest.raises(PlatformError):
+            platform.deploy("9.9.9", "ontop-spatial", "terradue")
+        with pytest.raises(PlatformError):
+            platform.deploy("1.0.0", "nope", "terradue")
+        with pytest.raises(PlatformError):
+            platform.deploy("1.0.0", "ontop-spatial", "moonbase")
+        with pytest.raises(PlatformError):
+            platform.new_release("1.0.0", [])
+
+
+class TestSandbox:
+    def test_parallel_map(self):
+        app = AppPackage("ndvi-stats", lambda x: x * 2)
+        report = Sandbox(parallelism=3).run(app, [1, 2, 3, 4])
+        assert report.succeeded == 4
+        assert sorted(report.outputs) == [2, 4, 6, 8]
+        assert report.wall_time_s >= 0
+
+    def test_task_failures_isolated(self):
+        def processor(x):
+            if x == 2:
+                raise ValueError("bad granule")
+            return x
+
+        report = Sandbox().run(AppPackage("p", processor), [1, 2, 3])
+        assert report.succeeded == 2
+        assert report.failed == 1
+        failed = [r for r in report.results if not r.ok][0]
+        assert "bad granule" in failed.error
+
+    def test_kwargs_passed(self):
+        app = AppPackage("scaled", lambda x, factor=1: x * factor)
+        report = Sandbox(parallelism=1).run(app, [1, 2], factor=10)
+        assert report.outputs == [10, 20]
+
+    def test_invalid_construction(self):
+        with pytest.raises(SandboxError):
+            Sandbox(parallelism=0)
+        with pytest.raises(SandboxError):
+            AppPackage("x", processor="not callable")
+
+    def test_history(self):
+        sandbox = Sandbox()
+        sandbox.run(AppPackage("a", lambda x: x), [1])
+        sandbox.run(AppPackage("b", lambda x: x), [1, 2])
+        assert [r.app for r in sandbox.history] == ["a", "b"]
+
+
+class TestKubernetes:
+    @pytest.fixture
+    def cluster(self):
+        return Cluster(nodes=["n1", "n2"])
+
+    def spec(self, replicas=3, tag="1.0"):
+        return DeploymentSpec(
+            "ramani-analytics", replicas,
+            PodSpec(image=f"applab/analytics:{tag}"),
+        )
+
+    def test_apply_creates_replicas(self, cluster):
+        cluster.apply(self.spec())
+        pods = cluster.pods_of("ramani-analytics")
+        assert len(pods) == 3
+        assert {p.node for p in pods} <= {"n1", "n2"}
+
+    def test_scale_up_and_down(self, cluster):
+        cluster.apply(self.spec(2))
+        cluster.scale("ramani-analytics", 5)
+        assert len(cluster.pods_of("ramani-analytics")) == 5
+        cluster.scale("ramani-analytics", 1)
+        assert len(cluster.pods_of("ramani-analytics")) == 1
+
+    def test_self_healing(self, cluster):
+        cluster.apply(self.spec(2))
+        victim = cluster.pods_of("ramani-analytics")[0]
+        cluster.kill_pod(victim.name)
+        cluster.reconcile()
+        pods = cluster.pods_of("ramani-analytics")
+        assert len(pods) == 2
+        assert all(p.status == "Running" for p in pods)
+        assert victim.name not in {p.name for p in pods}
+
+    def test_rolling_update_replaces_pods(self, cluster):
+        cluster.apply(self.spec(2, tag="1.0"))
+        old_names = {p.name for p in cluster.pods_of("ramani-analytics")}
+        cluster.apply(self.spec(2, tag="2.0"))
+        new_pods = cluster.pods_of("ramani-analytics")
+        assert len(new_pods) == 2
+        assert all(p.spec.image.endswith("2.0") for p in new_pods)
+        assert old_names.isdisjoint({p.name for p in new_pods})
+
+    def test_service_round_robin(self, cluster):
+        cluster.apply(self.spec(3))
+        hits = {cluster.endpoint("ramani-analytics").name
+                for __ in range(6)}
+        assert len(hits) == 3
+
+    def test_delete(self, cluster):
+        cluster.apply(self.spec(2))
+        cluster.delete("ramani-analytics")
+        assert cluster.all_pods() == []
+        with pytest.raises(KubeError):
+            cluster.scale("ramani-analytics", 1)
+
+    def test_errors(self, cluster):
+        with pytest.raises(KubeError):
+            cluster.kill_pod("ghost")
+        with pytest.raises(KubeError):
+            cluster.endpoint("nothing")
+        with pytest.raises(KubeError):
+            cluster.apply(self.spec(-1))

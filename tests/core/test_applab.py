@@ -1,0 +1,88 @@
+"""AppLab facade integration tests."""
+
+from datetime import date
+
+import pytest
+
+from repro.core import AppLab
+from repro.sdl import AccessDenied
+from repro.vito import LAI_SPEC, NDVI_SPEC, dekad_dates
+
+
+@pytest.fixture(scope="module")
+def lab():
+    lab = AppLab()
+    lab.publish_product(LAI_SPEC, dekad_dates(date(2018, 6, 1), 2),
+                        cloud_fraction=0.0)
+    lab.publish_product(NDVI_SPEC, dekad_dates(date(2018, 6, 1), 2),
+                        cloud_fraction=0.0)
+    return lab
+
+
+def test_publish_exposes_dap_and_sdl(lab):
+    assert lab.products() == ["LAI", "NDVI"]
+    assert lab.product_url("LAI").startswith("dap://vito.applab.eu/")
+    # SDL sees the product but requires a token
+    with pytest.raises(AccessDenied):
+        lab.sdl.characteristics("LAI")
+
+
+def test_virtual_endpoint(lab):
+    engine, operator = lab.virtual_endpoint("LAI")
+    result = engine.query(
+        "PREFIX lai: <http://www.app-lab.eu/lai/> "
+        "SELECT (COUNT(*) AS ?n) WHERE { ?o lai:lai ?v }"
+    )
+    assert result.rows[0]["n"].value == 2 * 24 * 12
+    assert operator.server_calls == 1
+
+
+def test_materialize(lab):
+    store = lab.materialize("NDVI")
+    result = store.query(
+        "PREFIX lai: <http://www.app-lab.eu/lai/> "
+        "SELECT (COUNT(*) AS ?n) WHERE { ?o lai:lai ?v }"
+    )
+    assert result.rows[0]["n"].value == 2 * 24 * 12
+    assert store.indexed_geometry_count > 0
+
+
+def test_annotate_and_search(lab):
+    lab.annotate_products()
+    yes, hits = lab.search.answer("any vegetation dataset?")
+    assert yes
+    assert len(lab.search.search("", provider="VITO")) == 2
+
+
+def test_metadata_harvest_and_drs(lab):
+    harvested = lab.harvest_metadata()
+    assert set(harvested) == {"Copernicus/LAI", "Copernicus/NDVI"}
+    report = lab.validate_drs()
+    assert report.ok
+
+
+def test_maps_api_with_token(lab):
+    api, token = lab.maps_api("dev@appcamp.eu")
+    meta = api.get_metadata("LAI")
+    assert meta["time_steps"] == 2
+    assert lab.auth.usage_by_user("dev@appcamp.eu")["LAI"] >= 1
+
+
+def test_release_and_deploy(lab):
+    deployments = lab.release_and_deploy("1.0.0")
+    assert len(deployments) == 6
+    pods = lab.cluster.pods_of("ramani-analytics")
+    assert len(pods) == 2
+    report = lab.platform.status_report()
+    assert report["terradue"]["deployments"] == 6
+
+
+def test_cli_quickstart(capsys):
+    from repro.core.cli import main
+
+    assert main(["1"]) == 0
+    out = capsys.readouterr().out
+    assert "published LAI" in out
+    assert "virtual endpoint" in out
+    assert "dataset search: yes" in out
+    assert "DRS validation: PASS" in out

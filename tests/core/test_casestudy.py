@@ -1,0 +1,123 @@
+"""Experiments E2/E3/E9: the greenness-of-Paris case study."""
+
+import math
+
+import pytest
+
+from repro.core import GreennessCaseStudy, PREFIXES
+from repro.rdf import CLC, GADM, LAI, OSM, RDF, UA
+
+
+@pytest.fixture(scope="module")
+def study():
+    return GreennessCaseStudy(n_dekads=2, cloud_fraction=0.0)
+
+
+@pytest.fixture(scope="module")
+def store(study):
+    return study.materialized_store()
+
+
+class TestMaterializedWorkflow:
+    def test_store_contents(self, store):
+        assert len(list(store.subjects(RDF.type, OSM.POI))) == 17
+        assert len(list(store.subjects(RDF.type, CLC.CorineArea))) == 13
+        assert len(list(store.subjects(RDF.type, UA.UrbanAtlasArea))) == 13
+        assert len(list(store.subjects(RDF.type,
+                                       GADM.AdministrativeUnit))) == 23
+        observations = list(store.subjects(RDF.type, LAI.Observation))
+        assert len(observations) == 2 * 24 * 12  # 2 dekads, full grid
+
+    def test_listing1_returns_park_lai(self, study, store):
+        result = study.run_listing1(store)
+        assert len(result) == 8  # 4 grid points x 2 dekads
+        values = [row["lai"].value for row in result]
+        assert all(v > 0 for v in values)
+
+    def test_listing1_park_values_high(self, study, store):
+        """Bois de Boulogne LAI beats the citywide mean (greenness)."""
+        result = study.run_listing1(store)
+        park_mean = sum(r["lai"].value for r in result) / len(result)
+        overall = store.query(
+            PREFIXES + "SELECT (AVG(?v) AS ?mean) WHERE { ?o lai:lai ?v }"
+        )
+        assert park_mean > overall.rows[0]["mean"].value
+
+    def test_park_vs_industrial(self, study, store):
+        green, industrial = study.park_vs_industrial_lai(store)
+        assert green > industrial * 1.5
+
+    def test_gadm_queryable(self, store):
+        result = store.query(
+            PREFIXES + """
+            SELECT ?name WHERE {
+              ?u a gadm:AdministrativeUnit ; gadm:hasName ?name ;
+                 gadm:hasLevel 2 .
+            }
+            """
+        )
+        assert [r["name"].lexical for r in result] == ["Paris"]
+
+
+class TestVirtualWorkflow:
+    def test_listing3(self, study):
+        result = study.run_listing3()
+        assert len(result) == 2 * 24 * 12
+        row = result.rows[0]
+        assert row["lai"].value > 0
+        assert "POINT" in row["wkt"].lexical
+
+    def test_virtual_matches_materialized_counts(self, study, store):
+        virtual = study.run_listing3()
+        materialized = store.query(
+            PREFIXES + "SELECT ?o WHERE { ?o lai:lai ?v }"
+        )
+        assert len(virtual) == len(materialized)
+
+    def test_window_cache(self, study):
+        clock = {"now": 0.0}
+        engine, operator = study.virtual_endpoint(
+            window_minutes=10, clock=lambda: clock["now"]
+        )
+        study.run_listing3(engine)
+        study.run_listing3(engine)
+        assert operator.server_calls == 1
+        clock["now"] = 11 * 60
+        study.run_listing3(engine)
+        assert operator.server_calls == 2
+
+
+class TestFigure4:
+    def test_map_layers(self, study, store):
+        tm = study.build_map(store)
+        names = [layer.name for layer in tm.layers]
+        assert names == [
+            "CORINE land cover", "Urban Atlas", "OSM parks",
+            "Administrative areas", "LAI observations",
+        ]
+
+    def test_timeline_has_dekads(self, study, store):
+        tm = study.build_map(store)
+        assert len(tm.timeline()) == 2
+
+    def test_svg_renders(self, study, store):
+        tm = study.build_map(store)
+        svg = tm.to_svg(width=600, height=400)
+        assert svg.startswith("<svg")
+        assert 'id="layer-OSM-parks"' in svg
+
+    def test_html_has_slider(self, study, store):
+        tm = study.build_map(store)
+        html = tm.to_html(width=400, height=300)
+        assert "timeslider" in html
+
+    def test_map_ontology_roundtrip(self, study, store):
+        from repro.sextant import map_descriptor_from_rdf, map_to_rdf
+
+        tm = study.build_map(store)
+        g = map_to_rdf(tm, "http://app-lab.eu/maps/greenness")
+        descriptor = map_descriptor_from_rdf(
+            g, "http://app-lab.eu/maps/greenness"
+        )
+        assert len(descriptor["layers"]) == 5
+        assert descriptor["layers"][4]["source"]["type"] == "sparql"

@@ -1,0 +1,163 @@
+"""Experiment E1: structural checks of the Figure 2/3 ontologies."""
+
+from repro.core import (
+    CORINE_NOMENCLATURE,
+    URBAN_ATLAS_NOMENCLATURE,
+    all_ontologies,
+    corine_class_iri,
+    corine_ontology,
+    gadm_ontology,
+    lai_ontology,
+    osm_ontology,
+    urban_atlas_ontology,
+)
+from repro.rdf import (
+    CLC,
+    GADM,
+    GEO,
+    LAI,
+    OSM,
+    OWL,
+    QB,
+    RDF,
+    RDFS,
+    SF,
+    TIME,
+    UA,
+    XSD,
+)
+
+
+class TestLaiOntology:
+    """Figure 2: lai:Observation reusing qb, geo/sf, time, xsd."""
+
+    def test_observation_subclass_of_qb(self):
+        g = lai_ontology()
+        assert (LAI.Observation, RDFS.subClassOf, QB.Observation) in g
+
+    def test_lai_property_range_float(self):
+        g = lai_ontology()
+        assert g.value(LAI.lai, RDFS.range) == XSD.float
+        assert g.value(LAI.lai, RDFS.domain) == LAI.Observation
+
+    def test_time_property(self):
+        g = lai_ontology()
+        assert g.value(TIME.hasTime, RDFS.range) == XSD.dateTime
+
+    def test_geometry_chain(self):
+        g = lai_ontology()
+        # geo:hasGeometry keeps its GeoSPARQL axioms; the Figure-2
+        # "Observation → sf:Point" arrow is a default-geometry hint.
+        assert g.value(GEO.hasGeometry, RDFS.range) == GEO.Geometry
+        assert g.value(GEO.hasGeometry, RDFS.domain) == GEO.Feature
+        assert g.value(LAI.Observation, GEO.defaultGeometry) == SF.Point
+        assert (SF.Point, RDFS.subClassOf, GEO.Geometry) in g
+
+
+class TestGadmOntology:
+    """Figure 3: gadm:AdministrativeUnit extending GeoSPARQL."""
+
+    def test_unit_is_geo_feature(self):
+        g = gadm_ontology()
+        assert (GADM.AdministrativeUnit, RDFS.subClassOf, GEO.Feature) in g
+
+    def test_name_property(self):
+        g = gadm_ontology()
+        assert g.value(GADM.hasName, RDFS.range) == XSD.string
+
+    def test_hierarchy_property(self):
+        g = gadm_ontology()
+        assert g.value(GADM.isWithin, RDFS.range) == \
+            GADM.AdministrativeUnit
+
+
+class TestCorineOntology:
+    def test_44_level3_classes(self):
+        level3 = [c for c in CORINE_NOMENCLATURE if len(c) == 3]
+        assert len(level3) == 44
+
+    def test_three_level_hierarchy(self):
+        assert len([c for c in CORINE_NOMENCLATURE if len(c) == 1]) == 5
+        assert len([c for c in CORINE_NOMENCLATURE if len(c) == 2]) == 15
+
+    def test_paper_elements_present(self):
+        g = corine_ontology()
+        from repro.rdf import INSPIRE
+
+        assert (CLC.CorineArea, RDFS.subClassOf,
+                INSPIRE.LandCoverUnit) in g
+        assert g.value(CLC.hasCorineValue, RDFS.domain) == CLC.CorineArea
+        assert g.value(CLC.hasCorineValue, RDFS.range) == CLC.CorineValue
+
+    def test_forests_under_corine_value(self):
+        """clc:Forests is a (transitive) subclass of clc:CorineValue."""
+        g = corine_ontology()
+        forests = corine_class_iri("31")
+        assert forests == CLC.Forests
+        parent = g.value(forests, RDFS.subClassOf)
+        grandparent = g.value(parent, RDFS.subClassOf)
+        assert grandparent == CLC.CorineValue
+
+    def test_green_urban_areas_code(self):
+        g = corine_ontology()
+        green = corine_class_iri("141")
+        assert str(green).endswith("GreenUrbanAreas")
+        assert g.value(green, CLC.hasCode).lexical == "141"
+
+    def test_class_tree_queryable(self):
+        g = corine_ontology()
+        res = g.query(
+            """
+            PREFIX clc: <http://www.app-lab.eu/corine/>
+            PREFIX rdfs: <http://www.w3.org/2000/01/rdf-schema#>
+            SELECT (COUNT(?c) AS ?n) WHERE {
+              ?c rdfs:subClassOf ?mid . ?mid rdfs:subClassOf ?top .
+              ?top rdfs:subClassOf clc:CorineValue .
+            }
+            """
+        )
+        assert res.rows[0]["n"].value == 44
+
+
+class TestUrbanAtlasOntology:
+    def test_17_urban_10_rural(self):
+        urban = [c for c, (__, kind) in URBAN_ATLAS_NOMENCLATURE.items()
+                 if kind == "urban"]
+        rural = [c for c, (__, kind) in URBAN_ATLAS_NOMENCLATURE.items()
+                 if kind == "rural"]
+        assert len(urban) == 17
+        assert len(rural) == 10
+
+    def test_classes_partitioned(self):
+        g = urban_atlas_ontology()
+        urban_classes = list(g.subjects(RDFS.subClassOf, UA.UrbanClass))
+        rural_classes = list(g.subjects(RDFS.subClassOf, UA.RuralClass))
+        assert len(urban_classes) == 17
+        assert len(rural_classes) == 10
+
+    def test_discontinuous_very_low_density_present(self):
+        """The example class the paper cites."""
+        labels = {
+            label for __, (label, kind) in URBAN_ATLAS_NOMENCLATURE.items()
+        }
+        assert any("very low density urban fabric" in l for l in labels)
+
+
+class TestOsmOntology:
+    def test_poi_types(self):
+        g = osm_ontology()
+        parks = (OSM.park, RDF.type, OSM.POIType)
+        assert parks in g
+
+    def test_poi_subclass_feature(self):
+        g = osm_ontology()
+        assert (OSM.POI, RDFS.subClassOf, OSM.Feature) in g
+
+
+def test_union_ontology():
+    g = all_ontologies()
+    assert len(g) > 300
+    classes = set(g.subjects(RDF.type, OWL.Class))
+    assert LAI.Observation in classes
+    assert CLC.CorineArea in classes
+    assert UA.UrbanAtlasArea in classes

@@ -1,0 +1,143 @@
+"""Synthetic Paris dataset tests."""
+
+import pytest
+
+from repro.data import (
+    CLC_CLASSES,
+    UA_CLASSES,
+    WorkloadGenerator,
+    arrondissements,
+    city_boundary,
+    corine_land_cover,
+    gadm_hierarchy,
+    osm_parks,
+    osm_pois,
+    paris_greenness,
+    seine,
+    urban_atlas,
+)
+from repro.geometry import Point, Polygon
+from repro.geometry import ops as geo_ops
+
+
+class TestAdministrative:
+    def test_twenty_arrondissements(self):
+        fc = arrondissements()
+        assert len(fc) == 20
+        numbers = {f.properties["arrondissement"] for f in fc}
+        assert numbers == set(range(1, 21))
+
+    def test_arrondissements_inside_city(self):
+        city = city_boundary()
+        for f in arrondissements():
+            c = geo_ops.centroid(f.geometry)
+            assert geo_ops.intersects(city, c), f.properties["name"]
+
+    def test_arrondissements_mostly_disjoint(self):
+        fc = arrondissements().features
+        overlaps = 0
+        for i in range(len(fc)):
+            for j in range(i + 1, len(fc)):
+                if geo_ops.overlaps(fc[i].geometry, fc[j].geometry):
+                    overlaps += 1
+        assert overlaps == 0
+
+    def test_gadm_hierarchy_nesting(self):
+        fc = gadm_hierarchy()
+        by_name = {f.properties["name"]: f.geometry for f in fc}
+        assert geo_ops.contains(by_name["France"], by_name["Île-de-France"])
+        assert geo_ops.contains(by_name["Île-de-France"], by_name["Paris"])
+
+
+class TestOsm:
+    def test_parks_present(self):
+        names = {f.properties["name"] for f in osm_parks()}
+        assert "Bois de Boulogne" in names
+        assert "Bois de Vincennes" in names
+        assert len(names) == 8
+
+    def test_bois_de_boulogne_west_of_vincennes(self):
+        by_name = {f.properties["name"]: f.geometry for f in osm_parks()}
+        assert by_name["Bois de Boulogne"].bounds[2] < \
+            by_name["Bois de Vincennes"].bounds[0]
+
+    def test_pois_typed(self):
+        kinds = {f.properties["poiType"] for f in osm_pois()}
+        assert {"landmark", "industrial", "stadium"} <= kinds
+
+    def test_seine_crosses_city(self):
+        assert geo_ops.intersects(seine().geometry, city_boundary())
+
+
+class TestLandCover:
+    def test_corine_codes_valid(self):
+        fc = corine_land_cover()
+        assert all(f.properties["code"] in CLC_CLASSES for f in fc)
+        codes = {f.properties["code"] for f in fc}
+        assert codes == {"111", "112", "121", "141", "511"}
+
+    def test_green_areas_cover_parks(self):
+        green = [
+            f.geometry for f in corine_land_cover()
+            if f.properties["code"] == "141"
+        ]
+        for park in osm_parks():
+            assert any(
+                geo_ops.intersects(g, park.geometry) for g in green
+            ), park.properties["name"]
+
+    def test_urban_atlas_codes(self):
+        fc = urban_atlas()
+        assert all(f.properties["code"] in UA_CLASSES for f in fc)
+        green = [f for f in fc if f.properties["code"] == "14100"]
+        assert len(green) == 8
+
+
+class TestGreenness:
+    def test_parks_greener_than_industry(self):
+        g = paris_greenness()
+        park_value = g(2.25, 48.86)        # Bois de Boulogne
+        industrial_value = g(2.42, 48.81)  # SE industrial zone
+        centre_value = g(2.349, 48.853)    # Notre-Dame area
+        default_value = g(2.18, 48.77)     # outside everything
+        assert park_value > default_value > centre_value > industrial_value
+
+    def test_bounded(self):
+        g = paris_greenness()
+        for lon in (2.16, 2.3, 2.45, 2.54):
+            for lat in (48.76, 48.85, 48.94):
+                assert 0.0 <= g(lon, lat) <= 1.0
+
+    def test_deterministic(self):
+        g1, g2 = paris_greenness(), paris_greenness()
+        assert g1(2.25, 48.86) == g2(2.25, 48.86)
+
+
+class TestWorkloadGenerator:
+    def test_deterministic_with_seed(self):
+        a = WorkloadGenerator(seed=7).feature_collection(10, "box")
+        b = WorkloadGenerator(seed=7).feature_collection(10, "box")
+        assert [f.geometry for f in a] == [f.geometry for f in b]
+
+    def test_kinds(self):
+        gen = WorkloadGenerator(seed=1)
+        for kind in ("point", "box", "polygon", "linestring"):
+            fc = gen.feature_collection(5, kind)
+            assert len(fc) == 5
+
+    def test_region_respected(self):
+        gen = WorkloadGenerator(seed=3, region=(0, 0, 1, 1))
+        fc = gen.feature_collection(20, "point")
+        for f in fc:
+            assert 0 <= f.geometry.x <= 1
+            assert 0 <= f.geometry.y <= 1
+
+    def test_classes_assigned(self):
+        gen = WorkloadGenerator(seed=5)
+        fc = gen.feature_collection(30, "box", classes=["a", "b"])
+        assert {f.properties["class"] for f in fc} == {"a", "b"}
+
+    def test_polygons_valid(self):
+        gen = WorkloadGenerator(seed=9)
+        for f in gen.feature_collection(10, "polygon"):
+            assert geo_ops.area(f.geometry) > 0

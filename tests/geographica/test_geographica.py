@@ -1,0 +1,127 @@
+"""Geographica workload/harness correctness tests (E6 groundwork)."""
+
+import pytest
+
+from repro.geographica import (
+    generate_workload,
+    load_ontop,
+    load_strabon,
+    micro_queries,
+    queries_by_key,
+    run_benchmark,
+)
+from repro.rdf import Graph
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(scale=1)
+
+
+@pytest.fixture(scope="module")
+def strabon(workload):
+    return load_strabon(workload)
+
+
+@pytest.fixture(scope="module")
+def ontop(workload):
+    engine, __ = load_ontop(workload)
+    return engine
+
+
+def test_workload_shapes(workload):
+    assert set(workload.features) == {
+        "gag", "corine", "hotspots", "roads", "pois",
+    }
+    assert len(workload.features["hotspots"]) == 200
+    assert workload.features["pois"].features[0].properties["class"]
+
+
+def test_workload_deterministic():
+    a = generate_workload(scale=1)
+    b = generate_workload(scale=1)
+    assert a.features["gag"].features[3].geometry == \
+        b.features["gag"].features[3].geometry
+
+
+def test_scale_factor():
+    big = generate_workload(scale=2)
+    assert len(big.features["hotspots"]) == 400
+
+
+def test_strabon_loaded(strabon):
+    assert strabon.indexed_geometry_count == 40 + 120 + 200 + 60 + 150
+
+
+def test_query_set_structure():
+    queries = micro_queries()
+    assert len(queries) == 11
+    families = {q.family for q in queries}
+    assert families == {
+        "non-topological", "spatial-selection", "spatial-join",
+        "aggregation",
+    }
+    assert set(queries_by_key()) >= {"NT1", "SS1", "SJ1", "AG1"}
+
+
+@pytest.mark.parametrize("key", ["NT1", "NT4", "SS1", "SS2", "AG2"])
+def test_engines_agree(key, strabon, ontop):
+    """Both engines return the same row count for every query."""
+    query = queries_by_key()[key]
+    a = strabon.query(query.sparql)
+    b = ontop.query(query.sparql)
+    assert len(a) == len(b)
+    assert len(a) > 0
+
+
+def test_spatial_join_agreement(strabon, ontop):
+    query = queries_by_key()["SJ1"]
+    assert len(strabon.query(query.sparql)) == \
+        len(ontop.query(query.sparql))
+
+
+def test_harness_report(strabon, ontop):
+    subset = [queries_by_key()[k] for k in ("SS1", "AG2")]
+    report = run_benchmark(
+        {"strabon": strabon, "ontop": ontop},
+        queries=subset, repeat=2, warmup=0,
+    )
+    assert len(report.measurements) == 2 * 2 * 2
+    assert report.engines() == ["ontop", "strabon"]
+    assert report.rows_agree("SS1")
+    assert report.winner("SS1") in ("ontop", "strabon")
+    text = report.render()
+    assert "SS1" in text and "wins:" in text
+    wins = report.win_counts()
+    assert sum(wins.values()) == 2
+
+
+def test_macro_queries_agree(strabon, ontop):
+    from repro.geographica import macro_queries
+
+    for query in macro_queries():
+        a = strabon.query(query.sparql)
+        b = ontop.query(query.sparql)
+        assert len(a) == len(b), query.key
+        assert len(a) > 0, query.key
+
+
+def test_reverse_geocoding_orders_by_distance(strabon):
+    from repro.geographica import queries_by_key
+
+    res = strabon.query(queries_by_key()["RG1"].sparql)
+    distances = [r["d"].value for r in res]
+    assert distances == sorted(distances)
+    assert len(distances) == 3
+
+
+def test_naive_graph_engine_works(workload):
+    """A plain (unindexed) graph also answers — used as a baseline."""
+    from repro.geographica.workload import load_strabon
+
+    store = load_strabon(workload)
+    naive = Graph()
+    naive.update(store)
+    query = queries_by_key()["SS1"]
+    assert len(naive.query(query.sparql)) == \
+        len(store.query(query.sparql))

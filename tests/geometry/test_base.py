@@ -1,0 +1,118 @@
+"""Unit tests for geometry containers."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    GeometryCollection,
+    GeometryError,
+    LineString,
+    LinearRing,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    bbox_contains,
+    bbox_intersects,
+    flatten,
+)
+
+
+def test_point_coords_and_bounds():
+    p = Point(2.35, 48.85)
+    assert list(p.coords()) == [(2.35, 48.85)]
+    assert p.bounds == (2.35, 48.85, 2.35, 48.85)
+
+
+def test_point_rejects_nan():
+    with pytest.raises(GeometryError):
+        Point(float("nan"), 0)
+    with pytest.raises(GeometryError):
+        Point(0, float("inf"))
+
+
+def test_linestring_requires_two_vertices():
+    with pytest.raises(GeometryError):
+        LineString([(0, 0)])
+
+
+def test_linestring_segments():
+    line = LineString([(0, 0), (1, 0), (1, 1)])
+    assert list(line.segments()) == [((0, 0), (1, 0)), ((1, 0), (1, 1))]
+    assert not line.is_closed
+
+
+def test_linearring_autocloses():
+    ring = LinearRing([(0, 0), (1, 0), (1, 1)])
+    assert ring.vertices[0] == ring.vertices[-1]
+    assert ring.is_closed
+
+
+def test_linearring_rejects_degenerate():
+    with pytest.raises(GeometryError):
+        LinearRing([(0, 0), (1, 1)])
+
+
+def test_linearring_orientation():
+    ccw = LinearRing([(0, 0), (1, 0), (1, 1), (0, 1)])
+    cw = LinearRing([(0, 0), (0, 1), (1, 1), (1, 0)])
+    assert ccw.is_ccw
+    assert not cw.is_ccw
+    assert math.isclose(ccw.signed_area, 1.0)
+    assert math.isclose(cw.signed_area, -1.0)
+
+
+def test_polygon_box():
+    box = Polygon.box(0, 0, 2, 3)
+    assert box.bounds == (0, 0, 2, 3)
+    with pytest.raises(GeometryError):
+        Polygon.box(2, 0, 0, 3)
+
+
+def test_polygon_with_hole_coords():
+    poly = Polygon(
+        [(0, 0), (10, 0), (10, 10), (0, 10)],
+        holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+    )
+    assert len(list(poly.rings())) == 2
+    assert (4.0, 4.0) in set(poly.coords())
+
+
+def test_multi_types_enforce_member_type():
+    with pytest.raises(GeometryError):
+        MultiPoint([Point(0, 0), LineString([(0, 0), (1, 1)])])
+    mp = MultiPolygon([Polygon.box(0, 0, 1, 1), Polygon.box(2, 2, 3, 3)])
+    assert len(mp) == 2
+    assert mp.bounds == (0, 0, 3, 3)
+
+
+def test_flatten_nested_collections():
+    gc = GeometryCollection(
+        [Point(0, 0), MultiPoint([Point(1, 1), Point(2, 2)])]
+    )
+    parts = list(flatten(gc))
+    assert len(parts) == 3
+    assert all(isinstance(p, Point) for p in parts)
+
+
+def test_equality_and_hash():
+    a = Polygon.box(0, 0, 1, 1)
+    b = Polygon.box(0, 0, 1, 1)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != Polygon.box(0, 0, 1, 2)
+    assert Point(1, 2) != LineString([(1, 2), (3, 4)])
+
+
+def test_bbox_helpers():
+    assert bbox_intersects((0, 0, 1, 1), (1, 1, 2, 2))  # corner touch
+    assert not bbox_intersects((0, 0, 1, 1), (2, 2, 3, 3))
+    assert bbox_contains((0, 0, 10, 10), (1, 1, 2, 2))
+    assert not bbox_contains((0, 0, 10, 10), (5, 5, 11, 6))
+
+
+def test_wkt_repr_truncates():
+    big = LineString([(i, i) for i in range(100)])
+    assert len(repr(big)) < 90

@@ -1,0 +1,59 @@
+"""CRS helper tests."""
+
+import math
+
+from repro.geometry.crs import (
+    LocalProjection,
+    degrees_for_metres,
+    haversine_m,
+    metres_per_degree,
+)
+
+
+def test_haversine_known_distance():
+    # Paris (2.3522, 48.8566) to London (-0.1276, 51.5072) ~ 344 km
+    d = haversine_m(2.3522, 48.8566, -0.1276, 51.5072)
+    assert 335_000 < d < 355_000
+
+
+def test_haversine_zero():
+    assert haversine_m(2, 48, 2, 48) == 0.0
+
+
+def test_haversine_symmetry():
+    a = haversine_m(0, 0, 10, 10)
+    b = haversine_m(10, 10, 0, 0)
+    assert math.isclose(a, b)
+
+
+def test_metres_per_degree_at_equator():
+    lon_m, lat_m = metres_per_degree(0.0)
+    assert math.isclose(lon_m, lat_m)
+    assert 110_000 < lat_m < 112_500
+
+
+def test_metres_per_degree_shrinks_with_latitude():
+    lon_eq, __ = metres_per_degree(0.0)
+    lon_paris, __ = metres_per_degree(48.85)
+    assert lon_paris < lon_eq * 0.7
+
+
+def test_local_projection_roundtrip():
+    proj = LocalProjection(2.35, 48.85)
+    x, y = proj.forward(2.40, 48.90)
+    lon, lat = proj.inverse(x, y)
+    assert math.isclose(lon, 2.40, abs_tol=1e-9)
+    assert math.isclose(lat, 48.90, abs_tol=1e-9)
+
+
+def test_local_projection_agrees_with_haversine():
+    proj = LocalProjection(2.35, 48.85)
+    x, y = proj.forward(2.45, 48.90)
+    planar = math.hypot(x, y)
+    spherical = haversine_m(2.35, 48.85, 2.45, 48.90)
+    assert abs(planar - spherical) / spherical < 0.01
+
+
+def test_degrees_for_metres():
+    deg = degrees_for_metres(1000.0, 48.85)
+    assert 0.008 < deg < 0.012

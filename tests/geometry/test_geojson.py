@@ -1,0 +1,72 @@
+"""GeoJSON encode/decode and Feature(Collection) tests."""
+
+import pytest
+
+from repro.geometry import (
+    Feature,
+    FeatureCollection,
+    GeometryError,
+    LineString,
+    MultiPolygon,
+    Point,
+    Polygon,
+    from_geojson,
+    to_geojson,
+)
+
+
+@pytest.mark.parametrize(
+    "geom",
+    [
+        Point(2.35, 48.85),
+        LineString([(0, 0), (1, 1), (2, 0)]),
+        Polygon([(0, 0), (1, 0), (1, 1), (0, 1)]),
+        Polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+        ),
+        MultiPolygon([Polygon.box(0, 0, 1, 1), Polygon.box(2, 2, 3, 3)]),
+    ],
+)
+def test_geometry_roundtrip(geom):
+    assert from_geojson(to_geojson(geom)) == geom
+
+
+def test_geojson_types():
+    gj = to_geojson(Point(1, 2))
+    assert gj == {"type": "Point", "coordinates": [1.0, 2.0]}
+
+
+def test_unsupported_type_raises():
+    with pytest.raises(GeometryError):
+        from_geojson({"type": "Circle", "coordinates": [0, 0]})
+
+
+def test_feature_roundtrip():
+    f = Feature(Point(1, 2), {"name": "Bois de Boulogne"}, feature_id="osm:1")
+    gj = f.to_geojson()
+    assert gj["type"] == "Feature"
+    back = Feature.from_geojson(gj)
+    assert back.geometry == f.geometry
+    assert back.properties == f.properties
+    assert back.id == "osm:1"
+
+
+def test_feature_requires_feature_type():
+    with pytest.raises(GeometryError):
+        Feature.from_geojson({"type": "Point", "coordinates": [0, 0]})
+
+
+def test_featurecollection_roundtrip(tmp_path):
+    fc = FeatureCollection(
+        [
+            Feature(Point(0, 0), {"v": 1}),
+            Feature(Polygon.box(0, 0, 1, 1), {"v": 2}),
+        ]
+    )
+    path = tmp_path / "fc.geojson"
+    fc.dump(path)
+    loaded = FeatureCollection.load(path)
+    assert len(loaded) == 2
+    assert loaded.features[1].properties == {"v": 2}
+    assert loaded.features[0].geometry == Point(0, 0)

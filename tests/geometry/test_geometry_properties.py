@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for geometry invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    LineString,
+    MultiPoint,
+    Point,
+    Polygon,
+    wkt_dumps,
+    wkt_loads,
+    from_geojson,
+    to_geojson,
+)
+from repro.geometry import ops
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+coord = st.tuples(finite, finite)
+
+
+@st.composite
+def boxes(draw):
+    x1, y1 = draw(coord)
+    w = draw(st.floats(min_value=1e-3, max_value=1e3))
+    h = draw(st.floats(min_value=1e-3, max_value=1e3))
+    return Polygon.box(x1, y1, x1 + w, y1 + h)
+
+
+@st.composite
+def points(draw):
+    x, y = draw(coord)
+    return Point(x, y)
+
+
+@st.composite
+def linestrings(draw):
+    n = draw(st.integers(min_value=2, max_value=8))
+    pts = draw(
+        st.lists(coord, min_size=n, max_size=n, unique=True)
+    )
+    return LineString(pts)
+
+
+@given(points())
+def test_point_wkt_roundtrip(p):
+    assert wkt_loads(wkt_dumps(p)).distance(p) < 1e-6
+
+
+@given(linestrings())
+def test_linestring_geojson_roundtrip(l):
+    assert from_geojson(to_geojson(l)) == l
+
+
+@given(boxes())
+def test_box_area_positive(box):
+    assert ops.area(box) > 0
+
+
+@given(boxes())
+def test_box_contains_own_centroid(box):
+    c = ops.centroid(box)
+    assert ops.contains(box, c)
+    assert ops.intersects(box, c)
+
+
+@given(boxes(), boxes())
+@settings(max_examples=60)
+def test_intersects_symmetric(a, b):
+    assert ops.intersects(a, b) == ops.intersects(b, a)
+
+
+@given(boxes(), boxes())
+@settings(max_examples=60)
+def test_disjoint_is_negation(a, b):
+    assert ops.disjoint(a, b) == (not ops.intersects(a, b))
+
+
+@given(boxes(), boxes())
+@settings(max_examples=60)
+def test_contains_within_duality(a, b):
+    assert ops.contains(a, b) == ops.within(b, a)
+
+
+@given(boxes())
+def test_self_equality(box):
+    assert ops.equals(box, box)
+    assert ops.distance(box, box) == 0.0
+
+
+@given(boxes(), boxes())
+@settings(max_examples=60)
+def test_distance_symmetric_nonnegative(a, b):
+    d = ops.distance(a, b)
+    assert d >= 0
+    assert math.isclose(d, ops.distance(b, a), rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(st.lists(points(), min_size=3, max_size=12))
+@settings(max_examples=60)
+def test_convex_hull_contains_inputs(pts):
+    mp = MultiPoint(pts)
+    hull = ops.convex_hull(mp)
+    for p in pts:
+        assert ops.intersects(hull, p)
+
+
+@given(boxes())
+def test_envelope_contains_geometry(box):
+    env = ops.envelope(box)
+    assert ops.contains(env, box)

@@ -1,0 +1,70 @@
+"""STRtree spatial index tests."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point, Polygon, STRtree
+
+
+def _random_boxes(n, seed=7):
+    rng = random.Random(seed)
+    boxes = []
+    for i in range(n):
+        x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+        boxes.append(Polygon.box(x, y, x + rng.uniform(0.1, 3), y + rng.uniform(0.1, 3)))
+    return boxes
+
+
+def test_empty_tree():
+    tree = STRtree([])
+    assert len(tree) == 0
+    assert tree.query((0, 0, 1, 1)) == []
+    assert tree.nearest((0, 0)) == []
+
+
+def test_query_matches_bruteforce():
+    boxes = _random_boxes(500)
+    tree = STRtree(boxes)
+    from repro.geometry import bbox_intersects
+
+    for qb in [(10, 10, 20, 20), (0, 0, 100, 100), (50, 50, 50.5, 50.5)]:
+        expected = {id(b) for b in boxes if bbox_intersects(b.bounds, qb)}
+        got = {id(b) for b in tree.query(qb)}
+        assert got == expected
+
+
+def test_query_geom():
+    boxes = [Polygon.box(i, 0, i + 0.9, 1) for i in range(10)]
+    tree = STRtree(boxes)
+    hits = tree.query_geom(Point(2.5, 0.5))
+    assert hits == [boxes[2]]
+
+
+def test_nearest():
+    pts = [Point(i, 0) for i in range(10)]
+    tree = STRtree(pts)
+    nearest = tree.nearest((3.2, 0), k=2)
+    assert {p.x for p in nearest} == {3.0, 4.0} or {p.x for p in nearest} == {3.0, 2.0}
+    assert tree.nearest((3.2, 0), k=1)[0].x == 3.0
+
+
+def test_custom_bbox_function():
+    items = [{"name": "a", "box": (0, 0, 1, 1)}, {"name": "b", "box": (5, 5, 6, 6)}]
+    tree = STRtree(items, bbox_of=lambda it: it["box"])
+    assert [it["name"] for it in tree.query((0.5, 0.5, 0.6, 0.6))] == ["a"]
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        STRtree([], node_capacity=1)
+
+
+def test_large_tree_depth_queries():
+    boxes = _random_boxes(2000, seed=42)
+    tree = STRtree(boxes, node_capacity=8)
+    assert len(tree) == 2000
+    # Every item is findable through a query at its own bounds.
+    sample = boxes[::97]
+    for b in sample:
+        assert any(hit is b for hit in tree.query(b.bounds))

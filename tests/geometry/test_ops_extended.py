@@ -1,0 +1,156 @@
+"""Extended geometry predicate/measure coverage (multis, lines, rings)."""
+
+import math
+
+import pytest
+
+from repro.geometry import (
+    GeometryCollection,
+    LineString,
+    LinearRing,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+)
+from repro.geometry import ops
+
+
+class TestMultiGeometries:
+    def test_multipolygon_contains_point_in_any_part(self):
+        mp = MultiPolygon([Polygon.box(0, 0, 1, 1),
+                           Polygon.box(5, 5, 6, 6)])
+        assert ops.contains(mp, Point(5.5, 5.5))
+        assert ops.contains(mp, Point(0.5, 0.5))
+        assert not ops.contains(mp, Point(3, 3))
+
+    def test_multipolygon_area_sums_parts(self):
+        mp = MultiPolygon([Polygon.box(0, 0, 2, 2),
+                           Polygon.box(5, 5, 6, 6)])
+        assert math.isclose(ops.area(mp), 5.0)
+
+    def test_multilinestring_length(self):
+        ml = MultiLineString([
+            LineString([(0, 0), (3, 4)]),
+            LineString([(10, 0), (10, 2)]),
+        ])
+        assert math.isclose(ops.length(ml), 7.0)
+
+    def test_distance_between_multis(self):
+        a = MultiPoint([Point(0, 0), Point(10, 0)])
+        b = MultiPolygon([Polygon.box(4, 0, 5, 1)])
+        assert math.isclose(ops.distance(a, b), 4.0)
+
+    def test_centroid_ignores_lower_dimensions(self):
+        gc = GeometryCollection([
+            Point(100, 100),              # ignored: dim 0 < 2
+            Polygon.box(0, 0, 2, 2),
+        ])
+        c = ops.centroid(gc)
+        assert math.isclose(c.x, 1.0) and math.isclose(c.y, 1.0)
+
+    def test_multipoint_centroid(self):
+        mp = MultiPoint([Point(0, 0), Point(2, 0), Point(1, 3)])
+        c = ops.centroid(mp)
+        assert math.isclose(c.x, 1.0)
+        assert math.isclose(c.y, 1.0)
+
+
+class TestLineRelations:
+    def test_line_line_distance(self):
+        a = LineString([(0, 0), (1, 0)])
+        b = LineString([(0, 2), (1, 2)])
+        assert math.isclose(ops.distance(a, b), 2.0)
+
+    def test_collinear_overlapping_lines_intersect(self):
+        a = LineString([(0, 0), (4, 0)])
+        b = LineString([(2, 0), (6, 0)])
+        assert ops.intersects(a, b)
+        assert ops.overlaps(a, b)
+
+    def test_line_within_polygon_distance_zero(self):
+        line = LineString([(0.3, 0.3), (0.7, 0.7)])
+        box = Polygon.box(0, 0, 1, 1)
+        assert ops.distance(line, box) == 0.0
+
+    def test_line_touching_polygon_corner(self):
+        line = LineString([(1, 1), (2, 2)])
+        box = Polygon.box(0, 0, 1, 1)
+        assert ops.touches(line, box)
+
+    def test_crosses_multisegment_line(self):
+        zigzag = LineString([(-1, 0.2), (0.5, 0.4), (2, 0.6)])
+        box = Polygon.box(0, 0, 1, 1)
+        assert ops.crosses(zigzag, box)
+
+
+class TestRings:
+    def test_point_on_ring_vertex(self):
+        ring = LinearRing([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert ops.point_in_ring((2, 0), ring) == 0
+
+    def test_point_on_ring_edge(self):
+        ring = LinearRing([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert ops.point_in_ring((1, 0), ring) == 0
+
+    def test_point_in_concave_polygon(self):
+        # a "C" shape: the notch's interior point is outside
+        concave = Polygon(
+            [(0, 0), (4, 0), (4, 4), (0, 4), (0, 3), (3, 3),
+             (3, 1), (0, 1)]
+        )
+        assert ops.point_in_polygon((2, 2), concave) == -1
+        assert ops.point_in_polygon((3.5, 2), concave) == 1
+
+    def test_simplify_ring_keeps_validity(self):
+        ring = LinearRing(
+            [(0, 0), (1, 0.0001), (2, 0), (2, 2), (0, 2)]
+        )
+        simplified = ops.simplify(ring, tolerance=0.01)
+        assert isinstance(simplified, LinearRing)
+        assert len(simplified.vertices) < len(ring.vertices)
+
+
+class TestEnvelopeBufferHull:
+    def test_envelope_of_point_is_tiny_box(self):
+        env = ops.envelope(Point(3, 4))
+        assert ops.area(env) > 0
+
+    def test_buffer_polygon_grows_area(self):
+        box = Polygon.box(0, 0, 2, 2)
+        buffered = ops.buffer(box, 0.5)
+        assert ops.area(buffered) > ops.area(box)
+        assert ops.contains(buffered, box)
+
+    def test_convex_hull_of_multipolygon(self):
+        mp = MultiPolygon([Polygon.box(0, 0, 1, 1),
+                           Polygon.box(4, 4, 5, 5)])
+        hull = ops.convex_hull(mp)
+        assert ops.contains(hull, mp)
+        assert ops.area(hull) > 2.0
+
+    def test_dimension_mixed_collection(self):
+        gc = GeometryCollection([Point(0, 0),
+                                 LineString([(0, 0), (1, 1)])])
+        assert ops.dimension(gc) == 1
+
+
+class TestClipEdgeCases:
+    def test_clip_fully_inside(self):
+        inner = Polygon.box(1, 1, 2, 2)
+        clipped = ops.clip_polygon(inner, (0, 0, 5, 5))
+        assert math.isclose(ops.area(clipped), 1.0)
+
+    def test_clip_identical_bounds(self):
+        box = Polygon.box(0, 0, 2, 2)
+        clipped = ops.clip_polygon(box, (0, 0, 2, 2))
+        assert math.isclose(ops.area(clipped), 4.0)
+
+    def test_clip_concave_shell(self):
+        concave = Polygon(
+            [(0, 0), (4, 0), (4, 4), (2, 2), (0, 4)]
+        )
+        clipped = ops.clip_polygon(concave, (0, 0, 4, 1))
+        assert clipped is not None
+        assert ops.area(clipped) <= 4.0

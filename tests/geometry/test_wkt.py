@@ -1,0 +1,124 @@
+"""WKT parser/serializer tests, including GeoSPARQL wktLiteral forms."""
+
+import pytest
+
+from repro.geometry import (
+    GeometryCollection,
+    GeometryError,
+    LineString,
+    MultiLineString,
+    MultiPoint,
+    MultiPolygon,
+    Point,
+    Polygon,
+    wkt_dumps,
+    wkt_loads,
+    to_wkt_literal,
+)
+from repro.geometry.wkt import CRS84, split_crs
+
+
+def test_point_roundtrip():
+    p = wkt_loads("POINT (2.35 48.85)")
+    assert isinstance(p, Point)
+    assert p.x == 2.35 and p.y == 48.85
+    assert wkt_loads(wkt_dumps(p)) == p
+
+
+def test_linestring_roundtrip():
+    l = wkt_loads("LINESTRING (0 0, 1 1, 2 0)")
+    assert isinstance(l, LineString)
+    assert len(l.vertices) == 3
+    assert wkt_loads(wkt_dumps(l)) == l
+
+
+def test_polygon_with_hole_roundtrip():
+    text = "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))"
+    poly = wkt_loads(text)
+    assert isinstance(poly, Polygon)
+    assert len(poly.holes) == 1
+    assert wkt_loads(wkt_dumps(poly)) == poly
+
+
+def test_multipoint_both_syntaxes():
+    a = wkt_loads("MULTIPOINT ((0 0), (1 1))")
+    b = wkt_loads("MULTIPOINT (0 0, 1 1)")
+    assert isinstance(a, MultiPoint) and isinstance(b, MultiPoint)
+    assert a == b
+
+
+def test_multilinestring():
+    ml = wkt_loads("MULTILINESTRING ((0 0, 1 1), (2 2, 3 3))")
+    assert isinstance(ml, MultiLineString)
+    assert len(ml) == 2
+    assert wkt_loads(wkt_dumps(ml)) == ml
+
+
+def test_multipolygon():
+    mp = wkt_loads(
+        "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)),"
+        " ((2 2, 3 2, 3 3, 2 3, 2 2)))"
+    )
+    assert isinstance(mp, MultiPolygon)
+    assert len(mp) == 2
+    assert wkt_loads(wkt_dumps(mp)) == mp
+
+
+def test_geometrycollection():
+    gc = wkt_loads("GEOMETRYCOLLECTION (POINT (1 2), LINESTRING (0 0, 1 1))")
+    assert isinstance(gc, GeometryCollection)
+    assert len(gc) == 2
+    assert wkt_loads(wkt_dumps(gc)) == gc
+
+
+def test_case_insensitive_keywords():
+    assert isinstance(wkt_loads("point(1 2)"), Point)
+    assert isinstance(wkt_loads("Polygon((0 0,1 0,1 1,0 1,0 0))"), Polygon)
+
+
+def test_scientific_notation_and_negatives():
+    p = wkt_loads("POINT (-1.5e-2 +3E1)")
+    assert p.x == -0.015 and p.y == 30.0
+
+
+def test_z_ordinate_is_dropped():
+    p = wkt_loads("POINT (1 2 3)")
+    assert (p.x, p.y) == (1.0, 2.0)
+
+
+def test_crs_prefixed_literal():
+    text = f"<{CRS84}> POINT(2.35 48.85)"
+    p = wkt_loads(text)
+    assert isinstance(p, Point)
+    crs, body = split_crs(text)
+    assert crs == CRS84
+    assert body.strip().startswith("POINT")
+
+
+def test_to_wkt_literal():
+    lit = to_wkt_literal(Point(1, 2))
+    assert lit.startswith(f"<{CRS84}>")
+    assert "POINT" in lit
+    assert wkt_loads(lit) == Point(1, 2)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "POINT 1 2",
+        "POINT (1)",
+        "LINESTRING ((0 0))",
+        "TRIANGLE ((0 0, 1 0, 0 1, 0 0))",
+        "POLYGON ((0 0, 1 0))",
+        "POINT (1 2) garbage",
+        "",
+    ],
+)
+def test_malformed_wkt_raises(bad):
+    with pytest.raises(GeometryError):
+        wkt_loads(bad)
+
+
+def test_dumps_trims_trailing_zeros():
+    assert wkt_dumps(Point(1.5, 2.0)) == "POINT (1.5 2)"
+    assert wkt_dumps(Point(0.0, -0.0)) == "POINT (0 0)"

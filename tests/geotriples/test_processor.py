@@ -1,0 +1,212 @@
+"""Mapping processor tests: serial, parallel, generator, NetCDF source."""
+
+from datetime import date
+
+import pytest
+
+from repro.geometry import Feature, FeatureCollection, Point, Polygon
+from repro.geotriples import (
+    LogicalSource,
+    MappingError,
+    MappingProcessor,
+    ParallelMappingProcessor,
+    TermMap,
+    TriplesMap,
+    generate_mapping,
+)
+from repro.rdf import GEO, GEO_WKT_LITERAL, IRI, Literal, RDF, SF, XSD
+
+EX = "http://example.org/"
+
+
+def parks_map():
+    fc = FeatureCollection(
+        [
+            Feature(Polygon.box(2.22, 48.85, 2.28, 48.88),
+                    {"name": "Bois de Boulogne"}, feature_id="1"),
+            Feature(Polygon.box(2.40, 48.82, 2.47, 48.85),
+                    {"name": "Bois de Vincennes"}, feature_id="2"),
+        ]
+    )
+    tmap = TriplesMap(
+        name="parks",
+        logical_source=LogicalSource("geojson", fc),
+        subject_map=TermMap(template=EX + "park/{gid}"),
+        classes=[IRI(EX + "Park")],
+        geometry_column="wkt",
+    )
+    tmap.add_pom(IRI(EX + "hasName"), TermMap(column="name",
+                                              term_type="literal"))
+    return tmap
+
+
+def test_serial_processing():
+    g = MappingProcessor([parks_map()]).run()
+    park1 = IRI(EX + "park/1")
+    assert (park1, RDF.type, IRI(EX + "Park")) in g
+    assert g.value(park1, IRI(EX + "hasName")) == Literal("Bois de Boulogne")
+    geom = g.value(park1, GEO.hasGeometry)
+    assert geom == IRI(EX + "park/1/geometry")
+    wkt = g.value(geom, GEO.asWKT)
+    assert wkt.datatype == GEO_WKT_LITERAL
+    assert "POLYGON" in wkt.lexical
+    assert g.value(geom, RDF.type) == SF.Polygon
+
+
+def test_triples_are_queryable():
+    g = MappingProcessor([parks_map()]).run()
+    g.bind("ex", EX)
+    res = g.query(
+        """
+        PREFIX ex: <http://example.org/>
+        PREFIX geo: <http://www.opengis.net/ont/geosparql#>
+        PREFIX geof: <http://www.opengis.net/def/function/geosparql/>
+        SELECT ?name WHERE {
+          ?p a ex:Park ; ex:hasName ?name ; geo:hasGeometry ?g .
+          ?g geo:asWKT ?w .
+          FILTER(geof:sfIntersects(?w,
+            "POINT (2.25 48.86)"^^geo:wktLiteral))
+        }
+        """
+    )
+    assert [r["name"].lexical for r in res] == ["Bois de Boulogne"]
+
+
+def test_null_subject_skips_row():
+    tmap = TriplesMap(
+        name="t",
+        logical_source=LogicalSource("rows", [{"id": None, "v": 1},
+                                              {"id": 2, "v": 2}]),
+        subject_map=TermMap(template=EX + "{id}"),
+    )
+    tmap.add_pom(IRI(EX + "v"), TermMap(column="v", term_type="literal"))
+    g = MappingProcessor([tmap]).run()
+    assert len(g) == 1
+
+
+def test_null_object_skips_triple():
+    tmap = TriplesMap(
+        name="t",
+        logical_source=LogicalSource("rows", [{"id": 1, "v": None}]),
+        subject_map=TermMap(template=EX + "{id}"),
+        classes=[IRI(EX + "T")],
+    )
+    tmap.add_pom(IRI(EX + "v"), TermMap(column="v", term_type="literal"))
+    g = MappingProcessor([tmap]).run()
+    assert len(g) == 1  # only the class triple
+
+
+def test_empty_processor_rejected():
+    with pytest.raises(MappingError):
+        MappingProcessor([])
+
+
+def make_rows_map(n):
+    rows = [{"id": i, "v": i * 2, "wkt": f"POINT ({i} {i})"}
+            for i in range(n)]
+    tmap = TriplesMap(
+        name="bulk",
+        logical_source=LogicalSource("rows", rows),
+        subject_map=TermMap(template=EX + "r/{id}"),
+        classes=[IRI(EX + "Row")],
+        geometry_column="wkt",
+    )
+    tmap.add_pom(IRI(EX + "v"),
+                 TermMap(column="v", term_type="literal",
+                         datatype=XSD.integer))
+    return tmap
+
+
+def test_parallel_equals_serial():
+    serial = MappingProcessor([make_rows_map(60)]).run()
+    parallel = ParallelMappingProcessor([make_rows_map(60)], workers=3).run()
+    assert serial == parallel
+    assert len(parallel) == 60 * 5  # type + v + hasGeometry + sfType + asWKT
+
+
+def test_parallel_single_worker():
+    g = ParallelMappingProcessor([make_rows_map(10)], workers=1).run()
+    assert len(g) == 50
+
+
+def test_parallel_invalid_workers():
+    with pytest.raises(MappingError):
+        ParallelMappingProcessor([make_rows_map(5)], workers=0)
+
+
+class TestGenerator:
+    def test_generated_mapping_runs(self):
+        src = LogicalSource(
+            "csv", "id,name,height,active\n1,oak,12.5,true\n2,ash,8.1,false\n"
+        )
+        tmap = generate_mapping(src, EX, class_iri=EX + "Tree")
+        g = MappingProcessor([tmap]).run()
+        tree1 = IRI(EX + "1")
+        assert (tree1, RDF.type, IRI(EX + "Tree")) in g
+        assert g.value(tree1, IRI(EX + "hasName")) == Literal("oak")
+        height = g.value(tree1, IRI(EX + "hasHeight"))
+        assert height.datatype == XSD.double
+
+    def test_geometry_column_detected(self):
+        fc = FeatureCollection([Feature(Point(1, 2), {"name": "x"})])
+        tmap = generate_mapping(LogicalSource("geojson", fc), EX)
+        assert tmap.geometry_column == "wkt"
+        g = MappingProcessor([tmap]).run()
+        assert any(t.p == GEO.asWKT for t in g)
+
+    def test_integer_datatype_guess(self):
+        src = LogicalSource("rows", [{"id": 1, "count": 5},
+                                     {"id": 2, "count": 7}])
+        tmap = generate_mapping(src, EX)
+        pom = tmap.predicate_object_maps[0]
+        assert pom.object_map.datatype == XSD.integer
+
+    def test_no_id_column_raises(self):
+        src = LogicalSource("rows", [{"a": 1}])
+        with pytest.raises(MappingError):
+            generate_mapping(src, EX)
+
+    def test_empty_source_raises(self):
+        with pytest.raises(MappingError):
+            generate_mapping(LogicalSource("rows", []), EX)
+
+
+def test_opendap_logical_source():
+    """The Section-5 extension: GeoTriples over NetCDF/OPeNDAP."""
+    from repro.opendap import ServerRegistry
+    from repro.vito import (
+        GlobalLandArchive, LAI_SPEC, MepDeployment, generate_product,
+    )
+
+    archive = GlobalLandArchive()
+    archive.publish("LAI", date(2018, 6, 1), 0,
+                    generate_product(LAI_SPEC, date(2018, 6, 1),
+                                     cloud_fraction=0))
+    mep = MepDeployment(archive, host="vito.test")
+    mep.mount_product("LAI")
+    registry = ServerRegistry()
+    registry.register(mep.server)
+
+    src = LogicalSource(
+        "opendap", "dap://vito.test/Copernicus/LAI",
+        options={"registry": registry},
+    )
+    lai_ns = "http://www.app-lab.eu/lai/"
+    tmap = TriplesMap(
+        name="lai",
+        logical_source=src,
+        subject_map=TermMap(template=lai_ns + "obs/{id}"),
+        classes=[IRI(lai_ns + "Observation")],
+        geometry_column="loc",
+    )
+    tmap.add_pom(IRI(lai_ns + "lai"),
+                 TermMap(column="LAI", term_type="literal",
+                         datatype=XSD.float))
+    tmap.add_pom(IRI("http://www.w3.org/2006/time#hasTime"),
+                 TermMap(column="ts", term_type="literal",
+                         datatype=XSD.dateTime))
+    g = MappingProcessor([tmap]).run()
+    observations = list(g.subjects(RDF.type, IRI(lai_ns + "Observation")))
+    assert len(observations) == 24 * 12  # full grid, no clouds
+    sample = observations[0]
+    assert g.value(sample, IRI(lai_ns + "lai")) is not None

@@ -1,0 +1,151 @@
+"""Term map / logical source / R2RML parsing tests."""
+
+import pytest
+
+from repro.geometry import Feature, FeatureCollection, Point
+from repro.geotriples import (
+    LogicalSource,
+    MappingError,
+    TermMap,
+    TriplesMap,
+    parse_r2rml,
+)
+from repro.rdf import IRI, Literal, XSD
+
+
+class TestTermMap:
+    def test_template_expansion(self):
+        tm = TermMap(template="http://ex/park/{id}")
+        assert tm.expand({"id": 7}) == IRI("http://ex/park/7")
+
+    def test_template_multiple_keys(self):
+        tm = TermMap(template="http://ex/{a}/{b}")
+        assert tm.expand({"a": "x", "b": "y"}) == IRI("http://ex/x/y")
+
+    def test_template_null_returns_none(self):
+        tm = TermMap(template="http://ex/{id}")
+        assert tm.expand({"id": None}) is None
+        assert tm.expand({}) is None
+
+    def test_template_iri_safe(self):
+        tm = TermMap(template="http://ex/{name}")
+        assert tm.expand({"name": "Bois de Boulogne"}) == IRI(
+            "http://ex/Bois_de_Boulogne"
+        )
+
+    def test_column_literal_with_datatype(self):
+        tm = TermMap(column="lai", term_type="literal", datatype=XSD.float)
+        assert tm.expand({"lai": 3.5}) == Literal("3.5", datatype=XSD.float)
+
+    def test_column_preserves_python_type(self):
+        tm = TermMap(column="n", term_type="literal")
+        assert tm.expand({"n": 42}) == Literal(42)
+
+    def test_column_lang(self):
+        tm = TermMap(column="name", term_type="literal", lang="fr")
+        assert tm.expand({"name": "Paris"}) == Literal("Paris", lang="fr")
+
+    def test_constant(self):
+        tm = TermMap(constant=IRI("http://ex/Park"))
+        assert tm.expand({}) == IRI("http://ex/Park")
+
+    def test_exactly_one_source_enforced(self):
+        with pytest.raises(MappingError):
+            TermMap(template="x", column="y")
+        with pytest.raises(MappingError):
+            TermMap()
+
+    def test_bad_term_type(self):
+        with pytest.raises(MappingError):
+            TermMap(column="x", term_type="quad")
+
+
+class TestLogicalSources:
+    def test_rows(self):
+        src = LogicalSource("rows", [{"a": 1}, {"a": 2}])
+        assert list(src.rows()) == [{"a": 1}, {"a": 2}]
+
+    def test_csv_text_with_coercion(self):
+        csv_text = "id,name,lai\n1,parc,3.5\n2,usine,\n"
+        rows = list(LogicalSource("csv", csv_text).rows())
+        assert rows[0] == {"id": 1, "name": "parc", "lai": 3.5}
+        assert rows[1]["lai"] is None
+
+    def test_csv_file(self, tmp_path):
+        p = tmp_path / "data.csv"
+        p.write_text("id,v\n1,2\n")
+        rows = list(LogicalSource("csv", str(p)).rows())
+        assert rows == [{"id": 1, "v": 2}]
+
+    def test_geojson_features(self):
+        fc = FeatureCollection(
+            [Feature(Point(2.25, 48.86), {"name": "bois"}, feature_id="p1")]
+        )
+        rows = list(LogicalSource("geojson", fc).rows())
+        assert rows[0]["name"] == "bois"
+        assert rows[0]["gid"] == "p1"
+        assert rows[0]["wkt"].startswith("POINT")
+
+    def test_sql_source(self):
+        from repro.madis import MadisConnection
+
+        conn = MadisConnection()
+        conn.executescript(
+            "CREATE TABLE parks (id INTEGER, name TEXT);"
+            "INSERT INTO parks VALUES (1, 'bois');"
+        )
+        rows = list(
+            LogicalSource("sql", conn, query="SELECT * FROM parks").rows()
+        )
+        assert rows == [{"id": 1, "name": "bois"}]
+
+    def test_sql_requires_query(self):
+        from repro.madis import MadisConnection
+
+        with pytest.raises(MappingError):
+            list(LogicalSource("sql", MadisConnection()).rows())
+
+    def test_unknown_kind(self):
+        with pytest.raises(MappingError):
+            list(LogicalSource("shapefile", "x").rows())
+
+
+R2RML_DOC = """
+@prefix rr: <http://www.w3.org/ns/r2rml#> .
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+ex:ParksMap
+  rr:logicalTable [ rr:tableName "parks" ] ;
+  rr:subjectMap [ rr:template "http://example.org/park/{id}" ;
+                  rr:class ex:Park ] ;
+  rr:predicateObjectMap [
+    rr:predicate ex:hasName ;
+    rr:objectMap [ rr:column "name" ]
+  ] ;
+  rr:predicateObjectMap [
+    rr:predicate ex:hasArea ;
+    rr:objectMap [ rr:column "area" ; rr:datatype xsd:double ]
+  ] .
+"""
+
+
+class TestR2RMLParsing:
+    def test_parse(self):
+        src = LogicalSource("rows", [{"id": 1, "name": "bois", "area": 8.4}])
+        maps = parse_r2rml(R2RML_DOC, sources={"parks": src})
+        assert len(maps) == 1
+        tmap = maps[0]
+        assert tmap.classes == [IRI("http://example.org/Park")]
+        assert tmap.subject_map.template == "http://example.org/park/{id}"
+        preds = {str(p.predicate).rsplit("/", 1)[1]
+                 for p in tmap.predicate_object_maps}
+        assert preds == {"hasName", "hasArea"}
+
+    def test_missing_source_raises(self):
+        with pytest.raises(MappingError):
+            parse_r2rml(R2RML_DOC, sources={})
+
+    def test_empty_doc_raises(self):
+        with pytest.raises(MappingError):
+            parse_r2rml("@prefix rr: <http://www.w3.org/ns/r2rml#> .")

@@ -1,0 +1,151 @@
+"""Integration: the operational data lifecycle of Sections 3.1 and 5.
+
+Reprocessing, late-arriving dekads, auth enforcement, latency
+accounting and the SDL→analytics→Sextant rendering path.
+"""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.core import AppLab
+from repro.opendap import LatencyModel
+from repro.sdl import AccessDenied, RamaniCloudAnalytics, \
+    StreamingDataLibrary
+from repro.vito import (
+    GlobalLandArchive,
+    LAI_SPEC,
+    MepDeployment,
+    dekad_dates,
+    generate_product,
+)
+
+
+def test_reprocessing_visible_through_virtual_endpoint():
+    """An RT1 reprocess changes what the virtual endpoint serves."""
+    lab = AppLab()
+    day = date(2018, 6, 1)
+    lab.publish_product(LAI_SPEC, [day], cloud_fraction=0.0)
+    engine, operator = lab.virtual_endpoint("LAI", window_minutes=0)
+    query = (
+        "PREFIX lai: <http://www.app-lab.eu/lai/> "
+        "SELECT (AVG(?v) AS ?mean) WHERE { ?o lai:lai ?v }"
+    )
+    before = engine.query(query).rows[0]["mean"].value
+    # the production centre reprocesses the same day with better meteo
+    lab.archive.reprocess(
+        "LAI", day,
+        generate_product(LAI_SPEC, day, grid=lab.grid, version=1,
+                         seed=lab.seed, cloud_fraction=0.0),
+    )
+    after = engine.query(query).rows[0]["mean"].value
+    assert before != after
+    assert lab.archive.get("LAI", day).attributes["product_version"] \
+        == "RT1"
+    # superseded version still retrievable from the physical archive
+    assert lab.archive.get("LAI", day, version=0).attributes[
+        "product_version"] == "RT0"
+
+
+def test_late_dekad_appears_in_sdl_characteristics():
+    lab = AppLab()
+    lab.publish_product(LAI_SPEC, dekad_dates(date(2018, 6, 1), 2),
+                        cloud_fraction=0.0)
+    token = lab.auth.register("ops@vito.be")
+    info = lab.sdl.characteristics("LAI", token=token)
+    assert info["time_steps"] == 2
+    new_day = date(2018, 6, 21)
+    lab.archive.publish(
+        "LAI", new_day, 0,
+        generate_product(LAI_SPEC, new_day, grid=lab.grid,
+                         cloud_fraction=0.0),
+    )
+    # inside the SDL's cache TTL the old axis is (correctly) served...
+    assert lab.sdl.characteristics("LAI", token=token)["time_steps"] == 2
+    # ...after expiry the NcML aggregation's new dekad appears
+    lab.sdl.cache.clear()
+    info = lab.sdl.characteristics("LAI", token=token)
+    assert info["time_steps"] == 3
+
+
+def test_revocation_stops_streaming_mid_session():
+    lab = AppLab()
+    lab.publish_product(LAI_SPEC, [date(2018, 6, 1)], cloud_fraction=0.0)
+    token = lab.auth.register("dev@appcamp.eu")
+    list(lab.sdl.stream("LAI", token=token))  # works
+    lab.auth.revoke(token)
+    with pytest.raises(AccessDenied):
+        list(lab.sdl.stream("LAI", token=token))
+
+
+def test_latency_accounting_through_the_stack():
+    """Every layer's DAP traffic lands in the server's latency model."""
+    latency = LatencyModel(base_s=0.0, per_mb_s=0.0, sleep=False)
+    archive = GlobalLandArchive()
+    for day in dekad_dates(date(2018, 6, 1), 2):
+        archive.publish("LAI", day, 0,
+                        generate_product(LAI_SPEC, day, cloud_fraction=0.0))
+    mep = MepDeployment(archive, host="vito.test", latency=latency)
+    mep.mount_product("LAI")
+    from repro.opendap import ServerRegistry
+
+    registry = ServerRegistry()
+    registry.register(mep.server)
+    sdl = StreamingDataLibrary(registry)
+    sdl.register_dataset("LAI", "dap://vito.test/Copernicus/LAI")
+    before = latency.request_count
+    list(sdl.stream("LAI"))
+    assert latency.request_count > before
+    assert latency.bytes_served > 0
+
+
+def test_sdl_analytics_to_sextant_render():
+    """Stream → seasonal average plane → raster layer → SVG."""
+    from repro.opendap import DapDataset, Variable
+    from repro.sextant import ThematicMap
+
+    lab = AppLab()
+    lab.publish_product(LAI_SPEC, dekad_dates(date(2018, 6, 1), 3),
+                        cloud_fraction=0.0)
+    analytics = RamaniCloudAnalytics(lab.sdl, token=None)
+    lab.sdl.auth = None  # open access for this pipeline
+    plane = analytics.seasonal_average("LAI", "LAI", months=(6,))
+    assert plane["LAI"].dims == ("lat", "lon")
+    # lift the 2-D plane into a renderable (time, lat, lon) raster
+    raster = DapDataset("summer", dict(plane.attributes))
+    raster.add_variable("time", ["time"], np.array([0]),
+                        {"units": "days since 2018-06-01"})
+    raster.variables["lat"] = plane["lat"].copy()
+    raster.variables["lon"] = plane["lon"].copy()
+    raster.add_variable(
+        "LAI", ["time", "lat", "lon"],
+        plane["LAI"].data[np.newaxis, :, :],
+        dict(plane["LAI"].attributes),
+    )
+    tm = ThematicMap("summer LAI")
+    tm.add_raster_layer("summer mean", raster, "LAI", time_index=0)
+    svg = tm.to_svg(width=300, height=200)
+    assert svg.count("<path") >= 24 * 12
+
+
+def test_drs_validation_after_cms_fix_on_live_server():
+    """CMS-published metadata makes a failing server pass DRS."""
+    from repro.catalog import MetadataCms, validate_server
+    from repro.opendap import DapDataset, DapServer
+
+    ds = DapDataset("SWI", {"title": "Soil Water Index"})
+    ds.add_variable("time", ["time"], np.array([0]),
+                    {"units": "days since 2018-01-01"})
+    server = DapServer("csp.test")
+    server.mount("csp/SWI", ds)
+    assert not validate_server(server).ok
+
+    cms = MetadataCms()
+    cms.harvest(server)
+    cms.mutate("csp/SWI", institution="CSP", source="synthetic",
+               product_version="V1.0.0",
+               time_coverage_start="2018-01-01")
+    fixed = cms.apply_to("csp/SWI", ds)
+    server.mount("csp/SWI", fixed)
+    assert validate_server(server).ok

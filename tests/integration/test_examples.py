@@ -1,0 +1,73 @@
+"""Every shipped example must run end-to-end and produce its artifacts."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+OUT = pathlib.Path(__file__).resolve().parents[2] / "out"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "published 3 dekads of LAI" in out
+    assert "virtual (Ontop-spatial over OPeNDAP)" in out
+    assert "dataset search says: yes" in out
+
+
+def test_greenness_of_paris(capsys):
+    out = run_example("greenness_of_paris.py", capsys)
+    assert "[Listing 1] LAI in Bois de Boulogne: 12 readings" in out
+    assert "[Listing 3] virtual endpoint returned 864" in out
+    assert "green-urban" in out
+    for artifact in ("greenness_paris.svg", "greenness_paris.html",
+                     "greenness_paris.geojson"):
+        assert (OUT / artifact).exists(), artifact
+    svg = (OUT / "greenness_paris.svg").read_text()
+    assert svg.startswith("<svg")
+    assert 'id="layer-LAI-observations"' in svg
+
+
+def test_dataset_search(capsys):
+    out = run_example("dataset_search.py", capsys)
+    assert "A: yes -> CORINE Land Cover 2012" in out
+    assert "A: no matching dataset" in out
+
+
+def test_air_flight_app(capsys):
+    out = run_example("air_flight_app.py", capsys)
+    assert "NDVI=" in out
+    assert "in view" in out
+    assert "uptake monitoring" in out
+
+
+def test_urbansat(capsys):
+    out = run_example("urbansat.py", capsys)
+    assert "construction site intersects" in out
+    assert "assessment:" in out
+
+
+def test_csp_onboarding(capsys):
+    out = run_example("csp_onboarding.py", capsys)
+    assert "DRS validation: PASS" in out
+    assert "compliant: True" in out
+
+
+def test_deploy_applab(capsys):
+    out = run_example("deploy_applab.py", capsys)
+    assert "6 appliances running" in out
+    assert "back to 5 running pods" in out
+
+
+def test_wildfire_monitoring(capsys):
+    out = run_example("wildfire_monitoring.py", capsys)
+    assert "burnt cells exposed as virtual RDF" in out
+    assert "green/forest burning" in out
+    assert (OUT / "wildfires_paris.svg").exists()

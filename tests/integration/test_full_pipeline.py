@@ -1,0 +1,179 @@
+"""End-to-end integration: the complete Figure-1 architecture in one run.
+
+Exercises every layer in sequence the way the paper's project wires
+them: publish → catalog/validate → stream → virtual query →
+materialize → interlink → reason → visualize → annotate → search →
+federate → operate.
+"""
+
+from datetime import date
+
+import pytest
+
+from repro.core import AppLab, GreennessCaseStudy, PREFIXES
+from repro.rdf import GADM, GEO, OSM, OWL
+from repro.vito import LAI_SPEC, NDVI_SPEC, dekad_dates
+
+
+@pytest.fixture(scope="module")
+def study():
+    return GreennessCaseStudy(n_dekads=2, cloud_fraction=0.0)
+
+
+@pytest.fixture(scope="module")
+def store(study):
+    return study.materialized_store()
+
+
+def test_both_workflows_agree_on_observations(study, store):
+    """Materialized and virtual workflows see identical observations."""
+    virtual = study.run_listing3()
+    materialized = store.query(
+        PREFIXES + "SELECT ?o ?v WHERE { ?o lai:lai ?v }"
+    )
+    v_values = sorted(round(float(r["lai"].lexical), 4) for r in virtual)
+    m_values = sorted(round(float(r["v"].lexical), 4) for r in materialized)
+    assert v_values == m_values
+
+
+def test_interlink_then_query(study, store):
+    """Silk links become queryable triples in the store."""
+    from repro.interlink import (
+        Comparison, DatasetSelector, LinkSpec, LinkageRule, SilkEngine,
+        spatial_relation,
+    )
+
+    spec = LinkSpec(
+        source=DatasetSelector(
+            store, OSM.POI, {"geom": [GEO.hasGeometry, GEO.asWKT]}
+        ),
+        target=DatasetSelector(
+            store, GADM.AdministrativeUnit,
+            {"geom": [GEO.hasGeometry, GEO.asWKT]},
+        ),
+        rule=LinkageRule(
+            [Comparison("geom", spatial_relation("within"),
+                        is_spatial=True)],
+            threshold=1.0,
+        ),
+        link_predicate=GEO.sfWithin,
+    )
+    links = SilkEngine().generate_links(spec)
+    assert links
+    store.update(links)
+    res = store.query(
+        PREFIXES + """
+        SELECT ?poi ?unit WHERE {
+          ?poi geo:sfWithin ?unit .
+          ?poi osm:hasName "Parc Monceau"^^xsd:string .
+          ?unit gadm:hasName ?name .
+        }
+        """
+    )
+    assert len(res) >= 1
+
+
+def test_reasoning_over_case_study(store):
+    """RDFS inference makes superclass queries answerable."""
+    from repro.rdf import materialize_inferences
+
+    inferred = materialize_inferences(store)
+    assert inferred > 0
+    res = store.query(
+        PREFIXES + """
+        PREFIX inspire: <http://inspire.ec.europa.eu/ont/>
+        SELECT (COUNT(?a) AS ?n) WHERE { ?a a inspire:LandCoverUnit }
+        """
+    )
+    assert res.rows[0]["n"].value == 13  # all CORINE areas, via rdfs9
+
+
+def test_map_then_share_then_reload(study, store):
+    """Figure 4 map → map ontology RDF → descriptor → re-render."""
+    from repro.sextant import (
+        ThematicMap, map_descriptor_from_rdf, map_to_rdf,
+    )
+
+    tm = study.build_map(store)
+    g = map_to_rdf(tm, "http://app-lab.eu/maps/m1")
+    descriptor = map_descriptor_from_rdf(g, "http://app-lab.eu/maps/m1")
+    rebuilt = ThematicMap(descriptor["name"], descriptor["description"])
+    # re-execute the SPARQL layer from its stored source descriptor
+    sparql_layers = [
+        l for l in descriptor["layers"]
+        if l["source"].get("type") == "sparql"
+    ]
+    assert len(sparql_layers) == 1
+    rebuilt.add_sparql_layer(
+        sparql_layers[0]["name"], store, sparql_layers[0]["source"]["query"],
+        geom_var="wkt", value_var="lai", time_var="t",
+        style=sparql_layers[0]["style"],
+    )
+    assert len(rebuilt.layers[0].features) == \
+        len(tm.layers[-1].features)
+
+
+def test_applab_to_federation():
+    """Two AppLab-produced stores answer one federated query."""
+    from repro.sparql.federation import FederationEngine, SparqlEndpoint
+
+    lab = AppLab()
+    lab.publish_product(LAI_SPEC, dekad_dates(date(2018, 6, 1), 1),
+                        cloud_fraction=0.0)
+    lab.publish_product(NDVI_SPEC, dekad_dates(date(2018, 6, 1), 1),
+                        cloud_fraction=0.0)
+    engine = FederationEngine()
+    engine.register("http://lai/sparql",
+                    SparqlEndpoint(lab.materialize("LAI"), "lai"))
+    engine.register("http://ndvi/sparql",
+                    SparqlEndpoint(lab.materialize("NDVI"), "ndvi"))
+    res = engine.query(
+        "PREFIX lai: <http://www.app-lab.eu/lai/> "
+        "SELECT (COUNT(?o) AS ?n) WHERE { ?o lai:lai ?v }"
+    )
+    assert res.rows[0]["n"].value == 2 * 24 * 12  # both endpoints
+
+
+def test_store_persistence_roundtrip(study, store, tmp_path):
+    """The case-study store survives save/load with indexes intact."""
+    from repro.strabon import StrabonStore
+
+    path = str(tmp_path / "paris.db")
+    store.save(path)
+    loaded = StrabonStore.load(path)
+    loaded.namespaces = store.namespaces
+    a = study.run_listing1(store)
+    b = loaded.query(
+        PREFIXES + """
+        SELECT DISTINCT ?geoA ?geoB ?lai WHERE {
+          ?areaA osm:poiType osm:park .
+          ?areaA geo:hasGeometry ?geomA .
+          ?geomA geo:asWKT ?geoA .
+          ?areaA osm:hasName "Bois de Boulogne"^^xsd:string .
+          ?areaB lai:lai ?lai .
+          ?areaB geo:hasGeometry ?geomB .
+          ?geomB geo:asWKT ?geoB .
+          FILTER(geof:sfIntersects(?geoA, ?geoB))
+        }
+        """
+    )
+    assert len(a) == len(b)
+
+
+def test_catalog_to_search_pipeline():
+    """MEP → CMS harvest → ACDD augment → annotation → search."""
+    from repro.catalog import augmentation_ncml, check_acdd
+    from repro.opendap import apply_ncml_overrides
+    from repro.schemaorg import DatasetSearchEngine, annotation_from_dap
+
+    lab = AppLab()
+    lab.publish_product(LAI_SPEC, dekad_dates(date(2018, 6, 1), 1))
+    lab.harvest_metadata()
+    dataset = lab.mep.aggregated("LAI")
+    fixed = apply_ncml_overrides(dataset, augmentation_ncml(dataset))
+    assert check_acdd(fixed).score > check_acdd(dataset).score
+    engine = DatasetSearchEngine()
+    engine.index(annotation_from_dap(lab.product_url("LAI"),
+                                     fixed.attributes))
+    hits = engine.search("leaf area")
+    assert hits and "dap://" in hits[0].annotation.identifier

@@ -1,0 +1,93 @@
+"""Assorted cross-module coverage: grids, analytics windows, engines."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.core import AppLab
+from repro.vito import EUROPE_GRID, LAI_SPEC, NDVI_SPEC, dekad_dates, \
+    generate_product
+
+
+def test_europe_grid_products():
+    ds = generate_product(LAI_SPEC, date(2018, 7, 1), grid=EUROPE_GRID,
+                          cloud_fraction=0.0)
+    assert ds["LAI"].shape == (1, 50, 80)
+    assert float(ds["lon"].data.min()) == -10.0
+    assert float(ds["lat"].data.max()) == 60.0
+
+
+def test_analytics_moving_average_with_bbox():
+    from repro.sdl import RamaniCloudAnalytics
+
+    lab = AppLab()
+    lab.publish_product(NDVI_SPEC, dekad_dates(date(2018, 5, 1), 4),
+                        cloud_fraction=0.0)
+    lab.sdl.auth = None
+    analytics = RamaniCloudAnalytics(lab.sdl)
+    smoothed = analytics.moving_average(
+        "NDVI", "NDVI", window=2, bbox=(2.2, 48.8, 2.4, 48.9)
+    )
+    assert smoothed["NDVI"].shape[0] == 4
+    assert smoothed["NDVI"].shape[1] < 12
+    assert not np.isnan(smoothed["NDVI"].data).all()
+
+
+def test_ontop_without_spatial_indexes_matches_indexed():
+    from repro.geographica import generate_workload, load_ontop, \
+        queries_by_key
+
+    workload = generate_workload(scale=1)
+    indexed, __ = load_ontop(workload, spatial_indexes=True)
+    plain, __ = load_ontop(workload, spatial_indexes=False)
+    query = queries_by_key()["SS2"].sparql
+    assert len(indexed.query(query)) == len(plain.query(query))
+
+
+def test_two_applabs_are_isolated():
+    """Separate AppLab instances share no server or auth state."""
+    a = AppLab(host="a.applab")
+    b = AppLab(host="b.applab")
+    a.publish_product(LAI_SPEC, [date(2018, 6, 1)], cloud_fraction=0.0)
+    assert a.products() == ["LAI"]
+    assert b.products() == []
+    token = a.auth.register("x@y.z")
+    with pytest.raises(Exception):
+        b.auth.authenticate(token)
+
+
+def test_find_maps_empty_graph():
+    from repro.rdf import Graph
+    from repro.sextant import find_maps
+
+    assert find_maps(Graph()) == []
+
+
+def test_sextant_single_point_map_renders():
+    from repro.geometry import Feature, FeatureCollection, Point
+    from repro.sextant import ThematicMap
+
+    tm = ThematicMap("dot")
+    tm.add_geojson_layer(
+        "one", FeatureCollection([Feature(Point(2.35, 48.85), {})])
+    )
+    svg = tm.to_svg(width=50, height=50)  # degenerate bounds inflate
+    assert "<circle" in svg
+
+
+def test_latency_model_budget_reporting():
+    from repro.opendap import LatencyModel
+
+    model = LatencyModel(base_s=0.01, per_mb_s=1.0, sleep=False)
+    model.charge(2_000_000)  # 2 MB
+    assert model.total_simulated_s == pytest.approx(0.01 + 2.0)
+    model.reset()
+    assert model.request_count == 0
+
+
+def test_workload_generator_name_deterministic():
+    from repro.data import WorkloadGenerator
+
+    assert WorkloadGenerator(seed=1).name() == \
+        WorkloadGenerator(seed=1).name()

@@ -1,0 +1,125 @@
+"""JedAI entity-resolution pipeline tests."""
+
+import pytest
+
+from repro.interlink import EntityProfile, JedaiPipeline
+
+
+def dirty_profiles():
+    """Duplicated POIs with noisy attributes (dirty ER)."""
+    return [
+        EntityProfile("a1", {"name": "Bois de Boulogne",
+                             "city": "Paris", "type": "park"}),
+        EntityProfile("a2", {"name": "bois de boulogne park",
+                             "city": "paris", "type": "park"}),
+        EntityProfile("b1", {"name": "Parc Monceau",
+                             "city": "Paris", "type": "park"}),
+        EntityProfile("b2", {"name": "parc monceau",
+                             "city": "paris"}),
+        EntityProfile("c1", {"name": "Tour Eiffel",
+                             "city": "Paris", "type": "landmark"}),
+        EntityProfile("d1", {"name": "Brandenburger Tor",
+                             "city": "Berlin", "type": "landmark"}),
+    ]
+
+
+def test_resolve_finds_duplicate_clusters():
+    pipeline = JedaiPipeline(match_threshold=0.5)
+    clusters = pipeline.resolve(dirty_profiles())
+    as_sets = {frozenset(c) for c in clusters}
+    assert frozenset({"a1", "a2"}) in as_sets
+    assert frozenset({"b1", "b2"}) in as_sets
+    # singletons (eiffel, brandenburg) are not clusters
+    assert all(len(c) > 1 for c in clusters)
+
+
+def test_token_blocking_blocks_share_tokens():
+    pipeline = JedaiPipeline()
+    blocks = pipeline.token_blocking(dirty_profiles())
+    assert set(blocks["monceau"]) == {"b1", "b2"}
+    assert "paris" in blocks
+    # singleton tokens dropped
+    assert "brandenburger" not in blocks
+
+
+def test_purging_removes_stopword_blocks():
+    profiles = dirty_profiles()
+    # 'paris' block has 5 members — a stop-word block
+    pipeline = JedaiPipeline(purge_factor=0.5)
+    blocks = pipeline.token_blocking(profiles)
+    purged = pipeline.block_purging(blocks, len(profiles))
+    assert "paris" not in purged
+    assert pipeline.stats.after_purging < pipeline.stats.initial_comparisons
+
+
+def test_filtering_reduces_comparisons_further():
+    profiles = dirty_profiles()
+    pipeline = JedaiPipeline(purge_factor=0.9, filter_ratio=0.5)
+    blocks = pipeline.token_blocking(profiles)
+    blocks = pipeline.block_purging(blocks, len(profiles))
+    filtered = pipeline.block_filtering(blocks)
+    assert pipeline.stats.after_filtering <= pipeline.stats.after_purging
+    assert filtered
+
+
+@pytest.mark.parametrize("weighting", ["cbs", "ecbs", "jaccard"])
+def test_metablocking_prunes(weighting):
+    profiles = dirty_profiles()
+    pipeline = JedaiPipeline(weighting=weighting)
+    blocks = pipeline.token_blocking(profiles)
+    blocks = pipeline.block_purging(blocks, len(profiles))
+    blocks = pipeline.block_filtering(blocks)
+    weighted = pipeline.meta_blocking(blocks)
+    assert weighted
+    assert pipeline.stats.after_metablocking <= \
+        pipeline.stats.after_filtering
+    # true duplicates survive pruning
+    pairs = {p for p, __ in weighted}
+    assert ("a1", "a2") in pairs
+
+
+def test_reduction_ratio():
+    pipeline = JedaiPipeline()
+    pipeline.resolve(dirty_profiles())
+    assert 0.0 <= pipeline.stats.reduction_ratio <= 1.0
+    assert pipeline.stats.initial_comparisons > \
+        pipeline.stats.after_metablocking
+
+
+def test_multicore_equals_single_core():
+    # A bigger synthetic workload so parallel blocks are non-trivial.
+    profiles = []
+    for i in range(60):
+        base = f"entity {i % 20} common tokens alpha beta"
+        profiles.append(EntityProfile(f"x{i}", {"desc": base}))
+    single = JedaiPipeline(workers=1, purge_factor=0.9)
+    multi = JedaiPipeline(workers=3, purge_factor=0.9)
+    c1 = {frozenset(c) for c in single.resolve(profiles)}
+    c2 = {frozenset(c) for c in multi.resolve(profiles)}
+    assert c1 == c2
+    assert single.stats.after_metablocking == multi.stats.after_metablocking
+
+
+def test_duplicate_ids_rejected():
+    with pytest.raises(ValueError):
+        JedaiPipeline().resolve(
+            [EntityProfile("x", {"a": "1"}), EntityProfile("x", {"a": "2"})]
+        )
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        JedaiPipeline(weighting="tfidf")
+    with pytest.raises(ValueError):
+        JedaiPipeline(filter_ratio=0)
+
+
+def test_clustering_transitivity():
+    clusters = JedaiPipeline.clustering([("a", "b"), ("b", "c"), ("x", "y")])
+    as_sets = {frozenset(c) for c in clusters}
+    assert frozenset({"a", "b", "c"}) in as_sets
+    assert frozenset({"x", "y"}) in as_sets
+
+
+def test_empty_input():
+    assert JedaiPipeline().resolve([]) == []

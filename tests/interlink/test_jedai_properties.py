@@ -1,0 +1,76 @@
+"""Property-based tests for JedAI pipeline invariants."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interlink import EntityProfile, JedaiPipeline
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=2, max_size=8)
+
+
+@st.composite
+def profile_collections(draw):
+    n = draw(st.integers(min_value=0, max_value=25))
+    profiles = []
+    for i in range(n):
+        n_attrs = draw(st.integers(min_value=1, max_value=3))
+        attrs = {
+            f"a{j}": " ".join(
+                draw(st.lists(words, min_size=1, max_size=4))
+            )
+            for j in range(n_attrs)
+        }
+        profiles.append(EntityProfile(f"e{i}", attrs))
+    return profiles
+
+
+@given(profile_collections())
+@settings(max_examples=40, deadline=None)
+def test_clusters_are_disjoint(profiles):
+    clusters = JedaiPipeline(match_threshold=0.4).resolve(profiles)
+    seen = set()
+    for cluster in clusters:
+        assert len(cluster) > 1
+        assert not (cluster & seen)
+        seen |= cluster
+
+
+@given(profile_collections())
+@settings(max_examples=40, deadline=None)
+def test_cluster_members_exist(profiles):
+    ids = {p.entity_id for p in profiles}
+    clusters = JedaiPipeline(match_threshold=0.4).resolve(profiles)
+    for cluster in clusters:
+        assert cluster <= ids
+
+
+@given(profile_collections())
+@settings(max_examples=30, deadline=None)
+def test_stage_counts_monotone(profiles):
+    pipeline = JedaiPipeline()
+    pipeline.resolve(profiles)
+    stats = pipeline.stats
+    assert stats.initial_comparisons >= stats.after_purging
+    assert stats.after_purging >= stats.after_filtering
+    assert 0.0 <= stats.reduction_ratio <= 1.0
+
+
+@given(profile_collections())
+@settings(max_examples=20, deadline=None)
+def test_deterministic(profiles):
+    a = JedaiPipeline(match_threshold=0.4).resolve(profiles)
+    b = JedaiPipeline(match_threshold=0.4).resolve(profiles)
+    assert {frozenset(c) for c in a} == {frozenset(c) for c in b}
+
+
+@given(profile_collections(), st.floats(min_value=0.1, max_value=0.9))
+@settings(max_examples=25, deadline=None)
+def test_higher_threshold_never_more_matches(profiles, threshold):
+    low = JedaiPipeline(match_threshold=threshold).resolve(profiles)
+    high = JedaiPipeline(match_threshold=min(1.0, threshold + 0.3)) \
+        .resolve(profiles)
+    low_members = set().union(*low) if low else set()
+    high_members = set().union(*high) if high else set()
+    assert high_members <= low_members

@@ -1,0 +1,198 @@
+"""Silk link-discovery tests."""
+
+import pytest
+
+from repro.geometry import Point, Polygon, to_wkt_literal
+from repro.interlink import (
+    Comparison,
+    DatasetSelector,
+    LinkSpec,
+    LinkageRule,
+    SilkEngine,
+    exact_match,
+    jaccard_tokens,
+    levenshtein_similarity,
+    near,
+    numeric_similarity,
+    spatial_relation,
+    temporal_relation,
+)
+from repro.rdf import GEO, GEO_WKT_LITERAL, Graph, IRI, Literal, OWL, RDF
+
+EX = "http://example.org/"
+OSM = "http://osm.example/"
+
+
+class TestMeasures:
+    def test_levenshtein(self):
+        assert levenshtein_similarity("paris", "paris") == 1.0
+        assert levenshtein_similarity("paris", "pariss") == pytest.approx(5 / 6)
+        assert levenshtein_similarity("", "x") == 0.0
+
+    def test_jaccard(self):
+        assert jaccard_tokens("bois de boulogne", "Bois de Boulogne") == 1.0
+        assert jaccard_tokens("a b", "b c") == pytest.approx(1 / 3)
+
+    def test_exact(self):
+        assert exact_match("a", "a") == 1.0
+        assert exact_match("a", "b") == 0.0
+
+    def test_numeric(self):
+        sim = numeric_similarity(10.0)
+        assert sim(5, 5) == 1.0
+        assert sim(0, 5) == 0.5
+        assert sim(0, 20) == 0.0
+
+    def test_spatial(self):
+        inter = spatial_relation("intersects")
+        assert inter(Polygon.box(0, 0, 2, 2), Point(1, 1)) == 1.0
+        assert inter(Polygon.box(0, 0, 2, 2), Point(5, 5)) == 0.0
+
+    def test_near(self):
+        sim = near(2.0)
+        assert sim(Point(0, 0), Point(1, 0)) == 0.5
+        assert sim(Point(0, 0), Point(4, 0)) == 0.0
+
+    def test_temporal(self):
+        before = temporal_relation("before")
+        assert before("2018-01-01T00:00:00Z", "2019-01-01T00:00:00Z") == 1.0
+        assert before("2019-01-01T00:00:00Z", "2018-01-01T00:00:00Z") == 0.0
+
+
+def build_graphs():
+    """Parks in a 'GADM-like' graph and POIs in an 'OSM-like' graph."""
+    gadm = Graph()
+    osm = Graph()
+    parks = [
+        ("bois_de_boulogne", "Bois de Boulogne", Polygon.box(2.21, 48.85, 2.27, 48.88)),
+        ("parc_monceau", "Parc Monceau", Polygon.box(2.306, 48.877, 2.312, 48.881)),
+    ]
+    for key, name, geom in parks:
+        uri = IRI(EX + key)
+        gadm.add(uri, RDF.type, IRI(EX + "Park"))
+        gadm.add(uri, IRI(EX + "hasName"), Literal(name))
+        g = IRI(EX + key + "/geom")
+        gadm.add(uri, GEO.hasGeometry, g)
+        gadm.add(g, GEO.asWKT,
+                 Literal(to_wkt_literal(geom), datatype=GEO_WKT_LITERAL))
+    pois = [
+        ("poi1", "bois de boulogne", Point(2.24, 48.86)),
+        ("poi2", "parc monceau", Point(2.309, 48.879)),
+        ("poi3", "tour eiffel", Point(2.294, 48.858)),
+    ]
+    for key, name, geom in pois:
+        uri = IRI(OSM + key)
+        osm.add(uri, RDF.type, IRI(OSM + "POI"))
+        osm.add(uri, IRI(OSM + "name"), Literal(name))
+        g = IRI(OSM + key + "/geom")
+        osm.add(uri, GEO.hasGeometry, g)
+        osm.add(g, GEO.asWKT,
+                Literal(to_wkt_literal(geom), datatype=GEO_WKT_LITERAL))
+    return gadm, osm
+
+
+def make_spec(gadm, osm, rule):
+    return LinkSpec(
+        source=DatasetSelector(
+            gadm, IRI(EX + "Park"),
+            {"name": [IRI(EX + "hasName")],
+             "geom": [GEO.hasGeometry, GEO.asWKT]},
+        ),
+        target=DatasetSelector(
+            osm, IRI(OSM + "POI"),
+            {"name": [IRI(OSM + "name")],
+             "geom": [GEO.hasGeometry, GEO.asWKT]},
+        ),
+        rule=rule,
+        link_predicate=OWL.sameAs,
+    )
+
+
+def test_name_and_geometry_links():
+    gadm, osm = build_graphs()
+    rule = LinkageRule(
+        comparisons=[
+            Comparison("name", jaccard_tokens, weight=1.0),
+            Comparison("geom", spatial_relation("intersects"),
+                       is_spatial=True, weight=1.0),
+        ],
+        aggregation="average",
+        threshold=0.9,
+    )
+    engine = SilkEngine()
+    links = engine.generate_links(make_spec(gadm, osm, rule))
+    assert len(links) == 2
+    linked = {(str(t.s).rsplit("/", 1)[1], str(t.o).rsplit("/", 1)[1])
+              for t in links}
+    assert linked == {("bois_de_boulogne", "poi1"), ("parc_monceau", "poi2")}
+    assert all(t.p == OWL.sameAs for t in links)
+
+
+def test_spatial_blocking_reduces_comparisons():
+    gadm, osm = build_graphs()
+    rule = LinkageRule(
+        comparisons=[Comparison("geom", spatial_relation("intersects"),
+                                is_spatial=True)],
+        threshold=1.0,
+    )
+    blocked = SilkEngine(blocking=True)
+    blocked.generate_links(make_spec(gadm, osm, rule))
+    unblocked = SilkEngine(blocking=False)
+    unblocked.generate_links(make_spec(gadm, osm, rule))
+    assert blocked.compared_pairs < unblocked.compared_pairs
+    assert unblocked.compared_pairs == 6
+
+
+def test_blocking_does_not_change_results():
+    gadm, osm = build_graphs()
+    rule = LinkageRule(
+        comparisons=[Comparison("geom", spatial_relation("intersects"),
+                                is_spatial=True)],
+        threshold=1.0,
+    )
+    a = SilkEngine(blocking=True).generate_links(make_spec(gadm, osm, rule))
+    b = SilkEngine(blocking=False).generate_links(make_spec(gadm, osm, rule))
+    assert set(a) == set(b)
+
+
+def test_min_aggregation_is_conjunctive():
+    gadm, osm = build_graphs()
+    rule = LinkageRule(
+        comparisons=[
+            Comparison("name", exact_match),
+            Comparison("geom", spatial_relation("intersects"),
+                       is_spatial=True),
+        ],
+        aggregation="min",
+        threshold=1.0,
+    )
+    links = SilkEngine().generate_links(make_spec(gadm, osm, rule))
+    # names differ in case → exact match 0 → min 0 → no links
+    assert links == []
+
+
+def test_missing_property_means_no_link():
+    gadm, osm = build_graphs()
+    gadm.remove(IRI(EX + "parc_monceau"), IRI(EX + "hasName"), None)
+    rule = LinkageRule(
+        comparisons=[Comparison("name", jaccard_tokens)], threshold=0.5
+    )
+    links = SilkEngine().generate_links(make_spec(gadm, osm, rule))
+    assert {str(t.s) for t in links} == {EX + "bois_de_boulogne"}
+
+
+def test_geosparql_link_predicate():
+    """The 'geospatial extension': emit geo:sfIntersects links."""
+    gadm, osm = build_graphs()
+    rule = LinkageRule(
+        comparisons=[Comparison("geom", spatial_relation("intersects"),
+                                is_spatial=True)],
+        threshold=1.0,
+    )
+    spec = make_spec(gadm, osm, rule)
+    spec.link_predicate = IRI(
+        "http://www.opengis.net/ont/geosparql#sfIntersects"
+    )
+    links = SilkEngine().generate_links(spec)
+    assert all("sfIntersects" in str(t.p) for t in links)
+    assert len(links) == 2

@@ -1,0 +1,172 @@
+"""MadIS engine tests: UDFs, aggregates, virtual-table rewriting."""
+
+import pytest
+
+from repro.madis import MadisConnection, MadisError
+
+
+@pytest.fixture
+def conn():
+    with MadisConnection() as c:
+        yield c
+
+
+def test_plain_sql(conn):
+    conn.executescript(
+        "CREATE TABLE t (a INTEGER, b TEXT);"
+        "INSERT INTO t VALUES (1, 'x'), (2, 'y');"
+    )
+    rows = conn.execute("SELECT a, b FROM t ORDER BY a")
+    assert [tuple(r) for r in rows] == [(1, "x"), (2, "y")]
+    assert conn.columns("SELECT a, b FROM t") == ["a", "b"]
+
+
+def test_st_point_and_intersects(conn):
+    rows = conn.execute(
+        "SELECT ST_INTERSECTS(ST_POINT(0.5, 0.5),"
+        " 'POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))') AS hit"
+    )
+    assert rows[0]["hit"] == 1
+    rows = conn.execute(
+        "SELECT ST_INTERSECTS(ST_POINT(9, 9),"
+        " 'POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0))') AS hit"
+    )
+    assert rows[0]["hit"] == 0
+
+
+def test_st_distance_area(conn):
+    rows = conn.execute(
+        "SELECT ST_DISTANCE('POINT (0 0)', 'POINT (3 4)') AS d,"
+        " ST_AREA('POLYGON ((0 0, 2 0, 2 2, 0 2, 0 0))') AS a"
+    )
+    assert rows[0]["d"] == 5.0
+    assert rows[0]["a"] == 4.0
+
+
+def test_st_functions_null_safe(conn):
+    rows = conn.execute("SELECT ST_INTERSECTS(NULL, 'POINT (0 0)') AS x")
+    assert rows[0]["x"] is None
+
+
+def test_cf_datetime(conn):
+    rows = conn.execute(
+        "SELECT CF_DATETIME(10, 'days since 2018-01-01') AS ts"
+    )
+    assert rows[0]["ts"] == "2018-01-11T00:00:00Z"
+
+
+def test_median_and_stddev(conn):
+    conn.executescript(
+        "CREATE TABLE v (x REAL);"
+        "INSERT INTO v VALUES (1), (2), (3), (4), (100);"
+    )
+    rows = conn.execute("SELECT MEDIAN(x) AS m, STDDEV(x) AS s FROM v")
+    assert rows[0]["m"] == 3.0
+    assert rows[0]["s"] > 38
+
+
+def test_vt_operator_basic(conn):
+    def numbers(n="3"):
+        count = int(n)
+        return ("i", "sq"), [(i, i * i) for i in range(count)]
+
+    conn.register_vt_operator("numbers", numbers)
+    rows = conn.execute("SELECT i, sq FROM (numbers n:4) WHERE sq > 1")
+    assert [tuple(r) for r in rows] == [(2, 4), (3, 9)]
+
+
+def test_vt_operator_positional_args(conn):
+    def repeat(word, times="2"):
+        return ("w",), [(word,)] * int(times)
+
+    conn.register_vt_operator("repeat", repeat)
+    rows = conn.execute("SELECT w FROM (repeat 'hello', 3)")
+    assert len(rows) == 3
+    assert rows[0]["w"] == "hello"
+
+
+def test_vt_with_modifier(conn):
+    def gen():
+        return ("x",), [(1,), (2,)]
+
+    conn.register_vt_operator("gen", gen)
+    rows = conn.execute("SELECT x FROM (ordered gen) ORDER BY x DESC")
+    assert [r["x"] for r in rows] == [2, 1]
+
+
+def test_subquery_left_untouched(conn):
+    conn.executescript(
+        "CREATE TABLE t (a INTEGER); INSERT INTO t VALUES (1), (2);"
+    )
+    rows = conn.execute(
+        "SELECT s.a FROM (SELECT a FROM t WHERE a > 1) AS s"
+    )
+    assert [r["a"] for r in rows] == [2]
+
+
+def test_vt_inside_join(conn):
+    conn.executescript(
+        "CREATE TABLE names (i INTEGER, name TEXT);"
+        "INSERT INTO names VALUES (1, 'one'), (2, 'two');"
+    )
+
+    def numbers():
+        return ("i",), [(1,), (2,), (3,)]
+
+    conn.register_vt_operator("numbers", numbers)
+    rows = conn.execute(
+        "SELECT n.name FROM (numbers) v JOIN names n ON n.i = v.i "
+        "ORDER BY n.name"
+    )
+    assert [r["name"] for r in rows] == ["one", "two"]
+
+
+def test_unknown_operator_is_subquery_error(conn):
+    # '(frobnicate)' is not registered → left as SQL, sqlite rejects it.
+    import sqlite3
+
+    with pytest.raises(sqlite3.OperationalError):
+        conn.execute("SELECT * FROM (frobnicate)")
+
+
+def test_unbalanced_parens_raise(conn):
+    def gen():
+        return ("x",), [(1,)]
+
+    conn.register_vt_operator("gen", gen)
+    with pytest.raises(MadisError):
+        conn.execute("SELECT x FROM (gen")
+
+
+def test_empty_schema_rejected(conn):
+    conn.register_vt_operator("empty", lambda: ((), []))
+    with pytest.raises(MadisError):
+        conn.execute("SELECT * FROM (empty)")
+
+
+def test_from_paren_inside_string_literal_untouched(conn):
+    conn.register_vt_operator("gen", lambda: (("x",), [(1,)]))
+    rows = conn.execute("SELECT 'text from (gen) inside' AS t")
+    assert rows[0]["t"] == "text from (gen) inside"
+
+
+def test_vt_still_rewritten_after_string(conn):
+    conn.register_vt_operator("gen", lambda: (("x",), [(7,)]))
+    rows = conn.execute(
+        "SELECT 'from (' AS lit, x FROM (gen)"
+    )
+    assert rows[0]["lit"] == "from ("
+    assert rows[0]["x"] == 7
+
+
+def test_url_kwarg_keeps_colons(conn):
+    """url:dap://host/path must parse as kwarg url with full URL value."""
+    seen = {}
+
+    def probe(url=None):
+        seen["url"] = url
+        return ("x",), [(1,)]
+
+    conn.register_vt_operator("probe", probe)
+    conn.execute("SELECT x FROM (probe url:dap://vito.test/Copernicus/LAI)")
+    assert seen["url"] == "dap://vito.test/Copernicus/LAI"

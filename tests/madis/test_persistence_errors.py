@@ -1,0 +1,83 @@
+"""MadIS file persistence and error-path tests."""
+
+import sqlite3
+
+import pytest
+
+from repro.madis import MadisConnection, MadisError
+
+
+def test_file_backed_database(tmp_path):
+    path = str(tmp_path / "applab.db")
+    with MadisConnection(path) as conn:
+        conn.executescript(
+            "CREATE TABLE parks (id INTEGER, wkt TEXT);"
+            "INSERT INTO parks VALUES (1, 'POINT (2.25 48.86)');"
+        )
+    # data persists across connections; UDFs re-register on open
+    with MadisConnection(path) as conn:
+        rows = conn.execute(
+            "SELECT ST_WITHIN(wkt, "
+            "'POLYGON ((2 48, 3 48, 3 49, 2 49, 2 48))') AS ok FROM parks"
+        )
+        assert rows[0]["ok"] == 1
+
+
+def test_write_statements_commit(tmp_path):
+    path = str(tmp_path / "w.db")
+    conn = MadisConnection(path)
+    conn.execute("CREATE TABLE t (a INTEGER)")
+    conn.execute("INSERT INTO t VALUES (5)")
+    conn.close()
+    fresh = MadisConnection(path)
+    assert fresh.execute("SELECT a FROM t")[0]["a"] == 5
+
+
+def test_vt_operators_listed():
+    conn = MadisConnection()
+    conn.register_vt_operator("alpha", lambda: (("x",), []))
+    conn.register_vt_operator("beta", lambda: (("x",), []))
+    assert conn.vt_operators == ["alpha", "beta"]
+
+
+def test_vt_operator_exception_propagates():
+    conn = MadisConnection()
+
+    def broken():
+        raise RuntimeError("upstream OPeNDAP outage")
+
+    conn.register_vt_operator("broken", broken)
+    with pytest.raises(RuntimeError, match="outage"):
+        conn.execute("SELECT * FROM (broken)")
+
+
+def test_sql_error_propagates():
+    conn = MadisConnection()
+    with pytest.raises(sqlite3.OperationalError):
+        conn.execute("SELECT * FROM missing_table")
+
+
+def test_same_invocation_reuses_table_name():
+    calls = []
+
+    def gen(n="1"):
+        calls.append(n)
+        return ("x",), [(int(n),)]
+
+    conn = MadisConnection()
+    conn.register_vt_operator("gen", gen)
+    conn.execute("SELECT x FROM (gen n:5)")
+    conn.execute("SELECT x FROM (gen n:5)")
+    # re-executed each time (fresh data) but under the same temp name
+    assert calls == ["5", "5"]
+
+
+def test_two_vt_clauses_in_one_query():
+    conn = MadisConnection()
+    conn.register_vt_operator("odds", lambda: (("x",), [(1,), (3,)]))
+    conn.register_vt_operator("evens", lambda: (("x",), [(2,), (4,)]))
+    rows = conn.execute(
+        "SELECT a.x AS o, b.x AS e FROM (odds) a "
+        "JOIN (evens) b ON b.x = a.x + 1 ORDER BY o"
+    )
+    assert [(r["o"], r["e"]) for r in rows] == [(1, 2), (3, 4)]

@@ -1,0 +1,125 @@
+"""R2RML-driven OBDA tests (the W3C standard mapping path)."""
+
+import pytest
+
+from repro.madis import MadisConnection
+from repro.ontop import OntopSpatial, from_r2rml
+from repro.ontop.mapping import OntopMappingError
+from repro.rdf import IRI, Literal, RDF
+
+EX = "http://example.org/"
+
+R2RML = """
+@prefix rr: <http://www.w3.org/ns/r2rml#> .
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+
+ex:ParksMap
+  rr:logicalTable [ rr:tableName "parks" ] ;
+  rr:subjectMap [ rr:template "http://example.org/park/{gid}" ;
+                  rr:class ex:Park ] ;
+  rr:predicateObjectMap [
+    rr:predicate ex:hasName ;
+    rr:objectMap [ rr:column "name" ]
+  ] ;
+  rr:predicateObjectMap [
+    rr:predicate ex:hasArea ;
+    rr:objectMap [ rr:column "area" ; rr:datatype xsd:double ]
+  ] .
+"""
+
+
+@pytest.fixture
+def conn():
+    conn = MadisConnection()
+    conn.executescript(
+        """
+        CREATE TABLE parks (gid INTEGER, name TEXT, area REAL, wkt TEXT);
+        INSERT INTO parks VALUES
+          (1, 'Bois de Boulogne', 8.46,
+           'POLYGON ((2.22 48.85, 2.27 48.85, 2.27 48.88, 2.22 48.88, 2.22 48.85))'),
+          (2, 'Parc Monceau', 0.08,
+           'POLYGON ((2.306 48.877, 2.312 48.877, 2.312 48.881, 2.306 48.881, 2.306 48.877))');
+        """
+    )
+    return conn
+
+
+def test_from_r2rml_materialize(conn):
+    engine = from_r2rml(conn, R2RML)
+    g = engine.materialize()
+    park = IRI(EX + "park/1")
+    assert (park, RDF.type, IRI(EX + "Park")) in g
+    assert g.value(park, IRI(EX + "hasName")) == \
+        Literal("Bois de Boulogne")
+    area = g.value(park, IRI(EX + "hasArea"))
+    assert float(area.lexical) == pytest.approx(8.46)
+
+
+def test_from_r2rml_query_with_unfolding(conn):
+    engine = from_r2rml(conn, R2RML)
+    res = engine.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT ?n WHERE { ?p a ex:Park ; ex:hasName ?n } ORDER BY ?n"
+    )
+    assert [r["n"].lexical for r in res] == [
+        "Bois de Boulogne", "Parc Monceau",
+    ]
+    assert engine.last_sql == ['SELECT * FROM "parks"']
+
+
+def test_table_sql_override(conn):
+    engine = from_r2rml(
+        conn, R2RML,
+        table_sql={"parks": "SELECT * FROM parks WHERE area > 1"},
+    )
+    g = engine.materialize()
+    assert len(list(g.subjects(RDF.type, IRI(EX + "Park")))) == 1
+
+
+def test_geometry_chain_via_r2rml(conn):
+    """An R2RML doc whose triples map carries the geometry column."""
+    from repro.geotriples import LogicalSource, TermMap, TriplesMap
+    from repro.ontop import ontop_mapping_from_triples_map
+    from repro.rdf import GEO
+
+    tmap = TriplesMap(
+        name="parks-geo",
+        logical_source=LogicalSource("rows", ()),
+        subject_map=TermMap(template=EX + "park/{gid}"),
+        classes=[IRI(EX + "Park")],
+        geometry_column="wkt",
+    )
+    tmap.add_pom(IRI(EX + "hasName"),
+                 TermMap(column="name", term_type="literal"))
+    mapping = ontop_mapping_from_triples_map(
+        tmap, "SELECT * FROM parks"
+    )
+    engine = OntopSpatial(conn, [mapping])
+    res = engine.query(
+        """
+        PREFIX ex: <http://example.org/>
+        PREFIX geo: <http://www.opengis.net/ont/geosparql#>
+        PREFIX geof: <http://www.opengis.net/def/function/geosparql/>
+        SELECT ?p WHERE {
+          ?p a ex:Park ; geo:hasGeometry ?g . ?g geo:asWKT ?w .
+          FILTER(geof:sfIntersects(?w,
+            "POINT (2.25 48.86)"^^geo:wktLiteral))
+        }
+        """
+    )
+    assert [str(r["p"]) for r in res] == [EX + "park/1"]
+    # the spatial filter was pushed into SQL
+    assert any("ST_INTERSECTS" in sql for sql in engine.last_sql)
+
+
+def test_missing_table_name_rejected(conn):
+    bad = """
+    @prefix rr: <http://www.w3.org/ns/r2rml#> .
+    @prefix ex: <http://example.org/> .
+    ex:Bad rr:subjectMap [ rr:template "http://x/{id}" ; rr:class ex:T ] .
+    """
+    from repro.geotriples import MappingError
+
+    with pytest.raises((OntopMappingError, MappingError)):
+        from_r2rml(conn, bad)

@@ -1,0 +1,34 @@
+"""Shared fixtures: a small CF-style gridded dataset."""
+
+import numpy as np
+import pytest
+
+from repro.opendap import DapDataset
+
+
+@pytest.fixture
+def lai_dataset():
+    """A 4-date, 5x6 LAI grid over a Paris-like extent."""
+    ds = DapDataset(
+        "LAI",
+        attributes={
+            "title": "Leaf Area Index",
+            "Conventions": "CF-1.6",
+            "institution": "VITO",
+        },
+    )
+    lats = np.linspace(48.80, 48.92, 5)
+    lons = np.linspace(2.20, 2.50, 6)
+    times = np.array([0, 10, 20, 30], dtype=np.int32)
+    rng = np.random.default_rng(42)
+    lai = rng.uniform(0.5, 6.0, size=(4, 5, 6)).astype(np.float32)
+    ds.add_variable("time", ["time"], times,
+                    {"units": "days since 2018-01-01", "axis": "T"})
+    ds.add_variable("lat", ["lat"], lats, {"units": "degrees_north"})
+    ds.add_variable("lon", ["lon"], lons, {"units": "degrees_east"})
+    ds.add_variable(
+        "LAI", ["time", "lat", "lon"], lai,
+        {"units": "m2/m2", "long_name": "Leaf Area Index",
+         "_FillValue": -1.0},
+    )
+    return ds

@@ -1,0 +1,76 @@
+"""Catalog XML, corrupted payloads and other robustness checks."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.opendap import (
+    DapError,
+    DapServer,
+    ServerRegistry,
+    decode_dods,
+    open_url,
+)
+
+
+def test_catalog_xml(lai_dataset):
+    server = DapServer("vito.test")
+    server.mount("Copernicus/LAI", lai_dataset)
+    server.mount("Copernicus/NDVI", lai_dataset)
+    xml_text = server.catalog_xml()
+    root = ET.fromstring(xml_text)
+    datasets = [
+        el.get("urlPath") for el in root.iter()
+        if el.tag.endswith("dataset")
+    ]
+    assert datasets == ["Copernicus/LAI", "Copernicus/NDVI"]
+
+
+def test_catalog_quotes_names(lai_dataset):
+    server = DapServer("vito.test")
+    server.mount('weird/"name"', lai_dataset)
+    ET.fromstring(server.catalog_xml())  # must stay well-formed
+
+
+class TestCorruptedPayloads:
+    def test_truncated_dods(self, lai_dataset):
+        from repro.opendap import encode_dods
+
+        blob = encode_dods(lai_dataset)
+        with pytest.raises(Exception):
+            decode_dods(blob[: len(blob) // 2])
+
+    def test_garbage_header_length(self):
+        with pytest.raises(Exception):
+            decode_dods(b"DODS\xff\xff\xff\xff" + b"x" * 10)
+
+    def test_client_surfaces_server_corruption(self, lai_dataset):
+        class CorruptingServer(DapServer):
+            def request(self, path_and_query):
+                body = super().request(path_and_query)
+                if path_and_query.endswith(".dods") or ".dods?" in \
+                        path_and_query:
+                    return body[:-20]  # bit rot in transit
+                return body
+
+        server = CorruptingServer("evil.test")
+        server.mount("x", lai_dataset)
+        registry = ServerRegistry()
+        registry.register(server)
+        remote = open_url("dap://evil.test/x", registry)
+        with pytest.raises(Exception):
+            remote.fetch()
+
+
+def test_safe_layer_ids_in_svg():
+    from repro.geometry import Feature, FeatureCollection, Point
+    from repro.sextant import ThematicMap
+
+    tm = ThematicMap("test")
+    tm.add_geojson_layer(
+        'quo"te <layer>/name',
+        FeatureCollection([Feature(Point(0, 0), {})]),
+    )
+    svg = tm.to_svg(width=100, height=100)
+    ET.fromstring(svg)  # well-formed XML despite the hostile name
+    assert 'id="layer-quo-te-layer-name"' in svg

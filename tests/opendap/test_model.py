@@ -1,0 +1,108 @@
+"""Dataset model and CF helper tests."""
+
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.opendap import (
+    DapDataset,
+    DapError,
+    apply_fill_and_scale,
+    decode_time,
+    encode_time,
+    parse_time_units,
+)
+
+
+def test_dimensions_derived(lai_dataset):
+    assert lai_dataset.dimensions == {"time": 4, "lat": 5, "lon": 6}
+
+
+def test_dimension_conflict_rejected(lai_dataset):
+    with pytest.raises(DapError):
+        lai_dataset.add_variable("bad", ["lat"], np.zeros(7))
+
+
+def test_ndim_mismatch_rejected():
+    ds = DapDataset("x")
+    with pytest.raises(DapError):
+        ds.add_variable("v", ["a", "b"], np.zeros(3))
+
+
+def test_coordinate_lookup(lai_dataset):
+    assert lai_dataset.coordinate("lat").name == "lat"
+    assert lai_dataset.coordinate("nope") is None
+
+
+def test_getitem_unknown_raises(lai_dataset):
+    with pytest.raises(DapError):
+        lai_dataset["missing"]
+
+
+def test_isel_slicing(lai_dataset):
+    subset = lai_dataset.isel(time=slice(0, 2), lat=slice(1, 3))
+    assert subset["LAI"].shape == (2, 2, 6)
+    assert subset["time"].shape == (2,)
+    assert subset["lon"].shape == (6,)
+
+
+def test_isel_integer_drops_dim(lai_dataset):
+    subset = lai_dataset.isel(time=0)
+    assert subset["LAI"].dims == ("lat", "lon")
+
+
+def test_copy_is_independent(lai_dataset):
+    cp = lai_dataset.copy()
+    cp["LAI"].data[0, 0, 0] = 99.0
+    assert lai_dataset["LAI"].data[0, 0, 0] != 99.0
+
+
+def test_nbytes_positive(lai_dataset):
+    assert lai_dataset.nbytes > 400
+
+
+class TestTime:
+    def test_parse_units_days(self):
+        step, epoch = parse_time_units("days since 2018-01-01")
+        assert step == 86400.0
+        assert epoch == datetime(2018, 1, 1, tzinfo=timezone.utc)
+
+    def test_parse_units_hours_with_clock(self):
+        step, epoch = parse_time_units("hours since 2000-06-15 12:00")
+        assert step == 3600.0
+        assert epoch.hour == 12
+
+    def test_parse_units_invalid(self):
+        with pytest.raises(DapError):
+            parse_time_units("fortnights since forever")
+
+    def test_decode_time(self, lai_dataset):
+        times = decode_time(lai_dataset["time"])
+        assert times[0] == datetime(2018, 1, 1, tzinfo=timezone.utc)
+        assert times[3] == datetime(2018, 1, 31, tzinfo=timezone.utc)
+
+    def test_decode_requires_units(self, lai_dataset):
+        lai_dataset["time"].attributes.pop("units")
+        with pytest.raises(DapError):
+            decode_time(lai_dataset["time"])
+
+    def test_encode_roundtrip(self):
+        times = [
+            datetime(2018, 1, 1, tzinfo=timezone.utc),
+            datetime(2018, 1, 11, tzinfo=timezone.utc),
+        ]
+        values = encode_time(times, "days since 2018-01-01")
+        assert list(values) == [0.0, 10.0]
+
+
+def test_fill_and_scale():
+    ds = DapDataset("x")
+    ds.add_variable(
+        "v", ["i"], np.array([0, 50, 255]),
+        {"_FillValue": 255, "scale_factor": 0.1, "add_offset": 1.0},
+    )
+    decoded = apply_fill_and_scale(ds["v"])
+    assert decoded[0] == pytest.approx(1.0)
+    assert decoded[1] == pytest.approx(6.0)
+    assert np.isnan(decoded[2])

@@ -1,0 +1,131 @@
+"""NcML aggregation/override and NetcdfSubset/WCS tests."""
+
+from datetime import datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.opendap import (
+    DapDataset,
+    DapError,
+    WebCoverageService,
+    aggregate_join_existing,
+    apply_ncml_overrides,
+    index_window_for_bbox,
+    parse_ncml,
+    render_ncml,
+    subset_by_coords,
+)
+
+
+class TestNcml:
+    def test_render_parse_roundtrip(self, lai_dataset):
+        text = render_ncml(lai_dataset, location="dap://vito/LAI")
+        parsed = parse_ncml(text)
+        assert parsed["location"] == "dap://vito/LAI"
+        assert parsed["dimensions"] == {"time": 4, "lat": 5, "lon": 6}
+        assert parsed["attributes"]["institution"] == "VITO"
+        assert parsed["variables"]["LAI"]["shape"] == ["time", "lat", "lon"]
+        assert parsed["variables"]["LAI"]["attributes"]["units"] == "m2/m2"
+
+    def test_parse_rejects_junk(self):
+        with pytest.raises(DapError):
+            parse_ncml("<html></html>")
+
+    def test_overrides_blend(self, lai_dataset):
+        ncml = """<?xml version="1.0"?>
+        <netcdf xmlns="http://www.unidata.ucar.edu/namespaces/netcdf/ncml-2.2">
+          <attribute name="summary" type="String" value="Added by CMS"/>
+          <attribute name="institution" type="String" value="VITO NV"/>
+          <variable name="LAI" shape="time lat lon" type="float32">
+            <attribute name="standard_name" type="String"
+                       value="leaf_area_index"/>
+          </variable>
+        </netcdf>
+        """
+        fixed = apply_ncml_overrides(lai_dataset, ncml)
+        assert fixed.attributes["summary"] == "Added by CMS"
+        assert fixed.attributes["institution"] == "VITO NV"  # override wins
+        assert fixed["LAI"].attributes["standard_name"] == "leaf_area_index"
+        # original untouched
+        assert "summary" not in lai_dataset.attributes
+
+
+class TestAggregation:
+    def _per_date(self, lai_dataset, t_index):
+        part = lai_dataset.isel(time=slice(t_index, t_index + 1))
+        return part
+
+    def test_join_existing(self, lai_dataset):
+        parts = [self._per_date(lai_dataset, i) for i in range(4)]
+        joined = aggregate_join_existing(parts, dim="time")
+        assert joined["LAI"].shape == (4, 5, 6)
+        np.testing.assert_array_equal(
+            joined["time"].data, lai_dataset["time"].data
+        )
+
+    def test_new_date_extends(self, lai_dataset):
+        parts = [self._per_date(lai_dataset, i) for i in range(3)]
+        joined3 = aggregate_join_existing(parts, dim="time")
+        assert joined3["LAI"].shape[0] == 3
+        parts.append(self._per_date(lai_dataset, 3))
+        joined4 = aggregate_join_existing(parts, dim="time")
+        assert joined4["LAI"].shape[0] == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(DapError):
+            aggregate_join_existing([])
+
+    def test_missing_variable_rejected(self, lai_dataset):
+        broken = DapDataset("broken")
+        broken.add_variable("time", ["time"], np.array([40]), {})
+        with pytest.raises(DapError):
+            aggregate_join_existing([lai_dataset, broken])
+
+
+class TestNetcdfSubset:
+    def test_bbox(self, lai_dataset):
+        subset = subset_by_coords(lai_dataset, bbox=(2.25, 48.83, 2.45, 48.90))
+        assert subset["LAI"].shape[1] < 5
+        assert subset["LAI"].shape[2] < 6
+        assert (subset["lon"].data >= 2.25).all()
+
+    def test_time_range(self, lai_dataset):
+        subset = subset_by_coords(
+            lai_dataset,
+            time_range=(
+                datetime(2018, 1, 5, tzinfo=timezone.utc),
+                datetime(2018, 1, 25, tzinfo=timezone.utc),
+            ),
+        )
+        assert list(subset["time"].data) == [10, 20]
+
+    def test_index_window(self, lai_dataset):
+        windows = index_window_for_bbox(lai_dataset, (2.25, 48.83, 2.45, 48.90))
+        lon_window = windows["lon"]
+        assert lon_window[0] <= lon_window[1]
+
+    def test_index_window_empty_raises(self, lai_dataset):
+        with pytest.raises(DapError):
+            index_window_for_bbox(lai_dataset, (10, 10, 11, 11))
+
+    def test_index_windows_stable_under_jitter(self, lai_dataset):
+        """Slightly different bboxes map to the same index window."""
+        w1 = index_window_for_bbox(lai_dataset, (2.25, 48.83, 2.45, 48.90))
+        w2 = index_window_for_bbox(
+            lai_dataset, (2.2501, 48.8301, 2.4499, 48.8999)
+        )
+        assert w1 == w2
+
+
+class TestWCS:
+    def test_coverage_and_cache(self, lai_dataset):
+        wcs = WebCoverageService(lai_dataset)
+        a = wcs.get_coverage("LAI", (2.25, 48.83, 2.45, 48.90))
+        assert "LAI" in a
+        wcs.get_coverage("LAI", (2.25, 48.83, 2.45, 48.90))
+        assert wcs.hits == 1
+        # jittered bbox misses even though the cells are identical
+        wcs.get_coverage("LAI", (2.2501, 48.8301, 2.4499, 48.8999))
+        assert wcs.misses == 2
+        assert wcs.hit_rate == pytest.approx(1 / 3)

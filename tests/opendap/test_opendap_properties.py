@@ -1,0 +1,103 @@
+"""Property-based tests for the OPeNDAP layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.opendap import (
+    DapDataset,
+    apply_constraint,
+    decode_dods,
+    encode_dods,
+    parse_constraint,
+)
+from repro.opendap.constraints import Hyperslab
+
+
+@st.composite
+def datasets(draw):
+    nt = draw(st.integers(min_value=1, max_value=4))
+    ny = draw(st.integers(min_value=2, max_value=6))
+    nx = draw(st.integers(min_value=2, max_value=6))
+    data = draw(
+        arrays(
+            dtype=np.float32,
+            shape=(nt, ny, nx),
+            elements=st.floats(
+                min_value=-1e3, max_value=1e3, width=32,
+                allow_nan=False,
+            ),
+        )
+    )
+    ds = DapDataset("V")
+    ds.add_variable("time", ["time"],
+                    np.arange(nt, dtype=np.int32) * 10,
+                    {"units": "days since 2018-01-01"})
+    ds.add_variable("lat", ["lat"], np.linspace(40, 50, ny),
+                    {"units": "degrees_north"})
+    ds.add_variable("lon", ["lon"], np.linspace(0, 10, nx),
+                    {"units": "degrees_east"})
+    ds.add_variable("V", ["time", "lat", "lon"], data, {"units": "1"})
+    return ds
+
+
+@given(datasets())
+@settings(max_examples=40)
+def test_dods_roundtrip(ds):
+    back = decode_dods(encode_dods(ds))
+    assert back.name == ds.name
+    for name, var in ds.variables.items():
+        np.testing.assert_array_equal(back[name].data, var.data)
+        assert back[name].dims == var.dims
+        assert back[name].attributes == var.attributes
+
+
+@given(datasets(), st.data())
+@settings(max_examples=40)
+def test_hyperslab_matches_numpy(ds, data):
+    nt, ny, nx = ds["V"].shape
+    slabs = []
+    for size in (nt, ny, nx):
+        start = data.draw(st.integers(min_value=0, max_value=size - 1))
+        stop = data.draw(st.integers(min_value=start, max_value=size - 1))
+        stride = data.draw(st.integers(min_value=1, max_value=3))
+        slabs.append(Hyperslab(start, stop, stride))
+    text = "V" + "".join(
+        f"[{s.start}:{s.stride}:{s.stop}]" for s in slabs
+    )
+    subset = apply_constraint(ds, parse_constraint(text))
+    expected = ds["V"].data[
+        slabs[0].to_slice(), slabs[1].to_slice(), slabs[2].to_slice()
+    ]
+    np.testing.assert_array_equal(subset["V"].data, expected)
+
+
+@given(datasets(), st.floats(min_value=-5, max_value=45))
+@settings(max_examples=40)
+def test_selection_preserves_alignment(ds, threshold):
+    """After a coordinate selection, data rows align with coordinates."""
+    ce = parse_constraint(f"V&lat>{threshold}")
+    subset = apply_constraint(ds, ce)
+    assert subset["V"].shape[1] == subset["lat"].shape[0]
+    assert (subset["lat"].data > threshold).all()
+
+
+@given(st.text(alphabet="abcdwxyz[]&<>=:,0123456789.", max_size=25))
+@settings(max_examples=80)
+def test_constraint_parser_never_crashes_unexpectedly(text):
+    from repro.opendap import DapError
+
+    try:
+        ce = parse_constraint(text)
+    except DapError:
+        return
+    # canonical form is stable (idempotent)
+    assert parse_constraint(ce.canonical()).canonical() == ce.canonical()
+
+
+@given(datasets())
+@settings(max_examples=30)
+def test_empty_constraint_is_identity(ds):
+    subset = apply_constraint(ds, parse_constraint(""))
+    np.testing.assert_array_equal(subset["V"].data, ds["V"].data)

@@ -1,0 +1,148 @@
+"""DAS/DDS/DODS/constraint protocol tests."""
+
+import numpy as np
+import pytest
+
+from repro.opendap import (
+    DapError,
+    apply_constraint,
+    decode_dods,
+    encode_dods,
+    parse_constraint,
+    parse_das,
+    parse_dds,
+    render_das,
+    render_dds,
+)
+
+
+class TestDDS:
+    def test_render(self, lai_dataset):
+        text = render_dds(lai_dataset)
+        assert "Dataset {" in text
+        assert "Float32 LAI[time = 4][lat = 5][lon = 6];" in text
+        assert text.strip().endswith("} LAI;")
+
+    def test_roundtrip(self, lai_dataset):
+        name, variables = parse_dds(render_dds(lai_dataset))
+        assert name == "LAI"
+        lai = [v for v in variables if v["name"] == "LAI"][0]
+        assert lai["dims"] == [("time", 4), ("lat", 5), ("lon", 6)]
+        assert lai["dtype"] == np.dtype("float32")
+
+    def test_parse_rejects_junk(self):
+        with pytest.raises(DapError):
+            parse_dds("this is not a DDS")
+
+
+class TestDAS:
+    def test_render_and_parse(self, lai_dataset):
+        containers = parse_das(render_das(lai_dataset))
+        assert containers["NC_GLOBAL"]["institution"] == "VITO"
+        assert containers["LAI"]["units"] == "m2/m2"
+        assert containers["LAI"]["_FillValue"] == -1.0
+
+    def test_quotes_escaped(self, lai_dataset):
+        lai_dataset.attributes["note"] = 'says "hi"'
+        containers = parse_das(render_das(lai_dataset))
+        assert containers["NC_GLOBAL"]["note"] == 'says "hi"'
+
+    def test_parse_rejects_junk(self):
+        with pytest.raises(DapError):
+            parse_das("nope")
+
+
+class TestDODS:
+    def test_roundtrip(self, lai_dataset):
+        blob = encode_dods(lai_dataset)
+        back = decode_dods(blob)
+        assert back.name == "LAI"
+        assert back["LAI"].shape == (4, 5, 6)
+        np.testing.assert_array_equal(
+            back["LAI"].data, lai_dataset["LAI"].data
+        )
+        assert back["time"].attributes["units"] == "days since 2018-01-01"
+
+    def test_bad_magic(self):
+        with pytest.raises(DapError):
+            decode_dods(b"HTTP not dods")
+
+    def test_string_variable_roundtrip(self):
+        from repro.opendap import DapDataset
+
+        ds = DapDataset("s")
+        ds.add_variable(
+            "names", ["i"], np.array(["a", "b"], dtype=object), {}
+        )
+        back = decode_dods(encode_dods(ds))
+        assert list(back["names"].data) == ["a", "b"]
+
+
+class TestConstraints:
+    def test_parse_projection_hyperslabs(self):
+        ce = parse_constraint("LAI[0:1][2:4][0:2:5],time")
+        assert len(ce.projections) == 2
+        slabs = ce.projections[0].slabs
+        assert (slabs[0].start, slabs[0].stop) == (0, 1)
+        assert slabs[2].stride == 2
+
+    def test_parse_selections(self):
+        ce = parse_constraint("LAI&time>=10&lat<48.9")
+        assert len(ce.selections) == 2
+        assert ce.selections[0].op == ">="
+
+    def test_parse_selection_only(self):
+        ce = parse_constraint("time>=10")
+        assert not ce.projections
+        assert len(ce.selections) == 1
+
+    def test_parse_empty(self):
+        assert parse_constraint("").is_empty
+
+    def test_parse_bad_clause(self):
+        with pytest.raises(DapError):
+            parse_constraint("LAI[[0]")
+        with pytest.raises(DapError):
+            parse_constraint("LAI&time~~3")
+
+    def test_canonical_is_order_insensitive(self):
+        a = parse_constraint("b,a&t>1&s<2").canonical()
+        b = parse_constraint("a,b&s<2&t>1").canonical()
+        assert a == b
+
+    def test_apply_projection(self, lai_dataset):
+        ce = parse_constraint("LAI[0:1][0:4][0:5]")
+        subset = apply_constraint(lai_dataset, ce)
+        assert subset["LAI"].shape == (2, 5, 6)
+        # coordinate variables dragged along and sliced
+        assert subset["time"].shape == (2,)
+        assert "lat" in subset
+
+    def test_apply_selection(self, lai_dataset):
+        ce = parse_constraint("LAI&time>=10&time<=20")
+        subset = apply_constraint(lai_dataset, ce)
+        assert subset["LAI"].shape == (2, 5, 6)
+        assert list(subset["time"].data) == [10, 20]
+
+    def test_apply_selection_on_latitude(self, lai_dataset):
+        ce = parse_constraint("LAI&lat>48.85")
+        subset = apply_constraint(lai_dataset, ce)
+        assert subset["LAI"].shape[1] < 5
+        assert (subset["lat"].data > 48.85).all()
+
+    def test_selection_on_grid_variable_rejected(self, lai_dataset):
+        with pytest.raises(DapError):
+            apply_constraint(lai_dataset, parse_constraint("LAI&LAI>3"))
+
+    def test_unknown_projection_rejected(self, lai_dataset):
+        with pytest.raises(DapError):
+            apply_constraint(lai_dataset, parse_constraint("NDVI"))
+
+    def test_hyperslab_arity_mismatch(self, lai_dataset):
+        with pytest.raises(DapError):
+            apply_constraint(lai_dataset, parse_constraint("LAI[0:1]"))
+
+    def test_inclusive_stop(self, lai_dataset):
+        ce = parse_constraint("time[1:2]")
+        subset = apply_constraint(lai_dataset, ce)
+        assert list(subset["time"].data) == [10, 20]

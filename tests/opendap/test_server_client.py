@@ -1,0 +1,137 @@
+"""End-to-end DAP server/client tests, cache behaviour, latency model."""
+
+import numpy as np
+import pytest
+
+from repro.opendap import (
+    DapCache,
+    DapError,
+    DapServer,
+    LatencyModel,
+    ServerRegistry,
+    open_url,
+)
+
+
+@pytest.fixture
+def registry(lai_dataset):
+    reg = ServerRegistry()
+    server = DapServer("vito.example", latency=LatencyModel(sleep=False))
+    server.mount("Copernicus/LAI", lai_dataset)
+    reg.register(server)
+    return reg
+
+
+def test_open_url_metadata_only(registry):
+    remote = open_url("dap://vito.example/Copernicus/LAI", registry)
+    assert set(remote.variable_names) == {"time", "lat", "lon", "LAI"}
+    assert remote.dims_of("LAI") == [("time", 4), ("lat", 5), ("lon", 6)]
+    assert remote.global_attributes()["institution"] == "VITO"
+    server, __ = registry.resolve("dap://vito.example/Copernicus/LAI")
+    # only .dds and .das were requested
+    assert [s for __, s in server.access_log] == ["dds", "das"]
+
+
+def test_fetch_full_and_subset(registry):
+    remote = open_url("dap://vito.example/Copernicus/LAI", registry)
+    full = remote.fetch()
+    assert full["LAI"].shape == (4, 5, 6)
+    subset = remote.fetch("LAI[0:0][0:4][0:5]")
+    assert subset["LAI"].shape == (1, 5, 6)
+    # attributes reattached from DAS
+    assert subset["LAI"].attributes["units"] == "m2/m2"
+
+
+def test_times_decoding(registry):
+    remote = open_url("dap://vito.example/Copernicus/LAI", registry)
+    times = remote.times()
+    assert len(times) == 4
+    assert times[1].day == 11
+
+
+def test_unknown_host_and_path(registry):
+    with pytest.raises(DapError):
+        open_url("dap://nowhere.example/x", registry)
+    with pytest.raises(DapError):
+        open_url("dap://vito.example/missing", registry)
+
+
+def test_bad_service_suffix(registry):
+    server, __ = registry.resolve("dap://vito.example/Copernicus/LAI")
+    with pytest.raises(DapError):
+        server.request("Copernicus/LAI.jpeg")
+
+
+def test_ascii_service(registry):
+    server, __ = registry.resolve("dap://vito.example/Copernicus/LAI")
+    body = server.request("Copernicus/LAI.ascii?time").decode()
+    assert "time" in body
+
+
+def test_factory_mount(lai_dataset):
+    calls = []
+
+    def factory():
+        calls.append(1)
+        return lai_dataset
+
+    server = DapServer("x.example")
+    server.mount("dyn", factory)
+    server.request("dyn.dds")
+    server.request("dyn.dds")
+    assert len(calls) == 2  # factory re-evaluated per request
+
+
+def test_latency_accounting(registry):
+    server, __ = registry.resolve("dap://vito.example/Copernicus/LAI")
+    server.latency = LatencyModel(base_s=0.01, per_mb_s=1.0, sleep=False)
+    remote = open_url("dap://vito.example/Copernicus/LAI", registry)
+    remote.fetch()
+    assert server.latency.request_count == 3  # dds, das, dods
+    assert server.latency.bytes_served > 0
+    assert server.latency.total_simulated_s > 0.03
+
+
+def test_cache_hits_for_identical_constraint(registry):
+    cache = DapCache(ttl_s=600)
+    remote = open_url("dap://vito.example/Copernicus/LAI", registry,
+                      cache=cache)
+    server, __ = registry.resolve("dap://vito.example/Copernicus/LAI")
+    before = server.latency.request_count
+    remote.fetch("LAI[0:1][0:4][0:5]")
+    remote.fetch("LAI[0:1][0:4][0:5]")
+    after = server.latency.request_count
+    assert after - before == 1  # second fetch served from cache
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_cache_ttl_expiry(registry):
+    now = [0.0]
+    cache = DapCache(ttl_s=10, clock=lambda: now[0])
+    remote = open_url("dap://vito.example/Copernicus/LAI", registry,
+                      cache=cache)
+    remote.fetch("time")
+    now[0] = 5.0
+    remote.fetch("time")
+    assert cache.hits == 1
+    now[0] = 20.0
+    remote.fetch("time")
+    assert cache.misses == 2  # expired entry refetched
+
+
+def test_cache_key_is_canonical(registry):
+    cache = DapCache()
+    remote = open_url("dap://vito.example/Copernicus/LAI", registry,
+                      cache=cache)
+    remote.fetch("LAI&time>=10&lat>48.85")
+    remote.fetch("LAI&lat>48.85&time>=10")  # same meaning, reordered
+    assert cache.hits == 1
+
+
+def test_paths_listing(registry, lai_dataset):
+    server, __ = registry.resolve("dap://vito.example/Copernicus/LAI")
+    server.mount("Copernicus/NDVI", lai_dataset)
+    server.mount("ProbaV/S5-NDVI", lai_dataset)
+    assert server.paths("Copernicus/*") == ["Copernicus/LAI",
+                                            "Copernicus/NDVI"]
+    assert len(server.paths()) == 3

@@ -1,0 +1,87 @@
+"""Namespace and NamespaceManager tests."""
+
+import pytest
+
+from repro.rdf import (
+    DCTERMS,
+    GEO,
+    IRI,
+    Namespace,
+    NamespaceManager,
+    PREFIXES,
+)
+
+
+class TestNamespace:
+    def test_attribute_minting(self):
+        ns = Namespace("http://example.org/ont#")
+        assert ns.Park == IRI("http://example.org/ont#Park")
+        assert isinstance(ns.Park, IRI)
+
+    def test_item_minting(self):
+        ns = Namespace("http://example.org/ont#")
+        assert ns["has name"] == IRI("http://example.org/ont#has name")
+
+    def test_str_method_shadowing(self):
+        """dcterms:title/format/index must mint IRIs, not call str."""
+        assert DCTERMS.title == IRI("http://purl.org/dc/terms/title")
+        assert DCTERMS.format == IRI("http://purl.org/dc/terms/format")
+        assert DCTERMS.index == IRI("http://purl.org/dc/terms/index")
+
+    def test_contains(self):
+        assert str(GEO.asWKT) in GEO
+        assert "http://elsewhere/x" not in GEO
+
+    def test_underscore_attributes_raise(self):
+        with pytest.raises(AttributeError):
+            Namespace("http://x/")._private
+
+    def test_integer_indexing_still_slices(self):
+        ns = Namespace("http://x/")
+        assert ns[0] == "h"
+
+
+class TestNamespaceManager:
+    def test_defaults_bound(self):
+        manager = NamespaceManager()
+        for prefix in ("rdf", "geo", "geof", "xsd", "lai", "clc"):
+            assert prefix in manager
+
+    def test_expand(self):
+        manager = NamespaceManager()
+        assert manager.expand("geo:asWKT") == GEO.asWKT
+        with pytest.raises(ValueError):
+            manager.expand("nosuch:thing")
+        with pytest.raises(ValueError):
+            manager.expand("notaqname")
+
+    def test_qname_longest_match_wins(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("a", "http://example.org/")
+        manager.bind("b", "http://example.org/deep/")
+        assert manager.qname("http://example.org/deep/x") == "b:x"
+        assert manager.qname("http://example.org/x") == "a:x"
+
+    def test_qname_rejects_unsafe_locals(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("ex", "http://example.org/")
+        assert manager.qname("http://example.org/a/b") is None
+        assert manager.qname("http://example.org/") is None
+
+    def test_rebind_replaces(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("ex", "http://one/")
+        manager.bind("ex", "http://two/")
+        assert manager.expand("ex:x") == IRI("http://two/x")
+        assert manager.qname("http://one/x") is None
+
+    def test_bind_no_replace(self):
+        manager = NamespaceManager(bind_defaults=False)
+        manager.bind("ex", "http://one/")
+        manager.bind("ex", "http://two/", replace=False)
+        assert manager.expand("ex:x") == IRI("http://one/x")
+
+    def test_prefix_table_consistent(self):
+        for prefix, ns in PREFIXES.items():
+            manager = NamespaceManager()
+            assert manager.expand(f"{prefix}:x") == IRI(str(ns) + "x")

@@ -1,0 +1,113 @@
+"""Property-based tests for RDF serialization round trips."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf import (
+    BNode,
+    Graph,
+    IRI,
+    Literal,
+    XSD,
+    parse_ntriples,
+    parse_rdfxml,
+    parse_turtle,
+    serialize_ntriples,
+    serialize_rdfxml,
+    serialize_turtle,
+)
+
+iri_local = st.text(
+    alphabet=string.ascii_letters + string.digits, min_size=1, max_size=12
+)
+iris = iri_local.map(lambda s: IRI("http://example.org/" + s))
+# predicates must have XML-name local parts so RDF/XML can express them
+predicate_iris = iri_local.map(
+    lambda s: IRI("http://example.org/p" + s)
+)
+bnodes = iri_local.map(lambda s: BNode("b" + s))
+
+plain_text = st.text(
+    alphabet=st.characters(
+        blacklist_categories=("Cs", "Cc"), max_codepoint=0x2FFF
+    ),
+    max_size=40,
+)
+
+literals = st.one_of(
+    plain_text.map(Literal),
+    st.integers(min_value=-10**9, max_value=10**9).map(Literal),
+    st.booleans().map(Literal),
+    plain_text.map(lambda s: Literal(s, lang="fr")),
+    plain_text.map(lambda s: Literal(s, datatype=XSD.token)),
+)
+
+subjects = st.one_of(iris, bnodes)
+objects = st.one_of(iris, bnodes, literals)
+
+
+@st.composite
+def graphs(draw):
+    g = Graph()
+    n = draw(st.integers(min_value=0, max_value=12))
+    for __ in range(n):
+        g.add(draw(subjects), draw(predicate_iris), draw(objects))
+    return g
+
+
+@given(graphs())
+@settings(max_examples=60)
+def test_ntriples_roundtrip(g):
+    assert parse_ntriples(serialize_ntriples(g)) == g
+
+
+@given(graphs())
+@settings(max_examples=60)
+def test_turtle_roundtrip(g):
+    assert parse_turtle(serialize_turtle(g)) == g
+
+
+@given(graphs())
+@settings(max_examples=40)
+def test_rdfxml_roundtrip(g):
+    assert parse_rdfxml(serialize_rdfxml(g)) == g
+
+
+@given(graphs())
+@settings(max_examples=40)
+def test_pattern_union_covers_graph(g):
+    """Every triple is reachable via each single-position pattern."""
+    for t in g:
+        assert t in set(g.triples((t.s, None, None)))
+        assert t in set(g.triples((None, t.p, None)))
+        assert t in set(g.triples((None, None, t.o)))
+
+
+@given(graphs())
+@settings(max_examples=40)
+def test_remove_then_empty(g):
+    for t in list(g):
+        g.remove(t)
+    assert len(g) == 0
+    assert list(g.triples((None, None, None))) == []
+
+
+def test_rdfxml_unserializable_predicate_raises():
+    """Digit-only local names cannot be XML element names."""
+    import pytest
+
+    g = Graph()
+    g.add(IRI("http://example.org/s"), IRI("http://example.org/0"),
+          IRI("http://example.org/o"))
+    with pytest.raises(ValueError):
+        serialize_rdfxml(g)
+
+
+@given(literals)
+def test_literal_n3_ntriples_roundtrip(lit):
+    g = Graph()
+    g.add(IRI("http://s"), IRI("http://p"), lit)
+    back = parse_ntriples(serialize_ntriples(g))
+    assert next(iter(back)).o == lit

@@ -1,0 +1,214 @@
+"""RDFS reasoner and RDF crawler tests (§3.1 features)."""
+
+import pytest
+
+from repro.rdf import (
+    DocumentStore,
+    Graph,
+    IRI,
+    Literal,
+    OWL,
+    RDF,
+    RDFS,
+    RdfCrawler,
+    Triple,
+    materialize_inferences,
+    rdfs_closure,
+    sniff_format,
+)
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+class TestReasoner:
+    def test_type_inheritance(self):
+        g = Graph()
+        g.add(ex("Park"), RDFS.subClassOf, ex("GreenSpace"))
+        g.add(ex("bois"), RDF.type, ex("Park"))
+        inferred = rdfs_closure(g)
+        assert (ex("bois"), RDF.type, ex("GreenSpace")) in inferred
+
+    def test_subclass_transitivity(self):
+        g = Graph()
+        g.add(ex("A"), RDFS.subClassOf, ex("B"))
+        g.add(ex("B"), RDFS.subClassOf, ex("C"))
+        g.add(ex("x"), RDF.type, ex("A"))
+        inferred = rdfs_closure(g)
+        assert (ex("A"), RDFS.subClassOf, ex("C")) in inferred
+        assert (ex("x"), RDF.type, ex("C")) in inferred
+
+    def test_deep_chain(self):
+        g = Graph()
+        for i in range(6):
+            g.add(ex(f"C{i}"), RDFS.subClassOf, ex(f"C{i + 1}"))
+        g.add(ex("x"), RDF.type, ex("C0"))
+        materialize_inferences(g)
+        assert (ex("x"), RDF.type, ex("C6")) in g
+
+    def test_subproperty_inheritance(self):
+        g = Graph()
+        g.add(ex("hasCorineValue"), RDFS.subPropertyOf, ex("hasLandCover"))
+        g.add(ex("area1"), ex("hasCorineValue"), ex("Forests"))
+        inferred = rdfs_closure(g)
+        assert (ex("area1"), ex("hasLandCover"), ex("Forests")) in inferred
+
+    def test_domain_and_range(self):
+        g = Graph()
+        g.add(ex("hasName"), RDFS.domain, ex("Feature"))
+        g.add(ex("locatedIn"), RDFS.range, ex("Place"))
+        g.add(ex("bois"), ex("hasName"), Literal("Bois"))
+        g.add(ex("bois"), ex("locatedIn"), ex("paris"))
+        inferred = rdfs_closure(g)
+        assert (ex("bois"), RDF.type, ex("Feature")) in inferred
+        assert (ex("paris"), RDF.type, ex("Place")) in inferred
+
+    def test_range_skips_literals(self):
+        g = Graph()
+        g.add(ex("hasName"), RDFS.range, ex("Name"))
+        g.add(ex("bois"), ex("hasName"), Literal("Bois"))
+        inferred = rdfs_closure(g)
+        assert not list(inferred.triples((None, RDF.type, ex("Name"))))
+
+    def test_closure_is_idempotent(self):
+        g = Graph()
+        g.add(ex("A"), RDFS.subClassOf, ex("B"))
+        g.add(ex("x"), RDF.type, ex("A"))
+        first = materialize_inferences(g)
+        second = materialize_inferences(g)
+        assert first > 0
+        assert second == 0
+
+    def test_inference_enables_query(self):
+        """The ontology crosswalk scenario: query by superclass."""
+        from repro.core import corine_ontology
+        from repro.rdf import CLC
+
+        g = corine_ontology()
+        g.add(ex("area9"), RDF.type, CLC.GreenUrbanAreas)
+        materialize_inferences(g)
+        res = g.query(
+            "PREFIX clc: <http://www.app-lab.eu/corine/> "
+            "SELECT ?a WHERE { ?a a clc:CorineValue }"
+        )
+        assert any(str(r["a"]) == EX + "area9" for r in res)
+
+
+class TestSniff:
+    def test_turtle(self):
+        assert sniff_format("@prefix ex: <http://x/> .") == "turtle"
+
+    def test_rdfxml(self):
+        assert sniff_format('<?xml version="1.0"?><rdf:RDF/>') == "rdfxml"
+
+    def test_ntriples(self):
+        assert sniff_format("<http://s> <http://p> <http://o> .") == \
+            "ntriples"
+
+
+class TestCrawler:
+    def build_store(self):
+        store = DocumentStore()
+        store.put(
+            EX + "doc1",
+            f"""
+            @prefix ex: <{EX}> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            ex:lai-dataset ex:hasTitle "LAI" ;
+                rdfs:seeAlso <{EX}doc2> .
+            """,
+            "turtle",
+        )
+        store.put(
+            EX + "doc2",
+            f'<{EX}lai-dataset> <{EX}provider> <{EX}vito> .\n'
+            f'<{EX}vito> <http://www.w3.org/2000/01/rdf-schema#seeAlso> '
+            f'<{EX}doc3> .\n',
+            # no declared format — sniffed as ntriples
+        )
+        g3 = Graph()
+        g3.add(ex("vito"), ex("country"), Literal("BE"))
+        store.put(EX + "doc3", g3.serialize("xml"), "rdfxml")
+        return store
+
+    def test_crawl_follows_seealso(self):
+        crawler = RdfCrawler(self.build_store())
+        graph, report = crawler.crawl([EX + "doc1"])
+        assert report.fetched == [EX + "doc1", EX + "doc2", EX + "doc3"]
+        assert graph.value(ex("vito"), ex("country")) == Literal("BE")
+        assert not report.failed
+
+    def test_max_depth(self):
+        crawler = RdfCrawler(self.build_store(), max_depth=1)
+        graph, report = crawler.crawl([EX + "doc1"])
+        assert EX + "doc3" not in report.fetched
+
+    def test_bad_document_recorded_not_fatal(self):
+        store = self.build_store()
+        store.put(EX + "doc2", "this is {not} RDF at all !!!", "turtle")
+        crawler = RdfCrawler(store)
+        graph, report = crawler.crawl([EX + "doc1"])
+        assert EX + "doc2" in report.failed
+        assert EX + "doc1" in report.fetched
+
+    def test_missing_document_recorded(self):
+        store = DocumentStore()
+        store.put(EX + "a", f"@prefix ex: <{EX}> . ex:x "
+                            f"<http://www.w3.org/2000/01/rdf-schema#seeAlso>"
+                            f" <{EX}ghost> .")
+        graph, report = RdfCrawler(store).crawl([EX + "a"])
+        assert report.failed[EX + "ghost"] == "not found"
+
+    def test_crawl_with_reasoning(self):
+        store = DocumentStore()
+        store.put(
+            EX + "onto",
+            f"""
+            @prefix ex: <{EX}> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            ex:Park rdfs:subClassOf ex:GreenSpace .
+            ex:bois a ex:Park .
+            """,
+        )
+        graph, report = RdfCrawler(store).crawl(
+            [EX + "onto"], reason=True
+        )
+        assert report.inferred_triples > 0
+        assert (ex("bois"), RDF.type, ex("GreenSpace")) in graph
+
+    def test_construct_crosswalk(self):
+        """CONSTRUCT-based metadata crosswalk (ACDD title → dc title)."""
+        store = DocumentStore()
+        store.put(
+            EX + "meta",
+            f'@prefix ex: <{EX}> . ex:ds ex:acddTitle "LAI dekads" .',
+        )
+        crosswalk = f"""
+        PREFIX ex: <{EX}>
+        PREFIX dcterms: <http://purl.org/dc/terms/>
+        CONSTRUCT {{ ?d dcterms:title ?t }} WHERE {{ ?d ex:acddTitle ?t }}
+        """
+        graph, report = RdfCrawler(store).crawl(
+            [EX + "meta"], crosswalk_queries=[crosswalk]
+        )
+        assert report.constructed_triples == 1
+        from repro.rdf import DCTERMS
+
+        assert graph.value(ex("ds"), DCTERMS.title) == \
+            Literal("LAI dekads")
+
+    def test_document_cap(self):
+        store = DocumentStore()
+        for i in range(10):
+            store.put(
+                EX + f"d{i}",
+                f'<{EX}x{i}> '
+                f'<http://www.w3.org/2000/01/rdf-schema#seeAlso> '
+                f'<{EX}d{i + 1}> .\n',
+            )
+        crawler = RdfCrawler(store, max_documents=4, max_depth=20)
+        graph, report = crawler.crawl([EX + "d0"])
+        assert len(report.fetched) == 4

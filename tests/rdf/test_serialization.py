@@ -1,0 +1,202 @@
+"""N-Triples / Turtle / RDF/XML round-trip tests."""
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    Graph,
+    IRI,
+    Literal,
+    ParseError,
+    RDF,
+    Triple,
+    XSD,
+    parse_ntriples,
+    parse_rdfxml,
+    parse_turtle,
+    serialize_ntriples,
+    serialize_rdfxml,
+    serialize_turtle,
+)
+
+EX = "http://example.org/"
+
+
+def sample_graph():
+    g = Graph()
+    g.bind("ex", EX)
+    g.add(IRI(EX + "paris"), RDF.type, IRI(EX + "City"))
+    g.add(IRI(EX + "paris"), IRI(EX + "name"), Literal("Paris", lang="fr"))
+    g.add(IRI(EX + "paris"), IRI(EX + "pop"), Literal(2148000))
+    g.add(
+        IRI(EX + "paris"),
+        IRI(EX + "area"),
+        Literal("105.4", datatype=XSD.decimal),
+    )
+    g.add(IRI(EX + "paris"), IRI(EX + "geom"), BNode("g1"))
+    return g
+
+
+class TestNTriples:
+    def test_roundtrip(self):
+        g = sample_graph()
+        text = serialize_ntriples(g)
+        g2 = parse_ntriples(text)
+        assert g2 == g
+
+    def test_parse_comments_and_blanks(self):
+        text = "# comment\n\n<http://s> <http://p> <http://o> .\n"
+        g = parse_ntriples(text)
+        assert len(g) == 1
+
+    def test_parse_escapes(self):
+        text = '<http://s> <http://p> "line1\\nline2\\t\\"q\\"" .'
+        g = parse_ntriples(text)
+        lit = next(iter(g)).o
+        assert lit.lexical == 'line1\nline2\t"q"'
+
+    def test_parse_unicode_escape(self):
+        text = '<http://s> <http://p> "caf\\u00e9" .'
+        g = parse_ntriples(text)
+        assert next(iter(g)).o.lexical == "café"
+
+    def test_parse_typed_and_lang(self):
+        text = (
+            '<http://s> <http://p> "1"^^<http://www.w3.org/2001/XMLSchema#integer> .\n'
+            '<http://s> <http://p> "chat"@fr .\n'
+        )
+        g = parse_ntriples(text)
+        objs = set(g.objects())
+        assert Literal(1) in objs
+        assert Literal("chat", lang="fr") in objs
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<http://s> <http://p> .",
+            "<http://s> <http://p> <http://o>",
+            '"lit" <http://p> <http://o> .',
+            "<http://s> <http://p> <http://o> extra .",
+        ],
+    )
+    def test_malformed_raises(self, bad):
+        with pytest.raises(ParseError):
+            parse_ntriples(bad)
+
+
+class TestTurtle:
+    def test_roundtrip(self):
+        g = sample_graph()
+        text = serialize_turtle(g)
+        g2 = parse_turtle(text)
+        assert g2 == g
+
+    def test_prefixes_and_a(self):
+        text = """
+        @prefix ex: <http://example.org/> .
+        ex:paris a ex:City ; ex:name "Paris"@fr .
+        """
+        g = parse_turtle(text)
+        assert Triple(IRI(EX + "paris"), RDF.type, IRI(EX + "City")) in g
+        assert g.value(IRI(EX + "paris"), IRI(EX + "name")) == Literal(
+            "Paris", lang="fr"
+        )
+
+    def test_object_lists(self):
+        text = """
+        @prefix ex: <http://example.org/> .
+        ex:s ex:p ex:a, ex:b, ex:c .
+        """
+        g = parse_turtle(text)
+        assert len(g) == 3
+
+    def test_numeric_shorthand(self):
+        text = """
+        @prefix ex: <http://example.org/> .
+        ex:s ex:i 42 ; ex:d 3.14 ; ex:e 1.0e3 ; ex:neg -7 .
+        """
+        g = parse_turtle(text)
+        values = {t.p.local_name: t.o for t in g}
+        assert values["i"] == Literal(42)
+        assert values["d"].datatype == XSD.decimal
+        assert values["e"].datatype == XSD.double
+        assert values["neg"] == Literal(-7)
+
+    def test_boolean_shorthand(self):
+        g = parse_turtle(
+            "@prefix ex: <http://example.org/> . ex:s ex:p true ; ex:q false ."
+        )
+        objs = {t.o for t in g}
+        assert Literal(True) in objs and Literal(False) in objs
+
+    def test_anonymous_bnode(self):
+        text = """
+        @prefix ex: <http://example.org/> .
+        ex:s ex:geom [ ex:wkt "POINT(1 2)" ] .
+        """
+        g = parse_turtle(text)
+        assert len(g) == 2
+        bnode = g.value(IRI(EX + "s"), IRI(EX + "geom"))
+        assert isinstance(bnode, BNode)
+        assert g.value(bnode, IRI(EX + "wkt")) == Literal("POINT(1 2)")
+
+    def test_typed_literal_with_pname_datatype(self):
+        text = """
+        @prefix ex: <http://example.org/> .
+        @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+        ex:s ex:p "2.5"^^xsd:float .
+        """
+        g = parse_turtle(text)
+        assert next(iter(g)).o.datatype == XSD.float
+
+    def test_long_string(self):
+        text = '@prefix ex: <http://example.org/> .\nex:s ex:p """multi\nline""" .'
+        g = parse_turtle(text)
+        assert next(iter(g)).o.lexical == "multi\nline"
+
+    def test_collection(self):
+        text = "@prefix ex: <http://example.org/> . ex:s ex:list (ex:a ex:b) ."
+        g = parse_turtle(text)
+        head = g.value(IRI(EX + "s"), IRI(EX + "list"))
+        assert g.value(head, RDF.first) == IRI(EX + "a")
+        rest = g.value(head, RDF.rest)
+        assert g.value(rest, RDF.first) == IRI(EX + "b")
+        assert g.value(rest, RDF.rest) == RDF.nil
+
+    def test_unknown_prefix_raises(self):
+        with pytest.raises(ParseError):
+            parse_turtle("nope:s nope:p nope:o .")
+
+    def test_trailing_semicolon(self):
+        g = parse_turtle(
+            "@prefix ex: <http://example.org/> . ex:s ex:p ex:o ; ."
+        )
+        assert len(g) == 1
+
+    def test_graph_parse_serialize_methods(self):
+        g = sample_graph()
+        text = g.serialize("turtle")
+        g2 = Graph().parse(text, format="turtle")
+        assert g2 == g
+        nt = g.serialize("nt")
+        assert Graph().parse(nt, format="nt") == g
+
+
+class TestRDFXML:
+    def test_roundtrip(self):
+        g = sample_graph()
+        text = serialize_rdfxml(g)
+        g2 = parse_rdfxml(text)
+        assert g2 == g
+
+    def test_language_and_datatype_attrs(self):
+        g = sample_graph()
+        text = serialize_rdfxml(g)
+        assert 'xml:lang="fr"' in text
+        assert "XMLSchema#decimal" in text
+
+    def test_serialize_format_dispatch(self):
+        g = sample_graph()
+        assert g.serialize("xml").startswith("<?xml")
+        with pytest.raises(ValueError):
+            g.serialize("json-ld-nope")

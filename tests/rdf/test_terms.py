@@ -1,0 +1,156 @@
+"""RDF term model tests."""
+
+from datetime import date, datetime, timezone
+
+import pytest
+
+from repro.rdf import (
+    BNode,
+    IRI,
+    Literal,
+    Triple,
+    XSD,
+    literal_cmp_key,
+    parse_datetime,
+    to_utc,
+)
+
+
+class TestIRI:
+    def test_is_string(self):
+        iri = IRI("http://example.org/a")
+        assert iri == "http://example.org/a"
+        assert iri.n3() == "<http://example.org/a>"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            IRI("")
+
+    def test_local_name(self):
+        assert IRI("http://example.org/ont#Park").local_name == "Park"
+        assert IRI("http://example.org/ont/Park").local_name == "Park"
+        assert IRI("urn:x").local_name == "urn:x"
+
+    def test_hashable_in_sets(self):
+        assert len({IRI("http://a"), IRI("http://a")}) == 1
+
+
+class TestBNode:
+    def test_autolabel_unique(self):
+        assert BNode() != BNode()
+
+    def test_explicit_label(self):
+        b = BNode("g1")
+        assert b == "g1"
+        assert b.n3() == "_:g1"
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            BNode("has space")
+
+
+class TestLiteral:
+    def test_plain(self):
+        lit = Literal("hello")
+        assert lit.value == "hello"
+        assert lit.n3() == '"hello"'
+
+    def test_integer_coercion(self):
+        lit = Literal(42)
+        assert lit.datatype == XSD.integer
+        assert lit.value == 42
+
+    def test_float_coercion(self):
+        lit = Literal(3.5)
+        assert lit.datatype == XSD.double
+        assert lit.value == 3.5
+
+    def test_boolean(self):
+        assert Literal(True).lexical == "true"
+        assert Literal("1", datatype=XSD.boolean).value is True
+        assert Literal("false", datatype=XSD.boolean).value is False
+
+    def test_datetime(self):
+        dt = datetime(2018, 6, 1, 12, 0, tzinfo=timezone.utc)
+        lit = Literal(dt)
+        assert lit.datatype == XSD.dateTime
+        assert lit.value == dt
+
+    def test_date(self):
+        lit = Literal(date(2012, 1, 1))
+        assert lit.datatype == XSD.date
+        assert lit.value == date(2012, 1, 1)
+
+    def test_lang_tag(self):
+        lit = Literal("Bois de Boulogne", lang="FR")
+        assert lit.lang == "fr"
+        assert lit.n3() == '"Bois de Boulogne"@fr'
+
+    def test_lang_and_datatype_conflict(self):
+        with pytest.raises(ValueError):
+            Literal("x", datatype=XSD.string, lang="en")
+
+    def test_equality_respects_datatype(self):
+        assert Literal("1") != Literal(1)
+        assert Literal("1", datatype=XSD.integer) == Literal(1)
+
+    def test_n3_escaping(self):
+        lit = Literal('say "hi"\nplease')
+        assert lit.n3() == '"say \\"hi\\"\\nplease"'
+
+    def test_is_numeric(self):
+        assert Literal(1).is_numeric
+        assert Literal("2.5", datatype=XSD.decimal).is_numeric
+        assert not Literal("x").is_numeric
+
+    def test_is_geometry(self):
+        from repro.rdf import GEO_WKT_LITERAL
+
+        assert Literal("POINT(0 0)", datatype=GEO_WKT_LITERAL).is_geometry
+        assert not Literal("POINT(0 0)").is_geometry
+
+
+class TestTriple:
+    def test_n3(self):
+        t = Triple(IRI("http://s"), IRI("http://p"), Literal("o"))
+        assert t.n3() == '<http://s> <http://p> "o" .'
+
+    def test_named_fields(self):
+        t = Triple(IRI("http://s"), IRI("http://p"), IRI("http://o"))
+        assert t.s == "http://s" and t.p == "http://p" and t.o == "http://o"
+
+
+class TestDatetimeHelpers:
+    def test_parse_z_suffix(self):
+        dt = parse_datetime("2018-06-01T00:00:00Z")
+        assert dt.tzinfo is not None
+        assert dt.hour == 0
+
+    def test_parse_fractional(self):
+        dt = parse_datetime("2018-06-01T12:30:45.5+02:00")
+        assert dt.microsecond == 500000
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            parse_datetime("June 2018")
+
+    def test_to_utc_naive(self):
+        dt = to_utc(datetime(2018, 1, 1, 12))
+        assert dt.tzinfo == timezone.utc
+
+
+class TestCmpKey:
+    def test_numeric_ordering(self):
+        lits = [Literal(3), Literal(1.5), Literal(2)]
+        ordered = sorted(lits, key=literal_cmp_key)
+        assert [l.value for l in ordered] == [1.5, 2, 3]
+
+    def test_mixed_types_do_not_crash(self):
+        lits = [Literal("b"), Literal(1), Literal(True),
+                Literal(datetime(2018, 1, 1))]
+        assert len(sorted(lits, key=literal_cmp_key)) == 4
+
+    def test_datetime_ordering(self):
+        a = Literal(datetime(2018, 1, 1, tzinfo=timezone.utc))
+        b = Literal(datetime(2019, 1, 1, tzinfo=timezone.utc))
+        assert literal_cmp_key(a) < literal_cmp_key(b)

@@ -1,0 +1,173 @@
+"""schema.org annotation + dataset search tests (experiment E10)."""
+
+import json
+
+import pytest
+
+from repro.geometry import Point, Polygon
+from repro.rdf import RDF, SDO, SDOEO
+from repro.schemaorg import (
+    DatasetAnnotation,
+    DatasetSearchEngine,
+    annotation_from_dap,
+    from_jsonld,
+    to_jsonld,
+    to_rdf,
+)
+
+
+def corine_annotation():
+    return DatasetAnnotation(
+        identifier="http://data.example/corine2012",
+        name="CORINE Land Cover 2012",
+        description="Land cover and land use inventory over 39 European "
+                    "countries in 44 classes",
+        keywords=["land cover", "land use", "CORINE"],
+        provider="European Environment Agency",
+        license="https://creativecommons.org/licenses/by/4.0/",
+        url="https://land.copernicus.eu/pan-european/corine-land-cover",
+        spatial=Polygon.box(-10.0, 35.0, 30.0, 60.0),
+        temporal_start="2011-01-01",
+        temporal_end="2012-12-31",
+        eo={"productType": "land cover", "thematicArea": "land",
+            "resolution": "100m"},
+    )
+
+
+def lai_annotation():
+    return DatasetAnnotation(
+        identifier="http://data.example/lai",
+        name="Copernicus Global Land LAI",
+        description="Leaf Area Index 10-daily composites from PROBA-V",
+        keywords=["LAI", "vegetation", "leaf area index"],
+        provider="VITO",
+        spatial=Polygon.box(-180, -60, 180, 80),
+        temporal_start="2014-01-01",
+        eo={"platform": "PROBA-V", "processingLevel": "L3",
+            "productType": "LAI", "thematicArea": "land"},
+    )
+
+
+class TestAnnotations:
+    def test_jsonld_structure(self):
+        doc = to_jsonld(corine_annotation())
+        assert doc["@type"] == "eo:EODataset"
+        assert doc["provider"]["name"] == "European Environment Agency"
+        assert doc["spatialCoverage"]["geo"]["box"] == "35.0 -10.0 60.0 30.0"
+        assert doc["temporalCoverage"] == "2011-01-01/2012-12-31"
+        assert doc["eo:productType"] == "land cover"
+        json.dumps(doc)  # must be serializable
+
+    def test_plain_dataset_without_eo(self):
+        ann = DatasetAnnotation("http://x", "plain")
+        assert to_jsonld(ann)["@type"] == "Dataset"
+
+    def test_jsonld_roundtrip(self):
+        original = corine_annotation()
+        back = from_jsonld(to_jsonld(original))
+        assert back.name == original.name
+        assert back.keywords == original.keywords
+        assert back.provider == original.provider
+        assert back.eo == original.eo
+        assert back.spatial.bounds == original.spatial.bounds
+        assert back.temporal_start == "2011-01-01"
+
+    def test_open_ended_temporal(self):
+        ann = lai_annotation()
+        doc = to_jsonld(ann)
+        assert doc["temporalCoverage"] == "2014-01-01/.."
+        assert from_jsonld(doc).temporal_end is None
+
+    def test_unknown_eo_property_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetAnnotation("http://x", "bad", eo={"warpDrive": "yes"})
+
+    def test_to_rdf(self):
+        g = to_rdf(corine_annotation())
+        subject = next(g.subjects(RDF.type, SDO.Dataset))
+        assert (subject, RDF.type, SDOEO.EODataset) in g
+        assert g.value(subject, SDOEO.productType).lexical == "land cover"
+        res = g.query(
+            "PREFIX sdo: <https://schema.org/> "
+            "SELECT ?name WHERE { ?d a sdo:Dataset ; sdo:name ?name }"
+        )
+        assert res.rows[0]["name"].lexical == "CORINE Land Cover 2012"
+
+    def test_annotation_from_dap(self):
+        attrs = {
+            "title": "LAI", "summary": "leaf area", "institution": "VITO",
+            "keywords": "LAI, vegetation",
+            "time_coverage_start": "2018-06-01",
+        }
+        ann = annotation_from_dap("dap://vito/LAI", attrs,
+                                  spatial=Polygon.box(2, 48, 3, 49),
+                                  eo={"platform": "PROBA-V"})
+        assert ann.name == "LAI"
+        assert ann.keywords == ["LAI", "vegetation"]
+        assert ann.eo["platform"] == "PROBA-V"
+
+
+class TestSearch:
+    @pytest.fixture
+    def engine(self):
+        engine = DatasetSearchEngine()
+        engine.index(corine_annotation())
+        engine.index(lai_annotation())
+        engine.index(
+            DatasetAnnotation(
+                identifier="http://data.example/urbanatlas",
+                name="Urban Atlas 2012",
+                description="Land use for European urban areas",
+                keywords=["land use", "urban"],
+                provider="European Environment Agency",
+                spatial=Polygon.box(-10.0, 35.0, 30.0, 60.0),
+                eo={"thematicArea": "land"},
+            )
+        )
+        return engine
+
+    def test_keyword_search(self, engine):
+        hits = engine.search("land cover")
+        assert hits
+        assert hits[0].annotation.name == "CORINE Land Cover 2012"
+
+    def test_provider_filter(self, engine):
+        hits = engine.search("land", provider="European Environment Agency")
+        names = {h.annotation.name for h in hits}
+        assert "Copernicus Global Land LAI" not in names
+        assert len(names) == 2
+
+    def test_spatial_filter(self, engine):
+        # Torino is inside the pan-European box; somewhere mid-Pacific not
+        hits = engine.search("land", covering=Point(7.686, 45.07))
+        assert len(hits) >= 2
+        # Antarctica is outside even the global LAI coverage (-60..80)
+        hits = engine.search("land cover", covering=Point(-150.0, -85.0))
+        assert hits == []
+
+    def test_jsonld_indexing(self, engine):
+        engine.index_jsonld(to_jsonld(
+            DatasetAnnotation("http://x/burnt", "Burnt Area 300m",
+                              keywords=["fire", "burnt area"])
+        ))
+        assert engine.search("burnt")[0].annotation.name == "Burnt Area 300m"
+
+    def test_the_torino_question(self, engine):
+        """The paper's flagship question answers 'yes' with CORINE."""
+        yes, hits = engine.answer(
+            "Is there a land cover dataset produced by the European "
+            "Environment Agency covering the area of Torino, Italy?"
+        )
+        assert yes
+        assert hits[0].annotation.name == "CORINE Land Cover 2012"
+
+    def test_negative_question(self, engine):
+        yes, hits = engine.answer(
+            "Is there an ocean salinity dataset covering Torino?"
+        )
+        assert not yes
+
+    def test_question_without_place(self, engine):
+        yes, hits = engine.answer("any vegetation dataset?")
+        assert yes
+        assert hits[0].annotation.name == "Copernicus Global Land LAI"

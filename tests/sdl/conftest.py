@@ -1,0 +1,50 @@
+"""Shared SDL fixtures: a mounted MEP with LAI + NDVI products."""
+
+from datetime import date
+
+import pytest
+
+from repro.opendap import ServerRegistry
+from repro.sdl import StreamingDataLibrary, TokenAuthority
+from repro.vito import (
+    GlobalLandArchive,
+    LAI_SPEC,
+    MepDeployment,
+    NDVI_SPEC,
+    dekad_dates,
+    generate_product,
+)
+
+
+@pytest.fixture
+def mep_registry():
+    archive = GlobalLandArchive()
+    for day in dekad_dates(date(2018, 5, 1), 6):  # May..June+ dekads
+        archive.publish("LAI", day, 0,
+                        generate_product(LAI_SPEC, day, cloud_fraction=0.05))
+        archive.publish("NDVI", day, 0,
+                        generate_product(NDVI_SPEC, day, cloud_fraction=0.0))
+    mep = MepDeployment(archive, host="vito.test")
+    mep.mount_all()
+    registry = ServerRegistry()
+    registry.register(mep.server)
+    return registry, mep, archive
+
+
+@pytest.fixture
+def sdl(mep_registry):
+    registry, mep, archive = mep_registry
+    sdl = StreamingDataLibrary(registry)
+    sdl.register_dataset("LAI", "dap://vito.test/Copernicus/LAI")
+    sdl.register_dataset("NDVI", "dap://vito.test/Copernicus/NDVI")
+    return sdl
+
+
+@pytest.fixture
+def authed_sdl(mep_registry):
+    registry, mep, archive = mep_registry
+    auth = TokenAuthority()
+    sdl = StreamingDataLibrary(registry, auth=auth)
+    sdl.register_dataset("LAI", "dap://vito.test/Copernicus/LAI")
+    token = auth.register("dev@app-camp.eu")
+    return sdl, auth, token

@@ -1,0 +1,227 @@
+"""Cloud analytics and Maps-API tests."""
+
+from datetime import date, datetime, timezone
+
+import numpy as np
+import pytest
+
+from repro.opendap import DapDataset, DapServer, ServerRegistry
+from repro.sdl import (
+    MapsApi,
+    MapsApiError,
+    RamaniCloudAnalytics,
+    SdlError,
+    StreamingDataLibrary,
+)
+
+
+class TestAnalytics:
+    def test_moving_average_smooths(self, sdl):
+        analytics = RamaniCloudAnalytics(sdl)
+        raw = sdl.fetch_window("NDVI", "NDVI")
+        smoothed = analytics.moving_average("NDVI", "NDVI", window=3)
+        assert smoothed["NDVI"].shape == raw["NDVI"].shape
+        # a moving average has smaller temporal variance
+        raw_std = np.nanstd(np.diff(raw["NDVI"].data, axis=0))
+        smooth_std = np.nanstd(np.diff(smoothed["NDVI"].data, axis=0))
+        assert smooth_std < raw_std
+
+    def test_moving_average_bad_window(self, sdl):
+        with pytest.raises(ValueError):
+            RamaniCloudAnalytics(sdl).moving_average("NDVI", "NDVI", window=0)
+
+    def test_seasonal_average_plane(self, sdl):
+        analytics = RamaniCloudAnalytics(sdl)
+        summer = analytics.seasonal_average("NDVI", "NDVI", months=(6,))
+        assert summer["NDVI"].dims == ("lat", "lon")
+        # June values exceed the May mean (seasonal cycle rising)
+        may = analytics.seasonal_average("NDVI", "NDVI", months=(5,))
+        assert np.nanmean(summer["NDVI"].data) > np.nanmean(
+            may["NDVI"].data
+        )
+
+    def test_seasonal_average_no_months(self, sdl):
+        with pytest.raises(SdlError):
+            RamaniCloudAnalytics(sdl).seasonal_average(
+                "NDVI", "NDVI", months=(12,)
+            )
+
+    def test_spatial_mean_city_average(self, sdl):
+        analytics = RamaniCloudAnalytics(sdl)
+        series = analytics.spatial_mean(
+            "NDVI", "NDVI", bbox=(2.3, 48.83, 2.4, 48.9)
+        )
+        assert len(series) == 6
+        assert all(np.isfinite(v) for __, v in series)
+        # rising through spring
+        assert series[-1][1] > series[0][1]
+
+    def test_find_variable_by_name(self, sdl):
+        analytics = RamaniCloudAnalytics(sdl)
+        dataset, variable = analytics.find_variable(has_name="leaf area")
+        assert (dataset, variable) == ("LAI", "LAI")
+
+    def test_find_variable_by_unit(self, sdl):
+        analytics = RamaniCloudAnalytics(sdl)
+        dataset, variable = analytics.find_variable(has_unit="m2/m2")
+        assert variable == "LAI"
+
+    def test_find_variable_no_match(self, sdl):
+        with pytest.raises(SdlError):
+            RamaniCloudAnalytics(sdl).find_variable(has_unit="kelvin")
+
+    def test_semantic_analysis_survives_source_swap(self, mep_registry):
+        """Register analysis by hasUnit; swap source; rerun — §3.1."""
+        registry, mep, archive = mep_registry
+        sdl = StreamingDataLibrary(registry)
+        sdl.register_dataset("LAI", "dap://vito.test/Copernicus/LAI")
+        analytics = RamaniCloudAnalytics(sdl)
+        analytics.register_analysis(
+            "city_green", "spatial_mean", has_unit="m2/m2"
+        )
+        first = analytics.run_analysis("city_green")
+        assert len(first) == 6
+        # A new provider exposes the same physical variable: PROBA-V LAI.
+        from repro.vito import LAI_SPEC, generate_product
+
+        archive.publish("LAI2", date(2018, 8, 1), 0,
+                        generate_product(LAI_SPEC, date(2018, 8, 1),
+                                         cloud_fraction=0))
+        mep.mount_product("LAI2")
+        sdl2 = StreamingDataLibrary(registry)
+        sdl2.register_dataset("PROBAV_LAI",
+                              "dap://vito.test/Copernicus/LAI2")
+        analytics2 = RamaniCloudAnalytics(sdl2)
+        analytics2.register_analysis(
+            "city_green", "spatial_mean", has_unit="m2/m2"
+        )
+        second = analytics2.run_analysis("city_green")
+        assert len(second) == 1  # found the replacement source unaided
+
+    def test_unknown_analysis(self, sdl):
+        with pytest.raises(SdlError):
+            RamaniCloudAnalytics(sdl).run_analysis("nope")
+
+    def test_register_bad_operation(self, sdl):
+        with pytest.raises(ValueError):
+            RamaniCloudAnalytics(sdl).register_analysis(
+                "x", "fourier_transform"
+            )
+
+
+class TestMapsApi:
+    def test_get_metadata(self, sdl):
+        api = MapsApi(sdl)
+        meta = api.get_metadata("LAI")
+        assert meta["variables"] == ["LAI"]
+
+    def test_get_map(self, sdl):
+        api = MapsApi(sdl)
+        layer = api.get_map("LAI", "LAI", width=10, height=5)
+        assert len(layer["values"]) == 5
+        assert len(layer["values"][0]) == 10
+        assert layer["time"].year == 2018
+
+    def test_get_map_time_selection(self, sdl):
+        api = MapsApi(sdl)
+        early = api.get_map(
+            "LAI", "LAI",
+            when=datetime(2018, 5, 1, tzinfo=timezone.utc),
+        )
+        assert early["time"].date() == date(2018, 5, 1)
+
+    def test_get_animation(self, sdl):
+        api = MapsApi(sdl)
+        frames = api.get_animation("NDVI", "NDVI", width=8, height=4)
+        assert len(frames) == 6
+        assert len(frames[0]["values"]) == 4
+
+    def test_get_transect(self, sdl):
+        api = MapsApi(sdl)
+        transect = api.get_transect(
+            "NDVI", "NDVI", (2.16, 48.76), (2.54, 48.94), samples=10
+        )
+        assert len(transect) == 10
+        assert transect[0]["lon"] == pytest.approx(2.16)
+        assert transect[-1]["lat"] == pytest.approx(48.94)
+
+    def test_get_transect_bad_samples(self, sdl):
+        with pytest.raises(MapsApiError):
+            MapsApi(sdl).get_transect("NDVI", "NDVI", (0, 0), (1, 1),
+                                      samples=1)
+
+    def test_get_point_and_timeseries(self, sdl):
+        api = MapsApi(sdl)
+        value = api.get_point("NDVI", "NDVI", 2.3, 48.85)
+        assert np.isfinite(value)
+        series = api.get_timeseries_profile("NDVI", "NDVI", 2.3, 48.85)
+        assert len(series) == 6
+        assert series[-1]["value"] == pytest.approx(value)
+
+    def test_get_area(self, sdl):
+        api = MapsApi(sdl)
+        stats = api.get_area("NDVI", "NDVI", (2.25, 48.8, 2.45, 48.9))
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert stats["count"] > 4
+
+    def test_get_map_swipe(self, sdl):
+        api = MapsApi(sdl)
+        swipe = api.get_map_swipe("LAI", "LAI", "NDVI", "NDVI",
+                                  width=6, height=3)
+        assert swipe["left"]["variable"] == "LAI"
+        assert swipe["right"]["variable"] == "NDVI"
+        assert len(swipe["left"]["values"]) == 3
+
+    def test_get_derived_data_dispatch(self, sdl):
+        api = MapsApi(sdl)
+        series = api.get_derived_data("NDVI", "NDVI", "spatial_mean")
+        assert len(series) == 6
+        with pytest.raises(MapsApiError):
+            api.get_derived_data("NDVI", "NDVI", "no_such_op")
+
+    def test_vertical_profile_requires_level_dim(self, sdl):
+        with pytest.raises(MapsApiError):
+            MapsApi(sdl).get_vertical_profile("NDVI", "NDVI", 2.3, 48.85)
+
+    def test_spectral_profile_requires_band_dim(self, sdl):
+        with pytest.raises(MapsApiError):
+            MapsApi(sdl).get_spectral_profile("NDVI", "NDVI", 2.3, 48.85)
+
+
+def _make_4d_server(dim_name):
+    """A tiny dataset with an extra (level or band) dimension."""
+    ds = DapDataset("ATM", {"title": "profile test"})
+    ds.add_variable("time", ["time"], np.array([0]),
+                    {"units": "days since 2018-01-01"})
+    ds.add_variable(dim_name, [dim_name], np.array([1.0, 2.0, 3.0]), {})
+    ds.add_variable("lat", ["lat"], np.linspace(48, 49, 4),
+                    {"units": "degrees_north"})
+    ds.add_variable("lon", ["lon"], np.linspace(2, 3, 5),
+                    {"units": "degrees_east"})
+    data = np.arange(1 * 3 * 4 * 5, dtype=np.float64).reshape(1, 3, 4, 5)
+    ds.add_variable("V", ["time", dim_name, "lat", "lon"], data,
+                    {"units": "1", "long_name": "test variable"})
+    server = DapServer("atm.test")
+    server.mount("profiles/V", ds)
+    registry = ServerRegistry()
+    registry.register(server)
+    sdl = StreamingDataLibrary(registry)
+    sdl.register_dataset("ATM", "dap://atm.test/profiles/V")
+    return sdl
+
+
+def test_vertical_profile():
+    sdl = _make_4d_server("level")
+    api = MapsApi(sdl)
+    profile = api.get_vertical_profile("ATM", "V", 2.5, 48.5)
+    assert [p["level"] for p in profile] == [1.0, 2.0, 3.0]
+    # deeper levels index further into the array
+    assert profile[1]["value"] > profile[0]["value"]
+
+
+def test_spectral_profile():
+    sdl = _make_4d_server("band")
+    api = MapsApi(sdl)
+    profile = api.get_spectral_profile("ATM", "V", 2.5, 48.5)
+    assert [p["band"] for p in profile] == [1.0, 2.0, 3.0]
+    assert len(profile) == 3

@@ -1,0 +1,107 @@
+"""SDL catalog/streaming and RAMANI auth tests."""
+
+from datetime import date
+
+import pytest
+
+from repro.sdl import AccessDenied, SdlError, TokenAuthority
+
+
+class TestAuth:
+    def test_register_and_authenticate(self):
+        auth = TokenAuthority()
+        token = auth.register("a@b.eu")
+        assert auth.authenticate(token) == "a@b.eu"
+
+    def test_missing_and_unknown_tokens(self):
+        auth = TokenAuthority()
+        with pytest.raises(AccessDenied):
+            auth.authenticate(None)
+        with pytest.raises(AccessDenied):
+            auth.authenticate("ram_bogus")
+
+    def test_revocation(self):
+        auth = TokenAuthority()
+        token = auth.register("a@b.eu")
+        auth.revoke(token)
+        with pytest.raises(AccessDenied):
+            auth.authenticate(token)
+
+    def test_usage_tracking(self):
+        auth = TokenAuthority()
+        t1 = auth.register("a@b.eu")
+        t2 = auth.register("c@d.eu")
+        auth.record_access(t1, "LAI")
+        auth.record_access(t1, "LAI")
+        auth.record_access(t2, "NDVI")
+        assert auth.usage_by_user("a@b.eu") == {"LAI": 2}
+        assert auth.usage_by_dataset("LAI") == {"a@b.eu": 2}
+        assert auth.top_datasets(1) == [("LAI", 2)]
+
+    def test_tokens_unique(self):
+        auth = TokenAuthority()
+        assert auth.register("a@b.eu") != auth.register("a@b.eu")
+
+
+class TestLibrary:
+    def test_characteristics(self, sdl):
+        info = sdl.characteristics("LAI")
+        assert info["variables"] == ["LAI"]
+        assert info["time_steps"] == 6
+        assert info["time_start"].date() == date(2018, 5, 1)
+        assert info["grid_shape"] == (12, 24)
+        minx, miny, maxx, maxy = info["bbox"]
+        assert minx < maxx and miny < maxy
+
+    def test_unknown_dataset(self, sdl):
+        with pytest.raises(SdlError):
+            sdl.characteristics("SMOKE")
+
+    def test_stream_yields_time_chunks(self, sdl):
+        chunks = list(sdl.stream("LAI"))
+        assert len(chunks) == 6
+        assert chunks[0]["LAI"].shape == (1, 12, 24)
+
+    def test_stream_with_bbox(self, sdl):
+        chunks = list(sdl.stream("LAI", bbox=(2.2, 48.8, 2.3, 48.9)))
+        assert chunks[0]["LAI"].shape[1] < 12
+        assert chunks[0]["LAI"].shape[2] < 24
+
+    def test_fetch_window_cache_hits_on_repeat(self, sdl):
+        sdl.fetch_window("LAI", "LAI", bbox=(2.2, 48.8, 2.3, 48.9))
+        hits_before = sdl.cache.hits
+        sdl.fetch_window("LAI", "LAI", bbox=(2.2001, 48.8001, 2.2999, 48.8999))
+        assert sdl.cache.hits > hits_before  # index-aligned window reused
+
+    def test_metadata_completeness(self, sdl):
+        report = sdl.metadata_completeness("LAI")
+        assert 0 < report["score"] < 1
+        assert "summary" in report["missing"]
+        assert "title" not in report["missing"]
+
+    def test_library_completeness(self, sdl):
+        report = sdl.library_completeness()
+        assert len(report["datasets"]) == 2
+        assert 0 <= report["score"] <= 1
+
+
+class TestAuthEnforcement:
+    def test_access_requires_token(self, authed_sdl):
+        sdl, auth, token = authed_sdl
+        with pytest.raises(AccessDenied):
+            sdl.characteristics("LAI")
+        info = sdl.characteristics("LAI", token=token)
+        assert info["variables"] == ["LAI"]
+
+    def test_streaming_requires_token(self, authed_sdl):
+        sdl, auth, token = authed_sdl
+        with pytest.raises(AccessDenied):
+            next(sdl.stream("LAI"))
+        chunk = next(sdl.stream("LAI", token=token))
+        assert chunk["LAI"].shape[0] == 1
+
+    def test_usage_recorded(self, authed_sdl):
+        sdl, auth, token = authed_sdl
+        sdl.characteristics("LAI", token=token)
+        sdl.fetch_window("LAI", "LAI", token=token)
+        assert auth.usage_by_user("dev@app-camp.eu")["LAI"] == 2

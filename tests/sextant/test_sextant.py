@@ -1,0 +1,256 @@
+"""Sextant thematic map, format and ontology tests (E9 groundwork)."""
+
+from datetime import date
+
+import pytest
+
+from repro.geometry import (
+    Feature,
+    FeatureCollection,
+    Point,
+    Polygon,
+    to_wkt_literal,
+)
+from repro.rdf import GEO, GEO_WKT_LITERAL, Graph, IRI, Literal, RDF
+from repro.sextant import (
+    SextantError,
+    Style,
+    ThematicMap,
+    find_maps,
+    map_descriptor_from_rdf,
+    map_to_rdf,
+    parse_gml,
+    parse_kml,
+    render_html,
+    value_color,
+)
+
+EX = "http://example.org/"
+
+
+def simple_fc():
+    return FeatureCollection(
+        [
+            Feature(Polygon.box(2.2, 48.8, 2.3, 48.9), {"name": "zone"}),
+            Feature(Point(2.25, 48.85), {"name": "poi", "value": 3.5}),
+        ]
+    )
+
+
+class TestLayers:
+    def test_geojson_layer_and_bounds(self):
+        tm = ThematicMap("test")
+        tm.add_geojson_layer("base", simple_fc())
+        assert tm.bounds() == (2.2, 48.8, 2.3, 48.9)
+
+    def test_empty_map_bounds_raise(self):
+        with pytest.raises(SextantError):
+            ThematicMap("empty").bounds()
+
+    def test_sparql_layer(self):
+        g = Graph()
+        g.bind("ex", EX)
+        for i in range(3):
+            s = IRI(EX + f"f{i}")
+            g.add(s, IRI(EX + "lai"), Literal(float(i)))
+            geom = IRI(EX + f"g{i}")
+            g.add(s, GEO.hasGeometry, geom)
+            g.add(geom, GEO.asWKT,
+                  Literal(to_wkt_literal(Point(2.2 + i / 100, 48.85)),
+                          datatype=GEO_WKT_LITERAL))
+        tm = ThematicMap("greenness")
+        layer = tm.add_sparql_layer(
+            "lai", g,
+            """
+            PREFIX ex: <http://example.org/>
+            PREFIX geo: <http://www.opengis.net/ont/geosparql#>
+            SELECT ?wkt ?lai WHERE {
+              ?s ex:lai ?lai ; geo:hasGeometry ?g . ?g geo:asWKT ?wkt
+            }
+            """,
+            value_var="lai",
+        )
+        assert len(layer.features) == 3
+        assert layer.value_range() == (0.0, 2.0)
+
+    def test_sparql_layer_no_geoms_raises(self):
+        g = Graph()
+        tm = ThematicMap("x")
+        with pytest.raises(SextantError):
+            tm.add_sparql_layer("none", g,
+                                "SELECT ?wkt WHERE { ?s ?p ?wkt }")
+
+    def test_raster_layer(self):
+        from repro.vito import LAI_SPEC, generate_product
+
+        ds = generate_product(LAI_SPEC, date(2018, 6, 1), cloud_fraction=0)
+        tm = ThematicMap("raster")
+        layer = tm.add_raster_layer("lai", ds, "LAI", time_index=0)
+        assert len(layer.features) == 24 * 12
+        assert layer.value_property == "value"
+
+    def test_temporal_layer_timeline(self):
+        fc = FeatureCollection(
+            [
+                Feature(Point(2.2, 48.8), {"t": "2018-06-01", "v": 1.0}),
+                Feature(Point(2.2, 48.8), {"t": "2018-06-11", "v": 2.0}),
+            ]
+        )
+        tm = ThematicMap("temporal")
+        tm.add_geojson_layer("obs", fc, time_property="t",
+                             value_property="v")
+        assert tm.timeline() == ["2018-06-01", "2018-06-11"]
+        layer = tm.layers[0]
+        assert len(layer.features_at("2018-06-01")) == 1
+        assert len(layer.features_at(None)) == 2
+
+
+class TestFormats:
+    KML = """<?xml version="1.0"?>
+    <kml xmlns="http://www.opengis.net/kml/2.2"><Document>
+      <Placemark id="p1"><name>Bois de Boulogne</name>
+        <Polygon><outerBoundaryIs><LinearRing>
+          <coordinates>2.21,48.85 2.27,48.85 2.27,48.88 2.21,48.88 2.21,48.85</coordinates>
+        </LinearRing></outerBoundaryIs></Polygon>
+      </Placemark>
+      <Placemark><name>poi</name>
+        <Point><coordinates>2.25,48.86</coordinates></Point>
+      </Placemark>
+    </Document></kml>
+    """
+
+    GML = """<?xml version="1.0"?>
+    <gml:FeatureCollection xmlns:gml="http://www.opengis.net/gml"
+                           xmlns:app="http://example.org/app">
+      <gml:featureMember>
+        <app:Zone gml:id="z1">
+          <app:zoneName>industrial</app:zoneName>
+          <gml:Polygon><gml:exterior><gml:LinearRing>
+            <gml:posList>2.4 48.8 2.5 48.8 2.5 48.9 2.4 48.9 2.4 48.8</gml:posList>
+          </gml:LinearRing></gml:exterior></gml:Polygon>
+        </app:Zone>
+      </gml:featureMember>
+    </gml:FeatureCollection>
+    """
+
+    def test_parse_kml(self):
+        fc = parse_kml(self.KML)
+        assert len(fc) == 2
+        assert fc.features[0].properties["name"] == "Bois de Boulogne"
+        assert fc.features[0].geometry.geom_type == "Polygon"
+        assert fc.features[0].id == "p1"
+        assert fc.features[1].geometry == Point(2.25, 48.86)
+
+    def test_kml_layer(self):
+        tm = ThematicMap("kml")
+        layer = tm.add_kml_layer("parks", self.KML)
+        assert len(layer.features) == 2
+
+    def test_parse_gml(self):
+        fc = parse_gml(self.GML)
+        assert len(fc) == 1
+        feature = fc.features[0]
+        assert feature.properties["zoneName"] == "industrial"
+        assert feature.geometry.bounds == (2.4, 48.8, 2.5, 48.9)
+        assert feature.id == "z1"
+
+    def test_gml_axis_swap(self):
+        swapped = self.GML.replace("2.4 48.8", "48.8 2.4").replace(
+            "2.5 48.8", "48.8 2.5").replace("2.5 48.9", "48.9 2.5").replace(
+            "2.4 48.9", "48.9 2.4")
+        fc = parse_gml(swapped, axis_order="latlon")
+        assert fc.features[0].geometry.bounds == (2.4, 48.8, 2.5, 48.9)
+
+
+class TestRendering:
+    def test_svg_contains_layers_and_legend(self):
+        tm = ThematicMap("render test")
+        tm.add_geojson_layer("zones", simple_fc(),
+                             style=Style(fill="#ff0000"))
+        svg = tm.to_svg(width=400, height=300)
+        assert svg.startswith("<svg")
+        assert 'id="layer-zones"' in svg
+        assert 'id="legend"' in svg
+        assert "<circle" in svg and "<path" in svg
+
+    def test_value_color_ramp(self):
+        lo = value_color(0.0, 0.0, 1.0)
+        hi = value_color(1.0, 0.0, 1.0)
+        assert lo != hi
+        assert value_color(5, 5, 5) == value_color(1.0, 0.0, 1.0)
+
+    def test_choropleth_coloring(self):
+        fc = FeatureCollection(
+            [
+                Feature(Point(2.2, 48.8), {"v": 0.0}),
+                Feature(Point(2.3, 48.9), {"v": 10.0}),
+            ]
+        )
+        tm = ThematicMap("choropleth")
+        tm.add_geojson_layer("obs", fc, value_property="v")
+        svg = tm.to_svg()
+        assert "#440154" in svg  # low end of ramp
+        assert "#fde725" in svg  # high end
+
+    def test_html_with_slider(self):
+        fc = FeatureCollection(
+            [
+                Feature(Point(2.2, 48.8), {"t": "2018-06-01"}),
+                Feature(Point(2.21, 48.8), {"t": "2018-06-11"}),
+            ]
+        )
+        tm = ThematicMap("animated", "LAI over time")
+        tm.add_geojson_layer("obs", fc, time_property="t")
+        html = tm.to_html()
+        assert "timeslider" in html
+        assert html.count("<svg") == 2
+
+    def test_html_static_no_slider(self):
+        tm = ThematicMap("static")
+        tm.add_geojson_layer("zones", simple_fc())
+        html = render_html(tm)
+        assert "timeslider" not in html
+        assert html.count("<svg") == 1
+
+
+class TestMapOntology:
+    def build(self):
+        tm = ThematicMap("greenness of Paris", "case study")
+        tm.add_geojson_layer("parks", simple_fc(),
+                             style=Style(fill="#00ff00"),
+                             value_property="value")
+        tm.add_geojson_layer("zones", simple_fc())
+        return tm
+
+    def test_roundtrip_descriptor(self):
+        tm = self.build()
+        g = map_to_rdf(tm, EX + "maps/greenness")
+        descriptor = map_descriptor_from_rdf(g, EX + "maps/greenness")
+        assert descriptor["name"] == "greenness of Paris"
+        assert [l["name"] for l in descriptor["layers"]] == [
+            "parks", "zones"
+        ]
+        assert descriptor["layers"][0]["style"].fill == "#00ff00"
+        assert descriptor["layers"][0]["value_property"] == "value"
+
+    def test_search_maps(self):
+        g = Graph()
+        map_to_rdf(self.build(), EX + "maps/greenness", g)
+        other = ThematicMap("fires in Attica")
+        other.add_geojson_layer("hotspots", simple_fc())
+        map_to_rdf(other, EX + "maps/fires", g)
+        assert find_maps(g, "paris") == [EX + "maps/greenness"]
+        assert len(find_maps(g)) == 2
+
+    def test_not_a_map_raises(self):
+        with pytest.raises(KeyError):
+            map_descriptor_from_rdf(Graph(), EX + "maps/none")
+
+    def test_map_rdf_is_queryable(self):
+        g = map_to_rdf(self.build(), EX + "maps/greenness")
+        res = g.query(
+            "PREFIX map: <http://sextant.di.uoa.gr/ontology/map#> "
+            "SELECT ?layer WHERE { ?m a map:Map ; map:hasLayer ?l . "
+            "?l map:hasName ?layer } ORDER BY ?layer"
+        )
+        assert [r["layer"].lexical for r in res] == ["parks", "zones"]

@@ -1,0 +1,202 @@
+"""Evaluator edge cases: joins, solution modifiers, CONSTRUCT/DESCRIBE."""
+
+import pytest
+
+from repro.rdf import BNode, Graph, IRI, Literal, RDF
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def g():
+    g = Graph()
+    g.bind("ex", EX)
+    for name, score in [("a", 3), ("b", 1), ("c", 2)]:
+        g.add(ex(name), ex("score"), Literal(score))
+        g.add(ex(name), RDF.type, ex("Item"))
+    return g
+
+
+def test_limit_zero(g):
+    res = g.query("SELECT ?s WHERE { ?s ?p ?o } LIMIT 0")
+    assert len(res) == 0
+
+
+def test_offset_beyond_end(g):
+    res = g.query("SELECT ?s WHERE { ?s ?p ?o } OFFSET 100")
+    assert len(res) == 0
+
+
+def test_empty_graph_patterns():
+    g = Graph()
+    assert len(g.query("SELECT ?s WHERE { ?s ?p ?o }")) == 0
+    assert not g.query("ASK { ?s ?p ?o }").ask
+
+
+def test_count_star_empty_graph():
+    g = Graph()
+    res = g.query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }")
+    assert res.rows[0]["n"].value == 0
+
+
+def test_minus_without_shared_vars_keeps_all(g):
+    """MINUS with disjoint variables removes nothing (SPARQL spec)."""
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT ?s WHERE { ?s a ex:Item MINUS { ?x ex:nothing ?y } }"
+    )
+    assert len(res) == 3
+
+
+def test_nested_optional(g):
+    g.add(ex("a"), ex("alias"), Literal("alpha"))
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT ?s ?alias ?extra WHERE { ?s a ex:Item "
+        "OPTIONAL { ?s ex:alias ?alias OPTIONAL { ?s ex:extra ?extra } } }"
+    )
+    by_s = {str(r["s"]): r for r in res}
+    assert by_s[EX + "a"].get("alias") == Literal("alpha")
+    assert by_s[EX + "b"].get("alias") is None
+
+
+def test_values_with_undef_acts_as_wildcard(g):
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT ?s ?v WHERE { ?s ex:score ?v "
+        "VALUES (?s ?v) { (ex:a UNDEF) (UNDEF 2) } }"
+    )
+    pairs = {(str(r["s"]), r["v"].value) for r in res}
+    assert pairs == {(EX + "a", 3), (EX + "c", 2)}
+
+
+def test_order_by_two_keys(g):
+    g.add(ex("a"), ex("group"), Literal("x"))
+    g.add(ex("b"), ex("group"), Literal("x"))
+    g.add(ex("c"), ex("group"), Literal("w"))
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT ?s WHERE { ?s ex:group ?g ; ex:score ?v } "
+        "ORDER BY ?g DESC(?v)"
+    )
+    assert [str(r["s"]) for r in res] == [EX + "c", EX + "a", EX + "b"]
+
+
+def test_distinct_projection_only(g):
+    g.add(ex("a"), ex("score"), Literal(99))
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT DISTINCT ?s WHERE { ?s ex:score ?v }"
+    )
+    assert len(res) == 3  # distinct applies to projected ?s only
+
+
+def test_sample_returns_a_group_member(g):
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT (SAMPLE(?v) AS ?one) WHERE { ?s ex:score ?v }"
+    )
+    assert res.rows[0]["one"].value in (1, 2, 3)
+
+
+def test_aggregate_count_distinct(g):
+    g.add(ex("d"), ex("score"), Literal(3))  # duplicate value
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT (COUNT(DISTINCT ?v) AS ?n) WHERE { ?s ex:score ?v }"
+    )
+    assert res.rows[0]["n"].value == 3
+
+
+def test_avg_over_empty_group_unbound():
+    g = Graph()
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT (AVG(?v) AS ?m) WHERE { ?s ex:score ?v }"
+    )
+    assert res.rows[0].get("m") is None
+    # SUM over empty group is 0 per spec
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT (SUM(?v) AS ?m) WHERE { ?s ex:score ?v }"
+    )
+    assert res.rows[0]["m"].value == 0
+
+
+def test_construct_with_bnode_template(g):
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "CONSTRUCT { ?s ex:hasRecord _:r . _:r ex:value ?v } "
+        "WHERE { ?s ex:score ?v }"
+    )
+    assert len(res.graph) == 6
+    bnodes = {
+        t.o for t in res.graph.triples((None, ex("hasRecord"), None))
+    }
+    assert len(bnodes) == 3  # fresh bnode per solution
+    assert all(isinstance(b, BNode) for b in bnodes)
+
+
+def test_construct_skips_incomplete(g):
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "CONSTRUCT { ?s ex:alias ?alias } "
+        "WHERE { ?s a ex:Item OPTIONAL { ?s ex:alias ?alias } }"
+    )
+    assert len(res.graph) == 0  # no aliases bound anywhere
+
+
+def test_describe_with_where(g):
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "DESCRIBE ?s WHERE { ?s ex:score 3 }"
+    )
+    assert len(res.graph) == 2  # type + score of ex:a
+
+
+def test_union_branch_variables_disjoint(g):
+    g.add(ex("x"), ex("left"), Literal("L"))
+    g.add(ex("y"), ex("right"), Literal("R"))
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT ?l ?r WHERE { { ?s ex:left ?l } UNION { ?s ex:right ?r } }"
+    )
+    assert len(res) == 2
+    kinds = {("l" in {k for k, v in row.items() if v is not None})
+             for row in res}
+    assert kinds == {True, False}
+
+
+def test_filter_scoped_to_group(g):
+    """A filter inside UNION's branch only prunes that branch."""
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT ?s WHERE { { ?s ex:score ?v FILTER(?v > 2) } "
+        "UNION { ?s ex:score 1 } }"
+    )
+    assert {str(r["s"]) for r in res} == {EX + "a", EX + "b"}
+
+
+def test_cross_product_of_bgps(g):
+    g2 = Graph()
+    g2.bind("ex", EX)
+    g2.add(ex("p1"), ex("kind"), Literal("k1"))
+    g2.add(ex("p2"), ex("kind"), Literal("k2"))
+    res = g2.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT ?a ?b WHERE { ?a ex:kind ?ka . ?b ex:kind ?kb }"
+    )
+    assert len(res) == 4
+
+
+def test_bind_before_use_in_filter(g):
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT ?s WHERE { ?s ex:score ?v BIND(?v * 10 AS ?big) "
+        "FILTER(?big >= 20) }"
+    )
+    assert {str(r["s"]) for r in res} == {EX + "a", EX + "c"}

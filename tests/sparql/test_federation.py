@@ -1,0 +1,143 @@
+"""Federation engine tests (experiment E12)."""
+
+import pytest
+
+from repro.geometry import Point, Polygon, to_wkt_literal
+from repro.rdf import GEO, GEO_WKT_LITERAL, Graph, IRI, Literal, RDF
+from repro.sparql.federation import FederationEngine, SparqlEndpoint
+
+GADM_NS = "http://www.app-lab.eu/gadm/"
+OSM_NS = "http://www.app-lab.eu/osm/"
+
+PREFIX = """
+PREFIX gadm: <http://www.app-lab.eu/gadm/>
+PREFIX osm: <http://www.app-lab.eu/osm/>
+PREFIX geo: <http://www.opengis.net/ont/geosparql#>
+PREFIX geof: <http://www.opengis.net/def/function/geosparql/>
+"""
+
+
+def wkt(geom):
+    return Literal(to_wkt_literal(geom), datatype=GEO_WKT_LITERAL)
+
+
+@pytest.fixture
+def federation():
+    gadm = Graph()
+    gadm.bind("gadm", GADM_NS)
+    paris = IRI(GADM_NS + "paris")
+    gadm.add(paris, RDF.type, IRI(GADM_NS + "AdministrativeUnit"))
+    gadm.add(paris, IRI(GADM_NS + "hasName"), Literal("Paris"))
+    geom = IRI(GADM_NS + "paris_geom")
+    gadm.add(paris, GEO.hasGeometry, geom)
+    gadm.add(geom, GEO.asWKT, wkt(Polygon.box(2.2, 48.8, 2.5, 48.95)))
+
+    osm = Graph()
+    osm.bind("osm", OSM_NS)
+    for name, lon, lat in [
+        ("bois_de_boulogne", 2.25, 48.86),
+        ("luxembourg", 2.34, 48.85),
+        ("faraway_park", 5.0, 50.0),
+    ]:
+        park = IRI(OSM_NS + name)
+        osm.add(park, IRI(OSM_NS + "poiType"), IRI(OSM_NS + "park"))
+        osm.add(park, IRI(OSM_NS + "hasName"), Literal(name))
+        pg = IRI(OSM_NS + name + "_geom")
+        osm.add(park, GEO.hasGeometry, pg)
+        osm.add(pg, GEO.asWKT, wkt(Point(lon, lat)))
+
+    engine = FederationEngine()
+    engine.register("http://gadm.example/sparql",
+                    SparqlEndpoint(gadm, name="gadm"))
+    engine.register("http://osm.example/sparql",
+                    SparqlEndpoint(osm, name="osm"))
+    return engine
+
+
+def test_transparent_federation_spatial_join(federation):
+    """Parks inside the Paris admin area, across two endpoints."""
+    res = federation.query(
+        PREFIX
+        + """
+        SELECT ?park WHERE {
+          ?unit gadm:hasName "Paris" ; geo:hasGeometry ?gu .
+          ?gu geo:asWKT ?wu .
+          ?park osm:poiType osm:park ; geo:hasGeometry ?gp .
+          ?gp geo:asWKT ?wp .
+          FILTER(geof:sfContains(?wu, ?wp))
+        }
+        """
+    )
+    names = {str(r["park"]).rsplit("/", 1)[1] for r in res}
+    assert names == {"bois_de_boulogne", "luxembourg"}
+
+
+def test_explicit_service_dispatch(federation):
+    res = federation.query(
+        PREFIX
+        + """
+        SELECT ?name WHERE {
+          SERVICE <http://osm.example/sparql> {
+            ?park osm:poiType osm:park ; osm:hasName ?name .
+          }
+        }
+        """
+    )
+    assert len(res) == 3
+
+
+def test_service_and_local_join(federation):
+    res = federation.query(
+        PREFIX
+        + """
+        SELECT ?park ?wu WHERE {
+          ?unit gadm:hasName "Paris" ; geo:hasGeometry ?gu .
+          ?gu geo:asWKT ?wu .
+          SERVICE <http://osm.example/sparql> {
+            ?park osm:poiType osm:park .
+          }
+        }
+        """
+    )
+    assert len(res) == 3  # cross product of 1 unit x 3 parks
+
+
+def test_unknown_service_raises(federation):
+    with pytest.raises(KeyError):
+        federation.query(
+            "SELECT ?s WHERE { SERVICE <http://nope/sparql> { ?s ?p ?o } }"
+        )
+
+
+def test_source_selection_skips_irrelevant_endpoint(federation):
+    gadm_ep = federation.endpoint("http://gadm.example/sparql")
+    view_triples = list(
+        federation.query(
+            PREFIX + "SELECT ?s WHERE { ?s osm:poiType osm:park }"
+        )
+    )
+    assert len(view_triples) == 3
+    # The GADM endpoint has no osm:poiType predicate, so source selection
+    # never touches its graph for that pattern (no request counted —
+    # requests are only counted for full query/service dispatch).
+    assert gadm_ep.request_count == 0
+
+
+def test_endpoint_query_api(federation):
+    ep = federation.endpoint("http://osm.example/sparql")
+    res = ep.query(
+        PREFIX + "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }"
+    )
+    assert res.rows[0]["n"].value == 12
+    assert ep.request_count == 1
+
+
+def test_request_counts(federation):
+    federation.query(
+        PREFIX
+        + "SELECT ?n WHERE { SERVICE <http://osm.example/sparql> "
+        "{ ?p osm:hasName ?n } }"
+    )
+    counts = federation.request_counts()
+    assert counts["http://osm.example/sparql"] == 1
+    assert counts["http://gadm.example/sparql"] == 0

@@ -1,0 +1,158 @@
+"""SPARQL builtin function coverage (string/numeric/datetime/term)."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, XSD
+
+EX = "http://example.org/"
+
+
+@pytest.fixture
+def g():
+    g = Graph()
+    g.bind("ex", EX)
+    g.add(IRI(EX + "s"), IRI(EX + "p"), Literal("anchor"))
+    return g
+
+
+def one(g, expression, extra_prefixes=""):
+    """Evaluate one expression via BIND and return the bound term."""
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "PREFIX xsd: <http://www.w3.org/2001/XMLSchema#> "
+        + extra_prefixes
+        + f"SELECT ?out WHERE {{ ex:s ex:p ?v BIND({expression} AS ?out) }}"
+    )
+    return res.rows[0].get("out")
+
+
+class TestStringFunctions:
+    def test_concat(self, g):
+        assert one(g, 'CONCAT("a", "b", "c")') == Literal("abc")
+
+    def test_substr_one_based(self, g):
+        assert one(g, 'SUBSTR("Copernicus", 3)') == Literal("pernicus")
+        assert one(g, 'SUBSTR("Copernicus", 3, 4)') == Literal("pern")
+
+    def test_replace(self, g):
+        assert one(g, 'REPLACE("banana", "na", "NA")') == \
+            Literal("baNANA")
+        assert one(g, 'REPLACE("Banana", "^b", "Z", "i")') == \
+            Literal("Zanana")
+
+    def test_ucase_lcase_strlen(self, g):
+        assert one(g, 'UCASE("lai")') == Literal("LAI")
+        assert one(g, 'LCASE("LAI")') == Literal("lai")
+        assert one(g, 'STRLEN("paris")') == Literal(5)
+
+    def test_contains_starts_ends(self, g):
+        assert one(g, 'CONTAINS("greenness", "green")') == Literal(True)
+        assert one(g, 'STRSTARTS("paris", "pa")') == Literal(True)
+        assert one(g, 'STRENDS("paris", "xx")') == Literal(False)
+
+    def test_str_of_iri(self, g):
+        assert one(g, "STR(ex:s)") == Literal(EX + "s")
+
+
+class TestNumericFunctions:
+    def test_abs_ceil_floor_round(self, g):
+        assert one(g, "ABS(-2)") == Literal(2)
+        assert one(g, "CEIL(2.1)") == Literal(3)
+        assert one(g, "FLOOR(2.9)") == Literal(2)
+        assert one(g, "ROUND(2.5)") == Literal(2)  # banker's rounding
+
+    def test_arithmetic_mixed(self, g):
+        assert one(g, "(1 + 2) * 3").value == 9
+        assert one(g, "7 / 2").value == 3.5
+
+    def test_division_by_zero_unbinds(self, g):
+        assert one(g, "1 / 0") is None  # BIND error leaves unbound
+
+
+class TestDatetimeFunctions:
+    def test_parts(self, g):
+        expr = 'YEAR("2018-06-01T12:30:45Z"^^xsd:dateTime)'
+        assert one(g, expr) == Literal(2018)
+        assert one(g, 'MONTH("2018-06-01T12:30:45Z"^^xsd:dateTime)') == \
+            Literal(6)
+        assert one(g, 'DAY("2018-06-01T12:30:45Z"^^xsd:dateTime)') == \
+            Literal(1)
+        assert one(g, 'HOURS("2018-06-01T12:30:45Z"^^xsd:dateTime)') == \
+            Literal(12)
+        assert one(g, 'MINUTES("2018-06-01T12:30:45Z"^^xsd:dateTime)') \
+            == Literal(30)
+        assert one(g, 'SECONDS("2018-06-01T12:30:45Z"^^xsd:dateTime)') \
+            == Literal(45)
+
+    def test_now_is_datetime(self, g):
+        term = one(g, "NOW()")
+        assert term.datatype == XSD.dateTime
+
+
+class TestTermFunctions:
+    def test_is_tests(self, g):
+        assert one(g, "ISIRI(ex:s)") == Literal(True)
+        assert one(g, 'ISLITERAL("x")') == Literal(True)
+        assert one(g, "ISNUMERIC(5)") == Literal(True)
+        assert one(g, 'ISNUMERIC("5")') == Literal(False)
+
+    def test_iri_constructor(self, g):
+        assert one(g, 'IRI("http://x/y")') == IRI("http://x/y")
+
+    def test_strdt_strlang(self, g):
+        term = one(g, 'STRDT("5", xsd:integer)')
+        assert term == Literal(5)
+        term = one(g, 'STRLANG("chat", "fr")')
+        assert term == Literal("chat", lang="fr")
+
+    def test_datatype_and_lang(self, g):
+        assert one(g, "DATATYPE(5)") == XSD.integer
+        assert one(g, 'LANG("chat"@fr)') == Literal("fr")
+        assert one(g, 'LANG("chat")') == Literal("")
+
+    def test_langmatches(self, g):
+        assert one(g, 'LANGMATCHES("fr-BE", "fr")') == Literal(True)
+        assert one(g, 'LANGMATCHES("en", "fr")') == Literal(False)
+        assert one(g, 'LANGMATCHES("en", "*")') == Literal(True)
+
+
+class TestConditionals:
+    def test_if_branches(self, g):
+        assert one(g, 'IF(1 < 2, "yes", "no")') == Literal("yes")
+        assert one(g, 'IF(1 > 2, "yes", "no")') == Literal("no")
+
+    def test_coalesce_first_bound(self, g):
+        res = g.query(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?out WHERE { ex:s ex:p ?v "
+            'BIND(COALESCE(?unbound, "fallback") AS ?out) }'
+        )
+        assert res.rows[0]["out"] == Literal("fallback")
+
+    def test_bound(self, g):
+        res = g.query(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?v WHERE { ex:s ex:p ?v "
+            "FILTER(BOUND(?v) && !BOUND(?nope)) }"
+        )
+        assert len(res) == 1
+
+
+class TestLogicErrorSemantics:
+    def test_or_short_circuits_errors(self, g):
+        # left errors, right true → true (SPARQL 3-valued logic)
+        res = g.query(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?v WHERE { ex:s ex:p ?v "
+            "FILTER((1/0 = 1) || (1 = 1)) }"
+        )
+        assert len(res) == 1
+
+    def test_and_short_circuits_errors(self, g):
+        # left errors, right false → false (row dropped, not error)
+        res = g.query(
+            "PREFIX ex: <http://example.org/> "
+            "SELECT ?v WHERE { ex:s ex:p ?v "
+            "FILTER((1/0 = 1) && (1 = 2)) }"
+        )
+        assert len(res) == 0

@@ -1,0 +1,177 @@
+"""GeoSPARQL function and spatial-query tests (Listing 1 shape)."""
+
+import pytest
+
+from repro.geometry import Point, Polygon, to_wkt_literal
+from repro.rdf import GEO, GEO_WKT_LITERAL, Graph, IRI, Literal, RDF
+from repro.sparql import geometry_from_term, geometry_to_term
+
+EX = "http://example.org/"
+
+PREFIX = """
+PREFIX ex: <http://example.org/>
+PREFIX geo: <http://www.opengis.net/ont/geosparql#>
+PREFIX geof: <http://www.opengis.net/def/function/geosparql/>
+PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>
+"""
+
+
+def wkt_lit(geom):
+    return Literal(to_wkt_literal(geom), datatype=GEO_WKT_LITERAL)
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def g():
+    """A park, a building inside it, and a faraway factory."""
+    g = Graph()
+    g.bind("ex", EX)
+    park = Polygon.box(2.22, 48.85, 2.28, 48.88)
+    building = Point(2.25, 48.86)
+    factory = Point(2.45, 48.90)
+    for name, geom, cls in [
+        ("park", park, "Park"),
+        ("building", building, "Building"),
+        ("factory", factory, "Factory"),
+    ]:
+        feature = ex(name)
+        geometry = ex(name + "_geom")
+        g.add(feature, RDF.type, ex(cls))
+        g.add(feature, GEO.hasGeometry, geometry)
+        g.add(geometry, GEO.asWKT, wkt_lit(geom))
+    return g
+
+
+def test_sf_intersects_join(g):
+    res = g.query(
+        PREFIX
+        + """
+        SELECT ?a ?b WHERE {
+          ?a a ex:Park ; geo:hasGeometry ?ga . ?ga geo:asWKT ?wa .
+          ?b a ex:Building ; geo:hasGeometry ?gb . ?gb geo:asWKT ?wb .
+          FILTER(geof:sfIntersects(?wa, ?wb))
+        }
+        """
+    )
+    assert len(res) == 1
+    assert str(res.rows[0]["b"]) == EX + "building"
+
+
+def test_sf_within_constant(g):
+    bbox = Polygon.box(2.0, 48.0, 3.0, 49.0)
+    res = g.query(
+        PREFIX
+        + f"""
+        SELECT ?f WHERE {{
+          ?f geo:hasGeometry ?geom . ?geom geo:asWKT ?w .
+          FILTER(geof:sfWithin(?w, "{to_wkt_literal(bbox)}"^^geo:wktLiteral))
+        }}
+        """
+    )
+    assert len(res) == 3
+
+
+def test_sf_disjoint(g):
+    res = g.query(
+        PREFIX
+        + """
+        SELECT ?b WHERE {
+          ?a a ex:Park ; geo:hasGeometry ?ga . ?ga geo:asWKT ?wa .
+          ?b a ex:Factory ; geo:hasGeometry ?gb . ?gb geo:asWKT ?wb .
+          FILTER(geof:sfDisjoint(?wa, ?wb))
+        }
+        """
+    )
+    assert len(res) == 1
+
+
+def test_geof_distance(g):
+    res = g.query(
+        PREFIX
+        + """
+        SELECT ?d WHERE {
+          ex:building geo:hasGeometry ?g1 . ?g1 geo:asWKT ?w1 .
+          ex:factory geo:hasGeometry ?g2 . ?g2 geo:asWKT ?w2 .
+          BIND(geof:distance(?w1, ?w2) AS ?d)
+        }
+        """
+    )
+    assert res.rows[0]["d"].value == pytest.approx(0.2039, rel=1e-3)
+
+
+def test_geof_buffer_and_contains(g):
+    res = g.query(
+        PREFIX
+        + """
+        SELECT ?f WHERE {
+          ex:building geo:hasGeometry ?gb . ?gb geo:asWKT ?wb .
+          ?f geo:hasGeometry ?gf . ?gf geo:asWKT ?wf .
+          FILTER(geof:sfWithin(?wf, geof:buffer(?wb, 0.001)))
+        }
+        """
+    )
+    assert {str(r["f"]) for r in res} == {EX + "building"}
+
+
+def test_geof_envelope(g):
+    res = g.query(
+        PREFIX
+        + """
+        SELECT ?env WHERE {
+          ex:park geo:hasGeometry ?g1 . ?g1 geo:asWKT ?w .
+          BIND(geof:envelope(?w) AS ?env)
+        }
+        """
+    )
+    env = geometry_from_term(res.rows[0]["env"])
+    assert env.bounds == (2.22, 48.85, 2.28, 48.88)
+
+
+def test_geometry_term_roundtrip():
+    geom = Polygon.box(0, 0, 1, 1)
+    term = geometry_to_term(geom)
+    assert geometry_from_term(term) == geom
+
+
+def test_geometry_from_plain_literal_raises():
+    from repro.sparql import SparqlValueError
+
+    with pytest.raises(SparqlValueError):
+        geometry_from_term(Literal("not wkt"))
+
+
+def test_listing1_shape(g):
+    """The paper's Listing 1: park LAI observations via sfIntersects."""
+    lai_ns = "http://www.app-lab.eu/lai/"
+    # Three LAI observations: two inside the park, one outside.
+    obs = [
+        ("o1", Point(2.23, 48.86), 3.5),
+        ("o2", Point(2.26, 48.87), 4.1),
+        ("o3", Point(2.40, 48.89), 0.9),
+    ]
+    for name, pt, value in obs:
+        area = ex("area_" + name)
+        geom = ex("geom_" + name)
+        g.add(area, IRI(lai_ns + "lai"), Literal(value))
+        g.add(area, GEO.hasGeometry, geom)
+        g.add(geom, GEO.asWKT, wkt_lit(pt))
+    res = g.query(
+        PREFIX
+        + """
+        PREFIX lai: <http://www.app-lab.eu/lai/>
+        SELECT DISTINCT ?geoA ?geoB ?lai WHERE {
+          ?areaA a ex:Park .
+          ?areaA geo:hasGeometry ?geomA .
+          ?geomA geo:asWKT ?geoA .
+          ?areaB lai:lai ?lai .
+          ?areaB geo:hasGeometry ?geomB .
+          ?geomB geo:asWKT ?geoB .
+          FILTER(geof:sfIntersects(?geoA, ?geoB))
+        }
+        """
+    )
+    values = sorted(r["lai"].value for r in res)
+    assert values == [3.5, 4.1]

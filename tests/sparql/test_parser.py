@@ -1,0 +1,249 @@
+"""SPARQL parser tests."""
+
+import pytest
+
+from repro.rdf import IRI, Literal, RDF
+from repro.sparql.ast import (
+    Aggregate,
+    AskQuery,
+    BGP,
+    BinaryExpr,
+    Bind,
+    ConstructQuery,
+    Filter,
+    FunctionCall,
+    InlineValues,
+    OptionalPattern,
+    SelectQuery,
+    ServicePattern,
+    SubSelect,
+    UnionPattern,
+    Var,
+    VarExpr,
+)
+from repro.sparql.parser import parse_query
+from repro.sparql.tokenizer import SparqlSyntaxError
+
+PREFIXES = """
+PREFIX ex: <http://example.org/>
+PREFIX geo: <http://www.opengis.net/ont/geosparql#>
+PREFIX geof: <http://www.opengis.net/def/function/geosparql/>
+"""
+
+
+def test_simple_select():
+    q = parse_query("SELECT ?s WHERE { ?s ?p ?o }")
+    assert isinstance(q, SelectQuery)
+    assert [p.var.name for p in q.projections] == ["s"]
+    bgp = q.where.elements[0]
+    assert isinstance(bgp, BGP)
+    assert len(bgp.patterns) == 1
+
+
+def test_select_star():
+    q = parse_query("SELECT * WHERE { ?s ?p ?o }")
+    assert q.projections == []
+
+
+def test_select_distinct_and_modifiers():
+    q = parse_query(
+        "SELECT DISTINCT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) "
+        "LIMIT 10 OFFSET 5"
+    )
+    assert q.distinct
+    assert q.limit == 10 and q.offset == 5
+    assert q.order_by[0].descending
+
+
+def test_prefix_expansion():
+    q = parse_query(PREFIXES + "SELECT ?s WHERE { ?s a ex:Park }")
+    pattern = q.where.elements[0].patterns[0]
+    assert pattern.p == RDF.type
+    assert pattern.o == IRI("http://example.org/Park")
+
+
+def test_predicate_object_lists():
+    q = parse_query(
+        PREFIXES
+        + 'SELECT ?s WHERE { ?s a ex:Park ; ex:name "x" , "y" . }'
+    )
+    assert len(q.where.elements[0].patterns) == 3
+
+
+def test_typed_literal_and_lang():
+    q = parse_query(
+        PREFIXES + 'SELECT ?s WHERE { ?s ex:v "1.5"^^ex:float ; '
+        'ex:n "chat"@fr }'
+    )
+    pats = q.where.elements[0].patterns
+    assert pats[0].o == Literal("1.5", datatype=IRI("http://example.org/float"))
+    assert pats[1].o == Literal("chat", lang="fr")
+
+
+def test_filter_expression_tree():
+    q = parse_query(
+        "SELECT ?x WHERE { ?x ?p ?v FILTER(?v > 3 && ?v < 10) }"
+    )
+    filt = [e for e in q.where.elements if isinstance(e, Filter)][0]
+    assert isinstance(filt.expr, BinaryExpr)
+    assert filt.expr.op == "&&"
+
+
+def test_filter_function_iri():
+    q = parse_query(
+        PREFIXES
+        + "SELECT ?a WHERE { ?a geo:asWKT ?w "
+        "FILTER(geof:sfIntersects(?w, ?w2)) }"
+    )
+    filt = [e for e in q.where.elements if isinstance(e, Filter)][0]
+    assert isinstance(filt.expr, FunctionCall)
+    assert filt.expr.name.endswith("sfIntersects")
+
+
+def test_optional():
+    q = parse_query(
+        "SELECT ?s WHERE { ?s ?p ?o OPTIONAL { ?s ?q ?r } }"
+    )
+    assert any(isinstance(e, OptionalPattern) for e in q.where.elements)
+
+
+def test_union():
+    q = parse_query(
+        "SELECT ?s WHERE { { ?s ?p ?o } UNION { ?s ?q ?r } }"
+    )
+    union = [e for e in q.where.elements if isinstance(e, UnionPattern)][0]
+    assert len(union.alternatives) == 2
+
+
+def test_three_way_union():
+    q = parse_query(
+        "SELECT ?s WHERE { { ?s ?p 1 } UNION { ?s ?p 2 } UNION { ?s ?p 3 } }"
+    )
+    union = [e for e in q.where.elements if isinstance(e, UnionPattern)][0]
+    assert len(union.alternatives) == 3
+
+
+def test_bind():
+    q = parse_query("SELECT ?y WHERE { ?s ?p ?x BIND(?x + 1 AS ?y) }")
+    bind = [e for e in q.where.elements if isinstance(e, Bind)][0]
+    assert bind.var == Var("y")
+
+
+def test_values_multi_var():
+    q = parse_query(
+        'SELECT ?x WHERE { VALUES (?x ?y) { (1 2) (3 UNDEF) } }'
+    )
+    values = [e for e in q.where.elements if isinstance(e, InlineValues)][0]
+    assert len(values.rows) == 2
+    assert values.rows[1][1] is None
+
+
+def test_values_single_var():
+    q = parse_query("SELECT ?x WHERE { VALUES ?x { 1 2 3 } }")
+    values = [e for e in q.where.elements if isinstance(e, InlineValues)][0]
+    assert len(values.rows) == 3
+
+
+def test_ask():
+    q = parse_query("ASK { ?s ?p ?o }")
+    assert isinstance(q, AskQuery)
+
+
+def test_construct():
+    q = parse_query(
+        PREFIXES
+        + "CONSTRUCT { ?s ex:copy ?o } WHERE { ?s ex:orig ?o }"
+    )
+    assert isinstance(q, ConstructQuery)
+    assert len(q.template) == 1
+
+
+def test_select_expression_projection():
+    q = parse_query("SELECT (?a + ?b AS ?sum) WHERE { ?x ?p ?a, ?b }")
+    assert q.projections[0].var == Var("sum")
+    assert isinstance(q.projections[0].expr, BinaryExpr)
+
+
+def test_aggregates_and_group_by():
+    q = parse_query(
+        "SELECT ?g (COUNT(?x) AS ?n) (AVG(?v) AS ?avg) WHERE "
+        "{ ?x ?p ?v ; ?q ?g } GROUP BY ?g HAVING (COUNT(?x) > 2)"
+    )
+    assert isinstance(q.projections[1].expr, Aggregate)
+    assert q.group_by == [VarExpr(Var("g"))]
+    assert len(q.having) == 1
+
+
+def test_count_star():
+    q = parse_query("SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }")
+    agg = q.projections[0].expr
+    assert agg.name == "COUNT" and agg.expr is None
+
+
+def test_group_concat_separator():
+    q = parse_query(
+        'SELECT (GROUP_CONCAT(?x; SEPARATOR=",") AS ?all) WHERE { ?s ?p ?x }'
+    )
+    agg = q.projections[0].expr
+    assert agg.separator == ","
+
+
+def test_service():
+    q = parse_query(
+        "SELECT ?s WHERE { SERVICE <http://endpoint/sparql> { ?s ?p ?o } }"
+    )
+    svc = [e for e in q.where.elements if isinstance(e, ServicePattern)][0]
+    assert str(svc.endpoint) == "http://endpoint/sparql"
+
+
+def test_subselect():
+    q = parse_query(
+        "SELECT ?s WHERE { { SELECT ?s WHERE { ?s ?p ?o } LIMIT 5 } }"
+    )
+    sub = [e for e in q.where.elements if isinstance(e, SubSelect)][0]
+    assert sub.query.limit == 5
+
+
+def test_not_exists():
+    q = parse_query(
+        "SELECT ?s WHERE { ?s ?p ?o FILTER(NOT EXISTS { ?s ?q ?r }) }"
+    )
+    filt = [e for e in q.where.elements if isinstance(e, Filter)][0]
+    assert filt.expr.negated
+
+
+def test_minus():
+    from repro.sparql.ast import MinusPattern
+
+    q = parse_query("SELECT ?s WHERE { ?s ?p ?o MINUS { ?s a ?t } }")
+    assert any(isinstance(e, MinusPattern) for e in q.where.elements)
+
+
+def test_anonymous_bnode_in_pattern():
+    q = parse_query(
+        PREFIXES + "SELECT ?s WHERE { ?s ex:geom [ ex:wkt ?w ] }"
+    )
+    assert len(q.where.elements[0].patterns) == 2
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "SELECT WHERE { ?s ?p ?o }",
+        "SELECT ?s { ?s ?p ?o ",
+        "SELECT ?s WHERE { ?s ?p }",
+        "FROB ?s WHERE { ?s ?p ?o }",
+        "SELECT ?s WHERE { ?s ?p ?o } GROUP BY",
+        "SELECT ?s WHERE { ?s nosuchprefix:x ?o }",
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(SparqlSyntaxError):
+        parse_query(bad)
+
+
+def test_base_resolution():
+    q = parse_query(
+        "BASE <http://example.org/> SELECT ?s WHERE { ?s a <Park> }"
+    )
+    assert q.where.elements[0].patterns[0].o == IRI("http://example.org/Park")

@@ -1,0 +1,93 @@
+"""Sequence property path tests (``p1/p2`` in triple patterns)."""
+
+import pytest
+
+from repro.geometry import Point, to_wkt_literal
+from repro.rdf import GEO, GEO_WKT_LITERAL, Graph, IRI, Literal, RDF
+
+EX = "http://example.org/"
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def g():
+    g = Graph()
+    g.bind("ex", EX)
+    for i in range(3):
+        feature = ex(f"f{i}")
+        geom = ex(f"f{i}/geom")
+        g.add(feature, RDF.type, ex("Feature"))
+        g.add(feature, GEO.hasGeometry, geom)
+        g.add(geom, GEO.asWKT,
+              Literal(to_wkt_literal(Point(float(i), 0.0)),
+                      datatype=GEO_WKT_LITERAL))
+    g.add(ex("f0"), ex("partOf"), ex("f1"))
+    g.add(ex("f1"), ex("partOf"), ex("f2"))
+    return g
+
+
+def test_two_step_path(g):
+    res = g.query(
+        "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+        "SELECT ?f ?w WHERE { ?f geo:hasGeometry/geo:asWKT ?w }"
+    )
+    assert len(res) == 3
+    assert all("POINT" in r["w"].lexical for r in res)
+
+
+def test_path_with_filter(g):
+    res = g.query(
+        """
+        PREFIX ex: <http://example.org/>
+        PREFIX geo: <http://www.opengis.net/ont/geosparql#>
+        PREFIX geof: <http://www.opengis.net/def/function/geosparql/>
+        SELECT ?f WHERE {
+          ?f geo:hasGeometry/geo:asWKT ?w .
+          FILTER(geof:sfIntersects(?w, "POINT (1 0)"^^geo:wktLiteral))
+        }
+        """
+    )
+    assert [str(r["f"]) for r in res] == [EX + "f1"]
+
+
+def test_three_step_path(g):
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+        "SELECT ?w WHERE { ex:f0 ex:partOf/geo:hasGeometry/geo:asWKT ?w }"
+    )
+    assert len(res) == 1
+    assert "POINT (1 0)" in res.rows[0]["w"].lexical
+
+
+def test_path_hop_vars_hidden_from_select_star(g):
+    res = g.query(
+        "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+        "SELECT * WHERE { ?f geo:hasGeometry/geo:asWKT ?w }"
+    )
+    assert set(res.vars) == {"f", "w"}
+
+
+def test_paths_in_object_lists(g):
+    res = g.query(
+        "PREFIX ex: <http://example.org/> "
+        "SELECT ?x WHERE { ex:f0 ex:partOf/ex:partOf ?x }"
+    )
+    assert [str(r["x"]) for r in res] == [EX + "f2"]
+
+
+def test_path_listing_style(g):
+    """The common GeoSPARQL idiom from real Geographica queries."""
+    res = g.query(
+        """
+        PREFIX ex: <http://example.org/>
+        PREFIX geo: <http://www.opengis.net/ont/geosparql#>
+        SELECT (COUNT(?w) AS ?n) WHERE {
+          ?f a ex:Feature ; geo:hasGeometry/geo:asWKT ?w .
+        }
+        """
+    )
+    assert res.rows[0]["n"].value == 3

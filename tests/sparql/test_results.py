@@ -1,0 +1,77 @@
+"""SPARQLResult container API tests."""
+
+import json
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal
+from repro.sparql.results import SPARQLResult
+
+EX = "http://example.org/"
+
+
+def make_result():
+    return SPARQLResult(
+        "SELECT",
+        variables=["s", "v"],
+        rows=[
+            {"s": IRI(EX + "a"), "v": Literal(1)},
+            {"s": IRI(EX + "b")},  # v unbound
+        ],
+    )
+
+
+def test_iteration_and_len():
+    res = make_result()
+    assert len(res) == 2
+    assert [row["s"] for row in res] == [IRI(EX + "a"), IRI(EX + "b")]
+
+
+def test_column_with_unbound():
+    res = make_result()
+    assert res.column("v") == [Literal(1), None]
+    assert res.column("missing") == [None, None]
+
+
+def test_bool_semantics():
+    assert make_result()
+    assert not SPARQLResult("SELECT", variables=["x"], rows=[])
+    assert SPARQLResult("ASK", ask=True)
+    assert not SPARQLResult("ASK", ask=False)
+
+
+def test_construct_len_counts_triples():
+    g = Graph()
+    g.add(IRI(EX + "s"), IRI(EX + "p"), Literal("o"))
+    res = SPARQLResult("CONSTRUCT", graph=g)
+    assert len(res) == 1
+
+
+def test_csv_blank_for_unbound():
+    csv_text = make_result().to_csv()
+    lines = csv_text.strip().splitlines()
+    assert lines[0] == "s,v"
+    assert lines[2].endswith(",")
+
+
+def test_json_roundtrip_skips_unbound():
+    res = make_result()
+    doc = json.loads(res.to_json())
+    assert doc["head"]["vars"] == ["s", "v"]
+    assert "v" not in doc["results"]["bindings"][1]
+    back = SPARQLResult.from_json(res.to_json())
+    assert back.rows[1].get("v") is None
+
+
+def test_ask_json():
+    doc = json.loads(SPARQLResult("ASK", ask=True).to_json())
+    assert doc["boolean"] is True
+    back = SPARQLResult.from_json(json.dumps({"head": {},
+                                              "boolean": False}))
+    assert back.ask is False
+
+
+def test_reprs():
+    assert "SELECT" in repr(make_result())
+    assert "ASK" in repr(SPARQLResult("ASK", ask=True))
+    assert "CONSTRUCT" in repr(SPARQLResult("CONSTRUCT", graph=Graph()))

@@ -1,0 +1,77 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.sparql.tokenizer import SparqlSyntaxError, tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)[:-1]]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+def test_basic_select():
+    toks = tokenize("SELECT ?s WHERE { ?s a <http://x> . }")
+    assert [t.kind for t in toks] == [
+        "KEYWORD", "VAR", "KEYWORD", "PUNCT", "VAR", "A", "IRIREF",
+        "PUNCT", "PUNCT", "EOF",
+    ]
+
+
+def test_keywords_case_insensitive():
+    assert values("select WHERE Filter")[0:3] == ["SELECT", "WHERE", "FILTER"]
+
+
+def test_iriref_vs_less_than():
+    toks = tokenize("FILTER(?x < 3)")
+    assert ("PUNCT", "<") in [(t.kind, t.value) for t in toks]
+    toks = tokenize("<http://example.org/a>")
+    assert toks[0].kind == "IRIREF"
+    assert toks[0].value == "http://example.org/a"
+
+
+def test_string_quotes():
+    toks = tokenize('"double" \'single\' """long\nstring"""')
+    assert [t.value for t in toks[:-1]] == ["double", "single", "long\nstring"]
+
+
+def test_numbers():
+    assert values("42 3.14 .5 1e3 -7")[0:4] == ["42", "3.14", ".5", "1e3"]
+
+
+def test_negative_after_operand_splits():
+    toks = tokenize("?a-1")
+    assert [(t.kind, t.value) for t in toks[:-1]] == [
+        ("VAR", "?a"), ("PUNCT", "-"), ("NUMBER", "1"),
+    ]
+
+
+def test_pname_and_bnode():
+    toks = tokenize("geo:asWKT _:b1 :local")
+    assert toks[0].kind == "PNAME"
+    assert toks[1].kind == "BNODE_LABEL"
+    assert toks[2].kind == "PNAME"
+
+
+def test_operators():
+    vals = values("= != <= >= || && ! ^^")
+    assert vals == ["=", "!=", "<=", ">=", "||", "&&", "!", "^^"]
+
+
+def test_comments_skipped():
+    toks = tokenize("SELECT # a comment\n?s")
+    assert len(toks) == 3  # SELECT, VAR, EOF
+
+
+def test_langtag():
+    toks = tokenize('"Paris"@fr')
+    assert toks[1].kind == "LANGTAG"
+    assert toks[1].value == "@fr"
+
+
+def test_unknown_word_raises():
+    with pytest.raises(SparqlSyntaxError):
+        tokenize("SELECT bogusword")

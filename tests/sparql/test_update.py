@@ -1,0 +1,153 @@
+"""SPARQL Update tests."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal, RDF
+from repro.sparql import SparqlSyntaxError, update
+
+EX = "http://example.org/"
+PREFIX = "PREFIX ex: <http://example.org/> "
+
+
+def ex(name):
+    return IRI(EX + name)
+
+
+@pytest.fixture
+def g():
+    g = Graph()
+    g.bind("ex", EX)
+    g.add(ex("a"), RDF.type, ex("Park"))
+    g.add(ex("a"), ex("name"), Literal("Bois"))
+    g.add(ex("b"), RDF.type, ex("Factory"))
+    return g
+
+
+def test_insert_data(g):
+    result = g.sparql_update(
+        PREFIX + 'INSERT DATA { ex:c a ex:Park ; ex:name "Monceau" }'
+    )
+    assert result.inserted == 2
+    assert (ex("c"), RDF.type, ex("Park")) in g
+    assert g.value(ex("c"), ex("name")) == Literal("Monceau")
+
+
+def test_insert_data_idempotent(g):
+    g.sparql_update(PREFIX + "INSERT DATA { ex:a a ex:Park }")
+    result = g.sparql_update(PREFIX + "INSERT DATA { ex:a a ex:Park }")
+    assert result.inserted == 0
+
+
+def test_delete_data(g):
+    result = g.sparql_update(
+        PREFIX + 'DELETE DATA { ex:a ex:name "Bois" }'
+    )
+    assert result.deleted == 1
+    assert g.value(ex("a"), ex("name")) is None
+
+
+def test_delete_data_missing_is_noop(g):
+    result = g.sparql_update(
+        PREFIX + 'DELETE DATA { ex:zz ex:name "ghost" }'
+    )
+    assert result.deleted == 0
+
+
+def test_data_with_variable_rejected(g):
+    with pytest.raises(SparqlSyntaxError):
+        g.sparql_update(PREFIX + "INSERT DATA { ?s a ex:Park }")
+
+
+def test_delete_where(g):
+    result = g.sparql_update(
+        PREFIX + "DELETE WHERE { ?s a ex:Park ; ex:name ?n }"
+    )
+    assert result.deleted == 2
+    assert (ex("a"), RDF.type, ex("Park")) not in g
+    # the factory is untouched
+    assert (ex("b"), RDF.type, ex("Factory")) in g
+
+
+def test_modify_insert_where(g):
+    result = g.sparql_update(
+        PREFIX + "INSERT { ?s ex:kind ex:GreenSpace } "
+        "WHERE { ?s a ex:Park }"
+    )
+    assert result.inserted == 1
+    assert g.value(ex("a"), ex("kind")) == ex("GreenSpace")
+
+
+def test_modify_delete_insert_where(g):
+    result = g.sparql_update(
+        PREFIX + "DELETE { ?s a ex:Park } INSERT { ?s a ex:GreenSpace } "
+        "WHERE { ?s a ex:Park }"
+    )
+    assert result.deleted == 1 and result.inserted == 1
+    assert (ex("a"), RDF.type, ex("GreenSpace")) in g
+    assert (ex("a"), RDF.type, ex("Park")) not in g
+
+
+def test_modify_with_filter(g):
+    g.add(ex("c"), RDF.type, ex("Park"))
+    g.add(ex("c"), ex("name"), Literal("Small"))
+    result = g.sparql_update(
+        PREFIX + "DELETE { ?s ex:name ?n } WHERE "
+        '{ ?s ex:name ?n FILTER(STRSTARTS(?n, "B")) }'
+    )
+    assert result.deleted == 1
+    assert g.value(ex("c"), ex("name")) == Literal("Small")
+
+
+def test_clear(g):
+    result = g.sparql_update("CLEAR ALL")
+    assert result.deleted == 3
+    assert len(g) == 0
+
+
+def test_sequence_of_operations(g):
+    result = g.sparql_update(
+        PREFIX + "DELETE DATA { ex:b a ex:Factory } ; "
+        "INSERT DATA { ex:b a ex:Brownfield }"
+    )
+    assert result.deleted == 1 and result.inserted == 1
+    assert (ex("b"), RDF.type, ex("Brownfield")) in g
+
+
+def test_insert_template_with_bnode(g):
+    g.sparql_update(
+        PREFIX + "INSERT { ?s ex:geom _:g . _:g ex:wkt \"POINT (0 0)\" } "
+        "WHERE { ?s a ex:Park }"
+    )
+    geom = g.value(ex("a"), ex("geom"))
+    assert geom is not None
+    assert g.value(geom, ex("wkt")) == Literal("POINT (0 0)")
+
+
+def test_update_keeps_strabon_index_in_sync():
+    from repro.geometry import Point, to_wkt_literal
+    from repro.rdf import GEO, GEO_WKT_LITERAL
+    from repro.strabon import StrabonStore
+
+    store = StrabonStore()
+    store.bind("ex", EX)
+    wkt = to_wkt_literal(Point(2.25, 48.86))
+    store.sparql_update(
+        PREFIX
+        + "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+        f'INSERT DATA {{ ex:g geo:asWKT "{wkt}"'
+        "^^geo:wktLiteral }"
+    )
+    assert store.indexed_geometry_count == 1
+    store.sparql_update(
+        PREFIX
+        + "PREFIX geo: <http://www.opengis.net/ont/geosparql#> "
+        "DELETE WHERE { ?g geo:asWKT ?w }"
+    )
+    assert store.indexed_geometry_count == 0
+
+
+def test_bad_update_syntax(g):
+    with pytest.raises(SparqlSyntaxError):
+        g.sparql_update("FROB { }")
+    with pytest.raises(SparqlSyntaxError):
+        g.sparql_update(PREFIX + "INSERT DATA { ex:a ex:b }")

@@ -1,0 +1,133 @@
+"""Archive versioning, virtual directory and MEP deployment tests."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.opendap import DapCache, decode_time, open_url, ServerRegistry
+from repro.vito import (
+    ArchiveError,
+    GlobalLandArchive,
+    LAI_SPEC,
+    MepDeployment,
+    dekad_dates,
+    generate_product,
+)
+
+
+@pytest.fixture
+def archive():
+    archive = GlobalLandArchive()
+    for day in dekad_dates(date(2018, 6, 1), 3):
+        archive.publish("LAI", day, 0,
+                        generate_product(LAI_SPEC, day, version=0))
+    return archive
+
+
+def test_publish_and_get(archive):
+    ds = archive.get("LAI", date(2018, 6, 1))
+    assert ds.name == "LAI"
+    assert archive.dates("LAI") == [
+        date(2018, 6, 1), date(2018, 6, 11), date(2018, 6, 21)
+    ]
+
+
+def test_missing_lookups_raise(archive):
+    with pytest.raises(ArchiveError):
+        archive.get("NDVI", date(2018, 6, 1))
+    with pytest.raises(ArchiveError):
+        archive.get("LAI", date(2020, 1, 1))
+    with pytest.raises(ArchiveError):
+        archive.get("LAI", date(2018, 6, 1), version=5)
+
+
+def test_reprocessing_versions(archive):
+    day = date(2018, 6, 1)
+    version, path = archive.reprocess(
+        "LAI", day, generate_product(LAI_SPEC, day, version=1)
+    )
+    assert version == 1
+    assert "RT1" in path
+    assert archive.versions("LAI", day) == [0, 1]
+    # default get() returns the latest version
+    assert archive.get("LAI", day).attributes["product_version"] == "RT1"
+    assert archive.get("LAI", day, version=0).attributes[
+        "product_version"] == "RT0"
+
+
+def test_physical_vs_virtual_tree(archive):
+    day = date(2018, 6, 1)
+    archive.reprocess("LAI", day, generate_product(LAI_SPEC, day, version=1))
+    physical = archive.physical_tree("LAI")
+    assert len(physical) == 4  # 3 dates + 1 reprocessed duplicate
+    virtual = archive.virtual_tree("LAI")
+    assert len(virtual) == 3  # one link per date
+    assert virtual["LAI/2018-06-01.nc"].endswith("RT1/"
+                                                 "c_gls_LAI_201806010000_RT1.nc")
+
+
+def test_latest_only_latest_versions(archive):
+    day = date(2018, 6, 11)
+    archive.reprocess("LAI", day, generate_product(LAI_SPEC, day, version=1))
+    latest = archive.latest("LAI")
+    assert latest[day].attributes["product_version"] == "RT1"
+    assert latest[date(2018, 6, 1)].attributes["product_version"] == "RT0"
+
+
+class TestMep:
+    def test_mount_and_fetch(self, archive):
+        mep = MepDeployment(archive, host="vito.test")
+        registry = ServerRegistry()
+        registry.register(mep.server)
+        path = mep.mount_product("LAI")
+        assert path == "Copernicus/LAI"
+        remote = open_url("dap://vito.test/Copernicus/LAI", registry)
+        full = remote.fetch()
+        assert full["LAI"].shape[0] == 3  # aggregated over 3 dates
+
+    def test_aggregation_updates_on_new_date(self, archive):
+        mep = MepDeployment(archive, host="vito.test")
+        registry = ServerRegistry()
+        registry.register(mep.server)
+        mep.mount_product("LAI")
+        remote = open_url("dap://vito.test/Copernicus/LAI", registry)
+        assert remote.fetch()["LAI"].shape[0] == 3
+        new_day = date(2018, 7, 1)
+        archive.publish("LAI", new_day, 0,
+                        generate_product(LAI_SPEC, new_day))
+        assert remote.fetch()["LAI"].shape[0] == 4  # no remount needed
+
+    def test_times_are_sorted(self, archive):
+        mep = MepDeployment(archive, host="vito.test")
+        agg = mep.aggregated("LAI")
+        times = decode_time(agg["time"])
+        assert times == sorted(times)
+
+    def test_ncml_service(self, archive):
+        mep = MepDeployment(archive, host="vito.test")
+        mep.mount_product("LAI")
+        body = mep.server.request("Copernicus/LAI.ncml").decode()
+        assert "netcdf" in body and "LAI" in body
+
+    def test_netcdf_subset_service(self, archive):
+        mep = MepDeployment(archive, host="vito.test")
+        subset = mep.netcdf_subset("LAI", bbox=(2.2, 48.8, 2.4, 48.9))
+        assert subset["LAI"].shape[1] <= 12
+        assert (subset["lon"].data <= 2.4).all()
+
+    def test_services_listing(self, archive):
+        mep = MepDeployment(archive, host="vito.test")
+        mep.mount_product("LAI")
+        services = mep.services("LAI")
+        assert set(services) == {"opendap", "ncml", "netcdfsubset"}
+        assert services["opendap"] == "dap://vito.test/Copernicus/LAI"
+
+    def test_mount_all(self, archive):
+        from repro.vito import NDVI_SPEC
+
+        archive.publish("NDVI", date(2018, 6, 1), 0,
+                        generate_product(NDVI_SPEC, date(2018, 6, 1)))
+        mep = MepDeployment(archive, host="vito.test")
+        paths = mep.mount_all()
+        assert paths == ["Copernicus/LAI", "Copernicus/NDVI"]
