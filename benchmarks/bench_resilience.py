@@ -1,0 +1,128 @@
+"""Resilience overhead: what do retries and degraded modes cost?
+
+Three measurements, all wall-clock-meaningful yet sleep-free (backoff
+and injected delays run against a fake clock):
+
+- the per-request overhead of routing a fault-free workload through a
+  RetryPolicy (should be noise);
+- the amortized cost of a workload where every 3rd request fails and is
+  retried;
+- the throughput of stale-cache degradation when the host is down.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.opendap import DapCache, DapServer, ServerRegistry, open_url
+from repro.resilience import FaultSchedule, FaultyServer, RetryPolicy
+
+pytestmark = pytest.mark.benchmark
+
+N_FETCHES = 300
+LAI_URL = "dap://vito.test/Copernicus/LAI"
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.now += seconds
+
+
+def _registry():
+    from repro.opendap import DapDataset
+
+    ds = DapDataset("LAI")
+    ds.add_variable("time", ["time"], np.arange(4, dtype=np.int32),
+                    {"units": "days since 2018-01-01"})
+    ds.add_variable("lat", ["lat"], np.linspace(48.8, 48.92, 5))
+    ds.add_variable("lon", ["lon"], np.linspace(2.2, 2.5, 6))
+    ds.add_variable("LAI", ["time", "lat", "lon"],
+                    np.random.default_rng(0).uniform(0, 6, (4, 5, 6)))
+    reg = ServerRegistry()
+    server = DapServer("vito.test")
+    server.mount("Copernicus/LAI", ds)
+    reg.register(server)
+    return reg
+
+
+def _constraints():
+    return [f"LAI[{i % 4}:{i % 4}][0:4][0:5]" for i in range(N_FETCHES)]
+
+
+def _policy(clock):
+    return RetryPolicy(max_attempts=3, base_delay_s=0.05,
+                       clock=clock, sleep=clock.sleep)
+
+
+def _timed_fetches(remote):
+    start = time.perf_counter()
+    for ce in _constraints():
+        remote.fetch(ce)
+    return time.perf_counter() - start
+
+
+def test_retry_policy_overhead_fault_free(record_summary):
+    plain = open_url(LAI_URL, _registry())
+    t_plain = _timed_fetches(plain)
+
+    clock = _Clock()
+    retried = open_url(LAI_URL, _registry(), retry_policy=_policy(clock))
+    t_retry = _timed_fetches(retried)
+
+    overhead = (t_retry / t_plain - 1.0) * 100.0
+    record_summary("Resilience: retry-policy overhead (fault-free)", [
+        f"{N_FETCHES} fetches plain:        {t_plain * 1e3:8.1f} ms",
+        f"{N_FETCHES} fetches via policy:   {t_retry * 1e3:8.1f} ms",
+        f"overhead:                   {overhead:+6.1f} %",
+    ])
+    assert retried.stats.retries == 0
+
+
+def test_retry_amortization_every_third_failing(record_summary):
+    clock = _Clock()
+    registry = _registry()
+    registry.wrap("vito.test",
+                  lambda s: FaultyServer(s, FaultSchedule(fail_every=3)))
+    remote = open_url(LAI_URL, registry, retry_policy=_policy(clock))
+    elapsed = _timed_fetches(remote)
+    stats = remote.stats
+    record_summary("Resilience: every-3rd-request failing", [
+        f"logical requests:  {stats.logical_requests}",
+        f"physical attempts: {stats.attempts}",
+        f"retries:           {stats.retries}",
+        f"simulated backoff: {clock.now:8.2f} s (fake clock)",
+        f"real wall time:    {elapsed * 1e3:8.1f} ms",
+    ])
+    assert stats.failures == 0
+
+
+def test_stale_serve_throughput_host_down(record_summary):
+    clock = _Clock()
+    registry = _registry()
+    cache = DapCache(ttl_s=60, clock=clock, serve_stale=True)
+    faulty = registry.wrap("vito.test",
+                           lambda s: FaultyServer(s, FaultSchedule()))
+    remote = open_url(LAI_URL, registry, cache=cache,
+                      retry_policy=_policy(clock))
+    for ce in _constraints():
+        remote.fetch(ce)  # prime the cache
+    clock.now += 120  # everything expires
+    faulty.schedule = FaultSchedule.dead()
+
+    start = time.perf_counter()
+    for ce in _constraints():
+        assert remote.fetch(ce).stale
+    elapsed = time.perf_counter() - start
+    record_summary("Resilience: stale-cache degradation (host down)", [
+        f"stale serves:      {remote.stats.stale_serves}",
+        f"failed refetches:  {remote.stats.failures}",
+        f"wall time:         {elapsed * 1e3:8.1f} ms "
+        f"({N_FETCHES / elapsed:,.0f} stale serves/s)",
+    ])

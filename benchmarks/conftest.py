@@ -6,12 +6,37 @@ for a base round-trip per request plus a throughput term per byte,
 calibrated to a plausible WAN (30 ms RTT, ~4 MB/s effective).
 """
 
+import os
 import pathlib
 
 import pytest
 
 from repro.core import GreennessCaseStudy
 from repro.opendap import LatencyModel
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-benchmarks", action="store_true", default=False,
+        help="run modules marked `benchmark` (never part of the "
+             "tier-1 `python -m pytest -x -q` gate)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    """Opt-out: `benchmark`-marked items only run on explicit request.
+
+    The tier-1 gate collects `tests/` only, so this is belt and braces
+    for direct `pytest benchmarks` invocations.
+    """
+    if config.getoption("--run-benchmarks") \
+            or os.environ.get("RUN_BENCHMARKS"):
+        return
+    skip = pytest.mark.skip(reason="benchmark: pass --run-benchmarks "
+                                   "(or set RUN_BENCHMARKS) to run")
+    for item in items:
+        if "benchmark" in item.keywords:
+            item.add_marker(skip)
 
 SUMMARY_PATH = pathlib.Path(__file__).resolve().parent.parent / "out" \
     / "experiment_summaries.txt"

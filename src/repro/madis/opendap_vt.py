@@ -27,6 +27,7 @@ import numpy as np
 
 from ..opendap import ServerRegistry, decode_time, open_url
 from ..opendap.model import apply_fill_and_scale
+from ..resilience import ResilienceStats, RetryPolicy
 from .engine import MadisError
 
 Row = Tuple
@@ -38,9 +39,13 @@ class OpendapVTOperator:
     """Stateful operator: holds the server registry and the call cache."""
 
     def __init__(self, registry: ServerRegistry,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 stats: Optional[ResilienceStats] = None):
         self.registry = registry
         self.clock = clock
+        self.retry_policy = retry_policy
+        self.stats = stats if stats is not None else ResilienceStats()
         self._cache: Dict[Tuple, Tuple[float, Sequence[str], List[Row]]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
@@ -84,7 +89,8 @@ class OpendapVTOperator:
     def _fetch(self, url: str, variable: Optional[str],
                constraint: str) -> Tuple[Sequence[str], List[Row]]:
         self.server_calls += 1
-        remote = open_url(url, self.registry)
+        remote = open_url(url, self.registry,
+                          retry_policy=self.retry_policy, stats=self.stats)
         dataset = remote.fetch(constraint)
         if variable is None:
             variable = _main_variable(dataset)
@@ -144,9 +150,12 @@ def _main_variable(dataset) -> str:
 
 
 def attach_opendap(conn, registry: ServerRegistry,
-                   clock: Callable[[], float] = time.monotonic
+                   clock: Callable[[], float] = time.monotonic,
+                   retry_policy: Optional[RetryPolicy] = None,
+                   stats: Optional[ResilienceStats] = None
                    ) -> OpendapVTOperator:
     """Register the operator on a MadIS connection; returns it for stats."""
-    operator = OpendapVTOperator(registry, clock=clock)
+    operator = OpendapVTOperator(registry, clock=clock,
+                                 retry_policy=retry_policy, stats=stats)
     conn.register_vt_operator("opendap", operator)
     return operator

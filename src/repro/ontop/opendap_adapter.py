@@ -14,6 +14,7 @@ from typing import Callable, Optional, Tuple
 
 from ..madis import MadisConnection, OpendapVTOperator, attach_opendap
 from ..opendap import ServerRegistry
+from ..resilience import ResilienceStats, RetryPolicy
 from .obda import OntopSpatial
 
 LISTING2_TEMPLATE = """\
@@ -53,14 +54,20 @@ def make_opendap_endpoint(
     window_minutes: float = 10,
     clock: Callable[[], float] = time.monotonic,
     mapping_document: Optional[str] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    stats: Optional[ResilienceStats] = None,
 ) -> Tuple[OntopSpatial, OpendapVTOperator, MadisConnection]:
     """Build a ready-to-query virtual endpoint over an OPeNDAP URL.
 
     Returns (engine, opendap operator, MadIS connection); the operator
-    exposes cache/server-call counters for the E4/E5 experiments.
+    exposes cache/server-call counters for the E4/E5 experiments and —
+    when a *retry_policy* is given — a ``stats`` ResilienceStats block
+    describing retries/timeouts seen while the virtual tables fetched
+    remote data.
     """
     conn = MadisConnection()
-    operator = attach_opendap(conn, registry, clock=clock)
+    operator = attach_opendap(conn, registry, clock=clock,
+                              retry_policy=retry_policy, stats=stats)
     document = mapping_document or opendap_mapping_document(
         url, variable=variable, window_minutes=window_minutes
     )

@@ -6,13 +6,21 @@ constrained ``.dods`` request is issued. An optional client-side cache
 keyed on the *canonical constraint expression* reproduces the paper's
 observation that DAP caching by array indices beats bbox-keyed WCS
 caching for panning viewports (Section 5).
+
+Remote access is resilient: a :class:`~repro.resilience.RetryPolicy`
+(optionally with a circuit breaker) wraps every request, and when all
+retries fail the cache can degrade to serving an *expired* entry,
+flagged ``stale=True`` on the returned dataset.
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
+from ..resilience import CircuitBreaker, ResilienceStats, RetryPolicy
 from .constraints import parse_constraint
 from .das import apply_das, parse_das
 from .dds import parse_dds
@@ -22,57 +30,116 @@ from .server import DEFAULT_REGISTRY, ServerRegistry
 
 
 class DapCache:
-    """A TTL cache for DAP responses keyed by canonical constraint."""
+    """A thread-safe LRU/TTL cache for DAP responses.
+
+    Keys are ``(url, canonical constraint)``. ``max_entries`` bounds
+    the size (least-recently-used entries are evicted on ``put``), so a
+    long-running SDL session cannot grow it without limit. With
+    ``serve_stale=True`` expired entries are *kept*: :meth:`get` still
+    reports a miss, but :meth:`get_stale` can hand the old body to a
+    caller whose refetch just failed (graceful degradation).
+    """
 
     def __init__(self, ttl_s: float = 600.0,
-                 clock=time.monotonic):
+                 clock=time.monotonic,
+                 max_entries: Optional[int] = None,
+                 serve_stale: bool = False):
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be >= 0 (or None)")
         self.ttl_s = ttl_s
         self._clock = clock
-        self._entries: Dict[Tuple[str, str], Tuple[float, bytes]] = {}
+        self.max_entries = max_entries
+        self.serve_stale = serve_stale
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[Tuple[str, str], Tuple[float, bytes]]" \
+            = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.stale_hits = 0
+        self.evictions = 0
 
     def get(self, url: str, constraint: str) -> Optional[bytes]:
         key = (url, constraint)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        stamp, body = entry
-        if self._clock() - stamp > self.ttl_s:
-            del self._entries[key]
-            self.misses += 1
-            return None
-        self.hits += 1
-        return body
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            stamp, body = entry
+            if self._clock() - stamp > self.ttl_s:
+                if not self.serve_stale:
+                    del self._entries[key]
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return body
+
+    def get_stale(self, url: str, constraint: str) -> Optional[bytes]:
+        """An entry's body regardless of age (None if never cached)."""
+        with self._lock:
+            entry = self._entries.get(key := (url, constraint))
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            self.stale_hits += 1
+            return entry[1]
 
     def put(self, url: str, constraint: str, body: bytes) -> None:
-        self._entries[(url, constraint)] = (self._clock(), body)
+        key = (url, constraint)
+        with self._lock:
+            self._entries[key] = (self._clock(), body)
+            self._entries.move_to_end(key)
+            if self.max_entries is not None:
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.stale_hits = 0
+            self.evictions = 0
 
 
 class RemoteDataset:
     """A lazy proxy for one dataset on a DAP server."""
 
     def __init__(self, url: str, registry: ServerRegistry,
-                 cache: Optional[DapCache] = None):
+                 cache: Optional[DapCache] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 stats: Optional[ResilienceStats] = None,
+                 breaker: Optional[CircuitBreaker] = None):
         self.url = url.rstrip("/")
         self._registry = registry
         self.cache = cache
+        self.retry_policy = retry_policy
+        self.stats = stats if stats is not None else ResilienceStats()
+        self.breaker = breaker
         self._server, self._path = registry.resolve(self.url)
-        dds_text = self._raw_request(self._path + ".dds").decode("utf-8")
-        self.name, self._structure = parse_dds(dds_text)
-        das_text = self._raw_request(self._path + ".das").decode("utf-8")
-        self._attributes = parse_das(das_text)
+        # Request + decode + parse retry as one unit, so a corrupted
+        # metadata payload is re-requested like any failed attempt.
+        self.name, self._structure = self._run_resilient(
+            lambda: parse_dds(
+                self._server.request(self._path + ".dds").decode("utf-8")
+            )
+        )
+        self._attributes = self._run_resilient(
+            lambda: parse_das(
+                self._server.request(self._path + ".das").decode("utf-8")
+            )
+        )
 
     # -- metadata ----------------------------------------------------------
     @property
@@ -94,21 +161,52 @@ class RemoteDataset:
         return dict(self._attributes.get("NC_GLOBAL", {}))
 
     # -- data -----------------------------------------------------------------
+    def _run_resilient(self, fn):
+        if self.retry_policy is None:
+            return fn()
+        return self.retry_policy.run(fn, stats=self.stats,
+                                     breaker=self.breaker)
+
     def _raw_request(self, path_and_query: str) -> bytes:
-        return self._server.request(path_and_query)
+        return self._run_resilient(
+            lambda: self._server.request(path_and_query)
+        )
 
     def fetch(self, constraint: str = "") -> DapDataset:
-        """Fetch (a subset of) the data as a concrete dataset."""
+        """Fetch (a subset of) the data as a concrete dataset.
+
+        One *logical* request: the retry policy re-issues it on
+        failure, including on a corrupted payload (decoding happens
+        inside the retried unit). If every attempt fails and the cache
+        holds an expired entry for this constraint, that body is served
+        instead with ``stale=True`` set on the result.
+        """
         canonical = parse_constraint(constraint).canonical()
         if self.cache is not None:
             body = self.cache.get(self.url, canonical)
             if body is not None:
                 return self._decode(body)
         query = ("?" + canonical) if canonical else ""
-        body = self._raw_request(self._path + ".dods" + query)
+        target = self._path + ".dods" + query
+
+        def attempt() -> Tuple[bytes, DapDataset]:
+            raw = self._server.request(target)
+            return raw, self._decode(raw)
+
+        try:
+            body, dataset = self._run_resilient(attempt)
+        except Exception:
+            if self.cache is not None:
+                stale = self.cache.get_stale(self.url, canonical)
+                if stale is not None:
+                    self.stats.stale_serves += 1
+                    degraded = self._decode(stale)
+                    degraded.stale = True
+                    return degraded
+            raise
         if self.cache is not None:
             self.cache.put(self.url, canonical, body)
-        return self._decode(body)
+        return dataset
 
     def _decode(self, body: bytes) -> DapDataset:
         dataset = decode_dods(body)
@@ -125,6 +223,11 @@ class RemoteDataset:
 
 
 def open_url(url: str, registry: Optional[ServerRegistry] = None,
-             cache: Optional[DapCache] = None) -> RemoteDataset:
+             cache: Optional[DapCache] = None,
+             retry_policy: Optional[RetryPolicy] = None,
+             stats: Optional[ResilienceStats] = None,
+             breaker: Optional[CircuitBreaker] = None) -> RemoteDataset:
     """Open a ``dap://host/path`` URL against a server registry."""
-    return RemoteDataset(url, registry or DEFAULT_REGISTRY, cache=cache)
+    return RemoteDataset(url, registry or DEFAULT_REGISTRY, cache=cache,
+                         retry_policy=retry_policy, stats=stats,
+                         breaker=breaker)

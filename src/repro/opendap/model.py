@@ -65,6 +65,9 @@ class DapDataset:
         self.name = name
         self.variables: Dict[str, Variable] = {}
         self.attributes: Dict[str, object] = dict(attributes or {})
+        #: True when served from an expired cache entry after the
+        #: remote fetch failed (degraded mode); see RemoteDataset.fetch.
+        self.stale = False
 
     # -- construction ---------------------------------------------------------
     def add_variable(self, name: str, dims: Sequence[str], data,
@@ -111,6 +114,7 @@ class DapDataset:
 
     def copy(self, name: Optional[str] = None) -> "DapDataset":
         out = DapDataset(name or self.name, dict(self.attributes))
+        out.stale = self.stale
         for var in self.variables.values():
             out.variables[var.name] = var.copy()
         return out

@@ -178,6 +178,22 @@ class ServerRegistry:
         self._servers[server.host] = server
         return server
 
+    def wrap(self, host: str, wrapper) -> DapServer:
+        """Replace a registered server with ``wrapper(server)`` in place.
+
+        This is how fault-injection (or any other request middleware)
+        slides between clients and a server without re-mounting data::
+
+            registry.wrap("vito.test",
+                          lambda s: FaultyServer(s, schedule))
+        """
+        server = self._servers.get(host)
+        if server is None:
+            raise DapError(f"unknown DAP host {host!r}")
+        wrapped = wrapper(server)
+        self._servers[host] = wrapped
+        return wrapped
+
     def resolve(self, url: str) -> Tuple[DapServer, str]:
         """Split a dap:// URL into (server, path-with-query)."""
         if not url.startswith("dap://"):

@@ -1,0 +1,51 @@
+"""Resilience layer: retries, circuit breaking, fault injection.
+
+The paper's virtual data path (Section 5) stands or falls with how it
+behaves when the remote OPeNDAP server or a federated SPARQL endpoint
+is flaky. This package provides the pieces the rest of the stack wires
+in:
+
+- :class:`RetryPolicy` — bounded retries, exponential backoff with
+  deterministic jitter, per-attempt timeouts, injectable clock/sleep;
+- :class:`CircuitBreaker` — skip requests to a host that keeps failing,
+  probe it again after a cool-down;
+- :class:`FaultSchedule` / :class:`FaultyServer` /
+  :class:`FaultyEndpoint` — seeded, deterministic fault injection for
+  the failure-mode test suite;
+- :class:`ResilienceStats` — one counter block threaded through the
+  DAP client, the federation engine and the MadIS operator.
+"""
+
+from .breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitOpenError,
+)
+from .faults import (
+    FaultSchedule,
+    FaultyEndpoint,
+    FaultyServer,
+    InjectedFault,
+    corrupt_body,
+)
+from .policy import AttemptTimeout, RetryPolicy, no_retry
+from .stats import ResilienceStats
+
+__all__ = [
+    "AttemptTimeout",
+    "CLOSED",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "FaultSchedule",
+    "FaultyEndpoint",
+    "FaultyServer",
+    "HALF_OPEN",
+    "InjectedFault",
+    "OPEN",
+    "ResilienceStats",
+    "RetryPolicy",
+    "corrupt_body",
+    "no_retry",
+]

@@ -1,0 +1,70 @@
+"""A minimal circuit breaker for flaky remote endpoints.
+
+After ``failure_threshold`` consecutive failures the circuit *opens*
+and requests are skipped without touching the endpoint. Once
+``reset_timeout_s`` has elapsed (per the injected clock) the circuit
+goes *half-open*: one probe request is allowed through; success closes
+the circuit, failure re-opens it for another full timeout.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitOpenError(ConnectionError):
+    """Raised when a request is skipped because the circuit is open."""
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with an injectable clock."""
+
+    def __init__(self, failure_threshold: int = 5,
+                 reset_timeout_s: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._consecutive_failures = 0
+        self._state = CLOSED
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        if self._state == OPEN:
+            if self._clock() - self._opened_at >= self.reset_timeout_s:
+                return HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request be issued right now?"""
+        return self.state != OPEN
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        if self.state == HALF_OPEN:
+            # The probe failed: re-open for another full timeout.
+            self._state = OPEN
+            self._opened_at = self._clock()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._state = OPEN
+            self._opened_at = self._clock()
+
+    def __repr__(self) -> str:
+        return (
+            f"<CircuitBreaker {self.state} "
+            f"failures={self._consecutive_failures}/"
+            f"{self.failure_threshold}>"
+        )

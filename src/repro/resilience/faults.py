@@ -1,0 +1,168 @@
+"""Deterministic fault injection for DAP servers and SPARQL endpoints.
+
+A :class:`FaultSchedule` decides — as a pure function of the request
+index and a seed — whether the Nth request fails, is delayed, or has
+its payload corrupted. :class:`FaultyServer` and
+:class:`FaultyEndpoint` wrap the in-process
+:class:`~repro.opendap.DapServer` and
+:class:`~repro.sparql.federation.SparqlEndpoint` respectively,
+consuming one schedule slot per intercepted call. Same seed, same
+schedule — so every failure-mode test is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Dict, List, Optional
+
+from .policy import _MIX
+
+
+class InjectedFault(ConnectionError):
+    """The error raised for an injected request failure."""
+
+
+class FaultSchedule:
+    """Decides the fate of the Nth request (1-based), deterministically.
+
+    Periodic rules (``fail_every=3`` fails every 3rd request) take
+    precedence over seeded random rates (``fail_rate=0.3`` fails ~30%
+    of requests, reproducibly for a given ``seed``). ``fail_first``
+    fails the first N requests unconditionally — handy for probing
+    cold-start behaviour.
+    """
+
+    FAIL = "fail"
+    DELAY = "delay"
+    CORRUPT = "corrupt"
+
+    def __init__(self, seed: int = 0,
+                 fail_every: Optional[int] = None,
+                 delay_every: Optional[int] = None,
+                 corrupt_every: Optional[int] = None,
+                 fail_rate: float = 0.0,
+                 delay_rate: float = 0.0,
+                 corrupt_rate: float = 0.0,
+                 delay_s: float = 0.05,
+                 fail_first: int = 0):
+        self.seed = seed
+        self.fail_every = fail_every
+        self.delay_every = delay_every
+        self.corrupt_every = corrupt_every
+        self.fail_rate = fail_rate
+        self.delay_rate = delay_rate
+        self.corrupt_rate = corrupt_rate
+        self.delay_s = delay_s
+        self.fail_first = fail_first
+
+    @classmethod
+    def dead(cls) -> "FaultSchedule":
+        """A schedule that fails every request (an unreachable host)."""
+        return cls(fail_every=1)
+
+    def action(self, index: int) -> Optional[str]:
+        """The fault (if any) for request *index* (1-based)."""
+        if index <= self.fail_first:
+            return self.FAIL
+        if self.fail_every and index % self.fail_every == 0:
+            return self.FAIL
+        if self.delay_every and index % self.delay_every == 0:
+            return self.DELAY
+        if self.corrupt_every and index % self.corrupt_every == 0:
+            return self.CORRUPT
+        if self.fail_rate or self.delay_rate or self.corrupt_rate:
+            draw = random.Random(self.seed * _MIX + index).random()
+            if draw < self.fail_rate:
+                return self.FAIL
+            if draw < self.fail_rate + self.delay_rate:
+                return self.DELAY
+            if draw < self.fail_rate + self.delay_rate + self.corrupt_rate:
+                return self.CORRUPT
+        return None
+
+    def plan(self, n: int) -> List[Optional[str]]:
+        """The first *n* decisions — equal for equal parameters."""
+        return [self.action(i) for i in range(1, n + 1)]
+
+
+def corrupt_body(body: bytes) -> bytes:
+    """Truncate and bit-flip a payload so decoding reliably fails."""
+    half = body[: max(1, len(body) // 2)]
+    return bytes(b ^ 0xFF for b in half)
+
+
+class _FaultCounters:
+    """Shared bookkeeping for the two wrappers."""
+
+    def __init__(self, inner, schedule: FaultSchedule,
+                 sleep: Optional[Callable[[float], None]] = None):
+        self.inner = inner
+        self.schedule = schedule
+        self._sleep = sleep if sleep is not None else time.sleep
+        self.request_index = 0
+        self.injected: Dict[str, int] = {
+            FaultSchedule.FAIL: 0,
+            FaultSchedule.DELAY: 0,
+            FaultSchedule.CORRUPT: 0,
+        }
+
+    def _next_action(self, what: str) -> Optional[str]:
+        self.request_index += 1
+        action = self.schedule.action(self.request_index)
+        if action == FaultSchedule.FAIL:
+            self.injected[action] += 1
+            raise InjectedFault(
+                f"injected failure on {what} request "
+                f"#{self.request_index}"
+            )
+        if action == FaultSchedule.DELAY:
+            self.injected[action] += 1
+            if self.schedule.delay_s > 0:
+                self._sleep(self.schedule.delay_s)
+        return action
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class FaultyServer(_FaultCounters):
+    """Wraps a :class:`~repro.opendap.DapServer` behind a fault schedule.
+
+    Drop-in for a registry slot (``registry.wrap(host, lambda s:
+    FaultyServer(s, schedule))``): everything except :meth:`request`
+    delegates to the wrapped server.
+    """
+
+    def request(self, path_and_query: str) -> bytes:
+        action = self._next_action(f"DAP {self.inner.host!r}")
+        body = self.inner.request(path_and_query)
+        if action == FaultSchedule.CORRUPT:
+            self.injected[action] += 1
+            body = corrupt_body(body)
+        return body
+
+
+class FaultyEndpoint(_FaultCounters):
+    """Wraps a SPARQL endpoint; faults query/dispatch/pattern access.
+
+    The wrapped endpoint's ``request_count`` keeps counting *logical*
+    requests only: an injected failure raises before delegation, so a
+    retried attempt is never double-counted downstream.
+    """
+
+    def query(self, text: str):
+        self._next_action(f"SPARQL {self.inner.name!r} query")
+        return self.inner.query(text)
+
+    def select_group(self, group, seeds=None):
+        self._next_action(f"SPARQL {self.inner.name!r} service")
+        return self.inner.select_group(group, seeds)
+
+    def triples(self, pattern):
+        self._next_action(f"SPARQL {self.inner.name!r} triples")
+        return self.inner.triples(pattern)
+
+    def predicates(self):
+        self._next_action(f"SPARQL {self.inner.name!r} predicates")
+        return self.inner.predicates()

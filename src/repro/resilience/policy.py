@@ -1,0 +1,146 @@
+"""Retry with exponential backoff, deterministic jitter and timeouts.
+
+The policy is fully injectable — clock, sleep and jitter seed — so the
+failure-mode test suite runs instantly and reproducibly: the backoff
+schedule for a given ``(seed, retry_index)`` pair is a pure function,
+independent of call history.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from .breaker import CircuitBreaker, CircuitOpenError
+from .stats import ResilienceStats
+
+T = TypeVar("T")
+
+#: Knuth multiplicative-hash constant; mixes seed and attempt index so
+#: nearby seeds do not produce correlated jitter streams.
+_MIX = 2654435761
+
+
+class AttemptTimeout(ConnectionError):
+    """An attempt exceeded the policy's per-attempt timeout."""
+
+
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``run(fn)`` calls ``fn`` up to ``max_attempts`` times, sleeping
+    ``base_delay_s * multiplier**retry_index`` (capped at
+    ``max_delay_s``, jittered by up to ``±jitter`` as a fraction)
+    between attempts. An attempt whose duration — measured with the
+    injected *clock* — exceeds ``attempt_timeout_s`` is treated as a
+    failed attempt even if it returned.
+    """
+
+    def __init__(self, max_attempts: int = 3,
+                 base_delay_s: float = 0.1,
+                 multiplier: float = 2.0,
+                 max_delay_s: float = 30.0,
+                 jitter: float = 0.1,
+                 attempt_timeout_s: Optional[float] = None,
+                 retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+                 seed: int = 0,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.multiplier = multiplier
+        self.max_delay_s = max_delay_s
+        self.jitter = jitter
+        self.attempt_timeout_s = attempt_timeout_s
+        self.retry_on = retry_on
+        self.seed = seed
+        self.clock = clock
+        self.sleep = sleep
+
+    # -- schedule ----------------------------------------------------------
+    def delay_for(self, retry_index: int) -> float:
+        """Backoff before retry *retry_index* (0-based), jitter included."""
+        delay = min(
+            self.max_delay_s,
+            self.base_delay_s * self.multiplier ** retry_index,
+        )
+        if self.jitter > 0:
+            rng = random.Random(self.seed * _MIX + retry_index)
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+    def backoff_schedule(self, retries: Optional[int] = None) -> list:
+        """The delays a fully-retried request would sleep, in order."""
+        n = self.max_attempts - 1 if retries is None else retries
+        return [self.delay_for(i) for i in range(n)]
+
+    # -- execution ---------------------------------------------------------
+    def run(self, fn: Callable[[], T],
+            stats: Optional[ResilienceStats] = None,
+            breaker: Optional[CircuitBreaker] = None) -> T:
+        """Call *fn* under this policy; returns its value or re-raises.
+
+        Counters describe the run: attempts/retries per physical call,
+        successes/failures once per *logical* request. When *breaker*
+        is open the request is skipped with :class:`CircuitOpenError`.
+        """
+        last_exc: Optional[BaseException] = None
+        for attempt in range(self.max_attempts):
+            if breaker is not None and not breaker.allow():
+                if stats is not None:
+                    stats.open_circuit_skips += 1
+                    stats.failures += 1
+                raise CircuitOpenError(
+                    "circuit open; request skipped"
+                ) from last_exc
+            if stats is not None:
+                stats.attempts += 1
+                if attempt:
+                    stats.retries += 1
+            start = self.clock()
+            try:
+                result = fn()
+            except self.retry_on as exc:
+                last_exc = exc
+                if breaker is not None:
+                    breaker.record_failure()
+            else:
+                elapsed = self.clock() - start
+                if (self.attempt_timeout_s is not None
+                        and elapsed > self.attempt_timeout_s):
+                    last_exc = AttemptTimeout(
+                        f"attempt {attempt + 1} took {elapsed:.3f}s "
+                        f"(> {self.attempt_timeout_s:.3f}s)"
+                    )
+                    if stats is not None:
+                        stats.timeouts += 1
+                    if breaker is not None:
+                        breaker.record_failure()
+                else:
+                    if stats is not None:
+                        stats.successes += 1
+                    if breaker is not None:
+                        breaker.record_success()
+                    return result
+            if attempt + 1 < self.max_attempts:
+                self.sleep(self.delay_for(attempt))
+        if stats is not None:
+            stats.failures += 1
+        assert last_exc is not None
+        raise last_exc
+
+    def __repr__(self) -> str:
+        return (
+            f"<RetryPolicy attempts={self.max_attempts} "
+            f"base={self.base_delay_s}s x{self.multiplier} "
+            f"timeout={self.attempt_timeout_s}>"
+        )
+
+
+#: A policy that never retries — used to unify code paths where retry
+#: is optional; with one attempt ``run`` never sleeps.
+def no_retry() -> RetryPolicy:
+    return RetryPolicy(max_attempts=1, base_delay_s=0.0, jitter=0.0)

@@ -1,0 +1,65 @@
+"""Counters for the resilience layer.
+
+One :class:`ResilienceStats` block is threaded through every component
+that talks to a remote endpoint (DAP client, federation engine, MadIS
+``opendap`` operator), so a single object answers "how flaky was the
+network during this workload, and what did the stack do about it".
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class ResilienceStats:
+    """Counters kept by :class:`~repro.resilience.RetryPolicy` users.
+
+    - ``attempts``: physical requests issued (includes retried ones);
+    - ``successes`` / ``failures``: *logical* request outcomes — a
+      request retried twice and then answered counts one success;
+    - ``retries``: attempts beyond the first for some logical request;
+    - ``timeouts``: attempts discarded for exceeding the per-attempt
+      timeout;
+    - ``stale_serves``: responses served from an expired cache entry
+      after all retries failed;
+    - ``open_circuit_skips``: requests not attempted because a circuit
+      breaker was open.
+    """
+
+    FIELDS = (
+        "attempts",
+        "successes",
+        "retries",
+        "failures",
+        "timeouts",
+        "stale_serves",
+        "open_circuit_skips",
+    )
+
+    __slots__ = FIELDS
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    @property
+    def logical_requests(self) -> int:
+        return self.successes + self.failures
+
+    def as_dict(self) -> Dict[str, int]:
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+    def merge(self, other: "ResilienceStats") -> "ResilienceStats":
+        """Add *other*'s counters into this block (returns self)."""
+        for field in self.FIELDS:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
+        return self
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{field}={getattr(self, field)}" for field in self.FIELDS
+        )
+        return f"<ResilienceStats {inner}>"

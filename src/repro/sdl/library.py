@@ -21,6 +21,7 @@ from ..opendap import (
     decode_time,
     open_url,
 )
+from ..resilience import ResilienceStats, RetryPolicy
 from .auth import AccessDenied, TokenAuthority
 
 #: ACDD attributes the SDL considers required for discoverability.
@@ -45,16 +46,26 @@ class StreamingDataLibrary:
 
     def __init__(self, registry: ServerRegistry,
                  auth: Optional[TokenAuthority] = None,
-                 cache_ttl_s: float = 600.0):
+                 cache_ttl_s: float = 600.0,
+                 cache_max_entries: Optional[int] = None,
+                 serve_stale: bool = False,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.registry = registry
         self.auth = auth
         self._remotes: Dict[str, RemoteDataset] = {}
         self._urls: Dict[str, str] = {}
-        self.cache = DapCache(ttl_s=cache_ttl_s)
+        self.cache = DapCache(ttl_s=cache_ttl_s,
+                              max_entries=cache_max_entries,
+                              serve_stale=serve_stale)
+        self.retry_policy = retry_policy
+        #: One counter block shared by every registered remote.
+        self.stats = ResilienceStats()
 
     # -- catalog -----------------------------------------------------------
     def register_dataset(self, name: str, url: str) -> None:
-        self._remotes[name] = open_url(url, self.registry, cache=self.cache)
+        self._remotes[name] = open_url(url, self.registry, cache=self.cache,
+                                       retry_policy=self.retry_policy,
+                                       stats=self.stats)
         self._urls[name] = url
 
     def names(self) -> List[str]:
@@ -148,6 +159,19 @@ class StreamingDataLibrary:
 
         windows = index_window_for_bbox(coords, bbox)
         return windows["lat"], windows["lon"]
+
+    # -- resilience --------------------------------------------------------
+    def resilience_report(self) -> Dict[str, int]:
+        """Retry/degradation counters plus cache health, one dict."""
+        report = dict(self.stats.as_dict())
+        report.update(
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+            cache_stale_hits=self.cache.stale_hits,
+            cache_evictions=self.cache.evictions,
+            cache_entries=len(self.cache),
+        )
+        return report
 
     # -- metadata completeness (Section 3.1) ------------------------------------
     def metadata_completeness(self, name: str,

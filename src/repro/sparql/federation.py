@@ -13,16 +13,25 @@ SemaGrow"). This module implements the two classic federation styles:
 
 Endpoints wrap local graphs (optionally Strabon stores) and can carry a
 simulated network latency so federation overhead is measurable.
+
+Every dispatch to an endpoint goes through the engine's
+:class:`~repro.resilience.RetryPolicy` (and per-endpoint circuit
+breaker, when configured). ``query(..., partial_results=True)`` turns
+endpoint failures into entries of the result's ``failures`` report
+instead of exceptions, so one dead member cannot take down the whole
+federation.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Callable, Dict, Iterator, List, Optional, Set
 
 from ..rdf.graph import Graph
 from ..rdf.namespace import NamespaceManager
 from ..rdf.terms import Term, Triple
+from ..resilience import CircuitBreaker, ResilienceStats, RetryPolicy, \
+    no_retry
 from .ast import GroupGraphPattern
 from .evaluator import Context, eval_group, eval_query
 from .parser import parse_query
@@ -34,6 +43,8 @@ class SparqlEndpoint:
 
     ``latency_s`` simulates one network round trip per request, letting
     benchmarks measure federation overhead realistically.
+    ``request_count`` counts *logical* requests — a retried attempt
+    that failed before reaching the endpoint is not double-counted.
     """
 
     def __init__(self, graph: Graph, name: str = "endpoint",
@@ -61,6 +72,10 @@ class SparqlEndpoint:
         ctx = Context(self.graph)
         return eval_group(group, seeds if seeds is not None else [{}], ctx)
 
+    def triples(self, pattern) -> Iterator[Triple]:
+        """Pattern-level access for the transparent union (not charged)."""
+        return self.graph.triples(pattern)
+
     def predicates(self) -> Set[Term]:
         """The predicate vocabulary of this endpoint (source selection)."""
         return set(self.graph.predicates())
@@ -76,67 +91,147 @@ class _FederatedView:
     (``triples`` and ``namespaces``) plus predicate-based source
     selection: a pattern with a bound predicate only visits endpoints
     whose vocabulary contains it.
+
+    Endpoint access goes through *dispatch* (retry/breaker). In
+    partial mode an endpoint that fails — at vocabulary harvest or at
+    pattern matching — is marked down for the rest of the query and
+    recorded in *failures* instead of raising.
     """
 
-    def __init__(self, endpoints: List[SparqlEndpoint]):
-        self.endpoints = endpoints
+    def __init__(self, endpoints: Dict[str, SparqlEndpoint],
+                 dispatch: Callable, partial: bool = False,
+                 failures: Optional[Dict[str, str]] = None):
+        self.endpoints = dict(endpoints)
+        self._dispatch = dispatch
+        self.partial = partial
+        self.failures = failures if failures is not None else {}
         self.namespaces = NamespaceManager()
-        self._predicate_index: Dict[Term, List[SparqlEndpoint]] = {}
-        for ep in endpoints:
-            for predicate in ep.predicates():
-                self._predicate_index.setdefault(predicate, []).append(ep)
+        self._down: Set[str] = set()
+        self._predicate_index: Dict[Term, List[str]] = {}
+        for iri, ep in self.endpoints.items():
+            try:
+                vocabulary = self._dispatch(iri, ep.predicates)
+            except Exception as exc:
+                self._mark_down(iri, exc)
+                continue
+            for predicate in vocabulary:
+                self._predicate_index.setdefault(predicate, []).append(iri)
 
-    def _select_sources(self, predicate: Optional[Term]
-                        ) -> List[SparqlEndpoint]:
+    def _mark_down(self, iri: str, exc: Exception) -> None:
+        if not self.partial:
+            raise exc
+        self._down.add(iri)
+        self.failures[iri] = f"{type(exc).__name__}: {exc}"
+
+    def _select_sources(self, predicate: Optional[Term]) -> List[str]:
         if predicate is not None:
             return self._predicate_index.get(predicate, [])
-        return self.endpoints
+        return list(self.endpoints)
 
     def triples(self, pattern) -> Iterator[Triple]:
         s, p, o = pattern
-        for endpoint in self._select_sources(p):
-            yield from endpoint.graph.triples(pattern)
+        for iri in self._select_sources(p):
+            if iri in self._down:
+                continue
+            endpoint = self.endpoints[iri]
+            try:
+                matched = self._dispatch(
+                    iri, lambda: list(endpoint.triples(pattern))
+                )
+            except Exception as exc:
+                self._mark_down(iri, exc)
+                continue
+            yield from matched
 
     def predicates(self):
         return iter(self._predicate_index)
 
     def __len__(self) -> int:
-        return sum(len(ep.graph) for ep in self.endpoints)
+        return sum(len(ep.graph) for ep in self.endpoints.values())
 
 
 class FederationEngine:
     """Answers (Geo)SPARQL queries over a federation of endpoints."""
 
-    def __init__(self):
+    def __init__(self, retry_policy: Optional[RetryPolicy] = None,
+                 breaker_factory: Optional[
+                     Callable[[], CircuitBreaker]] = None):
         self._endpoints: Dict[str, SparqlEndpoint] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breaker_factory = breaker_factory
+        self.retry_policy = retry_policy or no_retry()
+        self.stats = ResilienceStats()
 
     def register(self, iri: str, endpoint: SparqlEndpoint) -> None:
-        self._endpoints[str(iri)] = endpoint
+        iri = str(iri)
+        self._endpoints[iri] = endpoint
+        if self._breaker_factory is not None:
+            self._breakers[iri] = self._breaker_factory()
 
     def endpoint(self, iri: str) -> SparqlEndpoint:
         return self._endpoints[str(iri)]
+
+    def breaker(self, iri: str) -> Optional[CircuitBreaker]:
+        """The circuit breaker guarding one endpoint (if configured)."""
+        return self._breakers.get(str(iri))
 
     @property
     def endpoints(self) -> List[SparqlEndpoint]:
         return list(self._endpoints.values())
 
+    def _dispatch(self, iri: str, fn: Callable):
+        """One endpoint call under the retry policy + its breaker."""
+        return self.retry_policy.run(fn, stats=self.stats,
+                                     breaker=self._breakers.get(iri))
+
     def _resolve_service(self, endpoint_iri: str,
-                         group: GroupGraphPattern) -> List[Solution]:
+                         group: GroupGraphPattern,
+                         partial: bool = False,
+                         failures: Optional[Dict[str, str]] = None
+                         ) -> List[Solution]:
         endpoint = self._endpoints.get(endpoint_iri)
         if endpoint is None:
+            # Unknown endpoints are a query error, not a network
+            # failure: raised even in partial mode.
             raise KeyError(f"unregistered SERVICE endpoint <{endpoint_iri}>")
-        return endpoint.select_group(group)
+        try:
+            return self._dispatch(
+                endpoint_iri, lambda: endpoint.select_group(group)
+            )
+        except Exception as exc:
+            if not partial:
+                raise
+            assert failures is not None
+            failures[endpoint_iri] = f"{type(exc).__name__}: {exc}"
+            return []
 
-    def query(self, text: str) -> SPARQLResult:
+    def query(self, text: str,
+              partial_results: bool = False) -> SPARQLResult:
         """Evaluate a query over the federation.
 
         SERVICE patterns go to their named endpoint; everything else is
-        matched against the virtual union with source selection.
+        matched against the virtual union with source selection. With
+        ``partial_results=True``, an endpoint failure (after retries /
+        breaker) removes that endpoint from the query instead of
+        raising; the result's ``failures`` maps the failing endpoint
+        IRI to the error. SERVICE against an *unregistered* IRI always
+        raises.
         """
-        view = _FederatedView(self.endpoints)
+        failures: Dict[str, str] = {}
+        view = _FederatedView(self._endpoints, dispatch=self._dispatch,
+                              partial=partial_results, failures=failures)
+
+        def resolver(endpoint_iri: str,
+                     group: GroupGraphPattern) -> List[Solution]:
+            return self._resolve_service(endpoint_iri, group,
+                                         partial=partial_results,
+                                         failures=failures)
+
         ast = parse_query(text, namespaces=view.namespaces)
-        ctx = Context(view, service_resolver=self._resolve_service)
-        return eval_query(ast, ctx)
+        ctx = Context(view, service_resolver=resolver)
+        result = eval_query(ast, ctx)
+        result.failures = dict(failures)
+        return result
 
     def request_counts(self) -> Dict[str, int]:
         """Requests each endpoint served (for benchmark reporting)."""

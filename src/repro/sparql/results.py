@@ -19,18 +19,25 @@ class SPARQLResult:
     - SELECT: iterable of binding dicts (``vars`` lists the projection).
     - ASK: truth value in ``ask`` (the object is also truthy/falsy).
     - CONSTRUCT / DESCRIBE: an RDF :class:`Graph` in ``graph``.
+
+    ``failures`` is the degraded-mode report filled in by federated
+    queries run with ``partial_results=True``: it maps the IRI of each
+    endpoint that failed (after retries) to the error it raised.
+    Non-empty ``failures`` means the result may be incomplete.
     """
 
     def __init__(self, kind: str,
                  variables: Optional[List[str]] = None,
                  rows: Optional[List[Solution]] = None,
                  ask: Optional[bool] = None,
-                 graph: Optional[Graph] = None):
+                 graph: Optional[Graph] = None,
+                 failures: Optional[Dict[str, str]] = None):
         self.kind = kind
         self.vars = variables or []
         self.rows = rows or []
         self.ask = ask
         self.graph = graph
+        self.failures: Dict[str, str] = dict(failures or {})
 
     def __iter__(self) -> Iterator[Solution]:
         return iter(self.rows)

@@ -1,0 +1,28 @@
+"""Fixtures for the failure-mode suite (helpers live in
+``resilience_helpers`` so test modules can import them directly)."""
+
+import pytest
+
+from repro.opendap import DapServer, ServerRegistry
+
+from resilience_helpers import FakeClock, make_lai_dataset
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def lai_dataset():
+    return make_lai_dataset()
+
+
+@pytest.fixture
+def registry(lai_dataset):
+    """A registry with one server mounting the LAI grid."""
+    reg = ServerRegistry()
+    server = DapServer("vito.test")
+    server.mount("Copernicus/LAI", lai_dataset)
+    reg.register(server)
+    return reg

@@ -1,0 +1,65 @@
+"""Shared fixtures for the failure-mode suite.
+
+Everything here is deterministic and sleep-free: time is a
+:class:`FakeClock` whose ``sleep`` just advances it, so retry/backoff
+and TTL behaviour are tested instantly.
+"""
+
+import numpy as np
+
+from repro.opendap import DapDataset
+from repro.resilience import RetryPolicy
+
+LAI_URL = "dap://vito.test/Copernicus/LAI"
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock with a matching sleep."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+        self.sleeps = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def instant_policy(clock: FakeClock, **kwargs) -> RetryPolicy:
+    """A RetryPolicy whose clock and sleep are the fake clock."""
+    kwargs.setdefault("base_delay_s", 0.1)
+    return RetryPolicy(clock=clock, sleep=clock.sleep, **kwargs)
+
+
+def make_lai_dataset() -> DapDataset:
+    """A 4-date, 5x6 LAI grid over a Paris-like extent."""
+    ds = DapDataset(
+        "LAI",
+        attributes={
+            "title": "Leaf Area Index",
+            "Conventions": "CF-1.6",
+            "institution": "VITO",
+        },
+    )
+    lats = np.linspace(48.80, 48.92, 5)
+    lons = np.linspace(2.20, 2.50, 6)
+    times = np.array([0, 10, 20, 30], dtype=np.int32)
+    rng = np.random.default_rng(42)
+    lai = rng.uniform(0.5, 6.0, size=(4, 5, 6)).astype(np.float32)
+    ds.add_variable("time", ["time"], times,
+                    {"units": "days since 2018-01-01", "axis": "T"})
+    ds.add_variable("lat", ["lat"], lats, {"units": "degrees_north"})
+    ds.add_variable("lon", ["lon"], lons, {"units": "degrees_east"})
+    ds.add_variable(
+        "LAI", ["time", "lat", "lon"], lai,
+        {"units": "m2/m2", "long_name": "Leaf Area Index",
+         "_FillValue": -1.0},
+    )
+    return ds
+

@@ -1,0 +1,107 @@
+"""CircuitBreaker state machine and its RetryPolicy integration."""
+
+import pytest
+
+from repro.resilience import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilienceStats,
+)
+
+from resilience_helpers import instant_policy
+
+pytestmark = pytest.mark.tier1
+
+
+def make_breaker(clock, threshold=3, reset=30.0):
+    return CircuitBreaker(failure_threshold=threshold,
+                          reset_timeout_s=reset, clock=clock)
+
+
+def test_opens_after_consecutive_failures(fake_clock):
+    breaker = make_breaker(fake_clock, threshold=3)
+    assert breaker.state == CLOSED
+    for _ in range(2):
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow()
+
+
+def test_success_resets_the_failure_streak(fake_clock):
+    breaker = make_breaker(fake_clock, threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED  # streak was broken
+
+
+def test_half_open_after_reset_timeout_then_close_on_success(fake_clock):
+    breaker = make_breaker(fake_clock, threshold=1, reset=10.0)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    fake_clock.advance(9.9)
+    assert not breaker.allow()
+    fake_clock.advance(0.2)
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow()  # one probe goes through
+    breaker.record_success()
+    assert breaker.state == CLOSED
+
+
+def test_half_open_probe_failure_reopens_for_full_timeout(fake_clock):
+    breaker = make_breaker(fake_clock, threshold=1, reset=10.0)
+    breaker.record_failure()
+    fake_clock.advance(10.0)
+    assert breaker.state == HALF_OPEN
+    breaker.record_failure()  # the probe failed
+    assert breaker.state == OPEN
+    fake_clock.advance(9.0)
+    assert not breaker.allow()
+    fake_clock.advance(1.0)
+    assert breaker.state == HALF_OPEN
+
+
+def test_retry_policy_stops_attempting_once_circuit_opens(fake_clock):
+    breaker = make_breaker(fake_clock, threshold=2, reset=100.0)
+    policy = instant_policy(fake_clock, max_attempts=5)
+    stats = ResilienceStats()
+
+    calls = {"n": 0}
+
+    def dead():
+        calls["n"] += 1
+        raise ConnectionError("down")
+
+    with pytest.raises(CircuitOpenError):
+        policy.run(dead, stats=stats, breaker=breaker)
+    # Two attempts trip the threshold; the third is skipped unissued.
+    assert calls["n"] == 2
+    assert stats.attempts == 2
+    assert stats.open_circuit_skips == 1
+    assert stats.failures == 1
+
+    # While open, later logical requests are skipped without a call.
+    with pytest.raises(CircuitOpenError):
+        policy.run(dead, stats=stats, breaker=breaker)
+    assert calls["n"] == 2
+    assert stats.open_circuit_skips == 2
+
+
+def test_recovery_after_cooldown(fake_clock):
+    breaker = make_breaker(fake_clock, threshold=1, reset=5.0)
+    policy = instant_policy(fake_clock, max_attempts=1)
+    with pytest.raises(ConnectionError):
+        policy.run(lambda: (_ for _ in ()).throw(ConnectionError("x")),
+                   breaker=breaker)
+    assert breaker.state == OPEN
+    fake_clock.advance(5.0)
+    assert policy.run(lambda: "back", breaker=breaker) == "back"
+    assert breaker.state == CLOSED

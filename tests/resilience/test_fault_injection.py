@@ -1,0 +1,137 @@
+"""Fault-injection determinism and the server/endpoint wrappers."""
+
+import pytest
+
+from repro.opendap import DapError, open_url
+from repro.rdf import Graph, IRI, Literal
+from repro.resilience import (
+    FaultSchedule,
+    FaultyEndpoint,
+    FaultyServer,
+    InjectedFault,
+    corrupt_body,
+)
+from repro.sparql.federation import SparqlEndpoint
+
+from resilience_helpers import LAI_URL
+
+pytestmark = pytest.mark.tier1
+
+
+# -- schedules -------------------------------------------------------------
+def test_same_seed_same_schedule():
+    kw = dict(fail_rate=0.3, delay_rate=0.2, corrupt_rate=0.1)
+    assert FaultSchedule(seed=7, **kw).plan(500) == \
+        FaultSchedule(seed=7, **kw).plan(500)
+
+
+def test_different_seed_different_schedule():
+    kw = dict(fail_rate=0.3, delay_rate=0.2)
+    assert FaultSchedule(seed=7, **kw).plan(500) != \
+        FaultSchedule(seed=8, **kw).plan(500)
+
+
+def test_rates_are_roughly_honoured():
+    plan = FaultSchedule(seed=1, fail_rate=0.3, delay_rate=0.2).plan(2000)
+    fails = plan.count(FaultSchedule.FAIL) / len(plan)
+    delays = plan.count(FaultSchedule.DELAY) / len(plan)
+    assert 0.25 < fails < 0.35
+    assert 0.15 < delays < 0.25
+
+
+def test_periodic_rules_and_precedence():
+    plan = FaultSchedule(fail_every=3, delay_every=2).plan(12)
+    for i, action in enumerate(plan, start=1):
+        if i % 3 == 0:
+            assert action == FaultSchedule.FAIL  # wins over delay on 6, 12
+        elif i % 2 == 0:
+            assert action == FaultSchedule.DELAY
+        else:
+            assert action is None
+
+
+def test_fail_first_and_dead():
+    plan = FaultSchedule(fail_first=2).plan(5)
+    assert plan == [FaultSchedule.FAIL, FaultSchedule.FAIL, None, None, None]
+    assert set(FaultSchedule.dead().plan(10)) == {FaultSchedule.FAIL}
+
+
+# -- FaultyServer ----------------------------------------------------------
+def test_faulty_server_fails_scheduled_requests(registry):
+    faulty = registry.wrap(
+        "vito.test", lambda s: FaultyServer(s, FaultSchedule(fail_every=2))
+    )
+    assert faulty.request("Copernicus/LAI.dds")  # request 1 passes
+    with pytest.raises(InjectedFault):
+        faulty.request("Copernicus/LAI.dds")  # request 2 fails
+    assert faulty.injected[FaultSchedule.FAIL] == 1
+    # Non-protocol surface delegates to the wrapped server.
+    assert faulty.host == "vito.test"
+    assert faulty.paths() == ["Copernicus/LAI"]
+    assert faulty.url("Copernicus/LAI") == LAI_URL
+
+
+def test_registry_wrap_replaces_in_place(registry):
+    faulty = registry.wrap(
+        "vito.test", lambda s: FaultyServer(s, FaultSchedule())
+    )
+    server, path = registry.resolve(LAI_URL)
+    assert server is faulty
+    with pytest.raises(DapError):
+        registry.wrap("nope.test", lambda s: s)
+
+
+def test_delay_faults_use_injected_sleep(registry):
+    slept = []
+    registry.wrap(
+        "vito.test",
+        lambda s: FaultyServer(
+            s, FaultSchedule(delay_every=1, delay_s=0.25),
+            sleep=slept.append,
+        ),
+    )
+    remote = open_url(LAI_URL, registry)
+    assert slept == [0.25, 0.25]  # .dds and .das during open
+
+
+def test_corrupt_fault_breaks_decoding(registry):
+    registry.wrap(
+        "vito.test",
+        # Corrupt only request 3: DDS and DAS load cleanly, the first
+        # .dods payload arrives mangled.
+        lambda s: FaultyServer(s, FaultSchedule(corrupt_every=3)),
+    )
+    remote = open_url(LAI_URL, registry)
+    with pytest.raises(Exception):
+        remote.fetch("lat")
+    assert corrupt_body(b"abcd") != b"abcd"
+
+
+# -- FaultyEndpoint --------------------------------------------------------
+def make_endpoint(name="ep"):
+    graph = Graph()
+    ex = "http://example.org/"
+    graph.add(IRI(ex + "s"), IRI(ex + "p"), Literal("v"))
+    return SparqlEndpoint(graph, name=name)
+
+
+def test_faulty_endpoint_fails_before_charging_inner():
+    ep = make_endpoint()
+    faulty = FaultyEndpoint(ep, FaultSchedule(fail_every=1))
+    with pytest.raises(InjectedFault):
+        faulty.query("SELECT ?s WHERE { ?s ?p ?o }")
+    # The logical request never reached the endpoint: not counted.
+    assert ep.request_count == 0
+    assert faulty.request_count == 0  # delegated attribute
+    assert faulty.name == "ep"
+
+
+def test_faulty_endpoint_passes_through_when_not_scheduled():
+    ep = make_endpoint()
+    faulty = FaultyEndpoint(ep, FaultSchedule(fail_every=3))
+    res = faulty.query("SELECT ?s WHERE { ?s ?p ?o }")
+    assert len(res) == 1
+    assert ep.request_count == 1
+    assert len(faulty.predicates()) == 1
+    with pytest.raises(InjectedFault):
+        faulty.query("SELECT ?s WHERE { ?s ?p ?o }")  # 3rd intercepted call

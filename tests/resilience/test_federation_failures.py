@@ -1,0 +1,160 @@
+"""Federation failure modes: partial results, retries, breakers."""
+
+import pytest
+
+from repro.rdf import Graph, IRI, Literal
+from repro.resilience import (
+    CircuitBreaker,
+    FaultSchedule,
+    FaultyEndpoint,
+    InjectedFault,
+)
+from repro.sparql.federation import FederationEngine, SparqlEndpoint
+
+from resilience_helpers import instant_policy
+
+pytestmark = pytest.mark.tier1
+
+EX = "http://example.org/"
+GADM_IRI = "http://gadm.example/sparql"
+OSM_IRI = "http://osm.example/sparql"
+
+PREFIX = "PREFIX ex: <http://example.org/>\n"
+
+
+def make_graph(kind, names):
+    graph = Graph()
+    graph.bind("ex", EX)
+    for name in names:
+        node = IRI(EX + name)
+        graph.add(node, IRI(EX + kind), Literal(name))
+    return graph
+
+
+@pytest.fixture
+def healthy_and_dead(fake_clock):
+    """One healthy endpoint + one whose every request fails."""
+    engine = FederationEngine(
+        retry_policy=instant_policy(fake_clock, max_attempts=2)
+    )
+    healthy = SparqlEndpoint(make_graph("unit", ["paris", "lyon"]),
+                             name="gadm")
+    dead = FaultyEndpoint(
+        SparqlEndpoint(make_graph("park", ["jardin"]), name="osm"),
+        FaultSchedule.dead(),
+    )
+    engine.register(GADM_IRI, healthy)
+    engine.register(OSM_IRI, dead)
+    return engine
+
+
+def test_partial_results_keep_healthy_solutions(healthy_and_dead):
+    res = healthy_and_dead.query(
+        PREFIX + "SELECT ?n WHERE { ?s ex:unit ?n }",
+        partial_results=True,
+    )
+    assert {str(r["n"]) for r in res} == {"paris", "lyon"}
+    assert list(res.failures) == [OSM_IRI]
+    assert "InjectedFault" in res.failures[OSM_IRI]
+
+
+def test_strict_mode_still_raises(healthy_and_dead):
+    with pytest.raises(InjectedFault):
+        healthy_and_dead.query(
+            PREFIX + "SELECT ?n WHERE { ?s ex:unit ?n }"
+        )
+
+
+def test_successful_query_reports_no_failures(fake_clock):
+    engine = FederationEngine(
+        retry_policy=instant_policy(fake_clock, max_attempts=2)
+    )
+    engine.register(GADM_IRI, SparqlEndpoint(make_graph("unit", ["paris"])))
+    res = engine.query(PREFIX + "SELECT ?n WHERE { ?s ex:unit ?n }")
+    assert res.failures == {}
+    assert len(res) == 1
+
+
+def test_service_against_dead_endpoint_partial(healthy_and_dead):
+    res = healthy_and_dead.query(
+        PREFIX
+        + "SELECT ?n WHERE { SERVICE <%s> { ?s ex:park ?n } }" % OSM_IRI,
+        partial_results=True,
+    )
+    assert len(res) == 0
+    assert OSM_IRI in res.failures
+
+
+def test_service_against_unregistered_endpoint_always_raises(
+        fake_clock, healthy_and_dead):
+    query = "SELECT ?s WHERE { SERVICE <http://nope/sparql> { ?s ?p ?o } }"
+    engine = FederationEngine(
+        retry_policy=instant_policy(fake_clock, max_attempts=2)
+    )
+    engine.register(GADM_IRI, SparqlEndpoint(make_graph("unit", ["paris"])))
+    with pytest.raises(KeyError):
+        engine.query(query)
+    # Partial mode degrades on *network* failures only — an unknown
+    # endpoint is a query error, even while another member is down.
+    with pytest.raises(KeyError):
+        healthy_and_dead.query(query, partial_results=True)
+
+
+def test_retry_recovers_flaky_service_counting_one_logical_request(
+        fake_clock):
+    engine = FederationEngine(
+        retry_policy=instant_policy(fake_clock, max_attempts=3)
+    )
+    inner = SparqlEndpoint(make_graph("park", ["jardin", "tuileries"]),
+                           name="osm")
+    # Intercepted calls: #1 predicates (ok), #2 service dispatch
+    # (fails), #3 the retried dispatch (ok).
+    flaky = FaultyEndpoint(inner, FaultSchedule(fail_every=2))
+    engine.register(OSM_IRI, flaky)
+
+    res = engine.query(
+        PREFIX
+        + "SELECT ?n WHERE { SERVICE <%s> { ?s ex:park ?n } }" % OSM_IRI
+    )
+    assert len(res) == 2
+    assert engine.stats.retries == 1
+    # The retried attempt failed *before* reaching the endpoint, so the
+    # logical request is counted exactly once.
+    assert engine.request_counts()[OSM_IRI] == 1
+
+
+def test_circuit_breaker_skips_dead_endpoint_after_threshold(fake_clock):
+    engine = FederationEngine(
+        retry_policy=instant_policy(fake_clock, max_attempts=1),
+        breaker_factory=lambda: CircuitBreaker(
+            failure_threshold=1, reset_timeout_s=1000, clock=fake_clock
+        ),
+    )
+    engine.register(GADM_IRI, SparqlEndpoint(make_graph("unit", ["paris"])))
+    dead = FaultyEndpoint(
+        SparqlEndpoint(make_graph("park", ["jardin"])), FaultSchedule.dead()
+    )
+    engine.register(OSM_IRI, dead)
+
+    first = engine.query(PREFIX + "SELECT ?n WHERE { ?s ex:unit ?n }",
+                         partial_results=True)
+    assert OSM_IRI in first.failures
+    attempts_on_dead = dead.request_index
+    assert engine.breaker(OSM_IRI).state == "open"
+
+    second = engine.query(PREFIX + "SELECT ?n WHERE { ?s ex:unit ?n }",
+                          partial_results=True)
+    assert len(second) == 1
+    assert "CircuitOpenError" in second.failures[OSM_IRI]
+    # The open circuit means the dead host was never contacted again.
+    assert dead.request_index == attempts_on_dead
+    assert engine.stats.open_circuit_skips >= 1
+
+
+def test_default_engine_behaviour_is_unchanged():
+    engine = FederationEngine()
+    engine.register(GADM_IRI, SparqlEndpoint(make_graph("unit", ["paris"])))
+    res = engine.query(PREFIX + "SELECT ?n WHERE { ?s ex:unit ?n }")
+    assert len(res) == 1
+    assert res.failures == {}
+    assert engine.request_counts() == {GADM_IRI: 0}

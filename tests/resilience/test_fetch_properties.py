@@ -1,0 +1,148 @@
+"""Property-style guarantees: retried fetches equal fault-free fetches.
+
+Seeded stdlib randomness only — every run exercises the same fault
+schedule and the same constraint expressions.
+"""
+
+import random
+
+import pytest
+
+from repro.opendap import DapServer, ServerRegistry, encode_dods, open_url
+from repro.resilience import FaultSchedule, FaultyServer
+
+from resilience_helpers import LAI_URL, instant_policy, make_lai_dataset
+
+pytestmark = pytest.mark.tier1
+
+
+def paired_registries():
+    """Two registries serving the *same* dataset: one clean, one faulty."""
+    dataset = make_lai_dataset()
+    clean = ServerRegistry()
+    server = DapServer("vito.test")
+    server.mount("Copernicus/LAI", dataset)
+    clean.register(server)
+
+    faulty = ServerRegistry()
+    server2 = DapServer("vito.test")
+    server2.mount("Copernicus/LAI", dataset)
+    faulty.register(server2)
+    return clean, faulty
+
+
+def random_constraints(n, seed):
+    """*n* random but valid constraint expressions for the LAI grid."""
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        kind = rng.random()
+        if kind < 0.15:
+            out.append(rng.choice(["lat", "lon", "time", "time,lat,lon"]))
+            continue
+        t0 = rng.randrange(4)
+        t1 = rng.randrange(t0, 4)
+        y0 = rng.randrange(5)
+        y1 = rng.randrange(y0, 5)
+        x0 = rng.randrange(6)
+        x1 = rng.randrange(x0, 6)
+        out.append(f"LAI[{t0}:{t1}][{y0}:{y1}][{x0}:{x1}]")
+    return out
+
+
+def assert_identical(a, b):
+    """Byte-identical datasets (via their canonical DODS encoding)."""
+    assert encode_dods(a) == encode_dods(b)
+
+
+def expected_retry_counts(n_logical, fail_every, max_attempts):
+    """Simulate the deterministic schedule: (attempts, retries)."""
+    attempt_index = 0
+    retries = 0
+    for _ in range(n_logical):
+        for try_no in range(max_attempts):
+            attempt_index += 1
+            if attempt_index % fail_every != 0:
+                break
+            retries += 1
+        else:  # pragma: no cover - would mean a logical failure
+            raise AssertionError("schedule exhausted max_attempts")
+    return attempt_index, retries
+
+
+def test_hundred_fetches_through_every_third_failing(fake_clock):
+    """The ISSUE acceptance workload, verified exactly.
+
+    A server failing every 3rd request, 100 fetches under
+    RetryPolicy(max_attempts=3): zero errors raised, byte-identical
+    data, and the stats block reporting the exact retry count.
+    """
+    clean, faulty_reg = paired_registries()
+    faulty_reg.wrap(
+        "vito.test",
+        lambda s: FaultyServer(s, FaultSchedule(fail_every=3)),
+    )
+    policy = instant_policy(fake_clock, max_attempts=3)
+
+    reference = open_url(LAI_URL, clean)
+    remote = open_url(LAI_URL, faulty_reg, retry_policy=policy)
+
+    constraints = random_constraints(100, seed=2024)
+    for ce in constraints:  # no exception may escape
+        assert_identical(remote.fetch(ce), reference.fetch(ce))
+
+    # 2 metadata requests at open + 100 fetches, one logical each.
+    n_logical = 2 + 100
+    attempts, retries = expected_retry_counts(n_logical, fail_every=3,
+                                              max_attempts=3)
+    assert remote.stats.attempts == attempts
+    assert remote.stats.retries == retries
+    assert remote.stats.successes == n_logical
+    assert remote.stats.failures == 0
+    # Backoff slept once per retry, never for real.
+    assert len(fake_clock.sleeps) == retries
+
+
+def test_fifty_random_constraints_with_random_faults(fake_clock):
+    """Mixed fail/delay/corrupt faults still yield identical bytes."""
+    clean, faulty_reg = paired_registries()
+    schedule = FaultSchedule(seed=99, fail_rate=0.2, delay_rate=0.1,
+                             corrupt_rate=0.1, delay_s=0.01)
+    wrapped = faulty_reg.wrap(
+        "vito.test",
+        lambda s: FaultyServer(s, schedule, sleep=fake_clock.sleep),
+    )
+    policy = instant_policy(fake_clock, max_attempts=6)
+
+    reference = open_url(LAI_URL, clean)
+    remote = open_url(LAI_URL, faulty_reg, retry_policy=policy)
+
+    for ce in random_constraints(50, seed=7):
+        assert_identical(remote.fetch(ce), reference.fetch(ce))
+
+    assert remote.stats.successes == 2 + 50
+    assert remote.stats.failures == 0
+    # The schedule did actually bite (injected counters are non-zero).
+    assert wrapped.injected[FaultSchedule.FAIL] > 0
+    assert wrapped.injected[FaultSchedule.CORRUPT] > 0
+
+
+def test_fault_runs_are_reproducible(fake_clock):
+    """Same seed -> same injected-fault counts across full reruns."""
+
+    def run_once():
+        __, faulty_reg = paired_registries()
+        wrapped = faulty_reg.wrap(
+            "vito.test",
+            lambda s: FaultyServer(
+                s, FaultSchedule(seed=5, fail_rate=0.3),
+                sleep=fake_clock.sleep,
+            ),
+        )
+        policy = instant_policy(fake_clock, max_attempts=6)
+        remote = open_url(LAI_URL, faulty_reg, retry_policy=policy)
+        for ce in random_constraints(30, seed=11):
+            remote.fetch(ce)
+        return dict(wrapped.injected), remote.stats.as_dict()
+
+    assert run_once() == run_once()

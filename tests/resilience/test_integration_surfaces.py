@@ -1,0 +1,92 @@
+"""ResilienceStats surfaces through the SDL and the Ontop adapter."""
+
+from datetime import date
+
+import pytest
+
+from repro.ontop import make_opendap_endpoint
+from repro.opendap import ServerRegistry
+from repro.resilience import FaultSchedule, FaultyServer
+from repro.sdl import StreamingDataLibrary
+from repro.vito import (
+    LAI_SPEC,
+    GlobalLandArchive,
+    MepDeployment,
+    dekad_dates,
+    generate_product,
+)
+
+from resilience_helpers import instant_policy
+
+pytestmark = pytest.mark.tier1
+
+URL = "dap://vito.test/Copernicus/LAI"
+
+PREFIX = """
+PREFIX lai: <http://www.app-lab.eu/lai/>
+PREFIX geo: <http://www.opengis.net/ont/geosparql#>
+"""
+
+
+def make_registry():
+    archive = GlobalLandArchive()
+    for day in dekad_dates(date(2018, 6, 1), 2):
+        archive.publish("LAI", day, 0,
+                        generate_product(LAI_SPEC, day, cloud_fraction=0.0))
+    mep = MepDeployment(archive, host="vito.test")
+    mep.mount_product("LAI")
+    registry = ServerRegistry()
+    registry.register(mep.server)
+    return registry
+
+
+def test_ontop_adapter_retries_and_reports(fake_clock):
+    registry = make_registry()
+    registry.wrap(
+        "vito.test",
+        # Three requests per open+query (.dds/.das/.dods): the data
+        # request is the one that fails and gets retried.
+        lambda s: FaultyServer(s, FaultSchedule(fail_every=3)),
+    )
+    policy = instant_policy(fake_clock, max_attempts=3)
+    engine, operator, __ = make_opendap_endpoint(
+        registry, URL, retry_policy=policy
+    )
+    res = engine.query(
+        PREFIX + "SELECT ?s ?lai WHERE { ?s lai:lai ?lai }"
+    )
+    assert len(res) > 0
+    assert operator.stats.retries > 0
+    assert operator.stats.failures == 0
+
+    # Same query against a clean registry gives the same row count.
+    clean_engine, clean_op, __ = make_opendap_endpoint(make_registry(), URL)
+    clean = clean_engine.query(
+        PREFIX + "SELECT ?s ?lai WHERE { ?s lai:lai ?lai }"
+    )
+    assert len(res) == len(clean)
+    assert clean_op.stats.retries == 0
+
+
+def test_sdl_resilience_report(fake_clock):
+    registry = make_registry()
+    registry.wrap(
+        "vito.test",
+        lambda s: FaultyServer(s, FaultSchedule(fail_every=5)),
+    )
+    sdl = StreamingDataLibrary(
+        registry,
+        cache_max_entries=16,
+        serve_stale=True,
+        retry_policy=instant_policy(fake_clock, max_attempts=3),
+    )
+    sdl.register_dataset("lai", URL)
+    chunks = list(sdl.stream("lai", variable="LAI"))
+    assert chunks and all(not c.stale for c in chunks)
+
+    report = sdl.resilience_report()
+    assert report["retries"] > 0
+    assert report["failures"] == 0
+    assert report["cache_entries"] <= 16
+    assert set(report) >= {"attempts", "stale_serves",
+                           "open_circuit_skips", "cache_hits"}

@@ -1,0 +1,130 @@
+"""RetryPolicy: backoff schedules, timeouts, counters — no real sleep."""
+
+import pytest
+
+from repro.resilience import AttemptTimeout, ResilienceStats, RetryPolicy
+
+from resilience_helpers import instant_policy
+
+pytestmark = pytest.mark.tier1
+
+
+def flaky(n_failures, exc=ConnectionError, value="ok"):
+    """A callable failing its first *n_failures* invocations."""
+    calls = {"n": 0}
+
+    def fn():
+        calls["n"] += 1
+        if calls["n"] <= n_failures:
+            raise exc(f"boom #{calls['n']}")
+        return value
+
+    fn.calls = calls
+    return fn
+
+
+def test_first_attempt_success_counts_one_of_everything(fake_clock):
+    policy = instant_policy(fake_clock, max_attempts=3)
+    stats = ResilienceStats()
+    assert policy.run(flaky(0), stats=stats) == "ok"
+    assert stats.attempts == 1
+    assert stats.successes == 1
+    assert stats.retries == 0
+    assert stats.failures == 0
+    assert fake_clock.sleeps == []
+
+
+def test_retries_then_success_sleeps_the_backoff_schedule(fake_clock):
+    policy = instant_policy(fake_clock, max_attempts=4, seed=5)
+    stats = ResilienceStats()
+    assert policy.run(flaky(2), stats=stats) == "ok"
+    assert stats.attempts == 3
+    assert stats.retries == 2
+    assert stats.successes == 1
+    assert fake_clock.sleeps == policy.backoff_schedule(2)
+
+
+def test_exhausted_retries_reraise_last_error(fake_clock):
+    policy = instant_policy(fake_clock, max_attempts=3)
+    stats = ResilienceStats()
+    with pytest.raises(ConnectionError, match="boom #3"):
+        policy.run(flaky(10), stats=stats)
+    assert stats.attempts == 3
+    assert stats.retries == 2
+    assert stats.failures == 1
+    assert stats.successes == 0
+    # Sleeps only *between* attempts: two for three attempts.
+    assert len(fake_clock.sleeps) == 2
+
+
+def test_backoff_is_exponential_capped_and_jittered():
+    policy = RetryPolicy(max_attempts=8, base_delay_s=1.0, multiplier=2.0,
+                         max_delay_s=10.0, jitter=0.2, seed=3)
+    schedule = policy.backoff_schedule()
+    assert len(schedule) == 7
+    for i, delay in enumerate(schedule):
+        nominal = min(10.0, 1.0 * 2.0 ** i)
+        assert nominal * 0.8 <= delay <= nominal * 1.2
+    # The cap applies to the nominal value before jitter.
+    assert schedule[-1] <= 10.0 * 1.2
+
+
+def test_jitter_is_deterministic_per_seed():
+    a = RetryPolicy(seed=11, max_attempts=6).backoff_schedule(5)
+    b = RetryPolicy(seed=11, max_attempts=6).backoff_schedule(5)
+    c = RetryPolicy(seed=12, max_attempts=6).backoff_schedule(5)
+    assert a == b
+    assert a != c
+    # Pure function of (seed, retry_index): probing out of order or
+    # repeatedly changes nothing.
+    policy = RetryPolicy(seed=11)
+    assert [policy.delay_for(i) for i in (3, 1, 1, 0)] == \
+        [a[3], a[1], a[1], a[0]]
+
+
+def test_per_attempt_timeout_counts_and_retries(fake_clock):
+    policy = instant_policy(fake_clock, max_attempts=3,
+                            attempt_timeout_s=1.0)
+    stats = ResilienceStats()
+    calls = {"n": 0}
+
+    def slow_then_fast():
+        calls["n"] += 1
+        if calls["n"] < 3:
+            fake_clock.advance(5.0)  # attempt takes 5 "seconds"
+        return calls["n"]
+
+    assert policy.run(slow_then_fast, stats=stats) == 3
+    assert stats.timeouts == 2
+    assert stats.retries == 2
+    assert stats.successes == 1
+
+
+def test_timeout_exhaustion_raises_attempt_timeout(fake_clock):
+    policy = instant_policy(fake_clock, max_attempts=2,
+                            attempt_timeout_s=0.5)
+
+    def always_slow():
+        fake_clock.advance(2.0)
+        return "late"
+
+    with pytest.raises(AttemptTimeout):
+        policy.run(always_slow)
+
+
+def test_retry_on_filters_exception_types(fake_clock):
+    policy = instant_policy(fake_clock, max_attempts=5,
+                            retry_on=(ConnectionError,))
+    stats = ResilienceStats()
+    with pytest.raises(ValueError):
+        policy.run(flaky(3, exc=ValueError), stats=stats)
+    # Non-retryable errors propagate from the first attempt.
+    assert stats.attempts == 1
+    assert stats.retries == 0
+
+
+def test_single_attempt_policy_never_sleeps(fake_clock):
+    policy = instant_policy(fake_clock, max_attempts=1)
+    with pytest.raises(ConnectionError):
+        policy.run(flaky(1))
+    assert fake_clock.sleeps == []

@@ -1,0 +1,148 @@
+"""DapCache bounds/thread-safety and stale-serve degradation."""
+
+import threading
+
+import pytest
+
+from repro.opendap import DapCache, open_url
+from repro.resilience import FaultSchedule, FaultyServer, InjectedFault
+
+from resilience_helpers import LAI_URL, instant_policy
+
+pytestmark = pytest.mark.tier1
+
+
+# -- LRU bound -------------------------------------------------------------
+def test_put_evicts_least_recently_used(fake_clock):
+    cache = DapCache(ttl_s=100, clock=fake_clock, max_entries=3)
+    for i in range(5):
+        cache.put("u", f"c{i}", b"%d" % i)
+    assert len(cache) == 3
+    assert cache.evictions == 2
+    assert cache.get("u", "c0") is None  # evicted
+    assert cache.get("u", "c1") is None  # evicted
+    assert cache.get("u", "c4") == b"4"
+
+
+def test_get_refreshes_lru_position(fake_clock):
+    cache = DapCache(ttl_s=100, clock=fake_clock, max_entries=2)
+    cache.put("u", "a", b"a")
+    cache.put("u", "b", b"b")
+    assert cache.get("u", "a") == b"a"  # 'a' becomes most recent
+    cache.put("u", "c", b"c")  # evicts 'b', not 'a'
+    assert cache.get("u", "a") == b"a"
+    assert cache.get("u", "b") is None
+
+
+def test_unbounded_without_max_entries(fake_clock):
+    cache = DapCache(ttl_s=100, clock=fake_clock)
+    for i in range(100):
+        cache.put("u", f"c{i}", b"x")
+    assert len(cache) == 100
+    assert cache.evictions == 0
+
+
+# -- TTL and stale retention ----------------------------------------------
+def test_expiry_drops_entry_without_serve_stale(fake_clock):
+    cache = DapCache(ttl_s=10, clock=fake_clock)
+    cache.put("u", "a", b"a")
+    fake_clock.advance(11)
+    assert cache.get("u", "a") is None
+    assert cache.get_stale("u", "a") is None  # really gone
+
+
+def test_serve_stale_keeps_expired_entries(fake_clock):
+    cache = DapCache(ttl_s=10, clock=fake_clock, serve_stale=True)
+    cache.put("u", "a", b"a")
+    fake_clock.advance(11)
+    assert cache.get("u", "a") is None  # still a miss...
+    assert cache.misses == 1
+    assert cache.get_stale("u", "a") == b"a"  # ...but retrievable
+    assert cache.stale_hits == 1
+
+
+def test_clear_resets_all_counters(fake_clock):
+    cache = DapCache(ttl_s=10, clock=fake_clock, max_entries=1,
+                     serve_stale=True)
+    cache.put("u", "a", b"a")
+    cache.put("u", "b", b"b")
+    cache.get("u", "b")
+    cache.get_stale("u", "b")
+    cache.clear()
+    assert (cache.hits, cache.misses, cache.stale_hits,
+            cache.evictions, len(cache)) == (0, 0, 0, 0, 0)
+
+
+# -- thread safety ---------------------------------------------------------
+def test_concurrent_get_put_is_safe():
+    cache = DapCache(ttl_s=100, max_entries=32)
+    errors = []
+
+    def worker(worker_id):
+        try:
+            for i in range(300):
+                key = f"c{(worker_id * 7 + i) % 64}"
+                cache.put("u", key, b"x")
+                cache.get("u", key)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(w,)) for w in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert len(cache) <= 32
+    assert cache.hits + cache.misses == 8 * 300
+
+
+# -- degraded fetch path ---------------------------------------------------
+def test_fetch_serves_stale_when_all_retries_fail(registry, fake_clock):
+    cache = DapCache(ttl_s=60, clock=fake_clock, serve_stale=True)
+    policy = instant_policy(fake_clock, max_attempts=3)
+    faulty = registry.wrap(
+        "vito.test", lambda s: FaultyServer(s, FaultSchedule())
+    )
+    remote = open_url(LAI_URL, registry, cache=cache, retry_policy=policy)
+
+    fresh = remote.fetch("LAI[0:1][0:4][0:5]")
+    assert fresh.stale is False
+
+    fake_clock.advance(120)  # past the TTL
+    faulty.schedule = FaultSchedule.dead()  # host goes down
+
+    degraded = remote.fetch("LAI[0:1][0:4][0:5]")
+    assert degraded.stale is True
+    assert remote.stats.stale_serves == 1
+    assert remote.stats.failures == 1  # the refetch did fail
+    assert (degraded["LAI"].data == fresh["LAI"].data).all()
+
+
+def test_fetch_without_cached_entry_still_raises(registry, fake_clock):
+    cache = DapCache(ttl_s=60, clock=fake_clock, serve_stale=True)
+    policy = instant_policy(fake_clock, max_attempts=2)
+    faulty = registry.wrap(
+        "vito.test", lambda s: FaultyServer(s, FaultSchedule())
+    )
+    remote = open_url(LAI_URL, registry, cache=cache, retry_policy=policy)
+    faulty.schedule = FaultSchedule.dead()
+    with pytest.raises(InjectedFault):
+        remote.fetch("LAI[0:0][0:0][0:0]")  # never cached: nothing stale
+
+
+def test_stale_entry_refreshes_once_host_recovers(registry, fake_clock):
+    cache = DapCache(ttl_s=60, clock=fake_clock, serve_stale=True)
+    policy = instant_policy(fake_clock, max_attempts=2)
+    faulty = registry.wrap(
+        "vito.test", lambda s: FaultyServer(s, FaultSchedule())
+    )
+    remote = open_url(LAI_URL, registry, cache=cache, retry_policy=policy)
+    remote.fetch("lat")
+    fake_clock.advance(120)
+    faulty.schedule = FaultSchedule.dead()
+    assert remote.fetch("lat").stale is True
+    faulty.schedule = FaultSchedule()  # host back up
+    refreshed = remote.fetch("lat")
+    assert refreshed.stale is False  # real refetch, cache re-primed
+    assert cache.get("dap://vito.test/Copernicus/LAI", "lat") is not None
