@@ -1,0 +1,105 @@
+"""Governance overhead and shed latency.
+
+Two questions a capacity planner asks before turning budgets on:
+
+- what does threading a QueryBudget through the evaluator cost on a
+  workload that never hits a limit (queries/sec with vs without), and
+- when the admission controller sheds, how fast does the caller learn
+  (shed latency p99 — the whole point of load shedding is that the
+  answer is "immediately").
+
+Emits ``out/BENCH_governance.json`` for trend tracking.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.governance import AdmissionController, Overloaded, QueryBudget
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+from repro.sparql import query
+
+pytestmark = pytest.mark.benchmark
+
+OUT_PATH = pathlib.Path(__file__).resolve().parent.parent / "out" \
+    / "BENCH_governance.json"
+
+N_QUERIES = 150
+N_SHED_PROBES = 2000
+
+QUERY = """
+PREFIX lai: <http://www.app-lab.eu/lai/>
+SELECT ?obs ?value WHERE {
+  ?obs lai:lai ?value .
+  FILTER(?value > 1.0)
+} ORDER BY ?obs LIMIT 50
+"""
+
+
+def _graph(n=400):
+    g = Graph()
+    lai = "http://www.app-lab.eu/lai/"
+    for i in range(n):
+        g.add(IRI(f"{lai}obs/{i}"), IRI(f"{lai}lai"),
+              Literal(float(i % 7)))
+    return g
+
+
+def _qps(g, make_budget):
+    start = time.perf_counter()
+    for __ in range(N_QUERIES):
+        query(g, QUERY, budget=make_budget())
+    return N_QUERIES / (time.perf_counter() - start)
+
+
+def test_budget_overhead_qps(record_summary):
+    g = _graph()
+    qps_plain = _qps(g, lambda: None)
+    qps_governed = _qps(
+        g, lambda: QueryBudget(deadline_s=30.0, max_rows=10_000,
+                               max_triples=1_000_000, max_fetches=100)
+    )
+    overhead = (qps_plain / qps_governed - 1.0) * 100.0
+    record_summary("Governance: budget overhead on in-limit workload", [
+        f"queries/sec ungoverned: {qps_plain:10.1f}",
+        f"queries/sec governed:   {qps_governed:10.1f}",
+        f"overhead:               {overhead:+9.1f} %",
+    ])
+    _emit(qps_plain=qps_plain, qps_governed=qps_governed)
+
+
+def test_shed_latency_p99(record_summary):
+    admission = AdmissionController(max_concurrent=1, max_queue_depth=0)
+    slot = admission.admit()  # saturate the pool
+    try:
+        latencies = []
+        for __ in range(N_SHED_PROBES):
+            start = time.perf_counter()
+            with pytest.raises(Overloaded):
+                admission.admit()
+            latencies.append(time.perf_counter() - start)
+    finally:
+        slot.release()
+    latencies.sort()
+    p50 = latencies[len(latencies) // 2]
+    p99 = latencies[int(len(latencies) * 0.99)]
+    record_summary("Governance: shed latency (pool full, no queue)", [
+        f"probes:       {N_SHED_PROBES}",
+        f"shed p50:     {p50 * 1e6:8.1f} us",
+        f"shed p99:     {p99 * 1e6:8.1f} us",
+        f"sheds/sec:    {1.0 / max(p50, 1e-9):,.0f}",
+    ])
+    assert admission.stats.shed == N_SHED_PROBES
+    _emit(shed_latency_p50_s=p50, shed_latency_p99_s=p99)
+
+
+def _emit(**fields):
+    OUT_PATH.parent.mkdir(exist_ok=True)
+    data = {}
+    if OUT_PATH.exists():
+        data = json.loads(OUT_PATH.read_text())
+    data.update(fields)
+    OUT_PATH.write_text(json.dumps(data, indent=2) + "\n")

@@ -1,0 +1,27 @@
+"""Common typed errors shared across the stack's parsers.
+
+Every textual front end (WKT, Turtle/N-Triples, SPARQL) raises a
+subclass of :class:`ParseError` on malformed input, so callers can
+guard any "parse untrusted text" path with one except clause instead of
+chasing the bare ``ValueError``/``IndexError`` each parser used to
+leak. Instances carry the offset at which parsing failed when the
+parser knows it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ParseError(ValueError):
+    """Malformed textual input (WKT, Turtle, N-Triples, SPARQL, ...).
+
+    ``position`` is the 0-based character offset where parsing failed,
+    or ``None`` when the parser could not localize the error.
+    """
+
+    def __init__(self, message: str, position: Optional[int] = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position

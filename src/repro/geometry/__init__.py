@@ -30,6 +30,7 @@ from .base import (
 from .geojson import Feature, FeatureCollection, from_geojson, to_geojson
 from .index import STRtree
 from .wkt import dumps as wkt_dumps
+from .wkt import WktParseError
 from .wkt import loads as wkt_loads
 from .wkt import to_wkt_literal
 
@@ -37,6 +38,7 @@ __all__ = [
     "Geometry",
     "GeometryCollection",
     "GeometryError",
+    "WktParseError",
     "LineString",
     "LinearRing",
     "MultiLineString",

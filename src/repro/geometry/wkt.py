@@ -14,6 +14,7 @@ from __future__ import annotations
 import re
 from typing import List, Tuple
 
+from ..errors import ParseError
 from .base import (
     Geometry,
     GeometryCollection,
@@ -25,6 +26,15 @@ from .base import (
     Point,
     Polygon,
 )
+
+class WktParseError(GeometryError, ParseError):
+    """Malformed WKT text (a GeometryError and a common ParseError).
+
+    Callers that historically caught :class:`GeometryError` keep
+    working; new "parse untrusted text" paths can catch
+    :class:`repro.errors.ParseError` across every front end.
+    """
+
 
 CRS84 = "http://www.opengis.net/def/crs/OGC/1.3/CRS84"
 EPSG4326 = "http://www.opengis.net/def/crs/EPSG/0/4326"
@@ -64,8 +74,8 @@ class _Scanner:
     def expect(self, ch: str):
         self.skip_ws()
         if self.pos >= len(self.text) or self.text[self.pos] != ch:
-            raise GeometryError(
-                f"WKT parse error at {self.pos}: expected {ch!r} in {self.text!r}"
+            raise WktParseError(
+                f"expected {ch!r} in WKT {self.text!r}", position=self.pos
             )
         self.pos += 1
 
@@ -73,9 +83,8 @@ class _Scanner:
         self.skip_ws()
         m = re.match(r"[A-Za-z]+", self.text[self.pos:])
         if not m:
-            raise GeometryError(
-                f"WKT parse error at {self.pos}: expected keyword"
-            )
+            raise WktParseError("expected WKT keyword",
+                                position=self.pos)
         self.pos += m.end()
         return m.group(0).upper()
 
@@ -83,9 +92,7 @@ class _Scanner:
         self.skip_ws()
         m = re.match(_NUM, self.text[self.pos:])
         if not m:
-            raise GeometryError(
-                f"WKT parse error at {self.pos}: expected number"
-            )
+            raise WktParseError("expected number", position=self.pos)
         self.pos += m.end()
         return float(m.group(0))
 
@@ -132,15 +139,27 @@ class _Scanner:
 
 
 def loads(text: str) -> Geometry:
-    """Parse WKT (optionally with a GeoSPARQL CRS prefix) into a Geometry."""
+    """Parse WKT (optionally with a GeoSPARQL CRS prefix) into a Geometry.
+
+    Malformed text raises :class:`WktParseError` — also reachable as
+    :class:`GeometryError` or :class:`repro.errors.ParseError` — never a
+    bare ``ValueError``/``IndexError`` from the scanner or the geometry
+    constructors.
+    """
     __, wkt_body = split_crs(text)
     scanner = _Scanner(wkt_body)
-    geom = _parse_geometry(scanner)
+    try:
+        geom = _parse_geometry(scanner)
+    except WktParseError:
+        raise
+    except (GeometryError, ValueError, IndexError) as exc:
+        raise WktParseError(str(exc), position=scanner.pos) from None
     scanner.skip_ws()
     if scanner.pos != len(scanner.text):
         trailing = scanner.text[scanner.pos:].strip()
         if trailing:
-            raise GeometryError(f"trailing WKT content: {trailing!r}")
+            raise WktParseError(f"trailing WKT content: {trailing!r}",
+                                position=scanner.pos)
     return geom
 
 
@@ -148,7 +167,7 @@ def _parse_geometry(s: _Scanner) -> Geometry:
     kind = s.word()
     if kind == "POINT":
         if s.maybe_empty():
-            raise GeometryError("empty POINT is not supported")
+            raise WktParseError("empty POINT is not supported", position=s.pos)
         s.expect("(")
         c = s.coord()
         s.expect(")")
@@ -192,7 +211,8 @@ def _parse_geometry(s: _Scanner) -> Geometry:
             geoms.append(_parse_geometry(s))
         s.expect(")")
         return GeometryCollection(geoms)
-    raise GeometryError(f"unsupported WKT geometry type {kind!r}")
+    raise WktParseError(f"unsupported WKT geometry type {kind!r}",
+                        position=s.pos)
 
 
 def _fmt(value: float) -> str:

@@ -1,0 +1,46 @@
+"""Query-layer resource governance.
+
+PR 1's resilience layer bounds what a *flaky network* can do to one
+remote call; this package bounds what one *query* can do to the whole
+service. Three pieces:
+
+- :class:`QueryBudget` — a per-query envelope (wall-clock deadline on
+  an injectable clock, max result rows, max triples scanned, max
+  remote fetches) threaded through the serving stack as a cooperative
+  cancellation token. Every layer charges the work it does; crossing a
+  limit raises a typed :class:`BudgetExceeded` subclass carrying a
+  snapshot of the partial work.
+- :class:`AdmissionController` — a bounded concurrent-query slot pool
+  with a bounded wait queue; excess load is shed with a typed
+  :class:`Overloaded` error (retry-after hint) instead of queueing
+  unboundedly.
+- :class:`GovernanceStats` — admitted/shed/budget-outcome counters and
+  deadline-headroom histograms, exposed alongside the resilience
+  report.
+"""
+
+from .admission import AdmissionController, Overloaded
+from .budget import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    FetchLimitExceeded,
+    QueryBudget,
+    QueryCancelled,
+    RowLimitExceeded,
+    ScanLimitExceeded,
+)
+from .stats import HEADROOM_BUCKETS, GovernanceStats
+
+__all__ = [
+    "AdmissionController",
+    "BudgetExceeded",
+    "DeadlineExceeded",
+    "FetchLimitExceeded",
+    "GovernanceStats",
+    "HEADROOM_BUCKETS",
+    "Overloaded",
+    "QueryBudget",
+    "QueryCancelled",
+    "RowLimitExceeded",
+    "ScanLimitExceeded",
+]

@@ -1,0 +1,183 @@
+"""Admission control: bounded concurrency with overload shedding.
+
+An :class:`AdmissionController` guards a query entry point with a fixed
+pool of execution slots and a bounded wait queue. A query that cannot
+get a slot *and* cannot queue is shed immediately with a typed
+:class:`Overloaded` error carrying a retry-after hint — the
+load-shedding answer to "never queue unboundedly": past the configured
+depth the caller learns *now* that the system is saturated, instead of
+discovering it after a long queue wait that was doomed anyway.
+
+The controller is thread-safe. Queued waiters block on a condition
+variable and are woken as slots free up (FIFO fairness is delegated to
+the condition's wakeup order); a waiter whose budget deadline or queue
+timeout runs out is shed on wakeup.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional, TypeVar
+
+from .budget import BudgetExceeded, QueryBudget
+from .stats import GovernanceStats
+
+T = TypeVar("T")
+
+
+class Overloaded(RuntimeError):
+    """The query was shed: no execution slot and no queue room.
+
+    ``retry_after_s`` is a hint for how long the caller should wait
+    before retrying (the controller's estimate of slot turnover).
+    """
+
+    def __init__(self, message: str, retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class _Slot:
+    """Context manager returned by :meth:`AdmissionController.admit`."""
+
+    def __init__(self, controller: "AdmissionController"):
+        self._controller = controller
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()
+
+    def __enter__(self) -> "_Slot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """A bounded concurrent-query slot pool with a bounded wait queue.
+
+    - up to ``max_concurrent`` queries hold slots at once;
+    - up to ``max_queue_depth`` more may wait for a slot (0 = fail
+      fast: any query beyond the pool is shed immediately);
+    - a waiter gives up after ``queue_timeout_s`` (or its budget's
+      remaining deadline, whichever is smaller) and is shed.
+
+    ``retry_after_hint_s`` seeds the :class:`Overloaded` hint returned
+    to shed callers.
+    """
+
+    def __init__(self, max_concurrent: int = 8,
+                 max_queue_depth: int = 0,
+                 queue_timeout_s: Optional[float] = None,
+                 retry_after_hint_s: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 stats: Optional[GovernanceStats] = None):
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be >= 0")
+        self.max_concurrent = max_concurrent
+        self.max_queue_depth = max_queue_depth
+        self.queue_timeout_s = queue_timeout_s
+        self.retry_after_hint_s = retry_after_hint_s
+        self.clock = clock
+        self.stats = stats if stats is not None else GovernanceStats()
+        self._cond = threading.Condition()
+        self._active = 0
+        self._waiting = 0
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def active(self) -> int:
+        with self._cond:
+            return self._active
+
+    @property
+    def queued(self) -> int:
+        with self._cond:
+            return self._waiting
+
+    # -- slot pool ---------------------------------------------------------
+    def admit(self, budget: Optional[QueryBudget] = None,
+              timeout_s: Optional[float] = None) -> _Slot:
+        """Obtain an execution slot or raise :class:`Overloaded`.
+
+        Returns a context manager that releases the slot on exit. The
+        effective queue wait is the smallest of *timeout_s*, the
+        controller's ``queue_timeout_s`` and the budget's remaining
+        deadline — a query must never queue longer than it has left to
+        live.
+        """
+        wait_limit = self._wait_limit(budget, timeout_s)
+        with self._cond:
+            if self._active < self.max_concurrent:
+                self._active += 1
+                self.stats.admitted += 1
+                return _Slot(self)
+            if self._waiting >= self.max_queue_depth:
+                self.stats.shed += 1
+                raise Overloaded(
+                    f"slot pool full ({self.max_concurrent} active, "
+                    f"{self._waiting} queued, depth limit "
+                    f"{self.max_queue_depth})",
+                    retry_after_s=self.retry_after_hint_s,
+                )
+            self._waiting += 1
+            deadline = (None if wait_limit is None
+                        else self.clock() + wait_limit)
+            try:
+                while self._active >= self.max_concurrent:
+                    remaining = (None if deadline is None
+                                 else deadline - self.clock())
+                    if remaining is not None and remaining <= 0:
+                        self.stats.shed += 1
+                        raise Overloaded(
+                            "queue wait exceeded "
+                            f"{wait_limit:g}s with no free slot",
+                            retry_after_s=self.retry_after_hint_s,
+                        )
+                    self._cond.wait(timeout=remaining)
+            finally:
+                self._waiting -= 1
+            self._active += 1
+            self.stats.admitted += 1
+            return _Slot(self)
+
+    def _wait_limit(self, budget: Optional[QueryBudget],
+                    timeout_s: Optional[float]) -> Optional[float]:
+        limits = [
+            limit for limit in (
+                timeout_s,
+                self.queue_timeout_s,
+                budget.remaining_s() if budget is not None else None,
+            ) if limit is not None
+        ]
+        return min(limits) if limits else None
+
+    def _release(self) -> None:
+        with self._cond:
+            self._active -= 1
+            self._cond.notify()
+
+    # -- governed execution ------------------------------------------------
+    def run(self, fn: Callable[[], T],
+            budget: Optional[QueryBudget] = None,
+            timeout_s: Optional[float] = None) -> T:
+        """Run *fn* inside a slot, classifying the outcome into stats.
+
+        Budget violations raised by *fn* are counted by type (deadline,
+        rows, scan, fetches, cancelled) and re-raised; clean
+        completions record deadline headroom into the histogram.
+        """
+        with self.admit(budget=budget, timeout_s=timeout_s):
+            try:
+                result = fn()
+            except BudgetExceeded as exc:
+                self.stats.record_outcome(exc, budget)
+                raise
+            self.stats.record_outcome(None, budget)
+            return result

@@ -1,0 +1,201 @@
+"""Per-query resource budgets and cooperative cancellation.
+
+A :class:`QueryBudget` is created when a query is admitted and threaded
+as a cancellation token through every layer that does work on the
+query's behalf: the SPARQL evaluator charges triples it scans, the
+federation engine and DAP client charge remote fetches (and cap retry
+backoff by the remaining deadline), the MadIS virtual-table layer
+charges materialized rows, and result assembly charges result rows.
+
+Each ``charge_*`` call is a *cancellation point*: when the wall-clock
+deadline (measured on an injectable clock, so tests never sleep) has
+passed, or a limit is crossed, or :meth:`QueryBudget.cancel` was
+called, a typed :class:`BudgetExceeded` subclass is raised carrying a
+snapshot of the work done so far — callers can report exactly how far
+the query got.
+
+Deadlines come in two strengths. By default they are *hard*: any
+cancellation point past the deadline raises :class:`DeadlineExceeded`.
+A budget switched to soft deadlines (``hard_deadline = False``, used by
+federated queries in ``partial_results`` mode) stops raising at local
+cancellation points, so work already fetched can still be joined and
+returned, while remote dispatch sites consult :attr:`deadline_expired`
+and degrade instead.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+
+class BudgetExceeded(RuntimeError):
+    """Base of every budget violation; carries partial work stats.
+
+    ``snapshot`` is the budget's :meth:`QueryBudget.snapshot` at raise
+    time: elapsed seconds, triples scanned, rows emitted, remote
+    fetches issued, and the configured limits.
+    """
+
+    def __init__(self, message: str,
+                 snapshot: Optional[Dict[str, object]] = None):
+        super().__init__(message)
+        self.snapshot: Dict[str, object] = dict(snapshot or {})
+
+
+class DeadlineExceeded(BudgetExceeded):
+    """The query ran past its wall-clock deadline."""
+
+
+class RowLimitExceeded(BudgetExceeded):
+    """The query produced more result rows than its budget allows."""
+
+
+class ScanLimitExceeded(BudgetExceeded):
+    """The query scanned more triples than its budget allows."""
+
+
+class FetchLimitExceeded(BudgetExceeded):
+    """The query issued more remote fetches than its budget allows."""
+
+
+class QueryCancelled(BudgetExceeded):
+    """The query was cancelled explicitly (user abort, shutdown)."""
+
+
+class QueryBudget:
+    """A resource envelope for one query, usable as a cancel token.
+
+    All limits are optional; a budget with none configured never raises
+    and only accounts. The clock is injectable so deadline behaviour is
+    deterministic under test. The deadline countdown starts at
+    construction (queries construct their budget on admission).
+    """
+
+    def __init__(self, deadline_s: Optional[float] = None,
+                 max_rows: Optional[int] = None,
+                 max_triples: Optional[int] = None,
+                 max_fetches: Optional[int] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 hard_deadline: bool = True):
+        self.deadline_s = deadline_s
+        self.max_rows = max_rows
+        self.max_triples = max_triples
+        self.max_fetches = max_fetches
+        self.clock = clock
+        self.hard_deadline = hard_deadline
+        self.started_at = clock()
+        self.rows = 0
+        self.triples_scanned = 0
+        self.remote_fetches = 0
+        self._cancel_reason: Optional[str] = None
+
+    @classmethod
+    def unlimited(cls, clock: Callable[[], float] = time.monotonic
+                  ) -> "QueryBudget":
+        """An accounting-only budget that never cancels anything."""
+        return cls(clock=clock)
+
+    # -- time --------------------------------------------------------------
+    def elapsed_s(self) -> float:
+        return self.clock() - self.started_at
+
+    def remaining_s(self) -> Optional[float]:
+        """Seconds of deadline left (``None`` without a deadline)."""
+        if self.deadline_s is None:
+            return None
+        return max(0.0, self.deadline_s - self.elapsed_s())
+
+    @property
+    def deadline_expired(self) -> bool:
+        return (self.deadline_s is not None
+                and self.elapsed_s() >= self.deadline_s)
+
+    def headroom(self) -> Optional[float]:
+        """Fraction of the deadline still unused, in [0, 1]."""
+        if self.deadline_s is None or self.deadline_s <= 0:
+            return None
+        return max(0.0, 1.0 - self.elapsed_s() / self.deadline_s)
+
+    # -- cancellation ------------------------------------------------------
+    def cancel(self, reason: str = "cancelled") -> None:
+        """Request cooperative cancellation; the next charge raises."""
+        self._cancel_reason = reason
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancel_reason is not None
+
+    def check_deadline(self) -> None:
+        """A pure cancellation point: no work is charged.
+
+        Raises :class:`QueryCancelled` after :meth:`cancel`, and
+        :class:`DeadlineExceeded` past a *hard* deadline.
+        """
+        if self._cancel_reason is not None:
+            raise QueryCancelled(self._cancel_reason, self.snapshot())
+        if self.hard_deadline and self.deadline_expired:
+            raise DeadlineExceeded(
+                f"query deadline of {self.deadline_s:g}s exceeded "
+                f"after {self.elapsed_s():.3f}s",
+                self.snapshot(),
+            )
+
+    # -- charges -----------------------------------------------------------
+    def charge_triples(self, n: int = 1) -> None:
+        """Account *n* scanned triples (or spatial candidates)."""
+        self.triples_scanned += n
+        self.check_deadline()
+        if (self.max_triples is not None
+                and self.triples_scanned > self.max_triples):
+            raise ScanLimitExceeded(
+                f"scanned {self.triples_scanned} triples "
+                f"(budget {self.max_triples})",
+                self.snapshot(),
+            )
+
+    def charge_rows(self, n: int = 1) -> None:
+        """Account *n* produced rows (result rows, VT rows, chunks)."""
+        self.rows += n
+        self.check_deadline()
+        if self.max_rows is not None and self.rows > self.max_rows:
+            raise RowLimitExceeded(
+                f"produced {self.rows} rows (budget {self.max_rows})",
+                self.snapshot(),
+            )
+
+    def charge_fetch(self, n: int = 1) -> None:
+        """Account *n* remote fetches (endpoint calls, DAP requests)."""
+        self.remote_fetches += n
+        self.check_deadline()
+        if (self.max_fetches is not None
+                and self.remote_fetches > self.max_fetches):
+            raise FetchLimitExceeded(
+                f"issued {self.remote_fetches} remote fetches "
+                f"(budget {self.max_fetches})",
+                self.snapshot(),
+            )
+
+    # -- reporting ---------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """The work accounted so far plus the configured limits."""
+        return {
+            "elapsed_s": self.elapsed_s(),
+            "remaining_s": self.remaining_s(),
+            "rows": self.rows,
+            "triples_scanned": self.triples_scanned,
+            "remote_fetches": self.remote_fetches,
+            "deadline_s": self.deadline_s,
+            "max_rows": self.max_rows,
+            "max_triples": self.max_triples,
+            "max_fetches": self.max_fetches,
+            "cancelled": self.cancelled,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryBudget deadline={self.deadline_s} "
+            f"rows={self.rows}/{self.max_rows} "
+            f"triples={self.triples_scanned}/{self.max_triples} "
+            f"fetches={self.remote_fetches}/{self.max_fetches}>"
+        )

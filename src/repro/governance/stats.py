@@ -1,0 +1,119 @@
+"""Counters and histograms for the governance layer.
+
+One :class:`GovernanceStats` block sits next to the resilience
+counters: where :class:`~repro.resilience.ResilienceStats` answers "how
+flaky was the network", this block answers "how loaded was the query
+layer and where did budgets bite" — queries admitted/shed, typed budget
+outcomes, and a histogram of how much deadline headroom successful
+queries finished with (the early-warning signal that a deadline is
+about to start killing real traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .budget import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    FetchLimitExceeded,
+    QueryBudget,
+    QueryCancelled,
+    RowLimitExceeded,
+    ScanLimitExceeded,
+)
+
+#: Headroom histogram bucket count: bucket i covers [i/10, (i+1)/10).
+HEADROOM_BUCKETS = 10
+
+
+class GovernanceStats:
+    """Counters kept by admission controllers and governed entry points.
+
+    - ``admitted``: queries that obtained an execution slot;
+    - ``shed``: queries rejected with ``Overloaded`` (pool + queue full
+      or queue wait timed out);
+    - ``completed``: admitted queries that finished inside budget;
+    - ``deadline_exceeded`` / ``row_limit_exceeded`` /
+      ``scan_limit_exceeded`` / ``fetch_limit_exceeded`` /
+      ``cancelled``: admitted queries killed by each budget dimension;
+    - ``headroom_histogram``: for completed queries that carried a
+      deadline, which tenth of the deadline was still unused when they
+      finished (index 0 = finished with <10% headroom — nearly late).
+    """
+
+    FIELDS = (
+        "admitted",
+        "shed",
+        "completed",
+        "deadline_exceeded",
+        "row_limit_exceeded",
+        "scan_limit_exceeded",
+        "fetch_limit_exceeded",
+        "cancelled",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+        self.headroom_histogram: List[int] = [0] * HEADROOM_BUCKETS
+
+    # -- recording ---------------------------------------------------------
+    def record_headroom(self, budget: Optional[QueryBudget]) -> None:
+        if budget is None:
+            return
+        headroom = budget.headroom()
+        if headroom is None:
+            return
+        bucket = min(HEADROOM_BUCKETS - 1,
+                     int(headroom * HEADROOM_BUCKETS))
+        self.headroom_histogram[bucket] += 1
+
+    def record_outcome(self, exc: Optional[BaseException],
+                       budget: Optional[QueryBudget] = None) -> None:
+        """Classify one finished (admitted) query by how it ended.
+
+        ``exc`` is ``None`` for a clean completion, else the exception
+        that terminated the query; only :class:`BudgetExceeded`
+        subclasses are counted as governance outcomes — anything else
+        (an application error) counts as completed-with-error nowhere,
+        by design: governance only tracks what governance did.
+        """
+        if exc is None:
+            self.completed += 1
+            self.record_headroom(budget)
+        elif isinstance(exc, QueryCancelled):
+            self.cancelled += 1
+        elif isinstance(exc, DeadlineExceeded):
+            self.deadline_exceeded += 1
+        elif isinstance(exc, RowLimitExceeded):
+            self.row_limit_exceeded += 1
+        elif isinstance(exc, ScanLimitExceeded):
+            self.scan_limit_exceeded += 1
+        elif isinstance(exc, FetchLimitExceeded):
+            self.fetch_limit_exceeded += 1
+
+    # -- reporting ---------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            field: getattr(self, field) for field in self.FIELDS
+        }
+        out["headroom_histogram"] = list(self.headroom_histogram)
+        return out
+
+    def merge(self, other: "GovernanceStats") -> "GovernanceStats":
+        """Add *other*'s counters into this block (returns self)."""
+        for field in self.FIELDS:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
+        for i, count in enumerate(other.headroom_histogram):
+            self.headroom_histogram[i] += count
+        return self
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{field}={getattr(self, field)}" for field in self.FIELDS
+        )
+        return f"<GovernanceStats {inner}>"

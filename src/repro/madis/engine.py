@@ -72,9 +72,18 @@ class MadisConnection:
         return sorted(self._vt_operators)
 
     # -- querying ---------------------------------------------------------------
-    def execute(self, sql: str, params: Sequence = ()) -> List[sqlite3.Row]:
-        """Execute SQL (with MadIS preprocessing); fetch all rows."""
-        rewritten = self._rewrite(sql)
+    def execute(self, sql: str, params: Sequence = (),
+                budget=None) -> List[sqlite3.Row]:
+        """Execute SQL (with MadIS preprocessing); fetch all rows.
+
+        ``budget`` (a :class:`~repro.governance.QueryBudget`) makes the
+        virtual-table scans row-budgeted: every row an operator
+        materializes is charged, so a runaway operator terminates with
+        a typed budget error instead of filling a TEMP table forever.
+        Budget-aware operators also receive the budget and can cap
+        their own remote fetches by the remaining deadline.
+        """
+        rewritten = self._rewrite(sql, budget=budget)
         cursor = self._conn.execute(rewritten, params)
         if cursor.description is None:
             self._conn.commit()
@@ -99,7 +108,7 @@ class MadisConnection:
         self.close()
 
     # -- MadIS syntax preprocessing -----------------------------------------
-    def _rewrite(self, sql: str) -> str:
+    def _rewrite(self, sql: str, budget=None) -> str:
         """Replace ``FROM (opname args)`` clauses by temp-table reads."""
         out = []
         pos = 0
@@ -117,7 +126,7 @@ class MadisConnection:
                 out.append(sql[pos: m.end()])
                 pos = m.end()
                 continue
-            table = self._materialize(operator, inner)
+            table = self._materialize(operator, inner, budget=budget)
             out.append(sql[pos: m.start()])
             out.append(f"{m.group(1).upper()} {table}")
             pos = close_paren + 1
@@ -143,7 +152,8 @@ class MadisConnection:
             return word if word in self._vt_operators else None
         return None
 
-    def _materialize(self, operator_name: str, inner: str) -> str:
+    def _materialize(self, operator_name: str, inner: str,
+                     budget=None) -> str:
         """Run the operator and load its rows into a TEMP table."""
         args, kwargs = _parse_vt_args(inner, operator_name)
         key = hashlib.sha1(
@@ -151,16 +161,27 @@ class MadisConnection:
         ).hexdigest()[:12]
         table = f"vt_{operator_name}_{key}"
         operator = self._vt_operators[operator_name]
-        columns, rows = operator(*args, **kwargs)
+        if budget is not None and getattr(operator, "supports_budget",
+                                          False):
+            columns, rows = operator(*args, budget=budget, **kwargs)
+        else:
+            columns, rows = operator(*args, **kwargs)
         if not columns:
             raise MadisError(f"operator {operator_name!r} returned no schema")
         quoted = ", ".join(f'"{c}"' for c in columns)
         self._conn.execute(f'DROP TABLE IF EXISTS "{table}"')
         self._conn.execute(f'CREATE TEMP TABLE "{table}" ({quoted})')
         placeholders = ", ".join("?" for __ in columns)
+
+        def charged(iterable):
+            for r in iterable:
+                if budget is not None:
+                    budget.charge_rows()
+                yield tuple(r)
+
         self._conn.executemany(
             f'INSERT INTO "{table}" VALUES ({placeholders})',
-            (tuple(r) for r in rows),
+            charged(rows),
         )
         return f'"{table}"'
 

@@ -38,6 +38,11 @@ COLUMNS_TEMPLATE = ("id", None, "ts", "loc")  # None replaced by the variable
 class OpendapVTOperator:
     """Stateful operator: holds the server registry and the call cache."""
 
+    #: MadIS passes the caller's QueryBudget when this is set: the
+    #: remote fetch is charged (and its retries deadline-capped) and
+    #: the flattening loop becomes cooperatively cancellable.
+    supports_budget = True
+
     def __init__(self, registry: ServerRegistry,
                  clock: Callable[[], float] = time.monotonic,
                  retry_policy: Optional[RetryPolicy] = None,
@@ -51,7 +56,7 @@ class OpendapVTOperator:
         self.cache_misses = 0
         self.server_calls = 0
 
-    def __call__(self, *args, **kwargs):
+    def __call__(self, *args, budget=None, **kwargs):
         """MadIS entry point: (columns, rows)."""
         url = kwargs.get("url")
         positional = list(args)
@@ -80,18 +85,19 @@ class OpendapVTOperator:
                     return columns, rows
                 del self._cache[key]
         self.cache_misses += 1
-        columns, rows = self._fetch(url, variable, constraint)
+        columns, rows = self._fetch(url, variable, constraint, budget=budget)
         if window_minutes > 0:
             self._cache[key] = (self.clock(), columns, rows)
         return columns, rows
 
     # -- data access -------------------------------------------------------
     def _fetch(self, url: str, variable: Optional[str],
-               constraint: str) -> Tuple[Sequence[str], List[Row]]:
+               constraint: str, budget=None
+               ) -> Tuple[Sequence[str], List[Row]]:
         self.server_calls += 1
         remote = open_url(url, self.registry,
                           retry_policy=self.retry_policy, stats=self.stats)
-        dataset = remote.fetch(constraint)
+        dataset = remote.fetch(constraint, budget=budget)
         if variable is None:
             variable = _main_variable(dataset)
         if variable not in dataset:
@@ -116,6 +122,8 @@ class OpendapVTOperator:
             stamp_key = moment.strftime("%Y%m%d%H%M")
             plane = values[ti]
             for yi, lat in enumerate(lats):
+                if budget is not None:
+                    budget.check_deadline()
                 for xi, lon in enumerate(lons):
                     value = plane[yi, xi]
                     if np.isnan(value):

@@ -71,11 +71,14 @@ class OntopSpatial:
     def __init__(self, conn: MadisConnection,
                  mappings: Sequence[OntopMapping],
                  namespaces: Optional[NamespaceManager] = None,
-                 ontology: Optional[Graph] = None):
+                 ontology: Optional[Graph] = None,
+                 admission=None):
         self.conn = conn
         self.mappings = list(mappings)
         self.namespaces = namespaces or NamespaceManager()
         self.ontology = ontology
+        #: Optional AdmissionController guarding ``query()``.
+        self.admission = admission
         self._spatial_indexes: Dict[Tuple[str, str], str] = {}
         self.last_sql: List[str] = []  # introspection for tests/benchmarks
 
@@ -133,17 +136,32 @@ class OntopSpatial:
         return list(seen.values())
 
     # -- evaluation ---------------------------------------------------------------
-    def query(self, sparql_text: str) -> SPARQLResult:
+    def query(self, sparql_text: str, budget=None) -> SPARQLResult:
         """Answer a (Geo)SPARQL query against the virtual graphs.
 
         Simple single-mapping SELECTs are *unfolded directly to SQL*
         (the genuine Ontop execution model: the database computes the
         result rows, no triples are instantiated); everything else
         falls back to on-demand instantiation + the SPARQL evaluator.
+
+        ``budget`` (a :class:`~repro.governance.QueryBudget`) governs
+        the whole virtual evaluation: the MadIS layer row-budgets its
+        virtual-table scans, triple instantiation charges the scan
+        budget, and the final evaluation is cooperatively cancellable.
+        When the engine has an admission controller, the query first
+        takes an execution slot (and may be shed with ``Overloaded``).
         """
+        if self.admission is not None:
+            return self.admission.run(
+                lambda: self._governed_query(sparql_text, budget),
+                budget=budget,
+            )
+        return self._governed_query(sparql_text, budget)
+
+    def _governed_query(self, sparql_text: str, budget) -> SPARQLResult:
         ast = parse_query(sparql_text, namespaces=self.namespaces)
         where = getattr(ast, "where", None)
-        direct = self._try_direct_sql(ast)
+        direct = self._try_direct_sql(ast, budget=budget)
         if direct is not None:
             return direct
         mappings = (
@@ -154,9 +172,13 @@ class OntopSpatial:
             _extract_spatial_restrictions(where.elements, None)
             if where is not None else {}
         )
-        graph = self._instantiate(mappings, where, restrictions)
+        graph = self._instantiate(mappings, where, restrictions,
+                                  budget=budget)
         graph.namespaces = self.namespaces
-        return eval_query(ast, Context(graph))
+        result = eval_query(ast, Context(graph, budget=budget))
+        if budget is not None:
+            result.budget_stats = budget.snapshot()
+        return result
 
     def materialize(self, graph: Optional[Graph] = None) -> Graph:
         """Full triple dump of every mapping (the materialized workflow)."""
@@ -172,7 +194,7 @@ class OntopSpatial:
     # -- internals ------------------------------------------------------------
     def _instantiate(self, mappings: Sequence[OntopMapping],
                      where: Optional[GroupGraphPattern],
-                     restrictions) -> Graph:
+                     restrictions, budget=None) -> Graph:
         graph = Graph()
         self.last_sql = []
         for mapping in mappings:
@@ -180,15 +202,15 @@ class OntopSpatial:
             pushed = self._push_spatial_filter(mapping, where, restrictions)
             if pushed is not None:
                 sql = pushed[0]
-            self._run_mapping(mapping, sql, graph)
+            self._run_mapping(mapping, sql, graph, budget=budget)
         if self.ontology is not None:
             graph.update(self.ontology)
         return graph
 
     def _run_mapping(self, mapping: OntopMapping, sql: str,
-                     graph: Graph) -> None:
+                     graph: Graph, budget=None) -> None:
         self.last_sql.append(sql)
-        rows = self.conn.execute(sql)
+        rows = self.conn.execute(sql, budget=budget)
         for row in rows:
             row_dict = {key: row[key] for key in row.keys()}
             bnodes: Dict[str, BNode] = {}
@@ -196,6 +218,8 @@ class OntopSpatial:
                 triple = template.instantiate(row_dict, bnodes)
                 if triple is not None:
                     graph.add(triple)
+                    if budget is not None:
+                        budget.charge_triples()
 
     def _push_spatial_filter(self, mapping: OntopMapping,
                              where: Optional[GroupGraphPattern],
@@ -306,7 +330,7 @@ class OntopSpatial:
         return True
 
     # -- direct SQL unfolding (the real Ontop execution model) ---------------
-    def _try_direct_sql(self, ast) -> Optional[SPARQLResult]:
+    def _try_direct_sql(self, ast, budget=None) -> Optional[SPARQLResult]:
         """Answer a simple SELECT straight from the mapping's SQL rows.
 
         Applies when the WHERE is one BGP (plus filters we can push or
@@ -395,10 +419,12 @@ class OntopSpatial:
         ]
 
         self.last_sql = [sql]
-        rows = self.conn.execute(sql)
-        ctx = Context(Graph())
+        rows = self.conn.execute(sql, budget=budget)
+        ctx = Context(Graph(), budget=budget)
         binding_rows = []
         for row in rows:
+            if budget is not None:
+                budget.check_deadline()
             row_dict = {key: row[key] for key in row.keys()}
             bindings = {}
             ok = True
@@ -485,10 +511,13 @@ class OntopSpatial:
             out_rows = out_rows[ast.offset:]
         if ast.limit is not None:
             out_rows = out_rows[: ast.limit]
+        if budget is not None:
+            budget.charge_rows(len(out_rows))
         return SPARQLResult(
             "SELECT",
             variables=[p.var.name for p in ast.projections],
             rows=out_rows,
+            budget_stats=budget.snapshot() if budget is not None else None,
         )
 
     def _wrap_sql(self, base_sql: str, column: str, sql_fn: str,

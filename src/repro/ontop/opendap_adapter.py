@@ -56,6 +56,7 @@ def make_opendap_endpoint(
     mapping_document: Optional[str] = None,
     retry_policy: Optional[RetryPolicy] = None,
     stats: Optional[ResilienceStats] = None,
+    admission=None,
 ) -> Tuple[OntopSpatial, OpendapVTOperator, MadisConnection]:
     """Build a ready-to-query virtual endpoint over an OPeNDAP URL.
 
@@ -64,6 +65,13 @@ def make_opendap_endpoint(
     when a *retry_policy* is given — a ``stats`` ResilienceStats block
     describing retries/timeouts seen while the virtual tables fetched
     remote data.
+
+    ``engine.query(text, budget=...)`` threads a
+    :class:`~repro.governance.QueryBudget` down to the virtual-table
+    scans (row budget, deadline-capped fetch retries). *admission* (an
+    :class:`~repro.governance.AdmissionController`) bounds concurrent
+    queries on the returned engine; excess load is shed with
+    ``Overloaded``.
     """
     conn = MadisConnection()
     operator = attach_opendap(conn, registry, clock=clock,
@@ -72,4 +80,5 @@ def make_opendap_endpoint(
         url, variable=variable, window_minutes=window_minutes
     )
     engine = OntopSpatial.from_document(conn, document)
+    engine.admission = admission
     return engine, operator, conn

@@ -161,18 +161,20 @@ class RemoteDataset:
         return dict(self._attributes.get("NC_GLOBAL", {}))
 
     # -- data -----------------------------------------------------------------
-    def _run_resilient(self, fn):
+    def _run_resilient(self, fn, budget=None):
         if self.retry_policy is None:
             return fn()
+        budget_s = budget.remaining_s() if budget is not None else None
         return self.retry_policy.run(fn, stats=self.stats,
-                                     breaker=self.breaker)
+                                     breaker=self.breaker,
+                                     budget_s=budget_s)
 
     def _raw_request(self, path_and_query: str) -> bytes:
         return self._run_resilient(
             lambda: self._server.request(path_and_query)
         )
 
-    def fetch(self, constraint: str = "") -> DapDataset:
+    def fetch(self, constraint: str = "", budget=None) -> DapDataset:
         """Fetch (a subset of) the data as a concrete dataset.
 
         One *logical* request: the retry policy re-issues it on
@@ -180,6 +182,11 @@ class RemoteDataset:
         inside the retried unit). If every attempt fails and the cache
         holds an expired entry for this constraint, that body is served
         instead with ``stale=True`` set on the result.
+
+        ``budget`` (a :class:`~repro.governance.QueryBudget`) charges
+        the fetch against the owning query and caps retries at the
+        query's remaining deadline. Cache hits are not charged — they
+        cost the server nothing.
         """
         canonical = parse_constraint(constraint).canonical()
         if self.cache is not None:
@@ -188,13 +195,15 @@ class RemoteDataset:
                 return self._decode(body)
         query = ("?" + canonical) if canonical else ""
         target = self._path + ".dods" + query
+        if budget is not None:
+            budget.charge_fetch()
 
         def attempt() -> Tuple[bytes, DapDataset]:
             raw = self._server.request(target)
             return raw, self._decode(raw)
 
         try:
-            body, dataset = self._run_resilient(attempt)
+            body, dataset = self._run_resilient(attempt, budget=budget)
         except Exception:
             if self.cache is not None:
                 stale = self.cache.get_stale(self.url, canonical)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import re
 from typing import Optional
 
+from ..errors import ParseError as CommonParseError
 from .graph import Graph
 from .terms import BNode, IRI, Literal, Triple
 
@@ -50,7 +51,7 @@ def escape(text: str) -> str:
     )
 
 
-class ParseError(ValueError):
+class ParseError(CommonParseError):
     """Raised on malformed N-Triples/Turtle input."""
 
 
@@ -59,27 +60,29 @@ def _parse_term(text: str, pos: int):
     while pos < len(text) and text[pos] in " \t":
         pos += 1
     if pos >= len(text):
-        raise ParseError("unexpected end of statement")
+        raise ParseError("unexpected end of statement", position=pos)
     ch = text[pos]
     if ch == "<":
         m = _IRI_RE.match(text, pos)
         if not m:
-            raise ParseError(f"bad IRI at {text[pos:pos+40]!r}")
+            raise ParseError(f"bad IRI at {text[pos:pos+40]!r}", position=pos)
         return IRI(unescape(m.group(1))), m.end()
     if ch == "_":
         m = _BNODE_RE.match(text, pos)
         if not m:
-            raise ParseError(f"bad blank node at {text[pos:pos+40]!r}")
+            raise ParseError(f"bad blank node at {text[pos:pos+40]!r}",
+                             position=pos)
         return BNode(m.group(1)), m.end()
     if ch == '"':
         m = _LITERAL_RE.match(text, pos)
         if not m:
-            raise ParseError(f"bad literal at {text[pos:pos+40]!r}")
+            raise ParseError(f"bad literal at {text[pos:pos+40]!r}",
+                             position=pos)
         lexical = unescape(m.group(1))
         datatype = IRI(m.group(2)) if m.group(2) else None
         lang = m.group(3)
         return Literal(lexical, datatype=datatype, lang=lang), m.end()
-    raise ParseError(f"unexpected character {ch!r} at offset {pos}")
+    raise ParseError(f"unexpected character {ch!r}", position=pos)
 
 
 def parse_ntriples(text: str, graph: Optional[Graph] = None) -> Graph:
@@ -103,6 +106,11 @@ def parse_ntriples(text: str, graph: Optional[Graph] = None) -> Graph:
             if rest != ".":
                 raise ParseError(f"expected terminating '.', got {rest!r}")
         except ParseError as exc:
+            raise ParseError(f"line {lineno}: {exc}",
+                             position=exc.position) from None
+        except (ValueError, IndexError) as exc:
+            # e.g. chr() range errors from wild \U escapes — surface as
+            # the typed parse error, never a bare builtin.
             raise ParseError(f"line {lineno}: {exc}") from None
         graph.add(Triple(s, p, o))
     return graph

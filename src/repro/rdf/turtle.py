@@ -49,7 +49,8 @@ class _TurtleParser:
         self._skip()
         if not self.text.startswith(token, self.pos):
             context = self.text[self.pos: self.pos + 40]
-            raise ParseError(f"expected {token!r} at {context!r}")
+            raise ParseError(f"expected {token!r} at {context!r}",
+                             position=self.pos)
         self.pos += len(token)
 
     def _match_keyword(self, word: str) -> bool:
@@ -83,7 +84,7 @@ class _TurtleParser:
         self._skip()
         m = re.match(r"([A-Za-z_][\w.-]*)?:", self.text[self.pos:])
         if not m:
-            raise ParseError("bad @prefix directive")
+            raise ParseError("bad @prefix directive", position=self.pos)
         prefix = m.group(1) or ""
         self.pos += m.end()
         iri = self._iri_ref()
@@ -142,7 +143,7 @@ class _TurtleParser:
             return self._iri_ref()
         term = self._pname()
         if not isinstance(term, IRI):
-            raise ParseError("predicate must be an IRI")
+            raise ParseError("predicate must be an IRI", position=self.pos)
         return term
 
     def _object(self) -> Term:
@@ -171,7 +172,7 @@ class _TurtleParser:
         self._expect("<")
         end = self.text.find(">", self.pos)
         if end == -1:
-            raise ParseError("unterminated IRI")
+            raise ParseError("unterminated IRI", position=self.pos)
         raw = self.text[self.pos: end]
         self.pos = end + 1
         iri = unescape(raw)
@@ -183,7 +184,7 @@ class _TurtleParser:
         self._expect("_:")
         m = re.match(r"[\w.-]+", self.text[self.pos:])
         if not m:
-            raise ParseError("bad blank node label")
+            raise ParseError("bad blank node label", position=self.pos)
         self.pos += m.end()
         return BNode(m.group(0))
 
@@ -220,14 +221,15 @@ class _TurtleParser:
         m = _PNAME_RE.match(self.text, self.pos)
         if not m or ":" not in m.group(0):
             context = self.text[self.pos: self.pos + 40]
-            raise ParseError(f"expected prefixed name at {context!r}")
+            raise ParseError(f"expected prefixed name at {context!r}",
+                             position=self.pos)
         self.pos = m.end()
         prefix = m.group(1) or ""
         local = m.group(2) or ""
         try:
             return self.graph.namespaces.expand(f"{prefix}:{local}")
         except ValueError as exc:
-            raise ParseError(str(exc)) from None
+            raise ParseError(str(exc), position=self.pos) from None
 
     def _literal(self) -> Literal:
         self._skip()
@@ -235,19 +237,19 @@ class _TurtleParser:
             if self.text.startswith(quote, self.pos):
                 break
         else:  # pragma: no cover - _object guards this
-            raise ParseError("expected literal")
+            raise ParseError("expected literal", position=self.pos)
         self.pos += len(quote)
         if len(quote) == 3:
             end = self.text.find(quote, self.pos)
             if end == -1:
-                raise ParseError("unterminated long string")
+                raise ParseError("unterminated long string", position=self.pos)
             raw = self.text[self.pos: end]
             self.pos = end + 3
         else:
             chars = []
             while True:
                 if self.pos >= len(self.text):
-                    raise ParseError("unterminated string")
+                    raise ParseError("unterminated string", position=self.pos)
                 ch = self.text[self.pos]
                 if ch == "\\":
                     chars.append(self.text[self.pos: self.pos + 2])
@@ -277,7 +279,7 @@ class _TurtleParser:
         self._skip()
         m = _NUMBER_RE.match(self.text, self.pos)
         if not m:
-            raise ParseError("expected number")
+            raise ParseError("expected number", position=self.pos)
         self.pos = m.end()
         token = m.group(0)
         if "e" in token.lower():
@@ -288,9 +290,21 @@ class _TurtleParser:
 
 
 def parse_turtle(text: str, graph: Optional[Graph] = None) -> Graph:
-    """Parse Turtle *text* into *graph* (a new Graph if omitted)."""
+    """Parse Turtle *text* into *graph* (a new Graph if omitted).
+
+    Malformed input raises :class:`~repro.rdf.ntriples.ParseError` (a
+    :class:`repro.errors.ParseError`) — never a bare ``ValueError`` /
+    ``IndexError`` leaked from the scanner internals.
+    """
     graph = graph if graph is not None else Graph()
-    _TurtleParser(text, graph).parse()
+    parser = _TurtleParser(text, graph)
+    try:
+        parser.parse()
+    except ParseError:
+        raise
+    except (ValueError, IndexError, RecursionError) as exc:
+        raise ParseError(f"malformed Turtle: {exc}",
+                         position=parser.pos) from None
     return graph
 
 

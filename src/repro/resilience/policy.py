@@ -80,15 +80,25 @@ class RetryPolicy:
     # -- execution ---------------------------------------------------------
     def run(self, fn: Callable[[], T],
             stats: Optional[ResilienceStats] = None,
-            breaker: Optional[CircuitBreaker] = None) -> T:
+            breaker: Optional[CircuitBreaker] = None,
+            budget_s: Optional[float] = None) -> T:
         """Call *fn* under this policy; returns its value or re-raises.
 
         Counters describe the run: attempts/retries per physical call,
         successes/failures once per *logical* request. When *breaker*
         is open the request is skipped with :class:`CircuitOpenError`.
+
+        ``budget_s`` caps the whole run — retries included — at that
+        many seconds on the policy clock: an attempt is not started,
+        and a backoff not slept, past the cap. This is how a query's
+        remaining deadline keeps retries from outliving the query.
         """
+        deadline = None if budget_s is None else self.clock() + budget_s
         last_exc: Optional[BaseException] = None
         for attempt in range(self.max_attempts):
+            if deadline is not None and attempt and \
+                    self.clock() >= deadline:
+                break
             if breaker is not None and not breaker.allow():
                 if stats is not None:
                     stats.open_circuit_skips += 1
@@ -126,7 +136,11 @@ class RetryPolicy:
                         breaker.record_success()
                     return result
             if attempt + 1 < self.max_attempts:
-                self.sleep(self.delay_for(attempt))
+                delay = self.delay_for(attempt)
+                if deadline is not None and \
+                        self.clock() + delay >= deadline:
+                    break  # the backoff would outlive the budget
+                self.sleep(delay)
         if stats is not None:
             stats.failures += 1
         assert last_exc is not None

@@ -10,9 +10,16 @@ reports metadata completeness at dataset or library level.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from datetime import datetime
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from ..governance import (
+    AdmissionController,
+    BudgetExceeded,
+    GovernanceStats,
+    QueryBudget,
+)
 from ..opendap import (
     DapCache,
     DapDataset,
@@ -49,7 +56,8 @@ class StreamingDataLibrary:
                  cache_ttl_s: float = 600.0,
                  cache_max_entries: Optional[int] = None,
                  serve_stale: bool = False,
-                 retry_policy: Optional[RetryPolicy] = None):
+                 retry_policy: Optional[RetryPolicy] = None,
+                 admission: Optional[AdmissionController] = None):
         self.registry = registry
         self.auth = auth
         self._remotes: Dict[str, RemoteDataset] = {}
@@ -60,6 +68,17 @@ class StreamingDataLibrary:
         self.retry_policy = retry_policy
         #: One counter block shared by every registered remote.
         self.stats = ResilienceStats()
+        #: Overload shedding: when set, streaming entry points take a
+        #: slot (or raise Overloaded) before touching remote servers.
+        self.admission = admission
+        self.governance = (admission.stats if admission is not None
+                           else GovernanceStats())
+
+    def _admit(self, budget: Optional[QueryBudget]):
+        """An admission slot context, or a no-op when ungoverned."""
+        if self.admission is None:
+            return nullcontext()
+        return self.admission.admit(budget=budget)
 
     # -- catalog -----------------------------------------------------------
     def register_dataset(self, name: str, url: str) -> None:
@@ -84,11 +103,17 @@ class StreamingDataLibrary:
 
     # -- queryable characteristics (Section 3.1) -----------------------------
     def characteristics(self, name: str,
-                        token: Optional[str] = None) -> Dict[str, object]:
+                        token: Optional[str] = None,
+                        budget: Optional[QueryBudget] = None
+                        ) -> Dict[str, object]:
         """Temporal and spatial characteristics of a dataset."""
         self._authorize(name, token)
+        return self._characteristics(name, budget)
+
+    def _characteristics(self, name: str,
+                         budget: Optional[QueryBudget]) -> Dict[str, object]:
         remote = self._remote(name)
-        coords = remote.fetch("time,lat,lon")
+        coords = remote.fetch("time,lat,lon", budget=budget)
         times = decode_time(coords["time"])
         lats = coords["lat"].data
         lons = coords["lon"].data
@@ -112,46 +137,71 @@ class StreamingDataLibrary:
     # -- streaming ---------------------------------------------------------------
     def stream(self, name: str, variable: Optional[str] = None,
                bbox: Optional[Tuple[float, float, float, float]] = None,
-               token: Optional[str] = None) -> Iterator[DapDataset]:
+               token: Optional[str] = None,
+               budget: Optional[QueryBudget] = None
+               ) -> Iterator[DapDataset]:
         """Stream a dataset one time step at a time (optionally windowed).
 
         Each yielded chunk is fetched with its own constrained DAP call,
         so consumers see data flow without a full download — the SDL's
-        defining behaviour.
+        defining behaviour. With a *budget*, every chunk charges one row
+        and each underlying fetch charges (and deadline-caps) a remote
+        call; when an admission controller is configured, the stream
+        holds an execution slot for its whole lifetime, so slow
+        consumers count against the concurrency bound.
         """
         self._authorize(name, token)
-        remote = self._remote(name)
-        if variable is None:
-            variable = self.characteristics(name, token)["variables"][0]
-        dims = dict(remote.dims_of(variable))
-        n_time = dims.get("time", 1)
-        lat_window, lon_window = self._bbox_windows(remote, bbox)
-        for ti in range(n_time):
-            constraint = (
-                f"{variable}[{ti}:{ti}]"
-                f"[{lat_window[0]}:{lat_window[1]}]"
-                f"[{lon_window[0]}:{lon_window[1]}]"
-            )
-            yield remote.fetch(constraint)
+        with self._admit(budget):
+            remote = self._remote(name)
+            if variable is None:
+                variable = self._characteristics(name, budget)["variables"][0]
+            dims = dict(remote.dims_of(variable))
+            n_time = dims.get("time", 1)
+            try:
+                lat_window, lon_window = self._bbox_windows(remote, bbox,
+                                                            budget)
+                for ti in range(n_time):
+                    if budget is not None:
+                        budget.charge_rows()
+                    constraint = (
+                        f"{variable}[{ti}:{ti}]"
+                        f"[{lat_window[0]}:{lat_window[1]}]"
+                        f"[{lon_window[0]}:{lon_window[1]}]"
+                    )
+                    yield remote.fetch(constraint, budget=budget)
+            except BudgetExceeded as exc:
+                self.governance.record_outcome(exc, budget)
+                raise
+        self.governance.record_outcome(None, budget)
 
     def fetch_window(self, name: str, variable: str,
                      bbox: Optional[Tuple[float, float, float, float]] = None,
-                     token: Optional[str] = None) -> DapDataset:
+                     token: Optional[str] = None,
+                     budget: Optional[QueryBudget] = None) -> DapDataset:
         """One-shot constrained fetch (index-aligned, cache-friendly)."""
         self._authorize(name, token)
-        remote = self._remote(name)
-        dims = dict(remote.dims_of(variable))
-        n_time = dims.get("time", 1)
-        lat_window, lon_window = self._bbox_windows(remote, bbox)
-        constraint = (
-            f"{variable}[0:{n_time - 1}]"
-            f"[{lat_window[0]}:{lat_window[1]}]"
-            f"[{lon_window[0]}:{lon_window[1]}]"
-        )
-        return remote.fetch(constraint)
+        with self._admit(budget):
+            try:
+                remote = self._remote(name)
+                dims = dict(remote.dims_of(variable))
+                n_time = dims.get("time", 1)
+                lat_window, lon_window = self._bbox_windows(remote, bbox,
+                                                            budget)
+                constraint = (
+                    f"{variable}[0:{n_time - 1}]"
+                    f"[{lat_window[0]}:{lat_window[1]}]"
+                    f"[{lon_window[0]}:{lon_window[1]}]"
+                )
+                result = remote.fetch(constraint, budget=budget)
+            except BudgetExceeded as exc:
+                self.governance.record_outcome(exc, budget)
+                raise
+        self.governance.record_outcome(None, budget)
+        return result
 
-    def _bbox_windows(self, remote: RemoteDataset, bbox):
-        coords = remote.fetch("lat,lon")
+    def _bbox_windows(self, remote: RemoteDataset, bbox,
+                      budget: Optional[QueryBudget] = None):
+        coords = remote.fetch("lat,lon", budget=budget)
         lats, lons = coords["lat"].data, coords["lon"].data
         if bbox is None:
             return (0, len(lats) - 1), (0, len(lons) - 1)
@@ -159,6 +209,20 @@ class StreamingDataLibrary:
 
         windows = index_window_for_bbox(coords, bbox)
         return windows["lat"], windows["lon"]
+
+    # -- governance --------------------------------------------------------
+    def governance_report(self) -> Dict[str, object]:
+        """Admission/budget outcome counters, shaped like
+        :meth:`resilience_report` (the GovernanceStats dict, plus the
+        live slot-pool occupancy when admission control is on)."""
+        report = self.governance.as_dict()
+        if self.admission is not None:
+            report.update(
+                admission_active=self.admission.active,
+                admission_queued=self.admission.queued,
+                admission_max_concurrent=self.admission.max_concurrent,
+            )
+        return report
 
     # -- resilience --------------------------------------------------------
     def resilience_report(self) -> Dict[str, int]:

@@ -42,12 +42,20 @@ __all__ = [
 
 
 def query(graph: Graph, text: str,
-          service_resolver: Optional[Callable] = None) -> SPARQLResult:
+          service_resolver: Optional[Callable] = None,
+          budget=None) -> SPARQLResult:
     """Parse and evaluate a (Geo)SPARQL query against *graph*.
 
     ``service_resolver(endpoint_iri, group)`` is called for SERVICE
     patterns; see :mod:`repro.sparql.federation`.
+
+    ``budget`` is an optional :class:`~repro.governance.QueryBudget`;
+    when given, evaluation is cooperatively cancellable (deadline, row
+    and scan limits) and the result carries ``budget_stats``.
     """
     ast = parse_query(text, namespaces=graph.namespaces)
-    ctx = Context(graph, service_resolver=service_resolver)
-    return eval_query(ast, ctx)
+    ctx = Context(graph, service_resolver=service_resolver, budget=budget)
+    result = eval_query(ast, ctx)
+    if budget is not None:
+        result.budget_stats = budget.snapshot()
+    return result

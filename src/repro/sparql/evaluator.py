@@ -57,12 +57,22 @@ class EvaluationError(RuntimeError):
 
 
 class Context:
-    """Per-query evaluation context."""
+    """Per-query evaluation context.
+
+    ``budget`` is an optional :class:`~repro.governance.QueryBudget`
+    acting as a cooperative cancellation token: the evaluator charges
+    every triple it scans (and every result row it assembles) against
+    it, so a pathological query terminates with a typed
+    :class:`~repro.governance.BudgetExceeded` carrying partial stats
+    instead of running unbounded.
+    """
 
     def __init__(self, graph: Graph,
-                 service_resolver: Optional[Callable] = None):
+                 service_resolver: Optional[Callable] = None,
+                 budget=None):
         self.graph = graph
         self.service_resolver = service_resolver
+        self.budget = budget
 
 
 # ---------------------------------------------------------------------------
@@ -329,6 +339,7 @@ def _match_pattern(pattern: TriplePattern, solution: Solution, ctx: Context,
                    ) -> Iterable[Solution]:
     s, p, o = _substitute(pattern, solution)
     graph = ctx.graph
+    budget = ctx.budget
 
     # Spatial pushdown: object variable restricted by a spatial filter and
     # the graph exposes an R-tree over its geometry literals. Only pays
@@ -343,15 +354,23 @@ def _match_pattern(pattern: TriplePattern, solution: Solution, ctx: Context,
         and hasattr(graph, "spatial_candidates")
     ):
         restriction = restrictions[pattern.o.name]
-        candidates = graph.spatial_candidates(restriction.geometry.bounds)
+        bounds = restriction.geometry.bounds
+        if budget is not None and getattr(graph, "budget_aware", False):
+            candidates = graph.spatial_candidates(bounds, budget=budget)
+        else:
+            candidates = graph.spatial_candidates(bounds)
         for candidate in candidates:
             for triple in graph.triples((s, p, candidate)):
+                if budget is not None:
+                    budget.charge_triples()
                 extended = _extend(pattern, triple, solution)
                 if extended is not None:
                     yield extended
         return
 
     for triple in graph.triples((s, p, o)):
+        if budget is not None:
+            budget.charge_triples()
         extended = _extend(pattern, triple, solution)
         if extended is not None:
             yield extended
@@ -378,6 +397,8 @@ def eval_group(group: GroupGraphPattern, solutions: List[Solution],
     filters: List[Filter] = []
     out = solutions
     for element in group.elements:
+        if ctx.budget is not None:
+            ctx.budget.check_deadline()
         if isinstance(element, Filter):
             filters.append(element)
         elif isinstance(element, BGP):
@@ -651,6 +672,11 @@ def _eval_select(query: SelectQuery, ctx: Context) -> SPARQLResult:
     if query.limit is not None:
         rows = rows[: query.limit]
 
+    # Result-row budget applies to what the caller will actually
+    # receive (after DISTINCT/OFFSET/LIMIT narrowed the rows).
+    if ctx.budget is not None:
+        ctx.budget.charge_rows(len(rows))
+
     variables = [p.var.name for p in query.projections]
     if not variables:
         seen_vars = []
@@ -764,6 +790,8 @@ def _eval_construct(query: ConstructQuery, ctx: Context) -> SPARQLResult:
             if triple is not None:
                 graph.add(triple)
                 count += 1
+                if ctx.budget is not None:
+                    ctx.budget.charge_rows()
         if query.limit is not None and len(graph) >= query.limit:
             break
     return SPARQLResult("CONSTRUCT", graph=graph)

@@ -27,6 +27,13 @@ from __future__ import annotations
 import time
 from typing import Callable, Dict, Iterator, List, Optional, Set
 
+from ..governance import (
+    AdmissionController,
+    BudgetExceeded,
+    DeadlineExceeded,
+    GovernanceStats,
+    QueryBudget,
+)
 from ..rdf.graph import Graph
 from ..rdf.namespace import NamespaceManager
 from ..rdf.terms import Term, Triple
@@ -100,15 +107,19 @@ class _FederatedView:
 
     def __init__(self, endpoints: Dict[str, SparqlEndpoint],
                  dispatch: Callable, partial: bool = False,
-                 failures: Optional[Dict[str, str]] = None):
+                 failures: Optional[Dict[str, str]] = None,
+                 budget: Optional[QueryBudget] = None):
         self.endpoints = dict(endpoints)
         self._dispatch = dispatch
         self.partial = partial
         self.failures = failures if failures is not None else {}
+        self.budget = budget
         self.namespaces = NamespaceManager()
         self._down: Set[str] = set()
         self._predicate_index: Dict[Term, List[str]] = {}
         for iri, ep in self.endpoints.items():
+            if self._shed_if_out_of_time(iri):
+                continue
             try:
                 vocabulary = self._dispatch(iri, ep.predicates)
             except Exception as exc:
@@ -116,6 +127,22 @@ class _FederatedView:
                 continue
             for predicate in vocabulary:
                 self._predicate_index.setdefault(predicate, []).append(iri)
+
+    def _shed_if_out_of_time(self, iri: str) -> bool:
+        """Skip a dispatch when the query budget has no time left.
+
+        Only reachable in partial mode with a soft deadline (hard
+        deadlines raise at the next cancellation point anyway): the
+        endpoint is recorded as a budget-exhaustion failure so the
+        degraded result explains which members the deadline cut off.
+        """
+        if self.budget is None or not self.budget.deadline_expired:
+            return False
+        self._mark_down(iri, DeadlineExceeded(
+            "query deadline exhausted before dispatch",
+            self.budget.snapshot(),
+        ))
+        return True
 
     def _mark_down(self, iri: str, exc: Exception) -> None:
         if not self.partial:
@@ -132,6 +159,8 @@ class _FederatedView:
         s, p, o = pattern
         for iri in self._select_sources(p):
             if iri in self._down:
+                continue
+            if self._shed_if_out_of_time(iri):
                 continue
             endpoint = self.endpoints[iri]
             try:
@@ -155,12 +184,18 @@ class FederationEngine:
 
     def __init__(self, retry_policy: Optional[RetryPolicy] = None,
                  breaker_factory: Optional[
-                     Callable[[], CircuitBreaker]] = None):
+                     Callable[[], CircuitBreaker]] = None,
+                 admission: Optional[AdmissionController] = None):
         self._endpoints: Dict[str, SparqlEndpoint] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._breaker_factory = breaker_factory
         self.retry_policy = retry_policy or no_retry()
         self.stats = ResilienceStats()
+        #: Optional bounded-concurrency guard for ``query()``; when
+        #: configured, excess queries are shed with ``Overloaded``.
+        self.admission = admission
+        self.governance = (admission.stats if admission is not None
+                           else GovernanceStats())
 
     def register(self, iri: str, endpoint: SparqlEndpoint) -> None:
         iri = str(iri)
@@ -179,15 +214,34 @@ class FederationEngine:
     def endpoints(self) -> List[SparqlEndpoint]:
         return list(self._endpoints.values())
 
-    def _dispatch(self, iri: str, fn: Callable):
-        """One endpoint call under the retry policy + its breaker."""
+    def _dispatch(self, iri: str, fn: Callable,
+                  budget: Optional[QueryBudget] = None):
+        """One endpoint call under the retry policy + its breaker.
+
+        With a budget, the call is charged as a remote fetch and the
+        retry policy receives the query's *remaining* deadline, so no
+        backoff schedule can outlive the query.
+        """
+        budget_s = None
+        if budget is not None:
+            budget.charge_fetch()
+            budget_s = budget.remaining_s()
+            if budget_s is not None and budget_s <= 0:
+                # Soft-deadline budgets don't raise in charge_fetch;
+                # never start a network call with no time left.
+                raise DeadlineExceeded(
+                    "query deadline exhausted before dispatch",
+                    budget.snapshot(),
+                )
         return self.retry_policy.run(fn, stats=self.stats,
-                                     breaker=self._breakers.get(iri))
+                                     breaker=self._breakers.get(iri),
+                                     budget_s=budget_s)
 
     def _resolve_service(self, endpoint_iri: str,
                          group: GroupGraphPattern,
                          partial: bool = False,
-                         failures: Optional[Dict[str, str]] = None
+                         failures: Optional[Dict[str, str]] = None,
+                         budget: Optional[QueryBudget] = None
                          ) -> List[Solution]:
         endpoint = self._endpoints.get(endpoint_iri)
         if endpoint is None:
@@ -196,7 +250,8 @@ class FederationEngine:
             raise KeyError(f"unregistered SERVICE endpoint <{endpoint_iri}>")
         try:
             return self._dispatch(
-                endpoint_iri, lambda: endpoint.select_group(group)
+                endpoint_iri, lambda: endpoint.select_group(group),
+                budget=budget,
             )
         except Exception as exc:
             if not partial:
@@ -206,7 +261,8 @@ class FederationEngine:
             return []
 
     def query(self, text: str,
-              partial_results: bool = False) -> SPARQLResult:
+              partial_results: bool = False,
+              budget: Optional[QueryBudget] = None) -> SPARQLResult:
         """Evaluate a query over the federation.
 
         SERVICE patterns go to their named endpoint; everything else is
@@ -216,21 +272,60 @@ class FederationEngine:
         raising; the result's ``failures`` maps the failing endpoint
         IRI to the error. SERVICE against an *unregistered* IRI always
         raises.
+
+        ``budget`` governs the whole federated evaluation: each
+        endpoint call is charged as a remote fetch and retried only
+        within the query's remaining deadline. Combined with
+        ``partial_results=True`` the deadline degrades instead of
+        cancelling — endpoints the deadline cut off are recorded in
+        ``failures`` while bindings already fetched are returned (the
+        budget's deadline is switched to *soft* for the local join
+        work). When the engine has an :class:`AdmissionController`,
+        the query first takes an execution slot and may be shed with
+        ``Overloaded``.
         """
+        if self.admission is not None:
+            return self.admission.run(
+                lambda: self._governed_query(text, partial_results, budget),
+                budget=budget,
+            )
+        try:
+            result = self._governed_query(text, partial_results, budget)
+        except BudgetExceeded as exc:
+            self.governance.record_outcome(exc, budget)
+            raise
+        self.governance.record_outcome(None, budget)
+        return result
+
+    def _governed_query(self, text: str, partial_results: bool,
+                        budget: Optional[QueryBudget]) -> SPARQLResult:
         failures: Dict[str, str] = {}
-        view = _FederatedView(self._endpoints, dispatch=self._dispatch,
-                              partial=partial_results, failures=failures)
+        if budget is not None and partial_results:
+            # Degraded mode: once the deadline passes, remote dispatch
+            # is shed per endpoint (recorded in `failures`) but local
+            # evaluation of already-fetched data runs to completion.
+            budget.hard_deadline = False
+
+        def dispatch(iri: str, fn: Callable):
+            return self._dispatch(iri, fn, budget=budget)
+
+        view = _FederatedView(self._endpoints, dispatch=dispatch,
+                              partial=partial_results, failures=failures,
+                              budget=budget)
 
         def resolver(endpoint_iri: str,
                      group: GroupGraphPattern) -> List[Solution]:
             return self._resolve_service(endpoint_iri, group,
                                          partial=partial_results,
-                                         failures=failures)
+                                         failures=failures,
+                                         budget=budget)
 
         ast = parse_query(text, namespaces=view.namespaces)
-        ctx = Context(view, service_resolver=resolver)
+        ctx = Context(view, service_resolver=resolver, budget=budget)
         result = eval_query(ast, ctx)
         result.failures = dict(failures)
+        if budget is not None:
+            result.budget_stats = budget.snapshot()
         return result
 
     def request_counts(self) -> Dict[str, int]:

@@ -670,5 +670,15 @@ def _number_literal(token: str) -> Literal:
 
 def parse_query(text: str,
                 namespaces: Optional[NamespaceManager] = None) -> Query:
-    """Parse SPARQL *text* into a query AST."""
-    return Parser(text, namespaces).parse()
+    """Parse SPARQL *text* into a query AST.
+
+    Malformed text raises :class:`SparqlSyntaxError` (also a
+    :class:`repro.errors.ParseError`) — internal ``ValueError`` /
+    ``IndexError`` never escape to the caller.
+    """
+    try:
+        return Parser(text, namespaces).parse()
+    except SparqlSyntaxError:
+        raise
+    except (ValueError, IndexError, RecursionError) as exc:
+        raise SparqlSyntaxError(f"malformed SPARQL: {exc}") from None

@@ -24,6 +24,11 @@ class SPARQLResult:
     queries run with ``partial_results=True``: it maps the IRI of each
     endpoint that failed (after retries) to the error it raised.
     Non-empty ``failures`` means the result may be incomplete.
+
+    ``budget_stats`` is the final snapshot of the query's
+    :class:`~repro.governance.QueryBudget` when the query ran governed
+    (triples scanned, rows produced, remote fetches, deadline
+    headroom); ``None`` for ungoverned queries.
     """
 
     def __init__(self, kind: str,
@@ -31,13 +36,15 @@ class SPARQLResult:
                  rows: Optional[List[Solution]] = None,
                  ask: Optional[bool] = None,
                  graph: Optional[Graph] = None,
-                 failures: Optional[Dict[str, str]] = None):
+                 failures: Optional[Dict[str, str]] = None,
+                 budget_stats: Optional[Dict[str, object]] = None):
         self.kind = kind
         self.vars = variables or []
         self.rows = rows or []
         self.ask = ask
         self.graph = graph
         self.failures: Dict[str, str] = dict(failures or {})
+        self.budget_stats = budget_stats
 
     def __iter__(self) -> Iterator[Solution]:
         return iter(self.rows)

@@ -8,7 +8,9 @@ with a canonical upper-case value.
 from __future__ import annotations
 
 import re
-from typing import List, NamedTuple
+from typing import List, NamedTuple, Optional
+
+from ..errors import ParseError
 
 
 class Token(NamedTuple):
@@ -17,8 +19,19 @@ class Token(NamedTuple):
     pos: int
 
 
-class SparqlSyntaxError(SyntaxError):
-    """Raised on malformed SPARQL input."""
+class SparqlSyntaxError(SyntaxError, ParseError):
+    """Raised on malformed SPARQL input.
+
+    Doubles as a :class:`repro.errors.ParseError` so SPARQL text can be
+    guarded by the same except clause as the WKT and Turtle parsers;
+    ``position`` carries the character offset when known.
+    """
+
+    def __init__(self, message: str, position: Optional[int] = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        SyntaxError.__init__(self, message)
+        self.position = position
 
 
 KEYWORDS = {
@@ -67,7 +80,8 @@ def tokenize(text: str) -> List[Token]:
         m = _MASTER.match(text, pos)
         if not m:
             snippet = text[pos: pos + 30]
-            raise SparqlSyntaxError(f"cannot tokenize at {snippet!r}")
+            raise SparqlSyntaxError(f"cannot tokenize at {snippet!r}",
+                                    position=pos)
         kind = m.lastgroup
         value = m.group(0)
         if kind in ("WS", "COMMENT"):
@@ -80,9 +94,8 @@ def tokenize(text: str) -> List[Token]:
             elif upper in KEYWORDS:
                 tokens.append(Token("KEYWORD", upper, pos))
             else:
-                raise SparqlSyntaxError(
-                    f"unknown keyword {value!r} at offset {pos}"
-                )
+                raise SparqlSyntaxError(f"unknown keyword {value!r}",
+                                        position=pos)
         elif kind == "STRING_LONG":
             tokens.append(Token("STRING", value[3:-3], pos))
         elif kind == "STRING":

@@ -41,6 +41,11 @@ Interval = Tuple[datetime, datetime]
 class StrabonStore(Graph):
     """An indexed, optionally temporal, persistent RDF store."""
 
+    #: The SPARQL evaluator passes its QueryBudget into
+    #: ``spatial_candidates`` when this is set, so index scans are
+    #: charged against the query's scan budget.
+    budget_aware = True
+
     def __init__(self, identifier: Optional[str] = None):
         super().__init__(identifier)
         self._geometry_literals: Dict[Literal, Geometry] = {}
@@ -86,19 +91,29 @@ class StrabonStore(Graph):
             )
         return self._rtree
 
-    def spatial_candidates(self, bounds) -> List[Literal]:
+    def spatial_candidates(self, bounds, budget=None) -> List[Literal]:
         """Geometry literals whose bbox intersects *bounds*.
 
         This is the evaluator's pushdown hook: spatial FILTERs against a
-        constant geometry enumerate only these candidates.
+        constant geometry enumerate only these candidates. With a
+        *budget* (a :class:`~repro.governance.QueryBudget`) each
+        candidate the R-tree hands back is charged against the query's
+        scan budget, so a huge selection terminates with a typed
+        budget error instead of enumerating the index unbounded.
         """
         tree = self._ensure_rtree()
         if tree is None:
             return []
-        return [lit for lit, __ in tree.query(bounds)]
+        candidates = []
+        for lit, __ in tree.query(bounds):
+            if budget is not None:
+                budget.charge_triples()
+            candidates.append(lit)
+        return candidates
 
-    def spatial_join_candidates(self, geom: Geometry) -> List[Literal]:
-        return self.spatial_candidates(geom.bounds)
+    def spatial_join_candidates(self, geom: Geometry,
+                                budget=None) -> List[Literal]:
+        return self.spatial_candidates(geom.bounds, budget=budget)
 
     @property
     def indexed_geometry_count(self) -> int:

@@ -1,0 +1,16 @@
+"""Fixtures for the governance suite (helpers importable directly from
+``governance_helpers``)."""
+
+import pytest
+
+from governance_helpers import FakeClock, TickingClock
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def ticking_clock():
+    return TickingClock(step=0.001)

@@ -1,0 +1,55 @@
+"""Shared helpers for the governance suite: fake clocks + tiny graphs.
+
+Every deadline in these tests is driven by an injected clock — either a
+manually-advanced :class:`FakeClock` or a :class:`TickingClock` that
+advances itself a fixed step per reading (so "time passes while the
+query works" without any real sleeping).
+"""
+
+from repro.rdf import Graph, IRI, Literal
+
+EX = "http://example.org/"
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock with a matching sleep."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+        self.sleeps = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TickingClock(FakeClock):
+    """Advances itself *step* seconds on every reading.
+
+    Models a query that spends time as it works: each cancellation
+    point observes a later time, so a deadline eventually expires
+    mid-evaluation with no sleeping anywhere.
+    """
+
+    def __init__(self, step: float = 0.001, start: float = 0.0):
+        super().__init__(start)
+        self.step = step
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+def make_graph(kind: str, names) -> Graph:
+    graph = Graph()
+    graph.bind("ex", EX)
+    for name in names:
+        node = IRI(EX + name)
+        graph.add(node, IRI(EX + kind), Literal(name))
+    return graph

@@ -1,0 +1,122 @@
+"""AdmissionController: slot pool, bounded queue, shedding, stats."""
+
+import threading
+import time
+
+import pytest
+
+from repro.governance import (
+    AdmissionController,
+    DeadlineExceeded,
+    GovernanceStats,
+    Overloaded,
+    QueryBudget,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+def test_slots_admit_up_to_capacity_then_shed():
+    controller = AdmissionController(max_concurrent=2, max_queue_depth=0)
+    a = controller.admit()
+    b = controller.admit()
+    assert controller.active == 2
+    with pytest.raises(Overloaded) as err:
+        controller.admit()
+    assert err.value.retry_after_s == controller.retry_after_hint_s
+    a.release()
+    b.release()
+    assert controller.active == 0
+    assert controller.stats.admitted == 2
+    assert controller.stats.shed == 1
+
+
+def test_release_is_idempotent():
+    controller = AdmissionController(max_concurrent=1)
+    slot = controller.admit()
+    slot.release()
+    slot.release()
+    assert controller.active == 0
+    controller.admit()  # the pool did not leak a slot
+
+
+def test_expired_budget_is_shed_without_waiting(fake_clock):
+    """A queued waiter never waits longer than its remaining deadline —
+    with the deadline already spent, the shed is immediate (no real
+    blocking, so this test needs no threads and no sleeps)."""
+    controller = AdmissionController(max_concurrent=1, max_queue_depth=4,
+                                     clock=fake_clock)
+    slot = controller.admit()
+    budget = QueryBudget(deadline_s=1.0, clock=fake_clock)
+    fake_clock.advance(2.0)
+    with pytest.raises(Overloaded):
+        controller.admit(budget=budget)
+    slot.release()
+    assert controller.stats.shed == 1
+
+
+def test_queue_depth_bounds_number_of_waiters(fake_clock):
+    controller = AdmissionController(max_concurrent=1, max_queue_depth=1,
+                                     clock=fake_clock)
+    slot = controller.admit()
+
+    started = threading.Event()
+    outcomes = []
+
+    def waiter():
+        started.set()
+        with controller.admit():
+            outcomes.append("ran")
+
+    thread = threading.Thread(target=waiter)
+    thread.start()
+    started.wait(timeout=5)
+    # Spin until the thread is actually queued before probing the limit.
+    spin_deadline = time.monotonic() + 5
+    while controller.queued != 1 and time.monotonic() < spin_deadline:
+        pass
+    assert controller.queued == 1
+    with pytest.raises(Overloaded):  # depth 1 is taken: fail fast
+        controller.admit(timeout_s=60)
+    slot.release()  # hands the slot to the queued waiter
+    thread.join(timeout=5)
+    assert outcomes == ["ran"]
+    assert controller.active == 0
+    assert controller.stats.admitted == 2
+    assert controller.stats.shed == 1
+
+
+def test_run_classifies_outcomes_into_stats(fake_clock):
+    stats = GovernanceStats()
+    controller = AdmissionController(max_concurrent=2, stats=stats,
+                                     clock=fake_clock)
+    budget = QueryBudget(deadline_s=10.0, clock=fake_clock)
+    assert controller.run(lambda: 41 + 1, budget=budget) == 42
+    assert stats.completed == 1
+    # 100% headroom: the work consumed no clock — top bucket.
+    assert stats.headroom_histogram[-1] == 1
+
+    def blow_deadline():
+        fake_clock.advance(99.0)
+        budget.check_deadline()
+
+    with pytest.raises(DeadlineExceeded):
+        controller.run(blow_deadline, budget=budget)
+    assert stats.deadline_exceeded == 1
+    assert stats.admitted == 2
+    # Application errors are re-raised but not governance outcomes.
+    with pytest.raises(ZeroDivisionError):
+        controller.run(lambda: 1 / 0)
+    assert stats.as_dict()["completed"] == 1
+
+
+def test_stats_merge_aggregates_counters():
+    one, two = GovernanceStats(), GovernanceStats()
+    one.admitted, one.shed = 3, 1
+    one.headroom_histogram[0] = 2
+    two.admitted, two.completed = 4, 4
+    two.headroom_histogram[0] = 1
+    merged = one.merge(two)
+    assert merged is one
+    assert one.admitted == 7 and one.shed == 1 and one.completed == 4
+    assert one.headroom_histogram[0] == 3

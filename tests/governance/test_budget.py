@@ -1,0 +1,89 @@
+"""QueryBudget unit behaviour: charges, deadlines, cancellation."""
+
+import pytest
+
+from repro.governance import (
+    DeadlineExceeded,
+    FetchLimitExceeded,
+    QueryBudget,
+    QueryCancelled,
+    RowLimitExceeded,
+    ScanLimitExceeded,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+def test_unlimited_budget_only_accounts(fake_clock):
+    budget = QueryBudget.unlimited(clock=fake_clock)
+    budget.charge_triples(500)
+    budget.charge_rows(100)
+    budget.charge_fetch(10)
+    fake_clock.advance(1e6)
+    budget.check_deadline()  # never raises
+    snap = budget.snapshot()
+    assert snap["triples_scanned"] == 500
+    assert snap["rows"] == 100
+    assert snap["remote_fetches"] == 10
+    assert budget.remaining_s() is None
+    assert budget.headroom() is None
+
+
+def test_hard_deadline_raises_with_partial_stats(fake_clock):
+    budget = QueryBudget(deadline_s=2.0, clock=fake_clock)
+    budget.charge_triples(7)
+    fake_clock.advance(2.5)
+    with pytest.raises(DeadlineExceeded) as err:
+        budget.charge_triples()
+    # The snapshot reports the work done up to the kill, including the
+    # triple whose charge tripped the deadline.
+    assert err.value.snapshot["triples_scanned"] == 8
+    assert err.value.snapshot["elapsed_s"] == pytest.approx(2.5)
+    assert budget.remaining_s() == 0.0
+
+
+def test_soft_deadline_accounts_but_does_not_raise(fake_clock):
+    budget = QueryBudget(deadline_s=1.0, clock=fake_clock,
+                         hard_deadline=False)
+    fake_clock.advance(5.0)
+    budget.check_deadline()
+    budget.charge_triples(3)  # still charged, still no raise
+    assert budget.deadline_expired
+    assert budget.triples_scanned == 3
+
+
+def test_row_scan_and_fetch_limits_raise_typed_errors(fake_clock):
+    budget = QueryBudget(max_rows=2, max_triples=5, max_fetches=1,
+                         clock=fake_clock)
+    budget.charge_rows(2)
+    with pytest.raises(RowLimitExceeded):
+        budget.charge_rows()
+    budget.charge_triples(5)
+    with pytest.raises(ScanLimitExceeded) as err:
+        budget.charge_triples()
+    assert err.value.snapshot["triples_scanned"] == 6
+    budget.charge_fetch()
+    with pytest.raises(FetchLimitExceeded):
+        budget.charge_fetch()
+
+
+def test_cancel_trips_next_cancellation_point(fake_clock):
+    budget = QueryBudget(clock=fake_clock)
+    budget.charge_triples(4)
+    budget.cancel("user abort")
+    with pytest.raises(QueryCancelled, match="user abort") as err:
+        budget.charge_triples()
+    assert err.value.snapshot["cancelled"] is True
+
+
+def test_remaining_and_headroom_track_the_clock(fake_clock):
+    budget = QueryBudget(deadline_s=10.0, clock=fake_clock)
+    assert budget.remaining_s() == 10.0
+    assert budget.headroom() == 1.0
+    fake_clock.advance(7.5)
+    assert budget.remaining_s() == 2.5
+    assert budget.headroom() == pytest.approx(0.25)
+    fake_clock.advance(100.0)
+    assert budget.remaining_s() == 0.0
+    assert budget.headroom() == 0.0
+    assert budget.deadline_expired

@@ -1,0 +1,115 @@
+"""Budgets inside the SPARQL evaluator: deadlines, scan/row limits."""
+
+import pytest
+
+from governance_helpers import EX, TickingClock, make_graph
+
+from repro.geometry import wkt_loads
+from repro.governance import (
+    DeadlineExceeded,
+    QueryBudget,
+    QueryCancelled,
+    RowLimitExceeded,
+    ScanLimitExceeded,
+)
+from repro.rdf import IRI, Literal
+from repro.rdf.terms import GEO_WKT_LITERAL
+from repro.sparql import query
+from repro.strabon import StrabonStore
+
+pytestmark = pytest.mark.tier1
+
+PREFIX = "PREFIX ex: <http://example.org/>\n"
+CROSS_JOIN = PREFIX + (
+    "SELECT ?a ?b WHERE { ?a ex:item ?x . ?b ex:item ?y }"
+)
+
+
+@pytest.fixture
+def big_graph():
+    return make_graph("item", [f"n{i}" for i in range(40)])
+
+
+def test_unbounded_query_dies_at_deadline_with_partial_stats(big_graph):
+    """The acceptance scenario: a deliberately unbounded (cross-join)
+    query under a deadline terminates with DeadlineExceeded carrying
+    partial evaluation stats — and nothing ever sleeps (the clock ticks
+    itself as the evaluator reads it)."""
+    clock = TickingClock(step=0.001)
+    budget = QueryBudget(deadline_s=0.4, clock=clock)
+    with pytest.raises(DeadlineExceeded) as err:
+        query(big_graph, CROSS_JOIN, budget=budget)
+    snap = err.value.snapshot
+    assert snap["triples_scanned"] > 0  # it did real work first
+    assert snap["elapsed_s"] >= 0.4
+    assert clock.sleeps == []  # cooperative cancellation, no sleeping
+
+
+def test_scan_limit_kills_cross_join(big_graph):
+    budget = QueryBudget(max_triples=200)
+    with pytest.raises(ScanLimitExceeded) as err:
+        query(big_graph, CROSS_JOIN, budget=budget)
+    assert err.value.snapshot["triples_scanned"] == 201
+
+
+def test_row_limit_applies_to_result_rows(big_graph):
+    budget = QueryBudget(max_rows=10)
+    with pytest.raises(RowLimitExceeded):
+        query(big_graph, PREFIX + "SELECT ?a WHERE { ?a ex:item ?x }",
+              budget=budget)
+    # A LIMIT below the budget keeps the query inside it.
+    ok = query(big_graph,
+               PREFIX + "SELECT ?a WHERE { ?a ex:item ?x } LIMIT 5",
+               budget=QueryBudget(max_rows=10))
+    assert len(ok) == 5
+
+
+def test_within_budget_query_reports_stats_on_result(big_graph):
+    budget = QueryBudget(deadline_s=60.0, max_rows=1000,
+                         max_triples=100_000)
+    result = query(big_graph,
+                   PREFIX + "SELECT ?a WHERE { ?a ex:item ?x }",
+                   budget=budget)
+    assert len(result) == 40
+    assert result.budget_stats["rows"] == 40
+    assert result.budget_stats["triples_scanned"] >= 40
+
+
+def test_cancel_stops_a_running_query(big_graph):
+    budget = QueryBudget()
+    budget.cancel("shutdown")
+    with pytest.raises(QueryCancelled):
+        query(big_graph, CROSS_JOIN, budget=budget)
+
+
+def _grid_store(n=12):
+    store = StrabonStore()
+    for i in range(n):
+        for j in range(n):
+            geom = Literal(f"POINT ({2.0 + i * 0.01:g} "
+                           f"{48.0 + j * 0.01:g})",
+                           datatype=GEO_WKT_LITERAL)
+            store.add(IRI(f"{EX}cell/{i}/{j}"), IRI(f"{EX}geom"), geom)
+    return store
+
+
+def test_strabon_spatial_candidate_scan_is_budgeted():
+    store = _grid_store()
+    probe = wkt_loads("POLYGON ((1.9 47.9, 2.3 47.9, 2.3 48.3, 1.9 48.3,"
+                      " 1.9 47.9))")
+    budget = QueryBudget(max_triples=50)
+    assert store.budget_aware
+    with pytest.raises(ScanLimitExceeded):
+        store.spatial_candidates(probe.bounds, budget=budget)
+    assert budget.triples_scanned == 51
+    # Without a budget the same scan enumerates all 144 candidates.
+    assert len(store.spatial_candidates(probe.bounds)) == 144
+
+
+def test_strabon_spatial_join_candidates_pass_budget_through():
+    store = _grid_store(4)
+    probe = wkt_loads("POINT (2.01 48.01)")
+    budget = QueryBudget(max_triples=1000)
+    candidates = store.spatial_join_candidates(probe, budget=budget)
+    assert candidates
+    assert budget.triples_scanned == len(candidates)

@@ -1,0 +1,176 @@
+"""Deadlines and admission across the federation engine.
+
+The key invariants: retries never outlive the query's remaining
+deadline, a deadline that expires mid-federation degrades (in partial
+mode) to per-endpoint failure records instead of a dead query, and an
+engine with admission control sheds excess queries with ``Overloaded``.
+All on fake clocks — nothing here sleeps.
+"""
+
+import pytest
+
+from governance_helpers import FakeClock, make_graph
+
+from repro.governance import (
+    AdmissionController,
+    DeadlineExceeded,
+    FetchLimitExceeded,
+    Overloaded,
+    QueryBudget,
+)
+from repro.resilience import FaultSchedule, FaultyEndpoint, InjectedFault, \
+    RetryPolicy
+from repro.sparql.federation import FederationEngine, SparqlEndpoint
+
+pytestmark = pytest.mark.tier1
+
+PREFIX = "PREFIX ex: <http://example.org/>\n"
+UNITS = PREFIX + "SELECT ?n WHERE { ?s ex:unit ?n }"
+FAST1_IRI = "http://gadm.example/sparql"
+FAST2_IRI = "http://corine.example/sparql"
+SLOW_IRI = "http://osm.example/sparql"
+
+
+def policy(clock, **kwargs):
+    kwargs.setdefault("base_delay_s", 10.0)
+    kwargs.setdefault("jitter", 0.0)
+    return RetryPolicy(clock=clock, sleep=clock.sleep, **kwargs)
+
+
+class SlowEndpoint(SparqlEndpoint):
+    """Pattern access consumes *delay_s* of fake time, then times out."""
+
+    def __init__(self, graph, clock, delay_s, **kwargs):
+        super().__init__(graph, **kwargs)
+        self.fake_clock = clock
+        self.delay_s = delay_s
+
+    def triples(self, pattern):
+        self.fake_clock.advance(self.delay_s)
+        raise TimeoutError(f"endpoint stalled for {self.delay_s:g}s")
+
+
+def test_retries_never_outlive_the_remaining_deadline():
+    clock = FakeClock()
+    engine = FederationEngine(retry_policy=policy(clock, max_attempts=5))
+    dead = FaultyEndpoint(
+        SparqlEndpoint(make_graph("unit", ["paris"]), name="dead"),
+        FaultSchedule.dead(),
+    )
+    engine.register(FAST1_IRI, dead)
+    budget = QueryBudget(deadline_s=15.0, clock=clock)
+
+    with pytest.raises(InjectedFault):
+        engine.query(UNITS, budget=budget)
+    # Unbudgeted, 5 attempts would back off 10+20+40+80 s. The first
+    # backoff (10 s) fits the 15 s deadline; the second (20 s) would
+    # outlive it and is never slept.
+    assert clock.sleeps == pytest.approx([10.0])
+    assert clock.now <= 15.0
+    assert engine.governance.deadline_exceeded == 0  # died of the fault
+
+
+def test_budget_exhausted_before_dispatch_raises_deadline_error():
+    clock = FakeClock()
+    engine = FederationEngine(retry_policy=policy(clock, max_attempts=3))
+    engine.register(FAST1_IRI,
+                    SparqlEndpoint(make_graph("unit", ["paris"])))
+    budget = QueryBudget(deadline_s=1.0, clock=clock)
+    clock.advance(2.0)
+    with pytest.raises(DeadlineExceeded):
+        engine.query(UNITS, budget=budget)
+    assert engine.governance.deadline_exceeded == 1
+
+
+def test_partial_mode_deadline_mid_endpoint_degrades():
+    """ISSUE acceptance: the deadline expires while the slow endpoint
+    is being contacted — the query still returns (within budget, fake
+    clock), the slow endpoint shows up in ``failures``, and bindings
+    from the fast endpoints are intact."""
+    clock = FakeClock()
+    engine = FederationEngine(retry_policy=policy(clock, max_attempts=3))
+    engine.register(FAST1_IRI,
+                    SparqlEndpoint(make_graph("unit", ["paris", "lyon"]),
+                                   name="gadm"))
+    engine.register(FAST2_IRI,
+                    SparqlEndpoint(make_graph("unit", ["brest"]),
+                                   name="corine"))
+    slow = SlowEndpoint(make_graph("unit", ["never-seen"]), clock,
+                        delay_s=8.0, name="osm")
+    engine.register(SLOW_IRI, slow)
+
+    budget = QueryBudget(deadline_s=5.0, clock=clock)
+    result = engine.query(UNITS, partial_results=True, budget=budget)
+
+    # Fast endpoints answered before the deadline: bindings intact.
+    assert {str(r["n"]) for r in result} == {"paris", "lyon", "brest"}
+    # The slow endpoint burned past the deadline and is reported.
+    assert SLOW_IRI in result.failures
+    assert "TimeoutError" in result.failures[SLOW_IRI]
+    assert set(result.failures) == {SLOW_IRI}
+    # No retry was attempted on it (the deadline was already gone) and
+    # no backoff was slept: the query returned at the endpoint stall,
+    # not at 8 s + backoff schedule.
+    assert clock.sleeps == []
+    assert clock.now == pytest.approx(8.0)
+    assert result.budget_stats["remaining_s"] == 0.0
+    # Soft deadline: the engine recorded a completion, not a kill.
+    assert engine.governance.completed == 1
+
+
+def test_partial_mode_sheds_endpoints_after_deadline():
+    """Endpoints that would be dispatched after the deadline are shed
+    up front and recorded as DeadlineExceeded failures."""
+    clock = FakeClock()
+    engine = FederationEngine(retry_policy=policy(clock, max_attempts=3))
+    slow = SlowEndpoint(make_graph("unit", ["never-seen"]), clock,
+                        delay_s=8.0, name="osm")
+    engine.register(SLOW_IRI, slow)
+    engine.register(FAST1_IRI,
+                    SparqlEndpoint(make_graph("unit", ["paris"]),
+                                   name="gadm"))
+
+    budget = QueryBudget(deadline_s=5.0, clock=clock)
+    result = engine.query(UNITS, partial_results=True, budget=budget)
+    assert len(result) == 0
+    assert "TimeoutError" in result.failures[SLOW_IRI]
+    assert "DeadlineExceeded" in result.failures[FAST1_IRI]
+
+
+def test_fetch_budget_caps_endpoint_calls():
+    clock = FakeClock()
+    engine = FederationEngine(retry_policy=policy(clock, max_attempts=1))
+    for i, iri in enumerate([FAST1_IRI, FAST2_IRI, SLOW_IRI]):
+        engine.register(iri,
+                        SparqlEndpoint(make_graph("unit", [f"city{i}"])))
+    # Vocabulary harvest alone needs 3 fetches; allow only 2.
+    budget = QueryBudget(max_fetches=2, clock=clock)
+    with pytest.raises(FetchLimitExceeded):
+        engine.query(UNITS, budget=budget)
+    assert engine.governance.fetch_limit_exceeded == 1
+
+
+def test_admission_controlled_engine_sheds_excess_queries():
+    clock = FakeClock()
+    admission = AdmissionController(max_concurrent=1, max_queue_depth=0,
+                                    clock=clock)
+    engine = FederationEngine(retry_policy=policy(clock, max_attempts=1),
+                              admission=admission)
+    engine.register(FAST1_IRI,
+                    SparqlEndpoint(make_graph("unit", ["paris"])))
+
+    slot = admission.admit()  # someone else holds the only slot
+    with pytest.raises(Overloaded) as err:
+        engine.query(UNITS)
+    assert err.value.retry_after_s is not None
+    slot.release()
+
+    result = engine.query(UNITS, budget=QueryBudget(deadline_s=30.0,
+                                                    clock=clock))
+    assert len(result) == 1
+    # The controller's stats ARE the engine's governance block.
+    assert engine.governance is admission.stats
+    assert engine.governance.shed == 1
+    assert engine.governance.admitted == 2
+    assert engine.governance.completed == 1
+    assert sum(engine.governance.headroom_histogram) == 1

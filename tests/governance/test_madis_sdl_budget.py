@@ -1,0 +1,175 @@
+"""Budgets in the data layers: MadIS virtual tables, the Ontop
+OPeNDAP adapter and the Streaming Data Library."""
+
+from datetime import date
+
+import pytest
+
+from repro.governance import (
+    AdmissionController,
+    FetchLimitExceeded,
+    Overloaded,
+    QueryBudget,
+    RowLimitExceeded,
+)
+from repro.madis import MadisConnection, attach_opendap
+from repro.ontop import make_opendap_endpoint
+from repro.opendap import ServerRegistry
+from repro.sdl import StreamingDataLibrary
+from repro.vito import (
+    GlobalLandArchive,
+    LAI_SPEC,
+    MepDeployment,
+    dekad_dates,
+    generate_product,
+)
+
+pytestmark = pytest.mark.tier1
+
+URL = "dap://vito.test/Copernicus/LAI"
+
+PREFIX = """
+PREFIX lai: <http://www.app-lab.eu/lai/>
+PREFIX geo: <http://www.opengis.net/ont/geosparql#>
+"""
+
+
+@pytest.fixture
+def registry():
+    archive = GlobalLandArchive()
+    for day in dekad_dates(date(2018, 6, 1), 2):
+        archive.publish("LAI", day, 0,
+                        generate_product(LAI_SPEC, day, cloud_fraction=0.0))
+    mep = MepDeployment(archive, host="vito.test")
+    mep.mount_product("LAI")
+    registry = ServerRegistry()
+    registry.register(mep.server)
+    return registry
+
+
+# -- MadIS ----------------------------------------------------------------
+def test_vt_scan_is_row_budgeted(registry):
+    conn = MadisConnection()
+    attach_opendap(conn, registry)
+    budget = QueryBudget(max_rows=50)
+    with pytest.raises(RowLimitExceeded) as err:
+        conn.execute(
+            f"SELECT id, LAI FROM (opendap url:{URL}) WHERE LAI > 0",
+            budget=budget,
+        )
+    assert err.value.snapshot["rows"] == 51
+
+
+def test_vt_fetch_charges_the_budget(registry):
+    conn = MadisConnection()
+    attach_opendap(conn, registry)
+    budget = QueryBudget(max_fetches=0)
+    with pytest.raises(FetchLimitExceeded):
+        conn.execute(f"SELECT LAI FROM (opendap url:{URL})", budget=budget)
+    assert budget.rows == 0  # killed before any row materialized
+
+
+def test_vt_within_budget_accounts_rows(registry):
+    conn = MadisConnection()
+    attach_opendap(conn, registry)
+    budget = QueryBudget(max_rows=10_000, max_fetches=5)
+    rows = conn.execute(f"SELECT LAI FROM (opendap url:{URL})",
+                        budget=budget)
+    assert len(rows) == budget.rows > 0
+    assert budget.remote_fetches == 1
+
+
+# -- Ontop adapter --------------------------------------------------------
+def test_virtual_sparql_respects_row_budget(registry):
+    engine, __, __conn = make_opendap_endpoint(registry, URL)
+    budget = QueryBudget(max_rows=20)
+    with pytest.raises(RowLimitExceeded):
+        engine.query(PREFIX + "SELECT ?lai WHERE { ?s lai:lai ?lai }",
+                     budget=budget)
+
+
+def test_virtual_sparql_within_budget_reports_stats(registry):
+    engine, __, __conn = make_opendap_endpoint(registry, URL)
+    budget = QueryBudget(max_rows=10_000, max_fetches=10)
+    res = engine.query(
+        PREFIX + "SELECT ?lai WHERE { ?s lai:lai ?lai } LIMIT 7",
+        budget=budget,
+    )
+    assert len(res) == 7
+    assert res.budget_stats["remote_fetches"] >= 1
+
+
+def test_adapter_admission_sheds_when_saturated(registry):
+    admission = AdmissionController(max_concurrent=1, max_queue_depth=0)
+    engine, __, __conn = make_opendap_endpoint(registry, URL,
+                                               admission=admission)
+    slot = admission.admit()
+    with pytest.raises(Overloaded):
+        engine.query(PREFIX + "SELECT ?lai WHERE { ?s lai:lai ?lai }")
+    slot.release()
+    res = engine.query(
+        PREFIX + "SELECT ?lai WHERE { ?s lai:lai ?lai } LIMIT 3"
+    )
+    assert len(res) == 3
+    assert admission.stats.shed == 1
+    assert admission.stats.completed == 1
+
+
+# -- SDL ------------------------------------------------------------------
+def _library(registry, admission=None):
+    sdl = StreamingDataLibrary(registry, admission=admission)
+    sdl.register_dataset("LAI", URL)
+    return sdl
+
+
+def test_stream_charges_one_row_per_chunk(registry):
+    sdl = _library(registry)
+    budget = QueryBudget(max_rows=1)
+    chunks = sdl.stream("LAI", variable="LAI", budget=budget)
+    next(chunks)  # first chunk fits the budget
+    with pytest.raises(RowLimitExceeded):
+        next(chunks)
+    assert sdl.governance_report()["row_limit_exceeded"] == 1
+
+
+def test_fetch_window_charges_fetches(registry):
+    sdl = _library(registry)
+    with pytest.raises(FetchLimitExceeded):
+        sdl.fetch_window("LAI", "LAI", budget=QueryBudget(max_fetches=1))
+    report = sdl.governance_report()
+    assert report["fetch_limit_exceeded"] == 1
+
+    window = sdl.fetch_window("LAI", "LAI",
+                              budget=QueryBudget(max_fetches=10))
+    assert "LAI" in window
+    assert sdl.governance_report()["completed"] == 1
+
+
+def test_stream_holds_an_admission_slot_for_its_lifetime(registry):
+    admission = AdmissionController(max_concurrent=1, max_queue_depth=0)
+    sdl = _library(registry, admission=admission)
+    chunks = sdl.stream("LAI", variable="LAI")
+    next(chunks)  # generator started: slot taken
+    assert admission.active == 1
+    with pytest.raises(Overloaded):
+        sdl.fetch_window("LAI", "LAI")
+    for __ in chunks:  # drain: slot released at generator exit
+        pass
+    assert admission.active == 0
+    window = sdl.fetch_window("LAI", "LAI")
+    assert "LAI" in window
+    report = sdl.governance_report()
+    assert report["shed"] == 1
+    assert report["admitted"] == 2  # the stream + the final fetch
+    assert report["admission_active"] == 0
+    assert report["admission_max_concurrent"] == 1
+
+
+def test_abandoned_stream_releases_its_slot(registry):
+    admission = AdmissionController(max_concurrent=1, max_queue_depth=0)
+    sdl = _library(registry, admission=admission)
+    chunks = sdl.stream("LAI", variable="LAI")
+    next(chunks)
+    assert admission.active == 1
+    chunks.close()  # consumer walks away mid-stream
+    assert admission.active == 0

@@ -1,0 +1,141 @@
+"""Malformed-input hardening across the textual front ends.
+
+Property: for *any* byte-level corruption of valid WKT / Turtle /
+N-Triples / SPARQL text, the parser either succeeds or raises the
+common typed :class:`repro.errors.ParseError` — never a bare
+``ValueError`` / ``IndexError`` / ``TypeError`` leaked from internals.
+The fuzz is seeded, so every run exercises the identical corpus.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ParseError
+from repro.geometry import GeometryError, WktParseError, wkt_loads
+from repro.rdf.ntriples import parse_ntriples
+from repro.rdf.turtle import parse_turtle
+from repro.sparql.parser import parse_query
+from repro.sparql.tokenizer import SparqlSyntaxError
+
+pytestmark = pytest.mark.tier1
+
+WKT_SEEDS = [
+    "POINT (2.35 48.85)",
+    "LINESTRING (0 0, 1 1, 2 0)",
+    "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0), (1 1, 2 1, 2 2, 1 2, 1 1))",
+    "MULTIPOINT ((0 0), (1 2))",
+    "GEOMETRYCOLLECTION (POINT (1 1), LINESTRING (0 0, 1 1))",
+    "<http://www.opengis.net/def/crs/OGC/1.3/CRS84> POINT (2.35 48.85)",
+]
+
+TURTLE_SEEDS = [
+    '@prefix ex: <http://example.org/> .\n'
+    'ex:paris ex:name "Paris"@fr ; ex:pop 2140526 .',
+    '@prefix ex: <http://example.org/> .\n'
+    'ex:a ex:items ( ex:b ex:c ) .\n'
+    '[ ex:anon true ] ex:linked ex:a .',
+    '<http://example.org/s> <http://example.org/p> '
+    '"v\\u00e9locit\\u00e9"^^<http://www.w3.org/2001/XMLSchema#string> .',
+]
+
+NTRIPLES_SEEDS = [
+    '<http://ex.org/s> <http://ex.org/p> "hello" .\n'
+    '<http://ex.org/s> <http://ex.org/q> _:b0 .',
+]
+
+SPARQL_SEEDS = [
+    'PREFIX ex: <http://example.org/>\n'
+    'SELECT ?s ?n WHERE { ?s ex:name ?n . FILTER(?n != "x") } LIMIT 5',
+    'SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s HAVING(?n > 1)',
+    'CONSTRUCT { ?s a ?o } WHERE { ?s ?p ?o } ',
+]
+
+MUTATION_BYTES = list(b'\x00\x01\xff<>(){}"\'\\@^.;,0') + [0x20, 0x7f]
+
+
+def mutations(seed_text, rng, count=60):
+    """*count* seeded single/multi-character corruptions of the text."""
+    for __ in range(count):
+        chars = list(seed_text)
+        for __edit in range(rng.randint(1, 4)):
+            op = rng.randrange(3)
+            idx = rng.randrange(len(chars) + (op == 1))
+            if op == 0 and chars:
+                chars[idx % len(chars)] = chr(rng.choice(MUTATION_BYTES))
+            elif op == 1:
+                chars.insert(idx, chr(rng.choice(MUTATION_BYTES)))
+            elif chars:
+                del chars[idx % len(chars)]
+        yield "".join(chars)
+
+
+def assert_only_parse_errors(parse, corpus, rng_seed):
+    rng = random.Random(rng_seed)
+    outcomes = {"ok": 0, "rejected": 0}
+    for seed_text in corpus:
+        parse(seed_text)  # the uncorrupted seed must parse
+        for mutant in mutations(seed_text, rng):
+            try:
+                parse(mutant)
+            except ParseError:
+                outcomes["rejected"] += 1
+            else:
+                outcomes["ok"] += 1
+    # The corpus is corrupt enough that rejections must dominate —
+    # and every rejection above was the typed ParseError.
+    assert outcomes["rejected"] > outcomes["ok"]
+
+
+def test_fuzz_wkt_only_raises_parse_error():
+    assert_only_parse_errors(wkt_loads, WKT_SEEDS, rng_seed=1)
+
+
+def test_fuzz_turtle_only_raises_parse_error():
+    assert_only_parse_errors(parse_turtle, TURTLE_SEEDS, rng_seed=2)
+
+
+def test_fuzz_ntriples_only_raises_parse_error():
+    assert_only_parse_errors(parse_ntriples, NTRIPLES_SEEDS, rng_seed=3)
+
+
+def test_fuzz_sparql_only_raises_parse_error():
+    assert_only_parse_errors(parse_query, SPARQL_SEEDS, rng_seed=4)
+
+
+# -- typed-error surface ---------------------------------------------------
+def test_wkt_error_is_both_geometry_and_parse_error():
+    with pytest.raises(WktParseError) as err:
+        wkt_loads("POINT (2.35")
+    assert isinstance(err.value, GeometryError)
+    assert isinstance(err.value, ParseError)
+    assert err.value.position is not None
+    assert "offset" in str(err.value)
+
+
+def test_sparql_error_is_both_syntax_and_parse_error():
+    with pytest.raises(SparqlSyntaxError) as err:
+        parse_query("SELECT ?s WHERE { \x00 }")
+    assert isinstance(err.value, SyntaxError)
+    assert isinstance(err.value, ParseError)
+    assert err.value.position == 18
+
+
+def test_turtle_error_carries_position():
+    with pytest.raises(ParseError) as err:
+        parse_turtle("@prefix ex: <http://example.org/> .\nex:a ex:b ~ .")
+    assert err.value.position is not None
+
+
+def test_wild_unicode_escape_is_a_parse_error_not_valueerror():
+    # chr(0x110000) would raise a bare ValueError inside unescape.
+    with pytest.raises(ParseError):
+        parse_turtle('<http://e/s> <http://e/p> "\\U00110000" .')
+    with pytest.raises(ParseError):
+        parse_ntriples('<http://e/s> <http://e/p> "\\U00110000" .')
+
+
+def test_ntriples_errors_report_line():
+    good = '<http://e/s> <http://e/p> "ok" .'
+    with pytest.raises(ParseError, match="line 2"):
+        parse_ntriples(good + "\n<http://e/s> nonsense .")
