@@ -107,6 +107,84 @@ class MadisConnection:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- EXPLAIN -------------------------------------------------------------
+    def explain(self, sql: str, params: Sequence = ()):
+        """Plan a MadIS query without running it.
+
+        Returns a :class:`~repro.sparql.plan.PlanNode` tree: the
+        rewritten SQL shape, one ``VirtualTable`` node per
+        ``FROM (opname ...)`` clause (with the TEMP table it rewrites
+        to), and SQLite's own ``EXPLAIN QUERY PLAN`` steps for the
+        rewritten statement. Operators are *not* invoked; when a
+        clause's TEMP table has not been materialized by a prior
+        :meth:`execute`, the SQLite steps are unavailable (the
+        placeholder node says so) because the statement cannot be
+        prepared against a missing table.
+        """
+        from ..sparql.plan import PlanNode
+
+        rewritten, vt_infos = self._rewrite_dry(sql)
+        root = PlanNode("MadisQuery", " ".join(sql.split()))
+        for __, argtext, table, exists in vt_infos:
+            node = PlanNode("VirtualTable", f"{argtext} -> {table}")
+            if exists:
+                node.est_rows = self._conn.execute(
+                    f'SELECT count(*) FROM "{table}"'
+                ).fetchone()[0]
+            root.children.append(node)
+        missing = [t for __, __, t, ok in vt_infos if not ok]
+        if missing:
+            root.children.append(PlanNode(
+                "SqlitePlan",
+                "unavailable: virtual tables not yet materialized "
+                f"({', '.join(missing)})",
+            ))
+            return root
+        try:
+            steps = self._conn.execute(
+                "EXPLAIN QUERY PLAN " + rewritten, params
+            ).fetchall()
+        except sqlite3.Error as exc:
+            root.children.append(PlanNode("SqlitePlan",
+                                          f"unavailable: {exc}"))
+        else:
+            for step in steps:
+                root.children.append(PlanNode("SqliteStep", step["detail"]))
+        return root
+
+    def _rewrite_dry(self, sql: str):
+        """Like :meth:`_rewrite` but without invoking any operator.
+
+        Returns ``(rewritten_sql, infos)`` where each info is
+        ``(operator, normalized_args, table, already_materialized)``.
+        """
+        out: List[str] = []
+        infos: List[Tuple[str, str, str, bool]] = []
+        pos = 0
+        while True:
+            m = self._next_from_paren(sql, pos)
+            if not m:
+                out.append(sql[pos:])
+                return "".join(out), infos
+            open_paren = m.end() - 1
+            close_paren = _matching_paren(sql, open_paren)
+            inner = sql[open_paren + 1: close_paren]
+            operator = self._leading_operator(inner)
+            if operator is None:
+                out.append(sql[pos: m.end()])
+                pos = m.end()
+                continue
+            args, kwargs = _parse_vt_args(inner, operator)
+            table = self._invocation_table(operator, args, kwargs)
+            exists = self._conn.execute(
+                "SELECT 1 FROM temp.sqlite_master"
+                " WHERE type = 'table' AND name = ?", (table,)
+            ).fetchone() is not None
+            infos.append((operator, " ".join(inner.split()), table, exists))
+            out.append(sql[pos: m.start()])
+            out.append(f'{m.group(1).upper()} "{table}"')
+            pos = close_paren + 1
+
     # -- MadIS syntax preprocessing -----------------------------------------
     def _rewrite(self, sql: str, budget=None) -> str:
         """Replace ``FROM (opname args)`` clauses by temp-table reads."""
@@ -152,14 +230,19 @@ class MadisConnection:
             return word if word in self._vt_operators else None
         return None
 
+    @staticmethod
+    def _invocation_table(operator_name: str, args, kwargs) -> str:
+        """Deterministic TEMP table name for one operator invocation."""
+        key = hashlib.sha1(
+            repr((operator_name, args, sorted(kwargs.items()))).encode()
+        ).hexdigest()[:12]
+        return f"vt_{operator_name}_{key}"
+
     def _materialize(self, operator_name: str, inner: str,
                      budget=None) -> str:
         """Run the operator and load its rows into a TEMP table."""
         args, kwargs = _parse_vt_args(inner, operator_name)
-        key = hashlib.sha1(
-            repr((operator_name, args, sorted(kwargs.items()))).encode()
-        ).hexdigest()[:12]
-        table = f"vt_{operator_name}_{key}"
+        table = self._invocation_table(operator_name, args, kwargs)
         operator = self._vt_operators[operator_name]
         if budget is not None and getattr(operator, "supports_budget",
                                           False):

@@ -330,19 +330,17 @@ class OntopSpatial:
         return True
 
     # -- direct SQL unfolding (the real Ontop execution model) ---------------
-    def _try_direct_sql(self, ast, budget=None) -> Optional[SPARQLResult]:
-        """Answer a simple SELECT straight from the mapping's SQL rows.
+    def _direct_sql_plan(self, ast) -> Optional[Dict[str, object]]:
+        """Detect direct-SQL eligibility; the unfolding recipe or ``None``.
 
         Applies when the WHERE is one BGP (plus filters we can push or
         evaluate per-row) and exactly one mapping produces every
-        pattern. Returns ``None`` to fall back to the generic path.
+        pattern. Shared by execution (``_try_direct_sql``) and
+        ``explain``.
         """
+        from ..sparql.ast import Bind as BindEl
         from ..sparql.ast import Filter as FilterEl
         from ..sparql.ast import SelectQuery
-        from ..sparql.evaluator import eval_expr
-        from ..sparql.functions import SparqlValueError, \
-            effective_boolean_value
-
         from ..sparql.evaluator import _projection_has_aggregate
 
         if not isinstance(ast, SelectQuery):
@@ -351,8 +349,6 @@ class OntopSpatial:
             return None
         needs_grouping = bool(ast.group_by) or \
             _projection_has_aggregate(ast)
-
-        from ..sparql.ast import Bind as BindEl
 
         bgps = [e for e in ast.where.elements if isinstance(e, BGP)]
         filters = [e for e in ast.where.elements
@@ -417,6 +413,30 @@ class OntopSpatial:
             f for f in filters
             if not _is_pushed_spatial(f, pushed_var)
         ]
+        return {
+            "mapping": mapping,
+            "sql": sql,
+            "pushed_var": pushed_var,
+            "var_templates": var_templates,
+            "binds": binds,
+            "residual_filters": residual_filters,
+            "needs_grouping": needs_grouping,
+        }
+
+    def _try_direct_sql(self, ast, budget=None) -> Optional[SPARQLResult]:
+        """Answer a simple SELECT straight from the mapping's SQL rows."""
+        from ..sparql.evaluator import eval_expr
+        from ..sparql.functions import SparqlValueError, \
+            effective_boolean_value
+
+        recipe = self._direct_sql_plan(ast)
+        if recipe is None:
+            return None
+        sql = recipe["sql"]
+        var_templates = recipe["var_templates"]
+        binds = recipe["binds"]
+        residual_filters = recipe["residual_filters"]
+        needs_grouping = recipe["needs_grouping"]
 
         self.last_sql = [sql]
         rows = self.conn.execute(sql, budget=budget)
@@ -513,12 +533,76 @@ class OntopSpatial:
             out_rows = out_rows[: ast.limit]
         if budget is not None:
             budget.charge_rows(len(out_rows))
+        plan = self._direct_sql_node(recipe)
+        plan.actual_rows = len(out_rows)
         return SPARQLResult(
             "SELECT",
             variables=[p.var.name for p in ast.projections],
             rows=out_rows,
             budget_stats=budget.snapshot() if budget is not None else None,
+            plan=plan,
         )
+
+    @staticmethod
+    def _direct_sql_node(recipe):
+        """Plan node describing one direct-SQL unfolding."""
+        from ..sparql.plan import PlanNode
+
+        mapping = recipe["mapping"]
+        node = PlanNode("OntopDirectSQL", mapping.mapping_id)
+        sql_detail = " ".join(str(recipe["sql"]).split())
+        sql_node = PlanNode("SQL", sql_detail)
+        if recipe["pushed_var"] is not None:
+            sql_node.children.append(
+                PlanNode("SpatialPushdown", f"?{recipe['pushed_var']}")
+            )
+        node.children.append(sql_node)
+        if recipe["residual_filters"]:
+            node.children.append(
+                PlanNode("ResidualFilter",
+                         f"{len(recipe['residual_filters'])} filters")
+            )
+        return node
+
+    def explain(self, sparql_text: str):
+        """Plan a query without touching the database.
+
+        Returns the plan root. Direct-SQL-eligible queries show the
+        unfolded SQL (with any spatial pushdown); everything else shows
+        the unfolding (which mappings would be instantiated) and the
+        SPARQL plan that would run over the virtual graph — estimates
+        there are structural only, since the virtual graph is not
+        materialized for EXPLAIN.
+        """
+        from ..sparql.evaluator import Context as EvalContext
+        from ..sparql.evaluator import explain_query
+        from ..sparql.plan import PlanNode
+
+        ast = parse_query(sparql_text, namespaces=self.namespaces)
+        recipe = self._direct_sql_plan(ast) \
+            if hasattr(ast, "projections") else None
+        if recipe is not None:
+            return self._direct_sql_node(recipe)
+        where = getattr(ast, "where", None)
+        mappings = (
+            self.relevant_mappings(where) if where is not None
+            else list(self.mappings)
+        )
+        restrictions = (
+            _extract_spatial_restrictions(where.elements, None)
+            if where is not None else {}
+        )
+        root = PlanNode("OntopVirtual", f"{len(mappings)} mappings")
+        for mapping in mappings:
+            pushed = self._push_spatial_filter(mapping, where, restrictions)
+            detail = mapping.mapping_id
+            if pushed is not None:
+                detail += f" [spatial pushdown ?{pushed[1]}]"
+            root.children.append(PlanNode("Instantiate", detail))
+        placeholder = Graph()
+        placeholder.namespaces = self.namespaces
+        root.children.append(explain_query(ast, EvalContext(placeholder)))
+        return root
 
     def _wrap_sql(self, base_sql: str, column: str, sql_fn: str,
                   const_wkt: str, geometry: Geometry) -> str:

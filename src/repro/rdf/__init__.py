@@ -1,5 +1,6 @@
 """RDF substrate: terms, graphs, namespaces and serializations."""
 
+from .dictionary import NO_TERM, TermDictionary
 from .graph import Graph
 from .namespace import (
     CLC,
@@ -50,7 +51,9 @@ __all__ = [
     "CrawlReport",
     "DocumentStore",
     "Graph",
+    "NO_TERM",
     "RdfCrawler",
+    "TermDictionary",
     "materialize_inferences",
     "rdfs_closure",
     "sniff_format",

@@ -174,6 +174,53 @@ class StreamingDataLibrary:
                 raise
         self.governance.record_outcome(None, budget)
 
+    def explain_stream(self, name: str, variable: Optional[str] = None,
+                       bbox: Optional[Tuple[float, float, float,
+                                            float]] = None,
+                       token: Optional[str] = None):
+        """Plan a stream without moving data (EXPLAIN for the DAP path).
+
+        Returns a :class:`~repro.sparql.plan.PlanNode` tree showing what
+        :meth:`stream` would do: the coordinate fetch that resolves
+        *bbox* into index windows, and the per-time-step constrained DAP
+        fetches. Only coordinate metadata is read; no data chunks are
+        transferred, so ``rows`` renders as ``-`` throughout.
+        """
+        from ..sparql.plan import PlanNode
+
+        self._authorize(name, token)
+        remote = self._remote(name)
+        if variable is None:
+            variable = next(
+                v for v in remote.variable_names
+                if v not in ("time", "lat", "lon")
+            )
+        dims = dict(remote.dims_of(variable))
+        n_time = dims.get("time", 1)
+        lat_window, lon_window = self._bbox_windows(remote, bbox)
+        cells = ((lat_window[1] - lat_window[0] + 1)
+                 * (lon_window[1] - lon_window[0] + 1))
+        constraint = (
+            f"{variable}[t:t]"
+            f"[{lat_window[0]}:{lat_window[1]}]"
+            f"[{lon_window[0]}:{lon_window[1]}]"
+        )
+        return PlanNode(
+            "DapStream", f"{self._urls[name]} {variable}", est_rows=n_time,
+            children=[
+                PlanNode("CoordinateFetch", "lat,lon", est_rows=1),
+                PlanNode(
+                    "BboxWindow",
+                    f"lat=[{lat_window[0]}:{lat_window[1]}]"
+                    f" lon=[{lon_window[0]}:{lon_window[1]}]",
+                    est_rows=cells,
+                ),
+                PlanNode("ChunkFetch",
+                         f"{constraint} per time step 0..{n_time - 1}",
+                         est_rows=n_time),
+            ],
+        )
+
     def fetch_window(self, name: str, variable: str,
                      bbox: Optional[Tuple[float, float, float, float]] = None,
                      token: Optional[str] = None,

@@ -9,7 +9,14 @@ Entry point::
 from typing import Callable, Optional
 
 from ..rdf.graph import Graph
-from .evaluator import Context, EvaluationError, eval_group, eval_query
+from .evaluator import (
+    Context,
+    EvaluationError,
+    eval_group,
+    eval_query,
+    explain_query,
+)
+from .plan import PlanNode
 from .functions import (
     SparqlValueError,
     clear_geometry_cache,
@@ -25,7 +32,9 @@ from .update import UpdateResult, update
 __all__ = [
     "Context",
     "EvaluationError",
+    "PlanNode",
     "SPARQLResult",
+    "explain",
     "SparqlSyntaxError",
     "SparqlValueError",
     "clear_geometry_cache",
@@ -59,3 +68,19 @@ def query(graph: Graph, text: str,
     if budget is not None:
         result.budget_stats = budget.snapshot()
     return result
+
+
+def explain(graph: Graph, text: str,
+            service_resolver: Optional[Callable] = None,
+            budget=None) -> PlanNode:
+    """Plan a query without executing it (the EXPLAIN entry point).
+
+    Returns the root :class:`~repro.sparql.plan.PlanNode`; render it
+    with ``.render()``. Estimated per-operator rows are filled in from
+    the graph's index statistics; actual rows show as ``-`` because
+    nothing ran. To see estimates next to actuals, run :func:`query`
+    and render ``result.plan`` instead.
+    """
+    ast = parse_query(text, namespaces=graph.namespaces)
+    ctx = Context(graph, service_resolver=service_resolver, budget=budget)
+    return explain_query(ast, ctx)

@@ -328,6 +328,28 @@ class FederationEngine:
             result.budget_stats = budget.snapshot()
         return result
 
+    def explain(self, text: str):
+        """Plan a federated query without matching any pattern.
+
+        Returns the plan root (render with ``.render()``). Source
+        selection still harvests each endpoint's predicate vocabulary
+        (that is part of planning), but no triple pattern is dispatched
+        and SERVICE groups are shown as unexecuted exchange operators.
+        Endpoint failures during the harvest are tolerated, as in
+        ``partial_results`` mode.
+        """
+        failures: Dict[str, str] = {}
+
+        def dispatch(iri: str, fn: Callable):
+            return self._dispatch(iri, fn)
+
+        view = _FederatedView(self._endpoints, dispatch=dispatch,
+                              partial=True, failures=failures)
+        ast = parse_query(text, namespaces=view.namespaces)
+        from .evaluator import explain_query
+
+        return explain_query(ast, Context(view))
+
     def request_counts(self) -> Dict[str, int]:
         """Requests each endpoint served (for benchmark reporting)."""
         return {

@@ -1,0 +1,684 @@
+"""Streaming physical operators for the SPARQL engine.
+
+Each operator pulls solution rows from its source operator, transforms
+them lazily, and counts every emitted row on its
+:class:`~repro.sparql.plan.PlanNode` (the EXPLAIN "actual rows").
+Because the pipeline is pull-based, a downstream ``Slice`` that stops
+pulling terminates the scans underneath it — LIMIT-k queries never
+enumerate the whole graph.
+
+The BGP operator is an index-nested-loop join working at the
+dictionary-id level: incoming bindings and pattern constants are
+encoded once, the per-pattern probes and the join equality checks all
+compare ints against the graph's id indexes, and terms are decoded
+only when a fully-joined row is emitted. Graphs that do not expose the
+id protocol (e.g. the federation view) fall back to an equivalent
+term-level matcher.
+
+Budget charging happens at exactly two operator boundaries:
+:func:`charge_scan` (per triple a scan enumerates) here, and the
+result-row charge in the executor. Nothing else touches the budget,
+apart from the deadline tick every operator applies per input row.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..rdf.terms import literal_cmp_key, Literal
+from .ast import (
+    Bind,
+    InlineValues,
+    OrderCondition,
+    SelectQuery,
+    ServicePattern,
+    TriplePattern,
+    Var,
+)
+from .functions import SparqlValueError, effective_boolean_value
+from .results import Solution
+
+
+def charge_scan(ctx) -> None:
+    """The single operator-boundary budget hook for index scans."""
+    if ctx.budget is not None:
+        ctx.budget.charge_triples()
+
+
+def _tick(ctx) -> None:
+    if ctx.budget is not None:
+        ctx.budget.check_deadline()
+
+
+class Operator:
+    """Base streaming operator: pull rows, count emissions on the plan."""
+
+    def __init__(self, node, source: Optional["Operator"] = None):
+        self.node = node
+        self.source = source
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        raise NotImplementedError
+
+    def _emit(self, row: Solution) -> Solution:
+        node = self.node
+        node.actual_rows = (node.actual_rows or 0) + 1
+        return row
+
+
+class SubPlan:
+    """A compiled pipeline that can be reseeded and re-run.
+
+    ``seed`` is the pipeline's leaf; correlated operators (OPTIONAL's
+    left join) reset ``seed.seed`` per outer row and pull ``top``
+    again. ``root`` is the plan node to show for the whole pipeline
+    (defaults to the top operator's node).
+    """
+
+    __slots__ = ("seed", "top", "root")
+
+    def __init__(self, seed: "SeedOp", top: Operator, root=None):
+        self.seed = seed
+        self.top = top
+        self.root = root if root is not None else top.node
+
+    def run(self, ctx, seed_rows: List[Solution]) -> Iterator[Solution]:
+        self.seed.seed = seed_rows
+        return self.top.rows(ctx)
+
+
+class SeedOp(Operator):
+    """Pipeline leaf: emits the seed solutions (usually ``[{}]``)."""
+
+    def __init__(self, node):
+        super().__init__(node)
+        self.seed: List[Solution] = [{}]
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        for row in self.seed:
+            yield self._emit(row)
+
+
+# ---------------------------------------------------------------------------
+# BGP: index-nested-loop join over dictionary ids
+# ---------------------------------------------------------------------------
+
+def _substitute(pattern: TriplePattern, solution: Solution):
+    def resolve(node):
+        if isinstance(node, Var):
+            return solution.get(node.name)
+        return node
+
+    return resolve(pattern.s), resolve(pattern.p), resolve(pattern.o)
+
+
+def _extend_terms(pattern: TriplePattern, triple,
+                  solution: Solution) -> Optional[Solution]:
+    out = dict(solution)
+    for node, value in ((pattern.s, triple.s), (pattern.p, triple.p),
+                        (pattern.o, triple.o)):
+        if isinstance(node, Var):
+            existing = out.get(node.name)
+            if existing is None:
+                out[node.name] = value
+            elif existing != value:
+                return None
+    return out
+
+
+class BGPOp(Operator):
+    """Index-nested-loop join of a basic graph pattern.
+
+    *patterns* arrive in the planner's join order; *scan_nodes* are the
+    per-pattern plan leaves whose "actual rows" count enumerated
+    triples (what the scan budget is charged for).
+    """
+
+    def __init__(self, node, source, patterns: List[TriplePattern],
+                 restrictions: Dict[str, object], scan_nodes):
+        super().__init__(node, source)
+        self.patterns = patterns
+        self.restrictions = restrictions
+        self.scan_nodes = scan_nodes
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        graph = ctx.graph
+        id_mode = (hasattr(graph, "triples_ids")
+                   and hasattr(graph, "dictionary"))
+        specs = self._resolve_specs(graph) if id_mode else None
+        for row in self.source.rows(ctx):
+            _tick(ctx)
+            if id_mode:
+                if specs is None:
+                    continue  # a constant term is absent from the graph
+                matches = self._match_ids(specs, row, ctx)
+            else:
+                matches = self._solve_terms(0, row, ctx)
+            for out in matches:
+                yield self._emit(out)
+
+    # -- id-level matching -------------------------------------------------
+    def _resolve_specs(self, graph):
+        """Encode pattern constants: str = var name, int = term id."""
+        lookup = graph.dictionary.lookup
+        specs = []
+        for pattern in self.patterns:
+            spec = []
+            for node in (pattern.s, pattern.p, pattern.o):
+                if isinstance(node, Var):
+                    spec.append(node.name)
+                else:
+                    term_id = lookup(node)
+                    if term_id is None:
+                        return None
+                    spec.append(term_id)
+            specs.append(tuple(spec))
+        return specs
+
+    def _match_ids(self, specs, row: Solution, ctx) -> Iterator[Solution]:
+        graph = ctx.graph
+        lookup = graph.dictionary.lookup
+        env: Dict[str, int] = {}
+        for pattern in self.patterns:
+            for var in pattern.variables():
+                name = var.name
+                if name in row and name not in env:
+                    term_id = lookup(row[name])
+                    if term_id is None:
+                        return  # bound term unknown to this graph
+                    env[name] = term_id
+        # Backtracking over one mutable env with undo (no dict copies
+        # on the hot path); hoisted locals are deliberate — this loop
+        # runs once per enumerated triple.
+        decode = graph.dictionary.decode
+        budget = ctx.budget
+        n = len(specs)
+
+        def emit() -> Solution:
+            out = dict(row)
+            for name, term_id in env.items():
+                if name not in out:
+                    out[name] = decode(term_id)
+            return out
+
+        def solve(i: int) -> Iterator[Solution]:
+            if i == n:
+                yield emit()
+                return
+            last = i + 1 == n
+            spec = specs[i]
+            pattern = self.patterns[i]
+            scan_node = self.scan_nodes[i]
+            s = spec[0] if isinstance(spec[0], int) else env.get(spec[0])
+            p = spec[1] if isinstance(spec[1], int) else env.get(spec[1])
+            o = spec[2] if isinstance(spec[2], int) else env.get(spec[2])
+            if (
+                o is None
+                and s is None
+                and isinstance(pattern.o, Var)
+                and pattern.o.name in self.restrictions
+                and hasattr(graph, "spatial_candidates")
+            ):
+                probes = self._spatial_probes(graph, s, p, pattern,
+                                              scan_node, ctx)
+                pre_charged = True
+            else:
+                probes = graph.triples_ids((s, p, o))
+                pre_charged = False
+            for triple in probes:
+                if not pre_charged:
+                    if budget is not None:
+                        budget.charge_triples()
+                    scan_node.actual_rows = (scan_node.actual_rows or 0) + 1
+                added = None
+                conflict = False
+                for pos_spec, term_id in zip(spec, triple):
+                    if isinstance(pos_spec, str):
+                        current = env.get(pos_spec)
+                        if current is None:
+                            env[pos_spec] = term_id
+                            if added is None:
+                                added = [pos_spec]
+                            else:
+                                added.append(pos_spec)
+                        elif current != term_id:
+                            conflict = True
+                            break
+                if not conflict:
+                    if last:  # no generator frame per output row
+                        yield emit()
+                    else:
+                        yield from solve(i + 1)
+                if added:
+                    for name in added:
+                        del env[name]
+
+        yield from solve(0)
+
+    def _spatial_probes(self, graph, s, p, pattern, scan_node, ctx):
+        """Candidate triples via the R-tree spatial leaf."""
+        restriction = self.restrictions[pattern.o.name]
+        bounds = restriction.geometry.bounds
+        if ctx.budget is not None and getattr(graph, "budget_aware", False):
+            candidates = graph.spatial_candidates(bounds, budget=ctx.budget)
+        else:
+            candidates = graph.spatial_candidates(bounds)
+        lookup = graph.dictionary.lookup
+        for candidate in candidates:
+            cand_id = lookup(candidate)
+            if cand_id is None:
+                continue
+            for triple in graph.triples_ids((s, p, cand_id)):
+                charge_scan(ctx)
+                scan_node.actual_rows = (scan_node.actual_rows or 0) + 1
+                yield triple
+
+    # -- term-level fallback (graphs without the id protocol) ----------------
+    def _solve_terms(self, i: int, solution: Solution,
+                     ctx) -> Iterator[Solution]:
+        if i == len(self.patterns):
+            yield solution
+            return
+        pattern = self.patterns[i]
+        scan_node = self.scan_nodes[i]
+        graph = ctx.graph
+        s, p, o = _substitute(pattern, solution)
+
+        if (
+            o is None
+            and s is None
+            and isinstance(pattern.o, Var)
+            and pattern.o.name in self.restrictions
+            and hasattr(graph, "spatial_candidates")
+        ):
+            restriction = self.restrictions[pattern.o.name]
+            bounds = restriction.geometry.bounds
+            if (ctx.budget is not None
+                    and getattr(graph, "budget_aware", False)):
+                candidates = graph.spatial_candidates(bounds,
+                                                      budget=ctx.budget)
+            else:
+                candidates = graph.spatial_candidates(bounds)
+            for candidate in candidates:
+                for triple in graph.triples((s, p, candidate)):
+                    charge_scan(ctx)
+                    scan_node.actual_rows = (scan_node.actual_rows or 0) + 1
+                    extended = _extend_terms(pattern, triple, solution)
+                    if extended is not None:
+                        yield from self._solve_terms(i + 1, extended, ctx)
+            return
+
+        for triple in graph.triples((s, p, o)):
+            charge_scan(ctx)
+            scan_node.actual_rows = (scan_node.actual_rows or 0) + 1
+            extended = _extend_terms(pattern, triple, solution)
+            if extended is not None:
+                yield from self._solve_terms(i + 1, extended, ctx)
+
+
+# ---------------------------------------------------------------------------
+# Row-at-a-time operators
+# ---------------------------------------------------------------------------
+
+class FilterOp(Operator):
+    def __init__(self, node, source, expr):
+        super().__init__(node, source)
+        self.expr = expr
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        from .evaluator import eval_expr
+
+        for row in self.source.rows(ctx):
+            try:
+                if effective_boolean_value(eval_expr(self.expr, row, ctx)):
+                    yield self._emit(row)
+            except SparqlValueError:
+                continue  # evaluation error drops the row
+
+
+class BindOp(Operator):
+    def __init__(self, node, source, bind: Bind):
+        super().__init__(node, source)
+        self.bind = bind
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        from .evaluator import eval_expr
+
+        for row in self.source.rows(ctx):
+            row = dict(row)
+            try:
+                row[self.bind.var.name] = eval_expr(self.bind.expr, row, ctx)
+            except SparqlValueError:
+                pass  # BIND error leaves the variable unbound
+            yield self._emit(row)
+
+
+class LeftJoinOp(Operator):
+    """OPTIONAL: per-row correlated evaluation of the sub-pipeline."""
+
+    def __init__(self, node, source, sub: SubPlan):
+        super().__init__(node, source)
+        self.sub = sub
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        for row in self.source.rows(ctx):
+            _tick(ctx)
+            matched = False
+            for out in self.sub.run(ctx, [dict(row)]):
+                matched = True
+                yield self._emit(out)
+            if not matched:
+                yield self._emit(row)
+
+
+class UnionOp(Operator):
+    def __init__(self, node, source, subs: List[SubPlan]):
+        super().__init__(node, source)
+        self.subs = subs
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        _tick(ctx)
+        input_rows = list(self.source.rows(ctx))
+        for sub in self.subs:
+            seeded = [dict(r) for r in input_rows]
+            for out in sub.run(ctx, seeded):
+                yield self._emit(out)
+
+
+class MinusOp(Operator):
+    def __init__(self, node, source, sub: SubPlan):
+        super().__init__(node, source)
+        self.sub = sub
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        exclusions = None
+        for row in self.source.rows(ctx):
+            _tick(ctx)
+            if exclusions is None:
+                exclusions = list(self.sub.run(ctx, [{}]))
+            excluded = False
+            for exc in exclusions:
+                shared = set(row) & set(exc)
+                if shared and all(row[v] == exc[v] for v in shared):
+                    excluded = True
+                    break
+            if not excluded:
+                yield self._emit(row)
+
+
+class _HashJoiner:
+    """Hash join against a materialized right side.
+
+    Right rows are grouped by their variable-set signature (bindings
+    from VALUES/SERVICE/sub-SELECT need not be uniform); per signature
+    a hash index keyed on the shared variables of the probing row is
+    built lazily. Matches are replayed in original right-side order so
+    the join is order-deterministic.
+    """
+
+    def __init__(self, right_rows: List[Solution]):
+        self._by_sig: Dict[frozenset, List[Tuple[int, Solution]]] = {}
+        for idx, row in enumerate(right_rows):
+            self._by_sig.setdefault(frozenset(row), []).append((idx, row))
+        self._indexes: Dict[Tuple, Dict] = {}
+
+    def matches(self, left: Solution) -> Iterator[Solution]:
+        left_keys = set(left)
+        hits: List[Tuple[int, Solution]] = []
+        for sig, entries in self._by_sig.items():
+            shared = tuple(sorted(left_keys & sig))
+            index = self._indexes.get((sig, shared))
+            if index is None:
+                index = {}
+                for idx, row in entries:
+                    key = tuple(row[v] for v in shared)
+                    index.setdefault(key, []).append((idx, row))
+                self._indexes[(sig, shared)] = index
+            key = tuple(left[v] for v in shared)
+            hits.extend(index.get(key, ()))
+        hits.sort(key=lambda entry: entry[0])
+        for __, row in hits:
+            merged = dict(left)
+            merged.update(row)
+            yield merged
+
+
+class ValuesOp(Operator):
+    def __init__(self, node, source, values: InlineValues):
+        super().__init__(node, source)
+        rows = []
+        for row in values.rows:
+            rows.append({
+                var.name: term
+                for var, term in zip(values.variables, row)
+                if term is not None
+            })
+        self._joiner = _HashJoiner(rows)
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        for row in self.source.rows(ctx):
+            _tick(ctx)
+            for out in self._joiner.matches(row):
+                yield self._emit(out)
+
+
+class SubSelectOp(Operator):
+    def __init__(self, node, source, query: SelectQuery):
+        super().__init__(node, source)
+        self.query = query
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        from .evaluator import eval_query
+
+        joiner = None
+        for row in self.source.rows(ctx):
+            _tick(ctx)
+            if joiner is None:
+                sub_result = eval_query(self.query, ctx)
+                joiner = _HashJoiner(sub_result.rows)
+            for out in joiner.matches(row):
+                yield self._emit(out)
+
+
+class ServiceOp(Operator):
+    """Exchange operator: ships the group to a remote endpoint once and
+    hash-joins the returned bindings into the local stream."""
+
+    def __init__(self, node, source, element: ServicePattern):
+        super().__init__(node, source)
+        self.element = element
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        from .evaluator import EvaluationError
+
+        joiner = None
+        for row in self.source.rows(ctx):
+            _tick(ctx)
+            if joiner is None:
+                if ctx.service_resolver is None:
+                    raise EvaluationError(
+                        "SERVICE pattern requires a service resolver"
+                        " (federation)"
+                    )
+                remote_rows = ctx.service_resolver(
+                    str(self.element.endpoint), self.element.group
+                )
+                joiner = _HashJoiner(remote_rows)
+            for out in joiner.matches(row):
+                yield self._emit(out)
+
+
+# ---------------------------------------------------------------------------
+# Solution modifiers
+# ---------------------------------------------------------------------------
+
+class AggregateOp(Operator):
+    """GROUP BY + aggregate projection (blocking)."""
+
+    def __init__(self, node, source, query: SelectQuery):
+        super().__init__(node, source)
+        self.query = query
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        from .evaluator import _group_and_aggregate
+
+        input_rows = list(self.source.rows(ctx))
+        for row in _group_and_aggregate(self.query, input_rows, ctx):
+            yield self._emit(row)
+
+
+def _order_key(cond: OrderCondition, row: Solution, ctx):
+    from .evaluator import eval_expr
+
+    try:
+        term = eval_expr(cond.expr, row, ctx)
+    except SparqlValueError:
+        return ((-1, 0.0), "")
+    if isinstance(term, Literal):
+        return (literal_cmp_key(term), "")
+    return ((4, 0.0), str(term))
+
+
+class OrderByOp(Operator):
+    """Full blocking sort (ORDER BY without a LIMIT to bound it)."""
+
+    def __init__(self, node, source, conditions: List[OrderCondition]):
+        super().__init__(node, source)
+        self.conditions = conditions
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        input_rows = list(self.source.rows(ctx))
+        # Stable multi-key sort: right-to-left so the leftmost ORDER BY
+        # condition dominates.
+        for cond in reversed(self.conditions):
+            input_rows.sort(
+                key=lambda row, cond=cond: _order_key(cond, row, ctx),
+                reverse=cond.descending,
+            )
+        for row in input_rows:
+            yield self._emit(row)
+
+
+class _TopKEntry:
+    """Comparator wrapper giving heapq the ORDER BY total order.
+
+    The input index tiebreak makes the order identical to the stable
+    full sort, so TopK(k) emits exactly the first k rows OrderBy would.
+    """
+
+    __slots__ = ("row", "keys", "index")
+
+    def __init__(self, row, keys, index):
+        self.row = row
+        self.keys = keys
+        self.index = index
+
+    def __lt__(self, other: "_TopKEntry") -> bool:
+        for (key, descending), (other_key, __) in zip(self.keys, other.keys):
+            if key == other_key:
+                continue
+            if descending:
+                return key > other_key
+            return key < other_key
+        return self.index < other.index
+
+
+class TopKOp(Operator):
+    """ORDER BY + LIMIT as a bounded heap: O(n log k), never sorts n."""
+
+    def __init__(self, node, source, conditions: List[OrderCondition],
+                 k: int):
+        super().__init__(node, source)
+        self.conditions = conditions
+        self.k = k
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        conds = self.conditions
+        directions = {cond.descending for cond in conds}
+        if len(directions) == 1:
+            # Uniform direction: heapq can compare plain key tuples in
+            # C. nsmallest/nlargest are documented as equivalent to the
+            # stable sorted(...)[:k], so ties keep input order exactly
+            # like the full sort (and like the mixed-direction path).
+            keyed = (
+                (tuple(_order_key(cond, row, ctx) for cond in conds), row)
+                for row in self.source.rows(ctx)
+            )
+            pick = (heapq.nlargest if directions == {True}
+                    else heapq.nsmallest)
+            for __, row in pick(self.k, keyed, key=lambda kr: kr[0]):
+                yield self._emit(row)
+            return
+        entries = (
+            _TopKEntry(
+                row,
+                [(_order_key(cond, row, ctx), cond.descending)
+                 for cond in conds],
+                index,
+            )
+            for index, row in enumerate(self.source.rows(ctx))
+        )
+        for entry in heapq.nsmallest(self.k, entries):
+            yield self._emit(entry.row)
+
+
+class ProjectOp(Operator):
+    def __init__(self, node, source, query: SelectQuery):
+        super().__init__(node, source)
+        self.query = query
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        from .evaluator import eval_expr
+
+        for row in self.source.rows(ctx):
+            out: Solution = {}
+            for proj in self.query.projections:
+                if proj.expr is None:
+                    if proj.var.name in row:
+                        out[proj.var.name] = row[proj.var.name]
+                else:
+                    try:
+                        out[proj.var.name] = eval_expr(proj.expr, row, ctx)
+                    except SparqlValueError:
+                        pass
+            yield self._emit(out)
+
+
+class DistinctOp(Operator):
+    def __init__(self, node, source):
+        super().__init__(node, source)
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        seen: Set[Tuple] = set()
+        for row in self.source.rows(ctx):
+            key = tuple(
+                (v, row[v].n3() if hasattr(row[v], "n3") else str(row[v]))
+                for v in sorted(row)
+            )
+            if key not in seen:
+                seen.add(key)
+                yield self._emit(row)
+
+
+class SliceOp(Operator):
+    """OFFSET/LIMIT; stops pulling its source once the limit is hit."""
+
+    def __init__(self, node, source, limit: Optional[int], offset: int):
+        super().__init__(node, source)
+        self.limit = limit
+        self.offset = offset
+
+    def rows(self, ctx) -> Iterator[Solution]:
+        emitted = 0
+        skipped = 0
+        for row in self.source.rows(ctx):
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if self.limit is not None and emitted >= self.limit:
+                return
+            emitted += 1
+            yield self._emit(row)
+            if self.limit is not None and emitted >= self.limit:
+                return

@@ -380,7 +380,8 @@ class Parser:
         patterns: List[TriplePattern] = []
         while True:
             tok = self.peek()
-            if tok.kind == "PUNCT" and tok.value in (stop, "}"):
+            if tok.kind == "PUNCT" and tok.value in (stop, "}", "{"):
+                # "{" starts a sub-group / UNION chain — back to the group
                 return patterns
             if tok.kind == "KEYWORD" and tok.value in (
                 "FILTER", "OPTIONAL", "BIND", "VALUES", "MINUS", "SERVICE",

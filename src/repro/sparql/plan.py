@@ -1,0 +1,558 @@
+"""Query planning: AST -> tree of streaming physical operators.
+
+The planner compiles a parsed query into the operators of
+:mod:`repro.sparql.operators`, making the cost-based decisions up
+front so execution is a pure pull of iterators:
+
+- **join ordering** inside each BGP — greedy smallest-estimate-first,
+  with exact cardinalities from the graph's id indexes
+  (:meth:`~repro.rdf.graph.Graph.pattern_cardinality`) divided by
+  distinct-term counts for already-bound variable positions;
+- **filter pushdown** — each FILTER is placed directly after the last
+  group element that can still bind one of its variables (EXISTS
+  filters stay at the end of the group), so rows are dropped as early
+  as the SPARQL semantics allow;
+- **spatial pushdown** — ``FILTER(geof:sfX(?var, <const>))`` marks the
+  scan of ``?var`` as a spatial-index leaf (Strabon's R-tree) and
+  discounts its cost estimate;
+- **top-k short-circuit** — ORDER BY + LIMIT (without DISTINCT)
+  becomes a bounded-heap TopK instead of a full sort.
+
+Every operator carries a :class:`PlanNode`; the tree doubles as the
+EXPLAIN output, showing estimated next to actual per-operator rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .ast import (
+    Aggregate,
+    AskQuery,
+    BGP,
+    BinaryExpr,
+    Bind,
+    ConstructQuery,
+    DescribeQuery,
+    ExistsExpr,
+    Expr,
+    Filter,
+    FunctionCall,
+    GroupGraphPattern,
+    InExpr,
+    InlineValues,
+    MinusPattern,
+    OptionalPattern,
+    Query,
+    SelectQuery,
+    ServicePattern,
+    SubSelect,
+    TriplePattern,
+    UnaryExpr,
+    UnionPattern,
+    Var,
+    VarExpr,
+)
+from . import operators as ops
+
+
+class PlanNode:
+    """One operator in a physical plan, with estimate vs actual rows.
+
+    ``actual_rows`` is ``None`` until the plan is executed (rendered as
+    ``-``); the executor zeroes the whole tree when it starts pulling,
+    and each operator increments its node as rows stream through.
+    """
+
+    __slots__ = ("label", "detail", "est_rows", "actual_rows", "children")
+
+    def __init__(self, label: str, detail: str = "",
+                 est_rows: Optional[float] = None,
+                 children: Optional[List["PlanNode"]] = None):
+        self.label = label
+        self.detail = detail
+        self.est_rows = est_rows
+        self.actual_rows: Optional[int] = None
+        self.children: List[PlanNode] = children or []
+
+    def mark_executed(self) -> None:
+        """Zero actual counters tree-wide (operators count from here)."""
+        for node in self.walk():
+            node.actual_rows = 0
+
+    def walk(self) -> Iterable["PlanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def _fmt(self) -> str:
+        est = "-" if self.est_rows is None else str(int(round(self.est_rows)))
+        actual = "-" if self.actual_rows is None else str(self.actual_rows)
+        head = self.label if not self.detail else f"{self.label}({self.detail})"
+        return f"{head}  [est={est} rows={actual}]"
+
+    def render(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self._fmt()]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "detail": self.detail,
+            "est_rows": self.est_rows,
+            "actual_rows": self.actual_rows,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:
+        return f"<PlanNode {self._fmt()}>"
+
+
+# ---------------------------------------------------------------------------
+# Expression / pattern analysis helpers
+# ---------------------------------------------------------------------------
+
+def expr_variables(expr: Optional[Expr]) -> Set[str]:
+    """Variable names mentioned anywhere in an expression."""
+    out: Set[str] = set()
+    if expr is None:
+        return out
+    if isinstance(expr, VarExpr):
+        out.add(expr.var.name)
+    elif isinstance(expr, UnaryExpr):
+        out |= expr_variables(expr.operand)
+    elif isinstance(expr, BinaryExpr):
+        out |= expr_variables(expr.left) | expr_variables(expr.right)
+    elif isinstance(expr, FunctionCall):
+        for a in expr.args:
+            out |= expr_variables(a)
+    elif isinstance(expr, InExpr):
+        out |= expr_variables(expr.value)
+        for a in expr.options:
+            out |= expr_variables(a)
+    elif isinstance(expr, ExistsExpr):
+        out |= group_binding_vars(expr.group)
+    elif isinstance(expr, Aggregate):
+        out |= expr_variables(expr.expr)
+    return out
+
+
+def _expr_has_exists(expr: Optional[Expr]) -> bool:
+    if expr is None:
+        return False
+    if isinstance(expr, ExistsExpr):
+        return True
+    if isinstance(expr, UnaryExpr):
+        return _expr_has_exists(expr.operand)
+    if isinstance(expr, BinaryExpr):
+        return _expr_has_exists(expr.left) or _expr_has_exists(expr.right)
+    if isinstance(expr, FunctionCall):
+        return any(_expr_has_exists(a) for a in expr.args)
+    if isinstance(expr, InExpr):
+        return _expr_has_exists(expr.value) or any(
+            _expr_has_exists(a) for a in expr.options
+        )
+    return False
+
+
+def element_binding_vars(element) -> Set[str]:
+    """Variables a group element may (re)bind in passing rows."""
+    if isinstance(element, BGP):
+        return {v.name for p in element.patterns for v in p.variables()}
+    if isinstance(element, (OptionalPattern, MinusPattern)):
+        # MINUS never extends rows, but be conservative for OPTIONAL
+        if isinstance(element, MinusPattern):
+            return set()
+        return group_binding_vars(element.group)
+    if isinstance(element, UnionPattern):
+        out: Set[str] = set()
+        for alt in element.alternatives:
+            out |= group_binding_vars(alt)
+        return out
+    if isinstance(element, Bind):
+        return {element.var.name}
+    if isinstance(element, InlineValues):
+        return {v.name for v in element.variables}
+    if isinstance(element, SubSelect):
+        sub = element.query
+        if sub.projections:
+            return {p.var.name for p in sub.projections}
+        return group_binding_vars(sub.where)
+    if isinstance(element, ServicePattern):
+        return group_binding_vars(element.group)
+    return set()
+
+
+def group_binding_vars(group: GroupGraphPattern) -> Set[str]:
+    out: Set[str] = set()
+    for element in group.elements:
+        out |= element_binding_vars(element)
+    return out
+
+
+def _node_text(node) -> str:
+    if isinstance(node, Var):
+        return f"?{node.name}"
+    n3 = getattr(node, "n3", None)
+    return n3() if n3 else str(node)
+
+
+def pattern_text(pattern: TriplePattern) -> str:
+    return " ".join(_node_text(t) for t in (pattern.s, pattern.p, pattern.o))
+
+
+# ---------------------------------------------------------------------------
+# Cardinality estimation + BGP join ordering
+# ---------------------------------------------------------------------------
+
+#: Selectivity guesses used where no exact statistic exists.
+FILTER_SELECTIVITY = 0.5
+SPATIAL_DISCOUNT = 0.1
+TERM_MODE_BOUND_FACTOR = 10.0
+
+
+def estimate_pattern(pattern: TriplePattern, bound: Set[str], graph,
+                     restrictions) -> float:
+    """Estimated matches for one probe of *pattern*.
+
+    With an id-indexed graph the constants-only cardinality is exact
+    (index bookkeeping); each bound-variable position then divides it
+    by the distinct-term count for that position. Spatially-restricted
+    unbound object variables get the R-tree discount.
+    """
+    positions = (pattern.s, pattern.p, pattern.o)
+    dictionary = getattr(graph, "dictionary", None)
+    if dictionary is not None and hasattr(graph, "pattern_cardinality"):
+        consts = []
+        for node in positions:
+            if isinstance(node, Var):
+                consts.append(None)
+            else:
+                term_id = dictionary.lookup(node)
+                if term_id is None:
+                    return 0.0
+                consts.append(term_id)
+        est = float(graph.pattern_cardinality(tuple(consts)))
+        distinct = graph.distinct_counts
+        for i, node in enumerate(positions):
+            if isinstance(node, Var) and node.name in bound:
+                est /= max(1, distinct[i])
+    else:
+        try:
+            est = float(len(graph))
+        except TypeError:
+            est = 1000.0
+        for node in positions:
+            if not isinstance(node, Var) or node.name in bound:
+                est /= TERM_MODE_BOUND_FACTOR
+    if (
+        isinstance(pattern.o, Var)
+        and pattern.o.name not in bound
+        and pattern.o.name in restrictions
+        and hasattr(graph, "spatial_candidates")
+    ):
+        est *= SPATIAL_DISCOUNT
+    return est
+
+
+def order_patterns(patterns: Sequence[TriplePattern], bound: Set[str],
+                   graph, restrictions
+                   ) -> List[Tuple[TriplePattern, float]]:
+    """Greedy cardinality-based join order.
+
+    Repeatedly picks the pattern with the smallest estimated match
+    count given the variables bound so far; ties break on original
+    pattern order, keeping plans deterministic.
+    """
+    bound = set(bound)
+    remaining = list(enumerate(patterns))
+    ordered: List[Tuple[TriplePattern, float]] = []
+    while remaining:
+        best_i, best_est = 0, None
+        for i, (orig, pat) in enumerate(remaining):
+            est = estimate_pattern(pat, bound, graph, restrictions)
+            if best_est is None or est < best_est:
+                best_i, best_est = i, est
+        __, pattern = remaining.pop(best_i)
+        ordered.append((pattern, best_est))
+        for var in pattern.variables():
+            bound.add(var.name)
+    return ordered
+
+
+# ---------------------------------------------------------------------------
+# Group compilation
+# ---------------------------------------------------------------------------
+
+def _place_filters(elements) -> List:
+    """Reorder group elements so filters run as early as allowed.
+
+    A filter moves directly after the last element that can bind one of
+    its variables; filters containing (NOT) EXISTS keep SPARQL's
+    end-of-group evaluation point. Relative order of non-filter
+    elements is untouched.
+    """
+    non_filters = [e for e in elements if not isinstance(e, Filter)]
+    placed: Dict[int, List[Filter]] = {}
+    tail: List[Filter] = []
+    for el in elements:
+        if not isinstance(el, Filter):
+            continue
+        if _expr_has_exists(el.expr):
+            tail.append(el)
+            continue
+        mentioned = expr_variables(el.expr)
+        position = 0
+        for i, other in enumerate(non_filters):
+            if element_binding_vars(other) & mentioned:
+                position = i + 1
+        placed.setdefault(position, []).append(el)
+    out: List = []
+    out.extend(placed.get(0, []))
+    for i, el in enumerate(non_filters):
+        out.append(el)
+        out.extend(placed.get(i + 1, []))
+    out.extend(tail)
+    return out
+
+
+def compile_group(group: GroupGraphPattern, ctx, source: "ops.Operator",
+                  bound: Set[str]) -> "ops.Operator":
+    """Compile a group graph pattern on top of *source*.
+
+    Returns the top operator of the chain; *bound* is the set of
+    variable names known to be bound in incoming rows (used for join
+    ordering) and is updated in place as elements bind more.
+    """
+    from .evaluator import _extract_spatial_restrictions
+
+    restrictions = _extract_spatial_restrictions(group.elements, ctx)
+    top = source
+    for element in _place_filters(group.elements):
+        in_est = top.node.est_rows or 1.0
+        if isinstance(element, Filter):
+            node = PlanNode("Filter", _filter_detail(element, restrictions),
+                            est_rows=in_est * FILTER_SELECTIVITY)
+            node.children.append(top.node)
+            top = ops.FilterOp(node, top, element.expr)
+        elif isinstance(element, BGP):
+            top = _compile_bgp(element, ctx, top, bound, restrictions)
+        elif isinstance(element, OptionalPattern):
+            sub = compile_subplan(element.group, ctx, set(bound))
+            node = PlanNode("LeftJoin", "optional",
+                            est_rows=max(in_est,
+                                         in_est * (sub.top.node.est_rows
+                                                   or 1.0)))
+            node.children.extend([top.node, sub.top.node])
+            top = ops.LeftJoinOp(node, top, sub)
+            bound |= group_binding_vars(element.group)
+        elif isinstance(element, UnionPattern):
+            subs = [compile_subplan(alt, ctx, set(bound))
+                    for alt in element.alternatives]
+            node = PlanNode(
+                "Union", f"{len(subs)} alternatives",
+                est_rows=sum(s.top.node.est_rows or 1.0 for s in subs),
+            )
+            node.children.append(top.node)
+            node.children.extend(s.top.node for s in subs)
+            top = ops.UnionOp(node, top, subs)
+            bound |= element_binding_vars(element)
+        elif isinstance(element, MinusPattern):
+            sub = compile_subplan(element.group, ctx, set())
+            node = PlanNode("Minus", est_rows=in_est)
+            node.children.extend([top.node, sub.top.node])
+            top = ops.MinusOp(node, top, sub)
+        elif isinstance(element, Bind):
+            node = PlanNode("Bind", f"?{element.var.name}", est_rows=in_est)
+            node.children.append(top.node)
+            top = ops.BindOp(node, top, element)
+            bound.add(element.var.name)
+        elif isinstance(element, InlineValues):
+            node = PlanNode(
+                "HashJoin",
+                f"VALUES {len(element.rows)} rows",
+                est_rows=in_est * max(1, len(element.rows)),
+            )
+            node.children.append(top.node)
+            top = ops.ValuesOp(node, top, element)
+            bound |= element_binding_vars(element)
+        elif isinstance(element, SubSelect):
+            node = PlanNode("HashJoin", "subselect", est_rows=in_est)
+            node.children.append(top.node)
+            # Display-only: the sub-query is re-planned at execution,
+            # so this child shows estimates without actuals.
+            node.children.append(plan_select(element.query, ctx).root)
+            top = ops.SubSelectOp(node, top, element.query)
+            bound |= element_binding_vars(element)
+        elif isinstance(element, ServicePattern):
+            node = PlanNode(
+                "ServiceExchange", str(element.endpoint), est_rows=in_est
+            )
+            node.children.append(top.node)
+            top = ops.ServiceOp(node, top, element)
+            bound |= element_binding_vars(element)
+        else:  # pragma: no cover - parser prevents this
+            from .evaluator import EvaluationError
+
+            raise EvaluationError(
+                f"unknown element {type(element).__name__}"
+            )
+    return top
+
+
+def _filter_detail(element: Filter, restrictions) -> str:
+    mentioned = expr_variables(element.expr)
+    pushed = sorted(v for v in mentioned if v in restrictions)
+    if pushed:
+        return "spatial on ?" + " ?".join(pushed)
+    if _expr_has_exists(element.expr):
+        return "exists"
+    return "expr"
+
+
+def compile_subplan(group: GroupGraphPattern, ctx,
+                    bound: Set[str]) -> "ops.SubPlan":
+    """A reseedable pipeline for OPTIONAL/UNION/MINUS sub-groups."""
+    seed = ops.SeedOp(PlanNode("Seed", est_rows=1.0))
+    top = compile_group(group, ctx, seed, bound)
+    return ops.SubPlan(seed, top)
+
+
+def _compile_bgp(bgp: BGP, ctx, source: "ops.Operator", bound: Set[str],
+                 restrictions) -> "ops.Operator":
+    graph = ctx.graph
+    ordered = order_patterns(bgp.patterns, bound, graph, restrictions)
+    in_est = source.node.est_rows or 1.0
+    scan_nodes: List[PlanNode] = []
+    out_est = in_est
+    for pattern, est in ordered:
+        spatial = (
+            isinstance(pattern.o, Var)
+            and pattern.o.name in restrictions
+            and hasattr(graph, "spatial_candidates")
+        )
+        label = "SpatialIndexScan" if spatial else "IndexScan"
+        detail = pattern_text(pattern)
+        if spatial:
+            detail += f" [rtree:{restrictions[pattern.o.name].relation}]"
+        scan_nodes.append(PlanNode(label, detail, est_rows=est))
+        out_est *= max(est, 0.0)
+        bound.update(v.name for v in pattern.variables())
+    node = PlanNode(
+        "IndexNestedLoopJoin",
+        f"{len(ordered)} patterns",
+        est_rows=out_est,
+    )
+    node.children.append(source.node)
+    node.children.extend(scan_nodes)
+    return ops.BGPOp(node, source, [p for p, __ in ordered], restrictions,
+                     scan_nodes)
+
+
+# ---------------------------------------------------------------------------
+# Query-level planning
+# ---------------------------------------------------------------------------
+
+def plan_group(group: GroupGraphPattern, ctx,
+               bound: Optional[Set[str]] = None) -> "ops.SubPlan":
+    """Compile a bare group (the eval_group facade's entry point)."""
+    seed = ops.SeedOp(PlanNode("Seed", est_rows=1.0))
+    top = compile_group(group, ctx, seed, set(bound or ()))
+    return ops.SubPlan(seed, top)
+
+
+def plan_select(query: SelectQuery, ctx) -> "ops.SubPlan":
+    from .evaluator import _projection_has_aggregate
+
+    seed = ops.SeedOp(PlanNode("Seed", est_rows=1.0))
+    top = compile_group(query.where, ctx, seed, set())
+
+    needs_grouping = bool(query.group_by) or _projection_has_aggregate(query)
+    in_est = top.node.est_rows or 1.0
+    if needs_grouping:
+        est = max(1.0, in_est / 4.0) if query.group_by else 1.0
+        detail = (f"group by {len(query.group_by)} keys"
+                  if query.group_by else "implicit group")
+        node = PlanNode("Aggregate", detail, est_rows=est)
+        node.children.append(top.node)
+        top = ops.AggregateOp(node, top, query)
+
+    if query.order_by:
+        sort_est = top.node.est_rows or 1.0
+        use_topk = query.limit is not None and not query.distinct
+        if use_topk:
+            k = query.limit + query.offset
+            node = PlanNode("TopK", f"k={k}", est_rows=min(float(k), sort_est))
+            node.children.append(top.node)
+            top = ops.TopKOp(node, top, query.order_by, k)
+        else:
+            node = PlanNode(
+                "OrderBy", f"{len(query.order_by)} keys", est_rows=sort_est
+            )
+            node.children.append(top.node)
+            top = ops.OrderByOp(node, top, query.order_by)
+
+    if not needs_grouping and query.projections:
+        names = " ".join(f"?{p.var.name}" for p in query.projections)
+        node = PlanNode("Project", names, est_rows=top.node.est_rows)
+        node.children.append(top.node)
+        top = ops.ProjectOp(node, top, query)
+
+    if query.distinct:
+        node = PlanNode("Distinct", est_rows=top.node.est_rows)
+        node.children.append(top.node)
+        top = ops.DistinctOp(node, top)
+
+    if query.offset or query.limit is not None:
+        detail = []
+        if query.limit is not None:
+            detail.append(f"limit={query.limit}")
+        if query.offset:
+            detail.append(f"offset={query.offset}")
+        prev_est = top.node.est_rows or 1.0
+        est = prev_est - query.offset
+        if query.limit is not None:
+            est = min(float(query.limit), est)
+        node = PlanNode("Slice", " ".join(detail), est_rows=max(0.0, est))
+        node.children.append(top.node)
+        top = ops.SliceOp(node, top, query.limit, query.offset)
+
+    root = PlanNode("Select",
+                    "distinct" if query.distinct else "",
+                    est_rows=top.node.est_rows)
+    root.children.append(top.node)
+    return ops.SubPlan(seed, top, root=root)
+
+
+def plan_query(query: Query, ctx) -> "ops.SubPlan":
+    """Plan any query form (the EXPLAIN entry point)."""
+    if isinstance(query, SelectQuery):
+        return plan_select(query, ctx)
+    if isinstance(query, AskQuery):
+        sub = plan_group(query.where, ctx)
+        root = PlanNode("Ask", est_rows=1.0)
+        root.children.append(sub.top.node)
+        return ops.SubPlan(sub.seed, sub.top, root=root)
+    if isinstance(query, ConstructQuery):
+        sub = plan_group(query.where, ctx)
+        detail = f"{len(query.template)} template triples"
+        if query.limit is not None:
+            detail += f" limit={query.limit}"
+        root = PlanNode("Construct", detail,
+                        est_rows=(sub.top.node.est_rows or 1.0)
+                        * max(1, len(query.template)))
+        root.children.append(sub.top.node)
+        return ops.SubPlan(sub.seed, sub.top, root=root)
+    if isinstance(query, DescribeQuery):
+        root = PlanNode("Describe", f"{len(query.terms)} targets")
+        if query.where is not None:
+            sub = plan_group(query.where, ctx)
+            root.children.append(sub.top.node)
+            return ops.SubPlan(sub.seed, sub.top, root=root)
+        seed = ops.SeedOp(PlanNode("Seed", est_rows=1.0))
+        return ops.SubPlan(seed, seed, root=root)
+    from .evaluator import EvaluationError
+
+    raise EvaluationError(f"unsupported query type {type(query).__name__}")

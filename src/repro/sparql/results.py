@@ -29,6 +29,10 @@ class SPARQLResult:
     :class:`~repro.governance.QueryBudget` when the query ran governed
     (triples scanned, rows produced, remote fetches, deadline
     headroom); ``None`` for ungoverned queries.
+
+    ``plan`` is the executed physical plan
+    (a :class:`~repro.sparql.plan.PlanNode` tree with estimated and
+    actual per-operator row counts); :meth:`explain` renders it.
     """
 
     def __init__(self, kind: str,
@@ -37,7 +41,8 @@ class SPARQLResult:
                  ask: Optional[bool] = None,
                  graph: Optional[Graph] = None,
                  failures: Optional[Dict[str, str]] = None,
-                 budget_stats: Optional[Dict[str, object]] = None):
+                 budget_stats: Optional[Dict[str, object]] = None,
+                 plan=None):
         self.kind = kind
         self.vars = variables or []
         self.rows = rows or []
@@ -45,6 +50,13 @@ class SPARQLResult:
         self.graph = graph
         self.failures: Dict[str, str] = dict(failures or {})
         self.budget_stats = budget_stats
+        self.plan = plan
+
+    def explain(self) -> str:
+        """Rendered physical plan with estimated vs actual rows."""
+        if self.plan is None:
+            return "(no plan recorded)"
+        return self.plan.render()
 
     def __iter__(self) -> Iterator[Solution]:
         return iter(self.rows)

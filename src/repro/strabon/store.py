@@ -70,7 +70,7 @@ class StrabonStore(Graph):
 
     def remove(self, triple_or_s, p=None, o=None) -> "StrabonStore":
         if isinstance(triple_or_s, Triple) and p is None and o is None:
-            removed = [triple_or_s] if triple_or_s in self._triples else []
+            removed = [triple_or_s] if triple_or_s in self else []
         else:
             removed = list(self.triples((triple_or_s, p, o)))
         super().remove(triple_or_s, p, o)
@@ -215,20 +215,15 @@ class StrabonStore(Graph):
                 );
                 """
             )
-            term_ids: Dict[Tuple, int] = {}
-
-            def encode(term: Term) -> int:
-                key = _term_key(term)
-                if key in term_ids:
-                    return term_ids[key]
-                term_id = len(term_ids) + 1
-                term_ids[key] = term_id
-                conn.execute(
-                    "INSERT INTO terms VALUES (?, ?, ?, ?, ?)",
-                    (term_id,) + key,
-                )
-                return term_id
-
+            # Reuse the graph's interning dictionary verbatim: the ids
+            # on disk are exactly the in-memory ids, so save is a plain
+            # dump of (dictionary, id-triples) with no re-hashing.
+            conn.executemany(
+                "INSERT INTO terms VALUES (?, ?, ?, ?, ?)",
+                ((term_id,) + _term_key(term)
+                 for term_id, term in self.dictionary.items()),
+            )
+            encode = self.dictionary.lookup
             for t in self:
                 interval = self._valid_time.get(t)
                 conn.execute(
@@ -249,12 +244,17 @@ class StrabonStore(Graph):
         store = cls(identifier)
         conn = sqlite3.connect(path)
         try:
+            # Re-intern in id order so the loaded store's dictionary
+            # assigns exactly the on-disk ids (ids are dense from 1 in
+            # intern order).
             terms: Dict[int, Term] = {}
             for term_id, kind, lexical, datatype, lang in conn.execute(
                 "SELECT id, kind, lexical, datatype, lang FROM terms"
+                " ORDER BY id"
             ):
-                terms[term_id] = _term_from_key((kind, lexical, datatype,
-                                                 lang))
+                term = _term_from_key((kind, lexical, datatype, lang))
+                terms[term_id] = term
+                store.dictionary.encode(term)
             for s, p, o, start, end in conn.execute(
                 "SELECT s, p, o, valid_start, valid_end FROM triples"
             ):

@@ -1,0 +1,55 @@
+"""Determinism lint: no ambient clocks or unseeded randomness in src.
+
+Every timing in the library goes through an injected ``clock``
+callable (defaulting to ``time.monotonic``) and every random draw
+through a seeded ``random.Random`` / ``numpy`` generator — that is
+what makes fault injection, retry jitter, the equivalence suite, and
+the benchmarks reproducible. This lint greps the source tree for the
+ambient alternatives so a new call site fails CI instead of silently
+introducing nondeterminism.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+pytestmark = pytest.mark.tier1
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+#: Module paths (relative to src/, posix form) allowed to touch
+#: ambient time or randomness. Currently none — add an entry only
+#: with a comment justifying why injection is impossible there.
+ALLOWED = set()
+
+FORBIDDEN = [
+    (re.compile(r"\btime\.time\(\)"), "ambient wall clock time.time()"),
+    (re.compile(r"\brandom\.random\(\)"), "unseeded random.random()"),
+    (re.compile(r"\brandom\.(randint|randrange|choice|choices|shuffle|"
+                r"uniform|sample)\("),
+     "module-level random.* draw (use a seeded random.Random)"),
+    (re.compile(r"\bdatetime\.now\(\)|\bdatetime\.utcnow\(\)"),
+     "ambient datetime.now()/utcnow()"),
+    (re.compile(r"\bnp\.random\.(random|rand|randint|randn|choice|"
+                r"shuffle|uniform)\("),
+     "legacy global numpy RNG (use np.random.default_rng(seed))"),
+]
+
+
+def test_src_has_no_ambient_time_or_randomness():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        rel = path.relative_to(SRC).as_posix()
+        if rel in ALLOWED:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("#", 1)[0]
+            for pattern, why in FORBIDDEN:
+                if pattern.search(code):
+                    offenders.append(
+                        f"src/{rel}:{lineno}: {why}: {line.strip()}")
+    assert not offenders, (
+        "nondeterministic call sites (inject a clock / seed an RNG):\n"
+        + "\n".join(offenders)
+    )

@@ -1,0 +1,73 @@
+"""Regression: Graph.remove must prune its index shells.
+
+The seed implementation left empty inner dicts / leaf sets behind on
+remove, so a graph that churned triples (add, query, remove, repeat)
+grew its SPO/POS/OSP shells and per-position count tables without
+bound even at a steady-state triple count. ``index_shell_sizes()``
+exposes the shell sizes so this test can pin the fix.
+"""
+
+import random
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+
+EX = "http://example.org/"
+
+
+def _triple(i):
+    return (IRI(f"{EX}s/{i}"), IRI(f"{EX}p/{i % 7}"), Literal(i))
+
+
+def test_remove_restores_index_shells_to_baseline():
+    g = Graph()
+    g.add(*_triple(0))
+    baseline = g.index_shell_sizes()
+    for i in range(1, 200):
+        g.add(*_triple(i))
+    for i in range(1, 200):
+        g.remove(*_triple(i))
+    assert len(g) == 1
+    assert g.index_shell_sizes() == baseline
+
+
+def test_churn_does_not_grow_shells():
+    rnd = random.Random(7)
+    g = Graph()
+    live = set()
+    sizes_after_cycle = []
+    for __ in range(5):
+        for __ in range(300):
+            i = rnd.randrange(50)
+            if i in live:
+                g.remove(*_triple(i))
+                live.discard(i)
+            else:
+                g.add(*_triple(i))
+                live.add(i)
+        for i in list(live):
+            g.remove(*_triple(i))
+        live.clear()
+        sizes_after_cycle.append(tuple(sorted(
+            g.index_shell_sizes().items())))
+    assert len(g) == 0
+    # every post-churn snapshot identical: nothing accumulates
+    assert len(set(sizes_after_cycle)) == 1
+    for __, size in sizes_after_cycle[0]:
+        assert size == 0
+
+
+def test_remove_wildcard_prunes_everything_it_matched():
+    g = Graph()
+    s = IRI(EX + "subject")
+    for i in range(10):
+        g.add(s, IRI(f"{EX}p/{i}"), Literal(i))
+    g.add(IRI(EX + "other"), IRI(EX + "p/0"), Literal(0))
+    g.remove(s, None, None)
+    assert len(g) == 1
+    shells = g.index_shell_sizes()
+    assert shells["spo"] == 1
+    assert shells["s_count"] == 1
+    # p/0 still used by the surviving triple; p/1..p/9 must be gone
+    assert shells["pos"] == 1
+    assert shells["p_count"] == 1

@@ -1,34 +1,26 @@
-"""SPARQL evaluation driver: expressions, aggregates, planner glue.
+"""The seed (pre-plan) SPARQL evaluator, preserved verbatim as an oracle.
 
-The bottom-up interpreter this module used to be is gone; pattern
-matching now lives in the plan/operator layers:
+This is the bottom-up evaluator the repository shipped before the
+query core was rebuilt around dictionary encoding and streaming
+physical operators (see ``src/repro/sparql/plan.py`` /
+``operators.py``). The equivalence suite in
+``test_engine_equivalence.py`` runs randomized queries through both
+engines and asserts bag-equal results; keep this module byte-stable
+apart from the import rewrites below (relative imports became absolute
+so it loads from the tests tree).
 
-- :mod:`repro.sparql.plan` compiles the AST into a physical plan
-  (join ordering, filter/spatial pushdown, top-k selection);
-- :mod:`repro.sparql.operators` streams solutions through that plan on
-  dictionary-encoded ids.
-
-What remains here is the per-row machinery those operators call back
-into — scalar expression evaluation (:func:`eval_expr`), aggregation
-(:func:`_group_and_aggregate`), spatial-filter extraction — plus the
-query-form executors that pull the plan, charge the result-row budget
-at the single operator boundary, and attach the executed plan to the
-:class:`~repro.sparql.results.SPARQLResult` for EXPLAIN.
-
-The historical entry points (:func:`eval_group`, :func:`eval_query`,
-:class:`Context`) keep their exact signatures and semantics; they are
-facades over the new engine.
+Extracted from git commit a33d452 (src/repro/sparql/evaluator.py).
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
-from ..rdf.graph import Graph
-from ..rdf.terms import BNode, IRI, Literal, Term, literal_cmp_key
-from . import functions as fns
-from .ast import (
+from repro.rdf.graph import Graph
+from repro.rdf.terms import BNode, IRI, Literal, Term, literal_cmp_key
+from repro.sparql import functions as fns
+from repro.sparql.ast import (
     Aggregate,
     AskQuery,
     BGP,
@@ -57,8 +49,8 @@ from .ast import (
     Var,
     VarExpr,
 )
-from .functions import SparqlValueError, effective_boolean_value
-from .results import Solution, SPARQLResult
+from repro.sparql.functions import SparqlValueError, effective_boolean_value
+from repro.sparql.results import Solution, SPARQLResult
 
 
 class EvaluationError(RuntimeError):
@@ -69,11 +61,11 @@ class Context:
     """Per-query evaluation context.
 
     ``budget`` is an optional :class:`~repro.governance.QueryBudget`
-    acting as a cooperative cancellation token: the scan operators
-    charge every triple they enumerate (and the executor every result
-    row it emits) against it, so a pathological query terminates with a
-    typed :class:`~repro.governance.BudgetExceeded` carrying partial
-    stats instead of running unbounded.
+    acting as a cooperative cancellation token: the evaluator charges
+    every triple it scans (and every result row it assembles) against
+    it, so a pathological query terminates with a typed
+    :class:`~repro.governance.BudgetExceeded` carrying partial stats
+    instead of running unbounded.
     """
 
     def __init__(self, graph: Graph,
@@ -248,8 +240,17 @@ def _eval_function(call: FunctionCall, solution: Solution, ctx: Context):
 
 
 # ---------------------------------------------------------------------------
-# Spatial filter pushdown (shared with the planner and Ontop)
+# Pattern evaluation
 # ---------------------------------------------------------------------------
+
+def _substitute(pattern: TriplePattern, solution: Solution):
+    def resolve(node):
+        if isinstance(node, Var):
+            return solution.get(node.name)
+        return node
+
+    return resolve(pattern.s), resolve(pattern.p), resolve(pattern.o)
+
 
 class _SpatialRestriction:
     """A pushed-down spatial constraint on a variable."""
@@ -296,29 +297,221 @@ def _invert_relation(relation: str) -> str:
     return {"contains": "within", "within": "contains"}.get(relation, relation)
 
 
-# ---------------------------------------------------------------------------
-# Group evaluation facade (planner + executor underneath)
-# ---------------------------------------------------------------------------
+def _match_bgp(bgp: BGP, solutions: List[Solution], ctx: Context,
+               restrictions: Dict[str, _SpatialRestriction]) -> List[Solution]:
+    patterns = list(bgp.patterns)
+    out = solutions
+    bound_vars = set()
+    for sol in solutions[:1]:
+        bound_vars.update(sol.keys())
+
+    remaining = patterns[:]
+    while remaining:
+        remaining.sort(
+            key=lambda p: _pattern_cost(p, bound_vars, restrictions)
+        )
+        pattern = remaining.pop(0)
+        new_out: List[Solution] = []
+        for sol in out:
+            new_out.extend(_match_pattern(pattern, sol, ctx, restrictions))
+        out = new_out
+        if not out:
+            return []
+        for var in pattern.variables():
+            bound_vars.add(var.name)
+    return out
+
+
+def _pattern_cost(pattern: TriplePattern, bound_vars, restrictions) -> tuple:
+    unbound = 0
+    has_restricted = False
+    for position in (pattern.s, pattern.p, pattern.o):
+        if isinstance(position, Var) and position.name not in bound_vars:
+            unbound += 1
+            if position.name in restrictions:
+                has_restricted = True
+    # Patterns whose object var has a spatial restriction get a discount:
+    # the spatial index turns them into bounded lookups.
+    return (unbound - (1 if has_restricted else 0), unbound)
+
+
+def _match_pattern(pattern: TriplePattern, solution: Solution, ctx: Context,
+                   restrictions: Dict[str, _SpatialRestriction]
+                   ) -> Iterable[Solution]:
+    s, p, o = _substitute(pattern, solution)
+    graph = ctx.graph
+    budget = ctx.budget
+
+    # Spatial pushdown: object variable restricted by a spatial filter and
+    # the graph exposes an R-tree over its geometry literals. Only pays
+    # off when the subject is unbound — with s bound, the direct (s, p, ?)
+    # lookup is O(1) while iterating candidates would be O(candidates)
+    # per solution.
+    if (
+        o is None
+        and s is None
+        and isinstance(pattern.o, Var)
+        and pattern.o.name in restrictions
+        and hasattr(graph, "spatial_candidates")
+    ):
+        restriction = restrictions[pattern.o.name]
+        bounds = restriction.geometry.bounds
+        if budget is not None and getattr(graph, "budget_aware", False):
+            candidates = graph.spatial_candidates(bounds, budget=budget)
+        else:
+            candidates = graph.spatial_candidates(bounds)
+        for candidate in candidates:
+            for triple in graph.triples((s, p, candidate)):
+                if budget is not None:
+                    budget.charge_triples()
+                extended = _extend(pattern, triple, solution)
+                if extended is not None:
+                    yield extended
+        return
+
+    for triple in graph.triples((s, p, o)):
+        if budget is not None:
+            budget.charge_triples()
+        extended = _extend(pattern, triple, solution)
+        if extended is not None:
+            yield extended
+
+
+def _extend(pattern: TriplePattern, triple, solution: Solution
+            ) -> Optional[Solution]:
+    out = dict(solution)
+    for node, value in ((pattern.s, triple.s), (pattern.p, triple.p),
+                        (pattern.o, triple.o)):
+        if isinstance(node, Var):
+            existing = out.get(node.name)
+            if existing is None:
+                out[node.name] = value
+            elif existing != value:
+                return None
+    return out
+
 
 def eval_group(group: GroupGraphPattern, solutions: List[Solution],
                ctx: Context) -> List[Solution]:
-    """Evaluate a group graph pattern, seeding from *solutions*.
+    """Evaluate a group graph pattern, seeding from *solutions*."""
+    restrictions = _extract_spatial_restrictions(group.elements, ctx)
+    filters: List[Filter] = []
+    out = solutions
+    for element in group.elements:
+        if ctx.budget is not None:
+            ctx.budget.check_deadline()
+        if isinstance(element, Filter):
+            filters.append(element)
+        elif isinstance(element, BGP):
+            out = _match_bgp(element, out, ctx, restrictions)
+        elif isinstance(element, OptionalPattern):
+            out = _left_join(out, element.group, ctx)
+        elif isinstance(element, UnionPattern):
+            merged: List[Solution] = []
+            for alternative in element.alternatives:
+                merged.extend(eval_group(alternative, [dict(s) for s in out],
+                                         ctx))
+            out = merged
+        elif isinstance(element, MinusPattern):
+            out = _minus(out, element.group, ctx)
+        elif isinstance(element, Bind):
+            new_out = []
+            for sol in out:
+                sol = dict(sol)
+                try:
+                    sol[element.var.name] = eval_expr(element.expr, sol, ctx)
+                except SparqlValueError:
+                    pass  # BIND error leaves the variable unbound
+                new_out.append(sol)
+            out = new_out
+        elif isinstance(element, InlineValues):
+            out = _join_values(out, element)
+        elif isinstance(element, SubSelect):
+            sub_result = eval_query(element.query, ctx)
+            out = _hash_join(out, sub_result.rows)
+        elif isinstance(element, ServicePattern):
+            out = _eval_service(element, out, ctx)
+        else:  # pragma: no cover - parser prevents this
+            raise EvaluationError(f"unknown element {type(element).__name__}")
+        if not out:
+            break
+    for f in filters:
+        kept = []
+        for sol in out:
+            try:
+                if effective_boolean_value(eval_expr(f.expr, sol, ctx)):
+                    kept.append(sol)
+            except SparqlValueError:
+                continue  # evaluation error → row dropped
+        out = kept
+    return out
 
-    Facade over the physical-operator engine: compiles the group into a
-    pipeline (join-ordered, filters pushed down) and drains it. Charges
-    the scan budget through the operators but never the result-row
-    budget — that belongs to the query-level executors.
-    """
-    from .plan import plan_group
 
-    bound = set(solutions[0].keys()) if solutions else set()
-    sub = plan_group(group, ctx, bound)
-    sub.root.mark_executed()
-    return list(sub.run(ctx, solutions))
+def _left_join(solutions: List[Solution], group: GroupGraphPattern,
+               ctx: Context) -> List[Solution]:
+    out: List[Solution] = []
+    for sol in solutions:
+        extended = eval_group(group, [dict(sol)], ctx)
+        if extended:
+            out.extend(extended)
+        else:
+            out.append(sol)
+    return out
+
+
+def _minus(solutions: List[Solution], group: GroupGraphPattern,
+           ctx: Context) -> List[Solution]:
+    exclusions = eval_group(group, [{}], ctx)
+    out = []
+    for sol in solutions:
+        excluded = False
+        for exc in exclusions:
+            shared = set(sol) & set(exc)
+            if shared and all(sol[v] == exc[v] for v in shared):
+                excluded = True
+                break
+        if not excluded:
+            out.append(sol)
+    return out
+
+
+def _join_values(solutions: List[Solution], values: InlineValues
+                 ) -> List[Solution]:
+    rows = []
+    for row in values.rows:
+        binding = {
+            var.name: term
+            for var, term in zip(values.variables, row)
+            if term is not None
+        }
+        rows.append(binding)
+    return _hash_join(solutions, rows)
+
+
+def _hash_join(left: List[Solution], right: List[Solution]) -> List[Solution]:
+    out = []
+    for sol in left:
+        for other in right:
+            shared = set(sol) & set(other)
+            if all(sol[v] == other[v] for v in shared):
+                merged = dict(sol)
+                merged.update(other)
+                out.append(merged)
+    return out
+
+
+def _eval_service(element: ServicePattern, solutions: List[Solution],
+                  ctx: Context) -> List[Solution]:
+    if ctx.service_resolver is None:
+        raise EvaluationError(
+            "SERVICE pattern requires a service resolver (federation)"
+        )
+    remote_rows = ctx.service_resolver(str(element.endpoint), element.group)
+    return _hash_join(solutions, remote_rows)
 
 
 # ---------------------------------------------------------------------------
-# Aggregation
+# Query forms
 # ---------------------------------------------------------------------------
 
 def _projection_has_aggregate(query: SelectQuery) -> bool:
@@ -435,6 +628,89 @@ def _collect_aggregates(expr: Optional[Expr]) -> List[Aggregate]:
     return []
 
 
+def _eval_select(query: SelectQuery, ctx: Context) -> SPARQLResult:
+    rows = eval_group(query.where, [{}], ctx)
+
+    needs_grouping = bool(query.group_by) or _projection_has_aggregate(query)
+    if needs_grouping:
+        rows = _group_and_aggregate(query, rows, ctx)
+
+    # ORDER BY applies to full solutions, before projection narrows them.
+    if query.order_by:
+        # Stable multi-key sort: apply conditions right-to-left so the
+        # leftmost ORDER BY condition dominates.
+        for cond in reversed(query.order_by):
+
+            def key_one(row, cond=cond):
+                try:
+                    term = eval_expr(cond.expr, row, ctx)
+                except SparqlValueError:
+                    return ((-1, 0.0), "")
+                if isinstance(term, Literal):
+                    return (literal_cmp_key(term), "")
+                return ((4, 0.0), str(term))
+
+            rows.sort(key=key_one, reverse=cond.descending)
+
+    if not needs_grouping:
+        rows = _plain_projection(query, rows, ctx)
+
+    if query.distinct:
+        seen = set()
+        unique = []
+        for row in rows:
+            key = tuple(
+                (v, row[v].n3() if hasattr(row[v], "n3") else str(row[v]))
+                for v in sorted(row)
+            )
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        rows = unique
+
+    if query.offset:
+        rows = rows[query.offset:]
+    if query.limit is not None:
+        rows = rows[: query.limit]
+
+    # Result-row budget applies to what the caller will actually
+    # receive (after DISTINCT/OFFSET/LIMIT narrowed the rows).
+    if ctx.budget is not None:
+        ctx.budget.charge_rows(len(rows))
+
+    variables = [p.var.name for p in query.projections]
+    if not variables:
+        seen_vars = []
+        for row in rows:
+            for v in row:
+                # internal hop variables from property-path expansion
+                # are not part of the solution
+                if v not in seen_vars and not v.startswith("__path"):
+                    seen_vars.append(v)
+        variables = seen_vars
+    return SPARQLResult("SELECT", variables=variables, rows=rows)
+
+
+def _plain_projection(query: SelectQuery, rows: List[Solution],
+                      ctx: Context) -> List[Solution]:
+    if not query.projections:
+        return rows
+    projected = []
+    for row in rows:
+        out: Solution = {}
+        for proj in query.projections:
+            if proj.expr is None:
+                if proj.var.name in row:
+                    out[proj.var.name] = row[proj.var.name]
+            else:
+                try:
+                    out[proj.var.name] = eval_expr(proj.expr, row, ctx)
+                except SparqlValueError:
+                    pass
+        projected.append(out)
+    return projected
+
+
 def _group_and_aggregate(query: SelectQuery, rows: List[Solution],
                          ctx: Context) -> List[Solution]:
     groups: Dict[tuple, List[Solution]] = {}
@@ -499,80 +775,32 @@ def _group_and_aggregate(query: SelectQuery, rows: List[Solution],
     return out_rows
 
 
-# ---------------------------------------------------------------------------
-# Query forms: plan, execute, attach the plan for EXPLAIN
-# ---------------------------------------------------------------------------
-
-def _eval_select(query: SelectQuery, ctx: Context) -> SPARQLResult:
-    from .plan import plan_select
-
-    sub = plan_select(query, ctx)
-    sub.root.mark_executed()
-    rows = list(sub.run(ctx, [{}]))
-    sub.root.actual_rows = len(rows)
-
-    # Result-row budget applies to what the caller will actually
-    # receive (after DISTINCT/OFFSET/LIMIT narrowed the rows) — the
-    # executor is the single row-charging boundary.
-    if ctx.budget is not None:
-        ctx.budget.charge_rows(len(rows))
-
-    variables = [p.var.name for p in query.projections]
-    if not variables:
-        seen_vars = []
-        for row in rows:
-            for v in row:
-                # internal hop variables from property-path expansion
-                # are not part of the solution
-                if v not in seen_vars and not v.startswith("__path"):
-                    seen_vars.append(v)
-        variables = seen_vars
-    result = SPARQLResult("SELECT", variables=variables, rows=rows)
-    result.plan = sub.root
-    return result
-
-
 def _eval_ask(query: AskQuery, ctx: Context) -> SPARQLResult:
-    from .plan import plan_query
-
-    sub = plan_query(query, ctx)
-    sub.root.mark_executed()
-    # Short-circuit: the first solution proves the pattern.
-    found = next(iter(sub.run(ctx, [{}])), None)
-    sub.root.actual_rows = 1 if found is not None else 0
-    result = SPARQLResult("ASK", ask=found is not None)
-    result.plan = sub.root
-    return result
+    rows = eval_group(query.where, [{}], ctx)
+    return SPARQLResult("ASK", ask=bool(rows))
 
 
 def _eval_construct(query: ConstructQuery, ctx: Context) -> SPARQLResult:
-    from .plan import plan_query
-
-    sub = plan_query(query, ctx)
-    sub.root.mark_executed()
+    rows = eval_group(query.where, [{}], ctx)
     graph = Graph()
-    done = False
-    for row in sub.run(ctx, [{}]):
+    count = 0
+    for row in rows:
         bnode_map: Dict[str, BNode] = {}
         for pattern in query.template:
             triple = _instantiate(pattern, row, bnode_map)
             if triple is not None:
                 graph.add(triple)
-                sub.root.actual_rows += 1
+                count += 1
                 if ctx.budget is not None:
                     ctx.budget.charge_rows()
         if query.limit is not None and len(graph) >= query.limit:
-            done = True
-        if done:
             break
-    result = SPARQLResult("CONSTRUCT", graph=graph)
-    result.plan = sub.root
-    return result
+    return SPARQLResult("CONSTRUCT", graph=graph)
 
 
 def _instantiate(pattern: TriplePattern, row: Solution,
                  bnode_map: Dict[str, BNode]):
-    from ..rdf.terms import Triple
+    from repro.rdf.terms import Triple
 
     def resolve(node):
         if isinstance(node, Var):
@@ -590,14 +818,10 @@ def _instantiate(pattern: TriplePattern, row: Solution,
 
 
 def _eval_describe(query: DescribeQuery, ctx: Context) -> SPARQLResult:
-    from .plan import plan_query
-
-    sub = plan_query(query, ctx)
-    sub.root.mark_executed()
     graph = Graph()
     targets = []
     if query.where is not None:
-        rows = list(sub.run(ctx, [{}]))
+        rows = eval_group(query.where, [{}], ctx)
         for term in query.terms:
             if isinstance(term, Var):
                 targets.extend(
@@ -610,10 +834,7 @@ def _eval_describe(query: DescribeQuery, ctx: Context) -> SPARQLResult:
     for target in targets:
         for triple in ctx.graph.triples((target, None, None)):
             graph.add(triple)
-    sub.root.actual_rows = len(graph)
-    result = SPARQLResult("DESCRIBE", graph=graph)
-    result.plan = sub.root
-    return result
+    return SPARQLResult("DESCRIBE", graph=graph)
 
 
 def eval_query(query: Query, ctx: Context) -> SPARQLResult:
@@ -626,10 +847,3 @@ def eval_query(query: Query, ctx: Context) -> SPARQLResult:
     if isinstance(query, DescribeQuery):
         return _eval_describe(query, ctx)
     raise EvaluationError(f"unsupported query type {type(query).__name__}")
-
-
-def explain_query(query: Query, ctx: Context):
-    """Plan *query* without executing it; returns the plan root node."""
-    from .plan import plan_query
-
-    return plan_query(query, ctx).root
