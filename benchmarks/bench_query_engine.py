@@ -90,17 +90,23 @@ def _best_of(fn, n=REPEATS):
     return min(times), result
 
 
-def _run_pair(g, text):
+def _run_pair(g, text, profiler=None, profile_name=None):
     ast = parse_query(text)
     t_new, r_new = _best_of(lambda: eval_query(ast, Context(g)))
     t_seed, r_seed = _best_of(
         lambda: seed.eval_query(ast, seed.Context(g)))
     assert len(r_new.rows) == len(r_seed.rows)
+    if profiler:
+        profiler.profile(
+            profile_name,
+            lambda tracer: eval_query(ast, Context(g, tracer=tracer)),
+        )
     return t_new, t_seed, len(r_new.rows)
 
 
-def test_join_ordering_speedup(graph, record_summary):
-    t_new, t_seed, n_rows = _run_pair(graph, JOIN_ORDER_QUERY)
+def test_join_ordering_speedup(graph, record_summary, profiler):
+    t_new, t_seed, n_rows = _run_pair(
+        graph, JOIN_ORDER_QUERY, profiler, "engine_join_ordering")
     speedup = t_seed / t_new
     record_summary("Query engine: cardinality-based join ordering", [
         f"graph size:        {len(graph):>10,} triples",
@@ -114,11 +120,12 @@ def test_join_ordering_speedup(graph, record_summary):
     assert speedup >= 5.0
 
 
-def test_dictionary_encoded_join(graph, record_summary):
+def test_dictionary_encoded_join(graph, record_summary, profiler):
     # Reciprocal knows: the second pattern is a fully-bound probe per
     # candidate, so int-tuple membership (id space) is the whole cost —
     # the seed pays a term re-encoding for every probe.
-    t_new, t_seed, n_rows = _run_pair(graph, RECIPROCAL_QUERY)
+    t_new, t_seed, n_rows = _run_pair(
+        graph, RECIPROCAL_QUERY, profiler, "engine_dictionary_join")
     speedup = t_seed / t_new
     record_summary("Query engine: id-space joins (same plan shape)", [
         f"result rows:       {n_rows:>10,}",
@@ -130,7 +137,7 @@ def test_dictionary_encoded_join(graph, record_summary):
                            "speedup": speedup, "rows": n_rows})
 
 
-def test_topk_vs_full_sort(record_summary):
+def test_topk_vs_full_sort(record_summary, profiler):
     # A scan wide enough that sorting it dominates: the heap keeps k
     # rows live instead of all 30k, and skips the full sort entirely.
     rnd = random.Random(1)
@@ -138,7 +145,8 @@ def test_topk_vs_full_sort(record_summary):
     for i in range(N_TOPK_ROWS):
         g.add(IRI(f"{EX}s/{i}"), IRI(EX + "age"),
               Literal(rnd.randrange(10 ** 6)))
-    t_new, t_seed, n_rows = _run_pair(g, TOPK_QUERY)
+    t_new, t_seed, n_rows = _run_pair(
+        g, TOPK_QUERY, profiler, "engine_topk")
     speedup = t_seed / t_new
     record_summary("Query engine: top-k heap vs full sort", [
         f"sorted rows:       {N_TOPK_ROWS:>10,}",

@@ -35,28 +35,52 @@ def virtual_warm(case_study):
     return engine
 
 
-def test_materialized_query(benchmark, materialized_store):
+def test_materialized_query(benchmark, materialized_store, profiler):
     result = benchmark.pedantic(
         materialized_store.query, args=(LISTING3,), rounds=5, iterations=1
     )
     RATIOS["materialized"] = benchmark.stats.stats.median
     assert len(result) > 0
+    if profiler:
+        profiler.profile(
+            "materialized",
+            lambda tracer: materialized_store.query(LISTING3,
+                                                    tracer=tracer),
+        )
 
 
-def test_virtual_cold_query(benchmark, virtual_cold):
+def test_virtual_cold_query(benchmark, virtual_cold, profiler, case_study):
     result = benchmark.pedantic(
         virtual_cold.query, args=(LISTING3,), rounds=3, iterations=1
     )
     RATIOS["virtual_cold"] = benchmark.stats.stats.median
     assert len(result) > 0
+    if profiler:
+        # a fresh engine with the tracer wired through every layer
+        # (Ontop -> MadIS -> DAP): w=0 pays the round trips again, so
+        # the trace shows where the two orders of magnitude actually go
+        def run(tracer):
+            engine, __ = case_study.virtual_endpoint(window_minutes=0,
+                                                     tracer=tracer)
+            return engine.query(LISTING3)
+
+        profiler.profile("virtual_cold", run)
 
 
-def test_virtual_warm_query(benchmark, virtual_warm):
+def test_virtual_warm_query(benchmark, virtual_warm, profiler, case_study):
     result = benchmark.pedantic(
         virtual_warm.query, args=(LISTING3,), rounds=3, iterations=1
     )
     RATIOS["virtual_warm"] = benchmark.stats.stats.median
     assert len(result) > 0
+    if profiler:
+        def run(tracer):
+            engine, __ = case_study.virtual_endpoint(window_minutes=60,
+                                                     tracer=tracer)
+            engine.query(LISTING3)  # prime the cache
+            return engine.query(LISTING3)
+
+        profiler.profile("virtual_warm", run)
 
 
 def test_zz_summary(benchmark, record_summary):

@@ -21,6 +21,12 @@ def pytest_addoption(parser):
         help="run modules marked `benchmark` (never part of the "
              "tier-1 `python -m pytest -x -q` gate)",
     )
+    parser.addoption(
+        "--profile", action="store_true", default=False,
+        help="after each benchmark, run one extra traced pass: print "
+             "the top-5 spans by self-time and write the full trace "
+             "JSON under out/TRACE_<name>.json",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
@@ -55,6 +61,46 @@ def record_summary():
             fh.write(block)
 
     return record
+
+class Profiler:
+    """One traced pass per benchmark (outside the timed rounds, so the
+    tracing overhead never pollutes the measured numbers)."""
+
+    def __init__(self, out_dir):
+        self.out_dir = out_dir
+
+    def profile(self, name, fn):
+        """Run ``fn(tracer)`` once under a fresh tracer; print the
+        top-5 spans by self-time and dump the trace JSON."""
+        from repro.observability import Tracer, dump_trace, top_spans
+
+        tracer = Tracer()
+        result = fn(tracer)
+        # the last root: warm-up/priming runs may have produced earlier
+        # trace trees on the same tracer
+        root = tracer.roots[-1]
+        lines = [f"\n--- profile: {name} (top spans by self-time) ---"]
+        for span in top_spans(root, n=5):
+            lines.append(
+                f"  {span.name:<32} "
+                f"self={span.self_time_s * 1e3:9.3f} ms  "
+                f"total={span.duration_s * 1e3:9.3f} ms"
+            )
+        path = self.out_dir / f"TRACE_{name}.json"
+        path.write_text(dump_trace(root) + "\n", encoding="utf-8")
+        lines.append(f"  trace: {path}")
+        print("\n".join(lines))
+        return result
+
+
+@pytest.fixture(scope="session")
+def profiler(request):
+    """``None`` unless --profile was passed; benchmarks guard on it."""
+    if not request.config.getoption("--profile"):
+        return None
+    SUMMARY_PATH.parent.mkdir(exist_ok=True)
+    return Profiler(SUMMARY_PATH.parent)
+
 
 WAN_BASE_S = 0.03
 WAN_PER_MB_S = 0.25

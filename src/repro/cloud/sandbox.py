@@ -65,16 +65,18 @@ class ExecutionReport:
 class Sandbox:
     """Runs packaged apps over input lists with bounded parallelism."""
 
-    def __init__(self, parallelism: int = 4):
+    def __init__(self, parallelism: int = 4,
+                 clock: Callable[[], float] = time.perf_counter):
         if parallelism < 1:
             raise SandboxError("parallelism must be >= 1")
         self.parallelism = parallelism
+        self.clock = clock
         self.history: List[ExecutionReport] = []
 
     def run(self, app: AppPackage, inputs: Sequence,
             **kwargs) -> ExecutionReport:
         """Execute the app's processor once per input."""
-        start = time.perf_counter()
+        start = self.clock()
         results: List[TaskResult] = []
 
         def one(item) -> TaskResult:
@@ -93,7 +95,7 @@ class Sandbox:
             tasks=len(results),
             succeeded=sum(1 for r in results if r.ok),
             failed=sum(1 for r in results if not r.ok),
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=self.clock() - start,
             results=results,
         )
         self.history.append(report)

@@ -112,14 +112,20 @@ class AppLab:
     # -- the two workflows of Figure 1 -----------------------------------------
     def virtual_endpoint(self, product: str,
                          window_minutes: float = 10,
-                         clock=None) -> Tuple[OntopSpatial, object]:
-        """Workflow right: on-the-fly GeoSPARQL over OPeNDAP."""
+                         clock=None,
+                         tracer=None) -> Tuple[OntopSpatial, object]:
+        """Workflow right: on-the-fly GeoSPARQL over OPeNDAP.
+
+        ``tracer`` wires a :class:`~repro.observability.Tracer` through
+        the whole stack (Ontop → MadIS → DAP client).
+        """
         import time as _time
 
         engine, operator, __ = make_opendap_endpoint(
             self.registry, self.product_url(product), variable=product,
             window_minutes=window_minutes,
             clock=clock or _time.monotonic,
+            tracer=tracer,
         )
         return engine, operator
 

@@ -260,14 +260,21 @@ class GreennessCaseStudy:
         return store
 
     def virtual_endpoint(self, window_minutes: float = 10,
-                         clock=None) -> Tuple[OntopSpatial, object]:
-        """Workflow 'right': Ontop-spatial over OPeNDAP (Listing 2)."""
+                         clock=None,
+                         tracer=None) -> Tuple[OntopSpatial, object]:
+        """Workflow 'right': Ontop-spatial over OPeNDAP (Listing 2).
+
+        ``tracer`` wires a :class:`~repro.observability.Tracer` through
+        every layer of the stack (Ontop → MadIS → DAP client), so one
+        query yields one trace tree down to the individual fetches.
+        """
         import time as _time
 
         engine, operator, __ = make_opendap_endpoint(
             self.registry, self.lai_url, variable="LAI",
             window_minutes=window_minutes,
             clock=clock or _time.monotonic,
+            tracer=tracer,
         )
         return engine, operator
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .queries import BenchQuery, micro_queries
 
@@ -97,7 +97,9 @@ class BenchmarkReport:
 def run_benchmark(engines: Dict[str, object],
                   queries: Optional[Sequence[BenchQuery]] = None,
                   repeat: int = 3,
-                  warmup: int = 1) -> BenchmarkReport:
+                  warmup: int = 1,
+                  clock: Callable[[], float] = time.perf_counter
+                  ) -> BenchmarkReport:
     """Time every query on every engine; returns the report."""
     queries = list(queries) if queries is not None else micro_queries()
     report = BenchmarkReport()
@@ -106,9 +108,9 @@ def run_benchmark(engines: Dict[str, object],
             for __ in range(warmup):
                 engine.query(bench_query.sparql)
             for __ in range(repeat):
-                start = time.perf_counter()
+                start = clock()
                 result = engine.query(bench_query.sparql)
-                elapsed = time.perf_counter() - start
+                elapsed = clock() - start
                 report.measurements.append(
                     Measurement(
                         bench_query.key, engine_name, elapsed, len(result)

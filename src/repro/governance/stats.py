@@ -7,12 +7,21 @@ layer and where did budgets bite" — queries admitted/shed, typed budget
 outcomes, and a histogram of how much deadline headroom successful
 queries finished with (the early-warning signal that a deadline is
 about to start killing real traffic).
+
+Like the resilience counters, the fields live on a
+:class:`~repro.observability.labeled.LabeledCounters` tree: reading a
+field returns own + per-label child totals, and
+``stats.labeled(engine="federation")`` attributes outcomes per
+component without double counting. The block is exported through the
+metrics registry via
+:func:`repro.observability.bridge.register_governance`.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..observability.labeled import LabeledCounters
 from .budget import (
     BudgetExceeded,
     DeadlineExceeded,
@@ -27,7 +36,7 @@ from .budget import (
 HEADROOM_BUCKETS = 10
 
 
-class GovernanceStats:
+class GovernanceStats(LabeledCounters):
     """Counters kept by admission controllers and governed entry points.
 
     - ``admitted``: queries that obtained an execution slot;
@@ -53,13 +62,15 @@ class GovernanceStats:
         "cancelled",
     )
 
-    def __init__(self) -> None:
-        self.reset()
+    def __init__(self, _labels: Optional[Dict[str, str]] = None) -> None:
+        super().__init__(_labels)
+        self.headroom_histogram: List[int] = [0] * HEADROOM_BUCKETS
+        self.headroom_sum: float = 0.0
 
     def reset(self) -> None:
-        for field in self.FIELDS:
-            setattr(self, field, 0)
-        self.headroom_histogram: List[int] = [0] * HEADROOM_BUCKETS
+        super().reset()
+        self.headroom_histogram = [0] * HEADROOM_BUCKETS
+        self.headroom_sum = 0.0
 
     # -- recording ---------------------------------------------------------
     def record_headroom(self, budget: Optional[QueryBudget]) -> None:
@@ -71,6 +82,7 @@ class GovernanceStats:
         bucket = min(HEADROOM_BUCKETS - 1,
                      int(headroom * HEADROOM_BUCKETS))
         self.headroom_histogram[bucket] += 1
+        self.headroom_sum += headroom
 
     def record_outcome(self, exc: Optional[BaseException],
                        budget: Optional[QueryBudget] = None) -> None:
@@ -97,23 +109,31 @@ class GovernanceStats:
             self.fetch_limit_exceeded += 1
 
     # -- reporting ---------------------------------------------------------
+    def combined_headroom_histogram(self) -> List[int]:
+        """Own histogram plus every labeled child's, bucket-wise."""
+        combined = list(self.headroom_histogram)
+        for child in self._children.values():
+            for i, count in enumerate(child.combined_headroom_histogram()):
+                combined[i] += count
+        return combined
+
+    def combined_headroom_sum(self) -> float:
+        total = self.headroom_sum
+        for child in self._children.values():
+            total += child.combined_headroom_sum()
+        return total
+
     def as_dict(self) -> Dict[str, object]:
-        out: Dict[str, object] = {
-            field: getattr(self, field) for field in self.FIELDS
-        }
-        out["headroom_histogram"] = list(self.headroom_histogram)
+        out: Dict[str, object] = super().as_dict()
+        out["headroom_histogram"] = self.combined_headroom_histogram()
         return out
 
     def merge(self, other: "GovernanceStats") -> "GovernanceStats":
         """Add *other*'s counters into this block (returns self)."""
-        for field in self.FIELDS:
-            setattr(self, field, getattr(self, field) + getattr(other, field))
-        for i, count in enumerate(other.headroom_histogram):
+        if other is self:
+            return self
+        super().merge(other)
+        for i, count in enumerate(other.combined_headroom_histogram()):
             self.headroom_histogram[i] += count
+        self.headroom_sum += other.combined_headroom_sum()
         return self
-
-    def __repr__(self) -> str:
-        inner = ", ".join(
-            f"{field}={getattr(self, field)}" for field in self.FIELDS
-        )
-        return f"<GovernanceStats {inner}>"

@@ -44,11 +44,12 @@ _FROM_OPEN_RE = re.compile(r"\b(from|join)\s*\(", re.IGNORECASE)
 class MadisConnection:
     """A SQLite connection with UDFs and virtual-table operators."""
 
-    def __init__(self, database: str = ":memory:"):
+    def __init__(self, database: str = ":memory:", tracer=None):
         self._conn = sqlite3.connect(database)
         self._conn.row_factory = sqlite3.Row
         self._vt_operators: Dict[str, VTOperator] = {}
         self._vt_tables: Dict[str, str] = {}  # invocation hash -> temp table
+        self.tracer = tracer
         from .udfs import register_default_udfs
 
         register_default_udfs(self)
@@ -83,6 +84,13 @@ class MadisConnection:
         Budget-aware operators also receive the budget and can cap
         their own remote fetches by the remaining deadline.
         """
+        if self.tracer is None:
+            return self._execute(sql, params, budget)
+        with self.tracer.span("madis.execute", sql=" ".join(sql.split())):
+            return self._execute(sql, params, budget)
+
+    def _execute(self, sql: str, params: Sequence,
+                 budget) -> List[sqlite3.Row]:
         rewritten = self._rewrite(sql, budget=budget)
         cursor = self._conn.execute(rewritten, params)
         if cursor.description is None:
@@ -243,6 +251,16 @@ class MadisConnection:
         """Run the operator and load its rows into a TEMP table."""
         args, kwargs = _parse_vt_args(inner, operator_name)
         table = self._invocation_table(operator_name, args, kwargs)
+        if self.tracer is None:
+            return self._materialize_into(operator_name, table, args,
+                                          kwargs, budget)
+        with self.tracer.span("madis.materialize", operator=operator_name,
+                              table=table):
+            return self._materialize_into(operator_name, table, args,
+                                          kwargs, budget)
+
+    def _materialize_into(self, operator_name: str, table: str, args,
+                          kwargs, budget) -> str:
         operator = self._vt_operators[operator_name]
         if budget is not None and getattr(operator, "supports_budget",
                                           False):

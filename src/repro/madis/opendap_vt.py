@@ -46,11 +46,13 @@ class OpendapVTOperator:
     def __init__(self, registry: ServerRegistry,
                  clock: Callable[[], float] = time.monotonic,
                  retry_policy: Optional[RetryPolicy] = None,
-                 stats: Optional[ResilienceStats] = None):
+                 stats: Optional[ResilienceStats] = None,
+                 tracer=None):
         self.registry = registry
         self.clock = clock
         self.retry_policy = retry_policy
         self.stats = stats if stats is not None else ResilienceStats()
+        self.tracer = tracer
         self._cache: Dict[Tuple, Tuple[float, Sequence[str], List[Row]]] = {}
         self.cache_hits = 0
         self.cache_misses = 0
@@ -74,7 +76,17 @@ class OpendapVTOperator:
                 ) from None
         variable = kwargs.get("variable")
         constraint = kwargs.get("constraint", "")
+        if self.tracer is None:
+            return self._call(url, variable, constraint, window_minutes,
+                              budget)
+        with self.tracer.span("madis.opendap", url=url) as span:
+            columns, rows = self._call(url, variable, constraint,
+                                       window_minutes, budget, span=span)
+            span.record("rows_flattened", len(rows))
+            return columns, rows
 
+    def _call(self, url, variable, constraint, window_minutes, budget,
+              span=None):
         key = (url, variable, constraint)
         if window_minutes > 0:
             cached = self._cache.get(key)
@@ -82,9 +94,13 @@ class OpendapVTOperator:
                 stamp, columns, rows = cached
                 if self.clock() - stamp <= window_minutes * 60.0:
                     self.cache_hits += 1
+                    if span is not None:
+                        span.record("vt_cache_hits")
                     return columns, rows
                 del self._cache[key]
         self.cache_misses += 1
+        if span is not None:
+            span.record("vt_cache_misses")
         columns, rows = self._fetch(url, variable, constraint, budget=budget)
         if window_minutes > 0:
             self._cache[key] = (self.clock(), columns, rows)
@@ -96,7 +112,9 @@ class OpendapVTOperator:
                ) -> Tuple[Sequence[str], List[Row]]:
         self.server_calls += 1
         remote = open_url(url, self.registry,
-                          retry_policy=self.retry_policy, stats=self.stats)
+                          retry_policy=self.retry_policy,
+                          stats=self.stats.labeled(url=url),
+                          tracer=self.tracer)
         dataset = remote.fetch(constraint, budget=budget)
         if variable is None:
             variable = _main_variable(dataset)
@@ -160,10 +178,11 @@ def _main_variable(dataset) -> str:
 def attach_opendap(conn, registry: ServerRegistry,
                    clock: Callable[[], float] = time.monotonic,
                    retry_policy: Optional[RetryPolicy] = None,
-                   stats: Optional[ResilienceStats] = None
-                   ) -> OpendapVTOperator:
+                   stats: Optional[ResilienceStats] = None,
+                   tracer=None) -> OpendapVTOperator:
     """Register the operator on a MadIS connection; returns it for stats."""
     operator = OpendapVTOperator(registry, clock=clock,
-                                 retry_policy=retry_policy, stats=stats)
+                                 retry_policy=retry_policy, stats=stats,
+                                 tracer=tracer)
     conn.register_vt_operator("opendap", operator)
     return operator

@@ -1,0 +1,63 @@
+"""Unified observability: cross-layer tracing, metrics, profiles.
+
+Three pieces, one import surface:
+
+- :mod:`~repro.observability.trace` — ``Tracer``/``Span`` with an
+  injectable monotonic clock, threaded through every layer of the data
+  path so one query yields one trace tree mirroring its EXPLAIN plan;
+- :mod:`~repro.observability.metrics` — ``MetricsRegistry`` with
+  counter/gauge/histogram families, Prometheus-style text exposition
+  and JSON export, plus a validating parser;
+- :mod:`~repro.observability.bridge` — scrape-time collectors exposing
+  the pre-existing ``ResilienceStats``/``GovernanceStats``/``DapCache``
+  counters through the registry without changing their APIs.
+
+Query-level profiles (``SPARQLResult.profile()``) are built on the
+trace/plan mirroring here; see ``repro.sparql.results``.
+"""
+
+from .bridge import (
+    register_dap_cache,
+    register_governance,
+    register_resilience,
+)
+from .labeled import LabeledCounters
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Exposition,
+    MetricFamily,
+    MetricsError,
+    MetricsRegistry,
+    parse_exposition,
+)
+from .trace import (
+    PlanTrace,
+    Span,
+    Tracer,
+    dump_trace,
+    export_trace,
+    render_trace,
+    top_spans,
+    trace_plan,
+)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "PlanTrace",
+    "trace_plan",
+    "render_trace",
+    "export_trace",
+    "dump_trace",
+    "top_spans",
+    "MetricsRegistry",
+    "MetricFamily",
+    "MetricsError",
+    "Exposition",
+    "parse_exposition",
+    "DEFAULT_BUCKETS",
+    "LabeledCounters",
+    "register_resilience",
+    "register_governance",
+    "register_dap_cache",
+]

@@ -1,0 +1,117 @@
+"""Bridges from pre-existing stats blocks into the metrics registry.
+
+``ResilienceStats``, ``GovernanceStats`` and the ``DapCache`` counters
+predate the registry and keep their own state; rather than rewriting
+their call sites, these helpers register scrape-time *collectors* that
+rebuild metric families from the live objects on every ``expose()``.
+
+Sample layout for labeled stats trees: every block in the tree emits
+one sample carrying its **own** counts (not totals) under its
+accumulated labels, so a Prometheus-style ``sum`` over the family
+equals the tree total without double counting. Blocks whose labels
+lack a family label get it as ``""``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .metrics import MetricFamily, MetricsRegistry
+
+__all__ = [
+    "register_resilience",
+    "register_governance",
+    "register_dap_cache",
+]
+
+#: Upper bounds of the governance headroom histogram (tenths of the
+#: deadline still unused at completion; matches HEADROOM_BUCKETS=10).
+HEADROOM_BOUNDS = tuple((i + 1) / 10 for i in range(10))
+
+
+def _counter_families(stats, namespace: str,
+                      base_labels: Optional[Dict[str, str]],
+                      help_prefix: str) -> List[MetricFamily]:
+    rows = list(stats.walk(base_labels))
+    labelnames = sorted({k for labels, _ in rows for k in labels})
+    families = []
+    for field in stats.FIELDS:
+        family = MetricFamily(
+            f"{namespace}_{field}_total", "counter",
+            help=f"{help_prefix}: {field.replace('_', ' ')}",
+            labelnames=labelnames,
+        )
+        for labels, block in rows:
+            value = block.own_as_dict()[field]
+            full = {name: labels.get(name, "") for name in labelnames}
+            family.labels(**full).inc(value)
+        families.append(family)
+    return families
+
+
+def register_resilience(registry: MetricsRegistry, stats,
+                        namespace: str = "repro_resilience",
+                        **labels: str) -> None:
+    """Expose a :class:`ResilienceStats` tree as counter families."""
+    registry.register_collector(
+        lambda: _counter_families(
+            stats, namespace, labels, "Resilience layer"))
+
+
+def _governance_families(stats, namespace: str,
+                         base_labels: Optional[Dict[str, str]]
+                         ) -> Iterable[MetricFamily]:
+    families = _counter_families(
+        stats, namespace, base_labels, "Governance layer")
+    labelnames = sorted(base_labels or {})
+    histogram = MetricFamily(
+        f"{namespace}_headroom", "histogram",
+        help="Governance layer: fraction of deadline unused at "
+             "completion",
+        labelnames=labelnames, buckets=HEADROOM_BOUNDS,
+    )
+    combined = stats.combined_headroom_histogram()
+    child = histogram.labels(**dict(base_labels or {}))
+    child.load(combined, sum(combined), stats.combined_headroom_sum())
+    families.append(histogram)
+    return families
+
+
+def register_governance(registry: MetricsRegistry, stats,
+                        namespace: str = "repro_governance",
+                        **labels: str) -> None:
+    """Expose a :class:`GovernanceStats` tree: counters + the deadline
+    headroom histogram."""
+    registry.register_collector(
+        lambda: _governance_families(stats, namespace, labels))
+
+
+def _cache_families(cache, namespace: str,
+                    base_labels: Dict[str, str]
+                    ) -> Iterable[MetricFamily]:
+    labelnames = sorted(base_labels)
+    families = []
+    for field in ("hits", "misses", "stale_hits", "evictions"):
+        family = MetricFamily(
+            f"{namespace}_{field}_total", "counter",
+            help=f"DAP cache: {field.replace('_', ' ')}",
+            labelnames=labelnames,
+        )
+        family.labels(**base_labels).inc(getattr(cache, field))
+        families.append(family)
+    entries = MetricFamily(
+        f"{namespace}_entries", "gauge",
+        help="DAP cache: live entries", labelnames=labelnames,
+    )
+    entries.labels(**base_labels).set(len(cache))
+    families.append(entries)
+    return families
+
+
+def register_dap_cache(registry: MetricsRegistry, cache,
+                       namespace: str = "repro_dap_cache",
+                       **labels: str) -> None:
+    """Expose a :class:`DapCache`'s hit/miss/stale/eviction counters
+    (including the stale-served-is-not-a-hit accounting) and size."""
+    registry.register_collector(
+        lambda: _cache_families(cache, namespace, dict(labels)))

@@ -1,0 +1,127 @@
+"""Per-label counter blocks shared by the stats classes.
+
+``ResilienceStats`` and ``GovernanceStats`` predate the metrics
+registry and are mutated with plain ``stats.attempts += 1`` statements
+all over the data path. :class:`LabeledCounters` keeps that API intact
+while fixing its blind spot: when one block (one ``RetryPolicy``, one
+``FederationEngine``) serves several endpoints, the per-instance
+counters conflated them — and code that defensively merged a shared
+block into itself double-counted.
+
+The model: a block holds its *own* counts plus labeled child blocks
+(``stats.labeled(endpoint=iri)``). Reading a field returns the total
+(own + all descendants), so existing callers see the numbers they
+always saw; writing a field adjusts the block's own count by the delta,
+so ``child.attempts += 1`` lands on the child and shows up in the
+parent's total without being stored twice. ``merge`` is a no-op on
+self-merge — the double-count fix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+__all__ = ["LabeledCounters"]
+
+
+def _make_field(field: str) -> property:
+    def getter(self):
+        return self._total(field)
+
+    def setter(self, value):
+        self._own[field] += value - self._total(field)
+
+    return property(getter, setter)
+
+
+class LabeledCounters:
+    """Base for counter blocks with per-label child blocks.
+
+    Subclasses declare ``FIELDS``; each field becomes a property whose
+    getter returns own + descendant counts and whose setter adjusts the
+    own count by the delta (keeping ``stats.field += 1`` working).
+    """
+
+    FIELDS: Tuple[str, ...] = ()
+
+    def __init__(self, _labels: Optional[Dict[str, str]] = None) -> None:
+        self._labels: Dict[str, str] = dict(_labels or {})
+        self._own: Dict[str, int] = {f: 0 for f in self.FIELDS}
+        self._children: Dict[Tuple[Tuple[str, str], ...],
+                             "LabeledCounters"] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        for field in cls.FIELDS:
+            setattr(cls, field, _make_field(field))
+
+    # -- labeling ----------------------------------------------------------
+    def labeled(self, **labels: str) -> "LabeledCounters":
+        """The child block for this label combination (created lazily).
+
+        Counts recorded on the child are included in this block's
+        totals, so components that share one stats block can attribute
+        work per endpoint/dataset without double counting.
+        """
+        if not labels:
+            return self
+        key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        child = self._children.get(key)
+        if child is None:
+            child = type(self)(_labels=dict(key))
+            self._children[key] = child
+        return child
+
+    @property
+    def labels(self) -> Dict[str, str]:
+        return dict(self._labels)
+
+    def children(self) -> Iterable["LabeledCounters"]:
+        return [self._children[k] for k in sorted(self._children)]
+
+    def walk(self, _base: Optional[Dict[str, str]] = None
+             ) -> Iterator[Tuple[Dict[str, str], "LabeledCounters"]]:
+        """Yield ``(accumulated labels, block)`` for self and
+        descendants, parents first, children in sorted label order."""
+        labels = dict(_base or {})
+        labels.update(self._labels)
+        yield labels, self
+        for child in self.children():
+            yield from child.walk(labels)
+
+    # -- counts ------------------------------------------------------------
+    def _total(self, field: str) -> int:
+        total = self._own[field]
+        for child in self._children.values():
+            total += child._total(field)
+        return total
+
+    def own_as_dict(self) -> Dict[str, int]:
+        """This block's own counts, excluding children."""
+        return dict(self._own)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {field: self._total(field) for field in self.FIELDS}
+
+    def reset(self) -> None:
+        for field in self.FIELDS:
+            self._own[field] = 0
+        for child in self._children.values():
+            child.reset()
+
+    def merge(self, other: "LabeledCounters") -> "LabeledCounters":
+        """Add *other*'s totals into this block's own counts (returns
+        self). Merging a block into itself is a no-op: the old
+        implementation silently doubled every counter when a shared
+        stats block reached a report through two paths."""
+        if other is self:
+            return self
+        for field in self.FIELDS:
+            self._own[field] += other._total(field)
+        return self
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{field}={self._total(field)}" for field in self.FIELDS
+        )
+        return f"<{type(self).__name__} {inner}>"

@@ -1,0 +1,568 @@
+"""Metrics registry: counters, gauges, histograms with labeled families.
+
+A :class:`MetricsRegistry` owns metric *families* (one per metric name);
+each family owns labeled *children* (one per label-value combination).
+The registry renders a Prometheus-style text exposition (`expose()`)
+and a JSON export (`to_json()`), and accepts *collectors* — callables
+that build families at scrape time — which is how the pre-existing
+``ResilienceStats``/``GovernanceStats`` blocks and ``DapCache`` counters
+are bridged into the registry without changing their public APIs (see
+:mod:`repro.observability.bridge`).
+
+Everything here is deterministic: families and samples render in sorted
+order, and :func:`parse_exposition` both validates the format (metric
+name / label name grammar, histogram bucket monotonicity) and
+re-renders byte-identically, so ``parse(expose()).render() ==
+expose()`` round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MetricsError",
+    "MetricsRegistry",
+    "MetricFamily",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Exposition",
+    "parse_exposition",
+    "DEFAULT_BUCKETS",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class MetricsError(ValueError):
+    """Invalid metric name/labels or malformed exposition text."""
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise MetricsError(f"invalid metric name: {name!r}")
+    return name
+
+
+def _check_labelnames(labelnames: Sequence[str]) -> Tuple[str, ...]:
+    names = tuple(labelnames)
+    for label in names:
+        if not _LABEL_RE.match(label) or label == "le":
+            raise MetricsError(f"invalid label name: {label!r}")
+    if len(set(names)) != len(names):
+        raise MetricsError(f"duplicate label names: {names!r}")
+    return names
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\"", r"\"")
+            .replace("\n", r"\n"))
+
+
+def _unescape(value: str) -> str:
+    out, i = [], 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", "\"": "\""}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _fmt_le(bound: float) -> str:
+    if bound == float("inf"):
+        return "+Inf"
+    return _fmt_value(bound)
+
+
+def _sample_line(name: str, labels: Dict[str, str], value: float) -> str:
+    if labels:
+        body = ",".join(
+            f'{k}="{_escape_label(str(v))}"' for k, v in labels.items()
+        )
+        return f"{name}{{{body}}} {_fmt_value(value)}"
+    return f"{name} {_fmt_value(value)}"
+
+
+# ---------------------------------------------------------------------------
+# Children (one per label-value combination)
+# ---------------------------------------------------------------------------
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: Dict[str, str]):
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise MetricsError("counters can only increase")
+        self.value += n
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("labels", "value")
+
+    def __init__(self, labels: Dict[str, str]):
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+
+class Histogram:
+    """Fixed-bound bucket histogram with running sum and count."""
+
+    __slots__ = ("labels", "buckets", "bucket_counts", "sum", "count")
+
+    def __init__(self, labels: Dict[str, str],
+                 buckets: Tuple[float, ...]):
+        self.labels = labels
+        self.buckets = buckets
+        self.bucket_counts = [0] * len(buckets)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        # counts are stored per-bucket (non-cumulative); samples()
+        # cumulates at render time
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+
+    def load(self, bucket_counts: Sequence[int], total: int,
+             total_sum: float) -> None:
+        """Overwrite state from externally-kept counts (bridge use).
+
+        *bucket_counts* are per-bucket (non-cumulative) counts aligned
+        with this histogram's bounds.
+        """
+        if len(bucket_counts) != len(self.buckets):
+            raise MetricsError("bucket count mismatch")
+        self.bucket_counts = list(bucket_counts)
+        self.count = total
+        self.sum = total_sum
+
+
+# ---------------------------------------------------------------------------
+# Families
+# ---------------------------------------------------------------------------
+
+_KINDS = ("counter", "gauge", "histogram")
+_CHILD_TYPES = {"counter": Counter, "gauge": Gauge}
+
+
+class MetricFamily:
+    """All children of one metric name; unlabeled families proxy their
+    single implicit child, so ``registry.counter("x").inc()`` works."""
+
+    def __init__(self, name: str, kind: str, help: str = "",
+                 labelnames: Sequence[str] = (),
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS):
+        if kind not in _KINDS:
+            raise MetricsError(f"unknown metric kind: {kind!r}")
+        self.name = _check_name(name)
+        self.kind = kind
+        self.help = help
+        self.labelnames = _check_labelnames(labelnames)
+        if kind == "histogram":
+            bounds = tuple(float(b) for b in buckets)
+            if not bounds or any(
+                    b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+                raise MetricsError(
+                    f"histogram buckets must be strictly increasing: "
+                    f"{buckets!r}")
+            if bounds[-1] == float("inf"):
+                bounds = bounds[:-1]
+            self.buckets = bounds
+        else:
+            self.buckets = ()
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def labels(self, **labelvalues: str):
+        """The child for this label-value combination (created lazily)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise MetricsError(
+                f"{self.name}: expected labels {self.labelnames!r}, "
+                f"got {tuple(sorted(labelvalues))!r}")
+        key = tuple(str(labelvalues[k]) for k in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            labels = dict(zip(self.labelnames, key))
+            if self.kind == "histogram":
+                child = Histogram(labels, self.buckets)
+            else:
+                child = _CHILD_TYPES[self.kind](labels)
+            self._children[key] = child
+        return child
+
+    # unlabeled convenience: proxy the () child
+    def inc(self, n: float = 1.0) -> None:
+        self.labels().inc(n)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def dec(self, n: float = 1.0) -> None:
+        self.labels().dec(n)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self.labels().value
+
+    def children(self) -> List[object]:
+        return [self._children[k] for k in sorted(self._children)]
+
+    def samples(self) -> List[Tuple[str, Dict[str, str], float]]:
+        """(sample_name, labels, value) triples in deterministic order."""
+        out: List[Tuple[str, Dict[str, str], float]] = []
+        for child in self.children():
+            if self.kind == "histogram":
+                cumulative = 0
+                for bound, n in zip(child.buckets, child.bucket_counts):
+                    cumulative += n
+                    labels = dict(child.labels)
+                    labels["le"] = _fmt_le(bound)
+                    out.append((self.name + "_bucket", labels,
+                                float(cumulative)))
+                labels = dict(child.labels)
+                labels["le"] = "+Inf"
+                out.append((self.name + "_bucket", labels,
+                            float(child.count)))
+                out.append((self.name + "_sum", dict(child.labels),
+                            float(child.sum)))
+                out.append((self.name + "_count", dict(child.labels),
+                            float(child.count)))
+            else:
+                out.append((self.name, dict(child.labels),
+                            float(child.value)))
+        return out
+
+    def render(self) -> str:
+        lines = []
+        if self.help:
+            escaped = self.help.replace("\\", r"\\").replace("\n", r"\n")
+            lines.append(f"# HELP {self.name} {escaped}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for sample_name, labels, value in self.samples():
+            lines.append(_sample_line(sample_name, labels, value))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+class MetricsRegistry:
+    """Owns metric families and scrape-time collectors."""
+
+    def __init__(self):
+        self._families: Dict[str, MetricFamily] = {}
+        self._collectors: List[Callable[[], Iterable[MetricFamily]]] = []
+
+    def _register(self, name: str, kind: str, help: str,
+                  labelnames: Sequence[str],
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+                  ) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if (existing.kind != kind
+                    or existing.labelnames != tuple(labelnames)):
+                raise MetricsError(
+                    f"metric {name!r} re-registered with a different "
+                    f"kind or labelnames")
+            return existing
+        family = MetricFamily(name, kind, help, labelnames, buckets)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help: str = "",
+                labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, "counter", help, labelnames)
+
+    def gauge(self, name: str, help: str = "",
+              labelnames: Sequence[str] = ()) -> MetricFamily:
+        return self._register(name, "gauge", help, labelnames)
+
+    def histogram(self, name: str, help: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+                  ) -> MetricFamily:
+        return self._register(name, "histogram", help, labelnames,
+                              buckets)
+
+    def register_collector(
+            self, fn: Callable[[], Iterable[MetricFamily]]) -> None:
+        """*fn* is called at scrape time and yields fresh families; used
+        to bridge stats objects that keep their own counters."""
+        self._collectors.append(fn)
+
+    def collect(self) -> List[MetricFamily]:
+        families: Dict[str, MetricFamily] = dict(self._families)
+        for collector in self._collectors:
+            for family in collector():
+                if family.name in families:
+                    raise MetricsError(
+                        f"duplicate metric family: {family.name!r}")
+                families[family.name] = family
+        return [families[name] for name in sorted(families)]
+
+    def expose(self) -> str:
+        """Prometheus-style text exposition (deterministic ordering)."""
+        blocks = [family.render() for family in self.collect()]
+        return "\n".join(blocks) + ("\n" if blocks else "")
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "families": [
+                {
+                    "name": family.name,
+                    "type": family.kind,
+                    "help": family.help,
+                    "samples": [
+                        {"name": name, "labels": labels, "value": value}
+                        for name, labels, value in family.samples()
+                    ],
+                }
+                for family in self.collect()
+            ],
+        }
+
+    def dump_json(self) -> str:
+        return json.dumps(self.to_json(), sort_keys=True, indent=2) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Parser (validation + byte-identical re-render)
+# ---------------------------------------------------------------------------
+
+class ParsedFamily:
+    __slots__ = ("name", "kind", "help", "samples")
+
+    def __init__(self, name: str, kind: str, help: str = ""):
+        self.name = name
+        self.kind = kind
+        self.help = help
+        # (sample_name, labels-dict, value) in input order
+        self.samples: List[Tuple[str, Dict[str, str], float]] = []
+
+    def render(self) -> str:
+        lines = []
+        if self.help:
+            escaped = self.help.replace("\\", r"\\").replace("\n", r"\n")
+            lines.append(f"# HELP {self.name} {escaped}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for sample_name, labels, value in self.samples:
+            lines.append(_sample_line(sample_name, labels, value))
+        return "\n".join(lines)
+
+
+class Exposition:
+    """Parsed exposition text: families in input order, validated."""
+
+    def __init__(self, families: List[ParsedFamily]):
+        self.families = families
+
+    def family(self, name: str) -> ParsedFamily:
+        for fam in self.families:
+            if fam.name == name:
+                return fam
+        raise KeyError(name)
+
+    def render(self) -> str:
+        blocks = [fam.render() for fam in self.families]
+        return "\n".join(blocks) + ("\n" if blocks else "")
+
+    def validate(self) -> None:
+        """Check name/label grammar and histogram bucket monotonicity."""
+        for fam in self.families:
+            _check_name(fam.name)
+            for sample_name, labels, _ in fam.samples:
+                _check_name(sample_name)
+                for label in labels:
+                    if not _LABEL_RE.match(label):
+                        raise MetricsError(
+                            f"invalid label name: {label!r}")
+            if fam.kind == "histogram":
+                self._validate_histogram(fam)
+
+    @staticmethod
+    def _validate_histogram(fam: ParsedFamily) -> None:
+        series: Dict[Tuple[Tuple[str, str], ...],
+                     Dict[str, object]] = {}
+        for sample_name, labels, value in fam.samples:
+            base = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+            entry = series.setdefault(
+                base, {"buckets": [], "count": None})
+            if sample_name == fam.name + "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    raise MetricsError(
+                        f"{fam.name}: bucket sample without le label")
+                bound = float("inf") if le == "+Inf" else float(le)
+                entry["buckets"].append((bound, value))
+            elif sample_name == fam.name + "_count":
+                entry["count"] = value
+        for base, entry in series.items():
+            buckets = entry["buckets"]
+            if not buckets:
+                raise MetricsError(
+                    f"{fam.name}: histogram series without buckets")
+            bounds = [b for b, _ in buckets]
+            if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+                raise MetricsError(
+                    f"{fam.name}: bucket bounds not increasing")
+            values = [v for _, v in buckets]
+            if any(v2 < v1 for v1, v2 in zip(values, values[1:])):
+                raise MetricsError(
+                    f"{fam.name}: bucket counts not monotonic")
+            if bounds[-1] != float("inf"):
+                raise MetricsError(f"{fam.name}: missing +Inf bucket")
+            if entry["count"] is not None \
+                    and values[-1] != entry["count"]:
+                raise MetricsError(
+                    f"{fam.name}: +Inf bucket != _count")
+
+
+def _parse_labels(text: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(text):
+        eq = text.index("=", i)
+        name = text[i:eq]
+        if not _LABEL_RE.match(name) and name != "le":
+            raise MetricsError(f"invalid label name: {name!r}")
+        if eq + 1 >= len(text) or text[eq + 1] != "\"":
+            raise MetricsError(f"expected quoted label value in {text!r}")
+        j = eq + 2
+        raw = []
+        while j < len(text):
+            ch = text[j]
+            if ch == "\\":
+                raw.append(text[j:j + 2])
+                j += 2
+                continue
+            if ch == "\"":
+                break
+            raw.append(ch)
+            j += 1
+        else:
+            raise MetricsError(f"unterminated label value in {text!r}")
+        labels[name] = _unescape("".join(raw))
+        i = j + 1
+        if i < len(text):
+            if text[i] != ",":
+                raise MetricsError(f"expected ',' in labels: {text!r}")
+            i += 1
+    return labels
+
+
+def _family_for_sample(families: Dict[str, ParsedFamily],
+                       sample_name: str) -> Optional[ParsedFamily]:
+    fam = families.get(sample_name)
+    if fam is not None:
+        return fam
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if sample_name.endswith(suffix):
+            fam = families.get(sample_name[:-len(suffix)])
+            if fam is not None:
+                return fam
+    return None
+
+
+def parse_exposition(text: str) -> Exposition:
+    """Parse + validate exposition text; ``.render()`` round-trips."""
+    families: Dict[str, ParsedFamily] = {}
+    order: List[ParsedFamily] = []
+    pending_help: Dict[str, str] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            rest = line[len("# HELP "):]
+            name, _, help_text = rest.partition(" ")
+            pending_help[name] = (help_text.replace(r"\n", "\n")
+                                  .replace(r"\\", "\\"))
+            continue
+        if line.startswith("# TYPE "):
+            rest = line[len("# TYPE "):]
+            name, _, kind = rest.partition(" ")
+            kind = kind.strip()
+            if kind not in _KINDS:
+                raise MetricsError(
+                    f"line {lineno}: unknown metric type {kind!r}")
+            if name in families:
+                raise MetricsError(
+                    f"line {lineno}: duplicate TYPE for {name!r}")
+            fam = ParsedFamily(_check_name(name), kind,
+                               pending_help.pop(name, ""))
+            families[name] = fam
+            order.append(fam)
+            continue
+        if line.startswith("#"):
+            continue
+        # sample line
+        if "{" in line:
+            brace = line.index("{")
+            sample_name = line[:brace]
+            close = line.rindex("}")
+            labels = _parse_labels(line[brace + 1:close])
+            value_text = line[close + 1:].strip()
+        else:
+            sample_name, _, value_text = line.partition(" ")
+            labels = {}
+            value_text = value_text.strip()
+        _check_name(sample_name)
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise MetricsError(
+                f"line {lineno}: bad sample value {value_text!r}")
+        fam = _family_for_sample(families, sample_name)
+        if fam is None:
+            raise MetricsError(
+                f"line {lineno}: sample {sample_name!r} has no "
+                f"preceding TYPE declaration")
+        fam.samples.append((sample_name, labels, value))
+    exposition = Exposition(order)
+    exposition.validate()
+    return exposition

@@ -1,0 +1,298 @@
+"""Span tracing with an injectable monotonic clock.
+
+One :class:`Tracer` is threaded through a whole request: every layer
+that does work opens a :class:`Span` under the currently-active span,
+so a single federated query yields one trace tree — SPARQL operators,
+federation dispatches, OPeNDAP fetches, retry attempts and cache
+decisions all hang off the same root.
+
+Two disciplines keep traces cheap and deterministic:
+
+- **injectable clock** — the tracer never reads an ambient clock; it
+  calls the ``clock`` it was constructed with (``time.monotonic`` by
+  default, a fake in tests), which is what makes trace trees
+  byte-identical across runs under a fake clock;
+- **activation accounting** — a span's duration is the *accumulated*
+  time between ``enter()``/``exit()`` pairs, so a streaming operator
+  that is entered once per pulled row is charged only for the time its
+  own ``next()`` calls took, not for the consumer's time between rows.
+
+Because child activations always nest inside a parent activation,
+``self_time_s`` (duration minus direct children's durations) telescopes:
+summed over a whole tree it equals the root span's duration exactly.
+
+:func:`trace_plan` mirrors a physical-plan tree
+(:class:`~repro.sparql.plan.PlanNode`) into spans, one per plan node,
+so profile rows and EXPLAIN output share node ids.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "PlanTrace",
+    "trace_plan",
+    "render_trace",
+    "export_trace",
+    "dump_trace",
+    "top_spans",
+]
+
+_UNSET = object()
+
+
+class Span:
+    """One timed unit of work; durations accumulate over activations."""
+
+    __slots__ = ("tracer", "span_id", "name", "parent", "children",
+                 "attributes", "counters", "start_s", "end_s",
+                 "_acc", "_t0", "_depth")
+
+    def __init__(self, tracer: "Tracer", span_id: int, name: str,
+                 parent: Optional["Span"],
+                 attributes: Optional[Dict[str, object]] = None):
+        self.tracer = tracer
+        self.span_id = span_id
+        self.name = name
+        self.parent = parent
+        self.children: List[Span] = []
+        self.attributes: Dict[str, object] = dict(attributes or {})
+        self.counters: Dict[str, int] = {}
+        self.start_s: Optional[float] = None
+        self.end_s: Optional[float] = None
+        self._acc = 0.0
+        self._t0: Optional[float] = None
+        self._depth = 0
+
+    # -- activation --------------------------------------------------------
+    def enter(self) -> "Span":
+        """Activate: start charging time here, become the current span."""
+        if self._depth == 0:
+            self._t0 = self.tracer.clock()
+            if self.start_s is None:
+                self.start_s = self._t0
+        self._depth += 1
+        self.tracer._stack.append(self)
+        return self
+
+    def exit(self) -> None:
+        """Deactivate: stop the charge opened by the matching enter()."""
+        stack = self.tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # defensive repair: drop the deepest occurrence of self
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] is self:
+                    del stack[i]
+                    break
+        self._depth -= 1
+        if self._depth == 0 and self._t0 is not None:
+            now = self.tracer.clock()
+            self._acc += now - self._t0
+            self.end_s = now
+            self._t0 = None
+
+    # -- recording ---------------------------------------------------------
+    def record(self, key: str, n: int = 1) -> None:
+        """Bump a named counter on this span (cache hits, fetches...)."""
+        self.counters[key] = self.counters.get(key, 0) + n
+
+    # -- derived timings ---------------------------------------------------
+    @property
+    def duration_s(self) -> float:
+        """Accumulated active time (including a live activation)."""
+        if self._t0 is not None:
+            return self._acc + (self.tracer.clock() - self._t0)
+        return self._acc
+
+    @property
+    def self_time_s(self) -> float:
+        """Own time: duration minus the direct children's durations."""
+        return self.duration_s - sum(c.duration_s for c in self.children)
+
+    def walk(self) -> Iterable["Span"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (f"<Span #{self.span_id} {self.name} "
+                f"{self.duration_s * 1e3:.3f}ms>")
+
+
+class Tracer:
+    """Creates spans, tracks the active-span stack, owns the clock.
+
+    Span ids are sequential in creation order, so two runs that create
+    spans in the same order produce identical trees — the determinism
+    the trace tests pin down under a fake clock.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self.clock = clock
+        self._stack: List[Span] = []
+        self._next_id = 1
+        self.roots: List[Span] = []
+        self.spans: List[Span] = []
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def start_span(self, name: str, parent=_UNSET,
+                   **attributes) -> Span:
+        """Create a span (not yet active) under *parent* (default: the
+        currently active span; pass ``parent=None`` for a root)."""
+        if parent is _UNSET:
+            parent = self.current
+        span = Span(self, self._next_id, name, parent, attributes)
+        self._next_id += 1
+        self.spans.append(span)
+        if parent is None:
+            self.roots.append(span)
+        else:
+            parent.children.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attributes):
+        """``with tracer.span("dap.fetch", url=...):`` — one activation."""
+        span = self.start_span(name, **attributes)
+        span.enter()
+        try:
+            yield span
+        finally:
+            span.exit()
+
+    def count(self, key: str, n: int = 1) -> None:
+        """Bump a counter on the current span (no-op when none active)."""
+        current = self.current
+        if current is not None:
+            current.record(key, n)
+
+
+# ---------------------------------------------------------------------------
+# Plan mirroring: one span per PlanNode, ids shared with EXPLAIN
+# ---------------------------------------------------------------------------
+
+class PlanTrace:
+    """Spans mirroring a plan tree; operators charge time via
+    :meth:`span_for`.
+
+    Works on anything shaped like a PlanNode (``label``, ``detail``,
+    ``id``, ``children``), so there is no import of the SPARQL layer
+    here. ``root_span`` corresponds to the plan root; the executor
+    activates it around the whole pull, and :meth:`finish` copies every
+    span's accumulated duration back onto its plan node (``time_s``),
+    which is what ``SPARQLResult.profile()`` reads.
+    """
+
+    def __init__(self, tracer: Tracer, plan_root):
+        self.tracer = tracer
+        self._spans: Dict[int, tuple] = {}  # id(node) -> (node, span)
+        self.root_span = self._build(plan_root, tracer.current)
+
+    def _build(self, node, parent) -> Span:
+        span = self.tracer.start_span(
+            _plan_span_name(node), parent=parent,
+            node_id=getattr(node, "id", None), op=node.label,
+        )
+        self._spans[id(node)] = (node, span)
+        for child in node.children:
+            self._build(child, span)
+        return span
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self.tracer.clock
+
+    def span_for(self, node) -> Span:
+        """The span mirroring *node*; created lazily (under the current
+        span) for nodes planned after the trace started, e.g. the
+        per-row sub-plans of EXISTS filters."""
+        entry = self._spans.get(id(node))
+        if entry is None:
+            span = self.tracer.start_span(
+                _plan_span_name(node),
+                node_id=getattr(node, "id", None), op=node.label,
+            )
+            self._spans[id(node)] = (node, span)
+            return span
+        return entry[1]
+
+    def finish(self) -> None:
+        """Copy span durations onto the plan (``PlanNode.time_s``)."""
+        for node, span in self._spans.values():
+            node.time_s = span.duration_s
+
+
+def trace_plan(tracer: Tracer, plan_root) -> PlanTrace:
+    """Mirror *plan_root* into spans under the tracer's current span."""
+    return PlanTrace(tracer, plan_root)
+
+
+def _plan_span_name(node) -> str:
+    node_id = getattr(node, "id", None)
+    if node_id is None:
+        return node.label
+    return f"{node.label}#{node_id}"
+
+
+# ---------------------------------------------------------------------------
+# Rendering and export
+# ---------------------------------------------------------------------------
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}ms"
+
+
+def render_trace(span: Span) -> str:
+    """ASCII tree of a trace: durations, self-times, counters."""
+    lines: List[str] = []
+
+    def visit(s: Span, depth: int) -> None:
+        head = "  " * depth + s.name
+        timing = f"[{_fmt_ms(s.duration_s)} self={_fmt_ms(s.self_time_s)}]"
+        extra = ""
+        if s.counters:
+            extra = "  " + " ".join(
+                f"{k}={v}" for k, v in sorted(s.counters.items())
+            )
+        lines.append(f"{head}  {timing}{extra}")
+        for child in s.children:
+            visit(child, depth + 1)
+
+    visit(span, 0)
+    return "\n".join(lines)
+
+
+def export_trace(span: Span) -> Dict[str, object]:
+    """A JSON-serializable dict of the whole subtree under *span*."""
+    return {
+        "span_id": span.span_id,
+        "name": span.name,
+        "attributes": dict(span.attributes),
+        "counters": dict(span.counters),
+        "start_s": span.start_s,
+        "duration_s": span.duration_s,
+        "self_time_s": span.self_time_s,
+        "children": [export_trace(c) for c in span.children],
+    }
+
+
+def dump_trace(span: Span) -> str:
+    """Deterministic JSON text for a trace (sorted keys, 2-space)."""
+    return json.dumps(export_trace(span), sort_keys=True, indent=2) + "\n"
+
+
+def top_spans(span: Span, n: int = 5) -> List[Span]:
+    """The *n* spans with the largest self-time (ties: creation order)."""
+    ranked = sorted(span.walk(),
+                    key=lambda s: (-s.self_time_s, s.span_id))
+    return ranked[:n]

@@ -72,13 +72,16 @@ class OntopSpatial:
                  mappings: Sequence[OntopMapping],
                  namespaces: Optional[NamespaceManager] = None,
                  ontology: Optional[Graph] = None,
-                 admission=None):
+                 admission=None,
+                 tracer=None):
         self.conn = conn
         self.mappings = list(mappings)
         self.namespaces = namespaces or NamespaceManager()
         self.ontology = ontology
         #: Optional AdmissionController guarding ``query()``.
         self.admission = admission
+        #: Optional Tracer; query() also accepts a per-call override.
+        self.tracer = tracer
         self._spatial_indexes: Dict[Tuple[str, str], str] = {}
         self.last_sql: List[str] = []  # introspection for tests/benchmarks
 
@@ -136,7 +139,8 @@ class OntopSpatial:
         return list(seen.values())
 
     # -- evaluation ---------------------------------------------------------------
-    def query(self, sparql_text: str, budget=None) -> SPARQLResult:
+    def query(self, sparql_text: str, budget=None,
+              tracer=None) -> SPARQLResult:
         """Answer a (Geo)SPARQL query against the virtual graphs.
 
         Simple single-mapping SELECTs are *unfolded directly to SQL*
@@ -150,18 +154,34 @@ class OntopSpatial:
         budget, and the final evaluation is cooperatively cancellable.
         When the engine has an admission controller, the query first
         takes an execution slot (and may be shed with ``Overloaded``).
+
+        ``tracer`` (falling back to the engine's own) records the whole
+        evaluation under one ``ontop.query`` span — direct-SQL
+        unfolding, mapping instantiation, and the SPARQL evaluation all
+        nest beneath it, and ``result.trace`` holds the span.
         """
+        tracer = tracer if tracer is not None else self.tracer
         if self.admission is not None:
             return self.admission.run(
-                lambda: self._governed_query(sparql_text, budget),
+                lambda: self._governed_query(sparql_text, budget, tracer),
                 budget=budget,
             )
-        return self._governed_query(sparql_text, budget)
+        return self._governed_query(sparql_text, budget, tracer)
 
-    def _governed_query(self, sparql_text: str, budget) -> SPARQLResult:
+    def _governed_query(self, sparql_text: str, budget,
+                        tracer=None) -> SPARQLResult:
+        if tracer is None:
+            return self._run_query(sparql_text, budget, None)
+        with tracer.span("ontop.query") as root:
+            result = self._run_query(sparql_text, budget, tracer)
+        result.trace = root
+        return result
+
+    def _run_query(self, sparql_text: str, budget,
+                   tracer) -> SPARQLResult:
         ast = parse_query(sparql_text, namespaces=self.namespaces)
         where = getattr(ast, "where", None)
-        direct = self._try_direct_sql(ast, budget=budget)
+        direct = self._try_direct_sql(ast, budget=budget, tracer=tracer)
         if direct is not None:
             return direct
         mappings = (
@@ -172,10 +192,17 @@ class OntopSpatial:
             _extract_spatial_restrictions(where.elements, None)
             if where is not None else {}
         )
-        graph = self._instantiate(mappings, where, restrictions,
-                                  budget=budget)
+        if tracer is None:
+            graph = self._instantiate(mappings, where, restrictions,
+                                      budget=budget)
+        else:
+            with tracer.span("ontop.instantiate",
+                             mappings=len(mappings)):
+                graph = self._instantiate(mappings, where, restrictions,
+                                          budget=budget)
         graph.namespaces = self.namespaces
-        result = eval_query(ast, Context(graph, budget=budget))
+        result = eval_query(ast, Context(graph, budget=budget,
+                                         tracer=tracer))
         if budget is not None:
             result.budget_stats = budget.snapshot()
         return result
@@ -423,15 +450,23 @@ class OntopSpatial:
             "needs_grouping": needs_grouping,
         }
 
-    def _try_direct_sql(self, ast, budget=None) -> Optional[SPARQLResult]:
+    def _try_direct_sql(self, ast, budget=None,
+                        tracer=None) -> Optional[SPARQLResult]:
         """Answer a simple SELECT straight from the mapping's SQL rows."""
+        recipe = self._direct_sql_plan(ast)
+        if recipe is None:
+            return None
+        if tracer is None:
+            return self._run_direct_sql(ast, recipe, budget)
+        with tracer.span("ontop.direct_sql",
+                         mapping=recipe["mapping"].mapping_id):
+            return self._run_direct_sql(ast, recipe, budget)
+
+    def _run_direct_sql(self, ast, recipe, budget) -> SPARQLResult:
         from ..sparql.evaluator import eval_expr
         from ..sparql.functions import SparqlValueError, \
             effective_boolean_value
 
-        recipe = self._direct_sql_plan(ast)
-        if recipe is None:
-            return None
         sql = recipe["sql"]
         var_templates = recipe["var_templates"]
         binds = recipe["binds"]

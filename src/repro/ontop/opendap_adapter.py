@@ -57,6 +57,7 @@ def make_opendap_endpoint(
     retry_policy: Optional[RetryPolicy] = None,
     stats: Optional[ResilienceStats] = None,
     admission=None,
+    tracer=None,
 ) -> Tuple[OntopSpatial, OpendapVTOperator, MadisConnection]:
     """Build a ready-to-query virtual endpoint over an OPeNDAP URL.
 
@@ -71,14 +72,19 @@ def make_opendap_endpoint(
     scans (row budget, deadline-capped fetch retries). *admission* (an
     :class:`~repro.governance.AdmissionController`) bounds concurrent
     queries on the returned engine; excess load is shed with
-    ``Overloaded``.
+    ``Overloaded``. *tracer* (a
+    :class:`~repro.observability.Tracer`) is threaded through every
+    layer of the returned stack — Ontop query spans, MadIS
+    execute/materialize spans, and DAP fetch spans all join one tree.
     """
-    conn = MadisConnection()
+    conn = MadisConnection(tracer=tracer)
     operator = attach_opendap(conn, registry, clock=clock,
-                              retry_policy=retry_policy, stats=stats)
+                              retry_policy=retry_policy, stats=stats,
+                              tracer=tracer)
     document = mapping_document or opendap_mapping_document(
         url, variable=variable, window_minutes=window_minutes
     )
     engine = OntopSpatial.from_document(conn, document)
     engine.admission = admission
+    engine.tracer = tracer
     return engine, operator, conn

@@ -37,7 +37,12 @@ class DapCache:
     long-running SDL session cannot grow it without limit. With
     ``serve_stale=True`` expired entries are *kept*: :meth:`get` still
     reports a miss, but :meth:`get_stale` can hand the old body to a
-    caller whose refetch just failed (graceful degradation).
+    caller whose refetch just failed (graceful degradation). When that
+    happens the request is *reclassified*: the provisional miss is
+    rolled back and counted as a ``stale_hit`` instead, so one logical
+    request contributes to exactly one counter. A successful refetch
+    (:meth:`put`) confirms the miss and clears the reclassification
+    window.
     """
 
     def __init__(self, ttl_s: float = 600.0,
@@ -57,6 +62,10 @@ class DapCache:
         self.misses = 0
         self.stale_hits = 0
         self.evictions = 0
+        # Keys whose last get() missed on an *expired-but-kept* entry;
+        # a get_stale() on such a key reclassifies that miss as a
+        # stale_hit, a put() confirms the miss as a real refetch.
+        self._pending_stale: set = set()
 
     def get(self, url: str, constraint: str) -> Optional[bytes]:
         key = (url, constraint)
@@ -69,6 +78,8 @@ class DapCache:
             if self._clock() - stamp > self.ttl_s:
                 if not self.serve_stale:
                     del self._entries[key]
+                else:
+                    self._pending_stale.add(key)
                 self.misses += 1
                 return None
             self._entries.move_to_end(key)
@@ -76,29 +87,39 @@ class DapCache:
             return body
 
     def get_stale(self, url: str, constraint: str) -> Optional[bytes]:
-        """An entry's body regardless of age (None if never cached)."""
+        """An entry's body regardless of age (None if never cached).
+
+        Serving a key whose preceding :meth:`get` missed on an expired
+        entry reclassifies that miss as a ``stale_hit`` — the request
+        was ultimately satisfied from cache, just with old data.
+        """
         with self._lock:
             entry = self._entries.get(key := (url, constraint))
             if entry is None:
                 return None
             self._entries.move_to_end(key)
+            if key in self._pending_stale:
+                self._pending_stale.discard(key)
+                self.misses -= 1
             self.stale_hits += 1
             return entry[1]
 
     def put(self, url: str, constraint: str, body: bytes) -> None:
         key = (url, constraint)
         with self._lock:
+            self._pending_stale.discard(key)
             self._entries[key] = (self._clock(), body)
             self._entries.move_to_end(key)
             if self.max_entries is not None:
                 while len(self._entries) > self.max_entries:
-                    self._entries.popitem(last=False)
+                    evicted, __ = self._entries.popitem(last=False)
+                    self._pending_stale.discard(evicted)
                     self.evictions += 1
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        total = self.hits + self.misses + self.stale_hits
+        return (self.hits + self.stale_hits) / total if total else 0.0
 
     def __len__(self) -> int:
         with self._lock:
@@ -107,10 +128,31 @@ class DapCache:
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._pending_stale.clear()
             self.hits = 0
             self.misses = 0
             self.stale_hits = 0
             self.evictions = 0
+
+
+class _NullSpan:
+    """A no-op stand-in so untraced code paths need no branching."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def record(self, key: str, n: int = 1) -> None:
+        pass
+
+
+def _null_span() -> _NullSpan:
+    return _NULL_SPAN
+
+
+_NULL_SPAN = _NullSpan()
 
 
 class RemoteDataset:
@@ -120,26 +162,29 @@ class RemoteDataset:
                  cache: Optional[DapCache] = None,
                  retry_policy: Optional[RetryPolicy] = None,
                  stats: Optional[ResilienceStats] = None,
-                 breaker: Optional[CircuitBreaker] = None):
+                 breaker: Optional[CircuitBreaker] = None,
+                 tracer=None):
         self.url = url.rstrip("/")
         self._registry = registry
         self.cache = cache
         self.retry_policy = retry_policy
         self.stats = stats if stats is not None else ResilienceStats()
         self.breaker = breaker
+        self.tracer = tracer
         self._server, self._path = registry.resolve(self.url)
         # Request + decode + parse retry as one unit, so a corrupted
         # metadata payload is re-requested like any failed attempt.
-        self.name, self._structure = self._run_resilient(
-            lambda: parse_dds(
-                self._server.request(self._path + ".dds").decode("utf-8")
+        with self._maybe_span("dap.metadata", url=self.url):
+            self.name, self._structure = self._run_resilient(
+                lambda: parse_dds(
+                    self._server.request(self._path + ".dds").decode("utf-8")
+                )
             )
-        )
-        self._attributes = self._run_resilient(
-            lambda: parse_das(
-                self._server.request(self._path + ".das").decode("utf-8")
+            self._attributes = self._run_resilient(
+                lambda: parse_das(
+                    self._server.request(self._path + ".das").decode("utf-8")
+                )
             )
-        )
 
     # -- metadata ----------------------------------------------------------
     @property
@@ -161,13 +206,19 @@ class RemoteDataset:
         return dict(self._attributes.get("NC_GLOBAL", {}))
 
     # -- data -----------------------------------------------------------------
+    def _maybe_span(self, name: str, **attributes):
+        if self.tracer is None:
+            return _null_span()
+        return self.tracer.span(name, **attributes)
+
     def _run_resilient(self, fn, budget=None):
         if self.retry_policy is None:
             return fn()
         budget_s = budget.remaining_s() if budget is not None else None
         return self.retry_policy.run(fn, stats=self.stats,
                                      breaker=self.breaker,
-                                     budget_s=budget_s)
+                                     budget_s=budget_s,
+                                     tracer=self.tracer)
 
     def _raw_request(self, path_and_query: str) -> bytes:
         return self._run_resilient(
@@ -189,33 +240,38 @@ class RemoteDataset:
         cost the server nothing.
         """
         canonical = parse_constraint(constraint).canonical()
-        if self.cache is not None:
-            body = self.cache.get(self.url, canonical)
-            if body is not None:
-                return self._decode(body)
-        query = ("?" + canonical) if canonical else ""
-        target = self._path + ".dods" + query
-        if budget is not None:
-            budget.charge_fetch()
-
-        def attempt() -> Tuple[bytes, DapDataset]:
-            raw = self._server.request(target)
-            return raw, self._decode(raw)
-
-        try:
-            body, dataset = self._run_resilient(attempt, budget=budget)
-        except Exception:
+        with self._maybe_span("dap.fetch", url=self.url,
+                              constraint=canonical) as span:
             if self.cache is not None:
-                stale = self.cache.get_stale(self.url, canonical)
-                if stale is not None:
-                    self.stats.stale_serves += 1
-                    degraded = self._decode(stale)
-                    degraded.stale = True
-                    return degraded
-            raise
-        if self.cache is not None:
-            self.cache.put(self.url, canonical, body)
-        return dataset
+                body = self.cache.get(self.url, canonical)
+                if body is not None:
+                    span.record("cache_hits")
+                    return self._decode(body)
+            query = ("?" + canonical) if canonical else ""
+            target = self._path + ".dods" + query
+            if budget is not None:
+                budget.charge_fetch()
+
+            def attempt() -> Tuple[bytes, DapDataset]:
+                raw = self._server.request(target)
+                return raw, self._decode(raw)
+
+            try:
+                body, dataset = self._run_resilient(attempt, budget=budget)
+            except Exception:
+                if self.cache is not None:
+                    stale = self.cache.get_stale(self.url, canonical)
+                    if stale is not None:
+                        self.stats.stale_serves += 1
+                        span.record("stale_serves")
+                        degraded = self._decode(stale)
+                        degraded.stale = True
+                        return degraded
+                raise
+            span.record("fetches")
+            if self.cache is not None:
+                self.cache.put(self.url, canonical, body)
+            return dataset
 
     def _decode(self, body: bytes) -> DapDataset:
         dataset = decode_dods(body)
@@ -235,8 +291,9 @@ def open_url(url: str, registry: Optional[ServerRegistry] = None,
              cache: Optional[DapCache] = None,
              retry_policy: Optional[RetryPolicy] = None,
              stats: Optional[ResilienceStats] = None,
-             breaker: Optional[CircuitBreaker] = None) -> RemoteDataset:
+             breaker: Optional[CircuitBreaker] = None,
+             tracer=None) -> RemoteDataset:
     """Open a ``dap://host/path`` URL against a server registry."""
     return RemoteDataset(url, registry or DEFAULT_REGISTRY, cache=cache,
                          retry_policy=retry_policy, stats=stats,
-                         breaker=breaker)
+                         breaker=breaker, tracer=tracer)

@@ -81,7 +81,8 @@ class RetryPolicy:
     def run(self, fn: Callable[[], T],
             stats: Optional[ResilienceStats] = None,
             breaker: Optional[CircuitBreaker] = None,
-            budget_s: Optional[float] = None) -> T:
+            budget_s: Optional[float] = None,
+            tracer=None) -> T:
         """Call *fn* under this policy; returns its value or re-raises.
 
         Counters describe the run: attempts/retries per physical call,
@@ -92,6 +93,12 @@ class RetryPolicy:
         many seconds on the policy clock: an attempt is not started,
         and a backoff not slept, past the cap. This is how a query's
         remaining deadline keeps retries from outliving the query.
+
+        With a *tracer* each physical attempt becomes a
+        ``retry.attempt`` span (attributes: 1-based ``attempt``,
+        ``outcome`` of ok/error/timeout) under the current span, so a
+        trace shows exactly which attempt of which fetch burned the
+        time.
         """
         deadline = None if budget_s is None else self.clock() + budget_s
         last_exc: Optional[BaseException] = None
@@ -110,17 +117,35 @@ class RetryPolicy:
                 stats.attempts += 1
                 if attempt:
                     stats.retries += 1
+            span = None
+            if tracer is not None:
+                span = tracer.start_span("retry.attempt",
+                                         attempt=attempt + 1)
+                span.enter()
             start = self.clock()
             try:
                 result = fn()
             except self.retry_on as exc:
+                if span is not None:
+                    span.attributes["outcome"] = "error"
+                    span.exit()
                 last_exc = exc
                 if breaker is not None:
                     breaker.record_failure()
+            except BaseException:
+                # not retryable (e.g. a budget kill): close the span
+                # and let it propagate untouched
+                if span is not None:
+                    span.attributes["outcome"] = "error"
+                    span.exit()
+                raise
             else:
                 elapsed = self.clock() - start
                 if (self.attempt_timeout_s is not None
                         and elapsed > self.attempt_timeout_s):
+                    if span is not None:
+                        span.attributes["outcome"] = "timeout"
+                        span.exit()
                     last_exc = AttemptTimeout(
                         f"attempt {attempt + 1} took {elapsed:.3f}s "
                         f"(> {self.attempt_timeout_s:.3f}s)"
@@ -130,6 +155,9 @@ class RetryPolicy:
                     if breaker is not None:
                         breaker.record_failure()
                 else:
+                    if span is not None:
+                        span.attributes["outcome"] = "ok"
+                        span.exit()
                     if stats is not None:
                         stats.successes += 1
                     if breaker is not None:

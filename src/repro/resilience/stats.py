@@ -4,14 +4,22 @@ One :class:`ResilienceStats` block is threaded through every component
 that talks to a remote endpoint (DAP client, federation engine, MadIS
 ``opendap`` operator), so a single object answers "how flaky was the
 network during this workload, and what did the stack do about it".
+
+When one block serves several endpoints (a shared ``RetryPolicy``, a
+federation engine with many SERVICE targets), per-endpoint attribution
+comes from labeled children: ``stats.labeled(endpoint=iri)`` returns a
+child block whose counts are included in the parent's totals — see
+:class:`repro.observability.labeled.LabeledCounters`. The whole tree
+can be exported through the metrics registry via
+:func:`repro.observability.bridge.register_resilience`.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from ..observability.labeled import LabeledCounters
 
 
-class ResilienceStats:
+class ResilienceStats(LabeledCounters):
     """Counters kept by :class:`~repro.resilience.RetryPolicy` users.
 
     - ``attempts``: physical requests issued (includes retried ones);
@@ -36,30 +44,6 @@ class ResilienceStats:
         "open_circuit_skips",
     )
 
-    __slots__ = FIELDS
-
-    def __init__(self) -> None:
-        self.reset()
-
-    def reset(self) -> None:
-        for field in self.FIELDS:
-            setattr(self, field, 0)
-
     @property
     def logical_requests(self) -> int:
         return self.successes + self.failures
-
-    def as_dict(self) -> Dict[str, int]:
-        return {field: getattr(self, field) for field in self.FIELDS}
-
-    def merge(self, other: "ResilienceStats") -> "ResilienceStats":
-        """Add *other*'s counters into this block (returns self)."""
-        for field in self.FIELDS:
-            setattr(self, field, getattr(self, field) + getattr(other, field))
-        return self
-
-    def __repr__(self) -> str:
-        inner = ", ".join(
-            f"{field}={getattr(self, field)}" for field in self.FIELDS
-        )
-        return f"<ResilienceStats {inner}>"

@@ -57,7 +57,8 @@ class StreamingDataLibrary:
                  cache_max_entries: Optional[int] = None,
                  serve_stale: bool = False,
                  retry_policy: Optional[RetryPolicy] = None,
-                 admission: Optional[AdmissionController] = None):
+                 admission: Optional[AdmissionController] = None,
+                 tracer=None):
         self.registry = registry
         self.auth = auth
         self._remotes: Dict[str, RemoteDataset] = {}
@@ -66,7 +67,10 @@ class StreamingDataLibrary:
                               max_entries=cache_max_entries,
                               serve_stale=serve_stale)
         self.retry_policy = retry_policy
-        #: One counter block shared by every registered remote.
+        self.tracer = tracer
+        #: One counter tree shared by every registered remote; each
+        #: remote writes to its own ``dataset=<name>`` labeled block, so
+        #: per-dataset breakdowns and the library total both fall out.
         self.stats = ResilienceStats()
         #: Overload shedding: when set, streaming entry points take a
         #: slot (or raise Overloaded) before touching remote servers.
@@ -84,7 +88,8 @@ class StreamingDataLibrary:
     def register_dataset(self, name: str, url: str) -> None:
         self._remotes[name] = open_url(url, self.registry, cache=self.cache,
                                        retry_policy=self.retry_policy,
-                                       stats=self.stats)
+                                       stats=self.stats.labeled(dataset=name),
+                                       tracer=self.tracer)
         self._urls[name] = url
 
     def names(self) -> List[str]:
@@ -168,7 +173,15 @@ class StreamingDataLibrary:
                         f"[{lat_window[0]}:{lat_window[1]}]"
                         f"[{lon_window[0]}:{lon_window[1]}]"
                     )
-                    yield remote.fetch(constraint, budget=budget)
+                    # The span covers only the fetch: consumer time
+                    # between chunks is the caller's, not the SDL's.
+                    if self.tracer is not None:
+                        with self.tracer.span("sdl.chunk", dataset=name,
+                                              time_index=ti):
+                            chunk = remote.fetch(constraint, budget=budget)
+                    else:
+                        chunk = remote.fetch(constraint, budget=budget)
+                    yield chunk
             except BudgetExceeded as exc:
                 self.governance.record_outcome(exc, budget)
                 raise
@@ -270,6 +283,22 @@ class StreamingDataLibrary:
                 admission_max_concurrent=self.admission.max_concurrent,
             )
         return report
+
+    # -- observability -----------------------------------------------------
+    def bind_metrics(self, registry, component: str = "sdl") -> None:
+        """Expose this library's counters through a
+        :class:`~repro.observability.MetricsRegistry` — resilience and
+        governance counter trees (with per-dataset labels) plus the DAP
+        cache gauges, scraped live at collect time."""
+        from ..observability import (
+            register_dap_cache,
+            register_governance,
+            register_resilience,
+        )
+
+        register_resilience(registry, self.stats, component=component)
+        register_governance(registry, self.governance, component=component)
+        register_dap_cache(registry, self.cache, component=component)
 
     # -- resilience --------------------------------------------------------
     def resilience_report(self) -> Dict[str, int]:

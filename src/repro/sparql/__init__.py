@@ -52,7 +52,7 @@ __all__ = [
 
 def query(graph: Graph, text: str,
           service_resolver: Optional[Callable] = None,
-          budget=None) -> SPARQLResult:
+          budget=None, tracer=None) -> SPARQLResult:
     """Parse and evaluate a (Geo)SPARQL query against *graph*.
 
     ``service_resolver(endpoint_iri, group)`` is called for SERVICE
@@ -61,9 +61,15 @@ def query(graph: Graph, text: str,
     ``budget`` is an optional :class:`~repro.governance.QueryBudget`;
     when given, evaluation is cooperatively cancellable (deadline, row
     and scan limits) and the result carries ``budget_stats``.
+
+    ``tracer`` is an optional :class:`~repro.observability.Tracer`;
+    when given, execution builds a trace tree mirroring the plan
+    (``result.trace``) and ``result.profile()`` reports per-operator
+    timings keyed by the EXPLAIN node ids.
     """
     ast = parse_query(text, namespaces=graph.namespaces)
-    ctx = Context(graph, service_resolver=service_resolver, budget=budget)
+    ctx = Context(graph, service_resolver=service_resolver, budget=budget,
+                  tracer=tracer)
     result = eval_query(ast, ctx)
     if budget is not None:
         result.budget_stats = budget.snapshot()

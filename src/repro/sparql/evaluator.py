@@ -23,6 +23,7 @@ facades over the new engine.
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from typing import Callable, Dict, Iterable, List, Optional
 
 from ..rdf.graph import Graph
@@ -74,14 +75,23 @@ class Context:
     row it emits) against it, so a pathological query terminates with a
     typed :class:`~repro.governance.BudgetExceeded` carrying partial
     stats instead of running unbounded.
+
+    ``tracer`` is an optional
+    :class:`~repro.observability.Tracer`; when present each executed
+    query builds a :class:`~repro.observability.PlanTrace` (one span
+    per plan node, ids matching EXPLAIN) published on ``ctx.trace`` so
+    the operators — and anything they call into, down to DAP fetches —
+    charge time to the right span.
     """
 
     def __init__(self, graph: Graph,
                  service_resolver: Optional[Callable] = None,
-                 budget=None):
+                 budget=None, tracer=None):
         self.graph = graph
         self.service_resolver = service_resolver
         self.budget = budget
+        self.tracer = tracer
+        self.trace = None
 
 
 # ---------------------------------------------------------------------------
@@ -503,12 +513,42 @@ def _group_and_aggregate(query: SelectQuery, rows: List[Solution],
 # Query forms: plan, execute, attach the plan for EXPLAIN
 # ---------------------------------------------------------------------------
 
+@contextmanager
+def _traced_execution(ctx: Context, sub):
+    """Prepare one query execution: ids, zeroed counters, and — when the
+    context carries a tracer — a plan-mirroring trace.
+
+    The trace is published on ``ctx.trace`` for the duration (saved and
+    restored, because sub-SELECTs re-enter :func:`eval_query` on the
+    same context) and its root span is active around the whole pull, so
+    summed operator self-times equal the root duration. On the way out
+    span durations are copied onto the plan nodes for ``profile()``.
+    """
+    sub.root.assign_ids()
+    sub.root.mark_executed()
+    if ctx.tracer is None:
+        yield None
+        return
+    from ..observability.trace import PlanTrace
+
+    trace = PlanTrace(ctx.tracer, sub.root)
+    prev = ctx.trace
+    ctx.trace = trace
+    trace.root_span.enter()
+    try:
+        yield trace
+    finally:
+        trace.root_span.exit()
+        ctx.trace = prev
+        trace.finish()
+
+
 def _eval_select(query: SelectQuery, ctx: Context) -> SPARQLResult:
     from .plan import plan_select
 
     sub = plan_select(query, ctx)
-    sub.root.mark_executed()
-    rows = list(sub.run(ctx, [{}]))
+    with _traced_execution(ctx, sub) as trace:
+        rows = list(sub.run(ctx, [{}]))
     sub.root.actual_rows = len(rows)
 
     # Result-row budget applies to what the caller will actually
@@ -529,6 +569,7 @@ def _eval_select(query: SelectQuery, ctx: Context) -> SPARQLResult:
         variables = seen_vars
     result = SPARQLResult("SELECT", variables=variables, rows=rows)
     result.plan = sub.root
+    result.trace = trace.root_span if trace is not None else None
     return result
 
 
@@ -536,12 +577,13 @@ def _eval_ask(query: AskQuery, ctx: Context) -> SPARQLResult:
     from .plan import plan_query
 
     sub = plan_query(query, ctx)
-    sub.root.mark_executed()
-    # Short-circuit: the first solution proves the pattern.
-    found = next(iter(sub.run(ctx, [{}])), None)
+    with _traced_execution(ctx, sub) as trace:
+        # Short-circuit: the first solution proves the pattern.
+        found = next(iter(sub.run(ctx, [{}])), None)
     sub.root.actual_rows = 1 if found is not None else 0
     result = SPARQLResult("ASK", ask=found is not None)
     result.plan = sub.root
+    result.trace = trace.root_span if trace is not None else None
     return result
 
 
@@ -549,24 +591,25 @@ def _eval_construct(query: ConstructQuery, ctx: Context) -> SPARQLResult:
     from .plan import plan_query
 
     sub = plan_query(query, ctx)
-    sub.root.mark_executed()
     graph = Graph()
-    done = False
-    for row in sub.run(ctx, [{}]):
-        bnode_map: Dict[str, BNode] = {}
-        for pattern in query.template:
-            triple = _instantiate(pattern, row, bnode_map)
-            if triple is not None:
-                graph.add(triple)
-                sub.root.actual_rows += 1
-                if ctx.budget is not None:
-                    ctx.budget.charge_rows()
-        if query.limit is not None and len(graph) >= query.limit:
-            done = True
-        if done:
-            break
+    with _traced_execution(ctx, sub) as trace:
+        done = False
+        for row in sub.run(ctx, [{}]):
+            bnode_map: Dict[str, BNode] = {}
+            for pattern in query.template:
+                triple = _instantiate(pattern, row, bnode_map)
+                if triple is not None:
+                    graph.add(triple)
+                    sub.root.actual_rows += 1
+                    if ctx.budget is not None:
+                        ctx.budget.charge_rows()
+            if query.limit is not None and len(graph) >= query.limit:
+                done = True
+            if done:
+                break
     result = SPARQLResult("CONSTRUCT", graph=graph)
     result.plan = sub.root
+    result.trace = trace.root_span if trace is not None else None
     return result
 
 
@@ -593,26 +636,27 @@ def _eval_describe(query: DescribeQuery, ctx: Context) -> SPARQLResult:
     from .plan import plan_query
 
     sub = plan_query(query, ctx)
-    sub.root.mark_executed()
     graph = Graph()
     targets = []
-    if query.where is not None:
-        rows = list(sub.run(ctx, [{}]))
-        for term in query.terms:
-            if isinstance(term, Var):
-                targets.extend(
-                    row[term.name] for row in rows if term.name in row
-                )
-            else:
-                targets.append(term)
-    else:
-        targets = [t for t in query.terms if not isinstance(t, Var)]
-    for target in targets:
-        for triple in ctx.graph.triples((target, None, None)):
-            graph.add(triple)
+    with _traced_execution(ctx, sub) as trace:
+        if query.where is not None:
+            rows = list(sub.run(ctx, [{}]))
+            for term in query.terms:
+                if isinstance(term, Var):
+                    targets.extend(
+                        row[term.name] for row in rows if term.name in row
+                    )
+                else:
+                    targets.append(term)
+        else:
+            targets = [t for t in query.terms if not isinstance(t, Var)]
+        for target in targets:
+            for triple in ctx.graph.triples((target, None, None)):
+                graph.add(triple)
     sub.root.actual_rows = len(graph)
     result = SPARQLResult("DESCRIBE", graph=graph)
     result.plan = sub.root
+    result.trace = trace.root_span if trace is not None else None
     return result
 
 
@@ -629,7 +673,14 @@ def eval_query(query: Query, ctx: Context) -> SPARQLResult:
 
 
 def explain_query(query: Query, ctx: Context):
-    """Plan *query* without executing it; returns the plan root node."""
+    """Plan *query* without executing it; returns the plan root node.
+
+    Planning is deterministic, so the pre-order node ids assigned here
+    are the ids an actual execution of the same query (and its trace
+    spans and profile rows) will carry.
+    """
     from .plan import plan_query
 
-    return plan_query(query, ctx).root
+    root = plan_query(query, ctx).root
+    root.assign_ids()
+    return root

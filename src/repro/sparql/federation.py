@@ -185,17 +185,25 @@ class FederationEngine:
     def __init__(self, retry_policy: Optional[RetryPolicy] = None,
                  breaker_factory: Optional[
                      Callable[[], CircuitBreaker]] = None,
-                 admission: Optional[AdmissionController] = None):
+                 admission: Optional[AdmissionController] = None,
+                 tracer=None):
         self._endpoints: Dict[str, SparqlEndpoint] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._breaker_factory = breaker_factory
         self.retry_policy = retry_policy or no_retry()
+        #: One stats tree for the engine; every dispatch records into
+        #: the per-endpoint labeled child, so ``stats.attempts`` is the
+        #: engine total while ``stats.labeled(endpoint=iri)`` carries
+        #: the per-endpoint breakdown (no double counting even when
+        #: the retry policy instance is shared across engines).
         self.stats = ResilienceStats()
         #: Optional bounded-concurrency guard for ``query()``; when
         #: configured, excess queries are shed with ``Overloaded``.
         self.admission = admission
         self.governance = (admission.stats if admission is not None
                            else GovernanceStats())
+        #: Default tracer for ``query()`` (per-call ``tracer=`` wins).
+        self.tracer = tracer
 
     def register(self, iri: str, endpoint: SparqlEndpoint) -> None:
         iri = str(iri)
@@ -215,12 +223,16 @@ class FederationEngine:
         return list(self._endpoints.values())
 
     def _dispatch(self, iri: str, fn: Callable,
-                  budget: Optional[QueryBudget] = None):
+                  budget: Optional[QueryBudget] = None,
+                  tracer=None):
         """One endpoint call under the retry policy + its breaker.
 
         With a budget, the call is charged as a remote fetch and the
         retry policy receives the query's *remaining* deadline, so no
-        backoff schedule can outlive the query.
+        backoff schedule can outlive the query. Counters land on the
+        per-endpoint labeled child of the engine stats; with a tracer
+        the call is a ``federation.dispatch`` span (its retry attempts
+        nested inside) under whichever operator pulled it.
         """
         budget_s = None
         if budget is not None:
@@ -233,16 +245,23 @@ class FederationEngine:
                     "query deadline exhausted before dispatch",
                     budget.snapshot(),
                 )
-        return self.retry_policy.run(fn, stats=self.stats,
-                                     breaker=self._breakers.get(iri),
-                                     budget_s=budget_s)
+        stats = self.stats.labeled(endpoint=iri)
+        if tracer is None:
+            return self.retry_policy.run(fn, stats=stats,
+                                         breaker=self._breakers.get(iri),
+                                         budget_s=budget_s)
+        with tracer.span("federation.dispatch", endpoint=iri):
+            return self.retry_policy.run(fn, stats=stats,
+                                         breaker=self._breakers.get(iri),
+                                         budget_s=budget_s,
+                                         tracer=tracer)
 
     def _resolve_service(self, endpoint_iri: str,
                          group: GroupGraphPattern,
                          partial: bool = False,
                          failures: Optional[Dict[str, str]] = None,
-                         budget: Optional[QueryBudget] = None
-                         ) -> List[Solution]:
+                         budget: Optional[QueryBudget] = None,
+                         tracer=None) -> List[Solution]:
         endpoint = self._endpoints.get(endpoint_iri)
         if endpoint is None:
             # Unknown endpoints are a query error, not a network
@@ -251,7 +270,7 @@ class FederationEngine:
         try:
             return self._dispatch(
                 endpoint_iri, lambda: endpoint.select_group(group),
-                budget=budget,
+                budget=budget, tracer=tracer,
             )
         except Exception as exc:
             if not partial:
@@ -262,7 +281,8 @@ class FederationEngine:
 
     def query(self, text: str,
               partial_results: bool = False,
-              budget: Optional[QueryBudget] = None) -> SPARQLResult:
+              budget: Optional[QueryBudget] = None,
+              tracer=None) -> SPARQLResult:
         """Evaluate a query over the federation.
 
         SERVICE patterns go to their named endpoint; everything else is
@@ -283,14 +303,23 @@ class FederationEngine:
         work). When the engine has an :class:`AdmissionController`,
         the query first takes an execution slot and may be shed with
         ``Overloaded``.
+
+        ``tracer`` (or the engine's default tracer) makes the whole
+        evaluation one ``federation.query`` trace tree: endpoint
+        harvest and dispatches, retry attempts, and the plan-mirrored
+        operator spans all nest under it (``result.trace``).
         """
+        if tracer is None:
+            tracer = self.tracer
         if self.admission is not None:
             return self.admission.run(
-                lambda: self._governed_query(text, partial_results, budget),
+                lambda: self._governed_query(text, partial_results, budget,
+                                             tracer),
                 budget=budget,
             )
         try:
-            result = self._governed_query(text, partial_results, budget)
+            result = self._governed_query(text, partial_results, budget,
+                                          tracer)
         except BudgetExceeded as exc:
             self.governance.record_outcome(exc, budget)
             raise
@@ -298,7 +327,18 @@ class FederationEngine:
         return result
 
     def _governed_query(self, text: str, partial_results: bool,
-                        budget: Optional[QueryBudget]) -> SPARQLResult:
+                        budget: Optional[QueryBudget],
+                        tracer=None) -> SPARQLResult:
+        if tracer is None:
+            return self._run_query(text, partial_results, budget, None)
+        with tracer.span("federation.query") as root:
+            result = self._run_query(text, partial_results, budget, tracer)
+        result.trace = root
+        return result
+
+    def _run_query(self, text: str, partial_results: bool,
+                   budget: Optional[QueryBudget],
+                   tracer) -> SPARQLResult:
         failures: Dict[str, str] = {}
         if budget is not None and partial_results:
             # Degraded mode: once the deadline passes, remote dispatch
@@ -307,7 +347,7 @@ class FederationEngine:
             budget.hard_deadline = False
 
         def dispatch(iri: str, fn: Callable):
-            return self._dispatch(iri, fn, budget=budget)
+            return self._dispatch(iri, fn, budget=budget, tracer=tracer)
 
         view = _FederatedView(self._endpoints, dispatch=dispatch,
                               partial=partial_results, failures=failures,
@@ -318,10 +358,12 @@ class FederationEngine:
             return self._resolve_service(endpoint_iri, group,
                                          partial=partial_results,
                                          failures=failures,
-                                         budget=budget)
+                                         budget=budget,
+                                         tracer=tracer)
 
         ast = parse_query(text, namespaces=view.namespaces)
-        ctx = Context(view, service_resolver=resolver, budget=budget)
+        ctx = Context(view, service_resolver=resolver, budget=budget,
+                      tracer=tracer)
         result = eval_query(ast, ctx)
         result.failures = dict(failures)
         if budget is not None:
@@ -355,3 +397,17 @@ class FederationEngine:
         return {
             iri: ep.request_count for iri, ep in self._endpoints.items()
         }
+
+    def bind_metrics(self, registry, component: str = "federation"):
+        """Expose this engine's resilience + governance counters (with
+        their per-endpoint breakdown) through a
+        :class:`~repro.observability.MetricsRegistry`; returns the
+        registry for chaining."""
+        from ..observability.bridge import (
+            register_governance,
+            register_resilience,
+        )
+
+        register_resilience(registry, self.stats, component=component)
+        register_governance(registry, self.governance, component=component)
+        return registry

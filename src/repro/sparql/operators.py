@@ -61,6 +61,38 @@ class Operator:
     def rows(self, ctx) -> Iterator[Solution]:
         raise NotImplementedError
 
+    def stream(self, ctx) -> Iterator[Solution]:
+        """``rows()``, timed when the context carries a trace.
+
+        Operators pull from each other through this method; without a
+        trace it is exactly ``rows()`` (zero overhead on the untraced
+        hot path). With one, each ``next()`` activates the operator's
+        plan-mirrored span, so inclusive time nests the way the
+        pipeline does and lower layers (federation dispatches, DAP
+        fetches, retry attempts) parent under the operator that pulled
+        them.
+        """
+        trace = getattr(ctx, "trace", None)
+        if trace is None:
+            return self.rows(ctx)
+        return self._traced_rows(ctx, trace)
+
+    def _traced_rows(self, ctx, trace) -> Iterator[Solution]:
+        span = trace.span_for(self.node)
+        iterator = self.rows(ctx)
+        while True:
+            span.enter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                span.exit()
+                return
+            except BaseException:
+                span.exit()
+                raise
+            span.exit()
+            yield row
+
     def _emit(self, row: Solution) -> Solution:
         node = self.node
         node.actual_rows = (node.actual_rows or 0) + 1
@@ -85,7 +117,7 @@ class SubPlan:
 
     def run(self, ctx, seed_rows: List[Solution]) -> Iterator[Solution]:
         self.seed.seed = seed_rows
-        return self.top.rows(ctx)
+        return self.top.stream(ctx)
 
 
 class SeedOp(Operator):
@@ -147,7 +179,7 @@ class BGPOp(Operator):
         id_mode = (hasattr(graph, "triples_ids")
                    and hasattr(graph, "dictionary"))
         specs = self._resolve_specs(graph) if id_mode else None
-        for row in self.source.rows(ctx):
+        for row in self.source.stream(ctx):
             _tick(ctx)
             if id_mode:
                 if specs is None:
@@ -329,7 +361,7 @@ class FilterOp(Operator):
     def rows(self, ctx) -> Iterator[Solution]:
         from .evaluator import eval_expr
 
-        for row in self.source.rows(ctx):
+        for row in self.source.stream(ctx):
             try:
                 if effective_boolean_value(eval_expr(self.expr, row, ctx)):
                     yield self._emit(row)
@@ -345,7 +377,7 @@ class BindOp(Operator):
     def rows(self, ctx) -> Iterator[Solution]:
         from .evaluator import eval_expr
 
-        for row in self.source.rows(ctx):
+        for row in self.source.stream(ctx):
             row = dict(row)
             try:
                 row[self.bind.var.name] = eval_expr(self.bind.expr, row, ctx)
@@ -362,7 +394,7 @@ class LeftJoinOp(Operator):
         self.sub = sub
 
     def rows(self, ctx) -> Iterator[Solution]:
-        for row in self.source.rows(ctx):
+        for row in self.source.stream(ctx):
             _tick(ctx)
             matched = False
             for out in self.sub.run(ctx, [dict(row)]):
@@ -379,7 +411,7 @@ class UnionOp(Operator):
 
     def rows(self, ctx) -> Iterator[Solution]:
         _tick(ctx)
-        input_rows = list(self.source.rows(ctx))
+        input_rows = list(self.source.stream(ctx))
         for sub in self.subs:
             seeded = [dict(r) for r in input_rows]
             for out in sub.run(ctx, seeded):
@@ -393,7 +425,7 @@ class MinusOp(Operator):
 
     def rows(self, ctx) -> Iterator[Solution]:
         exclusions = None
-        for row in self.source.rows(ctx):
+        for row in self.source.stream(ctx):
             _tick(ctx)
             if exclusions is None:
                 exclusions = list(self.sub.run(ctx, [{}]))
@@ -457,7 +489,7 @@ class ValuesOp(Operator):
         self._joiner = _HashJoiner(rows)
 
     def rows(self, ctx) -> Iterator[Solution]:
-        for row in self.source.rows(ctx):
+        for row in self.source.stream(ctx):
             _tick(ctx)
             for out in self._joiner.matches(row):
                 yield self._emit(out)
@@ -472,7 +504,7 @@ class SubSelectOp(Operator):
         from .evaluator import eval_query
 
         joiner = None
-        for row in self.source.rows(ctx):
+        for row in self.source.stream(ctx):
             _tick(ctx)
             if joiner is None:
                 sub_result = eval_query(self.query, ctx)
@@ -493,7 +525,7 @@ class ServiceOp(Operator):
         from .evaluator import EvaluationError
 
         joiner = None
-        for row in self.source.rows(ctx):
+        for row in self.source.stream(ctx):
             _tick(ctx)
             if joiner is None:
                 if ctx.service_resolver is None:
@@ -523,7 +555,7 @@ class AggregateOp(Operator):
     def rows(self, ctx) -> Iterator[Solution]:
         from .evaluator import _group_and_aggregate
 
-        input_rows = list(self.source.rows(ctx))
+        input_rows = list(self.source.stream(ctx))
         for row in _group_and_aggregate(self.query, input_rows, ctx):
             yield self._emit(row)
 
@@ -548,7 +580,7 @@ class OrderByOp(Operator):
         self.conditions = conditions
 
     def rows(self, ctx) -> Iterator[Solution]:
-        input_rows = list(self.source.rows(ctx))
+        input_rows = list(self.source.stream(ctx))
         # Stable multi-key sort: right-to-left so the leftmost ORDER BY
         # condition dominates.
         for cond in reversed(self.conditions):
@@ -603,7 +635,7 @@ class TopKOp(Operator):
             # like the full sort (and like the mixed-direction path).
             keyed = (
                 (tuple(_order_key(cond, row, ctx) for cond in conds), row)
-                for row in self.source.rows(ctx)
+                for row in self.source.stream(ctx)
             )
             pick = (heapq.nlargest if directions == {True}
                     else heapq.nsmallest)
@@ -617,7 +649,7 @@ class TopKOp(Operator):
                  for cond in conds],
                 index,
             )
-            for index, row in enumerate(self.source.rows(ctx))
+            for index, row in enumerate(self.source.stream(ctx))
         )
         for entry in heapq.nsmallest(self.k, entries):
             yield self._emit(entry.row)
@@ -631,7 +663,7 @@ class ProjectOp(Operator):
     def rows(self, ctx) -> Iterator[Solution]:
         from .evaluator import eval_expr
 
-        for row in self.source.rows(ctx):
+        for row in self.source.stream(ctx):
             out: Solution = {}
             for proj in self.query.projections:
                 if proj.expr is None:
@@ -651,7 +683,7 @@ class DistinctOp(Operator):
 
     def rows(self, ctx) -> Iterator[Solution]:
         seen: Set[Tuple] = set()
-        for row in self.source.rows(ctx):
+        for row in self.source.stream(ctx):
             key = tuple(
                 (v, row[v].n3() if hasattr(row[v], "n3") else str(row[v]))
                 for v in sorted(row)
@@ -672,7 +704,7 @@ class SliceOp(Operator):
     def rows(self, ctx) -> Iterator[Solution]:
         emitted = 0
         skipped = 0
-        for row in self.source.rows(ctx):
+        for row in self.source.stream(ctx):
             if skipped < self.offset:
                 skipped += 1
                 continue

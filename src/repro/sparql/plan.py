@@ -62,9 +62,18 @@ class PlanNode:
     ``actual_rows`` is ``None`` until the plan is executed (rendered as
     ``-``); the executor zeroes the whole tree when it starts pulling,
     and each operator increments its node as rows stream through.
+
+    ``id`` is the node's position in a pre-order walk of its tree
+    (assigned by :meth:`assign_ids`, 1-based). Because planning is
+    deterministic, the same query always yields the same ids, and the
+    executor mirrors them onto trace spans — so the ``#n`` EXPLAIN
+    prints is the same ``#n`` a profile row or trace span carries.
+    ``time_s`` is the operator's inclusive wall time, copied from its
+    span when the query ran under a tracer (else 0).
     """
 
-    __slots__ = ("label", "detail", "est_rows", "actual_rows", "children")
+    __slots__ = ("label", "detail", "est_rows", "actual_rows", "children",
+                 "id", "time_s")
 
     def __init__(self, label: str, detail: str = "",
                  est_rows: Optional[float] = None,
@@ -74,11 +83,19 @@ class PlanNode:
         self.est_rows = est_rows
         self.actual_rows: Optional[int] = None
         self.children: List[PlanNode] = children or []
+        self.id: Optional[int] = None
+        self.time_s: float = 0.0
+
+    def assign_ids(self) -> None:
+        """Number the tree pre-order, 1-based (stable across re-plans)."""
+        for i, node in enumerate(self.walk(), 1):
+            node.id = i
 
     def mark_executed(self) -> None:
         """Zero actual counters tree-wide (operators count from here)."""
         for node in self.walk():
             node.actual_rows = 0
+            node.time_s = 0.0
 
     def walk(self) -> Iterable["PlanNode"]:
         yield self
@@ -89,9 +106,12 @@ class PlanNode:
         est = "-" if self.est_rows is None else str(int(round(self.est_rows)))
         actual = "-" if self.actual_rows is None else str(self.actual_rows)
         head = self.label if not self.detail else f"{self.label}({self.detail})"
-        return f"{head}  [est={est} rows={actual}]"
+        node_id = "" if self.id is None else f"#{self.id} "
+        return f"{node_id}{head}  [est={est} rows={actual}]"
 
     def render(self, indent: int = 0) -> str:
+        if indent == 0 and self.id is None:
+            self.assign_ids()
         lines = ["  " * indent + self._fmt()]
         for child in self.children:
             lines.append(child.render(indent + 1))
@@ -99,10 +119,12 @@ class PlanNode:
 
     def to_dict(self) -> Dict[str, object]:
         return {
+            "id": self.id,
             "label": self.label,
             "detail": self.detail,
             "est_rows": self.est_rows,
             "actual_rows": self.actual_rows,
+            "time_s": self.time_s,
             "children": [c.to_dict() for c in self.children],
         }
 

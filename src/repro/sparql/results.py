@@ -33,6 +33,12 @@ class SPARQLResult:
     ``plan`` is the executed physical plan
     (a :class:`~repro.sparql.plan.PlanNode` tree with estimated and
     actual per-operator row counts); :meth:`explain` renders it.
+
+    ``trace`` is the root :class:`~repro.observability.Span` of the
+    query's trace tree when the query ran under a tracer (``None``
+    otherwise); :meth:`profile` combines it with the plan into
+    per-operator timing rows keyed by the same ``#n`` ids EXPLAIN
+    prints.
     """
 
     def __init__(self, kind: str,
@@ -42,7 +48,8 @@ class SPARQLResult:
                  graph: Optional[Graph] = None,
                  failures: Optional[Dict[str, str]] = None,
                  budget_stats: Optional[Dict[str, object]] = None,
-                 plan=None):
+                 plan=None,
+                 trace=None):
         self.kind = kind
         self.vars = variables or []
         self.rows = rows or []
@@ -51,12 +58,26 @@ class SPARQLResult:
         self.failures: Dict[str, str] = dict(failures or {})
         self.budget_stats = budget_stats
         self.plan = plan
+        self.trace = trace
 
     def explain(self) -> str:
         """Rendered physical plan with estimated vs actual rows."""
         if self.plan is None:
             return "(no plan recorded)"
         return self.plan.render()
+
+    def profile(self) -> "QueryProfile":
+        """Per-operator profile of the executed plan.
+
+        One row per plan node — id (the ``#n`` EXPLAIN prints), label,
+        rows in/out, inclusive and self time — plus, when the query ran
+        under a tracer, the counters recorded by spans of lower layers
+        (DAP cache hits, fetches, retry attempts...) attributed to the
+        nearest enclosing operator.
+        """
+        if self.plan is None:
+            raise ValueError("no plan recorded; profile unavailable")
+        return QueryProfile(self.plan, self.trace)
 
     def __iter__(self) -> Iterator[Solution]:
         return iter(self.rows)
@@ -144,3 +165,94 @@ class SPARQLResult:
             n = len(self.graph) if self.graph else 0
             return f"<SPARQLResult {self.kind} ({n} triples)>"
         return f"<SPARQLResult SELECT {self.vars} ({len(self.rows)} rows)>"
+
+
+class QueryProfile:
+    """Per-operator profile rows computed from an executed plan + trace.
+
+    Iterating yields one dict per plan node, pre-order (same ids as
+    EXPLAIN): ``id``, ``label``, ``detail``, ``rows_in`` (what the
+    operator's source emitted; ``None`` for leaves), ``rows_out``,
+    inclusive ``time_s``, ``self_time_s`` (inclusive minus plan
+    children), and ``counters`` aggregated from trace spans of lower
+    layers under the nearest enclosing operator span. Timings are zero
+    when the query ran without a tracer; ``unattributed`` holds
+    counters recorded outside any plan-mirrored span (e.g. during
+    federation endpoint harvest).
+    """
+
+    def __init__(self, plan, trace=None):
+        self.plan = plan
+        self.trace = trace
+        if plan.id is None:
+            plan.assign_ids()
+        counters: Dict[int, Dict[str, int]] = {}
+        self.unattributed: Dict[str, int] = {}
+        if trace is not None:
+            self._collect(trace, counters, None)
+        self.rows: List[Dict[str, object]] = []
+        self._build(plan, 0, counters)
+
+    def _collect(self, span, counters, current_id) -> None:
+        node_id = span.attributes.get("node_id")
+        if node_id is not None:
+            current_id = node_id
+        if span.counters:
+            if current_id is None:
+                bucket = self.unattributed
+            else:
+                bucket = counters.setdefault(current_id, {})
+            for key, value in span.counters.items():
+                bucket[key] = bucket.get(key, 0) + value
+        for child in span.children:
+            self._collect(child, counters, current_id)
+
+    def _build(self, node, depth, counters) -> None:
+        self.rows.append({
+            "id": node.id,
+            "label": node.label,
+            "detail": node.detail,
+            "depth": depth,
+            "rows_in": (node.children[0].actual_rows
+                        if node.children else None),
+            "rows_out": node.actual_rows,
+            "time_s": node.time_s,
+            "self_time_s": node.time_s - sum(
+                c.time_s for c in node.children),
+            "counters": counters.get(node.id, {}),
+        })
+        for child in node.children:
+            self._build(child, depth + 1, counters)
+
+    def __iter__(self) -> Iterator[Dict[str, object]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def render(self) -> str:
+        """Fixed-width profile table, operators indented as in EXPLAIN."""
+        lines = [
+            f"{'#id':>4}  {'operator':<44} {'rows_in':>8} "
+            f"{'rows_out':>8} {'time_ms':>9} {'self_ms':>9}  counters"
+        ]
+        for row in self.rows:
+            label = row["label"]
+            if row["detail"]:
+                label = f"{label}({row['detail']})"
+            label = "  " * row["depth"] + label
+            if len(label) > 44:
+                label = label[:41] + "..."
+            rows_in = "-" if row["rows_in"] is None else row["rows_in"]
+            rows_out = "-" if row["rows_out"] is None else row["rows_out"]
+            extra = " ".join(
+                f"{k}={v}" for k, v in sorted(row["counters"].items()))
+            lines.append(
+                f"{row['id']:>4}  {label:<44} {rows_in:>8} "
+                f"{rows_out:>8} {row['time_s'] * 1e3:>9.3f} "
+                f"{row['self_time_s'] * 1e3:>9.3f}  {extra}".rstrip()
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -25,6 +25,10 @@ ALLOWED = set()
 
 FORBIDDEN = [
     (re.compile(r"\btime\.time\(\)"), "ambient wall clock time.time()"),
+    # Calls only: `clock=time.perf_counter` default *references* stay
+    # legal — they are the injection points the lint protects.
+    (re.compile(r"\bperf_counter\(\)"),
+     "ambient perf_counter() call (inject a clock)"),
     (re.compile(r"\brandom\.random\(\)"), "unseeded random.random()"),
     (re.compile(r"\brandom\.(randint|randrange|choice|choices|shuffle|"
                 r"uniform|sample)\("),

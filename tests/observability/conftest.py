@@ -1,0 +1,46 @@
+"""Fixtures for the observability suite: deterministic clocks."""
+
+import pytest
+
+
+class TickClock:
+    """A clock that advances a fixed step on every read.
+
+    Every read moves time forward deterministically, so span
+    durations depend only on the *number and order* of clock reads —
+    two identical runs produce byte-identical trace JSON.
+    """
+
+    def __init__(self, step: float = 0.001, start: float = 0.0):
+        self.step = step
+        self.now = start
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class FakeClock:
+    """A manually-advanced clock (reads do not move time)."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def tick_clock():
+    return TickClock()
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()

@@ -1,0 +1,108 @@
+"""DapCache accounting: a stale-served request is a stale_hit, not a
+miss — and never a plain hit (the satellite fix), surfaced through the
+metrics registry."""
+
+import pytest
+
+from repro.observability import MetricsRegistry, parse_exposition
+from repro.observability import register_dap_cache
+from repro.opendap import DapCache
+
+pytestmark = pytest.mark.tier1
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def test_stale_serve_reclassifies_the_miss(clock):
+    cache = DapCache(ttl_s=10, clock=clock, serve_stale=True)
+    cache.put("u", "a", b"a")
+    clock.advance(11)
+    assert cache.get("u", "a") is None
+    assert (cache.hits, cache.misses, cache.stale_hits) == (0, 1, 0)
+    # the refetch failed; the caller falls back to the stale body:
+    assert cache.get_stale("u", "a") == b"a"
+    # one logical request, one counter — the miss became a stale_hit
+    assert (cache.hits, cache.misses, cache.stale_hits) == (0, 0, 1)
+
+
+def test_successful_refetch_confirms_the_miss(clock):
+    cache = DapCache(ttl_s=10, clock=clock, serve_stale=True)
+    cache.put("u", "a", b"old")
+    clock.advance(11)
+    assert cache.get("u", "a") is None
+    cache.put("u", "a", b"new")  # refetch succeeded
+    assert cache.get_stale("u", "a") == b"new"
+    # the put cleared the reclassification window: the miss stands
+    assert (cache.hits, cache.misses, cache.stale_hits) == (0, 1, 1)
+
+
+def test_stale_hit_never_counts_as_plain_hit(clock):
+    cache = DapCache(ttl_s=10, clock=clock, serve_stale=True)
+    cache.put("u", "a", b"a")
+    assert cache.get("u", "a") == b"a"  # fresh: a real hit
+    clock.advance(11)
+    cache.get("u", "a")
+    cache.get_stale("u", "a")
+    assert cache.hits == 1
+    assert cache.stale_hits == 1
+
+
+def test_hit_rate_counts_stale_serves_as_satisfied(clock):
+    cache = DapCache(ttl_s=10, clock=clock, serve_stale=True)
+    cache.put("u", "a", b"a")
+    assert cache.get("u", "a") == b"a"  # hit
+    clock.advance(11)
+    cache.get("u", "a")  # provisional miss
+    cache.get_stale("u", "a")  # ...reclassified stale_hit
+    cache.get("u", "nope")  # true miss
+    # 3 logical requests, 2 satisfied from cache
+    assert cache.hit_rate == pytest.approx(2 / 3)
+
+
+def test_clear_resets_pending_reclassification(clock):
+    cache = DapCache(ttl_s=10, clock=clock, serve_stale=True)
+    cache.put("u", "a", b"a")
+    clock.advance(11)
+    cache.get("u", "a")
+    cache.clear()
+    cache.put("u", "a", b"a")
+    assert cache.get_stale("u", "a") == b"a"
+    # no leftover pending entry: the miss count cannot go negative
+    assert (cache.misses, cache.stale_hits) == (0, 1)
+
+
+def test_cache_counters_exposed_via_registry(clock):
+    cache = DapCache(ttl_s=10, clock=clock, serve_stale=True)
+    registry = MetricsRegistry()
+    register_dap_cache(registry, cache, component="sdl")
+    cache.put("u", "a", b"a")
+    cache.get("u", "a")
+    clock.advance(11)
+    cache.get("u", "a")
+    cache.get_stale("u", "a")
+    text = registry.expose()
+    parsed = parse_exposition(text)
+    assert parsed.render() == text
+
+    def value(name):
+        (__, __, v), = parsed.family(name).samples
+        return v
+
+    assert value("repro_dap_cache_hits_total") == 1
+    assert value("repro_dap_cache_misses_total") == 0
+    assert value("repro_dap_cache_stale_hits_total") == 1
+    assert value("repro_dap_cache_entries") == 1

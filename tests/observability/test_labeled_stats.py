@@ -1,0 +1,128 @@
+"""Labeled counter trees: per-label attribution, no double counting."""
+
+import pytest
+
+from repro.governance import GovernanceStats
+from repro.observability import LabeledCounters, MetricsRegistry
+from repro.observability import parse_exposition, register_resilience
+from repro.resilience import ResilienceStats, RetryPolicy
+
+pytestmark = pytest.mark.tier1
+
+
+class DemoStats(LabeledCounters):
+    FIELDS = ("hits", "errors")
+
+
+def test_plain_field_mutation_still_works():
+    stats = DemoStats()
+    stats.hits += 1
+    stats.hits += 2
+    assert stats.hits == 3
+    assert stats.as_dict() == {"hits": 3, "errors": 0}
+
+
+def test_child_counts_roll_up_into_parent_totals():
+    stats = DemoStats()
+    stats.hits += 1
+    stats.labeled(endpoint="a").hits += 2
+    stats.labeled(endpoint="b").hits += 4
+    assert stats.hits == 7
+    assert stats.labeled(endpoint="a").hits == 2
+    assert stats.own_as_dict()["hits"] == 1
+
+
+def test_labeled_returns_same_child_for_same_labels():
+    stats = DemoStats()
+    assert stats.labeled(endpoint="a") is stats.labeled(endpoint="a")
+    assert stats.labeled() is stats
+
+
+def test_self_merge_is_a_noop():
+    stats = DemoStats()
+    stats.hits += 5
+    stats.merge(stats)
+    assert stats.hits == 5  # the historical double-count bug
+
+
+def test_merge_adds_other_totals_once():
+    a = DemoStats()
+    a.labeled(endpoint="x").hits += 3
+    b = DemoStats()
+    b.hits += 2
+    b.merge(a)
+    assert b.hits == 5
+    assert a.hits == 3  # source untouched
+
+
+def test_shared_retry_policy_attributes_per_endpoint():
+    """One RetryPolicy instance, two endpoints: counters land on the
+    per-endpoint labeled blocks, and the shared tree's totals are the
+    sum — not double-counted per instance."""
+    policy = RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0,
+                         sleep=lambda s: None)
+    tree = ResilienceStats()
+
+    calls = {"n": 0}
+
+    def flaky():
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise ConnectionError("first endpoint hiccup")
+        return "ok"
+
+    policy.run(flaky, stats=tree.labeled(endpoint="http://a/sparql"))
+    policy.run(lambda: "ok", stats=tree.labeled(endpoint="http://b/sparql"))
+
+    a = tree.labeled(endpoint="http://a/sparql")
+    b = tree.labeled(endpoint="http://b/sparql")
+    assert (a.attempts, a.retries, a.successes) == (2, 1, 1)
+    assert (b.attempts, b.retries, b.successes) == (1, 0, 1)
+    # totals are the per-endpoint sums
+    assert tree.attempts == 3
+    assert tree.successes == 2
+    assert tree.logical_requests == 2
+
+
+def test_resilience_stats_walk_carries_labels():
+    tree = ResilienceStats()
+    tree.labeled(endpoint="a").attempts += 1
+    rows = list(tree.walk({"component": "federation"}))
+    assert rows[0][0] == {"component": "federation"}
+    assert rows[1][0] == {"component": "federation", "endpoint": "a"}
+
+
+class _HeadroomBudget:
+    """Just enough of a QueryBudget to feed record_headroom."""
+
+    def __init__(self, headroom):
+        self._headroom = headroom
+
+    def headroom(self):
+        return self._headroom
+
+
+def test_governance_stats_headroom_combines_children():
+    stats = GovernanceStats()
+    stats.record_headroom(_HeadroomBudget(0.05))
+    child = stats.labeled(component="sdl")
+    child.record_headroom(_HeadroomBudget(0.95))
+    combined = stats.combined_headroom_histogram()
+    assert sum(combined) == 2
+    assert combined[0] == 1 and combined[-1] == 1
+    assert stats.combined_headroom_sum() == pytest.approx(1.0)
+
+
+def test_bridge_sums_tree_without_double_count():
+    tree = ResilienceStats()
+    tree.attempts += 1  # own (unlabeled) work
+    tree.labeled(endpoint="a").attempts += 2
+    tree.labeled(endpoint="b").attempts += 3
+    registry = MetricsRegistry()
+    register_resilience(registry, tree, component="fed")
+    parsed = parse_exposition(registry.expose())
+    fam = parsed.family("repro_resilience_attempts_total")
+    values = {labels["endpoint"]: value for __, labels, value in fam.samples}
+    assert values == {"": 1.0, "a": 2.0, "b": 3.0}
+    # a Prometheus-style sum() over the family equals the tree total
+    assert sum(values.values()) == tree.attempts

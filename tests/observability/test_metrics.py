@@ -1,0 +1,184 @@
+"""Metrics registry semantics and exposition-format validation."""
+
+import pytest
+
+from repro.observability import (
+    MetricsError,
+    MetricsRegistry,
+    parse_exposition,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+def test_counter_inc_and_value():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_requests_total", help="requests served")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(MetricsError):
+        c.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("repro_active")
+    g.set(3)
+    g.inc()
+    g.dec(2)
+    assert g.value == 2
+
+
+def test_labeled_family_children_are_independent():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_fetches_total", labelnames=["endpoint"])
+    c.labels(endpoint="a").inc(2)
+    c.labels(endpoint="b").inc(5)
+    assert c.labels(endpoint="a").value == 2
+    assert c.labels(endpoint="b").value == 5
+    with pytest.raises(MetricsError):
+        c.labels(wrong="x")
+
+
+def test_histogram_buckets_sum_count():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_latency_seconds", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    child = h.labels()
+    assert child.bucket_counts == [1, 2, 1]  # non-cumulative storage
+    assert child.count == 5  # includes the 50.0 beyond the last bound
+    assert child.sum == pytest.approx(56.05)
+
+
+def test_invalid_names_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(MetricsError):
+        reg.counter("0bad")
+    with pytest.raises(MetricsError):
+        reg.counter("ok_total", labelnames=["le"])
+    with pytest.raises(MetricsError):
+        reg.histogram("h", buckets=(1.0, 1.0))
+
+
+def test_reregistration_is_idempotent_but_kind_checked():
+    reg = MetricsRegistry()
+    a = reg.counter("repro_x_total")
+    b = reg.counter("repro_x_total")
+    assert a is b
+    with pytest.raises(MetricsError):
+        reg.gauge("repro_x_total")
+
+
+def test_exposition_round_trips_through_the_parser():
+    reg = MetricsRegistry()
+    reg.counter("repro_requests_total", help="requests",
+                labelnames=["endpoint"]).labels(
+        endpoint="http://a.example/sparql").inc(3)
+    reg.gauge("repro_active").set(2)
+    h = reg.histogram("repro_latency_seconds", help="latency",
+                      buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    text = reg.expose()
+    parsed = parse_exposition(text)
+    assert parsed.render() == text
+
+
+def test_exposition_histogram_shape():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_h", buckets=(0.5, 1.0))
+    h.observe(0.2)
+    h.observe(2.0)
+    text = reg.expose()
+    parsed = parse_exposition(text)
+    fam = parsed.family("repro_h")
+    names = [name for name, __, __ in fam.samples]
+    assert names == ["repro_h_bucket", "repro_h_bucket",
+                     "repro_h_bucket", "repro_h_sum", "repro_h_count"]
+    values = {(name, labels.get("le")): value
+              for name, labels, value in fam.samples}
+    assert values[("repro_h_bucket", "0.5")] == 1
+    assert values[("repro_h_bucket", "1")] == 1  # cumulative
+    assert values[("repro_h_bucket", "+Inf")] == 2
+
+
+def test_parser_rejects_nonmonotonic_buckets():
+    bad = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="0.5"} 3\n'
+        'h_bucket{le="1"} 2\n'
+        'h_bucket{le="+Inf"} 3\n'
+        "h_sum 1\n"
+        "h_count 3\n"
+    )
+    with pytest.raises(MetricsError):
+        parse_exposition(bad)
+
+
+def test_parser_rejects_missing_inf_bucket():
+    bad = (
+        "# TYPE h histogram\n"
+        'h_bucket{le="0.5"} 1\n'
+        "h_sum 1\n"
+        "h_count 1\n"
+    )
+    with pytest.raises(MetricsError):
+        parse_exposition(bad)
+
+
+def test_parser_rejects_untyped_samples():
+    with pytest.raises(MetricsError):
+        parse_exposition("mystery_total 3\n")
+
+
+def test_parser_handles_escaped_label_values():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_x_total", labelnames=["q"])
+    c.labels(q='say "hi"\nplease\\now').inc()
+    text = reg.expose()
+    parsed = parse_exposition(text)
+    assert parsed.render() == text
+    (_, labels, _), = parsed.family("repro_x_total").samples
+    assert labels["q"] == 'say "hi"\nplease\\now'
+
+
+def test_collectors_run_at_scrape_time():
+    from repro.observability.metrics import MetricFamily
+
+    reg = MetricsRegistry()
+    state = {"n": 0}
+
+    def collector():
+        fam = MetricFamily("repro_live_total", "counter")
+        fam.inc(state["n"])
+        return [fam]
+
+    reg.register_collector(collector)
+    state["n"] = 7
+    parsed = parse_exposition(reg.expose())
+    (_, _, value), = parsed.family("repro_live_total").samples
+    assert value == 7
+
+
+def test_duplicate_collector_family_raises():
+    from repro.observability.metrics import MetricFamily
+
+    reg = MetricsRegistry()
+    reg.counter("repro_dup_total")
+    reg.register_collector(
+        lambda: [MetricFamily("repro_dup_total", "counter")])
+    with pytest.raises(MetricsError):
+        reg.expose()
+
+
+def test_json_export_matches_samples():
+    reg = MetricsRegistry()
+    reg.counter("repro_a_total").inc(2)
+    data = reg.to_json()
+    (fam,) = data["families"]
+    assert fam["name"] == "repro_a_total"
+    assert fam["samples"] == [
+        {"name": "repro_a_total", "labels": {}, "value": 2.0}
+    ]

@@ -1,0 +1,108 @@
+"""Query profiles: per-operator rows/timings keyed to EXPLAIN ids."""
+
+import re
+
+import pytest
+
+from repro.observability import Tracer
+from repro.rdf import Graph, IRI, Literal
+
+pytestmark = pytest.mark.tier1
+
+EX = "http://example.org/"
+
+QUERY = f"""
+SELECT ?s ?v WHERE {{
+  ?s <{EX}value> ?v .
+  FILTER(?v > 2)
+}} ORDER BY ?v
+"""
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    for i in range(5):
+        g.add(IRI(f"{EX}item{i}"), IRI(f"{EX}value"), Literal(i))
+    return g
+
+
+def test_profile_requires_a_plan():
+    from repro.sparql.results import SPARQLResult
+
+    with pytest.raises(ValueError):
+        SPARQLResult("SELECT").profile()
+
+
+def test_profile_without_tracer_has_rows_but_zero_times(graph):
+    result = graph.query(QUERY)
+    profile = result.profile()
+    assert len(profile) == len(list(result.plan.walk()))
+    for row in profile:
+        assert row["time_s"] == 0.0
+    out_row = profile.rows[0]
+    assert out_row["rows_out"] == 2  # values 3 and 4 pass the filter
+
+
+def test_profile_ids_match_explain_ids(graph, tick_clock):
+    tracer = Tracer(clock=tick_clock)
+    result = graph.query(QUERY, tracer=tracer)
+    explain_ids = set(
+        int(m) for m in re.findall(r"^\s*#(\d+) ", result.explain(),
+                                   re.MULTILINE)
+    )
+    profile_ids = {row["id"] for row in result.profile()}
+    assert profile_ids == explain_ids
+    assert profile_ids == set(range(1, len(profile_ids) + 1))
+
+
+def test_profile_times_sum_to_root_duration(graph, tick_clock):
+    tracer = Tracer(clock=tick_clock)
+    result = graph.query(QUERY, tracer=tracer)
+    profile = result.profile()
+    root_row = profile.rows[0]
+    assert root_row["time_s"] > 0
+    total_self = sum(row["self_time_s"] for row in profile)
+    assert total_self == pytest.approx(root_row["time_s"])
+
+
+def test_profile_rows_in_is_source_rows_out(graph, tick_clock):
+    tracer = Tracer(clock=tick_clock)
+    result = graph.query(QUERY, tracer=tracer)
+    by_id = {row["id"]: row for row in result.profile()}
+    for row in result.profile():
+        if row["rows_in"] is None:
+            continue
+        # rows_in equals the first plan child's rows_out
+        child_rows = [
+            r for r in by_id.values()
+            if r["depth"] == row["depth"] + 1
+        ]
+        assert any(r["rows_out"] == row["rows_in"] for r in child_rows)
+
+
+def test_profile_render_is_a_table(graph, tick_clock):
+    tracer = Tracer(clock=tick_clock)
+    result = graph.query(QUERY, tracer=tracer)
+    text = result.profile().render()
+    lines = text.splitlines()
+    assert lines[0].split()[:3] == ["#id", "operator", "rows_in"]
+    assert len(lines) == len(result.profile()) + 1
+    assert str(result.profile()) == text
+
+
+def test_trace_attached_to_result(graph, tick_clock):
+    tracer = Tracer(clock=tick_clock)
+    result = graph.query(QUERY, tracer=tracer)
+    assert result.trace is not None
+    node_ids = {
+        s.attributes.get("node_id") for s in result.trace.walk()
+        if s.attributes.get("node_id") is not None
+    }
+    plan_ids = {n.id for n in result.plan.walk()}
+    assert node_ids == plan_ids
+
+
+def test_untraced_query_has_no_trace(graph):
+    result = graph.query(QUERY)
+    assert result.trace is None

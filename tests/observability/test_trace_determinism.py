@@ -1,0 +1,69 @@
+"""Determinism: identical runs yield byte-identical trace JSON."""
+
+import pytest
+
+from repro.observability import Tracer, dump_trace, render_trace
+from repro.rdf import Graph, IRI, Literal
+
+from conftest import TickClock
+
+pytestmark = pytest.mark.tier1
+
+EX = "http://example.org/"
+
+QUERY = f"""
+SELECT ?s ?v WHERE {{
+  ?s <{EX}value> ?v .
+  OPTIONAL {{ ?s <{EX}tag> ?t }}
+  FILTER(?v >= 1)
+}} ORDER BY DESC(?v) LIMIT 3
+"""
+
+
+def build_graph():
+    g = Graph()
+    for i in range(6):
+        g.add(IRI(f"{EX}item{i}"), IRI(f"{EX}value"), Literal(i))
+        if i % 2:
+            g.add(IRI(f"{EX}item{i}"), IRI(f"{EX}tag"),
+                  Literal(f"t{i}"))
+    return g
+
+
+def run_once():
+    tracer = Tracer(clock=TickClock(step=0.001))
+    result = build_graph().query(QUERY, tracer=tracer)
+    return result, tracer
+
+
+def test_two_runs_produce_byte_identical_trace_json():
+    result_a, __ = run_once()
+    result_b, __ = run_once()
+    assert dump_trace(result_a.trace) == dump_trace(result_b.trace)
+
+
+def test_two_runs_produce_identical_renderings():
+    result_a, __ = run_once()
+    result_b, __ = run_once()
+    assert render_trace(result_a.trace) == render_trace(result_b.trace)
+    assert result_a.profile().render() == result_b.profile().render()
+    assert result_a.explain() == result_b.explain()
+
+
+def test_span_ids_stable_across_runs():
+    __, tracer_a = run_once()
+    __, tracer_b = run_once()
+    names_a = [(s.span_id, s.name) for s in tracer_a.spans]
+    names_b = [(s.span_id, s.name) for s in tracer_b.spans]
+    assert names_a == names_b
+
+
+def test_trace_json_has_expected_envelope():
+    import json
+
+    result, __ = run_once()
+    data = json.loads(dump_trace(result.trace))
+    assert set(data) == {"span_id", "name", "attributes", "counters",
+                         "start_s", "duration_s", "self_time_s",
+                         "children"}
+    assert data["children"]  # plan spans mirrored underneath

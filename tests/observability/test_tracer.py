@@ -1,0 +1,137 @@
+"""Span tracer semantics: nesting, activation accounting, counters."""
+
+import pytest
+
+from repro.observability import Span, Tracer, render_trace, top_spans
+
+pytestmark = pytest.mark.tier1
+
+
+def test_spans_nest_under_the_active_span(fake_clock):
+    tracer = Tracer(clock=fake_clock)
+    with tracer.span("root") as root:
+        with tracer.span("child") as child:
+            with tracer.span("grandchild") as grand:
+                pass
+        with tracer.span("sibling") as sib:
+            pass
+    assert tracer.roots == [root]
+    assert root.children == [child, sib]
+    assert child.children == [grand]
+    assert tracer.current is None
+
+
+def test_span_ids_are_sequential_in_creation_order(fake_clock):
+    tracer = Tracer(clock=fake_clock)
+    with tracer.span("a"):
+        with tracer.span("b"):
+            pass
+        with tracer.span("c"):
+            pass
+    assert [s.span_id for s in tracer.spans] == [1, 2, 3]
+    assert [s.name for s in tracer.spans] == ["a", "b", "c"]
+
+
+def test_duration_accumulates_over_activations(fake_clock):
+    tracer = Tracer(clock=fake_clock)
+    span = tracer.start_span("op", parent=None)
+    span.enter()
+    fake_clock.advance(1.0)
+    span.exit()
+    fake_clock.advance(10.0)  # consumer time between rows: not charged
+    span.enter()
+    fake_clock.advance(2.0)
+    span.exit()
+    assert span.duration_s == pytest.approx(3.0)
+
+
+def test_self_time_excludes_direct_children(fake_clock):
+    tracer = Tracer(clock=fake_clock)
+    with tracer.span("parent") as parent:
+        fake_clock.advance(1.0)
+        with tracer.span("child"):
+            fake_clock.advance(2.0)
+        fake_clock.advance(0.5)
+    assert parent.duration_s == pytest.approx(3.5)
+    assert parent.self_time_s == pytest.approx(1.5)
+
+
+def test_self_times_telescope_to_root_duration(fake_clock):
+    tracer = Tracer(clock=fake_clock)
+    with tracer.span("root") as root:
+        fake_clock.advance(0.25)
+        for __ in range(3):
+            with tracer.span("mid"):
+                fake_clock.advance(0.5)
+                with tracer.span("leaf"):
+                    fake_clock.advance(0.125)
+    total_self = sum(s.self_time_s for s in root.walk())
+    assert total_self == pytest.approx(root.duration_s)
+
+
+def test_counters_and_tracer_count(fake_clock):
+    tracer = Tracer(clock=fake_clock)
+    with tracer.span("fetch") as span:
+        span.record("cache_hits")
+        span.record("cache_hits")
+        tracer.count("fetches", 3)
+    assert span.counters == {"cache_hits": 2, "fetches": 3}
+    tracer.count("ignored")  # no active span: silently dropped
+    assert span.counters == {"cache_hits": 2, "fetches": 3}
+
+
+def test_nested_reentry_charges_once(fake_clock):
+    """Recursive activation of the same span must not double-charge."""
+    tracer = Tracer(clock=fake_clock)
+    span = tracer.start_span("op", parent=None)
+    span.enter()
+    span.enter()
+    fake_clock.advance(1.0)
+    span.exit()
+    fake_clock.advance(1.0)
+    span.exit()
+    assert span.duration_s == pytest.approx(2.0)
+
+
+def test_exception_inside_span_still_closes_it(fake_clock):
+    tracer = Tracer(clock=fake_clock)
+    with pytest.raises(RuntimeError):
+        with tracer.span("boom"):
+            fake_clock.advance(1.0)
+            raise RuntimeError("x")
+    assert tracer.current is None
+    assert tracer.roots[0].duration_s == pytest.approx(1.0)
+
+
+def test_render_trace_shows_tree_counters_and_timings(fake_clock):
+    tracer = Tracer(clock=fake_clock)
+    with tracer.span("root") as root:
+        fake_clock.advance(0.002)
+        with tracer.span("leaf") as leaf:
+            fake_clock.advance(0.001)
+            leaf.record("hits", 2)
+    text = render_trace(root)
+    lines = text.splitlines()
+    assert lines[0].startswith("root  [3.000ms self=2.000ms]")
+    assert lines[1].startswith("  leaf  [1.000ms self=1.000ms]")
+    assert "hits=2" in lines[1]
+
+
+def test_top_spans_ranks_by_self_time(fake_clock):
+    tracer = Tracer(clock=fake_clock)
+    with tracer.span("root") as root:
+        with tracer.span("slow"):
+            fake_clock.advance(5.0)
+        with tracer.span("fast"):
+            fake_clock.advance(1.0)
+    ranked = top_spans(root, n=2)
+    # root's self-time is ~0: all its time is inside the children
+    assert [s.name for s in ranked] == ["slow", "fast"]
+
+
+def test_start_span_explicit_parent_none_makes_new_root(fake_clock):
+    tracer = Tracer(clock=fake_clock)
+    with tracer.span("a"):
+        detached = tracer.start_span("b", parent=None)
+    assert detached in tracer.roots
+    assert isinstance(detached, Span)
