@@ -4,6 +4,8 @@ import pytest
 
 from repro.core.casestudy import LISTING1, PREFIXES
 
+pytestmark = pytest.mark.benchmark
+
 TIMINGS = {}
 
 

@@ -6,6 +6,8 @@ endpoint latency — quantifying the federation overhead the paper's
 open problem implies.
 """
 
+import time
+
 import pytest
 
 from repro.data import arrondissements, osm_parks
@@ -16,9 +18,12 @@ from repro.geotriples import (
     TermMap,
     TriplesMap,
 )
-from repro.rdf import GADM, Graph, IRI, OSM, XSD
+from repro.parallel import WorkerPool
+from repro.rdf import GADM, Graph, IRI, Literal, OSM, XSD
 from repro.sparql.federation import FederationEngine, SparqlEndpoint
 from repro.strabon import StrabonStore
+
+pytestmark = pytest.mark.benchmark
 
 QUERY = """
 PREFIX gadm: <http://www.app-lab.eu/gadm/>
@@ -95,6 +100,103 @@ def test_federated(benchmark, federation):
                                 rounds=3, iterations=1)
     TIMINGS["federated"] = benchmark.stats.stats.median
     assert len(result) == TIMINGS["rows"]  # same answer across modes
+
+
+WORKER_SWEEP = [1, 2, 4]
+N_MEMBERS = 4
+MEMBER_LATENCY_S = 0.02
+EX = "http://example.org/"
+
+SWEEP_QUERY = (
+    "PREFIX ex: <http://example.org/>\n"
+    "SELECT ?s ?l WHERE { ?s ex:label ?l } ORDER BY ?l"
+)
+
+
+class _WanEndpoint:
+    """One simulated round trip per pattern-level request.
+
+    ``SparqlEndpoint`` charges latency on ``query``/``select_group``
+    only (its ``triples``/``predicates`` model a co-located graph);
+    here every harvest and scan is a WAN call, which is what the
+    fan-out overlaps."""
+
+    def __init__(self, inner, latency_s):
+        self.inner = inner
+        self.latency_s = latency_s
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def predicates(self):
+        time.sleep(self.latency_s)
+        return self.inner.predicates()
+
+    def triples(self, pattern):
+        time.sleep(self.latency_s)
+        return self.inner.triples(pattern)
+
+
+def _sweep_engine(workers, n_rows):
+    engine = FederationEngine(pool=WorkerPool(workers=workers))
+    for member in range(N_MEMBERS):
+        graph = Graph()
+        graph.bind("ex", EX)
+        for i in range(n_rows):
+            node = IRI(f"{EX}m{member}/item{i}")
+            graph.add(node, IRI(EX + "label"),
+                      Literal(f"m{member}-item{i:04d}"))
+        endpoint = SparqlEndpoint(graph, name=f"member{member}")
+        engine.register(f"http://member{member}.example/sparql",
+                        _WanEndpoint(endpoint, MEMBER_LATENCY_S))
+    return engine
+
+
+def _best_of(fn, n):
+    best, result = None, None
+    for __ in range(n):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def test_parallel_sweep(record_summary, emit_bench, smoke):
+    """Fan-out sweep over a 4-member federation with per-request WAN
+    latency: harvest and pattern scans dispatch concurrently, so the
+    pool overlaps the round trips while the merged binding order stays
+    identical to the serial engine's."""
+    n_rows = 40 if smoke else 120
+    rounds = 2 if smoke else 3
+    expected = None
+    timings = {}
+    for workers in WORKER_SWEEP:
+        engine = _sweep_engine(workers, n_rows)
+        best, result = _best_of(lambda: engine.query(SWEEP_QUERY), rounds)
+        got = [str(b["l"]) for b in result]
+        if expected is None:
+            expected = got
+        assert got == expected, f"workers={workers} diverged"
+        timings[workers] = best
+    speedup_4 = timings[1] / timings[WORKER_SWEEP[-1]]
+    emit_bench("parallel", federation={
+        "members": N_MEMBERS,
+        "rows_per_member": n_rows,
+        "member_latency_s": MEMBER_LATENCY_S,
+        "seconds_by_workers": {str(w): round(t, 4)
+                               for w, t in timings.items()},
+        "speedup_workers_4": round(speedup_4, 2),
+    })
+    record_summary(
+        "E12b: federation fan-out worker sweep",
+        [f"workers={w}: {t:7.3f} s (x{timings[1] / t:4.2f} vs serial)"
+         for w, t in sorted(timings.items())]
+        + [f"members={N_MEMBERS}, latency={MEMBER_LATENCY_S * 1000:.0f} ms "
+           f"per request, rows/member={n_rows}"],
+    )
+    assert speedup_4 >= 1.5, f"expected overlap win, got {speedup_4:.2f}"
 
 
 def test_zz_summary(benchmark, record_summary):

@@ -20,6 +20,8 @@ from repro.geographica import (
     run_benchmark,
 )
 
+pytestmark = pytest.mark.benchmark
+
 QUERIES = micro_queries() + macro_queries()
 
 

@@ -20,6 +20,8 @@ QUERY_UNCACHED = (
     "SELECT count(*) AS n FROM (opendap url:{url}) WHERE LAI > 0"
 )
 
+pytestmark = pytest.mark.benchmark
+
 TIMINGS = {}
 
 

@@ -20,6 +20,8 @@ import pytest
 from repro.opendap import DapCache, WebCoverageService, open_url
 from repro.opendap.subset import index_window_for_bbox
 
+pytestmark = pytest.mark.benchmark
+
 N_REQUESTS = 60
 HOME = (2.28, 48.82, 2.42, 48.90)
 

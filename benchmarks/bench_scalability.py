@@ -16,6 +16,8 @@ from repro.geographica import (
     queries_by_key,
 )
 
+pytestmark = pytest.mark.benchmark
+
 SCALES = [1, 2, 4]
 RESULTS = {}
 

@@ -10,6 +10,8 @@ import pytest
 
 from repro.core.casestudy import LISTING3, PREFIXES
 
+pytestmark = pytest.mark.benchmark
+
 SPATIAL_QUERY = PREFIXES + """
 SELECT DISTINCT ?s ?lai WHERE {
   ?s lai:lai ?lai ; geo:hasGeometry ?g .

@@ -19,6 +19,8 @@ import pytest
 
 from repro.core.casestudy import LISTING3
 
+pytestmark = pytest.mark.benchmark
+
 RATIOS = {}
 
 

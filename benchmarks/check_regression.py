@@ -1,0 +1,151 @@
+"""Benchmark regression gate for CI's bench-smoke job.
+
+Compares freshly emitted ``out/BENCH_*.json`` metrics against the
+committed reference copies in ``benchmarks/baselines/``, using the
+manifest ``benchmarks/baselines/tracked_metrics.json``::
+
+    {
+      "tolerance_factor": 2.0,
+      "metrics": [
+        {"file": "BENCH_parallel.json",
+         "path": "geotriples.speedup_workers_4",
+         "direction": "higher"},
+        ...
+      ]
+    }
+
+``path`` is a dotted lookup into the JSON document. ``direction`` is
+``"lower"`` for metrics where smaller is better (wall times) or
+``"higher"`` for metrics where larger is better (speedups). A metric
+fails when it is worse than the baseline by more than the tolerance
+factor (per-metric ``tolerance_factor`` overrides the global one).
+A missing current file or metric is a failure: a benchmark that
+silently stops emitting must not pass the gate.
+
+Regenerate the baselines with::
+
+    python -m pytest benchmarks -k parallel_sweep \
+        --run-benchmarks --smoke
+    cp out/BENCH_parallel.json benchmarks/baselines/
+
+Exit status: 0 when every tracked metric is within tolerance,
+1 otherwise.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "out"
+DEFAULT_BASELINES = REPO_ROOT / "benchmarks" / "baselines"
+DEFAULT_MANIFEST = DEFAULT_BASELINES / "tracked_metrics.json"
+
+
+def lookup(data, dotted):
+    """Resolve a dotted path in nested dicts; KeyError when absent."""
+    node = data
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(dotted)
+        node = node[part]
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
+        raise KeyError(f"{dotted} is not numeric")
+    return float(node)
+
+
+def _load(directory, name, cache):
+    if name not in cache:
+        path = directory / name
+        if not path.exists():
+            cache[name] = None
+        else:
+            cache[name] = json.loads(path.read_text())
+    return cache[name]
+
+
+def check(manifest, out_dir, baseline_dir):
+    """Return (failures, report_lines) for every tracked metric."""
+    default_tol = float(manifest.get("tolerance_factor", 2.0))
+    current_cache, baseline_cache = {}, {}
+    failures, report = [], []
+    for metric in manifest["metrics"]:
+        name = metric["file"]
+        path = metric["path"]
+        direction = metric.get("direction", "lower")
+        if direction not in ("lower", "higher"):
+            raise ValueError(f"bad direction {direction!r} for {path}")
+        tol = float(metric.get("tolerance_factor", default_tol))
+        label = f"{name}:{path}"
+
+        def fail(reason):
+            failures.append(label)
+            report.append(f"FAIL {label}  {reason}")
+
+        current_doc = _load(out_dir, name, current_cache)
+        baseline_doc = _load(baseline_dir, name, baseline_cache)
+        if baseline_doc is None:
+            fail(f"baseline file missing: {baseline_dir / name}")
+            continue
+        if current_doc is None:
+            fail(f"benchmark did not emit {out_dir / name}")
+            continue
+        try:
+            baseline = lookup(baseline_doc, path)
+        except KeyError as exc:
+            fail(f"baseline metric missing: {exc}")
+            continue
+        try:
+            current = lookup(current_doc, path)
+        except KeyError as exc:
+            fail(f"current metric missing: {exc}")
+            continue
+
+        if direction == "lower":
+            ok = current <= baseline * tol
+        else:
+            ok = current >= baseline / tol
+        detail = (f"current={current:g} baseline={baseline:g} "
+                  f"({direction} is better, tolerance {tol:g}x)")
+        if ok:
+            report.append(f"OK   {label}  {detail}")
+        else:
+            fail(detail)
+    return failures, report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="fail when tracked benchmark metrics regress more "
+                    "than the tolerance factor vs committed baselines")
+    parser.add_argument("--out-dir", type=pathlib.Path,
+                        default=DEFAULT_OUT,
+                        help="directory with freshly emitted "
+                             "BENCH_*.json (default: out/)")
+    parser.add_argument("--baseline-dir", type=pathlib.Path,
+                        default=DEFAULT_BASELINES,
+                        help="directory with committed baseline "
+                             "BENCH_*.json (default: "
+                             "benchmarks/baselines/)")
+    parser.add_argument("--manifest", type=pathlib.Path,
+                        default=DEFAULT_MANIFEST,
+                        help="tracked-metrics manifest (default: "
+                             "benchmarks/baselines/"
+                             "tracked_metrics.json)")
+    args = parser.parse_args(argv)
+
+    manifest = json.loads(args.manifest.read_text())
+    failures, report = check(manifest, args.out_dir, args.baseline_dir)
+    for line in report:
+        print(line)
+    if failures:
+        print(f"\n{len(failures)} tracked metric(s) regressed beyond "
+              f"tolerance", file=sys.stderr)
+        return 1
+    print(f"\nall {len(report)} tracked metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ for a base round-trip per request plus a throughput term per byte,
 calibrated to a plausible WAN (30 ms RTT, ~4 MB/s effective).
 """
 
+import json
 import os
 import pathlib
 
@@ -27,6 +28,12 @@ def pytest_addoption(parser):
              "the top-5 spans by self-time and write the full trace "
              "JSON under out/TRACE_<name>.json",
     )
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="shrink workloads to CI scale; the parallel sweeps emit "
+             "the same out/BENCH_*.json metrics from seconds-long runs "
+             "(the bench-smoke regression gate runs in this mode)",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
@@ -46,6 +53,32 @@ def pytest_collection_modifyitems(config, items):
 
 SUMMARY_PATH = pathlib.Path(__file__).resolve().parent.parent / "out" \
     / "experiment_summaries.txt"
+OUT_DIR = SUMMARY_PATH.parent
+
+
+@pytest.fixture(scope="session")
+def smoke(request):
+    return bool(request.config.getoption("--smoke"))
+
+
+@pytest.fixture(scope="session")
+def emit_bench():
+    """Merge metric fields into out/BENCH_<name>.json.
+
+    Benchmark emitters write under out/ only (gitignored); the
+    committed reference copies that benchmarks/check_regression.py
+    compares against live in benchmarks/baselines/.
+    """
+    def emit(name, **fields):
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"BENCH_{name}.json"
+        data = json.loads(path.read_text()) if path.exists() else {}
+        data.update(fields)
+        path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+        return path
+
+    return emit
 
 
 @pytest.fixture(scope="session")

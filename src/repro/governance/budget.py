@@ -25,6 +25,7 @@ and degrade instead.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Dict, Optional
 
@@ -89,6 +90,10 @@ class QueryBudget:
         self.triples_scanned = 0
         self.remote_fetches = 0
         self._cancel_reason: Optional[str] = None
+        # One budget is shared by every task of a parallel fan-out
+        # (the worker pool propagates it per task), so the counter
+        # increments must not lose updates across threads.
+        self._lock = threading.Lock()
 
     @classmethod
     def unlimited(cls, clock: Callable[[], float] = time.monotonic
@@ -144,7 +149,8 @@ class QueryBudget:
     # -- charges -----------------------------------------------------------
     def charge_triples(self, n: int = 1) -> None:
         """Account *n* scanned triples (or spatial candidates)."""
-        self.triples_scanned += n
+        with self._lock:
+            self.triples_scanned += n
         self.check_deadline()
         if (self.max_triples is not None
                 and self.triples_scanned > self.max_triples):
@@ -156,7 +162,8 @@ class QueryBudget:
 
     def charge_rows(self, n: int = 1) -> None:
         """Account *n* produced rows (result rows, VT rows, chunks)."""
-        self.rows += n
+        with self._lock:
+            self.rows += n
         self.check_deadline()
         if self.max_rows is not None and self.rows > self.max_rows:
             raise RowLimitExceeded(
@@ -166,7 +173,8 @@ class QueryBudget:
 
     def charge_fetch(self, n: int = 1) -> None:
         """Account *n* remote fetches (endpoint calls, DAP requests)."""
-        self.remote_fetches += n
+        with self._lock:
+            self.remote_fetches += n
         self.check_deadline()
         if (self.max_fetches is not None
                 and self.remote_fetches > self.max_fetches):

@@ -7,8 +7,9 @@ Reproduces the pipeline of [Papadakis et al., SEMANTICS 2017]
 2. **block purging** — drop blocks larger than a size cap;
 3. **block filtering** — keep each entity only in its smallest blocks;
 4. **meta-blocking (WEP)** — weight candidate pairs (CBS/ECBS/Jaccard)
-   and prune those below the mean weight, optionally across worker
-   processes;
+   and prune those below the mean weight, with the co-occurrence
+   counting fanned out over the deterministic worker pool (worker
+   processes remain opt-in for CPU-bound runs);
 5. **entity matching** — profile similarity over attribute tokens;
 6. **clustering** — connected components over matched pairs.
 
@@ -20,9 +21,13 @@ from __future__ import annotations
 
 import multiprocessing
 import re
+import time
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, \
+    Set, Tuple
+
+from ..parallel import WorkerPool, chunk_list
 
 
 @dataclass
@@ -75,7 +80,13 @@ class JedaiPipeline:
                  filter_ratio: float = 0.5,
                  weighting: str = "cbs",
                  match_threshold: float = 0.5,
-                 workers: int = 1):
+                 workers: int = 1,
+                 partitions: Optional[int] = None,
+                 pool: Optional[WorkerPool] = None,
+                 use_processes: bool = False,
+                 chunk_read_s: float = 0.0,
+                 sleep: Callable[[float], None] = time.sleep,
+                 tracer=None, budget=None):
         if weighting not in ("cbs", "ecbs", "jaccard"):
             raise ValueError(f"unknown weighting scheme {weighting!r}")
         if not 0 < filter_ratio <= 1:
@@ -85,6 +96,18 @@ class JedaiPipeline:
         self.weighting = weighting
         self.match_threshold = match_threshold
         self.workers = max(1, workers)
+        # Block chunks are a function of the partition count alone, so
+        # meta-blocking output is byte-identical across worker counts.
+        self.partitions = self.workers if partitions is None \
+            else max(1, partitions)
+        self.pool = pool
+        self.use_processes = use_processes
+        # Simulated per-chunk block-collection read (the out-of-core
+        # I/O the multi-core meta-blocking paper overlaps).
+        self.chunk_read_s = chunk_read_s
+        self.sleep = sleep
+        self.tracer = tracer
+        self.budget = budget
         self.stats = BlockingStats()
 
     # -- stages --------------------------------------------------------------
@@ -133,16 +156,19 @@ class JedaiPipeline:
             for entity in members:
                 entity_block_count[entity] += 1
 
-        if self.workers > 1 and len(block_items) > 1:
-            chunks = _chunk(block_items, self.workers)
-            with multiprocessing.Pool(self.workers) as pool:
-                partials = pool.map(_count_cooccurrences, chunks)
-            cooccurrence: Dict[Pair, int] = defaultdict(int)
-            for partial in partials:
-                for pair, count in partial.items():
-                    cooccurrence[pair] += count
+        chunks = chunk_list(block_items, self.partitions)
+        if self.use_processes and self.workers > 1 and len(chunks) > 1:
+            partials = self._count_with_processes(chunks)
         else:
-            cooccurrence = _count_cooccurrences(block_items)
+            partials = self._count_with_pool(chunks)
+        # Merging partial counts in chunk order reproduces the serial
+        # scan's first-occurrence pair order exactly (chunks are
+        # contiguous runs of the same block list), so the weighted
+        # edge list downstream is byte-identical for any worker count.
+        cooccurrence: Dict[Pair, int] = defaultdict(int)
+        for partial in partials:
+            for pair, count in partial.items():
+                cooccurrence[pair] += count
 
         total_blocks = len(block_items)
         weighted: List[Tuple[Pair, float]] = []
@@ -169,6 +195,39 @@ class JedaiPipeline:
         pruned = [(p, w) for p, w in weighted if w >= mean]
         self.stats.after_metablocking = len(pruned)
         return pruned
+
+    def _count_with_processes(self, chunks: List[List[List[str]]]
+                              ) -> List[Dict[Pair, int]]:
+        """The original CPU-bound path, kept opt-in."""
+        with multiprocessing.Pool(self.workers) as mp:
+            return mp.map(_count_cooccurrences, chunks)
+
+    def _count_with_pool(self, chunks: List[List[List[str]]]
+                         ) -> List[Dict[Pair, int]]:
+        def one(chunk, tracer=None):
+            if self.chunk_read_s > 0:
+                self.sleep(self.chunk_read_s)
+            counts = _count_cooccurrences(chunk)
+            if self.budget is not None:
+                self.budget.charge_triples(
+                    sum(len(m) * (len(m) - 1) // 2 for m in chunk))
+            if tracer is not None:
+                tracer.count("blocks", len(chunk))
+                tracer.count("pairs", len(counts))
+            return counts
+
+        pool, owned = ((self.pool, False) if self.pool is not None
+                       else (WorkerPool(workers=self.workers,
+                                        name="metablocking"), True))
+        try:
+            return pool.map(one, chunks, budget=self.budget,
+                            tracer=self.tracer,
+                            label="interlink.metablocking",
+                            task_label="interlink.chunk",
+                            pass_tracer=True)
+        finally:
+            if owned:
+                pool.close()
 
     def entity_matching(self, pairs: Iterable[Pair],
                         profiles: Dict[str, EntityProfile]) -> List[Pair]:
@@ -220,11 +279,6 @@ def _count_cooccurrences(blocks: List[List[str]]) -> Dict[Pair, int]:
             for j in range(i + 1, len(members)):
                 counts[_pair(members[i], members[j])] += 1
     return dict(counts)
-
-
-def _chunk(items: List, n: int) -> List[List]:
-    size = max(1, (len(items) + n - 1) // n)
-    return [items[i: i + size] for i in range(0, len(items), size)]
 
 
 def _profile_similarity(a: EntityProfile, b: EntityProfile) -> float:

@@ -92,7 +92,9 @@ class LabeledCounters:
     # -- counts ------------------------------------------------------------
     def _total(self, field: str) -> int:
         total = self._own[field]
-        for child in self._children.values():
+        # list() snapshots the child map: a parallel dispatch may be
+        # creating a sibling label while a scrape walks the totals.
+        for child in list(self._children.values()):
             total += child._total(field)
         return total
 

@@ -176,6 +176,31 @@ class Tracer:
         if current is not None:
             current.record(key, n)
 
+    def adopt(self, span: Span, parent=_UNSET) -> Span:
+        """Graft a finished span tree from another tracer under *parent*
+        (default: the currently active span).
+
+        This is how parallel task spans join the request trace: each
+        worker records into a private tracer (threads never share the
+        active-span stack), and the pool adopts the finished trees in
+        task order. Adopted spans are renumbered in walk order from this
+        tracer's id counter, so the merged tree's ids depend only on
+        adoption order — deterministic for a deterministic task list.
+        """
+        if parent is _UNSET:
+            parent = self.current
+        for s in span.walk():
+            s.tracer = self
+            s.span_id = self._next_id
+            self._next_id += 1
+            self.spans.append(s)
+        span.parent = parent
+        if parent is None:
+            self.roots.append(span)
+        else:
+            parent.children.append(span)
+        return span
+
 
 # ---------------------------------------------------------------------------
 # Plan mirroring: one span per PlanNode, ids shared with EXPLAIN

@@ -206,26 +206,31 @@ class RemoteDataset:
         return dict(self._attributes.get("NC_GLOBAL", {}))
 
     # -- data -----------------------------------------------------------------
-    def _maybe_span(self, name: str, **attributes):
-        if self.tracer is None:
+    def _maybe_span(self, name: str, tracer=None, **attributes):
+        # `tracer` overrides the dataset's own (parallel prefetch hands
+        # each task a private tracer; the pool merges the spans).
+        tracer = self.tracer if tracer is None else tracer
+        if tracer is None:
             return _null_span()
-        return self.tracer.span(name, **attributes)
+        return tracer.span(name, **attributes)
 
-    def _run_resilient(self, fn, budget=None):
+    def _run_resilient(self, fn, budget=None, tracer=None):
         if self.retry_policy is None:
             return fn()
         budget_s = budget.remaining_s() if budget is not None else None
         return self.retry_policy.run(fn, stats=self.stats,
                                      breaker=self.breaker,
                                      budget_s=budget_s,
-                                     tracer=self.tracer)
+                                     tracer=(self.tracer if tracer is None
+                                             else tracer))
 
     def _raw_request(self, path_and_query: str) -> bytes:
         return self._run_resilient(
             lambda: self._server.request(path_and_query)
         )
 
-    def fetch(self, constraint: str = "", budget=None) -> DapDataset:
+    def fetch(self, constraint: str = "", budget=None,
+              tracer=None) -> DapDataset:
         """Fetch (a subset of) the data as a concrete dataset.
 
         One *logical* request: the retry policy re-issues it on
@@ -237,10 +242,12 @@ class RemoteDataset:
         ``budget`` (a :class:`~repro.governance.QueryBudget`) charges
         the fetch against the owning query and caps retries at the
         query's remaining deadline. Cache hits are not charged — they
-        cost the server nothing.
+        cost the server nothing. ``tracer`` overrides the dataset's
+        tracer for this call (used by parallel prefetch tasks, which
+        must not touch the shared active-span stack).
         """
         canonical = parse_constraint(constraint).canonical()
-        with self._maybe_span("dap.fetch", url=self.url,
+        with self._maybe_span("dap.fetch", tracer=tracer, url=self.url,
                               constraint=canonical) as span:
             if self.cache is not None:
                 body = self.cache.get(self.url, canonical)
@@ -257,7 +264,8 @@ class RemoteDataset:
                 return raw, self._decode(raw)
 
             try:
-                body, dataset = self._run_resilient(attempt, budget=budget)
+                body, dataset = self._run_resilient(attempt, budget=budget,
+                                                    tracer=tracer)
             except Exception:
                 if self.cache is not None:
                     stale = self.cache.get_stale(self.url, canonical)

@@ -1,0 +1,290 @@
+"""The worker pool: injectable executors, ordered deterministic merge.
+
+Four disciplines make parallel runs reproduce serial runs exactly:
+
+- **injectable executor** — :class:`WorkerPool` never creates threads
+  on its own authority; it runs tasks through an executor object. The
+  :class:`SerialExecutor` (the test fake) runs each task inline at
+  submit time; the :class:`ThreadExecutor` overlaps them on a
+  ``concurrent.futures`` pool. Both present the same tiny contract
+  (``submit() -> handle`` with ``result()``), so every caller is
+  exercised by the deterministic fake.
+- **ordered merge** — results come back in *submission* order, never
+  completion order. Anything downstream (triple streams, federation
+  bindings, meta-blocking counts) is therefore byte-identical whatever
+  the worker count.
+- **all-tasks-run error semantics** — a failing task does not
+  short-circuit its siblings (they may already be running); every task
+  runs to an outcome and :meth:`WorkerPool.map` raises the error of the
+  *lowest-index* failed task. Serial and parallel executions therefore
+  raise the same exception for the same workload, even under injected
+  faults.
+- **one span per task** — each task gets a private sub-:class:`Tracer`
+  (sharing the parent's clock) so worker threads never touch the shared
+  active-span stack; finished task spans are adopted under the pool
+  span in task order. ``profile()`` then shows the parallel speedup:
+  the pool span's duration is the wall time, the task spans sum to the
+  serial work.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Deque, Iterable, Iterator, List, Optional
+
+from ..observability.trace import Span, Tracer
+
+__all__ = ["TaskOutcome", "SerialExecutor", "ThreadExecutor", "WorkerPool"]
+
+
+@dataclass
+class TaskOutcome:
+    """What one task produced: a value or an error, plus its span."""
+
+    index: int
+    value: object = None
+    error: Optional[BaseException] = None
+    span: Optional[Span] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class _Resolved:
+    """An already-completed handle (what the serial executor returns)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value):
+        self._value = value
+
+    def result(self):
+        return self._value
+
+
+class SerialExecutor:
+    """The deterministic fake: runs each task inline at submit time.
+
+    Submission order *is* execution order, so a workload run through
+    this executor behaves exactly like a plain loop — which is what the
+    equivalence suite compares thread runs against.
+    """
+
+    workers = 1
+
+    def submit(self, fn: Callable[[], object]) -> _Resolved:
+        return _Resolved(fn())
+
+    def shutdown(self) -> None:
+        pass
+
+
+class ThreadExecutor:
+    """Real overlap on a ``concurrent.futures`` thread pool.
+
+    Threads (not processes) because the workloads this repo
+    parallelizes are dominated by simulated network/IO waits —
+    federation endpoint latency, DAP round trips, block-store reads —
+    which threads overlap fully. Task callables must therefore be
+    thread-safe; the :class:`WorkerPool` wrappers keep all shared
+    mutation (tracer, ordered merge) in the submitting thread.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._lock = threading.Lock()
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.workers)
+            return self._pool
+
+    def submit(self, fn: Callable[[], object]):
+        return self._ensure().submit(fn)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class WorkerPool:
+    """Deterministic fan-out over an injectable executor.
+
+    ``workers=1`` (the default everywhere) uses the serial executor, so
+    nothing changes for existing callers; passing ``workers=n`` or an
+    explicit ``executor`` turns on overlap without changing any output.
+    """
+
+    def __init__(self, workers: int = 1, executor=None, tracer=None,
+                 name: str = "pool"):
+        if executor is None:
+            executor = (SerialExecutor() if workers <= 1
+                        else ThreadExecutor(workers))
+        self.executor = executor
+        self.workers = getattr(executor, "workers", max(1, workers))
+        self.tracer = tracer
+        self.name = name
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        self.executor.shutdown()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this pool can actually overlap tasks."""
+        return self.workers > 1
+
+    # -- task wrapping -----------------------------------------------------
+    def _wrap(self, fn: Callable, item, index: int, budget,
+              clock, task_label: str,
+              pass_tracer: bool) -> Callable[[], TaskOutcome]:
+        """One task: budget gate, private tracer, outcome capture.
+
+        The wrapper never raises — faults become the outcome's
+        ``error`` so sibling tasks always run and the caller applies
+        the lowest-index rule.
+        """
+
+        def task() -> TaskOutcome:
+            sub = Tracer(clock=clock) if clock is not None else None
+            span = None
+            try:
+                if sub is not None:
+                    span = sub.start_span(task_label, parent=None,
+                                          index=index)
+                    span.enter()
+                if budget is not None:
+                    # Pre-dispatch cancellation point: a cancelled or
+                    # deadline-expired budget sheds the task before it
+                    # does any work.
+                    budget.check_deadline()
+                if pass_tracer:
+                    value = fn(item, tracer=sub)
+                else:
+                    value = fn(item)
+                return TaskOutcome(index, value=value, span=span)
+            except Exception as exc:
+                if span is not None:
+                    span.attributes["error"] = type(exc).__name__
+                return TaskOutcome(index, error=exc, span=span)
+            finally:
+                if span is not None:
+                    span.exit()
+
+        return task
+
+    # -- bulk execution ----------------------------------------------------
+    def run_tasks(self, fn: Callable, items: Iterable, *,
+                  budget=None, tracer=None, label: Optional[str] = None,
+                  task_label: str = "parallel.task",
+                  pass_tracer: bool = False) -> List[TaskOutcome]:
+        """Run ``fn(item)`` for every item; outcomes in item order.
+
+        Tracing (when a tracer is configured): the whole batch is one
+        ``<label>`` span whose duration is the parallel wall time; each
+        task's private span (plus anything the task recorded through
+        its sub-tracer when ``pass_tracer=True``) is adopted under it
+        in task order.
+        """
+        items = list(items)
+        tracer = self.tracer if tracer is None else tracer
+        label = label or f"{self.name}.map"
+        if tracer is None:
+            wrappers = [
+                self._wrap(fn, item, i, budget, None, task_label,
+                           pass_tracer)
+                for i, item in enumerate(items)
+            ]
+            handles = [self.executor.submit(w) for w in wrappers]
+            return [h.result() for h in handles]
+        with tracer.span(label, tasks=len(items),
+                         workers=self.workers) as pool_span:
+            wrappers = [
+                self._wrap(fn, item, i, budget, tracer.clock, task_label,
+                           pass_tracer)
+                for i, item in enumerate(items)
+            ]
+            handles = [self.executor.submit(w) for w in wrappers]
+            outcomes = [h.result() for h in handles]
+            for outcome in outcomes:
+                if outcome.span is not None:
+                    tracer.adopt(outcome.span, parent=pool_span)
+        return outcomes
+
+    def map(self, fn: Callable, items: Iterable, *,
+            budget=None, tracer=None, label: Optional[str] = None,
+            task_label: str = "parallel.task",
+            pass_tracer: bool = False) -> List:
+        """Ordered results; raises the lowest-index task's error."""
+        outcomes = self.run_tasks(fn, items, budget=budget, tracer=tracer,
+                                  label=label, task_label=task_label,
+                                  pass_tracer=pass_tracer)
+        for outcome in outcomes:
+            if outcome.error is not None:
+                raise outcome.error
+        return [outcome.value for outcome in outcomes]
+
+    # -- streaming execution ------------------------------------------------
+    def ordered_stream(self, fn: Callable, items: Iterable, *,
+                       depth: Optional[int] = None, budget=None,
+                       tracer=None,
+                       task_label: str = "parallel.task",
+                       pass_tracer: bool = False) -> Iterator:
+        """Lazily map *fn* over *items* with bounded lookahead.
+
+        Yields results strictly in item order while keeping up to
+        *depth* tasks (default: the worker count) in flight — the
+        prefetch pipeline the streaming data library uses. With the
+        serial executor a submitted task completes inline, so the
+        stream degenerates to the plain sequential loop: same fetch
+        order, same output, no overlap.
+
+        A failed task raises at its position in the stream (after all
+        earlier results were yielded), identically for every executor.
+        """
+        depth = self.workers if depth is None else max(1, depth)
+        tracer = self.tracer if tracer is None else tracer
+        clock = tracer.clock if tracer is not None else None
+        window: Deque = deque()
+        iterator = enumerate(items)
+
+        def submit_next() -> bool:
+            try:
+                index, item = next(iterator)
+            except StopIteration:
+                return False
+            wrapped = self._wrap(fn, item, index, budget, clock,
+                                 task_label, pass_tracer)
+            window.append(self.executor.submit(wrapped))
+            return True
+
+        for __ in range(depth):
+            if not submit_next():
+                break
+        while window:
+            outcome = window.popleft().result()
+            # Keep the pipeline full while the consumer processes this
+            # result (and even when it is about to raise: siblings
+            # already ran under the all-tasks-run semantics anyway).
+            submit_next()
+            if outcome.span is not None and tracer is not None:
+                tracer.adopt(outcome.span)
+            if outcome.error is not None:
+                raise outcome.error
+            yield outcome.value

@@ -28,6 +28,7 @@ from ..opendap import (
     decode_time,
     open_url,
 )
+from ..parallel import WorkerPool
 from ..resilience import ResilienceStats, RetryPolicy
 from .auth import AccessDenied, TokenAuthority
 
@@ -58,9 +59,18 @@ class StreamingDataLibrary:
                  serve_stale: bool = False,
                  retry_policy: Optional[RetryPolicy] = None,
                  admission: Optional[AdmissionController] = None,
-                 tracer=None):
+                 tracer=None,
+                 pool: Optional[WorkerPool] = None,
+                 prefetch: Optional[int] = None):
         self.registry = registry
         self.auth = auth
+        #: Chunk prefetch pipeline: with a parallel pool, `stream`
+        #: keeps up to `prefetch` (default: the pool's worker count)
+        #: chunk fetches in flight ahead of the consumer, yielding
+        #: strictly in time-step order. Without one, streaming is the
+        #: classic fetch-on-demand loop.
+        self.pool = pool
+        self.prefetch = prefetch
         self._remotes: Dict[str, RemoteDataset] = {}
         self._urls: Dict[str, str] = {}
         self.cache = DapCache(ttl_s=cache_ttl_s,
@@ -165,23 +175,42 @@ class StreamingDataLibrary:
             try:
                 lat_window, lon_window = self._bbox_windows(remote, bbox,
                                                             budget)
-                for ti in range(n_time):
-                    if budget is not None:
-                        budget.charge_rows()
-                    constraint = (
-                        f"{variable}[{ti}:{ti}]"
-                        f"[{lat_window[0]}:{lat_window[1]}]"
-                        f"[{lon_window[0]}:{lon_window[1]}]"
-                    )
-                    # The span covers only the fetch: consumer time
-                    # between chunks is the caller's, not the SDL's.
-                    if self.tracer is not None:
-                        with self.tracer.span("sdl.chunk", dataset=name,
-                                              time_index=ti):
+                constraints = [
+                    f"{variable}[{ti}:{ti}]"
+                    f"[{lat_window[0]}:{lat_window[1]}]"
+                    f"[{lon_window[0]}:{lon_window[1]}]"
+                    for ti in range(n_time)
+                ]
+                if self.pool is not None and self.pool.parallel:
+                    # Prefetch pipeline: chunk fetches run ahead of the
+                    # consumer (bounded lookahead), yielded strictly in
+                    # time-step order — same chunks, same order, same
+                    # error positions as the on-demand loop below.
+                    def fetch_one(constraint, tracer=None):
+                        return remote.fetch(constraint, budget=budget,
+                                            tracer=tracer)
+
+                    for chunk in self.pool.ordered_stream(
+                            fetch_one, constraints, depth=self.prefetch,
+                            budget=budget, tracer=self.tracer,
+                            task_label="sdl.chunk", pass_tracer=True):
+                        if budget is not None:
+                            budget.charge_rows()
+                        yield chunk
+                else:
+                    for ti, constraint in enumerate(constraints):
+                        if budget is not None:
+                            budget.charge_rows()
+                        # The span covers only the fetch: consumer time
+                        # between chunks is the caller's, not the SDL's.
+                        if self.tracer is not None:
+                            with self.tracer.span("sdl.chunk", dataset=name,
+                                                  time_index=ti):
+                                chunk = remote.fetch(constraint,
+                                                     budget=budget)
+                        else:
                             chunk = remote.fetch(constraint, budget=budget)
-                    else:
-                        chunk = remote.fetch(constraint, budget=budget)
-                    yield chunk
+                        yield chunk
             except BudgetExceeded as exc:
                 self.governance.record_outcome(exc, budget)
                 raise

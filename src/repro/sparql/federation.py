@@ -20,10 +20,21 @@ breaker, when configured). ``query(..., partial_results=True)`` turns
 endpoint failures into entries of the result's ``failures`` report
 instead of exceptions, so one dead member cannot take down the whole
 federation.
+
+With a parallel :class:`~repro.parallel.WorkerPool`, endpoint work
+fans out: the source-selection harvest, each pattern's per-endpoint
+scans, and every SERVICE group in the query are dispatched
+concurrently. Results merge in endpoint/pattern order and failures are
+applied lowest-index first, so the answer (rows *and* the failures
+report) is byte-identical to the serial engine's. Dispatches to the
+*same* endpoint are serialized on a per-endpoint lock — circuit
+breaker state and retry counters are per endpoint, and one connection
+per member is also what a real federation client would hold.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable, Dict, Iterator, List, Optional, Set
 
@@ -34,15 +45,45 @@ from ..governance import (
     GovernanceStats,
     QueryBudget,
 )
+from ..parallel import TaskOutcome, WorkerPool
 from ..rdf.graph import Graph
 from ..rdf.namespace import NamespaceManager
 from ..rdf.terms import Term, Triple
 from ..resilience import CircuitBreaker, ResilienceStats, RetryPolicy, \
     no_retry
-from .ast import GroupGraphPattern
+from .ast import (
+    GroupGraphPattern,
+    MinusPattern,
+    OptionalPattern,
+    ServicePattern,
+    SubSelect,
+    UnionPattern,
+)
 from .evaluator import Context, eval_group, eval_query
 from .parser import parse_query
 from .results import Solution, SPARQLResult
+
+
+def _collect_services(group: GroupGraphPattern) -> List[ServicePattern]:
+    """Every SERVICE pattern in *group*, in syntactic (AST walk) order.
+
+    Walk order is what makes eager dispatch deterministic: the prefetch
+    task list — and therefore which failure wins under the
+    lowest-index rule — depends only on the query text.
+    """
+    found: List[ServicePattern] = []
+    for element in group.elements:
+        if isinstance(element, ServicePattern):
+            found.append(element)
+            found.extend(_collect_services(element.group))
+        elif isinstance(element, (OptionalPattern, MinusPattern)):
+            found.extend(_collect_services(element.group))
+        elif isinstance(element, UnionPattern):
+            for alternative in element.alternatives:
+                found.extend(_collect_services(alternative))
+        elif isinstance(element, SubSelect):
+            found.extend(_collect_services(element.query.where))
+    return found
 
 
 class SparqlEndpoint:
@@ -108,43 +149,73 @@ class _FederatedView:
     def __init__(self, endpoints: Dict[str, SparqlEndpoint],
                  dispatch: Callable, partial: bool = False,
                  failures: Optional[Dict[str, str]] = None,
-                 budget: Optional[QueryBudget] = None):
+                 budget: Optional[QueryBudget] = None,
+                 pool: Optional[WorkerPool] = None,
+                 tracer=None):
         self.endpoints = dict(endpoints)
         self._dispatch = dispatch
         self.partial = partial
         self.failures = failures if failures is not None else {}
         self.budget = budget
+        self.pool = pool
+        self._tracer = tracer
         self.namespaces = NamespaceManager()
         self._down: Set[str] = set()
         self._predicate_index: Dict[Term, List[str]] = {}
-        for iri, ep in self.endpoints.items():
-            if self._shed_if_out_of_time(iri):
+        self._harvest()
+
+    def _harvest(self) -> None:
+        """Collect each endpoint's predicate vocabulary (concurrently
+        when the pool overlaps); failures are applied in registration
+        order either way, so the surviving member set is identical."""
+        items = list(self.endpoints.items())
+
+        def one(item, tracer=None):
+            iri, endpoint = item
+            self._check_time(iri)
+            return self._dispatch(iri, endpoint.predicates, tracer=tracer)
+
+        for (iri, __), outcome in zip(
+                items, self._fan_out(one, items, "federation.harvest")):
+            if outcome.error is not None:
+                self._mark_down(iri, outcome.error)
                 continue
-            try:
-                vocabulary = self._dispatch(iri, ep.predicates)
-            except Exception as exc:
-                self._mark_down(iri, exc)
-                continue
-            for predicate in vocabulary:
+            for predicate in outcome.value:
                 self._predicate_index.setdefault(predicate, []).append(iri)
 
-    def _shed_if_out_of_time(self, iri: str) -> bool:
-        """Skip a dispatch when the query budget has no time left.
+    def _fan_out(self, fn, items, label):
+        """Outcomes of ``fn(item, tracer=...)`` per item, in item order.
 
-        Only reachable in partial mode with a soft deadline (hard
-        deadlines raise at the next cancellation point anyway): the
-        endpoint is recorded as a budget-exhaustion failure so the
-        degraded result explains which members the deadline cut off.
+        With a parallel pool the items overlap (each task records into
+        a private adopted tracer); otherwise this is a plain loop with
+        the query tracer, preserving the classic serial span shapes.
         """
-        if self.budget is None or not self.budget.deadline_expired:
-            return False
-        self._mark_down(iri, DeadlineExceeded(
-            "query deadline exhausted before dispatch",
-            self.budget.snapshot(),
-        ))
-        return True
+        if (self.pool is not None and self.pool.parallel
+                and len(items) > 1):
+            return self.pool.run_tasks(fn, items, tracer=self._tracer,
+                                       label=label,
+                                       task_label="federation.endpoint",
+                                       pass_tracer=True)
+        outcomes = []
+        for i, item in enumerate(items):
+            try:
+                outcomes.append(
+                    TaskOutcome(i, value=fn(item, tracer=self._tracer)))
+            except Exception as exc:
+                outcomes.append(TaskOutcome(i, error=exc))
+        return outcomes
 
-    def _mark_down(self, iri: str, exc: Exception) -> None:
+    def _check_time(self, iri: str) -> None:
+        """Raise when the query budget has no time left for a dispatch
+        (the per-endpoint shed of :meth:`_shed_if_out_of_time`, shaped
+        as an exception so it works inside pool tasks)."""
+        if self.budget is not None and self.budget.deadline_expired:
+            raise DeadlineExceeded(
+                "query deadline exhausted before dispatch",
+                self.budget.snapshot(),
+            )
+
+    def _mark_down(self, iri: str, exc: BaseException) -> None:
         if not self.partial:
             raise exc
         self._down.add(iri)
@@ -157,13 +228,35 @@ class _FederatedView:
 
     def triples(self, pattern) -> Iterator[Triple]:
         s, p, o = pattern
-        for iri in self._select_sources(p):
+        sources = [
+            iri for iri in self._select_sources(p) if iri not in self._down
+        ]
+        if self.pool is not None and self.pool.parallel and len(sources) > 1:
+            # Fan the pattern out across its candidate members; merge
+            # in source-selection order so the triple stream is
+            # byte-identical to the serial scan below.
+            def one(iri, tracer=None):
+                self._check_time(iri)
+                endpoint = self.endpoints[iri]
+                return self._dispatch(
+                    iri, lambda: list(endpoint.triples(pattern)),
+                    tracer=tracer,
+                )
+
+            for iri, outcome in zip(
+                    sources,
+                    self._fan_out(one, sources, "federation.scan")):
+                if outcome.error is not None:
+                    self._mark_down(iri, outcome.error)
+                    continue
+                yield from outcome.value
+            return
+        for iri in sources:
             if iri in self._down:
-                continue
-            if self._shed_if_out_of_time(iri):
                 continue
             endpoint = self.endpoints[iri]
             try:
+                self._check_time(iri)
                 matched = self._dispatch(
                     iri, lambda: list(endpoint.triples(pattern))
                 )
@@ -179,6 +272,10 @@ class _FederatedView:
         return sum(len(ep.graph) for ep in self.endpoints.values())
 
 
+#: Shared fallback pool: inline execution, no threads, no state.
+_SERIAL_POOL = WorkerPool(workers=1)
+
+
 class FederationEngine:
     """Answers (Geo)SPARQL queries over a federation of endpoints."""
 
@@ -186,11 +283,25 @@ class FederationEngine:
                  breaker_factory: Optional[
                      Callable[[], CircuitBreaker]] = None,
                  admission: Optional[AdmissionController] = None,
-                 tracer=None):
+                 tracer=None,
+                 pool: Optional[WorkerPool] = None,
+                 eager_service: Optional[bool] = None):
         self._endpoints: Dict[str, SparqlEndpoint] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
+        self._locks: Dict[str, threading.Lock] = {}
         self._breaker_factory = breaker_factory
         self.retry_policy = retry_policy or no_retry()
+        #: Execution substrate for endpoint fan-out. The default serial
+        #: pool reproduces the classic engine exactly; a parallel pool
+        #: overlaps endpoint latency without changing any output.
+        self.pool = pool if pool is not None else _SERIAL_POOL
+        #: Dispatch every SERVICE group up front (concurrently, through
+        #: the pool) instead of on first pull. Defaults to on exactly
+        #: when the pool can overlap; forcing it ``True`` on a serial
+        #: engine makes its dispatch sequence byte-compatible with a
+        #: parallel engine's — what the equivalence suite pins down.
+        self.eager_service = (self.pool.parallel if eager_service is None
+                              else eager_service)
         #: One stats tree for the engine; every dispatch records into
         #: the per-endpoint labeled child, so ``stats.attempts`` is the
         #: engine total while ``stats.labeled(endpoint=iri)`` carries
@@ -208,6 +319,7 @@ class FederationEngine:
     def register(self, iri: str, endpoint: SparqlEndpoint) -> None:
         iri = str(iri)
         self._endpoints[iri] = endpoint
+        self._locks[iri] = threading.Lock()
         if self._breaker_factory is not None:
             self._breakers[iri] = self._breaker_factory()
 
@@ -246,15 +358,21 @@ class FederationEngine:
                     budget.snapshot(),
                 )
         stats = self.stats.labeled(endpoint=iri)
-        if tracer is None:
-            return self.retry_policy.run(fn, stats=stats,
-                                         breaker=self._breakers.get(iri),
-                                         budget_s=budget_s)
-        with tracer.span("federation.dispatch", endpoint=iri):
-            return self.retry_policy.run(fn, stats=stats,
-                                         breaker=self._breakers.get(iri),
-                                         budget_s=budget_s,
-                                         tracer=tracer)
+        # Concurrent tasks may target the same endpoint; its breaker
+        # state and retry counters are guarded by a per-endpoint lock
+        # (one in-flight request per member, like a real HTTP client's
+        # per-host connection slot). Distinct endpoints overlap freely.
+        lock = self._locks.get(iri)
+        with (lock if lock is not None else threading.Lock()):
+            if tracer is None:
+                return self.retry_policy.run(fn, stats=stats,
+                                             breaker=self._breakers.get(iri),
+                                             budget_s=budget_s)
+            with tracer.span("federation.dispatch", endpoint=iri):
+                return self.retry_policy.run(fn, stats=stats,
+                                             breaker=self._breakers.get(iri),
+                                             budget_s=budget_s,
+                                             tracer=tracer)
 
     def _resolve_service(self, endpoint_iri: str,
                          group: GroupGraphPattern,
@@ -346,22 +464,36 @@ class FederationEngine:
             # evaluation of already-fetched data runs to completion.
             budget.hard_deadline = False
 
-        def dispatch(iri: str, fn: Callable):
+        def dispatch(iri: str, fn: Callable, tracer=tracer):
             return self._dispatch(iri, fn, budget=budget, tracer=tracer)
 
         view = _FederatedView(self._endpoints, dispatch=dispatch,
                               partial=partial_results, failures=failures,
-                              budget=budget)
+                              budget=budget, pool=self.pool,
+                              tracer=tracer)
+        ast = parse_query(text, namespaces=view.namespaces)
+        prefetched = (
+            self._prefetch_services(ast, budget, tracer)
+            if self.eager_service else {}
+        )
 
         def resolver(endpoint_iri: str,
                      group: GroupGraphPattern) -> List[Solution]:
+            outcome = prefetched.get(id(group))
+            if outcome is not None:
+                if outcome.error is None:
+                    return outcome.value
+                exc = outcome.error
+                if isinstance(exc, KeyError) or not partial_results:
+                    raise exc
+                failures[endpoint_iri] = f"{type(exc).__name__}: {exc}"
+                return []
             return self._resolve_service(endpoint_iri, group,
                                          partial=partial_results,
                                          failures=failures,
                                          budget=budget,
                                          tracer=tracer)
 
-        ast = parse_query(text, namespaces=view.namespaces)
         ctx = Context(view, service_resolver=resolver, budget=budget,
                       tracer=tracer)
         result = eval_query(ast, ctx)
@@ -369,6 +501,43 @@ class FederationEngine:
         if budget is not None:
             result.budget_stats = budget.snapshot()
         return result
+
+    def _prefetch_services(self, ast, budget: Optional[QueryBudget],
+                           tracer) -> Dict[int, object]:
+        """Dispatch every SERVICE group in *ast* up front, through the
+        pool, keyed by the group's identity.
+
+        Outcomes (values *or* errors) are replayed when the evaluator
+        consults the service resolver, so error surfacing keeps its
+        lazy-dispatch semantics: a SERVICE the evaluation never reaches
+        contributes neither rows nor failure entries, whatever the
+        worker count.
+        """
+        where = getattr(ast, "where", None)
+        if where is None:
+            return {}
+        services = _collect_services(where)
+        if not services:
+            return {}
+
+        def one(pattern: ServicePattern, tracer=None):
+            iri = str(pattern.endpoint)
+            endpoint = self._endpoints.get(iri)
+            if endpoint is None:
+                raise KeyError(f"unregistered SERVICE endpoint <{iri}>")
+            return self._dispatch(
+                iri, lambda: endpoint.select_group(pattern.group),
+                budget=budget, tracer=tracer,
+            )
+
+        outcomes = self.pool.run_tasks(
+            one, services, tracer=tracer, label="federation.services",
+            task_label="federation.service", pass_tracer=True,
+        )
+        return {
+            id(pattern.group): outcome
+            for pattern, outcome in zip(services, outcomes)
+        }
 
     def explain(self, text: str):
         """Plan a federated query without matching any pattern.
@@ -382,11 +551,12 @@ class FederationEngine:
         """
         failures: Dict[str, str] = {}
 
-        def dispatch(iri: str, fn: Callable):
-            return self._dispatch(iri, fn)
+        def dispatch(iri: str, fn: Callable, tracer=None):
+            return self._dispatch(iri, fn, tracer=tracer)
 
         view = _FederatedView(self._endpoints, dispatch=dispatch,
-                              partial=True, failures=failures)
+                              partial=True, failures=failures,
+                              pool=self.pool)
         ast = parse_query(text, namespaces=view.namespaces)
         from .evaluator import explain_query
 

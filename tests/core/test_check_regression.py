@@ -1,0 +1,128 @@
+"""The bench-smoke regression gate must catch a synthetic 2x
+regression and pass identical metrics — benchmarks/check_regression.py
+is plain stdlib, loaded here by path (benchmarks/ is not a package)."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+pytestmark = pytest.mark.tier1
+
+SCRIPT = pathlib.Path(__file__).resolve().parents[2] \
+    / "benchmarks" / "check_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_regression)
+
+MANIFEST = {
+    "tolerance_factor": 2.0,
+    "metrics": [
+        {"file": "BENCH_x.json", "path": "sweep.seconds_by_workers.1",
+         "direction": "lower"},
+        {"file": "BENCH_x.json", "path": "sweep.speedup_workers_4",
+         "direction": "higher"},
+    ],
+}
+
+
+def write_bench(directory, seconds=0.2, speedup=3.5):
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "BENCH_x.json").write_text(json.dumps(
+        {"sweep": {"seconds_by_workers": {"1": seconds},
+                   "speedup_workers_4": speedup}}))
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    out, baselines = tmp_path / "out", tmp_path / "baselines"
+    write_bench(baselines)
+    return out, baselines
+
+
+def run(out, baselines, manifest=MANIFEST):
+    return check_regression.check(manifest, out, baselines)
+
+
+def test_identical_metrics_pass(dirs):
+    out, baselines = dirs
+    write_bench(out)
+    failures, report = run(out, baselines)
+    assert failures == []
+    assert len(report) == 2
+    assert all(line.startswith("OK") for line in report)
+
+
+def test_within_tolerance_passes(dirs):
+    out, baselines = dirs
+    write_bench(out, seconds=0.39, speedup=1.8)  # < 2x worse
+    assert run(out, baselines)[0] == []
+
+
+def test_doubled_wall_time_fails(dirs):
+    out, baselines = dirs
+    write_bench(out, seconds=0.41)  # > 0.2 * 2.0
+    failures, __ = run(out, baselines)
+    assert failures == ["BENCH_x.json:sweep.seconds_by_workers.1"]
+
+
+def test_halved_speedup_fails(dirs):
+    out, baselines = dirs
+    write_bench(out, speedup=1.7)  # < 3.5 / 2.0
+    failures, __ = run(out, baselines)
+    assert failures == ["BENCH_x.json:sweep.speedup_workers_4"]
+
+
+def test_missing_emitted_file_fails(dirs):
+    out, baselines = dirs
+    failures, report = run(out, baselines)
+    assert len(failures) == 2
+    assert "did not emit" in report[0]
+
+
+def test_missing_metric_fails(dirs):
+    out, baselines = dirs
+    out.mkdir()
+    (out / "BENCH_x.json").write_text(json.dumps(
+        {"sweep": {"speedup_workers_4": 3.5}}))
+    failures, __ = run(out, baselines)
+    assert failures == ["BENCH_x.json:sweep.seconds_by_workers.1"]
+
+
+def test_per_metric_tolerance_override(dirs):
+    out, baselines = dirs
+    write_bench(out, seconds=0.5)  # 2.5x worse
+    manifest = {
+        "tolerance_factor": 2.0,
+        "metrics": [
+            {"file": "BENCH_x.json",
+             "path": "sweep.seconds_by_workers.1",
+             "direction": "lower", "tolerance_factor": 3.0},
+        ],
+    }
+    assert run(out, baselines, manifest)[0] == []
+
+
+def test_non_numeric_metric_fails(dirs):
+    out, baselines = dirs
+    out.mkdir()
+    (out / "BENCH_x.json").write_text(json.dumps(
+        {"sweep": {"seconds_by_workers": {"1": "fast"},
+                   "speedup_workers_4": 3.5}}))
+    failures, __ = run(out, baselines)
+    assert failures == ["BENCH_x.json:sweep.seconds_by_workers.1"]
+
+
+def test_cli_exit_codes(dirs, capsys):
+    out, baselines = dirs
+    write_bench(out)
+    manifest_path = baselines / "tracked_metrics.json"
+    manifest_path.write_text(json.dumps(MANIFEST))
+    argv = ["--out-dir", str(out), "--baseline-dir", str(baselines),
+            "--manifest", str(manifest_path)]
+    assert check_regression.main(argv) == 0
+    write_bench(out, seconds=1.0)  # 5x regression
+    assert check_regression.main(argv) == 1
+    assert "regressed" in capsys.readouterr().err

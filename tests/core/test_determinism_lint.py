@@ -16,7 +16,9 @@ import pytest
 
 pytestmark = pytest.mark.tier1
 
-SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO / "src"
+BENCHMARKS = REPO / "benchmarks"
 
 #: Module paths (relative to src/, posix form) allowed to touch
 #: ambient time or randomness. Currently none — add an entry only
@@ -41,19 +43,38 @@ FORBIDDEN = [
 ]
 
 
-def test_src_has_no_ambient_time_or_randomness():
+def scan(root, forbidden, allowed=(), prefix=""):
     offenders = []
-    for path in sorted(SRC.rglob("*.py")):
-        rel = path.relative_to(SRC).as_posix()
-        if rel in ALLOWED:
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel in allowed:
             continue
         for lineno, line in enumerate(path.read_text().splitlines(), 1):
             code = line.split("#", 1)[0]
-            for pattern, why in FORBIDDEN:
+            for pattern, why in forbidden:
                 if pattern.search(code):
                     offenders.append(
-                        f"src/{rel}:{lineno}: {why}: {line.strip()}")
+                        f"{prefix}{rel}:{lineno}: {why}: {line.strip()}")
+    return offenders
+
+
+def test_src_has_no_ambient_time_or_randomness():
+    offenders = scan(SRC, FORBIDDEN, allowed=ALLOWED, prefix="src/")
     assert not offenders, (
         "nondeterministic call sites (inject a clock / seed an RNG):\n"
         + "\n".join(offenders)
+    )
+
+
+def test_benchmarks_have_no_ambient_time_or_randomness():
+    """Benchmarks measure with perf_counter() — that is their
+    instrument, so the perf_counter rule is lifted there — but their
+    *workloads* must stay reproducible: no wall clocks, no unseeded
+    randomness."""
+    forbidden = [(pattern, why) for pattern, why in FORBIDDEN
+                 if "perf_counter" not in pattern.pattern]
+    offenders = scan(BENCHMARKS, forbidden, prefix="benchmarks/")
+    assert not offenders, (
+        "nondeterministic benchmark workloads (seed the RNG, inject "
+        "a clock):\n" + "\n".join(offenders)
     )

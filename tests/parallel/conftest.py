@@ -1,0 +1,47 @@
+"""Fixtures for the parallel-equivalence suite: deterministic clocks."""
+
+import pytest
+
+
+class TickClock:
+    """A clock that advances a fixed step on every read.
+
+    Span durations then depend only on the number and order of clock
+    reads, so two identical runs produce identical trace trees.
+    """
+
+    def __init__(self, step: float = 0.001, start: float = 0.0):
+        self.step = step
+        self.now = start
+
+    def __call__(self) -> float:
+        self.now += self.step
+        return self.now
+
+
+class FakeClock:
+    """A manually-advanced clock (reads do not move time)."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+        self.sleeps = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def tick_clock():
+    return TickClock()
+
+
+@pytest.fixture
+def fake_clock():
+    return FakeClock()

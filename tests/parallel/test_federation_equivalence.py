@@ -1,0 +1,143 @@
+"""Serial/parallel equivalence for the federation fan-out.
+
+The same query against the same member set must produce byte-identical
+results — bindings, order, and recorded failures — whatever the worker
+count, including when endpoints fail under an injected fault schedule.
+Engines force ``eager_service=True`` so serial runs use the same
+dispatch sequence as parallel ones.
+"""
+
+import pytest
+
+from repro.parallel import WorkerPool
+from repro.rdf import Graph, IRI, Literal
+from repro.resilience import FaultSchedule, FaultyEndpoint, InjectedFault
+from repro.resilience.policy import RetryPolicy
+from repro.sparql.federation import FederationEngine, SparqlEndpoint
+
+from conftest import FakeClock
+
+pytestmark = pytest.mark.tier1
+
+EX = "http://example.org/"
+WORKER_COUNTS = [1, 2, 4]
+
+
+def make_graph(kind, names):
+    graph = Graph()
+    graph.bind("ex", EX)
+    for name in names:
+        node = IRI(EX + name)
+        graph.add(node, IRI(EX + kind), Literal(name))
+        graph.add(node, IRI(EX + "label"), Literal(name.upper()))
+    return graph
+
+
+def build_engine(workers, dead=(), flaky=()):
+    """A three-member federation; endpoints rebuilt per engine so
+    breaker/cache state never leaks between runs."""
+    clock = FakeClock()
+    engine = FederationEngine(
+        retry_policy=RetryPolicy(clock=clock, sleep=clock.sleep,
+                                 max_attempts=2, base_delay_s=0.01),
+        pool=WorkerPool(workers=workers),
+        eager_service=True,
+    )
+    members = [
+        ("http://gadm.example/sparql", make_graph("unit", ["paris", "lyon"])),
+        ("http://osm.example/sparql", make_graph("park", ["jardin", "parc"])),
+        ("http://corine.example/sparql", make_graph("cover", ["forest"])),
+    ]
+    for iri, graph in members:
+        endpoint = SparqlEndpoint(graph, name=iri)
+        if iri in dead:
+            endpoint = FaultyEndpoint(endpoint, FaultSchedule.dead())
+        elif iri in flaky:
+            # Fails the first request, then recovers: the retry layer
+            # absorbs it, so results must be fault-free and identical.
+            endpoint = FaultyEndpoint(endpoint, FaultSchedule(fail_first=1))
+        engine.register(iri, endpoint)
+    return engine
+
+
+def rows(result):
+    return [{k: str(v) for k, v in binding.items()} for binding in result]
+
+
+QUERY = (
+    "PREFIX ex: <http://example.org/>\n"
+    "SELECT ?s ?l WHERE { ?s ex:label ?l } ORDER BY ?l"
+)
+SERVICE_QUERY = (
+    "PREFIX ex: <http://example.org/>\n"
+    "SELECT ?n WHERE { SERVICE <http://osm.example/sparql>"
+    " { ?s ex:park ?n } } ORDER BY ?n"
+)
+
+
+def test_parallel_results_match_serial_exactly():
+    reference = None
+    for workers in WORKER_COUNTS:
+        result = build_engine(workers).query(QUERY)
+        got = (rows(result), result.failures)
+        if reference is None:
+            reference = got
+        assert got == reference, f"workers={workers} diverged"
+    assert len(reference[0]) == 5
+
+
+def test_service_dispatch_matches_across_worker_counts():
+    reference = None
+    for workers in WORKER_COUNTS:
+        result = build_engine(workers).query(SERVICE_QUERY)
+        got = rows(result)
+        if reference is None:
+            reference = got
+        assert got == reference
+    assert [r["n"] for r in reference] == ["jardin", "parc"]
+
+
+def test_dead_endpoint_partial_results_identical_under_faults():
+    dead = ("http://osm.example/sparql",)
+    reference = None
+    for workers in WORKER_COUNTS:
+        result = build_engine(workers, dead=dead).query(
+            QUERY, partial_results=True)
+        got = (rows(result), dict(result.failures))
+        if reference is None:
+            reference = got
+        assert got == reference, f"workers={workers} diverged"
+    bindings, failures = reference
+    assert [r["l"] for r in bindings] == ["FOREST", "LYON", "PARIS"]
+    assert list(failures) == ["http://osm.example/sparql"]
+    assert "InjectedFault" in failures["http://osm.example/sparql"]
+
+
+def test_strict_mode_raises_same_error_for_any_worker_count():
+    dead = ("http://corine.example/sparql",)
+    for workers in WORKER_COUNTS:
+        with pytest.raises(InjectedFault):
+            build_engine(workers, dead=dead).query(QUERY)
+
+
+def test_retryable_flakiness_is_invisible_at_every_worker_count():
+    flaky = ("http://gadm.example/sparql", "http://osm.example/sparql")
+    reference = rows(build_engine(1).query(QUERY))
+    for workers in WORKER_COUNTS:
+        result = build_engine(workers, flaky=flaky).query(QUERY)
+        assert rows(result) == reference
+        assert result.failures == {}
+
+
+def test_dead_service_endpoint_partial_identical():
+    dead = ("http://osm.example/sparql",)
+    reference = None
+    for workers in WORKER_COUNTS:
+        result = build_engine(workers, dead=dead).query(
+            SERVICE_QUERY, partial_results=True)
+        got = (rows(result), dict(result.failures))
+        if reference is None:
+            reference = got
+        assert got == reference
+    assert reference[0] == []
+    assert list(reference[1]) == ["http://osm.example/sparql"]

@@ -1,0 +1,108 @@
+"""Serial/parallel equivalence for partition-parallel GeoTriples.
+
+With a fixed partition count, the merged graph and every N-Triples
+part-file must be byte-identical for any worker count — partition
+boundaries are a function of (row count, partitions) alone.
+"""
+
+import pytest
+
+from repro.geotriples import MappingProcessor, ParallelMappingProcessor
+from repro.geotriples.rml import LogicalSource, MappingError, TermMap, \
+    TriplesMap
+from repro.governance import QueryBudget
+from repro.observability.trace import Tracer
+
+from conftest import FakeClock, TickClock
+
+pytestmark = pytest.mark.tier1
+
+WORKER_COUNTS = [1, 2, 4]
+PARTITIONS = 8
+
+
+def make_map(n_rows=40):
+    rows = tuple(
+        {"id": i, "name": f"station {i}", "wkt": f"POINT({i} {i % 7})"}
+        for i in range(n_rows)
+    )
+    return TriplesMap(
+        name="stations",
+        logical_source=LogicalSource("rows", rows),
+        subject_map=TermMap(template="http://ex.org/station/{id}"),
+        geometry_column="wkt",
+    )
+
+
+def test_run_matches_serial_for_any_worker_count():
+    reference = set(MappingProcessor([make_map()]).run())
+    for workers in WORKER_COUNTS:
+        processor = ParallelMappingProcessor(
+            [make_map()], workers=workers, partitions=PARTITIONS)
+        assert set(processor.run()) == reference, f"workers={workers}"
+
+
+def test_part_files_are_byte_identical_across_worker_counts(tmp_path):
+    outputs = {}
+    for workers in WORKER_COUNTS:
+        out_dir = tmp_path / f"w{workers}"
+        out_dir.mkdir()
+        parts = ParallelMappingProcessor(
+            [make_map()], workers=workers,
+            partitions=PARTITIONS).run_to_files(str(out_dir))
+        outputs[workers] = [
+            (path.rsplit("/", 1)[-1], count, open(path).read())
+            for path, count in parts
+        ]
+    assert outputs[1] == outputs[2] == outputs[4]
+    names = [name for name, __, __ in outputs[1]]
+    assert names == sorted(names)  # partition order, stable file names
+    assert len(names) == PARTITIONS
+
+
+def test_partition_count_not_worker_count_shapes_the_chunks(tmp_path):
+    """More workers than partitions must not change the artifact set."""
+    out_a, out_b = tmp_path / "a", tmp_path / "b"
+    out_a.mkdir()
+    out_b.mkdir()
+    a = ParallelMappingProcessor([make_map(10)], workers=2,
+                                 partitions=4).run_to_files(str(out_a))
+    b = ParallelMappingProcessor([make_map(10)], workers=8,
+                                 partitions=4).run_to_files(str(out_b))
+    assert [(c, open(p).read()) for p, c in a] \
+        == [(c, open(p).read()) for p, c in b]
+
+
+def test_simulated_partition_reads_do_not_change_output(fake_clock):
+    quiet = ParallelMappingProcessor(
+        [make_map()], workers=4, partitions=PARTITIONS).run()
+    slow = ParallelMappingProcessor(
+        [make_map()], workers=4, partitions=PARTITIONS,
+        partition_read_s=0.01, sleep=fake_clock.sleep).run()
+    assert set(slow) == set(quiet)
+    assert fake_clock.sleeps == [0.01] * PARTITIONS
+
+
+def test_budget_accounts_all_emitted_triples(fake_clock):
+    budget = QueryBudget(clock=fake_clock)
+    graph = ParallelMappingProcessor(
+        [make_map()], workers=4, partitions=PARTITIONS,
+        budget=budget).run()
+    assert budget.triples_scanned == len(graph)
+
+
+def test_trace_shows_one_span_per_partition():
+    tracer = Tracer(clock=TickClock())
+    ParallelMappingProcessor(
+        [make_map()], workers=4, partitions=PARTITIONS,
+        tracer=tracer).run()
+    root = tracer.roots[0]
+    assert root.name == "geotriples.map"
+    assert [c.name for c in root.children] \
+        == ["geotriples.partition"] * PARTITIONS
+    assert sum(c.counters["rows"] for c in root.children) == 40
+
+
+def test_worker_floor_still_enforced():
+    with pytest.raises(MappingError):
+        ParallelMappingProcessor([make_map(5)], workers=0)

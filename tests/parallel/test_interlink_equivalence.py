@@ -1,0 +1,102 @@
+"""Serial/parallel equivalence for multi-core meta-blocking.
+
+The weighted candidate list (values *and* order) and the final
+clusters must be identical for every worker count: partial
+co-occurrence counts merge in chunk order, which reproduces the serial
+scan's first-occurrence pair order exactly.
+"""
+
+import pytest
+
+from repro.governance import QueryBudget
+from repro.interlink import EntityProfile, JedaiPipeline
+from repro.observability.trace import Tracer
+
+from conftest import FakeClock, TickClock
+
+pytestmark = pytest.mark.tier1
+
+WORKER_COUNTS = [1, 2, 4]
+PARTITIONS = 8
+
+
+def make_profiles(n=90):
+    # Block sizes stay mid-range (tokens shared by ~7-13 entities), so
+    # purging keeps them and meta-blocking sees many chunks; the
+    # every-third extra token varies per-entity block counts so edge
+    # weights are non-uniform under every weighting scheme.
+    profiles = []
+    for i in range(n):
+        attributes = {"name": f"station st{i % 11} tag t{i % 13}",
+                      "city": f"zone q{i % 7} lakeside"}
+        if i % 3 == 0:
+            attributes["extra"] = f"flag f{i % 4}"
+        profiles.append(EntityProfile(f"e{i}", attributes))
+    return profiles
+
+
+def pipeline(workers, **kwargs):
+    kwargs.setdefault("partitions", PARTITIONS)
+    return JedaiPipeline(workers=workers, purge_factor=0.9, **kwargs)
+
+
+def weighted_edges(p, profiles):
+    blocks = p.block_filtering(
+        p.block_purging(p.token_blocking(profiles), len(profiles)))
+    return p.meta_blocking(blocks)
+
+
+@pytest.mark.parametrize("weighting", ["cbs", "ecbs", "jaccard"])
+def test_weighted_edge_list_identical_across_worker_counts(weighting):
+    profiles = make_profiles()
+    reference = weighted_edges(pipeline(1, weighting=weighting), profiles)
+    assert reference, "workload must produce candidate pairs"
+    for workers in WORKER_COUNTS[1:]:
+        got = weighted_edges(pipeline(workers, weighting=weighting),
+                             profiles)
+        assert got == reference, f"workers={workers} diverged"
+
+
+def test_clusters_and_stats_identical_across_worker_counts():
+    profiles = make_profiles()
+    ref_pipeline = pipeline(1)
+    reference = ref_pipeline.resolve(profiles)
+    for workers in WORKER_COUNTS[1:]:
+        p = pipeline(workers)
+        assert p.resolve(profiles) == reference
+        assert p.stats.after_metablocking \
+            == ref_pipeline.stats.after_metablocking
+        assert p.stats.reduction_ratio == ref_pipeline.stats.reduction_ratio
+
+
+def test_partitions_not_workers_shape_the_chunks():
+    profiles = make_profiles(40)
+    few = pipeline(2, partitions=4)
+    many = pipeline(8, partitions=4)
+    assert weighted_edges(few, profiles) == weighted_edges(many, profiles)
+
+
+def test_simulated_chunk_reads_do_not_change_output(fake_clock):
+    profiles = make_profiles()
+    quiet = pipeline(4).resolve(profiles)
+    slow = pipeline(4, chunk_read_s=0.01, sleep=fake_clock.sleep)
+    assert slow.resolve(profiles) == quiet
+    assert fake_clock.sleeps == [0.01] * len(fake_clock.sleeps)
+    assert fake_clock.sleeps  # the injected read latency actually ran
+
+
+def test_budget_charges_comparisons(fake_clock):
+    profiles = make_profiles()
+    budget = QueryBudget(clock=fake_clock)
+    p = pipeline(4, budget=budget)
+    p.resolve(profiles)
+    assert budget.triples_scanned == p.stats.after_filtering
+
+
+def test_trace_shows_one_span_per_chunk():
+    tracer = Tracer(clock=TickClock())
+    pipeline(4, tracer=tracer).resolve(make_profiles())
+    roots = [r for r in tracer.roots if r.name == "interlink.metablocking"]
+    assert len(roots) == 1
+    assert all(c.name == "interlink.chunk" for c in roots[0].children)
+    assert len(roots[0].children) > 1

@@ -1,0 +1,227 @@
+"""WorkerPool semantics: ordered merge, error rule, budget, tracing."""
+
+import threading
+
+import pytest
+
+from conftest import TickClock
+
+from repro.governance import QueryBudget, QueryCancelled
+from repro.observability.trace import Tracer, render_trace
+from repro.parallel import (
+    SerialExecutor,
+    ThreadExecutor,
+    WorkerPool,
+    chunk_count,
+    chunk_list,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+# -- partitioning ------------------------------------------------------------
+
+@pytest.mark.parametrize("n_items", [0, 1, 2, 7, 8, 9, 40])
+@pytest.mark.parametrize("n_chunks", [1, 2, 3, 8])
+def test_chunk_list_concatenates_to_input(n_items, n_chunks):
+    items = list(range(n_items))
+    chunks = chunk_list(items, n_chunks)
+    assert [x for chunk in chunks for x in chunk] == items
+    assert all(chunks)  # no empty chunks
+    assert len(chunks) == chunk_count(n_items, n_chunks)
+
+
+def test_chunk_boundaries_depend_only_on_counts():
+    a = chunk_list(list(range(20)), 4)
+    b = chunk_list(list(range(20)), 4)
+    assert a == b
+    assert len(a) <= 4
+
+
+# -- ordered merge -----------------------------------------------------------
+
+def test_map_returns_submission_order_even_when_completion_reorders():
+    """Task 0 finishes *after* task 1 on purpose; order must hold."""
+    first_done = threading.Event()
+
+    def fn(i):
+        if i == 0:
+            # Wait until task 1 has completed, forcing out-of-order
+            # completion under two workers.
+            assert first_done.wait(5.0)
+        if i == 1:
+            first_done.set()
+        return i * 10
+
+    with WorkerPool(workers=2) as pool:
+        assert pool.map(fn, [0, 1]) == [0, 10]
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_map_matches_serial_for_any_worker_count(workers):
+    items = list(range(23))
+    with WorkerPool(workers=workers) as pool:
+        assert pool.map(lambda i: i * i, items) == [i * i for i in items]
+
+
+# -- error semantics ---------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_map_raises_lowest_index_error_and_runs_all_tasks(workers):
+    ran = []
+    lock = threading.Lock()
+
+    def fn(i):
+        with lock:
+            ran.append(i)
+        if i in (1, 3):
+            raise ValueError(f"boom{i}")
+        return i
+
+    with WorkerPool(workers=workers) as pool:
+        with pytest.raises(ValueError, match="boom1"):
+            pool.map(fn, range(5))
+    assert sorted(ran) == [0, 1, 2, 3, 4]
+
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_run_tasks_reports_every_outcome(workers):
+    def fn(i):
+        if i % 2:
+            raise RuntimeError(f"odd{i}")
+        return i
+
+    with WorkerPool(workers=workers) as pool:
+        outcomes = pool.run_tasks(fn, range(6))
+    assert [o.index for o in outcomes] == list(range(6))
+    assert [o.ok for o in outcomes] == [True, False] * 3
+    assert str(outcomes[3].error) == "odd3"
+
+
+# -- budget propagation ------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [1, 4])
+def test_cancelled_budget_sheds_tasks_identically(workers, fake_clock):
+    budget = QueryBudget(clock=fake_clock)
+    budget.cancel("shutdown")
+    with WorkerPool(workers=workers) as pool:
+        with pytest.raises(QueryCancelled):
+            pool.map(lambda i: i, range(4), budget=budget)
+
+
+def test_budget_charges_survive_concurrent_tasks(fake_clock):
+    budget = QueryBudget(clock=fake_clock)
+
+    def fn(i):
+        for __ in range(50):
+            budget.charge_triples()
+        return i
+
+    with WorkerPool(workers=4) as pool:
+        pool.map(fn, range(8), budget=budget)
+    assert budget.triples_scanned == 400
+
+
+# -- tracing -----------------------------------------------------------------
+
+def run_traced(workers):
+    tracer = Tracer(clock=TickClock(step=0.001))
+    with WorkerPool(workers=workers, executor=SerialExecutor()
+                    if workers == 1 else ThreadExecutor(workers)) as pool:
+        with tracer.span("request"):
+            pool.run_tasks(lambda i, tracer=None: i, range(3),
+                           tracer=tracer, label="pool.batch",
+                           task_label="pool.task", pass_tracer=True)
+    return tracer
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_trace_shape_is_identical_for_any_worker_count(workers):
+    shape = [
+        (s.name, s.span_id,
+         s.parent.span_id if s.parent is not None else None)
+        for s in run_traced(workers).roots[0].walk()
+    ]
+    assert shape == [
+        ("request", 1, None),
+        ("pool.batch", 2, 1),
+        ("pool.task", 3, 2),
+        ("pool.task", 4, 2),
+        ("pool.task", 5, 2),
+    ]
+
+
+def test_pool_span_shows_wall_time_and_task_spans_sum_work():
+    tracer = run_traced(1)
+    rendered = render_trace(tracer.roots[0])
+    assert rendered.splitlines()[1].lstrip().startswith("pool.batch")
+    batch = tracer.roots[0].children[0]
+    assert len(batch.children) == 3
+    assert all(c.attributes["index"] == i
+               for i, c in enumerate(batch.children))
+
+
+def test_failed_task_span_records_error_type():
+    tracer = Tracer(clock=TickClock())
+
+    def fn(i):
+        raise KeyError(i)
+
+    with WorkerPool(workers=2) as pool:
+        outcomes = pool.run_tasks(fn, range(2), tracer=tracer)
+    assert all(o.span.attributes["error"] == "KeyError" for o in outcomes)
+
+
+# -- ordered streaming -------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_ordered_stream_preserves_item_order(workers):
+    with WorkerPool(workers=workers) as pool:
+        got = list(pool.ordered_stream(lambda i: i * 2, range(17)))
+    assert got == [i * 2 for i in range(17)]
+
+
+@pytest.mark.parametrize("workers", [1, 3])
+def test_ordered_stream_raises_at_failure_position(workers):
+    def fn(i):
+        if i == 4:
+            raise RuntimeError("chunk 4 lost")
+        return i
+
+    with WorkerPool(workers=workers) as pool:
+        stream = pool.ordered_stream(fn, range(8))
+        got = []
+        with pytest.raises(RuntimeError, match="chunk 4 lost"):
+            for value in stream:
+                got.append(value)
+    assert got == [0, 1, 2, 3]
+
+
+def test_ordered_stream_serial_executor_is_lazy():
+    """With the serial fake, a task runs only when its slot is needed:
+    the stream degenerates to the classic fetch-on-demand loop."""
+    fetched = []
+
+    def fn(i):
+        fetched.append(i)
+        return i
+
+    with WorkerPool(workers=1) as pool:
+        stream = pool.ordered_stream(fn, range(10))
+        assert fetched == []  # nothing runs before the first pull
+        next(stream)
+        assert fetched == [0, 1]  # item 0 + the replacement lookahead
+
+
+def test_executor_injection_controls_parallelism_flag():
+    assert not WorkerPool(workers=1).parallel
+    assert WorkerPool(workers=3).parallel
+    assert not WorkerPool(executor=SerialExecutor()).parallel
+    pool = WorkerPool(executor=ThreadExecutor(2))
+    assert pool.parallel
+    pool.close()
+
+
+def test_thread_executor_rejects_zero_workers():
+    with pytest.raises(ValueError):
+        ThreadExecutor(0)

@@ -1,0 +1,146 @@
+"""Serial/prefetch equivalence for the SDL chunk stream.
+
+The prefetch pipeline must yield the exact chunk sequence of the
+on-demand loop — same bytes, same order, same error positions, same
+budget accounting — for any worker count, including under injected
+server faults absorbed by the retry layer.
+"""
+
+from datetime import date
+
+import pytest
+
+from repro.governance import QueryBudget
+from repro.opendap import ServerRegistry
+from repro.parallel import WorkerPool
+from repro.resilience import FaultSchedule, FaultyServer, InjectedFault, \
+    RetryPolicy
+from repro.sdl import StreamingDataLibrary
+from repro.vito import (
+    GlobalLandArchive,
+    LAI_SPEC,
+    MepDeployment,
+    dekad_dates,
+    generate_product,
+)
+
+from conftest import FakeClock
+
+pytestmark = pytest.mark.tier1
+
+WORKER_COUNTS = [1, 2, 4]
+N_DEKADS = 6
+
+
+def build_sdl(workers=1, wrap=None, retries=1, cache_ttl_s=0.0):
+    """A fresh MEP + SDL per run so cache/fault state never leaks.
+
+    The cache TTL defaults to zero so every chunk is a real fetch (the
+    interesting case for the pipeline); the per-test clock never
+    advances unless the retry layer sleeps on it.
+    """
+    archive = GlobalLandArchive()
+    for day in dekad_dates(date(2018, 5, 1), N_DEKADS):
+        archive.publish("LAI", day, 0,
+                        generate_product(LAI_SPEC, day, cloud_fraction=0.05))
+    mep = MepDeployment(archive, host="vito.test")
+    mep.mount_all()
+    registry = ServerRegistry()
+    registry.register(mep.server)
+    if wrap is not None:
+        registry.wrap("vito.test", wrap)
+    clock = FakeClock()
+    sdl = StreamingDataLibrary(
+        registry,
+        cache_ttl_s=cache_ttl_s,
+        retry_policy=RetryPolicy(clock=clock, sleep=clock.sleep,
+                                 max_attempts=retries,
+                                 base_delay_s=0.01),
+        pool=WorkerPool(workers=workers) if workers > 1 else None,
+    )
+    sdl.register_dataset("LAI", "dap://vito.test/Copernicus/LAI")
+    return sdl
+
+
+def dump(sdl, budget=None):
+    out = []
+    for chunk in sdl.stream("LAI", budget=budget):
+        for name in sorted(chunk.variables):
+            out.append((name, chunk[name].data.tobytes()))
+    return out
+
+
+def test_prefetched_chunks_are_byte_identical():
+    reference = dump(build_sdl(workers=1))
+    assert len(reference) == N_DEKADS * 4  # LAI + 3 coordinate vars
+    for workers in WORKER_COUNTS[1:]:
+        assert dump(build_sdl(workers=workers)) == reference, \
+            f"workers={workers} diverged"
+
+
+def test_retried_faults_are_invisible_at_every_worker_count():
+    def flaky(server):
+        # Every 5th request fails once; two attempts absorb it.
+        return FaultyServer(server, FaultSchedule(fail_every=5))
+
+    reference = dump(build_sdl(workers=1))
+    for workers in WORKER_COUNTS:
+        got = dump(build_sdl(workers=workers, wrap=flaky, retries=2))
+        assert got == reference, f"workers={workers} diverged"
+
+
+class _ConstraintFault:
+    """Fails every request whose query mentions *needle* — a fault tied
+    to the work item, not the request arrival order, so it is
+    deterministic under concurrent prefetch."""
+
+    def __init__(self, inner, needle):
+        self.inner = inner
+        self.needle = needle
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def request(self, path_and_query: str) -> bytes:
+        if self.needle in path_and_query:
+            raise InjectedFault(f"injected: {path_and_query}")
+        return self.inner.request(path_and_query)
+
+
+def test_unretryable_fault_raises_at_the_same_chunk_position():
+    """Chunk 4's fetch dies for good; every worker count must yield
+    chunks 0..3 and then raise."""
+    for workers in WORKER_COUNTS:
+        sdl = build_sdl(
+            workers=workers,
+            wrap=lambda s: _ConstraintFault(s, "LAI[4:1:4]"),
+        )
+        chunks = []
+        with pytest.raises(InjectedFault):
+            for chunk in sdl.stream("LAI"):
+                chunks.append(chunk)
+        assert len(chunks) == 4, f"workers={workers}"
+
+
+def test_budget_accounting_matches_serial():
+    clock = FakeClock()
+    serial_budget = QueryBudget(clock=clock)
+    dump(build_sdl(workers=1), budget=serial_budget)
+    for workers in WORKER_COUNTS[1:]:
+        budget = QueryBudget(clock=FakeClock())
+        dump(build_sdl(workers=workers), budget=budget)
+        assert budget.rows == serial_budget.rows == N_DEKADS
+        assert budget.remote_fetches == serial_budget.remote_fetches
+
+
+def test_row_limit_enforced_identically():
+    from repro.governance import RowLimitExceeded
+
+    for workers in WORKER_COUNTS:
+        budget = QueryBudget(clock=FakeClock(), max_rows=3)
+        sdl = build_sdl(workers=workers)
+        got = []
+        with pytest.raises(RowLimitExceeded):
+            for chunk in sdl.stream("LAI", budget=budget):
+                got.append(chunk)
+        assert len(got) == 3, f"workers={workers}"
