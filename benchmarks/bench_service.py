@@ -1,0 +1,117 @@
+"""Service load harness benchmark: seeded workloads at scale.
+
+The numbers a capacity planner reads off the multi-tenant front end:
+
+- open loop at a fixed offered rate — p50/p99 latency, shed rate,
+  plan-cache hit rate, sustained throughput;
+- closed loop (clients wait, think, resubmit) — the self-limited
+  steady state of the same tenant mix.
+
+Because the whole stack runs in virtual time off one seed, every
+metric except ``wall_s`` is **exactly** reproducible across machines —
+the regression gate on this file is effectively bitwise for them. The
+benchmark also re-runs the open-loop spec and emits
+``identical_reports`` (1.0 when the two reports are byte-identical),
+so a determinism break fails CI like a performance regression.
+
+Emits ``out/BENCH_service.json``; the committed reference lives in
+``benchmarks/baselines/`` (regenerate in ``--smoke`` mode — that is
+what the service-smoke CI job runs)::
+
+    python -m pytest benchmarks/bench_service.py \
+        --run-benchmarks --smoke -q
+    cp out/BENCH_service.json benchmarks/baselines/
+"""
+
+import time
+
+import pytest
+
+from repro.service import WorkloadSpec, run_workload
+
+pytestmark = pytest.mark.benchmark
+
+
+def _open_spec(smoke):
+    return WorkloadSpec(
+        seed=42,
+        clients=400 if smoke else 2000,
+        rate_rps=450.0,
+        arrival="open",
+    )
+
+
+def _closed_spec(smoke):
+    return WorkloadSpec(
+        seed=42,
+        clients=60 if smoke else 200,
+        requests_per_client=3 if smoke else 5,
+        arrival="closed",
+        think_time_s=0.05,
+    )
+
+
+def test_open_loop_workload(smoke, emit_bench, record_summary):
+    spec = _open_spec(smoke)
+    start = time.perf_counter()
+    report = run_workload(spec)
+    wall_s = time.perf_counter() - start
+    identical = float(run_workload(spec).to_json() == report.to_json())
+
+    totals = report["totals"]
+    latency = report["latency_s"]
+    metrics = {
+        "clients": spec.clients,
+        "rate_rps": spec.rate_rps,
+        "p50_s": latency["p50"],
+        "p99_s": latency["p99"],
+        "mean_s": latency["mean"],
+        "completed": totals["completed"],
+        "shed_rate": totals["shed_rate"],
+        "throughput_rps": totals["throughput_rps"],
+        "plan_cache_hit_rate": report["plan_cache"]["hit_rate"],
+        "identical_reports": identical,
+    }
+    emit_bench("service", open_loop=metrics, wall_s=round(wall_s, 3))
+    record_summary("service open-loop workload", [
+        f"clients={spec.clients} offered={spec.rate_rps:g} rps "
+        f"(seed {spec.seed}, virtual time)",
+        f"p50={latency['p50'] * 1e3:g} ms  p99={latency['p99'] * 1e3:g} ms"
+        f"  mean={latency['mean'] * 1e3:.2f} ms",
+        f"completed={totals['completed']}  shed_rate="
+        f"{totals['shed_rate']:.3f}  throughput="
+        f"{totals['throughput_rps']:.1f} rps",
+        f"plan-cache hit rate={report['plan_cache']['hit_rate']:.3f}",
+        f"deterministic re-run identical: {bool(identical)}",
+        f"wall time {wall_s:.2f}s",
+    ])
+    assert identical == 1.0
+
+
+def test_closed_loop_workload(smoke, emit_bench, record_summary):
+    spec = _closed_spec(smoke)
+    start = time.perf_counter()
+    report = run_workload(spec)
+    wall_s = time.perf_counter() - start
+
+    totals = report["totals"]
+    latency = report["latency_s"]
+    metrics = {
+        "clients": spec.clients,
+        "requests_per_client": spec.requests_per_client,
+        "p50_s": latency["p50"],
+        "p99_s": latency["p99"],
+        "completed": totals["completed"],
+        "shed_rate": totals["shed_rate"],
+        "throughput_rps": totals["throughput_rps"],
+    }
+    emit_bench("service", closed_loop=metrics)
+    record_summary("service closed-loop workload", [
+        f"clients={spec.clients} x {spec.requests_per_client} requests, "
+        f"think={spec.think_time_s:g}s (seed {spec.seed})",
+        f"p50={latency['p50'] * 1e3:g} ms  p99={latency['p99'] * 1e3:g} ms",
+        f"completed={totals['completed']}  shed_rate="
+        f"{totals['shed_rate']:.3f}  throughput="
+        f"{totals['throughput_rps']:.1f} rps",
+        f"wall time {wall_s:.2f}s",
+    ])

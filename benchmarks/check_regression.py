@@ -65,12 +65,23 @@ def _load(directory, name, cache):
     return cache[name]
 
 
-def check(manifest, out_dir, baseline_dir):
-    """Return (failures, report_lines) for every tracked metric."""
+def check(manifest, out_dir, baseline_dir, only=None):
+    """Return (failures, report_lines) for every tracked metric.
+
+    *only*, when given, restricts the check to metrics whose ``file``
+    is in it — so a CI job that runs one benchmark gates that
+    benchmark's file without failing on siblings it never emitted.
+    """
     default_tol = float(manifest.get("tolerance_factor", 2.0))
     current_cache, baseline_cache = {}, {}
     failures, report = [], []
-    for metric in manifest["metrics"]:
+    metrics = manifest["metrics"]
+    if only:
+        metrics = [m for m in metrics if m["file"] in only]
+        if not metrics:
+            raise SystemExit(
+                f"no tracked metrics match --only {sorted(only)}")
+    for metric in metrics:
         name = metric["file"]
         path = metric["path"]
         direction = metric.get("direction", "lower")
@@ -133,10 +144,16 @@ def main(argv=None):
                         help="tracked-metrics manifest (default: "
                              "benchmarks/baselines/"
                              "tracked_metrics.json)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="BENCH_FILE",
+                        help="check only metrics tracked against this "
+                             "BENCH_*.json file (repeatable); default: "
+                             "all tracked metrics")
     args = parser.parse_args(argv)
 
     manifest = json.loads(args.manifest.read_text())
-    failures, report = check(manifest, args.out_dir, args.baseline_dir)
+    failures, report = check(manifest, args.out_dir, args.baseline_dir,
+                             only=set(args.only) if args.only else None)
     for line in report:
         print(line)
     if failures:

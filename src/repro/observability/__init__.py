@@ -28,6 +28,7 @@ from .metrics import (
     MetricFamily,
     MetricsError,
     MetricsRegistry,
+    histogram_quantile,
     parse_exposition,
 )
 from .trace import (
@@ -55,6 +56,7 @@ __all__ = [
     "MetricsError",
     "Exposition",
     "parse_exposition",
+    "histogram_quantile",
     "DEFAULT_BUCKETS",
     "LabeledCounters",
     "register_resilience",

@@ -31,6 +31,7 @@ __all__ = [
     "Histogram",
     "Exposition",
     "parse_exposition",
+    "histogram_quantile",
     "DEFAULT_BUCKETS",
 ]
 
@@ -176,6 +177,32 @@ class Histogram:
         self.bucket_counts = list(bucket_counts)
         self.count = total
         self.sum = total_sum
+
+
+def histogram_quantile(hist: "Histogram", q: float) -> float:
+    """A deterministic upper-bound quantile estimate from bucket counts.
+
+    Returns the smallest bucket upper bound whose cumulative count
+    reaches ``ceil(q * count)`` — the conservative (never optimistic)
+    read of "q of the observations were at most this much". Values in
+    the overflow (+Inf) region clamp to the largest finite bound; an
+    empty histogram reports 0. Because the answer depends only on the
+    configured bounds and integer counts, two identical workloads
+    report byte-identical percentiles — no interpolation, no float
+    drift.
+    """
+    if not 0.0 < q <= 1.0:
+        raise MetricsError(f"quantile must be in (0, 1]: {q!r}")
+    if hist.count <= 0:
+        return 0.0
+    # ceil without floats drifting: the rank of the target observation
+    rank = -(-hist.count * q // 1)
+    cumulative = 0
+    for bound, n in zip(hist.buckets, hist.bucket_counts):
+        cumulative += n
+        if cumulative >= rank:
+            return bound
+    return hist.buckets[-1] if hist.buckets else 0.0
 
 
 # ---------------------------------------------------------------------------

@@ -47,14 +47,14 @@ class TermDictionary:
         return self._ids.get(term)
 
     def decode(self, term_id: int) -> Term:
-        """The term for an id; raises ``KeyError`` for unknown ids."""
-        try:
-            term = self._terms[term_id]
-        except IndexError:
-            term = None
-        if term is None:
-            raise KeyError(f"unknown term id {term_id}")
-        return term
+        """The term for an id; raises ``KeyError`` for unknown ids.
+
+        Negative ids are unknown by definition — they must not alias
+        into the term list through Python's negative indexing.
+        """
+        if 0 < term_id < len(self._terms):
+            return self._terms[term_id]
+        raise KeyError(f"unknown term id {term_id}")
 
     def __len__(self) -> int:
         return len(self._terms) - 1

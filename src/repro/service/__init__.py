@@ -1,0 +1,83 @@
+"""repro.service: the multi-tenant query service front end.
+
+The App Lab story is "many users, one modest service": mobile and web
+apps firing SPARQL at shared Copernicus endpoints. This package is
+that serving layer, built so every moving part runs on fake clocks:
+
+- :mod:`~repro.service.tenancy` — tenant specs (quotas, priorities,
+  default budgets) and per-tenant runtime accounting;
+- :mod:`~repro.service.plancache` — the LRU prepared-query cache
+  keyed on query template, explicit invalidation only;
+- :mod:`~repro.service.service` — :class:`QueryService`: two-layer
+  admission (tenant quota, then global pool), prepared execution,
+  paginated/streamed result delivery, service metric families;
+- :mod:`~repro.service.scheduler` — the deterministic virtual-time
+  request scheduler multiplexing thousands of simulated clients;
+- :mod:`~repro.service.workload` — seeded workload generation (open/
+  closed-loop arrivals, Zipf hot keys, tenant mix) and the
+  byte-identical :class:`WorkloadReport`;
+- :mod:`~repro.service.api` — versioned (v1/v2) JSON envelopes;
+- :mod:`~repro.service.errors` — the service's typed error family
+  and the exception→wire-payload mapping.
+"""
+
+from .api import ServiceAPI, decode_term, encode_term
+from .errors import (
+    InvalidRequest,
+    QuotaExceeded,
+    ServiceError,
+    UnknownCursor,
+    UnknownTemplate,
+    UnknownTenant,
+    error_payload,
+)
+from .plancache import PlanCache
+from .scheduler import (
+    CostModel,
+    Request,
+    RequestRecord,
+    RequestScheduler,
+    VirtualClock,
+)
+from .service import LATENCY_BUCKETS, QueryService, ServiceResponse, template_id
+from .tenancy import TenantRegistry, TenantSpec, TenantState
+from .workload import (
+    Workload,
+    WorkloadReport,
+    WorkloadSpec,
+    build_default_graph,
+    default_tenants,
+    run_workload,
+)
+
+__all__ = [
+    "CostModel",
+    "InvalidRequest",
+    "LATENCY_BUCKETS",
+    "PlanCache",
+    "QueryService",
+    "QuotaExceeded",
+    "Request",
+    "RequestRecord",
+    "RequestScheduler",
+    "ServiceAPI",
+    "ServiceError",
+    "ServiceResponse",
+    "TenantRegistry",
+    "TenantSpec",
+    "TenantState",
+    "UnknownCursor",
+    "UnknownTemplate",
+    "UnknownTenant",
+    "VirtualClock",
+    "Workload",
+    "WorkloadReport",
+    "WorkloadSpec",
+    "build_default_graph",
+    "decode_term",
+    "default_tenants",
+    "encode_term",
+    "error_payload",
+    "run_workload",
+    "template_id",
+]

@@ -1,0 +1,203 @@
+"""Versioned JSON envelope handlers for the query service.
+
+This is the wire layer of :class:`~repro.service.QueryService` —
+transport-free by design: a *request envelope* is a plain dict and
+each handler returns a plain *response envelope* dict, so the same
+handlers sit equally well behind an HTTP frame, a message queue, or
+(as in this repo) the acceptance suite and the workload harness.
+
+Two envelope versions coexist (clients pick with ``"v"``):
+
+- **v1** — the minimal contract: ``{"ok", "data"}`` where ``data``
+  carries ``vars``/``rows`` (SPARQL 1.1 JSON binding encoding) and a
+  ``next_page_token``; errors are ``{"ok": false, "error": {"code",
+  "message"}}`` only.
+- **v2** — everything v1 has plus the degraded-mode ``failures`` map
+  from :class:`~repro.sparql.SPARQLResult`, the final budget
+  snapshot, plan-cache info (``{"hit": ...}``), ``explain_id`` (the
+  stable template id that keys EXPLAIN output and query profiles) and
+  inline ``explain`` text on request, and *typed* error payloads
+  (``retry_after_s`` for shed requests, budget snapshots for budget
+  kills) straight from :func:`~repro.service.errors.error_payload`.
+
+Version negotiation is strict: an unknown version or op is a v-less
+``invalid_request`` error, never a guess.
+
+Operations: ``query`` (raw text or registered template + params),
+``page`` (cursor continuation), ``invalidate`` (explicit plan-cache
+drop), ``metrics`` (service counters for scrapers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..rdf.terms import BNode, IRI, Literal, Term
+from .errors import InvalidRequest, error_payload
+from .service import QueryService, ServiceResponse
+
+__all__ = ["ServiceAPI", "encode_term", "decode_term"]
+
+SUPPORTED_VERSIONS = (1, 2)
+OPS = ("query", "page", "invalidate", "metrics")
+
+
+def encode_term(term: Optional[Term]) -> Optional[Dict[str, str]]:
+    """One binding in the SPARQL 1.1 JSON results encoding."""
+    if term is None:
+        return None
+    if isinstance(term, Literal):
+        out = {"type": "literal", "value": term.lexical}
+        if term.lang:
+            out["xml:lang"] = term.lang
+        elif term.datatype:
+            out["datatype"] = str(term.datatype)
+        return out
+    if isinstance(term, BNode):
+        return {"type": "bnode", "value": str(term)}
+    return {"type": "uri", "value": str(term)}
+
+
+def decode_term(obj: Dict[str, Any]) -> Term:
+    """The inverse of :func:`encode_term` (request parameters)."""
+    if not isinstance(obj, dict) or "type" not in obj or "value" not in obj:
+        raise InvalidRequest(f"malformed term {obj!r}")
+    kind = obj["type"]
+    if kind == "uri":
+        return IRI(obj["value"])
+    if kind == "bnode":
+        return BNode(obj["value"])
+    if kind == "literal":
+        datatype = obj.get("datatype")
+        return Literal(obj["value"],
+                       datatype=IRI(datatype) if datatype else None,
+                       lang=obj.get("xml:lang"))
+    raise InvalidRequest(f"unknown term type {kind!r}")
+
+
+def _encode_rows(response: ServiceResponse) -> list:
+    rows = []
+    for row in response.rows:
+        entry = {}
+        for var, term in row.items():
+            encoded = encode_term(term)
+            if encoded is not None:
+                entry[var] = encoded
+        rows.append(entry)
+    return rows
+
+
+class ServiceAPI:
+    """Dict-in/dict-out versioned handlers over one QueryService."""
+
+    def __init__(self, service: QueryService):
+        self.service = service
+
+    # -- the single entry point --------------------------------------------
+    def handle(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Dispatch one request envelope; never raises — errors are
+        rendered into the envelope of the requested version (or the
+        minimal v1 shape when the version itself is unusable)."""
+        if not isinstance(request, dict):
+            return self._error(1, InvalidRequest("request must be a dict"))
+        version = request.get("v", 1)
+        if version not in SUPPORTED_VERSIONS:
+            return self._error(
+                1, InvalidRequest(
+                    f"unsupported envelope version {version!r}; "
+                    f"supported: {list(SUPPORTED_VERSIONS)}"))
+        op = request.get("op")
+        if op not in OPS:
+            return self._error(
+                version,
+                InvalidRequest(f"unknown op {op!r}; supported: {list(OPS)}"))
+        try:
+            if op == "query":
+                return self._query(version, request)
+            if op == "page":
+                return self._page(version, request)
+            if op == "invalidate":
+                return self._invalidate(version, request)
+            return self._metrics(version, request)
+        except Exception as exc:  # typed payloads, not stack traces
+            return self._error(version, exc)
+
+    # -- ops ----------------------------------------------------------------
+    def _query(self, version: int, request: Dict[str, Any]) -> Dict[str, Any]:
+        params = None
+        raw = request.get("params")
+        if raw is not None:
+            if not isinstance(raw, dict):
+                raise InvalidRequest("params must be a var->term dict")
+            params = {var: decode_term(term) for var, term in raw.items()}
+        response = self.service.execute(
+            request.get("tenant", ""),
+            request.get("query"),
+            template=request.get("template"),
+            params=params,
+            page_size=request.get("page_size"),
+            explain=bool(request.get("explain", False))
+            if version >= 2 else False,
+        )
+        return self._ok(version, response)
+
+    def _page(self, version: int, request: Dict[str, Any]) -> Dict[str, Any]:
+        token = request.get("page_token")
+        if not isinstance(token, str):
+            raise InvalidRequest("page op requires a string page_token")
+        response = self.service.fetch_page(request.get("tenant", ""), token)
+        return self._ok(version, response)
+
+    def _invalidate(self, version: int,
+                    request: Dict[str, Any]) -> Dict[str, Any]:
+        dropped = self.service.invalidate_template(request.get("template"))
+        return {"v": version, "ok": True, "data": {"invalidated": dropped}}
+
+    def _metrics(self, version: int,
+                 request: Dict[str, Any]) -> Dict[str, Any]:
+        service = self.service
+        data: Dict[str, Any] = {
+            "tenants": {state.spec.name: state.as_dict()
+                        for state in service.tenants},
+            "plan_cache": service.plan_cache.stats(),
+        }
+        if version >= 2:
+            data["governance"] = {
+                "admitted": service.stats.admitted,
+                "shed": service.stats.shed,
+                "completed": service.stats.completed,
+                "headroom_histogram":
+                    service.stats.combined_headroom_histogram(),
+            }
+        return {"v": version, "ok": True, "data": data}
+
+    # -- envelopes -----------------------------------------------------------
+    def _ok(self, version: int,
+            response: ServiceResponse) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "tenant": response.tenant,
+            "kind": response.kind,
+            "vars": list(response.vars),
+            "rows": _encode_rows(response),
+        }
+        if response.next_page_token is not None:
+            data["next_page_token"] = response.next_page_token
+        if version >= 2:
+            data["failures"] = dict(response.failures)
+            data["plan_cache"] = {"hit": response.plan_cache_hit}
+            data["explain_id"] = response.explain_id
+            if response.explain is not None:
+                data["explain"] = response.explain
+            if response.budget_stats is not None:
+                data["budget"] = response.budget_stats
+            if response.total_rows is not None:
+                data["total_rows"] = response.total_rows
+        return {"v": version, "ok": True, "data": data}
+
+    def _error(self, version: int, exc: BaseException) -> Dict[str, Any]:
+        payload = error_payload(exc)
+        if version < 2:
+            # v1 clients signed up for code+message only
+            payload = {"code": payload["code"],
+                       "message": payload["message"]}
+        return {"v": version, "ok": False, "error": payload}

@@ -1,0 +1,120 @@
+"""Typed service-level errors and the wire payloads they render to.
+
+The service front end never lets an exception escape as a bare string:
+every failure a client can observe maps to a stable error ``code`` plus
+structured details (retry hints, budget snapshots), so the v1/v2
+envelope handlers — and the load harness's shed accounting — switch on
+types and codes, not on message text.
+
+The governance layer's :class:`~repro.governance.Overloaded` and
+:class:`~repro.governance.BudgetExceeded` families pass through
+untouched; :func:`error_payload` knows how to render those too, so one
+function turns *any* service-path exception into its JSON payload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..governance import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    FetchLimitExceeded,
+    Overloaded,
+    QueryCancelled,
+    RowLimitExceeded,
+    ScanLimitExceeded,
+)
+
+__all__ = [
+    "ServiceError",
+    "UnknownTenant",
+    "UnknownTemplate",
+    "UnknownCursor",
+    "InvalidRequest",
+    "QuotaExceeded",
+    "error_payload",
+]
+
+
+class ServiceError(RuntimeError):
+    """Base service error; ``code`` is the stable wire identifier."""
+
+    code = "service_error"
+
+    def to_payload(self) -> Dict[str, object]:
+        return {"code": self.code, "message": str(self)}
+
+
+class UnknownTenant(ServiceError):
+    """The request named a tenant the service has not registered."""
+
+    code = "unknown_tenant"
+
+
+class UnknownTemplate(ServiceError):
+    """The request named a prepared template that does not exist."""
+
+    code = "unknown_template"
+
+
+class UnknownCursor(ServiceError):
+    """The page token names a cursor that expired or never existed."""
+
+    code = "unknown_cursor"
+
+
+class InvalidRequest(ServiceError):
+    """The request envelope is malformed (missing op, bad params...)."""
+
+    code = "invalid_request"
+
+
+class QuotaExceeded(ServiceError):
+    """The *tenant's* quota rejected the request (the global pool may
+    still have room — per-tenant isolation shedding, not overload)."""
+
+    code = "quota_exceeded"
+
+    def __init__(self, message: str, tenant: str,
+                 retry_after_s: Optional[float] = None):
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
+
+    def to_payload(self) -> Dict[str, object]:
+        payload = super().to_payload()
+        payload["tenant"] = self.tenant
+        if self.retry_after_s is not None:
+            payload["retry_after_s"] = self.retry_after_s
+        return payload
+
+
+#: Stable wire codes for the governance-layer exception types.
+_GOVERNANCE_CODES = (
+    (QueryCancelled, "cancelled"),
+    (DeadlineExceeded, "deadline_exceeded"),
+    (RowLimitExceeded, "row_limit_exceeded"),
+    (ScanLimitExceeded, "scan_limit_exceeded"),
+    (FetchLimitExceeded, "fetch_limit_exceeded"),
+    (BudgetExceeded, "budget_exceeded"),
+)
+
+
+def error_payload(exc: BaseException) -> Dict[str, object]:
+    """The JSON payload for any exception the service path can raise."""
+    if isinstance(exc, ServiceError):
+        return exc.to_payload()
+    if isinstance(exc, Overloaded):
+        payload: Dict[str, object] = {
+            "code": "overloaded", "message": str(exc),
+        }
+        if exc.retry_after_s is not None:
+            payload["retry_after_s"] = exc.retry_after_s
+        return payload
+    for exc_type, code in _GOVERNANCE_CODES:
+        if isinstance(exc, exc_type):
+            return {"code": code, "message": str(exc),
+                    "snapshot": dict(exc.snapshot)}
+    return {"code": "internal_error",
+            "message": f"{type(exc).__name__}: {exc}"}

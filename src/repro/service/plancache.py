@@ -1,0 +1,131 @@
+"""The prepared-query (plan) cache: LRU by template, explicit invalidation.
+
+The cache maps a query *template* (the exact query text; parameters
+are bound at execution time through the prepared query's seed row, so
+one entry serves every parameterization) to a
+:class:`~repro.sparql.prepared.PreparedQuery`. A hit skips tokenizing,
+parsing and planning; under the simulated cost model that is the
+difference between a cold and a warm request, so the workload report's
+hit rate is directly a latency story.
+
+Invalidation is *explicit*: callers that mutate the dataset (or bump
+planner statistics) call :meth:`PlanCache.invalidate` /
+:meth:`PlanCache.clear`. The cache deliberately does not watch the
+graph — plan reuse against a mutated graph stays *correct* (operators
+scan live indexes at execution time) but the join order may grow
+stale, which is a performance decision the owner of the mutation makes,
+not the cache.
+
+Counters (hits/misses/evictions/invalidations) are mirrored into the
+service's :class:`~repro.observability.MetricsRegistry` under
+``service_plan_cache_total{event=...}`` when a registry is attached.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Optional, Tuple
+
+from ..sparql.prepared import PreparedQuery
+
+__all__ = ["PlanCache"]
+
+
+class PlanCache:
+    """LRU cache of :class:`PreparedQuery` entries keyed on template."""
+
+    def __init__(self, max_entries: int = 64, metrics=None):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, PreparedQuery]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._counter = None
+        if metrics is not None:
+            self._counter = metrics.counter(
+                "service_plan_cache_total",
+                "plan cache events by type",
+                labelnames=("event",),
+            )
+
+    def _count(self, event: str, n: int = 1) -> None:
+        if self._counter is not None:
+            self._counter.labels(event=event).inc(n)
+
+    # -- lookup ------------------------------------------------------------
+    def get_or_prepare(
+        self, template: str,
+        builder: Callable[[str], PreparedQuery],
+    ) -> Tuple[PreparedQuery, bool]:
+        """The cached entry for *template*, or build + insert one.
+
+        Returns ``(prepared, hit)``. *builder* runs only on a miss —
+        the caller wraps it in its ``service.parse``/``service.plan``
+        trace spans, which is how the acceptance suite proves a hit
+        skipped re-planning.
+        """
+        entry = self._entries.get(template)
+        if entry is not None:
+            self._entries.move_to_end(template)
+            self.hits += 1
+            self._count("hit")
+            return entry, True
+        self.misses += 1
+        self._count("miss")
+        entry = builder(template)
+        self._entries[template] = entry
+        if len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self._count("eviction")
+        return entry, False
+
+    def peek(self, template: str) -> Optional[PreparedQuery]:
+        """The entry without touching LRU order or counters."""
+        return self._entries.get(template)
+
+    # -- invalidation ------------------------------------------------------
+    def invalidate(self, template: str) -> bool:
+        """Drop one template's plan; returns whether it was cached."""
+        if template in self._entries:
+            del self._entries[template]
+            self.invalidations += 1
+            self._count("invalidation")
+            return True
+        return False
+
+    def clear(self) -> int:
+        """Drop every cached plan (dataset mutated); returns the count."""
+        n = len(self._entries)
+        self._entries.clear()
+        self.invalidations += n
+        if n:
+            self._count("invalidation", n)
+        return n
+
+    # -- reporting ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "hit_rate": round(self.hit_rate, 6),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<PlanCache {len(self._entries)}/{self.max_entries} "
+                f"hits={self.hits} misses={self.misses}>")

@@ -1,0 +1,397 @@
+"""Deterministic virtual-time request scheduling.
+
+The :class:`RequestScheduler` is the piece that turns "thousands of
+concurrent clients" into a reproducible artifact. It is a discrete
+event simulator: requests *arrive* at virtual timestamps, wait in
+per-tenant FIFO queues, are *dispatched* into the global slot pool in
+priority order, execute for a *simulated* service time derived from
+the work the query actually did (triples scanned, rows produced, plan
+cache cold or warm), and *complete* at virtual timestamps that free
+their slots for the next dispatch. Nothing sleeps; the only clock is
+a :class:`VirtualClock` that jumps from event to event, shared with
+the service, every budget, and the tracer.
+
+Scheduling disciplines, all deterministic:
+
+- **event order** — a binary heap keyed ``(time, kind, seq)`` where
+  completions sort before arrivals at the same instant (a freed slot
+  is visible to a simultaneous arrival) and ``seq`` breaks remaining
+  ties in submission order;
+- **dispatch order** — among tenants with queued work and spare
+  ``max_in_flight`` quota: highest priority first, then least recently
+  served (round-robin), then registration order — so equal-priority
+  tenants share slots fairly and a greedy tenant cannot starve others;
+- **batch execution through the worker pool** — every dispatch round
+  runs its admitted requests through a fake-clock
+  :class:`~repro.parallel.WorkerPool` (serial executor), inheriting
+  the pool's submission-order merge and all-tasks-run error semantics.
+
+Real executions happen at dispatch (the query truly runs, charging
+its budget); what is simulated is only *when* the answer would have
+been ready under the cost model. Deadlines therefore act twice: a
+request whose budget expires while queued is shed without running,
+and one whose simulated service time overruns the remaining deadline
+is classified ``deadline_exceeded`` at its truncated completion time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..governance import (
+    BudgetExceeded,
+    DeadlineExceeded,
+    Overloaded,
+    QueryBudget,
+)
+from ..parallel import SerialExecutor, WorkerPool
+from ..rdf.terms import Term
+from .errors import QuotaExceeded, error_payload
+from .service import QueryService
+from .tenancy import TenantState
+
+__all__ = ["VirtualClock", "CostModel", "Request", "RequestRecord",
+           "RequestScheduler"]
+
+#: Event-kind ordering at equal timestamps (see module docstring).
+_COMPLETION, _ARRIVAL = 0, 1
+
+
+class VirtualClock:
+    """A manually advanced monotonic clock (reads never move time)."""
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance_to(self, t: float) -> None:
+        if t > self.now:
+            self.now = t
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Maps the work one request did to its simulated service time.
+
+    ``plan_s`` is charged only on a plan-cache miss — the knob that
+    makes the cache's hit rate visible in the latency distribution.
+    """
+
+    base_s: float = 0.002
+    per_triple_s: float = 0.0001
+    per_row_s: float = 0.0002
+    plan_s: float = 0.008
+
+    def service_time(self, budget: QueryBudget,
+                     plan_cache_hit: bool) -> float:
+        t = self.base_s
+        if not plan_cache_hit:
+            t += self.plan_s
+        t += budget.triples_scanned * self.per_triple_s
+        t += budget.rows * self.per_row_s
+        return t
+
+
+@dataclass
+class Request:
+    """One simulated client request, queued between arrival and start."""
+
+    seq: int
+    tenant: str
+    text: str
+    params: Optional[Dict[str, Term]] = None
+    page_size: Optional[int] = None
+    arrival_s: float = 0.0
+    budget: Optional[QueryBudget] = None
+    client: Optional[int] = None  # closed-loop client identity
+
+
+@dataclass
+class RequestRecord:
+    """The audit line one request leaves behind (report input)."""
+
+    seq: int
+    tenant: str
+    arrival_s: float
+    outcome: str                      # completed | shed_* | budget code...
+    start_s: Optional[float] = None
+    finish_s: Optional[float] = None
+    latency_s: Optional[float] = None
+    plan_cache_hit: Optional[bool] = None
+    rows: Optional[int] = None
+    error: Optional[Dict[str, object]] = None
+    client: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "seq": self.seq, "tenant": self.tenant,
+            "arrival_s": round(self.arrival_s, 9),
+            "outcome": self.outcome,
+        }
+        if self.start_s is not None:
+            out["start_s"] = round(self.start_s, 9)
+        if self.finish_s is not None:
+            out["finish_s"] = round(self.finish_s, 9)
+        if self.latency_s is not None:
+            out["latency_s"] = round(self.latency_s, 9)
+        if self.plan_cache_hit is not None:
+            out["plan_cache_hit"] = self.plan_cache_hit
+        if self.rows is not None:
+            out["rows"] = self.rows
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+@dataclass
+class _Running:
+    request: Request
+    state: TenantState
+    slot: object
+    outcome: str
+    record: RequestRecord
+    exc: Optional[BaseException] = None
+
+
+class RequestScheduler:
+    """Virtual-time multiplexer of simulated clients over one service."""
+
+    def __init__(self, service: QueryService, clock: VirtualClock,
+                 cost: Optional[CostModel] = None,
+                 max_queue_depth: int = 64,
+                 pool: Optional[WorkerPool] = None):
+        if service.clock is not clock:
+            raise ValueError(
+                "service and scheduler must share one VirtualClock")
+        self.service = service
+        self.clock = clock
+        self.cost = cost if cost is not None else CostModel()
+        self.max_queue_depth = max_queue_depth
+        self.pool = pool if pool is not None else WorkerPool(
+            executor=SerialExecutor(), name="service")
+        self.records: List[RequestRecord] = []
+        #: Called with each finished RequestRecord; closed-loop
+        #: workloads submit the client's next request from here.
+        self.on_complete: Optional[Callable[[RequestRecord], None]] = None
+        self._events: List[tuple] = []
+        self._event_seq = 0
+        self._request_seq = 0
+        self._queued_total = 0
+        self._last_served: Dict[str, int] = {}
+        self._served_seq = 0
+        self._order = {name: i for i, name
+                       in enumerate(service.tenants.names())}
+
+    # -- submission --------------------------------------------------------
+    def submit(self, at_s: float, tenant: str, query: Optional[str] = None,
+               *, template: Optional[str] = None,
+               params: Optional[Dict[str, Term]] = None,
+               page_size: Optional[int] = None,
+               client: Optional[int] = None) -> int:
+        """Schedule one request to arrive at virtual time *at_s*."""
+        if at_s < self.clock.now:
+            raise ValueError(
+                f"cannot submit into the past ({at_s} < {self.clock.now})")
+        text = query if query is not None \
+            else self.service.template_text(template)
+        self._request_seq += 1
+        request = Request(seq=self._request_seq, tenant=tenant, text=text,
+                          params=params, page_size=page_size,
+                          arrival_s=at_s, client=client)
+        self._push(at_s, _ARRIVAL, request)
+        return request.seq
+
+    def _push(self, at_s: float, kind: int, payload) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (at_s, kind, self._event_seq, payload))
+
+    # -- the event loop ----------------------------------------------------
+    def run(self) -> List[RequestRecord]:
+        """Drain every event; returns the records in completion order."""
+        while self._events:
+            at_s, kind, _, payload = heapq.heappop(self._events)
+            self.clock.advance_to(at_s)
+            if kind == _COMPLETION:
+                self._complete(payload)
+            else:
+                self._arrive(payload)
+            self._dispatch()
+        return self.records
+
+    # -- arrival: queue or shed --------------------------------------------
+    def _arrive(self, request: Request) -> None:
+        state = self.service.tenants.get(request.tenant)
+        state.submitted += 1
+        request.budget = state.spec.make_budget(self.clock)
+        if len(state.queue) >= state.spec.max_queued:
+            state.shed_quota += 1
+            self.service.stats.shed += 1
+            self.service.count_outcome(request.tenant, "shed_quota")
+            exc = QuotaExceeded(
+                f"tenant {request.tenant!r} queue full "
+                f"({state.spec.max_queued})",
+                tenant=request.tenant,
+                retry_after_s=self.service.controller.retry_after_hint_s)
+            self._finish_shed(request, "shed_quota", exc)
+            return
+        if self._queued_total >= self.max_queue_depth:
+            state.shed_overload += 1
+            self.service.stats.shed += 1
+            self.service.count_outcome(request.tenant, "shed_overload")
+            exc = Overloaded(
+                f"service queue full ({self.max_queue_depth} waiting)",
+                retry_after_s=self.service.controller.retry_after_hint_s)
+            self._finish_shed(request, "shed_overload", exc)
+            return
+        state.queue.append(request)
+        self._queued_total += 1
+
+    def _finish_shed(self, request: Request, outcome: str,
+                     exc: BaseException) -> None:
+        record = RequestRecord(
+            seq=request.seq, tenant=request.tenant,
+            arrival_s=request.arrival_s, outcome=outcome,
+            error=error_payload(exc), client=request.client)
+        self.records.append(record)
+        if self.on_complete is not None:
+            self.on_complete(record)
+
+    # -- dispatch: fill free slots in priority order -----------------------
+    def _eligible(self) -> Optional[TenantState]:
+        best: Optional[TenantState] = None
+        best_key = None
+        for state in self.service.tenants:
+            if not state.queue or state.at_capacity:
+                continue
+            name = state.spec.name
+            key = (-state.spec.priority,
+                   self._last_served.get(name, 0),
+                   self._order[name])
+            if best_key is None or key < best_key:
+                best, best_key = state, key
+        return best
+
+    def _dispatch(self) -> None:
+        batch: List[_Running] = []
+        # admit() bumps controller.active immediately, so the pool
+        # bound holds even while the batch is still being collected
+        while self.service.controller.active \
+                < self.service.controller.max_concurrent:
+            state = self._eligible()
+            if state is None:
+                break
+            request = state.queue.popleft()
+            self._queued_total -= 1
+            self._served_seq += 1
+            self._last_served[state.spec.name] = self._served_seq
+            if self._expired_in_queue(request, state):
+                continue
+            slot = self.service.controller.admit(request.budget)
+            state.in_flight += 1
+            record = RequestRecord(
+                seq=request.seq, tenant=request.tenant,
+                arrival_s=request.arrival_s, outcome="running",
+                start_s=self.clock.now, client=request.client)
+            batch.append(_Running(request, state, slot, "running", record))
+        if batch:
+            self._execute_batch(batch)
+
+    def _expired_in_queue(self, request: Request,
+                          state: TenantState) -> bool:
+        budget = request.budget
+        waited = self.clock.now - request.arrival_s
+        timeout = state.spec.queue_timeout_s
+        timed_out = timeout is not None and waited > timeout
+        dead = budget is not None and budget.deadline_expired
+        if not (timed_out or dead):
+            return False
+        state.shed_timeout += 1
+        self.service.stats.shed += 1
+        self.service.count_outcome(request.tenant, "shed_timeout")
+        exc: BaseException
+        if dead:
+            exc = DeadlineExceeded(
+                f"deadline expired after {waited:g}s in queue",
+                budget.snapshot())
+        else:
+            exc = Overloaded(
+                f"queued {waited:g}s > queue_timeout "
+                f"{timeout:g}s", retry_after_s=self.service
+                .controller.retry_after_hint_s)
+        self._finish_shed(request, "shed_timeout", exc)
+        return True
+
+    # -- execution: real work, simulated completion time -------------------
+    def _execute_batch(self, batch: List[_Running]) -> None:
+        def task(running: _Running):
+            request = running.request
+            return self.service.execute_admitted(
+                running.state, request.text, params=request.params,
+                budget=request.budget, page_size=request.page_size)
+
+        outcomes = self.pool.run_tasks(task, batch,
+                                       task_label="service.request")
+        for running, outcome in zip(batch, outcomes):
+            request = running.request
+            budget = request.budget
+            record = running.record
+            if outcome.ok:
+                response = outcome.value
+                record.plan_cache_hit = response.plan_cache_hit
+                record.rows = (response.total_rows
+                               if response.total_rows is not None
+                               else len(response.rows))
+                hit = response.plan_cache_hit
+                running.outcome = "completed"
+            else:
+                record.error = error_payload(outcome.error)
+                record.plan_cache_hit = None
+                hit = True  # failed before/while streaming; no plan fee
+                running.outcome = record.error["code"]
+                running.exc = outcome.error
+            service_s = self.cost.service_time(budget, hit)
+            remaining = budget.remaining_s()
+            if running.outcome == "completed" and remaining is not None \
+                    and service_s > remaining:
+                # The simulated server would not have answered in time.
+                running.outcome = "deadline_exceeded"
+                running.exc = DeadlineExceeded(
+                    f"simulated service time {service_s:g}s exceeds "
+                    f"remaining deadline {remaining:g}s",
+                    budget.snapshot())
+                record.error = error_payload(running.exc)
+                service_s = remaining
+            finish = record.start_s + service_s
+            record.finish_s = finish
+            self._push(finish, _COMPLETION, running)
+
+    # -- completion: free the slot, account the outcome --------------------
+    def _complete(self, running: _Running) -> None:
+        request = running.request
+        state = running.state
+        record = running.record
+        state.in_flight -= 1
+        running.slot.release()
+        record.outcome = running.outcome
+        record.latency_s = record.finish_s - record.arrival_s
+        if running.outcome == "completed":
+            state.completed += 1
+            self.service.stats.record_outcome(None, request.budget)
+            self.service.count_outcome(request.tenant, "completed")
+        elif isinstance(running.exc, BudgetExceeded):
+            state.budget_exceeded += 1
+            self.service.stats.record_outcome(running.exc, request.budget)
+            self.service.count_outcome(request.tenant, "budget_exceeded")
+        else:
+            state.failed += 1
+            self.service.count_outcome(request.tenant, "failed")
+        self.service.observe_latency(request.tenant, record.latency_s)
+        self.records.append(record)
+        if self.on_complete is not None:
+            self.on_complete(record)

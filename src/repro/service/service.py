@@ -1,0 +1,413 @@
+"""The multi-tenant query service core.
+
+:class:`QueryService` is the serving layer over one dataset
+(:class:`~repro.rdf.graph.Graph`): it owns the tenant registry, the
+global :class:`~repro.governance.AdmissionController`, the
+:class:`~repro.service.plancache.PlanCache`, the open result cursors
+(pagination), and the service's metric families. It deliberately
+contains **no transport**: requests are plain Python calls (the
+versioned JSON envelopes live in :mod:`repro.service.api`, the
+simulated clients in :mod:`repro.service.workload`), which is what
+makes the whole serving stack testable on fake clocks.
+
+Admission happens in two layers, in this order:
+
+1. **tenant quota** — a tenant at its ``max_in_flight`` cap is shed
+   with :class:`~repro.service.errors.QuotaExceeded` *before* the
+   global pool is consulted, so a greedy tenant rejects its own excess
+   instead of occupying pool slots others could use;
+2. **global pool** — the admission controller's fail-fast slot pool
+   sheds with the governance layer's typed
+   :class:`~repro.governance.Overloaded` when total concurrency is
+   exhausted.
+
+The request scheduler (:mod:`repro.service.scheduler`) replaces this
+direct path's fail-fast behaviour with virtual-time queues, but it
+reuses the same tenant accounting, plan cache and execution core via
+:meth:`QueryService.execute_admitted`.
+
+Execution for one dataset is strictly serial (prepared plans are
+shared mutable pipelines); concurrency in the harness is *simulated*
+concurrency in virtual time, which is exactly what makes two runs of
+the same seeded workload byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional
+
+from ..governance import (
+    AdmissionController,
+    BudgetExceeded,
+    GovernanceStats,
+    QueryBudget,
+)
+from ..observability import MetricsRegistry, Tracer
+from ..rdf.graph import Graph
+from ..rdf.terms import Term
+from ..sparql.prepared import PreparedQuery, prepare
+from ..sparql.results import Solution
+from .errors import (
+    InvalidRequest,
+    QuotaExceeded,
+    UnknownCursor,
+    UnknownTemplate,
+)
+from .plancache import PlanCache
+from .tenancy import TenantRegistry, TenantSpec, TenantState
+
+__all__ = ["QueryService", "ServiceResponse"]
+
+#: Latency histogram bounds: 1 ms .. 10 s, the service's SLO band.
+LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def template_id(text: str) -> str:
+    """Stable short id for a query template (EXPLAIN/profile key)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:12]
+
+
+class ServiceResponse:
+    """What one successful request returns to the envelope layer."""
+
+    __slots__ = ("tenant", "kind", "vars", "rows", "failures",
+                 "budget_stats", "plan_cache_hit", "explain_id",
+                 "explain", "next_page_token", "total_rows")
+
+    def __init__(self, tenant: str, kind: str, vars: List[str],
+                 rows: List[Solution], failures: Dict[str, str],
+                 budget_stats: Optional[Dict[str, object]],
+                 plan_cache_hit: bool, explain_id: str,
+                 explain: Optional[str] = None,
+                 next_page_token: Optional[str] = None,
+                 total_rows: Optional[int] = None):
+        self.tenant = tenant
+        self.kind = kind
+        self.vars = vars
+        self.rows = rows
+        self.failures = failures
+        self.budget_stats = budget_stats
+        self.plan_cache_hit = plan_cache_hit
+        self.explain_id = explain_id
+        self.explain = explain
+        self.next_page_token = next_page_token
+        self.total_rows = total_rows
+
+    def __repr__(self) -> str:
+        return (f"<ServiceResponse {self.tenant} {self.kind} "
+                f"{len(self.rows)} rows hit={self.plan_cache_hit}>")
+
+
+class _Cursor:
+    """One open paginated result set, owned by one tenant."""
+
+    __slots__ = ("cursor_id", "tenant", "vars", "rows", "explain_id",
+                 "created_at")
+
+    def __init__(self, cursor_id: str, tenant: str, vars: List[str],
+                 rows: List[Solution], explain_id: str,
+                 created_at: float):
+        self.cursor_id = cursor_id
+        self.tenant = tenant
+        self.vars = vars
+        self.rows = rows
+        self.explain_id = explain_id
+        self.created_at = created_at
+
+
+class QueryService:
+    """Multi-tenant SPARQL serving over one graph; see module docs."""
+
+    def __init__(self, graph: Graph,
+                 tenants: Optional[List[TenantSpec]] = None,
+                 max_concurrent: int = 8,
+                 plan_cache_size: int = 64,
+                 max_cursors: int = 256,
+                 cursor_ttl_s: Optional[float] = None,
+                 retry_after_hint_s: float = 0.05,
+                 clock: Callable[[], float] = time.monotonic,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 service_resolver=None):
+        self.graph = graph
+        self.clock = clock
+        self.tracer = tracer
+        self.service_resolver = service_resolver
+        self.tenants = TenantRegistry(tenants)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = GovernanceStats()
+        self.controller = AdmissionController(
+            max_concurrent=max_concurrent,
+            max_queue_depth=0,  # queueing is the scheduler's job
+            retry_after_hint_s=retry_after_hint_s,
+            clock=clock,
+            stats=self.stats,
+        )
+        self.plan_cache = PlanCache(plan_cache_size, metrics=self.metrics)
+        self.templates: Dict[str, str] = {}
+        self.max_cursors = max_cursors
+        self.cursor_ttl_s = cursor_ttl_s
+        self._cursors: "OrderedDict[str, _Cursor]" = OrderedDict()
+        self._cursor_seq = 0
+        self._requests = self.metrics.counter(
+            "service_requests_total",
+            "requests by tenant and outcome",
+            labelnames=("tenant", "outcome"),
+        )
+        self._latency = self.metrics.histogram(
+            "service_request_latency_seconds",
+            "request latency (arrival to completion) by tenant",
+            labelnames=("tenant",),
+            buckets=LATENCY_BUCKETS,
+        )
+        self._pages = self.metrics.counter(
+            "service_pages_total",
+            "result pages served by tenant",
+            labelnames=("tenant",),
+        )
+
+    # -- templates ---------------------------------------------------------
+    def register_template(self, name: str, text: str) -> str:
+        """Register a named prepared-query template; returns its id."""
+        self.templates[name] = text
+        return template_id(text)
+
+    def template_text(self, name: str) -> str:
+        text = self.templates.get(name)
+        if text is None:
+            raise UnknownTemplate(f"unknown template {name!r}")
+        return text
+
+    def invalidate_template(self, name: Optional[str] = None) -> int:
+        """Explicit plan-cache invalidation: one template or all.
+
+        Call after mutating the graph (or whatever the plans were
+        costed against); returns how many cached plans were dropped.
+        """
+        if name is None:
+            return self.plan_cache.clear()
+        text = self.templates.get(name, name)
+        return 1 if self.plan_cache.invalidate(text) else 0
+
+    # -- accounting helpers ------------------------------------------------
+    def count_outcome(self, tenant: str, outcome: str) -> None:
+        self._requests.labels(tenant=tenant, outcome=outcome).inc()
+
+    def observe_latency(self, tenant: str, seconds: float) -> None:
+        self._latency.labels(tenant=tenant).observe(seconds)
+
+    def latency_histogram(self, tenant: str):
+        return self._latency.labels(tenant=tenant)
+
+    # -- the execution core ------------------------------------------------
+    def _prepared(self, text: str):
+        """Plan-cache lookup; a miss parses + plans under trace spans."""
+        def build(template: str) -> PreparedQuery:
+            if self.tracer is not None:
+                with self.tracer.span("service.plan",
+                                      template=template_id(template)):
+                    return prepare(self.graph, template,
+                                   service_resolver=self.service_resolver)
+            return prepare(self.graph, template,
+                           service_resolver=self.service_resolver)
+
+        return self.plan_cache.get_or_prepare(text, build)
+
+    def execute_admitted(self, state: TenantState, text: str,
+                         params: Optional[Dict[str, Term]] = None,
+                         budget: Optional[QueryBudget] = None,
+                         page_size: Optional[int] = None,
+                         explain: bool = False) -> ServiceResponse:
+        """Run one already-admitted request (no admission, no quota).
+
+        This is the execution core shared by the direct path and the
+        virtual-time scheduler: plan-cache lookup, prepared execution,
+        pagination cursor creation, tenant/bookkeeping on success.
+        Budget violations propagate to the caller, which owns outcome
+        classification.
+        """
+        prepared, hit = self._prepared(text)
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.span("service.execute", tenant=state.spec.name,
+                             template=template_id(text),
+                             cache="hit" if hit else "miss"):
+                result = prepared.run(bindings=params, budget=budget,
+                                      tracer=tracer)
+        else:
+            result = prepared.run(bindings=params, budget=budget)
+        rows = list(result.rows)
+        vars = list(result.vars)
+        exp_id = template_id(text)
+        next_token: Optional[str] = None
+        total: Optional[int] = None
+        if page_size is not None:
+            if page_size < 1:
+                raise InvalidRequest(f"page_size must be >= 1: {page_size}")
+            total = len(rows)
+            if total > page_size:
+                cursor = self._open_cursor(state.spec.name, vars, rows,
+                                           exp_id)
+                next_token = f"{cursor.cursor_id}:{page_size}:{page_size}"
+            rows = rows[:page_size]
+            self._pages.labels(tenant=state.spec.name).inc()
+        return ServiceResponse(
+            tenant=state.spec.name,
+            kind=result.kind,
+            vars=vars,
+            rows=rows,
+            failures=dict(result.failures),
+            budget_stats=result.budget_stats,
+            plan_cache_hit=hit,
+            explain_id=exp_id,
+            explain=prepared.explain() if explain else None,
+            next_page_token=next_token,
+            total_rows=total,
+        )
+
+    # -- the direct (fail-fast) request path --------------------------------
+    def execute(self, tenant: str, query: Optional[str] = None, *,
+                template: Optional[str] = None,
+                params: Optional[Dict[str, Term]] = None,
+                budget: Optional[QueryBudget] = None,
+                page_size: Optional[int] = None,
+                explain: bool = False) -> ServiceResponse:
+        """Admit and run one request now (no queueing — shed or serve).
+
+        Exactly one of ``query`` (raw text) and ``template`` (a name
+        registered via :meth:`register_template`) must be given.
+        Raises the typed admission/quota/budget errors; the envelope
+        layer renders them.
+        """
+        if (query is None) == (template is None):
+            raise InvalidRequest(
+                "exactly one of query text and template name is required")
+        state = self.tenants.get(tenant)
+        text = query if query is not None else self.template_text(template)
+        state.submitted += 1
+        if state.at_capacity:
+            state.shed_quota += 1
+            self.count_outcome(tenant, "shed_quota")
+            raise QuotaExceeded(
+                f"tenant {tenant!r} at max_in_flight="
+                f"{state.spec.max_in_flight}",
+                tenant=tenant,
+                retry_after_s=self.controller.retry_after_hint_s,
+            )
+        if budget is None:
+            budget = state.spec.make_budget(self.clock)
+        started = self.clock()
+        try:
+            slot = self.controller.admit(budget)
+        except Exception:
+            state.shed_overload += 1
+            self.count_outcome(tenant, "shed_overload")
+            raise
+        state.in_flight += 1
+        try:
+            response = self.execute_admitted(
+                state, text, params=params, budget=budget,
+                page_size=page_size, explain=explain)
+        except BudgetExceeded as exc:
+            state.budget_exceeded += 1
+            self.stats.record_outcome(exc, budget)
+            self.count_outcome(tenant, "budget_exceeded")
+            raise
+        except Exception:
+            state.failed += 1
+            self.count_outcome(tenant, "failed")
+            raise
+        else:
+            state.completed += 1
+            self.stats.record_outcome(None, budget)
+            self.count_outcome(tenant, "completed")
+            self.observe_latency(tenant, self.clock() - started)
+            return response
+        finally:
+            state.in_flight -= 1
+            slot.release()
+
+    # -- pagination ---------------------------------------------------------
+    def _open_cursor(self, tenant: str, vars: List[str],
+                     rows: List[Solution], explain_id: str) -> _Cursor:
+        self._cursor_seq += 1
+        cursor = _Cursor(f"c{self._cursor_seq:08d}", tenant, vars, rows,
+                         explain_id, self.clock())
+        self._cursors[cursor.cursor_id] = cursor
+        while len(self._cursors) > self.max_cursors:
+            self._cursors.popitem(last=False)
+        return cursor
+
+    def fetch_page(self, tenant: str, page_token: str) -> ServiceResponse:
+        """The next page of an open cursor; tenants see only their own.
+
+        The token encodes ``<cursor_id>:<offset>:<page_size>``; each
+        page is a pure slice of the materialized result, so
+        concatenating every page reproduces the direct evaluator
+        call's rows exactly — same rows, same order, no gaps, no
+        duplicates.
+        """
+        self.tenants.get(tenant)  # raises UnknownTenant
+        parts = page_token.split(":")
+        if len(parts) != 3 or not parts[1].isdigit() \
+                or not parts[2].isdigit() or int(parts[2]) < 1:
+            raise InvalidRequest(f"malformed page token {page_token!r}")
+        cursor_id, offset, size = parts[0], int(parts[1]), int(parts[2])
+        cursor = self._cursors.get(cursor_id)
+        if cursor is not None and self.cursor_ttl_s is not None \
+                and self.clock() - cursor.created_at > self.cursor_ttl_s:
+            del self._cursors[cursor_id]
+            cursor = None
+        # An unknown cursor and another tenant's cursor are the same
+        # error on the wire: cursors must not leak across tenants even
+        # by existence.
+        if cursor is None or cursor.tenant != tenant:
+            raise UnknownCursor(f"unknown or expired cursor {cursor_id!r}")
+        rows = cursor.rows[offset:offset + size]
+        next_offset = offset + size
+        if next_offset < len(cursor.rows):
+            next_token = f"{cursor_id}:{next_offset}:{size}"
+        else:
+            next_token = None
+            del self._cursors[cursor_id]  # drained: free it eagerly
+        self._pages.labels(tenant=tenant).inc()
+        return ServiceResponse(
+            tenant=tenant,
+            kind="SELECT",
+            vars=list(cursor.vars),
+            rows=rows,
+            failures={},
+            budget_stats=None,
+            plan_cache_hit=True,  # pages never re-plan by construction
+            explain_id=cursor.explain_id,
+            next_page_token=next_token,
+            total_rows=len(cursor.rows),
+        )
+
+    def stream(self, tenant: str, query: Optional[str] = None, *,
+               template: Optional[str] = None,
+               params: Optional[Dict[str, Term]] = None,
+               budget: Optional[QueryBudget] = None,
+               page_size: int = 64, explain: bool = False):
+        """Yield a request's result as consecutive page responses.
+
+        The streamed delivery path: one admitted execution, then pages
+        pulled off the cursor until it drains. Lazy — a consumer that
+        stops early leaves the remaining pages unserved (the cursor
+        ages out via TTL/LRU).
+        """
+        response = self.execute(tenant, query, template=template,
+                                params=params, budget=budget,
+                                page_size=page_size, explain=explain)
+        yield response
+        token = response.next_page_token
+        while token is not None:
+            page = self.fetch_page(tenant, token)
+            yield page
+            token = page.next_page_token

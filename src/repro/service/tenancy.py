@@ -1,0 +1,144 @@
+"""Tenants: quotas, priorities, and per-tenant accounting.
+
+A :class:`TenantSpec` is the declarative contract one tenant signed up
+for: how many of its queries may run at once (``max_in_flight``), how
+many may wait (``max_queued``), how long one may wait before it is shed
+(``queue_timeout_s``), which priority class its traffic dispatches in,
+and the default :class:`~repro.governance.QueryBudget` limits stamped
+onto every request that does not bring its own.
+
+Quotas are *isolation* devices, not capacity devices: the global
+:class:`~repro.governance.AdmissionController` bounds total concurrency,
+while the per-tenant ``max_in_flight`` cap guarantees that one greedy
+tenant saturating its own allowance cannot consume the whole pool —
+the service dispatcher skips a tenant at its cap and serves the next
+eligible one, so a tenant with traffic and spare quota always makes
+progress (no starvation).
+
+:class:`TenantState` is the runtime side: the FIFO wait queue, the
+in-flight count, and the per-tenant counters the workload report and
+the metrics registry read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, List, Optional
+
+from ..governance import QueryBudget
+from .errors import UnknownTenant
+
+__all__ = ["TenantSpec", "TenantState", "TenantRegistry"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """Declarative per-tenant quotas, priority and default budget.
+
+    ``priority`` orders dispatch (higher first; ties round-robin).
+    ``weight`` is only used by the workload generator's tenant mix.
+    """
+
+    name: str
+    priority: int = 0
+    max_in_flight: int = 2
+    max_queued: int = 16
+    queue_timeout_s: Optional[float] = None
+    weight: float = 1.0
+    deadline_s: Optional[float] = None
+    max_rows: Optional[int] = None
+    max_triples: Optional[int] = None
+    max_fetches: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if self.max_in_flight < 1:
+            raise ValueError(f"{self.name}: max_in_flight must be >= 1")
+        if self.max_queued < 0:
+            raise ValueError(f"{self.name}: max_queued must be >= 0")
+
+    def make_budget(self, clock) -> QueryBudget:
+        """A fresh budget stamped with this tenant's default limits."""
+        return QueryBudget(
+            deadline_s=self.deadline_s,
+            max_rows=self.max_rows,
+            max_triples=self.max_triples,
+            max_fetches=self.max_fetches,
+            clock=clock,
+        )
+
+
+class TenantState:
+    """Runtime state for one tenant: queue, in-flight, counters."""
+
+    __slots__ = ("spec", "queue", "in_flight", "submitted", "completed",
+                 "shed_quota", "shed_overload", "shed_timeout",
+                 "budget_exceeded", "failed")
+
+    def __init__(self, spec: TenantSpec):
+        self.spec = spec
+        self.queue: Deque[object] = deque()
+        self.in_flight = 0
+        self.submitted = 0
+        self.completed = 0
+        self.shed_quota = 0       # per-tenant queue/quota rejections
+        self.shed_overload = 0    # global slot-pool rejections
+        self.shed_timeout = 0     # queued past queue_timeout_s
+        self.budget_exceeded = 0
+        self.failed = 0
+
+    @property
+    def at_capacity(self) -> bool:
+        return self.in_flight >= self.spec.max_in_flight
+
+    @property
+    def shed(self) -> int:
+        return self.shed_quota + self.shed_overload + self.shed_timeout
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed_quota": self.shed_quota,
+            "shed_overload": self.shed_overload,
+            "shed_timeout": self.shed_timeout,
+            "budget_exceeded": self.budget_exceeded,
+            "failed": self.failed,
+        }
+
+
+class TenantRegistry:
+    """All tenants of one service, in deterministic dispatch order."""
+
+    def __init__(self, specs: Optional[List[TenantSpec]] = None):
+        self._states: Dict[str, TenantState] = {}
+        for spec in specs or ():
+            self.register(spec)
+
+    def register(self, spec: TenantSpec) -> TenantState:
+        if spec.name in self._states:
+            raise ValueError(f"tenant {spec.name!r} already registered")
+        state = TenantState(spec)
+        self._states[spec.name] = state
+        return state
+
+    def get(self, name: str) -> TenantState:
+        state = self._states.get(name)
+        if state is None:
+            raise UnknownTenant(f"unknown tenant {name!r}")
+        return state
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._states
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __iter__(self) -> Iterator[TenantState]:
+        """States in registration order (dispatch tie-break order)."""
+        return iter(self._states.values())
+
+    def names(self) -> List[str]:
+        return list(self._states)

@@ -1,0 +1,331 @@
+"""Seeded workload generation: simulated tenants, clients, arrival models.
+
+This module turns the ROADMAP's "millions of users" north star into a
+reproducible artifact: a :class:`WorkloadSpec` (one seed, a tenant
+mix, an arrival model, a hot-key skew) fully determines every request
+thousands of simulated clients will make, the virtual times they make
+them at, and therefore — because the scheduler, the service, the
+budgets and the tracer all run on one :class:`VirtualClock` — every
+latency, shed decision and plan-cache hit in the resulting
+:class:`WorkloadReport`. Two runs with the same seed produce
+byte-identical report JSON; that equality is pinned by the acceptance
+suite and the CI service-smoke gate.
+
+Arrival models:
+
+- **open loop** (``arrival="open"``): requests arrive by a seeded
+  Poisson-like process at ``rate_rps`` regardless of completions —
+  the model that exposes overload behaviour (queues grow, shed rates
+  climb) because clients do not slow down when the service does;
+- **closed loop** (``arrival="closed"``): each client waits for its
+  response, thinks for a seeded exponential ``think_time_s``, then
+  submits its next request — throughput self-limits to the service's
+  capacity, the model for steady-state latency measurement.
+
+Hot-key skew: template parameters are drawn Zipf-distributed over the
+key universe (``zipf_s`` steepness), so a few hot regions dominate —
+which is also what makes the plan cache's template-level sharing pay.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..observability import MetricsRegistry, Tracer, histogram_quantile
+from ..observability.metrics import Histogram
+from ..rdf.graph import Graph
+from ..rdf.terms import IRI, Literal
+from .scheduler import CostModel, RequestScheduler, VirtualClock
+from .service import LATENCY_BUCKETS, QueryService
+from .tenancy import TenantSpec
+
+__all__ = ["WorkloadSpec", "WorkloadReport", "Workload",
+           "build_default_graph", "default_tenants", "run_workload"]
+
+EX = "http://example.org/copernicus/"
+
+#: Prepared templates the default workload mixes over; ``param`` names
+#: the seed-bound variable (hot-key skewed) or is None.
+DEFAULT_TEMPLATES: Tuple[Tuple[str, float, Optional[str], str], ...] = (
+    ("stations_in_region", 5.0, "region",
+     "PREFIX ex: <http://example.org/copernicus/>\n"
+     "SELECT ?s ?name WHERE { ?s ex:region ?region . "
+     "?s ex:name ?name } ORDER BY ?name"),
+    ("greenest_stations", 3.0, None,
+     "PREFIX ex: <http://example.org/copernicus/>\n"
+     "SELECT ?s ?v WHERE { ?s ex:ndvi ?v } ORDER BY DESC(?v) ?s LIMIT 10"),
+    ("station_count", 2.0, None,
+     "PREFIX ex: <http://example.org/copernicus/>\n"
+     "SELECT (COUNT(?s) AS ?n) WHERE { ?s a ex:Station }"),
+    ("station_listing", 1.0, None,
+     "PREFIX ex: <http://example.org/copernicus/>\n"
+     "SELECT ?s ?name WHERE { ?s a ex:Station . ?s ex:name ?name } "
+     "ORDER BY ?name"),
+)
+
+
+def build_default_graph(stations: int = 240, regions: int = 12) -> Graph:
+    """A deterministic in-situ station dataset the templates query."""
+    graph = Graph()
+    graph.bind("ex", EX)
+    station_class = IRI(EX + "Station")
+    for i in range(stations):
+        s = IRI(f"{EX}station{i:04d}")
+        graph.add(s, IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+                  station_class)
+        graph.add(s, IRI(EX + "name"), Literal(f"station-{i:04d}"))
+        graph.add(s, IRI(EX + "region"),
+                  IRI(f"{EX}region{i % regions:02d}"))
+        # deterministic pseudo-NDVI in [0, 1): no ambient randomness
+        graph.add(s, IRI(EX + "ndvi"),
+                  Literal(round((i * 37 % 100) / 100.0, 2)))
+    return graph
+
+
+def default_tenants() -> List[TenantSpec]:
+    """Four tenants spanning the priority/quota/budget design space."""
+    return [
+        TenantSpec("dashboard", priority=2, max_in_flight=3, max_queued=32,
+                   weight=3.0, deadline_s=1.5),
+        TenantSpec("api", priority=1, max_in_flight=3, max_queued=32,
+                   weight=3.0, deadline_s=3.0),
+        TenantSpec("analytics", priority=0, max_in_flight=2, max_queued=16,
+                   weight=2.0),
+        TenantSpec("batch", priority=-1, max_in_flight=1, max_queued=8,
+                   weight=1.0, queue_timeout_s=5.0),
+    ]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything that determines a workload run, seed included."""
+
+    seed: int = 42
+    clients: int = 1000
+    requests_per_client: int = 1
+    arrival: str = "open"            # "open" | "closed"
+    rate_rps: float = 400.0          # open loop: aggregate arrival rate
+    think_time_s: float = 0.05       # closed loop: mean think time
+    zipf_s: float = 1.2              # hot-key skew steepness
+    regions: int = 12                # parameter key universe
+    stations: int = 240              # dataset scale
+    page_size: Optional[int] = 25    # station_listing pagination
+    max_concurrent: int = 8          # global slot pool
+    max_queue_depth: int = 64        # global wait-queue bound
+    plan_cache_size: int = 64
+    cost: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self):
+        if self.arrival not in ("open", "closed"):
+            raise ValueError(f"unknown arrival model {self.arrival!r}")
+        if self.clients < 1 or self.requests_per_client < 1:
+            raise ValueError("clients and requests_per_client must be >= 1")
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "clients": self.clients,
+            "requests_per_client": self.requests_per_client,
+            "arrival": self.arrival,
+            "rate_rps": self.rate_rps,
+            "think_time_s": self.think_time_s,
+            "zipf_s": self.zipf_s,
+            "max_concurrent": self.max_concurrent,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+
+class _ZipfKeys:
+    """Seeded Zipf-skewed choice over the parameter key universe."""
+
+    def __init__(self, n: int, s: float):
+        weights = [1.0 / (rank ** s) for rank in range(1, n + 1)]
+        total = sum(weights)
+        self.cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self.cdf.append(acc)
+
+    def pick(self, rng: random.Random) -> int:
+        u = rng.random()
+        for i, edge in enumerate(self.cdf):
+            if u <= edge:
+                return i
+        return len(self.cdf) - 1
+
+
+class Workload:
+    """One runnable workload: service + scheduler + request program."""
+
+    def __init__(self, spec: WorkloadSpec,
+                 graph: Optional[Graph] = None,
+                 tenants: Optional[List[TenantSpec]] = None,
+                 tracer: Optional[Tracer] = None):
+        self.spec = spec
+        self.clock = VirtualClock()
+        self.metrics = MetricsRegistry()
+        self.graph = graph if graph is not None else build_default_graph(
+            stations=spec.stations, regions=spec.regions)
+        self.tenants = tenants if tenants is not None else default_tenants()
+        self.service = QueryService(
+            self.graph, tenants=self.tenants,
+            max_concurrent=spec.max_concurrent,
+            plan_cache_size=spec.plan_cache_size,
+            clock=self.clock, metrics=self.metrics, tracer=tracer)
+        self.templates = []
+        for name, weight, param, text in DEFAULT_TEMPLATES:
+            self.service.register_template(name, text)
+            self.templates.append((name, weight, param))
+        self.scheduler = RequestScheduler(
+            self.service, self.clock, cost=spec.cost,
+            max_queue_depth=spec.max_queue_depth)
+        self._zipf = _ZipfKeys(spec.regions, spec.zipf_s)
+        self._rng = random.Random(spec.seed)
+        self._tenant_names = [t.name for t in self.tenants]
+        self._tenant_weights = [t.weight for t in self.tenants]
+        self._template_names = [t[0] for t in self.templates]
+        self._template_weights = [t[1] for t in self.templates]
+        self._template_param = {t[0]: t[2] for t in self.templates}
+        self._remaining: Dict[int, int] = {}
+
+    # -- request synthesis -------------------------------------------------
+    def _pick_tenant(self) -> str:
+        return self._rng.choices(self._tenant_names,
+                                 weights=self._tenant_weights)[0]
+
+    def _pick_template(self) -> Tuple[str, Optional[Dict[str, object]],
+                                      Optional[int]]:
+        name = self._rng.choices(self._template_names,
+                                 weights=self._template_weights)[0]
+        params = None
+        param_var = self._template_param[name]
+        if param_var == "region":
+            key = self._zipf.pick(self._rng)
+            params = {"region": IRI(f"{EX}region{key:02d}")}
+        page = self.spec.page_size if name == "station_listing" else None
+        return name, params, page
+
+    def _submit_one(self, at_s: float, client: int) -> None:
+        tenant = self._pick_tenant()
+        template, params, page = self._pick_template()
+        self.scheduler.submit(at_s, tenant, template=template,
+                              params=params, page_size=page,
+                              client=client)
+
+    def _program_open(self) -> None:
+        total = self.spec.clients * self.spec.requests_per_client
+        at = 0.0
+        for i in range(total):
+            at += self._rng.expovariate(self.spec.rate_rps)
+            self._submit_one(at, client=i % self.spec.clients)
+
+    def _program_closed(self) -> None:
+        # Stagger the fleet's first requests across one mean think time
+        # so the opening instant is not a synchronized stampede.
+        for client in range(self.spec.clients):
+            self._remaining[client] = self.spec.requests_per_client - 1
+            first = self._rng.uniform(0.0, self.spec.think_time_s)
+            self._submit_one(first, client=client)
+
+        def on_complete(record) -> None:
+            client = record.client
+            if client is None or self._remaining.get(client, 0) <= 0:
+                return
+            self._remaining[client] -= 1
+            think = self._rng.expovariate(1.0 / self.spec.think_time_s)
+            at = max(self.clock.now, (record.finish_s or self.clock.now)) \
+                + think
+            self._submit_one(at, client=client)
+
+        self.scheduler.on_complete = on_complete
+
+    # -- running -----------------------------------------------------------
+    def run(self) -> "WorkloadReport":
+        if self.spec.arrival == "open":
+            self._program_open()
+        else:
+            self._program_closed()
+        records = self.scheduler.run()
+        return WorkloadReport(self)
+
+
+class WorkloadReport:
+    """The deterministic summary of one finished workload run."""
+
+    def __init__(self, workload: Workload):
+        self.workload = workload
+        service = workload.service
+        spec = workload.spec
+        records = workload.scheduler.records
+        finishes = [r.finish_s for r in records if r.finish_s is not None]
+        duration = max(finishes) if finishes else 0.0
+        submitted = sum(s.submitted for s in service.tenants)
+        completed = sum(s.completed for s in service.tenants)
+        shed = sum(s.shed for s in service.tenants)
+        merged = Histogram({}, LATENCY_BUCKETS)
+        tenants: Dict[str, Dict[str, object]] = {}
+        for state in service.tenants:
+            hist = service.latency_histogram(state.spec.name)
+            for i, n in enumerate(hist.bucket_counts):
+                merged.bucket_counts[i] += n
+            merged.count += hist.count
+            merged.sum += hist.sum
+            block = dict(state.as_dict())
+            block["p50_s"] = histogram_quantile(hist, 0.50) \
+                if hist.count else 0.0
+            block["p99_s"] = histogram_quantile(hist, 0.99) \
+                if hist.count else 0.0
+            tenants[state.spec.name] = block
+        self.report: Dict[str, object] = {
+            "spec": spec.summary(),
+            "totals": {
+                "submitted": submitted,
+                "completed": completed,
+                "shed": shed,
+                "budget_exceeded": sum(
+                    s.budget_exceeded for s in service.tenants),
+                "failed": sum(s.failed for s in service.tenants),
+                "shed_rate": round(shed / submitted, 6) if submitted
+                else 0.0,
+                "virtual_duration_s": round(duration, 9),
+                "throughput_rps": round(completed / duration, 6)
+                if duration else 0.0,
+            },
+            "latency_s": {
+                "p50": histogram_quantile(merged, 0.50),
+                "p90": histogram_quantile(merged, 0.90),
+                "p99": histogram_quantile(merged, 0.99),
+                "mean": round(merged.sum / merged.count, 9)
+                if merged.count else 0.0,
+                "observations": merged.count,
+            },
+            "tenants": tenants,
+            "plan_cache": service.plan_cache.stats(),
+            "governance": {
+                "admitted": service.stats.admitted,
+                "shed": service.stats.shed,
+                "completed": service.stats.completed,
+                "deadline_exceeded": service.stats.deadline_exceeded,
+                "headroom_histogram":
+                    service.stats.combined_headroom_histogram(),
+            },
+        }
+
+    def __getitem__(self, key: str):
+        return self.report[key]
+
+    def to_json(self) -> str:
+        """Canonical JSON text: the byte-identity unit of determinism."""
+        return json.dumps(self.report, sort_keys=True, indent=2) + "\n"
+
+
+def run_workload(spec: WorkloadSpec,
+                 graph: Optional[Graph] = None,
+                 tenants: Optional[List[TenantSpec]] = None,
+                 tracer: Optional[Tracer] = None) -> WorkloadReport:
+    """Build and run one seeded workload; returns its report."""
+    return Workload(spec, graph=graph, tenants=tenants, tracer=tracer).run()

@@ -25,6 +25,7 @@ from .functions import (
     register_extension,
 )
 from .parser import parse_query
+from .prepared import PreparedQuery, prepare
 from .results import SPARQLResult
 from .tokenizer import SparqlSyntaxError
 from .update import UpdateResult, update
@@ -33,6 +34,7 @@ __all__ = [
     "Context",
     "EvaluationError",
     "PlanNode",
+    "PreparedQuery",
     "SPARQLResult",
     "explain",
     "SparqlSyntaxError",
@@ -43,6 +45,7 @@ __all__ = [
     "geometry_from_term",
     "geometry_to_term",
     "parse_query",
+    "prepare",
     "query",
     "register_extension",
     "update",

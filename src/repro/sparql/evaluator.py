@@ -543,12 +543,15 @@ def _traced_execution(ctx: Context, sub):
         trace.finish()
 
 
-def _eval_select(query: SelectQuery, ctx: Context) -> SPARQLResult:
+def _eval_select(query: SelectQuery, ctx: Context, sub=None,
+                 seed_rows: Optional[List[Solution]] = None) -> SPARQLResult:
     from .plan import plan_select
 
-    sub = plan_select(query, ctx)
+    if sub is None:
+        sub = plan_select(query, ctx)
     with _traced_execution(ctx, sub) as trace:
-        rows = list(sub.run(ctx, [{}]))
+        rows = list(sub.run(ctx, seed_rows if seed_rows is not None
+                            else [{}]))
     sub.root.actual_rows = len(rows)
 
     # Result-row budget applies to what the caller will actually
@@ -573,13 +576,16 @@ def _eval_select(query: SelectQuery, ctx: Context) -> SPARQLResult:
     return result
 
 
-def _eval_ask(query: AskQuery, ctx: Context) -> SPARQLResult:
+def _eval_ask(query: AskQuery, ctx: Context, sub=None,
+              seed_rows: Optional[List[Solution]] = None) -> SPARQLResult:
     from .plan import plan_query
 
-    sub = plan_query(query, ctx)
+    if sub is None:
+        sub = plan_query(query, ctx)
     with _traced_execution(ctx, sub) as trace:
         # Short-circuit: the first solution proves the pattern.
-        found = next(iter(sub.run(ctx, [{}])), None)
+        found = next(iter(sub.run(ctx, seed_rows if seed_rows is not None
+                                  else [{}])), None)
     sub.root.actual_rows = 1 if found is not None else 0
     result = SPARQLResult("ASK", ask=found is not None)
     result.plan = sub.root
@@ -660,11 +666,24 @@ def _eval_describe(query: DescribeQuery, ctx: Context) -> SPARQLResult:
     return result
 
 
-def eval_query(query: Query, ctx: Context) -> SPARQLResult:
+def eval_query(query: Query, ctx: Context, sub=None,
+               seed_rows: Optional[List[Solution]] = None) -> SPARQLResult:
+    """Execute *query*; ``sub``/``seed_rows`` support prepared queries.
+
+    ``sub`` is an optional pre-compiled
+    :class:`~repro.sparql.operators.SubPlan` for the same query —
+    passing one skips planning entirely (the plan-cache hot path).
+    ``seed_rows`` seeds the pipeline with initial solutions, which is
+    how prepared-query parameters are bound without re-parsing: a
+    template variable bound in the seed row behaves exactly like a
+    constant in every scan that mentions it. Both are honoured for
+    SELECT and ASK; CONSTRUCT/DESCRIBE always re-plan (their executors
+    consume the plan destructively enough that caching buys nothing).
+    """
     if isinstance(query, SelectQuery):
-        return _eval_select(query, ctx)
+        return _eval_select(query, ctx, sub=sub, seed_rows=seed_rows)
     if isinstance(query, AskQuery):
-        return _eval_ask(query, ctx)
+        return _eval_ask(query, ctx, sub=sub, seed_rows=seed_rows)
     if isinstance(query, ConstructQuery):
         return _eval_construct(query, ctx)
     if isinstance(query, DescribeQuery):

@@ -1,0 +1,109 @@
+"""Concurrent QueryBudget charging: thread/serial equivalence.
+
+One budget shared by many tasks is the service's steady state (a
+paginated request's pages, a federated query's per-endpoint fetches all
+charge the same budget). The contract under contention:
+
+- charges are never lost or double counted — the final counters equal
+  the serial truth regardless of interleaving;
+- the limit bites at the same *logical* position: with a limit
+  admitting exactly k of n unit charges, exactly n - k tasks fail,
+  under both the SerialExecutor and the ThreadExecutor;
+- exhaustion is sticky: once over the limit, every later charge fails.
+"""
+
+import pytest
+
+from repro.governance import (
+    QueryBudget,
+    RowLimitExceeded,
+    ScanLimitExceeded,
+)
+from repro.parallel import SerialExecutor, ThreadExecutor, WorkerPool
+
+pytestmark = pytest.mark.tier1
+
+N_TASKS = 64
+LIMIT = 40  # admits exactly LIMIT unit charges out of N_TASKS
+
+
+def _charge_all(executor, charge, n_tasks=N_TASKS):
+    """Run n unit charges through a pool; returns the outcome list."""
+    pool = WorkerPool(executor=executor, name="budget-test")
+    return pool.run_tasks(lambda _: charge(1), range(n_tasks))
+
+
+@pytest.mark.parametrize("make_executor", [
+    SerialExecutor,
+    lambda: ThreadExecutor(workers=8),
+], ids=["serial", "threads"])
+def test_row_limit_bites_at_same_logical_position(make_executor):
+    budget = QueryBudget(max_rows=LIMIT)
+    outcomes = _charge_all(make_executor(), budget.charge_rows)
+    failures = [o for o in outcomes if not o.ok]
+    assert len(failures) == N_TASKS - LIMIT
+    assert all(isinstance(o.error, RowLimitExceeded) for o in failures)
+    # no charge was lost or double counted: every task incremented
+    # exactly once, successes and failures alike (charge-then-check)
+    assert budget.rows == N_TASKS
+
+
+@pytest.mark.parametrize("make_executor", [
+    SerialExecutor,
+    lambda: ThreadExecutor(workers=8),
+], ids=["serial", "threads"])
+def test_scan_limit_equivalence_under_contention(make_executor):
+    budget = QueryBudget(max_triples=LIMIT)
+    outcomes = _charge_all(make_executor(), budget.charge_triples)
+    failures = [o for o in outcomes if not o.ok]
+    assert len(failures) == N_TASKS - LIMIT
+    assert all(isinstance(o.error, ScanLimitExceeded) for o in failures)
+    assert budget.triples_scanned == N_TASKS
+
+
+def test_serial_failure_positions_are_the_logical_truth():
+    """Serially, the first LIMIT charges pass and the rest fail — the
+    positional ground truth the threaded count-equivalence is checked
+    against (threads cannot pin positions, only the count)."""
+    budget = QueryBudget(max_rows=LIMIT)
+    outcomes = _charge_all(SerialExecutor(), budget.charge_rows)
+    oks = [o.ok for o in outcomes]
+    assert oks == [True] * LIMIT + [False] * (N_TASKS - LIMIT)
+
+
+@pytest.mark.parametrize("make_executor", [
+    SerialExecutor,
+    lambda: ThreadExecutor(workers=8),
+], ids=["serial", "threads"])
+def test_exhaustion_is_sticky(make_executor):
+    budget = QueryBudget(max_rows=5)
+    _charge_all(make_executor(), budget.charge_rows, n_tasks=10)
+    # the budget is spent: every subsequent charge fails immediately
+    for _ in range(3):
+        with pytest.raises(RowLimitExceeded):
+            budget.charge_rows(1)
+    assert budget.rows == 13
+
+
+@pytest.mark.parametrize("make_executor", [
+    SerialExecutor,
+    lambda: ThreadExecutor(workers=8),
+], ids=["serial", "threads"])
+def test_mixed_dimensions_do_not_interfere(make_executor):
+    """Row and scan charges against one budget stay independent."""
+    budget = QueryBudget(max_rows=LIMIT, max_triples=N_TASKS + 1)
+    pool = WorkerPool(executor=make_executor(), name="budget-test")
+
+    def task(i):
+        budget.charge_triples(1)  # always inside the scan limit
+        budget.charge_rows(1)     # bites after LIMIT
+
+    outcomes = pool.run_tasks(task, range(N_TASKS))
+    failures = [o for o in outcomes if not o.ok]
+    assert len(failures) == N_TASKS - LIMIT
+    assert all(isinstance(o.error, RowLimitExceeded) for o in failures)
+    assert budget.triples_scanned == N_TASKS
+    assert budget.rows == N_TASKS
+    snapshot = budget.snapshot()
+    assert snapshot["rows"] == N_TASKS
+    assert snapshot["triples_scanned"] == N_TASKS

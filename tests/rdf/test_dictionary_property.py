@@ -1,0 +1,118 @@
+"""Property test: TermDictionary round-trip and id stability.
+
+A seeded generator (no hypothesis — the container has what it has)
+drives long interleaved sequences of ``encode``/``lookup``/``decode``
+against a model dict, checking the dictionary's contract:
+
+- encode/decode round-trips every interned term;
+- an id, once assigned, never changes (stability under interleaved
+  insert/lookup) and ids are dense, first-intern ordered, starting at 1;
+- lookup never interns and decode never invents.
+"""
+
+import random
+
+import pytest
+
+from repro.rdf import BNode, IRI, Literal
+from repro.rdf.dictionary import NO_TERM, TermDictionary
+
+pytestmark = pytest.mark.tier1
+
+N_OPS = 4000
+
+
+def _term_pool(rng, size=300):
+    """A deterministic pool of distinct terms across every term kind."""
+    pool = []
+    for i in range(size):
+        kind = rng.randrange(5)
+        if kind == 0:
+            pool.append(IRI(f"http://example.org/resource/{i}"))
+        elif kind == 1:
+            pool.append(BNode(f"b{i}"))
+        elif kind == 2:
+            pool.append(Literal(f"text-{i}"))
+        elif kind == 3:
+            pool.append(Literal(i))
+        else:
+            pool.append(Literal(f"mot-{i}", lang="fr"))
+    return pool
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 1234])
+def test_interleaved_ops_round_trip_and_id_stability(seed):
+    rng = random.Random(seed)
+    pool = _term_pool(rng)
+    d = TermDictionary()
+    model = {}  # term -> id, the ground truth of first assignment
+
+    for _ in range(N_OPS):
+        term = rng.choice(pool)
+        op = rng.randrange(3)
+        if op == 0:
+            term_id = d.encode(term)
+            if term in model:
+                # id stability: re-encoding never reassigns
+                assert term_id == model[term]
+            else:
+                # density: fresh ids are consecutive from 1
+                assert term_id == len(model) + 1
+                model[term] = term_id
+        elif op == 1:
+            # lookup never interns
+            before = len(d)
+            assert d.lookup(term) == model.get(term)
+            assert len(d) == before
+        else:
+            if term in model:
+                assert d.decode(model[term]) == term
+            else:
+                assert term not in d
+
+    # final audit: every model entry round-trips both directions
+    assert len(d) == len(model)
+    for term, term_id in model.items():
+        assert d.encode(term) == term_id  # still stable at the end
+        assert d.lookup(term) == term_id
+        assert d.decode(term_id) == term
+    # items() enumerates exactly the interned pairs in id order
+    listed = list(d.items())
+    assert listed == sorted(
+        ((i, t) for t, i in model.items()), key=lambda p: p[0])
+
+
+@pytest.mark.parametrize("seed", [2, 99])
+def test_two_dictionaries_same_sequence_same_ids(seed):
+    """Determinism: id assignment depends only on intern order."""
+    rng = random.Random(seed)
+    pool = _term_pool(rng, size=120)
+    sequence = [rng.choice(pool) for _ in range(800)]
+    d1, d2 = TermDictionary(), TermDictionary()
+    ids1 = [d1.encode(t) for t in sequence]
+    ids2 = [d2.encode(t) for t in sequence]
+    assert ids1 == ids2
+    assert list(d1.items()) == list(d2.items())
+
+
+def test_decode_rejects_unknown_and_sentinel_ids():
+    d = TermDictionary()
+    term_id = d.encode(IRI("http://example.org/x"))
+    assert term_id == 1
+    with pytest.raises(KeyError):
+        d.decode(NO_TERM)
+    with pytest.raises(KeyError):
+        d.decode(2)
+    with pytest.raises(KeyError):
+        d.decode(-1)  # must not alias via negative indexing
+
+
+def test_equal_terms_share_one_id():
+    d = TermDictionary()
+    a = d.encode(Literal("42", datatype=None))
+    b = d.encode(Literal("42"))
+    assert a == b
+    assert len(d) == 1
+    # but a same-lexical different-type term is a different entry
+    c = d.encode(Literal(42))
+    assert c != a

@@ -1,0 +1,39 @@
+"""Shared fixtures for the service acceptance suite.
+
+Everything runs on the service's own :class:`VirtualClock` — no real
+time anywhere, which is what makes the overload/TTL/deadline tests
+exact instead of flaky.
+"""
+
+import pytest
+
+from repro.service import (
+    QueryService,
+    TenantSpec,
+    VirtualClock,
+    build_default_graph,
+)
+
+
+
+@pytest.fixture
+def graph():
+    return build_default_graph(stations=24, regions=4)
+
+
+@pytest.fixture
+def clock():
+    return VirtualClock()
+
+
+@pytest.fixture
+def service(graph, clock):
+    return QueryService(
+        graph,
+        tenants=[
+            TenantSpec("alpha", priority=1, max_in_flight=2),
+            TenantSpec("beta", priority=0, max_in_flight=2),
+        ],
+        max_concurrent=4,
+        clock=clock,
+    )

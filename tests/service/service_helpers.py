@@ -1,0 +1,13 @@
+"""Shared queries for the service suite (importable, not a fixture)."""
+
+EX = "http://example.org/copernicus/"
+
+NAMES_QUERY = (
+    "PREFIX ex: <http://example.org/copernicus/>\n"
+    "SELECT ?s ?name WHERE { ?s ex:name ?name } ORDER BY ?name"
+)
+
+REGION_QUERY = (
+    "PREFIX ex: <http://example.org/copernicus/>\n"
+    "SELECT ?s WHERE { ?s ex:region ?region } ORDER BY ?s"
+)

@@ -1,0 +1,190 @@
+"""Versioned JSON envelopes: v1/v2 contracts, term codec, typed errors."""
+
+import pytest
+
+from repro.rdf import BNode, IRI, Literal
+from repro.service import (
+    QueryService,
+    ServiceAPI,
+    TenantSpec,
+    VirtualClock,
+    build_default_graph,
+    decode_term,
+    encode_term,
+)
+
+from service_helpers import NAMES_QUERY
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture
+def api(service):
+    service.register_template("names", NAMES_QUERY)
+    return ServiceAPI(service)
+
+
+# -- term codec --------------------------------------------------------------
+
+def test_term_codec_round_trips():
+    terms = [
+        IRI("http://example.org/x"),
+        BNode("b1"),
+        Literal("plain"),
+        Literal("bonjour", lang="fr"),
+        Literal(42),
+        Literal(3.5),
+        Literal(True),
+    ]
+    for term in terms:
+        assert decode_term(encode_term(term)) == term
+    assert encode_term(None) is None
+
+
+def test_decode_rejects_malformed_terms():
+    from repro.service.errors import InvalidRequest
+    for bad in ({}, {"type": "uri"}, {"type": "nope", "value": "x"},
+                "not-a-dict", None):
+        with pytest.raises(InvalidRequest):
+            decode_term(bad)
+
+
+# -- v1: the minimal contract ------------------------------------------------
+
+def test_v1_query_envelope_is_minimal(api):
+    out = api.handle({"op": "query", "tenant": "alpha",
+                      "template": "names"})
+    assert out["v"] == 1 and out["ok"] is True
+    data = out["data"]
+    assert data["kind"] == "SELECT"
+    assert data["vars"] == ["s", "name"]
+    assert len(data["rows"]) == 24
+    assert data["rows"][0]["name"]["type"] == "literal"
+    # v2-only keys must not leak into v1
+    for key in ("failures", "plan_cache", "explain_id", "budget",
+                "total_rows"):
+        assert key not in data
+
+
+def test_v1_errors_are_code_and_message_only(api):
+    out = api.handle({"op": "query", "tenant": "nobody",
+                      "template": "names"})
+    assert out == {"v": 1, "ok": False,
+                   "error": {"code": "unknown_tenant",
+                             "message": out["error"]["message"]}}
+
+
+# -- v2: the full contract ---------------------------------------------------
+
+def test_v2_query_envelope_carries_service_metadata(api):
+    out = api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                      "template": "names", "explain": True})
+    data = out["data"]
+    assert data["failures"] == {}
+    assert data["plan_cache"] == {"hit": False}
+    assert len(data["explain_id"]) == 12
+    assert "Project" in data["explain"] or "Scan" in data["explain"]
+    assert data["budget"]["rows"] >= 24
+    again = api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                        "template": "names"})
+    assert again["data"]["plan_cache"] == {"hit": True}
+    assert again["data"]["explain_id"] == data["explain_id"]
+    assert "explain" not in again["data"]  # only on request
+
+
+def test_v2_error_payloads_are_typed(service, api):
+    state = service.tenants.get("alpha")
+    state.in_flight = state.spec.max_in_flight  # fill the quota
+    out = api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                      "template": "names"})
+    assert out["ok"] is False
+    assert out["error"]["code"] == "quota_exceeded"
+    assert out["error"]["tenant"] == "alpha"
+    assert out["error"]["retry_after_s"] > 0
+    state.in_flight = 0
+
+
+def test_v2_params_bind_through_the_envelope(api):
+    api.service.register_template(
+        "by_region",
+        "PREFIX ex: <http://example.org/copernicus/>\n"
+        "SELECT ?s WHERE { ?s ex:region ?region } ORDER BY ?s")
+    out = api.handle({
+        "v": 2, "op": "query", "tenant": "alpha", "template": "by_region",
+        "params": {"region": {
+            "type": "uri",
+            "value": "http://example.org/copernicus/region00"}},
+    })
+    assert out["ok"] is True
+    assert len(out["data"]["rows"]) == 6
+
+
+# -- pagination through the envelope -----------------------------------------
+
+def test_page_op_walks_the_cursor(api):
+    first = api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                        "template": "names", "page_size": 10})
+    assert first["data"]["total_rows"] == 24
+    rows = list(first["data"]["rows"])
+    token = first["data"]["next_page_token"]
+    while token:
+        page = api.handle({"v": 2, "op": "page", "tenant": "alpha",
+                           "page_token": token})
+        assert page["ok"] is True
+        rows.extend(page["data"]["rows"])
+        token = page["data"].get("next_page_token")
+    assert len(rows) == 24
+
+
+def test_page_op_requires_token(api):
+    out = api.handle({"v": 2, "op": "page", "tenant": "alpha"})
+    assert out["ok"] is False
+    assert out["error"]["code"] == "invalid_request"
+
+
+# -- invalidate / metrics ops ------------------------------------------------
+
+def test_invalidate_op(api):
+    api.handle({"op": "query", "tenant": "alpha", "template": "names"})
+    out = api.handle({"v": 2, "op": "invalidate", "template": "names"})
+    assert out == {"v": 2, "ok": True, "data": {"invalidated": 1}}
+    # and the next query re-plans
+    after = api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                        "template": "names"})
+    assert after["data"]["plan_cache"] == {"hit": False}
+
+
+def test_metrics_op_versions(api):
+    api.handle({"op": "query", "tenant": "alpha", "template": "names"})
+    v1 = api.handle({"op": "metrics"})
+    assert set(v1["data"]) == {"tenants", "plan_cache"}
+    assert v1["data"]["tenants"]["alpha"]["completed"] == 1
+    v2 = api.handle({"v": 2, "op": "metrics"})
+    assert v2["data"]["governance"]["completed"] == 1
+    assert len(v2["data"]["governance"]["headroom_histogram"]) == 10
+
+
+# -- version / op negotiation ------------------------------------------------
+
+def test_unknown_version_rejected(api):
+    out = api.handle({"v": 99, "op": "query"})
+    assert out["ok"] is False and out["error"]["code"] == "invalid_request"
+    assert "99" in out["error"]["message"]
+
+
+def test_unknown_op_rejected(api):
+    out = api.handle({"v": 2, "op": "destroy"})
+    assert out["ok"] is False and out["error"]["code"] == "invalid_request"
+
+
+def test_non_dict_request_rejected(api):
+    out = api.handle("SELECT * WHERE { ?s ?p ?o }")
+    assert out["ok"] is False and out["error"]["code"] == "invalid_request"
+
+
+def test_handle_never_raises(api):
+    # even an internal failure renders as an envelope
+    out = api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                      "query": "THIS IS NOT SPARQL"})
+    assert out["ok"] is False
+    assert "code" in out["error"] and "message" in out["error"]

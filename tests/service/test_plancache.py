@@ -1,0 +1,110 @@
+"""PlanCache: LRU behaviour, explicit invalidation, counters."""
+
+import pytest
+
+from repro.observability import MetricsRegistry
+from repro.service import PlanCache, build_default_graph
+from repro.sparql.prepared import prepare
+
+from service_helpers import NAMES_QUERY
+
+pytestmark = pytest.mark.tier1
+
+
+@pytest.fixture
+def graph():
+    return build_default_graph(stations=6, regions=2)
+
+
+def _builder(graph):
+    return lambda text: prepare(graph, text)
+
+
+def _q(n):
+    return (
+        "PREFIX ex: <http://example.org/copernicus/>\n"
+        f"SELECT ?s WHERE {{ ?s ex:name ?name }} LIMIT {n}"
+    )
+
+
+def test_miss_then_hit_returns_same_entry(graph):
+    cache = PlanCache(4)
+    e1, hit1 = cache.get_or_prepare(NAMES_QUERY, _builder(graph))
+    e2, hit2 = cache.get_or_prepare(NAMES_QUERY, _builder(graph))
+    assert (hit1, hit2) == (False, True)
+    assert e1 is e2
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_lru_evicts_least_recently_used(graph):
+    cache = PlanCache(2)
+    cache.get_or_prepare(_q(1), _builder(graph))
+    cache.get_or_prepare(_q(2), _builder(graph))
+    cache.get_or_prepare(_q(1), _builder(graph))  # touch 1: 2 becomes LRU
+    cache.get_or_prepare(_q(3), _builder(graph))  # evicts 2
+    assert cache.evictions == 1
+    assert cache.peek(_q(1)) is not None
+    assert cache.peek(_q(2)) is None
+    assert cache.peek(_q(3)) is not None
+
+
+def test_builder_runs_only_on_miss(graph):
+    calls = []
+
+    def builder(text):
+        calls.append(text)
+        return prepare(graph, text)
+
+    cache = PlanCache(4)
+    for _ in range(5):
+        cache.get_or_prepare(NAMES_QUERY, builder)
+    assert len(calls) == 1
+
+
+def test_explicit_invalidation(graph):
+    cache = PlanCache(4)
+    cache.get_or_prepare(_q(1), _builder(graph))
+    cache.get_or_prepare(_q(2), _builder(graph))
+    assert cache.invalidate(_q(1)) is True
+    assert cache.invalidate(_q(1)) is False  # already gone
+    assert cache.peek(_q(1)) is None
+    assert cache.peek(_q(2)) is not None
+    assert cache.clear() == 1
+    assert len(cache) == 0
+    assert cache.invalidations == 2
+
+
+def test_counters_mirrored_to_metrics_registry(graph):
+    metrics = MetricsRegistry()
+    cache = PlanCache(1, metrics=metrics)
+    cache.get_or_prepare(_q(1), _builder(graph))
+    cache.get_or_prepare(_q(1), _builder(graph))
+    cache.get_or_prepare(_q(2), _builder(graph))  # miss + eviction of 1
+    cache.clear()
+
+    fam = metrics.counter("service_plan_cache_total",
+                          labelnames=("event",))
+    by_event = {
+        "hit": fam.labels(event="hit").value,
+        "miss": fam.labels(event="miss").value,
+        "eviction": fam.labels(event="eviction").value,
+        "invalidation": fam.labels(event="invalidation").value,
+    }
+    assert by_event == {"hit": 1.0, "miss": 2.0,
+                        "eviction": 1.0, "invalidation": 1.0}
+
+
+def test_peek_does_not_touch_lru_order(graph):
+    cache = PlanCache(2)
+    cache.get_or_prepare(_q(1), _builder(graph))
+    cache.get_or_prepare(_q(2), _builder(graph))
+    cache.peek(_q(1))  # must NOT refresh 1
+    cache.get_or_prepare(_q(3), _builder(graph))
+    assert cache.peek(_q(1)) is None  # 1 was still the LRU entry
+    assert cache.hits == 0
+
+
+def test_max_entries_validated():
+    with pytest.raises(ValueError):
+        PlanCache(0)

@@ -1,0 +1,223 @@
+"""QueryService direct path: admission layers, pagination, plan cache.
+
+The acceptance criteria pinned here:
+
+- pagination returns *exactly* the rows a direct evaluator call
+  returns (same rows, same order, no gaps, no duplicates);
+- plan-cache hits provably skip re-planning (trace spans);
+- tenant quota and global pool shed with typed errors, in that order;
+- cursors are tenant-isolated and expire by TTL.
+"""
+
+import pytest
+
+from repro.governance import Overloaded, RowLimitExceeded
+from repro.observability import Tracer
+from repro.service import (
+    QueryService,
+    QuotaExceeded,
+    TenantSpec,
+    UnknownCursor,
+    UnknownTenant,
+    VirtualClock,
+    build_default_graph,
+)
+from repro.service.errors import InvalidRequest
+
+from service_helpers import NAMES_QUERY
+
+pytestmark = pytest.mark.tier1
+
+
+# -- request validation -----------------------------------------------------
+
+def test_requires_exactly_one_of_query_and_template(service):
+    with pytest.raises(InvalidRequest):
+        service.execute("alpha")
+    service.register_template("names", NAMES_QUERY)
+    with pytest.raises(InvalidRequest):
+        service.execute("alpha", NAMES_QUERY, template="names")
+
+
+def test_unknown_tenant_is_typed(service):
+    with pytest.raises(UnknownTenant):
+        service.execute("nobody", NAMES_QUERY)
+
+
+# -- pagination == direct evaluation ---------------------------------------
+
+def test_pages_concatenate_to_exactly_the_direct_result(graph, service):
+    direct = graph.query(NAMES_QUERY)
+    direct_rows = list(direct.rows)
+    assert len(direct_rows) == 24
+
+    response = service.execute("alpha", NAMES_QUERY, page_size=7)
+    assert response.total_rows == len(direct_rows)
+    collected = list(response.rows)
+    assert len(collected) == 7  # first page respects page_size
+    token = response.next_page_token
+    pages = 1
+    while token is not None:
+        page = service.fetch_page("alpha", token)
+        collected.extend(page.rows)
+        token = page.next_page_token
+        pages += 1
+    assert pages == 4  # 7 + 7 + 7 + 3
+    assert collected == direct_rows  # same rows, same order, exactly
+
+
+def test_streaming_yields_the_same_rows(graph, service):
+    direct_rows = list(graph.query(NAMES_QUERY).rows)
+    streamed = []
+    for page in service.stream("alpha", NAMES_QUERY, page_size=5):
+        streamed.extend(page.rows)
+    assert streamed == direct_rows
+
+
+def test_short_result_fits_one_page_no_cursor(service):
+    response = service.execute("alpha", NAMES_QUERY, page_size=100)
+    assert response.next_page_token is None
+    assert len(response.rows) == 24
+    assert len(service._cursors) == 0
+
+
+def test_bad_page_size_rejected(service):
+    with pytest.raises(InvalidRequest):
+        service.execute("alpha", NAMES_QUERY, page_size=0)
+
+
+# -- cursors: isolation and expiry ------------------------------------------
+
+def test_cursor_is_invisible_to_other_tenants(service):
+    response = service.execute("alpha", NAMES_QUERY, page_size=5)
+    token = response.next_page_token
+    with pytest.raises(UnknownCursor):
+        service.fetch_page("beta", token)
+    # the owner can still read it — the cross-tenant probe leaked nothing
+    page = service.fetch_page("alpha", token)
+    assert len(page.rows) == 5
+
+
+def test_cursor_expires_by_ttl_on_fake_clock(graph, clock):
+    service = QueryService(graph, tenants=[TenantSpec("a")],
+                           clock=clock, cursor_ttl_s=10.0)
+    token = service.execute("a", NAMES_QUERY, page_size=5).next_page_token
+    clock.advance_to(clock.now + 11.0)
+    with pytest.raises(UnknownCursor):
+        service.fetch_page("a", token)
+
+
+def test_drained_cursor_is_freed_and_token_dies(service):
+    token = service.execute("alpha", NAMES_QUERY,
+                            page_size=12).next_page_token
+    page = service.fetch_page("alpha", token)
+    assert page.next_page_token is None
+    assert len(service._cursors) == 0
+    with pytest.raises(UnknownCursor):
+        service.fetch_page("alpha", token)
+
+
+def test_malformed_page_tokens_rejected(service):
+    for bad in ("", "no-colons", "c1:x:5", "c1:0:0", "c1:0"):
+        with pytest.raises(InvalidRequest):
+            service.fetch_page("alpha", bad)
+
+
+# -- plan cache: hits skip re-planning (proved by trace spans) --------------
+
+def test_plan_cache_hit_skips_replanning_via_trace(graph, clock):
+    tracer = Tracer(clock=clock)
+    service = QueryService(graph, tenants=[TenantSpec("a")],
+                           clock=clock, tracer=tracer)
+    first = service.execute("a", NAMES_QUERY)
+    assert first.plan_cache_hit is False
+    plans_after_miss = [s for s in tracer.spans if s.name == "service.plan"]
+    assert len(plans_after_miss) == 1  # the miss planned, under a span
+
+    second = service.execute("a", NAMES_QUERY)
+    assert second.plan_cache_hit is True
+    plans_after_hit = [s for s in tracer.spans if s.name == "service.plan"]
+    assert len(plans_after_hit) == 1  # the hit did NOT re-plan
+    assert first.rows == second.rows
+
+    # explicit invalidation forces one re-plan
+    assert service.invalidate_template(NAMES_QUERY) == 1
+    third = service.execute("a", NAMES_QUERY)
+    assert third.plan_cache_hit is False
+    assert len([s for s in tracer.spans
+                if s.name == "service.plan"]) == 2
+
+
+def test_execute_spans_carry_cache_attribute(graph, clock):
+    tracer = Tracer(clock=clock)
+    service = QueryService(graph, tenants=[TenantSpec("a")],
+                           clock=clock, tracer=tracer)
+    service.execute("a", NAMES_QUERY)
+    service.execute("a", NAMES_QUERY)
+    caches = [s.attributes["cache"] for s in tracer.spans
+              if s.name == "service.execute"]
+    assert caches == ["miss", "hit"]
+
+
+def test_template_registration_and_params(service):
+    service.register_template(
+        "by_region",
+        "PREFIX ex: <http://example.org/copernicus/>\n"
+        "SELECT ?s WHERE { ?s ex:region ?region } ORDER BY ?s")
+    from repro.rdf import IRI
+    r0 = service.execute(
+        "alpha", template="by_region",
+        params={"region": IRI("http://example.org/copernicus/region00")})
+    r1 = service.execute(
+        "alpha", template="by_region",
+        params={"region": IRI("http://example.org/copernicus/region01")})
+    # one cached plan served both parameterizations
+    assert r0.plan_cache_hit is False and r1.plan_cache_hit is True
+    assert len(r0.rows) == 6 and len(r1.rows) == 6
+    assert r0.rows != r1.rows  # parameters actually bound
+
+
+# -- the two admission layers, typed ----------------------------------------
+
+def _occupy(service, tenant, n):
+    """Hold n in-flight requests for a tenant (simulating running work)."""
+    state = service.tenants.get(tenant)
+    slots = [service.controller.admit() for _ in range(n)]
+    state.in_flight += n
+    return state, slots
+
+
+def test_tenant_quota_sheds_before_global_pool(service):
+    state, slots = _occupy(service, "alpha", 2)  # alpha at max_in_flight
+    with pytest.raises(QuotaExceeded) as err:
+        service.execute("alpha", NAMES_QUERY)
+    assert err.value.tenant == "alpha"
+    assert err.value.retry_after_s is not None
+    assert state.shed_quota == 1
+    # pool still has room: beta is unaffected by alpha's quota
+    assert service.execute("beta", NAMES_QUERY).rows
+
+
+def test_global_pool_sheds_with_overloaded(graph, clock):
+    service = QueryService(
+        graph, tenants=[TenantSpec("a", max_in_flight=8)],
+        max_concurrent=2, clock=clock)
+    _, slots = _occupy(service, "a", 2)
+    state = service.tenants.get("a")
+    state.in_flight = 0  # quota free; only the pool is exhausted
+    with pytest.raises(Overloaded) as err:
+        service.execute("a", NAMES_QUERY)
+    assert err.value.retry_after_s == service.controller.retry_after_hint_s
+    assert state.shed_overload == 1
+
+
+def test_budget_violation_is_counted_and_typed(graph, clock):
+    service = QueryService(
+        graph, tenants=[TenantSpec("a", max_rows=3)], clock=clock)
+    with pytest.raises(RowLimitExceeded):
+        service.execute("a", NAMES_QUERY)
+    state = service.tenants.get("a")
+    assert state.budget_exceeded == 1
+    assert service.stats.row_limit_exceeded == 1
+    assert state.in_flight == 0  # slot + quota released on failure
+    assert service.controller.active == 0

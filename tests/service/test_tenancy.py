@@ -1,0 +1,66 @@
+"""TenantSpec/TenantState/TenantRegistry: validation and accounting."""
+
+import pytest
+
+from repro.service import (
+    TenantRegistry,
+    TenantSpec,
+    UnknownTenant,
+    VirtualClock,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        TenantSpec("")
+    with pytest.raises(ValueError):
+        TenantSpec("a", max_in_flight=0)
+    with pytest.raises(ValueError):
+        TenantSpec("a", max_queued=-1)
+
+
+def test_spec_is_frozen():
+    spec = TenantSpec("a")
+    with pytest.raises(Exception):
+        spec.priority = 9
+
+
+def test_make_budget_stamps_limits_and_clock():
+    clock = VirtualClock()
+    spec = TenantSpec("a", deadline_s=2.0, max_rows=100, max_triples=500)
+    budget = spec.make_budget(clock)
+    assert budget.deadline_s == 2.0
+    assert budget.max_rows == 100
+    assert budget.max_triples == 500
+    assert not budget.deadline_expired
+    clock.advance_to(3.0)
+    assert budget.deadline_expired  # the budget reads the shared clock
+
+
+def test_registry_order_and_lookup():
+    registry = TenantRegistry([TenantSpec("x"), TenantSpec("y")])
+    registry.register(TenantSpec("z"))
+    assert registry.names() == ["x", "y", "z"]
+    assert [s.spec.name for s in registry] == ["x", "y", "z"]
+    assert "y" in registry and "q" not in registry
+    assert len(registry) == 3
+    with pytest.raises(UnknownTenant):
+        registry.get("q")
+    with pytest.raises(ValueError):
+        registry.register(TenantSpec("x"))  # duplicate name
+
+
+def test_state_shed_rollup_and_dict():
+    state = TenantRegistry([TenantSpec("a", max_in_flight=2)]).get("a")
+    assert not state.at_capacity
+    state.in_flight = 2
+    assert state.at_capacity
+    state.shed_quota, state.shed_overload, state.shed_timeout = 3, 2, 1
+    assert state.shed == 6
+    d = state.as_dict()
+    assert d["shed_quota"] == 3 and d["shed_timeout"] == 1
+    assert set(d) == {"submitted", "completed", "shed_quota",
+                      "shed_overload", "shed_timeout",
+                      "budget_exceeded", "failed"}
