@@ -7,7 +7,10 @@ and injected delays run against a fake clock):
   RetryPolicy (should be noise);
 - the amortized cost of a workload where every 3rd request fails and is
   retried;
-- the throughput of stale-cache degradation when the host is down.
+- the throughput of stale-cache degradation when the host is down;
+- the tail-latency effect of hedged requests through an EndpointPool,
+  with and without slow-endpoint injection (emits out/BENCH_chaos.json
+  for the chaos-smoke regression gate).
 """
 
 import time
@@ -16,7 +19,8 @@ import numpy as np
 import pytest
 
 from repro.opendap import DapCache, DapServer, ServerRegistry, open_url
-from repro.resilience import FaultSchedule, FaultyServer, RetryPolicy
+from repro.resilience import (EndpointPool, FaultSchedule, FaultyServer,
+                              RetryPolicy)
 
 pytestmark = pytest.mark.benchmark
 
@@ -101,6 +105,112 @@ def test_retry_amortization_every_third_failing(record_summary):
         f"real wall time:    {elapsed * 1e3:8.1f} ms",
     ])
     assert stats.failures == 0
+
+
+# -- hedged-request tail-latency sweep ------------------------------------
+#
+# All latency here is *virtual*: the work function advances a fake
+# clock by a seeded per-request draw, so every percentile below is a
+# deterministic function of the seed — exactly reproducible across
+# machines, which is what lets the chaos-smoke CI job gate these
+# numbers against a committed baseline.
+SPIKE_S = 0.100          # a slow endpoint serves in ~100 ms, not ~10 ms
+SLOW_FRACTION = 0.10     # 10 % of requests hit one
+
+
+def _hedge_sweep(n_requests, hedge, inject):
+    """Drive *n_requests* through a 3-replica pool; return the
+    per-request effective latencies (what a client would see) and the
+    pool (for its counters).
+
+    The slow-endpoint injection is request-bound — the spiked draw
+    hits the *primary* attempt only, modelling a transient stall (GC
+    pause, cold shard) that a hedge to a sibling replica escapes.
+    """
+    rng = np.random.default_rng(7)
+    base = rng.uniform(0.008, 0.012, size=(n_requests, 2))
+    slow = rng.random(n_requests) < SLOW_FRACTION
+    clock = _Clock()
+    pool = EndpointPool(
+        "sweep", [(f"r{i}", f"replica-{i}") for i in range(3)],
+        clock=clock, hedge=hedge,
+        # p80 of the pool-wide window sits just above the fast band, so
+        # every spiked request (and only ~20 % of fast ones) hedges.
+        hedge_quantile=0.8, hedge_warmup=16)
+    latencies = []
+    for i in range(n_requests):
+        attempt = [0]
+
+        def work(endpoint, child, i=i, attempt=attempt):
+            delay = base[i][min(attempt[0], 1)]
+            if inject and slow[i] and attempt[0] == 0:
+                delay += SPIKE_S
+            attempt[0] += 1
+            clock.now += delay
+            return endpoint
+
+        pool.call(work)
+        latencies.append(pool.last_outcome.effective_latency_s)
+    return np.asarray(latencies), pool
+
+
+def test_hedged_tail_latency_sweep(record_summary, emit_bench, smoke):
+    n = 600 if smoke else 2000
+
+    def stats(latencies):
+        return {"p50_s": round(float(np.percentile(latencies, 50)), 6),
+                "p99_s": round(float(np.percentile(latencies, 99)), 6),
+                "mean_s": round(float(latencies.mean()), 6)}
+
+    plain_lat, _ = _hedge_sweep(n, hedge=False, inject=True)
+    hedged_lat, pool = _hedge_sweep(n, hedge=True, inject=True)
+    plain, hedged = stats(plain_lat), stats(hedged_lat)
+    improvement = plain["p99_s"] / hedged["p99_s"]
+    amplification = pool.counters["dispatches"] / n
+
+    nf_plain_lat, _ = _hedge_sweep(n, hedge=False, inject=False)
+    nf_hedged_lat, nf_pool = _hedge_sweep(n, hedge=True, inject=False)
+    nf_plain, nf_hedged = stats(nf_plain_lat), stats(nf_hedged_lat)
+
+    record_summary("Resilience: hedged requests vs p99 "
+                   f"({SLOW_FRACTION:.0%} slow-endpoint injection)", [
+        f"requests per run:        {n}",
+        f"injected   p99 unhedged: {plain['p99_s'] * 1e3:8.1f} ms",
+        f"injected   p99 hedged:   {hedged['p99_s'] * 1e3:8.1f} ms "
+        f"({improvement:.1f}x better)",
+        f"hedges fired / won:      {pool.counters['hedges']} / "
+        f"{pool.counters['hedge_wins']}",
+        f"dispatch amplification:  {amplification:5.2f}x",
+        f"no-fault   p99 unhedged: {nf_plain['p99_s'] * 1e3:8.1f} ms",
+        f"no-fault   p99 hedged:   {nf_hedged['p99_s'] * 1e3:8.1f} ms",
+    ])
+    emit_bench(
+        "chaos",
+        hedging={
+            "requests": n,
+            "slow_fraction": SLOW_FRACTION,
+            "spike_s": SPIKE_S,
+            "injected": {
+                "unhedged": plain,
+                "hedged": hedged,
+                "p99_improvement": round(improvement, 4),
+                "hedges": pool.counters["hedges"],
+                "hedge_wins": pool.counters["hedge_wins"],
+                "dispatch_amplification": round(amplification, 4),
+            },
+            "no_fault": {
+                "unhedged": nf_plain,
+                "hedged": nf_hedged,
+                "p99_ratio": round(
+                    nf_hedged["p99_s"] / nf_plain["p99_s"], 4),
+                "hedges": nf_pool.counters["hedges"],
+            },
+        },
+    )
+    # The acceptance bar, asserted where it is measured: hedging must
+    # beat the injected tail and must not regress the healthy one.
+    assert hedged["p99_s"] < plain["p99_s"]
+    assert nf_hedged["p99_s"] <= nf_plain["p99_s"] * 1.05
 
 
 def test_stale_serve_throughput_host_down(record_summary):

@@ -1,0 +1,82 @@
+"""Deterministic chaos engineering for the whole serving stack.
+
+The paper's platform promises "easy access" on top of notoriously
+flaky ingredients — remote SPARQL endpoints, DAP servers, shared
+worker pools. This package stress-tests the repo's resilience story
+end to end: a :class:`ChaosPlan` (a seed plus fault windows) is
+compiled by the :class:`ChaosHarness` onto the virtual-time workload
+harness, injecting endpoint flaps, latency spikes, worker deaths,
+cache corruption/eviction storms, plan-cache invalidations and budget
+squeezes at exact virtual instants, while the
+:class:`InvariantChecker` asserts what must hold regardless: bounded
+time, typed errors only, request conservation, consistent degraded
+blocks — and byte-identical reports for the same seed.
+
+See DESIGN.md "Failure domains" for the fault-kind x layer matrix.
+"""
+
+from .harness import (
+    ChaosDapServer,
+    ChaosEndpoint,
+    ChaosExecutor,
+    ChaosHarness,
+    ChaosReport,
+    chaos_tenants,
+    run_chaos,
+)
+from .invariants import (
+    ALLOWED_ERROR_CODES,
+    InvariantChecker,
+    InvariantViolation,
+    assert_deterministic,
+)
+from .plan import (
+    BUDGET_SQUEEZE,
+    DAP_CORRUPTION,
+    DAP_EVICTION_STORM,
+    ENDPOINT_FLAP,
+    FAULT_KINDS,
+    LATENCY_SPIKE,
+    PLAN_CACHE_INVALIDATION,
+    WORKER_DEATH,
+    ChaosPlan,
+    Fault,
+    budget_squeeze,
+    dap_corruption,
+    dap_eviction_storm,
+    endpoint_flap,
+    latency_spike,
+    plan_cache_invalidation,
+    worker_death,
+)
+
+__all__ = [
+    "ChaosPlan",
+    "Fault",
+    "FAULT_KINDS",
+    "ENDPOINT_FLAP",
+    "LATENCY_SPIKE",
+    "WORKER_DEATH",
+    "DAP_CORRUPTION",
+    "DAP_EVICTION_STORM",
+    "PLAN_CACHE_INVALIDATION",
+    "BUDGET_SQUEEZE",
+    "endpoint_flap",
+    "latency_spike",
+    "worker_death",
+    "dap_corruption",
+    "dap_eviction_storm",
+    "plan_cache_invalidation",
+    "budget_squeeze",
+    "ChaosHarness",
+    "ChaosReport",
+    "ChaosEndpoint",
+    "ChaosDapServer",
+    "ChaosExecutor",
+    "chaos_tenants",
+    "run_chaos",
+    "ALLOWED_ERROR_CODES",
+    "InvariantChecker",
+    "InvariantViolation",
+    "assert_deterministic",
+]

@@ -1,0 +1,593 @@
+"""Compiling chaos plans onto the seeded workload harness.
+
+The :class:`ChaosHarness` takes the PR 6 workload (thousands of
+simulated clients against the multi-tenant service on one
+:class:`~repro.service.VirtualClock`) in its federated form, slides
+chaos wrappers between every layer boundary, and compiles a
+:class:`~repro.chaos.plan.ChaosPlan` into scheduler timer events —
+so fault windows open and close at exact virtual instants, inside the
+same event loop that delivers arrivals and completions.
+
+Injection points, one per failure domain:
+
+- **federation sources / replicas** — every
+  :class:`~repro.sparql.federation.SparqlEndpoint` is wrapped in a
+  :class:`ChaosEndpoint` whose ``down``/``delay_s`` flags timer events
+  flip (flaps and latency spikes);
+- **worker tasks** — the engine's fan-out pool runs through a
+  :class:`ChaosExecutor` that lets the task run, then deterministically
+  loses its result (:class:`~repro.parallel.WorkerDeath`) inside
+  ``worker_death`` windows;
+- **DAP side channel** — a :class:`~repro.opendap.DapCache`-fronted
+  remote dataset polled on a virtual-time tick, its server wrapped in a
+  :class:`ChaosDapServer` (payload corruption), its cache squeezed by
+  eviction storms;
+- **service tier** — timer events invalidate cached plans mid-flight
+  and squeeze tenant deadlines (budget exhaustion).
+
+Everything is deterministic: wrappers advance the shared virtual clock
+instead of sleeping, and every random decision draws from the plan's
+seeded per-stream RNGs. Two runs of one ``(spec, plan)`` pair emit
+byte-identical :class:`ChaosReport` JSON — the invariant suite pins
+this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..opendap import DapCache, DapDataset, DapServer, ServerRegistry, \
+    open_url
+from ..parallel import SerialExecutor, TaskOutcome, WorkerDeath, WorkerPool
+from ..resilience import RetryPolicy
+from ..resilience.faults import InjectedFault, corrupt_body
+from ..service.workload import (
+    TenantSpec,
+    Workload,
+    WorkloadSpec,
+    default_tenants,
+)
+from ..sparql.federation import SparqlEndpoint
+from .plan import (
+    BUDGET_SQUEEZE,
+    DAP_CORRUPTION,
+    DAP_EVICTION_STORM,
+    ENDPOINT_FLAP,
+    LATENCY_SPIKE,
+    PLAN_CACHE_INVALIDATION,
+    WORKER_DEATH,
+    ChaosPlan,
+    Fault,
+)
+
+__all__ = ["ChaosEndpoint", "ChaosDapServer", "ChaosExecutor",
+           "ChaosHarness", "ChaosReport", "chaos_tenants", "run_chaos"]
+
+DAP_HOST = "chaos.test"
+DAP_URL = f"dap://{DAP_HOST}/Copernicus/LAI"
+
+#: The DAP tick rotates over these subset constraints, so the cache
+#: sees repeat keys (hits, stale candidates) and fresh ones (misses).
+DAP_CONSTRAINTS = (
+    "LAI[0][0:2][0:2]",
+    "LAI[1][0:2][0:2]",
+    "LAI[2][0:2][0:2]",
+    "LAI[3][0:2][0:2]",
+)
+
+
+def chaos_tenants() -> List[TenantSpec]:
+    """The default workload tenants, each with a retry-budget bucket
+    (chaos without retry budgets melts down by design — that contrast
+    is one of the resilience benchmark's sweeps)."""
+    return [dataclasses.replace(spec, retry_ratio=0.2, retry_cap=10.0)
+            for spec in default_tenants()]
+
+
+class ChaosEndpoint:
+    """A SPARQL endpoint whose availability timer events control.
+
+    While ``down`` every access raises
+    :class:`~repro.resilience.InjectedFault` (a ``ConnectionError``,
+    so retry/failover/degradation treat it as an upstream outage);
+    while ``delay_s > 0`` every access advances the shared virtual
+    clock by that much first — deadlines burn down while the slow
+    replica "works". Everything else delegates to the wrapped
+    endpoint.
+    """
+
+    def __init__(self, inner: SparqlEndpoint, clock):
+        self.inner = inner
+        self._clock = clock
+        self.down = False
+        self.delay_s = 0.0
+        self.injected_failures = 0
+        self.injected_delays = 0
+
+    def _gate(self, what: str) -> None:
+        if self.down:
+            self.injected_failures += 1
+            raise InjectedFault(
+                f"injected outage: {self.inner.name} is down ({what})")
+        if self.delay_s > 0:
+            self.injected_delays += 1
+            self._clock.advance_to(self._clock.now + self.delay_s)
+
+    def query(self, text: str):
+        self._gate("query")
+        return self.inner.query(text)
+
+    def select_group(self, group, seeds=None):
+        self._gate("service")
+        return self.inner.select_group(group, seeds)
+
+    def triples(self, pattern):
+        self._gate("triples")
+        return self.inner.triples(pattern)
+
+    def predicates(self):
+        self._gate("predicates")
+        return self.inner.predicates()
+
+    def counters(self) -> Dict[str, int]:
+        return {"failures": self.injected_failures,
+                "delays": self.injected_delays}
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+    def __repr__(self) -> str:
+        state = "down" if self.down else (
+            f"slow+{self.delay_s:g}s" if self.delay_s else "up")
+        return f"<ChaosEndpoint {self.inner.name} {state}>"
+
+
+class ChaosDapServer:
+    """Wraps a :class:`~repro.opendap.DapServer`; timer-flipped flags
+    corrupt payloads or refuse requests for a fault window."""
+
+    def __init__(self, inner: DapServer):
+        self.inner = inner
+        self.corrupt = False
+        self.down = False
+        self.injected_corruptions = 0
+        self.injected_failures = 0
+
+    def request(self, path_and_query: str) -> bytes:
+        if self.down:
+            self.injected_failures += 1
+            raise InjectedFault(
+                f"injected outage: DAP {self.inner.host!r} is down")
+        body = self.inner.request(path_and_query)
+        if self.corrupt:
+            self.injected_corruptions += 1
+            return corrupt_body(body)
+        return body
+
+    def counters(self) -> Dict[str, int]:
+        return {"corruptions": self.injected_corruptions,
+                "failures": self.injected_failures}
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+class _DeadHandle:
+    """A completed handle holding a worker-death outcome."""
+
+    __slots__ = ("_outcome",)
+
+    def __init__(self, outcome: TaskOutcome):
+        self._outcome = outcome
+
+    def result(self) -> TaskOutcome:
+        return self._outcome
+
+
+class ChaosExecutor:
+    """An executor middleware that loses finished tasks' results.
+
+    The inner executor runs the task to completion first — modelling a
+    worker that crashes *after* doing the work but before reporting —
+    then, inside an active ``worker_death`` window, the outcome is
+    replaced by a :class:`~repro.parallel.WorkerDeath` error with the
+    plan's seeded probability. Advertises ``workers=2`` so the engine
+    fans out through :meth:`~repro.parallel.WorkerPool.run_tasks`
+    (where task outcomes are inspectable); with a serial inner
+    executor submission order is execution order, so the kill sequence
+    is deterministic.
+    """
+
+    workers = 2
+
+    def __init__(self, inner, clock, plan: ChaosPlan):
+        self.inner = inner
+        self._clock = clock
+        self._windows: List[Fault] = plan.by_kind(WORKER_DEATH)
+        self._rng = plan.rng("worker_death")
+        self.submitted = 0
+        self.deaths = 0
+
+    def _death_rate(self) -> float:
+        now = self._clock()
+        return max((f.magnitude for f in self._windows
+                    if f.at_s <= now < f.until_s), default=0.0)
+
+    def submit(self, fn: Callable[[], object]):
+        handle = self.inner.submit(fn)
+        self.submitted += 1
+        rate = self._death_rate()
+        if rate <= 0.0:
+            return handle
+        outcome = handle.result()
+        # One draw per task inside a window, in submission order —
+        # the kill sequence is a pure function of (plan seed, order).
+        if isinstance(outcome, TaskOutcome) \
+                and self._rng.random() < rate:
+            self.deaths += 1
+            outcome = TaskOutcome(
+                outcome.index,
+                error=WorkerDeath(
+                    f"worker died holding task #{self.submitted} "
+                    f"(result lost)"),
+                span=outcome.span,
+            )
+        return _DeadHandle(outcome)
+
+    def shutdown(self) -> None:
+        self.inner.shutdown()
+
+    def counters(self) -> Dict[str, int]:
+        return {"tasks": self.submitted, "deaths": self.deaths}
+
+
+def _make_dap_dataset() -> DapDataset:
+    """A small deterministic LAI grid for the DAP side channel."""
+    ds = DapDataset(
+        "LAI",
+        attributes={"title": "Leaf Area Index (chaos fixture)",
+                    "Conventions": "CF-1.6"},
+    )
+    times = (np.arange(4, dtype=np.int32) * 10)
+    lats = np.linspace(48.80, 48.92, 5)
+    lons = np.linspace(2.20, 2.50, 6)
+    # Deterministic pseudo-data: pure arithmetic, no RNG.
+    lai = (((np.arange(4 * 5 * 6, dtype=np.int64) * 37) % 100) / 20.0) \
+        .reshape(4, 5, 6).astype(np.float32)
+    ds.add_variable("time", ["time"], times,
+                    {"units": "days since 2018-01-01", "axis": "T"})
+    ds.add_variable("lat", ["lat"], lats, {"units": "degrees_north"})
+    ds.add_variable("lon", ["lon"], lons, {"units": "degrees_east"})
+    ds.add_variable("LAI", ["time", "lat", "lon"], lai,
+                    {"units": "m2/m2", "_FillValue": -1.0})
+    return ds
+
+
+class ChaosHarness:
+    """One seeded chaos run: workload + wrappers + compiled plan.
+
+    Fault targeting (the plan's ``target`` field):
+
+    - ``endpoint_flap`` / ``latency_spike`` — a federation source
+      index (every replica of a pooled source), or
+      ``(source + 1) * 100 + replica`` for one replica only;
+    - ``budget_squeeze`` — a tenant index in registration order;
+    - ``plan_cache_invalidation`` — a template index in registration
+      order, ``-1`` for all templates.
+    """
+
+    def __init__(self, spec: WorkloadSpec, plan: ChaosPlan,
+                 tenants: Optional[List[TenantSpec]] = None,
+                 pooled_source: Optional[int] = 0,
+                 replica_count: int = 2,
+                 dap_ticks: int = 32,
+                 dap_tick_s: float = 0.005,
+                 dap_ttl_s: float = 0.02,
+                 dap_max_entries: int = 8):
+        if not spec.federated:
+            spec = dataclasses.replace(spec, federated=True)
+        self.spec = spec
+        self.plan = plan
+        self.workload = Workload(
+            spec, tenants=tenants if tenants is not None
+            else chaos_tenants())
+        self.clock = self.workload.clock
+        self.service = self.workload.service
+        self.scheduler = self.workload.scheduler
+        self.engine = self.workload.federation
+        #: Per source: the chaos wrappers standing in for its replicas
+        #: (singleton list for unpooled sources), in registration order.
+        self.source_wrappers: List[Tuple[str, List[ChaosEndpoint]]] = []
+        self._install_endpoint_wrappers(pooled_source, replica_count)
+        self.executor = ChaosExecutor(SerialExecutor(), self.clock, plan)
+        self.engine.pool = WorkerPool(executor=self.executor,
+                                      name="chaos-fanout")
+        # Match the parallel pool's eager SERVICE dispatch so the fan
+        # out actually routes through the chaos executor.
+        self.engine.eager_service = True
+        self._install_dap_channel(dap_ticks, dap_tick_s, dap_ttl_s,
+                                  dap_max_entries)
+        self._saved_specs: Dict[str, TenantSpec] = {}
+        self.timer_log: List[Dict[str, object]] = []
+        self._compile_plan()
+        self.report: Optional[ChaosReport] = None
+
+    # -- wiring ------------------------------------------------------------
+    def _install_endpoint_wrappers(self, pooled_source: Optional[int],
+                                   replica_count: int) -> None:
+        for index, iri in enumerate(self.engine.sources()):
+            original = self.engine.endpoint(iri)
+            if pooled_source is not None and index == pooled_source \
+                    and replica_count > 1:
+                wrappers = [
+                    ChaosEndpoint(
+                        SparqlEndpoint(original.graph,
+                                       name=f"{original.name}-r{k}"),
+                        self.clock)
+                    for k in range(replica_count)
+                ]
+                self.engine.register_replicas(
+                    iri, wrappers, hedge=True, hedge_warmup=4,
+                    min_samples=4, window=32, ejection_s=0.05)
+            else:
+                wrappers = [ChaosEndpoint(original, self.clock)]
+                self.engine.register(iri, wrappers[0])
+            self.source_wrappers.append((iri, wrappers))
+
+    def _install_dap_channel(self, ticks: int, tick_s: float,
+                             ttl_s: float, max_entries: int) -> None:
+        self.dap_ticks = ticks
+        self.dap_counts = {"ticks": 0, "fresh": 0, "stale": 0,
+                           "failed": 0}
+        self.dap_errors: Dict[str, int] = {}
+        self.dap_cache: Optional[DapCache] = None
+        self.dap_server: Optional[ChaosDapServer] = None
+        self._dap_default_entries = max_entries
+        if ticks <= 0:
+            return
+        registry = ServerRegistry()
+        server = DapServer(DAP_HOST)
+        server.mount("Copernicus/LAI", _make_dap_dataset())
+        registry.register(server)
+        self.dap_server = registry.wrap(DAP_HOST, ChaosDapServer)
+        self.dap_cache = DapCache(ttl_s=ttl_s, clock=self.clock,
+                                  max_entries=max_entries,
+                                  serve_stale=True)
+        clock = self.clock
+        self.dap_remote = open_url(
+            DAP_URL, registry, cache=self.dap_cache,
+            retry_policy=RetryPolicy(
+                max_attempts=2, base_delay_s=0.0005, jitter=0.0,
+                clock=clock,
+                sleep=lambda s: clock.advance_to(clock.now + s)))
+        for i in range(ticks):
+            constraint = DAP_CONSTRAINTS[i % len(DAP_CONSTRAINTS)]
+            self.scheduler.at(0.001 + i * tick_s,
+                              self._dap_tick(constraint))
+
+    def _dap_tick(self, constraint: str) -> Callable[[], None]:
+        def tick() -> None:
+            self.dap_counts["ticks"] += 1
+            try:
+                result = self.dap_remote.fetch(constraint)
+            except Exception as exc:
+                self.dap_counts["failed"] += 1
+                name = type(exc).__name__
+                self.dap_errors[name] = self.dap_errors.get(name, 0) + 1
+                return
+            if getattr(result, "stale", False):
+                self.dap_counts["stale"] += 1
+            else:
+                self.dap_counts["fresh"] += 1
+        return tick
+
+    # -- plan compilation --------------------------------------------------
+    def _log(self, fault: Fault, edge: str) -> None:
+        self.timer_log.append({"at_s": round(self.clock.now, 9),
+                               "kind": fault.kind, "edge": edge,
+                               "target": fault.target})
+
+    def _endpoint_targets(self, fault: Fault) -> List[ChaosEndpoint]:
+        target = fault.target
+        if target >= 100:
+            source, replica = target // 100 - 1, target % 100
+        else:
+            source, replica = target, None
+        if not 0 <= source < len(self.source_wrappers):
+            raise ValueError(
+                f"{fault.kind}: no federation source {source}")
+        wrappers = self.source_wrappers[source][1]
+        if replica is None:
+            return wrappers
+        if not 0 <= replica < len(wrappers):
+            raise ValueError(
+                f"{fault.kind}: source {source} has no replica "
+                f"{replica}")
+        return [wrappers[replica]]
+
+    def _compile_plan(self) -> None:
+        for fault in self.plan.faults:
+            compile_one = getattr(self, "_compile_" + fault.kind)
+            compile_one(fault)
+
+    def _window(self, fault: Fault, open_cb: Callable[[], None],
+                close_cb: Callable[[], None]) -> None:
+        def opened() -> None:
+            open_cb()
+            self._log(fault, "open")
+
+        def closed() -> None:
+            close_cb()
+            self._log(fault, "close")
+
+        self.scheduler.at(fault.at_s, opened)
+        if fault.duration_s > 0:
+            self.scheduler.at(fault.until_s, closed)
+
+    def _compile_endpoint_flap(self, fault: Fault) -> None:
+        victims = self._endpoint_targets(fault)
+
+        def down() -> None:
+            for ep in victims:
+                ep.down = True
+
+        def up() -> None:
+            for ep in victims:
+                ep.down = False
+
+        self._window(fault, down, up)
+
+    def _compile_latency_spike(self, fault: Fault) -> None:
+        victims = self._endpoint_targets(fault)
+
+        def slow() -> None:
+            for ep in victims:
+                ep.delay_s = fault.magnitude
+
+        def fast() -> None:
+            for ep in victims:
+                ep.delay_s = 0.0
+
+        self._window(fault, slow, fast)
+
+    def _compile_worker_death(self, fault: Fault) -> None:
+        # The ChaosExecutor reads its windows straight from the plan;
+        # the timers here only mark the edges in the log.
+        self._window(fault, lambda: None, lambda: None)
+
+    def _compile_dap_corruption(self, fault: Fault) -> None:
+        server = self.dap_server
+        if server is None:
+            raise ValueError(
+                "dap_corruption fault needs dap_ticks > 0")
+        self._window(fault,
+                     lambda: setattr(server, "corrupt", True),
+                     lambda: setattr(server, "corrupt", False))
+
+    def _compile_dap_eviction_storm(self, fault: Fault) -> None:
+        cache = self.dap_cache
+        if cache is None:
+            raise ValueError(
+                "dap_eviction_storm fault needs dap_ticks > 0")
+        storm_size = int(fault.magnitude)
+        default = self._dap_default_entries
+
+        def shrink() -> None:
+            cache.max_entries = storm_size
+            # Apply the bound immediately: a no-op put would only
+            # trigger on the next fetch.
+            with cache._lock:
+                while len(cache._entries) > storm_size:
+                    evicted, __ = cache._entries.popitem(last=False)
+                    cache._pending_stale.discard(evicted)
+                    cache.evictions += 1
+
+        self._window(fault, shrink,
+                     lambda: setattr(cache, "max_entries", default))
+
+    def _compile_plan_cache_invalidation(self, fault: Fault) -> None:
+        names = list(self.service.templates)
+
+        def drop() -> None:
+            if fault.target < 0:
+                self.service.invalidate_template(None)
+            else:
+                if not 0 <= fault.target < len(names):
+                    raise ValueError(
+                        f"plan_cache_invalidation: no template "
+                        f"{fault.target}")
+                self.service.invalidate_template(names[fault.target])
+
+        self._window(fault, drop, lambda: None)
+
+    def _compile_budget_squeeze(self, fault: Fault) -> None:
+        tenant_names = self.service.tenants.names()
+        if not 0 <= fault.target < len(tenant_names):
+            raise ValueError(
+                f"budget_squeeze: no tenant {fault.target}")
+        name = tenant_names[fault.target]
+        state = self.service.tenants.get(name)
+
+        def squeeze() -> None:
+            self._saved_specs[name] = state.spec
+            state.spec = dataclasses.replace(
+                state.spec, deadline_s=fault.magnitude)
+
+        def restore() -> None:
+            state.spec = self._saved_specs.pop(name, state.spec)
+
+        self._window(fault, squeeze, restore)
+
+    # -- running -----------------------------------------------------------
+    def run(self) -> "ChaosReport":
+        workload_report = self.workload.run()
+        self.report = ChaosReport(self, workload_report)
+        return self.report
+
+
+class ChaosReport:
+    """The deterministic summary of one finished chaos run."""
+
+    def __init__(self, harness: ChaosHarness, workload_report):
+        self.harness = harness
+        self.workload_report = workload_report
+        self.records = harness.scheduler.records
+        records_json = json.dumps(
+            [r.as_dict() for r in self.records], sort_keys=True)
+        engine = harness.engine
+        endpoint_counters = {
+            iri: {f"replica{idx}": w.counters()
+                  for idx, w in enumerate(wrappers)}
+            for iri, wrappers in harness.source_wrappers
+        }
+        dap_block: Dict[str, object] = {"enabled": harness.dap_ticks > 0}
+        if harness.dap_cache is not None:
+            cache = harness.dap_cache
+            dap_block.update({
+                "counts": dict(harness.dap_counts),
+                "errors": dict(sorted(harness.dap_errors.items())),
+                "server": harness.dap_server.counters(),
+                "cache": {
+                    "hits": cache.hits,
+                    "misses": cache.misses,
+                    "stale_hits": cache.stale_hits,
+                    "evictions": cache.evictions,
+                    "entries": len(cache),
+                    "max_entries": cache.max_entries,
+                },
+                "client": harness.dap_remote.stats.as_dict(),
+            })
+        self.report: Dict[str, object] = {
+            "plan": harness.plan.summary(),
+            "workload": workload_report.report,
+            "records_sha256": hashlib.sha256(
+                records_json.encode("utf-8")).hexdigest(),
+            "chaos": {
+                "endpoints": endpoint_counters,
+                "executor": harness.executor.counters(),
+                "timer_log": list(harness.timer_log),
+                "dap": dap_block,
+            },
+            "resilience": {
+                "engine": engine.stats.as_dict(),
+                "pools": engine.pool_reports(),
+            },
+        }
+
+    def __getitem__(self, key: str):
+        return self.report[key]
+
+    def to_json(self) -> str:
+        """Canonical JSON: the unit of same-seed byte identity."""
+        return json.dumps(self.report, sort_keys=True, indent=2) + "\n"
+
+
+def run_chaos(spec: WorkloadSpec, plan: ChaosPlan,
+              **harness_kwargs) -> ChaosReport:
+    """Build and run one chaos harness; returns its report."""
+    return ChaosHarness(spec, plan, **harness_kwargs).run()

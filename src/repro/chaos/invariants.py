@@ -1,0 +1,200 @@
+"""What must stay true no matter what the chaos plan breaks.
+
+The chaos harness is only useful with teeth: after a run, the
+:class:`InvariantChecker` walks the :class:`~repro.chaos.ChaosReport`
+and asserts the properties the whole stack promises *under* injected
+failure, not merely in its absence:
+
+- **bounded virtual time** — the event loop drained; no request hung
+  the simulated service past the configured horizon;
+- **typed errors only** — every failed request carries a stable wire
+  code from the service error vocabulary; ``internal_error`` (the
+  "an exception leaked" bucket) never appears;
+- **conservation** — requests are neither lost nor double-counted:
+  ``submitted == completed + shed + budget_exceeded + failed`` per
+  tenant and in total, and the audit trail has one record per
+  submission;
+- **degraded consistency** — every degraded block's completeness adds
+  up (``answered + |failed_sources| == total``), and stale/truncation
+  markers are well-formed;
+- **DAP accounting** — under eviction storms and corruption the cache
+  never exceeds its bound and classifies every lookup exactly once
+  (``hits + misses + stale_hits == lookups``).
+
+Determinism is the meta-invariant: :func:`assert_deterministic` runs a
+report factory twice and requires byte-identical JSON.
+
+Violations raise :class:`InvariantViolation` (an ``AssertionError``,
+so pytest renders them natively); :meth:`InvariantChecker.check_all`
+returns the per-invariant verdict map the chaos smoke job prints.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .harness import ChaosReport
+
+__all__ = ["ALLOWED_ERROR_CODES", "InvariantViolation",
+           "InvariantChecker", "assert_deterministic"]
+
+#: Every wire code a chaos-run request may legitimately fail with.
+#: ``internal_error`` is deliberately absent: its appearance means an
+#: exception escaped the typed-error mapping somewhere in the stack.
+ALLOWED_ERROR_CODES = frozenset({
+    "overloaded",
+    "quota_exceeded",
+    "deadline_exceeded",
+    "budget_exceeded",
+    "row_limit_exceeded",
+    "scan_limit_exceeded",
+    "fetch_limit_exceeded",
+    "cancelled",
+    "upstream_unavailable",
+    "circuit_open",
+    "worker_died",
+})
+
+
+class InvariantViolation(AssertionError):
+    """A chaos invariant did not survive the run."""
+
+
+class InvariantChecker:
+    """Post-run assertions over one :class:`ChaosReport`."""
+
+    def __init__(self, report: ChaosReport,
+                 max_virtual_s: float = 600.0):
+        self.report = report
+        self.max_virtual_s = max_virtual_s
+
+    # -- individual invariants ---------------------------------------------
+    def check_bounded_time(self) -> None:
+        totals = self.report["workload"]["totals"]
+        duration = totals["virtual_duration_s"]
+        if not duration < self.max_virtual_s:
+            raise InvariantViolation(
+                f"virtual time ran away: {duration}s >= "
+                f"{self.max_virtual_s}s horizon (a request hung)")
+        if self.report.harness.scheduler._events:
+            raise InvariantViolation(
+                "scheduler stopped with events still queued")
+
+    def check_typed_errors(self) -> None:
+        offenders: List[str] = []
+        for record in self.report.records:
+            if record.error is None:
+                continue
+            code = record.error.get("code")
+            if code not in ALLOWED_ERROR_CODES:
+                offenders.append(
+                    f"seq {record.seq}: {code!r} "
+                    f"({record.error.get('message', '')[:80]})")
+        if offenders:
+            raise InvariantViolation(
+                "untyped/unexpected error codes escaped the service:\n"
+                + "\n".join(offenders))
+
+    def check_conservation(self) -> None:
+        tenants: Dict[str, Dict] = self.report["workload"]["tenants"]
+        for name, block in tenants.items():
+            shed = (block["shed_quota"] + block["shed_overload"]
+                    + block["shed_timeout"])
+            accounted = (block["completed"] + shed
+                         + block["budget_exceeded"] + block["failed"])
+            if block["submitted"] != accounted:
+                raise InvariantViolation(
+                    f"tenant {name!r} leaks requests: submitted "
+                    f"{block['submitted']} != accounted {accounted} "
+                    f"({block})")
+        totals = self.report["workload"]["totals"]
+        accounted = (totals["completed"] + totals["shed"]
+                     + totals["budget_exceeded"] + totals["failed"])
+        if totals["submitted"] != accounted:
+            raise InvariantViolation(
+                f"totals leak requests: submitted "
+                f"{totals['submitted']} != accounted {accounted}")
+        if len(self.report.records) != totals["submitted"]:
+            raise InvariantViolation(
+                f"audit trail mismatch: {len(self.report.records)} "
+                f"records for {totals['submitted']} submissions")
+
+    def check_degraded_consistency(self) -> None:
+        for record in self.report.records:
+            block = record.degraded
+            if block is None:
+                continue
+            comp = block["completeness"]
+            answered, total = comp["answered"], comp["total"]
+            failed = comp["failed_sources"]
+            if answered + len(failed) != total or answered < 0:
+                raise InvariantViolation(
+                    f"seq {record.seq}: inconsistent completeness "
+                    f"{comp}")
+            if block["stale_serves"] < 0 \
+                    or not isinstance(block["truncated"], bool):
+                raise InvariantViolation(
+                    f"seq {record.seq}: malformed degraded block "
+                    f"{block}")
+
+    def check_dap_accounting(self) -> None:
+        harness = self.report.harness
+        cache = harness.dap_cache
+        if cache is None:
+            return
+        counts = harness.dap_counts
+        served = counts["fresh"] + counts["stale"] + counts["failed"]
+        if counts["ticks"] != served:
+            raise InvariantViolation(
+                f"DAP ticks unaccounted: {counts}")
+        lookups = cache.hits + cache.misses + cache.stale_hits
+        if lookups != counts["ticks"]:
+            raise InvariantViolation(
+                f"cache classified {lookups} lookups for "
+                f"{counts['ticks']} ticks (double or dropped count)")
+        if cache.max_entries is not None \
+                and len(cache) > cache.max_entries:
+            raise InvariantViolation(
+                f"cache over bound: {len(cache)} > "
+                f"{cache.max_entries}")
+
+    # -- the bundle --------------------------------------------------------
+    CHECKS = (
+        "bounded_time",
+        "typed_errors",
+        "conservation",
+        "degraded_consistency",
+        "dap_accounting",
+    )
+
+    def check_all(self) -> Dict[str, str]:
+        """Run every invariant; returns ``{name: "ok"}`` or raises the
+        first :class:`InvariantViolation` encountered."""
+        verdicts: Dict[str, str] = {}
+        for name in self.CHECKS:
+            getattr(self, "check_" + name)()
+            verdicts[name] = "ok"
+        return verdicts
+
+
+def assert_deterministic(build: Callable[[], ChaosReport]
+                         ) -> ChaosReport:
+    """Run *build* twice; byte-identical reports or a violation.
+
+    This is the run-twice meta-invariant: a chaos run is a pure
+    function of its ``(spec, plan)`` pair. Returns the first report so
+    callers can keep asserting against it.
+    """
+    first = build()
+    second = build()
+    a, b = first.to_json(), second.to_json()
+    if a != b:
+        for line_a, line_b in zip(a.splitlines(), b.splitlines()):
+            if line_a != line_b:
+                raise InvariantViolation(
+                    "same seed, different report: first diverging "
+                    f"line\n  run 1: {line_a}\n  run 2: {line_b}")
+        raise InvariantViolation(
+            "same seed, different report lengths "
+            f"({len(a)} vs {len(b)} bytes)")
+    return first

@@ -1,0 +1,228 @@
+"""Composable, seeded chaos plans.
+
+A :class:`ChaosPlan` is a *pure description*: a seed plus a tuple of
+:class:`Fault` windows, each naming a kind, a virtual-time window and a
+target. Nothing here touches clocks, caches or endpoints — the harness
+(:mod:`repro.chaos.harness`) compiles the plan into scheduler timer
+events and wrapper flags. Keeping the description inert is what makes
+chaos runs replayable: the same ``(seed, faults)`` pair always compiles
+to the same injections at the same virtual instants, so two runs of one
+plan produce byte-identical reports.
+
+All randomness in the chaos layer flows from :meth:`ChaosPlan.rng`:
+seeded, per-stream ``random.Random`` instances (this module is the only
+one in ``repro.chaos`` allowed to import :mod:`random` — the
+determinism lint enforces that).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..resilience.policy import _MIX
+
+__all__ = [
+    "FAULT_KINDS",
+    "ENDPOINT_FLAP",
+    "LATENCY_SPIKE",
+    "WORKER_DEATH",
+    "DAP_CORRUPTION",
+    "DAP_EVICTION_STORM",
+    "PLAN_CACHE_INVALIDATION",
+    "BUDGET_SQUEEZE",
+    "Fault",
+    "ChaosPlan",
+    "endpoint_flap",
+    "latency_spike",
+    "worker_death",
+    "dap_corruption",
+    "dap_eviction_storm",
+    "plan_cache_invalidation",
+    "budget_squeeze",
+]
+
+#: Kill one federation source (or one replica of a pooled source) for
+#: the window: every request it would serve raises ``InjectedFault``.
+ENDPOINT_FLAP = "endpoint_flap"
+#: Add ``magnitude`` seconds of *virtual* latency to one source's
+#: requests for the window (advances the shared VirtualClock, so
+#: deadlines really do burn down while the slow replica "works").
+LATENCY_SPIKE = "latency_spike"
+#: During the window, each task submitted to the chaos-wrapped worker
+#: executor dies with probability ``magnitude`` — the work ran, the
+#: result is lost (:class:`~repro.parallel.WorkerDeath`).
+WORKER_DEATH = "worker_death"
+#: Corrupt every DAP response body for the window (decode fails, the
+#: client retries, then falls back to stale cache if it can).
+DAP_CORRUPTION = "dap_corruption"
+#: Shrink the DapCache to ``int(magnitude)`` entries for the window —
+#: an eviction storm under whatever fetch traffic is in flight.
+DAP_EVICTION_STORM = "dap_eviction_storm"
+#: Drop cached query plans at ``at_s`` — one template (``target``
+#: indexes the registration order) or all of them (``target == -1``).
+PLAN_CACHE_INVALIDATION = "plan_cache_invalidation"
+#: Replace one tenant's default deadline with ``magnitude`` seconds for
+#: the window: requests arriving inside it carry near-empty budgets.
+BUDGET_SQUEEZE = "budget_squeeze"
+
+FAULT_KINDS = (
+    ENDPOINT_FLAP,
+    LATENCY_SPIKE,
+    WORKER_DEATH,
+    DAP_CORRUPTION,
+    DAP_EVICTION_STORM,
+    PLAN_CACHE_INVALIDATION,
+    BUDGET_SQUEEZE,
+)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault window: what breaks, when, for how long, how hard.
+
+    ``target`` selects the victim by index — a federation source, a
+    replica, a tenant or a template depending on ``kind`` (the harness
+    documents each mapping). ``magnitude`` is the kind's intensity
+    knob: spike seconds, death probability, squeezed deadline seconds,
+    storm cache size.
+    """
+
+    kind: str
+    at_s: float
+    duration_s: float = 0.0
+    target: int = 0
+    magnitude: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"known: {list(FAULT_KINDS)}")
+        if self.at_s < 0:
+            raise ValueError(f"{self.kind}: at_s must be >= 0")
+        if self.duration_s < 0:
+            raise ValueError(f"{self.kind}: duration_s must be >= 0")
+
+    @property
+    def until_s(self) -> float:
+        return self.at_s + self.duration_s
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "at_s": self.at_s,
+            "duration_s": self.duration_s,
+            "target": self.target,
+            "magnitude": self.magnitude,
+        }
+
+
+# -- fault constructors (the readable way to write a plan) -----------------
+def endpoint_flap(at_s: float, duration_s: float,
+                  source: int = 0, replica: int = -1) -> Fault:
+    """Source *source* goes dark for the window. With ``replica >= 0``
+    only that replica of a pooled source flaps (encoded in the target
+    as ``(source + 1) * 100 + replica``, so replica targets are always
+    >= 100 and never collide with whole-source indices — the harness
+    decodes it)."""
+    target = source if replica < 0 else (source + 1) * 100 + replica
+    return Fault(ENDPOINT_FLAP, at_s, duration_s, target=target)
+
+
+def latency_spike(at_s: float, duration_s: float, delay_s: float,
+                  source: int = 0, replica: int = -1) -> Fault:
+    target = source if replica < 0 else (source + 1) * 100 + replica
+    return Fault(LATENCY_SPIKE, at_s, duration_s, target=target,
+                 magnitude=delay_s)
+
+
+def worker_death(at_s: float, duration_s: float,
+                 rate: float = 0.5) -> Fault:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"worker death rate must be in [0, 1]: {rate}")
+    return Fault(WORKER_DEATH, at_s, duration_s, magnitude=rate)
+
+
+def dap_corruption(at_s: float, duration_s: float) -> Fault:
+    return Fault(DAP_CORRUPTION, at_s, duration_s)
+
+
+def dap_eviction_storm(at_s: float, duration_s: float,
+                       max_entries: int = 1) -> Fault:
+    if max_entries < 0:
+        raise ValueError("storm max_entries must be >= 0")
+    return Fault(DAP_EVICTION_STORM, at_s, duration_s,
+                 magnitude=float(max_entries))
+
+
+def plan_cache_invalidation(at_s: float, template: int = -1) -> Fault:
+    """Invalidate one template's plan (or all, ``template=-1``) at
+    *at_s* — mid-flight from the perspective of queued requests."""
+    return Fault(PLAN_CACHE_INVALIDATION, at_s, target=template)
+
+
+def budget_squeeze(at_s: float, duration_s: float,
+                   tenant: int = 0, deadline_s: float = 0.001) -> Fault:
+    if deadline_s <= 0:
+        raise ValueError("squeezed deadline_s must be > 0")
+    return Fault(BUDGET_SQUEEZE, at_s, duration_s, target=tenant,
+                 magnitude=deadline_s)
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seed plus an inert tuple of fault windows.
+
+    The seed feeds every random decision the compiled plan makes
+    (which tasks die inside a ``worker_death`` window, for instance)
+    through :meth:`rng` — per-stream so two consumers never share a
+    draw sequence by accident.
+    """
+
+    seed: int = 0
+    faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self):
+        # Tolerate (and normalize) a list literal at the call site.
+        if not isinstance(self.faults, tuple):
+            object.__setattr__(self, "faults", tuple(self.faults))
+
+    def rng(self, stream: str) -> random.Random:
+        """A seeded RNG private to *stream* (stable across runs and
+        processes — the stream name hashes with CRC32, not ``hash``)."""
+        return random.Random(
+            self.seed * _MIX + zlib.crc32(stream.encode("utf-8")))
+
+    def by_kind(self, kind: str) -> List[Fault]:
+        return [f for f in self.faults if f.kind == kind]
+
+    @property
+    def kinds(self) -> List[str]:
+        """The distinct fault kinds this plan injects, sorted."""
+        return sorted({f.kind for f in self.faults})
+
+    @property
+    def horizon_s(self) -> float:
+        """The virtual time the last fault window closes."""
+        return max((f.until_s for f in self.faults), default=0.0)
+
+    def concurrent_kinds_at(self, t: float) -> List[str]:
+        """Fault kinds whose windows cover virtual time *t*."""
+        return sorted({f.kind for f in self.faults
+                       if f.at_s <= t < max(f.until_s, f.at_s + 1e-12)})
+
+    def max_concurrent_kinds(self) -> int:
+        """The most distinct kinds ever active at one instant (the
+        acceptance bar asks for >= 3 concurrent kinds)."""
+        edges = sorted({f.at_s for f in self.faults})
+        return max((len(self.concurrent_kinds_at(t)) for t in edges),
+                   default=0)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "kinds": self.kinds,
+            "faults": [f.as_dict() for f in self.faults],
+        }

@@ -90,6 +90,12 @@ class QueryBudget:
         self.triples_scanned = 0
         self.remote_fetches = 0
         self._cancel_reason: Optional[str] = None
+        #: Optional :class:`~repro.resilience.RetryBudget` this query
+        #: draws on: retries and hedges issued on the query's behalf
+        #: (federation dispatch, DAP fetches, endpoint pools) must win
+        #: a token from it. The service tier attaches the owning
+        #: tenant's shared bucket here at admission.
+        self.retry_budget = None
         # One budget is shared by every task of a parallel fan-out
         # (the worker pool propagates it per task), so the counter
         # increments must not lose updates across threads.

@@ -18,6 +18,7 @@ trace/plan mirroring here; see ``repro.sparql.results``.
 
 from .bridge import (
     register_dap_cache,
+    register_endpoint_pool,
     register_governance,
     register_resilience,
 )
@@ -62,4 +63,5 @@ __all__ = [
     "register_resilience",
     "register_governance",
     "register_dap_cache",
+    "register_endpoint_pool",
 ]

@@ -22,6 +22,7 @@ __all__ = [
     "register_resilience",
     "register_governance",
     "register_dap_cache",
+    "register_endpoint_pool",
 ]
 
 #: Upper bounds of the governance headroom histogram (tenths of the
@@ -115,3 +116,48 @@ def register_dap_cache(registry: MetricsRegistry, cache,
     (including the stale-served-is-not-a-hit accounting) and size."""
     registry.register_collector(
         lambda: _cache_families(cache, namespace, dict(labels)))
+
+
+def _pool_families(pool, namespace: str,
+                   base_labels: Dict[str, str]
+                   ) -> Iterable[MetricFamily]:
+    pool_labels = dict(base_labels, pool=pool.name)
+    labelnames = sorted(pool_labels)
+    families = []
+    for field, value in sorted(pool.counters.items()):
+        family = MetricFamily(
+            f"{namespace}_{field}_total", "counter",
+            help=f"Endpoint pool: {field.replace('_', ' ')}",
+            labelnames=labelnames,
+        )
+        family.labels(**pool_labels).inc(value)
+        families.append(family)
+    replica_labels = sorted(pool_labels) + ["replica"]
+    active = MetricFamily(
+        f"{namespace}_replica_active", "gauge",
+        help="Endpoint pool: 1 when the replica is active, 0 ejected",
+        labelnames=replica_labels,
+    )
+    error_rate = MetricFamily(
+        f"{namespace}_replica_error_rate", "gauge",
+        help="Endpoint pool: rolling-window error rate per replica",
+        labelnames=replica_labels,
+    )
+    report = pool.report()
+    for name, info in report["replicas"].items():
+        labels = dict(pool_labels, replica=name)
+        active.labels(**labels).set(
+            1 if info["state"] == "active" else 0)
+        error_rate.labels(**labels).set(info["error_rate"])
+    families.extend([active, error_rate])
+    return families
+
+
+def register_endpoint_pool(registry: MetricsRegistry, pool,
+                           namespace: str = "repro_endpoint_pool",
+                           **labels: str) -> None:
+    """Expose an :class:`~repro.resilience.EndpointPool`'s dispatch /
+    failover / hedge / ejection counters plus per-replica health gauges
+    (active flag, rolling error rate)."""
+    registry.register_collector(
+        lambda: _pool_families(pool, namespace, dict(labels)))

@@ -222,7 +222,9 @@ class RemoteDataset:
                                      breaker=self.breaker,
                                      budget_s=budget_s,
                                      tracer=(self.tracer if tracer is None
-                                             else tracer))
+                                             else tracer),
+                                     retry_budget=getattr(
+                                         budget, "retry_budget", None))
 
     def _raw_request(self, path_and_query: str) -> bytes:
         return self._run_resilient(

@@ -18,6 +18,7 @@ from .pool import (
     SerialExecutor,
     TaskOutcome,
     ThreadExecutor,
+    WorkerDeath,
     WorkerPool,
 )
 
@@ -26,6 +27,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "TaskOutcome",
+    "WorkerDeath",
     "chunk_list",
     "chunk_count",
 ]

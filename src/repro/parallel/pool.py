@@ -37,7 +37,19 @@ from typing import Callable, Deque, Iterable, Iterator, List, Optional
 
 from ..observability.trace import Span, Tracer
 
-__all__ = ["TaskOutcome", "SerialExecutor", "ThreadExecutor", "WorkerPool"]
+__all__ = ["TaskOutcome", "SerialExecutor", "ThreadExecutor",
+           "WorkerDeath", "WorkerPool"]
+
+
+class WorkerDeath(RuntimeError):
+    """A pool worker died while holding a task.
+
+    The task's work is lost even if it had finished computing — the
+    worker never reported back. Chaos injection raises this to model
+    process crashes; the service tier maps it to the ``worker_died``
+    wire code so the client sees a typed, retryable failure rather
+    than an internal error.
+    """
 
 
 @dataclass

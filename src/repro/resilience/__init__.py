@@ -8,7 +8,11 @@ in:
 - :class:`RetryPolicy` — bounded retries, exponential backoff with
   deterministic jitter, per-attempt timeouts, injectable clock/sleep;
 - :class:`CircuitBreaker` — skip requests to a host that keeps failing,
-  probe it again after a cool-down;
+  probe it again after a cool-down (one probe per half-open window);
+- :class:`EndpointPool` — replica sets with rolling health windows,
+  outlier ejection, half-open probe recovery and hedged requests;
+- :class:`RetryBudget` — a token bucket that sheds retries/hedges
+  before they amplify overload;
 - :class:`FaultSchedule` / :class:`FaultyServer` /
   :class:`FaultyEndpoint` — seeded, deterministic fault injection for
   the failure-mode test suite;
@@ -23,6 +27,13 @@ from .breaker import (
     CircuitBreaker,
     CircuitOpenError,
 )
+from .endpoint_pool import (
+    ACTIVE,
+    EJECTED,
+    EndpointPool,
+    HedgeOutcome,
+    NoHealthyReplicas,
+)
 from .faults import (
     FaultSchedule,
     FaultyEndpoint,
@@ -31,20 +42,27 @@ from .faults import (
     corrupt_body,
 )
 from .policy import AttemptTimeout, RetryPolicy, no_retry
+from .retry_budget import RetryBudget
 from .stats import ResilienceStats
 
 __all__ = [
+    "ACTIVE",
     "AttemptTimeout",
     "CLOSED",
     "CircuitBreaker",
     "CircuitOpenError",
+    "EJECTED",
+    "EndpointPool",
     "FaultSchedule",
     "FaultyEndpoint",
     "FaultyServer",
     "HALF_OPEN",
+    "HedgeOutcome",
     "InjectedFault",
+    "NoHealthyReplicas",
     "OPEN",
     "ResilienceStats",
+    "RetryBudget",
     "RetryPolicy",
     "corrupt_body",
     "no_retry",

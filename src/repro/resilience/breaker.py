@@ -3,12 +3,21 @@
 After ``failure_threshold`` consecutive failures the circuit *opens*
 and requests are skipped without touching the endpoint. Once
 ``reset_timeout_s`` has elapsed (per the injected clock) the circuit
-goes *half-open*: one probe request is allowed through; success closes
-the circuit, failure re-opens it for another full timeout.
+goes *half-open*: exactly one probe request is allowed through per
+half-open window; success closes the circuit, failure re-opens it for
+another full timeout.
+
+The single-probe rule matters under concurrency: when several workers
+hit a half-open circuit at once, only the first :meth:`allow` wins the
+probe slot — the others fast-fail with the circuit still effectively
+open, instead of stampeding the recovering endpoint with N probes.
+All state transitions are guarded by a lock so the breaker can be
+shared by a :class:`~repro.parallel.WorkerPool` at any worker count.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
@@ -32,35 +41,71 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.reset_timeout_s = reset_timeout_s
         self._clock = clock
+        self._lock = threading.Lock()
         self._consecutive_failures = 0
         self._state = CLOSED
         self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: Requests that hit a half-open circuit whose probe slot was
+        #: already taken (fast-failed, no second probe issued).
+        self.probe_fast_fails = 0
 
-    @property
-    def state(self) -> str:
+    def _state_locked(self) -> str:
         if self._state == OPEN:
             if self._clock() - self._opened_at >= self.reset_timeout_s:
                 return HALF_OPEN
         return self._state
 
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
     def allow(self) -> bool:
-        """May a request be issued right now?"""
-        return self.state != OPEN
+        """May a request be issued right now?
+
+        In the half-open state only one caller wins the probe slot per
+        window; concurrent callers get ``False`` (fast-fail) until the
+        probe resolves via :meth:`record_success`,
+        :meth:`record_failure` or :meth:`release_probe`.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == OPEN:
+                return False
+            if state == HALF_OPEN:
+                if self._probe_in_flight:
+                    self.probe_fast_fails += 1
+                    return False
+                self._probe_in_flight = True
+                return True
+            return True
 
     def record_success(self) -> None:
-        self._consecutive_failures = 0
-        self._state = CLOSED
+        with self._lock:
+            self._probe_in_flight = False
+            self._consecutive_failures = 0
+            self._state = CLOSED
 
     def record_failure(self) -> None:
-        if self.state == HALF_OPEN:
-            # The probe failed: re-open for another full timeout.
-            self._state = OPEN
-            self._opened_at = self._clock()
-            return
-        self._consecutive_failures += 1
-        if self._consecutive_failures >= self.failure_threshold:
-            self._state = OPEN
-            self._opened_at = self._clock()
+        with self._lock:
+            if self._state_locked() == HALF_OPEN:
+                # The probe failed: re-open for another full timeout.
+                self._probe_in_flight = False
+                self._state = OPEN
+                self._opened_at = self._clock()
+                return
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+
+    def release_probe(self) -> None:
+        """Return an unresolved probe slot (the attempt was abandoned
+        for reasons that say nothing about endpoint health, e.g. a
+        budget cancellation mid-probe)."""
+        with self._lock:
+            self._probe_in_flight = False
 
     def __repr__(self) -> str:
         return (

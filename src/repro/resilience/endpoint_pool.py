@@ -1,0 +1,446 @@
+"""Replica pools with outlier ejection and hedged requests.
+
+A federation source or DAP host is rarely a single process: it is a
+replica set behind a name. :class:`EndpointPool` models that set with
+per-replica rolling error/latency windows, ejects outliers (error rate
+over threshold once enough samples exist), lets ejected replicas back
+in through half-open probes (one probe per ejection window), and
+*hedges* slow requests: when the primary attempt has run longer than a
+quantile-derived delay, a backup attempt is dispatched to another
+replica and the first success wins.
+
+Everything is deterministic on an injected clock. Hedging is emulated
+synchronously — the primary attempt is measured with the pool clock,
+and only when its elapsed time exceeds the hedge delay is the backup
+dispatched, exactly the condition under which a real hedger's timer
+would have fired. The *effective* latency a client would have seen,
+``min(primary, hedge_delay + backup)``, is recorded on
+:class:`HedgeOutcome` (and is what the tail-latency benchmark sweeps);
+the losing attempt's child :class:`~repro.governance.QueryBudget` is
+cancelled so any further streamed work under it stops at the next
+cancellation point.
+
+Deadlines propagate: each attempt (primary, failover, hedge) receives
+a child budget whose deadline is the parent's *remaining* time, so a
+hedge can never outlive the query that spawned it. Hedges spend retry
+budget tokens — under overload, hedging sheds before it amplifies.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..governance.budget import QueryBudget
+from .retry_budget import RetryBudget
+from .stats import ResilienceStats
+
+ACTIVE = "active"
+EJECTED = "ejected"
+
+
+class NoHealthyReplicas(ConnectionError):
+    """Every replica in the pool is ejected or has already failed."""
+
+
+class HedgeOutcome:
+    """What one :meth:`EndpointPool.call` did, for benchmarks/tests."""
+
+    __slots__ = ("replica", "hedged", "hedge_replica", "winner",
+                 "primary_latency_s", "hedge_latency_s",
+                 "effective_latency_s", "failovers")
+
+    def __init__(self, replica: str, effective_latency_s: float,
+                 primary_latency_s: float, hedged: bool = False,
+                 hedge_replica: Optional[str] = None,
+                 hedge_latency_s: Optional[float] = None,
+                 winner: str = "primary", failovers: int = 0):
+        self.replica = replica
+        self.hedged = hedged
+        self.hedge_replica = hedge_replica
+        self.winner = winner
+        self.primary_latency_s = primary_latency_s
+        self.hedge_latency_s = hedge_latency_s
+        self.effective_latency_s = effective_latency_s
+        self.failovers = failovers
+
+    def as_dict(self) -> Dict[str, object]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (f"<HedgeOutcome {self.replica} winner={self.winner} "
+                f"eff={self.effective_latency_s:.4f}s "
+                f"hedged={self.hedged}>")
+
+
+class _Replica:
+    __slots__ = ("name", "endpoint", "state", "ejected_until",
+                 "probe_in_flight", "window", "dispatches", "failures",
+                 "ejections", "probes")
+
+    def __init__(self, name: str, endpoint, window: int):
+        self.name = name
+        self.endpoint = endpoint
+        self.state = ACTIVE
+        self.ejected_until = 0.0
+        self.probe_in_flight = False
+        # rolling (ok, latency_s) samples, newest last
+        self.window: deque = deque(maxlen=window)
+        self.dispatches = 0
+        self.failures = 0
+        self.ejections = 0
+        self.probes = 0
+
+    def error_rate(self) -> float:
+        if not self.window:
+            return 0.0
+        bad = sum(1 for ok, _ in self.window if not ok)
+        return bad / len(self.window)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "samples": len(self.window),
+            "error_rate": round(self.error_rate(), 4),
+            "dispatches": self.dispatches,
+            "failures": self.failures,
+            "ejections": self.ejections,
+            "probes": self.probes,
+        }
+
+
+class EndpointPool:
+    """Health-gated replica set with failover and hedged dispatch.
+
+    *replicas* is an ordered ``(name, endpoint)`` sequence (or mapping);
+    registration order is the deterministic tie-break everywhere. The
+    work function handed to :meth:`call` receives
+    ``(endpoint, attempt_budget)`` — the pool owns replica choice,
+    the caller owns what a request means.
+    """
+
+    def __init__(self, name: str,
+                 replicas,
+                 clock: Callable[[], float] = time.monotonic,
+                 window: int = 64,
+                 min_samples: int = 8,
+                 eject_error_rate: float = 0.5,
+                 ejection_s: float = 30.0,
+                 hedge: bool = True,
+                 hedge_quantile: float = 0.95,
+                 hedge_warmup: int = 8,
+                 hedge_min_delay_s: float = 0.0,
+                 failover_on: Tuple[type, ...] = (ConnectionError,
+                                                  TimeoutError),
+                 retry_budget: Optional[RetryBudget] = None,
+                 stats: Optional[ResilienceStats] = None):
+        if isinstance(replicas, dict):
+            replicas = list(replicas.items())
+        if not replicas:
+            raise ValueError("a pool needs at least one replica")
+        self.name = name
+        self._clock = clock
+        self.min_samples = min_samples
+        self.eject_error_rate = eject_error_rate
+        self.ejection_s = ejection_s
+        self.hedge = hedge
+        self.hedge_quantile = hedge_quantile
+        self.hedge_warmup = hedge_warmup
+        self.hedge_min_delay_s = hedge_min_delay_s
+        self.failover_on = failover_on
+        self.retry_budget = retry_budget
+        self.stats = stats
+        self._lock = threading.Lock()
+        self._replicas: Dict[str, _Replica] = {}
+        for rep_name, endpoint in replicas:
+            if rep_name in self._replicas:
+                raise ValueError(f"duplicate replica {rep_name!r}")
+            self._replicas[rep_name] = _Replica(rep_name, endpoint,
+                                                window)
+        self._rr = 0
+        # pool-wide latency window feeding the hedge-delay quantile
+        self._latencies: deque = deque(maxlen=window * len(self._replicas))
+        self.counters: Dict[str, int] = {
+            "dispatches": 0, "failovers": 0,
+            "hedges": 0, "hedge_wins": 0, "hedge_failures": 0,
+            "hedges_denied": 0,
+            "ejections": 0, "probes": 0,
+            "probe_successes": 0, "probe_failures": 0,
+        }
+        self.last_outcome: Optional[HedgeOutcome] = None
+
+    # -- health bookkeeping -------------------------------------------------
+    def _record(self, rep: _Replica, ok: bool, latency_s: float,
+                probe: bool = False) -> None:
+        with self._lock:
+            rep.window.append((ok, latency_s))
+            if ok:
+                self._latencies.append(latency_s)
+            if probe:
+                rep.probe_in_flight = False
+                if ok:
+                    self.counters["probe_successes"] += 1
+                    rep.state = ACTIVE
+                    rep.window.clear()
+                    rep.window.append((True, latency_s))
+                else:
+                    self.counters["probe_failures"] += 1
+                    rep.failures += 1
+                    rep.state = EJECTED
+                    rep.ejected_until = self._clock() + self.ejection_s
+                return
+            if not ok:
+                rep.failures += 1
+                if (rep.state == ACTIVE
+                        and len(rep.window) >= self.min_samples
+                        and rep.error_rate() >= self.eject_error_rate):
+                    rep.state = EJECTED
+                    rep.ejected_until = self._clock() + self.ejection_s
+                    rep.ejections += 1
+                    self.counters["ejections"] += 1
+
+    def _pick(self, exclude: Sequence[str] = ()) -> Tuple[
+            Optional[_Replica], bool]:
+        """Choose the next replica; returns ``(replica, is_probe)``.
+
+        A due half-open probe (ejection window elapsed, no probe in
+        flight) takes priority over rotation, in registration order;
+        otherwise active replicas are served round-robin.
+        """
+        with self._lock:
+            now = self._clock()
+            for rep in self._replicas.values():
+                if (rep.state == EJECTED and rep.name not in exclude
+                        and now >= rep.ejected_until
+                        and not rep.probe_in_flight):
+                    rep.probe_in_flight = True
+                    rep.probes += 1
+                    self.counters["probes"] += 1
+                    return rep, True
+            active = [r for r in self._replicas.values()
+                      if r.state == ACTIVE and r.name not in exclude]
+            if not active:
+                return None, False
+            rep = active[self._rr % len(active)]
+            self._rr += 1
+            return rep, False
+
+    def hedge_delay(self) -> Optional[float]:
+        """Quantile-derived backup-dispatch delay; None while warming."""
+        with self._lock:
+            if len(self._latencies) < self.hedge_warmup:
+                return None
+            ordered = sorted(self._latencies)
+        rank = max(0, min(len(ordered) - 1,
+                          int(self.hedge_quantile * len(ordered))))
+        return max(self.hedge_min_delay_s, ordered[rank])
+
+    # -- dispatch -----------------------------------------------------------
+    def _child_budget(self, budget: Optional[QueryBudget]
+                      ) -> Optional[QueryBudget]:
+        """Deadline propagation: an attempt token bounded by what is
+        left of the parent budget (charges still go to the parent at
+        the call sites; the child is the attempt's cancel token)."""
+        if budget is None:
+            return None
+        return QueryBudget(deadline_s=budget.remaining_s(),
+                           clock=budget.clock,
+                           hard_deadline=budget.hard_deadline)
+
+    def _hedge_funded(self, budget: Optional[QueryBudget]) -> bool:
+        bucket = getattr(budget, "retry_budget", None) or \
+            self.retry_budget
+        if bucket is None:
+            return True
+        if bucket.acquire():
+            return True
+        if self.stats is not None:
+            self.stats.retry_budget_denials += 1
+        return False
+
+    def call(self, fn: Callable[..., object],
+             budget: Optional[QueryBudget] = None,
+             tracer=None):
+        """Run ``fn(endpoint, attempt_budget)`` against the pool.
+
+        Failures listed in ``failover_on`` move to the next replica
+        (each failure feeds that replica's health window); other
+        exceptions — budget kills included — propagate untouched.
+        A slow primary success triggers one hedge attempt when the
+        hedge delay is warmed up, the deadline has room and the retry
+        budget funds it. First success wins; the loser's child budget
+        is cancelled.
+        """
+        attempted: List[str] = []
+        last_exc: Optional[BaseException] = None
+        failovers = 0
+        while True:
+            rep, probe = self._pick(exclude=attempted)
+            if rep is None:
+                if last_exc is not None:
+                    raise last_exc
+                raise NoHealthyReplicas(
+                    f"pool {self.name!r}: no healthy replicas")
+            attempted.append(rep.name)
+            with self._lock:
+                rep.dispatches += 1
+                self.counters["dispatches"] += 1
+            # The hedge delay a real hedger would arm *now*, before
+            # this request's own latency is known.
+            delay = self.hedge_delay() if self.hedge else None
+            child = self._child_budget(budget)
+            span = None
+            if tracer is not None:
+                span = tracer.start_span("pool.dispatch",
+                                         pool=self.name,
+                                         replica=rep.name,
+                                         probe=probe)
+                span.enter()
+            start = self._clock()
+            try:
+                value = fn(rep.endpoint, child)
+            except self.failover_on as exc:
+                elapsed = self._clock() - start
+                self._record(rep, False, elapsed, probe=probe)
+                if span is not None:
+                    span.attributes["outcome"] = "error"
+                    span.exit()
+                last_exc = exc
+                failovers += 1
+                with self._lock:
+                    self.counters["failovers"] += 1
+                continue
+            except BaseException:
+                # Not a replica-health signal (budget kill, bug):
+                # return the probe slot and propagate untouched.
+                if probe:
+                    with self._lock:
+                        rep.probe_in_flight = False
+                if span is not None:
+                    span.attributes["outcome"] = "aborted"
+                    span.exit()
+                raise
+            elapsed = self._clock() - start
+            if span is not None:
+                span.attributes["outcome"] = "ok"
+                span.exit()
+            outcome = HedgeOutcome(rep.name, elapsed, elapsed,
+                                   failovers=failovers)
+            if (delay is not None and elapsed > delay
+                    and self._deadline_has_room(budget)
+                    and self._hedge_funded(budget)):
+                backup, backup_probe = self._pick(exclude=attempted)
+                if backup is not None and not backup_probe:
+                    value, outcome = self._run_hedge(
+                        fn, budget, tracer, rep, backup, child,
+                        value, elapsed, delay, failovers)
+                elif backup is not None and backup_probe:
+                    # A probe slot is not hedge capacity; hand it back.
+                    with self._lock:
+                        backup.probe_in_flight = False
+            self._record(rep, True, outcome.primary_latency_s,
+                         probe=probe)
+            self.last_outcome = outcome
+            return value
+
+    def _deadline_has_room(self, budget: Optional[QueryBudget]) -> bool:
+        if budget is None:
+            return True
+        remaining = budget.remaining_s()
+        return remaining is None or remaining > 0.0
+
+    def _run_hedge(self, fn, budget, tracer, primary: _Replica,
+                   backup: _Replica, primary_child, primary_value,
+                   primary_elapsed: float, delay: float,
+                   failovers: int):
+        with self._lock:
+            backup.dispatches += 1
+            self.counters["dispatches"] += 1
+            self.counters["hedges"] += 1
+        if self.stats is not None:
+            self.stats.hedges += 1
+        hedge_child = self._child_budget(budget)
+        span = None
+        if tracer is not None:
+            span = tracer.start_span("pool.hedge", pool=self.name,
+                                     replica=backup.name,
+                                     primary=primary.name)
+            span.enter()
+        start = self._clock()
+        try:
+            hedge_value = fn(backup.endpoint, hedge_child)
+        except self.failover_on:
+            hedge_elapsed = self._clock() - start
+            self._record(backup, False, hedge_elapsed)
+            with self._lock:
+                self.counters["hedge_failures"] += 1
+            if span is not None:
+                span.attributes["outcome"] = "error"
+                span.exit()
+            return primary_value, HedgeOutcome(
+                primary.name, primary_elapsed, primary_elapsed,
+                hedged=True, hedge_replica=backup.name,
+                hedge_latency_s=hedge_elapsed, winner="primary",
+                failovers=failovers)
+        hedge_elapsed = self._clock() - start
+        self._record(backup, True, hedge_elapsed)
+        hedge_total = delay + hedge_elapsed
+        if hedge_total < primary_elapsed:
+            # Backup answered first: the primary is the loser.
+            if primary_child is not None:
+                primary_child.cancel("hedge won; primary cancelled")
+            with self._lock:
+                self.counters["hedge_wins"] += 1
+            if self.stats is not None:
+                self.stats.hedge_wins += 1
+            if span is not None:
+                span.attributes["outcome"] = "won"
+                span.exit()
+            return hedge_value, HedgeOutcome(
+                primary.name, hedge_total, primary_elapsed,
+                hedged=True, hedge_replica=backup.name,
+                hedge_latency_s=hedge_elapsed, winner="hedge",
+                failovers=failovers)
+        if hedge_child is not None:
+            hedge_child.cancel("hedge lost")
+        if span is not None:
+            span.attributes["outcome"] = "lost"
+            span.exit()
+        return primary_value, HedgeOutcome(
+            primary.name, primary_elapsed, primary_elapsed,
+            hedged=True, hedge_replica=backup.name,
+            hedge_latency_s=hedge_elapsed, winner="primary",
+            failovers=failovers)
+
+    # -- reporting ----------------------------------------------------------
+    def active_count(self) -> int:
+        with self._lock:
+            return sum(1 for r in self._replicas.values()
+                       if r.state == ACTIVE)
+
+    def replica_names(self) -> List[str]:
+        return list(self._replicas)
+
+    def replica(self, name: str) -> _Replica:
+        return self._replicas[name]
+
+    def report(self) -> Dict[str, object]:
+        with self._lock:
+            replicas = {name: rep.as_dict()
+                        for name, rep in self._replicas.items()}
+            counters = dict(self.counters)
+        report: Dict[str, object] = {
+            "pool": self.name,
+            "replicas": replicas,
+            "counters": counters,
+        }
+        delay = self.hedge_delay()
+        report["hedge_delay_s"] = (None if delay is None
+                                   else round(delay, 6))
+        return report
+
+    def __repr__(self) -> str:
+        return (f"<EndpointPool {self.name!r} "
+                f"{self.active_count()}/{len(self._replicas)} active>")

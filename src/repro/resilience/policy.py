@@ -13,6 +13,7 @@ import time
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
 from .breaker import CircuitBreaker, CircuitOpenError
+from .retry_budget import RetryBudget
 from .stats import ResilienceStats
 
 T = TypeVar("T")
@@ -82,7 +83,8 @@ class RetryPolicy:
             stats: Optional[ResilienceStats] = None,
             breaker: Optional[CircuitBreaker] = None,
             budget_s: Optional[float] = None,
-            tracer=None) -> T:
+            tracer=None,
+            retry_budget: Optional[RetryBudget] = None) -> T:
         """Call *fn* under this policy; returns its value or re-raises.
 
         Counters describe the run: attempts/retries per physical call,
@@ -94,6 +96,12 @@ class RetryPolicy:
         and a backoff not slept, past the cap. This is how a query's
         remaining deadline keeps retries from outliving the query.
 
+        *retry_budget* throttles retry amplification: every attempt
+        beyond the first must win a token, or the run stops and the
+        last error propagates immediately (counted as
+        ``retry_budget_denials``). The first attempt always runs and
+        deposits into the bucket, so steady success keeps it funded.
+
         With a *tracer* each physical attempt becomes a
         ``retry.attempt`` span (attributes: 1-based ``attempt``,
         ``outcome`` of ok/error/timeout) under the current span, so a
@@ -102,6 +110,8 @@ class RetryPolicy:
         """
         deadline = None if budget_s is None else self.clock() + budget_s
         last_exc: Optional[BaseException] = None
+        if retry_budget is not None:
+            retry_budget.on_request()
         for attempt in range(self.max_attempts):
             if deadline is not None and attempt and \
                     self.clock() >= deadline:
@@ -133,11 +143,15 @@ class RetryPolicy:
                 if breaker is not None:
                     breaker.record_failure()
             except BaseException:
-                # not retryable (e.g. a budget kill): close the span
-                # and let it propagate untouched
+                # not retryable (e.g. a budget kill): close the span,
+                # return any half-open probe slot this attempt held —
+                # an abort says nothing about endpoint health — and
+                # let it propagate untouched
                 if span is not None:
                     span.attributes["outcome"] = "error"
                     span.exit()
+                if breaker is not None:
+                    breaker.release_probe()
                 raise
             else:
                 elapsed = self.clock() - start
@@ -164,6 +178,11 @@ class RetryPolicy:
                         breaker.record_success()
                     return result
             if attempt + 1 < self.max_attempts:
+                if retry_budget is not None \
+                        and not retry_budget.acquire():
+                    if stats is not None:
+                        stats.retry_budget_denials += 1
+                    break  # retry shed: the bucket is empty
                 delay = self.delay_for(attempt)
                 if deadline is not None and \
                         self.clock() + delay >= deadline:

@@ -1,0 +1,80 @@
+"""Retry budgets: a token bucket that stops retry amplification.
+
+Retries are a liability under overload: when an endpoint slows down,
+every client retrying 3x turns 1x offered load into 3x — exactly when
+the endpoint can least afford it. A *retry budget* (the gRPC/Envoy
+scheme) bounds retries to a fraction of successful first attempts:
+each completed request deposits ``ratio`` tokens, each retry or hedge
+withdraws one. When the bucket is empty, retries are shed — the
+original error propagates immediately instead of hammering a sick
+endpoint.
+
+The bucket is deterministic (no time-based refill — deposits come only
+from request completions) and thread-safe, so one budget can be shared
+by every request a tenant has in flight.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class RetryBudget:
+    """Token bucket limiting retries to a fraction of request volume.
+
+    - :meth:`on_request` — a logical request completed (either way);
+      deposits ``ratio`` tokens, capped at ``cap``.
+    - :meth:`acquire` — spend one token to fund a retry or a hedge;
+      returns ``False`` (and counts a denial) when the bucket is empty.
+
+    ``initial`` pre-funds the bucket so cold starts can still retry;
+    defaults to the cap.
+    """
+
+    def __init__(self, ratio: float = 0.1, cap: float = 10.0,
+                 initial: float = None):
+        if ratio < 0:
+            raise ValueError("ratio must be >= 0")
+        if cap <= 0:
+            raise ValueError("cap must be > 0")
+        self.ratio = float(ratio)
+        self.cap = float(cap)
+        self._tokens = self.cap if initial is None else float(initial)
+        self._lock = threading.Lock()
+        self.deposits = 0
+        self.withdrawals = 0
+        self.denials = 0
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            return self._tokens
+
+    def on_request(self) -> None:
+        with self._lock:
+            self._tokens = min(self.cap, self._tokens + self.ratio)
+            self.deposits += 1
+
+    def acquire(self, cost: float = 1.0) -> bool:
+        with self._lock:
+            if self._tokens >= cost:
+                self._tokens -= cost
+                self.withdrawals += 1
+                return True
+            self.denials += 1
+            return False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "tokens": round(self._tokens, 6),
+                "cap": self.cap,
+                "ratio": self.ratio,
+                "deposits": self.deposits,
+                "withdrawals": self.withdrawals,
+                "denials": self.denials,
+            }
+
+    def __repr__(self) -> str:
+        return (f"<RetryBudget {self.tokens:.2f}/{self.cap:.0f} "
+                f"ratio={self.ratio} denials={self.denials}>")

@@ -31,7 +31,12 @@ class ResilienceStats(LabeledCounters):
     - ``stale_serves``: responses served from an expired cache entry
       after all retries failed;
     - ``open_circuit_skips``: requests not attempted because a circuit
-      breaker was open.
+      breaker was open;
+    - ``hedges`` / ``hedge_wins``: backup requests dispatched by an
+      :class:`~repro.resilience.EndpointPool` past the hedge delay,
+      and how many of them beat the primary;
+    - ``retry_budget_denials``: retries or hedges shed because the
+      :class:`~repro.resilience.RetryBudget` bucket was empty.
     """
 
     FIELDS = (
@@ -42,6 +47,9 @@ class ResilienceStats(LabeledCounters):
         "timeouts",
         "stale_serves",
         "open_circuit_skips",
+        "hedges",
+        "hedge_wins",
+        "retry_budget_denials",
     )
 
     @property

@@ -29,7 +29,7 @@ from ..opendap import (
     open_url,
 )
 from ..parallel import WorkerPool
-from ..resilience import ResilienceStats, RetryPolicy
+from ..resilience import EndpointPool, ResilienceStats, RetryPolicy
 from .auth import AccessDenied, TokenAuthority
 
 #: ACDD attributes the SDL considers required for discoverability.
@@ -47,6 +47,57 @@ REQUIRED_GLOBAL_ATTRIBUTES = (
 
 class SdlError(KeyError):
     """Raised for lookups of unregistered datasets."""
+
+
+class MirroredDataset:
+    """A dataset served by several DAP mirrors behind one name.
+
+    Metadata (structure, attributes, dims) comes from the primary
+    mirror — mirrors carry the same dataset, so any member is
+    authoritative. Data fetches go through an
+    :class:`~repro.resilience.EndpointPool`: a failing mirror is failed
+    over and eventually ejected, a slow one is hedged, and the stale
+    cache still backstops the case where *every* mirror is down
+    (the pool raises, the caller's stale path is unchanged).
+    """
+
+    def __init__(self, name: str, remotes: List[RemoteDataset],
+                 pool: EndpointPool):
+        self.name = name
+        self._remotes = remotes
+        self.endpoint_pool = pool
+        self._primary = remotes[0]
+
+    # metadata — delegate to the primary mirror
+    @property
+    def variable_names(self) -> List[str]:
+        return self._primary.variable_names
+
+    @property
+    def url(self) -> str:
+        return self._primary.url
+
+    def dims_of(self, variable: str):
+        return self._primary.dims_of(variable)
+
+    def global_attributes(self) -> Dict[str, object]:
+        return self._primary.global_attributes()
+
+    # data — pool-routed
+    def fetch(self, constraint: str = "", budget=None,
+              tracer=None) -> DapDataset:
+        return self.endpoint_pool.call(
+            lambda remote, child: remote.fetch(constraint, budget=budget,
+                                               tracer=tracer),
+            budget=budget, tracer=tracer)
+
+    def times(self, time_var: str = "time"):
+        subset = self.fetch(time_var)
+        return decode_time(subset[time_var])
+
+    def __repr__(self) -> str:
+        return (f"<MirroredDataset {self.name} "
+                f"mirrors={len(self._remotes)}>")
 
 
 class StreamingDataLibrary:
@@ -95,11 +146,38 @@ class StreamingDataLibrary:
         return self.admission.admit(budget=budget)
 
     # -- catalog -----------------------------------------------------------
-    def register_dataset(self, name: str, url: str) -> None:
-        self._remotes[name] = open_url(url, self.registry, cache=self.cache,
-                                       retry_policy=self.retry_policy,
-                                       stats=self.stats.labeled(dataset=name),
-                                       tracer=self.tracer)
+    def register_dataset(self, name: str, url: str,
+                         mirrors: Optional[List[str]] = None,
+                         **pool_kwargs) -> None:
+        """Register a DAP dataset, optionally served by *mirrors*.
+
+        With mirror URLs, data fetches go through an
+        :class:`~repro.resilience.EndpointPool` over ``[url] +
+        mirrors`` (failover, outlier ejection, hedged requests);
+        ``pool_kwargs`` tune the pool. Without mirrors this is the
+        classic single-remote registration.
+        """
+        stats = self.stats.labeled(dataset=name)
+        if not mirrors:
+            self._remotes[name] = open_url(
+                url, self.registry, cache=self.cache,
+                retry_policy=self.retry_policy, stats=stats,
+                tracer=self.tracer)
+            self._urls[name] = url
+            return
+        urls = [url] + list(mirrors)
+        remotes = [
+            open_url(u, self.registry, cache=self.cache,
+                     retry_policy=self.retry_policy, stats=stats,
+                     tracer=self.tracer)
+            for u in urls
+        ]
+        if self.retry_policy is not None:
+            pool_kwargs.setdefault("clock", self.retry_policy.clock)
+        pool_kwargs.setdefault("stats", stats)
+        pool = EndpointPool(name, list(zip(urls, remotes)),
+                            **pool_kwargs)
+        self._remotes[name] = MirroredDataset(name, remotes, pool)
         self._urls[name] = url
 
     def names(self) -> List[str]:
@@ -321,6 +399,7 @@ class StreamingDataLibrary:
         cache gauges, scraped live at collect time."""
         from ..observability import (
             register_dap_cache,
+            register_endpoint_pool,
             register_governance,
             register_resilience,
         )
@@ -328,6 +407,11 @@ class StreamingDataLibrary:
         register_resilience(registry, self.stats, component=component)
         register_governance(registry, self.governance, component=component)
         register_dap_cache(registry, self.cache, component=component)
+        for remote in self._remotes.values():
+            pool = getattr(remote, "endpoint_pool", None)
+            if pool is not None:
+                register_endpoint_pool(registry, pool,
+                                       component=component)
 
     # -- resilience --------------------------------------------------------
     def resilience_report(self) -> Dict[str, int]:

@@ -192,6 +192,8 @@ class ServiceAPI:
                 data["budget"] = response.budget_stats
             if response.total_rows is not None:
                 data["total_rows"] = response.total_rows
+            if response.degraded is not None:
+                data["degraded"] = response.degraded
         return {"v": version, "ok": True, "data": data}
 
     def _error(self, version: int, exc: BaseException) -> Dict[str, Any]:

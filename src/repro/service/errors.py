@@ -25,6 +25,8 @@ from ..governance import (
     RowLimitExceeded,
     ScanLimitExceeded,
 )
+from ..parallel import WorkerDeath
+from ..resilience import CircuitOpenError
 
 __all__ = [
     "ServiceError",
@@ -116,5 +118,16 @@ def error_payload(exc: BaseException) -> Dict[str, object]:
         if isinstance(exc, exc_type):
             return {"code": code, "message": str(exc),
                     "snapshot": dict(exc.snapshot)}
+    # Infrastructure failures surfacing from nested layers (federation
+    # dispatch, SDL fetch, worker pool). CircuitOpenError must be
+    # tested before its ConnectionError base: an open circuit is a
+    # deliberate local decision, not an upstream outage.
+    if isinstance(exc, CircuitOpenError):
+        return {"code": "circuit_open", "message": str(exc)}
+    if isinstance(exc, (ConnectionError, TimeoutError)):
+        return {"code": "upstream_unavailable",
+                "message": f"{type(exc).__name__}: {exc}"}
+    if isinstance(exc, WorkerDeath):
+        return {"code": "worker_died", "message": str(exc)}
     return {"code": "internal_error",
             "message": f"{type(exc).__name__}: {exc}"}

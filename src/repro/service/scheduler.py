@@ -56,7 +56,9 @@ __all__ = ["VirtualClock", "CostModel", "Request", "RequestRecord",
            "RequestScheduler"]
 
 #: Event-kind ordering at equal timestamps (see module docstring).
-_COMPLETION, _ARRIVAL = 0, 1
+#: Timers sort first: a fault window opening at *t* already governs
+#: completions and arrivals processed at the same instant.
+_TIMER, _COMPLETION, _ARRIVAL = -1, 0, 1
 
 
 class VirtualClock:
@@ -127,6 +129,7 @@ class RequestRecord:
     rows: Optional[int] = None
     error: Optional[Dict[str, object]] = None
     client: Optional[int] = None
+    degraded: Optional[Dict[str, object]] = None
 
     def as_dict(self) -> Dict[str, object]:
         out: Dict[str, object] = {
@@ -146,6 +149,8 @@ class RequestRecord:
             out["rows"] = self.rows
         if self.error is not None:
             out["error"] = self.error
+        if self.degraded is not None:
+            out["degraded"] = self.degraded
         return out
 
 
@@ -207,6 +212,20 @@ class RequestScheduler:
         self._push(at_s, _ARRIVAL, request)
         return request.seq
 
+    def at(self, at_s: float, callback: Callable[[], None]) -> None:
+        """Run *callback* at virtual time *at_s* (before any completion
+        or arrival at the same instant).
+
+        This is the hook chaos plans use to flip fault schedules,
+        corrupt caches or invalidate plans mid-workload at exact
+        virtual times — the callback runs inside the event loop, so
+        whatever it mutates is visible to every later event.
+        """
+        if at_s < self.clock.now:
+            raise ValueError(
+                f"cannot schedule into the past ({at_s} < {self.clock.now})")
+        self._push(at_s, _TIMER, callback)
+
     def _push(self, at_s: float, kind: int, payload) -> None:
         self._event_seq += 1
         heapq.heappush(self._events, (at_s, kind, self._event_seq, payload))
@@ -217,7 +236,9 @@ class RequestScheduler:
         while self._events:
             at_s, kind, _, payload = heapq.heappop(self._events)
             self.clock.advance_to(at_s)
-            if kind == _COMPLETION:
+            if kind == _TIMER:
+                payload()
+            elif kind == _COMPLETION:
                 self._complete(payload)
             else:
                 self._arrive(payload)
@@ -228,7 +249,7 @@ class RequestScheduler:
     def _arrive(self, request: Request) -> None:
         state = self.service.tenants.get(request.tenant)
         state.submitted += 1
-        request.budget = state.spec.make_budget(self.clock)
+        request.budget = state.make_budget(self.clock)
         if len(state.queue) >= state.spec.max_queued:
             state.shed_quota += 1
             self.service.stats.shed += 1
@@ -347,6 +368,7 @@ class RequestScheduler:
                 record.rows = (response.total_rows
                                if response.total_rows is not None
                                else len(response.rows))
+                record.degraded = response.degraded
                 hit = response.plan_cache_hit
                 running.outcome = "completed"
             else:

@@ -78,7 +78,7 @@ class ServiceResponse:
 
     __slots__ = ("tenant", "kind", "vars", "rows", "failures",
                  "budget_stats", "plan_cache_hit", "explain_id",
-                 "explain", "next_page_token", "total_rows")
+                 "explain", "next_page_token", "total_rows", "degraded")
 
     def __init__(self, tenant: str, kind: str, vars: List[str],
                  rows: List[Solution], failures: Dict[str, str],
@@ -86,7 +86,8 @@ class ServiceResponse:
                  plan_cache_hit: bool, explain_id: str,
                  explain: Optional[str] = None,
                  next_page_token: Optional[str] = None,
-                 total_rows: Optional[int] = None):
+                 total_rows: Optional[int] = None,
+                 degraded: Optional[Dict[str, object]] = None):
         self.tenant = tenant
         self.kind = kind
         self.vars = vars
@@ -98,6 +99,11 @@ class ServiceResponse:
         self.explain = explain
         self.next_page_token = next_page_token
         self.total_rows = total_rows
+        #: Graceful-degradation report (None when the answer is whole):
+        #: ``completeness`` (sources answered/total + which failed),
+        #: ``stale_serves`` (responses built from expired cache), and
+        #: ``truncated`` (the deadline cut the answer short).
+        self.degraded = degraded
 
     def __repr__(self) -> str:
         return (f"<ServiceResponse {self.tenant} {self.kind} "
@@ -134,11 +140,19 @@ class QueryService:
                  clock: Callable[[], float] = time.monotonic,
                  metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
-                 service_resolver=None):
+                 service_resolver=None,
+                 federation=None):
         self.graph = graph
         self.clock = clock
         self.tracer = tracer
         self.service_resolver = service_resolver
+        #: Optional :class:`~repro.sparql.FederationEngine` serving
+        #: templates registered with ``federated=True``. Federated
+        #: requests always run in ``partial_results`` mode: a failing
+        #: source degrades the answer (reported in the response's
+        #: ``degraded`` block) instead of failing the request.
+        self.federation = federation
+        self._federated_texts: set = set()
         self.tenants = TenantRegistry(tenants)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.stats = GovernanceStats()
@@ -173,9 +187,21 @@ class QueryService:
         )
 
     # -- templates ---------------------------------------------------------
-    def register_template(self, name: str, text: str) -> str:
-        """Register a named prepared-query template; returns its id."""
+    def register_template(self, name: str, text: str,
+                          federated: bool = False) -> str:
+        """Register a named prepared-query template; returns its id.
+
+        ``federated=True`` routes the template through the service's
+        :class:`~repro.sparql.FederationEngine` (required at
+        construction) instead of the local graph's plan cache.
+        """
+        if federated and self.federation is None:
+            raise InvalidRequest(
+                f"template {name!r} is federated but the service has "
+                f"no federation engine")
         self.templates[name] = text
+        if federated:
+            self._federated_texts.add(text)
         return template_id(text)
 
     def template_text(self, name: str) -> str:
@@ -230,8 +256,14 @@ class QueryService:
         virtual-time scheduler: plan-cache lookup, prepared execution,
         pagination cursor creation, tenant/bookkeeping on success.
         Budget violations propagate to the caller, which owns outcome
-        classification.
+        classification. Templates registered ``federated=True`` route
+        through the federation engine in partial-results mode instead.
         """
+        if text in self._federated_texts:
+            return self._execute_federated(state, text, params=params,
+                                           budget=budget,
+                                           page_size=page_size,
+                                           explain=explain)
         prepared, hit = self._prepared(text)
         tracer = self.tracer
         if tracer is not None:
@@ -245,18 +277,8 @@ class QueryService:
         rows = list(result.rows)
         vars = list(result.vars)
         exp_id = template_id(text)
-        next_token: Optional[str] = None
-        total: Optional[int] = None
-        if page_size is not None:
-            if page_size < 1:
-                raise InvalidRequest(f"page_size must be >= 1: {page_size}")
-            total = len(rows)
-            if total > page_size:
-                cursor = self._open_cursor(state.spec.name, vars, rows,
-                                           exp_id)
-                next_token = f"{cursor.cursor_id}:{page_size}:{page_size}"
-            rows = rows[:page_size]
-            self._pages.labels(tenant=state.spec.name).inc()
+        rows, next_token, total = self._paginate(
+            state.spec.name, vars, rows, exp_id, page_size)
         return ServiceResponse(
             tenant=state.spec.name,
             kind=result.kind,
@@ -270,6 +292,91 @@ class QueryService:
             next_page_token=next_token,
             total_rows=total,
         )
+
+    def _paginate(self, tenant: str, vars: List[str],
+                  rows: List[Solution], exp_id: str,
+                  page_size: Optional[int]):
+        """First-page slicing + cursor creation, shared by both the
+        local and the federated execution paths."""
+        next_token: Optional[str] = None
+        total: Optional[int] = None
+        if page_size is not None:
+            if page_size < 1:
+                raise InvalidRequest(f"page_size must be >= 1: {page_size}")
+            total = len(rows)
+            if total > page_size:
+                cursor = self._open_cursor(tenant, vars, rows, exp_id)
+                next_token = f"{cursor.cursor_id}:{page_size}:{page_size}"
+            rows = rows[:page_size]
+            self._pages.labels(tenant=tenant).inc()
+        return rows, next_token, total
+
+    def _execute_federated(self, state: TenantState, text: str,
+                           params: Optional[Dict[str, Term]] = None,
+                           budget: Optional[QueryBudget] = None,
+                           page_size: Optional[int] = None,
+                           explain: bool = False) -> ServiceResponse:
+        """One federated request, always in partial-results mode.
+
+        A failing source (dead replica set, tripped breaker, deadline
+        cut-off) degrades the answer instead of failing it; what was
+        lost is reported in the response's ``degraded`` block so the
+        client can tell a whole answer from a partial one.
+        """
+        if params:
+            raise InvalidRequest(
+                "federated templates do not take parameters")
+        engine = self.federation
+        stale_before = engine.stats.stale_serves
+        tracer = self.tracer
+        if tracer is not None:
+            with tracer.span("service.federated",
+                             tenant=state.spec.name,
+                             template=template_id(text)):
+                result = engine.query(text, partial_results=True,
+                                      budget=budget, tracer=tracer)
+        else:
+            result = engine.query(text, partial_results=True,
+                                  budget=budget)
+        rows = list(result.rows)
+        vars = list(result.vars)
+        exp_id = template_id(text)
+        rows, next_token, total = self._paginate(
+            state.spec.name, vars, rows, exp_id, page_size)
+        degraded = self._degraded_block(
+            result, budget, engine.stats.stale_serves - stale_before)
+        return ServiceResponse(
+            tenant=state.spec.name,
+            kind=result.kind,
+            vars=vars,
+            rows=rows,
+            failures=dict(result.failures),
+            budget_stats=result.budget_stats,
+            plan_cache_hit=False,  # federation plans are not cached
+            explain_id=exp_id,
+            explain=None,
+            next_page_token=next_token,
+            total_rows=total,
+            degraded=degraded,
+        )
+
+    def _degraded_block(self, result, budget: Optional[QueryBudget],
+                        stale_serves: int) -> Optional[Dict[str, object]]:
+        """The client-visible degradation report, or None when whole."""
+        total = self.federation.source_count
+        failed = sorted(result.failures)
+        truncated = bool(budget is not None and budget.deadline_expired)
+        if not failed and not truncated and stale_serves == 0:
+            return None
+        return {
+            "completeness": {
+                "answered": total - len(failed),
+                "total": total,
+                "failed_sources": failed,
+            },
+            "stale_serves": stale_serves,
+            "truncated": truncated,
+        }
 
     # -- the direct (fail-fast) request path --------------------------------
     def execute(self, tenant: str, query: Optional[str] = None, *,
@@ -301,7 +408,7 @@ class QueryService:
                 retry_after_s=self.controller.retry_after_hint_s,
             )
         if budget is None:
-            budget = state.spec.make_budget(self.clock)
+            budget = state.make_budget(self.clock)
         started = self.clock()
         try:
             slot = self.controller.admit(budget)

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Deque, Dict, Iterator, List, Optional
 
 from ..governance import QueryBudget
+from ..resilience import RetryBudget
 from .errors import UnknownTenant
 
 __all__ = ["TenantSpec", "TenantState", "TenantRegistry"]
@@ -50,6 +51,13 @@ class TenantSpec:
     max_rows: Optional[int] = None
     max_triples: Optional[int] = None
     max_fetches: Optional[int] = None
+    #: Retry-budget token bucket shared by all of this tenant's
+    #: in-flight queries: each dispatched request deposits
+    #: ``retry_ratio`` tokens, each retry/hedge issued anywhere in the
+    #: stack withdraws one. ``None`` disables the budget (unbounded
+    #: retries, the pre-chaos behaviour).
+    retry_ratio: Optional[float] = None
+    retry_cap: float = 10.0
 
     def __post_init__(self):
         if not self.name:
@@ -75,7 +83,7 @@ class TenantState:
 
     __slots__ = ("spec", "queue", "in_flight", "submitted", "completed",
                  "shed_quota", "shed_overload", "shed_timeout",
-                 "budget_exceeded", "failed")
+                 "budget_exceeded", "failed", "retry_budget")
 
     def __init__(self, spec: TenantSpec):
         self.spec = spec
@@ -88,6 +96,19 @@ class TenantState:
         self.shed_timeout = 0     # queued past queue_timeout_s
         self.budget_exceeded = 0
         self.failed = 0
+        # One bucket per tenant, shared by every in-flight query —
+        # isolation again: tenant A's retry storm cannot drain B's.
+        self.retry_budget: Optional[RetryBudget] = (
+            None if spec.retry_ratio is None
+            else RetryBudget(ratio=spec.retry_ratio, cap=spec.retry_cap)
+        )
+
+    def make_budget(self, clock) -> QueryBudget:
+        """A fresh request budget carrying the tenant's retry bucket,
+        so every nested retry/hedge site can consult it."""
+        budget = self.spec.make_budget(clock)
+        budget.retry_budget = self.retry_budget
+        return budget
 
     @property
     def at_capacity(self) -> bool:

@@ -38,12 +38,15 @@ from ..observability import MetricsRegistry, Tracer, histogram_quantile
 from ..observability.metrics import Histogram
 from ..rdf.graph import Graph
 from ..rdf.terms import IRI, Literal
+from ..resilience import RetryPolicy
+from ..sparql.federation import FederationEngine, SparqlEndpoint
 from .scheduler import CostModel, RequestScheduler, VirtualClock
 from .service import LATENCY_BUCKETS, QueryService
 from .tenancy import TenantSpec
 
 __all__ = ["WorkloadSpec", "WorkloadReport", "Workload",
-           "build_default_graph", "default_tenants", "run_workload"]
+           "build_default_graph", "build_federated_sources",
+           "default_tenants", "run_workload"]
 
 EX = "http://example.org/copernicus/"
 
@@ -66,6 +69,15 @@ DEFAULT_TEMPLATES: Tuple[Tuple[str, float, Optional[str], str], ...] = (
      "ORDER BY ?name"),
 )
 
+#: The federated template mixed in when ``WorkloadSpec.federated`` is
+#: set: a parameterless sweep whose patterns touch every region shard,
+#: so the degraded block's completeness denominator is the full source
+#: set. (Federated templates take no parameters — plans are per-text.)
+FEDERATED_TEMPLATE: Tuple[str, str] = (
+    "federated_inventory",
+    "PREFIX ex: <http://example.org/copernicus/>\n"
+    "SELECT ?s ?name WHERE { ?s ex:name ?name } ORDER BY ?name LIMIT 40")
+
 
 def build_default_graph(stations: int = 240, regions: int = 12) -> Graph:
     """A deterministic in-situ station dataset the templates query."""
@@ -83,6 +95,35 @@ def build_default_graph(stations: int = 240, regions: int = 12) -> Graph:
         graph.add(s, IRI(EX + "ndvi"),
                   Literal(round((i * 37 % 100) / 100.0, 2)))
     return graph
+
+
+def build_federated_sources(stations: int = 240, regions: int = 12,
+                            sources: int = 3
+                            ) -> List[Tuple[str, Graph]]:
+    """Region-shard the default dataset across *sources* graphs.
+
+    Shard ``k`` holds every station whose region number is congruent
+    to ``k`` modulo *sources* — the same rows the monolithic graph
+    holds, partitioned, so a federated sweep over all shards answers
+    what the local graph would, and killing one shard removes exactly
+    its regions (what the completeness block reports).
+    """
+    shards = [Graph() for _ in range(sources)]
+    for shard in shards:
+        shard.bind("ex", EX)
+    station_class = IRI(EX + "Station")
+    for i in range(stations):
+        region = i % regions
+        shard = shards[region % sources]
+        s = IRI(f"{EX}station{i:04d}")
+        shard.add(s, IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+                  station_class)
+        shard.add(s, IRI(EX + "name"), Literal(f"station-{i:04d}"))
+        shard.add(s, IRI(EX + "region"), IRI(f"{EX}region{region:02d}"))
+        shard.add(s, IRI(EX + "ndvi"),
+                  Literal(round((i * 37 % 100) / 100.0, 2)))
+    return [(f"http://shard{k}.example/sparql", shards[k])
+            for k in range(sources)]
 
 
 def default_tenants() -> List[TenantSpec]:
@@ -117,15 +158,24 @@ class WorkloadSpec:
     max_queue_depth: int = 64        # global wait-queue bound
     plan_cache_size: int = 64
     cost: CostModel = field(default_factory=CostModel)
+    #: Mix in a federated template answered by a region-sharded
+    #: FederationEngine (the substrate the chaos harness injects
+    #: endpoint faults into). Off by default: the single-graph
+    #: workload stays byte-identical to the PR 6 harness.
+    federated: bool = False
+    federation_sources: int = 3
+    federated_weight: float = 2.0
 
     def __post_init__(self):
         if self.arrival not in ("open", "closed"):
             raise ValueError(f"unknown arrival model {self.arrival!r}")
         if self.clients < 1 or self.requests_per_client < 1:
             raise ValueError("clients and requests_per_client must be >= 1")
+        if self.federated and self.federation_sources < 1:
+            raise ValueError("federation_sources must be >= 1")
 
     def summary(self) -> Dict[str, object]:
-        return {
+        out: Dict[str, object] = {
             "seed": self.seed,
             "clients": self.clients,
             "requests_per_client": self.requests_per_client,
@@ -136,6 +186,10 @@ class WorkloadSpec:
             "max_concurrent": self.max_concurrent,
             "max_queue_depth": self.max_queue_depth,
         }
+        if self.federated:
+            out["federated"] = True
+            out["federation_sources"] = self.federation_sources
+        return out
 
 
 class _ZipfKeys:
@@ -171,15 +225,37 @@ class Workload:
         self.graph = graph if graph is not None else build_default_graph(
             stations=spec.stations, regions=spec.regions)
         self.tenants = tenants if tenants is not None else default_tenants()
+        self.federation: Optional[FederationEngine] = None
+        if spec.federated:
+            # Everything in the engine runs on the workload's virtual
+            # clock, so retries/ejection windows/hedge delays are part
+            # of the same deterministic timeline as the scheduler.
+            self.federation = FederationEngine(
+                retry_policy=RetryPolicy(
+                    max_attempts=1, base_delay_s=0.0, jitter=0.0,
+                    clock=self.clock),
+                tracer=tracer)
+            for iri, shard in build_federated_sources(
+                    stations=spec.stations, regions=spec.regions,
+                    sources=spec.federation_sources):
+                self.federation.register(
+                    iri, SparqlEndpoint(shard, name=iri.split("//")[1]
+                                        .split(".")[0]))
         self.service = QueryService(
             self.graph, tenants=self.tenants,
             max_concurrent=spec.max_concurrent,
             plan_cache_size=spec.plan_cache_size,
-            clock=self.clock, metrics=self.metrics, tracer=tracer)
+            clock=self.clock, metrics=self.metrics, tracer=tracer,
+            federation=self.federation)
         self.templates = []
         for name, weight, param, text in DEFAULT_TEMPLATES:
             self.service.register_template(name, text)
             self.templates.append((name, weight, param))
+        if spec.federated:
+            fed_name, fed_text = FEDERATED_TEMPLATE
+            self.service.register_template(fed_name, fed_text,
+                                           federated=True)
+            self.templates.append((fed_name, spec.federated_weight, None))
         self.scheduler = RequestScheduler(
             self.service, self.clock, cost=spec.cost,
             max_queue_depth=spec.max_queue_depth)

@@ -45,12 +45,12 @@ from ..governance import (
     GovernanceStats,
     QueryBudget,
 )
-from ..parallel import TaskOutcome, WorkerPool
+from ..parallel import TaskOutcome, WorkerDeath, WorkerPool
 from ..rdf.graph import Graph
 from ..rdf.namespace import NamespaceManager
 from ..rdf.terms import Term, Triple
-from ..resilience import CircuitBreaker, ResilienceStats, RetryPolicy, \
-    no_retry
+from ..resilience import CircuitBreaker, EndpointPool, ResilienceStats, \
+    RetryPolicy, no_retry
 from .ast import (
     GroupGraphPattern,
     MinusPattern,
@@ -62,6 +62,31 @@ from .ast import (
 from .evaluator import Context, eval_group, eval_query
 from .parser import parse_query
 from .results import Solution, SPARQLResult
+
+
+def _absorbable(exc: BaseException) -> bool:
+    """May partial mode absorb this failure as a degraded source?
+
+    Network-ish failures (connection errors, injected outages, open
+    circuits) degrade: that is the whole point of partial mode. Two
+    families must propagate instead:
+
+    - :class:`~repro.parallel.WorkerDeath` — a failure of *our*
+      execution substrate, not of the remote source; masking it would
+      hide lost work (the service maps it to ``worker_died``);
+    - budget exhaustion other than the deadline — fetch/row/scan
+      limits and explicit cancellation are the query's own resource
+      verdict, not a source outage, so they surface as their typed
+      codes. The *deadline* stays absorbable: degrading to the sources
+      already answered is exactly what ``partial_results`` + deadline
+      promises.
+    """
+    if isinstance(exc, WorkerDeath):
+        return False
+    if isinstance(exc, BudgetExceeded) \
+            and not isinstance(exc, DeadlineExceeded):
+        return False
+    return True
 
 
 def _collect_services(group: GroupGraphPattern) -> List[ServicePattern]:
@@ -171,9 +196,10 @@ class _FederatedView:
         items = list(self.endpoints.items())
 
         def one(item, tracer=None):
-            iri, endpoint = item
+            iri, __ = item
             self._check_time(iri)
-            return self._dispatch(iri, endpoint.predicates, tracer=tracer)
+            return self._dispatch(iri, lambda ep: ep.predicates(),
+                                  tracer=tracer)
 
         for (iri, __), outcome in zip(
                 items, self._fan_out(one, items, "federation.harvest")):
@@ -216,7 +242,7 @@ class _FederatedView:
             )
 
     def _mark_down(self, iri: str, exc: BaseException) -> None:
-        if not self.partial:
+        if not self.partial or not _absorbable(exc):
             raise exc
         self._down.add(iri)
         self.failures[iri] = f"{type(exc).__name__}: {exc}"
@@ -237,9 +263,8 @@ class _FederatedView:
             # byte-identical to the serial scan below.
             def one(iri, tracer=None):
                 self._check_time(iri)
-                endpoint = self.endpoints[iri]
                 return self._dispatch(
-                    iri, lambda: list(endpoint.triples(pattern)),
+                    iri, lambda ep: list(ep.triples(pattern)),
                     tracer=tracer,
                 )
 
@@ -254,11 +279,10 @@ class _FederatedView:
         for iri in sources:
             if iri in self._down:
                 continue
-            endpoint = self.endpoints[iri]
             try:
                 self._check_time(iri)
                 matched = self._dispatch(
-                    iri, lambda: list(endpoint.triples(pattern))
+                    iri, lambda ep: list(ep.triples(pattern))
                 )
             except Exception as exc:
                 self._mark_down(iri, exc)
@@ -289,6 +313,10 @@ class FederationEngine:
         self._endpoints: Dict[str, SparqlEndpoint] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._locks: Dict[str, threading.Lock] = {}
+        #: Sources backed by a replica set instead of one endpoint;
+        #: their dispatches go through the pool (failover + hedging)
+        #: rather than the single-endpoint retry/breaker path.
+        self._pools: Dict[str, EndpointPool] = {}
         self._breaker_factory = breaker_factory
         self.retry_policy = retry_policy or no_retry()
         #: Execution substrate for endpoint fan-out. The default serial
@@ -323,8 +351,51 @@ class FederationEngine:
         if self._breaker_factory is not None:
             self._breakers[iri] = self._breaker_factory()
 
+    def register_replicas(self, iri: str,
+                          replicas: List[SparqlEndpoint],
+                          **pool_kwargs) -> EndpointPool:
+        """Register one federation source served by a replica set.
+
+        The source still answers at a single IRI — source selection,
+        failure reporting and result merging are unchanged — but every
+        dispatch goes through an :class:`~repro.resilience.EndpointPool`
+        (round-robin + outlier ejection + half-open probes + hedging)
+        instead of the single-endpoint retry path. The first replica
+        stands in for the source wherever a representative graph is
+        needed (``__len__``, ``explain``); a replica set serves one
+        logical dataset, so any member is representative.
+
+        ``pool_kwargs`` are forwarded to :class:`EndpointPool`; the
+        clock defaults to the engine's retry-policy clock so virtual
+        time governs ejection windows and hedge delays too.
+        """
+        iri = str(iri)
+        if not replicas:
+            raise ValueError("register_replicas needs >= 1 replica")
+        pool_kwargs.setdefault("clock", self.retry_policy.clock)
+        pool_kwargs.setdefault("stats", self.stats.labeled(endpoint=iri))
+        pool = EndpointPool(
+            iri, [(ep.name, ep) for ep in replicas], **pool_kwargs)
+        self._pools[iri] = pool
+        self._endpoints[iri] = replicas[0]
+        self._locks[iri] = threading.Lock()
+        return pool
+
     def endpoint(self, iri: str) -> SparqlEndpoint:
         return self._endpoints[str(iri)]
+
+    def endpoint_pool(self, iri: str) -> Optional[EndpointPool]:
+        """The replica pool behind one source (None when unpooled)."""
+        return self._pools.get(str(iri))
+
+    def sources(self) -> List[str]:
+        """Registered source IRIs in registration order."""
+        return list(self._endpoints)
+
+    @property
+    def source_count(self) -> int:
+        """Registered federation sources (pooled sets count once)."""
+        return len(self._endpoints)
 
     def breaker(self, iri: str) -> Optional[CircuitBreaker]:
         """The circuit breaker guarding one endpoint (if configured)."""
@@ -334,17 +405,19 @@ class FederationEngine:
     def endpoints(self) -> List[SparqlEndpoint]:
         return list(self._endpoints.values())
 
-    def _dispatch(self, iri: str, fn: Callable,
+    def _dispatch(self, iri: str, call: Callable,
                   budget: Optional[QueryBudget] = None,
                   tracer=None):
-        """One endpoint call under the retry policy + its breaker.
+        """One source call; *call* receives the endpoint to hit.
 
-        With a budget, the call is charged as a remote fetch and the
-        retry policy receives the query's *remaining* deadline, so no
-        backoff schedule can outlive the query. Counters land on the
-        per-endpoint labeled child of the engine stats; with a tracer
-        the call is a ``federation.dispatch`` span (its retry attempts
-        nested inside) under whichever operator pulled it.
+        Unpooled sources run ``call(endpoint)`` under the retry policy
+        and the source's breaker; pooled sources let the
+        :class:`EndpointPool` pick the replica (failover, ejection,
+        hedging). Either way the call is charged as a remote fetch,
+        bounded by the query's *remaining* deadline, funded by the
+        budget's retry budget when one is attached, and recorded on the
+        per-endpoint labeled child of the engine stats. With a tracer
+        the call is a ``federation.dispatch`` span.
         """
         budget_s = None
         if budget is not None:
@@ -364,15 +437,53 @@ class FederationEngine:
         # per-host connection slot). Distinct endpoints overlap freely.
         lock = self._locks.get(iri)
         with (lock if lock is not None else threading.Lock()):
+            pool = self._pools.get(iri)
+            if pool is not None:
+                return self._dispatch_pooled(pool, call, stats,
+                                             budget, tracer)
+            endpoint = self._endpoints[iri]
+            retry_budget = getattr(budget, "retry_budget", None)
             if tracer is None:
-                return self.retry_policy.run(fn, stats=stats,
-                                             breaker=self._breakers.get(iri),
-                                             budget_s=budget_s)
+                return self.retry_policy.run(
+                    lambda: call(endpoint), stats=stats,
+                    breaker=self._breakers.get(iri),
+                    budget_s=budget_s, retry_budget=retry_budget)
             with tracer.span("federation.dispatch", endpoint=iri):
-                return self.retry_policy.run(fn, stats=stats,
-                                             breaker=self._breakers.get(iri),
-                                             budget_s=budget_s,
-                                             tracer=tracer)
+                return self.retry_policy.run(
+                    lambda: call(endpoint), stats=stats,
+                    breaker=self._breakers.get(iri),
+                    budget_s=budget_s, tracer=tracer,
+                    retry_budget=retry_budget)
+
+    def _dispatch_pooled(self, pool: EndpointPool, call: Callable,
+                         stats: ResilienceStats,
+                         budget: Optional[QueryBudget], tracer):
+        """One replica-set call: the pool owns retry semantics
+        (failover across replicas + one hedge), so the retry policy is
+        not stacked on top — that would multiply attempts."""
+        stats.attempts += 1
+
+        def attempt(endpoint, attempt_budget):
+            # Charges go to the parent budget at the call sites; the
+            # pool's child budget is the attempt's cancel token.
+            return call(endpoint)
+
+        try:
+            if tracer is None:
+                value = pool.call(attempt, budget=budget)
+            else:
+                with tracer.span("federation.dispatch",
+                                 endpoint=pool.name, pooled=True):
+                    value = pool.call(attempt, budget=budget,
+                                      tracer=tracer)
+        except Exception:
+            stats.failures += 1
+            raise
+        stats.successes += 1
+        outcome = pool.last_outcome
+        if outcome is not None and outcome.failovers:
+            stats.retries += outcome.failovers
+        return value
 
     def _resolve_service(self, endpoint_iri: str,
                          group: GroupGraphPattern,
@@ -387,11 +498,11 @@ class FederationEngine:
             raise KeyError(f"unregistered SERVICE endpoint <{endpoint_iri}>")
         try:
             return self._dispatch(
-                endpoint_iri, lambda: endpoint.select_group(group),
+                endpoint_iri, lambda ep: ep.select_group(group),
                 budget=budget, tracer=tracer,
             )
         except Exception as exc:
-            if not partial:
+            if not partial or not _absorbable(exc):
                 raise
             assert failures is not None
             failures[endpoint_iri] = f"{type(exc).__name__}: {exc}"
@@ -484,7 +595,8 @@ class FederationEngine:
                 if outcome.error is None:
                     return outcome.value
                 exc = outcome.error
-                if isinstance(exc, KeyError) or not partial_results:
+                if isinstance(exc, KeyError) or not partial_results \
+                        or not _absorbable(exc):
                     raise exc
                 failures[endpoint_iri] = f"{type(exc).__name__}: {exc}"
                 return []
@@ -522,11 +634,10 @@ class FederationEngine:
 
         def one(pattern: ServicePattern, tracer=None):
             iri = str(pattern.endpoint)
-            endpoint = self._endpoints.get(iri)
-            if endpoint is None:
+            if iri not in self._endpoints:
                 raise KeyError(f"unregistered SERVICE endpoint <{iri}>")
             return self._dispatch(
-                iri, lambda: endpoint.select_group(pattern.group),
+                iri, lambda ep: ep.select_group(pattern.group),
                 budget=budget, tracer=tracer,
             )
 
@@ -563,10 +674,27 @@ class FederationEngine:
         return explain_query(ast, Context(view))
 
     def request_counts(self) -> Dict[str, int]:
-        """Requests each endpoint served (for benchmark reporting)."""
-        return {
-            iri: ep.request_count for iri, ep in self._endpoints.items()
-        }
+        """Requests each source served (for benchmark reporting).
+
+        A pooled source reports the sum over its replicas — what the
+        logical source absorbed, whichever replica answered.
+        """
+        counts = {}
+        for iri, ep in self._endpoints.items():
+            pool = self._pools.get(iri)
+            if pool is None:
+                counts[iri] = ep.request_count
+            else:
+                counts[iri] = sum(
+                    pool.replica(name).endpoint.request_count
+                    for name in pool.replica_names())
+        return counts
+
+    def pool_reports(self) -> Dict[str, Dict[str, object]]:
+        """Health/hedging report per pooled source (ejections, probes,
+        hedge wins, per-replica error rates)."""
+        return {iri: pool.report()
+                for iri, pool in self._pools.items()}
 
     def bind_metrics(self, registry, component: str = "federation"):
         """Expose this engine's resilience + governance counters (with
@@ -574,10 +702,13 @@ class FederationEngine:
         :class:`~repro.observability.MetricsRegistry`; returns the
         registry for chaining."""
         from ..observability.bridge import (
+            register_endpoint_pool,
             register_governance,
             register_resilience,
         )
 
         register_resilience(registry, self.stats, component=component)
         register_governance(registry, self.governance, component=component)
+        for pool in self._pools.values():
+            register_endpoint_pool(registry, pool, component=component)
         return registry

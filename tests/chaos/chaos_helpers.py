@@ -1,0 +1,50 @@
+"""Shared builders for the chaos suite.
+
+``acceptance_plan``/``acceptance_spec`` are the canonical seeded run
+the acceptance criteria describe: >= 500 simulated clients with >= 3
+fault kinds concurrently active, every layer under injection. The CI
+chaos-smoke job and the invariant tests run exactly this pair.
+"""
+
+from repro.chaos import (
+    ChaosPlan,
+    budget_squeeze,
+    dap_corruption,
+    dap_eviction_storm,
+    endpoint_flap,
+    latency_spike,
+    plan_cache_invalidation,
+    worker_death,
+)
+from repro.service.workload import WorkloadSpec
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock (threads only read it)."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def acceptance_spec(seed: int = 11, clients: int = 500) -> WorkloadSpec:
+    return WorkloadSpec(seed=seed, clients=clients, rate_rps=1500.0,
+                        federated=True)
+
+
+def acceptance_plan(seed: int = 7) -> ChaosPlan:
+    """All seven fault kinds; five are concurrently open at t=0.06."""
+    return ChaosPlan(seed=seed, faults=(
+        endpoint_flap(0.05, 0.20, source=2),
+        latency_spike(0.06, 0.15, delay_s=0.02, source=0, replica=0),
+        worker_death(0.05, 0.25, rate=0.3),
+        dap_corruption(0.04, 0.08),
+        dap_eviction_storm(0.06, 0.05, max_entries=1),
+        plan_cache_invalidation(0.12),
+        budget_squeeze(0.10, 0.10, tenant=0, deadline_s=0.002),
+    ))

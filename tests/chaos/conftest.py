@@ -1,0 +1,19 @@
+"""Fixtures for the chaos suite (builders live in ``chaos_helpers``)."""
+
+import pytest
+
+from repro.chaos import assert_deterministic, run_chaos
+
+from chaos_helpers import acceptance_plan, acceptance_spec
+
+
+@pytest.fixture(scope="session")
+def acceptance_report():
+    """The canonical acceptance-scale run, built once per session.
+
+    ``assert_deterministic`` runs it twice and pins byte-identical
+    reports, so every test consuming this fixture also rides on the
+    determinism meta-invariant having held.
+    """
+    return assert_deterministic(
+        lambda: run_chaos(acceptance_spec(), acceptance_plan()))

@@ -1,0 +1,101 @@
+"""The acceptance-scale chaos run and its invariant suite.
+
+One seeded run — >= 500 clients, all seven fault kinds, five of them
+concurrently open — must keep every invariant: bounded virtual time,
+typed errors only, request conservation, consistent degraded blocks,
+exact DAP cache accounting, and byte-identical reports per seed (the
+session fixture pins that last one by running the pair twice).
+"""
+
+import pytest
+
+from repro.chaos import (
+    ALLOWED_ERROR_CODES,
+    ChaosPlan,
+    InvariantChecker,
+    InvariantViolation,
+    run_chaos,
+    worker_death,
+)
+from repro.service.workload import WorkloadSpec
+
+from chaos_helpers import acceptance_plan, acceptance_spec
+
+pytestmark = [pytest.mark.tier1, pytest.mark.chaos]
+
+
+# -- the acceptance bar -----------------------------------------------------
+def test_acceptance_pair_meets_the_bar():
+    plan, spec = acceptance_plan(), acceptance_spec()
+    assert spec.clients >= 500
+    assert plan.max_concurrent_kinds() >= 3
+    assert len(plan.kinds) == 7  # every fault kind is exercised
+
+
+def test_all_invariants_green(acceptance_report):
+    verdicts = InvariantChecker(acceptance_report).check_all()
+    assert verdicts == {name: "ok" for name in InvariantChecker.CHECKS}
+
+
+def test_every_fault_kind_left_a_mark(acceptance_report):
+    """Injection really happened at every layer — a plan that compiled
+    to no-ops would make the invariant suite vacuous."""
+    chaos = acceptance_report["chaos"]
+    assert chaos["executor"]["deaths"] > 0
+    replica_counters = [
+        counters
+        for per_source in chaos["endpoints"].values()
+        for counters in per_source.values()
+    ]
+    assert sum(c["failures"] for c in replica_counters) > 0
+    assert sum(c["delays"] for c in replica_counters) > 0
+    dap = chaos["dap"]
+    assert dap["server"]["corruptions"] > 0
+    assert dap["cache"]["evictions"] > 0
+    assert dap["counts"]["stale"] > 0
+    opened = {(edge["kind"], edge["edge"]) for edge in chaos["timer_log"]}
+    for kind in acceptance_plan().kinds:
+        assert (kind, "open") in opened, f"{kind} never opened"
+
+
+def test_failures_are_typed_and_degradation_is_visible(acceptance_report):
+    records = acceptance_report.records
+    codes = {r.error["code"] for r in records if r.error is not None}
+    assert codes, "a chaos run with zero failures proves nothing"
+    assert codes <= ALLOWED_ERROR_CODES
+    assert any(r.degraded is not None for r in records)
+
+
+# -- the checker's teeth ----------------------------------------------------
+def small_report():
+    spec = WorkloadSpec(seed=3, clients=40, rate_rps=800.0,
+                        federated=True)
+    plan = ChaosPlan(seed=5, faults=(worker_death(0.0, 0.1, rate=0.5),))
+    return run_chaos(spec, plan, dap_ticks=8)
+
+
+def test_checker_rejects_untyped_error_codes():
+    report = small_report()
+    report.records[0].error = {"code": "KeyError",
+                               "message": "an exception leaked"}
+    with pytest.raises(InvariantViolation, match="untyped"):
+        InvariantChecker(report).check_typed_errors()
+
+
+def test_checker_rejects_leaked_requests():
+    report = small_report()
+    report["workload"]["totals"]["submitted"] += 1
+    with pytest.raises(InvariantViolation, match="leak"):
+        InvariantChecker(report).check_conservation()
+
+
+def test_checker_rejects_inconsistent_degraded_blocks():
+    report = small_report()
+    report.records[0].degraded = {
+        "completeness": {"answered": 1, "total": 3,
+                         "failed_sources": ["http://x/sparql"]},
+        "stale_serves": 0,
+        "truncated": False,
+    }
+    with pytest.raises(InvariantViolation, match="completeness"):
+        InvariantChecker(report).check_degraded_consistency()

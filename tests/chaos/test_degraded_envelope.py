@@ -1,0 +1,93 @@
+"""Graceful degradation end to end: dead sources become degraded
+blocks in the v2 envelope, never errors — and replica-level faults are
+absorbed by the endpoint pool before degradation is even needed."""
+
+import pytest
+
+from repro.chaos import ChaosPlan, endpoint_flap, run_chaos
+from repro.resilience import FaultSchedule, FaultyEndpoint
+from repro.service.api import ServiceAPI
+from repro.service.workload import Workload, WorkloadSpec
+
+from chaos_helpers import acceptance_spec
+
+pytestmark = [pytest.mark.tier1, pytest.mark.chaos]
+
+FED_REQUEST = {"v": 2, "op": "query", "tenant": "api",
+               "template": "federated_inventory"}
+
+
+def federated_stack(dead_source=None):
+    workload = Workload(WorkloadSpec(clients=1, federated=True))
+    engine = workload.federation
+    if dead_source is not None:
+        iri = engine.sources()[dead_source]
+        engine.register(iri, FaultyEndpoint(engine.endpoint(iri),
+                                            FaultSchedule.dead()))
+    return workload, ServiceAPI(workload.service)
+
+
+def test_one_dead_source_answers_two_of_three():
+    workload, api = federated_stack(dead_source=2)
+    dead_iri = workload.federation.sources()[2]
+    response = api.handle(dict(FED_REQUEST))
+    assert response["ok"] is True, response
+    block = response["data"]["degraded"]
+    completeness = block["completeness"]
+    assert completeness["answered"] == 2
+    assert completeness["total"] == 3
+    assert completeness["failed_sources"] == [dead_iri]
+    assert block["truncated"] is False
+    # The surviving shards' rows are still served.
+    assert response["data"]["rows"]
+    assert dead_iri in response["data"]["failures"]
+
+
+def test_healthy_federation_has_no_degraded_block():
+    __, api = federated_stack()
+    response = api.handle(dict(FED_REQUEST))
+    assert response["ok"] is True
+    assert "degraded" not in response["data"]
+
+
+def test_v1_envelope_keeps_its_minimal_contract():
+    workload, api = federated_stack(dead_source=2)
+    response = api.handle(dict(FED_REQUEST, v=1))
+    # v1 clients signed up for ok/data only: the request still
+    # succeeds, but the degraded block is a v2 extension.
+    assert response["ok"] is True
+    assert "degraded" not in response["data"]
+    assert response["data"]["rows"]
+
+
+def test_source_flap_degrades_scheduler_driven_requests():
+    spec = WorkloadSpec(seed=9, clients=120, rate_rps=600.0,
+                        federated=True)
+    plan = ChaosPlan(seed=1, faults=(endpoint_flap(0.0, 30.0, source=2),))
+    report = run_chaos(spec, plan, dap_ticks=0)
+    degraded = [r for r in report.records if r.degraded is not None]
+    assert degraded, "no federated request saw the dead source"
+    for record in degraded:
+        completeness = record.degraded["completeness"]
+        assert completeness["answered"] == 2
+        assert completeness["total"] == 3
+
+
+def test_replica_flap_is_absorbed_by_the_pool():
+    """Killing one replica of a pooled source is invisible to clients:
+    failover (plus ejection) serves every request whole."""
+    spec = WorkloadSpec(seed=9, clients=120, rate_rps=600.0,
+                        federated=True)
+    plan = ChaosPlan(seed=1,
+                     faults=(endpoint_flap(0.0, 30.0, source=0,
+                                           replica=0),))
+    report = run_chaos(spec, plan, dap_ticks=0)
+    assert not [r for r in report.records if r.degraded is not None]
+    pooled_iri = report.harness.engine.sources()[0]
+    counters = report["resilience"]["pools"][pooled_iri]["counters"]
+    assert counters["failovers"] + counters["ejections"] > 0
+
+
+def test_acceptance_spec_is_federated():
+    # The acceptance run exercises this whole path by construction.
+    assert acceptance_spec().federated

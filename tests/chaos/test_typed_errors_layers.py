@@ -1,0 +1,117 @@
+"""Typed error payloads per layer, through ``ServiceAPI.handle``.
+
+Whatever layer a failure originates in — admission slots, the nested
+federation dispatch, the budget accounting inside it, or the worker
+substrate the fan-out runs on — ``handle`` must render a stable typed
+code, never ``internal_error`` and never a stack trace.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos import ChaosExecutor, ChaosPlan, worker_death
+from repro.governance import AdmissionController
+from repro.parallel import SerialExecutor, WorkerPool
+from repro.service.api import ServiceAPI
+from repro.service.workload import Workload, WorkloadSpec
+
+pytestmark = [pytest.mark.tier1, pytest.mark.chaos]
+
+FED_REQUEST = {"v": 2, "op": "query", "tenant": "api",
+               "template": "federated_inventory"}
+LOCAL_REQUEST = {"v": 2, "op": "query", "tenant": "api",
+                 "template": "station_count"}
+
+
+def make_stack(**tenant_overrides):
+    workload = Workload(WorkloadSpec(clients=1, federated=True))
+    if tenant_overrides:
+        state = workload.service.tenants.get("api")
+        state.spec = dataclasses.replace(state.spec, **tenant_overrides)
+    return workload, ServiceAPI(workload.service)
+
+
+def test_service_admission_overload_is_typed():
+    """Layer 1: the service tier's global slot pool."""
+    workload, api = make_stack()
+    controller = workload.service.controller
+    slots = [controller.admit() for _ in range(controller.max_concurrent)]
+    try:
+        response = api.handle(dict(FED_REQUEST))
+    finally:
+        for slot in slots:
+            slot.release()
+    assert response["ok"] is False
+    error = response["error"]
+    assert error["code"] == "overloaded"
+    assert error["retry_after_s"] > 0
+
+
+def test_nested_federation_overload_is_typed():
+    """Layer 2: an Overloaded raised *inside* the federation engine
+    (its own admission controller) maps through the service path."""
+    workload, api = make_stack()
+    engine = workload.federation
+    engine.admission = AdmissionController(max_concurrent=1,
+                                           clock=workload.clock)
+    slot = engine.admission.admit()
+    try:
+        response = api.handle(dict(FED_REQUEST))
+    finally:
+        slot.release()
+    assert response["ok"] is False
+    assert response["error"]["code"] == "overloaded"
+
+
+def test_nested_fetch_budget_exhaustion_is_typed():
+    """Layer 3: budget exhaustion charged inside the nested federation
+    dispatch surfaces typed — partial mode must not absorb the
+    query's own resource verdict as a 'degraded source'."""
+    __, api = make_stack(max_fetches=1)
+    response = api.handle(dict(FED_REQUEST))
+    assert response["ok"] is False
+    error = response["error"]
+    assert error["code"] == "fetch_limit_exceeded"
+    assert error["snapshot"]["remote_fetches"] >= 1
+
+
+def test_local_deadline_exhaustion_is_typed():
+    """Layer 4: the evaluator's own deadline check on a non-federated
+    template (no partial mode to degrade into). On the virtual clock
+    a zero deadline means the budget is born expired — the first
+    cancellation point fires."""
+    __, api = make_stack(deadline_s=0.0)
+    response = api.handle(dict(LOCAL_REQUEST))
+    assert response["ok"] is False
+    error = response["error"]
+    assert error["code"] == "deadline_exceeded"
+    assert "snapshot" in error
+
+
+def test_federated_deadline_degrades_instead_of_erroring():
+    """Contrast: the *deadline* on a federated template degrades —
+    sources the deadline cut off are reported, the request succeeds."""
+    __, api = make_stack(deadline_s=0.0)
+    response = api.handle(dict(FED_REQUEST))
+    assert response["ok"] is True, response
+    completeness = response["data"]["degraded"]["completeness"]
+    assert completeness["answered"] == 0
+    assert completeness["total"] == 3
+
+
+def test_worker_death_in_fan_out_is_typed():
+    """Layer 5: the execution substrate. A worker dying mid-fan-out is
+    lost work, not a degraded source — it must surface as
+    ``worker_died`` even though federated requests run partial."""
+    workload, api = make_stack()
+    engine = workload.federation
+    plan = ChaosPlan(seed=2,
+                     faults=(worker_death(0.0, 60.0, rate=1.0),))
+    executor = ChaosExecutor(SerialExecutor(), workload.clock, plan)
+    engine.pool = WorkerPool(executor=executor, name="test-fanout")
+    engine.eager_service = True
+    response = api.handle(dict(FED_REQUEST))
+    assert response["ok"] is False
+    assert response["error"]["code"] == "worker_died"
+    assert executor.deaths > 0

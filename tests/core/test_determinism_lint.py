@@ -66,6 +66,37 @@ def test_src_has_no_ambient_time_or_randomness():
     )
 
 
+#: The chaos layer gets a stricter bar than the rest of src: a chaos
+#: run's whole value is byte-identical replays, so *any* ``time.`` or
+#: ``random.`` usage is suspect, not just the ambient calls above.
+#: ``plan.py`` alone may construct seeded ``random.Random`` instances —
+#: it is the single randomness root every other chaos module draws
+#: from (via ``ChaosPlan.rng``).
+CHAOS_FORBIDDEN = [
+    (re.compile(r"\btime\.\w+"),
+     "chaos modules must use the harness VirtualClock, never time.*"),
+    (re.compile(r"\brandom\.\w+"),
+     "chaos randomness flows from ChaosPlan.rng (plan.py) only"),
+]
+
+
+def test_chaos_layer_has_no_clock_or_random_at_all():
+    chaos = SRC / "repro" / "chaos"
+    offenders = []
+    for line in scan(chaos, CHAOS_FORBIDDEN, prefix="src/repro/chaos/"):
+        # plan.py is the sanctioned randomness root: seeded
+        # random.Random construction is legal there, nothing else is.
+        if line.startswith("src/repro/chaos/plan.py") and \
+                "random.Random" in line:
+            continue
+        offenders.append(line)
+    assert not offenders, (
+        "chaos layer must be replayable — route time through the "
+        "VirtualClock and randomness through ChaosPlan.rng:\n"
+        + "\n".join(offenders)
+    )
+
+
 def test_benchmarks_have_no_ambient_time_or_randomness():
     """Benchmarks measure with perf_counter() — that is their
     instrument, so the perf_counter rule is lifted there — but their

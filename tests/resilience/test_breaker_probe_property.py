@@ -1,0 +1,106 @@
+"""Half-open single-probe property, across worker counts.
+
+The breaker promises: however many workers hit a half-open circuit
+concurrently, exactly one wins the probe slot per window — the rest
+fast-fail without touching the recovering endpoint. That property must
+hold whether the pool is serial or genuinely threaded, so every
+scenario here runs at ``workers in (1, 2, 4)`` on a fake clock.
+"""
+
+import pytest
+
+from repro.parallel import WorkerPool
+from repro.resilience import CircuitBreaker
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+
+pytestmark = pytest.mark.tier1
+
+WORKER_COUNTS = (1, 2, 4)
+CALLERS = 8
+
+
+def tripped_breaker(clock, threshold=2, reset=5.0):
+    """A breaker driven into OPEN, with the reset window still ahead."""
+    breaker = CircuitBreaker(failure_threshold=threshold,
+                             reset_timeout_s=reset, clock=clock)
+    for _ in range(threshold):
+        breaker.record_failure()
+    assert breaker.state == OPEN
+    return breaker
+
+
+def stampede(breaker, workers, callers=CALLERS):
+    """*callers* concurrent ``allow()`` calls; returns the verdicts.
+
+    No caller resolves its probe inside the task, so the slot stays
+    taken from the first win onward — any interleaving must yield
+    exactly one ``True``.
+    """
+    with WorkerPool(workers=workers) as pool:
+        outcomes = pool.run_tasks(lambda i: breaker.allow(),
+                                  range(callers))
+    assert all(o.error is None for o in outcomes)
+    return [o.value for o in outcomes]
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_half_open_admits_exactly_one_probe(fake_clock, workers):
+    breaker = tripped_breaker(fake_clock)
+    fake_clock.advance(breaker.reset_timeout_s)
+    assert breaker.state == HALF_OPEN
+    verdicts = stampede(breaker, workers)
+    assert verdicts.count(True) == 1
+    assert breaker.probe_fast_fails == CALLERS - 1
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_open_circuit_admits_nobody(fake_clock, workers):
+    breaker = tripped_breaker(fake_clock)
+    fake_clock.advance(breaker.reset_timeout_s - 0.01)
+    verdicts = stampede(breaker, workers)
+    assert verdicts.count(True) == 0
+    # These were plain open-circuit skips, not lost probe races.
+    assert breaker.probe_fast_fails == 0
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_probe_success_reopens_the_floodgates(fake_clock, workers):
+    breaker = tripped_breaker(fake_clock)
+    fake_clock.advance(breaker.reset_timeout_s)
+    assert stampede(breaker, workers).count(True) == 1
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    # A closed circuit admits everyone.
+    assert stampede(breaker, workers).count(True) == CALLERS
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_probe_failure_holds_one_probe_per_window(fake_clock, workers):
+    """The property survives repeated failing windows: one probe per
+    window, every loser fast-fails, and the timeout is respected in
+    full after each failed probe."""
+    breaker = tripped_breaker(fake_clock)
+    for window in range(1, 4):
+        fake_clock.advance(breaker.reset_timeout_s)
+        verdicts = stampede(breaker, workers)
+        assert verdicts.count(True) == 1, f"window {window}"
+        assert breaker.probe_fast_fails == window * (CALLERS - 1)
+        breaker.record_failure()   # the probe found the host still sick
+        assert breaker.state == OPEN
+        # Re-opened for a *full* timeout: nothing admitted early.
+        fake_clock.advance(breaker.reset_timeout_s / 2)
+        assert stampede(breaker, workers).count(True) == 0
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_released_probe_slot_is_reusable_but_still_single(
+        fake_clock, workers):
+    """An abandoned probe (budget kill mid-attempt) returns the slot:
+    the next caller may probe in the same window, but never two at
+    once."""
+    breaker = tripped_breaker(fake_clock)
+    fake_clock.advance(breaker.reset_timeout_s)
+    assert stampede(breaker, workers).count(True) == 1
+    breaker.release_probe()
+    # Same window, slot handed back: exactly one winner again.
+    assert stampede(breaker, workers).count(True) == 1

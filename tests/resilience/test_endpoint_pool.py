@@ -1,0 +1,310 @@
+"""EndpointPool: rotation, failover, ejection, probes, hedging.
+
+All timing is a :class:`FakeClock` the work function advances, so
+hedge delays, ejection windows and deadline propagation are exact.
+"""
+
+import pytest
+
+from repro.governance.budget import QueryBudget
+from repro.rdf import Graph, IRI, Literal
+from repro.resilience.endpoint_pool import (
+    ACTIVE,
+    EJECTED,
+    EndpointPool,
+    NoHealthyReplicas,
+)
+from repro.resilience.faults import FaultSchedule, FaultyEndpoint
+from repro.resilience.retry_budget import RetryBudget
+from repro.resilience.stats import ResilienceStats
+from repro.sparql.federation import FederationEngine, SparqlEndpoint
+
+from resilience_helpers import instant_policy
+
+pytestmark = pytest.mark.tier1
+
+
+def make_pool(clock, n=2, **kwargs):
+    kwargs.setdefault("min_samples", 2)
+    kwargs.setdefault("eject_error_rate", 0.5)
+    kwargs.setdefault("ejection_s", 1.0)
+    kwargs.setdefault("hedge", False)
+    replicas = [(f"r{i}", f"endpoint-{i}") for i in range(n)]
+    return EndpointPool("test-pool", replicas, clock=clock, **kwargs)
+
+
+class Work:
+    """A work function with per-endpoint latency/failure scripting."""
+
+    def __init__(self, clock, delays=None, failing=()):
+        self.clock = clock
+        self.delays = dict(delays or {})
+        self.failing = set(failing)
+        self.calls = []
+        self.children = {}
+
+    def __call__(self, endpoint, child):
+        self.calls.append(endpoint)
+        self.children[endpoint] = child
+        self.clock.advance(self.delays.get(endpoint, 0.0))
+        if endpoint in self.failing:
+            raise ConnectionError(f"{endpoint} is scripted to fail")
+        return f"ok:{endpoint}"
+
+
+# -- rotation and failover --------------------------------------------------
+def test_round_robin_rotation(fake_clock):
+    pool = make_pool(fake_clock)
+    work = Work(fake_clock)
+    results = [pool.call(work) for _ in range(4)]
+    assert work.calls == ["endpoint-0", "endpoint-1"] * 2
+    assert results == ["ok:endpoint-0", "ok:endpoint-1"] * 2
+    assert pool.counters["dispatches"] == 4
+    assert pool.counters["failovers"] == 0
+
+
+def test_failover_moves_to_next_replica(fake_clock):
+    pool = make_pool(fake_clock)
+    work = Work(fake_clock, failing={"endpoint-0"})
+    assert pool.call(work) == "ok:endpoint-1"
+    assert pool.counters["failovers"] == 1
+    assert pool.replica("r0").failures == 1
+    assert pool.replica("r1").failures == 0
+
+
+def test_non_failover_exception_propagates_untouched(fake_clock):
+    pool = make_pool(fake_clock)
+
+    def boom(endpoint, child):
+        raise ValueError("not a replica-health signal")
+
+    with pytest.raises(ValueError):
+        pool.call(boom)
+    # The failure never fed the health window: it says nothing about
+    # the replica.
+    assert len(pool.replica("r0").window) == 0
+    assert pool.counters["failovers"] == 0
+
+
+def test_all_replicas_failing_raises_last_error(fake_clock):
+    pool = make_pool(fake_clock)
+    work = Work(fake_clock, failing={"endpoint-0", "endpoint-1"})
+    with pytest.raises(ConnectionError):
+        pool.call(work)
+    # Both were attempted exactly once before giving up.
+    assert sorted(work.calls) == ["endpoint-0", "endpoint-1"]
+
+
+# -- outlier ejection -------------------------------------------------------
+def eject_r0(pool, clock):
+    """Drive r0 over the ejection threshold via scripted failovers."""
+    work = Work(clock, failing={"endpoint-0"})
+    while pool.replica("r0").state == ACTIVE:
+        pool.call(work)
+    return work
+
+
+def test_outlier_ejected_after_min_samples(fake_clock):
+    pool = make_pool(fake_clock)
+    eject_r0(pool, fake_clock)
+    rep = pool.replica("r0")
+    assert rep.state == EJECTED
+    assert rep.ejections == 1
+    assert pool.counters["ejections"] == 1
+    assert pool.active_count() == 1
+    # Traffic now avoids the ejected replica entirely.
+    work = Work(fake_clock)
+    for _ in range(3):
+        assert pool.call(work) == "ok:endpoint-1"
+
+
+def test_no_healthy_replicas_when_sole_replica_ejected(fake_clock):
+    pool = make_pool(fake_clock, n=1)
+    work = Work(fake_clock, failing={"endpoint-0"})
+    for _ in range(2):
+        with pytest.raises(ConnectionError):
+            pool.call(work)
+    assert pool.replica("r0").state == EJECTED
+    # Window not elapsed: nothing to probe, nothing active.
+    with pytest.raises(NoHealthyReplicas):
+        pool.call(Work(fake_clock))
+
+
+def test_half_open_probe_success_reinstates_replica(fake_clock):
+    pool = make_pool(fake_clock)
+    eject_r0(pool, fake_clock)
+    fake_clock.advance(pool.ejection_s + 0.01)
+    work = Work(fake_clock)
+    # A due probe takes priority over rotation.
+    assert pool.call(work) == "ok:endpoint-0"
+    rep = pool.replica("r0")
+    assert rep.state == ACTIVE
+    assert pool.counters["probes"] == 1
+    assert pool.counters["probe_successes"] == 1
+    # The poisoned error window was discarded with the recovery.
+    assert rep.error_rate() == 0.0
+
+
+def test_half_open_probe_failure_reejects_full_window(fake_clock):
+    pool = make_pool(fake_clock)
+    eject_r0(pool, fake_clock)
+    fake_clock.advance(pool.ejection_s + 0.01)
+    work = Work(fake_clock, failing={"endpoint-0"})
+    # One call: the probe fails, then the request fails over to r1.
+    assert pool.call(work) == "ok:endpoint-1"
+    rep = pool.replica("r0")
+    assert rep.state == EJECTED
+    assert rep.ejected_until == pytest.approx(
+        fake_clock.now + pool.ejection_s)
+    assert pool.counters["probe_failures"] == 1
+
+
+# -- hedging ----------------------------------------------------------------
+def hedged_pool(clock, **kwargs):
+    kwargs.setdefault("hedge_warmup", 4)
+    return make_pool(clock, hedge=True, hedge_quantile=0.95, **kwargs)
+
+
+def warm(pool, clock, n=4, latency=0.01):
+    work = Work(clock, delays={"endpoint-0": latency,
+                               "endpoint-1": latency})
+    for _ in range(n):
+        pool.call(work)
+
+
+def test_hedge_fires_on_slow_primary_and_backup_wins(fake_clock):
+    pool = hedged_pool(fake_clock)
+    warm(pool, fake_clock)
+    assert pool.hedge_delay() == pytest.approx(0.01)
+    work = Work(fake_clock, delays={"endpoint-0": 0.05,
+                                    "endpoint-1": 0.001})
+    budget = QueryBudget(deadline_s=10.0, clock=fake_clock)
+    value = pool.call(work, budget=budget)
+    assert value == "ok:endpoint-1"
+    outcome = pool.last_outcome
+    assert outcome.hedged and outcome.winner == "hedge"
+    assert outcome.primary_latency_s == pytest.approx(0.05)
+    # What a client would have seen: hedge delay + backup latency.
+    assert outcome.effective_latency_s == pytest.approx(0.011)
+    assert pool.counters["hedges"] == 1
+    assert pool.counters["hedge_wins"] == 1
+    # The losing primary's child budget was cancelled.
+    assert work.children["endpoint-0"].cancelled
+    assert not work.children["endpoint-1"].cancelled
+
+
+def test_fast_primary_never_hedges(fake_clock):
+    pool = hedged_pool(fake_clock)
+    warm(pool, fake_clock)
+    work = Work(fake_clock, delays={"endpoint-0": 0.001,
+                                    "endpoint-1": 0.001})
+    pool.call(work)
+    assert pool.counters["hedges"] == 0
+    assert not pool.last_outcome.hedged
+
+
+def test_slow_backup_loses_and_primary_result_stands(fake_clock):
+    pool = hedged_pool(fake_clock)
+    warm(pool, fake_clock)
+    work = Work(fake_clock, delays={"endpoint-0": 0.05,
+                                    "endpoint-1": 0.2})
+    budget = QueryBudget(deadline_s=10.0, clock=fake_clock)
+    assert pool.call(work, budget=budget) == "ok:endpoint-0"
+    outcome = pool.last_outcome
+    assert outcome.hedged and outcome.winner == "primary"
+    assert pool.counters["hedges"] == 1
+    assert pool.counters["hedge_wins"] == 0
+    # The losing hedge's child budget was cancelled.
+    assert work.children["endpoint-1"].cancelled
+
+
+def test_hedge_needs_retry_budget_token(fake_clock):
+    stats = ResilienceStats()
+    bucket = RetryBudget(ratio=0.1, cap=10.0, initial=0.0)
+    pool = hedged_pool(fake_clock, retry_budget=bucket, stats=stats)
+    warm(pool, fake_clock)
+    work = Work(fake_clock, delays={"endpoint-0": 0.05,
+                                    "endpoint-1": 0.001})
+    # An empty bucket sheds the hedge: slow primary result stands.
+    assert pool.call(work) == "ok:endpoint-0"
+    assert pool.counters["hedges"] == 0
+    assert bucket.denials == 1
+    assert stats.retry_budget_denials == 1
+
+
+def test_hedge_spends_one_token_when_funded(fake_clock):
+    bucket = RetryBudget(ratio=0.1, cap=10.0, initial=1.0)
+    pool = hedged_pool(fake_clock, retry_budget=bucket)
+    warm(pool, fake_clock)
+    work = Work(fake_clock, delays={"endpoint-0": 0.05,
+                                    "endpoint-1": 0.001})
+    pool.call(work)
+    assert pool.counters["hedges"] == 1
+    assert bucket.withdrawals == 1
+    assert bucket.tokens == pytest.approx(0.0)
+
+
+def test_query_budget_bucket_takes_precedence(fake_clock):
+    pool_bucket = RetryBudget(initial=5.0)
+    query_bucket = RetryBudget(initial=1.0)
+    pool = hedged_pool(fake_clock, retry_budget=pool_bucket)
+    warm(pool, fake_clock)
+    budget = QueryBudget(deadline_s=10.0, clock=fake_clock)
+    budget.retry_budget = query_bucket
+    work = Work(fake_clock, delays={"endpoint-0": 0.05,
+                                    "endpoint-1": 0.001})
+    pool.call(work, budget=budget)
+    # The hedge drew on the query's (tenant's) bucket, not the pool's.
+    assert query_bucket.withdrawals == 1
+    assert pool_bucket.withdrawals == 0
+
+
+# -- deadline propagation ---------------------------------------------------
+def test_child_budget_carries_remaining_deadline(fake_clock):
+    pool = make_pool(fake_clock)
+    budget = QueryBudget(deadline_s=5.0, clock=fake_clock)
+    fake_clock.advance(2.0)
+    work = Work(fake_clock)
+    pool.call(work, budget=budget)
+    child = work.children["endpoint-0"]
+    assert child is not budget
+    assert child.deadline_s == pytest.approx(3.0)
+    assert child.clock is fake_clock
+
+
+def test_exhausted_deadline_blocks_hedging(fake_clock):
+    pool = hedged_pool(fake_clock)
+    warm(pool, fake_clock)
+    budget = QueryBudget(deadline_s=0.02, clock=fake_clock)
+    work = Work(fake_clock, delays={"endpoint-0": 0.05,
+                                    "endpoint-1": 0.001})
+    # The slow primary burned the whole deadline: a hedge could never
+    # finish inside it, so none is dispatched.
+    assert pool.call(work, budget=budget) == "ok:endpoint-0"
+    assert pool.counters["hedges"] == 0
+
+
+# -- engine wiring ----------------------------------------------------------
+EX = "http://example.org/"
+POOLED_IRI = "http://pooled.example/sparql"
+
+
+def test_register_replicas_survives_one_dead_replica(fake_clock):
+    graph = Graph()
+    graph.bind("ex", EX)
+    for name in ("paris", "lyon"):
+        graph.add(IRI(EX + name), IRI(EX + "unit"), Literal(name))
+    engine = FederationEngine(
+        retry_policy=instant_policy(fake_clock, max_attempts=1))
+    dead = FaultyEndpoint(SparqlEndpoint(graph, name="dead"),
+                          FaultSchedule.dead())
+    engine.register_replicas(
+        POOLED_IRI,
+        [dead, SparqlEndpoint(graph, name="alive")],
+        hedge=False, min_samples=2, ejection_s=1.0)
+    res = engine.query(
+        "PREFIX ex: <http://example.org/>\n"
+        "SELECT ?n WHERE { ?s ex:unit ?n }")
+    assert {str(r["n"]) for r in res} == {"paris", "lyon"}
+    report = engine.pool_reports()[POOLED_IRI]
+    assert report["counters"]["failovers"] >= 1
