@@ -159,7 +159,7 @@ class ServiceAPI:
         data: Dict[str, Any] = {
             "tenants": {state.spec.name: state.as_dict()
                         for state in service.tenants},
-            "plan_cache": service.plan_cache.stats(),
+            "plan_cache": service.plan_cache.snapshot(),
         }
         if version >= 2:
             data["governance"] = {
@@ -194,6 +194,13 @@ class ServiceAPI:
                 data["total_rows"] = response.total_rows
             if response.degraded is not None:
                 data["degraded"] = response.degraded
+            cache = self.service.plan_cache
+            data["diagnostics"] = {
+                "plan_cache_hit_rate": round(cache.hit_rate(), 6),
+                "stats_invalidations": cache.stats_invalidations,
+                "stats_version": (cache.stats.version
+                                  if cache.stats is not None else None),
+            }
         return {"v": version, "ok": True, "data": data}
 
     def _error(self, version: int, exc: BaseException) -> Dict[str, Any]:

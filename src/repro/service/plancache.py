@@ -34,7 +34,7 @@ __all__ = ["PlanCache"]
 class PlanCache:
     """LRU cache of :class:`PreparedQuery` entries keyed on template."""
 
-    def __init__(self, max_entries: int = 64, metrics=None):
+    def __init__(self, max_entries: int = 64, metrics=None, stats=None):
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         self.max_entries = max_entries
@@ -43,6 +43,10 @@ class PlanCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        #: Entries dropped because planner feedback moved past them.
+        self.stats_invalidations = 0
+        #: StatsStore whose version gates entry freshness (optional).
+        self.stats = stats
         self._counter = None
         if metrics is not None:
             self._counter = metrics.counter(
@@ -68,6 +72,14 @@ class PlanCache:
         skipped re-planning.
         """
         entry = self._entries.get(template)
+        if entry is not None and self._stale(entry):
+            # Planner feedback has materially changed since this plan
+            # was compiled: drop it and fall through to a miss so the
+            # builder re-plans against the fresher statistics.
+            del self._entries[template]
+            self.stats_invalidations += 1
+            self._count("stats_invalidation")
+            entry = None
         if entry is not None:
             self._entries.move_to_end(template)
             self.hits += 1
@@ -86,6 +98,13 @@ class PlanCache:
     def peek(self, template: str) -> Optional[PreparedQuery]:
         """The entry without touching LRU order or counters."""
         return self._entries.get(template)
+
+    def _stale(self, entry: PreparedQuery) -> bool:
+        """Whether planner feedback moved past this entry's plan."""
+        if self.stats is None:
+            return False
+        version = getattr(entry, "stats_version", None)
+        return version is not None and version != self.stats.version
 
     # -- invalidation ------------------------------------------------------
     def invalidate(self, template: str) -> bool:
@@ -110,12 +129,12 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
-    def stats(self) -> Dict[str, object]:
+    def snapshot(self) -> Dict[str, object]:
         return {
             "entries": len(self._entries),
             "max_entries": self.max_entries,
@@ -123,7 +142,10 @@ class PlanCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
-            "hit_rate": round(self.hit_rate, 6),
+            "stats_invalidations": self.stats_invalidations,
+            "stats_version": (self.stats.version
+                              if self.stats is not None else None),
+            "hit_rate": round(self.hit_rate(), 6),
         }
 
     def __repr__(self) -> str:

@@ -141,11 +141,20 @@ class QueryService:
                  metrics: Optional[MetricsRegistry] = None,
                  tracer: Optional[Tracer] = None,
                  service_resolver=None,
-                 federation=None):
+                 federation=None,
+                 stats_store=None,
+                 replan_ratio=None):
         self.graph = graph
         self.clock = clock
         self.tracer = tracer
         self.service_resolver = service_resolver
+        #: Optional :class:`~repro.sparql.StatsStore`: cached plans are
+        #: compiled against its feedback and stamped with its version;
+        #: when accumulated feedback bumps the version, the plan cache
+        #: drops stale entries on their next lookup and re-plans.
+        self.stats_store = stats_store
+        #: Divergence ratio arming mid-query re-planning (None = off).
+        self.replan_ratio = replan_ratio
         #: Optional :class:`~repro.sparql.FederationEngine` serving
         #: templates registered with ``federated=True``. Federated
         #: requests always run in ``partial_results`` mode: a failing
@@ -163,7 +172,8 @@ class QueryService:
             clock=clock,
             stats=self.stats,
         )
-        self.plan_cache = PlanCache(plan_cache_size, metrics=self.metrics)
+        self.plan_cache = PlanCache(plan_cache_size, metrics=self.metrics,
+                                    stats=stats_store)
         self.templates: Dict[str, str] = {}
         self.max_cursors = max_cursors
         self.cursor_ttl_s = cursor_ttl_s
@@ -239,9 +249,11 @@ class QueryService:
                 with self.tracer.span("service.plan",
                                       template=template_id(template)):
                     return prepare(self.graph, template,
-                                   service_resolver=self.service_resolver)
+                                   service_resolver=self.service_resolver,
+                                   stats=self.stats_store)
             return prepare(self.graph, template,
-                           service_resolver=self.service_resolver)
+                           service_resolver=self.service_resolver,
+                           stats=self.stats_store)
 
         return self.plan_cache.get_or_prepare(text, build)
 
@@ -271,9 +283,11 @@ class QueryService:
                              template=template_id(text),
                              cache="hit" if hit else "miss"):
                 result = prepared.run(bindings=params, budget=budget,
-                                      tracer=tracer)
+                                      tracer=tracer,
+                                      replan_ratio=self.replan_ratio)
         else:
-            result = prepared.run(bindings=params, budget=budget)
+            result = prepared.run(bindings=params, budget=budget,
+                                  replan_ratio=self.replan_ratio)
         rows = list(result.rows)
         vars = list(result.vars)
         exp_id = template_id(text)

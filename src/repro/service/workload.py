@@ -380,7 +380,7 @@ class WorkloadReport:
                 "observations": merged.count,
             },
             "tenants": tenants,
-            "plan_cache": service.plan_cache.stats(),
+            "plan_cache": service.plan_cache.snapshot(),
             "governance": {
                 "admitted": service.stats.admitted,
                 "shed": service.stats.shed,

@@ -27,6 +27,7 @@ from .functions import (
 from .parser import parse_query
 from .prepared import PreparedQuery, prepare
 from .results import SPARQLResult
+from .stats import StatsStore
 from .tokenizer import SparqlSyntaxError
 from .update import UpdateResult, update
 
@@ -36,6 +37,7 @@ __all__ = [
     "PlanNode",
     "PreparedQuery",
     "SPARQLResult",
+    "StatsStore",
     "explain",
     "SparqlSyntaxError",
     "SparqlValueError",
@@ -55,7 +57,8 @@ __all__ = [
 
 def query(graph: Graph, text: str,
           service_resolver: Optional[Callable] = None,
-          budget=None, tracer=None) -> SPARQLResult:
+          budget=None, tracer=None, stats=None,
+          replan_ratio=None) -> SPARQLResult:
     """Parse and evaluate a (Geo)SPARQL query against *graph*.
 
     ``service_resolver(endpoint_iri, group)`` is called for SERVICE
@@ -69,10 +72,16 @@ def query(graph: Graph, text: str,
     when given, execution builds a trace tree mirroring the plan
     (``result.trace``) and ``result.profile()`` reports per-operator
     timings keyed by the EXPLAIN node ids.
+
+    ``stats`` is an optional :class:`StatsStore`: the planner consults
+    its recorded per-operator feedback before index statistics, and the
+    executed profile flows back into it afterwards. ``replan_ratio``
+    (float > 1) additionally arms mid-query join re-ordering when a
+    scan's actuals diverge from its estimate by that factor.
     """
     ast = parse_query(text, namespaces=graph.namespaces)
     ctx = Context(graph, service_resolver=service_resolver, budget=budget,
-                  tracer=tracer)
+                  tracer=tracer, stats=stats, replan_ratio=replan_ratio)
     result = eval_query(ast, ctx)
     if budget is not None:
         result.budget_stats = budget.snapshot()
@@ -81,15 +90,17 @@ def query(graph: Graph, text: str,
 
 def explain(graph: Graph, text: str,
             service_resolver: Optional[Callable] = None,
-            budget=None) -> PlanNode:
+            budget=None, stats=None) -> PlanNode:
     """Plan a query without executing it (the EXPLAIN entry point).
 
     Returns the root :class:`~repro.sparql.plan.PlanNode`; render it
     with ``.render()``. Estimated per-operator rows are filled in from
-    the graph's index statistics; actual rows show as ``-`` because
-    nothing ran. To see estimates next to actuals, run :func:`query`
-    and render ``result.plan`` instead.
+    the graph's index statistics — or from ``stats`` feedback when a
+    store is given (``src=feedback`` in the rendering); actual rows
+    show as ``-`` because nothing ran. To see estimates next to
+    actuals, run :func:`query` and render ``result.plan`` instead.
     """
     ast = parse_query(text, namespaces=graph.namespaces)
-    ctx = Context(graph, service_resolver=service_resolver, budget=budget)
+    ctx = Context(graph, service_resolver=service_resolver, budget=budget,
+                  stats=stats)
     return explain_query(ast, ctx)

@@ -82,16 +82,30 @@ class Context:
     per plan node, ids matching EXPLAIN) published on ``ctx.trace`` so
     the operators — and anything they call into, down to DAP fetches —
     charge time to the right span.
+
+    ``stats`` is an optional
+    :class:`~repro.sparql.stats.StatsStore`: the planner consults it
+    for feedback-backed cardinality estimates, and after every query
+    the executor flows the profile rows back into it.
+
+    ``replan_ratio`` (a float > 1, or ``None`` to disable) arms
+    mid-query adaptivity: when a BGP scan's actual per-probe rows
+    diverge from its estimate by at least this factor, the remaining
+    join suffix is re-ordered in flight (see
+    :meth:`~repro.sparql.operators.BGPOp._match_ids_adaptive`).
     """
 
     def __init__(self, graph: Graph,
                  service_resolver: Optional[Callable] = None,
-                 budget=None, tracer=None):
+                 budget=None, tracer=None, stats=None,
+                 replan_ratio: Optional[float] = None):
         self.graph = graph
         self.service_resolver = service_resolver
         self.budget = budget
         self.tracer = tracer
         self.trace = None
+        self.stats = stats
+        self.replan_ratio = replan_ratio
 
 
 # ---------------------------------------------------------------------------
@@ -513,6 +527,20 @@ def _group_and_aggregate(query: SelectQuery, rows: List[Solution],
 # Query forms: plan, execute, attach the plan for EXPLAIN
 # ---------------------------------------------------------------------------
 
+def _ingest_feedback(ctx: Context, result: SPARQLResult) -> None:
+    """Flow the executed query's profile rows into the stats store.
+
+    Every operator row that carries a signature and actually probed —
+    including zero-row scans — updates the store's per-probe mean;
+    material drifts bump ``stats_version`` (once per query), which is
+    what invalidates version-carrying plan caches.
+    """
+    stats = getattr(ctx, "stats", None)
+    if stats is None or result.plan is None:
+        return
+    stats.observe_profile(result.profile())
+
+
 @contextmanager
 def _traced_execution(ctx: Context, sub):
     """Prepare one query execution: ids, zeroed counters, and — when the
@@ -573,6 +601,7 @@ def _eval_select(query: SelectQuery, ctx: Context, sub=None,
     result = SPARQLResult("SELECT", variables=variables, rows=rows)
     result.plan = sub.root
     result.trace = trace.root_span if trace is not None else None
+    _ingest_feedback(ctx, result)
     return result
 
 
@@ -590,6 +619,7 @@ def _eval_ask(query: AskQuery, ctx: Context, sub=None,
     result = SPARQLResult("ASK", ask=found is not None)
     result.plan = sub.root
     result.trace = trace.root_span if trace is not None else None
+    _ingest_feedback(ctx, result)
     return result
 
 
@@ -616,6 +646,7 @@ def _eval_construct(query: ConstructQuery, ctx: Context) -> SPARQLResult:
     result = SPARQLResult("CONSTRUCT", graph=graph)
     result.plan = sub.root
     result.trace = trace.root_span if trace is not None else None
+    _ingest_feedback(ctx, result)
     return result
 
 
@@ -663,6 +694,7 @@ def _eval_describe(query: DescribeQuery, ctx: Context) -> SPARQLResult:
     result = SPARQLResult("DESCRIBE", graph=graph)
     result.plan = sub.root
     result.trace = trace.root_span if trace is not None else None
+    _ingest_feedback(ctx, result)
     return result
 
 

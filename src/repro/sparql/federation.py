@@ -58,10 +58,12 @@ from .ast import (
     ServicePattern,
     SubSelect,
     UnionPattern,
+    Var,
 )
 from .evaluator import Context, eval_group, eval_query
 from .parser import parse_query
 from .results import Solution, SPARQLResult
+from .stats import federation_signature
 
 
 def _absorbable(exc: BaseException) -> bool:
@@ -176,7 +178,7 @@ class _FederatedView:
                  failures: Optional[Dict[str, str]] = None,
                  budget: Optional[QueryBudget] = None,
                  pool: Optional[WorkerPool] = None,
-                 tracer=None):
+                 tracer=None, stats_store=None):
         self.endpoints = dict(endpoints)
         self._dispatch = dispatch
         self.partial = partial
@@ -184,6 +186,10 @@ class _FederatedView:
         self.budget = budget
         self.pool = pool
         self._tracer = tracer
+        #: Optional StatsStore: per-endpoint scan row-counts feed back
+        #: into it (keyed by ``fed(...)`` signatures) and
+        #: :meth:`feedback_estimate` serves them to the planner.
+        self.stats_store = stats_store
         self.namespaces = NamespaceManager()
         self._down: Set[str] = set()
         self._predicate_index: Dict[Term, List[str]] = {}
@@ -252,6 +258,45 @@ class _FederatedView:
             return self._predicate_index.get(predicate, [])
         return list(self.endpoints)
 
+    def _record_scan(self, iri: str, pattern, rows: int) -> None:
+        """Feed one endpoint scan's row count back into the store."""
+        if self.stats_store is None:
+            return
+        s, p, o = pattern
+        self.stats_store.record(
+            federation_signature(iri, s, p, o), float(rows))
+
+    def feedback_estimate(self, pattern, bound) -> Optional[float]:
+        """Planner hook: recorded rows for this pattern, summed over
+        the sources selection would visit (``None`` when no endpoint
+        has feedback for the shape yet).
+
+        This is what turns harvest row-counts into source-selection
+        estimates: once a federated query has run, the planner costs
+        each pattern by what the member endpoints actually returned
+        instead of the flat virtual-union default.
+        """
+        if self.stats_store is None:
+            return None
+        s, p, o = pattern.s, pattern.p, pattern.o
+        if isinstance(p, Var) and p.name in bound:
+            # A join-bound predicate has no stable per-endpoint
+            # signature (the concrete IRI varies per row).
+            return None
+        s_arg = None if isinstance(s, Var) and s.name not in bound else s
+        o_arg = None if isinstance(o, Var) and o.name not in bound else o
+        predicate = None if isinstance(p, Var) else p
+        total, seen = 0.0, False
+        for iri in self._select_sources(predicate):
+            if iri in self._down:
+                continue
+            mean = self.stats_store.estimate(
+                federation_signature(iri, s_arg, predicate, o_arg))
+            if mean is not None:
+                total += mean
+                seen = True
+        return total if seen else None
+
     def triples(self, pattern) -> Iterator[Triple]:
         s, p, o = pattern
         sources = [
@@ -274,6 +319,9 @@ class _FederatedView:
                 if outcome.error is not None:
                     self._mark_down(iri, outcome.error)
                     continue
+                # Recorded at merge time, in source-selection order, so
+                # EWMA folding is identical however the scans overlap.
+                self._record_scan(iri, pattern, len(outcome.value))
                 yield from outcome.value
             return
         for iri in sources:
@@ -287,6 +335,7 @@ class _FederatedView:
             except Exception as exc:
                 self._mark_down(iri, exc)
                 continue
+            self._record_scan(iri, pattern, len(matched))
             yield from matched
 
     def predicates(self):
@@ -309,7 +358,9 @@ class FederationEngine:
                  admission: Optional[AdmissionController] = None,
                  tracer=None,
                  pool: Optional[WorkerPool] = None,
-                 eager_service: Optional[bool] = None):
+                 eager_service: Optional[bool] = None,
+                 stats_store=None,
+                 replan_ratio: Optional[float] = None):
         self._endpoints: Dict[str, SparqlEndpoint] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._locks: Dict[str, threading.Lock] = {}
@@ -343,6 +394,13 @@ class FederationEngine:
                            else GovernanceStats())
         #: Default tracer for ``query()`` (per-call ``tracer=`` wins).
         self.tracer = tracer
+        #: Optional :class:`~repro.sparql.StatsStore` (named apart from
+        #: ``stats``, the engine's ResilienceStats): per-endpoint scan
+        #: row counts feed it, and the planner's source-selection
+        #: estimates consult it on the next query.
+        self.stats_store = stats_store
+        #: Divergence ratio arming mid-query re-planning (None = off).
+        self.replan_ratio = replan_ratio
 
     def register(self, iri: str, endpoint: SparqlEndpoint) -> None:
         iri = str(iri)
@@ -581,7 +639,7 @@ class FederationEngine:
         view = _FederatedView(self._endpoints, dispatch=dispatch,
                               partial=partial_results, failures=failures,
                               budget=budget, pool=self.pool,
-                              tracer=tracer)
+                              tracer=tracer, stats_store=self.stats_store)
         ast = parse_query(text, namespaces=view.namespaces)
         prefetched = (
             self._prefetch_services(ast, budget, tracer)
@@ -607,7 +665,8 @@ class FederationEngine:
                                          tracer=tracer)
 
         ctx = Context(view, service_resolver=resolver, budget=budget,
-                      tracer=tracer)
+                      tracer=tracer, stats=self.stats_store,
+                      replan_ratio=self.replan_ratio)
         result = eval_query(ast, ctx)
         result.failures = dict(failures)
         if budget is not None:
@@ -667,11 +726,11 @@ class FederationEngine:
 
         view = _FederatedView(self._endpoints, dispatch=dispatch,
                               partial=True, failures=failures,
-                              pool=self.pool)
+                              pool=self.pool, stats_store=self.stats_store)
         ast = parse_query(text, namespaces=view.namespaces)
         from .evaluator import explain_query
 
-        return explain_query(ast, Context(view))
+        return explain_query(ast, Context(view, stats=self.stats_store))
 
     def request_counts(self) -> Dict[str, int]:
         """Requests each source served (for benchmark reporting).

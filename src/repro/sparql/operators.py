@@ -159,32 +159,55 @@ def _extend_terms(pattern: TriplePattern, triple,
     return out
 
 
+#: Block rows sampled per remaining pattern when re-estimating a
+#: suffix mid-query (each sample is an O(1) index-cardinality probe).
+REPLAN_SAMPLE = 8
+
+
 class BGPOp(Operator):
     """Index-nested-loop join of a basic graph pattern.
 
     *patterns* arrive in the planner's join order; *scan_nodes* are the
     per-pattern plan leaves whose "actual rows" count enumerated
-    triples (what the scan budget is charged for).
+    triples (what the scan budget is charged for) and whose ``probes``
+    count input bindings, so ``actual_rows / probes`` is directly
+    comparable with the planner's per-probe estimate.
+
+    When the context carries a ``replan_ratio`` and the graph speaks
+    the id protocol, execution switches to a staged (block) strategy
+    that can *re-order the remaining pattern suffix mid-query* — see
+    :meth:`_match_ids_adaptive`. With no re-plan triggered the staged
+    strategy enumerates exactly the triples backtracking would, in the
+    same emission order.
     """
 
     def __init__(self, node, source, patterns: List[TriplePattern],
-                 restrictions: Dict[str, object], scan_nodes):
+                 restrictions: Dict[str, object], scan_nodes,
+                 signatures: Optional[List[str]] = None):
         super().__init__(node, source)
         self.patterns = patterns
         self.restrictions = restrictions
         self.scan_nodes = scan_nodes
+        self.signatures = signatures or [None] * len(patterns)
 
     def rows(self, ctx) -> Iterator[Solution]:
         graph = ctx.graph
         id_mode = (hasattr(graph, "triples_ids")
                    and hasattr(graph, "dictionary"))
         specs = self._resolve_specs(graph) if id_mode else None
+        adaptive = (id_mode
+                    and len(self.patterns) >= 2
+                    and getattr(ctx, "replan_ratio", None) is not None)
         for row in self.source.stream(ctx):
             _tick(ctx)
+            self.node.probes += 1
             if id_mode:
                 if specs is None:
                     continue  # a constant term is absent from the graph
-                matches = self._match_ids(specs, row, ctx)
+                if adaptive:
+                    matches = self._match_ids_adaptive(specs, row, ctx)
+                else:
+                    matches = self._match_ids(specs, row, ctx)
             else:
                 matches = self._solve_terms(0, row, ctx)
             for out in matches:
@@ -242,6 +265,7 @@ class BGPOp(Operator):
             spec = specs[i]
             pattern = self.patterns[i]
             scan_node = self.scan_nodes[i]
+            scan_node.probes += 1
             s = spec[0] if isinstance(spec[0], int) else env.get(spec[0])
             p = spec[1] if isinstance(spec[1], int) else env.get(spec[1])
             o = spec[2] if isinstance(spec[2], int) else env.get(spec[2])
@@ -306,6 +330,188 @@ class BGPOp(Operator):
                 scan_node.actual_rows = (scan_node.actual_rows or 0) + 1
                 yield triple
 
+    # -- adaptive (staged) id-level matching --------------------------------
+    def _match_ids_adaptive(self, specs, row: Solution,
+                            ctx) -> Iterator[Solution]:
+        """Staged block evaluation with mid-query suffix re-planning.
+
+        Instead of backtracking, the BGP runs pattern-by-pattern over a
+        materialized block of partial envs. With the planner's order
+        unchanged this enumerates the same triples in the same emission
+        order as :meth:`_match_ids`; what the staging buys is a safe
+        checkpoint between (and inside) stages where actual per-probe
+        rows can be compared against the planner's estimate. When they
+        diverge past ``ctx.replan_ratio``, the *remaining* pattern
+        suffix is re-ordered from deterministic sampled re-estimates —
+        ``pattern_cardinality`` probed with the actual bound ids of the
+        first :data:`REPLAN_SAMPLE` block rows — and, if a stage blows
+        up mid-flight while a cheaper remaining pattern exists, the
+        stage is abandoned (its input block is intact) and re-entered
+        under the new order. Every re-plan is counted on the plan node,
+        kept as a ``replan_events`` entry, and traced as a
+        ``bgp.replan`` span.
+
+        Decisions depend only on plan estimates and live index
+        counters, so same-seed runs with a frozen stats snapshot make
+        identical choices; results are the same solution bag as the
+        static strategy in every case.
+        """
+        graph = ctx.graph
+        lookup = graph.dictionary.lookup
+        env0: Dict[str, int] = {}
+        for pattern in self.patterns:
+            for var in pattern.variables():
+                name = var.name
+                if name in row and name not in env0:
+                    term_id = lookup(row[name])
+                    if term_id is None:
+                        return  # bound term unknown to this graph
+                    env0[name] = term_id
+        remaining = list(range(len(specs)))
+        aborted: set = set()
+        block: List[Dict[str, int]] = [env0]
+        ratio = ctx.replan_ratio
+        while remaining and block:
+            idx = remaining[0]
+            out, new_order = self._run_stage(idx, block, specs, remaining,
+                                             aborted, ctx, ratio)
+            if new_order is not None:  # stage aborted mid-flight
+                aborted.add(idx)
+                self._note_replan(ctx, idx, new_order)
+                remaining = new_order
+                continue
+            remaining.pop(0)
+            block = out
+            if (block and len(remaining) >= 2
+                    and self._stage_diverged(idx, ratio)):
+                reordered = self._sampled_order(remaining, block, specs,
+                                                graph)
+                if reordered != remaining:
+                    self._note_replan(ctx, idx, reordered)
+                    remaining = reordered
+        decode = graph.dictionary.decode
+        for env in block:
+            out_row = dict(row)
+            for name, term_id in env.items():
+                if name not in out_row:
+                    out_row[name] = decode(term_id)
+            yield out_row
+
+    def _run_stage(self, idx: int, block, specs, remaining, aborted,
+                   ctx, ratio):
+        """One pattern over one block; returns ``(out_block, None)`` or
+        ``(None, new_order)`` when the stage aborted for a re-plan."""
+        graph = ctx.graph
+        budget = ctx.budget
+        spec = specs[idx]
+        pattern = self.patterns[idx]
+        scan_node = self.scan_nodes[idx]
+        est = scan_node.est_rows if scan_node.est_rows else 1.0
+        # A pattern may abort at most once (else a stubborn sample
+        # could ping-pong), and only while an alternative exists.
+        can_abort = idx not in aborted and len(remaining) >= 2
+        out: List[Dict[str, int]] = []
+        produced = 0
+        for probe_i, env in enumerate(block):
+            scan_node.probes += 1
+            s = spec[0] if isinstance(spec[0], int) else env.get(spec[0])
+            p = spec[1] if isinstance(spec[1], int) else env.get(spec[1])
+            o = spec[2] if isinstance(spec[2], int) else env.get(spec[2])
+            if (
+                o is None
+                and s is None
+                and isinstance(pattern.o, Var)
+                and pattern.o.name in self.restrictions
+                and hasattr(graph, "spatial_candidates")
+            ):
+                probes = self._spatial_probes(graph, s, p, pattern,
+                                              scan_node, ctx)
+                pre_charged = True
+            else:
+                probes = graph.triples_ids((s, p, o))
+                pre_charged = False
+            for triple in probes:
+                if not pre_charged:
+                    if budget is not None:
+                        budget.charge_triples()
+                    scan_node.actual_rows = (scan_node.actual_rows or 0) + 1
+                produced += 1
+                merged = self._merge_env(spec, triple, env)
+                if merged is not None:
+                    out.append(merged)
+            if can_abort and \
+                    (produced + 1.0) / ((probe_i + 1) * est + 1.0) >= ratio:
+                reordered = self._sampled_order(remaining, block, specs,
+                                                graph)
+                if reordered[0] != idx:
+                    return None, reordered
+                can_abort = False  # cheapest anyway: run to completion
+        return out, None
+
+    @staticmethod
+    def _merge_env(spec, triple, env: Dict[str, int]
+                   ) -> Optional[Dict[str, int]]:
+        out = dict(env)
+        for pos_spec, term_id in zip(spec, triple):
+            if isinstance(pos_spec, str):
+                current = out.get(pos_spec)
+                if current is None:
+                    out[pos_spec] = term_id
+                elif current != term_id:
+                    return None
+        return out
+
+    def _stage_diverged(self, idx: int, ratio: float) -> bool:
+        scan_node = self.scan_nodes[idx]
+        probes = scan_node.probes
+        if not probes:
+            return False
+        mean = (scan_node.actual_rows or 0) / probes
+        est = scan_node.est_rows if scan_node.est_rows else 1.0
+        hi, lo = (mean, est) if mean >= est else (est, mean)
+        return (hi + 1.0) / (lo + 1.0) >= ratio
+
+    @staticmethod
+    def _sampled_order(remaining, block, specs, graph) -> List[int]:
+        """Remaining patterns ordered by sampled per-probe cardinality.
+
+        Each sample resolves the pattern's positions against an actual
+        block env (unresolved variables stay wildcards) and reads the
+        exact index cardinality — O(1) per probe. Ties keep the current
+        order; the whole computation is a pure function of the block,
+        hence deterministic.
+        """
+        sampled = []
+        for pos, idx in enumerate(remaining):
+            spec = specs[idx]
+            total = 0.0
+            n = 0
+            for env in block[:REPLAN_SAMPLE]:
+                ids = tuple(part if isinstance(part, int) else env.get(part)
+                            for part in spec)
+                total += graph.pattern_cardinality(ids)
+                n += 1
+            sampled.append((total / n if n else 0.0, pos, idx))
+        sampled.sort(key=lambda item: (item[0], item[1]))
+        return [idx for __, __, idx in sampled]
+
+    def _note_replan(self, ctx, stage_idx: int, new_order) -> None:
+        node = self.node
+        node.replans += 1
+        if len(node.replan_events) < 16:
+            node.replan_events.append({
+                "diverged": self.scan_nodes[stage_idx].detail,
+                "order": [self.scan_nodes[i].detail for i in new_order],
+            })
+        trace = getattr(ctx, "trace", None)
+        if trace is not None:
+            with trace.tracer.span(
+                "bgp.replan",
+                node_id=node.id,
+                diverged=self.scan_nodes[stage_idx].detail,
+            ) as span:
+                span.record("replans")
+
     # -- term-level fallback (graphs without the id protocol) ----------------
     def _solve_terms(self, i: int, solution: Solution,
                      ctx) -> Iterator[Solution]:
@@ -314,6 +520,7 @@ class BGPOp(Operator):
             return
         pattern = self.patterns[i]
         scan_node = self.scan_nodes[i]
+        scan_node.probes += 1
         graph = ctx.graph
         s, p, o = _substitute(pattern, solution)
 
@@ -527,6 +734,7 @@ class ServiceOp(Operator):
         joiner = None
         for row in self.source.stream(ctx):
             _tick(ctx)
+            self.node.probes += 1
             if joiner is None:
                 if ctx.service_resolver is None:
                     raise EvaluationError(

@@ -54,6 +54,7 @@ from .ast import (
     VarExpr,
 )
 from . import operators as ops
+from . import stats as stats_mod
 
 
 class PlanNode:
@@ -62,6 +63,10 @@ class PlanNode:
     ``actual_rows`` is ``None`` until the plan is executed (rendered as
     ``-``); the executor zeroes the whole tree when it starts pulling,
     and each operator increments its node as rows stream through.
+    ``display_only`` subtrees (e.g. the sub-SELECT child shown for
+    context under a HashJoin) are *never* zeroed — their actuals stay
+    ``None`` and EXPLAIN prints ``rows=-`` explicitly, so profile rows
+    can tell "executed, matched nothing" (0) from "never ran" (``-``).
 
     ``id`` is the node's position in a pre-order walk of its tree
     (assigned by :meth:`assign_ids`, 1-based). Because planning is
@@ -70,10 +75,20 @@ class PlanNode:
     prints is the same ``#n`` a profile row or trace span carries.
     ``time_s`` is the operator's inclusive wall time, copied from its
     span when the query ran under a tracer (else 0).
+
+    ``est_source`` records where ``est_rows`` came from (``index`` |
+    ``feedback`` | ``default``; derived nodes combine their inputs) and
+    ``signature`` is the stable feedback key the
+    :class:`~repro.sparql.stats.StatsStore` stores this operator's
+    actuals under. ``probes`` counts input bindings the operator was
+    probed with (so ``actual_rows / probes`` is the per-probe mean the
+    estimate predicts) and ``replans`` counts mid-query join re-orders
+    the adaptive executor performed under this node.
     """
 
     __slots__ = ("label", "detail", "est_rows", "actual_rows", "children",
-                 "id", "time_s")
+                 "id", "time_s", "est_source", "signature", "probes",
+                 "replans", "replan_events", "display_only")
 
     def __init__(self, label: str, detail: str = "",
                  est_rows: Optional[float] = None,
@@ -85,6 +100,12 @@ class PlanNode:
         self.children: List[PlanNode] = children or []
         self.id: Optional[int] = None
         self.time_s: float = 0.0
+        self.est_source: Optional[str] = None
+        self.signature: Optional[str] = None
+        self.probes: int = 0
+        self.replans: int = 0
+        self.replan_events: List[Dict[str, object]] = []
+        self.display_only: bool = False
 
     def assign_ids(self) -> None:
         """Number the tree pre-order, 1-based (stable across re-plans)."""
@@ -92,10 +113,21 @@ class PlanNode:
             node.id = i
 
     def mark_executed(self) -> None:
-        """Zero actual counters tree-wide (operators count from here)."""
-        for node in self.walk():
-            node.actual_rows = 0
-            node.time_s = 0.0
+        """Zero actual counters tree-wide (operators count from here).
+
+        Display-only subtrees are skipped: they never execute, so their
+        actuals must stay ``None`` (EXPLAIN's explicit ``rows=-``), not
+        a misleading zero.
+        """
+        if self.display_only:
+            return
+        self.actual_rows = 0
+        self.time_s = 0.0
+        self.probes = 0
+        self.replans = 0
+        self.replan_events = []
+        for child in self.children:
+            child.mark_executed()
 
     def walk(self) -> Iterable["PlanNode"]:
         yield self
@@ -107,7 +139,9 @@ class PlanNode:
         actual = "-" if self.actual_rows is None else str(self.actual_rows)
         head = self.label if not self.detail else f"{self.label}({self.detail})"
         node_id = "" if self.id is None else f"#{self.id} "
-        return f"{node_id}{head}  [est={est} rows={actual}]"
+        src = "" if self.est_source is None else f" src={self.est_source}"
+        replans = f" replans={self.replans}" if self.replans else ""
+        return f"{node_id}{head}  [est={est}{src} rows={actual}{replans}]"
 
     def render(self, indent: int = 0) -> str:
         if indent == 0 and self.id is None:
@@ -123,8 +157,14 @@ class PlanNode:
             "label": self.label,
             "detail": self.detail,
             "est_rows": self.est_rows,
+            "est_source": self.est_source,
+            "signature": self.signature,
             "actual_rows": self.actual_rows,
+            "probes": self.probes,
             "time_s": self.time_s,
+            "replans": self.replans,
+            "replan_events": list(self.replan_events),
+            "display_only": self.display_only,
             "children": [c.to_dict() for c in self.children],
         }
 
@@ -234,34 +274,73 @@ FILTER_SELECTIVITY = 0.5
 SPATIAL_DISCOUNT = 0.1
 TERM_MODE_BOUND_FACTOR = 10.0
 
+#: Where an estimate came from (printed by EXPLAIN as ``src=``).
+SOURCE_INDEX = "index"
+SOURCE_FEEDBACK = "feedback"
+SOURCE_DEFAULT = "default"
 
-def estimate_pattern(pattern: TriplePattern, bound: Set[str], graph,
-                     restrictions) -> float:
-    """Estimated matches for one probe of *pattern*.
 
-    With an id-indexed graph the constants-only cardinality is exact
-    (index bookkeeping); each bound-variable position then divides it
-    by the distinct-term count for that position. Spatially-restricted
-    unbound object variables get the R-tree discount.
+def _pattern_is_spatial(pattern: TriplePattern, bound: Set[str], graph,
+                        restrictions) -> bool:
+    return (
+        isinstance(pattern.o, Var)
+        and pattern.o.name not in bound
+        and pattern.o.name in restrictions
+        and hasattr(graph, "spatial_candidates")
+    )
+
+
+def estimate_pattern_detail(
+    pattern: TriplePattern, bound: Set[str], graph, restrictions,
+    stats=None,
+) -> Tuple[float, str, str]:
+    """Estimated matches for one probe of *pattern*, with provenance.
+
+    Returns ``(est, source, signature)``. Recorded feedback for the
+    pattern's signature wins over everything (it is the measured
+    per-probe mean for exactly this shape + bound mask); with an
+    id-indexed graph the constants-only cardinality is otherwise exact
+    (``index``), each bound-variable position dividing it by the
+    distinct-term count for that position; graphs without the id
+    protocol fall back to size-based guessing (``default``), unless
+    they expose their own ``feedback_estimate`` (the federation view's
+    harvest-fed source-selection estimates). Spatially-restricted
+    unbound object variables get the R-tree discount — except under
+    feedback, whose recorded actuals already include it.
     """
     positions = (pattern.s, pattern.p, pattern.o)
+    spatial = _pattern_is_spatial(pattern, bound, graph, restrictions)
+    signature = stats_mod.pattern_signature(pattern, bound, spatial=spatial)
+    if stats is not None:
+        feedback = stats.estimate(signature)
+        if feedback is not None:
+            return feedback, SOURCE_FEEDBACK, signature
+
     dictionary = getattr(graph, "dictionary", None)
     if dictionary is not None and hasattr(graph, "pattern_cardinality"):
         consts = []
+        est = None
         for node in positions:
             if isinstance(node, Var):
                 consts.append(None)
             else:
                 term_id = dictionary.lookup(node)
                 if term_id is None:
-                    return 0.0
+                    est = 0.0  # constant absent: exact index knowledge
+                    break
                 consts.append(term_id)
-        est = float(graph.pattern_cardinality(tuple(consts)))
-        distinct = graph.distinct_counts
-        for i, node in enumerate(positions):
-            if isinstance(node, Var) and node.name in bound:
-                est /= max(1, distinct[i])
+        if est is None:
+            est = float(graph.pattern_cardinality(tuple(consts)))
+            distinct = graph.distinct_counts
+            for i, node in enumerate(positions):
+                if isinstance(node, Var) and node.name in bound:
+                    est /= max(1, distinct[i])
+        source = SOURCE_INDEX
     else:
+        feedback_fn = getattr(graph, "feedback_estimate", None)
+        est = feedback_fn(pattern, bound) if feedback_fn is not None else None
+        if est is not None:
+            return est, SOURCE_FEEDBACK, signature
         try:
             est = float(len(graph))
         except TypeError:
@@ -269,39 +348,66 @@ def estimate_pattern(pattern: TriplePattern, bound: Set[str], graph,
         for node in positions:
             if not isinstance(node, Var) or node.name in bound:
                 est /= TERM_MODE_BOUND_FACTOR
-    if (
-        isinstance(pattern.o, Var)
-        and pattern.o.name not in bound
-        and pattern.o.name in restrictions
-        and hasattr(graph, "spatial_candidates")
-    ):
+        source = SOURCE_DEFAULT
+    if spatial:
         est *= SPATIAL_DISCOUNT
+    return est, source, signature
+
+
+def estimate_pattern(pattern: TriplePattern, bound: Set[str], graph,
+                     restrictions, stats=None) -> float:
+    """Estimated matches for one probe of *pattern* (see
+    :func:`estimate_pattern_detail` for the provenance-carrying form)."""
+    est, __, __ = estimate_pattern_detail(pattern, bound, graph,
+                                          restrictions, stats=stats)
     return est
 
 
 def order_patterns(patterns: Sequence[TriplePattern], bound: Set[str],
-                   graph, restrictions
-                   ) -> List[Tuple[TriplePattern, float]]:
+                   graph, restrictions, stats=None
+                   ) -> List[Tuple[TriplePattern, float, str, str]]:
     """Greedy cardinality-based join order.
 
     Repeatedly picks the pattern with the smallest estimated match
     count given the variables bound so far; ties break on original
-    pattern order, keeping plans deterministic.
+    pattern order, keeping plans deterministic. Each entry is
+    ``(pattern, est, source, signature)``.
     """
     bound = set(bound)
     remaining = list(enumerate(patterns))
-    ordered: List[Tuple[TriplePattern, float]] = []
+    ordered: List[Tuple[TriplePattern, float, str, str]] = []
     while remaining:
-        best_i, best_est = 0, None
+        best_i, best = 0, None
         for i, (orig, pat) in enumerate(remaining):
-            est = estimate_pattern(pat, bound, graph, restrictions)
-            if best_est is None or est < best_est:
-                best_i, best_est = i, est
+            detail = estimate_pattern_detail(pat, bound, graph,
+                                             restrictions, stats=stats)
+            if best is None or detail[0] < best[0]:
+                best_i, best = i, detail
         __, pattern = remaining.pop(best_i)
-        ordered.append((pattern, best_est))
+        ordered.append((pattern,) + best)
         for var in pattern.variables():
             bound.add(var.name)
     return ordered
+
+
+def _combine_sources(sources: Iterable[Optional[str]]) -> str:
+    """Provenance of a derived estimate: feedback-touched wins;
+    otherwise any guessed input taints the combination to default."""
+    seen = {s for s in sources if s is not None}
+    if SOURCE_FEEDBACK in seen:
+        return SOURCE_FEEDBACK
+    if SOURCE_DEFAULT in seen or not seen:
+        return SOURCE_DEFAULT
+    return SOURCE_INDEX
+
+
+def _fill_sources(node: PlanNode) -> None:
+    """Bottom-up ``est_source`` for nodes the compiler left unset."""
+    for child in node.children:
+        _fill_sources(child)
+    if node.est_source is None:
+        node.est_source = _combine_sources(
+            c.est_source for c in node.children)
 
 
 # ---------------------------------------------------------------------------
@@ -404,14 +510,24 @@ def compile_group(group: GroupGraphPattern, ctx, source: "ops.Operator",
             node = PlanNode("HashJoin", "subselect", est_rows=in_est)
             node.children.append(top.node)
             # Display-only: the sub-query is re-planned at execution,
-            # so this child shows estimates without actuals.
-            node.children.append(plan_select(element.query, ctx).root)
+            # so this child shows estimates with an explicit
+            # ``rows=-`` (mark_executed never zeroes the subtree).
+            display = plan_select(element.query, ctx).root
+            display.display_only = True
+            node.children.append(display)
             top = ops.SubSelectOp(node, top, element.query)
             bound |= element_binding_vars(element)
         elif isinstance(element, ServicePattern):
             node = PlanNode(
                 "ServiceExchange", str(element.endpoint), est_rows=in_est
             )
+            node.signature = stats_mod.service_signature(element.endpoint)
+            stats = getattr(ctx, "stats", None)
+            remote_mean = (stats.estimate(node.signature)
+                           if stats is not None else None)
+            if remote_mean is not None:
+                node.est_rows = in_est * remote_mean
+                node.est_source = SOURCE_FEEDBACK
             node.children.append(top.node)
             top = ops.ServiceOp(node, top, element)
             bound |= element_binding_vars(element)
@@ -445,11 +561,14 @@ def compile_subplan(group: GroupGraphPattern, ctx,
 def _compile_bgp(bgp: BGP, ctx, source: "ops.Operator", bound: Set[str],
                  restrictions) -> "ops.Operator":
     graph = ctx.graph
-    ordered = order_patterns(bgp.patterns, bound, graph, restrictions)
+    stats = getattr(ctx, "stats", None)
+    ordered = order_patterns(bgp.patterns, bound, graph, restrictions,
+                             stats=stats)
     in_est = source.node.est_rows or 1.0
     scan_nodes: List[PlanNode] = []
+    signatures: List[str] = []
     out_est = in_est
-    for pattern, est in ordered:
+    for pattern, est, est_source, signature in ordered:
         spatial = (
             isinstance(pattern.o, Var)
             and pattern.o.name in restrictions
@@ -459,7 +578,11 @@ def _compile_bgp(bgp: BGP, ctx, source: "ops.Operator", bound: Set[str],
         detail = pattern_text(pattern)
         if spatial:
             detail += f" [rtree:{restrictions[pattern.o.name].relation}]"
-        scan_nodes.append(PlanNode(label, detail, est_rows=est))
+        scan_node = PlanNode(label, detail, est_rows=est)
+        scan_node.est_source = est_source
+        scan_node.signature = signature
+        scan_nodes.append(scan_node)
+        signatures.append(signature)
         out_est *= max(est, 0.0)
         bound.update(v.name for v in pattern.variables())
     node = PlanNode(
@@ -467,10 +590,22 @@ def _compile_bgp(bgp: BGP, ctx, source: "ops.Operator", bound: Set[str],
         f"{len(ordered)} patterns",
         est_rows=out_est,
     )
+    node.signature = stats_mod.bgp_signature(signatures)
+    # Measured output-per-input for the whole pattern set (any join
+    # order) trumps the product of per-scan estimates.
+    bgp_feedback = stats.estimate(node.signature) if stats is not None \
+        else None
+    if bgp_feedback is not None:
+        node.est_rows = in_est * bgp_feedback
+        node.est_source = SOURCE_FEEDBACK
+    else:
+        node.est_source = _combine_sources(
+            [source.node.est_source]
+            + [s.est_source for s in scan_nodes])
     node.children.append(source.node)
     node.children.extend(scan_nodes)
-    return ops.BGPOp(node, source, [p for p, __ in ordered], restrictions,
-                     scan_nodes)
+    return ops.BGPOp(node, source, [entry[0] for entry in ordered],
+                     restrictions, scan_nodes, signatures=signatures)
 
 
 # ---------------------------------------------------------------------------
@@ -482,6 +617,7 @@ def plan_group(group: GroupGraphPattern, ctx,
     """Compile a bare group (the eval_group facade's entry point)."""
     seed = ops.SeedOp(PlanNode("Seed", est_rows=1.0))
     top = compile_group(group, ctx, seed, set(bound or ()))
+    _fill_sources(top.node)
     return ops.SubPlan(seed, top)
 
 
@@ -545,6 +681,7 @@ def plan_select(query: SelectQuery, ctx) -> "ops.SubPlan":
                     "distinct" if query.distinct else "",
                     est_rows=top.node.est_rows)
     root.children.append(top.node)
+    _fill_sources(root)
     return ops.SubPlan(seed, top, root=root)
 
 
@@ -556,6 +693,7 @@ def plan_query(query: Query, ctx) -> "ops.SubPlan":
         sub = plan_group(query.where, ctx)
         root = PlanNode("Ask", est_rows=1.0)
         root.children.append(sub.top.node)
+        _fill_sources(root)
         return ops.SubPlan(sub.seed, sub.top, root=root)
     if isinstance(query, ConstructQuery):
         sub = plan_group(query.where, ctx)
@@ -566,14 +704,17 @@ def plan_query(query: Query, ctx) -> "ops.SubPlan":
                         est_rows=(sub.top.node.est_rows or 1.0)
                         * max(1, len(query.template)))
         root.children.append(sub.top.node)
+        _fill_sources(root)
         return ops.SubPlan(sub.seed, sub.top, root=root)
     if isinstance(query, DescribeQuery):
         root = PlanNode("Describe", f"{len(query.terms)} targets")
         if query.where is not None:
             sub = plan_group(query.where, ctx)
             root.children.append(sub.top.node)
+            _fill_sources(root)
             return ops.SubPlan(sub.seed, sub.top, root=root)
         seed = ops.SeedOp(PlanNode("Seed", est_rows=1.0))
+        _fill_sources(root)
         return ops.SubPlan(seed, seed, root=root)
     from .evaluator import EvaluationError
 

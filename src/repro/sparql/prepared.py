@@ -49,14 +49,21 @@ _REUSABLE_FORMS = (SelectQuery, AskQuery)
 class PreparedQuery:
     """One parsed + planned query template, bound to one graph."""
 
-    __slots__ = ("graph", "text", "ast", "sub", "executions")
+    __slots__ = ("graph", "text", "ast", "sub", "executions",
+                 "stats", "stats_version")
 
-    def __init__(self, graph: Graph, text: str, ast, sub):
+    def __init__(self, graph: Graph, text: str, ast, sub,
+                 stats=None, stats_version=None):
         self.graph = graph
         self.text = text
         self.ast = ast
         self.sub = sub  # None for non-reusable forms (CONSTRUCT...)
         self.executions = 0
+        #: StatsStore the plan was compiled against (None = no feedback).
+        self.stats = stats
+        #: The store's version at planning time; a later version means
+        #: feedback has materially changed and the plan may be stale.
+        self.stats_version = stats_version
 
     @property
     def reusable(self) -> bool:
@@ -65,14 +72,19 @@ class PreparedQuery:
 
     def run(self, bindings: Optional[Dict[str, Term]] = None,
             budget=None, tracer=None,
-            service_resolver=None) -> SPARQLResult:
+            service_resolver=None, replan_ratio=None) -> SPARQLResult:
         """Execute the prepared plan; parsing and planning are skipped.
 
         ``bindings`` maps template variable names (no ``?``) to RDF
         terms; they seed the pipeline's initial solution.
+
+        When the template was prepared with a :class:`StatsStore`, each
+        execution's profile flows back into it; ``replan_ratio``
+        additionally arms mid-query join re-ordering.
         """
         ctx = Context(self.graph, service_resolver=service_resolver,
-                      budget=budget, tracer=tracer)
+                      budget=budget, tracer=tracer, stats=self.stats,
+                      replan_ratio=replan_ratio)
         seed = [dict(bindings)] if bindings else None
         result = eval_query(self.ast, ctx, sub=self.sub, seed_rows=seed)
         self.executions += 1
@@ -96,18 +108,23 @@ class PreparedQuery:
 
 
 def prepare(graph: Graph, text: str,
-            service_resolver=None) -> PreparedQuery:
+            service_resolver=None, stats=None) -> PreparedQuery:
     """Parse and plan *text* against *graph* once, for many executions.
 
     SELECT and ASK compile to a reusable pipeline; other query forms
-    still get their parse cached but re-plan per execution.
+    still get their parse cached but re-plan per execution. When a
+    :class:`StatsStore` is given the planner consults its feedback and
+    the prepared query records the store's version, so caches can tell
+    when accumulated feedback has made the plan stale.
     """
     from .plan import plan_query
 
     ast = parse_query(text, namespaces=graph.namespaces)
     sub = None
     if isinstance(ast, _REUSABLE_FORMS):
-        ctx = Context(graph, service_resolver=service_resolver)
+        ctx = Context(graph, service_resolver=service_resolver, stats=stats)
         sub = plan_query(ast, ctx)
         sub.root.assign_ids()
-    return PreparedQuery(graph, text, ast, sub)
+    return PreparedQuery(
+        graph, text, ast, sub, stats=stats,
+        stats_version=stats.version if stats is not None else None)

@@ -208,6 +208,11 @@ class QueryProfile:
             self._collect(child, counters, current_id)
 
     def _build(self, node, depth, counters) -> None:
+        # Every node gets a row, zero-row operators and never-executed
+        # display-only subtrees included: the feedback loop needs to
+        # see empty scans (rows_out == 0, executed), and distinguishes
+        # them from plans that never ran (rows_out is None, not
+        # executed).
         self.rows.append({
             "id": node.id,
             "label": node.label,
@@ -216,6 +221,12 @@ class QueryProfile:
             "rows_in": (node.children[0].actual_rows
                         if node.children else None),
             "rows_out": node.actual_rows,
+            "executed": node.actual_rows is not None,
+            "est_rows": node.est_rows,
+            "est_source": node.est_source,
+            "signature": node.signature,
+            "probes": node.probes,
+            "replans": node.replans,
             "time_s": node.time_s,
             "self_time_s": node.time_s - sum(
                 c.time_s for c in node.children),

@@ -97,6 +97,34 @@ def test_chaos_layer_has_no_clock_or_random_at_all():
     )
 
 
+#: The feedback store gets the same total ban as the chaos layer: a
+#: StatsStore snapshot must replay byte-identically (frozen runs pin
+#: plans), so the module may hold no clock and draw no randomness at
+#: all — means come from operator counters, timings from the tracer.
+STATS_FORBIDDEN = [
+    (re.compile(r"\btime\.\w+"),
+     "stats feedback must be clock-free (timings arrive via profiles)"),
+    (re.compile(r"\brandom\.\w+"),
+     "stats feedback must be deterministic (no randomness at all)"),
+]
+
+
+def test_stats_store_has_no_clock_or_random_at_all():
+    stats_py = SRC / "repro" / "sparql" / "stats.py"
+    offenders = []
+    for lineno, line in enumerate(stats_py.read_text().splitlines(), 1):
+        code = line.split("#", 1)[0]
+        for pattern, why in STATS_FORBIDDEN:
+            if pattern.search(code):
+                offenders.append(
+                    f"src/repro/sparql/stats.py:{lineno}: {why}: "
+                    f"{line.strip()}")
+    assert not offenders, (
+        "the feedback store must replay deterministically:\n"
+        + "\n".join(offenders)
+    )
+
+
 def test_benchmarks_have_no_ambient_time_or_randomness():
     """Benchmarks measure with perf_counter() — that is their
     instrument, so the perf_counter rule is lifted there — but their

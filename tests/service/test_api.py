@@ -154,6 +154,23 @@ def test_invalidate_op(api):
     assert after["data"]["plan_cache"] == {"hit": False}
 
 
+def test_v2_diagnostics_expose_plan_cache_health(api):
+    first = api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                        "template": "names"})
+    diag = first["data"]["diagnostics"]
+    assert set(diag) == {"plan_cache_hit_rate", "stats_invalidations",
+                         "stats_version"}
+    assert diag["plan_cache_hit_rate"] == 0.0
+    assert diag["stats_invalidations"] == 0
+    assert diag["stats_version"] is None  # service built without a store
+    again = api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                        "template": "names"})
+    assert again["data"]["diagnostics"]["plan_cache_hit_rate"] == 0.5
+    # v1 clients never see the diagnostics block
+    v1 = api.handle({"op": "query", "tenant": "alpha", "template": "names"})
+    assert "diagnostics" not in v1["data"]
+
+
 def test_metrics_op_versions(api):
     api.handle({"op": "query", "tenant": "alpha", "template": "names"})
     v1 = api.handle({"op": "metrics"})

@@ -4,6 +4,7 @@ import pytest
 
 from repro.observability import MetricsRegistry
 from repro.service import PlanCache, build_default_graph
+from repro.sparql import StatsStore
 from repro.sparql.prepared import prepare
 
 from service_helpers import NAMES_QUERY
@@ -34,7 +35,7 @@ def test_miss_then_hit_returns_same_entry(graph):
     assert (hit1, hit2) == (False, True)
     assert e1 is e2
     assert cache.hits == 1 and cache.misses == 1
-    assert cache.hit_rate == 0.5
+    assert cache.hit_rate() == 0.5
 
 
 def test_lru_evicts_least_recently_used(graph):
@@ -108,3 +109,55 @@ def test_peek_does_not_touch_lru_order(graph):
 def test_max_entries_validated():
     with pytest.raises(ValueError):
         PlanCache(0)
+
+
+# -- stats-version invalidation ----------------------------------------------
+
+def _stats_builder(graph, store):
+    return lambda text: prepare(graph, text, stats=store)
+
+
+def test_stats_version_bump_invalidates_cached_plans(graph):
+    store = StatsStore()
+    cache = PlanCache(4, stats=store)
+    e1, hit1 = cache.get_or_prepare(NAMES_QUERY, _stats_builder(graph, store))
+    assert (hit1, e1.stats_version) == (False, store.version)
+    __, hit2 = cache.get_or_prepare(NAMES_QUERY, _stats_builder(graph, store))
+    assert hit2 is True  # version unchanged: still fresh
+
+    store.record("scan(?f <urn:new> ?f)", 100.0)  # material -> bump
+    e3, hit3 = cache.get_or_prepare(NAMES_QUERY, _stats_builder(graph, store))
+    assert hit3 is False  # stale entry dropped, re-planned
+    assert e3 is not e1
+    assert e3.stats_version == store.version
+    assert cache.stats_invalidations == 1
+    snap = cache.snapshot()
+    assert snap["stats_invalidations"] == 1
+    assert snap["stats_version"] == store.version
+
+
+def test_immaterial_feedback_keeps_plans_cached(graph):
+    store = StatsStore()
+    cache = PlanCache(4, stats=store)
+    cache.get_or_prepare(NAMES_QUERY, _stats_builder(graph, store))
+    store.record("sig", 10.0)
+    version = store.version
+    store.record("sig", 10.5)  # noise, not material
+    assert store.version == version
+    # the plan was compiled before "sig" existed, so one re-plan after
+    # the first bump is expected; from then on noise never invalidates
+    __, hit = cache.get_or_prepare(NAMES_QUERY, _stats_builder(graph, store))
+    assert hit is False
+    __, hit2 = cache.get_or_prepare(NAMES_QUERY, _stats_builder(graph, store))
+    assert hit2 is True
+
+
+def test_stats_invalidation_mirrored_to_metrics(graph):
+    store = StatsStore()
+    metrics = MetricsRegistry()
+    cache = PlanCache(4, metrics=metrics, stats=store)
+    cache.get_or_prepare(NAMES_QUERY, _stats_builder(graph, store))
+    store.record("sig", 10.0)
+    cache.get_or_prepare(NAMES_QUERY, _stats_builder(graph, store))
+    fam = metrics.counter("service_plan_cache_total", labelnames=("event",))
+    assert fam.labels(event="stats_invalidation").value == 1.0

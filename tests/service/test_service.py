@@ -148,6 +148,31 @@ def test_plan_cache_hit_skips_replanning_via_trace(graph, clock):
                 if s.name == "service.plan"]) == 2
 
 
+def test_stats_feedback_recompiles_cached_plans_end_to_end(graph, clock):
+    """Executions feed the store; a material bump re-plans on the next
+    lookup, and results stay identical across the re-plan."""
+    from repro.sparql import StatsStore
+
+    store = StatsStore()
+    service = QueryService(graph, tenants=[TenantSpec("a")],
+                           clock=clock, stats_store=store)
+    first = service.execute("a", NAMES_QUERY)
+    assert first.plan_cache_hit is False
+    assert len(store) > 0  # the execution's profile was ingested
+
+    # the first run's feedback is material (all-new signatures), so the
+    # cached plan — compiled before any feedback existed — is stale
+    second = service.execute("a", NAMES_QUERY)
+    assert second.plan_cache_hit is False
+    assert service.plan_cache.stats_invalidations == 1
+
+    # the re-compiled plan carries the current version, and repeating
+    # the same workload is EWMA-steady: no bump, so hits resume
+    third = service.execute("a", NAMES_QUERY)
+    assert third.plan_cache_hit is True
+    assert first.rows == second.rows == third.rows
+
+
 def test_execute_spans_carry_cache_attribute(graph, clock):
     tracer = Tracer(clock=clock)
     service = QueryService(graph, tenants=[TenantSpec("a")],

@@ -1,0 +1,294 @@
+"""Adaptive execution: feedback must change plans, never results.
+
+Three layers of guarantees, all seeded and deterministic:
+
+- **Equivalence**: randomized queries give the same solution bags as
+  the preserved seed evaluator whatever the feedback configuration —
+  no store, cold store, warm store, and with mid-query re-planning
+  armed (including runs where a re-plan actually fired).
+- **Adaptivity**: on a hub-skewed graph the divergence check re-orders
+  the remaining patterns mid-query (``replans`` > 0, surfaced in
+  EXPLAIN) and warm feedback re-orders the next plan outright, both
+  strictly shrinking the enumerated intermediate rows.
+- **Replay**: with a frozen store, same-seed runs are byte-identical
+  across worker counts 1/2/4 — the stats snapshot pins the plan and
+  freezing pins the snapshot.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+import reference_evaluator
+from repro.parallel import WorkerPool
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+from repro.sparql import StatsStore, query
+from repro.sparql.evaluator import Context, eval_query
+from repro.sparql.federation import FederationEngine, SparqlEndpoint
+from repro.sparql.parser import parse_query
+
+pytestmark = pytest.mark.tier1
+
+EX = "http://example.org/"
+N_SEEDS = 12
+
+
+# -- graph builders -----------------------------------------------------------
+
+def random_graph(seed: int) -> Graph:
+    rnd = random.Random(seed)
+    g = Graph()
+    cities = [IRI(f"{EX}city/{c}") for c in ("paris", "athens", "delft")]
+    for i in range(30):
+        s = IRI(f"{EX}person/{i}")
+        g.add(s, IRI(EX + "type"), IRI(EX + "Person"))
+        if rnd.random() < 0.8:
+            g.add(s, IRI(EX + "name"), Literal(f"name{rnd.randrange(15)}"))
+        if rnd.random() < 0.7:
+            g.add(s, IRI(EX + "age"), Literal(rnd.randrange(15, 90)))
+        if rnd.random() < 0.6:
+            g.add(s, IRI(EX + "city"), rnd.choice(cities))
+        for __ in range(rnd.randrange(0, 4)):
+            g.add(s, IRI(EX + "knows"),
+                  IRI(f"{EX}person/{rnd.randrange(30)}"))
+    return g
+
+
+def skew_graph(followers: int = 500) -> Graph:
+    """Hub-skewed graph: per-subject mean for ``follows`` is tiny, but
+    every hub's fan-out is huge — exactly the estimate/actual gap that
+    must trigger a mid-query re-plan."""
+    g = Graph()
+    users = [IRI(f"{EX}user/{i}") for i in range(followers)]
+    for i in range(10):
+        hub = IRI(f"{EX}hub/{i}")
+        g.add(hub, IRI(EX + "type"), IRI(EX + "Hub"))
+        for u in users:
+            g.add(hub, IRI(EX + "follows"), u)
+    for i, u in enumerate(users):
+        g.add(u, IRI(EX + "follows"), users[(i + 1) % followers])
+        if i % 10 == 0:
+            g.add(u, IRI(EX + "vip"), Literal("true"))
+        if i % 5 == 0:
+            g.add(u, IRI(EX + "city"), IRI(EX + "paris"))
+    return g
+
+
+SKEW_QUERY = (
+    "SELECT ?h ?u WHERE { "
+    f"?h <{EX}type> <{EX}Hub> . "
+    f"?h <{EX}follows> ?u . "
+    f"?u <{EX}vip> ?o . "
+    f"?u <{EX}city> <{EX}paris> . }}"
+)
+
+
+PATTERNS = [
+    ("?p <{0}type> <{0}Person> .", set()),
+    ("?p <{0}knows> ?q .", {"q"}),
+    ("?p <{0}age> ?a .", {"a"}),
+    ("?q <{0}age> ?b .", {"q", "b"}),
+    ("?p <{0}city> ?c .", {"c"}),
+    ("?p <{0}name> ?n .", {"n"}),
+]
+
+
+def random_query(rnd) -> str:
+    chosen = rnd.sample(PATTERNS, rnd.randrange(2, 5))
+    parts = ["\n".join(p.format(EX) for p, __ in chosen)]
+    if rnd.random() < 0.4:
+        parts.append("OPTIONAL { ?p <%sname> ?optn . }" % EX)
+    return "SELECT * WHERE { %s }" % "\n".join(parts)
+
+
+def bag(result) -> Counter:
+    return Counter(
+        tuple(sorted((v, t.n3()) for v, t in row.items() if t is not None))
+        for row in result.rows)
+
+
+def run_ref(g, text):
+    return reference_evaluator.eval_query(
+        parse_query(text), reference_evaluator.Context(g))
+
+
+def intermediate_rows(result) -> int:
+    return sum(n.actual_rows for n in result.plan.walk()
+               if n.label == "IndexScan")
+
+
+# -- equivalence under every feedback configuration ---------------------------
+
+def test_feedback_never_changes_results():
+    """Cold store, warm store, and replanning all match the oracle."""
+    for seed in range(N_SEEDS):
+        rnd = random.Random(2000 + seed)
+        g = random_graph(seed % 4)
+        text = random_query(rnd)
+        expected = bag(run_ref(g, text))
+        store = StatsStore()
+        for run in range(3):  # cold, warming, warm
+            result = query(g, text, stats=store, replan_ratio=2.0)
+            assert bag(result) == expected, (text, run)
+        # aggressive replanning on the now-warm store
+        result = query(g, text, stats=store, replan_ratio=1.1)
+        assert bag(result) == expected, text
+
+
+def test_midquery_replan_fires_and_preserves_results():
+    g = skew_graph()
+    expected = bag(run_ref(g, SKEW_QUERY))
+
+    static = query(g, SKEW_QUERY)
+    assert bag(static) == expected
+
+    adaptive = query(g, SKEW_QUERY, replan_ratio=2.0)
+    assert bag(adaptive) == expected
+    replans = sum(n.replans for n in adaptive.plan.walk())
+    assert replans >= 1
+    # the re-plan is surfaced in EXPLAIN and traced in the plan tree
+    assert "replans=" in adaptive.explain()
+    events = [e for n in adaptive.plan.walk() for e in n.replan_events]
+    assert events and all("order" in e for e in events)
+    # and it paid off: strictly fewer enumerated intermediate rows
+    assert intermediate_rows(adaptive) < intermediate_rows(static)
+
+
+def test_warm_feedback_reorders_next_plan():
+    g = skew_graph()
+    expected = bag(run_ref(g, SKEW_QUERY))
+    store = StatsStore()
+    cold = query(g, SKEW_QUERY, stats=store)
+    warm = query(g, SKEW_QUERY, stats=store)
+    assert bag(cold) == bag(warm) == expected
+    assert intermediate_rows(warm) < intermediate_rows(cold)
+    assert "src=feedback" in warm.explain()
+
+
+def test_replan_spans_appear_under_a_tracer():
+    from repro.observability import Tracer
+
+    g = skew_graph()
+    tracer = Tracer()
+    result = query(g, SKEW_QUERY, replan_ratio=2.0, tracer=tracer)
+    assert sum(n.replans for n in result.plan.walk()) >= 1
+
+    def spans(span):
+        yield span
+        for child in span.children:
+            yield from spans(child)
+
+    names = [s.name for s in spans(result.trace)]
+    assert "bgp.replan" in names
+
+
+# -- frozen-snapshot replay ---------------------------------------------------
+
+def member_graphs():
+    names = [("unit", ["paris", "lyon", "nice"]),
+             ("park", ["jardin", "parc"]),
+             ("cover", ["forest"])]
+    members = []
+    for kind, labels in names:
+        g = Graph()
+        for label in labels:
+            node = IRI(EX + label)
+            g.add(node, IRI(EX + kind), Literal(label))
+            g.add(node, IRI(EX + "label"), Literal(label.upper()))
+        members.append((f"http://{kind}.example/sparql", g))
+    return members
+
+
+FED_QUERY = (
+    "PREFIX ex: <http://example.org/>\n"
+    "SELECT ?s ?l WHERE { ?s ex:label ?l } ORDER BY ?l ?s"
+)
+
+
+def build_engine(workers, store):
+    engine = FederationEngine(pool=WorkerPool(workers=workers),
+                              eager_service=True, stats_store=store,
+                              replan_ratio=2.0)
+    for iri, graph in member_graphs():
+        engine.register(iri, SparqlEndpoint(graph, name=iri))
+    return engine
+
+
+def test_frozen_snapshot_runs_are_byte_identical_across_workers():
+    # warm a store once, snapshot it, then replay frozen everywhere
+    warm = StatsStore()
+    build_engine(1, warm).query(FED_QUERY)
+    snapshot = warm.snapshot()
+
+    outputs = []
+    for workers in (1, 2, 4):
+        store = StatsStore().load_snapshot(snapshot).freeze()
+        engine = build_engine(workers, store)
+        result = engine.query(FED_QUERY)
+        outputs.append((result.to_json(), result.explain(),
+                        store.version, store.snapshot()))
+    assert outputs[0] == outputs[1] == outputs[2]
+    # frozen means frozen: the replay ingested nothing
+    assert outputs[0][3] == snapshot
+
+
+def test_federation_feedback_feeds_source_selection():
+    store = StatsStore()
+    engine = build_engine(1, store)
+    engine.query(FED_QUERY)
+    sig = (f"fed(http://unit.example/sparql ?f <{EX}label> ?f)")
+    assert store.estimate(sig) == 3.0  # paris, lyon, nice
+    plan = engine.explain(FED_QUERY)
+    scans = [n for n in plan.walk() if n.est_source == "feedback"]
+    assert scans, plan.render()
+
+
+# -- EXPLAIN / profile regressions (display-only + zero-row operators) -------
+
+SUBSELECT_QUERY = (
+    "SELECT ?p ?n WHERE { "
+    f"?p <{EX}name> ?n "
+    f"{{ SELECT ?p WHERE {{ ?p <{EX}age> ?a FILTER(?a >= 30) }} }} }}"
+)
+
+
+def test_display_only_subplan_prints_explicit_dash():
+    g = random_graph(0)
+    result = query(g, SUBSELECT_QUERY)
+    [join] = [n for n in result.plan.walk()
+              if n.label == "HashJoin" and n.detail == "subselect"]
+    display = join.children[1]
+    assert display.display_only
+    # executed plan: every executed node has a count, the display-only
+    # subtree keeps rows=- (it never ran; zero would be a lie)
+    for node in display.walk():
+        assert node.actual_rows is None
+    assert "rows=-" in result.explain()
+    assert join.actual_rows is not None
+
+
+def test_profile_emits_rows_for_zero_row_and_display_only_operators():
+    g = random_graph(0)
+    # every term exists in the dictionary, but no person knows a city:
+    # the scan genuinely probes and matches nothing
+    text = ("SELECT ?p WHERE { "
+            f"?p <{EX}knows> <{EX}city/paris> . "
+            f"{{ SELECT ?p WHERE {{ ?p <{EX}age> ?a FILTER(?a >= 30) }} }}"
+            " }")
+    result = query(g, text)
+    assert len(result) == 0
+    profile = list(result.profile())
+    # one profile row per plan node, zero-row operators included
+    assert len(profile) == len(list(result.plan.walk()))
+    zero = [r for r in profile
+            if r["rows_out"] == 0 and r["executed"] and r["probes"]]
+    assert zero, "zero-row operators must still emit profile rows"
+    ghost = [r for r in profile if not r["executed"]]
+    assert ghost and all(r["rows_out"] is None for r in ghost)
+    # and the feedback path ingests the zero-row scan
+    store = StatsStore()
+    store.observe_profile(profile)
+    sig = f"scan(?f <{EX}knows> <{EX}city/paris>)"
+    assert store.estimate(sig) == 0.0

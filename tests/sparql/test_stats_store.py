@@ -1,0 +1,155 @@
+"""StatsStore unit behaviour: signatures, EWMA, versioning, freezing."""
+
+import json
+
+import pytest
+
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+from repro.sparql import StatsStore, explain, query
+from repro.sparql.ast import TriplePattern, Var
+from repro.sparql.stats import (
+    bgp_signature,
+    federation_signature,
+    pattern_signature,
+    service_signature,
+)
+
+pytestmark = pytest.mark.tier1
+
+EX = "http://example.org/"
+
+
+# -- signatures ---------------------------------------------------------------
+
+def test_pattern_signature_masks_variable_names_not_shape():
+    p = TriplePattern(Var("x"), IRI(EX + "knows"), Var("y"))
+    q = TriplePattern(Var("a"), IRI(EX + "knows"), Var("b"))
+    # same shape + same bound mask => same signature, names don't matter
+    assert pattern_signature(p, {"x"}) == pattern_signature(q, {"a"})
+    # a different bound mask is a different signature
+    assert pattern_signature(p, {"x"}) != pattern_signature(p, set())
+    assert pattern_signature(p, set()) \
+        == f"scan(?f <{EX}knows> ?f)"
+
+
+def test_spatial_scans_key_separately():
+    p = TriplePattern(Var("x"), IRI(EX + "within"), Var("y"))
+    assert pattern_signature(p, set(), spatial=True) \
+        != pattern_signature(p, set())
+
+
+def test_bgp_signature_is_order_insensitive():
+    sigs = ["scan(?f <urn:a> ?f)", "scan(?b <urn:b> ?f)"]
+    assert bgp_signature(sigs) == bgp_signature(list(reversed(sigs)))
+
+
+def test_service_and_federation_signatures():
+    assert service_signature("urn:ep") == "service(urn:ep)"
+    sig = federation_signature("urn:ep", None, IRI(EX + "p"), IRI(EX + "o"))
+    assert sig == f"fed(urn:ep ?f <{EX}p> ?b)"
+
+
+# -- ingestion / versioning ---------------------------------------------------
+
+def test_record_and_estimate_ewma():
+    store = StatsStore(ewma_alpha=0.5)
+    store.record("sig", 10.0)
+    assert store.estimate("sig") == 10.0
+    store.record("sig", 20.0)
+    assert store.estimate("sig") == pytest.approx(15.0)
+    assert store.record_for("sig").observations == 2
+    assert store.estimate("unknown") is None
+    assert store.estimate(None) is None
+
+
+def test_version_bumps_only_on_material_change():
+    store = StatsStore(drift_ratio=2.0)
+    v0 = store.version
+    store.record("sig", 10.0)           # new signature: material
+    v1 = store.version
+    assert v1 == v0 + 1
+    store.record("sig", 10.0)           # steady state: noise, no bump
+    store.record("sig", 11.0)
+    assert store.version == v1
+    store.record("sig", 1000.0)         # drift past the ratio: material
+    assert store.version == v1 + 1
+
+
+def test_observe_profile_batches_one_bump():
+    store = StatsStore()
+    v0 = store.version
+    rows = [
+        {"signature": "a", "probes": 2, "rows_out": 10, "time_s": 0.0},
+        {"signature": "b", "probes": 1, "rows_out": 3, "time_s": 0.0},
+        {"signature": None, "probes": 1, "rows_out": 9},   # skipped
+        {"signature": "c", "probes": 0, "rows_out": 9},    # never probed
+        {"signature": "d", "probes": 1, "rows_out": None},  # never ran
+    ]
+    assert store.observe_profile(rows) is True
+    assert store.version == v0 + 1
+    assert store.estimate("a") == 5.0  # per-probe mean
+    assert store.estimate("b") == 3.0
+    assert "c" not in store and "d" not in store
+
+
+def test_zero_row_observations_are_ingested():
+    """An empty scan is feedback, not a gap (corrects overestimates)."""
+    store = StatsStore()
+    store.record("sig", 50.0)
+    store.observe_profile(
+        [{"signature": "sig", "probes": 1, "rows_out": 0, "time_s": 0.0}])
+    assert store.estimate("sig") == pytest.approx(25.0)
+
+
+def test_freeze_blocks_every_ingestion_path():
+    store = StatsStore()
+    store.record("sig", 5.0)
+    version = store.version
+    store.freeze()
+    assert store.record("sig", 500.0) is False
+    assert store.observe_profile(
+        [{"signature": "x", "probes": 1, "rows_out": 9}]) is False
+    assert store.version == version
+    assert store.estimate("sig") == 5.0
+    store.thaw()
+    store.record("other", 1.0)
+    assert store.version == version + 1
+
+
+# -- persistence --------------------------------------------------------------
+
+def test_snapshot_roundtrip_is_byte_stable(tmp_path):
+    store = StatsStore()
+    store.record("z", 3.0, mean_time_s=0.25)
+    store.record("a", 7.0)
+    path = tmp_path / "stats.json"
+    store.save(path)
+    loaded = StatsStore.load(path)
+    assert loaded.version == store.version
+    assert loaded.estimate("a") == 7.0
+    assert loaded.timing("z") == 0.25
+    path2 = tmp_path / "stats2.json"
+    loaded.save(path2)
+    assert path.read_bytes() == path2.read_bytes()
+    # records are sorted for deterministic dumps
+    assert list(json.loads(path.read_text())["records"]) == ["a", "z"]
+
+
+# -- the executor feedback path ----------------------------------------------
+
+def test_executed_queries_feed_the_store():
+    g = Graph()
+    for i in range(8):
+        g.add(IRI(f"{EX}s{i}"), IRI(EX + "p"), Literal(i))
+    store = StatsStore()
+    result = query(g, "SELECT ?s ?o WHERE { ?s <%sp> ?o }" % EX,
+                   stats=store)
+    assert len(result) == 8
+    assert len(store) > 0
+    sig = f"scan(?f <{EX}p> ?f)"
+    assert store.estimate(sig) == 8.0
+    # the next planning of the same shape uses the feedback
+    plan = explain(g, "SELECT ?s ?o WHERE { ?s <%sp> ?o }" % EX, stats=store)
+    scan = [n for n in plan.walk() if n.signature == sig]
+    assert scan and scan[0].est_source == "feedback"
