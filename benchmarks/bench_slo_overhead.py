@@ -1,0 +1,120 @@
+"""Observability overhead benchmark: the SLO engine, query log and
+flight recorder must stay cheap enough to leave on in production.
+
+Runs the same seeded open-loop workload with the full observability
+stack attached (per-request SLO window updates on two scopes,
+query-log classification + deterministic sampling, flight recorder
+entries) and with ``observability=False``, and emits two overhead
+measures:
+
+- ``call_overhead_ratio`` — total profiled function calls on/off.
+  Because the whole stack runs in virtual time off one seed, this is
+  **exactly** reproducible: it counts the work the observers add, not
+  what the machine was doing that day. This is the gated metric — the
+  tracked-metrics entry caps it at ~1.05, i.e. always-on observability
+  may not add more than ~5 % to the request path.
+- ``wall_overhead_ratio`` — best-of-N wall clock, rounds interleaved
+  (on, off, on, off, …) so frequency scaling and cache drift hit both
+  variants equally. Informational: too noisy on shared CI runners to
+  gate at 5 %.
+
+The benchmark also asserts the observers are *passive*: totals and
+latency percentiles must be identical with and without the stack, and
+two instrumented same-seed runs must produce byte-identical reports.
+
+Emits ``out/BENCH_slo.json``; the committed reference lives in
+``benchmarks/baselines/`` (regenerate in ``--smoke`` mode — that is
+what the slo-smoke CI job runs)::
+
+    python -m pytest benchmarks/bench_slo_overhead.py \
+        --run-benchmarks --smoke -q
+    cp out/BENCH_slo.json benchmarks/baselines/
+"""
+
+import cProfile
+import time
+
+import pytest
+
+from repro.service import WorkloadSpec, run_workload
+
+pytestmark = pytest.mark.benchmark
+
+ROUNDS = 3
+
+
+def _spec(smoke, observability):
+    return WorkloadSpec(
+        seed=42,
+        clients=800 if smoke else 2000,
+        rate_rps=450.0,
+        arrival="open",
+        observability=observability,
+    )
+
+
+def _profiled_calls(spec):
+    """Total function calls for one run — seed-deterministic."""
+    profile = cProfile.Profile()
+    profile.enable()
+    report = run_workload(spec)
+    profile.disable()
+    return sum(s.callcount for s in profile.getstats()), report
+
+
+def _timed(spec):
+    start = time.perf_counter()
+    report = run_workload(spec)
+    return time.perf_counter() - start, report
+
+
+def test_observability_overhead(smoke, emit_bench, record_summary):
+    run_workload(_spec(smoke, True))  # warm caches outside all timings
+
+    calls_on, on_report = _profiled_calls(_spec(smoke, True))
+    calls_off, off_report = _profiled_calls(_spec(smoke, False))
+    call_ratio = calls_on / calls_off
+
+    wall_on = wall_off = float("inf")
+    for _ in range(ROUNDS):
+        wall, _ignored = _timed(_spec(smoke, True))
+        wall_on = min(wall_on, wall)
+        wall, _ignored = _timed(_spec(smoke, False))
+        wall_off = min(wall_off, wall)
+
+    # passive observers: the observed workload must not notice them
+    assert on_report["totals"] == off_report["totals"]
+    assert on_report["latency_s"] == off_report["latency_s"]
+    identical = float(
+        run_workload(_spec(smoke, True)).to_json() == on_report.to_json())
+
+    totals = on_report["totals"]
+    qlog = on_report["query_log"]
+    metrics = {
+        "clients": _spec(smoke, True).clients,
+        "calls_on": calls_on,
+        "calls_off": calls_off,
+        "call_overhead_ratio": round(call_ratio, 4),
+        "wall_on_s": round(wall_on, 3),
+        "wall_off_s": round(wall_off, 3),
+        "wall_overhead_ratio": round(wall_on / wall_off, 4),
+        "qlog_offered": qlog["offered"],
+        "qlog_kept": sum(qlog["kept"].values()),
+        "slo_specs": len(on_report["slo"]["specs"]),
+        "identical_reports": identical,
+    }
+    emit_bench("slo", overhead=metrics, wall_s=round(wall_on, 3))
+    record_summary("observability overhead", [
+        f"clients={metrics['clients']} offered=450 rps (seed 42)",
+        f"profiled calls on={calls_on} off={calls_off} "
+        f"overhead={100 * (call_ratio - 1):+.2f}% (deterministic)",
+        f"wall on={wall_on:.3f}s off={wall_off:.3f}s "
+        f"overhead={100 * (wall_on / wall_off - 1):+.1f}% "
+        f"(best of {ROUNDS}, informational)",
+        f"qlog kept {metrics['qlog_kept']}/{qlog['offered']} offered; "
+        f"{metrics['slo_specs']} SLO specs live",
+        f"completed={totals['completed']}  shed_rate="
+        f"{totals['shed_rate']:.3f}",
+        f"passive + deterministic re-run identical: {bool(identical)}",
+    ])
+    assert identical == 1.0

@@ -41,6 +41,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..observability import SLOSpec, SLOWindows
 from ..opendap import DapCache, DapDataset, DapServer, ServerRegistry, \
     open_url
 from ..parallel import SerialExecutor, TaskOutcome, WorkerDeath, WorkerPool
@@ -302,8 +303,12 @@ class ChaosHarness:
         self.engine = self.workload.federation
         #: Per source: the chaos wrappers standing in for its replicas
         #: (singleton list for unpooled sources), in registration order.
+        self.recorder = self.workload.recorder
+        self.slo = self.workload.slo
         self.source_wrappers: List[Tuple[str, List[ChaosEndpoint]]] = []
         self._install_endpoint_wrappers(pooled_source, replica_count)
+        if self.recorder is not None:
+            self._wire_pool_observability()
         self.executor = ChaosExecutor(SerialExecutor(), self.clock, plan)
         self.engine.pool = WorkerPool(executor=self.executor,
                                       name="chaos-fanout")
@@ -338,6 +343,44 @@ class ChaosHarness:
                 wrappers = [ChaosEndpoint(original, self.clock)]
                 self.engine.register(iri, wrappers[0])
             self.source_wrappers.append((iri, wrappers))
+
+    def _wire_pool_observability(self) -> None:
+        """Per-pool availability SLOs + pool health edges into the
+        flight recorder. ``sample`` events feed the SLO windows (one
+        good/bad observation per dispatch attempt); ejection and probe
+        edges are incidents-in-the-making and land in the ring, an
+        ejection additionally snapshotting an incident bundle."""
+        fast_s, mid_s, slow_s = self.spec.slo_windows
+        windows = SLOWindows(fast_s=fast_s, mid_s=mid_s, slow_s=slow_s)
+        for iri in self.engine.sources():
+            pool = self.engine.endpoint_pool(iri)
+            if pool is None:
+                continue
+            scope = f"pool:{iri}"
+            self.slo.register(SLOSpec(
+                name=f"pool-{pool.name}-availability", scope=scope,
+                objective="availability", target=0.95, windows=windows))
+            pool.on_event = self._pool_event(scope)
+
+    def _pool_event(self, scope: str) -> Callable[
+            [str, Dict[str, object]], None]:
+        def on_event(event: str, payload: Dict[str, object]) -> None:
+            if event == "sample":
+                # every recorded attempt is one availability datapoint;
+                # samples stay out of the ring (they would flood it)
+                self.slo.observe(
+                    scope,
+                    outcome="completed" if payload["ok"] else "failed",
+                    latency_s=payload["latency_s"])
+                return
+            self.recorder.record(
+                f"pool_{event}",
+                **{k: v for k, v in payload.items()
+                   if isinstance(v, (str, int, float, bool, type(None)))})
+            if event == "ejection":
+                self.recorder.snapshot(
+                    f"ejection:{payload['pool']}:{payload['replica']}")
+        return on_event
 
     def _install_dap_channel(self, ticks: int, tick_s: float,
                              ttl_s: float, max_entries: int) -> None:
@@ -391,6 +434,9 @@ class ChaosHarness:
         self.timer_log.append({"at_s": round(self.clock.now, 9),
                                "kind": fault.kind, "edge": edge,
                                "target": fault.target})
+        if self.recorder is not None:
+            self.recorder.record("fault_window", fault=fault.kind,
+                                 edge=edge, target=fault.target)
 
     def _endpoint_targets(self, fault: Fault) -> List[ChaosEndpoint]:
         target = fault.target
@@ -578,6 +624,11 @@ class ChaosReport:
                 "pools": engine.pool_reports(),
             },
         }
+        # Incident bundles at the top level so operators (and the
+        # acceptance suite) need not dig through the workload block;
+        # the slo/query_log rollups live there already.
+        if harness.recorder is not None:
+            self.report["incidents"] = harness.recorder.summary()
 
     def __getitem__(self, key: str):
         return self.report[key]

@@ -169,10 +169,21 @@ class InvariantChecker:
 
     def check_all(self) -> Dict[str, str]:
         """Run every invariant; returns ``{name: "ok"}`` or raises the
-        first :class:`InvariantViolation` encountered."""
+        first :class:`InvariantViolation` encountered.
+
+        A violation is an incident: when the run carried a flight
+        recorder, its ring is snapshotted under ``invariant:<name>``
+        before the violation propagates, so the evidence window is
+        frozen at the moment of detection."""
+        recorder = getattr(self.report.harness, "recorder", None)
         verdicts: Dict[str, str] = {}
         for name in self.CHECKS:
-            getattr(self, "check_" + name)()
+            try:
+                getattr(self, "check_" + name)()
+            except InvariantViolation:
+                if recorder is not None:
+                    recorder.snapshot(f"invariant:{name}")
+                raise
             verdicts[name] = "ok"
         return verdicts
 

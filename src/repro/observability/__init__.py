@@ -1,6 +1,6 @@
-"""Unified observability: cross-layer tracing, metrics, profiles.
+"""Unified observability: tracing, metrics, profiles, SLOs, forensics.
 
-Three pieces, one import surface:
+Six pieces, one import surface:
 
 - :mod:`~repro.observability.trace` — ``Tracer``/``Span`` with an
   injectable monotonic clock, threaded through every layer of the data
@@ -10,7 +10,18 @@ Three pieces, one import surface:
   and JSON export, plus a validating parser;
 - :mod:`~repro.observability.bridge` — scrape-time collectors exposing
   the pre-existing ``ResilienceStats``/``GovernanceStats``/``DapCache``
-  counters through the registry without changing their APIs.
+  /``StatsStore`` counters through the registry without changing their
+  APIs;
+- :mod:`~repro.observability.slo` — declarative per-tenant / per-pool
+  ``SLOSpec`` objectives evaluated over sliding windows with
+  multi-window burn-rate alerting (Google-SRE style) on virtual time;
+- :mod:`~repro.observability.qlog` — a structured query log with
+  deterministic tail sampling (100 % of errors / degraded /
+  SLO-breaching / slowest-decile queries, seeded hash sample of the
+  rest);
+- :mod:`~repro.observability.recorder` — an always-on flight recorder
+  ring that snapshots byte-stable incident bundles when an invariant,
+  a page-level burn alert, or a pool ejection fires.
 
 Query-level profiles (``SPARQLResult.profile()``) are built on the
 trace/plan mirroring here; see ``repro.sparql.results``.
@@ -21,16 +32,31 @@ from .bridge import (
     register_endpoint_pool,
     register_governance,
     register_resilience,
+    register_slo,
+    register_stats_store,
 )
 from .labeled import LabeledCounters
 from .metrics import (
     DEFAULT_BUCKETS,
+    EMPTY_QUANTILE,
+    EmptyQuantile,
     Exposition,
     MetricFamily,
     MetricsError,
     MetricsRegistry,
+    exposition_from_dict,
     histogram_quantile,
     parse_exposition,
+)
+from .qlog import KEEP_REASONS, QueryLog, QueryLogRecord
+from .recorder import FlightRecorder
+from .slo import (
+    OBJECTIVES,
+    SLOAlert,
+    SLOEngine,
+    SLOReport,
+    SLOSpec,
+    SLOWindows,
 )
 from .trace import (
     PlanTrace,
@@ -57,11 +83,26 @@ __all__ = [
     "MetricsError",
     "Exposition",
     "parse_exposition",
+    "exposition_from_dict",
     "histogram_quantile",
+    "EmptyQuantile",
+    "EMPTY_QUANTILE",
     "DEFAULT_BUCKETS",
     "LabeledCounters",
     "register_resilience",
     "register_governance",
     "register_dap_cache",
     "register_endpoint_pool",
+    "register_stats_store",
+    "register_slo",
+    "OBJECTIVES",
+    "SLOSpec",
+    "SLOWindows",
+    "SLOAlert",
+    "SLOEngine",
+    "SLOReport",
+    "KEEP_REASONS",
+    "QueryLog",
+    "QueryLogRecord",
+    "FlightRecorder",
 ]

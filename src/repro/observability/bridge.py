@@ -23,6 +23,8 @@ __all__ = [
     "register_governance",
     "register_dap_cache",
     "register_endpoint_pool",
+    "register_stats_store",
+    "register_slo",
 ]
 
 #: Upper bounds of the governance headroom histogram (tenths of the
@@ -161,3 +163,59 @@ def register_endpoint_pool(registry: MetricsRegistry, pool,
     (active flag, rolling error rate)."""
     registry.register_collector(
         lambda: _pool_families(pool, namespace, dict(labels)))
+
+
+def _stats_store_families(store, namespace: str,
+                          base_labels: Dict[str, str],
+                          plan_cache) -> Iterable[MetricFamily]:
+    labelnames = sorted(base_labels)
+    stats = store.stats()
+    families = []
+    version = MetricFamily(
+        f"{namespace}_version", "gauge",
+        help="Stats store: feedback version (bumps on drift)",
+        labelnames=labelnames,
+    )
+    version.labels(**base_labels).set(stats["stats_version"])
+    signatures = MetricFamily(
+        f"{namespace}_signatures", "gauge",
+        help="Stats store: plan signatures with feedback records",
+        labelnames=labelnames,
+    )
+    signatures.labels(**base_labels).set(stats["signatures"])
+    frozen = MetricFamily(
+        f"{namespace}_frozen", "gauge",
+        help="Stats store: 1 when frozen for replay, else 0",
+        labelnames=labelnames,
+    )
+    frozen.labels(**base_labels).set(1 if stats["frozen"] else 0)
+    families.extend([version, signatures, frozen])
+    if plan_cache is not None:
+        invalidations = MetricFamily(
+            f"{namespace}_plan_invalidations_total", "counter",
+            help="Stats store: plan-cache entries invalidated by "
+                 "stats-version bumps",
+            labelnames=labelnames,
+        )
+        invalidations.labels(**base_labels).inc(
+            plan_cache.stats_invalidations)
+        families.append(invalidations)
+    return families
+
+
+def register_stats_store(registry: MetricsRegistry, store,
+                         namespace: str = "repro_stats_store",
+                         plan_cache=None, **labels: str) -> None:
+    """Expose a :class:`~repro.sparql.stats.StatsStore`'s version,
+    signature count and frozen flag — plus the plan cache's
+    stats-version invalidation counter when one is passed."""
+    registry.register_collector(
+        lambda: _stats_store_families(store, namespace, dict(labels),
+                                      plan_cache))
+
+
+def register_slo(registry: MetricsRegistry, engine) -> None:
+    """Expose an :class:`~repro.observability.slo.SLOEngine`'s
+    ``slo_*`` families (event counts, burn-rate gauges, alert states
+    and fire/clear edge counters) at scrape time."""
+    registry.register_collector(engine.metric_families)

@@ -31,7 +31,10 @@ __all__ = [
     "Histogram",
     "Exposition",
     "parse_exposition",
+    "exposition_from_dict",
     "histogram_quantile",
+    "EmptyQuantile",
+    "EMPTY_QUANTILE",
     "DEFAULT_BUCKETS",
 ]
 
@@ -179,22 +182,50 @@ class Histogram:
         self.sum = total_sum
 
 
+class EmptyQuantile(float):
+    """Typed sentinel for "this histogram has no observations".
+
+    A NaN-valued float singleton: falsy, unequal to everything
+    (including itself, per NaN semantics), and loud in reprs — so an
+    unguarded caller that arithmetics with it poisons its result
+    instead of silently reporting a plausible-looking 0.0 latency.
+    """
+
+    _instance: Optional["EmptyQuantile"] = None
+
+    def __new__(cls) -> "EmptyQuantile":
+        if cls._instance is None:
+            cls._instance = float.__new__(cls, float("nan"))
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "EMPTY_QUANTILE"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+EMPTY_QUANTILE = EmptyQuantile()
+
+
 def histogram_quantile(hist: "Histogram", q: float) -> float:
     """A deterministic upper-bound quantile estimate from bucket counts.
 
     Returns the smallest bucket upper bound whose cumulative count
     reaches ``ceil(q * count)`` — the conservative (never optimistic)
     read of "q of the observations were at most this much". Values in
-    the overflow (+Inf) region clamp to the largest finite bound; an
-    empty histogram reports 0. Because the answer depends only on the
-    configured bounds and integer counts, two identical workloads
-    report byte-identical percentiles — no interpolation, no float
-    drift.
+    the overflow (+Inf) region clamp to the largest finite bound; a
+    histogram with no observations (or no buckets) reports the typed
+    :data:`EMPTY_QUANTILE` sentinel rather than an arbitrary bound, so
+    callers must decide what "no data" means for them. Because the
+    answer depends only on the configured bounds and integer counts,
+    two identical workloads report byte-identical percentiles — no
+    interpolation, no float drift.
     """
     if not 0.0 < q <= 1.0:
         raise MetricsError(f"quantile must be in (0, 1]: {q!r}")
-    if hist.count <= 0:
-        return 0.0
+    if hist.count <= 0 or not hist.buckets:
+        return EMPTY_QUANTILE
     # ceil without floats drifting: the rank of the target observation
     rank = -(-hist.count * q // 1)
     cumulative = 0
@@ -202,7 +233,7 @@ def histogram_quantile(hist: "Histogram", q: float) -> float:
         cumulative += n
         if cumulative >= rank:
             return bound
-    return hist.buckets[-1] if hist.buckets else 0.0
+    return hist.buckets[-1]
 
 
 # ---------------------------------------------------------------------------
@@ -395,6 +426,25 @@ class MetricsRegistry:
     def dump_json(self) -> str:
         return json.dumps(self.to_json(), sort_keys=True, indent=2) + "\n"
 
+    def collect_to_dict(self) -> Dict[str, Dict[str, object]]:
+        """A plain-dict scrape keyed by family name, in collect order.
+
+        Round-trips through :func:`exposition_from_dict`::
+
+            exposition_from_dict(r.collect_to_dict()).render() == r.expose()
+        """
+        out: Dict[str, Dict[str, object]] = {}
+        for family in self.collect():
+            out[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": [
+                    [name, dict(labels), value]
+                    for name, labels, value in family.samples()
+                ],
+            }
+        return out
+
 
 # ---------------------------------------------------------------------------
 # Parser (validation + byte-identical re-render)
@@ -533,6 +583,29 @@ def _family_for_sample(families: Dict[str, ParsedFamily],
             if fam is not None:
                 return fam
     return None
+
+
+def exposition_from_dict(data: Dict[str, Dict[str, object]]) -> Exposition:
+    """Rebuild a validated :class:`Exposition` from
+    :meth:`MetricsRegistry.collect_to_dict` output (dict insertion
+    order is preserved, so the rebuilt text is byte-identical to the
+    ``expose()`` the dict came from)."""
+    families: List[ParsedFamily] = []
+    for name, block in data.items():
+        fam = ParsedFamily(_check_name(str(name)), str(block["type"]),
+                           str(block.get("help", "")))
+        if fam.kind not in _KINDS:
+            raise MetricsError(f"unknown metric type {fam.kind!r}")
+        for sample in block.get("samples", []):
+            sample_name, labels, value = sample
+            fam.samples.append(
+                (str(sample_name),
+                 {str(k): str(v) for k, v in dict(labels).items()},
+                 float(value)))
+        families.append(fam)
+    exposition = Exposition(families)
+    exposition.validate()
+    return exposition
 
 
 def parse_exposition(text: str) -> Exposition:

@@ -1,0 +1,239 @@
+"""Structured query log with deterministic tail sampling.
+
+Every request the service finishes — completed, shed, failed or
+budget-killed — is offered to the :class:`QueryLog` as a
+:class:`QueryLogRecord` carrying the provenance an operator greps for
+after an incident: tenant, template hash, plan signature and
+stats_version, estimated-vs-actual rows, replans, the degraded block,
+budget spend, outcome and trace id.
+
+Keeping every record at production rates is a memory bill nobody
+pays, so the log *samples into* a bounded ring with a fixed keep
+priority:
+
+1. ``error``    — any record that did not complete, or carries a
+   typed error payload (kept 100 %);
+2. ``degraded`` — completed but with a degraded block (kept 100 %);
+3. ``slo``      — completed but breaching a latency SLO on its tenant
+   scope (kept 100 %);
+4. ``slow``     — in the slowest decile of latencies seen so far,
+   judged against a running histogram p90 *before* the new value is
+   folded in (kept 100 % after a small warm-up);
+5. ``hash``     — everything else is sampled at ``sample_ratio`` by a
+   seeded ``crc32`` over ``(seed, seq, tenant, template)``.
+
+There is no ``random`` anywhere (the determinism lint bans it for
+this module): the hash sample is a pure function of the seed and the
+record identity, so two same-seed runs keep byte-identical record
+sets. ``qlog_sampled_total{reason}`` / ``qlog_dropped_total`` mirror
+the decisions into a :class:`~repro.observability.MetricsRegistry`
+when one is attached.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from collections import deque
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+)
+
+__all__ = [
+    "KEEP_REASONS",
+    "QueryLog",
+    "QueryLogRecord",
+]
+
+KEEP_REASONS = ("error", "degraded", "slo", "slow", "hash")
+
+# crc32 sampling resolution: keep when hash % _SAMPLE_MOD < ratio * _SAMPLE_MOD
+_SAMPLE_MOD = 1_000_000
+
+
+@dataclass
+class QueryLogRecord:
+    """One finished request, with enough provenance to debug it."""
+
+    seq: int
+    tenant: str
+    template: str
+    outcome: str
+    at_s: float
+    latency_s: Optional[float] = None
+    trace_id: Optional[str] = None
+    plan_signature: Optional[str] = None
+    stats_version: Optional[int] = None
+    est_rows: Optional[float] = None
+    actual_rows: Optional[int] = None
+    replans: int = 0
+    degraded: Optional[Dict[str, object]] = None
+    budget: Optional[Dict[str, object]] = None
+    error_code: Optional[str] = None
+    slo_breach: bool = False
+    sampled: Optional[str] = field(default=None, compare=False)
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "seq": self.seq,
+            "tenant": self.tenant,
+            "template": self.template,
+            "outcome": self.outcome,
+            "at_s": round(self.at_s, 9),
+            "replans": self.replans,
+            "slo_breach": self.slo_breach,
+            "sampled": self.sampled,
+        }
+        if self.latency_s is not None:
+            out["latency_s"] = round(self.latency_s, 9)
+        for key in ("trace_id", "plan_signature", "stats_version",
+                    "est_rows", "actual_rows", "degraded", "budget",
+                    "error_code"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+class QueryLog:
+    """Bounded ring of sampled :class:`QueryLogRecord` objects."""
+
+    def __init__(self, capacity: int = 4096, seed: int = 0,
+                 sample_ratio: float = 0.05,
+                 slow_quantile: float = 0.90,
+                 min_latency_samples: int = 16,
+                 buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+                 metrics: Optional[MetricsRegistry] = None):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if not 0.0 <= sample_ratio <= 1.0:
+            raise ValueError(
+                f"sample_ratio must be in [0, 1], got {sample_ratio}")
+        self.capacity = capacity
+        self.seed = seed
+        self.sample_ratio = sample_ratio
+        self.slow_quantile = slow_quantile
+        self.min_latency_samples = min_latency_samples
+        self._ring: deque = deque(maxlen=capacity)
+        self._hist = Histogram({}, tuple(float(b) for b in buckets))
+        self._threshold = int(sample_ratio * _SAMPLE_MOD)
+        self.offered = 0
+        self.dropped = 0
+        self.evicted = 0
+        self.kept: Dict[str, int] = {reason: 0 for reason in KEEP_REASONS}
+        self._sampled_total = self._dropped_total = None
+        if metrics is not None:
+            self._sampled_total = metrics.counter(
+                "qlog_sampled_total",
+                "Query-log records kept, by sampling reason.",
+                ("reason",))
+            self._dropped_total = metrics.counter(
+                "qlog_dropped_total",
+                "Query-log records not sampled into the ring.")
+
+    # -- sampling -------------------------------------------------------
+
+    def _hash_keep(self, record: QueryLogRecord) -> bool:
+        if self._threshold <= 0:
+            return False
+        key = f"{self.seed}:{record.seq}:{record.tenant}:{record.template}"
+        return (zlib.crc32(key.encode("utf-8")) % _SAMPLE_MOD
+                < self._threshold)
+
+    def _is_slow(self, latency_s: Optional[float]) -> bool:
+        if latency_s is None or self._hist.count < self.min_latency_samples:
+            return False
+        # judged against the distribution *before* this observation, so
+        # the decision never depends on the record it is deciding about;
+        # strictly above the p90 bucket bound, so a flat distribution
+        # (everything in one bucket) has no slow decile
+        return latency_s > histogram_quantile(self._hist,
+                                              self.slow_quantile)
+
+    def _classify(self, record: QueryLogRecord) -> Optional[str]:
+        if record.outcome != "completed" or record.error_code is not None:
+            return "error"
+        if record.degraded is not None:
+            return "degraded"
+        if record.slo_breach:
+            return "slo"
+        if self._is_slow(record.latency_s):
+            return "slow"
+        if self._hash_keep(record):
+            return "hash"
+        return None
+
+    def offer(self, record: QueryLogRecord) -> Optional[str]:
+        """Classify *record*; keep it in the ring or count the drop.
+
+        Returns the keep reason, or None when the record was dropped.
+        """
+        self.offered += 1
+        reason = self._classify(record)
+        if record.latency_s is not None:
+            self._hist.observe(record.latency_s)
+        if reason is None:
+            self.dropped += 1
+            if self._dropped_total is not None:
+                self._dropped_total.inc()
+            return None
+        record.sampled = reason
+        self.kept[reason] += 1
+        if self._sampled_total is not None:
+            self._sampled_total.labels(reason=reason).inc()
+        if len(self._ring) == self.capacity:
+            self.evicted += 1
+        self._ring.append(record)
+        return reason
+
+    # -- inspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def records(self) -> List[QueryLogRecord]:
+        return list(self._ring)
+
+    def grep(self, predicate: Optional[
+            Callable[[QueryLogRecord], bool]] = None,
+            **filters: object) -> List[QueryLogRecord]:
+        """Records matching every ``field=value`` filter (and predicate).
+
+        ``query_log.grep(tenant="batch", outcome="failed")``
+        """
+        for key in filters:
+            if not hasattr(QueryLogRecord, "__dataclass_fields__") or \
+                    key not in QueryLogRecord.__dataclass_fields__:
+                raise KeyError(f"unknown query-log field {key!r}")
+        out = []
+        for record in self._ring:
+            if any(getattr(record, k) != v for k, v in filters.items()):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def dump(self) -> List[Dict[str, object]]:
+        return [record.as_dict() for record in self._ring]
+
+    def dump_json(self) -> str:
+        return json.dumps(self.dump(), sort_keys=True, indent=2) + "\n"
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "offered": self.offered,
+            "kept": dict(self.kept),
+            "dropped": self.dropped,
+            "evicted": self.evicted,
+            "size": len(self._ring),
+            "capacity": self.capacity,
+            "sample_ratio": self.sample_ratio,
+        }

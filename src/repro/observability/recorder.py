@@ -1,0 +1,145 @@
+"""Flight recorder: an always-on ring of recent events plus incident
+bundles snapshotted at the moment something goes wrong.
+
+The recorder answers "what was the system doing in the 30 virtual
+seconds before this tripped?". The service, scheduler, chaos harness
+and endpoint pools ``record()`` small primitive-valued entries into a
+bounded ring — request completions, metric deltas, dispatch
+decisions, fault-window edges, pool ejections/probes, SLO alert
+edges. When a trigger fires (an :class:`InvariantChecker` violation,
+an SLO page-level burn alert, or a breaker/ejection event),
+``snapshot()`` freezes the ring into an *incident bundle*: a plain
+dict with a reason, a timestamp and a copy of every entry, serialized
+to byte-stable JSON. The chaos harness asserts same-seed bundles are
+byte-identical across runs and worker counts.
+
+Bundles are capped (``max_incidents``) so a pathological run cannot
+grow the report without bound — further triggers only bump a
+``suppressed`` counter. The module reads no ambient time (the
+determinism lint bans ``time.*``/``random.*`` here): timestamps come
+from the injected clock or the caller.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["FlightRecorder"]
+
+# ring entries carry only JSON primitives so bundles serialize
+# byte-stably without a custom encoder
+_PRIMITIVES = (str, int, float, bool, type(None))
+
+
+class FlightRecorder:
+    """Bounded event ring + byte-stable incident bundles."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None,
+                 capacity: int = 512, max_incidents: int = 16):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if max_incidents <= 0:
+            raise ValueError(
+                f"max_incidents must be positive, got {max_incidents}")
+        self.clock = clock
+        self.capacity = capacity
+        self.max_incidents = max_incidents
+        self._ring: deque = deque(maxlen=capacity)
+        self._seq = 0
+        self.incidents: List[Dict[str, object]] = []
+        self._incident_jsons: List[str] = []
+        self.suppressed = 0
+
+    def _now(self, at_s: Optional[float]) -> float:
+        if at_s is not None:
+            return at_s
+        if self.clock is None:
+            raise ValueError(
+                "FlightRecorder has no clock; pass at_s explicitly")
+        return self.clock()
+
+    # -- recording ------------------------------------------------------
+
+    def record(self, kind: str, at_s: Optional[float] = None,
+               **data: object) -> Dict[str, object]:
+        """Append one ``kind`` entry; extra kwargs must be primitives."""
+        for key, value in data.items():
+            if key == "seq":
+                # would silently overwrite the ring's own sequence
+                # number ("at_s"/"kind" collide with named parameters
+                # and fail in the call itself)
+                raise TypeError(
+                    "recorder entry field 'seq' is reserved; "
+                    "use e.g. request_seq")
+            if not isinstance(value, _PRIMITIVES):
+                raise TypeError(
+                    f"recorder entry field {key!r} must be a JSON "
+                    f"primitive, got {type(value).__name__}")
+        now = self._now(at_s)  # resolve first: a failed record
+        self._seq += 1         # must not consume a sequence number
+        entry: Dict[str, object] = {
+            "seq": self._seq,
+            "at_s": round(now, 9),
+            "kind": kind,
+        }
+        for key in sorted(data):
+            entry[key] = data[key]
+        self._ring.append(entry)
+        return entry
+
+    def entries(self) -> List[Dict[str, object]]:
+        return [dict(entry) for entry in self._ring]
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    # -- incidents ------------------------------------------------------
+
+    def snapshot(self, reason: str,
+                 at_s: Optional[float] = None
+                 ) -> Optional[Dict[str, object]]:
+        """Freeze the ring into an incident bundle (None if capped)."""
+        if len(self.incidents) >= self.max_incidents:
+            self.suppressed += 1
+            return None
+        bundle: Dict[str, object] = {
+            "incident": len(self.incidents) + 1,
+            "reason": reason,
+            "at_s": round(self._now(at_s), 9),
+            "entries_recorded": self._seq,
+            "entries": self.entries(),
+        }
+        self.incidents.append(bundle)
+        # serialize once at freeze time: bundles are immutable, and
+        # reports/digests may render them repeatedly. Compact
+        # separators keep this on the C encoder — an incident under
+        # load must not stall the request path on pretty-printing.
+        self._incident_jsons.append(
+            json.dumps(bundle, sort_keys=True,
+                       separators=(",", ":")) + "\n")
+        return bundle
+
+    def incident_json(self, index: int = -1) -> str:
+        """Byte-stable JSON of one incident bundle."""
+        return self._incident_jsons[index]
+
+    def incidents_sha256(self) -> str:
+        """One digest over every bundle, for compact report embedding."""
+        digest = hashlib.sha256()
+        for text in self._incident_jsons:
+            digest.update(text.encode("utf-8"))
+        return digest.hexdigest()
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "entries_recorded": self._seq,
+            "ring_size": len(self._ring),
+            "capacity": self.capacity,
+            "incidents": len(self.incidents),
+            "suppressed": self.suppressed,
+            "reasons": [b["reason"] for b in self.incidents],
+            "bundles_sha256": self.incidents_sha256(),
+        }

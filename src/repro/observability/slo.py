@@ -1,0 +1,474 @@
+"""Declarative SLOs with multi-window burn-rate alerting on virtual time.
+
+The service layers (PR 6-8) answer "what happened" — this module
+answers the operator question "is tenant X still within its
+objective, and should someone be paged about it?".
+
+An :class:`SLOSpec` declares one objective for one *scope* (a tenant,
+an endpoint pool, or the whole service):
+
+- ``latency``      — fraction of completed requests faster than
+  ``threshold_s`` must be >= ``target`` (e.g. p95 <= 250 ms).
+- ``availability`` — fraction of requests that complete un-degraded
+  must be >= ``target``.
+- ``staleness``    — fraction of completed requests served stale must
+  stay <= ``target`` (a freshness bound).
+- ``shed_rate``    — fraction of requests shed by admission control
+  must stay <= ``target`` (a shedding ceiling).
+
+Every objective reduces to a good/bad event stream with an *error
+budget* (``1 - target`` for latency/availability, ``target`` itself
+for the ceiling-style objectives). The :class:`SLOEngine` keeps three
+sliding windows per spec (fast/mid/slow — 5 m / 1 h / 6 h by default,
+virtual seconds in simulation) and evaluates Google-SRE multi-window
+burn rates on every observation:
+
+- **page**   fires when both the fast and mid window burn >=
+  ``page_burn`` (default 14.4 — budget exhausted in ~10 h);
+- **ticket** fires when both the mid and slow window burn >=
+  ``ticket_burn`` (default 3.0).
+
+Alerts are hysteretic: an active alert clears only when both of its
+windows drop below ``threshold * clear_ratio``, so a burn hovering at
+the threshold does not flap. Every fire/clear edge is a typed
+:class:`SLOAlert` appended to ``engine.transitions`` and fanned out to
+``engine.on_alert`` subscribers (the flight recorder snapshots on
+page-level fires).
+
+Windows are amortized O(1): each is a deque of ``(at_s, bad)`` pairs
+with running bad/total counters, evicted from the left as time
+advances — no rescans, which is what keeps the engine inside the <5 %
+overhead gate of ``bench_slo_overhead.py``.
+
+Determinism: the module never reads ambient time or randomness (the
+lint bans ``time.*``/``random.*`` outright); timestamps come from the
+caller or an injected clock, so same-seed runs produce byte-identical
+:class:`SLOReport` JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .metrics import MetricFamily
+
+__all__ = [
+    "OBJECTIVES",
+    "SLOAlert",
+    "SLOEngine",
+    "SLOReport",
+    "SLOSpec",
+    "SLOWindows",
+]
+
+OBJECTIVES = ("availability", "latency", "shed_rate", "staleness")
+
+_SEVERITIES = ("page", "ticket")
+
+
+@dataclass(frozen=True)
+class SLOWindows:
+    """Sliding-window spans (seconds) for burn-rate evaluation.
+
+    Defaults are the classic SRE trio — 5 minutes / 1 hour / 6 hours.
+    Simulated workloads override them with sub-second *virtual* spans
+    (a 200 ms virtual run never fills a 5-minute window).
+    """
+
+    fast_s: float = 300.0
+    mid_s: float = 3600.0
+    slow_s: float = 21600.0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.fast_s < self.mid_s < self.slow_s):
+            raise ValueError(
+                "SLO windows must satisfy 0 < fast < mid < slow, got "
+                f"{self.fast_s}/{self.mid_s}/{self.slow_s}")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective for one scope.
+
+    ``scope`` is a free-form routing key — the conventions in this
+    repo are ``tenant:<name>``, ``pool:<iri>`` and ``"service"``.
+    """
+
+    name: str
+    scope: str
+    objective: str
+    target: float
+    threshold_s: Optional[float] = None
+    windows: SLOWindows = field(default_factory=SLOWindows)
+    page_burn: float = 14.4
+    ticket_burn: float = 3.0
+    clear_ratio: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"unknown SLO objective {self.objective!r}; "
+                f"expected one of {OBJECTIVES}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(
+                f"SLO target must be in (0, 1), got {self.target}")
+        if self.objective == "latency":
+            if self.threshold_s is None or self.threshold_s <= 0:
+                raise ValueError(
+                    "latency SLOs need a positive threshold_s")
+        elif self.threshold_s is not None:
+            raise ValueError(
+                f"threshold_s only applies to latency SLOs "
+                f"(objective={self.objective!r})")
+        if not 0.0 < self.clear_ratio <= 1.0:
+            raise ValueError(
+                f"clear_ratio must be in (0, 1], got {self.clear_ratio}")
+        if self.page_burn <= 0 or self.ticket_burn <= 0:
+            raise ValueError("burn thresholds must be positive")
+
+    @property
+    def budget(self) -> float:
+        """Error budget: the bad-event ratio that exactly meets target."""
+        if self.objective in ("latency", "availability"):
+            return 1.0 - self.target
+        return self.target  # ceiling-style: staleness, shed_rate
+
+    def classify(self, outcome: str, latency_s: Optional[float],
+                 degraded: bool, stale: bool) -> Optional[bool]:
+        """Map one request event to None (irrelevant) / good / bad."""
+        if self.objective == "availability":
+            return outcome != "completed" or degraded
+        if self.objective == "shed_rate":
+            return outcome.startswith("shed")
+        if outcome != "completed":
+            return None  # latency/staleness judge completed requests only
+        if self.objective == "staleness":
+            return stale
+        if latency_s is None:
+            return None
+        return latency_s > self.threshold_s
+
+    def as_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "scope": self.scope,
+            "objective": self.objective,
+            "target": self.target,
+            "budget": round(self.budget, 9),
+            "windows_s": [self.windows.fast_s, self.windows.mid_s,
+                          self.windows.slow_s],
+            "page_burn": self.page_burn,
+            "ticket_burn": self.ticket_burn,
+        }
+        if self.threshold_s is not None:
+            out["threshold_s"] = self.threshold_s
+        return out
+
+
+@dataclass(frozen=True)
+class SLOAlert:
+    """One typed fire/clear edge of a burn-rate alert."""
+
+    spec: str
+    severity: str  # "page" | "ticket"
+    edge: str      # "fire" | "clear"
+    at_s: float
+    burn_fast: float
+    burn_mid: float
+    burn_slow: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec,
+            "severity": self.severity,
+            "edge": self.edge,
+            "at_s": round(self.at_s, 9),
+            "burn_fast": round(self.burn_fast, 6),
+            "burn_mid": round(self.burn_mid, 6),
+            "burn_slow": round(self.burn_slow, 6),
+        }
+
+
+class _Window:
+    """Amortized-O(1) sliding good/bad counter over ``(now-span, now]``."""
+
+    __slots__ = ("span_s", "events", "bad")
+
+    def __init__(self, span_s: float):
+        self.span_s = span_s
+        self.events: Deque[Tuple[float, bool]] = deque()
+        self.bad = 0
+
+    def advance(self, now: float) -> None:
+        cutoff = now - self.span_s
+        events = self.events
+        while events and events[0][0] <= cutoff:
+            if events.popleft()[1]:
+                self.bad -= 1
+
+    def add(self, at_s: float, bad: bool) -> None:
+        self.events.append((at_s, bad))
+        if bad:
+            self.bad += 1
+        self.advance(at_s)
+
+    @property
+    def total(self) -> int:
+        return len(self.events)
+
+    def ratio(self) -> float:
+        return self.bad / self.total if self.events else 0.0
+
+
+class _SpecState:
+    """Mutable per-spec evaluation state inside the engine."""
+
+    __slots__ = ("spec", "fast", "mid", "slow", "good", "bad",
+                 "active", "fired", "cleared")
+
+    def __init__(self, spec: SLOSpec):
+        self.spec = spec
+        self.fast = _Window(spec.windows.fast_s)
+        self.mid = _Window(spec.windows.mid_s)
+        self.slow = _Window(spec.windows.slow_s)
+        self.good = 0
+        self.bad = 0
+        self.active = {sev: False for sev in _SEVERITIES}
+        self.fired = {sev: 0 for sev in _SEVERITIES}
+        self.cleared = {sev: 0 for sev in _SEVERITIES}
+
+    def burns(self) -> Tuple[float, float, float]:
+        budget = self.spec.budget
+        return (self.fast.ratio() / budget,
+                self.mid.ratio() / budget,
+                self.slow.ratio() / budget)
+
+
+class SLOReport:
+    """Byte-stable JSON view of an engine's specs, burns and alerts."""
+
+    def __init__(self, report: Dict[str, object]):
+        self.report = report
+
+    def __getitem__(self, key: str) -> object:
+        return self.report[key]
+
+    def to_json(self) -> str:
+        return json.dumps(self.report, sort_keys=True, indent=2) + "\n"
+
+
+class SLOEngine:
+    """Registers :class:`SLOSpec` objects and evaluates burn rates.
+
+    ``clock`` is an optional callable returning the current (virtual)
+    time; when omitted every ``observe()`` call must pass ``at_s``.
+    Observations must arrive in non-decreasing time order per spec —
+    true by construction for scheduler-driven workloads.
+    """
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self.clock = clock
+        self.specs: Dict[str, SLOSpec] = {}
+        self._states: Dict[str, _SpecState] = {}
+        self._by_scope: Dict[str, List[_SpecState]] = {}
+        self.transitions: List[SLOAlert] = []
+        self.on_alert: List[Callable[[SLOAlert], None]] = []
+
+    # -- registration ---------------------------------------------------
+
+    def register(self, spec: SLOSpec) -> SLOSpec:
+        if spec.name in self.specs:
+            raise ValueError(f"duplicate SLO spec {spec.name!r}")
+        self.specs[spec.name] = spec
+        state = _SpecState(spec)
+        self._states[spec.name] = state
+        self._by_scope.setdefault(spec.scope, []).append(state)
+        return spec
+
+    def scoped(self, scope: str) -> List[SLOSpec]:
+        return [st.spec for st in self._by_scope.get(scope, [])]
+
+    # -- observation ----------------------------------------------------
+
+    def _now(self, at_s: Optional[float]) -> float:
+        if at_s is not None:
+            return at_s
+        if self.clock is None:
+            raise ValueError("SLOEngine has no clock; pass at_s explicitly")
+        return self.clock()
+
+    def observe(self, scope: str, *, outcome: str,
+                latency_s: Optional[float] = None,
+                degraded: bool = False, stale: bool = False,
+                at_s: Optional[float] = None) -> None:
+        """Feed one finished request into every spec watching ``scope``."""
+        states = self._by_scope.get(scope)
+        if not states:
+            return
+        now = self._now(at_s)
+        for state in states:
+            bad = state.spec.classify(outcome, latency_s, degraded, stale)
+            if bad is None:
+                continue
+            if bad:
+                state.bad += 1
+            else:
+                state.good += 1
+            state.fast.add(now, bad)
+            state.mid.add(now, bad)
+            state.slow.add(now, bad)
+            self._evaluate(state, now)
+
+    def evaluate(self, at_s: Optional[float] = None) -> None:
+        """Advance all windows to ``at_s`` and re-check alert edges.
+
+        Lets quiet periods clear alerts — windows otherwise only move
+        when the scope sees traffic.
+        """
+        now = self._now(at_s)
+        for name in self._states:
+            state = self._states[name]
+            state.fast.advance(now)
+            state.mid.advance(now)
+            state.slow.advance(now)
+            self._evaluate(state, now)
+
+    def latency_breach(self, scope: str, latency_s: float) -> bool:
+        """True when ``latency_s`` violates any latency SLO on ``scope``."""
+        for state in self._by_scope.get(scope, []):
+            spec = state.spec
+            if spec.objective == "latency" and latency_s > spec.threshold_s:
+                return True
+        return False
+
+    # -- alerting -------------------------------------------------------
+
+    def _evaluate(self, state: _SpecState, now: float) -> None:
+        spec = state.spec
+        # Both gates include the mid window (page = fast AND mid,
+        # ticket = mid AND slow), so with nothing bad in mid and no
+        # alert to clear, no edge can move — skip the burn math. This
+        # keeps the healthy-path cost of observe() near zero.
+        if state.mid.bad == 0 and not state.active["page"] \
+                and not state.active["ticket"]:
+            return
+        burn_fast, burn_mid, burn_slow = state.burns()
+        for severity, short, long_, threshold in (
+                ("page", burn_fast, burn_mid, spec.page_burn),
+                ("ticket", burn_mid, burn_slow, spec.ticket_burn)):
+            active = state.active[severity]
+            if not active:
+                if short >= threshold and long_ >= threshold:
+                    self._transition(state, severity, "fire", now,
+                                     burn_fast, burn_mid, burn_slow)
+            else:
+                clear_at = threshold * spec.clear_ratio
+                if short < clear_at and long_ < clear_at:
+                    self._transition(state, severity, "clear", now,
+                                     burn_fast, burn_mid, burn_slow)
+
+    def _transition(self, state: _SpecState, severity: str, edge: str,
+                    now: float, burn_fast: float, burn_mid: float,
+                    burn_slow: float) -> None:
+        firing = edge == "fire"
+        state.active[severity] = firing
+        if firing:
+            state.fired[severity] += 1
+        else:
+            state.cleared[severity] += 1
+        alert = SLOAlert(spec=state.spec.name, severity=severity, edge=edge,
+                         at_s=now, burn_fast=burn_fast, burn_mid=burn_mid,
+                         burn_slow=burn_slow)
+        self.transitions.append(alert)
+        for callback in self.on_alert:
+            callback(alert)
+
+    def alert_active(self, name: str, severity: str = "page") -> bool:
+        return self._states[name].active[severity]
+
+    def active_alerts(self) -> List[str]:
+        out = []
+        for name in sorted(self._states):
+            state = self._states[name]
+            for severity in _SEVERITIES:
+                if state.active[severity]:
+                    out.append(f"{name}:{severity}")
+        return out
+
+    # -- reporting ------------------------------------------------------
+
+    def report(self) -> SLOReport:
+        specs: Dict[str, object] = {}
+        for name in sorted(self._states):
+            state = self._states[name]
+            burn_fast, burn_mid, burn_slow = state.burns()
+            specs[name] = {
+                "spec": state.spec.as_dict(),
+                "events": {"good": state.good, "bad": state.bad},
+                "burn": {
+                    "fast": round(burn_fast, 6),
+                    "mid": round(burn_mid, 6),
+                    "slow": round(burn_slow, 6),
+                },
+                "alerts": {
+                    severity: {
+                        "active": state.active[severity],
+                        "fired": state.fired[severity],
+                        "cleared": state.cleared[severity],
+                    }
+                    for severity in _SEVERITIES
+                },
+            }
+        return SLOReport({
+            "specs": specs,
+            "transitions": [a.as_dict() for a in self.transitions],
+            "active_alerts": self.active_alerts(),
+        })
+
+    def summary(self) -> Dict[str, object]:
+        """Small rollup for envelopes and workload reports."""
+        pages = sum(st.fired["page"] for st in self._states.values())
+        tickets = sum(st.fired["ticket"] for st in self._states.values())
+        return {
+            "specs": len(self.specs),
+            "active_alerts": self.active_alerts(),
+            "pages_fired": pages,
+            "tickets_fired": tickets,
+            "transitions": len(self.transitions),
+        }
+
+    # -- metrics bridge -------------------------------------------------
+
+    def metric_families(self) -> List[MetricFamily]:
+        """Fresh ``slo_*`` families (scrape-time collector contract)."""
+        events = MetricFamily("slo_events_total", "counter",
+                              "SLO-relevant events by spec and class.",
+                              ("kind", "spec"))
+        burn = MetricFamily("slo_burn_rate", "gauge",
+                            "Current burn rate by spec and window.",
+                            ("spec", "window"))
+        active = MetricFamily("slo_alert_active", "gauge",
+                              "1 when the alert is currently firing.",
+                              ("severity", "spec"))
+        fired = MetricFamily("slo_alerts_total", "counter",
+                             "Alert edges by spec, severity and edge.",
+                             ("edge", "severity", "spec"))
+        for name in sorted(self._states):
+            state = self._states[name]
+            events.labels(kind="good", spec=name).inc(float(state.good))
+            events.labels(kind="bad", spec=name).inc(float(state.bad))
+            burn_fast, burn_mid, burn_slow = state.burns()
+            for window, value in (("fast", burn_fast), ("mid", burn_mid),
+                                  ("slow", burn_slow)):
+                burn.labels(spec=name, window=window).set(round(value, 6))
+            for severity in _SEVERITIES:
+                active.labels(severity=severity, spec=name).set(
+                    1.0 if state.active[severity] else 0.0)
+                fired.labels(edge="fire", severity=severity, spec=name).inc(
+                    float(state.fired[severity]))
+                fired.labels(edge="clear", severity=severity, spec=name).inc(
+                    float(state.cleared[severity]))
+        return [events, burn, active, fired]

@@ -160,6 +160,16 @@ class EndpointPool:
             self._replicas[rep_name] = _Replica(rep_name, endpoint,
                                                 window)
         self._rr = 0
+        #: optional subscriber called as ``on_event(event, payload)``
+        #: after health transitions — ``sample`` on every recorded
+        #: attempt, plus ``ejection`` / ``probe_success`` /
+        #: ``probe_failure`` edges. Invoked outside the pool lock
+        #: (re-entrant subscribers may read ``report()``); payloads are
+        #: plain dicts carrying ``pool`` and ``replica``. The chaos
+        #: harness feeds these into the flight recorder and per-pool
+        #: SLOs.
+        self.on_event: Optional[Callable[[str, Dict[str, object]],
+                                         None]] = None
         # pool-wide latency window feeding the hedge-delay quantile
         self._latencies: deque = deque(maxlen=window * len(self._replicas))
         self.counters: Dict[str, int] = {
@@ -174,10 +184,17 @@ class EndpointPool:
     # -- health bookkeeping -------------------------------------------------
     def _record(self, rep: _Replica, ok: bool, latency_s: float,
                 probe: bool = False) -> None:
+        # events are gathered under the lock and emitted after it is
+        # released, so subscribers may re-enter pool APIs safely
+        events: List[Tuple[str, Dict[str, object]]] = []
         with self._lock:
             rep.window.append((ok, latency_s))
             if ok:
                 self._latencies.append(latency_s)
+            events.append(("sample", {
+                "replica": rep.name, "ok": ok,
+                "latency_s": round(latency_s, 9), "probe": probe,
+            }))
             if probe:
                 rep.probe_in_flight = False
                 if ok:
@@ -185,13 +202,16 @@ class EndpointPool:
                     rep.state = ACTIVE
                     rep.window.clear()
                     rep.window.append((True, latency_s))
+                    events.append(("probe_success",
+                                   {"replica": rep.name}))
                 else:
                     self.counters["probe_failures"] += 1
                     rep.failures += 1
                     rep.state = EJECTED
                     rep.ejected_until = self._clock() + self.ejection_s
-                return
-            if not ok:
+                    events.append(("probe_failure",
+                                   {"replica": rep.name}))
+            elif not ok:
                 rep.failures += 1
                 if (rep.state == ACTIVE
                         and len(rep.window) >= self.min_samples
@@ -200,6 +220,14 @@ class EndpointPool:
                     rep.ejected_until = self._clock() + self.ejection_s
                     rep.ejections += 1
                     self.counters["ejections"] += 1
+                    events.append(("ejection", {
+                        "replica": rep.name,
+                        "error_rate": round(rep.error_rate(), 4),
+                    }))
+        if self.on_event is not None:
+            for event, payload in events:
+                payload["pool"] = self.name
+                self.on_event(event, payload)
 
     def _pick(self, exclude: Sequence[str] = ()) -> Tuple[
             Optional[_Replica], bool]:

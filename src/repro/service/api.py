@@ -169,6 +169,10 @@ class ServiceAPI:
                 "headroom_histogram":
                     service.stats.combined_headroom_histogram(),
             }
+            if service.slo is not None:
+                data["slo"] = service.slo.summary()
+            if service.query_log is not None:
+                data["query_log"] = service.query_log.summary()
         return {"v": version, "ok": True, "data": data}
 
     # -- envelopes -----------------------------------------------------------
@@ -194,6 +198,8 @@ class ServiceAPI:
                 data["total_rows"] = response.total_rows
             if response.degraded is not None:
                 data["degraded"] = response.degraded
+            if response.trace_id is not None:
+                data["trace_id"] = response.trace_id
             cache = self.service.plan_cache
             data["diagnostics"] = {
                 "plan_cache_hit_rate": round(cache.hit_rate(), 6),
@@ -201,6 +207,10 @@ class ServiceAPI:
                 "stats_version": (cache.stats.version
                                   if cache.stats is not None else None),
             }
+            if self.service.slo is not None:
+                data["diagnostics"]["slo"] = {
+                    "active_alerts": self.service.slo.active_alerts(),
+                }
         return {"v": version, "ok": True, "data": data}
 
     def _error(self, version: int, exc: BaseException) -> Dict[str, Any]:

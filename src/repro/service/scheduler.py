@@ -49,7 +49,7 @@ from ..governance import (
 from ..parallel import SerialExecutor, WorkerPool
 from ..rdf.terms import Term
 from .errors import QuotaExceeded, error_payload
-from .service import QueryService
+from .service import QueryService, template_id
 from .tenancy import TenantState
 
 __all__ = ["VirtualClock", "CostModel", "Request", "RequestRecord",
@@ -162,6 +162,7 @@ class _Running:
     outcome: str
     record: RequestRecord
     exc: Optional[BaseException] = None
+    response: Optional[object] = None  # kept for query-log provenance
 
 
 class RequestScheduler:
@@ -280,6 +281,10 @@ class RequestScheduler:
             arrival_s=request.arrival_s, outcome=outcome,
             error=error_payload(exc), client=request.client)
         self.records.append(record)
+        self.service.observe_request(
+            seq=record.seq, tenant=record.tenant, outcome=outcome,
+            at_s=self.clock.now, arrival_s=record.arrival_s,
+            error=record.error, template=template_id(request.text))
         if self.on_complete is not None:
             self.on_complete(record)
 
@@ -319,6 +324,11 @@ class RequestScheduler:
                 seq=request.seq, tenant=request.tenant,
                 arrival_s=request.arrival_s, outcome="running",
                 start_s=self.clock.now, client=request.client)
+            if self.service.recorder is not None:
+                self.service.recorder.record(
+                    "dispatch", at_s=self.clock.now,
+                    request_seq=request.seq, tenant=request.tenant,
+                    queued_s=round(self.clock.now - request.arrival_s, 9))
             batch.append(_Running(request, state, slot, "running", record))
         if batch:
             self._execute_batch(batch)
@@ -364,6 +374,7 @@ class RequestScheduler:
             record = running.record
             if outcome.ok:
                 response = outcome.value
+                running.response = response
                 record.plan_cache_hit = response.plan_cache_hit
                 record.rows = (response.total_rows
                                if response.total_rows is not None
@@ -415,5 +426,13 @@ class RequestScheduler:
             self.service.count_outcome(request.tenant, "failed")
         self.service.observe_latency(request.tenant, record.latency_s)
         self.records.append(record)
+        self.service.observe_request(
+            seq=record.seq, tenant=record.tenant, outcome=record.outcome,
+            at_s=record.finish_s, arrival_s=record.arrival_s,
+            latency_s=record.latency_s, rows=record.rows,
+            degraded=record.degraded, error=record.error,
+            template=template_id(request.text),
+            response=(running.response
+                      if record.outcome == "completed" else None))
         if self.on_complete is not None:
             self.on_complete(record)

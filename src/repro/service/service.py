@@ -46,6 +46,7 @@ from ..governance import (
     QueryBudget,
 )
 from ..observability import MetricsRegistry, Tracer
+from ..observability.qlog import QueryLogRecord
 from ..rdf.graph import Graph
 from ..rdf.terms import Term
 from ..sparql.prepared import PreparedQuery, prepare
@@ -55,16 +56,26 @@ from .errors import (
     QuotaExceeded,
     UnknownCursor,
     UnknownTemplate,
+    error_payload,
 )
 from .plancache import PlanCache
 from .tenancy import TenantRegistry, TenantSpec, TenantState
 
-__all__ = ["QueryService", "ServiceResponse"]
+__all__ = ["QueryService", "ServiceResponse", "OUTCOMES"]
 
 #: Latency histogram bounds: 1 ms .. 10 s, the service's SLO band.
 LATENCY_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: The full request-outcome vocabulary. Counter children for every
+#: (tenant, outcome) pair are created eagerly at service construction
+#: so expositions and reports are schema-stable across seeds — a
+#: tenant that never shed still reports ``shed_quota 0``.
+OUTCOMES = (
+    "budget_exceeded", "completed", "failed",
+    "shed_overload", "shed_quota", "shed_timeout",
 )
 
 
@@ -78,7 +89,9 @@ class ServiceResponse:
 
     __slots__ = ("tenant", "kind", "vars", "rows", "failures",
                  "budget_stats", "plan_cache_hit", "explain_id",
-                 "explain", "next_page_token", "total_rows", "degraded")
+                 "explain", "next_page_token", "total_rows", "degraded",
+                 "est_rows", "replans", "stats_version", "trace_id",
+                 "plan_signature")
 
     def __init__(self, tenant: str, kind: str, vars: List[str],
                  rows: List[Solution], failures: Dict[str, str],
@@ -87,7 +100,12 @@ class ServiceResponse:
                  explain: Optional[str] = None,
                  next_page_token: Optional[str] = None,
                  total_rows: Optional[int] = None,
-                 degraded: Optional[Dict[str, object]] = None):
+                 degraded: Optional[Dict[str, object]] = None,
+                 est_rows: Optional[float] = None,
+                 replans: int = 0,
+                 stats_version: Optional[int] = None,
+                 trace_id: Optional[str] = None,
+                 plan_signature: Optional[str] = None):
         self.tenant = tenant
         self.kind = kind
         self.vars = vars
@@ -104,6 +122,16 @@ class ServiceResponse:
         #: ``stale_serves`` (responses built from expired cache), and
         #: ``truncated`` (the deadline cut the answer short).
         self.degraded = degraded
+        #: Planner's root-node row estimate (query-log provenance).
+        self.est_rows = est_rows
+        #: Mid-query re-plans summed over the plan tree.
+        self.replans = replans
+        #: StatsStore version the plan was compiled against.
+        self.stats_version = stats_version
+        #: Correlation id stamped on the root span (query-log join key).
+        self.trace_id = trace_id
+        #: Stable root plan signature (StatsStore feedback key).
+        self.plan_signature = plan_signature
 
     def __repr__(self) -> str:
         return (f"<ServiceResponse {self.tenant} {self.kind} "
@@ -143,11 +171,24 @@ class QueryService:
                  service_resolver=None,
                  federation=None,
                  stats_store=None,
-                 replan_ratio=None):
+                 replan_ratio=None,
+                 slo=None,
+                 query_log=None,
+                 recorder=None):
         self.graph = graph
         self.clock = clock
         self.tracer = tracer
         self.service_resolver = service_resolver
+        #: Optional :class:`~repro.observability.SLOEngine`: every
+        #: finished request is fed into its ``tenant:<name>`` and
+        #: ``service`` scopes (see :meth:`observe_request`).
+        self.slo = slo
+        #: Optional :class:`~repro.observability.QueryLog`: every
+        #: finished request is offered as a :class:`QueryLogRecord`.
+        self.query_log = query_log
+        #: Optional :class:`~repro.observability.FlightRecorder`:
+        #: request completions and metric deltas land in its ring.
+        self.recorder = recorder
         #: Optional :class:`~repro.sparql.StatsStore`: cached plans are
         #: compiled against its feedback and stamped with its version;
         #: when accumulated feedback bumps the version, the plan cache
@@ -195,6 +236,16 @@ class QueryService:
             "result pages served by tenant",
             labelnames=("tenant",),
         )
+        # Emit explicit zero rows for the full outcome vocabulary up
+        # front: a lazily-created child would make the exposition (and
+        # the workload report's per-tenant outcome block) depend on
+        # which outcomes a given seed happened to produce.
+        for state in self.tenants:
+            for outcome in OUTCOMES:
+                self._requests.labels(tenant=state.spec.name,
+                                      outcome=outcome)
+        self._trace_seq = 0
+        self._direct_seq = 0
 
     # -- templates ---------------------------------------------------------
     def register_template(self, name: str, text: str,
@@ -234,12 +285,113 @@ class QueryService:
     # -- accounting helpers ------------------------------------------------
     def count_outcome(self, tenant: str, outcome: str) -> None:
         self._requests.labels(tenant=tenant, outcome=outcome).inc()
+        if self.recorder is not None:
+            self.recorder.record("metric_delta",
+                                 family="service_requests_total",
+                                 tenant=tenant, outcome=outcome)
+
+    def count_for(self, tenant: str, outcome: str) -> float:
+        """Current value of one tenant x outcome request counter
+        (children are pre-created, so zero rows exist)."""
+        return self._requests.labels(tenant=tenant, outcome=outcome).value
 
     def observe_latency(self, tenant: str, seconds: float) -> None:
         self._latency.labels(tenant=tenant).observe(seconds)
 
     def latency_histogram(self, tenant: str):
         return self._latency.labels(tenant=tenant)
+
+    def next_trace_id(self) -> str:
+        """Deterministic per-execution correlation id (``t00000001``…)."""
+        self._trace_seq += 1
+        return f"t{self._trace_seq:08d}"
+
+    @staticmethod
+    def _plan_rollup(plan):
+        """(root est_rows, tree replans, plan signature) off a plan.
+
+        Operator ``signature`` fields are per-node feedback keys (the
+        root rarely has one), so the plan-level identity the query log
+        joins on is a digest over the pre-order shape: every node's
+        signature-or-label. Two executions of the same physical plan
+        share it; a replanned join order changes it.
+        """
+        if plan is None:
+            return None, 0, None
+        replans = 0
+        parts: List[str] = []
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            replans += node.replans
+            parts.append(node.signature or node.label)
+            stack.extend(node.children)
+        signature = hashlib.sha256(
+            "|".join(parts).encode("utf-8")).hexdigest()[:12]
+        est = plan.est_rows
+        return (None if est is None else round(float(est), 6)), \
+            replans, signature
+
+    def observe_request(self, *, seq: int, tenant: str, outcome: str,
+                        at_s: float,
+                        arrival_s: Optional[float] = None,
+                        latency_s: Optional[float] = None,
+                        rows: Optional[int] = None,
+                        degraded: Optional[Dict[str, object]] = None,
+                        error: Optional[Dict[str, object]] = None,
+                        template: Optional[str] = None,
+                        response: Optional[ServiceResponse] = None) -> None:
+        """Feed one finished request into the observability stack.
+
+        The single funnel shared by the scheduler (`_complete` /
+        `_finish_shed`) and the direct fail-fast path: flight-recorder
+        entry first (so an alert snapshot taken *during* the SLO update
+        already contains this request), then SLO windows, then the
+        query log (whose SLO-breach flag reads the engine the request
+        was just folded into). No-ops when nothing is attached.
+        """
+        stale = bool(degraded and degraded.get("stale_serves"))
+        if self.recorder is not None:
+            self.recorder.record("request", at_s=at_s, request_seq=seq,
+                                 tenant=tenant, outcome=outcome,
+                                 latency_s=(None if latency_s is None
+                                            else round(latency_s, 9)),
+                                 degraded=degraded is not None)
+        if self.slo is not None:
+            for scope in (f"tenant:{tenant}", "service"):
+                self.slo.observe(scope, outcome=outcome,
+                                 latency_s=latency_s,
+                                 degraded=degraded is not None,
+                                 stale=stale, at_s=at_s)
+        if self.query_log is None:
+            return
+        breach = (self.slo is not None and latency_s is not None
+                  and self.slo.latency_breach(f"tenant:{tenant}",
+                                              latency_s))
+        record = QueryLogRecord(
+            seq=seq, tenant=tenant,
+            template=(template if template is not None else
+                      (response.explain_id if response is not None
+                       else "")),
+            outcome=outcome,
+            at_s=at_s,
+            latency_s=latency_s,
+            degraded=degraded,
+            error_code=(error or {}).get("code"),
+            slo_breach=breach,
+        )
+        if response is not None:
+            record.trace_id = response.trace_id
+            record.stats_version = response.stats_version
+            record.est_rows = response.est_rows
+            record.replans = response.replans
+            record.actual_rows = (len(response.rows) if rows is None
+                                  else rows)
+            record.plan_signature = response.plan_signature
+            record.budget = response.budget_stats
+        elif rows is not None:
+            record.actual_rows = rows
+        self.query_log.offer(record)
 
     # -- the execution core ------------------------------------------------
     def _prepared(self, text: str):
@@ -277,6 +429,7 @@ class QueryService:
                                            page_size=page_size,
                                            explain=explain)
         prepared, hit = self._prepared(text)
+        trace_id = self.next_trace_id()
         tracer = self.tracer
         if tracer is not None:
             with tracer.span("service.execute", tenant=state.spec.name,
@@ -284,15 +437,18 @@ class QueryService:
                              cache="hit" if hit else "miss"):
                 result = prepared.run(bindings=params, budget=budget,
                                       tracer=tracer,
-                                      replan_ratio=self.replan_ratio)
+                                      replan_ratio=self.replan_ratio,
+                                      trace_id=trace_id)
         else:
             result = prepared.run(bindings=params, budget=budget,
-                                  replan_ratio=self.replan_ratio)
+                                  replan_ratio=self.replan_ratio,
+                                  trace_id=trace_id)
         rows = list(result.rows)
         vars = list(result.vars)
         exp_id = template_id(text)
         rows, next_token, total = self._paginate(
             state.spec.name, vars, rows, exp_id, page_size)
+        est_rows, replans, plan_signature = self._plan_rollup(result.plan)
         return ServiceResponse(
             tenant=state.spec.name,
             kind=result.kind,
@@ -305,6 +461,11 @@ class QueryService:
             explain=prepared.explain() if explain else None,
             next_page_token=next_token,
             total_rows=total,
+            est_rows=est_rows,
+            replans=replans,
+            stats_version=prepared.stats_version,
+            trace_id=trace_id,
+            plan_signature=plan_signature,
         )
 
     def _paginate(self, tenant: str, vars: List[str],
@@ -342,6 +503,7 @@ class QueryService:
                 "federated templates do not take parameters")
         engine = self.federation
         stale_before = engine.stats.stale_serves
+        trace_id = self.next_trace_id()
         tracer = self.tracer
         if tracer is not None:
             with tracer.span("service.federated",
@@ -352,6 +514,7 @@ class QueryService:
         else:
             result = engine.query(text, partial_results=True,
                                   budget=budget)
+        result.trace_id = trace_id
         rows = list(result.rows)
         vars = list(result.vars)
         exp_id = template_id(text)
@@ -359,6 +522,7 @@ class QueryService:
             state.spec.name, vars, rows, exp_id, page_size)
         degraded = self._degraded_block(
             result, budget, engine.stats.stale_serves - stale_before)
+        est_rows, replans, plan_signature = self._plan_rollup(result.plan)
         return ServiceResponse(
             tenant=state.spec.name,
             kind=result.kind,
@@ -372,6 +536,10 @@ class QueryService:
             next_page_token=next_token,
             total_rows=total,
             degraded=degraded,
+            est_rows=est_rows,
+            replans=replans,
+            trace_id=trace_id,
+            plan_signature=plan_signature,
         )
 
     def _degraded_block(self, result, budget: Optional[QueryBudget],
@@ -412,23 +580,29 @@ class QueryService:
         state = self.tenants.get(tenant)
         text = query if query is not None else self.template_text(template)
         state.submitted += 1
+        template_hash = template_id(text)
         if state.at_capacity:
             state.shed_quota += 1
             self.count_outcome(tenant, "shed_quota")
-            raise QuotaExceeded(
+            exc = QuotaExceeded(
                 f"tenant {tenant!r} at max_in_flight="
                 f"{state.spec.max_in_flight}",
                 tenant=tenant,
                 retry_after_s=self.controller.retry_after_hint_s,
             )
+            self._observe_direct(tenant, "shed_quota", template_hash,
+                                 exc=exc)
+            raise exc
         if budget is None:
             budget = state.make_budget(self.clock)
         started = self.clock()
         try:
             slot = self.controller.admit(budget)
-        except Exception:
+        except Exception as exc:
             state.shed_overload += 1
             self.count_outcome(tenant, "shed_overload")
+            self._observe_direct(tenant, "shed_overload", template_hash,
+                                 exc=exc)
             raise
         state.in_flight += 1
         try:
@@ -439,20 +613,46 @@ class QueryService:
             state.budget_exceeded += 1
             self.stats.record_outcome(exc, budget)
             self.count_outcome(tenant, "budget_exceeded")
+            self._observe_direct(tenant, "budget_exceeded", template_hash,
+                                 exc=exc, latency_s=self.clock() - started)
             raise
-        except Exception:
+        except Exception as exc:
             state.failed += 1
             self.count_outcome(tenant, "failed")
+            self._observe_direct(tenant, "failed", template_hash,
+                                 exc=exc, latency_s=self.clock() - started)
             raise
         else:
             state.completed += 1
             self.stats.record_outcome(None, budget)
             self.count_outcome(tenant, "completed")
-            self.observe_latency(tenant, self.clock() - started)
+            latency = self.clock() - started
+            self.observe_latency(tenant, latency)
+            self._observe_direct(tenant, "completed", template_hash,
+                                 latency_s=latency, response=response)
             return response
         finally:
             state.in_flight -= 1
             slot.release()
+
+    def _observe_direct(self, tenant: str, outcome: str, template: str,
+                        exc: Optional[BaseException] = None,
+                        latency_s: Optional[float] = None,
+                        response: Optional[ServiceResponse] = None
+                        ) -> None:
+        """Outcome classification -> observability, for the direct
+        (unscheduled) path; the scheduler calls observe_request with
+        its own records instead."""
+        if self.slo is None and self.query_log is None \
+                and self.recorder is None:
+            return
+        self._direct_seq += 1
+        self.observe_request(
+            seq=self._direct_seq, tenant=tenant, outcome=outcome,
+            at_s=self.clock(), latency_s=latency_s,
+            degraded=response.degraded if response is not None else None,
+            error=None if exc is None else error_payload(exc),
+            template=template, response=response)
 
     # -- pagination ---------------------------------------------------------
     def _open_cursor(self, tenant: str, vars: List[str],

@@ -34,14 +34,16 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..observability import MetricsRegistry, Tracer, histogram_quantile
+from ..observability import (FlightRecorder, MetricsRegistry, QueryLog,
+                             SLOEngine, SLOSpec, SLOWindows, Tracer,
+                             histogram_quantile, register_slo)
 from ..observability.metrics import Histogram
 from ..rdf.graph import Graph
 from ..rdf.terms import IRI, Literal
 from ..resilience import RetryPolicy
 from ..sparql.federation import FederationEngine, SparqlEndpoint
 from .scheduler import CostModel, RequestScheduler, VirtualClock
-from .service import LATENCY_BUCKETS, QueryService
+from .service import LATENCY_BUCKETS, OUTCOMES, QueryService
 from .tenancy import TenantSpec
 
 __all__ = ["WorkloadSpec", "WorkloadReport", "Workload",
@@ -165,6 +167,18 @@ class WorkloadSpec:
     federated: bool = False
     federation_sources: int = 3
     federated_weight: float = 2.0
+    #: Build the observability stack (SLO engine + query log + flight
+    #: recorder) on the workload's virtual clock. On by default — the
+    #: overhead benchmark flips it off to measure the delta.
+    observability: bool = True
+    #: Virtual-time (fast, mid, slow) burn-rate windows in seconds.
+    #: Workload runs span a few virtual seconds, so the Google-SRE
+    #: 5m/1h/6h production windows scale down to sub-second spans
+    #: with the same 1:5:20 flavour of ordering (fast < mid < slow).
+    slo_windows: Tuple[float, float, float] = (0.05, 0.25, 1.0)
+    qlog_capacity: int = 4096
+    qlog_sample_ratio: float = 0.05
+    recorder_capacity: int = 256
 
     def __post_init__(self):
         if self.arrival not in ("open", "closed"):
@@ -241,12 +255,43 @@ class Workload:
                 self.federation.register(
                     iri, SparqlEndpoint(shard, name=iri.split("//")[1]
                                         .split(".")[0]))
+        self.slo: Optional[SLOEngine] = None
+        self.query_log: Optional[QueryLog] = None
+        self.recorder: Optional[FlightRecorder] = None
+        if spec.observability:
+            fast_s, mid_s, slow_s = spec.slo_windows
+            windows = SLOWindows(fast_s=fast_s, mid_s=mid_s, slow_s=slow_s)
+            self.recorder = FlightRecorder(clock=self.clock,
+                                           capacity=spec.recorder_capacity)
+            self.slo = SLOEngine(clock=self.clock)
+            self.slo.on_alert.append(self._on_slo_alert)
+            for tenant in self.tenants:
+                scope = f"tenant:{tenant.name}"
+                self.slo.register(SLOSpec(
+                    name=f"{tenant.name}-availability", scope=scope,
+                    objective="availability", target=0.99, windows=windows))
+                self.slo.register(SLOSpec(
+                    name=f"{tenant.name}-latency-p95", scope=scope,
+                    objective="latency", target=0.95,
+                    threshold_s=tenant.deadline_s or 2.5, windows=windows))
+            self.slo.register(SLOSpec(
+                name="service-shed-rate", scope="service",
+                objective="shed_rate", target=0.10, windows=windows))
+            self.slo.register(SLOSpec(
+                name="service-staleness", scope="service",
+                objective="staleness", target=0.05, windows=windows))
+            register_slo(self.metrics, self.slo)
+            self.query_log = QueryLog(
+                capacity=spec.qlog_capacity, seed=spec.seed,
+                sample_ratio=spec.qlog_sample_ratio,
+                metrics=self.metrics)
         self.service = QueryService(
             self.graph, tenants=self.tenants,
             max_concurrent=spec.max_concurrent,
             plan_cache_size=spec.plan_cache_size,
             clock=self.clock, metrics=self.metrics, tracer=tracer,
-            federation=self.federation)
+            federation=self.federation,
+            slo=self.slo, query_log=self.query_log, recorder=self.recorder)
         self.templates = []
         for name, weight, param, text in DEFAULT_TEMPLATES:
             self.service.register_template(name, text)
@@ -267,6 +312,19 @@ class Workload:
         self._template_weights = [t[1] for t in self.templates]
         self._template_param = {t[0]: t[2] for t in self.templates}
         self._remaining: Dict[int, int] = {}
+
+    # -- observability -----------------------------------------------------
+    def _on_slo_alert(self, alert) -> None:
+        """Every burn-rate edge lands in the flight recorder; a *page*
+        firing is an incident and snapshots the ring."""
+        self.recorder.record(
+            "slo_alert", at_s=alert.at_s, spec=alert.spec,
+            severity=alert.severity, edge=alert.edge,
+            burn_fast=round(alert.burn_fast, 6),
+            burn_mid=round(alert.burn_mid, 6))
+        if alert.severity == "page" and alert.edge == "fire":
+            self.recorder.snapshot(f"slo_page:{alert.spec}",
+                                   at_s=alert.at_s)
 
     # -- request synthesis -------------------------------------------------
     def _pick_tenant(self) -> str:
@@ -355,6 +413,14 @@ class WorkloadReport:
                 if hist.count else 0.0
             block["p99_s"] = histogram_quantile(hist, 0.99) \
                 if hist.count else 0.0
+            # Explicit zero rows for every outcome (the counter
+            # children are pre-created per tenant x outcome), so the
+            # report schema is identical whatever this seed produced —
+            # a tenant with zero completed queries still reports all
+            # six outcomes.
+            block["outcomes"] = {
+                outcome: int(service.count_for(state.spec.name, outcome))
+                for outcome in OUTCOMES}
             tenants[state.spec.name] = block
         self.report: Dict[str, object] = {
             "spec": spec.summary(),
@@ -372,9 +438,15 @@ class WorkloadReport:
                 if duration else 0.0,
             },
             "latency_s": {
-                "p50": histogram_quantile(merged, 0.50),
-                "p90": histogram_quantile(merged, 0.90),
-                "p99": histogram_quantile(merged, 0.99),
+                # histogram_quantile returns the NaN EMPTY_QUANTILE
+                # sentinel on empty histograms; reports pin 0.0 so the
+                # JSON stays strict (no bare NaN tokens).
+                "p50": histogram_quantile(merged, 0.50)
+                if merged.count else 0.0,
+                "p90": histogram_quantile(merged, 0.90)
+                if merged.count else 0.0,
+                "p99": histogram_quantile(merged, 0.99)
+                if merged.count else 0.0,
                 "mean": round(merged.sum / merged.count, 9)
                 if merged.count else 0.0,
                 "observations": merged.count,
@@ -390,6 +462,15 @@ class WorkloadReport:
                     service.stats.combined_headroom_histogram(),
             },
         }
+        if workload.slo is not None:
+            # A final evaluation at the end of the timeline lets quiet
+            # tails clear alerts before the report freezes them.
+            workload.slo.evaluate(at_s=workload.clock.now)
+            self.report["slo"] = workload.slo.report().report
+        if workload.query_log is not None:
+            self.report["query_log"] = workload.query_log.summary()
+        if workload.recorder is not None:
+            self.report["incidents"] = workload.recorder.summary()
 
     def __getitem__(self, key: str):
         return self.report[key]

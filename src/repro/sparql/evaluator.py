@@ -98,7 +98,8 @@ class Context:
     def __init__(self, graph: Graph,
                  service_resolver: Optional[Callable] = None,
                  budget=None, tracer=None, stats=None,
-                 replan_ratio: Optional[float] = None):
+                 replan_ratio: Optional[float] = None,
+                 trace_id: Optional[str] = None):
         self.graph = graph
         self.service_resolver = service_resolver
         self.budget = budget
@@ -106,6 +107,9 @@ class Context:
         self.trace = None
         self.stats = stats
         self.replan_ratio = replan_ratio
+        # caller-assigned correlation id: stamped on the root span and
+        # the result so the query log can be joined against traces
+        self.trace_id = trace_id
 
 
 # ---------------------------------------------------------------------------
@@ -560,6 +564,8 @@ def _traced_execution(ctx: Context, sub):
     from ..observability.trace import PlanTrace
 
     trace = PlanTrace(ctx.tracer, sub.root)
+    if ctx.trace_id is not None:
+        trace.root_span.attributes["trace_id"] = ctx.trace_id
     prev = ctx.trace
     ctx.trace = trace
     trace.root_span.enter()
@@ -713,14 +719,18 @@ def eval_query(query: Query, ctx: Context, sub=None,
     consume the plan destructively enough that caching buys nothing).
     """
     if isinstance(query, SelectQuery):
-        return _eval_select(query, ctx, sub=sub, seed_rows=seed_rows)
-    if isinstance(query, AskQuery):
-        return _eval_ask(query, ctx, sub=sub, seed_rows=seed_rows)
-    if isinstance(query, ConstructQuery):
-        return _eval_construct(query, ctx)
-    if isinstance(query, DescribeQuery):
-        return _eval_describe(query, ctx)
-    raise EvaluationError(f"unsupported query type {type(query).__name__}")
+        result = _eval_select(query, ctx, sub=sub, seed_rows=seed_rows)
+    elif isinstance(query, AskQuery):
+        result = _eval_ask(query, ctx, sub=sub, seed_rows=seed_rows)
+    elif isinstance(query, ConstructQuery):
+        result = _eval_construct(query, ctx)
+    elif isinstance(query, DescribeQuery):
+        result = _eval_describe(query, ctx)
+    else:
+        raise EvaluationError(
+            f"unsupported query type {type(query).__name__}")
+    result.trace_id = ctx.trace_id
+    return result
 
 
 def explain_query(query: Query, ctx: Context):

@@ -72,7 +72,8 @@ class PreparedQuery:
 
     def run(self, bindings: Optional[Dict[str, Term]] = None,
             budget=None, tracer=None,
-            service_resolver=None, replan_ratio=None) -> SPARQLResult:
+            service_resolver=None, replan_ratio=None,
+            trace_id=None) -> SPARQLResult:
         """Execute the prepared plan; parsing and planning are skipped.
 
         ``bindings`` maps template variable names (no ``?``) to RDF
@@ -80,11 +81,13 @@ class PreparedQuery:
 
         When the template was prepared with a :class:`StatsStore`, each
         execution's profile flows back into it; ``replan_ratio``
-        additionally arms mid-query join re-ordering.
+        additionally arms mid-query join re-ordering. ``trace_id`` is a
+        caller-assigned correlation id stamped on the root span and the
+        result (the service's query log joins on it).
         """
         ctx = Context(self.graph, service_resolver=service_resolver,
                       budget=budget, tracer=tracer, stats=self.stats,
-                      replan_ratio=replan_ratio)
+                      replan_ratio=replan_ratio, trace_id=trace_id)
         seed = [dict(bindings)] if bindings else None
         result = eval_query(self.ast, ctx, sub=self.sub, seed_rows=seed)
         self.executions += 1

@@ -49,7 +49,8 @@ class SPARQLResult:
                  failures: Optional[Dict[str, str]] = None,
                  budget_stats: Optional[Dict[str, object]] = None,
                  plan=None,
-                 trace=None):
+                 trace=None,
+                 trace_id: Optional[str] = None):
         self.kind = kind
         self.vars = variables or []
         self.rows = rows or []
@@ -59,6 +60,8 @@ class SPARQLResult:
         self.budget_stats = budget_stats
         self.plan = plan
         self.trace = trace
+        #: caller-assigned correlation id (query log <-> trace join key)
+        self.trace_id = trace_id
 
     def explain(self) -> str:
         """Rendered physical plan with estimated vs actual rows."""

@@ -1,0 +1,113 @@
+"""The observability acceptance bar under chaos: an injected endpoint
+flap must page the affected tenants' availability SLOs, the query log
+must sample 100 % of degraded queries, and the flight recorder must
+produce incident bundles — all byte-identical across same-seed runs
+and worker counts."""
+
+import json
+
+import pytest
+
+from repro.chaos import InvariantChecker, InvariantViolation
+from repro.chaos.harness import ChaosHarness
+
+from chaos_helpers import acceptance_plan, acceptance_spec
+
+pytestmark = [pytest.mark.tier1, pytest.mark.chaos]
+
+
+# -- (a) page-level burn alerts ---------------------------------------------
+
+def test_endpoint_flap_pages_tenant_availability(acceptance_report):
+    slo = acceptance_report["workload"]["slo"]
+    paged = [name for name, block in slo["specs"].items()
+             if name.endswith("-availability")
+             and block["alerts"]["page"]["fired"] >= 1]
+    assert paged, "the endpoint flap degraded no tenant enough to page"
+    # every page edge is a typed transition with its burn snapshot
+    fires = [t for t in slo["transitions"]
+             if t["severity"] == "page" and t["edge"] == "fire"]
+    assert fires
+    for edge in fires:
+        assert edge["burn_fast"] > 0 and edge["burn_mid"] > 0
+
+
+def test_pool_availability_slo_watches_replicas(acceptance_report):
+    slo = acceptance_report["workload"]["slo"]
+    pool_specs = {name: block for name, block in slo["specs"].items()
+                  if name.startswith("pool-")}
+    assert pool_specs, "pooled source registered no pool SLO"
+    assert any(block["events"]["good"] + block["events"]["bad"] > 0
+               for block in pool_specs.values())
+
+
+# -- (b) 100 % of degraded queries sampled ----------------------------------
+
+def test_query_log_keeps_every_degraded_query(acceptance_report):
+    harness = acceptance_report.harness
+    qlog = harness.workload.service.query_log
+    degraded_records = [r for r in acceptance_report.records
+                        if r.degraded is not None]
+    assert degraded_records, "fixture drift: the flap degraded nothing"
+    logged = {r.seq for r in qlog.records() if r.degraded is not None}
+    missing = [r.seq for r in degraded_records if r.seq not in logged]
+    assert not missing, f"degraded queries not sampled: {missing}"
+    # degraded-but-completed records carry the dedicated keep reason
+    assert qlog.kept["degraded"] == sum(
+        1 for r in degraded_records if r.outcome == "completed")
+
+
+# -- (c) incident bundles ---------------------------------------------------
+
+def test_flight_recorder_produced_incident_bundles(acceptance_report):
+    incidents = acceptance_report["incidents"]
+    assert incidents["incidents"] >= 1
+    assert any(reason.startswith("slo_page:")
+               for reason in incidents["reasons"])
+    recorder = acceptance_report.harness.recorder
+    bundle = json.loads(recorder.incident_json(0))
+    assert bundle["reason"] == incidents["reasons"][0]
+    assert bundle["entries"], "a bundle must carry the evidence window"
+    kinds = {e["kind"] for e in bundle["entries"]}
+    # the ring mixes layers: requests and fault edges at minimum
+    assert "request" in kinds
+    assert "fault_window" in kinds
+    assert incidents["bundles_sha256"] == recorder.incidents_sha256()
+
+
+# -- byte identity across runs and worker counts ----------------------------
+
+def build_report(workers=None, seed=11, clients=200):
+    harness = ChaosHarness(acceptance_spec(seed=seed, clients=clients),
+                           acceptance_plan())
+    if workers is not None:
+        harness.executor.workers = workers
+    return harness.run()
+
+
+def test_same_seed_runs_and_workers_1_2_4_byte_identical():
+    baseline = build_report().to_json()
+    assert build_report().to_json() == baseline  # same-seed rerun
+    for workers in (1, 2, 4):
+        text = build_report(workers=workers).to_json()
+        assert text == baseline, (
+            f"workers={workers} changed the chaos report")
+    report = json.loads(baseline)
+    # the identity covers the observability surface, not just totals
+    assert report["incidents"]["incidents"] >= 1
+    assert report["workload"]["slo"]["transitions"]
+
+
+# -- invariant violations snapshot the ring ---------------------------------
+
+def test_invariant_violation_snapshots_an_incident_bundle():
+    report = build_report(clients=60)
+    recorder = report.harness.recorder
+    before = len(recorder.incidents)
+    # sabotage the per-tenant ledger so conservation trips
+    tenant = next(iter(report["workload"]["tenants"]))
+    report["workload"]["tenants"][tenant]["submitted"] += 1
+    with pytest.raises(InvariantViolation):
+        InvariantChecker(report).check_all()
+    assert len(recorder.incidents) == before + 1
+    assert recorder.incidents[-1]["reason"] == "invariant:conservation"

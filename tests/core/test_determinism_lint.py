@@ -125,6 +125,40 @@ def test_stats_store_has_no_clock_or_random_at_all():
     )
 
 
+#: The SLO engine, query log and flight recorder get the chaos-layer
+#: total ban: their whole contract is byte-stable reports and
+#: same-seed-identical incident bundles, so time arrives only through
+#: injected clocks / explicit ``at_s`` and sampling only through the
+#: seeded crc32 hash — no ``time.*`` or ``random.*`` at all.
+OBSERVABILITY_TOTAL_BAN = ("slo.py", "qlog.py", "recorder.py")
+
+OBS_FORBIDDEN = [
+    (re.compile(r"\btime\.\w+"),
+     "observability modules take an injected clock or explicit at_s"),
+    (re.compile(r"\brandom\.\w+"),
+     "sampling decisions must be seeded-hash based, never random.*"),
+]
+
+
+def test_slo_qlog_recorder_have_no_clock_or_random_at_all():
+    base = SRC / "repro" / "observability"
+    offenders = []
+    for name in OBSERVABILITY_TOTAL_BAN:
+        path = base / name
+        assert path.exists(), f"expected module {path} missing"
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("#", 1)[0]
+            for pattern, why in OBS_FORBIDDEN:
+                if pattern.search(code):
+                    offenders.append(
+                        f"src/repro/observability/{name}:{lineno}: "
+                        f"{why}: {line.strip()}")
+    assert not offenders, (
+        "SLO/qlog/recorder must replay deterministically:\n"
+        + "\n".join(offenders)
+    )
+
+
 def test_benchmarks_have_no_ambient_time_or_randomness():
     """Benchmarks measure with perf_counter() — that is their
     instrument, so the perf_counter rule is lifted there — but their

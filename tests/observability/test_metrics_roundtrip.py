@@ -1,0 +1,139 @@
+"""Satellite regressions: the EMPTY_QUANTILE sentinel, the
+collect_to_dict / exposition_from_dict round-trip, and the
+register_stats_store bridge."""
+
+import math
+
+import pytest
+
+from repro.observability import (
+    EMPTY_QUANTILE,
+    EmptyQuantile,
+    MetricsRegistry,
+    exposition_from_dict,
+    histogram_quantile,
+    register_stats_store,
+)
+from repro.observability.metrics import Histogram, MetricsError
+from repro.sparql.stats import StatsStore
+
+pytestmark = pytest.mark.tier1
+
+
+# -- EMPTY_QUANTILE ---------------------------------------------------------
+
+def test_empty_histogram_reports_typed_sentinel():
+    empty = Histogram({}, (0.1, 1.0))
+    q = histogram_quantile(empty, 0.99)
+    assert q is EMPTY_QUANTILE
+    assert isinstance(q, EmptyQuantile)
+    assert isinstance(q, float)
+
+
+def test_sentinel_is_falsy_nan_with_stable_repr():
+    assert not EMPTY_QUANTILE
+    assert math.isnan(EMPTY_QUANTILE)
+    assert EMPTY_QUANTILE != EMPTY_QUANTILE  # NaN semantics preserved
+    assert repr(EMPTY_QUANTILE) == "EMPTY_QUANTILE"
+
+
+def test_zero_total_histogram_also_reports_sentinel():
+    # bucket structure present, but nothing ever observed
+    hist = Histogram({}, (0.1, 1.0))
+    assert hist.count == 0
+    assert histogram_quantile(hist, 0.5) is EMPTY_QUANTILE
+    # one observation flips it to a real bound
+    hist.observe(0.05)
+    assert histogram_quantile(hist, 0.5) == 0.1
+
+
+def test_bucketless_histogram_reports_sentinel():
+    hist = Histogram({}, (0.1,))
+    hist.buckets = ()
+    hist.bucket_counts = []
+    hist.count = 5  # even with a count, no bounds means no answer
+    assert histogram_quantile(hist, 0.5) is EMPTY_QUANTILE
+
+
+def test_quantile_domain_still_validated():
+    with pytest.raises(MetricsError):
+        histogram_quantile(Histogram({}, (1.0,)), 0.0)
+
+
+# -- collect_to_dict round-trip ---------------------------------------------
+
+def build_registry():
+    registry = MetricsRegistry()
+    requests = registry.counter("rt_requests_total", "requests",
+                                ("tenant",))
+    requests.labels(tenant="a").inc(3)
+    requests.labels(tenant="b").inc()
+    registry.gauge("rt_depth", "queue depth").set(7)
+    hist = registry.histogram("rt_latency_seconds", "latency",
+                              buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    return registry
+
+
+def test_collect_to_dict_shape():
+    data = build_registry().collect_to_dict()
+    assert list(data) == ["rt_depth", "rt_latency_seconds",
+                          "rt_requests_total"]
+    block = data["rt_requests_total"]
+    assert block["type"] == "counter"
+    assert block["help"] == "requests"
+    assert ["rt_requests_total", {"tenant": "a"}, 3.0] in block["samples"]
+    hist_samples = {tuple(s[1].items()): s[2]
+                    for s in data["rt_latency_seconds"]["samples"]
+                    if s[0] == "rt_latency_seconds_bucket"}
+    assert hist_samples[(("le", "0.1"),)] == 1.0
+    assert hist_samples[(("le", "+Inf"),)] == 2.0
+
+
+def test_round_trip_is_byte_identical():
+    registry = build_registry()
+    rebuilt = exposition_from_dict(registry.collect_to_dict())
+    assert rebuilt.render() == registry.expose()
+
+
+def test_round_trip_survives_json():
+    import json
+    registry = build_registry()
+    data = json.loads(json.dumps(registry.collect_to_dict()))
+    assert exposition_from_dict(data).render() == registry.expose()
+
+
+def test_exposition_from_dict_validates():
+    with pytest.raises(MetricsError):
+        exposition_from_dict({"bad": {"type": "teapot", "samples": []}})
+    with pytest.raises(MetricsError):
+        exposition_from_dict({"1bad_name": {"type": "counter",
+                                            "samples": []}})
+
+
+# -- register_stats_store ---------------------------------------------------
+
+def test_register_stats_store_scrapes_version_and_signatures():
+    registry = MetricsRegistry()
+    store = StatsStore()
+    register_stats_store(registry, store)
+    before = registry.expose()
+    assert f"repro_stats_store_version {store.version}" in before
+    assert "repro_stats_store_signatures 0" in before
+    assert "repro_stats_store_frozen 0" in before
+    # feedback moves the store; the collector reads fresh values
+    store.record("sig-a", 10.0)
+    after = registry.expose()
+    assert f"repro_stats_store_version {store.version}" in after
+    assert "repro_stats_store_signatures 1" in after
+
+
+def test_register_stats_store_frozen_and_namespace():
+    registry = MetricsRegistry()
+    store = StatsStore()
+    store.freeze()
+    register_stats_store(registry, store, namespace="xyz_stats")
+    text = registry.expose()
+    assert "xyz_stats_frozen 1" in text
+    assert "repro_stats_store_version" not in text

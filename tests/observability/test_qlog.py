@@ -1,0 +1,149 @@
+"""Query log: keep-priority rules, deterministic tail sampling, ring
+bounds, grep/dump ergonomics and the metrics mirror."""
+
+import json
+import zlib
+
+import pytest
+
+from repro.observability import MetricsRegistry, QueryLog, QueryLogRecord
+
+pytestmark = pytest.mark.tier1
+
+
+def record(seq, *, outcome="completed", latency=0.01, tenant="t",
+           template="tmpl", **kwargs):
+    return QueryLogRecord(seq=seq, tenant=tenant, template=template,
+                          outcome=outcome, at_s=0.001 * seq,
+                          latency_s=latency, **kwargs)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        QueryLog(capacity=0)
+    with pytest.raises(ValueError):
+        QueryLog(sample_ratio=1.5)
+
+
+def test_errors_always_kept():
+    log = QueryLog(seed=1, sample_ratio=0.0)
+    assert log.offer(record(1, outcome="failed",
+                            error_code="upstream_unavailable")) == "error"
+    assert log.offer(record(2, outcome="shed_overload",
+                            latency=None)) == "error"
+    # a completed record carrying a typed error payload is still an error
+    assert log.offer(record(3, error_code="worker_died")) == "error"
+    assert log.kept["error"] == 3
+    assert len(log) == 3
+
+
+def test_degraded_and_slo_breach_always_kept():
+    log = QueryLog(seed=1, sample_ratio=0.0)
+    degraded = {"stale_serves": 1, "truncated": False}
+    assert log.offer(record(1, degraded=degraded)) == "degraded"
+    assert log.offer(record(2, slo_breach=True)) == "slo"
+    # error outranks degraded outranks slo in the keep priority
+    assert log.offer(record(3, outcome="failed", degraded=degraded,
+                            slo_breach=True)) == "error"
+    assert log.offer(record(4, degraded=degraded,
+                            slo_breach=True)) == "degraded"
+
+
+def test_slow_decile_judged_against_prior_distribution():
+    log = QueryLog(seed=1, sample_ratio=0.0, min_latency_samples=16)
+    # warm-up: below min_latency_samples nothing is "slow", however big
+    assert log.offer(record(1, latency=99.0)) is None
+    for seq in range(2, 18):
+        log.offer(record(seq, latency=0.01))
+    assert log._hist.count >= 16
+    # now an outlier lands in the slowest decile of what came before
+    assert log.offer(record(50, latency=5.0)) == "slow"
+    # and a typical latency does not
+    assert log.offer(record(51, latency=0.001)) is None
+
+
+def test_hash_sampling_is_a_pure_function_of_identity():
+    log = QueryLog(seed=7, sample_ratio=0.25)
+    expected_keep = (
+        zlib.crc32(b"7:5:t:tmpl") % 1_000_000 < 250_000)
+    assert (log.offer(record(5)) == "hash") is expected_keep
+    # two logs with the same seed make identical decisions
+    a, b = QueryLog(seed=3, sample_ratio=0.2), QueryLog(seed=3,
+                                                        sample_ratio=0.2)
+    decisions_a = [a.offer(record(seq)) for seq in range(100)]
+    decisions_b = [b.offer(record(seq)) for seq in range(100)]
+    assert decisions_a == decisions_b
+    assert "hash" in decisions_a  # the ratio actually keeps some
+    assert None in decisions_a    # ...and drops some
+    # a different seed decides differently somewhere
+    c = QueryLog(seed=4, sample_ratio=0.2)
+    decisions_c = [c.offer(record(seq)) for seq in range(100)]
+    assert decisions_c != decisions_a
+
+
+def test_ring_is_bounded_and_counts_evictions():
+    log = QueryLog(capacity=4, seed=1, sample_ratio=0.0)
+    for seq in range(10):
+        log.offer(record(seq, outcome="failed", latency=None))
+    assert len(log) == 4
+    assert log.evicted == 6
+    assert [r.seq for r in log.records()] == [6, 7, 8, 9]
+    summary = log.summary()
+    assert summary["offered"] == 10
+    assert summary["size"] == 4
+    assert summary["evicted"] == 6
+
+
+def test_grep_filters_and_rejects_unknown_fields():
+    log = QueryLog(seed=1, sample_ratio=0.0)
+    log.offer(record(1, outcome="failed", tenant="a", latency=None))
+    log.offer(record(2, outcome="failed", tenant="b", latency=None))
+    log.offer(record(3, outcome="budget_exceeded", tenant="a",
+                     latency=None))
+    assert [r.seq for r in log.grep(tenant="a")] == [1, 3]
+    assert [r.seq for r in log.grep(tenant="a", outcome="failed")] == [1]
+    assert [r.seq for r in log.grep(
+        predicate=lambda r: r.seq > 1)] == [2, 3]
+    with pytest.raises(KeyError):
+        log.grep(tenantt="a")
+
+
+def test_dump_round_trips_strict_json():
+    log = QueryLog(seed=1, sample_ratio=0.0)
+    log.offer(record(1, outcome="failed", latency=0.5,
+                     error_code="deadline_exceeded", trace_id="t00000001",
+                     plan_signature="sig", stats_version=3, est_rows=10.0,
+                     actual_rows=7, replans=1,
+                     budget={"rows": 7}))
+    dumped = json.loads(log.dump_json())
+    assert dumped[0]["sampled"] == "error"
+    assert dumped[0]["trace_id"] == "t00000001"
+    assert dumped[0]["plan_signature"] == "sig"
+    assert dumped[0]["stats_version"] == 3
+    assert dumped[0]["est_rows"] == 10.0
+    assert dumped[0]["actual_rows"] == 7
+    # None-valued optionals are omitted, not emitted as null
+    log2 = QueryLog(seed=1, sample_ratio=0.0)
+    log2.offer(record(2, outcome="failed", latency=None))
+    assert "latency_s" not in json.loads(log2.dump_json())[0]
+
+
+def test_metrics_mirror_sampled_and_dropped():
+    registry = MetricsRegistry()
+    log = QueryLog(seed=3, sample_ratio=0.2, metrics=registry)
+    for seq in range(50):
+        log.offer(record(seq))
+    log.offer(record(99, outcome="failed", latency=None))
+    text = registry.expose()
+    kept_hash = log.kept["hash"]
+    assert f'qlog_sampled_total{{reason="hash"}} {kept_hash}' in text
+    assert 'qlog_sampled_total{reason="error"} 1' in text
+    assert f"qlog_dropped_total {log.dropped}" in text
+
+
+def test_zero_ratio_keeps_only_priority_classes():
+    log = QueryLog(seed=1, sample_ratio=0.0)
+    for seq in range(200):
+        log.offer(record(seq, latency=0.01))
+    assert log.kept["hash"] == 0
+    assert log.kept["slow"] == 0  # constant latency has no slow decile

@@ -1,0 +1,100 @@
+"""Flight recorder: ring bounds, byte-stable incident bundles,
+suppression caps, primitives-only enforcement."""
+
+import json
+
+import pytest
+
+from repro.observability import FlightRecorder
+
+pytestmark = pytest.mark.tier1
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=0)
+    with pytest.raises(ValueError):
+        FlightRecorder(max_incidents=0)
+
+
+def test_record_requires_clock_or_at_s():
+    recorder = FlightRecorder()
+    with pytest.raises(ValueError):
+        recorder.record("tick")
+    entry = recorder.record("tick", at_s=1.25, n=1)
+    assert entry == {"seq": 1, "at_s": 1.25, "kind": "tick", "n": 1}
+    clocked = FlightRecorder(clock=lambda: 3.5)
+    assert clocked.record("tick")["at_s"] == 3.5
+
+
+def test_non_primitive_fields_rejected():
+    recorder = FlightRecorder(clock=lambda: 0.0)
+    with pytest.raises(TypeError):
+        recorder.record("bad", payload={"nested": "dict"})
+    with pytest.raises(TypeError):
+        recorder.record("bad", items=[1, 2])
+    # primitives of every kind are fine
+    recorder.record("ok", s="x", i=1, f=0.5, b=True, none=None)
+
+
+def test_seq_field_is_reserved():
+    recorder = FlightRecorder(clock=lambda: 0.0)
+    with pytest.raises(TypeError):
+        recorder.record("request", seq=90)  # would shadow the ring seq
+    recorder.record("request", request_seq=90)
+    assert recorder.entries()[0]["seq"] == 1
+
+
+def test_ring_is_bounded():
+    recorder = FlightRecorder(clock=lambda: 0.0, capacity=8)
+    for k in range(20):
+        recorder.record("tick", n=k)
+    assert len(recorder) == 8
+    entries = recorder.entries()
+    assert [e["n"] for e in entries] == list(range(12, 20))
+    assert entries[0]["seq"] == 13  # seq keeps counting past evictions
+
+
+def test_snapshot_freezes_the_ring():
+    recorder = FlightRecorder(clock=lambda: 0.0, capacity=4)
+    for k in range(6):
+        recorder.record("tick", at_s=float(k), n=k)
+    bundle = recorder.snapshot("unit-test", at_s=9.0)
+    assert bundle["incident"] == 1
+    assert bundle["reason"] == "unit-test"
+    assert bundle["at_s"] == 9.0
+    assert bundle["entries_recorded"] == 6
+    assert [e["n"] for e in bundle["entries"]] == [2, 3, 4, 5]
+    # the bundle is a copy: later records do not mutate it
+    recorder.record("tick", at_s=10.0, n=99)
+    assert [e["n"] for e in bundle["entries"]] == [2, 3, 4, 5]
+
+
+def test_incident_json_is_byte_stable():
+    def build():
+        recorder = FlightRecorder(clock=lambda: 0.0, capacity=16)
+        for k in range(10):
+            recorder.record("tick", at_s=0.1 * k, n=k, z=(k % 2 == 0))
+        recorder.snapshot("repeatable", at_s=2.0)
+        return recorder
+    a, b = build(), build()
+    assert a.incident_json() == b.incident_json()
+    assert a.incidents_sha256() == b.incidents_sha256()
+    json.loads(a.incident_json())  # strict JSON
+    # key order inside entries is deterministic (sorted data keys)
+    entry = build().record("probe", at_s=0.0, zeta=1, alpha=2)
+    assert list(entry) == ["seq", "at_s", "kind", "alpha", "zeta"]
+
+
+def test_snapshot_cap_and_suppression():
+    recorder = FlightRecorder(clock=lambda: 0.0, max_incidents=2)
+    recorder.record("tick", at_s=0.0)
+    assert recorder.snapshot("one", at_s=0.0) is not None
+    assert recorder.snapshot("two", at_s=0.0) is not None
+    assert recorder.snapshot("three", at_s=0.0) is None
+    assert recorder.snapshot("four", at_s=0.0) is None
+    summary = recorder.summary()
+    assert summary["incidents"] == 2
+    assert summary["suppressed"] == 2
+    assert summary["reasons"] == ["one", "two"]
+    assert summary["entries_recorded"] == 1

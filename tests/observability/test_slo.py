@@ -1,0 +1,306 @@
+"""SLO engine: burn-rate math, multi-window gating, hysteresis.
+
+The burn tables here are hand-computed: every expected value is the
+window bad-ratio divided by the spec's error budget, so a failure
+points at the arithmetic, not at a fixture.
+"""
+
+import json
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    SLOEngine,
+    SLOSpec,
+    SLOWindows,
+    register_slo,
+)
+
+pytestmark = pytest.mark.tier1
+
+#: Small virtual windows every test here shares: 1 s / 10 s / 100 s.
+W = SLOWindows(fast_s=1.0, mid_s=10.0, slow_s=100.0)
+
+
+def avail_spec(**overrides):
+    kwargs = dict(name="t-availability", scope="tenant:t",
+                  objective="availability", target=0.9, windows=W)
+    kwargs.update(overrides)
+    return SLOSpec(**kwargs)
+
+
+def engine_with(spec):
+    engine = SLOEngine()
+    engine.register(spec)
+    return engine
+
+
+# -- spec validation --------------------------------------------------------
+
+def test_windows_must_be_ordered():
+    with pytest.raises(ValueError):
+        SLOWindows(fast_s=10.0, mid_s=1.0, slow_s=100.0)
+    with pytest.raises(ValueError):
+        SLOWindows(fast_s=0.0, mid_s=1.0, slow_s=2.0)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        avail_spec(objective="uptime")
+    with pytest.raises(ValueError):
+        avail_spec(target=1.0)
+    with pytest.raises(ValueError):
+        avail_spec(target=0.0)
+    # threshold_s is latency-only, and latency requires it
+    with pytest.raises(ValueError):
+        avail_spec(threshold_s=0.5)
+    with pytest.raises(ValueError):
+        avail_spec(objective="latency", threshold_s=None)
+    with pytest.raises(ValueError):
+        avail_spec(clear_ratio=0.0)
+    with pytest.raises(ValueError):
+        avail_spec(page_burn=0.0)
+
+
+def test_duplicate_spec_rejected():
+    engine = engine_with(avail_spec())
+    with pytest.raises(ValueError):
+        engine.register(avail_spec())
+
+
+def test_budget_per_objective():
+    assert avail_spec().budget == pytest.approx(0.1)
+    lat = avail_spec(objective="latency", threshold_s=0.25, target=0.95)
+    assert lat.budget == pytest.approx(0.05)
+    # ceiling-style objectives: the target IS the budget
+    shed = avail_spec(objective="shed_rate", target=0.10)
+    assert shed.budget == pytest.approx(0.10)
+    stale = avail_spec(objective="staleness", target=0.05)
+    assert stale.budget == pytest.approx(0.05)
+
+
+# -- classification ---------------------------------------------------------
+
+CLASSIFY_TABLE = [
+    # (objective, threshold_s, outcome, latency, degraded, stale, expected)
+    ("availability", None, "completed", 0.1, False, False, False),
+    ("availability", None, "completed", 0.1, True, False, True),
+    ("availability", None, "failed", None, False, False, True),
+    ("availability", None, "shed_overload", None, False, False, True),
+    ("shed_rate", None, "shed_quota", None, False, False, True),
+    ("shed_rate", None, "shed_timeout", None, False, False, True),
+    ("shed_rate", None, "completed", 0.1, False, False, False),
+    ("shed_rate", None, "failed", None, False, False, False),
+    ("staleness", None, "completed", 0.1, False, True, True),
+    ("staleness", None, "completed", 0.1, False, False, False),
+    ("staleness", None, "failed", None, False, True, None),
+    ("latency", 0.5, "completed", 0.6, False, False, True),
+    ("latency", 0.5, "completed", 0.4, False, False, False),
+    ("latency", 0.5, "completed", None, False, False, None),
+    ("latency", 0.5, "failed", 9.9, False, False, None),
+]
+
+
+@pytest.mark.parametrize(
+    "objective,threshold,outcome,latency,degraded,stale,expected",
+    CLASSIFY_TABLE)
+def test_classify(objective, threshold, outcome, latency, degraded,
+                  stale, expected):
+    spec = avail_spec(objective=objective, threshold_s=threshold,
+                      target=0.9 if objective in ("availability", "latency")
+                      else 0.1)
+    assert spec.classify(outcome, latency, degraded, stale) is expected
+
+
+# -- burn-rate math ---------------------------------------------------------
+
+def test_burn_is_window_ratio_over_budget():
+    # 5 bad / 10 events, all inside every window -> ratio 0.5,
+    # budget 0.1 -> burn 5.0 in fast, mid and slow alike.
+    engine = engine_with(avail_spec(page_burn=100.0, ticket_burn=100.0))
+    for k in range(10):
+        outcome = "failed" if k % 2 else "completed"
+        engine.observe("tenant:t", outcome=outcome, at_s=0.05 * (k + 1))
+    block = engine.report()["specs"]["t-availability"]
+    assert block["burn"] == {"fast": 5.0, "mid": 5.0, "slow": 5.0}
+    assert block["events"] == {"good": 5, "bad": 5}
+
+
+def test_windows_evict_as_time_advances():
+    engine = engine_with(avail_spec(page_burn=100.0, ticket_burn=100.0))
+    for k in range(4):
+        engine.observe("tenant:t", outcome="failed", at_s=0.1 * (k + 1))
+    # 5 s later: the bads left the 1 s fast window but sit in mid/slow
+    engine.observe("tenant:t", outcome="completed", at_s=5.0)
+    block = engine.report()["specs"]["t-availability"]
+    assert block["burn"]["fast"] == 0.0
+    assert block["burn"]["mid"] == pytest.approx(8.0)  # 4/5 over 0.1
+
+
+def test_page_needs_both_fast_and_mid_windows():
+    # 10 goods spread over the mid window keep its burn low; a hot fast
+    # window alone (1 bad / 2 events -> burn 5.0) must not page.
+    engine = engine_with(avail_spec(page_burn=5.0, ticket_burn=1000.0))
+    for k in range(10):
+        engine.observe("tenant:t", outcome="completed", at_s=float(k))
+    engine.observe("tenant:t", outcome="failed", at_s=9.5)
+    assert engine.alert_active("t-availability", "page") is False
+    # burn check: fast (8.5, 9.5] holds good@9 + bad@9.5 -> 5.0
+    block = engine.report()["specs"]["t-availability"]
+    assert block["burn"]["fast"] == pytest.approx(5.0)
+    assert block["burn"]["mid"] == pytest.approx(1.0 / 11 / 0.1)
+
+
+def test_page_fires_when_both_windows_burn():
+    engine = engine_with(avail_spec(page_burn=5.0, ticket_burn=1000.0))
+    engine.observe("tenant:t", outcome="failed", at_s=0.1)
+    assert engine.alert_active("t-availability", "page") is True
+    assert engine.active_alerts() == ["t-availability:page"]
+    edges = [(a.severity, a.edge) for a in engine.transitions]
+    assert edges == [("page", "fire")]
+
+
+def test_ticket_gates_on_mid_and_slow():
+    # ticket_burn 2.0 with budget 0.1 -> needs ratio >= 0.2 in BOTH the
+    # mid and slow windows.
+    engine = engine_with(avail_spec(page_burn=1000.0, ticket_burn=2.0))
+    # 40 goods far in the past: inside slow (span 100), outside mid.
+    for k in range(40):
+        engine.observe("tenant:t", outcome="completed",
+                       at_s=20.0 + 0.1 * k)
+    # 4 bads now: mid ratio 1.0, slow ratio 4/44 < 0.2 -> no ticket.
+    for k in range(4):
+        engine.observe("tenant:t", outcome="failed", at_s=90.0 + 0.1 * k)
+    assert engine.alert_active("t-availability", "ticket") is False
+    # 8 more bads: slow ratio 12/52 >= 0.2 -> ticket fires.
+    for k in range(8):
+        engine.observe("tenant:t", outcome="failed", at_s=91.0 + 0.1 * k)
+    assert engine.alert_active("t-availability", "ticket") is True
+
+
+# -- hysteresis -------------------------------------------------------------
+
+def test_hysteresis_fire_clear_refire():
+    # target 0.5 -> budget 0.5; page at ratio >= 0.8 (burn 1.6),
+    # clear only when both windows drop below 0.72 (burn < 1.44).
+    spec = avail_spec(target=0.5, page_burn=1.6, ticket_burn=1000.0,
+                      clear_ratio=0.9)
+    engine = engine_with(spec)
+    for k in range(5):
+        engine.observe("tenant:t", outcome="failed", at_s=0.1 * (k + 1))
+    assert engine.alert_active("t-availability", "page") is True
+    # two goods: ratio 5/7 = 0.714 < 0.72 in fast and mid -> clears
+    engine.observe("tenant:t", outcome="completed", at_s=0.6)
+    assert engine.alert_active("t-availability", "page") is True  # 5/6
+    engine.observe("tenant:t", outcome="completed", at_s=0.7)
+    assert engine.alert_active("t-availability", "page") is False
+    # hot again at t~1.8: fast window holds only new bads, mid needs
+    # (5+k)/(7+k) >= 0.8 -> k >= 3 bads to refire
+    engine.observe("tenant:t", outcome="failed", at_s=1.8)
+    engine.observe("tenant:t", outcome="failed", at_s=1.9)
+    assert engine.alert_active("t-availability", "page") is False
+    engine.observe("tenant:t", outcome="failed", at_s=2.0)
+    assert engine.alert_active("t-availability", "page") is True
+    block = engine.report()["specs"]["t-availability"]
+    assert block["alerts"]["page"] == {
+        "active": True, "fired": 2, "cleared": 1}
+    edges = [(a.severity, a.edge) for a in engine.transitions]
+    assert edges == [("page", "fire"), ("page", "clear"),
+                     ("page", "fire")]
+
+
+def test_evaluate_clears_in_quiet_periods():
+    engine = engine_with(avail_spec(page_burn=5.0, ticket_burn=1000.0))
+    engine.observe("tenant:t", outcome="failed", at_s=0.1)
+    assert engine.alert_active("t-availability", "page") is True
+    # no traffic; 200 s later every window has drained
+    engine.evaluate(at_s=200.0)
+    assert engine.alert_active("t-availability", "page") is False
+    assert engine.active_alerts() == []
+
+
+def test_on_alert_fanout_sees_every_edge():
+    seen = []
+    engine = engine_with(avail_spec(page_burn=5.0, ticket_burn=1000.0))
+    engine.on_alert.append(lambda a: seen.append((a.spec, a.severity,
+                                                  a.edge)))
+    engine.observe("tenant:t", outcome="failed", at_s=0.1)
+    engine.evaluate(at_s=200.0)
+    assert seen == [("t-availability", "page", "fire"),
+                    ("t-availability", "page", "clear")]
+
+
+# -- engine plumbing --------------------------------------------------------
+
+def test_observe_requires_clock_or_at_s():
+    engine = engine_with(avail_spec())
+    with pytest.raises(ValueError):
+        engine.observe("tenant:t", outcome="completed")
+    clocked = SLOEngine(clock=lambda: 42.0)
+    clocked.register(avail_spec())
+    clocked.observe("tenant:t", outcome="failed")
+    assert clocked.report()["specs"]["t-availability"]["events"]["bad"] == 1
+
+
+def test_unwatched_scope_is_a_noop():
+    engine = engine_with(avail_spec())
+    engine.observe("tenant:other", outcome="failed", at_s=1.0)
+    assert engine.report()["specs"]["t-availability"]["events"] == {
+        "good": 0, "bad": 0}
+
+
+def test_latency_breach_checks_latency_specs_only():
+    engine = SLOEngine()
+    engine.register(avail_spec())
+    engine.register(SLOSpec(name="t-latency", scope="tenant:t",
+                            objective="latency", target=0.95,
+                            threshold_s=0.5, windows=W))
+    assert engine.latency_breach("tenant:t", 0.6) is True
+    assert engine.latency_breach("tenant:t", 0.4) is False
+    assert engine.latency_breach("tenant:none", 9.9) is False
+
+
+# -- reporting and metrics --------------------------------------------------
+
+def run_fixed_sequence(engine):
+    for k in range(20):
+        outcome = "failed" if k % 4 == 0 else "completed"
+        engine.observe("tenant:t", outcome=outcome, at_s=0.05 * (k + 1))
+    engine.evaluate(at_s=2.0)
+
+
+def test_report_is_byte_stable():
+    a, b = SLOEngine(), SLOEngine()
+    for engine in (a, b):
+        engine.register(avail_spec(page_burn=2.0, ticket_burn=1.5))
+        run_fixed_sequence(engine)
+    assert a.report().to_json() == b.report().to_json()
+    json.loads(a.report().to_json())  # strict JSON, no NaN tokens
+
+
+def test_summary_counts_pages_and_tickets():
+    engine = engine_with(avail_spec(page_burn=5.0, ticket_burn=1000.0))
+    engine.observe("tenant:t", outcome="failed", at_s=0.1)
+    summary = engine.summary()
+    assert summary["specs"] == 1
+    assert summary["pages_fired"] == 1
+    assert summary["tickets_fired"] == 0
+    assert summary["active_alerts"] == ["t-availability:page"]
+    assert summary["transitions"] == 1
+
+
+def test_metric_families_scrape_through_registry():
+    registry = MetricsRegistry()
+    engine = engine_with(avail_spec(page_burn=5.0, ticket_burn=1000.0))
+    register_slo(registry, engine)
+    engine.observe("tenant:t", outcome="failed", at_s=0.1)
+    engine.observe("tenant:t", outcome="completed", at_s=0.2)
+    text = registry.expose()
+    assert 'slo_events_total{kind="bad",spec="t-availability"} 1' in text
+    assert 'slo_events_total{kind="good",spec="t-availability"} 1' in text
+    assert 'slo_alert_active{severity="page",spec="t-availability"} 1' \
+        in text
+    assert ('slo_alerts_total{edge="fire",severity="page",'
+            'spec="t-availability"} 1') in text
+    assert "slo_burn_rate" in text

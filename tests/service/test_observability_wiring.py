@@ -1,0 +1,191 @@
+"""The observability funnel end to end: ServiceAPI.handle() -> query
+log records with trace ids, SLO blocks in envelopes and reports,
+explicit per-outcome zero rows, and same-seed byte identity with the
+full stack attached."""
+
+import json
+
+import pytest
+
+from repro.observability import FlightRecorder, QueryLog, SLOEngine, \
+    SLOSpec, SLOWindows
+from repro.service import (
+    QueryService,
+    ServiceAPI,
+    TenantSpec,
+    VirtualClock,
+    WorkloadSpec,
+    build_default_graph,
+    run_workload,
+)
+from repro.service.service import OUTCOMES
+
+from service_helpers import NAMES_QUERY
+
+pytestmark = pytest.mark.tier1
+
+W = SLOWindows(fast_s=0.5, mid_s=5.0, slow_s=50.0)
+
+
+@pytest.fixture
+def stack(graph, clock):
+    slo = SLOEngine(clock=clock)
+    slo.register(SLOSpec(name="alpha-availability", scope="tenant:alpha",
+                         objective="availability", target=0.9, windows=W))
+    slo.register(SLOSpec(name="alpha-latency", scope="tenant:alpha",
+                         objective="latency", target=0.5,
+                         threshold_s=0.0001, windows=W))
+    query_log = QueryLog(seed=5, sample_ratio=1.0)
+    recorder = FlightRecorder(clock=clock, capacity=64)
+    service = QueryService(
+        graph,
+        tenants=[TenantSpec("alpha", priority=1, max_in_flight=2),
+                 TenantSpec("idle", priority=0, max_in_flight=2,
+                            max_rows=1)],
+        max_concurrent=4, clock=clock,
+        slo=slo, query_log=query_log, recorder=recorder)
+    service.register_template("names", NAMES_QUERY)
+    return service
+
+
+# -- the handle() funnel ----------------------------------------------------
+
+def test_handle_emits_query_log_record_with_trace_id(stack):
+    api = ServiceAPI(stack)
+    envelope = api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                           "template": "names"})
+    assert envelope["ok"] is True
+    records = stack.query_log.records()
+    assert len(records) == 1
+    record = records[0]
+    assert record.tenant == "alpha"
+    assert record.outcome == "completed"
+    assert record.trace_id == "t00000001"
+    # the envelope carries the same id: the log <-> wire join key
+    assert envelope["data"]["trace_id"] == "t00000001"
+    from repro.service.service import template_id
+    assert record.template == template_id(NAMES_QUERY)
+    assert record.plan_signature is not None
+    assert record.actual_rows == 24
+    assert record.est_rows is not None
+    # trace ids are sequential per service
+    api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                "template": "names"})
+    assert stack.query_log.records()[1].trace_id == "t00000002"
+
+
+def test_error_outcomes_reach_the_log_with_typed_codes(stack, clock):
+    api = ServiceAPI(stack)
+    envelope = api.handle({"v": 2, "op": "query", "tenant": "idle",
+                           "template": "names"})  # max_rows=1 -> killed
+    assert envelope["ok"] is False
+    assert envelope["error"]["code"] == "row_limit_exceeded"
+    records = stack.query_log.grep(tenant="idle")
+    assert len(records) == 1
+    assert records[0].outcome == "budget_exceeded"
+    assert records[0].error_code == "row_limit_exceeded"
+    assert records[0].sampled == "error"
+
+
+def test_latency_slo_breach_marks_records(stack, clock):
+    api = ServiceAPI(stack)
+    # any nonzero virtual latency breaches the 0.1 ms threshold; the
+    # cost model advances the clock during execution
+    api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                "template": "names"})
+    record = stack.query_log.records()[0]
+    assert record.slo_breach is (record.latency_s is not None
+                                 and record.latency_s > 0.0001)
+
+
+def test_slo_observes_both_tenant_and_service_scopes(stack):
+    api = ServiceAPI(stack)
+    api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                "template": "names"})
+    block = stack.slo.report()["specs"]["alpha-availability"]
+    assert block["events"]["good"] + block["events"]["bad"] == 1
+
+
+def test_recorder_sees_requests_and_metric_deltas(stack):
+    api = ServiceAPI(stack)
+    api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                "template": "names"})
+    kinds = [e["kind"] for e in stack.recorder.entries()]
+    assert "request" in kinds
+    assert "metric_delta" in kinds
+
+
+# -- envelope surfacing -----------------------------------------------------
+
+def test_v2_diagnostics_carry_slo_block_only_when_attached(stack, graph,
+                                                           clock):
+    api = ServiceAPI(stack)
+    envelope = api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                           "template": "names"})
+    assert envelope["data"]["diagnostics"]["slo"] == {"active_alerts": []}
+    bare = QueryService(graph, tenants=[TenantSpec("alpha", priority=1)],
+                        clock=VirtualClock())
+    bare.register_template("names", NAMES_QUERY)
+    envelope = ServiceAPI(bare).handle(
+        {"v": 2, "op": "query", "tenant": "alpha", "template": "names"})
+    assert "slo" not in envelope["data"]["diagnostics"]
+    assert "trace_id" in envelope["data"]  # ids flow regardless
+
+
+def test_metrics_op_carries_slo_and_qlog_summaries(stack):
+    api = ServiceAPI(stack)
+    api.handle({"v": 2, "op": "query", "tenant": "alpha",
+                "template": "names"})
+    data = api.handle({"v": 2, "op": "metrics"})["data"]
+    assert data["slo"]["specs"] == 2
+    assert data["query_log"]["offered"] == 1
+    # v1 clients keep the lean contract
+    v1 = api.handle({"v": 1, "op": "metrics"})["data"]
+    assert "slo" not in v1 and "query_log" not in v1
+
+
+# -- workload report --------------------------------------------------------
+
+def test_workload_report_has_observability_blocks():
+    spec = WorkloadSpec(seed=21, clients=150, rate_rps=400.0)
+    report = json.loads(run_workload(spec).to_json())
+    assert report["query_log"]["offered"] == report["totals"]["submitted"]
+    assert report["incidents"]["capacity"] == spec.recorder_capacity
+    specs = report["slo"]["specs"]
+    # 2 per tenant (availability + latency p95) + 2 service-wide
+    assert len(specs) == 2 * len(report["tenants"]) + 2
+    assert "service-shed-rate" in specs and "service-staleness" in specs
+
+
+def test_every_tenant_reports_all_six_outcome_rows():
+    # seed/scale chosen small so some tenants complete nothing — the
+    # schema must not shrink for them (the satellite regression)
+    spec = WorkloadSpec(seed=1, clients=8, rate_rps=50.0)
+    report = json.loads(run_workload(spec).to_json())
+    assert any(block["completed"] == 0
+               for block in report["tenants"].values()), \
+        "fixture drift: pick a seed where some tenant stays idle"
+    for name, block in report["tenants"].items():
+        assert sorted(block["outcomes"]) == sorted(OUTCOMES), name
+        assert block["outcomes"]["completed"] == block["completed"], name
+
+
+def test_observability_off_removes_blocks_and_overhead_surface():
+    spec = WorkloadSpec(seed=21, clients=50, rate_rps=400.0,
+                        observability=False)
+    report = json.loads(run_workload(spec).to_json())
+    assert "slo" not in report
+    assert "query_log" not in report
+    assert "incidents" not in report
+
+
+def test_same_seed_byte_identical_with_full_stack():
+    spec = WorkloadSpec(seed=77, clients=300, rate_rps=600.0,
+                        federated=True)
+    a, b = run_workload(spec), run_workload(spec)
+    assert a.to_json() == b.to_json()
+    # and the sampled record sets themselves are identical
+    assert a.workload.service.query_log.dump_json() == \
+        b.workload.service.query_log.dump_json()
+    assert a.workload.recorder.incidents_sha256() == \
+        b.workload.recorder.incidents_sha256()
