@@ -1,0 +1,150 @@
+"""Sharded data plane benchmark: the shard x worker scan matrix.
+
+The graph's batched scan path (``Graph.scan_batches``) fans an
+unbound-subject scan out over its hash shards and runs the per-shard
+scans on a WorkerPool, merging the sorted runs back into one canonical
+stream. On a pure in-memory graph the per-shard work is a dict walk —
+far too cheap for thread-level parallelism to win — so this benchmark
+injects a simulated per-triple IO cost through the ``Graph.scan_cost``
+hook (the knob a disk- or network-backed shard would turn): every
+shard scan sleeps ``n_matches * PER_TRIPLE_S``. Total simulated cost
+is constant across shard counts, which makes the matrix honest: the
+only thing that changes between cells is how much of that fixed cost
+runs concurrently.
+
+The sweep runs the same scan query at shards 1/2/4 x workers 1/2/4 and
+asserts:
+
+- results are byte-identical (``to_json``) at every cell, and
+- the 4-shard/4-worker cell beats 1x1 by >= 2.5x scan throughput.
+
+A second leg drives the deterministic partition-spill hash join
+against a hard in-memory build-side ceiling (``spill_threshold``) and
+reports the observed ``peak_build_rows`` — the regression gate pins it
+at the ceiling with tolerance 1.0, so the memory bound is a tested
+invariant, not documentation.
+
+Emits ``out/BENCH_shards.json``; regenerate the committed baseline in
+``--smoke`` mode (what the shard-smoke CI job runs)::
+
+    python -m pytest benchmarks/bench_shards.py \
+        --run-benchmarks --smoke -q
+    cp out/BENCH_shards.json benchmarks/baselines/
+"""
+
+import time
+
+import pytest
+
+import repro.sparql.spill as spill_mod
+from repro.parallel import ThreadExecutor, WorkerPool
+from repro.rdf.graph import Graph
+from repro.rdf.terms import IRI, Literal
+from repro.sparql import query
+
+pytestmark = pytest.mark.benchmark
+
+EX = "http://example.org/"
+
+SHARD_COUNTS = (1, 2, 4)
+WORKER_COUNTS = (1, 2, 4)
+
+#: Simulated IO budget for one full scan, split evenly per triple: the
+#: 1x1 cell pays all of it serially, the 4x4 cell pays ~1/4 of it on
+#: each of four concurrent workers.
+TOTAL_SCAN_COST_S = 0.8
+
+SCAN_QUERY = f"SELECT ?s ?v WHERE {{ ?s <{EX}val> ?v . }}"
+
+SPILL_QUERY = (
+    f"SELECT ?s ?v WHERE {{ "
+    f"?s <{EX}type> <{EX}A> . "
+    f"{{ SELECT ?s ?v WHERE {{ ?s <{EX}val> ?v }} }} }}"
+)
+
+
+def build_graph(subjects: int, shards=None) -> Graph:
+    g = Graph(shards=shards)
+    for i in range(subjects):
+        s = IRI(f"{EX}s/{i}")
+        g.add(s, IRI(EX + "type"), IRI(EX + ("A" if i % 2 else "B")))
+        g.add(s, IRI(EX + "val"), Literal(str(i)))
+    return g
+
+
+def test_shard_worker_scan_matrix(smoke, emit_bench, record_summary):
+    subjects = 600 if smoke else 2400
+    per_triple_s = TOTAL_SCAN_COST_S / subjects
+
+    start = time.perf_counter()
+    seconds_by_cell = {}
+    payloads = set()
+    for n_shards in SHARD_COUNTS:
+        g = build_graph(subjects, shards=n_shards)
+        g.scan_cost = lambda shard, n: time.sleep(n * per_triple_s)
+        for workers in WORKER_COUNTS:
+            pool = (WorkerPool(workers, ThreadExecutor(workers))
+                    if workers > 1 else None)
+            try:
+                t0 = time.perf_counter()
+                result = query(g, SCAN_QUERY, pool=pool, batch_size=256)
+                cell_s = time.perf_counter() - t0
+            finally:
+                if pool is not None:
+                    pool.close()
+            assert len(result) == subjects
+            seconds_by_cell[f"s{n_shards}w{workers}"] = round(cell_s, 4)
+            payloads.add(result.to_json())
+
+    identical = float(len(payloads) == 1)
+    assert identical == 1.0, (
+        f"{len(payloads)} distinct result payloads across the matrix")
+    speedup = (seconds_by_cell["s1w1"] / seconds_by_cell["s4w4"])
+    assert speedup >= 2.5, seconds_by_cell
+
+    # -- spill leg: bounded build side under a hard ceiling ---------------
+    threshold = 32
+    observed = []
+    spill_mod.SPILL_OBSERVER = observed.append
+    try:
+        g = build_graph(subjects // 2, shards=2)
+        baseline = query(g, SPILL_QUERY)
+        spilled = query(g, SPILL_QUERY, spill_threshold=threshold)
+    finally:
+        spill_mod.SPILL_OBSERVER = None
+    assert observed, "spill join never materialized"
+    stats = observed[0]
+    spill_identical = float(baseline.to_json() == spilled.to_json())
+    assert spill_identical == 1.0
+    assert stats["peak_build_rows"] <= threshold, stats
+
+    wall_s = time.perf_counter() - start
+
+    emit_bench(
+        "shards",
+        scan={
+            "subjects": subjects,
+            "seconds_by_cell": seconds_by_cell,
+            "speedup_4x4": round(speedup, 3),
+            "identical_results": identical,
+        },
+        spill={
+            "threshold": threshold,
+            "build_rows": stats["build_rows"],
+            "peak_build_rows": stats["peak_build_rows"],
+            "spilled_rows": stats["spilled_rows"],
+            "identical_results": spill_identical,
+        },
+        wall_s=round(wall_s, 3),
+    )
+    record_summary("sharded data plane: shard x worker matrix", [
+        f"subjects={subjects} simulated scan cost "
+        f"{TOTAL_SCAN_COST_S:.1f}s split per-triple",
+        "cell seconds: " + " ".join(
+            f"{k}={v:.2f}" for k, v in sorted(seconds_by_cell.items())),
+        f"speedup 4 shards x 4 workers: {speedup:.2f}x "
+        f"(identical results at all {len(seconds_by_cell)} cells)",
+        f"spill join: build={stats['build_rows']} rows, ceiling "
+        f"{threshold}, observed peak {stats['peak_build_rows']}, "
+        f"spilled {stats['spilled_rows']}",
+    ])

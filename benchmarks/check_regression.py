@@ -22,6 +22,12 @@ factor (per-metric ``tolerance_factor`` overrides the global one).
 A missing current file or metric is a failure: a benchmark that
 silently stops emitting must not pass the gate.
 
+``--all-present`` inverts the scoping: instead of naming metrics with
+``--only``, it gates *every* ``out/BENCH_*.json`` the job emitted —
+an emitted file with no tracked metrics fails (new benchmarks must
+declare their gate), and files named with ``--expect`` (default: every
+file in the manifest) must actually have been emitted.
+
 Regenerate the baselines with::
 
     python -m pytest benchmarks -k parallel_sweep \
@@ -126,6 +132,47 @@ def check(manifest, out_dir, baseline_dir, only=None):
     return failures, report
 
 
+def check_all_present(manifest, out_dir, baseline_dir, expect=None):
+    """Gate every emitted ``out/BENCH_*.json`` in one pass.
+
+    Replaces the per-job ``--only`` invocations: every emitted file must
+    have tracked metrics in the manifest (an untracked benchmark is a
+    failure — new benchmarks must declare their gate), every tracked
+    metric of every emitted file is checked against its baseline, and
+    every *expected* file must actually have been emitted. *expect*
+    defaults to all files named in the manifest; a CI job that runs a
+    subset of the benchmarks narrows it with ``--expect BENCH_x.json``
+    while still gating anything else it happened to emit.
+    """
+    tracked = {m["file"] for m in manifest["metrics"]}
+    emitted = sorted(p.name for p in out_dir.glob("BENCH_*.json"))
+    expected = set(expect) if expect else set(tracked)
+    failures, report = [], []
+
+    unknown = expected - tracked
+    if unknown:
+        raise SystemExit(
+            f"--expect names files with no tracked metrics: "
+            f"{sorted(unknown)}")
+    for name in sorted(expected - set(emitted)):
+        failures.append(name)
+        report.append(f"FAIL {name}  expected benchmark output missing "
+                      f"from {out_dir}")
+    for name in [n for n in emitted if n not in tracked]:
+        failures.append(name)
+        report.append(f"FAIL {name}  emitted but has no tracked metrics "
+                      f"in the manifest (add a baseline + entries to "
+                      f"tracked_metrics.json)")
+
+    gate = {n for n in emitted if n in tracked}
+    if gate:
+        metric_failures, metric_report = check(
+            manifest, out_dir, baseline_dir, only=gate)
+        failures.extend(metric_failures)
+        report.extend(metric_report)
+    return failures, report
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="fail when tracked benchmark metrics regress more "
@@ -149,11 +196,31 @@ def main(argv=None):
                         help="check only metrics tracked against this "
                              "BENCH_*.json file (repeatable); default: "
                              "all tracked metrics")
+    parser.add_argument("--all-present", action="store_true",
+                        help="gate every emitted out/BENCH_*.json: "
+                             "untracked emissions fail, and every "
+                             "--expect'ed file (default: all tracked "
+                             "files) must have been emitted")
+    parser.add_argument("--expect", action="append", default=None,
+                        metavar="BENCH_FILE",
+                        help="with --all-present: this file must have "
+                             "been emitted (repeatable; default: every "
+                             "file named in the manifest)")
     args = parser.parse_args(argv)
+    if args.all_present and args.only:
+        parser.error("--all-present and --only are mutually exclusive")
+    if args.expect and not args.all_present:
+        parser.error("--expect requires --all-present")
 
     manifest = json.loads(args.manifest.read_text())
-    failures, report = check(manifest, args.out_dir, args.baseline_dir,
-                             only=set(args.only) if args.only else None)
+    if args.all_present:
+        failures, report = check_all_present(
+            manifest, args.out_dir, args.baseline_dir,
+            expect=args.expect)
+    else:
+        failures, report = check(
+            manifest, args.out_dir, args.baseline_dir,
+            only=set(args.only) if args.only else None)
     for line in report:
         print(line)
     if failures:

@@ -1,0 +1,249 @@
+"""Hash-sharded SPO/POS/OSP index segments.
+
+The sharded data plane partitions a graph's triples into ``N``
+independent index shards, routed by a **stable hash of the subject
+id** (:func:`shard_of`).  Subject-bound scans touch exactly one shard;
+unbound-subject scans fan out across all shards — optionally on a
+:class:`~repro.parallel.pool.WorkerPool` — and are merged back into a
+single **canonical ascending (s, p, o) order** so the merged stream is
+byte-identical at any shard count and any worker count.
+
+Determinism rules this module lives by:
+
+- routing never uses Python's ``hash()`` (``PYTHONHASHSEED`` varies);
+  :func:`shard_of` is a fixed integer mixing function;
+- a subject's triples live in exactly one shard for every ``N``, and
+  per-shard insertion order equals the global insertion order filtered
+  to that shard, so subject-bound scans need no sort;
+- unbound-subject scans sort each shard's matches and ``heapq.merge``
+  the runs, which makes the merged order independent of both the shard
+  count and the order shard tasks happen to finish in.
+
+The module is under the determinism lint's *total* ``time.`` /
+``random.`` ban (same tier as the chaos layer): it may hold no clock
+and draw no randomness at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..parallel.partition import merge_sorted_runs
+
+IdTriple = Tuple[int, int, int]
+IdPattern = Tuple[Optional[int], Optional[int], Optional[int]]
+
+#: Default number of id-triples per flat batch pulled by the batched
+#: BGP scan path (see ``Graph.scan_batches``). 256 triples = 768 ints
+#: per batch: large enough to amortize per-batch budget charges, small
+#: enough to keep operator state bounded.
+DEFAULT_BATCH_SIZE = 256
+
+# splitmix64 finalizer constants — a fixed avalanche mix so shard
+# routing is stable across processes (never Python's salted hash()).
+_MASK64 = (1 << 64) - 1
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def shard_of(subject_id: int, n_shards: int) -> int:
+    """Stable shard index for *subject_id* under *n_shards* shards."""
+    if n_shards <= 1:
+        return 0
+    x = (subject_id + _GOLDEN) & _MASK64
+    x = ((x ^ (x >> 30)) * _MIX_A) & _MASK64
+    x = ((x ^ (x >> 27)) * _MIX_B) & _MASK64
+    x ^= x >> 31
+    return x % n_shards
+
+
+class IndexShard:
+    """One SPO/POS/OSP index segment (the triples routed to it)."""
+
+    __slots__ = ("spo", "pos", "osp", "n_triples")
+
+    def __init__(self):
+        self.spo: Dict[int, Dict[int, Set[int]]] = {}
+        self.pos: Dict[int, Dict[int, Set[int]]] = {}
+        self.osp: Dict[int, Dict[int, Set[int]]] = {}
+        self.n_triples = 0
+
+    def add(self, s: int, p: int, o: int) -> None:
+        self.spo.setdefault(s, {}).setdefault(p, set()).add(o)
+        self.pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self.osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        self.n_triples += 1
+
+    def discard(self, s: int, p: int, o: int) -> None:
+        self._discard(self.spo, s, p, o)
+        self._discard(self.pos, p, o, s)
+        self._discard(self.osp, o, s, p)
+        self.n_triples -= 1
+
+    @staticmethod
+    def _discard(index, a: int, b: int, c: int) -> None:
+        by_b = index.get(a)
+        if by_b is None:
+            return
+        leaf = by_b.get(b)
+        if leaf is None:
+            return
+        leaf.discard(c)
+        if not leaf:
+            del by_b[b]
+            if not by_b:
+                del index[a]
+
+    def matching(self, ids: IdPattern) -> Iterator[IdTriple]:
+        """Triples in this shard matching *ids* (``None`` = wildcard)."""
+        s, p, o = ids
+        if s is not None:
+            by_p = self.spo.get(s)
+            if not by_p:
+                return
+            if p is not None:
+                for oo in by_p.get(p, ()):
+                    if o is None or oo == o:
+                        yield (s, p, oo)
+            else:
+                for pp, objs in by_p.items():
+                    for oo in objs:
+                        if o is None or oo == o:
+                            yield (s, pp, oo)
+            return
+        if p is not None:
+            by_o = self.pos.get(p)
+            if not by_o:
+                return
+            if o is not None:
+                for ss in by_o.get(o, ()):
+                    yield (ss, p, o)
+            else:
+                for oo, subs in by_o.items():
+                    for ss in subs:
+                        yield (ss, p, oo)
+            return
+        if o is not None:
+            by_s = self.osp.get(o)
+            if not by_s:
+                return
+            for ss, preds in by_s.items():
+                for pp in preds:
+                    yield (ss, pp, o)
+            return
+        for ss, by_p in self.spo.items():
+            for pp, objs in by_p.items():
+                for oo in objs:
+                    yield (ss, pp, oo)
+
+    def count_matching(self, ids: IdPattern) -> int:
+        """Number of matches for *ids* without enumerating them.
+
+        O(1) for subject/pair-bound shapes, O(distinct-values) for the
+        single-predicate / single-object shapes — always cheaper than a
+        scan, which is what lets ``scan_batches`` prune empty shards
+        before submitting WorkerPool tasks.
+        """
+        s, p, o = ids
+        if s is not None:
+            by_p = self.spo.get(s)
+            if not by_p:
+                return 0
+            if p is not None:
+                leaf = by_p.get(p, ())
+                if o is not None:
+                    return 1 if o in leaf else 0
+                return len(leaf)
+            if o is not None:
+                return len(self.osp.get(o, {}).get(s, ()))
+            return sum(len(objs) for objs in by_p.values())
+        if p is not None:
+            by_o = self.pos.get(p)
+            if not by_o:
+                return 0
+            if o is not None:
+                return len(by_o.get(o, ()))
+            return sum(len(subs) for subs in by_o.values())
+        if o is not None:
+            return sum(len(preds) for preds in self.osp.get(o, {}).values())
+        return self.n_triples
+
+    def shell_sizes(self) -> Tuple[int, int, int]:
+        return len(self.spo), len(self.pos), len(self.osp)
+
+
+class ShardedIndex:
+    """N independent :class:`IndexShard` segments routed by subject id."""
+
+    __slots__ = ("n", "shards")
+
+    def __init__(self, n_shards: int):
+        if n_shards < 1:
+            raise ValueError(f"shard count must be >= 1, got {n_shards}")
+        self.n = n_shards
+        self.shards = [IndexShard() for _ in range(n_shards)]
+
+    def shard_for(self, subject_id: int) -> IndexShard:
+        return self.shards[shard_of(subject_id, self.n)]
+
+    def add(self, s: int, p: int, o: int) -> None:
+        self.shard_for(s).add(s, p, o)
+
+    def discard(self, s: int, p: int, o: int) -> None:
+        self.shard_for(s).discard(s, p, o)
+
+    def matching(self, ids: IdPattern) -> Iterator[IdTriple]:
+        """All matches for *ids* in the canonical cross-shard order.
+
+        Subject-bound patterns stream straight from the routed shard in
+        its insertion order (identical to the global insertion order
+        restricted to that subject, hence shard-count independent).
+        Unbound-subject patterns merge per-shard sorted runs into
+        ascending (s, p, o) order — canonical for every shard count.
+        """
+        s = ids[0]
+        if s is not None:
+            yield from self.shard_for(s).matching(ids)
+            return
+        runs = [self.scan_sorted(k, ids) for k in range(self.n)]
+        yield from merge_sorted_runs(runs)
+
+    def scan_sorted(self, shard_index: int, ids: IdPattern) -> List[IdTriple]:
+        """One shard's matches as a sorted run (merge input)."""
+        return sorted(self.shards[shard_index].matching(ids))
+
+    def cardinalities(self, ids: IdPattern) -> List[int]:
+        """Per-shard match counts for *ids* (scan-task pruning/skew)."""
+        s = ids[0]
+        if s is not None:
+            k = shard_of(s, self.n)
+            counts = [0] * self.n
+            counts[k] = self.shards[k].count_matching(ids)
+            return counts
+        return [shard.count_matching(ids) for shard in self.shards]
+
+    def pair_cardinality(self, ids: IdPattern) -> int:
+        """Exact cardinality for the two-bound pattern shapes."""
+        s, p, o = ids
+        if s is not None:
+            # (s,p) and (s,o) route to one shard
+            return self.shard_for(s).count_matching(ids)
+        # (p,o): the subject is unbound, so the pairs straddle shards
+        return sum(len(shard.pos.get(p, {}).get(o, ()))
+                   for shard in self.shards)
+
+    def shell_sizes(self) -> Tuple[int, int, int]:
+        """Aggregate (spo, pos, osp) top-level entry counts.
+
+        Subjects never straddle shards, so the spo sum equals the
+        number of distinct subjects; pos/osp sums count per-shard
+        entries (a predicate used in every shard contributes N).
+        """
+        spo = pos = osp = 0
+        for shard in self.shards:
+            a, b, c = shard.shell_sizes()
+            spo += a
+            pos += b
+            osp += c
+        return spo, pos, osp

@@ -26,6 +26,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
+from ..rdf.shards import DEFAULT_BATCH_SIZE
 from ..rdf.terms import literal_cmp_key, Literal
 from .ast import (
     Bind,
@@ -198,6 +199,17 @@ class BGPOp(Operator):
         adaptive = (id_mode
                     and len(self.patterns) >= 2
                     and getattr(ctx, "replan_ratio", None) is not None)
+        # Batched (vectorized) evaluation pulls fixed-size flat id
+        # batches instead of tuple-at-a-time probes. It engages on any
+        # sharded graph (where scans also fan out across shards, on
+        # ctx.pool when one is set) and whenever the context pins an
+        # explicit batch size; the adaptive strategy keeps its own
+        # staged path, which re-plans between stages.
+        batch_size = getattr(ctx, "batch_size", None)
+        if batch_size is None and getattr(graph, "shard_count", 1) > 1:
+            batch_size = DEFAULT_BATCH_SIZE
+        batched = (id_mode and not adaptive and batch_size is not None
+                   and hasattr(graph, "scan_batches"))
         for row in self.source.stream(ctx):
             _tick(ctx)
             self.node.probes += 1
@@ -206,6 +218,9 @@ class BGPOp(Operator):
                     continue  # a constant term is absent from the graph
                 if adaptive:
                     matches = self._match_ids_adaptive(specs, row, ctx)
+                elif batched:
+                    matches = self._match_ids_batched(specs, row, ctx,
+                                                      batch_size)
                 else:
                     matches = self._match_ids(specs, row, ctx)
             else:
@@ -329,6 +344,82 @@ class BGPOp(Operator):
                 charge_scan(ctx)
                 scan_node.actual_rows = (scan_node.actual_rows or 0) + 1
                 yield triple
+
+    # -- batched (vectorized) id-level matching -----------------------------
+    def _match_ids_batched(self, specs, row: Solution, ctx,
+                           batch_size: int) -> Iterator[Solution]:
+        """Staged block evaluation over flat id batches.
+
+        Patterns run stage-by-stage over a materialized block of
+        partial envs; each probe pulls fixed-size flat
+        ``[s,p,o, s,p,o, ...]`` int batches from
+        ``graph.scan_batches`` — which on a sharded graph scans the
+        shards concurrently (on ``ctx.pool``) and merges canonically —
+        and the budget is charged per batch instead of per triple.
+        Stage order preserves the depth-first emission order of
+        :meth:`_match_ids`, and the batch size never affects which
+        rows come out, only how many ids move per pull.
+        """
+        graph = ctx.graph
+        lookup = graph.dictionary.lookup
+        env0: Dict[str, int] = {}
+        for pattern in self.patterns:
+            for var in pattern.variables():
+                name = var.name
+                if name in row and name not in env0:
+                    term_id = lookup(row[name])
+                    if term_id is None:
+                        return  # bound term unknown to this graph
+                    env0[name] = term_id
+        budget = ctx.budget
+        pool = getattr(ctx, "pool", None)
+        merge = self._merge_env
+        block: List[Dict[str, int]] = [env0]
+        for i, spec in enumerate(specs):
+            pattern = self.patterns[i]
+            scan_node = self.scan_nodes[i]
+            out: List[Dict[str, int]] = []
+            for env in block:
+                scan_node.probes += 1
+                s = spec[0] if isinstance(spec[0], int) else env.get(spec[0])
+                p = spec[1] if isinstance(spec[1], int) else env.get(spec[1])
+                o = spec[2] if isinstance(spec[2], int) else env.get(spec[2])
+                if (
+                    o is None
+                    and s is None
+                    and isinstance(pattern.o, Var)
+                    and pattern.o.name in self.restrictions
+                    and hasattr(graph, "spatial_candidates")
+                ):
+                    # spatial leaves stay tuple-at-a-time: the R-tree
+                    # candidate walk is already the narrow path
+                    for triple in self._spatial_probes(graph, s, p, pattern,
+                                                       scan_node, ctx):
+                        merged = merge(spec, triple, env)
+                        if merged is not None:
+                            out.append(merged)
+                    continue
+                for flat in graph.scan_batches((s, p, o), batch_size,
+                                               pool=pool):
+                    n = len(flat) // 3
+                    if budget is not None:
+                        budget.charge_triples(n)
+                    scan_node.actual_rows = (scan_node.actual_rows or 0) + n
+                    for j in range(0, len(flat), 3):
+                        merged = merge(
+                            spec, (flat[j], flat[j + 1], flat[j + 2]), env)
+                        if merged is not None:
+                            out.append(merged)
+            block = out
+            if not block:
+                return
+        decode = graph.dictionary.decode
+        for env in block:
+            out_row = dict(row)
+            for name, term_id in env.items():
+                if name not in out_row:
+                    out_row[name] = decode(term_id)
+            yield out_row
 
     # -- adaptive (staged) id-level matching --------------------------------
     def _match_ids_adaptive(self, specs, row: Solution,
@@ -683,70 +774,126 @@ class _HashJoiner:
             yield merged
 
 
+def _build_joiner(ctx, node, join_key, right_rows):
+    """The hash joiner for a materialized build side.
+
+    Returns ``(joiner, spill_joiner)``: the in-memory
+    :class:`_HashJoiner` when no spill threshold is armed on the
+    context, else a :class:`~repro.sparql.spill.SpillHashJoin` keyed on
+    the plan-time *join_key* whose in-memory build side is bounded at
+    ``ctx.spill_threshold`` rows (``spill_joiner`` must be closed by
+    the caller — operators do so in a ``finally``). Both joiners
+    produce byte-identical output for the same inputs.
+    """
+    threshold = getattr(ctx, "spill_threshold", None)
+    if threshold is None:
+        return _HashJoiner(right_rows), None
+    from .spill import DEFAULT_SPILL_DIR, SpillHashJoin
+
+    spill_dir = getattr(ctx, "spill_dir", None) or DEFAULT_SPILL_DIR
+    tag = f"{(node.label or 'join').lower()}-n{node.id or 0}"
+    joiner = SpillHashJoin(join_key or (), max_build_rows=threshold,
+                           spill_dir=spill_dir, tag=tag, budget=ctx.budget)
+    joiner.build(right_rows)
+    return joiner, joiner
+
+
+def _finish_spill(node, spill_joiner) -> None:
+    if spill_joiner is not None:
+        stats = spill_joiner.close()
+        node.spill = stats["spilled_rows"]
+
+
 class ValuesOp(Operator):
-    def __init__(self, node, source, values: InlineValues):
+    def __init__(self, node, source, values: InlineValues, join_key=()):
         super().__init__(node, source)
-        rows = []
+        self.join_key = tuple(join_key)
+        self._rows = []
         for row in values.rows:
-            rows.append({
+            self._rows.append({
                 var.name: term
                 for var, term in zip(values.variables, row)
                 if term is not None
             })
-        self._joiner = _HashJoiner(rows)
+        self._mem_joiner = None
 
     def rows(self, ctx) -> Iterator[Solution]:
-        for row in self.source.stream(ctx):
-            _tick(ctx)
-            for out in self._joiner.matches(row):
-                yield self._emit(out)
+        joiner, spill = _build_joiner(ctx, self.node, self.join_key,
+                                      self._rows)
+        if spill is None:
+            # cache the in-memory joiner: VALUES rows never change, so
+            # re-runs (e.g. under OPTIONAL) reuse the lazy indexes
+            if self._mem_joiner is None:
+                self._mem_joiner = joiner
+            joiner = self._mem_joiner
+        try:
+            for row in self.source.stream(ctx):
+                _tick(ctx)
+                for out in joiner.matches(row):
+                    yield self._emit(out)
+        finally:
+            _finish_spill(self.node, spill)
 
 
 class SubSelectOp(Operator):
-    def __init__(self, node, source, query: SelectQuery):
+    def __init__(self, node, source, query: SelectQuery, join_key=()):
         super().__init__(node, source)
         self.query = query
+        self.join_key = tuple(join_key)
 
     def rows(self, ctx) -> Iterator[Solution]:
         from .evaluator import eval_query
 
         joiner = None
-        for row in self.source.stream(ctx):
-            _tick(ctx)
-            if joiner is None:
-                sub_result = eval_query(self.query, ctx)
-                joiner = _HashJoiner(sub_result.rows)
-            for out in joiner.matches(row):
-                yield self._emit(out)
+        spill = None
+        try:
+            for row in self.source.stream(ctx):
+                _tick(ctx)
+                if joiner is None:
+                    sub_result = eval_query(self.query, ctx)
+                    joiner, spill = _build_joiner(ctx, self.node,
+                                                  self.join_key,
+                                                  sub_result.rows)
+                for out in joiner.matches(row):
+                    yield self._emit(out)
+        finally:
+            _finish_spill(self.node, spill)
 
 
 class ServiceOp(Operator):
     """Exchange operator: ships the group to a remote endpoint once and
     hash-joins the returned bindings into the local stream."""
 
-    def __init__(self, node, source, element: ServicePattern):
+    def __init__(self, node, source, element: ServicePattern, join_key=()):
         super().__init__(node, source)
         self.element = element
+        self.join_key = tuple(join_key)
 
     def rows(self, ctx) -> Iterator[Solution]:
         from .evaluator import EvaluationError
 
         joiner = None
-        for row in self.source.stream(ctx):
-            _tick(ctx)
-            self.node.probes += 1
-            if joiner is None:
-                if ctx.service_resolver is None:
-                    raise EvaluationError(
-                        "SERVICE pattern requires a service resolver"
-                        " (federation)"
+        spill = None
+        try:
+            for row in self.source.stream(ctx):
+                _tick(ctx)
+                self.node.probes += 1
+                if joiner is None:
+                    if ctx.service_resolver is None:
+                        raise EvaluationError(
+                            "SERVICE pattern requires a service resolver"
+                            " (federation)"
+                        )
+                    remote_rows = ctx.service_resolver(
+                        str(self.element.endpoint), self.element.group
                     )
-                remote_rows = ctx.service_resolver(
-                    str(self.element.endpoint), self.element.group
-                )
-                joiner = _HashJoiner(remote_rows)
-            for out in joiner.matches(row):
-                yield self._emit(out)
+                    joiner, spill = _build_joiner(ctx, self.node,
+                                                  self.join_key,
+                                                  remote_rows)
+                for out in joiner.matches(row):
+                    yield self._emit(out)
+        finally:
+            _finish_spill(self.node, spill)
 
 
 # ---------------------------------------------------------------------------

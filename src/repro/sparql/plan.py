@@ -88,7 +88,8 @@ class PlanNode:
 
     __slots__ = ("label", "detail", "est_rows", "actual_rows", "children",
                  "id", "time_s", "est_source", "signature", "probes",
-                 "replans", "replan_events", "display_only")
+                 "replans", "replan_events", "display_only", "access",
+                 "spill")
 
     def __init__(self, label: str, detail: str = "",
                  est_rows: Optional[float] = None,
@@ -106,6 +107,14 @@ class PlanNode:
         self.replans: int = 0
         self.replan_events: List[Dict[str, object]] = []
         self.display_only: bool = False
+        #: Physical access annotation for scans on the sharded data
+        #: plane (``"shards=N batch=K"``); ``None`` on the legacy
+        #: tuple-at-a-time path, so plain-graph EXPLAIN is unchanged.
+        self.access: Optional[str] = None
+        #: Spilled build rows for spill-armed hash joins: 0 when armed
+        #: at plan time, the actual count after execution, ``None``
+        #: (not printed) when spilling is off.
+        self.spill: Optional[int] = None
 
     def assign_ids(self) -> None:
         """Number the tree pre-order, 1-based (stable across re-plans)."""
@@ -126,6 +135,8 @@ class PlanNode:
         self.probes = 0
         self.replans = 0
         self.replan_events = []
+        if self.spill is not None:
+            self.spill = 0
         for child in self.children:
             child.mark_executed()
 
@@ -141,7 +152,10 @@ class PlanNode:
         node_id = "" if self.id is None else f"#{self.id} "
         src = "" if self.est_source is None else f" src={self.est_source}"
         replans = f" replans={self.replans}" if self.replans else ""
-        return f"{node_id}{head}  [est={est}{src} rows={actual}{replans}]"
+        access = f" {self.access}" if self.access else ""
+        spill = f" spill={self.spill}" if self.spill is not None else ""
+        return (f"{node_id}{head}  "
+                f"[est={est}{src} rows={actual}{replans}{access}{spill}]")
 
     def render(self, indent: int = 0) -> str:
         if indent == 0 and self.id is None:
@@ -165,6 +179,8 @@ class PlanNode:
             "replans": self.replans,
             "replan_events": list(self.replan_events),
             "display_only": self.display_only,
+            "access": self.access,
+            "spill": self.spill,
             "children": [c.to_dict() for c in self.children],
         }
 
@@ -504,7 +520,9 @@ def compile_group(group: GroupGraphPattern, ctx, source: "ops.Operator",
                 est_rows=in_est * max(1, len(element.rows)),
             )
             node.children.append(top.node)
-            top = ops.ValuesOp(node, top, element)
+            join_key = _static_join_key(bound, element)
+            _arm_spill(node, ctx)
+            top = ops.ValuesOp(node, top, element, join_key=join_key)
             bound |= element_binding_vars(element)
         elif isinstance(element, SubSelect):
             node = PlanNode("HashJoin", "subselect", est_rows=in_est)
@@ -515,7 +533,10 @@ def compile_group(group: GroupGraphPattern, ctx, source: "ops.Operator",
             display = plan_select(element.query, ctx).root
             display.display_only = True
             node.children.append(display)
-            top = ops.SubSelectOp(node, top, element.query)
+            join_key = _static_join_key(bound, element)
+            _arm_spill(node, ctx)
+            top = ops.SubSelectOp(node, top, element.query,
+                                  join_key=join_key)
             bound |= element_binding_vars(element)
         elif isinstance(element, ServicePattern):
             node = PlanNode(
@@ -529,7 +550,9 @@ def compile_group(group: GroupGraphPattern, ctx, source: "ops.Operator",
                 node.est_rows = in_est * remote_mean
                 node.est_source = SOURCE_FEEDBACK
             node.children.append(top.node)
-            top = ops.ServiceOp(node, top, element)
+            join_key = _static_join_key(bound, element)
+            _arm_spill(node, ctx)
+            top = ops.ServiceOp(node, top, element, join_key=join_key)
             bound |= element_binding_vars(element)
         else:  # pragma: no cover - parser prevents this
             from .evaluator import EvaluationError
@@ -538,6 +561,23 @@ def compile_group(group: GroupGraphPattern, ctx, source: "ops.Operator",
                 f"unknown element {type(element).__name__}"
             )
     return top
+
+
+def _static_join_key(bound: Set[str], element) -> Tuple[str, ...]:
+    """Plan-time join key for a hash join against *element*.
+
+    The variables already bound upstream that the build side may also
+    bind — the equality columns every probing row is guaranteed to
+    share with key-complete build rows. The spill path partitions its
+    build side by a stable hash of exactly these columns.
+    """
+    return tuple(sorted(bound & element_binding_vars(element)))
+
+
+def _arm_spill(node: PlanNode, ctx) -> None:
+    """Show ``spill=0`` on join nodes when a spill threshold is set."""
+    if getattr(ctx, "spill_threshold", None) is not None:
+        node.spill = 0
 
 
 def _filter_detail(element: Filter, restrictions) -> str:
@@ -568,6 +608,18 @@ def _compile_bgp(bgp: BGP, ctx, source: "ops.Operator", bound: Set[str],
     scan_nodes: List[PlanNode] = []
     signatures: List[str] = []
     out_est = in_est
+    # Mirror BGPOp's batched-path dispatch so EXPLAIN shows the access
+    # method execution will actually use: batched scans print
+    # ``shards=N batch=K``; the legacy tuple-at-a-time and adaptive
+    # paths print nothing extra (plain-graph EXPLAIN is unchanged).
+    shard_count = getattr(graph, "shard_count", 1)
+    batch_size = getattr(ctx, "batch_size", None)
+    if batch_size is None and shard_count > 1:
+        batch_size = ops.DEFAULT_BATCH_SIZE
+    adaptive = (len(bgp.patterns) >= 2
+                and getattr(ctx, "replan_ratio", None) is not None)
+    batched = (not adaptive and batch_size is not None
+               and hasattr(graph, "scan_batches"))
     for pattern, est, est_source, signature in ordered:
         spatial = (
             isinstance(pattern.o, Var)
@@ -581,6 +633,8 @@ def _compile_bgp(bgp: BGP, ctx, source: "ops.Operator", bound: Set[str],
         scan_node = PlanNode(label, detail, est_rows=est)
         scan_node.est_source = est_source
         scan_node.signature = signature
+        if batched:
+            scan_node.access = f"shards={shard_count} batch={batch_size}"
         scan_nodes.append(scan_node)
         signatures.append(signature)
         out_est *= max(est, 0.0)

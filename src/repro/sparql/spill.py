@@ -1,0 +1,257 @@
+"""Deterministic partition-spill hash join build side.
+
+The in-memory hash joins (``_HashJoiner`` in
+:mod:`repro.sparql.operators`) hold their whole build side in memory.
+:class:`SpillHashJoin` is the grace-hash variant the VALUES / sub-select
+/ SERVICE joins switch to when a spill threshold is armed on the
+:class:`~repro.sparql.evaluator.Context`: build rows are partitioned by
+a **stable crc32 hash of the join-key values** (never Python's salted
+``hash()``) into a fixed number of partitions, and whenever the
+in-memory build side exceeds ``max_build_rows`` the largest partition
+is flushed to a spill file under ``out/`` — so the join survives build
+inputs much larger than memory while producing output byte-identical
+to the in-memory join, including row order.
+
+Spill format: one JSON line per row, ``[build_index, {var: [kind,
+lexical, datatype, lang]}]``, appended in ascending build-index order
+(each file is sorted by construction). File names are a pure function
+of the caller-supplied tag and the partition number, and every write
+and read-back is budget-charged, so spills are deterministic,
+accounted, and byte-identical across worker counts.
+
+This module is under the determinism lint's *total* ``time.`` /
+``random.`` ban — same tier as the chaos layer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zlib
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..rdf.terms import BNode, IRI, Literal, Term
+
+Solution = Dict[str, Term]
+
+#: Fixed partition fan-out. A pure constant (not derived from input
+#: size) so partition assignment — and therefore spill-file contents —
+#: never depends on how large the build side happened to be.
+SPILL_PARTITIONS = 8
+
+#: Default directory for spill files, relative to the working
+#: directory (the repo checkout in tests/CI). Callers running
+#: concurrent queries should pass a per-query ``spill_dir``.
+DEFAULT_SPILL_DIR = Path("out") / "spill"
+
+#: Observer hook for tests and benchmarks: when set, called with each
+#: joiner's final ``stats`` dict (including spill-file digests) at
+#: close time. Deterministic inputs produce deterministic stats, so
+#: the hook never influences results.
+SPILL_OBSERVER = None
+
+
+def _term_key(term: Term) -> Tuple:
+    if isinstance(term, Literal):
+        return ("literal", term.lexical,
+                str(term.datatype) if term.datatype else None, term.lang)
+    if isinstance(term, BNode):
+        return ("bnode", str(term), None, None)
+    return ("iri", str(term), None, None)
+
+
+def _term_from_key(key: Sequence) -> Term:
+    kind, lexical, datatype, lang = key
+    if kind == "literal":
+        return Literal(lexical, datatype=IRI(datatype) if datatype else None,
+                       lang=lang)
+    if kind == "bnode":
+        return BNode(lexical)
+    return IRI(lexical)
+
+
+def stable_key_hash(row: Solution, key: Sequence[str]) -> int:
+    """crc32 of the canonical n3 encoding of *row*'s join-key values."""
+    text = "\x1f".join(row[var].n3() for var in key)
+    return zlib.crc32(text.encode("utf-8"))
+
+
+def _compatible(left: Solution, right: Solution) -> bool:
+    for var, term in right.items():
+        bound = left.get(var)
+        if bound is not None and bound != term:
+            return False
+    return True
+
+
+class SpillHashJoin:
+    """Bounded-memory build side with deterministic partition spill.
+
+    Reproduces ``_HashJoiner`` semantics exactly: probes yield the
+    compatible build rows merged into the probe row, ordered by the
+    build row's original index. *key* is the static join key computed
+    at plan time (the variables bound upstream that the build side also
+    binds); build rows that do not bind the full key are kept in a
+    separate in-memory list and checked against every probe, which
+    preserves correctness for UNDEF / optional-heavy build sides.
+    """
+
+    def __init__(self, key: Sequence[str], *, max_build_rows: int,
+                 spill_dir, tag: str, budget=None,
+                 partitions: int = SPILL_PARTITIONS):
+        self.key = tuple(key)
+        self.max_build_rows = max(0, max_build_rows)
+        self.spill_dir = Path(spill_dir)
+        self.tag = tag
+        self.budget = budget
+        self.partitions = partitions
+        self._mem: Dict[int, List[Tuple[int, Solution]]] = {
+            p: [] for p in range(partitions)}
+        self._mem_count = 0
+        self._irregular: List[Tuple[int, Solution]] = []
+        self._files: Dict[int, Path] = {}
+        self._loaded: Optional[Tuple[int, List[Tuple[int, Solution]]]] = None
+        self._closed = False
+        self.stats = {
+            "build_rows": 0,
+            "irregular_rows": 0,
+            "peak_build_rows": 0,
+            "spilled_rows": 0,
+            "partitions_spilled": 0,
+            "file_digests": {},
+        }
+
+    # -- build ----------------------------------------------------------
+    def _partition_of(self, index: int, row: Solution) -> Optional[int]:
+        if not self.key:
+            # cross joins have no key values to hash; striping by build
+            # index keeps memory bounded and stays deterministic
+            return index % self.partitions
+        if all(var in row for var in self.key):
+            return stable_key_hash(row, self.key) % self.partitions
+        return None
+
+    def build(self, rows: Iterable[Solution]) -> None:
+        """Consume the build side, spilling as the bound requires."""
+        for index, row in enumerate(rows):
+            self.stats["build_rows"] += 1
+            part = self._partition_of(index, row)
+            if part is None:
+                self._irregular.append((index, row))
+                self.stats["irregular_rows"] += 1
+                continue
+            self._mem[part].append((index, row))
+            self._mem_count += 1
+            self._enforce_bound()
+            peak = self.stats["peak_build_rows"]
+            if self._mem_count > peak:
+                self.stats["peak_build_rows"] = self._mem_count
+
+    def _enforce_bound(self) -> None:
+        while self._mem_count > self.max_build_rows:
+            # flush the largest in-memory partition; ties break to the
+            # lowest partition id so the flush sequence is deterministic
+            part = max(self._mem, key=lambda p: (len(self._mem[p]), -p))
+            if not self._mem[part]:
+                break
+            self._flush(part)
+
+    def _flush(self, part: int) -> None:
+        entries = self._mem[part]
+        path = self._files.get(part)
+        if path is None:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
+            path = self.spill_dir / f"{self.tag}-p{part:02d}.spill"
+            self._files[part] = path
+            self.stats["partitions_spilled"] += 1
+        if self.budget is not None:
+            self.budget.charge_triples(len(entries))
+        with path.open("a", encoding="utf-8") as handle:
+            for index, row in entries:
+                encoded = {var: _term_key(term) for var, term in row.items()}
+                handle.write(json.dumps([index, encoded], sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+        self.stats["spilled_rows"] += len(entries)
+        self._mem_count -= len(entries)
+        self._mem[part] = []
+
+    # -- probe ----------------------------------------------------------
+    def _read_file(self, part: int) -> Iterator[Tuple[int, Solution]]:
+        path = self._files.get(part)
+        if path is None:
+            return
+        with path.open(encoding="utf-8") as handle:
+            for line in handle:
+                if self.budget is not None:
+                    self.budget.charge_triples(1)
+                index, encoded = json.loads(line)
+                yield index, {var: _term_from_key(key)
+                              for var, key in encoded.items()}
+
+    def _loaded_partition(self, part: int) -> List[Tuple[int, Solution]]:
+        # cache exactly one spilled partition at a time: repeated
+        # probes of the same key region re-use it, and memory stays
+        # bounded by one partition plus the in-memory build side
+        if self._loaded is not None and self._loaded[0] == part:
+            return self._loaded[1]
+        entries = list(self._read_file(part))
+        self._loaded = (part, entries)
+        return entries
+
+    def matches(self, left: Solution) -> Iterator[Solution]:
+        """Compatible build rows merged into *left*, in build order."""
+        hits: List[Tuple[int, Solution]] = []
+
+        def consider(entries):
+            for index, row in entries:
+                if _compatible(left, row):
+                    hits.append((index, row))
+
+        if self.key and all(var in left for var in self.key):
+            part = stable_key_hash(left, self.key) % self.partitions
+            consider(self._mem[part])
+            if part in self._files:
+                consider(self._loaded_partition(part))
+        else:
+            # the probe does not bind the full key (or there is none):
+            # every partition may hold compatible rows
+            for part in range(self.partitions):
+                consider(self._mem[part])
+            for part in sorted(self._files):
+                consider(self._read_file(part))
+        consider(self._irregular)
+        hits.sort(key=lambda entry: entry[0])
+        for _, row in hits:
+            merged = dict(left)
+            merged.update(row)
+            yield merged
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> Dict[str, object]:
+        """Digest and remove every spill file; returns final stats.
+
+        Always called (operators wrap probes in ``try/finally``), so a
+        ``BudgetExceeded`` raised mid-build or mid-spill leaves no
+        orphan files under ``out/``.
+        """
+        if self._closed:
+            return self.stats
+        self._closed = True
+        digests = self.stats["file_digests"]
+        for part in sorted(self._files):
+            path = self._files[part]
+            if path.exists():
+                digests[f"p{part:02d}"] = hashlib.sha256(
+                    path.read_bytes()).hexdigest()
+                path.unlink()
+        try:
+            if self._files and not any(self.spill_dir.iterdir()):
+                self.spill_dir.rmdir()
+        except OSError:  # concurrent writers own the directory
+            pass
+        self._loaded = None
+        observer = SPILL_OBSERVER
+        if observer is not None:
+            observer(dict(self.stats))
+        return self.stats

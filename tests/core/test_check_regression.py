@@ -115,6 +115,92 @@ def test_non_numeric_metric_fails(dirs):
     assert failures == ["BENCH_x.json:sweep.seconds_by_workers.1"]
 
 
+def run_all_present(out, baselines, manifest=MANIFEST, expect=None):
+    return check_regression.check_all_present(manifest, out, baselines,
+                                              expect=expect)
+
+
+def test_all_present_passes_when_everything_emitted(dirs):
+    out, baselines = dirs
+    write_bench(out)
+    failures, report = run_all_present(out, baselines)
+    assert failures == []
+    assert len(report) == 2  # the two tracked metrics, both OK
+
+
+def test_all_present_fails_on_missing_expected_file(dirs):
+    out, baselines = dirs
+    out.mkdir()  # nothing emitted
+    failures, report = run_all_present(out, baselines)
+    assert failures == ["BENCH_x.json"]
+    assert "expected benchmark output missing" in report[0]
+
+
+def test_all_present_fails_on_untracked_emission(dirs):
+    out, baselines = dirs
+    write_bench(out)
+    (out / "BENCH_rogue.json").write_text("{}")
+    failures, report = run_all_present(out, baselines)
+    assert failures == ["BENCH_rogue.json"]
+    assert "no tracked metrics" in report[0]
+
+
+def test_all_present_still_gates_metric_regressions(dirs):
+    out, baselines = dirs
+    write_bench(out, seconds=1.0)  # 5x regression
+    failures, __ = run_all_present(out, baselines)
+    assert failures == ["BENCH_x.json:sweep.seconds_by_workers.1"]
+
+
+def test_all_present_expect_narrows_required_files(dirs):
+    out, baselines = dirs
+    manifest = {
+        "tolerance_factor": 2.0,
+        "metrics": MANIFEST["metrics"] + [
+            {"file": "BENCH_y.json", "path": "wall_s",
+             "direction": "lower"},
+        ],
+    }
+    out.mkdir()
+    # Without --expect, both manifest files are required.
+    failures, __ = run_all_present(out, baselines, manifest)
+    assert failures == ["BENCH_x.json", "BENCH_y.json"]
+    # --expect narrows to the file this job runs...
+    write_bench(out)
+    failures, __ = run_all_present(out, baselines, manifest,
+                                   expect=["BENCH_x.json"])
+    assert failures == []
+    # ...but anything else emitted is still gated.
+    (out / "BENCH_y.json").write_text(json.dumps({"wall_s": 1.0}))
+    failures, __ = run_all_present(out, baselines, manifest,
+                                   expect=["BENCH_x.json"])
+    assert failures == ["BENCH_y.json:wall_s"]  # no baseline committed
+
+
+def test_all_present_rejects_unknown_expect(dirs):
+    out, baselines = dirs
+    out.mkdir()
+    with pytest.raises(SystemExit, match="no tracked metrics"):
+        run_all_present(out, baselines, expect=["BENCH_nope.json"])
+
+
+def test_all_present_cli(dirs, capsys):
+    out, baselines = dirs
+    write_bench(out)
+    manifest_path = baselines / "tracked_metrics.json"
+    manifest_path.write_text(json.dumps(MANIFEST))
+    argv = ["--out-dir", str(out), "--baseline-dir", str(baselines),
+            "--manifest", str(manifest_path), "--all-present"]
+    assert check_regression.main(argv) == 0
+    (out / "BENCH_rogue.json").write_text("{}")
+    assert check_regression.main(argv) == 1
+    capsys.readouterr()
+    with pytest.raises(SystemExit):  # argparse error exit
+        check_regression.main(argv + ["--only", "BENCH_x.json"])
+    with pytest.raises(SystemExit):
+        check_regression.main(argv[:-1] + ["--expect", "BENCH_x.json"])
+
+
 def test_cli_exit_codes(dirs, capsys):
     out, baselines = dirs
     write_bench(out)

@@ -159,6 +159,146 @@ def test_slo_qlog_recorder_have_no_clock_or_random_at_all():
     )
 
 
+#: The sharded data plane gets the chaos-layer total ban: shard scans
+#: must merge byte-identically at any shard x worker count and spill
+#: files must hash identically across runs, so ``repro.rdf.shards``
+#: and the spill join may hold no clock and draw no randomness at all
+#: (routing is a splitmix64 subject hash, spill partitioning a crc32).
+DATA_PLANE_TOTAL_BAN = ("repro/rdf/shards.py", "repro/sparql/spill.py")
+
+DATA_PLANE_FORBIDDEN = [
+    (re.compile(r"\btime\.\w+"),
+     "the sharded data plane is clock-free (timings live in the tracer)"),
+    (re.compile(r"\brandom\.\w+"),
+     "shard routing / spill partitioning use stable hashes, never "
+     "random.*"),
+]
+
+
+def test_sharded_data_plane_has_no_clock_or_random_at_all():
+    offenders = []
+    for rel in DATA_PLANE_TOTAL_BAN:
+        path = SRC / rel
+        assert path.exists(), f"expected module {path} missing"
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("#", 1)[0]
+            for pattern, why in DATA_PLANE_FORBIDDEN:
+                if pattern.search(code):
+                    offenders.append(
+                        f"src/{rel}:{lineno}: {why}: {line.strip()}")
+    assert not offenders, (
+        "shard scans and spill joins must replay byte-identically:\n"
+        + "\n".join(offenders)
+    )
+
+
+#: Scan manifest: every module under src/repro must appear in exactly
+#: one tier. STANDARD_TIER gets the ambient-call scan (FORBIDDEN
+#: above); TOTAL_TIER gets a total ``time.*``/``random.*`` ban through
+#: one of the dedicated tests in this file. A module on disk that is
+#: in neither set fails the manifest test below — new modules must be
+#: classified here, deliberately, instead of silently inheriting the
+#: weaker tier.
+TOTAL_TIER = (
+    {
+        # chaos layer (test_chaos_layer_has_no_clock_or_random_at_all)
+        "repro/chaos/__init__.py", "repro/chaos/harness.py",
+        "repro/chaos/invariants.py", "repro/chaos/plan.py",
+        # feedback store (test_stats_store_has_no_clock_or_random_at_all)
+        "repro/sparql/stats.py",
+    }
+    # SLO/qlog/recorder (test_slo_qlog_recorder_...)
+    | {f"repro/observability/{name}" for name in OBSERVABILITY_TOTAL_BAN}
+    # sharded data plane (test_sharded_data_plane_...)
+    | set(DATA_PLANE_TOTAL_BAN)
+)
+
+STANDARD_TIER = {
+    "repro/__init__.py", "repro/catalog/__init__.py",
+    "repro/catalog/acdd.py", "repro/catalog/cms.py",
+    "repro/catalog/drs.py", "repro/catalog/translate.py",
+    "repro/cloud/__init__.py", "repro/cloud/kubernetes.py",
+    "repro/cloud/platform.py", "repro/cloud/sandbox.py",
+    "repro/core/__init__.py", "repro/core/applab.py",
+    "repro/core/casestudy.py", "repro/core/cli.py",
+    "repro/core/ontologies.py", "repro/data/__init__.py",
+    "repro/data/generators.py", "repro/data/paris.py", "repro/errors.py",
+    "repro/geographica/__init__.py", "repro/geographica/harness.py",
+    "repro/geographica/queries.py", "repro/geographica/workload.py",
+    "repro/geometry/__init__.py", "repro/geometry/base.py",
+    "repro/geometry/crs.py", "repro/geometry/geojson.py",
+    "repro/geometry/index.py", "repro/geometry/ops.py",
+    "repro/geometry/wkt.py", "repro/geotriples/__init__.py",
+    "repro/geotriples/generator.py", "repro/geotriples/processor.py",
+    "repro/geotriples/rml.py", "repro/governance/__init__.py",
+    "repro/governance/admission.py", "repro/governance/budget.py",
+    "repro/governance/stats.py", "repro/interlink/__init__.py",
+    "repro/interlink/jedai.py", "repro/interlink/silk.py",
+    "repro/madis/__init__.py", "repro/madis/engine.py",
+    "repro/madis/opendap_vt.py", "repro/madis/udfs.py",
+    "repro/observability/__init__.py", "repro/observability/bridge.py",
+    "repro/observability/labeled.py", "repro/observability/metrics.py",
+    "repro/observability/trace.py", "repro/ontop/__init__.py",
+    "repro/ontop/mapping.py", "repro/ontop/obda.py",
+    "repro/ontop/opendap_adapter.py", "repro/ontop/r2rml_adapter.py",
+    "repro/ontop/raster.py", "repro/opendap/__init__.py",
+    "repro/opendap/client.py", "repro/opendap/constraints.py",
+    "repro/opendap/das.py", "repro/opendap/dds.py",
+    "repro/opendap/dods.py", "repro/opendap/model.py",
+    "repro/opendap/ncml.py", "repro/opendap/server.py",
+    "repro/opendap/subset.py", "repro/parallel/__init__.py",
+    "repro/parallel/partition.py", "repro/parallel/pool.py",
+    "repro/rdf/__init__.py", "repro/rdf/crawler.py",
+    "repro/rdf/dictionary.py", "repro/rdf/graph.py",
+    "repro/rdf/namespace.py", "repro/rdf/ntriples.py",
+    "repro/rdf/rdfxml.py", "repro/rdf/reasoner.py", "repro/rdf/terms.py",
+    "repro/rdf/turtle.py", "repro/resilience/__init__.py",
+    "repro/resilience/breaker.py", "repro/resilience/endpoint_pool.py",
+    "repro/resilience/faults.py", "repro/resilience/policy.py",
+    "repro/resilience/retry_budget.py", "repro/resilience/stats.py",
+    "repro/schemaorg/__init__.py", "repro/schemaorg/annotate.py",
+    "repro/schemaorg/search.py", "repro/sdl/__init__.py",
+    "repro/sdl/analytics.py", "repro/sdl/auth.py", "repro/sdl/library.py",
+    "repro/sdl/mapsapi.py", "repro/service/__init__.py",
+    "repro/service/api.py", "repro/service/errors.py",
+    "repro/service/plancache.py", "repro/service/scheduler.py",
+    "repro/service/service.py", "repro/service/tenancy.py",
+    "repro/service/workload.py", "repro/sextant/__init__.py",
+    "repro/sextant/core.py", "repro/sextant/formats.py",
+    "repro/sextant/map_ontology.py", "repro/sextant/svg.py",
+    "repro/sparql/__init__.py", "repro/sparql/ast.py",
+    "repro/sparql/evaluator.py", "repro/sparql/federation.py",
+    "repro/sparql/functions.py", "repro/sparql/operators.py",
+    "repro/sparql/parser.py", "repro/sparql/plan.py",
+    "repro/sparql/prepared.py", "repro/sparql/results.py",
+    "repro/sparql/tokenizer.py", "repro/sparql/update.py",
+    "repro/strabon/__init__.py", "repro/strabon/store.py",
+    "repro/vito/__init__.py", "repro/vito/archive.py", "repro/vito/mep.py",
+    "repro/vito/products.py",
+}
+
+
+def test_every_src_module_is_in_the_scan_manifest():
+    on_disk = {p.relative_to(SRC).as_posix()
+               for p in (SRC / "repro").rglob("*.py")}
+    manifest = STANDARD_TIER | TOTAL_TIER
+    overlap = STANDARD_TIER & TOTAL_TIER
+    assert not overlap, (
+        "modules listed in both lint tiers: " + ", ".join(sorted(overlap)))
+    missing = on_disk - manifest
+    assert not missing, (
+        "src/repro modules missing from the determinism-lint scan "
+        "manifest — add each to STANDARD_TIER or TOTAL_TIER in "
+        "tests/core/test_determinism_lint.py:\n  "
+        + "\n  ".join(sorted(missing))
+    )
+    stale = manifest - on_disk
+    assert not stale, (
+        "scan manifest names modules that no longer exist:\n  "
+        + "\n  ".join(sorted(stale))
+    )
+
+
 def test_benchmarks_have_no_ambient_time_or_randomness():
     """Benchmarks measure with perf_counter() — that is their
     instrument, so the perf_counter rule is lifted there — but their

@@ -1,0 +1,230 @@
+"""The hash-sharded index: routing, canonical order, twin equality.
+
+The sharding contract is that ``Graph(shards=N)`` is *observationally
+identical* to an unsharded graph for every read API, at every shard
+count — routing is a stable hash of the subject id (never Python's
+seeded ``hash()``), subject-bound scans go to exactly one shard in
+insertion order, and unbound-subject scans merge per-shard sorted runs
+into one canonical ascending (s, p, o) stream that no shard or worker
+count can perturb.
+"""
+
+import random
+
+import pytest
+
+from repro.parallel import SerialExecutor, ThreadExecutor, WorkerPool
+from repro.rdf.graph import Graph
+from repro.rdf.shards import (
+    DEFAULT_BATCH_SIZE,
+    IndexShard,
+    ShardedIndex,
+    shard_of,
+)
+from repro.rdf.terms import IRI, Literal, Triple
+
+pytestmark = pytest.mark.tier1
+
+EX = "http://example.org/"
+
+
+def build_triples(seed=7, subjects=40):
+    rnd = random.Random(seed)
+    triples = []
+    preds = [IRI(EX + p) for p in ("type", "val", "link", "tag")]
+    for i in range(subjects):
+        s = IRI(f"{EX}s/{i}")
+        triples.append(Triple(s, preds[0], IRI(EX + f"C{i % 3}")))
+        triples.append(Triple(s, preds[1], Literal(str(rnd.randrange(9)))))
+        if rnd.random() < 0.5:
+            triples.append(
+                Triple(s, preds[2], IRI(f"{EX}s/{rnd.randrange(subjects)}")))
+        if rnd.random() < 0.3:
+            triples.append(Triple(s, preds[3], Literal("x")))
+    return triples
+
+
+def build(shards=None, triples=None):
+    g = Graph(shards=shards)
+    for t in triples or build_triples():
+        g.add(t)
+    return g
+
+
+# -- routing ---------------------------------------------------------------
+
+def test_shard_of_is_stable_and_in_range():
+    for n in (1, 2, 4, 7):
+        for sid in range(1, 500):
+            k = shard_of(sid, n)
+            assert 0 <= k < n
+            assert k == shard_of(sid, n)  # pure function of (sid, n)
+
+
+def test_shard_of_distributes_subjects():
+    counts = [0, 0, 0, 0]
+    for sid in range(1, 2001):
+        counts[shard_of(sid, 4)] += 1
+    # splitmix64 mixing: no shard may collapse or hog the id space
+    assert min(counts) > 300, counts
+    assert max(counts) < 700, counts
+
+
+def test_sharded_index_routes_all_triples_somewhere():
+    idx = ShardedIndex(4)
+    for s, p, o in ((1, 2, 3), (4, 2, 3), (1, 5, 6)):
+        idx.add(s, p, o)
+    assert sum(sh.n_triples for sh in idx.shards) == 3
+    for s, p, o in ((1, 2, 3), (4, 2, 3), (1, 5, 6)):
+        assert idx.shard_for(s).spo[s][p] >= {o}
+
+
+# -- twin equality ---------------------------------------------------------
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_sharded_graph_is_observationally_identical(n_shards):
+    triples = build_triples()
+    plain, sharded = build(None, triples), build(n_shards, triples)
+    assert len(plain) == len(sharded)
+    assert set(plain) == set(sharded)
+    assert plain.distinct_counts == sharded.distinct_counts
+    patterns = [
+        (None, None, None),
+        (IRI(f"{EX}s/3"), None, None),
+        (None, IRI(EX + "val"), None),
+        (None, IRI(EX + "type"), IRI(EX + "C1")),
+        (IRI(f"{EX}s/3"), IRI(EX + "type"), None),
+        (None, None, Literal("x")),
+    ]
+    for pattern in patterns:
+        assert (sorted(plain.triples(pattern))
+                == sorted(sharded.triples(pattern)))
+        ids = plain._encode_pattern(pattern)
+        sids = sharded._encode_pattern(pattern)
+        assert plain.pattern_cardinality(ids) \
+            == sharded.pattern_cardinality(sids)
+
+
+@pytest.mark.parametrize("n_shards", [1, 2, 4])
+def test_remove_keeps_twins_identical(n_shards):
+    triples = build_triples()
+    plain, sharded = build(None, triples), build(n_shards, triples)
+    rnd = random.Random(11)
+    for t in rnd.sample(triples, len(triples) // 2):
+        plain.remove(t)
+        sharded.remove(t)
+    assert set(plain) == set(sharded)
+    assert len(plain) == len(sharded)
+    assert plain.distinct_counts == sharded.distinct_counts
+    # the distinct-term shells are shard-invariant (pos/osp shells are
+    # not: a predicate key legitimately appears once per shard)
+    for key in ("s_count", "p_count", "o_count"):
+        assert plain.index_shell_sizes()[key] \
+            == sharded.index_shell_sizes()[key]
+
+
+@pytest.mark.parametrize("n_shards", [1, 4])
+def test_sharded_shells_do_not_leak(n_shards):
+    g = build(n_shards)
+    baseline = g.index_shell_sizes()
+    extra = [Triple(IRI(f"{EX}tmp/{i}"), IRI(EX + "tmp"), Literal(str(i)))
+             for i in range(25)]
+    for t in extra:
+        g.add(t)
+    for t in extra:
+        g.remove(t)
+    assert g.index_shell_sizes() == baseline
+
+
+# -- canonical order -------------------------------------------------------
+
+def test_unbound_subject_scan_order_is_shard_count_invariant():
+    triples = build_triples()
+    ids = None
+    streams = {}
+    for n in (1, 2, 4):
+        g = build(n, triples)
+        ids = g._encode_pattern((None, IRI(EX + "val"), None))
+        streams[n] = list(g._ids_matching(ids))
+    assert streams[1] == streams[2] == streams[4]
+    assert streams[1] == sorted(streams[1])  # canonical ascending
+
+
+def test_subject_bound_scan_preserves_insertion_order():
+    s = IRI(f"{EX}s/0")
+    triples = [Triple(s, IRI(EX + f"p{i}"), Literal(str(i)))
+               for i in (3, 1, 2, 0)]
+    for n in (1, 4):
+        g = build(n, triples)
+        got = list(g.triples((s, None, None)))
+        assert got == triples  # one shard, insertion order kept
+
+
+def test_all_free_scan_matches_insertion_history():
+    triples = build_triples()
+    plain, sharded = build(None, triples), build(4, triples)
+    assert list(plain) == list(sharded)
+
+
+# -- batched scans ---------------------------------------------------------
+
+def test_scan_batches_flat_layout_and_coverage():
+    g = build(4)
+    ids = g._encode_pattern((None, IRI(EX + "val"), None))
+    flat = []
+    for batch in g.scan_batches(ids, batch_size=7):
+        assert len(batch) % 3 == 0
+        assert len(batch) // 3 <= 7
+        flat.extend(batch)
+    got = [tuple(flat[i:i + 3]) for i in range(0, len(flat), 3)]
+    assert got == list(g._ids_matching(ids))
+
+
+def test_scan_batches_pool_and_serial_are_identical():
+    g = build(4)
+    ids = g._encode_pattern((None, IRI(EX + "val"), None))
+    serial = list(g.scan_batches(ids, batch_size=5))
+    for executor in (SerialExecutor(), ThreadExecutor(4)):
+        pool = WorkerPool(4, executor)
+        try:
+            assert list(g.scan_batches(ids, batch_size=5,
+                                       pool=pool)) == serial
+        finally:
+            pool.close()
+
+
+def test_scan_cost_hook_sees_every_shard_scan():
+    g = build(4)
+    calls = []
+    g.scan_cost = lambda shard, n: calls.append((shard, n))
+    ids = g._encode_pattern((None, IRI(EX + "val"), None))
+    rows = sum(len(b) // 3 for b in g.scan_batches(ids, batch_size=64))
+    assert sum(n for __, n in calls) == rows
+    assert len(calls) > 1  # one call per active shard
+
+
+def test_shard_cardinalities_sum_to_pattern_cardinality():
+    g = build(4)
+    for pattern in [(None, IRI(EX + "val"), None),
+                    (None, IRI(EX + "type"), IRI(EX + "C0"))]:
+        ids = g._encode_pattern(pattern)
+        per_shard = g.shard_cardinalities(ids)
+        assert len(per_shard) == 4
+        assert sum(per_shard) == g.pattern_cardinality(ids)
+
+
+def test_default_batch_size_is_sane():
+    assert DEFAULT_BATCH_SIZE >= 64
+
+
+# -- shard internals -------------------------------------------------------
+
+def test_index_shard_discard_prunes_empty_shells():
+    sh = IndexShard()
+    sh.add(1, 2, 3)
+    sh.add(1, 2, 4)
+    sh.discard(1, 2, 3)
+    assert sh.n_triples == 1
+    sh.discard(1, 2, 4)
+    assert sh.n_triples == 0
+    assert not sh.spo and not sh.pos and not sh.osp
